@@ -1,0 +1,24 @@
+//! Comparison systems for the UA-DB evaluation (paper Section 11).
+//!
+//! Three families of baselines, all implemented from scratch on the shared
+//! data layer:
+//!
+//! * [`libkin`] — the PTIME certain-answer *under*-approximation for
+//!   databases with (labeled) nulls of Guagliardo & Libkin, generalizing
+//!   Reiter's algorithm;
+//! * [`maybms`] — a MayBMS-style U-relational engine computing **possible**
+//!   answers via world-set descriptors, with exact (`#P`-hard, Shannon
+//!   expansion) and Monte-Carlo approximate `conf()`;
+//! * [`mcdb`] — an MCDB-style Monte-Carlo engine over tuple bundles whose
+//!   cost scales with the sample count.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod libkin;
+pub mod maybms;
+pub mod mcdb;
+
+pub use libkin::{certain_subset, certain_subset_ra, certain_subset_set};
+pub use maybms::{Descriptor, UDb, URelation, URow};
+pub use mcdb::{Bundle, BundleDb, BundleTable};

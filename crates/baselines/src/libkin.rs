@@ -1,0 +1,182 @@
+//! Libkin-style certain-answer under-approximation over Codd/V-tables.
+//!
+//! Guagliardo & Libkin \[25, 38\] give a PTIME evaluation that returns a
+//! *subset* of the certain answers of a positive query over a database with
+//! nulls (generalizing Reiter \[42\]):
+//!
+//! 1. evaluate the query with predicates under three-valued logic, keeping
+//!    only rows whose predicates are **certainly true** — a comparison that
+//!    touches an (anonymous or labeled) null is unknown and rejects, except
+//!    that a labeled null compares equal to *itself* (V-table semantics);
+//! 2. discard result tuples still containing nulls — an incomplete tuple is
+//!    never a certain answer.
+//!
+//! Step 1 is exactly the engine's `WHERE` semantics, so the baseline rides
+//! the same executor as deterministic queries — mirroring the paper's
+//! observation that Libkin's rewriting runs at essentially deterministic
+//! speed (Figure 11), with its overhead coming from null handling.
+//!
+//! Under bag semantics the same evaluation under-approximates the certain
+//! *multiplicities* (the paper's \[26\] extension).
+
+use ua_engine::exec::{execute, EngineError};
+use ua_engine::plan::Plan;
+use ua_engine::storage::{Catalog, Table};
+use ua_data::algebra::RaExpr;
+use ua_data::relation::{Database, Relation};
+use ua_data::Tuple;
+
+/// Certain-answer under-approximation of `plan` over `catalog` (whose
+/// tables may contain `NULL`s and labeled nulls).
+pub fn certain_subset(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    let result = execute(plan, catalog)?;
+    let rows: Vec<Tuple> = result
+        .rows()
+        .iter()
+        .filter(|r| !r.has_unknown())
+        .cloned()
+        .collect();
+    Ok(Table::from_rows(result.schema().clone(), rows))
+}
+
+/// Convenience: the same under-approximation for an `RA⁺` query.
+pub fn certain_subset_ra(query: &RaExpr, catalog: &Catalog) -> Result<Table, EngineError> {
+    certain_subset(&Plan::from_ra(query), catalog)
+}
+
+/// Set-semantics variant over a `𝔹`-database (used by correctness tests
+/// against enumerated possible worlds).
+pub fn certain_subset_set(
+    query: &RaExpr,
+    db: &Database<bool>,
+) -> Result<Relation<bool>, EngineError> {
+    let result = ua_data::eval(query, db).map_err(EngineError::from)?;
+    let mut out = Relation::new(result.schema().clone());
+    for (t, &present) in result.iter() {
+        if present && !t.has_unknown() {
+            out.set(t.clone(), true);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::schema::Schema;
+    use ua_data::value::{Value, VarId};
+    use ua_data::{tuple, Expr};
+    use ua_engine::storage::Table;
+
+    /// A Codd table: ages with some nulls.
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register(
+            "person",
+            Table::from_rows(
+                Schema::qualified("person", ["name", "age"]),
+                vec![
+                    tuple!["ann", 30i64],
+                    Tuple::new(vec![Value::str("bob"), Value::Null]),
+                    tuple!["cat", 20i64],
+                ],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn null_predicates_reject() {
+        let q = RaExpr::table("person").select(Expr::named("age").ge(Expr::lit(18i64)));
+        let t = certain_subset_ra(&q, &catalog()).unwrap();
+        // bob's age is unknown: not a certain answer even though every
+        // instantiation ≥ 18 is possible — an under-approximation.
+        assert_eq!(
+            t.sorted_rows(),
+            vec![tuple!["ann", 30i64], tuple!["cat", 20i64]]
+        );
+    }
+
+    #[test]
+    fn null_carrying_outputs_dropped() {
+        let q = RaExpr::table("person").project(["age"]);
+        let t = certain_subset_ra(&q, &catalog()).unwrap();
+        assert_eq!(t.len(), 2, "the NULL age projects out and is dropped");
+    }
+
+    #[test]
+    fn labeled_null_self_join_is_certain() {
+        // V-table: the same variable joins with itself certainly.
+        let c = Catalog::new();
+        let x = Value::Var(VarId(0));
+        c.register(
+            "r",
+            Table::from_rows(
+                Schema::qualified("r", ["k", "v"]),
+                vec![Tuple::new(vec![Value::Int(1), x.clone()])],
+            ),
+        );
+        c.register(
+            "s",
+            Table::from_rows(
+                Schema::qualified("s", ["k", "v"]),
+                vec![Tuple::new(vec![Value::Int(1), x])],
+            ),
+        );
+        let q = RaExpr::table("r")
+            .join(
+                RaExpr::table("s"),
+                Expr::named("r.v").eq(Expr::named("s.v")),
+            )
+            .project(["r.k", "s.k"]);
+        let t = certain_subset_ra(&q, &c).unwrap();
+        assert_eq!(t.rows(), &[tuple![1i64, 1i64]]);
+    }
+
+    #[test]
+    fn under_approximation_is_c_sound_against_world_enumeration() {
+        // Two-column V-table with one labeled null over a small domain:
+        // every Libkin answer must be certain under enumeration.
+        let x = VarId(0);
+        let mut worlds = Vec::new();
+        for v in [1i64, 2, 3] {
+            let mut db: Database<bool> = Database::new();
+            db.insert(
+                "r",
+                Relation::from_tuples(
+                    Schema::qualified("r", ["a", "b"]),
+                    vec![tuple![1i64, v], tuple![2i64, 9i64]],
+                ),
+            );
+            worlds.push(db);
+        }
+        let incomplete = ua_incomplete::IncompleteDb::new(worlds);
+
+        let mut vdb: Database<bool> = Database::new();
+        vdb.insert(
+            "r",
+            Relation::from_tuples(
+                Schema::qualified("r", ["a", "b"]),
+                vec![
+                    Tuple::new(vec![Value::Int(1), Value::Var(x)]),
+                    tuple![2i64, 9i64],
+                ],
+            ),
+        );
+
+        for q in [
+            RaExpr::table("r").project(["a"]),
+            RaExpr::table("r").select(Expr::named("b").ge(Expr::lit(2i64))),
+            RaExpr::table("r").project(["a", "b"]),
+        ] {
+            let under = certain_subset_set(&q, &vdb).unwrap();
+            let q_worlds = incomplete.query(&q).unwrap();
+            for (t, _) in under.iter() {
+                assert!(
+                    q_worlds.certain_annotation("result", t),
+                    "{t} claimed certain but is not, for {q}"
+                );
+            }
+        }
+    }
+}

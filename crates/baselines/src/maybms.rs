@@ -1,0 +1,550 @@
+//! A MayBMS-style probabilistic engine over U-relations.
+//!
+//! MayBMS (Antova, Koch, Olteanu) represents a block-independent database
+//! as *U-relations*: each row carries a **world-set descriptor** — a partial
+//! assignment `{x₁ ↦ a₁, …}` of block variables to alternatives — and exists
+//! exactly in the worlds extending its descriptor. Positive relational
+//! algebra is evaluated directly on this representation:
+//!
+//! * selection filters rows;
+//! * join merges descriptors, dropping *inconsistent* combinations (two
+//!   assignments of the same variable to different alternatives);
+//! * projection/union keep descriptors.
+//!
+//! The distinct tuples of a result U-relation are exactly the **possible
+//! answers** — which is why MayBMS result sizes explode with uncertainty
+//! (paper Figure 12) while a UA-DB returns best-guess-world-sized results.
+//!
+//! `conf()` computes tuple confidence `P(∨ descriptors)`. Exact computation
+//! uses Shannon expansion over the shared condition machinery (worst-case
+//! exponential — confidence computation is #P-hard); the approximate
+//! variant uses Monte-Carlo sampling with an `(ε, δ)` bound, substituting
+//! for the anytime approximation \[41\] the paper runs at ε = 0.3.
+
+use rand::Rng;
+use ua_conditions::{probability, probability_monte_carlo, samples_for_error, Condition, VarDistributions};
+use ua_data::algebra::{extract_equi_keys, RaError, RaExpr};
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, VarId};
+use ua_data::FxHashMap;
+use ua_models::XDb;
+
+/// A world-set descriptor: a consistent partial assignment of block
+/// variables to alternative indices, kept sorted by variable.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Descriptor(Vec<(VarId, u32)>);
+
+impl Descriptor {
+    /// The empty descriptor (row exists in every world).
+    pub fn top() -> Descriptor {
+        Descriptor::default()
+    }
+
+    /// A singleton descriptor `var ↦ alt`.
+    pub fn assign(var: VarId, alt: u32) -> Descriptor {
+        Descriptor(vec![(var, alt)])
+    }
+
+    /// Merge two descriptors; `None` when inconsistent.
+    pub fn merge(&self, other: &Descriptor) -> Option<Descriptor> {
+        let mut out = Vec::with_capacity(self.0.len() + other.0.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            let (va, aa) = self.0[i];
+            let (vb, ab) = other.0[j];
+            match va.cmp(&vb) {
+                std::cmp::Ordering::Less => {
+                    out.push((va, aa));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push((vb, ab));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    if aa != ab {
+                        return None;
+                    }
+                    out.push((va, aa));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.0[i..]);
+        out.extend_from_slice(&other.0[j..]);
+        Some(Descriptor(out))
+    }
+
+    /// The assignments.
+    pub fn assignments(&self) -> &[(VarId, u32)] {
+        &self.0
+    }
+
+    /// As a boolean condition `∧ (var = alt)`.
+    pub fn to_condition(&self) -> Condition {
+        Condition::and_all(
+            self.0
+                .iter()
+                .map(|&(v, a)| Condition::var_eq(v, i64::from(a))),
+        )
+    }
+}
+
+/// One row of a U-relation.
+#[derive(Clone, Debug)]
+pub struct URow {
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Its world-set descriptor.
+    pub descriptor: Descriptor,
+}
+
+/// A U-relation.
+#[derive(Clone, Debug)]
+pub struct URelation {
+    schema: Schema,
+    rows: Vec<URow>,
+}
+
+impl URelation {
+    /// Empty U-relation.
+    pub fn new(schema: Schema) -> URelation {
+        URelation {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[URow] {
+        &self.rows
+    }
+
+    /// Number of rows (the representation size driving Figure 12).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The distinct possible tuples.
+    pub fn possible_tuples(&self) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self.rows.iter().map(|r| r.tuple.clone()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// A U-relational database: relations plus per-variable alternative
+/// distributions (index `i` holds `P(var = i)`; leftover mass = absence).
+#[derive(Clone, Debug, Default)]
+pub struct UDb {
+    relations: std::collections::BTreeMap<String, URelation>,
+    distributions: VarDistributions,
+    n_vars: u32,
+}
+
+impl UDb {
+    /// Empty U-database.
+    pub fn new() -> UDb {
+        UDb::default()
+    }
+
+    /// Translate an x-DB / BI-DB: x-tuple `j` becomes variable `j`,
+    /// alternative `k` the assignment `j ↦ k`. The variable's distribution
+    /// enumerates the alternatives (plus an explicit "absent" alternative
+    /// for optional x-tuples, so that distributions always sum to 1).
+    pub fn from_xdb(xdb: &XDb) -> UDb {
+        let mut out = UDb::new();
+        let mut next_var = 0u32;
+        for (name, rel) in xdb.iter() {
+            let mut urel = URelation::new(rel.schema().clone());
+            for xt in rel.xtuples() {
+                let var = VarId(next_var);
+                next_var += 1;
+                let mut support: Vec<(Value, f64)> = xt
+                    .alternatives
+                    .iter()
+                    .enumerate()
+                    .map(|(k, alt)| (Value::Int(k as i64), alt.probability))
+                    .collect();
+                let absent = 1.0 - xt.total_probability();
+                if absent > 1e-12 {
+                    // Absence encodes as the out-of-range alternative index.
+                    support.push((Value::Int(xt.alternatives.len() as i64), absent));
+                }
+                out.distributions.set(var, support);
+                for (k, alt) in xt.alternatives.iter().enumerate() {
+                    urel.rows.push(URow {
+                        tuple: alt.tuple.clone(),
+                        descriptor: Descriptor::assign(var, k as u32),
+                    });
+                }
+            }
+            out.relations.insert(name.clone(), urel);
+        }
+        out.n_vars = next_var;
+        out
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&URelation> {
+        self.relations.get(name)
+    }
+
+    /// The block-variable distributions.
+    pub fn distributions(&self) -> &VarDistributions {
+        &self.distributions
+    }
+
+    /// Evaluate an `RA⁺` query, producing the result U-relation.
+    pub fn query(&self, query: &RaExpr) -> Result<URelation, RaError> {
+        match query {
+            RaExpr::Table(name) => self
+                .relations
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RaError::UnknownTable(name.clone())),
+            RaExpr::Alias { input, name } => {
+                let rel = self.query(input)?;
+                Ok(URelation {
+                    schema: rel.schema.with_qualifier(name),
+                    rows: rel.rows,
+                })
+            }
+            RaExpr::Select { input, predicate } => {
+                let rel = self.query(input)?;
+                let bound = predicate.bind(&rel.schema)?;
+                let mut out = URelation::new(rel.schema.clone());
+                for row in &rel.rows {
+                    if bound.holds(&row.tuple)? {
+                        out.rows.push(row.clone());
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Project { input, columns } => {
+                let rel = self.query(input)?;
+                let bound: Vec<Expr> = columns
+                    .iter()
+                    .map(|c| c.expr.bind(&rel.schema))
+                    .collect::<Result<_, _>>()?;
+                let schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+                let mut out = URelation::new(schema);
+                for row in &rel.rows {
+                    let tuple: Tuple = bound
+                        .iter()
+                        .map(|e| e.eval(&row.tuple))
+                        .collect::<Result<_, _>>()?;
+                    out.rows.push(URow {
+                        tuple,
+                        descriptor: row.descriptor.clone(),
+                    });
+                }
+                Ok(out)
+            }
+            RaExpr::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.query(left)?;
+                let r = self.query(right)?;
+                join_urelations(&l, &r, predicate.as_ref())
+            }
+            RaExpr::Union { left, right } => {
+                let l = self.query(left)?;
+                let r = self.query(right)?;
+                l.schema.check_union_compatible(&r.schema)?;
+                let mut out = l.clone();
+                out.rows.extend(r.rows);
+                Ok(out)
+            }
+        }
+    }
+
+    /// Exact confidence of every possible tuple of `rel`.
+    pub fn confidences(&self, rel: &URelation) -> Vec<(Tuple, f64)> {
+        self.confidence_impl(rel, |cond| probability(cond, &self.distributions))
+    }
+
+    /// Monte-Carlo confidences with additive error ≤ `epsilon` at confidence
+    /// `1 − delta` (per tuple).
+    pub fn confidences_approx(
+        &self,
+        rel: &URelation,
+        epsilon: f64,
+        delta: f64,
+        rng: &mut impl Rng,
+    ) -> Vec<(Tuple, f64)> {
+        let samples = samples_for_error(epsilon, delta);
+        let mut rows: Vec<(Tuple, f64)> = Vec::new();
+        for (tuple, cond) in self.tuple_conditions(rel) {
+            let p = probability_monte_carlo(&cond, &self.distributions, samples, rng);
+            rows.push((tuple, p));
+        }
+        rows
+    }
+
+    fn confidence_impl(
+        &self,
+        rel: &URelation,
+        prob: impl Fn(&Condition) -> f64,
+    ) -> Vec<(Tuple, f64)> {
+        self.tuple_conditions(rel)
+            .into_iter()
+            .map(|(tuple, cond)| {
+                let p = prob(&cond);
+                (tuple, p)
+            })
+            .collect()
+    }
+
+    /// The lineage condition of every distinct tuple.
+    fn tuple_conditions(&self, rel: &URelation) -> Vec<(Tuple, Condition)> {
+        let mut grouped: FxHashMap<Tuple, Vec<Condition>> = FxHashMap::default();
+        let mut order = Vec::new();
+        for row in &rel.rows {
+            let entry = grouped.entry(row.tuple.clone());
+            if let std::collections::hash_map::Entry::Vacant(_) = entry {
+                order.push(row.tuple.clone());
+            }
+            grouped
+                .entry(row.tuple.clone())
+                .or_default()
+                .push(row.descriptor.to_condition());
+        }
+        order
+            .into_iter()
+            .map(|t| {
+                let conds = grouped.remove(&t).expect("grouped");
+                (t, Condition::or_all(conds))
+            })
+            .collect()
+    }
+}
+
+fn join_urelations(
+    l: &URelation,
+    r: &URelation,
+    predicate: Option<&Expr>,
+) -> Result<URelation, RaError> {
+    let schema = l.schema.concat(&r.schema);
+    let mut out = URelation::new(schema.clone());
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&schema)?),
+        None => None,
+    };
+    // Hash join on extractable equi-keys; descriptor merge filters the rest.
+    if let Some(pred) = &bound {
+        let (keys, residual) = extract_equi_keys(pred, l.schema.arity());
+        if !keys.is_empty() {
+            let residual = Expr::conjunction(residual);
+            let mut table: FxHashMap<Tuple, Vec<&URow>> = FxHashMap::default();
+            for row in &r.rows {
+                let key: Tuple = keys
+                    .iter()
+                    .map(|k| k.right.eval(&row.tuple))
+                    .collect::<Result<_, _>>()?;
+                if key.has_null() {
+                    continue;
+                }
+                table.entry(key).or_default().push(row);
+            }
+            for lrow in &l.rows {
+                let key: Tuple = keys
+                    .iter()
+                    .map(|k| k.left.eval(&lrow.tuple))
+                    .collect::<Result<_, _>>()?;
+                if key.has_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for rrow in matches {
+                        if let Some(descriptor) = lrow.descriptor.merge(&rrow.descriptor) {
+                            let joined = lrow.tuple.concat(&rrow.tuple);
+                            if residual.holds(&joined)? {
+                                out.rows.push(URow {
+                                    tuple: joined,
+                                    descriptor,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(out);
+        }
+    }
+    for lrow in &l.rows {
+        for rrow in &r.rows {
+            let Some(descriptor) = lrow.descriptor.merge(&rrow.descriptor) else {
+                continue;
+            };
+            let joined = lrow.tuple.concat(&rrow.tuple);
+            let keep = match &bound {
+                Some(p) => p.holds(&joined)?,
+                None => true,
+            };
+            if keep {
+                out.rows.push(URow {
+                    tuple: joined,
+                    descriptor,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ua_data::tuple;
+    use ua_models::{XRelation, XTuple};
+
+    fn sample_xdb() -> XDb {
+        let mut rel = XRelation::new(Schema::qualified("r", ["id", "v"]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![1i64, "a"], 0.6),
+            (tuple![1i64, "b"], 0.4),
+        ]));
+        rel.push(XTuple::probabilistic(vec![(tuple![2i64, "a"], 1.0)]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![3i64, "c"], 0.3), // optional: absence mass 0.7
+        ]));
+        let mut db = XDb::new();
+        db.insert("r", rel);
+        db
+    }
+
+    #[test]
+    fn possible_answers_enumerate_alternatives() {
+        let udb = UDb::from_xdb(&sample_xdb());
+        let q = RaExpr::table("r").project(["v"]);
+        let result = udb.query(&q).unwrap();
+        assert_eq!(
+            result.possible_tuples(),
+            vec![tuple!["a"], tuple!["b"], tuple!["c"]]
+        );
+        // 4 rows: both alternatives of block 1, plus blocks 2 and 3.
+        assert_eq!(result.len(), 4);
+    }
+
+    #[test]
+    fn descriptor_consistency_blocks_self_join_contradictions() {
+        let udb = UDb::from_xdb(&sample_xdb());
+        // Self-join r.id = r.id but v <> v: only *different* blocks can pair;
+        // within block 1 the two alternatives are mutually exclusive.
+        let q = RaExpr::table("r").alias("x").join(
+            RaExpr::table("r").alias("y"),
+            Expr::named("x.id")
+                .eq(Expr::named("y.id"))
+                .and(Expr::named("x.v").ne(Expr::named("y.v"))),
+        );
+        let result = udb.query(&q).unwrap();
+        assert!(
+            result.is_empty(),
+            "alternatives of one x-tuple are disjoint events"
+        );
+    }
+
+    #[test]
+    fn exact_confidences() {
+        let udb = UDb::from_xdb(&sample_xdb());
+        let q = RaExpr::table("r").project(["v"]);
+        let result = udb.query(&q).unwrap();
+        let conf: FxHashMap<Tuple, f64> = udb.confidences(&result).into_iter().collect();
+        // 'a' appears via block1-alt0 (0.6) or block2 (1.0): P = 1.0.
+        assert!((conf[&tuple!["a"]] - 1.0).abs() < 1e-9);
+        assert!((conf[&tuple!["b"]] - 0.4).abs() < 1e-9);
+        assert!((conf[&tuple!["c"]] - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn confidence_of_join_multiplies_independent_blocks() {
+        let udb = UDb::from_xdb(&sample_xdb());
+        let q = RaExpr::table("r").alias("x").join(
+            RaExpr::table("r").alias("y"),
+            Expr::named("x.v").eq(Expr::named("y.v")),
+        );
+        let result = udb.query(&q).unwrap();
+        let conf: FxHashMap<Tuple, f64> = udb.confidences(&result).into_iter().collect();
+        // (1,'a') ⋈ (2,'a'): P = 0.6 (block 2 is certain).
+        let key = tuple![1i64, "a", 2i64, "a"];
+        assert!((conf[&key] - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximate_confidence_is_close() {
+        let udb = UDb::from_xdb(&sample_xdb());
+        let q = RaExpr::table("r").project(["v"]);
+        let result = udb.query(&q).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let approx: FxHashMap<Tuple, f64> = udb
+            .confidences_approx(&result, 0.05, 0.01, &mut rng)
+            .into_iter()
+            .collect();
+        let exact: FxHashMap<Tuple, f64> = udb.confidences(&result).into_iter().collect();
+        for (t, p) in exact {
+            assert!(
+                (approx[&t] - p).abs() < 0.08,
+                "approx conf for {t} off: {} vs {p}",
+                approx[&t]
+            );
+        }
+    }
+
+    #[test]
+    fn confidences_match_world_enumeration() {
+        let xdb = sample_xdb();
+        let udb = UDb::from_xdb(&xdb);
+        let inc = xdb.enumerate_worlds(1000);
+        let q = RaExpr::table("r").project(["v"]);
+        let u_result = udb.query(&q).unwrap();
+        let conf: FxHashMap<Tuple, f64> = udb.confidences(&u_result).into_iter().collect();
+        let worlds_result = inc.query(&q).unwrap();
+        for (t, p) in &conf {
+            let ground: f64 = (0..worlds_result.n_worlds())
+                .filter(|&i| {
+                    worlds_result
+                        .world(i)
+                        .get("result")
+                        .is_some_and(|r| r.annotation(t) > 0)
+                })
+                .map(|i| worlds_result.probability(i))
+                .sum();
+            assert!(
+                (p - ground).abs() < 1e-9,
+                "confidence mismatch for {t}: {p} vs {ground}"
+            );
+        }
+    }
+
+    #[test]
+    fn descriptor_merge() {
+        let a = Descriptor::assign(VarId(1), 0);
+        let b = Descriptor::assign(VarId(2), 1);
+        let c = Descriptor::assign(VarId(1), 1);
+        assert!(a.merge(&b).is_some());
+        assert!(a.merge(&c).is_none());
+        assert_eq!(a.merge(&a), Some(a.clone()));
+        let ab = a.merge(&b).unwrap();
+        assert_eq!(ab.assignments().len(), 2);
+        assert_eq!(Descriptor::top().merge(&ab), Some(ab));
+    }
+}

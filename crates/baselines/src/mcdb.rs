@@ -1,0 +1,528 @@
+//! An MCDB-style Monte-Carlo engine over tuple bundles.
+//!
+//! MCDB (Jampani et al.) evaluates queries over *tuple bundles*: each
+//! logical tuple carries one value instantiation **per sampled world**, plus
+//! a presence bitmap. Operators process all samples in one pass, so query
+//! cost scales with the sample count — the paper's experiments use 10
+//! samples and observe ≈10× deterministic runtime (Figure 11), which this
+//! implementation reproduces by construction.
+//!
+//! The certain answers are *over*-approximated by the tuples present (with
+//! identical values) in **every** sample; possible answers by tuples present
+//! in at least one.
+
+use rand::Rng;
+use ua_data::algebra::{RaError, RaExpr};
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::FxHashMap;
+use ua_models::{TiDb, XDb};
+
+/// Maximum supported sample count (presence is a `u64` bitmap).
+pub const MAX_SAMPLES: usize = 64;
+
+/// One tuple bundle: per-sample values + presence bitmap.
+#[derive(Clone, Debug)]
+pub struct Bundle {
+    /// Value instantiation per sample (length = sample count).
+    pub values: Vec<Tuple>,
+    /// Bit `i` set ⇔ the tuple exists in sample `i`.
+    pub mask: u64,
+}
+
+/// A relation of tuple bundles.
+#[derive(Clone, Debug)]
+pub struct BundleTable {
+    schema: Schema,
+    bundles: Vec<Bundle>,
+    samples: usize,
+}
+
+impl BundleTable {
+    /// Empty bundle table.
+    pub fn new(schema: Schema, samples: usize) -> BundleTable {
+        assert!(
+            (1..=MAX_SAMPLES).contains(&samples),
+            "sample count must be in 1..={MAX_SAMPLES}"
+        );
+        BundleTable {
+            schema,
+            bundles: Vec::new(),
+            samples,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The bundles.
+    pub fn bundles(&self) -> &[Bundle] {
+        &self.bundles
+    }
+
+    /// Sample count.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    fn full_mask(&self) -> u64 {
+        if self.samples == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.samples) - 1
+        }
+    }
+
+    /// The deterministic relation of sample `i`.
+    pub fn world(&self, i: usize) -> Vec<Tuple> {
+        assert!(i < self.samples);
+        self.bundles
+            .iter()
+            .filter(|b| b.mask & (1 << i) != 0)
+            .map(|b| b.values[i].clone())
+            .collect()
+    }
+
+    /// Tuples present with identical values in *every* sample — the MCDB
+    /// estimate of the certain answers (an over-approximation in
+    /// expectation: agreement across 10 samples does not prove certainty).
+    pub fn estimated_certain(&self) -> Vec<Tuple> {
+        let full = self.full_mask();
+        let mut out: Vec<Tuple> = self
+            .bundles
+            .iter()
+            .filter(|b| b.mask == full && b.values.iter().all(|v| v == &b.values[0]))
+            .map(|b| b.values[0].clone())
+            .collect();
+        // Identical tuples may also arise from different bundles covering
+        // complementary samples: count by value.
+        let mut coverage: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for b in &self.bundles {
+            for i in 0..self.samples {
+                if b.mask & (1 << i) != 0 {
+                    *coverage.entry(b.values[i].clone()).or_default() |= 1 << i;
+                }
+            }
+        }
+        for (t, mask) in coverage {
+            if mask == full && !out.contains(&t) {
+                out.push(t);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Tuples present in at least one sample.
+    pub fn possible(&self) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for b in &self.bundles {
+            for i in 0..self.samples {
+                if b.mask & (1 << i) != 0 {
+                    out.push(b.values[i].clone());
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Monte-Carlo estimate of each possible tuple's marginal probability.
+    pub fn tuple_frequencies(&self) -> Vec<(Tuple, f64)> {
+        let mut coverage: FxHashMap<Tuple, u64> = FxHashMap::default();
+        for b in &self.bundles {
+            for i in 0..self.samples {
+                if b.mask & (1 << i) != 0 {
+                    *coverage.entry(b.values[i].clone()).or_default() |= 1 << i;
+                }
+            }
+        }
+        let mut out: Vec<(Tuple, f64)> = coverage
+            .into_iter()
+            .map(|(t, m)| (t, m.count_ones() as f64 / self.samples as f64))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+/// A database of bundle tables.
+#[derive(Clone, Debug, Default)]
+pub struct BundleDb {
+    relations: std::collections::BTreeMap<String, BundleTable>,
+}
+
+impl BundleDb {
+    /// Instantiate bundles from an x-DB by sampling `samples` worlds.
+    pub fn from_xdb(xdb: &XDb, samples: usize, rng: &mut impl Rng) -> BundleDb {
+        assert!((1..=MAX_SAMPLES).contains(&samples));
+        let mut out = BundleDb::default();
+        for (name, rel) in xdb.iter() {
+            let mut table = BundleTable::new(rel.schema().clone(), samples);
+            for xt in rel.xtuples() {
+                let mut values = Vec::with_capacity(samples);
+                let mut mask = 0u64;
+                for i in 0..samples {
+                    // Sample this block independently per world.
+                    let mut roll: f64 = rng.gen();
+                    let mut chosen: Option<&Tuple> = None;
+                    for alt in &xt.alternatives {
+                        if roll < alt.probability {
+                            chosen = Some(&alt.tuple);
+                            break;
+                        }
+                        roll -= alt.probability;
+                    }
+                    if chosen.is_none() && !xt.optional {
+                        chosen = xt.alternatives.last().map(|a| &a.tuple);
+                    }
+                    match chosen {
+                        Some(t) => {
+                            values.push(t.clone());
+                            mask |= 1 << i;
+                        }
+                        None => values.push(xt.alternatives[0].tuple.clone()),
+                    }
+                }
+                if mask != 0 {
+                    table.bundles.push(Bundle { values, mask });
+                }
+            }
+            out.relations.insert(name.clone(), table);
+        }
+        out
+    }
+
+    /// Instantiate bundles from a TI-DB.
+    pub fn from_tidb(tidb: &TiDb, samples: usize, rng: &mut impl Rng) -> BundleDb {
+        assert!((1..=MAX_SAMPLES).contains(&samples));
+        let mut out = BundleDb::default();
+        for (name, rel) in tidb.iter() {
+            let mut table = BundleTable::new(rel.schema().clone(), samples);
+            for t in rel.tuples() {
+                let mut mask = 0u64;
+                for i in 0..samples {
+                    if !t.is_optional() || rng.gen::<f64>() < t.probability {
+                        mask |= 1 << i;
+                    }
+                }
+                if mask != 0 {
+                    table.bundles.push(Bundle {
+                        values: vec![t.tuple.clone(); samples],
+                        mask,
+                    });
+                }
+            }
+            out.relations.insert(name.clone(), table);
+        }
+        out
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&BundleTable> {
+        self.relations.get(name)
+    }
+
+    /// Evaluate an `RA⁺` query over bundles. Every operator touches all
+    /// samples, reproducing MCDB's `samples ×` cost profile.
+    pub fn query(&self, query: &RaExpr) -> Result<BundleTable, RaError> {
+        match query {
+            RaExpr::Table(name) => self
+                .relations
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RaError::UnknownTable(name.clone())),
+            RaExpr::Alias { input, name } => {
+                let rel = self.query(input)?;
+                Ok(BundleTable {
+                    schema: rel.schema.with_qualifier(name),
+                    ..rel
+                })
+            }
+            RaExpr::Select { input, predicate } => {
+                let rel = self.query(input)?;
+                let bound = predicate.bind(&rel.schema)?;
+                let mut out = BundleTable::new(rel.schema.clone(), rel.samples);
+                for b in &rel.bundles {
+                    let mut mask = 0u64;
+                    for i in 0..rel.samples {
+                        if b.mask & (1 << i) != 0 && bound.holds(&b.values[i])? {
+                            mask |= 1 << i;
+                        }
+                    }
+                    if mask != 0 {
+                        out.bundles.push(Bundle {
+                            values: b.values.clone(),
+                            mask,
+                        });
+                    }
+                }
+                Ok(out)
+            }
+            RaExpr::Project { input, columns } => {
+                let rel = self.query(input)?;
+                let bound: Vec<Expr> = columns
+                    .iter()
+                    .map(|c| c.expr.bind(&rel.schema))
+                    .collect::<Result<_, _>>()?;
+                let schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+                let mut out = BundleTable::new(schema, rel.samples);
+                for b in &rel.bundles {
+                    let values: Vec<Tuple> = b
+                        .values
+                        .iter()
+                        .map(|t| {
+                            bound
+                                .iter()
+                                .map(|e| e.eval(t))
+                                .collect::<Result<Tuple, _>>()
+                        })
+                        .collect::<Result<_, _>>()?;
+                    out.bundles.push(Bundle {
+                        values,
+                        mask: b.mask,
+                    });
+                }
+                Ok(out)
+            }
+            RaExpr::Join {
+                left,
+                right,
+                predicate,
+            } => {
+                let l = self.query(left)?;
+                let r = self.query(right)?;
+                join_bundles(&l, &r, predicate.as_ref())
+            }
+            RaExpr::Union { left, right } => {
+                let l = self.query(left)?;
+                let r = self.query(right)?;
+                l.schema.check_union_compatible(&r.schema)?;
+                let mut out = l.clone();
+                out.bundles.extend(r.bundles);
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Join two bundle tables.
+///
+/// MCDB partitions tuple bundles on join keys when those keys are constant
+/// across samples (the common case: keys are rarely the uncertain
+/// attributes); value-varying keys fall back to pairwise evaluation. We do
+/// the same: a hash join on sample-0 keys when every bundle's key agrees
+/// across its samples, else nested loops.
+fn join_bundles(
+    l: &BundleTable,
+    r: &BundleTable,
+    predicate: Option<&Expr>,
+) -> Result<BundleTable, RaError> {
+    use ua_data::algebra::extract_equi_keys;
+    let schema = l.schema.concat(&r.schema);
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&schema)?),
+        None => None,
+    };
+    let mut out = BundleTable::new(schema, l.samples);
+
+    // The per-pair worker: evaluates the full predicate sample-by-sample.
+    fn emit_pair(
+        lb: &Bundle,
+        rb: &Bundle,
+        samples: usize,
+        bound: Option<&Expr>,
+        out: &mut BundleTable,
+    ) -> Result<(), RaError> {
+        let both = lb.mask & rb.mask;
+        if both == 0 {
+            return Ok(());
+        }
+        let mut mask = 0u64;
+        let mut values = Vec::with_capacity(samples);
+        for i in 0..samples {
+            let joined = lb.values[i].concat(&rb.values[i]);
+            if both & (1 << i) != 0 {
+                let keep = match bound {
+                    Some(p) => p.holds(&joined)?,
+                    None => true,
+                };
+                if keep {
+                    mask |= 1 << i;
+                }
+            }
+            values.push(joined);
+        }
+        if mask != 0 {
+            out.bundles.push(Bundle { values, mask });
+        }
+        Ok(())
+    }
+
+    if let Some(pred) = &bound {
+        let (keys, _residual) = extract_equi_keys(pred, l.schema.arity());
+        if !keys.is_empty() {
+            // Keys must be sample-invariant for partitioning to be sound.
+            let key_of = |b: &Bundle, exprs: &[&Expr]| -> Result<Option<Tuple>, RaError> {
+                let first: Tuple = exprs
+                    .iter()
+                    .map(|e| e.eval(&b.values[0]))
+                    .collect::<Result<_, _>>()?;
+                for v in &b.values[1..] {
+                    let k: Tuple = exprs
+                        .iter()
+                        .map(|e| e.eval(v))
+                        .collect::<Result<_, _>>()?;
+                    if k != first {
+                        return Ok(None);
+                    }
+                }
+                Ok(Some(first))
+            };
+            let left_exprs: Vec<&Expr> = keys.iter().map(|k| &k.left).collect();
+            let right_exprs: Vec<&Expr> = keys.iter().map(|k| &k.right).collect();
+            let mut all_constant = true;
+            let mut table: FxHashMap<Tuple, Vec<&Bundle>> = FxHashMap::default();
+            for rb in &r.bundles {
+                match key_of(rb, &right_exprs)? {
+                    Some(k) if !k.has_null() => table.entry(k).or_default().push(rb),
+                    Some(_) => {}
+                    None => {
+                        all_constant = false;
+                        break;
+                    }
+                }
+            }
+            if all_constant {
+                for lb in &l.bundles {
+                    match key_of(lb, &left_exprs)? {
+                        Some(k) => {
+                            if let Some(matches) = table.get(&k) {
+                                for rb in matches {
+                                    emit_pair(lb, rb, l.samples, bound.as_ref(), &mut out)?;
+                                }
+                            }
+                        }
+                        None => {
+                            all_constant = false;
+                            break;
+                        }
+                    }
+                }
+                if all_constant {
+                    return Ok(out);
+                }
+                // A value-varying left key appeared midway: restart pairwise
+                // (out may hold partial results; rebuild).
+                out = BundleTable::new(l.schema.concat(&r.schema), l.samples);
+            }
+        }
+    }
+
+    for lb in &l.bundles {
+        for rb in &r.bundles {
+            emit_pair(lb, rb, l.samples, bound.as_ref(), &mut out)?;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ua_data::tuple;
+    use ua_models::{XRelation, XTuple};
+
+    fn sample_xdb() -> XDb {
+        let mut rel = XRelation::new(Schema::qualified("r", ["id", "v"]));
+        rel.push(XTuple::total(vec![tuple![1i64, "a"]]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![2i64, "b"], 0.5),
+            (tuple![2i64, "c"], 0.5),
+        ]));
+        let mut db = XDb::new();
+        db.insert("r", rel);
+        db
+    }
+
+    #[test]
+    fn certain_tuples_survive_all_samples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bdb = BundleDb::from_xdb(&sample_xdb(), 10, &mut rng);
+        let q = RaExpr::table("r").project(["id"]);
+        let result = bdb.query(&q).unwrap();
+        let certain = result.estimated_certain();
+        assert!(certain.contains(&tuple![1i64]));
+        assert!(certain.contains(&tuple![2i64]), "projection agrees across alternatives");
+    }
+
+    #[test]
+    fn uncertain_values_split_across_samples() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bdb = BundleDb::from_xdb(&sample_xdb(), 16, &mut rng);
+        let q = RaExpr::table("r").project(["v"]);
+        let result = bdb.query(&q).unwrap();
+        let certain = result.estimated_certain();
+        assert!(certain.contains(&tuple!["a"]));
+        // 'b' / 'c' alone survive all 16 samples with prob 2·(1/2)^16 ≈ 0.003.
+        assert!(!certain.contains(&tuple!["b"]) || !certain.contains(&tuple!["c"]));
+        let possible = result.possible();
+        assert!(possible.len() >= 2);
+    }
+
+    #[test]
+    fn selection_masks_per_sample() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bdb = BundleDb::from_xdb(&sample_xdb(), 32, &mut rng);
+        let q = RaExpr::table("r").select(Expr::named("v").eq(Expr::lit("b")));
+        let result = bdb.query(&q).unwrap();
+        let freqs = result.tuple_frequencies();
+        if let Some((_, f)) = freqs.first() {
+            assert!(
+                (0.2..=0.8).contains(f),
+                "P('b') ≈ 0.5, estimated {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_costs_scale_with_samples() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let bdb = BundleDb::from_xdb(&sample_xdb(), 8, &mut rng);
+        let q = RaExpr::table("r").alias("x").join(
+            RaExpr::table("r").alias("y"),
+            Expr::named("x.id").eq(Expr::named("y.id")),
+        );
+        let result = bdb.query(&q).unwrap();
+        // Every surviving bundle still carries 8 value instantiations.
+        for b in result.bundles() {
+            assert_eq!(b.values.len(), 8);
+        }
+        assert!(result.estimated_certain().iter().any(|t| t.get(0) == Some(&ua_data::Value::Int(1))));
+    }
+
+    #[test]
+    fn tidb_bundles() {
+        use ua_models::{TiRelation, TiTuple};
+        let mut rel = TiRelation::new(Schema::qualified("t", ["a"]));
+        rel.push(TiTuple::certain(tuple![1i64]));
+        rel.push(TiTuple::with_probability(tuple![2i64], 0.5));
+        let mut tidb = TiDb::new();
+        tidb.insert("t", rel);
+        let mut rng = StdRng::seed_from_u64(5);
+        let bdb = BundleDb::from_tidb(&tidb, 20, &mut rng);
+        let q = RaExpr::table("t").project(["a"]);
+        let result = bdb.query(&q).unwrap();
+        let certain = result.estimated_certain();
+        assert!(certain.contains(&tuple![1i64]));
+        let freqs: FxHashMap<Tuple, f64> = result.tuple_frequencies().into_iter().collect();
+        assert!((freqs[&tuple![2i64]] - 0.5).abs() < 0.3);
+    }
+}

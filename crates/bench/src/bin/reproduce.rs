@@ -1,0 +1,153 @@
+//! Regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p ua-bench --bin reproduce            # everything
+//! cargo run --release -p ua-bench --bin reproduce -- fig11   # one experiment
+//! cargo run --release -p ua-bench --bin reproduce -- quick   # smaller sizes
+//! ```
+//!
+//! Results are printed and written to `results/<experiment>.txt`.
+
+use std::fs;
+use std::path::Path;
+use ua_bench::experiments::*;
+
+struct Profile {
+    pdbench_scale: f64,
+    pdbench_scales: Vec<f64>,
+    fig10_rows: usize,
+    fig10_per_complexity: usize,
+    fnr_rows_cap: usize,
+    fnr_queries: usize,
+    real_scale: usize,
+    utility_rows: usize,
+    prob_blocks: usize,
+}
+
+impl Profile {
+    fn full() -> Profile {
+        Profile {
+            pdbench_scale: 0.002,
+            pdbench_scales: vec![0.0005, 0.005, 0.05],
+            fig10_rows: 24,
+            fig10_per_complexity: 3,
+            fnr_rows_cap: 6000,
+            fnr_queries: 10,
+            real_scale: 2000,
+            utility_rows: 4000,
+            prob_blocks: 800,
+        }
+    }
+
+    fn quick() -> Profile {
+        Profile {
+            pdbench_scale: 0.0005,
+            pdbench_scales: vec![0.0002, 0.001, 0.005],
+            fig10_rows: 14,
+            fig10_per_complexity: 2,
+            fnr_rows_cap: 1200,
+            fnr_queries: 5,
+            real_scale: 60,
+            utility_rows: 1000,
+            prob_blocks: 250,
+        }
+    }
+}
+
+fn emit(name: &str, content: &str) {
+    println!("{content}");
+    let dir = Path::new("results");
+    fs::create_dir_all(dir).expect("create results dir");
+    fs::write(dir.join(format!("{name}.txt")), content).expect("write result file");
+    eprintln!("[reproduce] wrote results/{name}.txt");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "quick");
+    let profile = if quick {
+        Profile::quick()
+    } else {
+        Profile::full()
+    };
+    let only: Vec<&str> = args.iter().filter(|a| *a != "quick").map(String::as_str).collect();
+    let want = |name: &str| only.is_empty() || only.contains(&name);
+    let seed = 2019;
+
+    let uncertainties = [0.02, 0.05, 0.10, 0.30];
+
+    if want("fig10") {
+        let points = fig10::run(profile.fig10_rows, 7, profile.fig10_per_complexity, seed);
+        emit("fig10", &fig10::format(&points));
+    }
+    if want("fig11") {
+        emit(
+            "fig11",
+            &pdbench_suite::figure11(profile.pdbench_scale, &uncertainties, seed),
+        );
+    }
+    if want("fig12") {
+        emit(
+            "fig12",
+            &pdbench_suite::figure12(profile.pdbench_scale, &uncertainties, seed),
+        );
+    }
+    if want("fig13") {
+        emit(
+            "fig13",
+            &pdbench_suite::figure13(profile.pdbench_scale, &uncertainties, seed),
+        );
+    }
+    if want("fig14") {
+        emit(
+            "fig14",
+            &pdbench_suite::figure14(&profile.pdbench_scales, seed),
+        );
+    }
+    if want("fig15") {
+        emit(
+            "fig15",
+            &fnr::figure15(profile.fnr_rows_cap, profile.fnr_queries, seed),
+        );
+    }
+    if want("fig16") {
+        emit("fig16", &fnr::figure16(profile.fnr_rows_cap, seed));
+    }
+    if want("fig17") {
+        let results = real_queries::run(profile.real_scale, seed);
+        emit("fig17", &real_queries::format(&results));
+    }
+    if want("fig18") {
+        emit(
+            "fig18",
+            &utility_exp::figure18(
+                profile.utility_rows,
+                &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+                seed,
+            ),
+        );
+    }
+    if want("fig19") {
+        let points = probabilistic::run(profile.prob_blocks, &[2, 5, 10, 20], seed);
+        emit("fig19", &probabilistic::format(&points));
+    }
+    if want("fig20") {
+        emit(
+            "fig20",
+            &fnr::figure20(profile.fnr_rows_cap, profile.fnr_queries, seed),
+        );
+    }
+    if want("fig21") {
+        emit(
+            "fig21",
+            &access::figure21(
+                profile.fnr_rows_cap.min(2500),
+                &[1, 3, 5, 7, 9],
+                &[0.01, 0.05, 0.10, 0.15],
+                3,
+                seed,
+            ),
+        );
+    }
+    eprintln!("[reproduce] done");
+}

@@ -1,0 +1,199 @@
+//! Figure 21: UA-DBs over the access-control semiring `A`.
+//!
+//! Tuples carry clearance annotations (`0 < T < S < C < P`); a heuristic
+//! classifier assigns labels with a controlled error rate. Random
+//! projections run under `A`-relational semantics on both the true and the
+//! perturbed annotations; the reported error is the mean chain distance
+//! between the two result annotations (e.g. `dist(C, T) = 0.4`), as in the
+//! paper.
+
+use crate::report::TextTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::relation::{Database, Relation};
+use ua_data::{eval, RaExpr};
+use ua_datagen::opendata::{generate, DatasetSpec, DATASETS};
+use ua_datagen::queries::random_projection;
+use ua_semiring::access::Access;
+
+/// Build an `A`-annotated relation from a dataset's best-guess table, with
+/// random clearance labels.
+fn access_relation(table: &ua_engine::storage::Table, rng: &mut StdRng) -> Relation<Access> {
+    let labels = [
+        Access::TopSecret,
+        Access::Secret,
+        Access::Confidential,
+        Access::Public,
+    ];
+    Relation::from_annotated(
+        table.schema().clone(),
+        table
+            .rows()
+            .iter()
+            .map(|t| (t.clone(), labels[rng.gen_range(0..labels.len())])),
+    )
+}
+
+/// Perturb a fraction of the annotations to a random different clearance.
+fn perturb(rel: &Relation<Access>, error_rate: f64, rng: &mut StdRng) -> Relation<Access> {
+    Relation::from_annotated(
+        rel.schema().clone(),
+        rel.iter().map(|(t, &a)| {
+            let label = if rng.gen::<f64>() < error_rate {
+                let mut candidate = a;
+                while candidate == a {
+                    candidate = Access::ALL[rng.gen_range(1..Access::ALL.len())];
+                }
+                candidate
+            } else {
+                a
+            };
+            (t.clone(), label)
+        }),
+    )
+}
+
+/// Mean annotation distance between projections of the true and perturbed
+/// relations.
+pub fn projection_label_error(
+    truth: &Relation<Access>,
+    perturbed: &Relation<Access>,
+    query: &RaExpr,
+    name: &str,
+) -> f64 {
+    let mut db_true: Database<Access> = Database::new();
+    db_true.insert(name, truth.clone());
+    let mut db_pert: Database<Access> = Database::new();
+    db_pert.insert(name, perturbed.clone());
+    let r_true = eval(query, &db_true).expect("true eval");
+    let r_pert = eval(query, &db_pert).expect("perturbed eval");
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (t, &a) in r_true.iter() {
+        let b = r_pert.annotation(t);
+        total += a.distance(b);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Run Figure 21: mean label error per projection width, per input error
+/// rate, averaged over datasets and queries.
+pub fn figure21(
+    rows_cap: usize,
+    widths: &[usize],
+    error_rates: &[f64],
+    queries_per_cell: usize,
+    seed: u64,
+) -> String {
+    let mut t = TextTable::new(
+        std::iter::once("#attrs".to_string())
+            .chain(error_rates.iter().map(|e| format!("{:.0}% errors", e * 100.0))),
+    );
+    let datasets: Vec<_> = DATASETS[..5]
+        .iter()
+        .map(|spec| {
+            let capped = DatasetSpec {
+                rows: spec.rows.min(rows_cap),
+                ..*spec
+            };
+            generate(&capped, seed)
+        })
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x21);
+    for &width in widths {
+        let mut cells = vec![0.0f64; error_rates.len()];
+        let mut counts = vec![0usize; error_rates.len()];
+        for d in &datasets {
+            if width >= d.spec.cols {
+                continue;
+            }
+            let truth = access_relation(&d.bgw, &mut rng);
+            for (i, &rate) in error_rates.iter().enumerate() {
+                let perturbed = perturb(&truth, rate, &mut rng);
+                for _ in 0..queries_per_cell {
+                    let (_, q, _) =
+                        random_projection(&d.bgw.schema().clone(), width, &mut rng);
+                    cells[i] += projection_label_error(
+                        &truth,
+                        &perturbed,
+                        &q,
+                        d.spec.name,
+                    );
+                    counts[i] += 1;
+                }
+            }
+        }
+        t.row(
+            std::iter::once(width.to_string()).chain(
+                cells
+                    .iter()
+                    .zip(&counts)
+                    .map(|(c, &n)| format!("{:.5}", c / n.max(1) as f64)),
+            ),
+        );
+    }
+    format!(
+        "Figure 21: access-control semiring — mean label error of projections\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+
+    #[test]
+    fn zero_perturbation_zero_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let table = ua_engine::storage::Table::from_rows(
+            Schema::qualified("t", ["a", "b"]),
+            (0..50).map(|i| tuple![i as i64, (i % 5) as i64]).collect(),
+        );
+        let truth = access_relation(&table, &mut rng);
+        let same = perturb(&truth, 0.0, &mut rng);
+        let q = RaExpr::table("t").project(["b"]);
+        assert_eq!(projection_label_error(&truth, &same, &q, "t"), 0.0);
+    }
+
+    #[test]
+    fn error_grows_with_perturbation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let table = ua_engine::storage::Table::from_rows(
+            Schema::qualified("t", ["a", "b"]),
+            (0..300).map(|i| tuple![i as i64, (i % 7) as i64]).collect(),
+        );
+        let truth = access_relation(&table, &mut rng);
+        let small = perturb(&truth, 0.02, &mut rng);
+        let large = perturb(&truth, 0.30, &mut rng);
+        let q = RaExpr::table("t").project(["a"]);
+        let e_small = projection_label_error(&truth, &small, &q, "t");
+        let e_large = projection_label_error(&truth, &large, &q, "t");
+        assert!(
+            e_large > e_small,
+            "more input errors must mean more output error: {e_small} vs {e_large}"
+        );
+    }
+
+    #[test]
+    fn projections_can_mask_errors() {
+        // Aggressive projection merges tuples with ⊕ = max, which can hide
+        // under-labeling — the mechanism behind the paper's low rates.
+        let mut rng = StdRng::seed_from_u64(3);
+        let table = ua_engine::storage::Table::from_rows(
+            Schema::qualified("t", ["a", "b"]),
+            (0..200).map(|i| tuple![i as i64, (i % 2) as i64]).collect(),
+        );
+        let truth = access_relation(&table, &mut rng);
+        let perturbed = perturb(&truth, 0.10, &mut rng);
+        let narrow = RaExpr::table("t").project(["b"]);
+        let e = projection_label_error(&truth, &perturbed, &narrow, "t");
+        assert!(e <= 0.5);
+    }
+}

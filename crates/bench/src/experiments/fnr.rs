@@ -1,0 +1,246 @@
+//! Figures 15, 16 and 20: dataset statistics and false-negative rates of
+//! random projections over the open-data corpus.
+//!
+//! A *false negative* is a certain answer the UA-DB labels uncertain — the
+//! only misclassification direction a c-sound labeling admits. Projection
+//! onto attribute subsets is the worst case (paper Theorem 6's discussion):
+//! distinct alternatives that agree on the projected attributes become
+//! certain without the labeling noticing.
+
+use crate::report::{quartiles, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ua_datagen::opendata::{generate, DatasetSpec, OpenDataset, DATASETS};
+use ua_datagen::queries::random_projection;
+use ua_semiring::Semiring;
+
+/// FNR distribution for one projection width.
+#[derive(Clone, Debug)]
+pub struct FnrRow {
+    /// Number of projection attributes.
+    pub width: usize,
+    /// (min, q1, median, q3, max) of the FNR across sampled queries.
+    pub quartiles: (f64, f64, f64, f64, f64),
+}
+
+/// Compute the set-semantics FNR of one projection.
+pub fn projection_fnr(dataset: &OpenDataset, positions: &[usize]) -> f64 {
+    let rel = dataset
+        .xdb
+        .get(dataset.spec.name)
+        .expect("dataset relation");
+    let certain = rel.projection_certain_set(positions);
+    if certain.is_empty() {
+        return 0.0;
+    }
+    let labeled = rel.projection_labeled_bag(positions);
+    let missed = certain
+        .iter()
+        .filter(|t| labeled.annotation(t).is_zero())
+        .count();
+    missed as f64 / certain.len() as f64
+}
+
+/// Compute the bag-semantics misclassification rate (Figure 20): the
+/// fraction of certain tuples whose labeled multiplicity underestimates the
+/// certain multiplicity.
+pub fn projection_bag_error(dataset: &OpenDataset, positions: &[usize]) -> f64 {
+    let rel = dataset
+        .xdb
+        .get(dataset.spec.name)
+        .expect("dataset relation");
+    let certain = rel.projection_certain_bag(positions);
+    if certain.is_empty() {
+        return 0.0;
+    }
+    let labeled = rel.projection_labeled_bag(positions);
+    let wrong = certain
+        .iter()
+        .filter(|(t, &m)| labeled.annotation(t) < m)
+        .count();
+    wrong as f64 / certain.support_size() as f64
+}
+
+/// Figure 15 for one dataset: FNR quartiles per projection width.
+pub fn figure15_dataset(
+    spec: &DatasetSpec,
+    rows_cap: usize,
+    queries_per_width: usize,
+    seed: u64,
+) -> Vec<FnrRow> {
+    let capped = DatasetSpec {
+        rows: spec.rows.min(rows_cap),
+        ..*spec
+    };
+    let dataset = generate(&capped, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf15);
+    let schema = dataset.bgw.schema().clone();
+    let mut out = Vec::new();
+    let step = (spec.cols / 10).max(1);
+    for width in (1..=spec.cols.saturating_sub(1).max(1)).step_by(step) {
+        let mut samples = Vec::with_capacity(queries_per_width);
+        for _ in 0..queries_per_width {
+            let (positions, _, _) = random_projection(&schema, width, &mut rng);
+            samples.push(projection_fnr(&dataset, &positions));
+        }
+        out.push(FnrRow {
+            width,
+            quartiles: quartiles(&mut samples),
+        });
+    }
+    out
+}
+
+/// Render Figure 15 across all nine datasets.
+pub fn figure15(rows_cap: usize, queries_per_width: usize, seed: u64) -> String {
+    let mut out = String::from(
+        "Figure 15: FNR (misclassified certain answers) of random projections\n",
+    );
+    for spec in &DATASETS {
+        let rows = figure15_dataset(spec, rows_cap, queries_per_width, seed);
+        let mut t = TextTable::new(["#attrs", "min", "q1", "median", "q3", "max"]);
+        for r in rows {
+            let (min, q1, med, q3, max) = r.quartiles;
+            t.row([
+                r.width.to_string(),
+                format!("{min:.4}"),
+                format!("{q1:.4}"),
+                format!("{med:.4}"),
+                format!("{q3:.4}"),
+                format!("{max:.4}"),
+            ]);
+        }
+        out.push_str(&format!("\n({})\n{}", spec.name, t.render()));
+    }
+    out
+}
+
+/// Figure 16: the dataset statistics table.
+pub fn figure16(rows_cap: usize, seed: u64) -> String {
+    let mut t = TextTable::new([
+        "dataset",
+        "paper rows",
+        "gen rows",
+        "cols",
+        "U_attr tgt",
+        "U_attr got",
+        "U_row tgt",
+        "U_row got",
+    ]);
+    for spec in &DATASETS {
+        let capped = DatasetSpec {
+            rows: spec.rows.min(rows_cap),
+            ..*spec
+        };
+        let d = generate(&capped, seed);
+        t.row([
+            spec.name.to_string(),
+            spec.paper_rows.to_string(),
+            capped.rows.to_string(),
+            spec.cols.to_string(),
+            format!("{:.2}%", spec.attr_uncertainty * 100.0),
+            format!("{:.2}%", d.measured_attr_uncertainty * 100.0),
+            format!("{:.1}%", spec.row_uncertainty * 100.0),
+            format!("{:.1}%", d.measured_row_uncertainty * 100.0),
+        ]);
+    }
+    format!("Figure 16: dataset statistics\n{}", t.render())
+}
+
+/// Figure 20: bag-semantics mean error rate for three datasets.
+pub fn figure20(rows_cap: usize, queries_per_width: usize, seed: u64) -> String {
+    let names = ["shootings_buffalo", "food_inspections", "building_permits"];
+    let mut out = String::from("Figure 20: bag semantics — mean mislabeling rate\n");
+    for name in names {
+        let spec = ua_datagen::opendata::spec(name).expect("known dataset");
+        let capped = DatasetSpec {
+            rows: spec.rows.min(rows_cap),
+            ..*spec
+        };
+        let dataset = generate(&capped, seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x20);
+        let schema = dataset.bgw.schema().clone();
+        let mut t = TextTable::new(["#attrs", "mean error"]);
+        let step = (spec.cols / 8).max(1);
+        for width in (1..spec.cols).step_by(step) {
+            let mut total = 0.0;
+            for _ in 0..queries_per_width {
+                let (positions, _, _) = random_projection(&schema, width, &mut rng);
+                total += projection_bag_error(&dataset, &positions);
+            }
+            t.row([
+                width.to_string(),
+                format!("{:.4}", total / queries_per_width as f64),
+            ]);
+        }
+        out.push_str(&format!("\n({name})\n{}", t.render()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> OpenDataset {
+        let spec = DatasetSpec {
+            rows: 800,
+            ..DATASETS[2] // business_licenses: highest uncertainty
+        };
+        generate(&spec, 77)
+    }
+
+    #[test]
+    fn fnr_is_a_rate() {
+        let d = small_dataset();
+        let mut rng = StdRng::seed_from_u64(1);
+        for width in [1, 3, 8] {
+            let (positions, _, _) =
+                random_projection(&d.bgw.schema().clone(), width, &mut rng);
+            let fnr = projection_fnr(&d, &positions);
+            assert!((0.0..=1.0).contains(&fnr));
+        }
+    }
+
+    #[test]
+    fn fnr_decreases_with_width_on_average() {
+        // Projecting *all* columns keeps alternatives distinct, so no
+        // misclassification can occur beyond genuinely-different rows;
+        // narrow projections collapse alternatives and create FNs.
+        let d = small_dataset();
+        let mut rng = StdRng::seed_from_u64(2);
+        let avg = |w: usize, rng: &mut StdRng| {
+            let mut total = 0.0;
+            for _ in 0..8 {
+                let (p, _, _) = random_projection(&d.bgw.schema().clone(), w, rng);
+                total += projection_fnr(&d, &p);
+            }
+            total / 8.0
+        };
+        let narrow = avg(2, &mut rng);
+        let wide = avg(d.spec.cols - 1, &mut rng);
+        assert!(
+            wide <= narrow + 0.02,
+            "wide {wide} should not exceed narrow {narrow}"
+        );
+    }
+
+    #[test]
+    fn full_projection_has_zero_fnr() {
+        // Projecting all columns: a certain tuple needs all alternatives
+        // equal, which after dedup means a single alternative — exactly
+        // what the labeling reports.
+        let d = small_dataset();
+        let all: Vec<usize> = (0..d.spec.cols).collect();
+        assert_eq!(projection_fnr(&d, &all), 0.0);
+    }
+
+    #[test]
+    fn bag_error_behaves() {
+        let d = small_dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let (positions, _, _) = random_projection(&d.bgw.schema().clone(), 2, &mut rng);
+        let e = projection_bag_error(&d, &positions);
+        assert!((0.0..=1.0).contains(&e));
+    }
+}

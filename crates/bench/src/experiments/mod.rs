@@ -1,0 +1,9 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod access;
+pub mod fig10;
+pub mod fnr;
+pub mod pdbench_suite;
+pub mod probabilistic;
+pub mod real_queries;
+pub mod utility_exp;

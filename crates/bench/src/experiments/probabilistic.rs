@@ -1,0 +1,176 @@
+//! Figure 19: UA-DBs vs MayBMS-style confidence computation on BI-DBs with
+//! 2/5/10/20 alternatives per block.
+//!
+//! UA-DB work is independent of the number of alternatives (only the
+//! best-guess alternative and a label per block are touched); MayBMS pays
+//! for every alternative — and for `conf()`, whose exact computation blows
+//! up with lineage width (QP3's self-join). The approximate variant runs
+//! Monte-Carlo sampling at the paper's error bound 0.3.
+
+use crate::report::{fmt_duration, time_it, TextTable};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+use ua_baselines::UDb;
+use ua_core::UaDb;
+use ua_data::FxHashMap;
+use ua_data::Tuple;
+use ua_datagen::bidb::{generate, qp_queries, BidbConfig};
+
+/// One (query × alternatives) measurement.
+#[derive(Clone, Debug)]
+pub struct ProbPoint {
+    /// Query label.
+    pub query: &'static str,
+    /// Alternatives per block.
+    pub alternatives: usize,
+    /// UA-DB time.
+    pub uadb_time: Duration,
+    /// UA-DB misclassification rate vs exact probability-1 ground truth.
+    pub uadb_error: f64,
+    /// MayBMS time with exact conf().
+    pub maybms_exact: Duration,
+    /// MayBMS time with approximate conf() (ε = 0.3, δ = 0.05).
+    pub maybms_approx: Duration,
+    /// Approximate conf misclassification rate.
+    pub approx_error: f64,
+}
+
+/// Run the experiment.
+pub fn run(blocks: usize, alternative_counts: &[usize], seed: u64) -> Vec<ProbPoint> {
+    let mut out = Vec::new();
+    for &alts in alternative_counts {
+        let xdb = generate(&BidbConfig {
+            blocks,
+            alternatives: alts,
+            seed,
+        });
+        let udb = UDb::from_xdb(&xdb);
+        let ua = UaDb::from_xdb(&xdb);
+
+        for (name, q) in qp_queries() {
+            // UA-DB: query the pair-annotated database; a tuple is claimed
+            // certain iff fully labeled.
+            let (uadb_time, ua_result) = time_it(|| ua.query(&q).expect("ua"));
+
+            // MayBMS exact.
+            let (maybms_exact, exact_conf) = time_it(|| {
+                let rel = udb.query(&q).expect("maybms");
+                udb.confidences(&rel)
+            });
+            // MayBMS approximate (paper's ε = 0.3).
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xa11);
+            let (maybms_approx, approx_conf) = time_it(|| {
+                let rel = udb.query(&q).expect("maybms");
+                udb.confidences_approx(&rel, 0.3, 0.05, &mut rng)
+            });
+
+            let exact: FxHashMap<Tuple, f64> = exact_conf.into_iter().collect();
+            let certain_truth = |t: &Tuple| exact.get(t).copied().unwrap_or(0.0) >= 1.0 - 1e-9;
+
+            // UA error: labeled-certain vs truly-certain, over the result.
+            let mut errors = 0usize;
+            let mut total = 0usize;
+            for (t, ann) in ua_result.iter() {
+                total += 1;
+                let claimed = ann.is_fully_certain();
+                if claimed != certain_truth(t) {
+                    errors += 1;
+                }
+            }
+            let uadb_error = if total == 0 {
+                0.0
+            } else {
+                errors as f64 / total as f64
+            };
+
+            // Approximation error: misclassification of certainty at p ≥ 1.
+            let mut approx_errors = 0usize;
+            for (t, p) in &approx_conf {
+                if (*p >= 1.0 - 1e-9) != certain_truth(t) {
+                    approx_errors += 1;
+                }
+            }
+            let approx_error = if approx_conf.is_empty() {
+                0.0
+            } else {
+                approx_errors as f64 / approx_conf.len() as f64
+            };
+
+            out.push(ProbPoint {
+                query: name,
+                alternatives: alts,
+                uadb_time,
+                uadb_error,
+                maybms_exact,
+                maybms_approx,
+                approx_error,
+            });
+        }
+    }
+    out
+}
+
+/// Render the Figure 19 table.
+pub fn format(points: &[ProbPoint]) -> String {
+    let mut t = TextTable::new([
+        "query",
+        "alts",
+        "UADB time",
+        "UADB err",
+        "MayBMS exact",
+        "MayBMS approx",
+        "approx err",
+    ]);
+    for p in points {
+        t.row([
+            p.query.to_string(),
+            format!("{:02}", p.alternatives),
+            fmt_duration(p.uadb_time),
+            format!("{:.1}%", p.uadb_error * 100.0),
+            fmt_duration(p.maybms_exact),
+            fmt_duration(p.maybms_approx),
+            format!("{:.1}%", p.approx_error * 100.0),
+        ]);
+    }
+    format!(
+        "Figure 19: probabilistic databases — UADB vs MayBMS conf()\n{}",
+        t.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uadb_time_independent_of_alternatives() {
+        let points = run(300, &[2, 10], 3);
+        let q1_2 = points
+            .iter()
+            .find(|p| p.query == "QP1" && p.alternatives == 2)
+            .expect("point");
+        let q1_10 = points
+            .iter()
+            .find(|p| p.query == "QP1" && p.alternatives == 10)
+            .expect("point");
+        // MayBMS work grows ≈linearly in alternatives; UA-DB stays flat.
+        // Compare growth ratios rather than absolute times (CI noise).
+        let ua_growth =
+            q1_10.uadb_time.as_secs_f64() / q1_2.uadb_time.as_secs_f64().max(1e-9);
+        let mb_growth = q1_10.maybms_exact.as_secs_f64()
+            / q1_2.maybms_exact.as_secs_f64().max(1e-9);
+        assert!(
+            mb_growth > ua_growth * 0.8,
+            "MayBMS should scale worse: ua {ua_growth:.2} vs mb {mb_growth:.2}"
+        );
+    }
+
+    #[test]
+    fn errors_are_small_rates() {
+        for p in run(200, &[2, 5], 7) {
+            assert!((0.0..=0.2).contains(&p.uadb_error), "{p:?}");
+            assert!((0.0..=0.2).contains(&p.approx_error), "{p:?}");
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment harness reproducing every table and figure of the UA-DB
+//! paper's evaluation (Section 11). See `DESIGN.md` for the experiment
+//! index and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! Run everything with `cargo run --release -p ua-bench --bin reproduce`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

@@ -1,0 +1,138 @@
+//! Timing and table-formatting helpers for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Time a closure, returning `(duration, result)`.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (Duration, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed(), out)
+}
+
+/// Time a closure averaged over `n` runs (first run included — the harness
+/// materializes everything, so warm-up effects are negligible).
+pub fn time_avg<T>(n: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    assert!(n >= 1);
+    let start = Instant::now();
+    let mut out = f();
+    for _ in 1..n {
+        out = f();
+    }
+    (start.elapsed() / n as u32, out)
+}
+
+/// Format a duration in adaptive units (µs / ms / s).
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.1}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1_000_000.0)
+    }
+}
+
+/// A plain-text table builder producing the paper-style rows.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Table with the given header.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> TextTable {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(c);
+                for _ in c.chars().count()..widths[i] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Quartile summary of a sample (min, q1, median, q3, max) — the paper's
+/// Figure 15 box rows.
+pub fn quartiles(samples: &mut [f64]) -> (f64, f64, f64, f64, f64) {
+    assert!(!samples.is_empty());
+    samples.sort_by(f64::total_cmp);
+    let at = |q: f64| -> f64 {
+        let pos = q * (samples.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            samples[lo]
+        } else {
+            samples[lo] + (samples[hi] - samples[lo]) * (pos - lo as f64)
+        }
+    };
+    (at(0.0), at(0.25), at(0.5), at(0.75), at(1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering() {
+        let mut t = TextTable::new(["a", "long_header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let s = t.render();
+        assert!(s.contains("a    long_header"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn quartile_math() {
+        let mut xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
+        let (min, q1, med, q3, max) = quartiles(&mut xs);
+        assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0µs");
+        assert_eq!(fmt_duration(Duration::from_millis(2)), "2.00ms");
+        assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+    }
+}

@@ -1,0 +1,262 @@
+//! Conjunctive normal form and the PTIME tautology check.
+//!
+//! The paper's C-table labeling scheme (Section 4.1) marks a tuple certain
+//! iff (1) it contains only constants and (2) its local condition *is in
+//! CNF* and is a tautology — because tautology checking for CNF is
+//! efficient: a CNF is a tautology iff **every clause** is a tautology, and
+//! each clause is small. This module provides
+//!
+//! * [`is_cnf`] — the syntactic CNF test,
+//! * [`cnf_tautology`] — the per-clause tautology check (syntactic
+//!   complementary-literal fast path, falling back to the exact solver on
+//!   the tiny per-clause formula),
+//! * [`to_cnf`] — distribution-based CNF conversion (worst-case exponential;
+//!   provided for tests and tooling, *not* used by the PTIME labeling).
+
+use crate::condition::{Atom, Condition};
+use crate::solver::Solver;
+
+/// A literal: an atom or its negation, normalized to positive form
+/// (negation is folded into the comparison operator).
+fn as_literal(c: &Condition) -> Option<Atom> {
+    match c {
+        Condition::Atom(a) => Some(a.clone()),
+        Condition::Not(inner) => match inner.as_ref() {
+            Condition::Atom(a) => Some(a.negate()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Whether `c` is a clause: a literal or a disjunction of literals.
+fn is_clause(c: &Condition) -> bool {
+    match c {
+        Condition::True | Condition::False => true,
+        Condition::Or(parts) => parts.iter().all(|p| as_literal(p).is_some()),
+        other => as_literal(other).is_some(),
+    }
+}
+
+/// Whether `c` is in conjunctive normal form: a clause, or a conjunction of
+/// clauses.
+pub fn is_cnf(c: &Condition) -> bool {
+    match c {
+        Condition::And(parts) => parts.iter().all(is_clause),
+        other => is_clause(other),
+    }
+}
+
+/// The clauses of a CNF condition (`None` if `c` is not in CNF).
+pub fn clauses(c: &Condition) -> Option<Vec<Vec<Atom>>> {
+    fn clause_atoms(c: &Condition) -> Option<Vec<Atom>> {
+        match c {
+            Condition::Or(parts) => parts.iter().map(as_literal).collect(),
+            other => as_literal(other).map(|a| vec![a]),
+        }
+    }
+    match c {
+        Condition::True => Some(vec![]),
+        Condition::False => Some(vec![vec![]]),
+        Condition::And(parts) => parts.iter().map(clause_atoms).collect(),
+        other => clause_atoms(other).map(|cl| vec![cl]),
+    }
+}
+
+/// PTIME tautology check for CNF conditions.
+///
+/// A CNF is a tautology iff every clause is. Each clause is checked with the
+/// syntactic complementary-pair rule first; clauses that fail it fall back to
+/// the exact solver *on the clause alone*, which is cheap because clauses
+/// mention few atoms (this is still polynomial in the condition size for any
+/// bounded clause width, matching the paper's claim).
+///
+/// Returns `None` when the condition is not in CNF — the labeling scheme
+/// then conservatively treats the tuple as uncertain (c-soundness is
+/// preserved; see paper Theorem 2).
+pub fn cnf_tautology(c: &Condition) -> Option<bool> {
+    let clauses = clauses(c)?;
+    let solver = Solver::new();
+    for clause in &clauses {
+        if !clause_is_tautology(clause, &solver) {
+            return Some(false);
+        }
+    }
+    Some(true)
+}
+
+fn clause_is_tautology(clause: &[Atom], solver: &Solver) -> bool {
+    // Fast path: a clause containing an atom and its syntactic complement is
+    // valid (e.g. x < 5 ∨ x ≥ 5).
+    for (i, a) in clause.iter().enumerate() {
+        for b in &clause[i + 1..] {
+            if a.is_complement_of(b) {
+                return true;
+            }
+        }
+    }
+    // Exact check on the (small) clause.
+    let cond = Condition::or_all(clause.iter().cloned().map(Condition::Atom));
+    solver.is_valid(&cond)
+}
+
+/// Convert to CNF by pushing negations inward (comparisons negate cleanly
+/// over total orders) and distributing `∨` over `∧`.
+///
+/// Worst-case exponential; intended for small conditions (tests, the C-table
+/// generator's bookkeeping).
+pub fn to_cnf(c: &Condition) -> Condition {
+    let nnf = to_nnf(c);
+    distribute(&nnf)
+}
+
+fn to_nnf(c: &Condition) -> Condition {
+    match c {
+        Condition::Not(inner) => match inner.as_ref() {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Atom(a) => Condition::Atom(a.negate()),
+            Condition::Not(inner2) => to_nnf(inner2),
+            Condition::And(parts) => {
+                Condition::or_all(parts.iter().map(|p| to_nnf(&p.clone().not())))
+            }
+            Condition::Or(parts) => {
+                Condition::and_all(parts.iter().map(|p| to_nnf(&p.clone().not())))
+            }
+        },
+        Condition::And(parts) => Condition::and_all(parts.iter().map(to_nnf)),
+        Condition::Or(parts) => Condition::or_all(parts.iter().map(to_nnf)),
+        other => other.clone(),
+    }
+}
+
+fn distribute(c: &Condition) -> Condition {
+    match c {
+        Condition::And(parts) => Condition::and_all(parts.iter().map(distribute)),
+        Condition::Or(parts) => {
+            let dist_parts: Vec<Condition> = parts.iter().map(distribute).collect();
+            // OR over a list where some members are ANDs: distribute pairwise.
+            dist_parts
+                .into_iter()
+                .reduce(or_distribute)
+                .unwrap_or(Condition::False)
+        }
+        other => other.clone(),
+    }
+}
+
+fn or_distribute(a: Condition, b: Condition) -> Condition {
+    match (a, b) {
+        (Condition::And(ps), b) => {
+            Condition::and_all(ps.into_iter().map(|p| or_distribute(p, b.clone())))
+        }
+        (a, Condition::And(qs)) => {
+            Condition::and_all(qs.into_iter().map(|q| or_distribute(a.clone(), q)))
+        }
+        (a, b) => Condition::or_all([a, b]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::expr::CmpOp;
+    use ua_data::value::VarId;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+    fn atom(v: VarId, op: CmpOp, c: i64) -> Condition {
+        Condition::Atom(Atom::var_const(v, op, c))
+    }
+
+    #[test]
+    fn cnf_recognition() {
+        let lit = atom(x(), CmpOp::Lt, 5);
+        assert!(is_cnf(&lit));
+        let clause = lit.clone().or(atom(y(), CmpOp::Eq, 1));
+        assert!(is_cnf(&clause));
+        let cnf = clause.clone().and(atom(x(), CmpOp::Ge, 0));
+        assert!(is_cnf(&cnf));
+        // ∨ over ∧ is not CNF.
+        let not_cnf = Condition::or_all([
+            atom(x(), CmpOp::Lt, 5).and(atom(y(), CmpOp::Eq, 1)),
+            atom(x(), CmpOp::Ge, 5),
+        ]);
+        assert!(!is_cnf(&not_cnf));
+    }
+
+    #[test]
+    fn negated_literals_are_cnf() {
+        let c = Condition::Not(Box::new(atom(x(), CmpOp::Lt, 5)))
+            .or(atom(y(), CmpOp::Eq, 1));
+        assert!(is_cnf(&c));
+    }
+
+    #[test]
+    fn tautology_by_complement() {
+        let c = atom(x(), CmpOp::Lt, 5).or(atom(x(), CmpOp::Ge, 5));
+        assert_eq!(cnf_tautology(&c), Some(true));
+    }
+
+    #[test]
+    fn tautology_needing_solver() {
+        // x < 5 ∨ x ≥ 3: no syntactic complement, yet valid.
+        let c = atom(x(), CmpOp::Lt, 5).or(atom(x(), CmpOp::Ge, 3));
+        assert_eq!(cnf_tautology(&c), Some(true));
+        // x < 3 ∨ x ≥ 5 is falsifiable (x = 4).
+        let d = atom(x(), CmpOp::Lt, 3).or(atom(x(), CmpOp::Ge, 5));
+        assert_eq!(cnf_tautology(&d), Some(false));
+    }
+
+    #[test]
+    fn multi_clause_cnf() {
+        let t = atom(x(), CmpOp::Lt, 5)
+            .or(atom(x(), CmpOp::Ge, 5))
+            .and(atom(y(), CmpOp::Eq, 1).or(atom(y(), CmpOp::Ne, 1)));
+        assert_eq!(cnf_tautology(&t), Some(true));
+        let f = atom(x(), CmpOp::Lt, 5)
+            .or(atom(x(), CmpOp::Ge, 5))
+            .and(atom(y(), CmpOp::Eq, 1));
+        assert_eq!(cnf_tautology(&f), Some(false));
+    }
+
+    #[test]
+    fn non_cnf_returns_none() {
+        let c = Condition::or_all([
+            atom(x(), CmpOp::Lt, 5).and(atom(y(), CmpOp::Eq, 1)),
+            atom(x(), CmpOp::Ge, 5),
+        ]);
+        assert_eq!(cnf_tautology(&c), None);
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(cnf_tautology(&Condition::True), Some(true));
+        assert_eq!(cnf_tautology(&Condition::False), Some(false));
+    }
+
+    #[test]
+    fn to_cnf_preserves_semantics() {
+        let solver = Solver::new();
+        let c = Condition::or_all([
+            atom(x(), CmpOp::Lt, 5).and(atom(y(), CmpOp::Eq, 1)),
+            atom(x(), CmpOp::Ge, 5).and(atom(y(), CmpOp::Ne, 1)),
+        ]);
+        let cnf = to_cnf(&c);
+        assert!(is_cnf(&cnf));
+        assert!(solver.equivalent(&c, &cnf));
+    }
+
+    #[test]
+    fn to_cnf_handles_negation() {
+        let solver = Solver::new();
+        let c = atom(x(), CmpOp::Lt, 5).and(atom(y(), CmpOp::Eq, 1)).not();
+        let cnf = to_cnf(&c);
+        assert!(is_cnf(&cnf));
+        assert!(solver.equivalent(&c, &cnf));
+    }
+}

@@ -1,0 +1,461 @@
+//! Symbolic boolean conditions over comparison atoms.
+//!
+//! C-tables annotate tuples with *local conditions*: boolean expressions over
+//! comparisons of variables and constants (paper Section 4.1). [`Condition`]
+//! is that language. It doubles as the lineage/condition semiring
+//! (`⊕ = ∨`, `⊗ = ∧`), which is how the exact certain-answer baseline of the
+//! paper's Figure 10 instruments queries: joins conjoin conditions,
+//! projections and unions disjoin them.
+
+use std::fmt;
+use ua_data::expr::CmpOp;
+use ua_data::value::{Value, VarId};
+use ua_data::FxHashSet;
+
+/// One side of a comparison atom.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Term {
+    /// A variable from `Σ`.
+    Var(VarId),
+    /// A constant from the domain `𝔻`.
+    Const(Value),
+}
+
+impl Term {
+    /// Resolve under a valuation.
+    fn resolve(&self, valuation: &dyn Fn(VarId) -> Value) -> Value {
+        match self {
+            Term::Var(v) => valuation(*v),
+            Term::Const(c) => c.clone(),
+        }
+    }
+
+    /// The constant value, if this term is constant.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Const(v) => Some(v),
+            Term::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// A comparison atom `left op right`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Left term.
+    pub left: Term,
+    /// Right term.
+    pub right: Term,
+}
+
+impl Atom {
+    /// Build an atom.
+    pub fn new(op: CmpOp, left: Term, right: Term) -> Atom {
+        Atom { op, left, right }
+    }
+
+    /// `var op const` shorthand.
+    pub fn var_const(var: VarId, op: CmpOp, value: impl Into<Value>) -> Atom {
+        Atom::new(op, Term::Var(var), Term::Const(value.into()))
+    }
+
+    /// `var op var` shorthand.
+    pub fn var_var(left: VarId, op: CmpOp, right: VarId) -> Atom {
+        Atom::new(op, Term::Var(left), Term::Var(right))
+    }
+
+    /// The negated atom (`¬(a < b) ≡ a ≥ b` — total orders only, which holds
+    /// for our domains).
+    pub fn negate(&self) -> Atom {
+        Atom {
+            op: self.op.negate(),
+            left: self.left.clone(),
+            right: self.right.clone(),
+        }
+    }
+
+    /// Whether `other` is the syntactic complement of `self`
+    /// (same terms, negated operator — possibly flipped).
+    pub fn is_complement_of(&self, other: &Atom) -> bool {
+        let direct = self.op.negate() == other.op
+            && self.left == other.left
+            && self.right == other.right;
+        let flipped = self.op.negate() == other.op.flip()
+            && self.left == other.right
+            && self.right == other.left;
+        direct || flipped
+    }
+
+    /// Evaluate under a (total) valuation; incomparable values make the atom
+    /// false.
+    pub fn eval(&self, valuation: &dyn Fn(VarId) -> Value) -> bool {
+        let l = self.left.resolve(valuation);
+        let r = self.right.resolve(valuation);
+        match l.sql_cmp(&r) {
+            Some(ord) => self.op.test(ord),
+            None => false,
+        }
+    }
+
+    /// Partial evaluation: if both terms are constants, the truth value.
+    pub fn const_value(&self) -> Option<bool> {
+        let l = self.left.as_const()?;
+        let r = self.right.as_const()?;
+        Some(match l.sql_cmp(r) {
+            Some(ord) => self.op.test(ord),
+            None => false,
+        })
+    }
+
+    /// Collect the variables of this atom.
+    pub fn collect_vars(&self, out: &mut FxHashSet<VarId>) {
+        if let Term::Var(v) = self.left {
+            out.insert(v);
+        }
+        if let Term::Var(v) = self.right {
+            out.insert(v);
+        }
+    }
+
+    /// Substitute variables via `map` (variables not mapped stay symbolic).
+    pub fn substitute(&self, map: &dyn Fn(VarId) -> Option<Value>) -> Atom {
+        let sub = |t: &Term| match t {
+            Term::Var(v) => match map(*v) {
+                Some(val) => Term::Const(val),
+                None => t.clone(),
+            },
+            Term::Const(_) => t.clone(),
+        };
+        Atom {
+            op: self.op,
+            left: sub(&self.left),
+            right: sub(&self.right),
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A boolean condition over comparison atoms.
+///
+/// `PartialEq` is *semantic* (logical equivalence, decided by the solver in
+/// [`crate::solver`]), so that the semiring laws hold observably; use
+/// [`Condition::structurally_eq`] for cheap syntactic comparison.
+#[derive(Clone, Debug)]
+pub enum Condition {
+    /// The constant `true` (the `1` of the condition semiring).
+    True,
+    /// The constant `false` (the `0` of the condition semiring).
+    False,
+    /// A comparison atom.
+    Atom(Atom),
+    /// Negation.
+    Not(Box<Condition>),
+    /// N-ary conjunction.
+    And(Vec<Condition>),
+    /// N-ary disjunction.
+    Or(Vec<Condition>),
+}
+
+impl Condition {
+    /// An atom condition.
+    pub fn atom(a: Atom) -> Condition {
+        Condition::Atom(a)
+    }
+
+    /// `var = value` shorthand (the workhorse of BI-DB descriptors).
+    pub fn var_eq(var: VarId, value: impl Into<Value>) -> Condition {
+        Condition::Atom(Atom::var_const(var, CmpOp::Eq, value))
+    }
+
+    /// Simplifying conjunction of two conditions.
+    pub fn and(self, other: Condition) -> Condition {
+        Condition::and_all([self, other])
+    }
+
+    /// Simplifying disjunction of two conditions.
+    pub fn or(self, other: Condition) -> Condition {
+        Condition::or_all([self, other])
+    }
+
+    /// Simplifying negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Condition {
+        match self {
+            Condition::True => Condition::False,
+            Condition::False => Condition::True,
+            Condition::Not(inner) => *inner,
+            Condition::Atom(a) => Condition::Atom(a.negate()),
+            other => Condition::Not(Box::new(other)),
+        }
+    }
+
+    /// Flattening, unit-dropping n-ary conjunction.
+    pub fn and_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut parts = Vec::new();
+        for c in conds {
+            match c {
+                Condition::True => {}
+                Condition::False => return Condition::False,
+                Condition::And(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        parts.dedup_by(|a, b| a.structurally_eq(b));
+        match parts.len() {
+            0 => Condition::True,
+            1 => parts.pop().expect("len checked"),
+            _ => Condition::And(parts),
+        }
+    }
+
+    /// Flattening, unit-dropping n-ary disjunction.
+    pub fn or_all(conds: impl IntoIterator<Item = Condition>) -> Condition {
+        let mut parts = Vec::new();
+        for c in conds {
+            match c {
+                Condition::False => {}
+                Condition::True => return Condition::True,
+                Condition::Or(inner) => parts.extend(inner),
+                other => parts.push(other),
+            }
+        }
+        parts.dedup_by(|a, b| a.structurally_eq(b));
+        match parts.len() {
+            0 => Condition::False,
+            1 => parts.pop().expect("len checked"),
+            _ => Condition::Or(parts),
+        }
+    }
+
+    /// Evaluate under a total valuation of the variables.
+    pub fn eval(&self, valuation: &dyn Fn(VarId) -> Value) -> bool {
+        match self {
+            Condition::True => true,
+            Condition::False => false,
+            Condition::Atom(a) => a.eval(valuation),
+            Condition::Not(c) => !c.eval(valuation),
+            Condition::And(cs) => cs.iter().all(|c| c.eval(valuation)),
+            Condition::Or(cs) => cs.iter().any(|c| c.eval(valuation)),
+        }
+    }
+
+    /// All variables mentioned.
+    pub fn vars(&self) -> FxHashSet<VarId> {
+        let mut out = FxHashSet::default();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    /// Collect variables into `out`.
+    pub fn collect_vars(&self, out: &mut FxHashSet<VarId>) {
+        match self {
+            Condition::True | Condition::False => {}
+            Condition::Atom(a) => a.collect_vars(out),
+            Condition::Not(c) => c.collect_vars(out),
+            Condition::And(cs) | Condition::Or(cs) => {
+                for c in cs {
+                    c.collect_vars(out);
+                }
+            }
+        }
+    }
+
+    /// Substitute (some) variables by constants and simplify: atoms that
+    /// become ground collapse to `True`/`False`, which propagates upward.
+    pub fn substitute(&self, map: &dyn Fn(VarId) -> Option<Value>) -> Condition {
+        match self {
+            Condition::True => Condition::True,
+            Condition::False => Condition::False,
+            Condition::Atom(a) => {
+                let sub = a.substitute(map);
+                match sub.const_value() {
+                    Some(true) => Condition::True,
+                    Some(false) => Condition::False,
+                    None => Condition::Atom(sub),
+                }
+            }
+            Condition::Not(c) => c.substitute(map).not(),
+            Condition::And(cs) => {
+                Condition::and_all(cs.iter().map(|c| c.substitute(map)))
+            }
+            Condition::Or(cs) => Condition::or_all(cs.iter().map(|c| c.substitute(map))),
+        }
+    }
+
+    /// Number of atoms (a size/complexity measure).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Condition::True | Condition::False => 0,
+            Condition::Atom(_) => 1,
+            Condition::Not(c) => c.atom_count(),
+            Condition::And(cs) | Condition::Or(cs) => {
+                cs.iter().map(Condition::atom_count).sum()
+            }
+        }
+    }
+
+    /// Structural (syntactic) equality — used where semantic equivalence
+    /// (which requires the solver) would be overkill.
+    pub fn structurally_eq(&self, other: &Condition) -> bool {
+        match (self, other) {
+            (Condition::True, Condition::True) | (Condition::False, Condition::False) => true,
+            (Condition::Atom(a), Condition::Atom(b)) => a == b,
+            (Condition::Not(a), Condition::Not(b)) => a.structurally_eq(b),
+            (Condition::And(a), Condition::And(b)) | (Condition::Or(a), Condition::Or(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.structurally_eq(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::True => write!(f, "⊤"),
+            Condition::False => write!(f, "⊥"),
+            Condition::Atom(a) => write!(f, "{a}"),
+            Condition::Not(c) => write!(f, "¬({c})"),
+            Condition::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∧ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Condition::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ∨ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    #[test]
+    fn atom_eval() {
+        let a = Atom::var_const(x(), CmpOp::Lt, 5i64);
+        assert!(a.eval(&|_| Value::Int(3)));
+        assert!(!a.eval(&|_| Value::Int(7)));
+    }
+
+    #[test]
+    fn atom_negation_total_order() {
+        let a = Atom::var_const(x(), CmpOp::Lt, 5i64);
+        let n = a.negate();
+        for v in [0i64, 5, 9] {
+            assert_ne!(a.eval(&|_| Value::Int(v)), n.eval(&|_| Value::Int(v)));
+        }
+    }
+
+    #[test]
+    fn complement_detection() {
+        let a = Atom::var_const(x(), CmpOp::Lt, 5i64);
+        assert!(a.is_complement_of(&a.negate()));
+        assert!(!a.is_complement_of(&a));
+        // Flipped form: x < 5 vs 5 <= x.
+        let flipped = Atom::new(CmpOp::Le, Term::Const(Value::Int(5)), Term::Var(x()));
+        assert!(a.is_complement_of(&flipped));
+    }
+
+    #[test]
+    fn smart_constructors_simplify() {
+        let a = Condition::var_eq(x(), 1i64);
+        assert!(a.clone().and(Condition::True).structurally_eq(&a));
+        assert!(a
+            .clone()
+            .and(Condition::False)
+            .structurally_eq(&Condition::False));
+        assert!(a.clone().or(Condition::True).structurally_eq(&Condition::True));
+        assert!(a.clone().or(Condition::False).structurally_eq(&a));
+        assert!(Condition::and_all([]).structurally_eq(&Condition::True));
+        assert!(Condition::or_all([]).structurally_eq(&Condition::False));
+    }
+
+    #[test]
+    fn nested_and_flattens() {
+        let a = Condition::var_eq(x(), 1i64);
+        let b = Condition::var_eq(y(), 2i64);
+        let c = Condition::var_eq(x(), 3i64);
+        let nested = a.clone().and(b.clone()).and(c.clone());
+        match nested {
+            Condition::And(parts) => assert_eq!(parts.len(), 3),
+            other => panic!("expected flattened And, got {other}"),
+        }
+    }
+
+    #[test]
+    fn substitution_simplifies() {
+        // (x = 1 ∧ y < 2) with x ↦ 1 leaves (y < 2).
+        let c = Condition::var_eq(x(), 1i64)
+            .and(Condition::Atom(Atom::var_const(y(), CmpOp::Lt, 2i64)));
+        let s = c.substitute(&|v| (v == x()).then_some(Value::Int(1)));
+        assert_eq!(s.atom_count(), 1);
+        let f = c.substitute(&|v| (v == x()).then_some(Value::Int(9)));
+        assert!(f.structurally_eq(&Condition::False));
+    }
+
+    #[test]
+    fn eval_connectives() {
+        let c = Condition::var_eq(x(), 1i64).or(Condition::var_eq(y(), 2i64)).not();
+        let val = |xv: i64, yv: i64| {
+            move |v: VarId| {
+                if v == x() {
+                    Value::Int(xv)
+                } else {
+                    Value::Int(yv)
+                }
+            }
+        };
+        assert!(!c.eval(&val(1, 0)));
+        assert!(!c.eval(&val(0, 2)));
+        assert!(c.eval(&val(0, 0)));
+    }
+
+    #[test]
+    fn double_negation_collapses() {
+        let a = Condition::var_eq(x(), 1i64);
+        assert!(a.clone().not().not().structurally_eq(&a));
+    }
+
+    #[test]
+    fn mixed_type_comparison_is_false() {
+        let a = Atom::var_const(x(), CmpOp::Lt, "abc");
+        assert!(!a.eval(&|_| Value::Int(3)));
+    }
+}

@@ -1,0 +1,394 @@
+//! A parser for textual local conditions.
+//!
+//! The paper's SQL frontend stores C-table local conditions as strings in a
+//! dedicated column and evaluates them with an `isTautology` UDF
+//! (Section 9.2). This module parses that textual form into [`Condition`]s:
+//!
+//! ```text
+//! condition := or
+//! or        := and (OR and)*
+//! and       := not (AND not)*
+//! not       := NOT not | '(' condition ')' | atom | TRUE | FALSE
+//! atom      := term op term         op ∈ { =, <>, !=, <, <=, >, >= }
+//! term      := identifier | number | 'string'
+//! ```
+//!
+//! Identifiers denote variables and are interned through a caller-supplied
+//! [`VarInterner`] so that the same name maps to the same [`VarId`] across
+//! all rows of a table.
+
+use crate::condition::{Atom, Condition, Term};
+use std::fmt;
+use ua_data::expr::CmpOp;
+use ua_data::value::{Value, VarId};
+use ua_data::FxHashMap;
+
+/// Maps variable names to stable [`VarId`]s.
+#[derive(Clone, Debug, Default)]
+pub struct VarInterner {
+    by_name: FxHashMap<String, VarId>,
+    names: Vec<String>,
+}
+
+impl VarInterner {
+    /// Empty interner.
+    pub fn new() -> VarInterner {
+        VarInterner::default()
+    }
+
+    /// Intern `name`, allocating a fresh id on first sight.
+    pub fn intern(&mut self, name: &str) -> VarId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = VarId(self.names.len() as u32);
+        self.by_name.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Look up an already-interned name.
+    pub fn get(&self, name: &str) -> Option<VarId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of an interned id.
+    pub fn name_of(&self, id: VarId) -> Option<&str> {
+        self.names.get(id.0 as usize).map(String::as_str)
+    }
+
+    /// Number of interned variables.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no variables are interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+/// A condition-parsing failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CondParseError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for CondParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "condition parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for CondParseError {}
+
+fn err(message: impl Into<String>) -> CondParseError {
+    CondParseError {
+        message: message.into(),
+    }
+}
+
+#[derive(Clone, PartialEq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Op(CmpOp),
+    LParen,
+    RParen,
+}
+
+fn lex_condition(input: &str) -> Result<Vec<Tok>, CondParseError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '(' => {
+                out.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Tok::RParen);
+                i += 1;
+            }
+            '=' => {
+                out.push(Tok::Op(CmpOp::Eq));
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Tok::Op(CmpOp::Ne));
+                i += 2;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Tok::Op(CmpOp::Ne));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Le));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Tok::Op(CmpOp::Ge));
+                    i += 2;
+                } else {
+                    out.push(Tok::Op(CmpOp::Gt));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(err("unterminated string"));
+                }
+                out.push(Tok::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_ascii_digit() {
+                        i += 1;
+                    } else if c == '.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                if is_float {
+                    out.push(Tok::Float(
+                        text.parse().map_err(|_| err(format!("bad float `{text}`")))?,
+                    ));
+                } else {
+                    out.push(Tok::Int(
+                        text.parse().map_err(|_| err(format!("bad int `{text}`")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i] as char;
+                    if c.is_alphanumeric() || c == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Tok::Ident(input[start..i].to_string()));
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(out)
+}
+
+struct CondParser<'a> {
+    toks: Vec<Tok>,
+    pos: usize,
+    vars: &'a mut VarInterner,
+}
+
+impl CondParser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn accept_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s.eq_ignore_ascii_case(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or(&mut self) -> Result<Condition, CondParseError> {
+        let mut acc = self.and()?;
+        while self.accept_kw("or") {
+            let rhs = self.and()?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn and(&mut self) -> Result<Condition, CondParseError> {
+        let mut acc = self.not()?;
+        while self.accept_kw("and") {
+            let rhs = self.not()?;
+            acc = acc.and(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn not(&mut self) -> Result<Condition, CondParseError> {
+        if self.accept_kw("not") {
+            return Ok(self.not()?.not());
+        }
+        if self.accept_kw("true") {
+            return Ok(Condition::True);
+        }
+        if self.accept_kw("false") {
+            return Ok(Condition::False);
+        }
+        if self.peek() == Some(&Tok::LParen) {
+            self.pos += 1;
+            let inner = self.or()?;
+            if self.peek() != Some(&Tok::RParen) {
+                return Err(err("expected `)`"));
+            }
+            self.pos += 1;
+            return Ok(inner);
+        }
+        self.atom()
+    }
+
+    fn term(&mut self) -> Result<Term, CondParseError> {
+        match self.peek().cloned() {
+            Some(Tok::Ident(name)) => {
+                self.pos += 1;
+                Ok(Term::Var(self.vars.intern(&name)))
+            }
+            Some(Tok::Int(i)) => {
+                self.pos += 1;
+                Ok(Term::Const(Value::Int(i)))
+            }
+            Some(Tok::Float(x)) => {
+                self.pos += 1;
+                Ok(Term::Const(Value::float(x)))
+            }
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Ok(Term::Const(Value::str(s)))
+            }
+            other => Err(err(format!("expected term, found {other:?}"))),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Condition, CondParseError> {
+        let left = self.term()?;
+        let op = match self.peek() {
+            Some(Tok::Op(op)) => *op,
+            other => return Err(err(format!("expected comparison, found {other:?}"))),
+        };
+        self.pos += 1;
+        let right = self.term()?;
+        let atom = Atom::new(op, left, right);
+        Ok(match atom.const_value() {
+            Some(true) => Condition::True,
+            Some(false) => Condition::False,
+            None => Condition::Atom(atom),
+        })
+    }
+}
+
+/// Parse a textual condition, interning variables through `vars`.
+pub fn parse_condition(
+    input: &str,
+    vars: &mut VarInterner,
+) -> Result<Condition, CondParseError> {
+    let toks = lex_condition(input)?;
+    if toks.is_empty() {
+        return Ok(Condition::True);
+    }
+    let mut p = CondParser {
+        toks,
+        pos: 0,
+        vars,
+    };
+    let cond = p.or()?;
+    if p.pos != p.toks.len() {
+        return Err(err(format!("trailing input at token {}", p.pos)));
+    }
+    Ok(cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_atoms() {
+        let mut vars = VarInterner::new();
+        let c = parse_condition("x = 1", &mut vars).unwrap();
+        assert_eq!(c.atom_count(), 1);
+        assert_eq!(vars.len(), 1);
+        assert_eq!(vars.name_of(VarId(0)), Some("x"));
+    }
+
+    #[test]
+    fn connectives_and_parens() {
+        let mut vars = VarInterner::new();
+        let c = parse_condition("(x = 1 OR y < 2.5) AND NOT z <> 'abc'", &mut vars).unwrap();
+        assert_eq!(c.atom_count(), 3);
+        assert_eq!(vars.len(), 3);
+    }
+
+    #[test]
+    fn shared_interner_keeps_ids_stable() {
+        let mut vars = VarInterner::new();
+        let a = parse_condition("x = 1", &mut vars).unwrap();
+        let b = parse_condition("x = 2", &mut vars).unwrap();
+        assert_eq!(a.vars(), b.vars());
+    }
+
+    #[test]
+    fn tautology_parses_and_checks() {
+        let mut vars = VarInterner::new();
+        let c = parse_condition("x < 5 OR x >= 5", &mut vars).unwrap();
+        assert_eq!(crate::cnf::cnf_tautology(&c), Some(true));
+    }
+
+    #[test]
+    fn ground_conditions_fold() {
+        let mut vars = VarInterner::new();
+        assert!(parse_condition("1 = 1", &mut vars)
+            .unwrap()
+            .structurally_eq(&Condition::True));
+        assert!(parse_condition("1 > 2", &mut vars)
+            .unwrap()
+            .structurally_eq(&Condition::False));
+        assert!(parse_condition("true", &mut vars)
+            .unwrap()
+            .structurally_eq(&Condition::True));
+        assert!(parse_condition("", &mut vars)
+            .unwrap()
+            .structurally_eq(&Condition::True));
+    }
+
+    #[test]
+    fn negative_numbers_and_var_var() {
+        let mut vars = VarInterner::new();
+        let c = parse_condition("x >= -3 AND x <= y", &mut vars).unwrap();
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn errors() {
+        let mut vars = VarInterner::new();
+        assert!(parse_condition("x =", &mut vars).is_err());
+        assert!(parse_condition("x = 1 extra", &mut vars).is_err());
+        assert!(parse_condition("(x = 1", &mut vars).is_err());
+        assert!(parse_condition("x # 1", &mut vars).is_err());
+    }
+}

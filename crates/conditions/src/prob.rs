@@ -1,0 +1,259 @@
+//! Probability of a condition under independent variable distributions.
+//!
+//! PC-tables attach an independent, finite distribution to every variable
+//! (paper Section 4.1); the probability of a tuple is the probability that
+//! its local condition holds. This module computes that probability
+//!
+//! * **exactly**, by Shannon expansion: pick a variable, branch on each of
+//!   its values, partially evaluate, and recurse — partial evaluation
+//!   collapses decided branches early, which keeps the expansion close to
+//!   the condition's true decision width; and
+//! * **approximately**, by Monte-Carlo sampling with a configurable sample
+//!   count derived from an `(ε, δ)` additive-error guarantee via Hoeffding's
+//!   inequality. This substitutes for the anytime approximation of Olteanu
+//!   et al. \[41\] used in the paper's Figure 19 (error bound 0.3).
+
+use crate::condition::Condition;
+use rand::Rng;
+use ua_data::value::{Value, VarId};
+use ua_data::FxHashMap;
+
+/// Independent finite distributions for a set of variables.
+#[derive(Clone, Debug, Default)]
+pub struct VarDistributions {
+    dists: FxHashMap<VarId, Vec<(Value, f64)>>,
+}
+
+impl VarDistributions {
+    /// Empty distribution set.
+    pub fn new() -> Self {
+        VarDistributions::default()
+    }
+
+    /// Set the distribution of `var`.
+    ///
+    /// # Panics
+    /// Panics if the support is empty, a probability is negative, or the
+    /// total mass exceeds 1 + ε. (Mass may be *less* than 1 only when the
+    /// remainder is interpreted by the caller — e.g. optional x-tuples; for
+    /// plain variables supply a full distribution.)
+    pub fn set(&mut self, var: VarId, dist: Vec<(Value, f64)>) {
+        assert!(!dist.is_empty(), "distribution support must be non-empty");
+        let total: f64 = dist.iter().map(|(_, p)| p).sum();
+        assert!(
+            dist.iter().all(|(_, p)| *p >= 0.0) && total <= 1.0 + 1e-9,
+            "probabilities must be non-negative and sum to at most 1 (got {total})"
+        );
+        self.dists.insert(var, dist);
+    }
+
+    /// The distribution of `var`, if registered.
+    pub fn get(&self, var: VarId) -> Option<&[(Value, f64)]> {
+        self.dists.get(&var).map(Vec::as_slice)
+    }
+
+    /// Number of registered variables.
+    pub fn len(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Whether no variables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.dists.is_empty()
+    }
+
+    /// The most likely value of each variable — the valuation inducing (an
+    /// approximation of) the most probable world, used for best-guess-world
+    /// extraction from PC-tables.
+    pub fn argmax_valuation(&self) -> FxHashMap<VarId, Value> {
+        self.dists
+            .iter()
+            .map(|(&v, dist)| {
+                let best = dist
+                    .iter()
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .expect("non-empty support");
+                (v, best.0.clone())
+            })
+            .collect()
+    }
+
+    /// Sample a full valuation.
+    pub fn sample(&self, rng: &mut impl Rng) -> FxHashMap<VarId, Value> {
+        self.dists
+            .iter()
+            .map(|(&v, dist)| {
+                let mut roll: f64 = rng.gen();
+                let mut chosen = &dist[dist.len() - 1].0;
+                for (value, p) in dist {
+                    if roll < *p {
+                        chosen = value;
+                        break;
+                    }
+                    roll -= p;
+                }
+                (v, chosen.clone())
+            })
+            .collect()
+    }
+}
+
+/// Exact probability of `cond` under `dists`, by Shannon expansion.
+///
+/// Variables mentioned by `cond` but absent from `dists` cause a panic:
+/// a PC-table must define every variable it uses.
+pub fn probability(cond: &Condition, dists: &VarDistributions) -> f64 {
+    match cond {
+        Condition::True => return 1.0,
+        Condition::False => return 0.0,
+        _ => {}
+    }
+    let mut vars: Vec<VarId> = cond.vars().into_iter().collect();
+    vars.sort_unstable();
+    let var = match vars.first() {
+        Some(v) => *v,
+        // Ground non-constant conditions can only arise from mixed-type
+        // atoms, which evaluate like constants.
+        None => return if cond.eval(&|_| Value::Null) { 1.0 } else { 0.0 },
+    };
+    let dist = dists
+        .get(var)
+        .unwrap_or_else(|| panic!("no distribution registered for {var}"));
+    let mut total = 0.0;
+    for (value, p) in dist {
+        if *p == 0.0 {
+            continue;
+        }
+        let restricted = cond.substitute(&|v| (v == var).then(|| value.clone()));
+        total += p * probability(&restricted, dists);
+    }
+    total
+}
+
+/// The sample count that guarantees additive error ≤ `epsilon` with
+/// probability ≥ 1 − `delta` (Hoeffding).
+pub fn samples_for_error(epsilon: f64, delta: f64) -> u64 {
+    assert!(epsilon > 0.0 && delta > 0.0 && delta < 1.0);
+    ((2.0 / delta).ln() / (2.0 * epsilon * epsilon)).ceil() as u64
+}
+
+/// Monte-Carlo estimate of the probability of `cond` with `samples` draws.
+pub fn probability_monte_carlo(
+    cond: &Condition,
+    dists: &VarDistributions,
+    samples: u64,
+    rng: &mut impl Rng,
+) -> f64 {
+    assert!(samples > 0, "need at least one sample");
+    let mut hits = 0u64;
+    for _ in 0..samples {
+        let valuation = dists.sample(rng);
+        if cond.eval(&|v| valuation.get(&v).cloned().unwrap_or(Value::Null)) {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Atom;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ua_data::expr::CmpOp;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    fn coin() -> Vec<(Value, f64)> {
+        vec![(Value::Int(0), 0.5), (Value::Int(1), 0.5)]
+    }
+
+    #[test]
+    fn single_variable() {
+        let mut d = VarDistributions::new();
+        d.set(x(), vec![(Value::Int(1), 0.3), (Value::Int(2), 0.7)]);
+        let c = Condition::var_eq(x(), 1i64);
+        assert!((probability(&c, &d) - 0.3).abs() < 1e-12);
+        assert!((probability(&c.clone().not(), &d) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_conjunction() {
+        let mut d = VarDistributions::new();
+        d.set(x(), coin());
+        d.set(y(), coin());
+        let c = Condition::var_eq(x(), 1i64).and(Condition::var_eq(y(), 1i64));
+        assert!((probability(&c, &d) - 0.25).abs() < 1e-12);
+        let u = Condition::var_eq(x(), 1i64).or(Condition::var_eq(y(), 1i64));
+        assert!((probability(&u, &d) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correlated_atoms_are_not_double_counted() {
+        let mut d = VarDistributions::new();
+        d.set(x(), coin());
+        // x = 1 ∨ x = 1 has probability 0.5, not 0.75.
+        let c = Condition::var_eq(x(), 1i64).or(Condition::var_eq(x(), 1i64));
+        assert!((probability(&c, &d) - 0.5).abs() < 1e-12);
+        // x = 0 ∧ x = 1 has probability 0.
+        let z = Condition::var_eq(x(), 0i64).and(Condition::var_eq(x(), 1i64));
+        assert!(probability(&z, &d).abs() < 1e-12);
+    }
+
+    #[test]
+    fn order_atoms() {
+        let mut d = VarDistributions::new();
+        d.set(
+            x(),
+            vec![
+                (Value::Int(1), 0.2),
+                (Value::Int(2), 0.3),
+                (Value::Int(3), 0.5),
+            ],
+        );
+        let c = Condition::Atom(Atom::var_const(x(), CmpOp::Ge, 2i64));
+        assert!((probability(&c, &d) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tautology_has_probability_one() {
+        let mut d = VarDistributions::new();
+        d.set(x(), coin());
+        let c = Condition::var_eq(x(), 1i64)
+            .or(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 1i64)));
+        assert!((probability(&c, &d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monte_carlo_converges() {
+        let mut d = VarDistributions::new();
+        d.set(x(), coin());
+        d.set(y(), coin());
+        let c = Condition::var_eq(x(), 1i64).or(Condition::var_eq(y(), 1i64));
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = samples_for_error(0.02, 0.01);
+        let est = probability_monte_carlo(&c, &d, n, &mut rng);
+        assert!((est - 0.75).abs() < 0.03, "estimate {est} too far from 0.75");
+    }
+
+    #[test]
+    fn sample_count_formula() {
+        // ln(2/0.05) / (2 · 0.3²) ≈ 20.5 ⇒ 21 samples.
+        assert_eq!(samples_for_error(0.3, 0.05), 21);
+        assert!(samples_for_error(0.01, 0.01) > 10_000);
+    }
+
+    #[test]
+    fn argmax_valuation() {
+        let mut d = VarDistributions::new();
+        d.set(x(), vec![(Value::Int(1), 0.3), (Value::Int(2), 0.7)]);
+        let v = d.argmax_valuation();
+        assert_eq!(v.get(&x()), Some(&Value::Int(2)));
+    }
+}

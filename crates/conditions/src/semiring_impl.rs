@@ -1,0 +1,76 @@
+//! The condition (lineage) semiring: `⟨Conditions, ∨, ∧, ⊥, ⊤⟩`.
+//!
+//! Annotating tuples with conditions and evaluating `RA⁺` with K-relational
+//! semantics is exactly how the paper's exact baseline instruments queries
+//! over C-tables: joins conjoin local conditions, projections and unions
+//! disjoin the conditions of merged tuples. Because [`Condition`]'s
+//! `PartialEq` is semantic (logical equivalence), the semiring laws hold
+//! observably.
+//!
+//! `is_zero`/`is_one` are deliberately *syntactic*: they are called on every
+//! relation insert, and deciding unsatisfiability there would smuggle the
+//! exponential solver into the hot path. A stored-but-unsatisfiable
+//! condition is semantically harmless (the tuple simply exists in no world).
+
+use crate::condition::Condition;
+use ua_semiring::Semiring;
+
+impl Semiring for Condition {
+    fn zero() -> Self {
+        Condition::False
+    }
+
+    fn one() -> Self {
+        Condition::True
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        self.clone().or(other.clone())
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        self.clone().and(other.clone())
+    }
+
+    fn is_zero(&self) -> bool {
+        matches!(self, Condition::False)
+    }
+
+    fn is_one(&self) -> bool {
+        matches!(self, Condition::True)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::value::VarId;
+    use ua_semiring::laws;
+
+    #[test]
+    fn condition_semiring_laws_hold_semantically() {
+        let x = Condition::var_eq(VarId(0), 1i64);
+        let y = Condition::var_eq(VarId(1), 2i64);
+        let elems = [
+            Condition::True,
+            Condition::False,
+            x.clone(),
+            y.clone(),
+            x.clone().not(),
+            x.and(y),
+        ];
+        laws::check_semiring_laws(&elems);
+    }
+
+    #[test]
+    fn syntactic_zero_one() {
+        assert!(Condition::False.is_zero());
+        assert!(Condition::True.is_one());
+        // An unsatisfiable but non-⊥ condition is *not* syntactically zero…
+        let x = Condition::var_eq(VarId(0), 1i64);
+        let contradiction = x.clone().and(x.clone().not());
+        assert!(!contradiction.is_zero());
+        // …but it is semantically equal to ⊥.
+        assert_eq!(contradiction, Condition::False);
+    }
+}

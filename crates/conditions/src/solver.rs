@@ -1,0 +1,374 @@
+//! Exact validity/satisfiability for conditions via order-region enumeration.
+//!
+//! The paper decides certainty of C-table tuples by checking whether a local
+//! condition is a tautology, using Z3 for the exact baseline (Section 11.1,
+//! Figure 10). Our substitute exploits the *finite model property* of
+//! quantifier-free comparison formulas over densely ordered domains: the
+//! truth of a condition only depends on how each variable sits relative to
+//! the mentioned constants and to the other variables. It therefore suffices
+//! to test assignments drawn from a finite candidate pool containing
+//!
+//! * every mentioned constant,
+//! * a value strictly between every pair of adjacent numeric constants,
+//! * a value below the minimum and above the maximum,
+//! * and `n` pairwise-distinct fresh values (so that `n` variables can be
+//!   made mutually distinct and distinct from all constants).
+//!
+//! Enumeration is exponential in the number of variables — deliberately so:
+//! this *is* the expensive exact-certain-answers baseline the paper compares
+//! UA-DBs against. Workloads keep per-condition variable counts small.
+//!
+//! String constants are covered for `=`/`≠` exactly and for order atoms via
+//! boundary/fresh strings; boolean constants enumerate `{true, false}`.
+
+use crate::condition::Condition;
+use ua_data::value::{Value, VarId};
+
+/// Default cap on the number of assignments enumerated before
+/// [`Solver::try_is_valid`] gives up.
+pub const DEFAULT_ASSIGNMENT_LIMIT: u64 = 20_000_000;
+
+/// Region-enumeration solver for [`Condition`]s.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    limit: u64,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver {
+            limit: DEFAULT_ASSIGNMENT_LIMIT,
+        }
+    }
+}
+
+impl Solver {
+    /// Solver with the default assignment limit.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Solver with a custom assignment limit.
+    pub fn with_limit(limit: u64) -> Solver {
+        Solver { limit }
+    }
+
+    /// Whether `cond` holds under *every* valuation (tautology).
+    ///
+    /// # Panics
+    /// Panics when the assignment limit is exceeded; use
+    /// [`Solver::try_is_valid`] to handle that case gracefully.
+    pub fn is_valid(&self, cond: &Condition) -> bool {
+        self.try_is_valid(cond)
+            .expect("assignment limit exceeded in Solver::is_valid")
+    }
+
+    /// Whether `cond` holds under *some* valuation.
+    pub fn is_satisfiable(&self, cond: &Condition) -> bool {
+        self.try_is_satisfiable(cond)
+            .expect("assignment limit exceeded in Solver::is_satisfiable")
+    }
+
+    /// Validity with graceful handling of the assignment limit.
+    pub fn try_is_valid(&self, cond: &Condition) -> Option<bool> {
+        // valid(φ) ⇔ ¬sat(¬φ)
+        self.try_is_satisfiable(&cond.clone().not()).map(|s| !s)
+    }
+
+    /// Satisfiability with graceful handling of the assignment limit.
+    pub fn try_is_satisfiable(&self, cond: &Condition) -> Option<bool> {
+        match cond {
+            Condition::True => return Some(true),
+            Condition::False => return Some(false),
+            _ => {}
+        }
+        let mut vars: Vec<VarId> = cond.vars().into_iter().collect();
+        vars.sort_unstable();
+        if vars.is_empty() {
+            // Ground condition: evaluate under the empty valuation.
+            return Some(cond.eval(&|_| Value::Null));
+        }
+        let pool = candidate_pool(cond, vars.len());
+        let total: u64 = (pool.len() as u64)
+            .checked_pow(vars.len() as u32)
+            .unwrap_or(u64::MAX);
+        if total > self.limit {
+            return None;
+        }
+        let mut indices = vec![0usize; vars.len()];
+        loop {
+            let valuation = |v: VarId| -> Value {
+                let pos = vars
+                    .iter()
+                    .position(|&w| w == v)
+                    .expect("valuation queried for unknown variable");
+                pool[indices[pos]].clone()
+            };
+            if cond.eval(&valuation) {
+                return Some(true);
+            }
+            // Advance the odometer.
+            let mut carry = true;
+            for idx in indices.iter_mut() {
+                *idx += 1;
+                if *idx < pool.len() {
+                    carry = false;
+                    break;
+                }
+                *idx = 0;
+            }
+            if carry {
+                return Some(false);
+            }
+        }
+    }
+
+    /// Whether two conditions are logically equivalent.
+    pub fn equivalent(&self, a: &Condition, b: &Condition) -> bool {
+        if a.structurally_eq(b) {
+            return true;
+        }
+        // a ≡ b ⇔ (a ∧ ¬b) ∨ (¬a ∧ b) is unsatisfiable.
+        let diff = a
+            .clone()
+            .and(b.clone().not())
+            .or(a.clone().not().and(b.clone()));
+        !self.is_satisfiable(&diff)
+    }
+}
+
+/// Build the finite candidate pool for `cond` with `n_vars` variables.
+fn candidate_pool(cond: &Condition, n_vars: usize) -> Vec<Value> {
+    let mut numbers: Vec<f64> = Vec::new();
+    let mut strings: Vec<String> = Vec::new();
+    let mut saw_bool = false;
+    collect_constants(cond, &mut numbers, &mut strings, &mut saw_bool);
+
+    let mut pool: Vec<Value> = Vec::new();
+
+    // Numeric candidates: the constants themselves, plus — per order
+    // region (below the minimum, in each gap between adjacent constants,
+    // above the maximum) — `n_vars` *distinct* witnesses, because up to
+    // `n_vars` variables can be forced pairwise-distinct inside a single
+    // region (e.g. `x < 0 ∧ y < x` needs two values below 0).
+    numbers.sort_by(f64::total_cmp);
+    numbers.dedup();
+    if numbers.is_empty() {
+        numbers.push(0.0);
+    }
+    let min = numbers[0];
+    let max = *numbers.last().expect("non-empty");
+    let witnesses = n_vars.max(1);
+    for i in 0..witnesses {
+        pool.push(Value::float(min - 1.0 - i as f64));
+    }
+    for w in numbers.windows(2) {
+        pool.push(Value::float(w[0]));
+        let step = (w[1] - w[0]) / (witnesses + 1) as f64;
+        for k in 1..=witnesses {
+            pool.push(Value::float(w[0] + step * k as f64));
+        }
+    }
+    pool.push(Value::float(max));
+    for i in 0..witnesses {
+        pool.push(Value::float(max + 1.0 + i as f64));
+    }
+
+    // String candidates: constants plus boundary/fresh strings, again with
+    // `n_vars` witnesses per region (best-effort for order atoms over
+    // strings, exact for =/≠; see the module docs).
+    if !strings.is_empty() {
+        strings.sort();
+        strings.dedup();
+        let witnesses = n_vars.max(1);
+        for i in 0..witnesses {
+            // Below all non-empty constants: "", "\x01", "\x01\x01", …
+            pool.push(Value::str("\u{1}".repeat(i)));
+        }
+        for s in &strings {
+            pool.push(Value::str(s));
+            // Strictly after `s`, before most successors:
+            // s + '\x01', s + '\x01\x01', …
+            for i in 1..=witnesses {
+                pool.push(Value::str(format!("{s}{}", "\u{1}".repeat(i))));
+            }
+        }
+        let top = strings.last().expect("non-empty");
+        for i in 0..witnesses {
+            pool.push(Value::str(format!("{top}~fresh{i}")));
+        }
+    }
+
+    if saw_bool {
+        pool.push(Value::Bool(false));
+        pool.push(Value::Bool(true));
+    }
+
+    pool
+}
+
+fn collect_constants(
+    cond: &Condition,
+    numbers: &mut Vec<f64>,
+    strings: &mut Vec<String>,
+    saw_bool: &mut bool,
+) {
+    use crate::condition::Term;
+    let mut on_value = |v: &Value| match v {
+        Value::Int(i) => numbers.push(*i as f64),
+        Value::Float(f) => numbers.push(f.get()),
+        Value::Str(s) => strings.push(s.to_string()),
+        Value::Bool(_) => *saw_bool = true,
+        Value::Null | Value::Var(_) => {}
+    };
+    match cond {
+        Condition::True | Condition::False => {}
+        Condition::Atom(a) => {
+            if let Term::Const(v) = &a.left {
+                on_value(v);
+            }
+            if let Term::Const(v) = &a.right {
+                on_value(v);
+            }
+        }
+        Condition::Not(c) => collect_constants(c, numbers, strings, saw_bool),
+        Condition::And(cs) | Condition::Or(cs) => {
+            for c in cs {
+                collect_constants(c, numbers, strings, saw_bool);
+            }
+        }
+    }
+}
+
+/// Semantic equality for conditions (logical equivalence via the default
+/// solver). Use [`Condition::structurally_eq`] when syntactic identity is
+/// intended.
+impl PartialEq for Condition {
+    fn eq(&self, other: &Self) -> bool {
+        Solver::new().equivalent(self, other)
+    }
+}
+
+impl Eq for Condition {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Atom;
+    use ua_data::expr::CmpOp;
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+    fn y() -> VarId {
+        VarId(1)
+    }
+
+    fn lt(v: VarId, c: i64) -> Condition {
+        Condition::Atom(Atom::var_const(v, CmpOp::Lt, c))
+    }
+    fn ge(v: VarId, c: i64) -> Condition {
+        Condition::Atom(Atom::var_const(v, CmpOp::Ge, c))
+    }
+    fn eq(v: VarId, c: i64) -> Condition {
+        Condition::Atom(Atom::var_const(v, CmpOp::Eq, c))
+    }
+
+    #[test]
+    fn excluded_middle_is_valid() {
+        let s = Solver::new();
+        assert!(s.is_valid(&lt(x(), 5).or(ge(x(), 5))));
+        assert!(!s.is_valid(&lt(x(), 5).or(ge(x(), 6))));
+    }
+
+    #[test]
+    fn dense_order_gap_needs_midpoints() {
+        // x > 1 ∧ x < 2 is satisfiable only by a non-integer witness.
+        let s = Solver::new();
+        let c = Condition::Atom(Atom::var_const(x(), CmpOp::Gt, 1i64))
+            .and(Condition::Atom(Atom::var_const(x(), CmpOp::Lt, 2i64)));
+        assert!(s.is_satisfiable(&c));
+    }
+
+    #[test]
+    fn contradiction_is_unsat() {
+        let s = Solver::new();
+        assert!(!s.is_satisfiable(&eq(x(), 1).and(eq(x(), 2))));
+        assert!(!s.is_satisfiable(&Condition::False));
+        assert!(s.is_valid(&Condition::True));
+    }
+
+    #[test]
+    fn var_var_comparisons() {
+        let s = Solver::new();
+        // x < y ∧ y < x is unsat; x < y is satisfiable; x ≤ y ∨ y ≤ x valid.
+        let xy = Condition::Atom(Atom::var_var(x(), CmpOp::Lt, y()));
+        let yx = Condition::Atom(Atom::var_var(y(), CmpOp::Lt, x()));
+        assert!(!s.is_satisfiable(&xy.clone().and(yx.clone())));
+        assert!(s.is_satisfiable(&xy));
+        let le = Condition::Atom(Atom::var_var(x(), CmpOp::Le, y()))
+            .or(Condition::Atom(Atom::var_var(y(), CmpOp::Le, x())));
+        assert!(s.is_valid(&le));
+    }
+
+    #[test]
+    fn distinctness_needs_fresh_values() {
+        // x ≠ 0 ∧ y ≠ 0 ∧ x ≠ y: needs two fresh values besides the constant.
+        let s = Solver::new();
+        let c = Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 0i64))
+            .and(Condition::Atom(Atom::var_const(y(), CmpOp::Ne, 0i64)))
+            .and(Condition::Atom(Atom::var_var(x(), CmpOp::Ne, y())));
+        assert!(s.is_satisfiable(&c));
+    }
+
+    #[test]
+    fn string_equalities() {
+        let s = Solver::new();
+        let c = Condition::Atom(Atom::var_const(x(), CmpOp::Eq, "a"))
+            .and(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, "a")));
+        assert!(!s.is_satisfiable(&c));
+        let d = Condition::Atom(Atom::var_const(x(), CmpOp::Ne, "a"))
+            .and(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, "b")));
+        assert!(s.is_satisfiable(&d));
+    }
+
+    #[test]
+    fn string_order_boundaries() {
+        let s = Solver::new();
+        // a < x < b has a witness strictly between the two strings.
+        let c = Condition::Atom(Atom::var_const(x(), CmpOp::Gt, "a"))
+            .and(Condition::Atom(Atom::var_const(x(), CmpOp::Lt, "b")));
+        assert!(s.is_satisfiable(&c));
+    }
+
+    #[test]
+    fn paper_example9_tuple_is_certain() {
+        // Example 9: t1 = (1, X) with φ(t1) = (X = 1), t2 = (1,1) with
+        // φ(t2) = (X ≠ 1). Tuple (1,1) is certain because φ(t1) ∨ φ(t2) is
+        // a tautology — which the exact solver recognizes…
+        let s = Solver::new();
+        let phi = eq(x(), 1).or(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 1i64)));
+        assert!(s.is_valid(&phi));
+        // …while neither disjunct alone is valid (the PTIME labeling's view).
+        assert!(!s.is_valid(&eq(x(), 1)));
+    }
+
+    #[test]
+    fn equivalence_and_semantic_eq() {
+        let s = Solver::new();
+        let a = lt(x(), 5).or(ge(x(), 5));
+        assert!(s.equivalent(&a, &Condition::True));
+        assert_eq!(a, Condition::True);
+        let b = lt(x(), 5).and(ge(x(), 5));
+        assert_eq!(b, Condition::False);
+        // Commutativity is observable through semantic equality.
+        assert_eq!(lt(x(), 5).or(eq(y(), 1)), eq(y(), 1).or(lt(x(), 5)));
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let s = Solver::with_limit(1);
+        let c = eq(x(), 1).and(eq(y(), 2));
+        assert_eq!(s.try_is_satisfiable(&c), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Symbolic predicate evaluation: turning a predicate applied to a tuple
+//! *containing variables* into a [`Condition`].
+//!
+//! When a selection `σ_θ` runs over a C-table, a tuple whose referenced
+//! attributes are all constants resolves `θ` to true/false immediately — but
+//! a tuple carrying variables must instead *extend its local condition* by
+//! the symbolic residue of `θ` (paper Section 11.1: "Selection extends the
+//! local condition on rows where the selection predicate accesses a
+//! variable-valued attribute"). [`predicate_to_condition`] computes that
+//! residue.
+//!
+//! Supported predicate forms: comparisons between attribute references and
+//! literals (or each other), `AND`/`OR`/`NOT`, `BETWEEN`, `IN`, and boolean
+//! literals. Arithmetic over variable-valued attributes has no atom
+//! representation in our condition language and yields
+//! [`SymbolicError::Unsupported`]; the C-table query generator only emits
+//! supported forms, matching the paper's workload.
+
+use crate::condition::{Atom, Condition, Term};
+use std::fmt;
+use ua_data::expr::{CmpOp, Expr};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+
+/// Errors from symbolic predicate translation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SymbolicError {
+    /// The predicate uses a construct with no symbolic translation over
+    /// variables (e.g. arithmetic over a variable attribute).
+    Unsupported(String),
+    /// Expression evaluation failed (unbound reference etc.).
+    Eval(String),
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::Unsupported(what) => {
+                write!(f, "no symbolic translation for {what}")
+            }
+            SymbolicError::Eval(e) => write!(f, "evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+/// Resolve a sub-expression against `tuple` to a [`Term`].
+///
+/// Sub-expressions that do not touch variables are evaluated to constants;
+/// a bare attribute holding a variable becomes [`Term::Var`].
+fn term_of(expr: &Expr, tuple: &Tuple) -> Result<Term, SymbolicError> {
+    // A bare column reference resolves directly.
+    if let Expr::Col(i) = expr {
+        return match tuple.get(*i) {
+            Some(Value::Var(v)) => Ok(Term::Var(*v)),
+            Some(v) => Ok(Term::Const(v.clone())),
+            None => Err(SymbolicError::Eval(format!("column {i} out of range"))),
+        };
+    }
+    // Otherwise the sub-expression must be variable-free.
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    if cols
+        .iter()
+        .any(|&c| matches!(tuple.get(c), Some(Value::Var(_))))
+    {
+        return Err(SymbolicError::Unsupported(format!(
+            "compound expression `{expr}` over a variable attribute"
+        )));
+    }
+    expr.eval(tuple)
+        .map(Term::Const)
+        .map_err(|e| SymbolicError::Eval(e.to_string()))
+}
+
+/// Translate the (bound) predicate applied to `tuple` into a [`Condition`].
+///
+/// Constant sub-formulas fold to `⊤`/`⊥`; variable-touching comparisons
+/// become atoms.
+pub fn predicate_to_condition(
+    predicate: &Expr,
+    tuple: &Tuple,
+) -> Result<Condition, SymbolicError> {
+    match predicate {
+        Expr::Lit(Value::Bool(true)) => Ok(Condition::True),
+        Expr::Lit(Value::Bool(false)) => Ok(Condition::False),
+        Expr::And(a, b) => Ok(predicate_to_condition(a, tuple)?
+            .and(predicate_to_condition(b, tuple)?)),
+        Expr::Or(a, b) => Ok(predicate_to_condition(a, tuple)?
+            .or(predicate_to_condition(b, tuple)?)),
+        Expr::Not(a) => Ok(predicate_to_condition(a, tuple)?.not()),
+        Expr::Cmp(op, a, b) => {
+            let left = term_of(a, tuple)?;
+            let right = term_of(b, tuple)?;
+            let atom = Atom::new(*op, left, right);
+            Ok(match atom.const_value() {
+                Some(true) => Condition::True,
+                Some(false) => Condition::False,
+                None => Condition::Atom(atom),
+            })
+        }
+        Expr::Between(e, lo, hi) => {
+            let lower = Expr::Cmp(CmpOp::Ge, e.clone(), lo.clone());
+            let upper = Expr::Cmp(CmpOp::Le, e.clone(), hi.clone());
+            Ok(predicate_to_condition(&lower, tuple)?
+                .and(predicate_to_condition(&upper, tuple)?))
+        }
+        Expr::InList(e, list) => {
+            let mut parts = Vec::with_capacity(list.len());
+            for item in list {
+                let eq = Expr::Cmp(CmpOp::Eq, e.clone(), Box::new(item.clone()));
+                parts.push(predicate_to_condition(&eq, tuple)?);
+            }
+            Ok(Condition::or_all(parts))
+        }
+        other => Err(SymbolicError::Unsupported(format!("predicate `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::value::VarId;
+
+    fn var(i: u32) -> Value {
+        Value::Var(VarId(i))
+    }
+
+    #[test]
+    fn constant_tuple_folds_to_truth() {
+        let t = Tuple::new(vec![Value::Int(3)]);
+        let p = Expr::col(0).lt(Expr::lit(5i64));
+        assert!(predicate_to_condition(&p, &t)
+            .unwrap()
+            .structurally_eq(&Condition::True));
+        let p2 = Expr::col(0).gt(Expr::lit(5i64));
+        assert!(predicate_to_condition(&p2, &t)
+            .unwrap()
+            .structurally_eq(&Condition::False));
+    }
+
+    #[test]
+    fn variable_attribute_produces_atom() {
+        let t = Tuple::new(vec![var(7)]);
+        let p = Expr::col(0).lt(Expr::lit(5i64));
+        let c = predicate_to_condition(&p, &t).unwrap();
+        assert_eq!(c.atom_count(), 1);
+        assert!(c.vars().contains(&VarId(7)));
+    }
+
+    #[test]
+    fn var_var_join_predicate() {
+        let t = Tuple::new(vec![var(1), var(2)]);
+        let p = Expr::col(0).eq(Expr::col(1));
+        let c = predicate_to_condition(&p, &t).unwrap();
+        assert_eq!(c.atom_count(), 1);
+        assert_eq!(c.vars().len(), 2);
+    }
+
+    #[test]
+    fn mixed_condition_partially_folds() {
+        // (a = 1 AND b < 5) where a = 1 (const) and b = ?x: residue is ?x < 5.
+        let t = Tuple::new(vec![Value::Int(1), var(3)]);
+        let p = Expr::col(0)
+            .eq(Expr::lit(1i64))
+            .and(Expr::col(1).lt(Expr::lit(5i64)));
+        let c = predicate_to_condition(&p, &t).unwrap();
+        assert_eq!(c.atom_count(), 1);
+    }
+
+    #[test]
+    fn between_over_variable() {
+        let t = Tuple::new(vec![var(4)]);
+        let p = Expr::col(0).between(Expr::lit(1i64), Expr::lit(9i64));
+        let c = predicate_to_condition(&p, &t).unwrap();
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn in_list_over_variable() {
+        let t = Tuple::new(vec![var(4)]);
+        let p = Expr::InList(
+            Box::new(Expr::col(0)),
+            vec![Expr::lit(1i64), Expr::lit(2i64)],
+        );
+        let c = predicate_to_condition(&p, &t).unwrap();
+        assert_eq!(c.atom_count(), 2);
+    }
+
+    #[test]
+    fn arithmetic_over_variable_is_unsupported() {
+        let t = Tuple::new(vec![var(4)]);
+        let p = Expr::col(0).add(Expr::lit(1i64)).lt(Expr::lit(5i64));
+        assert!(matches!(
+            predicate_to_condition(&p, &t),
+            Err(SymbolicError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn arithmetic_over_constants_is_fine() {
+        let t = Tuple::new(vec![Value::Int(2), var(4)]);
+        let p = Expr::col(0).add(Expr::lit(1i64)).lt(Expr::col(1));
+        let c = predicate_to_condition(&p, &t).unwrap();
+        // 2 + 1 < ?x4 becomes the atom 3 < ?x4.
+        assert_eq!(c.atom_count(), 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the region-enumeration solver: agreement with brute
+//! force over dense grids, duality, and CNF-check consistency.
+
+use proptest::prelude::*;
+use ua_conditions::{cnf_tautology, is_cnf, to_cnf, Atom, Condition, Solver, Term};
+use ua_data::expr::CmpOp;
+use ua_data::value::{Value, VarId};
+
+fn arb_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+/// Atoms over two variables and small integer constants.
+fn arb_atom() -> impl Strategy<Value = Condition> {
+    (arb_op(), 0u32..2, -2i64..3, proptest::bool::ANY).prop_map(|(op, var, c, var_var)| {
+        let atom = if var_var {
+            Atom::var_var(VarId(0), op, VarId(1))
+        } else {
+            Atom::new(op, Term::Var(VarId(var)), Term::Const(Value::Int(c)))
+        };
+        Condition::Atom(atom)
+    })
+}
+
+fn arb_condition() -> impl Strategy<Value = Condition> {
+    let leaf = prop_oneof![
+        arb_atom(),
+        Just(Condition::True),
+        Just(Condition::False),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|a| a.not()),
+        ]
+    })
+}
+
+/// Brute force: both variables range over a fine grid spanning all the
+/// mentioned constants (including half-integer points for dense-order gaps).
+fn brute_force_valid(cond: &Condition) -> bool {
+    let grid: Vec<f64> = (-8..=8).map(|i| i as f64 / 2.0).collect();
+    for &x in &grid {
+        for &y in &grid {
+            let holds = cond.eval(&|v: VarId| {
+                if v == VarId(0) {
+                    Value::float(x)
+                } else {
+                    Value::float(y)
+                }
+            });
+            if !holds {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn brute_force_sat(cond: &Condition) -> bool {
+    !brute_force_valid(&cond.clone().not())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The solver agrees with brute-force grid evaluation. (The grid spans
+    /// the constants in [-2, 2] with half-integer steps, which realizes
+    /// every order-region the solver distinguishes for these conditions.)
+    #[test]
+    fn solver_matches_brute_force(cond in arb_condition()) {
+        let solver = Solver::new();
+        prop_assert_eq!(solver.is_valid(&cond), brute_force_valid(&cond));
+        prop_assert_eq!(solver.is_satisfiable(&cond), brute_force_sat(&cond));
+    }
+
+    /// Validity/satisfiability duality.
+    #[test]
+    fn duality(cond in arb_condition()) {
+        let solver = Solver::new();
+        prop_assert_eq!(
+            solver.is_valid(&cond),
+            !solver.is_satisfiable(&cond.clone().not())
+        );
+    }
+
+    /// The PTIME CNF tautology check is *sound*: whenever it answers, it
+    /// agrees with the exact solver.
+    #[test]
+    fn cnf_check_sound(cond in arb_condition()) {
+        if let Some(answer) = cnf_tautology(&cond) {
+            prop_assert_eq!(answer, Solver::new().is_valid(&cond));
+        }
+    }
+
+    /// CNF conversion preserves semantics and really is CNF.
+    #[test]
+    fn cnf_conversion_preserves_semantics(cond in arb_condition()) {
+        let cnf = to_cnf(&cond);
+        prop_assert!(is_cnf(&cnf));
+        prop_assert!(Solver::new().equivalent(&cond, &cnf));
+    }
+
+    /// Substituting a total valuation decides the condition and matches eval.
+    #[test]
+    fn substitution_grounds_out(cond in arb_condition(), x in -3i64..4, y in -3i64..4) {
+        let grounded = cond.substitute(&|v: VarId| {
+            Some(if v == VarId(0) { Value::Int(x) } else { Value::Int(y) })
+        });
+        let direct = cond.eval(&|v: VarId| {
+            if v == VarId(0) { Value::Int(x) } else { Value::Int(y) }
+        });
+        prop_assert!(grounded.structurally_eq(&Condition::True) == direct);
+        prop_assert!(grounded.structurally_eq(&Condition::False) == !direct);
+    }
+}

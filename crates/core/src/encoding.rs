@@ -1,0 +1,168 @@
+//! The bag encoding `Enc` / `Enc⁻¹` of UA-relations (paper Definition 8).
+//!
+//! Relational DBMSes represent a bag tuple with multiplicity `n` as `n` row
+//! copies. The paper encodes an `ℕ_UA`-relation `R` as an ordinary bag
+//! relation `R'` with one extra boolean attribute `C`:
+//!
+//! * `(t, 1)` with multiplicity `h_cert(R(t)) = c`  — the certain copies;
+//! * `(t, 0)` with multiplicity `h_det(R(t)) ⊖ c = d − c` — the remaining,
+//!   uncertain copies.
+//!
+//! `Enc⁻¹` recovers `R(t) = [R'(t,1), R'(t,0) + R'(t,1)]`. The encoding
+//! generalizes to any semiring with a monus, which is how it is implemented
+//! here. Theorem 7 (tested in `ua-engine` and the workspace integration
+//! tests) states that rewritten queries over the encoding compute exactly
+//! the UA-semantics of the original query.
+
+use ua_data::relation::{Database, Relation};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_semiring::pair::Ua;
+use ua_semiring::{Monus, NaturalOrder};
+
+/// Name of the encoding's certainty attribute (the paper's `C`).
+pub const UA_LABEL_COLUMN: &str = "ua_c";
+
+/// `Enc`: encode a `K²`-relation as a K-relation with an extra `C` column.
+pub fn encode_relation<K: Monus>(rel: &Relation<Ua<K>>) -> Relation<K> {
+    let schema = rel.schema().with_column(UA_LABEL_COLUMN);
+    let mut out = Relation::new(schema);
+    for (t, ua) in rel.iter() {
+        let certain = ua.cert.clone();
+        let uncertain = ua.det.monus(&ua.cert);
+        if !certain.is_zero() {
+            out.insert(t.push(Value::Int(1)), certain);
+        }
+        if !uncertain.is_zero() {
+            out.insert(t.push(Value::Int(0)), uncertain);
+        }
+    }
+    out
+}
+
+/// `Enc⁻¹`: decode an encoded relation back into a `K²`-relation.
+///
+/// # Panics
+/// Panics when the last column holds anything other than `0`/`1`, or when a
+/// decoded annotation would be ill-formed (`c ⋠ d`) — both indicate data
+/// corruption rather than recoverable conditions.
+pub fn decode_relation<K: Monus + NaturalOrder>(rel: &Relation<K>) -> Relation<Ua<K>> {
+    let arity = rel.schema().arity();
+    assert!(arity > 0, "encoded relation must have the C column");
+    let base_cols: Vec<usize> = (0..arity - 1).collect();
+    let base_schema = ua_data::schema::Schema::new(
+        rel.schema().columns()[..arity - 1].to_vec(),
+    );
+    let mut out: Relation<Ua<K>> = Relation::new(base_schema);
+    for (t, k) in rel.iter() {
+        let marker = t.get(arity - 1).expect("non-empty tuple");
+        let base: Tuple = t.project(&base_cols);
+        let existing = out.annotation(&base);
+        let updated = match marker {
+            Value::Int(1) => Ua::new(
+                existing.cert.plus(k),
+                existing.det.plus(k),
+            ),
+            Value::Int(0) => Ua::new(existing.cert, existing.det.plus(k)),
+            other => panic!("invalid certainty marker {other}"),
+        };
+        out.set(base, updated);
+    }
+    for (t, ua) in out.iter() {
+        assert!(
+            ua.cert.natural_leq(&ua.det),
+            "decoded ill-formed annotation for {t}"
+        );
+    }
+    out
+}
+
+/// `Enc` applied to every relation of a database.
+pub fn encode_database<K: Monus>(db: &Database<Ua<K>>) -> Database<K> {
+    let mut out = Database::new();
+    for (name, rel) in db.iter() {
+        out.insert(name.clone(), encode_relation(rel));
+    }
+    out
+}
+
+/// `Enc⁻¹` applied to every relation of a database.
+pub fn decode_database<K: Monus + NaturalOrder>(db: &Database<K>) -> Database<Ua<K>> {
+    let mut out = Database::new();
+    for (name, rel) in db.iter() {
+        out.insert(name.clone(), decode_relation(rel));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+
+    fn sample() -> Relation<Ua<u64>> {
+        Relation::from_annotated(
+            Schema::qualified("r", ["a"]),
+            vec![
+                (tuple![1i64], Ua::new(2u64, 5)), // 2 certain, 3 uncertain copies
+                (tuple![2i64], Ua::new(0u64, 3)), // fully uncertain
+                (tuple![3i64], Ua::new(4u64, 4)), // fully certain
+            ],
+        )
+    }
+
+    #[test]
+    fn definition8_encoding() {
+        let enc = encode_relation(&sample());
+        assert_eq!(enc.annotation(&tuple![1i64, 1i64]), 2);
+        assert_eq!(enc.annotation(&tuple![1i64, 0i64]), 3);
+        assert_eq!(enc.annotation(&tuple![2i64, 0i64]), 3);
+        assert_eq!(enc.annotation(&tuple![2i64, 1i64]), 0);
+        assert_eq!(enc.annotation(&tuple![3i64, 1i64]), 4);
+        assert_eq!(enc.annotation(&tuple![3i64, 0i64]), 0);
+        assert_eq!(enc.schema().arity(), 2);
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = sample();
+        let decoded = decode_relation(&encode_relation(&original));
+        assert_eq!(original, decoded);
+    }
+
+    #[test]
+    fn set_semantics_encoding() {
+        // The encoding works for 𝔹 too (monus: a ⊖ b = a ∧ ¬b).
+        let rel: Relation<Ua<bool>> = Relation::from_annotated(
+            Schema::qualified("r", ["a"]),
+            vec![
+                (tuple![1i64], Ua::new(true, true)),
+                (tuple![2i64], Ua::new(false, true)),
+            ],
+        );
+        let enc = encode_relation(&rel);
+        assert!(enc.annotation(&tuple![1i64, 1i64]));
+        assert!(!enc.annotation(&tuple![1i64, 0i64]));
+        assert!(enc.annotation(&tuple![2i64, 0i64]));
+        assert_eq!(decode_relation(&enc), rel);
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db: Database<Ua<u64>> = Database::new();
+        db.insert("r", sample());
+        let back = decode_database(&encode_database(&db));
+        assert_eq!(db, back);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid certainty marker")]
+    fn bad_marker_panics() {
+        let rel: Relation<u64> = Relation::from_annotated(
+            Schema::qualified("r", ["a", UA_LABEL_COLUMN]),
+            vec![(tuple![1i64, 7i64], 1u64)],
+        );
+        let _ = decode_relation(&rel);
+    }
+}

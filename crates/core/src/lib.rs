@@ -1,0 +1,31 @@
+//! **Uncertainty Annotated Databases** — the paper's primary contribution.
+//!
+//! A UA-DB wraps one distinguished possible world (typically the best-guess
+//! world that practitioners already query) and labels its tuples with a
+//! c-sound under-approximation of their certain annotations, sandwiching the
+//! certain answers:
+//!
+//! ```text
+//! labeled certain  ⊆  certain answers  ⊆  best-guess world
+//! ```
+//!
+//! * [`uadb::UaDb`] — `K²`-annotated databases, construction from TI-DBs,
+//!   x-DBs and (P)C-tables, querying (closed under `RA⁺`, Theorem 4), and
+//!   test oracles for the bound-preservation theorems;
+//! * [`encoding`] — the bag encoding `Enc`/`Enc⁻¹` of Definition 8 used by
+//!   the relational implementation;
+//! * [`rewrite`] — the query rewriting `⟦·⟧_UA` of Figures 8/9, correct by
+//!   Theorem 7 (tested).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encoding;
+pub mod rewrite;
+pub mod uadb;
+
+pub use encoding::{
+    decode_database, decode_relation, encode_database, encode_relation, UA_LABEL_COLUMN,
+};
+pub use rewrite::rewrite_ua;
+pub use uadb::{exact_certain_answers_ctable, UaDb};

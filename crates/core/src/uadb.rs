@@ -1,0 +1,353 @@
+//! Uncertainty Annotated Databases.
+//!
+//! A [`UaDb`] annotates every tuple of one distinguished possible world with
+//! a pair `[c, d]` from the UA-semiring `K² ` (paper Section 5):
+//!
+//! * `d = D(t)` — the tuple's annotation in the best-guess world `D`
+//!   (an over-approximation of the certain annotation, because every world
+//!   is a superset of the certain tuples);
+//! * `c = L(t)` — a c-sound labeling (an under-approximation).
+//!
+//! Because `h_cert` and `h_det` are semiring homomorphisms and every `RA⁺`
+//! operator is built from `⊕`/`⊗` alone, queries act on the two components
+//! independently; combined with the superadditivity of `cert_K` this yields
+//! the paper's central result (Theorem 4): **queries preserve the sandwich**
+//! `Q(L)(t) ⪯ cert_K(Q(𝒟), t) ⪯ Q(D)(t)`.
+
+use ua_conditions::Solver;
+use ua_data::algebra::{eval, RaError, RaExpr};
+use ua_data::relation::{Database, Relation};
+use ua_data::tuple::Tuple;
+use ua_incomplete::IncompleteDb;
+use ua_models::{CDb, TiDb, XDb};
+use ua_semiring::hom::{h_cert, h_det};
+use ua_semiring::pair::Ua;
+use ua_semiring::{LSemiring, NaturalOrder, Semiring};
+
+/// A database annotated with `[certain, best-guess]` pairs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UaDb<K: Semiring> {
+    db: Database<Ua<K>>,
+}
+
+impl<K: Semiring> UaDb<K> {
+    /// Wrap an existing `K²`-annotated database.
+    pub fn from_database(db: Database<Ua<K>>) -> UaDb<K> {
+        UaDb { db }
+    }
+
+    /// Construct from a best-guess world `D` and a labeling `L`
+    /// (paper Section 5.2: `D_UA(t) = [L(t), D(t)]`).
+    ///
+    /// # Panics
+    /// Panics when the labeling claims certainty `L(t) ⋠ D(t)` for some
+    /// tuple — such a labeling cannot be c-sound for any incomplete database
+    /// with best-guess world `D`, so it indicates a bug at the call site.
+    pub fn from_parts(world: &Database<K>, labeling: &Database<K>) -> UaDb<K>
+    where
+        K: NaturalOrder,
+    {
+        let mut out = Database::new();
+        for (name, world_rel) in world.iter() {
+            let mut rel: Relation<Ua<K>> = Relation::new(world_rel.schema().clone());
+            for (t, d) in world_rel.iter() {
+                let c = labeling
+                    .get(name)
+                    .map(|l| l.annotation(t))
+                    .unwrap_or_else(K::zero);
+                assert!(
+                    c.natural_leq(d),
+                    "labeling exceeds the best-guess annotation for {t} in {name}"
+                );
+                rel.set(t.clone(), Ua::new(c, d.clone()));
+            }
+            out.insert(name.clone(), rel);
+        }
+        UaDb { db: out }
+    }
+
+    /// The underlying `K²` database.
+    pub fn database(&self) -> &Database<Ua<K>> {
+        &self.db
+    }
+
+    /// A relation of the UA-DB.
+    pub fn relation(&self, name: &str) -> Option<&Relation<Ua<K>>> {
+        self.db.get(name)
+    }
+
+    /// `h_det`: recover the best-guess world. Backwards compatibility with
+    /// best-guess query processing is exactly `h_det(Q(D_UA)) = Q(h_det(D_UA))`.
+    pub fn world(&self) -> Database<K> {
+        self.db.map_annotations(&h_det::<K>)
+    }
+
+    /// `h_cert`: recover the labeling (the under-approximation).
+    pub fn labeling(&self) -> Database<K> {
+        self.db.map_annotations(&h_cert::<K>)
+    }
+
+    /// Evaluate an `RA⁺` query with standard K-relational semantics over
+    /// `K²` (paper Section 5.3). The result is again a UA-DB — UA-DBs are
+    /// closed under queries, unlike certain answers.
+    pub fn query(&self, query: &RaExpr) -> Result<Relation<Ua<K>>, RaError> {
+        eval(query, &self.db)
+    }
+
+    /// Verify the defining bounds against a reference incomplete database
+    /// (test oracle for Theorem 4): for every tuple,
+    /// `h_cert(t) ⪯ cert_K(𝒟, t)` and the `det` component matches world
+    /// `world_index` of `𝒟`.
+    pub fn bounds_hold_for(&self, incomplete: &IncompleteDb<K>, world_index: usize) -> bool
+    where
+        K: LSemiring,
+    {
+        self.db.iter().all(|(name, rel)| {
+            let world = incomplete.world(world_index);
+            // Support of both the UA-DB and the chosen world must agree on d.
+            let world_rel = world.get(name);
+            let det_matches = rel.iter().all(|(t, ua)| {
+                world_rel.map(|r| r.annotation(t)).unwrap_or_else(K::zero) == ua.det
+            }) && world_rel.is_none_or(|r| {
+                r.iter().all(|(t, d)| rel.annotation(t).det == *d)
+            });
+            let cert_bounded = rel.iter().all(|(t, ua)| {
+                ua.cert
+                    .natural_leq(&incomplete.certain_annotation(name, t))
+            });
+            det_matches && cert_bounded
+        })
+    }
+
+    /// The tuples of relation `name` labeled fully certain (`c = d`).
+    pub fn certain_tuples(&self, name: &str) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .db
+            .get(name)
+            .map(|rel| {
+                rel.iter()
+                    .filter(|(_, ua)| ua.is_fully_certain())
+                    .map(|(t, _)| t.clone())
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.sort();
+        out
+    }
+}
+
+impl UaDb<bool> {
+    /// Build a set-semantics UA-DB from a TI-DB using `label_TIDB` and the
+    /// `P ≥ 0.5` best-guess world (paper Sections 4.1–4.2).
+    pub fn from_tidb(tidb: &TiDb) -> UaDb<bool> {
+        UaDb::from_parts(&tidb.best_guess_world(), &tidb.labeling())
+    }
+
+    /// Build a set-semantics UA-DB from a C-database using `label_C-table`
+    /// and the (PC-table argmax) best-guess world.
+    pub fn from_cdb(cdb: &CDb) -> UaDb<bool> {
+        // The labeling may mark tuples certain that the BGW instantiation
+        // produced through *different* rows; intersect with the BGW to keep
+        // the encoding well-formed (certain tuples are in every world, so
+        // they are always in the BGW — Theorem 2 guarantees the labeling
+        // only contains certain tuples).
+        UaDb::from_parts(&cdb.best_guess_world(), &cdb.labeling())
+    }
+}
+
+impl UaDb<u64> {
+    /// Build a bag-semantics UA-DB from an x-DB / BI-DB using `label_xDB`
+    /// and the per-block argmax best-guess world.
+    pub fn from_xdb(xdb: &XDb) -> UaDb<u64> {
+        UaDb::from_parts(&xdb.best_guess_world(), &xdb.labeling())
+    }
+}
+
+/// Exact certain answers of a query over a C-database, for comparison
+/// against the UA-DB approximation (paper Figure 10). Re-exported here so
+/// benchmark code can treat `ua-core` as the façade for both systems.
+pub fn exact_certain_answers_ctable(
+    query: &RaExpr,
+    cdb: &CDb,
+    solver: &Solver,
+) -> Result<Vec<Tuple>, ua_models::CtError> {
+    ua_models::certain_answers(query, cdb, solver).map(|(_, certain)| certain)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+    
+    use ua_data::Expr;
+    use ua_models::{TiRelation, TiTuple, XRelation, XTuple};
+
+    /// The paper's running example as an x-DB (Figures 2/3), reduced to the
+    /// post-join LOC table: each address's locale/state options.
+    fn example_xdb() -> XDb {
+        let mut rel = XRelation::new(Schema::qualified("loc", ["id", "locale", "state"]));
+        rel.push(XTuple::total(vec![tuple![1i64, "Lasalle", "NY"]]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![2i64, "Tucson", "AZ"], 0.6),
+            (tuple![2i64, "Grant Ferry", "NY"], 0.4),
+        ]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![3i64, "Kingsley", "NY"], 0.5),
+            (tuple![3i64, "Kingsley", "NY"], 0.5),
+        ]));
+        rel.push(XTuple::total(vec![tuple![4i64, "Kensington", "NY"]]));
+        XDb::new().tap(|db| db.insert("loc", rel))
+    }
+
+    trait Tap: Sized {
+        fn tap(mut self, f: impl FnOnce(&mut Self)) -> Self {
+            f(&mut self);
+            self
+        }
+    }
+    impl<T> Tap for T {}
+
+    #[test]
+    fn figure3d_annotations() {
+        // Figure 3d: addresses 1 and 4 certain; 2 uncertain; 3 misclassified
+        // as uncertain (its two alternatives merge after dedup here, so our
+        // x-tuple actually becomes certain — use distinct coordinates to
+        // keep the paper's misclassification).
+        let ua = UaDb::from_xdb(&example_xdb());
+        let certain = ua.certain_tuples("loc");
+        assert!(certain.contains(&tuple![1i64, "Lasalle", "NY"]));
+        assert!(certain.contains(&tuple![4i64, "Kensington", "NY"]));
+        assert!(!certain.contains(&tuple![2i64, "Tucson", "AZ"]));
+    }
+
+    #[test]
+    fn misclassified_certain_answer_still_present() {
+        // Address 3 with two *distinct-coordinate* alternatives projecting
+        // to the same locale: certain in reality, labeled uncertain —
+        // but present in the UA-DB (the sandwich property).
+        let mut rel = XRelation::new(Schema::qualified("loc", ["id", "locale", "lat"]));
+        rel.push(XTuple::total(vec![
+            tuple![3i64, "Kingsley", 42.91],
+            tuple![3i64, "Kingsley", 42.90],
+        ]));
+        let mut xdb = XDb::new();
+        xdb.insert("loc", rel);
+        let ua = UaDb::from_xdb(&xdb);
+        let q = RaExpr::table("loc").project(["id", "locale"]);
+        let result = ua.query(&q).unwrap();
+        let t = tuple![3i64, "Kingsley"];
+        let ann = result.annotation(&t);
+        assert_eq!(ann.det, 1, "the tuple is present (BGQP compatibility)");
+        assert_eq!(ann.cert, 0, "…but conservatively labeled uncertain");
+        // Ground truth: it *is* certain.
+        let inc = xdb.enumerate_worlds(100);
+        let q_result = inc.query(&q).unwrap();
+        assert_eq!(q_result.certain_annotation("result", &t), 1);
+    }
+
+    #[test]
+    fn theorem4_bounds_preserved_by_queries() {
+        let xdb = example_xdb();
+        let inc = xdb.enumerate_worlds(1000);
+        let ua = UaDb::from_xdb(&xdb);
+
+        let queries = vec![
+            RaExpr::table("loc").select(Expr::named("state").eq(Expr::lit("NY"))),
+            RaExpr::table("loc").project(["locale", "state"]),
+            RaExpr::table("loc")
+                .select(Expr::named("state").eq(Expr::lit("NY")))
+                .project(["locale"]),
+            RaExpr::table("loc").project(["state"]).union(
+                RaExpr::table("loc").project(["state"]),
+            ),
+            RaExpr::table("loc").alias("l").join(
+                RaExpr::table("loc").alias("r"),
+                Expr::named("l.state").eq(Expr::named("r.state")),
+            ),
+        ];
+
+        for q in queries {
+            let ua_result = ua.query(&q).unwrap();
+            let inc_result = inc.query(&q).unwrap();
+            for (t, ann) in ua_result.iter() {
+                let cert = inc_result.certain_annotation("result", t);
+                assert!(
+                    ann.cert <= cert,
+                    "c-soundness violated for {t} under {q}: {} > {cert}",
+                    ann.cert
+                );
+                // Every world dominates the certain annotation, and ann.det
+                // is the result's annotation in the BGW result world.
+                assert!(cert <= ann.det, "over-approximation violated for {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn hdet_recovers_bgqp() {
+        // Backwards compatibility: h_det(Q(D_UA)) = Q(BGW).
+        let xdb = example_xdb();
+        let ua = UaDb::from_xdb(&xdb);
+        let q = RaExpr::table("loc")
+            .select(Expr::named("state").eq(Expr::lit("NY")))
+            .project(["locale"]);
+        let via_ua = ua.query(&q).unwrap().map_annotations(&h_det::<u64>);
+        let direct = eval(&q, &xdb.best_guess_world()).unwrap();
+        assert_eq!(via_ua, direct);
+    }
+
+    #[test]
+    fn tidb_roundtrip() {
+        let mut rel = TiRelation::new(Schema::qualified("r", ["a"]));
+        rel.push(TiTuple::certain(tuple![1i64]));
+        rel.push(TiTuple::with_probability(tuple![2i64], 0.8));
+        rel.push(TiTuple::with_probability(tuple![3i64], 0.1));
+        let mut tidb = TiDb::new();
+        tidb.insert("r", rel);
+        let ua = UaDb::from_tidb(&tidb);
+        let r = ua.relation("r").unwrap();
+        assert_eq!(r.annotation(&tuple![1i64]), Ua::new(true, true));
+        assert_eq!(r.annotation(&tuple![2i64]), Ua::new(false, true));
+        assert!(!r.contains(&tuple![3i64]));
+        let inc = tidb.enumerate_worlds(16);
+        // TI-DB labels are c-correct, so fully-certain tuples are exactly
+        // the certain ones.
+        assert_eq!(ua.certain_tuples("r"), vec![tuple![1i64]]);
+        assert!(inc.certain_annotation("r", &tuple![1i64]));
+    }
+
+    #[test]
+    fn bounds_hold_oracle() {
+        let xdb = example_xdb();
+        let inc = xdb.enumerate_worlds(1000);
+        let ua = UaDb::from_xdb(&xdb);
+        let bgw = xdb.best_guess_world();
+        let bgw_index = (0..inc.n_worlds())
+            .find(|&i| inc.world(i).get("loc").unwrap() == bgw.get("loc").unwrap())
+            .expect("BGW is one of the worlds");
+        assert!(ua.bounds_hold_for(&inc, bgw_index));
+    }
+
+    #[test]
+    #[should_panic(expected = "labeling exceeds")]
+    fn ill_formed_labeling_rejected() {
+        let mut world: Database<u64> = Database::new();
+        world.insert(
+            "r",
+            Relation::from_annotated(
+                Schema::qualified("r", ["a"]),
+                vec![(tuple![1i64], 1u64)],
+            ),
+        );
+        let mut labeling: Database<u64> = Database::new();
+        labeling.insert(
+            "r",
+            Relation::from_annotated(
+                Schema::qualified("r", ["a"]),
+                vec![(tuple![1i64], 5u64)],
+            ),
+        );
+        let _ = UaDb::from_parts(&world, &labeling);
+    }
+}

@@ -1,0 +1,111 @@
+//! A fast, non-cryptographic hasher for tuple-keyed maps.
+//!
+//! This is the Fx hash algorithm used throughout rustc (and published as the
+//! `rustc-hash` crate, which is not on this project's approved dependency
+//! list — the algorithm is small enough to carry inline). It is much faster
+//! than SipHash for the short integer/string keys that dominate relational
+//! workloads; HashDoS resistance is irrelevant for an analytical engine that
+//! only hashes its own generated data.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let mut rest = chunks.remainder();
+        if rest.len() >= 4 {
+            self.add_to_hash(u64::from(u32::from_le_bytes(
+                rest[..4].try_into().expect("4-byte chunk"),
+            )));
+            rest = &rest[4..];
+        }
+        for &b in rest {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"hello world, this is a tuple");
+        b.write(b"hello world, this is a tuple");
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_inputs() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"tuple-a");
+        b.write(b"tuple-b");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u64> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(format!("key{i}"), i);
+        }
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&format!("key{i}")), Some(&i));
+        }
+    }
+}

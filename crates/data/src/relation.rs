@@ -1,0 +1,365 @@
+//! K-relations and K-databases.
+//!
+//! An n-ary K-relation maps tuples to annotations from a semiring `K`
+//! (Green et al.): tuples that are absent carry `0_K` and only finitely many
+//! tuples are non-zero. [`Relation`] stores exactly the non-zero support in
+//! a hash map, and re-normalizes on every mutation so the invariant
+//! "`0_K` never stored" holds throughout.
+
+use crate::hash::FxHashMap;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use ua_semiring::{LSemiring, SemiringHom, Semiring};
+
+/// A finite K-relation: the non-zero support of a map `Tuple → K`.
+#[derive(Clone, Debug)]
+pub struct Relation<K: Semiring> {
+    schema: Schema,
+    data: FxHashMap<Tuple, K>,
+}
+
+impl<K: Semiring> Relation<K> {
+    /// The empty relation over `schema`.
+    pub fn new(schema: Schema) -> Relation<K> {
+        Relation {
+            schema,
+            data: FxHashMap::default(),
+        }
+    }
+
+    /// Build from `(tuple, annotation)` pairs; repeated tuples are combined
+    /// with `⊕`.
+    pub fn from_annotated(
+        schema: Schema,
+        pairs: impl IntoIterator<Item = (Tuple, K)>,
+    ) -> Relation<K> {
+        let mut rel = Relation::new(schema);
+        for (t, k) in pairs {
+            rel.insert(t, k);
+        }
+        rel
+    }
+
+    /// Build a relation where each listed tuple is annotated `1_K`
+    /// (repetitions accumulate: under `ℕ` this is bag insertion, under `𝔹`
+    /// set insertion).
+    pub fn from_tuples(schema: Schema, tuples: impl IntoIterator<Item = Tuple>) -> Relation<K> {
+        Relation::from_annotated(schema, tuples.into_iter().map(|t| (t, K::one())))
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Replace the schema (e.g. to re-qualify columns); the data is shared.
+    ///
+    /// # Panics
+    /// Panics if the arity changes.
+    pub fn with_schema(mut self, schema: Schema) -> Relation<K> {
+        assert_eq!(
+            self.schema.arity(),
+            schema.arity(),
+            "with_schema must preserve arity"
+        );
+        self.schema = schema;
+        self
+    }
+
+    /// `R(t)`: the annotation of `t` (`0_K` when absent).
+    pub fn annotation(&self, t: &Tuple) -> K {
+        self.data.get(t).cloned().unwrap_or_else(K::zero)
+    }
+
+    /// Whether `t` has a non-zero annotation.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.data.contains_key(t)
+    }
+
+    /// Add `k` to the annotation of `t` (i.e. `R(t) ⊕= k`), dropping the
+    /// entry if the result is `0_K`.
+    pub fn insert(&mut self, t: Tuple, k: K) {
+        if k.is_zero() && !self.data.contains_key(&t) {
+            return;
+        }
+        let entry = self.data.entry(t);
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                o.get_mut().plus_assign(&k);
+                if o.get().is_zero() {
+                    o.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if !k.is_zero() {
+                    v.insert(k);
+                }
+            }
+        }
+    }
+
+    /// Overwrite the annotation of `t` (removing it when `0_K`).
+    pub fn set(&mut self, t: Tuple, k: K) {
+        if k.is_zero() {
+            self.data.remove(&t);
+        } else {
+            self.data.insert(t, k);
+        }
+    }
+
+    /// Number of distinct tuples in the support.
+    pub fn support_size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the support is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Iterate over `(tuple, annotation)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &K)> {
+        self.data.iter()
+    }
+
+    /// Tuples sorted by the structural order (deterministic output for tests
+    /// and display).
+    pub fn sorted_tuples(&self) -> Vec<(Tuple, K)> {
+        let mut rows: Vec<_> = self.data.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// Apply a semiring homomorphism to every annotation, producing a
+    /// K'-relation over the same support (entries mapped to `0` vanish).
+    pub fn map_annotations<K2: Semiring>(
+        &self,
+        hom: &impl SemiringHom<K, K2>,
+    ) -> Relation<K2> {
+        Relation::from_annotated(
+            self.schema.clone(),
+            self.data.iter().map(|(t, k)| (t.clone(), hom.apply(k))),
+        )
+    }
+
+    /// Semantic equality: same schema arity and identical annotation maps.
+    /// (Column names are ignored: K-relations are functions on tuples.)
+    pub fn annotation_eq(&self, other: &Relation<K>) -> bool {
+        self.schema.arity() == other.schema.arity()
+            && self.data.len() == other.data.len()
+            && self
+                .data
+                .iter()
+                .all(|(t, k)| other.data.get(t).is_some_and(|k2| k == k2))
+    }
+
+    /// Total annotation mass `⊕_t R(t)` (e.g. total row count under `ℕ`).
+    pub fn total_annotation(&self) -> K {
+        K::sum(self.data.values())
+    }
+}
+
+impl<K: LSemiring> Relation<K> {
+    /// The glb-based intersection of annotations with `other` — used to
+    /// compute certain annotations across possible worlds.
+    pub fn glb_pointwise(&self, other: &Relation<K>) -> Relation<K> {
+        // GLB against an absent tuple is glb(k, 0) = 0, so only the common
+        // support survives.
+        let mut out = Relation::new(self.schema.clone());
+        for (t, k) in &self.data {
+            if let Some(k2) = other.data.get(t) {
+                out.set(t.clone(), k.glb(k2));
+            }
+        }
+        out
+    }
+}
+
+impl<K: Semiring> PartialEq for Relation<K> {
+    fn eq(&self, other: &Self) -> bool {
+        self.annotation_eq(other)
+    }
+}
+
+impl<K: Semiring> fmt::Display for Relation<K> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for (t, k) in self.sorted_tuples() {
+            writeln!(f, "  {t} ↦ {k:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A named collection of K-relations (one possible world, or a whole
+/// annotated database).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Database<K: Semiring> {
+    relations: std::collections::BTreeMap<String, Relation<K>>,
+}
+
+impl<K: Semiring> Database<K> {
+    /// An empty database.
+    pub fn new() -> Database<K> {
+        Database {
+            relations: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Register `relation` under `name` (replacing any previous one).
+    pub fn insert(&mut self, name: impl Into<String>, relation: Relation<K>) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&Relation<K>> {
+        self.relations.get(name)
+    }
+
+    /// All `(name, relation)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation<K>)> {
+        self.relations.iter()
+    }
+
+    /// Relation names in order.
+    pub fn names(&self) -> impl Iterator<Item = &String> {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Whether the database has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Apply a semiring homomorphism to every relation.
+    pub fn map_annotations<K2: Semiring>(
+        &self,
+        hom: &impl SemiringHom<K, K2>,
+    ) -> Database<K2> {
+        let mut out = Database::new();
+        for (name, rel) in &self.relations {
+            out.insert(name.clone(), rel.map_annotations(hom));
+        }
+        out
+    }
+}
+
+impl<K: Semiring> Default for Database<K> {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+/// Convenience: build a bag relation (`ℕ`) from rows of values.
+pub fn bag_relation(
+    name: &str,
+    columns: &[&str],
+    rows: impl IntoIterator<Item = Vec<Value>>,
+) -> Relation<u64> {
+    Relation::from_tuples(
+        Schema::qualified(name, columns.iter().copied()),
+        rows.into_iter().map(Tuple::new),
+    )
+}
+
+/// Convenience: build a set relation (`𝔹`) from rows of values.
+pub fn set_relation(
+    name: &str,
+    columns: &[&str],
+    rows: impl IntoIterator<Item = Vec<Value>>,
+) -> Relation<bool> {
+    Relation::from_tuples(
+        Schema::qualified(name, columns.iter().copied()),
+        rows.into_iter().map(Tuple::new),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+    use ua_semiring::hom::support;
+
+    #[test]
+    fn zero_annotations_never_stored() {
+        let mut r: Relation<u64> = Relation::new(Schema::unqualified(["a"]));
+        r.insert(tuple![1i64], 0);
+        assert!(r.is_empty());
+        r.insert(tuple![1i64], 2);
+        assert_eq!(r.support_size(), 1);
+        r.set(tuple![1i64], 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn insert_accumulates_with_plus() {
+        let mut r: Relation<u64> = Relation::new(Schema::unqualified(["a"]));
+        r.insert(tuple![1i64], 2);
+        r.insert(tuple![1i64], 3);
+        assert_eq!(r.annotation(&tuple![1i64]), 5);
+        assert_eq!(r.annotation(&tuple![2i64]), 0);
+    }
+
+    #[test]
+    fn bag_from_rows_counts_duplicates() {
+        let r = bag_relation(
+            "t",
+            &["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        assert_eq!(r.annotation(&tuple![1i64]), 2);
+        assert_eq!(r.annotation(&tuple![2i64]), 1);
+        assert_eq!(r.total_annotation(), 3);
+    }
+
+    #[test]
+    fn hom_mapping_example6() {
+        // Paper Example 6: ℕ → 𝔹 support homomorphism.
+        let r = bag_relation(
+            "t",
+            &["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)]],
+        );
+        let s: Relation<bool> = r.map_annotations(&support);
+        assert!(s.annotation(&tuple![1i64]));
+        assert_eq!(s.support_size(), 1);
+    }
+
+    #[test]
+    fn glb_pointwise_keeps_common_support() {
+        let a = bag_relation(
+            "t",
+            &["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let b = bag_relation("t", &["a"], vec![vec![Value::Int(1)]]);
+        let g = a.glb_pointwise(&b);
+        assert_eq!(g.annotation(&tuple![1i64]), 1);
+        assert_eq!(g.annotation(&tuple![2i64]), 0);
+    }
+
+    #[test]
+    fn database_round_trip() {
+        let mut db: Database<u64> = Database::new();
+        db.insert("r", bag_relation("r", &["a"], vec![vec![Value::Int(1)]]));
+        assert_eq!(db.len(), 1);
+        assert!(db.get("r").is_some());
+        assert!(db.get("missing").is_none());
+        let set_db = db.map_annotations(&support);
+        assert!(set_db.get("r").unwrap().annotation(&tuple![1i64]));
+    }
+
+    #[test]
+    fn annotation_equality_ignores_names() {
+        let a = bag_relation("x", &["a"], vec![vec![Value::Int(1)]]);
+        let b = bag_relation("y", &["b"], vec![vec![Value::Int(1)]]);
+        assert_eq!(a, b);
+    }
+}

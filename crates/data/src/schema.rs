@@ -1,0 +1,271 @@
+//! Relation schemas and column resolution.
+//!
+//! A [`Schema`] is an ordered list of columns, each with an optional
+//! *qualifier* (typically the table or alias name it came from). Column
+//! references resolve by exact qualified match (`a.id`) or by unambiguous
+//! unqualified name (`id`); ambiguous references are an error, mirroring SQL
+//! name resolution.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema: optional qualifier + name.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Column {
+    /// Table/alias qualifier, when known.
+    pub qualifier: Option<Arc<str>>,
+    /// Column name.
+    pub name: Arc<str>,
+}
+
+impl Column {
+    /// An unqualified column.
+    pub fn unqualified(name: impl AsRef<str>) -> Column {
+        Column {
+            qualifier: None,
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    /// A qualified column `qualifier.name`.
+    pub fn qualified(qualifier: impl AsRef<str>, name: impl AsRef<str>) -> Column {
+        Column {
+            qualifier: Some(Arc::from(qualifier.as_ref())),
+            name: Arc::from(name.as_ref()),
+        }
+    }
+
+    fn matches(&self, qualifier: Option<&str>, name: &str) -> bool {
+        if !self.name.eq_ignore_ascii_case(name) {
+            return false;
+        }
+        match qualifier {
+            None => true,
+            Some(q) => self
+                .qualifier
+                .as_deref()
+                .is_some_and(|mine| mine.eq_ignore_ascii_case(q)),
+        }
+    }
+}
+
+impl fmt::Display for Column {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.qualifier {
+            Some(q) => write!(f, "{q}.{}", self.name),
+            None => write!(f, "{}", self.name),
+        }
+    }
+}
+
+/// Errors raised while resolving column references against a schema.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SchemaError {
+    /// The referenced column does not exist.
+    UnknownColumn(String),
+    /// The reference matches more than one column.
+    AmbiguousColumn(String),
+    /// Two relations were combined with incompatible widths.
+    ArityMismatch {
+        /// Width of the left relation.
+        left: usize,
+        /// Width of the right relation.
+        right: usize,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownColumn(c) => write!(f, "unknown column `{c}`"),
+            SchemaError::AmbiguousColumn(c) => write!(f, "ambiguous column `{c}`"),
+            SchemaError::ArityMismatch { left, right } => {
+                write!(f, "arity mismatch: {left} vs {right} columns")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// An ordered list of columns (cheaply clonable).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Schema {
+    columns: Arc<[Column]>,
+}
+
+impl Schema {
+    /// Schema from explicit columns.
+    pub fn new(columns: Vec<Column>) -> Schema {
+        Schema {
+            columns: columns.into(),
+        }
+    }
+
+    /// Schema of unqualified columns named `names`.
+    pub fn unqualified<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Schema {
+        Schema::new(names.into_iter().map(Column::unqualified).collect())
+    }
+
+    /// Schema where every column is qualified by `qualifier`.
+    pub fn qualified<S: AsRef<str>>(
+        qualifier: &str,
+        names: impl IntoIterator<Item = S>,
+    ) -> Schema {
+        Schema::new(
+            names
+                .into_iter()
+                .map(|n| Column::qualified(qualifier, n))
+                .collect(),
+        )
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Unqualified column names in order.
+    pub fn names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.to_string()).collect()
+    }
+
+    /// Resolve a column reference (`name` or `qualifier.name`).
+    ///
+    /// Resolution is case-insensitive. Fails on unknown or ambiguous
+    /// references. An exact qualified reference that matches exactly one
+    /// column always wins; an unqualified reference must be unique among all
+    /// column names.
+    pub fn resolve(&self, reference: &str) -> Result<usize, SchemaError> {
+        let (qualifier, name) = match reference.rsplit_once('.') {
+            Some((q, n)) => (Some(q), n),
+            None => (None, reference),
+        };
+        let mut matches = self
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.matches(qualifier, name));
+        match (matches.next(), matches.next()) {
+            (Some((i, _)), None) => Ok(i),
+            (None, _) => Err(SchemaError::UnknownColumn(reference.to_string())),
+            (Some(_), Some(_)) => Err(SchemaError::AmbiguousColumn(reference.to_string())),
+        }
+    }
+
+    /// Concatenation of two schemas (the schema of a join result).
+    pub fn concat(&self, other: &Schema) -> Schema {
+        let mut cols = self.columns.to_vec();
+        cols.extend_from_slice(&other.columns);
+        Schema::new(cols)
+    }
+
+    /// The same columns re-qualified by `qualifier` (the schema of an
+    /// aliased subquery).
+    pub fn with_qualifier(&self, qualifier: &str) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Column::qualified(qualifier, &c.name))
+                .collect(),
+        )
+    }
+
+    /// A schema with one extra unqualified column appended.
+    pub fn with_column(&self, name: impl AsRef<str>) -> Schema {
+        let mut cols = self.columns.to_vec();
+        cols.push(Column::unqualified(name));
+        Schema::new(cols)
+    }
+
+    /// Check that `other` has the same arity (union compatibility under our
+    /// permissive regime: positional, like SQL `UNION ALL`).
+    pub fn check_union_compatible(&self, other: &Schema) -> Result<(), SchemaError> {
+        if self.arity() == other.arity() {
+            Ok(())
+        } else {
+            Err(SchemaError::ArityMismatch {
+                left: self.arity(),
+                right: other.arity(),
+            })
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_unqualified() {
+        let s = Schema::unqualified(["id", "name"]);
+        assert_eq!(s.resolve("id"), Ok(0));
+        assert_eq!(s.resolve("NAME"), Ok(1));
+        assert_eq!(
+            s.resolve("missing"),
+            Err(SchemaError::UnknownColumn("missing".into()))
+        );
+    }
+
+    #[test]
+    fn resolve_qualified() {
+        let s = Schema::qualified("a", ["id"]).concat(&Schema::qualified("b", ["id"]));
+        assert_eq!(s.resolve("a.id"), Ok(0));
+        assert_eq!(s.resolve("b.id"), Ok(1));
+        assert_eq!(
+            s.resolve("id"),
+            Err(SchemaError::AmbiguousColumn("id".into()))
+        );
+    }
+
+    #[test]
+    fn unqualified_reference_hits_qualified_column() {
+        let s = Schema::qualified("addr", ["id", "geocoded"]);
+        assert_eq!(s.resolve("geocoded"), Ok(1));
+        assert_eq!(s.resolve("addr.geocoded"), Ok(1));
+        assert_eq!(
+            s.resolve("other.geocoded"),
+            Err(SchemaError::UnknownColumn("other.geocoded".into()))
+        );
+    }
+
+    #[test]
+    fn requalify() {
+        let s = Schema::qualified("a", ["id"]).with_qualifier("x");
+        assert_eq!(s.resolve("x.id"), Ok(0));
+        assert!(s.resolve("a.id").is_err());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let a = Schema::unqualified(["x", "y"]);
+        let b = Schema::unqualified(["u", "v"]);
+        let c = Schema::unqualified(["u"]);
+        assert!(a.check_union_compatible(&b).is_ok());
+        assert!(a.check_union_compatible(&c).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Schema::qualified("t", ["a"]).concat(&Schema::unqualified(["b"]));
+        assert_eq!(s.to_string(), "(t.a, b)");
+    }
+}

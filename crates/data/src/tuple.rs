@@ -1,0 +1,189 @@
+//! Tuples: immutable, cheaply clonable rows of [`Value`]s.
+
+use crate::value::Value;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable tuple over the universal domain.
+///
+/// Backed by `Arc<[Value]>`: cloning (which joins and map keys do
+/// constantly) is a reference-count bump; equality and hashing act on the
+/// contents.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Tuple {
+        Tuple(values.into().into())
+    }
+
+    /// The empty tuple (arity 0).
+    pub fn empty() -> Tuple {
+        Tuple(Arc::from(Vec::new()))
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at position `i`, if in range.
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.0.get(i)
+    }
+
+    /// All values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Concatenation `(self, other)` — the join of two matched tuples.
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v.into())
+    }
+
+    /// Projection onto the given positions (positions may repeat).
+    ///
+    /// # Panics
+    /// Panics when a position is out of range — projection positions are
+    /// produced by schema binding, so this indicates an internal bug.
+    pub fn project(&self, positions: &[usize]) -> Tuple {
+        Tuple(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// A new tuple with `value` appended.
+    pub fn push(&self, value: Value) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + 1);
+        v.extend_from_slice(&self.0);
+        v.push(value);
+        Tuple(v.into())
+    }
+
+    /// Whether any attribute is SQL `NULL` or a labeled null.
+    ///
+    /// Certain-answer semantics only admit *complete* tuples, so baselines
+    /// use this to filter incomplete candidates.
+    pub fn has_unknown(&self) -> bool {
+        self.0.iter().any(Value::is_unknown)
+    }
+
+    /// Whether any attribute is an *anonymous* SQL `NULL` (labeled nulls do
+    /// not count: a labeled null equals itself, so it can serve as a hash
+    /// key — structural equality of `Var`s coincides with their SQL
+    /// equality semantics).
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(|v| matches!(v, Value::Null))
+    }
+
+    /// Substitute every labeled null through `f` (used to instantiate
+    /// C-table tuples in a possible world).
+    pub fn substitute(&self, f: impl Fn(&Value) -> Value) -> Tuple {
+        Tuple(self.0.iter().map(f).collect())
+    }
+}
+
+impl Deref for Tuple {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl<const N: usize> From<[Value; N]> for Tuple {
+    fn from(values: [Value; N]) -> Tuple {
+        Tuple(Arc::from(values.to_vec()))
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Tuple {
+        Tuple(values.into())
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Tuple {
+        Tuple(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+/// Shorthand for building a [`Tuple`] from heterogeneous literals:
+/// `tuple![1, "abc", 2.5]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::VarId;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple![1i64, "ab", 2.5];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(0), Some(&Value::Int(1)));
+        assert_eq!(t.get(1), Some(&Value::str("ab")));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn concat_and_project() {
+        let a = tuple![1i64, 2i64];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.project(&[2, 0]), tuple!["x", 1i64]);
+        assert_eq!(c.project(&[1, 1]), tuple![2i64, 2i64]);
+    }
+
+    #[test]
+    fn unknown_detection() {
+        assert!(!tuple![1i64, "a"].has_unknown());
+        assert!(Tuple::new(vec![Value::Null]).has_unknown());
+        assert!(Tuple::new(vec![Value::Var(VarId(0))]).has_unknown());
+    }
+
+    #[test]
+    fn substitution() {
+        let t = Tuple::new(vec![Value::Var(VarId(7)), Value::Int(1)]);
+        let s = t.substitute(|v| match v {
+            Value::Var(VarId(7)) => Value::Int(42),
+            other => other.clone(),
+        });
+        assert_eq!(s, tuple![42i64, 1i64]);
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(tuple![1i64, "a"], tuple![1i64, "a"]);
+        assert_ne!(tuple![1i64, "a"], tuple![1i64, "b"]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1i64, "a"].to_string(), "⟨1, 'a'⟩");
+        assert_eq!(Tuple::empty().to_string(), "⟨⟩");
+    }
+}

@@ -1,0 +1,173 @@
+//! BI-DB generation and the QP1–QP3 probabilistic queries (paper
+//! Figure 19 / Section 11.4).
+//!
+//! The paper compares UA-DBs against MayBMS on a block-independent database
+//! derived from the Buffalo shootings data, varying the number of
+//! alternatives per block (2/5/10/20). We generate a shootings-shaped table
+//! `bp(index, district_shooting, type_shooting)` where every row is a block
+//! whose alternatives perturb the district/type attributes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::algebra::RaExpr;
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_models::{XDb, XRelation, XTuple};
+
+const DISTRICTS: [&str; 5] = ["BD", "CD", "DD", "ED", "FD"];
+const TYPES: [&str; 4] = ["fatal", "injury", "property", "none"];
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BidbConfig {
+    /// Number of blocks (shooting incidents).
+    pub blocks: usize,
+    /// Alternatives per block (the paper sweeps 2/5/10/20).
+    pub alternatives: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate the BI-DB.
+pub fn generate(config: &BidbConfig) -> XDb {
+    assert!(config.alternatives >= 1);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rel = XRelation::new(Schema::qualified(
+        "bp",
+        ["index", "district_shooting", "type_shooting"],
+    ));
+    for i in 0..config.blocks {
+        let mut alternatives = Vec::with_capacity(config.alternatives);
+        let p = 1.0 / config.alternatives as f64;
+        for a in 0..config.alternatives {
+            // Alternative 0 keeps a stable base value so queries over the
+            // BGW are meaningful; later alternatives perturb attributes.
+            let district = if a == 0 {
+                DISTRICTS[i % DISTRICTS.len()]
+            } else {
+                DISTRICTS[rng.gen_range(0..DISTRICTS.len())]
+            };
+            let shooting_type = if a == 0 {
+                TYPES[i % TYPES.len()]
+            } else {
+                TYPES[rng.gen_range(0..TYPES.len())]
+            };
+            alternatives.push((
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::str(district),
+                    Value::str(shooting_type),
+                ]),
+                p,
+            ));
+        }
+        // Duplicate alternatives merge inside XTuple::probabilistic, which
+        // matches BI-DB semantics (alternatives are distinct tuples).
+        rel.push(XTuple::probabilistic(alternatives));
+    }
+    let mut db = XDb::new();
+    db.insert("bp", rel);
+    db
+}
+
+/// QP1 — confidence of a single incident:
+/// `SELECT conf() FROM bp WHERE index = 1`.
+pub fn qp1() -> RaExpr {
+    RaExpr::table("bp")
+        .select(Expr::named("index").eq(Expr::lit(1i64)))
+        .project(["index", "district_shooting", "type_shooting"])
+}
+
+/// QP2 — per-district confidence over an index range:
+/// `SELECT district, index, conf() FROM bp WHERE index BETWEEN 650 AND 2000
+///  AND district = 'BD' GROUP BY district, index`.
+pub fn qp2() -> RaExpr {
+    RaExpr::table("bp")
+        .select(
+            Expr::named("index")
+                .gt(Expr::lit(650i64))
+                .and(Expr::named("index").lt(Expr::lit(2000i64)))
+                .and(Expr::named("district_shooting").eq(Expr::lit("BD"))),
+        )
+        .project(["district_shooting", "index"])
+}
+
+/// QP3 — incidents in the same district with the same type as incident 692
+/// (the self-join that makes MayBMS's lineage explode):
+/// `SELECT x.index, y.index, conf() FROM bp x, bp y
+///  WHERE x.district = y.district AND x.type = y.type AND x.index = 692`.
+pub fn qp3() -> RaExpr {
+    RaExpr::table("bp").alias("x").join(
+        RaExpr::table("bp").alias("y"),
+        Expr::named("x.district_shooting")
+            .eq(Expr::named("y.district_shooting"))
+            .and(Expr::named("x.type_shooting").eq(Expr::named("y.type_shooting")))
+            .and(Expr::named("x.index").eq(Expr::lit(692i64))),
+    )
+    .project(["x.index", "y.index", "x.district_shooting", "x.type_shooting"])
+}
+
+/// The three probabilistic queries with their names.
+pub fn qp_queries() -> Vec<(&'static str, RaExpr)> {
+    vec![("QP1", qp1()), ("QP2", qp2()), ("QP3", qp3())]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_baselines::UDb;
+
+    #[test]
+    fn block_structure() {
+        let db = generate(&BidbConfig {
+            blocks: 100,
+            alternatives: 5,
+            seed: 1,
+        });
+        let rel = db.get("bp").unwrap();
+        assert_eq!(rel.len(), 100);
+        for xt in rel.xtuples() {
+            assert!(xt.arity() <= 5);
+            assert!(!xt.optional);
+            assert!((xt.total_probability() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn queries_run_through_maybms() {
+        let db = generate(&BidbConfig {
+            blocks: 800,
+            alternatives: 2,
+            seed: 2,
+        });
+        let udb = UDb::from_xdb(&db);
+        for (name, q) in qp_queries() {
+            let result = udb.query(&q).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let conf = udb.confidences(&result);
+            for (t, p) in conf {
+                assert!(
+                    (0.0..=1.0 + 1e-9).contains(&p),
+                    "{name}: conf({t}) = {p} out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qp1_confidence_sums_to_one_across_alternatives() {
+        let db = generate(&BidbConfig {
+            blocks: 10,
+            alternatives: 4,
+            seed: 3,
+        });
+        let udb = UDb::from_xdb(&db);
+        let result = udb.query(&qp1()).unwrap();
+        let conf = udb.confidences(&result);
+        // Block 1 certainly has *some* alternative; the alternatives split
+        // its mass, so total confidence sums to 1.
+        let total: f64 = conf.iter().map(|(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+}

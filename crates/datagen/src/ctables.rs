@@ -1,0 +1,229 @@
+//! Random C-tables and query chains for the paper's Figure 10.
+//!
+//! "We create a synthetic table with 8 attributes. For each tuple we
+//! randomly chose half of its attributes to be variables and the other half
+//! to be floating point constants. We construct random queries by
+//! assembling a scaling number of randomly chosen self-joins, projections,
+//! or selections."
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use ua_data::algebra::RaExpr;
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, VarId};
+use ua_models::{CDb, CTable, CTuple};
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CtableConfig {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of attributes (paper: 8).
+    pub attrs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CtableConfig {
+    fn default() -> Self {
+        CtableConfig {
+            rows: 50,
+            attrs: 8,
+            seed: 17,
+        }
+    }
+}
+
+/// Generate the synthetic C-table (+ a fresh-variable counter for reuse).
+pub fn random_cdb(config: &CtableConfig) -> CDb {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let columns: Vec<String> = (0..config.attrs).map(|i| format!("a{i}")).collect();
+    let mut table = CTable::new(Schema::qualified(
+        "ct",
+        columns.iter().map(String::as_str),
+    ));
+    let mut next_var = 0u32;
+    for _ in 0..config.rows {
+        // Half the attributes are variables, half float constants.
+        let mut var_positions: Vec<usize> = (0..config.attrs).collect();
+        var_positions.shuffle(&mut rng);
+        var_positions.truncate(config.attrs / 2);
+        let values: Vec<Value> = (0..config.attrs)
+            .map(|c| {
+                if var_positions.contains(&c) {
+                    let v = Value::Var(VarId(next_var));
+                    next_var += 1;
+                    v
+                } else {
+                    // Small constant domain so selections/joins hit.
+                    Value::float(rng.gen_range(0..20) as f64)
+                }
+            })
+            .collect();
+        table.push(CTuple::unconditional(Tuple::new(values)));
+    }
+    let mut db = CDb::new();
+    db.insert("ct", table);
+    db
+}
+
+/// A random query over `ct` with exactly `complexity` operators
+/// (σ / π / self-⋈, the paper's Figure 10 x-axis).
+pub fn random_query(complexity: usize, attrs: usize, rng: &mut StdRng) -> RaExpr {
+    let mut query = RaExpr::table("ct").alias("q0");
+    // Track the current output column names (unqualified).
+    let mut cols: Vec<String> = (0..attrs).map(|i| format!("a{i}")).collect();
+    let mut alias_counter = 1;
+    let mut joins_left = 2; // joins over variable columns don't filter, so
+                            // result sizes multiply; bound them per query.
+
+    for _ in 0..complexity {
+        let op = match rng.gen_range(0..4) {
+            3 if joins_left > 0 => 2,
+            n => n.min(1),
+        };
+        match op {
+            // Selection on a random current column.
+            0 => {
+                let col = cols[rng.gen_range(0..cols.len())].clone();
+                let threshold = rng.gen_range(0..20) as f64;
+                let pred = if rng.gen_bool(0.5) {
+                    Expr::named(col).le(Expr::lit(threshold))
+                } else {
+                    Expr::named(col).ge(Expr::lit(threshold))
+                };
+                query = query.select(pred);
+            }
+            // Projection onto a random non-empty prefix-shuffle of columns.
+            1 => {
+                let mut keep = cols.clone();
+                keep.shuffle(rng);
+                keep.truncate(rng.gen_range(1..=cols.len()));
+                keep.sort();
+                query = query.project(keep.clone());
+                cols = keep;
+            }
+            // Self-join with the base table on a random column equality.
+            _ => {
+                joins_left -= 1;
+                let left_alias = format!("l{alias_counter}");
+                let right_alias = format!("r{alias_counter}");
+                alias_counter += 1;
+                let left_col = cols[rng.gen_range(0..cols.len())].clone();
+                let right_col = format!("{right_alias}.a{}", rng.gen_range(0..attrs));
+                query = query.alias(left_alias.clone()).join(
+                    RaExpr::table("ct").alias(right_alias),
+                    Expr::named(format!("{left_alias}.{left_col}"))
+                        .eq(Expr::named(right_col)),
+                );
+                // Project back to a bounded subset of the *current* left
+                // columns (qualified to dodge ambiguity; output names stay
+                // unqualified so later operators keep working).
+                let mut keep = cols.clone();
+                keep.shuffle(rng);
+                keep.truncate(rng.gen_range(1..=cols.len().min(4)));
+                keep.sort();
+                let proj: Vec<ua_data::algebra::ProjColumn> = keep
+                    .iter()
+                    .map(|c| {
+                        ua_data::algebra::ProjColumn::expr(
+                            Expr::named(format!("{left_alias}.{c}")),
+                            c.clone(),
+                        )
+                    })
+                    .collect();
+                query = query.project_cols(proj);
+                cols = keep;
+            }
+        }
+    }
+    query
+}
+
+/// A batch of random queries, `per_complexity` for each complexity in
+/// `1..=max_complexity`.
+pub fn query_batch(
+    max_complexity: usize,
+    per_complexity: usize,
+    attrs: usize,
+    seed: u64,
+) -> Vec<(usize, RaExpr)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for complexity in 1..=max_complexity {
+        for _ in 0..per_complexity {
+            out.push((complexity, random_query(complexity, attrs, &mut rng)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_conditions::Solver;
+    use ua_models::eval_symbolic;
+
+    #[test]
+    fn generated_ctable_shape() {
+        let db = random_cdb(&CtableConfig {
+            rows: 20,
+            attrs: 8,
+            seed: 1,
+        });
+        let t = db.get("ct").unwrap();
+        assert_eq!(t.len(), 20);
+        for row in t.tuples() {
+            let vars = row.values.iter().filter(|v| v.is_var()).count();
+            assert_eq!(vars, 4, "half the attributes are variables");
+        }
+    }
+
+    #[test]
+    fn random_queries_evaluate_symbolically() {
+        let db = random_cdb(&CtableConfig {
+            rows: 10,
+            attrs: 8,
+            seed: 2,
+        });
+        for (complexity, q) in query_batch(4, 2, 8, 3) {
+            let result = eval_symbolic(&q, &db)
+                .unwrap_or_else(|e| panic!("complexity {complexity}: {e} ({q})"));
+            // Conditions must not blow up structurally.
+            for row in result.tuples() {
+                assert!(row.condition.atom_count() <= 64);
+            }
+        }
+    }
+
+    #[test]
+    fn random_queries_have_requested_complexity() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for complexity in 1..=6 {
+            let q = random_query(complexity, 8, &mut rng);
+            // Joins inject an extra bounded projection, so the operator
+            // count is at least the requested complexity.
+            assert!(q.operator_count() >= complexity);
+        }
+    }
+
+    #[test]
+    fn exact_and_labeled_certainty_relate() {
+        // The UA labeling must be a subset of the exact certain answers on
+        // the base table itself.
+        let db = random_cdb(&CtableConfig {
+            rows: 15,
+            attrs: 4,
+            seed: 5,
+        });
+        let table = db.get("ct").unwrap();
+        let labeling = table.labeling();
+        let solver = Solver::new();
+        for (t, _) in labeling.iter() {
+            assert!(table.is_certain(t, &solver));
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Seeded workload generators for the UA-DB evaluation.
+//!
+//! Every generator is deterministic given its seed, so experiments are
+//! reproducible run-to-run:
+//!
+//! * [`tpch`] — mini TPC-H tables with the standard cardinality ratios;
+//! * [`pdbench`] — PDBench-style cell-level uncertainty injection deriving
+//!   every system's view (x-DB, BGW, UA-encoding, Codd tables) from one
+//!   ground injection;
+//! * [`queries`] — the PDBench query set (≈ TPC-H Q3/Q6/Q7) and random
+//!   projection workloads;
+//! * [`opendata`] — synthetic stand-ins for the paper's nine open datasets
+//!   matching their published shape statistics (Figure 16), plus the
+//!   Chicago-like tables and SQL for the real queries Q1–Q5;
+//! * [`ctables`] — random C-tables and σ/π/⋈ query chains (Figure 10);
+//! * [`bidb`] — block-independent databases and QP1–QP3 (Figure 19);
+//! * [`utility`] — the ground-truth / null-injection / repair pipeline of
+//!   the utility experiment (Figure 18).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bidb;
+pub mod ctables;
+pub mod opendata;
+pub mod pdbench;
+pub mod queries;
+pub mod tpch;
+pub mod utility;

@@ -1,0 +1,367 @@
+//! PDBench-style uncertainty injection (paper Section 11.1).
+//!
+//! PDBench takes deterministic TPC-H data and makes a configurable
+//! percentage of *cells* uncertain, giving each up to 8 possible values.
+//! [`inject`] reproduces that protocol and derives every representation the
+//! compared systems consume from one ground injection:
+//!
+//! * an **x-DB** (tuple-level alternatives; alternative 0 — the original
+//!   values — carries the highest probability, so the best-guess world is
+//!   exactly the original data),
+//! * the **best-guess world** tables (for deterministic BGQP),
+//! * the **UA-encoded** tables (BGW + `ua_c`; a row is labeled certain iff
+//!   it has no uncertain cell, matching `label_xDB`),
+//! * the **Codd-table** view for the Libkin baseline (uncertain cells
+//!   replaced by `NULL`),
+//!
+//! plus injection statistics. MayBMS (`UDb::from_xdb`) and MCDB
+//! (`BundleDb::from_xdb`) views derive from the x-DB.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashMap;
+use ua_engine::storage::Table;
+use ua_models::{XDb, XRelation, XTuple};
+
+/// Injection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct PdbenchConfig {
+    /// Fraction of eligible cells made uncertain (the paper sweeps
+    /// 2–30 %).
+    pub uncertainty: f64,
+    /// Maximum possible values per uncertain cell (paper: 8).
+    pub max_values: usize,
+    /// Maximum alternatives kept per x-tuple (paper: up to 8).
+    pub max_alternatives: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PdbenchConfig {
+    fn default() -> Self {
+        PdbenchConfig {
+            uncertainty: 0.02,
+            max_values: 8,
+            max_alternatives: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Injection statistics (drives the paper's Figure 16-style reporting).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InjectStats {
+    /// Total eligible cells.
+    pub total_cells: usize,
+    /// Cells made uncertain.
+    pub uncertain_cells: usize,
+    /// Rows with at least one uncertain cell.
+    pub uncertain_rows: usize,
+    /// Total rows.
+    pub total_rows: usize,
+}
+
+impl InjectStats {
+    /// Fraction of uncertain cells.
+    pub fn attr_uncertainty(&self) -> f64 {
+        if self.total_cells == 0 {
+            0.0
+        } else {
+            self.uncertain_cells as f64 / self.total_cells as f64
+        }
+    }
+
+    /// Fraction of uncertain rows.
+    pub fn row_uncertainty(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.uncertain_rows as f64 / self.total_rows as f64
+        }
+    }
+}
+
+/// All derived views of one uncertain database.
+#[derive(Clone, Debug)]
+pub struct UncertainDb {
+    /// Tuple-level x-DB (ground representation).
+    pub xdb: XDb,
+    /// Best-guess world, per relation.
+    pub bgw: FxHashMap<String, Table>,
+    /// UA-encoded tables (BGW + `ua_c`).
+    pub encoded: FxHashMap<String, Table>,
+    /// Codd-table view (uncertain cells → NULL) for the Libkin baseline.
+    pub nulls: FxHashMap<String, Table>,
+    /// Injection statistics.
+    pub stats: InjectStats,
+}
+
+/// Generate alternative values for one cell.
+fn alternatives_for(value: &Value, count: usize, rng: &mut StdRng) -> Vec<Value> {
+    let mut out = vec![value.clone()];
+    for k in 1..count {
+        let alt = match value {
+            Value::Int(i) => Value::Int(i + rng.gen_range(1..=100) * k as i64),
+            Value::Float(f) => Value::float(f.get() * (1.0 + 0.05 * k as f64) + 1.0),
+            Value::Str(s) => Value::str(format!("{s}~alt{k}")),
+            Value::Bool(b) => Value::Bool(*b ^ (k % 2 == 1)),
+            Value::Null | Value::Var(_) => Value::Int(k as i64),
+        };
+        out.push(alt);
+    }
+    out.dedup();
+    out
+}
+
+/// Inject uncertainty into one table. `eligible` names the columns whose
+/// cells may become uncertain (PDBench randomizes value-bearing attributes,
+/// never keys).
+pub fn inject(
+    name: &str,
+    table: &Table,
+    eligible: &[&str],
+    config: &PdbenchConfig,
+) -> UncertainDb {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(name));
+    let eligible_idx: Vec<usize> = eligible
+        .iter()
+        .map(|c| table.schema().resolve(c).expect("eligible column exists"))
+        .collect();
+
+    let mut stats = InjectStats {
+        total_rows: table.len(),
+        ..Default::default()
+    };
+    let mut xrel = XRelation::new(table.schema().clone());
+    let mut bgw_rows = Vec::with_capacity(table.len());
+    let mut enc_rows = Vec::with_capacity(table.len());
+    let mut null_rows = Vec::with_capacity(table.len());
+
+    for row in table.rows() {
+        // Choose uncertain cells for this row.
+        let mut cell_values: FxHashMap<usize, Vec<Value>> = FxHashMap::default();
+        for &col in &eligible_idx {
+            stats.total_cells += 1;
+            if rng.gen::<f64>() < config.uncertainty {
+                stats.uncertain_cells += 1;
+                let count = rng.gen_range(2..=config.max_values);
+                let values =
+                    alternatives_for(row.get(col).expect("in range"), count, &mut rng);
+                if values.len() > 1 {
+                    cell_values.insert(col, values);
+                }
+            }
+        }
+
+        if cell_values.is_empty() {
+            // Certain row.
+            xrel.push(XTuple::probabilistic(vec![(row.clone(), 1.0)]));
+            bgw_rows.push(row.clone());
+            enc_rows.push(row.push(Value::Int(1)));
+            null_rows.push(row.clone());
+            continue;
+        }
+        stats.uncertain_rows += 1;
+
+        // Build up to `max_alternatives` combos; combo 0 = original values.
+        let n_alts = cell_values
+            .values()
+            .map(Vec::len)
+            .try_fold(1usize, |acc, n| acc.checked_mul(n))
+            .unwrap_or(usize::MAX)
+            .min(config.max_alternatives);
+        let mut combos: Vec<Tuple> = Vec::with_capacity(n_alts);
+        combos.push(row.clone());
+        let mut attempts = 0;
+        while combos.len() < n_alts && attempts < n_alts * 10 {
+            attempts += 1;
+            let candidate = row.substitute(|v| v.clone()); // clone row values
+            let mut values: Vec<Value> = candidate.values().to_vec();
+            for (&col, alts) in &cell_values {
+                values[col] = alts[rng.gen_range(0..alts.len())].clone();
+            }
+            let combo = Tuple::new(values);
+            if !combos.contains(&combo) {
+                combos.push(combo);
+            }
+        }
+        // Alternative 0 gets the majority mass so BGW = original data.
+        let k = combos.len();
+        let mut with_probs: Vec<(Tuple, f64)> = Vec::with_capacity(k);
+        if k == 1 {
+            with_probs.push((combos[0].clone(), 1.0));
+        } else {
+            let rest = 0.5 / (k - 1) as f64;
+            for (j, combo) in combos.iter().enumerate() {
+                with_probs.push((combo.clone(), if j == 0 { 0.5 } else { rest }));
+            }
+        }
+        xrel.push(XTuple::probabilistic(with_probs));
+
+        bgw_rows.push(row.clone());
+        enc_rows.push(row.push(Value::Int(0)));
+        // Libkin view: uncertain cells become NULL.
+        let mut nulled: Vec<Value> = row.values().to_vec();
+        for &col in cell_values.keys() {
+            nulled[col] = Value::Null;
+        }
+        null_rows.push(Tuple::new(nulled));
+    }
+
+    let mut xdb = XDb::new();
+    xdb.insert(name, xrel);
+
+    let enc_schema = table.schema().with_column(ua_core::UA_LABEL_COLUMN);
+    let mut bgw = FxHashMap::default();
+    bgw.insert(
+        name.to_string(),
+        Table::from_rows(table.schema().clone(), bgw_rows),
+    );
+    let mut encoded = FxHashMap::default();
+    encoded.insert(name.to_string(), Table::from_rows(enc_schema, enc_rows));
+    let mut nulls = FxHashMap::default();
+    nulls.insert(
+        name.to_string(),
+        Table::from_rows(table.schema().clone(), null_rows),
+    );
+
+    UncertainDb {
+        xdb,
+        bgw,
+        encoded,
+        nulls,
+        stats,
+    }
+}
+
+/// Inject uncertainty into several tables, merging the per-table views.
+pub fn inject_db(
+    tables: &[(&str, &Table, &[&str])],
+    config: &PdbenchConfig,
+) -> UncertainDb {
+    let mut merged: Option<UncertainDb> = None;
+    for (i, (name, table, eligible)) in tables.iter().enumerate() {
+        let cfg = PdbenchConfig {
+            seed: config.seed.wrapping_add(i as u64),
+            ..*config
+        };
+        let one = inject(name, table, eligible, &cfg);
+        merged = Some(match merged {
+            None => one,
+            Some(mut acc) => {
+                if let Some(rel) = one.xdb.get(name) {
+                    acc.xdb.insert(*name, rel.clone());
+                }
+                acc.bgw.extend(one.bgw);
+                acc.encoded.extend(one.encoded);
+                acc.nulls.extend(one.nulls);
+                acc.stats.total_cells += one.stats.total_cells;
+                acc.stats.uncertain_cells += one.stats.uncertain_cells;
+                acc.stats.uncertain_rows += one.stats.uncertain_rows;
+                acc.stats.total_rows += one.stats.total_rows;
+                acc
+            }
+        });
+    }
+    merged.expect("at least one table")
+}
+
+fn hash_name(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = ua_data::hash::FxHasher::default();
+    name.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{generate, TpchConfig};
+
+    fn small_uncertain(pct: f64) -> UncertainDb {
+        let data = generate(&TpchConfig::new(0.0005, 3));
+        inject(
+            "lineitem",
+            &data.lineitem,
+            &["quantity", "discount", "shipdate"],
+            &PdbenchConfig {
+                uncertainty: pct,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn uncertainty_rate_is_respected() {
+        let u = small_uncertain(0.10);
+        let rate = u.stats.attr_uncertainty();
+        assert!(
+            (0.05..0.18).contains(&rate),
+            "expected ≈10% uncertain cells, got {rate}"
+        );
+        assert!(u.stats.row_uncertainty() > rate, "rows accumulate cell noise");
+    }
+
+    #[test]
+    fn bgw_is_original_data() {
+        let data = generate(&TpchConfig::new(0.0005, 3));
+        let u = small_uncertain(0.10);
+        assert_eq!(
+            u.bgw["lineitem"].sorted_rows(),
+            data.lineitem.sorted_rows(),
+            "alternative 0 keeps the original values and dominates"
+        );
+        // And the x-DB's own best-guess world agrees.
+        let xbgw = u.xdb.best_guess_world();
+        let rel = xbgw.get("lineitem").unwrap();
+        assert_eq!(rel.total_annotation() as usize, data.lineitem.len());
+    }
+
+    #[test]
+    fn encoded_marker_matches_labeling() {
+        let u = small_uncertain(0.10);
+        let enc = &u.encoded["lineitem"];
+        let marker = enc.schema().arity() - 1;
+        let certain_rows = enc
+            .rows()
+            .iter()
+            .filter(|r| r.get(marker) == Some(&Value::Int(1)))
+            .count();
+        assert_eq!(
+            certain_rows,
+            u.stats.total_rows - u.stats.uncertain_rows,
+            "ua_c = 1 exactly on rows without uncertain cells"
+        );
+    }
+
+    #[test]
+    fn null_view_masks_uncertain_cells() {
+        let u = small_uncertain(0.30);
+        let nulls = &u.nulls["lineitem"];
+        let null_cells: usize = nulls
+            .rows()
+            .iter()
+            .map(|r| r.values().iter().filter(|v| matches!(v, Value::Null)).count())
+            .sum();
+        assert_eq!(null_cells, u.stats.uncertain_cells);
+    }
+
+    #[test]
+    fn alternatives_capped() {
+        let u = small_uncertain(0.50);
+        for xt in u.xdb.get("lineitem").unwrap().xtuples() {
+            assert!(xt.arity() <= 8);
+        }
+    }
+
+    #[test]
+    fn zero_uncertainty_degenerates_to_deterministic() {
+        let u = small_uncertain(0.0);
+        assert_eq!(u.stats.uncertain_cells, 0);
+        for xt in u.xdb.get("lineitem").unwrap().xtuples() {
+            assert!(xt.certain_alternative().is_some());
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! The PDBench query set (≈ TPC-H Q3, Q6, Q7; paper Section 11.1) and
+//! random projection-query generation (Figures 15, 20, 21).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use ua_data::algebra::RaExpr;
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+
+/// PDBench Q1 — the TPC-H Q3 shape: 3-way join with selections.
+///
+/// ```sql
+/// SELECT o.orderkey, o.orderdate, o.shippriority
+/// FROM customer c, orders o, lineitem l
+/// WHERE c.mktsegment = 'BUILDING' AND c.custkey = o.custkey
+///   AND l.orderkey = o.orderkey AND o.orderdate < 1200 AND l.shipdate > 1200
+/// ```
+pub fn pdbench_q1() -> RaExpr {
+    RaExpr::table("customer")
+        .select(Expr::named("mktsegment").eq(Expr::lit("BUILDING")))
+        .join(
+            RaExpr::table("orders"),
+            Expr::named("customer.custkey").eq(Expr::named("orders.custkey")),
+        )
+        .select(Expr::named("orderdate").lt(Expr::lit(1200i64)))
+        .join(
+            RaExpr::table("lineitem"),
+            Expr::named("lineitem.orderkey").eq(Expr::named("orders.orderkey")),
+        )
+        .select(Expr::named("shipdate").gt(Expr::lit(1200i64)))
+        .project(["orders.orderkey", "orderdate", "shippriority"])
+}
+
+/// PDBench Q2 — the TPC-H Q6 shape: multi-predicate selection.
+///
+/// ```sql
+/// SELECT orderkey, extendedprice, discount FROM lineitem
+/// WHERE shipdate >= 370 AND shipdate < 735
+///   AND discount BETWEEN 0.04 AND 0.08 AND quantity < 24
+/// ```
+pub fn pdbench_q2() -> RaExpr {
+    RaExpr::table("lineitem")
+        .select(
+            Expr::named("shipdate")
+                .ge(Expr::lit(370i64))
+                .and(Expr::named("shipdate").lt(Expr::lit(735i64)))
+                .and(Expr::named("discount").between(Expr::lit(0.04), Expr::lit(0.08)))
+                .and(Expr::named("quantity").lt(Expr::lit(24i64))),
+        )
+        .project(["orderkey", "extendedprice", "discount"])
+}
+
+/// PDBench Q3 — the TPC-H Q7 shape: 4-way join across nations.
+///
+/// ```sql
+/// SELECT s.suppkey, c.custkey, l.shipdate
+/// FROM supplier s, lineitem l, orders o, customer c
+/// WHERE s.suppkey = l.suppkey AND o.orderkey = l.orderkey
+///   AND c.custkey = o.custkey AND s.nationkey = 1 AND c.nationkey = 2
+/// ```
+pub fn pdbench_q3() -> RaExpr {
+    RaExpr::table("supplier")
+        .select(Expr::named("nationkey").eq(Expr::lit(1i64)))
+        .join(
+            RaExpr::table("lineitem"),
+            Expr::named("supplier.suppkey").eq(Expr::named("lineitem.suppkey")),
+        )
+        .join(
+            RaExpr::table("orders"),
+            Expr::named("orders.orderkey").eq(Expr::named("lineitem.orderkey")),
+        )
+        .join(
+            RaExpr::table("customer").select(Expr::named("nationkey").eq(Expr::lit(2i64))),
+            Expr::named("customer.custkey").eq(Expr::named("orders.custkey")),
+        )
+        .project(["supplier.suppkey", "customer.custkey", "lineitem.shipdate"])
+}
+
+/// The three PDBench queries with their names.
+pub fn pdbench_queries() -> Vec<(&'static str, RaExpr)> {
+    vec![
+        ("Q1", pdbench_q1()),
+        ("Q2", pdbench_q2()),
+        ("Q3", pdbench_q3()),
+    ]
+}
+
+/// Which columns of each TPC-H table PDBench may make uncertain
+/// (value-bearing attributes; keys stay deterministic so that joins remain
+/// meaningful — PDBench randomizes cell *values* the same way).
+pub fn pdbench_uncertain_columns(table: &str) -> &'static [&'static str] {
+    match table {
+        "lineitem" => &["quantity", "extendedprice", "discount", "shipdate"],
+        "orders" => &["orderdate", "shippriority", "totalprice"],
+        "customer" => &["mktsegment", "acctbal"],
+        "supplier" => &["acctbal"],
+        _ => &[],
+    }
+}
+
+/// A random projection onto `k` distinct attribute positions of `schema`
+/// (the workload of Figures 15/20/21).
+pub fn random_projection(
+    schema: &Schema,
+    k: usize,
+    rng: &mut StdRng,
+) -> (Vec<usize>, RaExpr, RaExpr) {
+    assert!(k >= 1 && k <= schema.arity());
+    let mut positions: Vec<usize> = (0..schema.arity()).collect();
+    positions.shuffle(rng);
+    positions.truncate(k);
+    positions.sort_unstable();
+    let names: Vec<String> = positions
+        .iter()
+        .map(|&i| schema.columns()[i].name.to_string())
+        .collect();
+    let table_name = schema.columns()[0]
+        .qualifier
+        .as_deref()
+        .unwrap_or("t")
+        .to_string();
+    let q = RaExpr::table(table_name.clone()).project(names.clone());
+    (positions, q.clone(), q)
+}
+
+/// Sample `count` random projection widths spanning `1..=max_k`.
+pub fn projection_widths(max_k: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    (0..count).map(|_| rng.gen_range(1..=max_k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpch::{generate, TpchConfig};
+    use rand::SeedableRng;
+    use ua_data::relation::Database;
+
+    #[test]
+    fn pdbench_queries_run_on_generated_data() {
+        let data = generate(&TpchConfig::new(0.002, 11));
+        let mut db: Database<u64> = Database::new();
+        for (name, table) in data.tables() {
+            db.insert(name, table.to_relation());
+        }
+        for (name, q) in pdbench_queries() {
+            let result = ua_data::eval(&q, &db)
+                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            // Q2 on tiny data should still select something.
+            if name == "Q2" {
+                assert!(result.support_size() > 0, "{name} returned nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn random_projection_is_well_formed() {
+        let schema = Schema::qualified("t", ["a", "b", "c", "d"]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let (positions, q, _) = random_projection(&schema, 2, &mut rng);
+        assert_eq!(positions.len(), 2);
+        assert!(positions.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(q.operator_count(), 1);
+    }
+}

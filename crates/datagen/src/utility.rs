@@ -1,0 +1,261 @@
+//! The utility experiment's data pipeline (paper Section 11.5 / Figure 18).
+//!
+//! 1. Start from a **ground-truth** world `D_ground` (a complete table).
+//! 2. Replace a varying fraction of attribute values with `NULL`s, giving
+//!    the incomplete database `D` (the Libkin baseline queries this
+//!    directly).
+//! 3. Repair `D` into a best-guess world by **imputation** (per-column
+//!    mode/mean — "BGQP") or by picking **random** replacement values
+//!    ("RGQP").
+//!
+//! The harness then compares query results over each variant against the
+//! ground truth with precision/recall.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashMap;
+use ua_engine::storage::Table;
+
+/// The three datasets of Figure 18.
+pub const UTILITY_DATASETS: [&str; 3] = ["income_survey", "buffalo_news", "business_license"];
+
+/// A generated utility-experiment instance.
+#[derive(Clone, Debug)]
+pub struct UtilityInstance {
+    /// The ground-truth world.
+    pub ground: Table,
+    /// The incomplete database (nulls injected).
+    pub incomplete: Table,
+    /// Imputation repair (best-guess world).
+    pub imputed: Table,
+    /// Random repair (random-guess world).
+    pub random_repair: Table,
+    /// Fraction of attribute values replaced.
+    pub null_rate: f64,
+}
+
+/// Generate the ground-truth table for one of the [`UTILITY_DATASETS`].
+pub fn ground_truth(dataset: &str, rows: usize, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match dataset {
+        "income_survey" => Table::from_rows(
+            Schema::qualified(
+                "survey",
+                ["id", "age_group", "income", "source", "assets"],
+            ),
+            (0..rows)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i as i64),
+                        Value::str(format!("age{}", rng.gen_range(2..8) * 10)),
+                        Value::Int(rng.gen_range(10..200) * 500),
+                        Value::str(["wages", "self", "transfer", "invest"]
+                            [rng.gen_range(0..4)]),
+                        Value::Int(rng.gen_range(0..100) * 1000),
+                    ])
+                })
+                .collect(),
+        ),
+        "buffalo_news" => Table::from_rows(
+            Schema::qualified("shootings", ["id", "district", "type", "victims"]),
+            (0..rows)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i as i64),
+                        Value::str(["BD", "CD", "DD", "ED"][rng.gen_range(0..4)]),
+                        Value::str(["fatal", "injury", "property"][rng.gen_range(0..3)]),
+                        Value::Int(rng.gen_range(1..5)),
+                    ])
+                })
+                .collect(),
+        ),
+        _ => Table::from_rows(
+            Schema::qualified(
+                "licenses",
+                ["id", "kind", "ward", "status", "fee"],
+            ),
+            (0..rows)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i as i64),
+                        Value::str(["retail", "food", "liquor", "service"]
+                            [rng.gen_range(0..4)]),
+                        Value::Int(rng.gen_range(1..51)),
+                        Value::str(["AAI", "AAC", "REV"][rng.gen_range(0..3)]),
+                        Value::Int(rng.gen_range(1..40) * 25),
+                    ])
+                })
+                .collect(),
+        ),
+    }
+}
+
+/// Per-column imputation statistics: mode for strings, mean for numbers.
+fn column_imputations(table: &Table) -> Vec<Value> {
+    let arity = table.schema().arity();
+    (0..arity)
+        .map(|c| {
+            let mut counts: FxHashMap<Value, usize> = FxHashMap::default();
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            let mut numeric = false;
+            for row in table.rows() {
+                let v = row.get(c).expect("in range");
+                if let Some(x) = v.as_f64() {
+                    numeric = true;
+                    sum += x;
+                    n += 1;
+                }
+                *counts.entry(v.clone()).or_default() += 1;
+            }
+            if numeric && n > 0 {
+                match table.rows().first().and_then(|r| r.get(c)) {
+                    Some(Value::Int(_)) => Value::Int((sum / n as f64).round() as i64),
+                    _ => Value::float(sum / n as f64),
+                }
+            } else {
+                counts
+                    .into_iter()
+                    .max_by_key(|(_, n)| *n)
+                    .map(|(v, _)| v)
+                    .unwrap_or(Value::Null)
+            }
+        })
+        .collect()
+}
+
+/// Distinct observed values per column (for random repair).
+fn column_domains(table: &Table) -> Vec<Vec<Value>> {
+    let arity = table.schema().arity();
+    (0..arity)
+        .map(|c| {
+            let mut vals: Vec<Value> = table
+                .rows()
+                .iter()
+                .map(|r| r.get(c).expect("in range").clone())
+                .collect();
+            vals.sort();
+            vals.dedup();
+            vals
+        })
+        .collect()
+}
+
+/// Build the full instance at the given null-injection rate (the id column
+/// is never nulled, mirroring the paper's key-preserving cleaning setup).
+pub fn build(ground: &Table, null_rate: f64, seed: u64) -> UtilityInstance {
+    assert!((0.0..=1.0).contains(&null_rate));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let arity = ground.schema().arity();
+    let imputations = column_imputations(ground);
+    let domains = column_domains(ground);
+
+    let mut incomplete_rows = Vec::with_capacity(ground.len());
+    let mut imputed_rows = Vec::with_capacity(ground.len());
+    let mut random_rows = Vec::with_capacity(ground.len());
+    for row in ground.rows() {
+        let mut incomplete: Vec<Value> = row.values().to_vec();
+        let mut imputed: Vec<Value> = row.values().to_vec();
+        let mut random: Vec<Value> = row.values().to_vec();
+        for c in 1..arity {
+            if rng.gen::<f64>() < null_rate {
+                incomplete[c] = Value::Null;
+                imputed[c] = imputations[c].clone();
+                random[c] = domains[c][rng.gen_range(0..domains[c].len())].clone();
+            }
+        }
+        incomplete_rows.push(Tuple::new(incomplete));
+        imputed_rows.push(Tuple::new(imputed));
+        random_rows.push(Tuple::new(random));
+    }
+
+    UtilityInstance {
+        ground: ground.clone(),
+        incomplete: Table::from_rows(ground.schema().clone(), incomplete_rows),
+        imputed: Table::from_rows(ground.schema().clone(), imputed_rows),
+        random_repair: Table::from_rows(ground.schema().clone(), random_rows),
+        null_rate,
+    }
+}
+
+/// Set-level precision/recall of `result` against `truth`.
+pub fn precision_recall(result: &Table, truth: &Table) -> (f64, f64) {
+    let result_set: std::collections::BTreeSet<Tuple> =
+        result.rows().iter().cloned().collect();
+    let truth_set: std::collections::BTreeSet<Tuple> =
+        truth.rows().iter().cloned().collect();
+    let hits = result_set.intersection(&truth_set).count() as f64;
+    let precision = if result_set.is_empty() {
+        1.0
+    } else {
+        hits / result_set.len() as f64
+    };
+    let recall = if truth_set.is_empty() {
+        1.0
+    } else {
+        hits / truth_set.len() as f64
+    };
+    (precision, recall)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_keeps_everything() {
+        let g = ground_truth("income_survey", 300, 1);
+        let inst = build(&g, 0.0, 2);
+        assert_eq!(inst.incomplete.sorted_rows(), g.sorted_rows());
+        assert_eq!(inst.imputed.sorted_rows(), g.sorted_rows());
+    }
+
+    #[test]
+    fn null_rate_is_respected() {
+        let g = ground_truth("buffalo_news", 500, 3);
+        let inst = build(&g, 0.3, 4);
+        let nulls: usize = inst
+            .incomplete
+            .rows()
+            .iter()
+            .map(|r| r.values().iter().filter(|v| matches!(v, Value::Null)).count())
+            .sum();
+        let eligible = 500 * (g.schema().arity() - 1);
+        let rate = nulls as f64 / eligible as f64;
+        assert!((0.2..0.4).contains(&rate), "rate {rate}");
+        // Imputed and random repairs are complete.
+        assert!(inst.imputed.rows().iter().all(|r| !r.has_unknown()));
+        assert!(inst.random_repair.rows().iter().all(|r| !r.has_unknown()));
+    }
+
+    #[test]
+    fn imputation_beats_random_repair() {
+        let g = ground_truth("business_license", 800, 5);
+        let inst = build(&g, 0.3, 6);
+        let agree = |t: &Table| {
+            t.rows()
+                .iter()
+                .zip(g.rows())
+                .filter(|(a, b)| a == b)
+                .count()
+        };
+        assert!(
+            agree(&inst.imputed) >= agree(&inst.random_repair),
+            "mode/mean imputation should recover at least as many rows"
+        );
+    }
+
+    #[test]
+    fn precision_recall_bounds() {
+        let g = ground_truth("income_survey", 100, 7);
+        let (p, r) = precision_recall(&g, &g);
+        assert_eq!((p, r), (1.0, 1.0));
+        let empty = Table::new(g.schema().clone());
+        let (p, r) = precision_recall(&empty, &g);
+        assert_eq!(p, 1.0);
+        assert_eq!(r, 0.0);
+    }
+}

@@ -1,0 +1,697 @@
+//! The row-at-a-time executor.
+//!
+//! Evaluates [`Plan`]s against a [`Catalog`], materializing each operator's
+//! output. Joins pick a hash strategy when the (bound) predicate contains
+//! extractable equi-keys — the same extraction the K-relation evaluator
+//! uses, so both engines make identical strategy choices. `WHERE` follows
+//! SQL semantics: only rows whose predicate is *certainly* true survive
+//! (`Unknown` rejects, matching `θ(t) ∈ {0_K, 1_K}` of the paper).
+
+use crate::plan::{AggExpr, AggFunc, Plan, SortOrder};
+use crate::storage::{Catalog, Table};
+use std::fmt;
+use ua_data::algebra::extract_equi_keys;
+use ua_data::expr::{Expr, ExprError};
+use ua_data::schema::{Schema, SchemaError};
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, F64};
+use ua_data::FxHashMap;
+
+/// Errors raised during plan execution.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// A scanned table is not in the catalog.
+    UnknownTable(String),
+    /// Schema resolution failed.
+    Schema(SchemaError),
+    /// Expression binding or evaluation failed.
+    Expr(ExprError),
+    /// SQL-level failure (parser/planner).
+    Sql(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            EngineError::Schema(e) => write!(f, "{e}"),
+            EngineError::Expr(e) => write!(f, "{e}"),
+            EngineError::Sql(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<SchemaError> for EngineError {
+    fn from(e: SchemaError) -> Self {
+        EngineError::Schema(e)
+    }
+}
+
+impl From<ExprError> for EngineError {
+    fn from(e: ExprError) -> Self {
+        EngineError::Expr(e)
+    }
+}
+
+impl From<ua_data::algebra::RaError> for EngineError {
+    fn from(e: ua_data::algebra::RaError) -> Self {
+        match e {
+            ua_data::algebra::RaError::UnknownTable(t) => EngineError::UnknownTable(t),
+            ua_data::algebra::RaError::Schema(s) => EngineError::Schema(s),
+            ua_data::algebra::RaError::Expr(x) => EngineError::Expr(x),
+        }
+    }
+}
+
+/// Execute `plan` against `catalog`, materializing the result.
+pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    match plan {
+        Plan::Scan(name) => catalog
+            .get(name)
+            .map(|t| (*t).clone())
+            .ok_or_else(|| EngineError::UnknownTable(name.clone())),
+        Plan::Alias { input, name } => {
+            let t = execute(input, catalog)?;
+            let schema = t.schema().with_qualifier(name);
+            Ok(t.with_schema(schema))
+        }
+        Plan::Filter { input, predicate } => {
+            let t = execute(input, catalog)?;
+            let bound = predicate.bind(t.schema())?;
+            let mut out = Table::new(t.schema().clone());
+            for row in t.rows() {
+                if bound.holds(row)? {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Plan::Map { input, columns } => {
+            // Fuse projection into a child join: real engines pipeline, and
+            // the UA rewriting inserts exactly this Map-over-Join shape
+            // (Figure 9's join rule) — without fusion it would pay a full
+            // extra materialization pass over the join result.
+            if let Plan::Join {
+                left,
+                right,
+                predicate,
+            } = input.as_ref()
+            {
+                let l = execute(left, catalog)?;
+                let r = execute(right, catalog)?;
+                let join_schema = l.schema().concat(r.schema());
+                let bound: Vec<Expr> = columns
+                    .iter()
+                    .map(|c| c.expr.bind(&join_schema))
+                    .collect::<Result<_, _>>()?;
+                let out_schema =
+                    Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+                let mut out = Table::new(out_schema);
+                join_stream(&l, &r, predicate.as_ref(), &mut |joined| {
+                    let mapped: Tuple = bound
+                        .iter()
+                        .map(|e| e.eval(&joined))
+                        .collect::<Result<_, _>>()?;
+                    out.push(mapped);
+                    Ok(())
+                })?;
+                return Ok(out);
+            }
+            let t = execute(input, catalog)?;
+            let bound: Vec<Expr> = columns
+                .iter()
+                .map(|c| c.expr.bind(t.schema()))
+                .collect::<Result<_, _>>()?;
+            let schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+            let mut out = Table::new(schema);
+            for row in t.rows() {
+                let mapped: Tuple = bound
+                    .iter()
+                    .map(|e| e.eval(row))
+                    .collect::<Result<_, _>>()?;
+                out.push(mapped);
+            }
+            Ok(out)
+        }
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = execute(left, catalog)?;
+            let r = execute(right, catalog)?;
+            join(&l, &r, predicate.as_ref())
+        }
+        Plan::UnionAll { left, right } => {
+            let l = execute(left, catalog)?;
+            let r = execute(right, catalog)?;
+            l.schema().check_union_compatible(r.schema())?;
+            let mut out = l.clone();
+            for row in r.rows() {
+                out.push(row.clone());
+            }
+            Ok(out)
+        }
+        Plan::Distinct { input } => {
+            let t = execute(input, catalog)?;
+            let mut seen: ua_data::FxHashSet<Tuple> = ua_data::FxHashSet::default();
+            let mut out = Table::new(t.schema().clone());
+            for row in t.rows() {
+                if seen.insert(row.clone()) {
+                    out.push(row.clone());
+                }
+            }
+            Ok(out)
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => aggregate(input, group_by, aggregates, catalog),
+        Plan::Sort { input, keys } => {
+            let t = execute(input, catalog)?;
+            let bound: Vec<(Expr, SortOrder)> = keys
+                .iter()
+                .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
+                .collect::<Result<_, EngineError>>()?;
+            let mut decorated: Vec<(Vec<Value>, Tuple)> = t
+                .rows()
+                .iter()
+                .map(|row| {
+                    let key: Vec<Value> = bound
+                        .iter()
+                        .map(|(e, _)| e.eval(row))
+                        .collect::<Result<_, _>>()?;
+                    Ok((key, row.clone()))
+                })
+                .collect::<Result<_, EngineError>>()?;
+            decorated.sort_by(|(ka, ra), (kb, rb)| {
+                for ((va, vb), (_, order)) in ka.iter().zip(kb).zip(&bound) {
+                    let ord = va.cmp(vb);
+                    let ord = match order {
+                        SortOrder::Asc => ord,
+                        SortOrder::Desc => ord.reverse(),
+                    };
+                    if !ord.is_eq() {
+                        return ord;
+                    }
+                }
+                ra.cmp(rb) // deterministic tie-break
+            });
+            Ok(Table::from_rows(
+                t.schema().clone(),
+                decorated.into_iter().map(|(_, row)| row).collect(),
+            ))
+        }
+        Plan::Limit { input, limit } => {
+            let t = execute(input, catalog)?;
+            Ok(Table::from_rows(
+                t.schema().clone(),
+                t.rows().iter().take(*limit).cloned().collect(),
+            ))
+        }
+    }
+}
+
+fn join(l: &Table, r: &Table, predicate: Option<&Expr>) -> Result<Table, EngineError> {
+    let schema = l.schema().concat(r.schema());
+    let mut out = Table::new(schema);
+    join_stream(l, r, predicate, &mut |joined| {
+        out.push(joined);
+        Ok(())
+    })?;
+    Ok(out)
+}
+
+/// Stream the join of `l` and `r` through `on_row` (hash strategy when the
+/// predicate has extractable equi-keys, nested loops otherwise). Streaming
+/// lets parent operators fuse with the join instead of materializing it.
+fn join_stream(
+    l: &Table,
+    r: &Table,
+    predicate: Option<&Expr>,
+    on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let schema = l.schema().concat(r.schema());
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&schema)?),
+        None => None,
+    };
+
+    if let Some(pred) = &bound {
+        let (keys, residual) = extract_equi_keys(pred, l.schema().arity());
+        if !keys.is_empty() {
+            let residual = Expr::conjunction(residual);
+            let mut table: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+            for row in r.rows() {
+                let key: Tuple = keys
+                    .iter()
+                    .map(|k| k.right.eval(row))
+                    .collect::<Result<_, _>>()?;
+                if key.has_null() {
+                    continue;
+                }
+                table.entry(key).or_default().push(row);
+            }
+            for lrow in l.rows() {
+                let key: Tuple = keys
+                    .iter()
+                    .map(|k| k.left.eval(lrow))
+                    .collect::<Result<_, _>>()?;
+                if key.has_null() {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for rrow in matches {
+                        let joined = lrow.concat(rrow);
+                        if residual.holds(&joined)? {
+                            on_row(joined)?;
+                        }
+                    }
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    for lrow in l.rows() {
+        for rrow in r.rows() {
+            let joined = lrow.concat(rrow);
+            let keep = match &bound {
+                Some(p) => p.holds(&joined)?,
+                None => true,
+            };
+            if keep {
+                on_row(joined)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Running state of one aggregate.
+enum AggState {
+    Count(u64),
+    Sum { total: f64, saw_int_only: bool, any: bool },
+    MinMax { best: Option<Value>, is_min: bool },
+    Avg { total: f64, n: u64 },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
+            AggFunc::Sum => AggState::Sum {
+                total: 0.0,
+                saw_int_only: true,
+                any: false,
+            },
+            AggFunc::Min => AggState::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggFunc::Avg => AggState::Avg { total: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>) {
+        match self {
+            AggState::Count(n) => {
+                // COUNT(*) passes None; COUNT(e) skips unknowns.
+                match value {
+                    None => *n += 1,
+                    Some(v) if !v.is_unknown() => *n += 1,
+                    _ => {}
+                }
+            }
+            AggState::Sum {
+                total,
+                saw_int_only,
+                any,
+            } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *total += x;
+                        *any = true;
+                        if matches!(v, Value::Float(_)) {
+                            *saw_int_only = false;
+                        }
+                    }
+                }
+            }
+            AggState::MinMax { best, is_min } => {
+                if let Some(v) = value {
+                    if v.is_unknown() {
+                        return;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            let ord = v.sql_cmp(b);
+                            match (ord, *is_min) {
+                                (Some(std::cmp::Ordering::Less), true) => true,
+                                (Some(std::cmp::Ordering::Greater), false) => true,
+                                _ => false,
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            AggState::Avg { total, n } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *total += x;
+                        *n += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(n as i64),
+            AggState::Sum {
+                total,
+                saw_int_only,
+                any,
+            } => {
+                if !any {
+                    Value::Null
+                } else if saw_int_only {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(F64::new(total))
+                }
+            }
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(F64::new(total / n as f64))
+                }
+            }
+        }
+    }
+}
+
+fn aggregate(
+    input: &Plan,
+    group_by: &[ua_data::algebra::ProjColumn],
+    aggregates: &[AggExpr],
+    catalog: &Catalog,
+) -> Result<Table, EngineError> {
+    let t = execute(input, catalog)?;
+    let bound_groups: Vec<Expr> = group_by
+        .iter()
+        .map(|g| g.expr.bind(t.schema()))
+        .collect::<Result<_, _>>()?;
+    let bound_aggs: Vec<Option<Expr>> = aggregates
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.bind(t.schema())).transpose())
+        .collect::<Result<_, _>>()?;
+
+    // Group rows; preserve first-seen order for deterministic output.
+    let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
+    let mut order: Vec<Tuple> = Vec::new();
+    for row in t.rows() {
+        let key: Tuple = bound_groups
+            .iter()
+            .map(|e| e.eval(row))
+            .collect::<Result<_, _>>()?;
+        let states = match groups.get_mut(&key) {
+            Some(s) => s,
+            None => {
+                order.push(key.clone());
+                groups
+                    .entry(key.clone())
+                    .or_insert_with(|| aggregates.iter().map(|a| AggState::new(a.func)).collect())
+            }
+        };
+        for (state, arg) in states.iter_mut().zip(&bound_aggs) {
+            match arg {
+                Some(e) => state.update(Some(&e.eval(row)?)),
+                None => state.update(None),
+            }
+        }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if bound_groups.is_empty() && groups.is_empty() {
+        let key = Tuple::empty();
+        order.push(key.clone());
+        groups.insert(
+            key,
+            aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+
+    let mut columns: Vec<ua_data::schema::Column> =
+        group_by.iter().map(|g| g.column.clone()).collect();
+    for a in aggregates {
+        columns.push(ua_data::schema::Column::unqualified(&a.name));
+    }
+    let mut out = Table::new(Schema::new(columns));
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded");
+        let mut values: Vec<Value> = key.values().to_vec();
+        for s in states {
+            values.push(s.finish());
+        }
+        out.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+    use ua_data::algebra::ProjColumn;
+    use ua_data::tuple;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register(
+            "emp",
+            Table::from_rows(
+                Schema::qualified("emp", ["name", "dept", "salary"]),
+                vec![
+                    tuple!["ann", "eng", 100i64],
+                    tuple!["bob", "eng", 80i64],
+                    tuple!["cat", "ops", 60i64],
+                    tuple!["dan", "ops", 60i64],
+                ],
+            ),
+        );
+        c.register(
+            "dept",
+            Table::from_rows(
+                Schema::qualified("dept", ["name", "city"]),
+                vec![tuple!["eng", "nyc"], tuple!["ops", "chi"]],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn scan_filter_map() {
+        let plan = Plan::Map {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Scan("emp".into())),
+                predicate: Expr::named("salary").ge(Expr::lit(80i64)),
+            }),
+            columns: vec![ProjColumn::named("name")],
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        assert_eq!(t.sorted_rows(), vec![tuple!["ann"], tuple!["bob"]]);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop() {
+        let c = catalog();
+        let equi = Plan::Join {
+            left: Box::new(Plan::Scan("emp".into())),
+            right: Box::new(Plan::Scan("dept".into())),
+            predicate: Some(Expr::named("emp.dept").eq(Expr::named("dept.name"))),
+        };
+        let disguised = Plan::Join {
+            left: Box::new(Plan::Scan("emp".into())),
+            right: Box::new(Plan::Scan("dept".into())),
+            predicate: Some(
+                Expr::named("emp.dept")
+                    .eq(Expr::named("dept.name"))
+                    .or(Expr::lit(false)),
+            ),
+        };
+        let a = execute(&equi, &c).unwrap();
+        let b = execute(&disguised, &c).unwrap();
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn union_all_keeps_duplicates() {
+        let plan = Plan::UnionAll {
+            left: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("emp".into())),
+                columns: vec![ProjColumn::named("dept")],
+            }),
+            right: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("emp".into())),
+                columns: vec![ProjColumn::named("dept")],
+            }),
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        assert_eq!(t.len(), 8);
+    }
+
+    #[test]
+    fn distinct_dedupes() {
+        let plan = Plan::Distinct {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("emp".into())),
+                columns: vec![ProjColumn::named("dept")],
+            }),
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn aggregation_group_by() {
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Scan("emp".into())),
+            group_by: vec![ProjColumn::named("dept")],
+            aggregates: vec![
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    name: "n".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::named("salary")),
+                    name: "total".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Min,
+                    arg: Some(Expr::named("salary")),
+                    name: "lo".into(),
+                },
+                AggExpr {
+                    func: AggFunc::Avg,
+                    arg: Some(Expr::named("salary")),
+                    name: "mean".into(),
+                },
+            ],
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        let rows = t.sorted_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            rows[0],
+            tuple!["eng", 2i64, 180i64, 80i64, 90.0]
+        );
+        assert_eq!(rows[1], tuple!["ops", 2i64, 120i64, 60i64, 60.0]);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Scan("emp".into())),
+                predicate: Expr::lit(false),
+            }),
+            group_by: vec![],
+            aggregates: vec![AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            }],
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        assert_eq!(t.rows(), &[tuple![0i64]]);
+    }
+
+    #[test]
+    fn sort_and_limit() {
+        let plan = Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(Plan::Scan("emp".into())),
+                keys: vec![(Expr::named("salary"), SortOrder::Desc)],
+            }),
+            limit: 2,
+        };
+        let t = execute(&plan, &catalog()).unwrap();
+        assert_eq!(t.rows()[0], tuple!["ann", "eng", 100i64]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn count_skips_nulls_count_star_does_not() {
+        let c = Catalog::new();
+        c.register(
+            "t",
+            Table::from_rows(
+                Schema::qualified("t", ["a"]),
+                vec![
+                    tuple![1i64],
+                    Tuple::new(vec![Value::Null]),
+                    tuple![3i64],
+                ],
+            ),
+        );
+        let plan = Plan::Aggregate {
+            input: Box::new(Plan::Scan("t".into())),
+            group_by: vec![],
+            aggregates: vec![
+                AggExpr {
+                    func: AggFunc::Count,
+                    arg: Some(Expr::named("a")),
+                    name: "c".into(),
+                },
+                AggExpr {
+                    func: AggFunc::CountStar,
+                    arg: None,
+                    name: "cs".into(),
+                },
+            ],
+        };
+        let t = execute(&plan, &c).unwrap();
+        assert_eq!(t.rows(), &[tuple![2i64, 3i64]]);
+    }
+
+    #[test]
+    fn executor_agrees_with_k_relation_evaluator() {
+        // The row engine and the ℕ-relation evaluator implement the same
+        // RA⁺ semantics.
+        let c = catalog();
+        let ra = ua_data::RaExpr::table("emp")
+            .join(
+                ua_data::RaExpr::table("dept"),
+                Expr::named("emp.dept").eq(Expr::named("dept.name")),
+            )
+            .select(Expr::named("salary").ge(Expr::lit(60i64)))
+            .project(["city"]);
+        let plan = Plan::from_ra(&ra);
+        let rows = execute(&plan, &c).unwrap();
+
+        let mut db: ua_data::Database<u64> = ua_data::Database::new();
+        for name in ["emp", "dept"] {
+            db.insert(name, c.get(name).unwrap().to_relation());
+        }
+        let rel = ua_data::eval(&ra, &db).unwrap();
+        assert_eq!(rows.to_relation(), rel);
+    }
+}

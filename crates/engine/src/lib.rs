@@ -1,0 +1,31 @@
+//! A bag-semantics relational engine with a SQL frontend and the UA-DB
+//! query-rewriting middleware (paper Section 9).
+//!
+//! Layers, bottom-up:
+//!
+//! * [`storage`] — row-oriented tables + a shared catalog (a tuple with
+//!   multiplicity `n` is stored as `n` row copies, the representation the
+//!   paper's encoding targets);
+//! * [`plan`] / [`exec`] — physical plans and the materializing executor
+//!   (hash joins on extractable equi-keys, grouping, sorting, limits);
+//! * [`sql`] — lexer, parser and planner for a SPJUA SQL dialect including
+//!   the paper's source-annotation clauses (Section 9.2);
+//! * [`ua`] — the UA frontend: labeling-scheme source conversion,
+//!   `⟦·⟧_UA` rewriting and execution over the encoded representation.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod optimize;
+pub mod plan;
+pub mod sql;
+pub mod storage;
+pub mod ua;
+
+pub use exec::{execute, EngineError};
+pub use optimize::push_filters;
+pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
+pub use sql::{parse, plan_query, plan_schema};
+pub use storage::{Catalog, Table};
+pub use ua::{ctable_source, ti_source, x_source, UaResult, UaSession};

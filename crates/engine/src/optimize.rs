@@ -1,0 +1,287 @@
+//! Plan optimization: filter pushdown through projections.
+//!
+//! The UA rewriting (Figure 9) wraps every join in a projection that
+//! re-labels columns and combines the two certainty markers. User
+//! selections sit *above* that projection, so a naive executor pays the
+//! projection over the full join result before filtering — something no
+//! real optimizer would do. `Filter(P) ∘ Map(M) ≡ Map(M) ∘ Filter(P∘M)`
+//! whenever `P`'s column references can be substituted by `M`'s expressions,
+//! which is exactly the shape the rewriting produces. The deterministic
+//! path goes through the same optimizer, keeping the Det-vs-UA comparison
+//! honest.
+
+use crate::plan::Plan;
+use ua_data::algebra::ProjColumn;
+use ua_data::expr::Expr;
+
+/// Apply filter pushdown throughout the plan.
+pub fn push_filters(plan: Plan) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => {
+            let input = push_filters(*input);
+            if let Plan::Map {
+                input: map_input,
+                columns,
+            } = input
+            {
+                match substitute(&predicate, &columns) {
+                    Some(pushed) => Plan::Map {
+                        input: Box::new(push_filters(Plan::Filter {
+                            input: map_input,
+                            predicate: pushed,
+                        })),
+                        columns,
+                    },
+                    None => Plan::Filter {
+                        input: Box::new(Plan::Map {
+                            input: map_input,
+                            columns,
+                        }),
+                        predicate,
+                    },
+                }
+            } else {
+                Plan::Filter {
+                    input: Box::new(input),
+                    predicate,
+                }
+            }
+        }
+        Plan::Scan(name) => Plan::Scan(name),
+        Plan::Alias { input, name } => Plan::Alias {
+            input: Box::new(push_filters(*input)),
+            name,
+        },
+        Plan::Map { input, columns } => Plan::Map {
+            input: Box::new(push_filters(*input)),
+            columns,
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            predicate,
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(push_filters(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(push_filters(*input)),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(push_filters(*input)),
+            keys,
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(push_filters(*input)),
+            limit,
+        },
+    }
+}
+
+/// Rewrite `predicate` to run below a projection by substituting its column
+/// references with the projection's expressions. `None` when a reference
+/// cannot be resolved uniquely (the pushdown is then skipped).
+fn substitute(predicate: &Expr, columns: &[ProjColumn]) -> Option<Expr> {
+    Some(match predicate {
+        Expr::Col(i) => columns.get(*i)?.expr.clone(),
+        Expr::Named(name) => {
+            let (qualifier, base) = match name.rsplit_once('.') {
+                Some((q, n)) => (Some(q), n),
+                None => (None, name.as_str()),
+            };
+            let mut matches = columns.iter().filter(|c| {
+                c.column.name.eq_ignore_ascii_case(base)
+                    && match qualifier {
+                        None => true,
+                        Some(q) => c
+                            .column
+                            .qualifier
+                            .as_deref()
+                            .is_some_and(|mine| mine.eq_ignore_ascii_case(q)),
+                    }
+            });
+            let col = matches.next()?;
+            if matches.next().is_some() {
+                return None; // ambiguous
+            }
+            col.expr.clone()
+        }
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(substitute(a, columns)?),
+            Box::new(substitute(b, columns)?),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(substitute(a, columns)?),
+            Box::new(substitute(b, columns)?),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(substitute(a, columns)?),
+            Box::new(substitute(b, columns)?),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(substitute(a, columns)?)),
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(substitute(a, columns)?),
+            Box::new(substitute(b, columns)?),
+        ),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(substitute(a, columns)?)),
+        Expr::Between(e, lo, hi) => Expr::Between(
+            Box::new(substitute(e, columns)?),
+            Box::new(substitute(lo, columns)?),
+            Box::new(substitute(hi, columns)?),
+        ),
+        Expr::InList(e, list) => Expr::InList(
+            Box::new(substitute(e, columns)?),
+            list.iter()
+                .map(|i| substitute(i, columns))
+                .collect::<Option<_>>()?,
+        ),
+        Expr::Least(a, b) => Expr::Least(
+            Box::new(substitute(a, columns)?),
+            Box::new(substitute(b, columns)?),
+        ),
+        Expr::Case { branches, otherwise } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| Some((substitute(c, columns)?, substitute(v, columns)?)))
+                .collect::<Option<_>>()?,
+            otherwise: match otherwise {
+                Some(e) => Some(Box::new(substitute(e, columns)?)),
+                None => None,
+            },
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::execute;
+    use crate::storage::{Catalog, Table};
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register(
+            "r",
+            Table::from_rows(
+                Schema::qualified("r", ["a", "b"]),
+                vec![
+                    tuple![1i64, 10i64],
+                    tuple![2i64, 20i64],
+                    tuple![3i64, 30i64],
+                ],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn filter_moves_below_projection() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("r".into())),
+                columns: vec![ProjColumn::named("b")],
+            }),
+            predicate: Expr::named("b").gt(Expr::lit(15i64)),
+        };
+        let optimized = push_filters(plan.clone());
+        match &optimized {
+            Plan::Map { input, .. } => {
+                assert!(matches!(**input, Plan::Filter { .. }), "filter pushed below");
+            }
+            other => panic!("expected Map on top, got {other}"),
+        }
+        // Semantics preserved.
+        let c = catalog();
+        assert_eq!(
+            execute(&plan, &c).unwrap().sorted_rows(),
+            execute(&optimized, &c).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn computed_columns_substitute_into_the_predicate() {
+        // Filter on a computed column: pushdown substitutes the expression.
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("r".into())),
+                columns: vec![ProjColumn::expr(
+                    Expr::named("a").add(Expr::named("b")),
+                    "s",
+                )],
+            }),
+            predicate: Expr::named("s").ge(Expr::lit(22i64)),
+        };
+        let optimized = push_filters(plan.clone());
+        let c = catalog();
+        assert_eq!(
+            execute(&plan, &c).unwrap().sorted_rows(),
+            execute(&optimized, &c).unwrap().sorted_rows()
+        );
+        assert!(matches!(optimized, Plan::Map { .. }));
+    }
+
+    #[test]
+    fn unresolvable_references_block_pushdown() {
+        // Predicate references a column the Map does not produce — the
+        // plan is left alone (it would fail at bind time either way).
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("r".into())),
+                columns: vec![ProjColumn::named("a")],
+            }),
+            predicate: Expr::named("zzz").gt(Expr::lit(0i64)),
+        };
+        assert!(matches!(push_filters(plan), Plan::Filter { .. }));
+    }
+
+    #[test]
+    fn pushdown_composes_through_stacked_maps() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Map {
+                    input: Box::new(Plan::Scan("r".into())),
+                    columns: vec![
+                        ProjColumn::named("a"),
+                        ProjColumn::named("b"),
+                    ],
+                }),
+                columns: vec![ProjColumn::named("b")],
+            }),
+            predicate: Expr::named("b").lt(Expr::lit(25i64)),
+        };
+        let optimized = push_filters(plan.clone());
+        // Filter should sink through both Maps to sit on the scan.
+        fn depth_of_filter(p: &Plan) -> usize {
+            match p {
+                Plan::Filter { .. } => 0,
+                Plan::Map { input, .. } => 1 + depth_of_filter(input),
+                _ => usize::MAX,
+            }
+        }
+        assert_eq!(depth_of_filter(&optimized), 2);
+        let c = catalog();
+        assert_eq!(
+            execute(&plan, &c).unwrap().sorted_rows(),
+            execute(&optimized, &c).unwrap().sorted_rows()
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Physical query plans.
+//!
+//! [`Plan`] extends the paper's `RA⁺` core (scan / filter / map / join /
+//! union-all) with the operators a usable SQL engine needs on top:
+//! duplicate elimination, grouping/aggregation, sorting and limits. Only the
+//! `RA⁺` core participates in the UA rewriting (the paper defers
+//! aggregation to future work); the extras exist so that the evaluation
+//! queries (Q1–Q5, QP1–QP3) run end-to-end.
+
+use ua_data::algebra::{ProjColumn, RaExpr};
+use ua_data::expr::Expr;
+use std::fmt;
+
+/// An aggregate function.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    /// `COUNT(expr)` — non-null count.
+    Count,
+    /// `COUNT(*)` — row count.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AggFunc::Count => "count",
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        })
+    }
+}
+
+/// One aggregate in an [`Plan::Aggregate`] node.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AggExpr {
+    /// The function.
+    pub func: AggFunc,
+    /// Its argument (`None` for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// Sort direction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SortOrder {
+    /// Ascending (default).
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A physical plan.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Plan {
+    /// Scan a catalog table.
+    Scan(String),
+    /// Re-qualify columns.
+    Alias {
+        /// Input plan.
+        input: Box<Plan>,
+        /// New qualifier.
+        name: String,
+    },
+    /// σ — keep rows whose predicate is (certainly) true.
+    Filter {
+        /// Input plan.
+        input: Box<Plan>,
+        /// The predicate.
+        predicate: Expr,
+    },
+    /// π — per-row expression evaluation, duplicates preserved.
+    Map {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Output columns.
+        columns: Vec<ProjColumn>,
+    },
+    /// θ-join (hash join on extractable equi-keys, else nested loops).
+    Join {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join predicate (`None` = cross product).
+        predicate: Option<Expr>,
+    },
+    /// Bag union.
+    UnionAll {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+    },
+    /// Duplicate elimination (`SELECT DISTINCT`).
+    Distinct {
+        /// Input plan.
+        input: Box<Plan>,
+    },
+    /// Grouping + aggregation.
+    Aggregate {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Group-by expressions (become the leading output columns).
+        group_by: Vec<ProjColumn>,
+        /// Aggregates (become the trailing output columns).
+        aggregates: Vec<AggExpr>,
+    },
+    /// Sorting.
+    Sort {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys, outermost first.
+        keys: Vec<(Expr, SortOrder)>,
+    },
+    /// Row-count limit.
+    Limit {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Maximum number of rows.
+        limit: usize,
+    },
+}
+
+impl Plan {
+    /// Lift an `RA⁺` query into a physical plan (the identity embedding —
+    /// the two trees share operator semantics for the positive fragment).
+    pub fn from_ra(ra: &RaExpr) -> Plan {
+        match ra {
+            RaExpr::Table(name) => Plan::Scan(name.clone()),
+            RaExpr::Alias { input, name } => Plan::Alias {
+                input: Box::new(Plan::from_ra(input)),
+                name: name.clone(),
+            },
+            RaExpr::Select { input, predicate } => Plan::Filter {
+                input: Box::new(Plan::from_ra(input)),
+                predicate: predicate.clone(),
+            },
+            RaExpr::Project { input, columns } => Plan::Map {
+                input: Box::new(Plan::from_ra(input)),
+                columns: columns.clone(),
+            },
+            RaExpr::Join {
+                left,
+                right,
+                predicate,
+            } => Plan::Join {
+                left: Box::new(Plan::from_ra(left)),
+                right: Box::new(Plan::from_ra(right)),
+                predicate: predicate.clone(),
+            },
+            RaExpr::Union { left, right } => Plan::UnionAll {
+                left: Box::new(Plan::from_ra(left)),
+                right: Box::new(Plan::from_ra(right)),
+            },
+        }
+    }
+
+    /// Recover the `RA⁺` query when the plan uses only the positive
+    /// fragment; `None` when it contains Distinct/Aggregate/Sort/Limit.
+    pub fn to_ra(&self) -> Option<RaExpr> {
+        Some(match self {
+            Plan::Scan(name) => RaExpr::Table(name.clone()),
+            Plan::Alias { input, name } => RaExpr::Alias {
+                input: Box::new(input.to_ra()?),
+                name: name.clone(),
+            },
+            Plan::Filter { input, predicate } => RaExpr::Select {
+                input: Box::new(input.to_ra()?),
+                predicate: predicate.clone(),
+            },
+            Plan::Map { input, columns } => RaExpr::Project {
+                input: Box::new(input.to_ra()?),
+                columns: columns.clone(),
+            },
+            Plan::Join {
+                left,
+                right,
+                predicate,
+            } => RaExpr::Join {
+                left: Box::new(left.to_ra()?),
+                right: Box::new(right.to_ra()?),
+                predicate: predicate.clone(),
+            },
+            Plan::UnionAll { left, right } => RaExpr::Union {
+                left: Box::new(left.to_ra()?),
+                right: Box::new(right.to_ra()?),
+            },
+            Plan::Distinct { .. }
+            | Plan::Aggregate { .. }
+            | Plan::Sort { .. }
+            | Plan::Limit { .. } => return None,
+        })
+    }
+
+    /// Number of relational operators (for plan statistics).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Plan::Scan(_) => 0,
+            Plan::Alias { input, .. } => input.operator_count(),
+            Plan::Filter { input, .. }
+            | Plan::Map { input, .. }
+            | Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. } => 1 + input.operator_count(),
+            Plan::Join { left, right, .. } | Plan::UnionAll { left, right } => {
+                1 + left.operator_count() + right.operator_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Plan::Scan(name) => write!(f, "Scan({name})"),
+            Plan::Alias { input, name } => write!(f, "Alias[{name}]({input})"),
+            Plan::Filter { input, predicate } => write!(f, "Filter[{predicate}]({input})"),
+            Plan::Map { input, columns } => {
+                write!(f, "Map[")?;
+                for (i, c) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}→{}", c.expr, c.column)?;
+                }
+                write!(f, "]({input})")
+            }
+            Plan::Join {
+                left,
+                right,
+                predicate: Some(p),
+            } => write!(f, "Join[{p}]({left}, {right})"),
+            Plan::Join {
+                left,
+                right,
+                predicate: None,
+            } => write!(f, "Cross({left}, {right})"),
+            Plan::UnionAll { left, right } => write!(f, "UnionAll({left}, {right})"),
+            Plan::Distinct { input } => write!(f, "Distinct({input})"),
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                write!(f, "Aggregate[")?;
+                for (i, g) in group_by.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", g.column)?;
+                }
+                write!(f, "; ")?;
+                for (i, a) in aggregates.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}→{}", a.func, a.name)?;
+                }
+                write!(f, "]({input})")
+            }
+            Plan::Sort { input, keys } => write!(f, "Sort[{}]({input})", keys.len()),
+            Plan::Limit { input, limit } => write!(f, "Limit[{limit}]({input})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ra_round_trip() {
+        let q = RaExpr::table("r")
+            .select(Expr::named("a").lt(Expr::lit(5i64)))
+            .join(RaExpr::table("s"), Expr::named("x").eq(Expr::named("y")))
+            .project(["a"]);
+        let plan = Plan::from_ra(&q);
+        assert_eq!(plan.to_ra(), Some(q));
+        assert_eq!(plan.operator_count(), 3);
+    }
+
+    #[test]
+    fn extras_do_not_round_trip() {
+        let plan = Plan::Distinct {
+            input: Box::new(Plan::Scan("r".into())),
+        };
+        assert_eq!(plan.to_ra(), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Row-oriented bag storage: tables and the catalog.
+//!
+//! The engine stores relations the way classical RDBMSes do — as row
+//! sequences where a tuple with multiplicity `n` appears as `n` row copies
+//! (exactly the representation the paper's Section 9 encoding targets).
+//! [`Table`] converts losslessly to and from the annotation-map
+//! representation (`Relation<u64>`), which is how the engine interoperates
+//! with the K-relation layer and with `Enc`/`Enc⁻¹`.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use ua_data::relation::Relation;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+
+/// A materialized bag of rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Tuple>,
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new(schema: Schema) -> Table {
+        Table {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// A table from rows.
+    ///
+    /// # Panics
+    /// Panics when a row's arity differs from the schema's.
+    pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Table {
+        for r in &rows {
+            assert_eq!(r.arity(), schema.arity(), "row arity mismatch");
+        }
+        Table { schema, rows }
+    }
+
+    /// Convert from the annotation-map representation: a tuple with
+    /// multiplicity `n` becomes `n` row copies.
+    pub fn from_relation(rel: &Relation<u64>) -> Table {
+        let mut rows = Vec::new();
+        for (t, &n) in rel.iter() {
+            for _ in 0..n {
+                rows.push(t.clone());
+            }
+        }
+        // Deterministic row order independent of hash-map iteration.
+        rows.sort();
+        Table {
+            schema: rel.schema().clone(),
+            rows,
+        }
+    }
+
+    /// Convert to the annotation-map representation (row copies collapse to
+    /// multiplicities).
+    pub fn to_relation(&self) -> Relation<u64> {
+        Relation::from_tuples(self.schema.clone(), self.rows.iter().cloned())
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Replace the schema (e.g. re-qualification).
+    ///
+    /// # Panics
+    /// Panics when the arity changes.
+    pub fn with_schema(mut self, schema: Schema) -> Table {
+        assert_eq!(self.schema.arity(), schema.arity(), "arity must not change");
+        self.schema = schema;
+        self
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Tuple] {
+        &self.rows
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn push(&mut self, row: Tuple) {
+        assert_eq!(row.arity(), self.schema.arity(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of rows (bag cardinality).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Rows in deterministic (structural) order — for stable test output.
+    pub fn sorted_rows(&self) -> Vec<Tuple> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+/// A shared, thread-safe catalog of named tables.
+#[derive(Default)]
+pub struct Catalog {
+    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register(&self, name: impl Into<String>, table: Table) {
+        self.tables.write().insert(name.into(), Arc::new(table));
+    }
+
+    /// Fetch a table by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.read().get(name).cloned()
+    }
+
+    /// The schema of a table.
+    pub fn schema_of(&self, name: &str) -> Option<Schema> {
+        self.tables.read().get(name).map(|t| t.schema().clone())
+    }
+
+    /// Drop a table; returns whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.tables.write().remove(name).is_some()
+    }
+
+    /// Names of all registered tables.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::tuple;
+
+    #[test]
+    fn row_relation_round_trip() {
+        let schema = Schema::qualified("r", ["a"]);
+        let table = Table::from_rows(
+            schema,
+            vec![tuple![1i64], tuple![1i64], tuple![2i64]],
+        );
+        let rel = table.to_relation();
+        assert_eq!(rel.annotation(&tuple![1i64]), 2);
+        let back = Table::from_relation(&rel);
+        assert_eq!(back.sorted_rows(), table.sorted_rows());
+    }
+
+    #[test]
+    fn catalog_basics() {
+        let catalog = Catalog::new();
+        let schema = Schema::qualified("r", ["a"]);
+        catalog.register("r", Table::from_rows(schema.clone(), vec![tuple![1i64]]));
+        assert_eq!(catalog.get("r").unwrap().len(), 1);
+        assert_eq!(catalog.schema_of("r"), Some(schema));
+        assert_eq!(catalog.table_names(), vec!["r".to_string()]);
+        assert!(catalog.drop_table("r"));
+        assert!(!catalog.drop_table("r"));
+        assert!(catalog.get("r").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new(Schema::qualified("r", ["a", "b"]));
+        t.push(tuple![1i64]);
+    }
+}

@@ -1,0 +1,559 @@
+//! The UA-DB query-rewriting frontend (paper Section 9).
+//!
+//! [`UaSession`] is the middleware the paper describes: input queries are
+//! parsed, translated to relational algebra, rewritten with `⟦·⟧_UA`
+//! (Figures 8/9) and executed against the bag engine over the encoded
+//! representation (extra `ua_c` column; Definition 8).
+//!
+//! Source relations enter the system either
+//!
+//! * pre-encoded, via [`UaSession::register_ua_relation`], or
+//! * raw + annotated, via the SQL clauses of Section 9.2
+//!   (`R IS TI WITH PROBABILITY (p)` etc.), whose labeling schemes and
+//!   best-guess-world extraction are implemented by [`ti_source`],
+//!   [`x_source`] and [`ctable_source`].
+
+use crate::exec::{execute, EngineError};
+use crate::plan::Plan;
+use crate::sql::ast::SourceAnnotation;
+use crate::sql::parser::parse;
+use crate::sql::planner::{plan_query, SourceResolver};
+use crate::storage::{Catalog, Table};
+use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
+use ua_core::{decode_relation, encode_relation, rewrite_ua, UA_LABEL_COLUMN};
+use ua_data::relation::Relation;
+use ua_data::schema::{Column, Schema};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashMap;
+use ua_semiring::pair::Ua;
+
+/// A UA query result: rows of the encoded representation.
+#[derive(Clone, Debug)]
+pub struct UaResult {
+    /// The result table, with the `ua_c` marker in last position.
+    pub table: Table,
+}
+
+impl UaResult {
+    /// Rows paired with their certainty markers.
+    pub fn rows_with_certainty(&self) -> Vec<(Tuple, bool)> {
+        let arity = self.table.schema().arity();
+        let base: Vec<usize> = (0..arity - 1).collect();
+        self.table
+            .rows()
+            .iter()
+            .map(|row| {
+                let certain = matches!(row.get(arity - 1), Some(Value::Int(1)));
+                (row.project(&base), certain)
+            })
+            .collect()
+    }
+
+    /// Decode into a `K²`-relation (`Enc⁻¹`, Definition 8).
+    pub fn decode(&self) -> Relation<Ua<u64>> {
+        decode_relation(&self.table.to_relation())
+    }
+
+    /// `(certain rows, total rows)` — the headline numbers of the paper's
+    /// experiments (Figure 13's certain-answer percentages).
+    pub fn certainty_counts(&self) -> (usize, usize) {
+        let rows = self.rows_with_certainty();
+        let certain = rows.iter().filter(|(_, c)| *c).count();
+        (certain, rows.len())
+    }
+}
+
+/// The UA-DB frontend session.
+#[derive(Default)]
+pub struct UaSession {
+    catalog: Catalog,
+}
+
+impl UaSession {
+    /// A fresh session with an empty catalog.
+    pub fn new() -> UaSession {
+        UaSession::default()
+    }
+
+    /// The underlying catalog (deterministic tables and encoded UA tables
+    /// share it).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Register a plain (deterministic or raw uncertain-source) table.
+    pub fn register_table(&self, name: impl Into<String>, table: Table) {
+        self.catalog.register(name, table);
+    }
+
+    /// Register an `ℕ_UA`-relation, encoding it with `Enc`.
+    pub fn register_ua_relation(&self, name: impl Into<String>, relation: &Relation<Ua<u64>>) {
+        let encoded = encode_relation(relation);
+        self.catalog.register(name, Table::from_relation(&encoded));
+    }
+
+    /// Run a query under plain deterministic semantics.
+    pub fn query_det(&self, sql: &str) -> Result<Table, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
+        execute(&crate::optimize::push_filters(plan), &self.catalog)
+    }
+
+    /// Run a query under UA semantics: plan, rewrite with `⟦·⟧_UA`, execute
+    /// over the encoded tables.
+    ///
+    /// The `RA⁺` fragment (+ trailing `ORDER BY`/`LIMIT`) is supported;
+    /// `DISTINCT` and aggregation over UA-DBs are future work in the paper
+    /// and rejected here.
+    pub fn query_ua(&self, sql: &str) -> Result<UaResult, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
+        self.execute_ua_plan(&plan)
+    }
+
+    /// Run an already-planned `RA⁺` query under UA semantics.
+    pub fn query_ua_ra(&self, query: &ua_data::RaExpr) -> Result<UaResult, EngineError> {
+        self.execute_ua_plan(&Plan::from_ra(query))
+    }
+
+    /// Explain a UA query: the user plan and the `⟦·⟧_UA`-rewritten plan
+    /// that actually executes (the middleware's "show rewritten SQL").
+    pub fn explain_ua(&self, sql: &str) -> Result<String, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
+        let ra = plan.to_ra().ok_or_else(|| {
+            EngineError::Sql("EXPLAIN UA supports the RA⁺ fragment".into())
+        })?;
+        let lookup = |name: &str| self.catalog.schema_of(name);
+        let rewritten = rewrite_ua(&ra, &lookup)?;
+        Ok(format!("user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}"))
+    }
+
+    fn execute_ua_plan(&self, plan: &Plan) -> Result<UaResult, EngineError> {
+        // Peel trailing Sort/Limit — they commute with the rewriting (they
+        // only reorder/truncate encoded rows).
+        enum Wrapper {
+            Sort(Vec<(ua_data::Expr, crate::plan::SortOrder)>),
+            Limit(usize),
+        }
+        let mut wrappers = Vec::new();
+        let mut inner = plan;
+        loop {
+            match inner {
+                Plan::Sort { input, keys } => {
+                    wrappers.push(Wrapper::Sort(keys.clone()));
+                    inner = input;
+                }
+                Plan::Limit { input, limit } => {
+                    wrappers.push(Wrapper::Limit(*limit));
+                    inner = input;
+                }
+                _ => break,
+            }
+        }
+        let ra = inner.to_ra().ok_or_else(|| {
+            EngineError::Sql(
+                "UA queries support the positive relational algebra \
+                 (selection, projection, join, UNION ALL) plus trailing \
+                 ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
+                 under UA semantics"
+                    .into(),
+            )
+        })?;
+        let lookup = |name: &str| self.catalog.schema_of(name);
+        let rewritten = rewrite_ua(&ra, &lookup)?;
+        let mut rewritten_plan = Plan::from_ra(&rewritten);
+        for w in wrappers.into_iter().rev() {
+            rewritten_plan = match w {
+                Wrapper::Sort(keys) => Plan::Sort {
+                    input: Box::new(rewritten_plan),
+                    keys,
+                },
+                Wrapper::Limit(limit) => Plan::Limit {
+                    input: Box::new(rewritten_plan),
+                    limit,
+                },
+            };
+        }
+        let table = execute(
+            &crate::optimize::push_filters(rewritten_plan),
+            &self.catalog,
+        )?;
+        Ok(UaResult { table })
+    }
+}
+
+/// Source resolver applying the Section 9.2 labeling schemes: annotated
+/// sources are converted once and cached in the catalog under a derived
+/// name.
+struct UaResolver<'a> {
+    session: &'a UaSession,
+}
+
+impl SourceResolver for UaResolver<'_> {
+    fn resolve(
+        &self,
+        name: &str,
+        annotation: &SourceAnnotation,
+        catalog: &Catalog,
+    ) -> Result<Plan, EngineError> {
+        let derived = format!("__ua__{name}");
+        if catalog.get(&derived).is_none() {
+            let base = catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+            let encoded = match annotation {
+                SourceAnnotation::Ti { probability } => ti_source(&base, probability)?,
+                SourceAnnotation::X {
+                    xid,
+                    altid,
+                    probability,
+                } => x_source(&base, xid, altid, probability)?,
+                SourceAnnotation::CTable {
+                    variables,
+                    condition,
+                } => ctable_source(&base, variables, condition)?,
+            };
+            catalog.register(derived.clone(), encoded);
+        }
+        let _ = self.session;
+        Ok(Plan::Scan(derived))
+    }
+}
+
+fn float_of(v: &Value) -> Option<f64> {
+    v.as_f64()
+}
+
+fn keep_columns(schema: &Schema, exclude: &[usize]) -> (Vec<usize>, Vec<Column>) {
+    let mut keep = Vec::new();
+    let mut cols = Vec::new();
+    for (i, col) in schema.columns().iter().enumerate() {
+        if !exclude.contains(&i) {
+            keep.push(i);
+            cols.push(col.clone());
+        }
+    }
+    (keep, cols)
+}
+
+/// `label_TIDB` + BGW extraction over a raw table with a probability column
+/// (the paper's Section 9.2 TI-DB SQL, implemented natively):
+/// keep rows with `p ≥ 0.5`, mark certain iff `p = 1`.
+pub fn ti_source(table: &Table, prob_col: &str) -> Result<Table, EngineError> {
+    let p_idx = table.schema().resolve(prob_col)?;
+    let (keep, mut cols) = keep_columns(table.schema(), &[p_idx]);
+    cols.push(Column::unqualified(UA_LABEL_COLUMN));
+    let mut out = Table::new(Schema::new(cols));
+    for row in table.rows() {
+        let p = float_of(row.get(p_idx).expect("resolved index")).ok_or_else(|| {
+            EngineError::Sql(format!("probability column `{prob_col}` must be numeric"))
+        })?;
+        if p >= 0.5 {
+            let mut values: Vec<Value> = keep
+                .iter()
+                .map(|&i| row.get(i).expect("in range").clone())
+                .collect();
+            values.push(Value::Int(i64::from(p >= 1.0 - 1e-9)));
+            out.push(Tuple::new(values));
+        }
+    }
+    Ok(out)
+}
+
+/// `label_xDB` + BGW extraction over a raw table with x-tuple id,
+/// alternative id and probability columns (Section 9.2): per x-tuple keep
+/// the argmax-probability alternative unless absence is likelier; mark
+/// certain iff the x-tuple has a single alternative of mass 1.
+pub fn x_source(
+    table: &Table,
+    xid_col: &str,
+    altid_col: &str,
+    prob_col: &str,
+) -> Result<Table, EngineError> {
+    let x_idx = table.schema().resolve(xid_col)?;
+    let a_idx = table.schema().resolve(altid_col)?;
+    let p_idx = table.schema().resolve(prob_col)?;
+    let (keep, mut cols) = keep_columns(table.schema(), &[x_idx, a_idx, p_idx]);
+    cols.push(Column::unqualified(UA_LABEL_COLUMN));
+
+    // Group rows by x-tuple id, tracking the argmax alternative.
+    struct Block {
+        total: f64,
+        count: usize,
+        best_p: f64,
+        best_row: Tuple,
+    }
+    let mut blocks: FxHashMap<Value, Block> = FxHashMap::default();
+    let mut order: Vec<Value> = Vec::new();
+    for row in table.rows() {
+        let xid = row.get(x_idx).expect("in range").clone();
+        let p = float_of(row.get(p_idx).expect("in range")).ok_or_else(|| {
+            EngineError::Sql(format!("probability column `{prob_col}` must be numeric"))
+        })?;
+        match blocks.get_mut(&xid) {
+            Some(b) => {
+                b.total += p;
+                b.count += 1;
+                if p > b.best_p {
+                    b.best_p = p;
+                    b.best_row = row.clone();
+                }
+            }
+            None => {
+                order.push(xid.clone());
+                blocks.insert(
+                    xid,
+                    Block {
+                        total: p,
+                        count: 1,
+                        best_p: p,
+                        best_row: row.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    let mut out = Table::new(Schema::new(cols));
+    for xid in order {
+        let b = blocks.remove(&xid).expect("recorded");
+        let p_absent = (1.0 - b.total).max(0.0);
+        if b.best_p < p_absent {
+            continue; // absence is the best guess
+        }
+        let mut values: Vec<Value> = keep
+            .iter()
+            .map(|&i| b.best_row.get(i).expect("in range").clone())
+            .collect();
+        let certain = b.count == 1 && b.total >= 1.0 - 1e-9;
+        values.push(Value::Int(i64::from(certain)));
+        out.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+/// `label_C-table` + BGW extraction over a raw table storing per-attribute
+/// variable names (`NULL` = constant) and a textual local condition
+/// (Section 9.2): keep constant-only rows, mark certain iff the parsed
+/// condition is in CNF and a CNF-tautology.
+///
+/// Mirroring the paper's SQL, rows with variable attributes are *not* part
+/// of the extracted world — the paper's frontend under-approximates the BGW
+/// for C-tables; the native [`ua_models::CDb`] path instantiates variables
+/// properly when a full BGW is needed.
+pub fn ctable_source(
+    table: &Table,
+    variable_cols: &[String],
+    condition_col: &str,
+) -> Result<Table, EngineError> {
+    let lc_idx = table.schema().resolve(condition_col)?;
+    let var_idxs: Vec<usize> = variable_cols
+        .iter()
+        .map(|v| table.schema().resolve(v))
+        .collect::<Result<_, _>>()?;
+    let mut exclude = var_idxs.clone();
+    exclude.push(lc_idx);
+    let (keep, mut cols) = keep_columns(table.schema(), &exclude);
+    cols.push(Column::unqualified(UA_LABEL_COLUMN));
+
+    let mut interner = VarInterner::new();
+    let mut out = Table::new(Schema::new(cols));
+    for row in table.rows() {
+        let all_constant = var_idxs
+            .iter()
+            .all(|&i| row.get(i).expect("in range").is_unknown());
+        if !all_constant {
+            continue;
+        }
+        let lc_text = match row.get(lc_idx).expect("in range") {
+            Value::Str(s) => s.to_string(),
+            Value::Null => String::new(),
+            other => {
+                return Err(EngineError::Sql(format!(
+                    "local condition column must be text, found {other}"
+                )))
+            }
+        };
+        let condition = parse_condition(&lc_text, &mut interner)
+            .map_err(|e| EngineError::Sql(e.to_string()))?;
+        let certain = is_cnf(&condition) && cnf_tautology(&condition) == Some(true);
+        let mut values: Vec<Value> = keep
+            .iter()
+            .map(|&i| row.get(i).expect("in range").clone())
+            .collect();
+        values.push(Value::Int(i64::from(certain)));
+        out.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::tuple;
+
+    fn geocoder_session() -> UaSession {
+        // The paper's running example (Figures 2/3) as an x-relation stored
+        // row-wise with xid/altid/probability columns.
+        let session = UaSession::new();
+        session.register_table(
+            "addr",
+            Table::from_rows(
+                Schema::qualified("addr", ["xid", "aid", "p", "id", "locale", "state"]),
+                vec![
+                    tuple![1i64, 1i64, 1.0, 1i64, "Lasalle", "NY"],
+                    tuple![2i64, 1i64, 0.6, 2i64, "Tucson", "AZ"],
+                    tuple![2i64, 2i64, 0.4, 2i64, "Grant Ferry", "NY"],
+                    tuple![3i64, 1i64, 0.5, 3i64, "Kingsley", "NY"],
+                    tuple![3i64, 2i64, 0.5, 3i64, "Kingsley", "NY"],
+                    tuple![4i64, 1i64, 1.0, 4i64, "Kensington", "NY"],
+                ],
+            ),
+        );
+        session
+    }
+
+    #[test]
+    fn figure3d_via_sql() {
+        let session = geocoder_session();
+        let result = session
+            .query_ua(
+                "SELECT id, locale, state FROM \
+                 addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p)",
+            )
+            .unwrap();
+        let rows = result.rows_with_certainty();
+        assert_eq!(rows.len(), 4);
+        let certainty: FxHashMap<Tuple, bool> = rows.into_iter().collect();
+        assert_eq!(certainty[&tuple![1i64, "Lasalle", "NY"]], true);
+        assert_eq!(certainty[&tuple![2i64, "Tucson", "AZ"]], false);
+        // Address 3 is mis-classified as uncertain (2 alternatives, even
+        // though they project to the same locale) — the paper's Figure 3d.
+        assert_eq!(certainty[&tuple![3i64, "Kingsley", "NY"]], false);
+        assert_eq!(certainty[&tuple![4i64, "Kensington", "NY"]], true);
+    }
+
+    #[test]
+    fn selection_preserves_labels() {
+        let session = geocoder_session();
+        let result = session
+            .query_ua(
+                "SELECT id, locale FROM \
+                 addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) \
+                 WHERE state = 'NY' ORDER BY id",
+            )
+            .unwrap();
+        let rows = result.rows_with_certainty();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (tuple![1i64, "Lasalle"], true));
+        assert_eq!(rows[1], (tuple![3i64, "Kingsley"], false));
+        assert_eq!(rows[2], (tuple![4i64, "Kensington"], true));
+    }
+
+    #[test]
+    fn ti_source_semantics() {
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a", "p"]),
+            vec![
+                tuple![1i64, 1.0],
+                tuple![2i64, 0.8],
+                tuple![3i64, 0.2],
+            ],
+        );
+        let enc = ti_source(&t, "p").unwrap();
+        assert_eq!(
+            enc.sorted_rows(),
+            vec![tuple![1i64, 1i64], tuple![2i64, 0i64]]
+        );
+    }
+
+    #[test]
+    fn x_source_absence_beats_alternatives() {
+        let t = Table::from_rows(
+            Schema::qualified("r", ["xid", "aid", "p", "a"]),
+            vec![tuple![1i64, 1i64, 0.1, 10i64], tuple![1i64, 2i64, 0.2, 20i64]],
+        );
+        let enc = x_source(&t, "xid", "aid", "p").unwrap();
+        assert!(enc.is_empty(), "absence probability 0.7 dominates");
+    }
+
+    #[test]
+    fn ctable_source_tautology_labeling() {
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a", "v1", "lc"]),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::Null, Value::str("x < 5 OR x >= 5")]),
+                Tuple::new(vec![Value::Int(2), Value::Null, Value::str("x = 3")]),
+                Tuple::new(vec![Value::Int(3), Value::str("x"), Value::str("")]),
+            ],
+        );
+        let enc = ctable_source(&t, &["v1".to_string()], "lc").unwrap();
+        assert_eq!(
+            enc.sorted_rows(),
+            vec![tuple![1i64, 1i64], tuple![2i64, 0i64]],
+            "row 3 has a variable attribute and is excluded; row 1 is a tautology"
+        );
+    }
+
+    #[test]
+    fn det_and_ua_agree_on_bgqp() {
+        // h_det compatibility via SQL: stripping the marker from the UA
+        // result yields the deterministic result over the BGW.
+        let session = geocoder_session();
+        let ua = session
+            .query_ua(
+                "SELECT locale FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) \
+                 WHERE state = 'NY'",
+            )
+            .unwrap();
+        let det = session
+            .query_det(
+                "SELECT locale FROM __ua__addr WHERE state = 'NY'",
+            )
+            .unwrap();
+        let ua_rows: Vec<Tuple> = ua.rows_with_certainty().into_iter().map(|(t, _)| t).collect();
+        assert_eq!(ua_rows.len(), det.len());
+    }
+
+    #[test]
+    fn aggregation_rejected_under_ua() {
+        let session = geocoder_session();
+        let err = session.query_ua(
+            "SELECT state, count(*) FROM \
+             addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) GROUP BY state",
+        );
+        assert!(matches!(err, Err(EngineError::Sql(_))));
+    }
+
+    #[test]
+    fn explain_shows_both_plans() {
+        let session = geocoder_session();
+        let text = session
+            .explain_ua(
+                "SELECT id FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p)                  WHERE state = 'NY'",
+            )
+            .unwrap();
+        assert!(text.contains("user plan:"));
+        assert!(text.contains("rewritten"));
+        assert!(text.contains("ua_c"), "rewritten plan must carry the marker");
+    }
+
+    #[test]
+    fn registered_ua_relation_round_trips() {
+        let session = UaSession::new();
+        let rel: Relation<Ua<u64>> = Relation::from_annotated(
+            Schema::qualified("r", ["a"]),
+            vec![
+                (tuple![1i64], Ua::new(1u64, 2)),
+                (tuple![2i64], Ua::new(0u64, 1)),
+            ],
+        );
+        session.register_ua_relation("r", &rel);
+        let result = session.query_ua("SELECT a FROM r").unwrap();
+        assert_eq!(result.decode(), rel);
+        let (certain, total) = result.certainty_counts();
+        assert_eq!((certain, total), (1, 3));
+    }
+}

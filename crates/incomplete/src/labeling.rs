@@ -1,0 +1,225 @@
+//! Uncertainty labelings and their soundness/completeness classes.
+//!
+//! An *uncertainty labeling* is a K-database `L` approximating the certain
+//! annotations of an incomplete K-database `𝒟` (paper Definition 4/5):
+//!
+//! * **c-sound**:    `L(t) ⪯_K cert_K(𝒟, t)` for all tuples (no false
+//!   certainty claims);
+//! * **c-complete**: `cert_K(𝒟, t) ⪯_K L(t)` (no missed certainty);
+//! * **c-correct**:  both, i.e. `L(t) = cert_K(𝒟, t)`.
+//!
+//! These predicates are the test oracles for every labeling scheme in
+//! `ua-models` and for the bound-preservation theorems in `ua-core`.
+
+use crate::worlds::IncompleteDb;
+use ua_data::relation::Database;
+use ua_data::FxHashSet;
+use ua_data::Tuple;
+use ua_semiring::{LSemiring, Semiring};
+
+/// A labeling is just a K-database whose annotations approximate certain
+/// annotations.
+pub type Labeling<K> = Database<K>;
+
+/// The approximation class of a labeling (paper Definition 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LabelingClass {
+    /// Under-approximates certain annotations.
+    CSound,
+    /// Over-approximates certain annotations.
+    CComplete,
+    /// Exactly the certain annotations.
+    CCorrect,
+}
+
+fn all_support_tuples<K: Semiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+    name: &str,
+) -> Vec<Tuple> {
+    let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+    if let Some(rel) = labeling.get(name) {
+        for (t, _) in rel.iter() {
+            seen.insert(t.clone());
+        }
+    }
+    for world in incomplete.worlds() {
+        if let Some(rel) = world.get(name) {
+            for (t, _) in rel.iter() {
+                seen.insert(t.clone());
+            }
+        }
+    }
+    seen.into_iter().collect()
+}
+
+/// Whether `labeling` is c-sound for `incomplete`.
+pub fn is_c_sound<K: LSemiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+) -> bool {
+    incomplete.world(0).names().all(|name| {
+        all_support_tuples(labeling, incomplete, name)
+            .iter()
+            .all(|t| {
+                let l = labeling
+                    .get(name)
+                    .map(|r| r.annotation(t))
+                    .unwrap_or_else(K::zero);
+                l.natural_leq(&incomplete.certain_annotation(name, t))
+            })
+    })
+}
+
+/// Whether `labeling` is c-complete for `incomplete`.
+pub fn is_c_complete<K: LSemiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+) -> bool {
+    incomplete.world(0).names().all(|name| {
+        all_support_tuples(labeling, incomplete, name)
+            .iter()
+            .all(|t| {
+                let l = labeling
+                    .get(name)
+                    .map(|r| r.annotation(t))
+                    .unwrap_or_else(K::zero);
+                incomplete.certain_annotation(name, t).natural_leq(&l)
+            })
+    })
+}
+
+/// Whether `labeling` is c-correct for `incomplete`.
+pub fn is_c_correct<K: LSemiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+) -> bool {
+    is_c_sound(labeling, incomplete) && is_c_complete(labeling, incomplete)
+}
+
+/// Classify a labeling, preferring the strongest applicable class; `None`
+/// when it is neither sound nor complete.
+pub fn classify<K: LSemiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+) -> Option<LabelingClass> {
+    match (
+        is_c_sound(labeling, incomplete),
+        is_c_complete(labeling, incomplete),
+    ) {
+        (true, true) => Some(LabelingClass::CCorrect),
+        (true, false) => Some(LabelingClass::CSound),
+        (false, true) => Some(LabelingClass::CComplete),
+        (false, false) => None,
+    }
+}
+
+/// Count labeling errors for set-like semirings: `(false_negatives,
+/// false_positives)` where a false negative is a certain tuple labeled
+/// below its certain annotation and a false positive a tuple labeled above
+/// it. Used by the experiment harness (paper Figures 15, 17, 19, 20).
+pub fn label_errors<K: LSemiring>(
+    labeling: &Labeling<K>,
+    incomplete: &IncompleteDb<K>,
+    name: &str,
+) -> (usize, usize) {
+    let mut false_negatives = 0;
+    let mut false_positives = 0;
+    for t in all_support_tuples(labeling, incomplete, name) {
+        let l = labeling
+            .get(name)
+            .map(|r| r.annotation(&t))
+            .unwrap_or_else(K::zero);
+        let cert = incomplete.certain_annotation(name, &t);
+        if l == cert {
+            continue;
+        }
+        if l.natural_leq(&cert) {
+            false_negatives += 1;
+        } else {
+            false_positives += 1;
+        }
+    }
+    (false_negatives, false_positives)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::incomplete_from_relations;
+    use ua_data::relation::{bag_relation, Relation};
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+    use ua_data::value::Value;
+
+    fn two_world_db() -> IncompleteDb<u64> {
+        let d1 = bag_relation(
+            "r",
+            &["a"],
+            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+        );
+        let d2 = bag_relation("r", &["a"], vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        incomplete_from_relations("r", vec![d1, d2])
+    }
+
+    fn labeling(pairs: Vec<(i64, u64)>) -> Labeling<u64> {
+        let mut db = Database::new();
+        db.insert(
+            "r",
+            Relation::from_annotated(
+                Schema::qualified("r", ["a"]),
+                pairs
+                    .into_iter()
+                    .map(|(v, k)| (tuple![v], k)),
+            ),
+        );
+        db
+    }
+
+    #[test]
+    fn exact_labeling_is_c_correct() {
+        let db = two_world_db();
+        let exact = db.certain_database();
+        assert!(is_c_correct(&exact, &db));
+        assert_eq!(classify(&exact, &db), Some(LabelingClass::CCorrect));
+    }
+
+    #[test]
+    fn under_labeling_is_c_sound() {
+        let db = two_world_db();
+        // cert: {1 ↦ 1}. Label nothing certain.
+        let empty = labeling(vec![]);
+        assert!(is_c_sound(&empty, &db));
+        assert!(!is_c_complete(&empty, &db));
+        assert_eq!(classify(&empty, &db), Some(LabelingClass::CSound));
+    }
+
+    #[test]
+    fn over_labeling_is_c_complete() {
+        let db = two_world_db();
+        // Label 1↦2 and 2↦1 and 3↦1: everything at or above cert.
+        let over = labeling(vec![(1, 2), (2, 1), (3, 1)]);
+        assert!(!is_c_sound(&over, &db));
+        assert!(is_c_complete(&over, &db));
+        assert_eq!(classify(&over, &db), Some(LabelingClass::CComplete));
+    }
+
+    #[test]
+    fn incomparable_labeling_is_neither() {
+        let db = two_world_db();
+        // 1 ↦ 0 (under) but 2 ↦ 5 (over): neither sound nor complete.
+        let mixed = labeling(vec![(2, 5)]);
+        assert_eq!(classify(&mixed, &db), None);
+    }
+
+    #[test]
+    fn error_counting() {
+        let db = two_world_db();
+        // cert = {1 ↦ 1}. Labeling misses 1 (FN) and over-claims 2 (FP).
+        let mixed = labeling(vec![(2, 5)]);
+        let (fn_, fp) = label_errors(&mixed, &db, "r");
+        assert_eq!((fn_, fp), (1, 1));
+        let exact = db.certain_database();
+        assert_eq!(label_errors(&exact, &db, "r"), (0, 0));
+    }
+}

@@ -1,0 +1,27 @@
+//! Incomplete K-databases, `K^W`-databases and uncertainty labelings.
+//!
+//! This crate implements Sections 3 and 6 of the UA-DB paper:
+//!
+//! * [`worlds::IncompleteDb`] — explicit possible-world sets with
+//!   possible-world query semantics, certain/possible annotations
+//!   (GLB/LUB over the semiring's natural order), and optional world
+//!   probabilities;
+//! * [`worlddb::WorldDb`] — the pivoted `K^W` encoding, isomorphic to the
+//!   explicit form (Proposition 1), over which ordinary K-relational query
+//!   evaluation *is* possible-world semantics (Lemma 1);
+//! * [`labeling`] — uncertainty labelings with c-soundness / c-completeness
+//!   / c-correctness predicates (Definitions 4–6) used as test oracles
+//!   throughout the workspace.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod labeling;
+pub mod worlddb;
+pub mod worlds;
+
+pub use labeling::{
+    classify, is_c_complete, is_c_correct, is_c_sound, label_errors, Labeling, LabelingClass,
+};
+pub use worlddb::WorldDb;
+pub use worlds::{incomplete_from_relations, IncompleteDb};

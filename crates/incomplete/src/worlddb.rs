@@ -1,0 +1,307 @@
+//! `K^W`-databases: the pivoted encoding of an incomplete K-database.
+//!
+//! Instead of `n` separate worlds, a single database annotates each tuple
+//! with the vector of its annotations across all worlds (paper Section 3.2).
+//! Because `K^W` is itself a semiring and `pw_i` is a homomorphism
+//! (Lemma 1), ordinary K-relational query evaluation over a
+//! `K^W`-database *is* possible-world semantics — Proposition 1's
+//! isomorphism, which the tests of this module exercise directly.
+
+use crate::worlds::IncompleteDb;
+use ua_data::algebra::{eval, RaError, RaExpr};
+use ua_data::relation::{Database, Relation};
+use ua_data::tuple::Tuple;
+use ua_semiring::hom::pw;
+use ua_semiring::world::WorldVec;
+use ua_semiring::{LSemiring, Semiring};
+
+/// A database annotated with per-world vectors.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorldDb<K: Semiring> {
+    db: Database<WorldVec<K>>,
+    n_worlds: usize,
+    probabilities: Option<Vec<f64>>,
+}
+
+impl<K: Semiring> WorldDb<K> {
+    /// Wrap an already-pivoted database.
+    ///
+    /// # Panics
+    /// Panics when `n_worlds` is zero.
+    pub fn new(db: Database<WorldVec<K>>, n_worlds: usize) -> WorldDb<K> {
+        assert!(n_worlds > 0, "need at least one possible world");
+        WorldDb {
+            db,
+            n_worlds,
+            probabilities: None,
+        }
+    }
+
+    /// Pivot an [`IncompleteDb`] into its `K^W` encoding.
+    pub fn from_incomplete(incomplete: &IncompleteDb<K>) -> WorldDb<K> {
+        let n = incomplete.n_worlds();
+        let mut out = Database::new();
+        for name in incomplete.world(0).names() {
+            let schema = incomplete.world(0).get(name).expect("name listed").schema();
+            let mut rel: Relation<WorldVec<K>> = Relation::new(schema.clone());
+            // Union of supports across worlds.
+            let mut support: Vec<Tuple> = Vec::new();
+            for i in 0..n {
+                if let Some(r) = incomplete.world(i).get(name) {
+                    for (t, _) in r.iter() {
+                        support.push(t.clone());
+                    }
+                }
+            }
+            support.sort();
+            support.dedup();
+            for t in support {
+                let vector: Vec<K> = (0..n)
+                    .map(|i| {
+                        incomplete
+                            .world(i)
+                            .get(name)
+                            .map(|r| r.annotation(&t))
+                            .unwrap_or_else(K::zero)
+                    })
+                    .collect();
+                rel.set(t, WorldVec::from_worlds(vector));
+            }
+            out.insert(name.clone(), rel);
+        }
+        let mut world_db = WorldDb::new(out, n);
+        if (0..n).map(|i| incomplete.probability(i)).sum::<f64>() > 0.0 {
+            world_db.probabilities =
+                Some((0..n).map(|i| incomplete.probability(i)).collect());
+        }
+        world_db
+    }
+
+    /// Unpivot into an explicit set of worlds (the other direction of
+    /// Proposition 1's isomorphism).
+    pub fn to_incomplete(&self) -> IncompleteDb<K> {
+        let worlds: Vec<Database<K>> = (0..self.n_worlds).map(|i| self.world(i)).collect();
+        let incomplete = IncompleteDb::new(worlds);
+        match &self.probabilities {
+            Some(p) => incomplete.with_probabilities(p.clone()),
+            None => incomplete,
+        }
+    }
+
+    /// Number of worlds.
+    pub fn n_worlds(&self) -> usize {
+        self.n_worlds
+    }
+
+    /// The underlying `K^W`-database.
+    pub fn database(&self) -> &Database<WorldVec<K>> {
+        &self.db
+    }
+
+    /// Extract world `i` via the homomorphism `pw_i` (paper Eq. 5).
+    pub fn world(&self, i: usize) -> Database<K> {
+        assert!(i < self.n_worlds, "world index out of range");
+        self.db.map_annotations(&pw::<K>(i))
+    }
+
+    /// Attach a probability distribution over worlds.
+    pub fn with_probabilities(mut self, probabilities: Vec<f64>) -> WorldDb<K> {
+        assert_eq!(probabilities.len(), self.n_worlds);
+        self.probabilities = Some(probabilities);
+        self
+    }
+
+    /// The probability of world `i` (uniform when unset).
+    pub fn probability(&self, i: usize) -> f64 {
+        match &self.probabilities {
+            Some(p) => p[i],
+            None => 1.0 / self.n_worlds as f64,
+        }
+    }
+
+    /// The index of a most-probable world.
+    pub fn best_guess_world(&self) -> usize {
+        match &self.probabilities {
+            None => 0,
+            Some(p) => {
+                let mut best = 0;
+                for (i, q) in p.iter().enumerate() {
+                    if *q > p[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Evaluate a query directly over the `K^W` encoding. By Lemma 1 /
+    /// Proposition 1 this coincides with per-world evaluation.
+    pub fn query(&self, query: &RaExpr) -> Result<WorldDb<K>, RaError> {
+        let result = eval(query, &self.db)?;
+        let mut out = Database::new();
+        out.insert("result", result);
+        Ok(WorldDb {
+            db: out,
+            n_worlds: self.n_worlds,
+            probabilities: self.probabilities.clone(),
+        })
+    }
+
+    /// `cert_K(𝒟, t)` for a tuple of relation `name` (paper Section 3.2).
+    pub fn certain_annotation(&self, name: &str, t: &Tuple) -> K
+    where
+        K: LSemiring,
+    {
+        match self.db.get(name) {
+            Some(r) if r.contains(t) => r.annotation(t).cert(),
+            _ => K::zero(),
+        }
+    }
+
+    /// `poss_K(𝒟, t)`.
+    pub fn possible_annotation(&self, name: &str, t: &Tuple) -> K
+    where
+        K: LSemiring,
+    {
+        match self.db.get(name) {
+            Some(r) if r.contains(t) => r.annotation(t).poss(),
+            _ => K::zero(),
+        }
+    }
+
+    /// The c-correct labeling: every tuple mapped to its certain annotation.
+    pub fn certain_database(&self) -> Database<K>
+    where
+        K: LSemiring,
+    {
+        self.db.map_annotations(&|v: &WorldVec<K>| v.cert())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worlds::incomplete_from_relations;
+    use ua_data::relation::bag_relation;
+    use ua_data::value::Value;
+    use ua_data::{tuple, Expr};
+
+    fn example7() -> IncompleteDb<u64> {
+        let mk = |rows: Vec<(&str, &str, usize)>| {
+            bag_relation(
+                "loc",
+                &["locale", "state"],
+                rows.into_iter()
+                    .flat_map(|(l, s, n)| {
+                        std::iter::repeat_with(move || {
+                            vec![Value::str(l), Value::str(s)]
+                        })
+                        .take(n)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        incomplete_from_relations(
+            "loc",
+            vec![
+                mk(vec![("Lasalle", "NY", 3), ("Tucson", "AZ", 2)]),
+                mk(vec![
+                    ("Lasalle", "NY", 2),
+                    ("Tucson", "AZ", 1),
+                    ("Greenville", "IN", 5),
+                ]),
+            ],
+        )
+    }
+
+    #[test]
+    fn example8_pivot() {
+        // Paper Example 8: the ℕ²-relation.
+        let wdb = example7().to_world_db();
+        let rel = wdb.database().get("loc").unwrap();
+        assert_eq!(
+            rel.annotation(&tuple!["Lasalle", "NY"]),
+            WorldVec::from_worlds(vec![3u64, 2])
+        );
+        assert_eq!(
+            rel.annotation(&tuple!["Greenville", "IN"]),
+            WorldVec::from_worlds(vec![0u64, 5])
+        );
+    }
+
+    #[test]
+    fn proposition1_round_trip() {
+        let original = example7();
+        let round_tripped = original.to_world_db().to_incomplete();
+        for i in 0..original.n_worlds() {
+            assert_eq!(
+                original.world(i).get("loc").unwrap(),
+                round_tripped.world(i).get("loc").unwrap(),
+                "world {i} must survive the pivot round-trip"
+            );
+        }
+    }
+
+    #[test]
+    fn queries_commute_with_pw_lemma1() {
+        // pw_i(Q(D)) = Q(pw_i(D)) for every world.
+        let wdb = example7().to_world_db();
+        let q = RaExpr::table("loc")
+            .select(Expr::named("state").eq(Expr::lit("NY")))
+            .project(["locale"]);
+        let on_pivot = wdb.query(&q).unwrap();
+        for i in 0..wdb.n_worlds() {
+            let via_pivot = on_pivot.world(i);
+            let mut world_db = Database::new();
+            world_db.insert("loc", wdb.world(i).get("loc").unwrap().clone());
+            let direct = eval(&q, &world_db).unwrap();
+            assert_eq!(
+                via_pivot.get("result").unwrap(),
+                &direct,
+                "Lemma 1 violated in world {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn certain_annotations_match_incomplete_form() {
+        let inc = example7();
+        let wdb = inc.to_world_db();
+        for t in [
+            tuple!["Lasalle", "NY"],
+            tuple!["Tucson", "AZ"],
+            tuple!["Greenville", "IN"],
+        ] {
+            assert_eq!(
+                inc.certain_annotation("loc", &t),
+                wdb.certain_annotation("loc", &t)
+            );
+            assert_eq!(
+                inc.possible_annotation("loc", &t),
+                wdb.possible_annotation("loc", &t)
+            );
+        }
+    }
+
+    #[test]
+    fn world_extraction() {
+        let wdb = example7().to_world_db();
+        let w0 = wdb.world(0);
+        assert_eq!(w0.get("loc").unwrap().annotation(&tuple!["Lasalle", "NY"]), 3);
+        assert_eq!(
+            w0.get("loc").unwrap().annotation(&tuple!["Greenville", "IN"]),
+            0
+        );
+    }
+
+    #[test]
+    fn certain_database_is_c_correct_labeling() {
+        let wdb = example7().to_world_db();
+        let cert = wdb.certain_database();
+        let rel = cert.get("loc").unwrap();
+        assert_eq!(rel.annotation(&tuple!["Lasalle", "NY"]), 2);
+        assert_eq!(rel.annotation(&tuple!["Greenville", "IN"]), 0);
+        assert_eq!(rel.support_size(), 2);
+    }
+}

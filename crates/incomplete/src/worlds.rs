@@ -1,0 +1,336 @@
+//! Incomplete K-databases: explicit sets of possible worlds.
+//!
+//! An incomplete K-database is a finite set `{D₁, …, Dₙ}` of K-databases
+//! (paper Definition 1). Queries follow possible-world semantics: evaluate
+//! over every world independently (paper Eq. 1). An optional probability
+//! distribution over worlds turns the database into a probabilistic one
+//! (paper Section 3.2, "Probabilistic Data").
+
+use crate::worlddb::WorldDb;
+use ua_data::algebra::{eval, RaError, RaExpr};
+use ua_data::relation::{Database, Relation};
+use ua_data::tuple::Tuple;
+use ua_semiring::world::WorldVec;
+use ua_semiring::{LSemiring, Semiring};
+
+/// An incomplete K-database: one [`Database`] per possible world.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IncompleteDb<K: Semiring> {
+    worlds: Vec<Database<K>>,
+    probabilities: Option<Vec<f64>>,
+}
+
+impl<K: Semiring> IncompleteDb<K> {
+    /// Build from possible worlds.
+    ///
+    /// # Panics
+    /// Panics when `worlds` is empty.
+    pub fn new(worlds: Vec<Database<K>>) -> IncompleteDb<K> {
+        assert!(
+            !worlds.is_empty(),
+            "an incomplete database needs at least one possible world"
+        );
+        IncompleteDb {
+            worlds,
+            probabilities: None,
+        }
+    }
+
+    /// Attach a probability distribution over the worlds.
+    ///
+    /// # Panics
+    /// Panics when the length does not match or the masses do not sum to ~1.
+    pub fn with_probabilities(mut self, probabilities: Vec<f64>) -> IncompleteDb<K> {
+        assert_eq!(
+            probabilities.len(),
+            self.worlds.len(),
+            "one probability per world"
+        );
+        let total: f64 = probabilities.iter().sum();
+        assert!(
+            (total - 1.0).abs() < 1e-6,
+            "world probabilities must sum to 1 (got {total})"
+        );
+        self.probabilities = Some(probabilities);
+        self
+    }
+
+    /// Number of possible worlds.
+    pub fn n_worlds(&self) -> usize {
+        self.worlds.len()
+    }
+
+    /// The `i`-th possible world.
+    pub fn world(&self, i: usize) -> &Database<K> {
+        &self.worlds[i]
+    }
+
+    /// All worlds.
+    pub fn worlds(&self) -> &[Database<K>] {
+        &self.worlds
+    }
+
+    /// The probability of world `i` (uniform when no distribution is set).
+    pub fn probability(&self, i: usize) -> f64 {
+        match &self.probabilities {
+            Some(p) => p[i],
+            None => 1.0 / self.worlds.len() as f64,
+        }
+    }
+
+    /// The index of a most-probable world (the *best-guess world* of
+    /// probabilistic best-guess query processing). Ties break to the lowest
+    /// index; without a distribution, world 0 (paper: "In classical
+    /// incomplete databases … any possible world can serve as a BGW").
+    pub fn best_guess_world(&self) -> usize {
+        match &self.probabilities {
+            None => 0,
+            Some(p) => {
+                let mut best = 0;
+                for (i, q) in p.iter().enumerate() {
+                    if *q > p[best] {
+                        best = i;
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Possible-world query semantics: `Q(𝒟) = { Q(D) | D ∈ 𝒟 }`
+    /// (paper Eq. 1). The world distribution carries over unchanged.
+    pub fn query(&self, query: &RaExpr) -> Result<IncompleteDb<K>, RaError> {
+        let mut result_worlds = Vec::with_capacity(self.worlds.len());
+        for world in &self.worlds {
+            let mut out = Database::new();
+            out.insert("result", eval(query, world)?);
+            result_worlds.push(out);
+        }
+        Ok(IncompleteDb {
+            worlds: result_worlds,
+            probabilities: self.probabilities.clone(),
+        })
+    }
+
+    /// The certain annotation `cert_K(𝒟, t) = ⊓ᵢ Dᵢ(t)` of a tuple in
+    /// relation `name` (paper Section 3.1).
+    pub fn certain_annotation(&self, name: &str, t: &Tuple) -> K
+    where
+        K: LSemiring,
+    {
+        let per_world: Vec<K> = self
+            .worlds
+            .iter()
+            .map(|w| w.get(name).map(|r| r.annotation(t)).unwrap_or_else(K::zero))
+            .collect();
+        K::glb_all(per_world.iter()).expect("at least one world")
+    }
+
+    /// The possible annotation `poss_K(𝒟, t) = ⊔ᵢ Dᵢ(t)`.
+    pub fn possible_annotation(&self, name: &str, t: &Tuple) -> K
+    where
+        K: LSemiring,
+    {
+        let per_world: Vec<K> = self
+            .worlds
+            .iter()
+            .map(|w| w.get(name).map(|r| r.annotation(t)).unwrap_or_else(K::zero))
+            .collect();
+        K::lub_all(per_world.iter()).expect("at least one world")
+    }
+
+    /// The relation of certain annotations: every tuple annotated with its
+    /// GLB across worlds (zero-annotated tuples omitted). This is the
+    /// c-correct labeling — exactly what PTIME labeling schemes
+    /// under-approximate.
+    pub fn certain_relation(&self, name: &str) -> Option<Relation<K>>
+    where
+        K: LSemiring,
+    {
+        let first = self.worlds[0].get(name)?;
+        let mut out = Relation::new(first.schema().clone());
+        'tuples: for (t, _) in first.iter() {
+            let mut acc: Option<K> = None;
+            for w in &self.worlds {
+                let k = match w.get(name) {
+                    Some(r) => r.annotation(t),
+                    None => K::zero(),
+                };
+                if k.is_zero() {
+                    continue 'tuples; // glb with 0 is 0
+                }
+                acc = Some(match acc {
+                    None => k,
+                    Some(a) => a.glb(&k),
+                });
+            }
+            if let Some(k) = acc {
+                out.set(t.clone(), k);
+            }
+        }
+        Some(out)
+    }
+
+    /// The relation of possible annotations (support = union of all worlds).
+    pub fn possible_relation(&self, name: &str) -> Option<Relation<K>>
+    where
+        K: LSemiring,
+    {
+        let first = self.worlds[0].get(name)?;
+        let mut out: Relation<K> = Relation::new(first.schema().clone());
+        for w in &self.worlds {
+            if let Some(r) = w.get(name) {
+                for (t, k) in r.iter() {
+                    let current = out.annotation(t);
+                    out.set(t.clone(), current.lub(k));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// The database of certain annotations across all relations.
+    pub fn certain_database(&self) -> Database<K>
+    where
+        K: LSemiring,
+    {
+        let mut out = Database::new();
+        for name in self.worlds[0].names() {
+            if let Some(rel) = self.certain_relation(name) {
+                out.insert(name.clone(), rel);
+            }
+        }
+        out
+    }
+
+    /// Pivot into the equivalent `K^W`-database (paper Proposition 1).
+    pub fn to_world_db(&self) -> WorldDb<K> {
+        WorldDb::from_incomplete(self)
+    }
+}
+
+/// Convenience: an incomplete database holding one relation per world.
+pub fn incomplete_from_relations<K: Semiring>(
+    name: &str,
+    relations: Vec<Relation<K>>,
+) -> IncompleteDb<K> {
+    IncompleteDb::new(
+        relations
+            .into_iter()
+            .map(|r| {
+                let mut db = Database::new();
+                db.insert(name, r);
+                db
+            })
+            .collect(),
+    )
+}
+
+/// Re-export for construction of `K^W` annotations by callers.
+pub type WorldAnnotation<K> = WorldVec<K>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::relation::bag_relation;
+    use ua_data::value::Value;
+    use ua_data::{tuple, Expr};
+
+    /// Paper Example 7: the two-world bag database over LOC.
+    pub(crate) fn example7() -> IncompleteDb<u64> {
+        let d1 = bag_relation(
+            "loc",
+            &["locale", "state"],
+            vec![
+                vec![Value::str("Lasalle"), Value::str("NY")],
+                vec![Value::str("Lasalle"), Value::str("NY")],
+                vec![Value::str("Lasalle"), Value::str("NY")],
+                vec![Value::str("Tucson"), Value::str("AZ")],
+                vec![Value::str("Tucson"), Value::str("AZ")],
+            ],
+        );
+        let d2 = bag_relation(
+            "loc",
+            &["locale", "state"],
+            vec![
+                vec![Value::str("Lasalle"), Value::str("NY")],
+                vec![Value::str("Lasalle"), Value::str("NY")],
+                vec![Value::str("Tucson"), Value::str("AZ")],
+                vec![Value::str("Greenville"), Value::str("IN")],
+                vec![Value::str("Greenville"), Value::str("IN")],
+                vec![Value::str("Greenville"), Value::str("IN")],
+                vec![Value::str("Greenville"), Value::str("IN")],
+                vec![Value::str("Greenville"), Value::str("IN")],
+            ],
+        );
+        incomplete_from_relations("loc", vec![d1, d2])
+    }
+
+    #[test]
+    fn example7_certain_annotations() {
+        let db = example7();
+        assert_eq!(db.certain_annotation("loc", &tuple!["Lasalle", "NY"]), 2);
+        assert_eq!(db.certain_annotation("loc", &tuple!["Tucson", "AZ"]), 1);
+        assert_eq!(db.certain_annotation("loc", &tuple!["Greenville", "IN"]), 0);
+        assert_eq!(db.possible_annotation("loc", &tuple!["Greenville", "IN"]), 5);
+    }
+
+    #[test]
+    fn certain_relation_support() {
+        let db = example7();
+        let cert = db.certain_relation("loc").unwrap();
+        assert_eq!(cert.support_size(), 2);
+        assert_eq!(cert.annotation(&tuple!["Lasalle", "NY"]), 2);
+        let poss = db.possible_relation("loc").unwrap();
+        assert_eq!(poss.support_size(), 3);
+        assert_eq!(poss.annotation(&tuple!["Greenville", "IN"]), 5);
+    }
+
+    #[test]
+    fn query_has_possible_world_semantics() {
+        // Paper Example 4 / Figure 6: σ_{state='NY'} evaluated per world.
+        let db = example7();
+        let q = RaExpr::table("loc").select(Expr::named("state").eq(Expr::lit("NY")));
+        let result = db.query(&q).unwrap();
+        assert_eq!(result.n_worlds(), 2);
+        assert_eq!(
+            result
+                .world(0)
+                .get("result")
+                .unwrap()
+                .annotation(&tuple!["Lasalle", "NY"]),
+            3
+        );
+        assert_eq!(
+            result
+                .world(1)
+                .get("result")
+                .unwrap()
+                .annotation(&tuple!["Lasalle", "NY"]),
+            2
+        );
+    }
+
+    #[test]
+    fn best_guess_world_prefers_probability() {
+        let db = example7().with_probabilities(vec![0.3, 0.7]);
+        assert_eq!(db.best_guess_world(), 1);
+        assert_eq!(example7().best_guess_world(), 0);
+        assert!((db.probability(0) - 0.3).abs() < 1e-12);
+        assert!((example7().probability(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilities_survive_queries() {
+        let db = example7().with_probabilities(vec![0.3, 0.7]);
+        let q = RaExpr::table("loc").project(["state"]);
+        let result = db.query(&q).unwrap();
+        assert!((result.probability(1) - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn bad_probabilities_rejected() {
+        let _ = example7().with_probabilities(vec![0.3, 0.3]);
+    }
+}

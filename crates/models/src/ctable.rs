@@ -1,0 +1,780 @@
+//! C-tables and PC-tables (Imielinski & Lipski; Green & Tannen).
+//!
+//! A C-table annotates tuples — whose attributes may be *variables* — with
+//! boolean **local conditions** over those variables; each valuation of the
+//! variables (satisfying the optional global condition) induces one possible
+//! world containing the instantiations of the rows whose local conditions
+//! hold (paper Section 4.1). PC-tables additionally attach an independent
+//! distribution to every variable.
+//!
+//! Implemented here:
+//!
+//! * the paper's **c-sound PTIME labeling** (Theorem 2): a tuple is labeled
+//!   certain iff it is constant-only and its local condition is in CNF and a
+//!   CNF-tautology — deliberately incomplete (paper Example 9);
+//! * **symbolic `RA⁺` evaluation** producing result C-tables: selections and
+//!   joins extend local conditions with the symbolic residue of their
+//!   predicates, projections/unions keep per-row conditions (the exact
+//!   certain-answer baseline of the paper's Figure 10);
+//! * **exact certain answers** via the order-region solver: a constant tuple
+//!   `t` is certain iff the disjunction of `φ_r ∧ (unification of r with t)`
+//!   over all rows `r` is a tautology;
+//! * world instantiation / enumeration and best-guess-world extraction
+//!   (PC-tables: per-variable argmax valuation, the paper's tractable
+//!   approximation of the most likely world).
+
+use ua_conditions::{cnf_tautology, is_cnf, predicate_to_condition, Condition, Solver, VarDistributions};
+use ua_data::algebra::{RaError, RaExpr};
+use ua_data::expr::Expr;
+use ua_data::relation::{Database, Relation};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, VarId};
+use ua_data::{FxHashMap, FxHashSet};
+use ua_incomplete::IncompleteDb;
+
+/// One row of a C-table: values (possibly variables) plus a local condition.
+#[derive(Clone, Debug)]
+pub struct CTuple {
+    /// The row values; attributes may be [`Value::Var`].
+    pub values: Tuple,
+    /// The local condition `φ_D(t)`.
+    pub condition: Condition,
+}
+
+impl CTuple {
+    /// A row with condition `⊤`.
+    pub fn unconditional(values: Tuple) -> CTuple {
+        CTuple {
+            values,
+            condition: Condition::True,
+        }
+    }
+
+    /// A conditioned row.
+    pub fn new(values: Tuple, condition: Condition) -> CTuple {
+        CTuple { values, condition }
+    }
+
+    /// Whether all attributes are constants.
+    pub fn is_constant(&self) -> bool {
+        !self.values.iter().any(Value::is_var)
+    }
+
+    /// Variables appearing in values or the condition.
+    pub fn collect_vars(&self, out: &mut FxHashSet<VarId>) {
+        for v in self.values.iter() {
+            if let Value::Var(x) = v {
+                out.insert(*x);
+            }
+        }
+        self.condition.collect_vars(out);
+    }
+}
+
+/// A C-table.
+#[derive(Clone, Debug)]
+pub struct CTable {
+    schema: Schema,
+    tuples: Vec<CTuple>,
+}
+
+impl CTable {
+    /// Empty C-table.
+    pub fn new(schema: Schema) -> CTable {
+        CTable {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add a row.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch or a syntactically-`⊥` condition (callers
+    /// should drop such rows).
+    pub fn push(&mut self, t: CTuple) {
+        assert_eq!(
+            t.values.arity(),
+            self.schema.arity(),
+            "row arity must match the schema"
+        );
+        self.tuples.push(t);
+    }
+
+    /// The rows.
+    pub fn tuples(&self) -> &[CTuple] {
+        &self.tuples
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All variables of the table.
+    pub fn vars(&self) -> FxHashSet<VarId> {
+        let mut out = FxHashSet::default();
+        for t in &self.tuples {
+            t.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// `label_C-table` (paper Section 4.1): the set of tuples labeled
+    /// certain — constant-only rows whose local condition is in CNF and a
+    /// CNF-tautology. C-sound (Theorem 2) but not c-complete (Example 9).
+    pub fn labeling(&self) -> Relation<bool> {
+        let mut out = Relation::new(self.schema.clone());
+        for t in &self.tuples {
+            if t.is_constant()
+                && is_cnf(&t.condition)
+                && cnf_tautology(&t.condition) == Some(true)
+            {
+                out.set(t.values.clone(), true);
+            }
+        }
+        out
+    }
+
+    /// Instantiate the possible world induced by `valuation` (set
+    /// semantics: C-tables are a set model).
+    pub fn instantiate(&self, valuation: &FxHashMap<VarId, Value>) -> Relation<bool> {
+        let lookup = |v: VarId| -> Value {
+            valuation
+                .get(&v)
+                .cloned()
+                .unwrap_or_else(|| panic!("valuation misses {v}"))
+        };
+        let mut out = Relation::new(self.schema.clone());
+        for t in &self.tuples {
+            if t.condition.eval(&lookup) {
+                let grounded = t.values.substitute(|v| match v {
+                    Value::Var(x) => lookup(*x),
+                    other => other.clone(),
+                });
+                out.set(grounded, true);
+            }
+        }
+        out
+    }
+
+    /// The condition under which the constant tuple `t` appears in this
+    /// C-table: `∨_r (φ_r ∧ unify(r, t))`.
+    ///
+    /// Rows that cannot unify with `t` contribute `⊥`; a variable attribute
+    /// unifies by emitting an equality atom, so repeated variables stay
+    /// consistent.
+    pub fn membership_condition(&self, t: &Tuple) -> Condition {
+        assert_eq!(t.arity(), self.schema.arity(), "tuple arity mismatch");
+        let mut cases = Vec::new();
+        'rows: for row in &self.tuples {
+            let mut atoms = vec![row.condition.clone()];
+            for (rv, tv) in row.values.iter().zip(t.iter()) {
+                match rv {
+                    Value::Var(x) => {
+                        atoms.push(Condition::var_eq(*x, tv.clone()));
+                    }
+                    constant => {
+                        if !constant.sql_eq(tv) {
+                            continue 'rows;
+                        }
+                    }
+                }
+            }
+            cases.push(Condition::and_all(atoms));
+        }
+        Condition::or_all(cases)
+    }
+
+    /// Exact certainty of a constant tuple: its membership condition is a
+    /// tautology (the paper's Z3-based baseline; here the region solver).
+    pub fn is_certain(&self, t: &Tuple, solver: &Solver) -> bool {
+        solver.is_valid(&self.membership_condition(t))
+    }
+}
+
+/// A C-database: C-tables plus an optional global condition and optional
+/// per-variable distributions (PC-table).
+#[derive(Clone, Debug, Default)]
+pub struct CDb {
+    relations: std::collections::BTreeMap<String, CTable>,
+    global: Option<Condition>,
+    distributions: Option<VarDistributions>,
+}
+
+impl CDb {
+    /// Empty C-database.
+    pub fn new() -> CDb {
+        CDb::default()
+    }
+
+    /// Register a C-table.
+    pub fn insert(&mut self, name: impl Into<String>, table: CTable) {
+        self.relations.insert(name.into(), table);
+    }
+
+    /// Look up a C-table.
+    pub fn get(&self, name: &str) -> Option<&CTable> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over C-tables.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &CTable)> {
+        self.relations.iter()
+    }
+
+    /// Constrain the variable space with a global condition.
+    pub fn with_global_condition(mut self, global: Condition) -> CDb {
+        self.global = Some(global);
+        self
+    }
+
+    /// The global condition (defaults to `⊤`).
+    pub fn global_condition(&self) -> Condition {
+        self.global.clone().unwrap_or(Condition::True)
+    }
+
+    /// Turn into a PC-table by attaching variable distributions.
+    pub fn with_distributions(mut self, dists: VarDistributions) -> CDb {
+        self.distributions = Some(dists);
+        self
+    }
+
+    /// The variable distributions, when this is a PC-table.
+    pub fn distributions(&self) -> Option<&VarDistributions> {
+        self.distributions.as_ref()
+    }
+
+    /// All variables of the database.
+    pub fn vars(&self) -> FxHashSet<VarId> {
+        let mut out = FxHashSet::default();
+        for t in self.relations.values() {
+            out.extend(t.vars());
+        }
+        if let Some(g) = &self.global {
+            g.collect_vars(&mut out);
+        }
+        out
+    }
+
+    /// The labeling database (`label_C-table` applied per table).
+    pub fn labeling(&self) -> Database<bool> {
+        let mut db = Database::new();
+        for (name, table) in &self.relations {
+            db.insert(name.clone(), table.labeling());
+        }
+        db
+    }
+
+    /// The best-guess valuation: per-variable argmax for PC-tables (the
+    /// paper's tractable approximation of the most likely world — exact
+    /// most-likely-world extraction is #P, Section 4.2); an arbitrary
+    /// all-zeros valuation for plain C-tables (any world serves as BGW).
+    pub fn best_guess_valuation(&self) -> FxHashMap<VarId, Value> {
+        match &self.distributions {
+            Some(d) => {
+                let mut v = d.argmax_valuation();
+                // Variables without distributions default to 0.
+                for var in self.vars() {
+                    v.entry(var).or_insert(Value::Int(0));
+                }
+                v
+            }
+            None => self.vars().into_iter().map(|v| (v, Value::Int(0))).collect(),
+        }
+    }
+
+    /// The best-guess world.
+    pub fn best_guess_world(&self) -> Database<bool> {
+        self.instantiate(&self.best_guess_valuation())
+    }
+
+    /// Instantiate the world induced by `valuation` (ignores worlds whose
+    /// valuation violates the global condition by returning empty relations;
+    /// callers enumerate only satisfying valuations).
+    pub fn instantiate(&self, valuation: &FxHashMap<VarId, Value>) -> Database<bool> {
+        let mut db = Database::new();
+        for (name, table) in &self.relations {
+            db.insert(name.clone(), table.instantiate(valuation));
+        }
+        db
+    }
+
+    /// Enumerate possible worlds with variables ranging over `domain`
+    /// (closed-world finite-domain semantics). PC-table distributions, when
+    /// present, weight the worlds (variables range over their supports
+    /// instead of `domain`).
+    ///
+    /// # Panics
+    /// Panics when the number of valuations exceeds `max_worlds`.
+    pub fn enumerate_worlds(&self, domain: &[Value], max_worlds: u128) -> IncompleteDb<bool> {
+        let mut vars: Vec<VarId> = self.vars().into_iter().collect();
+        vars.sort_unstable();
+        let supports: Vec<Vec<(Value, f64)>> = vars
+            .iter()
+            .map(|v| match &self.distributions {
+                Some(d) => match d.get(*v) {
+                    Some(s) => s.to_vec(),
+                    None => uniform_support(domain),
+                },
+                None => uniform_support(domain),
+            })
+            .collect();
+        let count: u128 = supports
+            .iter()
+            .map(|s| s.len() as u128)
+            .product();
+        assert!(
+            count <= max_worlds,
+            "refusing to enumerate {count} valuations (limit {max_worlds})"
+        );
+        let global = self.global_condition();
+        let mut worlds = Vec::new();
+        let mut probs = Vec::new();
+        let mut idx = vec![0usize; vars.len()];
+        loop {
+            let valuation: FxHashMap<VarId, Value> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, supports[i][idx[i]].0.clone()))
+                .collect();
+            let satisfies_global = global.eval(&|v| {
+                valuation.get(&v).cloned().unwrap_or(Value::Null)
+            });
+            if satisfies_global {
+                let p: f64 = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(i, _)| supports[i][idx[i]].1)
+                    .product();
+                worlds.push(self.instantiate(&valuation));
+                probs.push(p);
+            }
+            let mut done = true;
+            for (i, x) in idx.iter_mut().enumerate() {
+                *x += 1;
+                if *x < supports[i].len() {
+                    done = false;
+                    break;
+                }
+                *x = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        assert!(
+            !worlds.is_empty(),
+            "global condition unsatisfiable over the given domain"
+        );
+        let total: f64 = probs.iter().sum();
+        if total > 0.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        IncompleteDb::new(worlds).with_probabilities(probs)
+    }
+}
+
+/// Encode an x-DB as a (P)C-database: x-tuple `τ_j` becomes variable `x_j`
+/// with one value per alternative; alternative `k` becomes a row guarded by
+/// `x_j = k`. Optional x-tuples get an extra "absent" value carrying the
+/// leftover probability mass. This gives the exact-certain-answer machinery
+/// (symbolic evaluation + solver) access to x-DB workloads.
+pub fn cdb_from_xdb(xdb: &crate::xdb::XDb) -> CDb {
+    let mut db = CDb::new();
+    let mut dists = VarDistributions::new();
+    let mut next_var = 0u32;
+    for (name, rel) in xdb.iter() {
+        let mut table = CTable::new(rel.schema().clone());
+        for xt in rel.xtuples() {
+            let var = VarId(next_var);
+            next_var += 1;
+            let mut support: Vec<(Value, f64)> = xt
+                .alternatives
+                .iter()
+                .enumerate()
+                .map(|(k, a)| (Value::Int(k as i64), a.probability))
+                .collect();
+            let absent = 1.0 - xt.total_probability();
+            if absent > 1e-12 {
+                support.push((Value::Int(xt.alternatives.len() as i64), absent));
+            }
+            dists.set(var, support);
+            for (k, alt) in xt.alternatives.iter().enumerate() {
+                table.push(CTuple::new(
+                    alt.tuple.clone(),
+                    Condition::var_eq(var, k as i64),
+                ));
+            }
+        }
+        db.insert(name.clone(), table);
+    }
+    db.with_distributions(dists)
+}
+
+fn uniform_support(domain: &[Value]) -> Vec<(Value, f64)> {
+    assert!(!domain.is_empty(), "variable domain must be non-empty");
+    let p = 1.0 / domain.len() as f64;
+    domain.iter().map(|v| (v.clone(), p)).collect()
+}
+
+/// Errors from symbolic C-table query evaluation.
+#[derive(Clone, Debug)]
+pub enum CtError {
+    /// Plan-level failure (unknown table, schema resolution, …).
+    Ra(RaError),
+    /// A predicate or projection has no symbolic translation over variables.
+    Symbolic(String),
+}
+
+impl std::fmt::Display for CtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtError::Ra(e) => write!(f, "{e}"),
+            CtError::Symbolic(msg) => write!(f, "symbolic evaluation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CtError {}
+
+impl From<RaError> for CtError {
+    fn from(e: RaError) -> Self {
+        CtError::Ra(e)
+    }
+}
+
+/// Evaluate an `RA⁺` query *symbolically* over a C-database, producing a
+/// result C-table (C-tables are closed under full relational algebra; we
+/// implement the positive fragment the paper's experiments use).
+pub fn eval_symbolic(query: &RaExpr, db: &CDb) -> Result<CTable, CtError> {
+    match query {
+        RaExpr::Table(name) => db
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CtError::Ra(RaError::UnknownTable(name.clone()))),
+        RaExpr::Alias { input, name } => {
+            let t = eval_symbolic(input, db)?;
+            Ok(CTable {
+                schema: t.schema.with_qualifier(name),
+                tuples: t.tuples,
+            })
+        }
+        RaExpr::Select { input, predicate } => {
+            let t = eval_symbolic(input, db)?;
+            let bound = predicate.bind(&t.schema).map_err(RaError::from)?;
+            let mut out = CTable::new(t.schema.clone());
+            for row in &t.tuples {
+                let residue = predicate_to_condition(&bound, &row.values)
+                    .map_err(|e| CtError::Symbolic(e.to_string()))?;
+                let cond = row.condition.clone().and(residue);
+                if !matches!(cond, Condition::False) {
+                    out.push(CTuple::new(row.values.clone(), cond));
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Project { input, columns } => {
+            let t = eval_symbolic(input, db)?;
+            let bound: Vec<Expr> = columns
+                .iter()
+                .map(|c| c.expr.bind(&t.schema))
+                .collect::<Result<_, _>>()
+                .map_err(RaError::from)?;
+            let schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+            let mut out = CTable::new(schema);
+            for row in &t.tuples {
+                let values: Tuple = bound
+                    .iter()
+                    .map(|e| symbolic_project_value(e, &row.values))
+                    .collect::<Result<_, _>>()?;
+                out.push(CTuple::new(values, row.condition.clone()));
+            }
+            Ok(out)
+        }
+        RaExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = eval_symbolic(left, db)?;
+            let r = eval_symbolic(right, db)?;
+            let schema = l.schema.concat(&r.schema);
+            let bound = match predicate {
+                Some(p) => Some(p.bind(&schema).map_err(RaError::from)?),
+                None => None,
+            };
+            let mut out = CTable::new(schema);
+            for lrow in &l.tuples {
+                for rrow in &r.tuples {
+                    let values = lrow.values.concat(&rrow.values);
+                    let mut cond = lrow.condition.clone().and(rrow.condition.clone());
+                    if let Some(pred) = &bound {
+                        let residue = predicate_to_condition(pred, &values)
+                            .map_err(|e| CtError::Symbolic(e.to_string()))?;
+                        cond = cond.and(residue);
+                    }
+                    if !matches!(cond, Condition::False) {
+                        out.push(CTuple::new(values, cond));
+                    }
+                }
+            }
+            Ok(out)
+        }
+        RaExpr::Union { left, right } => {
+            let l = eval_symbolic(left, db)?;
+            let r = eval_symbolic(right, db)?;
+            l.schema
+                .check_union_compatible(&r.schema)
+                .map_err(RaError::from)?;
+            let mut out = l.clone();
+            for row in r.tuples {
+                out.push(row);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn symbolic_project_value(expr: &Expr, row: &Tuple) -> Result<Value, CtError> {
+    if let Expr::Col(i) = expr {
+        return row
+            .get(*i)
+            .cloned()
+            .ok_or_else(|| CtError::Symbolic(format!("column {i} out of range")));
+    }
+    let mut cols = Vec::new();
+    expr.referenced_columns(&mut cols);
+    if cols
+        .iter()
+        .any(|&c| matches!(row.get(c), Some(Value::Var(_))))
+    {
+        return Err(CtError::Symbolic(format!(
+            "projection expression `{expr}` over a variable attribute"
+        )));
+    }
+    expr.eval(row)
+        .map_err(|e| CtError::Symbolic(e.to_string()))
+}
+
+/// Convenience: the exact certain answers of `query` over `db` among the
+/// constant tuples of the symbolic result, together with the result table.
+///
+/// This mirrors the paper's Figure 10 baseline: instrument the query to
+/// carry local conditions, then decide tautology per result tuple.
+pub fn certain_answers(
+    query: &RaExpr,
+    db: &CDb,
+    solver: &Solver,
+) -> Result<(CTable, Vec<Tuple>), CtError> {
+    let result = eval_symbolic(query, db)?;
+    let mut candidates: Vec<Tuple> = result
+        .tuples()
+        .iter()
+        .filter(|r| r.is_constant())
+        .map(|r| r.values.clone())
+        .collect();
+    candidates.sort();
+    candidates.dedup();
+    let certain = candidates
+        .into_iter()
+        .filter(|t| result.is_certain(t, solver))
+        .collect();
+    Ok((result, certain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::expr::CmpOp;
+    use ua_data::tuple;
+    use ua_conditions::Atom;
+    use ua_incomplete::{is_c_complete, is_c_sound};
+
+    fn x() -> VarId {
+        VarId(0)
+    }
+
+    /// Paper Example 9: t1 = (1, X) with φ = (X = 1); t2 = (1, 1) with
+    /// φ = (X ≠ 1).
+    fn example9() -> CDb {
+        let mut t = CTable::new(Schema::qualified("r", ["a", "b"]));
+        t.push(CTuple::new(
+            Tuple::new(vec![Value::Int(1), Value::Var(x())]),
+            Condition::var_eq(x(), 1i64),
+        ));
+        t.push(CTuple::new(
+            tuple![1i64, 1i64],
+            Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 1i64)),
+        ));
+        let mut db = CDb::new();
+        db.insert("r", t);
+        db
+    }
+
+    #[test]
+    fn example9_labeling_misses_certain_tuple() {
+        let db = example9();
+        let labeling = db.labeling();
+        // The PTIME labeling marks nothing certain…
+        assert!(labeling.get("r").unwrap().is_empty());
+        // …but (1,1) *is* certain: the exact solver sees it.
+        let table = db.get("r").unwrap();
+        assert!(table.is_certain(&tuple![1i64, 1i64], &Solver::new()));
+    }
+
+    #[test]
+    fn theorem2_labeling_is_c_sound() {
+        let db = example9();
+        let domain = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+        let inc = db.enumerate_worlds(&domain, 100);
+        assert!(is_c_sound(&db.labeling(), &inc), "Theorem 2 violated");
+        // And (1,1) is present in all three worlds.
+        assert!(inc.certain_annotation("r", &tuple![1i64, 1i64]));
+    }
+
+    #[test]
+    fn tautology_condition_is_labeled_certain() {
+        let mut t = CTable::new(Schema::qualified("r", ["a"]));
+        t.push(CTuple::new(
+            tuple![5i64],
+            Condition::Atom(Atom::var_const(x(), CmpOp::Lt, 3i64))
+                .or(Condition::Atom(Atom::var_const(x(), CmpOp::Ge, 3i64))),
+        ));
+        let labeling = t.labeling();
+        assert!(labeling.annotation(&tuple![5i64]));
+    }
+
+    #[test]
+    fn non_cnf_tautology_stays_unlabeled() {
+        // (x<3 ∧ x<5) ∨ (x ≥ 3): a tautology, but not in CNF ⇒ unlabeled.
+        let phi = Condition::and_all([
+            Condition::Atom(Atom::var_const(x(), CmpOp::Lt, 3i64)),
+            Condition::Atom(Atom::var_const(x(), CmpOp::Lt, 5i64)),
+        ])
+        .or(Condition::Atom(Atom::var_const(x(), CmpOp::Ge, 3i64)));
+        let mut t = CTable::new(Schema::qualified("r", ["a"]));
+        t.push(CTuple::new(tuple![5i64], phi.clone()));
+        assert!(t.labeling().is_empty());
+        // The exact check recognizes it.
+        assert!(t.is_certain(&tuple![5i64], &Solver::new()));
+    }
+
+    #[test]
+    fn symbolic_selection_extends_conditions() {
+        let mut t = CTable::new(Schema::qualified("r", ["a", "b"]));
+        t.push(CTuple::unconditional(Tuple::new(vec![
+            Value::Int(1),
+            Value::Var(x()),
+        ])));
+        let mut db = CDb::new();
+        db.insert("r", t);
+        let q = RaExpr::table("r").select(Expr::named("b").lt(Expr::lit(5i64)));
+        let result = eval_symbolic(&q, &db).unwrap();
+        assert_eq!(result.len(), 1);
+        assert_eq!(result.tuples()[0].condition.atom_count(), 1);
+    }
+
+    #[test]
+    fn symbolic_join_conjoins() {
+        let mut r = CTable::new(Schema::qualified("r", ["a"]));
+        r.push(CTuple::new(
+            Tuple::new(vec![Value::Var(x())]),
+            Condition::True,
+        ));
+        let mut s = CTable::new(Schema::qualified("s", ["b"]));
+        s.push(CTuple::unconditional(tuple![3i64]));
+        let mut db = CDb::new();
+        db.insert("r", r);
+        db.insert("s", s);
+        let q = RaExpr::table("r").join(
+            RaExpr::table("s"),
+            Expr::named("r.a").eq(Expr::named("s.b")),
+        );
+        let result = eval_symbolic(&q, &db).unwrap();
+        assert_eq!(result.len(), 1);
+        // Condition is ?x0 = 3.
+        let cond = &result.tuples()[0].condition;
+        assert_eq!(cond.atom_count(), 1);
+        assert!(!Solver::new().is_valid(cond));
+    }
+
+    #[test]
+    fn constant_rows_fold_conditions() {
+        let mut t = CTable::new(Schema::qualified("r", ["a"]));
+        t.push(CTuple::unconditional(tuple![1i64]));
+        t.push(CTuple::unconditional(tuple![7i64]));
+        let mut db = CDb::new();
+        db.insert("r", t);
+        let q = RaExpr::table("r").select(Expr::named("a").lt(Expr::lit(5i64)));
+        let result = eval_symbolic(&q, &db).unwrap();
+        // Row 7 is dropped outright (condition folded to ⊥).
+        assert_eq!(result.len(), 1);
+        assert!(result.tuples()[0].condition.structurally_eq(&Condition::True));
+    }
+
+    #[test]
+    fn certain_answers_pipeline() {
+        let db = example9();
+        let q = RaExpr::table("r").project(["a", "b"]);
+        let (result, certain) = certain_answers(&q, &db, &Solver::new()).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(certain, vec![tuple![1i64, 1i64]]);
+    }
+
+    #[test]
+    fn instantiation_and_bgw() {
+        let db = example9();
+        let mut valuation = FxHashMap::default();
+        valuation.insert(x(), Value::Int(1));
+        let w = db.instantiate(&valuation);
+        // X = 1: row 1 gives (1,1); row 2's condition fails.
+        assert!(w.get("r").unwrap().annotation(&tuple![1i64, 1i64]));
+        assert_eq!(w.get("r").unwrap().support_size(), 1);
+
+        let bgw = db.best_guess_world();
+        // All-zero valuation: row 1 fails (X=1 false), row 2 holds as (1,1).
+        assert!(bgw.get("r").unwrap().annotation(&tuple![1i64, 1i64]));
+    }
+
+    #[test]
+    fn pc_table_distributions_weight_worlds() {
+        let mut dists = VarDistributions::new();
+        dists.set(x(), vec![(Value::Int(1), 0.8), (Value::Int(2), 0.2)]);
+        let db = example9().with_distributions(dists);
+        let inc = db.enumerate_worlds(&[], 10);
+        assert_eq!(inc.n_worlds(), 2);
+        assert!((inc.probability(0) - 0.8).abs() < 1e-9);
+        let bgw = db.best_guess_world();
+        assert!(bgw.get("r").unwrap().annotation(&tuple![1i64, 1i64]));
+    }
+
+    #[test]
+    fn global_condition_restricts_worlds() {
+        let db = example9().with_global_condition(Condition::var_eq(x(), 1i64));
+        let domain = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+        let inc = db.enumerate_worlds(&domain, 100);
+        assert_eq!(inc.n_worlds(), 1);
+    }
+
+    #[test]
+    fn labeling_completeness_fails_by_design() {
+        let db = example9();
+        let domain = vec![Value::Int(0), Value::Int(1), Value::Int(2)];
+        let inc = db.enumerate_worlds(&domain, 100);
+        assert!(!is_c_complete(&db.labeling(), &inc));
+    }
+}

@@ -1,0 +1,31 @@
+//! Compact incomplete data models and their labeling schemes.
+//!
+//! The UA-DB paper (Section 4) defines PTIME *labeling schemes* — functions
+//! extracting an under-approximation of the certain annotations — together
+//! with best-guess-world extraction for three widely used incomplete data
+//! models, all implemented here from scratch:
+//!
+//! * [`tidb`] — tuple-independent databases (`label_TIDB` is c-correct,
+//!   Theorem 1; BGW keeps tuples with `P ≥ 0.5`);
+//! * [`xdb`] — x-DBs / block-independent databases (`label_xDB` is
+//!   c-correct, Theorem 3; BGW takes per-block argmax alternatives; x-keys
+//!   of Definition 7 for the c-completeness preservation of Theorem 6);
+//! * [`ctable`] — C-tables and PC-tables (`label_C-table` is c-sound but
+//!   deliberately incomplete, Theorem 2 / Example 9), including symbolic
+//!   `RA⁺` evaluation and the exact certain-answer baseline used by the
+//!   paper's Figure 10.
+//!
+//! Every model converts to [`ua_incomplete::IncompleteDb`] (by world
+//! enumeration, for test oracles) and supports world sampling (for the
+//! MCDB-style baseline).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ctable;
+pub mod tidb;
+pub mod xdb;
+
+pub use ctable::{cdb_from_xdb, certain_answers, eval_symbolic, CDb, CTable, CTuple, CtError};
+pub use tidb::{TiDb, TiRelation, TiTuple};
+pub use xdb::{Alternative, XDb, XRelation, XTuple};

@@ -1,0 +1,380 @@
+//! Tuple-independent databases (TI-DBs).
+//!
+//! A TI-DB marks each tuple as optional or not; its possible worlds contain
+//! all non-optional tuples plus any subset of the optional ones (paper
+//! Section 4.1). The probabilistic version attaches a marginal probability
+//! to each tuple. The paper's results for TI-DBs:
+//!
+//! * `label_TIDB` (certain ⇔ not optional / `P(t) = 1`) is **c-correct**
+//!   (Theorem 1);
+//! * the best-guess world keeps exactly the tuples with `P(t) ≥ 0.5`
+//!   (Section 4.2);
+//! * queries over TI-DB labelings additionally preserve c-completeness
+//!   (Corollary 1), which `ua-core` tests end-to-end.
+
+use rand::Rng;
+use ua_data::relation::{Database, Relation};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_incomplete::IncompleteDb;
+
+/// One tuple of a TI-relation with its marginal probability.
+///
+/// `probability == 1.0` means non-optional; anything below means optional.
+/// Purely incomplete (non-probabilistic) TI-DBs use
+/// [`TiTuple::optional`]'s default of 0.5.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TiTuple {
+    /// The tuple.
+    pub tuple: Tuple,
+    /// Marginal probability of the tuple's presence.
+    pub probability: f64,
+}
+
+impl TiTuple {
+    /// A certain (non-optional) tuple.
+    pub fn certain(tuple: Tuple) -> TiTuple {
+        TiTuple {
+            tuple,
+            probability: 1.0,
+        }
+    }
+
+    /// An optional tuple without a meaningful probability (incomplete TI-DB).
+    pub fn optional(tuple: Tuple) -> TiTuple {
+        TiTuple {
+            tuple,
+            probability: 0.5,
+        }
+    }
+
+    /// An optional tuple with an explicit marginal probability.
+    ///
+    /// # Panics
+    /// Panics when `probability` is outside `[0, 1]`.
+    pub fn with_probability(tuple: Tuple, probability: f64) -> TiTuple {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "marginal probability must be in [0,1], got {probability}"
+        );
+        TiTuple { tuple, probability }
+    }
+
+    /// Whether the tuple is optional (may be absent from some world).
+    pub fn is_optional(&self) -> bool {
+        self.probability < 1.0
+    }
+}
+
+/// A TI-relation: independent tuples with marginals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TiRelation {
+    schema: Schema,
+    tuples: Vec<TiTuple>,
+}
+
+impl TiRelation {
+    /// Empty TI-relation.
+    pub fn new(schema: Schema) -> TiRelation {
+        TiRelation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add a tuple.
+    pub fn push(&mut self, t: TiTuple) {
+        assert_eq!(
+            t.tuple.arity(),
+            self.schema.arity(),
+            "tuple arity must match the schema"
+        );
+        self.tuples.push(t);
+    }
+
+    /// The tuples.
+    pub fn tuples(&self) -> &[TiTuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// A tuple-independent database.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TiDb {
+    relations: std::collections::BTreeMap<String, TiRelation>,
+}
+
+impl TiDb {
+    /// Empty TI-DB.
+    pub fn new() -> TiDb {
+        TiDb::default()
+    }
+
+    /// Register a relation.
+    pub fn insert(&mut self, name: impl Into<String>, relation: TiRelation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&TiRelation> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over relations.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &TiRelation)> {
+        self.relations.iter()
+    }
+
+    /// The best-guess world: all tuples with `P(t) ≥ 0.5` (paper
+    /// Section 4.2 — this choice maximizes the world probability).
+    pub fn best_guess_world(&self) -> Database<bool> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(
+                name.clone(),
+                Relation::from_tuples(
+                    rel.schema.clone(),
+                    rel.tuples
+                        .iter()
+                        .filter(|t| t.probability >= 0.5)
+                        .map(|t| t.tuple.clone()),
+                ),
+            );
+        }
+        db
+    }
+
+    /// `label_TIDB`: the 𝔹-labeling marking exactly the non-optional tuples
+    /// certain. C-correct by paper Theorem 1 (verified in tests).
+    pub fn labeling(&self) -> Database<bool> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(
+                name.clone(),
+                Relation::from_tuples(
+                    rel.schema.clone(),
+                    rel.tuples
+                        .iter()
+                        .filter(|t| !t.is_optional())
+                        .map(|t| t.tuple.clone()),
+                ),
+            );
+        }
+        db
+    }
+
+    /// Number of possible worlds (`2^#optional`), saturating.
+    pub fn world_count(&self) -> u128 {
+        let optional: u32 = self
+            .relations
+            .values()
+            .flat_map(|r| &r.tuples)
+            .filter(|t| t.is_optional())
+            .count()
+            .try_into()
+            .unwrap_or(u32::MAX);
+        1u128.checked_shl(optional).unwrap_or(u128::MAX)
+    }
+
+    /// Enumerate all possible worlds with their probabilities.
+    ///
+    /// # Panics
+    /// Panics when there are more than `max_optional` optional tuples
+    /// (world counts explode as `2^m`; callers wanting big instances should
+    /// sample instead).
+    pub fn enumerate_worlds(&self, max_optional: usize) -> IncompleteDb<bool> {
+        let optional: Vec<(&String, &TiTuple)> = self
+            .relations
+            .iter()
+            .flat_map(|(name, rel)| {
+                rel.tuples
+                    .iter()
+                    .filter(|t| t.is_optional())
+                    .map(move |t| (name, t))
+            })
+            .collect();
+        assert!(
+            optional.len() <= max_optional,
+            "refusing to enumerate 2^{} worlds (limit 2^{max_optional})",
+            optional.len()
+        );
+        let n = optional.len() as u32;
+        let mut worlds = Vec::with_capacity(1 << n);
+        let mut probs = Vec::with_capacity(1 << n);
+        for mask in 0u64..(1u64 << n) {
+            let mut db = Database::new();
+            let mut prob = 1.0f64;
+            for (name, rel) in &self.relations {
+                let mut r: Relation<bool> = Relation::new(rel.schema.clone());
+                for t in &rel.tuples {
+                    if !t.is_optional() {
+                        r.set(t.tuple.clone(), true);
+                    }
+                }
+                db.insert(name.clone(), r);
+            }
+            for (bit, (name, t)) in optional.iter().enumerate() {
+                let included = mask & (1 << bit) != 0;
+                if included {
+                    let mut r = db.get(name.as_str()).cloned().expect("relation exists");
+                    r.set(t.tuple.clone(), true);
+                    db.insert(name.to_string(), r);
+                    prob *= t.probability;
+                } else {
+                    prob *= 1.0 - t.probability;
+                }
+            }
+            worlds.push(db);
+            probs.push(prob);
+        }
+        // Probabilities may not sum exactly to 1 for degenerate marginals;
+        // normalize to guard against float drift.
+        let total: f64 = probs.iter().sum();
+        if total > 0.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        IncompleteDb::new(worlds).with_probabilities(probs)
+    }
+
+    /// Sample one possible world.
+    pub fn sample_world(&self, rng: &mut impl Rng) -> Database<bool> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(
+                name.clone(),
+                Relation::from_tuples(
+                    rel.schema.clone(),
+                    rel.tuples
+                        .iter()
+                        .filter(|t| !t.is_optional() || rng.gen::<f64>() < t.probability)
+                        .map(|t| t.tuple.clone()),
+                ),
+            );
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ua_data::tuple;
+    use ua_incomplete::{is_c_correct, is_c_sound};
+
+    fn sample_tidb() -> TiDb {
+        let mut rel = TiRelation::new(Schema::qualified("r", ["a"]));
+        rel.push(TiTuple::certain(tuple![1i64]));
+        rel.push(TiTuple::with_probability(tuple![2i64], 0.9));
+        rel.push(TiTuple::with_probability(tuple![3i64], 0.2));
+        let mut db = TiDb::new();
+        db.insert("r", rel);
+        db
+    }
+
+    #[test]
+    fn world_count() {
+        assert_eq!(sample_tidb().world_count(), 4);
+    }
+
+    #[test]
+    fn enumeration_probabilities() {
+        let inc = sample_tidb().enumerate_worlds(10);
+        assert_eq!(inc.n_worlds(), 4);
+        let total: f64 = (0..4).map(|i| inc.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Certain tuple 1 is in every world.
+        for w in inc.worlds() {
+            assert!(w.get("r").unwrap().annotation(&tuple![1i64]));
+        }
+    }
+
+    #[test]
+    fn theorem1_labeling_is_c_correct() {
+        let db = sample_tidb();
+        let inc = db.enumerate_worlds(10);
+        let labeling = db.labeling();
+        assert!(is_c_correct(&labeling, &inc), "Theorem 1: label_TIDB is c-correct");
+    }
+
+    #[test]
+    fn best_guess_world_keeps_majority_tuples() {
+        let bgw = sample_tidb().best_guess_world();
+        let r = bgw.get("r").unwrap();
+        assert!(r.annotation(&tuple![1i64]));
+        assert!(r.annotation(&tuple![2i64]));
+        assert!(!r.annotation(&tuple![3i64]));
+    }
+
+    #[test]
+    fn best_guess_world_is_most_probable() {
+        let db = sample_tidb();
+        let inc = db.enumerate_worlds(10);
+        let bgw = db.best_guess_world();
+        let bgw_index = (0..inc.n_worlds())
+            .find(|&i| inc.world(i).get("r").unwrap() == bgw.get("r").unwrap())
+            .expect("BGW must be one of the worlds");
+        for i in 0..inc.n_worlds() {
+            assert!(
+                inc.probability(bgw_index) >= inc.probability(i) - 1e-12,
+                "world {i} more probable than the BGW"
+            );
+        }
+    }
+
+    #[test]
+    fn labeling_is_sound_even_with_all_optional() {
+        let mut rel = TiRelation::new(Schema::qualified("r", ["a"]));
+        rel.push(TiTuple::optional(tuple![1i64]));
+        let mut db = TiDb::new();
+        db.insert("r", rel);
+        let inc = db.enumerate_worlds(10);
+        assert!(is_c_sound(&db.labeling(), &inc));
+        assert!(db.labeling().get("r").unwrap().is_empty());
+    }
+
+    #[test]
+    fn sampling_respects_certain_tuples() {
+        let db = sample_tidb();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut saw_2 = 0;
+        for _ in 0..200 {
+            let w = db.sample_world(&mut rng);
+            assert!(w.get("r").unwrap().annotation(&tuple![1i64]));
+            if w.get("r").unwrap().annotation(&tuple![2i64]) {
+                saw_2 += 1;
+            }
+        }
+        assert!(saw_2 > 140, "P=0.9 tuple sampled only {saw_2}/200 times");
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to enumerate")]
+    fn enumeration_limit() {
+        let mut rel = TiRelation::new(Schema::qualified("r", ["a"]));
+        for i in 0..25 {
+            rel.push(TiTuple::optional(tuple![i as i64]));
+        }
+        let mut db = TiDb::new();
+        db.insert("r", rel);
+        let _ = db.enumerate_worlds(20);
+    }
+}

@@ -1,0 +1,644 @@
+//! x-DBs / block-independent databases (BI-DBs).
+//!
+//! An x-relation is a set of *x-tuples*: independent blocks of mutually
+//! exclusive alternatives, optionally absent altogether (paper Section 4.1,
+//! after Agrawal et al.'s Trio). The probabilistic version (BI-DB) attaches
+//! a probability to each alternative with `P(τ) = Σ_t P(t) ≤ 1`; the x-tuple
+//! is optional iff `P(τ) < 1`.
+//!
+//! The paper's results implemented here:
+//!
+//! * `label_xDB` — certain iff single, non-optional alternative — is
+//!   **c-correct** at the instance level (Theorem 3);
+//! * best-guess world: per x-tuple argmax-probability alternative, or no
+//!   alternative when absence is likelier (Section 4.2);
+//! * **x-keys** (Definition 7): attribute sets on which some pair of
+//!   alternatives differs, the sufficient condition for queries to preserve
+//!   c-completeness (Theorem 6).
+//!
+//! Worlds are *bags* (`ℕ`): alternatives of distinct x-tuples may coincide,
+//! in which case multiplicities add — this is what makes the model usable
+//! for the paper's bag-semantics experiments.
+
+use rand::Rng;
+use ua_data::relation::{Database, Relation};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_incomplete::IncompleteDb;
+
+/// One alternative of an x-tuple.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Alternative {
+    /// The tuple this alternative contributes.
+    pub tuple: Tuple,
+    /// Its probability (for BI-DBs; uniform placeholders otherwise).
+    pub probability: f64,
+}
+
+/// An x-tuple: disjoint alternatives, possibly optional.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XTuple {
+    /// The alternatives (non-empty).
+    pub alternatives: Vec<Alternative>,
+    /// Whether the x-tuple may be absent entirely.
+    pub optional: bool,
+}
+
+impl XTuple {
+    /// A non-optional x-tuple with uniform alternative probabilities.
+    /// Duplicate alternatives are merged (alternatives are *disjoint events*,
+    /// so a repeated tuple is one alternative, not two).
+    ///
+    /// # Panics
+    /// Panics when `alternatives` is empty.
+    pub fn total(alternatives: Vec<Tuple>) -> XTuple {
+        assert!(!alternatives.is_empty(), "x-tuple needs ≥ 1 alternative");
+        let mut distinct = alternatives;
+        distinct.sort();
+        distinct.dedup();
+        let p = 1.0 / distinct.len() as f64;
+        XTuple {
+            alternatives: distinct
+                .into_iter()
+                .map(|t| Alternative {
+                    tuple: t,
+                    probability: p,
+                })
+                .collect(),
+            optional: false,
+        }
+    }
+
+    /// An optional x-tuple with uniform probabilities scaled to `mass`.
+    pub fn optional(alternatives: Vec<Tuple>, mass: f64) -> XTuple {
+        assert!(!alternatives.is_empty(), "x-tuple needs ≥ 1 alternative");
+        assert!((0.0..1.0).contains(&mass), "optional mass must be in [0,1)");
+        let mut distinct = alternatives;
+        distinct.sort();
+        distinct.dedup();
+        let p = mass / distinct.len() as f64;
+        XTuple {
+            alternatives: distinct
+                .into_iter()
+                .map(|t| Alternative {
+                    tuple: t,
+                    probability: p,
+                })
+                .collect(),
+            optional: true,
+        }
+    }
+
+    /// A BI-DB x-tuple with explicit probabilities; optional iff the mass is
+    /// below 1. Duplicate alternatives are merged with their probabilities
+    /// added.
+    ///
+    /// # Panics
+    /// Panics when probabilities are invalid or sum to more than 1.
+    pub fn probabilistic(alternatives: Vec<(Tuple, f64)>) -> XTuple {
+        assert!(!alternatives.is_empty(), "x-tuple needs ≥ 1 alternative");
+        let total: f64 = alternatives.iter().map(|(_, p)| p).sum();
+        assert!(
+            alternatives.iter().all(|(_, p)| (0.0..=1.0).contains(p)) && total <= 1.0 + 1e-9,
+            "alternative probabilities must be in [0,1] and sum to ≤ 1 (got {total})"
+        );
+        let mut merged: Vec<(Tuple, f64)> = Vec::with_capacity(alternatives.len());
+        for (tuple, p) in alternatives {
+            match merged.iter_mut().find(|(t, _)| *t == tuple) {
+                Some((_, q)) => *q += p,
+                None => merged.push((tuple, p)),
+            }
+        }
+        XTuple {
+            alternatives: merged
+                .into_iter()
+                .map(|(tuple, probability)| Alternative { tuple, probability })
+                .collect(),
+            optional: total < 1.0 - 1e-9,
+        }
+    }
+
+    /// `P(τ)`: total probability mass of the alternatives.
+    pub fn total_probability(&self) -> f64 {
+        self.alternatives.iter().map(|a| a.probability).sum()
+    }
+
+    /// Number of alternatives `|τ|`.
+    pub fn arity(&self) -> usize {
+        self.alternatives.len()
+    }
+
+    /// The certain tuple contributed by this x-tuple, if any: the single,
+    /// non-optional alternative (paper `label_xDB`).
+    pub fn certain_alternative(&self) -> Option<&Tuple> {
+        if !self.optional && self.alternatives.len() == 1 {
+            Some(&self.alternatives[0].tuple)
+        } else {
+            None
+        }
+    }
+
+    /// The best-guess choice: the argmax-probability alternative, or `None`
+    /// when omitting the x-tuple is likelier than any alternative
+    /// (paper Section 4.2).
+    pub fn best_guess(&self) -> Option<&Tuple> {
+        // First maximum wins: the paper takes the highest-ranked option.
+        let mut best = self.alternatives.first()?;
+        for alt in &self.alternatives[1..] {
+            if alt.probability > best.probability {
+                best = alt;
+            }
+        }
+        let p_absent = 1.0 - self.total_probability();
+        if self.optional && p_absent > best.probability {
+            None
+        } else {
+            Some(&best.tuple)
+        }
+    }
+
+    /// The choices a possible world can make for this x-tuple: one
+    /// alternative index, or `None` for absence when optional.
+    fn choices(&self) -> Vec<Option<usize>> {
+        let mut out: Vec<Option<usize>> = (0..self.alternatives.len()).map(Some).collect();
+        if self.optional {
+            out.push(None);
+        }
+        out
+    }
+
+    /// Probability of a choice.
+    fn choice_probability(&self, choice: Option<usize>) -> f64 {
+        match choice {
+            Some(i) => self.alternatives[i].probability,
+            None => 1.0 - self.total_probability(),
+        }
+    }
+
+    /// Sample a choice.
+    fn sample_choice(&self, rng: &mut impl Rng) -> Option<usize> {
+        let mut roll: f64 = rng.gen();
+        for (i, alt) in self.alternatives.iter().enumerate() {
+            if roll < alt.probability {
+                return Some(i);
+            }
+            roll -= alt.probability;
+        }
+        if self.optional {
+            None
+        } else {
+            // Guard against float drift on total x-tuples.
+            Some(self.alternatives.len() - 1)
+        }
+    }
+}
+
+/// An x-relation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XRelation {
+    schema: Schema,
+    xtuples: Vec<XTuple>,
+}
+
+impl XRelation {
+    /// Empty x-relation.
+    pub fn new(schema: Schema) -> XRelation {
+        XRelation {
+            schema,
+            xtuples: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Add an x-tuple.
+    ///
+    /// # Panics
+    /// Panics when an alternative's arity does not match the schema.
+    pub fn push(&mut self, xt: XTuple) {
+        for alt in &xt.alternatives {
+            assert_eq!(
+                alt.tuple.arity(),
+                self.schema.arity(),
+                "alternative arity must match the schema"
+            );
+        }
+        self.xtuples.push(xt);
+    }
+
+    /// The x-tuples.
+    pub fn xtuples(&self) -> &[XTuple] {
+        &self.xtuples
+    }
+
+    /// Number of x-tuples.
+    pub fn len(&self) -> usize {
+        self.xtuples.len()
+    }
+
+    /// Whether the relation has no x-tuples.
+    pub fn is_empty(&self) -> bool {
+        self.xtuples.is_empty()
+    }
+
+    /// The *exact* certain answers of the projection of this x-relation
+    /// onto `positions`, under set semantics.
+    ///
+    /// Exploiting x-tuple independence, a projected tuple `t` is certain
+    /// iff some non-optional x-tuple has **all** alternatives projecting to
+    /// `t` (otherwise a world avoiding `t` can be assembled by picking, per
+    /// x-tuple, an alternative that misses `t`). This PTIME oracle grounds
+    /// the false-negative-rate measurements of the paper's Figures 15/20.
+    pub fn projection_certain_set(&self, positions: &[usize]) -> Vec<Tuple> {
+        let mut out: Vec<Tuple> = self
+            .xtuples
+            .iter()
+            .filter(|xt| !xt.optional)
+            .filter_map(|xt| {
+                let first = xt.alternatives[0].tuple.project(positions);
+                xt.alternatives[1..]
+                    .iter()
+                    .all(|a| a.tuple.project(positions) == first)
+                    .then_some(first)
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The exact certain *multiplicities* of the projection onto
+    /// `positions` (bag semantics): each non-optional x-tuple whose
+    /// alternatives all project to `t` contributes one guaranteed copy.
+    pub fn projection_certain_bag(&self, positions: &[usize]) -> Relation<u64> {
+        let schema = Schema::unqualified(
+            positions
+                .iter()
+                .map(|&i| self.schema.columns()[i].name.to_string()),
+        );
+        let mut out: Relation<u64> = Relation::new(schema);
+        for xt in &self.xtuples {
+            if xt.optional {
+                continue;
+            }
+            let first = xt.alternatives[0].tuple.project(positions);
+            if xt.alternatives[1..]
+                .iter()
+                .all(|a| a.tuple.project(positions) == first)
+            {
+                out.insert(first, 1);
+            }
+        }
+        out
+    }
+
+    /// The labeled-certain projection under `label_xDB`: only single-
+    /// alternative non-optional x-tuples count (what a UA-DB reports).
+    pub fn projection_labeled_bag(&self, positions: &[usize]) -> Relation<u64> {
+        let schema = Schema::unqualified(
+            positions
+                .iter()
+                .map(|&i| self.schema.columns()[i].name.to_string()),
+        );
+        let mut out: Relation<u64> = Relation::new(schema);
+        for xt in &self.xtuples {
+            if let Some(t) = xt.certain_alternative() {
+                out.insert(t.project(positions), 1);
+            }
+        }
+        out
+    }
+
+    /// Whether `positions` forms an **x-key** (paper Definition 7): every
+    /// non-optional multi-alternative x-tuple has two alternatives that
+    /// differ on `positions`.
+    pub fn is_x_key(&self, positions: &[usize]) -> bool {
+        self.xtuples.iter().all(|xt| {
+            xt.optional
+                || xt.arity() == 1
+                || xt.alternatives.iter().enumerate().any(|(i, a)| {
+                    xt.alternatives[i + 1..]
+                        .iter()
+                        .any(|b| a.tuple.project(positions) != b.tuple.project(positions))
+                })
+        })
+    }
+}
+
+/// An x-database / BI-DB.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct XDb {
+    relations: std::collections::BTreeMap<String, XRelation>,
+}
+
+impl XDb {
+    /// Empty x-DB.
+    pub fn new() -> XDb {
+        XDb::default()
+    }
+
+    /// Register a relation.
+    pub fn insert(&mut self, name: impl Into<String>, relation: XRelation) {
+        self.relations.insert(name.into(), relation);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &str) -> Option<&XRelation> {
+        self.relations.get(name)
+    }
+
+    /// Iterate over relations.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &XRelation)> {
+        self.relations.iter()
+    }
+
+    /// The best-guess world as a bag database.
+    pub fn best_guess_world(&self) -> Database<u64> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(
+                name.clone(),
+                Relation::from_tuples(
+                    rel.schema.clone(),
+                    rel.xtuples.iter().filter_map(|xt| xt.best_guess().cloned()),
+                ),
+            );
+        }
+        db
+    }
+
+    /// `label_xDB` as a bag labeling: each tuple labeled with the number of
+    /// x-tuples contributing it certainly (i.e. as a single, non-optional
+    /// alternative). Independence of x-tuples makes this a lower bound on
+    /// the tuple's multiplicity in every world, hence c-sound; it is exactly
+    /// the certain multiplicity (c-correct; paper Theorem 3).
+    pub fn labeling(&self) -> Database<u64> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            db.insert(
+                name.clone(),
+                Relation::from_tuples(
+                    rel.schema.clone(),
+                    rel.xtuples
+                        .iter()
+                        .filter_map(|xt| xt.certain_alternative().cloned()),
+                ),
+            );
+        }
+        db
+    }
+
+    /// Number of possible worlds, saturating.
+    pub fn world_count(&self) -> u128 {
+        let mut count: u128 = 1;
+        for rel in self.relations.values() {
+            for xt in &rel.xtuples {
+                let c = (xt.arity() + usize::from(xt.optional)) as u128;
+                count = count.saturating_mul(c);
+            }
+        }
+        count
+    }
+
+    /// Enumerate all possible worlds with probabilities.
+    ///
+    /// # Panics
+    /// Panics when the world count exceeds `max_worlds`.
+    pub fn enumerate_worlds(&self, max_worlds: u128) -> IncompleteDb<u64> {
+        let count = self.world_count();
+        assert!(
+            count <= max_worlds,
+            "refusing to enumerate {count} worlds (limit {max_worlds})"
+        );
+        // Collect (relation name, x-tuple) in a flat list.
+        let blocks: Vec<(&String, &XTuple)> = self
+            .relations
+            .iter()
+            .flat_map(|(name, rel)| rel.xtuples.iter().map(move |xt| (name, xt)))
+            .collect();
+        let mut worlds = Vec::new();
+        let mut probs = Vec::new();
+        let mut choice_indices = vec![0usize; blocks.len()];
+        let all_choices: Vec<Vec<Option<usize>>> =
+            blocks.iter().map(|(_, xt)| xt.choices()).collect();
+        loop {
+            let mut db = Database::new();
+            for (name, rel) in &self.relations {
+                db.insert(name.clone(), Relation::<u64>::new(rel.schema.clone()));
+            }
+            let mut prob = 1.0f64;
+            for (b, (name, xt)) in blocks.iter().enumerate() {
+                let choice = all_choices[b][choice_indices[b]];
+                prob *= xt.choice_probability(choice);
+                if let Some(i) = choice {
+                    let mut rel = db.get(name.as_str()).cloned().expect("inserted above");
+                    rel.insert(xt.alternatives[i].tuple.clone(), 1);
+                    db.insert(name.to_string(), rel);
+                }
+            }
+            worlds.push(db);
+            probs.push(prob);
+            // Advance the mixed-radix odometer.
+            let mut done = true;
+            for (b, idx) in choice_indices.iter_mut().enumerate() {
+                *idx += 1;
+                if *idx < all_choices[b].len() {
+                    done = false;
+                    break;
+                }
+                *idx = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        let total: f64 = probs.iter().sum();
+        if total > 0.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        IncompleteDb::new(worlds).with_probabilities(probs)
+    }
+
+    /// Sample one possible world.
+    pub fn sample_world(&self, rng: &mut impl Rng) -> Database<u64> {
+        let mut db = Database::new();
+        for (name, rel) in &self.relations {
+            let mut r: Relation<u64> = Relation::new(rel.schema.clone());
+            for xt in &rel.xtuples {
+                if let Some(i) = xt.sample_choice(rng) {
+                    r.insert(xt.alternatives[i].tuple.clone(), 1);
+                }
+            }
+            db.insert(name.clone(), r);
+        }
+        db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use ua_data::tuple;
+    use ua_data::value::Value;
+    use ua_incomplete::{is_c_correct, is_c_sound};
+
+    /// The paper's running example: ADDR with ambiguous geocodings
+    /// (Figure 2), simplified to the id + geocoded columns.
+    fn addr_xdb() -> XDb {
+        let mut rel = XRelation::new(Schema::qualified("addr", ["id", "lat", "lon"]));
+        rel.push(XTuple::total(vec![tuple![1i64, 42.93, -78.81]]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![2i64, 42.91, -78.89], 0.6),
+            (tuple![2i64, 32.25, -110.87], 0.4),
+        ]));
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![3i64, 42.91, -78.84], 0.5),
+            (tuple![3i64, 42.90, -78.85], 0.5),
+        ]));
+        rel.push(XTuple::total(vec![tuple![4i64, 42.93, -78.80]]));
+        let mut db = XDb::new();
+        db.insert("addr", rel);
+        db
+    }
+
+    #[test]
+    fn world_count_matches_example1() {
+        // "ADDR encodes 4 possible worlds".
+        assert_eq!(addr_xdb().world_count(), 4);
+    }
+
+    #[test]
+    fn theorem3_labeling_is_c_correct() {
+        let db = addr_xdb();
+        let inc = db.enumerate_worlds(100);
+        assert!(is_c_correct(&db.labeling(), &inc), "Theorem 3 violated");
+    }
+
+    #[test]
+    fn labeling_counts_certain_contributions() {
+        // Two x-tuples certainly contributing the same tuple ⇒ multiplicity 2.
+        let mut rel = XRelation::new(Schema::qualified("r", ["a"]));
+        rel.push(XTuple::total(vec![tuple![7i64]]));
+        rel.push(XTuple::total(vec![tuple![7i64]]));
+        rel.push(XTuple::total(vec![tuple![7i64], tuple![8i64]]));
+        let mut db = XDb::new();
+        db.insert("r", rel);
+        assert_eq!(db.labeling().get("r").unwrap().annotation(&tuple![7i64]), 2);
+        let inc = db.enumerate_worlds(100);
+        assert!(is_c_sound(&db.labeling(), &inc));
+        assert!(is_c_correct(&db.labeling(), &inc));
+    }
+
+    #[test]
+    fn best_guess_world_picks_argmax() {
+        let bgw = addr_xdb().best_guess_world();
+        let r = bgw.get("addr").unwrap();
+        assert_eq!(r.annotation(&tuple![2i64, 42.91, -78.89]), 1);
+        assert_eq!(r.annotation(&tuple![2i64, 32.25, -110.87]), 0);
+        assert_eq!(r.support_size(), 4);
+    }
+
+    #[test]
+    fn optional_block_can_vanish_from_bgw() {
+        let mut rel = XRelation::new(Schema::qualified("r", ["a"]));
+        // P(absent) = 0.8 beats the best alternative at 0.15.
+        rel.push(XTuple::probabilistic(vec![
+            (tuple![1i64], 0.15),
+            (tuple![2i64], 0.05),
+        ]));
+        let mut db = XDb::new();
+        db.insert("r", rel);
+        assert!(db.best_guess_world().get("r").unwrap().is_empty());
+    }
+
+    #[test]
+    fn bgw_is_most_probable_world() {
+        let db = addr_xdb();
+        let inc = db.enumerate_worlds(100);
+        let bgw = db.best_guess_world();
+        let bgw_idx = (0..inc.n_worlds())
+            .find(|&i| inc.world(i).get("addr").unwrap() == bgw.get("addr").unwrap())
+            .expect("BGW must be a possible world");
+        for i in 0..inc.n_worlds() {
+            assert!(inc.probability(bgw_idx) >= inc.probability(i) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn x_keys_definition7() {
+        let mut rel = XRelation::new(Schema::qualified("r", ["id", "loc"]));
+        rel.push(XTuple::total(vec![
+            tuple![1i64, "a"],
+            tuple![1i64, "b"],
+        ]));
+        let mut db = XDb::new();
+        db.insert("r", rel.clone());
+        // {loc} distinguishes the alternatives; {id} does not.
+        assert!(rel.is_x_key(&[1]));
+        assert!(!rel.is_x_key(&[0]));
+        // Supersets of x-keys are x-keys (paper Lemma 7).
+        assert!(rel.is_x_key(&[0, 1]));
+        // Optional or singleton x-tuples never violate the key.
+        let mut rel2 = XRelation::new(Schema::qualified("r", ["id", "loc"]));
+        rel2.push(XTuple::optional(vec![tuple![1i64, "a"], tuple![1i64, "b"]], 0.5));
+        rel2.push(XTuple::total(vec![tuple![2i64, "c"]]));
+        assert!(rel2.is_x_key(&[0]));
+    }
+
+    #[test]
+    fn enumerated_probabilities_sum_to_one() {
+        let inc = addr_xdb().enumerate_worlds(100);
+        let total: f64 = (0..inc.n_worlds()).map(|i| inc.probability(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_distribution_roughly_matches() {
+        let db = addr_xdb();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut first = 0;
+        for _ in 0..300 {
+            let w = db.sample_world(&mut rng);
+            if w.get("addr").unwrap().annotation(&tuple![2i64, 42.91, -78.89]) > 0 {
+                first += 1;
+            }
+        }
+        // P = 0.6 ± noise.
+        assert!((120..=240).contains(&first), "saw {first}/300");
+    }
+
+    #[test]
+    fn alternatives_share_values_across_xtuples() {
+        // Bag semantics: coinciding alternatives add multiplicities.
+        let mut rel = XRelation::new(Schema::qualified("r", ["a"]));
+        rel.push(XTuple::total(vec![tuple![1i64]]));
+        rel.push(XTuple::total(vec![tuple![1i64], tuple![2i64]]));
+        let mut db = XDb::new();
+        db.insert("r", rel);
+        let inc = db.enumerate_worlds(10);
+        let w_both: Vec<u64> = (0..inc.n_worlds())
+            .map(|i| inc.world(i).get("r").unwrap().annotation(&tuple![1i64]))
+            .collect();
+        assert!(w_both.contains(&2), "some world must hold two copies");
+        assert_eq!(inc.certain_annotation("r", &tuple![1i64]), 1);
+    }
+
+    #[test]
+    fn schema_mismatch_panics() {
+        let mut rel = XRelation::new(Schema::qualified("r", ["a", "b"]));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rel.push(XTuple::total(vec![tuple![1i64]]));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[allow(unused)]
+    fn value_type_check(v: Value) {}
+}

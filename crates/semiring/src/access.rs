@@ -1,0 +1,169 @@
+//! The access-control semiring `A` (Green et al.; paper Section 11.3,
+//! Figure 21).
+//!
+//! Elements form the chain `0 < T < S < C < P`:
+//!
+//! * `0` — "nobody can access the data" (the additive identity; the tuple is
+//!   effectively absent),
+//! * `T` — top secret, `S` — secret, `C` — confidential,
+//! * `P` — public (the multiplicative identity).
+//!
+//! Addition is `max` and multiplication is `min` w.r.t. this chain: joining
+//! two tuples yields a result at the *more restrictive* clearance, while
+//! alternative derivations grant the *least restrictive* one.
+//!
+//! Because the order is total, `A` is an l-semiring with `⊓ = min` and
+//! `⊔ = max`, so UA-DBs over `A` are well defined: the certain annotation of
+//! a tuple is the most restrictive clearance it carries in any world.
+
+use crate::{LSemiring, Monus, NaturalOrder, Semiring};
+
+/// An element of the access-control semiring.
+///
+/// Ordered as `None < TopSecret < Secret < Confidential < Public`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Access {
+    /// Nobody can access the data (`0_A`).
+    #[default]
+    None,
+    /// Top-secret clearance required.
+    TopSecret,
+    /// Secret clearance required.
+    Secret,
+    /// Confidential clearance required.
+    Confidential,
+    /// Publicly accessible (`1_A`).
+    Public,
+}
+
+impl Access {
+    /// All five elements in ascending order.
+    pub const ALL: [Access; 5] = [
+        Access::None,
+        Access::TopSecret,
+        Access::Secret,
+        Access::Confidential,
+        Access::Public,
+    ];
+
+    /// Rank in the chain, `0` for [`Access::None`] through `4` for
+    /// [`Access::Public`].
+    pub fn rank(self) -> u8 {
+        match self {
+            Access::None => 0,
+            Access::TopSecret => 1,
+            Access::Secret => 2,
+            Access::Confidential => 3,
+            Access::Public => 4,
+        }
+    }
+
+    /// Element with the given rank, if in `0..=4`.
+    pub fn from_rank(rank: u8) -> Option<Access> {
+        Access::ALL.get(rank as usize).copied()
+    }
+
+    /// The label-error distance used by the paper's Figure 21: the number of
+    /// chain steps between two clearances, normalized by the chain length
+    /// (e.g. `dist(C, T) = 2/5 = 0.4`).
+    pub fn distance(self, other: Access) -> f64 {
+        (self.rank().abs_diff(other.rank())) as f64 / 5.0
+    }
+}
+
+impl Semiring for Access {
+    fn zero() -> Self {
+        Access::None
+    }
+    fn one() -> Self {
+        Access::Public
+    }
+    fn plus(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+}
+
+impl NaturalOrder for Access {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // a ⊕ c = max(a, c) = b is solvable iff a ≤ b in the chain.
+        self <= other
+    }
+}
+
+impl LSemiring for Access {
+    fn glb(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    fn lub(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+
+impl Monus for Access {
+    fn monus(&self, other: &Self) -> Self {
+        // Least c with a ⪯ max(b, c): zero when a ≤ b, otherwise a itself.
+        if self <= other {
+            Access::None
+        } else {
+            *self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn chain_order() {
+        assert!(Access::None < Access::TopSecret);
+        assert!(Access::TopSecret < Access::Secret);
+        assert!(Access::Secret < Access::Confidential);
+        assert!(Access::Confidential < Access::Public);
+    }
+
+    #[test]
+    fn plus_is_max_times_is_min() {
+        assert_eq!(Access::Secret.plus(&Access::Public), Access::Public);
+        assert_eq!(Access::Secret.times(&Access::Public), Access::Secret);
+        // Joining a top-secret tuple with a public one yields top secret.
+        assert_eq!(Access::TopSecret.times(&Access::Public), Access::TopSecret);
+    }
+
+    #[test]
+    fn identities() {
+        for a in Access::ALL {
+            assert_eq!(a.plus(&Access::None), a);
+            assert_eq!(a.times(&Access::Public), a);
+            assert_eq!(a.times(&Access::None), Access::None);
+        }
+    }
+
+    #[test]
+    fn distance_matches_paper_example() {
+        // "the distance of C and T is 2/5 = 0.4"
+        assert_eq!(Access::Confidential.distance(Access::TopSecret), 0.4);
+        assert_eq!(Access::Public.distance(Access::Public), 0.0);
+        assert_eq!(Access::Public.distance(Access::None), 0.8);
+    }
+
+    #[test]
+    fn rank_round_trip() {
+        for a in Access::ALL {
+            assert_eq!(Access::from_rank(a.rank()), Some(a));
+        }
+        assert_eq!(Access::from_rank(5), None);
+    }
+
+    #[test]
+    fn access_laws() {
+        laws::check_semiring_laws(&Access::ALL);
+        laws::check_lattice_laws(&Access::ALL);
+        laws::check_natural_order_laws(&Access::ALL);
+        laws::check_monus_laws(&Access::ALL);
+    }
+}

@@ -1,0 +1,110 @@
+//! Semiring homomorphisms.
+//!
+//! A mapping `h : K → K'` is a semiring homomorphism when it maps `0`/`1` to
+//! their counterparts and distributes over `⊕` and `⊗`. Homomorphisms lift
+//! pointwise to K-relations and **commute with RA⁺ queries**
+//! (`h(Q(D)) = Q(h(D))`, Green et al.), which the paper uses to prove:
+//!
+//! * possible-world semantics of `K^W`-databases (`pw_i` is a hom, Lemma 1),
+//! * bound preservation for UA-DBs (`h_cert`, `h_det` are homs, Theorem 4).
+//!
+//! Any `Fn(&A) -> B` can serve as a [`SemiringHom`]; the free functions below
+//! are the homomorphisms named in the paper.
+
+use crate::pair::Ua;
+use crate::world::WorldVec;
+use crate::Semiring;
+
+/// A mapping between semirings, expected (and in tests verified) to be a
+/// homomorphism.
+pub trait SemiringHom<A: Semiring, B: Semiring> {
+    /// Apply the mapping to one annotation.
+    fn apply(&self, a: &A) -> B;
+}
+
+impl<A: Semiring, B: Semiring, F: Fn(&A) -> B> SemiringHom<A, B> for F {
+    fn apply(&self, a: &A) -> B {
+        self(a)
+    }
+}
+
+/// The support homomorphism `ℕ → 𝔹`: `h(k) = T iff k > 0`
+/// (paper Example 6 — deriving a set instance from a bag instance).
+pub fn support(k: &u64) -> bool {
+    *k > 0
+}
+
+/// `h_cert : K² → K`, first projection of a UA-annotation.
+pub fn h_cert<K: Semiring>(ua: &Ua<K>) -> K {
+    ua.cert.clone()
+}
+
+/// `h_det : K² → K`, second projection of a UA-annotation.
+pub fn h_det<K: Semiring>(ua: &Ua<K>) -> K {
+    ua.det.clone()
+}
+
+/// `pw_i : K^W → K`, extraction of possible world `i` (paper Eq. 5).
+pub fn pw<K: Semiring>(i: usize) -> impl Fn(&WorldVec<K>) -> K {
+    move |v| v.world(i)
+}
+
+/// Verify the homomorphism laws of `h` on all pairs drawn from `elems`.
+///
+/// Intended for tests: panics with a descriptive message on the first
+/// violated law.
+pub fn check_hom_laws<A, B, H>(h: &H, elems: &[A])
+where
+    A: Semiring,
+    B: Semiring,
+    H: SemiringHom<A, B>,
+{
+    assert_eq!(h.apply(&A::zero()), B::zero(), "hom must map 0 to 0");
+    assert_eq!(h.apply(&A::one()), B::one(), "hom must map 1 to 1");
+    for a in elems {
+        for b in elems {
+            assert_eq!(
+                h.apply(&a.plus(b)),
+                h.apply(a).plus(&h.apply(b)),
+                "hom must distribute over ⊕ (at {a:?}, {b:?})"
+            );
+            assert_eq!(
+                h.apply(&a.times(b)),
+                h.apply(a).times(&h.apply(b)),
+                "hom must distribute over ⊗ (at {a:?}, {b:?})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn support_is_a_hom() {
+        check_hom_laws(&support, &[0u64, 1, 2, 3, 10]);
+    }
+
+    #[test]
+    fn ua_projections_are_homs() {
+        let elems: Vec<Ua<u64>> = [(0u64, 0u64), (0, 1), (1, 1), (2, 3)]
+            .iter()
+            .map(|&(c, d)| Ua::new(c, d))
+            .collect();
+        check_hom_laws(&h_cert::<u64>, &elems);
+        check_hom_laws(&h_det::<u64>, &elems);
+    }
+
+    #[test]
+    fn pw_is_a_hom_lemma1() {
+        let elems = vec![
+            WorldVec::from_worlds(vec![1u64, 2]),
+            WorldVec::from_worlds(vec![0u64, 3]),
+            WorldVec::<u64>::zero(),
+            WorldVec::<u64>::one(),
+        ];
+        check_hom_laws(&pw::<u64>(0), &elems);
+        check_hom_laws(&pw::<u64>(1), &elems);
+    }
+}

@@ -1,0 +1,193 @@
+//! Exhaustive law checkers for semiring instances.
+//!
+//! These helpers iterate over every pair/triple drawn from a caller-supplied
+//! sample of elements and assert the algebraic laws the paper relies on.
+//! They back both the unit tests of each instance and the workspace's
+//! property-based tests (which feed them randomly generated samples).
+
+use crate::{LSemiring, Monus, NaturalOrder, Semiring};
+
+/// Assert the commutative-semiring laws on every triple from `elems`.
+///
+/// # Panics
+/// Panics (with the offending elements) on the first violated law.
+pub fn check_semiring_laws<K: Semiring>(elems: &[K]) {
+    let zero = K::zero();
+    let one = K::one();
+    assert!(zero.is_zero());
+    assert!(one.is_one());
+    for a in elems {
+        assert_eq!(&a.plus(&zero), a, "0 must be the ⊕ identity at {a:?}");
+        assert_eq!(&a.times(&one), a, "1 must be the ⊗ identity at {a:?}");
+        assert_eq!(
+            a.times(&zero),
+            zero,
+            "0 must annihilate ⊗ at {a:?}"
+        );
+        for b in elems {
+            assert_eq!(a.plus(b), b.plus(a), "⊕ must commute at {a:?}, {b:?}");
+            assert_eq!(a.times(b), b.times(a), "⊗ must commute at {a:?}, {b:?}");
+            for c in elems {
+                assert_eq!(
+                    a.plus(&b.plus(c)),
+                    a.plus(b).plus(c),
+                    "⊕ must associate at {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.times(&b.times(c)),
+                    a.times(b).times(c),
+                    "⊗ must associate at {a:?}, {b:?}, {c:?}"
+                );
+                assert_eq!(
+                    a.times(&b.plus(c)),
+                    a.times(b).plus(&a.times(c)),
+                    "⊗ must distribute over ⊕ at {a:?}, {b:?}, {c:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Assert the lattice laws (absorption, idempotence, consistency with the
+/// natural order) on every pair from `elems`.
+pub fn check_lattice_laws<K: LSemiring>(elems: &[K]) {
+    for a in elems {
+        assert_eq!(&a.glb(a), a, "⊓ must be idempotent at {a:?}");
+        assert_eq!(&a.lub(a), a, "⊔ must be idempotent at {a:?}");
+        for b in elems {
+            assert_eq!(a.glb(b), b.glb(a), "⊓ must commute");
+            assert_eq!(a.lub(b), b.lub(a), "⊔ must commute");
+            assert_eq!(&a.lub(&a.glb(b)), a, "absorption a ⊔ (a ⊓ b) = a");
+            assert_eq!(&a.glb(&a.lub(b)), a, "absorption a ⊓ (a ⊔ b) = a");
+            let g = a.glb(b);
+            assert!(
+                g.natural_leq(a) && g.natural_leq(b),
+                "⊓ must be a lower bound at {a:?}, {b:?}"
+            );
+            let l = a.lub(b);
+            assert!(
+                a.natural_leq(&l) && b.natural_leq(&l),
+                "⊔ must be an upper bound at {a:?}, {b:?}"
+            );
+        }
+    }
+}
+
+/// Assert that the natural order is a partial order on `elems` and that it
+/// factors through `⊕` and `⊗` (paper Lemma 2).
+pub fn check_natural_order_laws<K: NaturalOrder>(elems: &[K]) {
+    for a in elems {
+        assert!(a.natural_leq(a), "⪯ must be reflexive at {a:?}");
+        assert!(
+            K::zero().natural_leq(a),
+            "0 must be the least element at {a:?}"
+        );
+        for b in elems {
+            if a.natural_leq(b) && b.natural_leq(a) {
+                assert_eq!(a, b, "⪯ must be antisymmetric at {a:?}, {b:?}");
+            }
+            for c in elems {
+                if a.natural_leq(b) && b.natural_leq(c) {
+                    assert!(
+                        a.natural_leq(c),
+                        "⪯ must be transitive at {a:?}, {b:?}, {c:?}"
+                    );
+                }
+                for d in elems {
+                    // Lemma 2: monotonicity of ⊕ and ⊗.
+                    if a.natural_leq(c) && b.natural_leq(d) {
+                        assert!(
+                            a.plus(b).natural_leq(&c.plus(d)),
+                            "⊕ must be monotone (Lemma 2)"
+                        );
+                        assert!(
+                            a.times(b).natural_leq(&c.times(d)),
+                            "⊗ must be monotone (Lemma 2)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Assert the defining property of the monus on every pair from `elems`:
+/// `a ⊖ b` is the least `c` (among the sample) with `a ⪯ b ⊕ c`.
+pub fn check_monus_laws<K: Monus + NaturalOrder>(elems: &[K]) {
+    for a in elems {
+        for b in elems {
+            let m = a.monus(b);
+            assert!(
+                a.natural_leq(&b.plus(&m)),
+                "a ⪯ b ⊕ (a ⊖ b) must hold at {a:?}, {b:?}"
+            );
+            for c in elems {
+                if a.natural_leq(&b.plus(c)) {
+                    assert!(
+                        m.natural_leq(c),
+                        "a ⊖ b must be minimal at {a:?}, {b:?}, {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Assert that `cert`-style GLB folds are superadditive and
+/// supermultiplicative over pairs of world vectors (paper Lemma 3), given a
+/// sample of per-world annotations.
+pub fn check_cert_super_laws<K: LSemiring>(vectors: &[Vec<K>]) {
+    use crate::world::WorldVec;
+    for a in vectors {
+        for b in vectors {
+            if a.len() != b.len() {
+                continue;
+            }
+            let va = WorldVec::from_worlds(a.clone());
+            let vb = WorldVec::from_worlds(b.clone());
+            let sum = va.plus(&vb);
+            let prod = va.times(&vb);
+            assert!(
+                va.cert().plus(&vb.cert()).natural_leq(&sum.cert()),
+                "cert must be superadditive (Lemma 3) at {a:?}, {b:?}"
+            );
+            assert!(
+                va.cert().times(&vb.cert()).natural_leq(&prod.cert()),
+                "cert must be supermultiplicative (Lemma 3) at {a:?}, {b:?}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma3_on_nat_vectors() {
+        let vectors = vec![
+            vec![0u64, 5],
+            vec![2, 3],
+            vec![1, 1],
+            vec![4, 0],
+            vec![7, 2],
+        ];
+        check_cert_super_laws(&vectors);
+    }
+
+    #[test]
+    fn lemma3_on_bool_vectors() {
+        let vectors = vec![
+            vec![false, true],
+            vec![true, true],
+            vec![false, false],
+            vec![true, false],
+        ];
+        check_cert_super_laws(&vectors);
+    }
+
+    #[test]
+    fn nat_monus_law() {
+        check_monus_laws(&[0u64, 1, 2, 3, 5, 9]);
+    }
+}

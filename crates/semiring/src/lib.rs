@@ -1,0 +1,308 @@
+//! Commutative semirings and the annotation algebra behind UA-DBs.
+//!
+//! This crate provides the algebraic foundation of the K-relation framework
+//! of Green, Karvounarakis and Tannen (PODS 2007) as it is used by
+//! *Uncertainty Annotated Databases* (Feng, Huber, Glavic, Kennedy,
+//! SIGMOD 2019):
+//!
+//! * [`Semiring`] — commutative semirings `⟨K, ⊕, ⊗, 0, 1⟩`;
+//! * [`NaturalOrder`] — semirings whose natural order
+//!   (`k ⪯ k' ⇔ ∃k''. k ⊕ k'' = k'`) is a partial order;
+//! * [`LSemiring`] — naturally ordered semirings whose order forms a lattice,
+//!   giving well-defined greatest lower bounds (the paper defines the
+//!   *certain annotation* `cert_K` as a GLB across possible worlds);
+//! * [`Monus`] — semirings with a truncated subtraction `⊖` (needed by the
+//!   bag encoding of UA-relations, paper Definition 8);
+//! * [`SemiringHom`] — semiring homomorphisms, which commute with queries and
+//!   drive most of the paper's proofs.
+//!
+//! Concrete instances:
+//!
+//! * [`bool`] — the set semiring `𝔹 = ⟨{F,T}, ∨, ∧, F, T⟩`;
+//! * [`u64`] — the bag semiring `ℕ = ⟨ℕ, +, ×, 0, 1⟩` (saturating at
+//!   `u64::MAX`; see [`nat`]);
+//! * [`access::Access`] — the access-control semiring `A` of Green et al.,
+//!   used in the paper's Figure 21 experiment;
+//! * [`pair::Ua`] — the UA-semiring `K_UA = K × K` carrying
+//!   `[certain, best-guess]` pairs (paper Section 5);
+//! * [`world::WorldVec`] — the possible-world semiring `K^W`
+//!   (paper Definition 2).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod hom;
+pub mod laws;
+pub mod nat;
+pub mod pair;
+pub mod world;
+
+use std::fmt::Debug;
+
+/// A commutative semiring `⟨K, ⊕, ⊗, 0, 1⟩`.
+///
+/// Laws (checked for all concrete instances by [`laws::check_semiring_laws`]):
+///
+/// * `⊕` and `⊗` are commutative and associative;
+/// * `0` is the identity of `⊕` and annihilates `⊗`;
+/// * `1` is the identity of `⊗`;
+/// * `⊗` distributes over `⊕`.
+///
+/// Annotations of tuples in K-relations are semiring elements; queries of the
+/// positive relational algebra combine them using only `⊕` and `⊗`, which is
+/// what makes homomorphisms commute with queries.
+pub trait Semiring: Clone + PartialEq + Debug + Send + Sync + 'static {
+    /// The additive identity `0_K`. Tuples annotated `0_K` are *not* in the
+    /// relation.
+    fn zero() -> Self;
+    /// The multiplicative identity `1_K`.
+    fn one() -> Self;
+    /// Semiring addition `⊕_K` (used by union and projection).
+    fn plus(&self, other: &Self) -> Self;
+    /// Semiring multiplication `⊗_K` (used by join and selection).
+    fn times(&self, other: &Self) -> Self;
+
+    /// Whether this element is the additive identity.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+
+    /// Whether this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// In-place addition; override when cheaper than `plus` + assignment.
+    fn plus_assign(&mut self, other: &Self) {
+        *self = self.plus(other);
+    }
+
+    /// In-place multiplication.
+    fn times_assign(&mut self, other: &Self) {
+        *self = self.times(other);
+    }
+
+    /// `⊕`-fold of an iterator (the empty sum is `0_K`).
+    fn sum<'a, I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut acc = Self::zero();
+        for k in iter {
+            acc.plus_assign(k);
+        }
+        acc
+    }
+
+    /// `⊗`-fold of an iterator (the empty product is `1_K`).
+    fn product<'a, I>(iter: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut acc = Self::one();
+        for k in iter {
+            acc.times_assign(k);
+        }
+        acc
+    }
+
+    /// The boolean `b` coerced into `K`: `1_K` if `b` else `0_K`.
+    ///
+    /// This is `θ(t)` from the paper's selection semantics
+    /// `[σ_θ(R)](t) = R(t) ⊗ θ(t)`.
+    fn from_bool(b: bool) -> Self {
+        if b {
+            Self::one()
+        } else {
+            Self::zero()
+        }
+    }
+}
+
+/// A semiring whose *natural order* is a partial order ("naturally ordered"
+/// semiring, paper Section 2.3, Eq. 4).
+///
+/// The natural order is defined as `k ⪯_K k' ⇔ ∃k''. k ⊕_K k'' = k'`.
+/// Implementations must decide this relation exactly.
+pub trait NaturalOrder: Semiring {
+    /// Whether `self ⪯_K other` holds in the natural order.
+    fn natural_leq(&self, other: &Self) -> bool;
+
+    /// Strict variant of [`NaturalOrder::natural_leq`].
+    fn natural_lt(&self, other: &Self) -> bool {
+        self.natural_leq(other) && self != other
+    }
+}
+
+/// An *l-semiring* (Kostylev & Buneman): a naturally ordered semiring whose
+/// order forms a lattice, so every finite set of elements has a unique
+/// greatest lower bound and least upper bound.
+///
+/// UA-DBs define the certain annotation of a tuple as the GLB of its
+/// annotations across all possible worlds (paper Section 3.1), so the
+/// underlying semiring must be an l-semiring.
+pub trait LSemiring: NaturalOrder {
+    /// Greatest lower bound `⊓_K` of two elements.
+    fn glb(&self, other: &Self) -> Self;
+    /// Least upper bound `⊔_K` of two elements.
+    fn lub(&self, other: &Self) -> Self;
+
+    /// GLB of a non-empty iterator; `None` when empty.
+    ///
+    /// Well-defined regardless of iteration order because `⊓` is associative
+    /// and commutative in a lattice.
+    fn glb_all<'a, I>(iter: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut iter = iter.into_iter();
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, k| acc.glb(k)))
+    }
+
+    /// LUB of a non-empty iterator; `None` when empty.
+    fn lub_all<'a, I>(iter: I) -> Option<Self>
+    where
+        I: IntoIterator<Item = &'a Self>,
+        Self: 'a,
+    {
+        let mut iter = iter.into_iter();
+        let first = iter.next()?.clone();
+        Some(iter.fold(first, |acc, k| acc.lub(k)))
+    }
+}
+
+/// A semiring with a *monus* operation `⊖` (Geerts & Poggi): a truncated
+/// subtraction satisfying `a ⊖ b = ` the least `c` with `a ⪯ b ⊕ c`.
+///
+/// The bag encoding of a UA-relation stores `d ⊖ c` copies of a tuple marked
+/// "uncertain" (paper Definition 8), which is where this operation is needed.
+pub trait Monus: Semiring {
+    /// Truncated subtraction `self ⊖ other`.
+    fn monus(&self, other: &Self) -> Self;
+}
+
+pub use hom::SemiringHom;
+
+// ---------------------------------------------------------------------------
+// The set semiring 𝔹.
+// ---------------------------------------------------------------------------
+
+impl Semiring for bool {
+    fn zero() -> Self {
+        false
+    }
+    fn one() -> Self {
+        true
+    }
+    fn plus(&self, other: &Self) -> Self {
+        *self || *other
+    }
+    fn times(&self, other: &Self) -> Self {
+        *self && *other
+    }
+    fn is_zero(&self) -> bool {
+        !*self
+    }
+    fn is_one(&self) -> bool {
+        *self
+    }
+}
+
+impl NaturalOrder for bool {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // F ⪯ F, F ⪯ T, T ⪯ T; T ⋠ F.
+        !*self || *other
+    }
+}
+
+impl LSemiring for bool {
+    fn glb(&self, other: &Self) -> Self {
+        *self && *other
+    }
+    fn lub(&self, other: &Self) -> Self {
+        *self || *other
+    }
+}
+
+impl Monus for bool {
+    fn monus(&self, other: &Self) -> Self {
+        *self && !*other
+    }
+}
+
+/// The set semiring `𝔹` (alias for `bool`).
+pub type BoolSemiring = bool;
+
+/// The bag semiring `ℕ` (alias for `u64`; see [`nat`] for the impl).
+pub type NatSemiring = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_semiring_tables() {
+        assert!(!bool::zero());
+        assert!(bool::one());
+        assert!(true.plus(&false));
+        assert!(!false.plus(&false));
+        assert!(true.times(&true));
+        assert!(!true.times(&false));
+    }
+
+    #[test]
+    fn bool_natural_order_is_f_below_t() {
+        assert!(false.natural_leq(&true));
+        assert!(false.natural_leq(&false));
+        assert!(true.natural_leq(&true));
+        assert!(!true.natural_leq(&false));
+        assert!(false.natural_lt(&true));
+        assert!(!false.natural_lt(&false));
+    }
+
+    #[test]
+    fn bool_lattice_matches_logic() {
+        assert_eq!(true.glb(&false), false);
+        assert_eq!(true.lub(&false), true);
+        assert_eq!(
+            bool::glb_all([true, true, false].iter()),
+            Some(false),
+            "⊓ over 𝔹 is conjunction"
+        );
+        assert_eq!(bool::lub_all([false, false].iter()), Some(false));
+        assert_eq!(bool::glb_all(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn bool_monus() {
+        assert!(true.monus(&false));
+        assert!(!true.monus(&true));
+        assert!(!false.monus(&true));
+    }
+
+    #[test]
+    fn sum_and_product_folds() {
+        assert!(bool::sum([false, true].iter()));
+        assert!(!bool::sum(std::iter::empty()));
+        assert!(bool::product(std::iter::empty()));
+        assert!(!bool::product([true, false].iter()));
+    }
+
+    #[test]
+    fn from_bool_coercion() {
+        assert_eq!(u64::from_bool(true), 1);
+        assert_eq!(u64::from_bool(false), 0);
+        assert!(bool::from_bool(true));
+    }
+
+    #[test]
+    fn bool_laws() {
+        laws::check_semiring_laws(&[false, true]);
+        laws::check_lattice_laws(&[false, true]);
+    }
+}

@@ -1,0 +1,102 @@
+//! The bag semiring `ℕ = ⟨ℕ, +, ×, 0, 1⟩`.
+//!
+//! Tuples in bag relations are annotated with their multiplicity. We
+//! represent `ℕ` by `u64` with *saturating* arithmetic: multiplicities in all
+//! of the paper's workloads are tiny, and saturation keeps `⊕`/`⊗` total
+//! without panicking on adversarial inputs. Saturation only bends the
+//! semiring laws at `u64::MAX`, far outside any realistic multiplicity.
+//!
+//! `ℕ`'s natural order is the usual order on naturals, with `⊓ = min` and
+//! `⊔ = max` (paper Section 3.1); its monus is saturating subtraction.
+
+use crate::{LSemiring, Monus, NaturalOrder, Semiring};
+
+impl Semiring for u64 {
+    fn zero() -> Self {
+        0
+    }
+    fn one() -> Self {
+        1
+    }
+    fn plus(&self, other: &Self) -> Self {
+        self.saturating_add(*other)
+    }
+    fn times(&self, other: &Self) -> Self {
+        self.saturating_mul(*other)
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+    fn is_one(&self) -> bool {
+        *self == 1
+    }
+}
+
+impl NaturalOrder for u64 {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self <= other
+    }
+}
+
+impl LSemiring for u64 {
+    fn glb(&self, other: &Self) -> Self {
+        *self.min(other)
+    }
+    fn lub(&self, other: &Self) -> Self {
+        *self.max(other)
+    }
+}
+
+impl Monus for u64 {
+    fn monus(&self, other: &Self) -> Self {
+        self.saturating_sub(*other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{laws, LSemiring, Monus, NaturalOrder, Semiring};
+
+    #[test]
+    fn nat_identities() {
+        assert_eq!(u64::zero(), 0);
+        assert_eq!(u64::one(), 1);
+        assert_eq!(3u64.plus(&4), 7);
+        assert_eq!(3u64.times(&4), 12);
+    }
+
+    #[test]
+    fn nat_certain_annotation_is_min() {
+        // Paper Example 7: cert_ℕ({2,3}) = min(2,3) = 2; cert_ℕ({0,5}) = 0.
+        assert_eq!(u64::glb_all([2u64, 3].iter()), Some(2));
+        assert_eq!(u64::glb_all([0u64, 5].iter()), Some(0));
+        assert_eq!(u64::lub_all([2u64, 3].iter()), Some(3));
+    }
+
+    #[test]
+    fn nat_natural_order() {
+        assert!(2u64.natural_leq(&5));
+        assert!(!5u64.natural_leq(&2));
+        assert!(2u64.natural_lt(&3));
+    }
+
+    #[test]
+    fn nat_monus_truncates() {
+        assert_eq!(5u64.monus(&3), 2);
+        assert_eq!(3u64.monus(&5), 0);
+        assert_eq!(0u64.monus(&0), 0);
+    }
+
+    #[test]
+    fn nat_saturates_instead_of_overflowing() {
+        assert_eq!(u64::MAX.plus(&1), u64::MAX);
+        assert_eq!(u64::MAX.times(&2), u64::MAX);
+    }
+
+    #[test]
+    fn nat_laws_on_small_sample() {
+        laws::check_semiring_laws(&[0u64, 1, 2, 3, 7, 100]);
+        laws::check_lattice_laws(&[0u64, 1, 2, 3, 7, 100]);
+        laws::check_natural_order_laws(&[0u64, 1, 2, 3, 7, 100]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The UA-semiring `K_UA = K²` (paper Definition 3).
+//!
+//! A UA-DB annotates each tuple with a pair `[c, d]`:
+//!
+//! * `c` (the *certain* component) under-approximates the tuple's certain
+//!   annotation `cert_K(D, t)`,
+//! * `d` (the *determinized* component) is the tuple's annotation in the
+//!   distinguished best-guess world.
+//!
+//! `K²` is the direct product of `K` with itself, with pointwise operations —
+//! and products of semirings are semirings, so standard K-relational query
+//! evaluation applies unchanged. The projections [`Ua::cert`] (`h_cert`) and
+//! [`Ua::det`] (`h_det`) are semiring homomorphisms (see [`crate::hom`]),
+//! which is the crux of the paper's Theorem 4: queries act on the two
+//! components independently, so the sandwich
+//! `c ⪯ cert_K(D, t) ⪯ d` is preserved by every RA⁺ query.
+
+use crate::{LSemiring, Monus, NaturalOrder, Semiring};
+
+/// An annotation in the UA-semiring `K² = K × K`: `[certain, best-guess]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Ua<K> {
+    /// Under-approximation of the certain annotation (`c`).
+    pub cert: K,
+    /// Annotation in the best-guess world (`d`).
+    pub det: K,
+}
+
+impl<K: Semiring> Ua<K> {
+    /// Annotation `[cert, det]`.
+    pub fn new(cert: K, det: K) -> Self {
+        Ua { cert, det }
+    }
+
+    /// A fully certain annotation `[k, k]`.
+    pub fn certain(k: K) -> Self {
+        Ua {
+            cert: k.clone(),
+            det: k,
+        }
+    }
+
+    /// A fully uncertain annotation `[0, k]`: present in the best-guess world
+    /// but with no certainty guarantee.
+    pub fn uncertain(k: K) -> Self {
+        Ua {
+            cert: K::zero(),
+            det: k,
+        }
+    }
+
+    /// The `h_cert` projection.
+    pub fn cert(&self) -> &K {
+        &self.cert
+    }
+
+    /// The `h_det` projection.
+    pub fn det(&self) -> &K {
+        &self.det
+    }
+
+    /// Whether the annotation claims full certainty (`c = d`, and the tuple
+    /// is present). For `𝔹` this is the "Certain?" column of the paper's
+    /// Figure 3d.
+    pub fn is_fully_certain(&self) -> bool {
+        !self.det.is_zero() && self.cert == self.det
+    }
+
+    /// A well-formed UA-annotation must satisfy `c ⪯_K d`: the certain lower
+    /// bound can never exceed the best-guess annotation.
+    pub fn is_well_formed(&self) -> bool
+    where
+        K: NaturalOrder,
+    {
+        self.cert.natural_leq(&self.det)
+    }
+}
+
+impl<K: Semiring> Semiring for Ua<K> {
+    fn zero() -> Self {
+        Ua {
+            cert: K::zero(),
+            det: K::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        Ua {
+            cert: K::one(),
+            det: K::one(),
+        }
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        Ua {
+            cert: self.cert.plus(&other.cert),
+            det: self.det.plus(&other.det),
+        }
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        Ua {
+            cert: self.cert.times(&other.cert),
+            det: self.det.times(&other.det),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.cert.is_zero() && self.det.is_zero()
+    }
+
+    fn is_one(&self) -> bool {
+        self.cert.is_one() && self.det.is_one()
+    }
+}
+
+impl<K: NaturalOrder> NaturalOrder for Ua<K> {
+    fn natural_leq(&self, other: &Self) -> bool {
+        // The natural order of a product semiring is pointwise.
+        self.cert.natural_leq(&other.cert) && self.det.natural_leq(&other.det)
+    }
+}
+
+impl<K: LSemiring> LSemiring for Ua<K> {
+    fn glb(&self, other: &Self) -> Self {
+        Ua {
+            cert: self.cert.glb(&other.cert),
+            det: self.det.glb(&other.det),
+        }
+    }
+
+    fn lub(&self, other: &Self) -> Self {
+        Ua {
+            cert: self.cert.lub(&other.cert),
+            det: self.det.lub(&other.det),
+        }
+    }
+}
+
+impl<K: Monus> Monus for Ua<K> {
+    fn monus(&self, other: &Self) -> Self {
+        Ua {
+            cert: self.cert.monus(&other.cert),
+            det: self.det.monus(&other.det),
+        }
+    }
+}
+
+/// A generic direct product of two (possibly different) semirings.
+///
+/// `Ua<K>` is the special case `Product<K, K>` with named fields; the generic
+/// form is used in tests of the "products of semirings are semirings" fact
+/// the paper leans on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Product<A, B>(pub A, pub B);
+
+impl<A: Semiring, B: Semiring> Semiring for Product<A, B> {
+    fn zero() -> Self {
+        Product(A::zero(), B::zero())
+    }
+    fn one() -> Self {
+        Product(A::one(), B::one())
+    }
+    fn plus(&self, other: &Self) -> Self {
+        Product(self.0.plus(&other.0), self.1.plus(&other.1))
+    }
+    fn times(&self, other: &Self) -> Self {
+        Product(self.0.times(&other.0), self.1.times(&other.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn ua_bool_pointwise() {
+        let c = Ua::certain(true);
+        let u = Ua::uncertain(true);
+        // Joining a certain with an uncertain tuple yields uncertain.
+        let j = c.times(&u);
+        assert_eq!(j, Ua::new(false, true));
+        assert!(!j.is_fully_certain());
+        // Union of two uncertain derivations of the same tuple stays present.
+        assert_eq!(u.plus(&u), Ua::new(false, true));
+    }
+
+    #[test]
+    fn ua_nat_multiplicities() {
+        let a = Ua::<u64>::new(2, 3); // at least 2 copies certain, 3 in BGW
+        let b = Ua::<u64>::new(1, 1);
+        assert_eq!(a.plus(&b), Ua::new(3, 4));
+        assert_eq!(a.times(&b), Ua::new(2, 3));
+        assert!(a.is_well_formed());
+        assert!(!Ua::<u64>::new(4, 3).is_well_formed());
+    }
+
+    #[test]
+    fn fully_certain_requires_presence() {
+        assert!(Ua::certain(true).is_fully_certain());
+        assert!(!Ua::<bool>::zero().is_fully_certain());
+        assert!(!Ua::uncertain(true).is_fully_certain());
+        assert!(Ua::<u64>::new(2, 2).is_fully_certain());
+        assert!(!Ua::<u64>::new(1, 2).is_fully_certain());
+    }
+
+    #[test]
+    fn ua_laws() {
+        let elems: Vec<Ua<u64>> = [(0u64, 0u64), (0, 1), (1, 1), (1, 2), (2, 3)]
+            .iter()
+            .map(|&(c, d)| Ua::new(c, d))
+            .collect();
+        laws::check_semiring_laws(&elems);
+        laws::check_lattice_laws(&elems);
+    }
+
+    #[test]
+    fn product_laws() {
+        let elems = [
+            Product(false, 0u64),
+            Product(true, 0),
+            Product(false, 2),
+            Product(true, 3),
+        ];
+        laws::check_semiring_laws(&elems);
+    }
+}

@@ -1,0 +1,262 @@
+//! The possible-world semiring `K^W` (paper Definition 2).
+//!
+//! An incomplete K-database with `n` worlds can equivalently be stored as a
+//! single database whose annotations are *vectors* of length `n`: position
+//! `i` holds the tuple's annotation in world `i`. Addition and
+//! multiplication act pointwise, and the projection `pw_i` (extracting world
+//! `i`) is a semiring homomorphism (paper Lemma 1) — which is exactly why
+//! queries over `K^W`-databases implement possible-world semantics.
+//!
+//! `Semiring::zero`/`one` carry no length information, so [`WorldVec`] has a
+//! length-polymorphic [`WorldVec::Uniform`] variant denoting "the same
+//! annotation in every world". Operations broadcast `Uniform` against
+//! concrete vectors; all concrete vectors combined in one expression must
+//! have equal lengths (enforced with a panic, since mixed-width annotation
+//! vectors indicate a construction bug, not a recoverable condition).
+
+use crate::{LSemiring, NaturalOrder, Semiring};
+
+/// An annotation in the possible-world semiring `K^W`.
+#[derive(Clone, Debug)]
+pub enum WorldVec<K> {
+    /// The same annotation `k` in every world (length-polymorphic).
+    Uniform(K),
+    /// One annotation per world.
+    Worlds(Vec<K>),
+}
+
+/// Semantic equality: `Uniform(k)` denotes `k` in *every* world, so it equals
+/// any concrete vector whose entries are all `k` (this keeps the semiring
+/// laws — e.g. `0 ⊗ v = 0` — observable through `==`).
+impl<K: PartialEq> PartialEq for WorldVec<K> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (WorldVec::Uniform(a), WorldVec::Uniform(b)) => a == b,
+            (WorldVec::Uniform(a), WorldVec::Worlds(bs))
+            | (WorldVec::Worlds(bs), WorldVec::Uniform(a)) => bs.iter().all(|b| b == a),
+            (WorldVec::Worlds(a), WorldVec::Worlds(b)) => a == b,
+        }
+    }
+}
+
+impl<K: Eq> Eq for WorldVec<K> {}
+
+impl<K: Semiring> WorldVec<K> {
+    /// Annotation vector from per-world annotations.
+    ///
+    /// # Panics
+    /// Panics when `worlds` is empty: an incomplete database must have at
+    /// least one possible world.
+    pub fn from_worlds(worlds: Vec<K>) -> Self {
+        assert!(
+            !worlds.is_empty(),
+            "an incomplete database needs at least one possible world"
+        );
+        WorldVec::Worlds(worlds)
+    }
+
+    /// The number of worlds, if this vector is concrete.
+    pub fn len(&self) -> Option<usize> {
+        match self {
+            WorldVec::Uniform(_) => None,
+            WorldVec::Worlds(v) => Some(v.len()),
+        }
+    }
+
+    /// Whether this vector is concrete and empty (never true for values built
+    /// through [`WorldVec::from_worlds`]).
+    pub fn is_empty(&self) -> bool {
+        matches!(self, WorldVec::Worlds(v) if v.is_empty())
+    }
+
+    /// The annotation in world `i` — the homomorphism `pw_i` (paper Eq. 5).
+    pub fn world(&self, i: usize) -> K {
+        match self {
+            WorldVec::Uniform(k) => k.clone(),
+            WorldVec::Worlds(v) => v[i].clone(),
+        }
+    }
+
+    /// Expand to a concrete vector of `n` worlds.
+    ///
+    /// # Panics
+    /// Panics if already concrete with a different length.
+    pub fn materialize(self, n: usize) -> Vec<K> {
+        match self {
+            WorldVec::Uniform(k) => vec![k; n],
+            WorldVec::Worlds(v) => {
+                assert_eq!(v.len(), n, "world-vector width mismatch");
+                v
+            }
+        }
+    }
+
+    /// The certain annotation `cert_K = ⊓_K` over all worlds
+    /// (paper Section 3.2).
+    pub fn cert(&self) -> K
+    where
+        K: LSemiring,
+    {
+        match self {
+            WorldVec::Uniform(k) => k.clone(),
+            WorldVec::Worlds(v) => {
+                K::glb_all(v.iter()).expect("non-empty world vector")
+            }
+        }
+    }
+
+    /// The possible annotation `poss_K = ⊔_K` over all worlds.
+    pub fn poss(&self) -> K
+    where
+        K: LSemiring,
+    {
+        match self {
+            WorldVec::Uniform(k) => k.clone(),
+            WorldVec::Worlds(v) => {
+                K::lub_all(v.iter()).expect("non-empty world vector")
+            }
+        }
+    }
+
+    fn zip_with(&self, other: &Self, f: impl Fn(&K, &K) -> K) -> Self {
+        match (self, other) {
+            (WorldVec::Uniform(a), WorldVec::Uniform(b)) => WorldVec::Uniform(f(a, b)),
+            (WorldVec::Uniform(a), WorldVec::Worlds(bs)) => {
+                WorldVec::Worlds(bs.iter().map(|b| f(a, b)).collect())
+            }
+            (WorldVec::Worlds(rs), WorldVec::Uniform(b)) => {
+                WorldVec::Worlds(rs.iter().map(|a| f(a, b)).collect())
+            }
+            (WorldVec::Worlds(rs), WorldVec::Worlds(bs)) => {
+                assert_eq!(
+                    rs.len(),
+                    bs.len(),
+                    "combining annotation vectors of different world counts"
+                );
+                WorldVec::Worlds(rs.iter().zip(bs).map(|(a, b)| f(a, b)).collect())
+            }
+        }
+    }
+}
+
+impl<K: Semiring> Semiring for WorldVec<K> {
+    fn zero() -> Self {
+        WorldVec::Uniform(K::zero())
+    }
+
+    fn one() -> Self {
+        WorldVec::Uniform(K::one())
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        self.zip_with(other, K::plus)
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        self.zip_with(other, K::times)
+    }
+
+    fn is_zero(&self) -> bool {
+        match self {
+            WorldVec::Uniform(k) => k.is_zero(),
+            WorldVec::Worlds(v) => v.iter().all(K::is_zero),
+        }
+    }
+
+    fn is_one(&self) -> bool {
+        match self {
+            WorldVec::Uniform(k) => k.is_one(),
+            WorldVec::Worlds(v) => v.iter().all(K::is_one),
+        }
+    }
+}
+
+impl<K: NaturalOrder> NaturalOrder for WorldVec<K> {
+    fn natural_leq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (WorldVec::Uniform(a), WorldVec::Uniform(b)) => a.natural_leq(b),
+            (WorldVec::Uniform(a), WorldVec::Worlds(bs)) => {
+                bs.iter().all(|b| a.natural_leq(b))
+            }
+            (WorldVec::Worlds(rs), WorldVec::Uniform(b)) => {
+                rs.iter().all(|a| a.natural_leq(b))
+            }
+            (WorldVec::Worlds(rs), WorldVec::Worlds(bs)) => {
+                rs.len() == bs.len()
+                    && rs.iter().zip(bs).all(|(a, b)| a.natural_leq(b))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laws;
+
+    #[test]
+    fn example8_encoding() {
+        // Paper Example 8: the ℕ²-relation annotations.
+        let lasalle = WorldVec::from_worlds(vec![3u64, 2]);
+        let tucson = WorldVec::from_worlds(vec![2u64, 1]);
+        let greenville = WorldVec::from_worlds(vec![0u64, 5]);
+        assert_eq!(lasalle.cert(), 2);
+        assert_eq!(tucson.cert(), 1);
+        assert_eq!(greenville.cert(), 0);
+        assert_eq!(greenville.poss(), 5);
+    }
+
+    #[test]
+    fn pointwise_ops() {
+        let a = WorldVec::from_worlds(vec![1u64, 2]);
+        let b = WorldVec::from_worlds(vec![3u64, 0]);
+        assert_eq!(a.plus(&b), WorldVec::from_worlds(vec![4, 2]));
+        assert_eq!(a.times(&b), WorldVec::from_worlds(vec![3, 0]));
+    }
+
+    #[test]
+    fn uniform_broadcast() {
+        let one = WorldVec::<u64>::one();
+        let b = WorldVec::from_worlds(vec![3u64, 0]);
+        assert_eq!(one.times(&b), b);
+        assert_eq!(WorldVec::<u64>::zero().plus(&b), b);
+        assert_eq!(one.clone().materialize(3), vec![1, 1, 1]);
+        assert!(WorldVec::<u64>::zero().is_zero());
+    }
+
+    #[test]
+    fn pw_projection() {
+        let a = WorldVec::from_worlds(vec![1u64, 2, 5]);
+        assert_eq!(a.world(0), 1);
+        assert_eq!(a.world(2), 5);
+        assert_eq!(WorldVec::Uniform(7u64).world(1), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "different world counts")]
+    fn width_mismatch_panics() {
+        let a = WorldVec::from_worlds(vec![1u64, 2]);
+        let b = WorldVec::from_worlds(vec![1u64, 2, 3]);
+        let _ = a.plus(&b);
+    }
+
+    #[test]
+    fn natural_order_is_pointwise() {
+        let a = WorldVec::from_worlds(vec![1u64, 2]);
+        let b = WorldVec::from_worlds(vec![2u64, 2]);
+        assert!(a.natural_leq(&b));
+        assert!(!b.natural_leq(&a));
+    }
+
+    #[test]
+    fn world_vec_laws() {
+        let elems = vec![
+            WorldVec::<u64>::zero(),
+            WorldVec::<u64>::one(),
+            WorldVec::from_worlds(vec![1, 2]),
+            WorldVec::from_worlds(vec![0, 3]),
+            WorldVec::from_worlds(vec![2, 2]),
+        ];
+        laws::check_semiring_laws(&elems);
+    }
+}

@@ -1,0 +1,68 @@
+//! The data-cleaning motivation (paper Sections 1 and 11.5): impute missing
+//! values, keep track of which answers depend on the imputation.
+//!
+//! A survey table loses 30% of its values; mode/mean imputation repairs it
+//! into a best-guess world. Queries over the repaired table silently mix
+//! reliable and speculative answers — the UA-DB makes the difference
+//! visible, and the utility comparison shows why best-guess answers beat
+//! certain answers.
+//!
+//! Run with `cargo run --example data_cleaning`.
+
+use uadb::baselines::certain_subset;
+use uadb::datagen::utility::{build, ground_truth, precision_recall};
+use uadb::engine::plan::Plan;
+use uadb::engine::sql::{parse, plan_query, RejectAnnotations};
+use uadb::engine::{execute, Catalog};
+
+fn main() {
+    let ground = ground_truth("income_survey", 2000, 42);
+    let instance = build(&ground, 0.30, 7);
+    println!(
+        "income_survey: {} rows, 30% of values nulled, then imputed (mode/mean)\n",
+        ground.len()
+    );
+
+    let sql = "SELECT id, age_group, source FROM survey WHERE income >= 30000";
+    println!("query: {sql}\n");
+
+    let run = |table: &uadb::engine::Table| {
+        let catalog = Catalog::new();
+        catalog.register("survey", table.clone());
+        let ast = parse(sql).expect("parse");
+        let plan = plan_query(&ast, &catalog, &RejectAnnotations).expect("plan");
+        execute(&plan, &catalog).expect("run")
+    };
+
+    let truth = run(&instance.ground);
+    let bgqp = run(&instance.imputed);
+    let rgqp = run(&instance.random_repair);
+
+    // Libkin-style certain answers over the incomplete (null-ful) table.
+    let catalog = Catalog::new();
+    catalog.register("survey", instance.incomplete.clone());
+    let ast = parse(sql).expect("parse");
+    let plan = plan_query(&ast, &catalog, &RejectAnnotations).expect("plan");
+    let certain = certain_subset(
+        &Plan::from_ra(&plan.to_ra().expect("SPJ")),
+        &catalog,
+    )
+    .expect("libkin");
+
+    println!("{:<28} {:>9} {:>10} {:>8}", "strategy", "precision", "recall", "rows");
+    for (name, result) in [
+        ("best-guess (imputed) world", &bgqp),
+        ("random repair", &rgqp),
+        ("certain answers (Libkin)", &certain),
+    ] {
+        let (p, r) = precision_recall(result, &truth);
+        println!("{name:<28} {p:>9.3} {r:>10.3} {:>8}", result.len());
+    }
+
+    println!(
+        "\nThe paper's Figure 18 in miniature: the under-approximation is\n\
+         perfectly precise but loses recall badly, while best-guess answers\n\
+         stay close to the ground truth — and a UA-DB gives you the best-guess\n\
+         answers *with* certainty labels, at deterministic cost."
+    );
+}

@@ -1,0 +1,200 @@
+//! The paper's named theorems as executable checks (beyond the per-crate
+//! unit tests): c-completeness preservation for TI-DBs (Corollary 1) and
+//! the x-key condition (Theorem 6).
+
+use uadb::core::UaDb;
+use uadb::data::{tuple, Expr, ProjColumn, RaExpr, Schema};
+use uadb::incomplete::{is_c_complete, is_c_correct, is_c_sound};
+use uadb::models::{TiDb, TiRelation, TiTuple, XDb, XRelation, XTuple};
+use uadb::semiring::hom::support;
+
+fn sample_tidb() -> TiDb {
+    let mut r = TiRelation::new(Schema::qualified("r", ["a", "b"]));
+    r.push(TiTuple::certain(tuple![1i64, 10i64]));
+    r.push(TiTuple::certain(tuple![2i64, 20i64]));
+    r.push(TiTuple::with_probability(tuple![3i64, 10i64], 0.7));
+    r.push(TiTuple::with_probability(tuple![4i64, 20i64], 0.3));
+    let mut db = TiDb::new();
+    db.insert("r", r);
+    db
+}
+
+/// Corollary 1: over TI-DB labelings, RA⁺ queries preserve c-completeness
+/// (and hence c-correctness, since c-soundness always holds).
+#[test]
+fn corollary1_tidb_queries_preserve_c_correctness() {
+    let tidb = sample_tidb();
+    let inc = tidb.enumerate_worlds(16);
+    let labeling = tidb.labeling();
+    assert!(is_c_correct(&labeling, &inc), "label_TIDB must be c-correct");
+
+    let queries = vec![
+        RaExpr::table("r").select(Expr::named("b").eq(Expr::lit(10i64))),
+        RaExpr::table("r").project(["b"]),
+        RaExpr::table("r").alias("x").join(
+            RaExpr::table("r").alias("y"),
+            Expr::named("x.b").eq(Expr::named("y.b")),
+        ),
+        RaExpr::table("r")
+            .project(["b"])
+            .union(RaExpr::table("r").project(["b"])),
+    ];
+    for q in queries {
+        // Evaluate the labeling as a 𝔹-database.
+        let mut label_db = uadb::data::Database::<bool>::new();
+        label_db.insert("r", labeling.get("r").unwrap().clone());
+        let label_result = uadb::data::eval(&q, &label_db).expect("labeling eval");
+
+        // Ground truth via possible worlds.
+        let ground = inc.query(&q).expect("worlds");
+
+        // c-soundness (Theorem 5) and c-completeness (Corollary 1): the
+        // evaluated labeling is exactly the certain answers.
+        let mut result_db = uadb::incomplete::Labeling::<bool>::new();
+        result_db.insert("result", label_result.clone());
+        let result_inc = uadb::incomplete::IncompleteDb::new(
+            (0..ground.n_worlds())
+                .map(|i| ground.world(i).clone())
+                .collect(),
+        );
+        assert!(
+            is_c_sound(&result_db, &result_inc),
+            "Theorem 5 violated for {q}"
+        );
+        assert!(
+            is_c_complete(&result_db, &result_inc),
+            "Corollary 1 violated for {q}"
+        );
+    }
+}
+
+fn addresses_xdb() -> XDb {
+    // x-tuples whose alternatives differ on `loc` but not on `id`.
+    let mut rel = XRelation::new(Schema::qualified("addr", ["id", "loc"]));
+    rel.push(XTuple::total(vec![tuple![1i64, "a"], tuple![1i64, "b"]]));
+    rel.push(XTuple::total(vec![tuple![2i64, "c"]]));
+    rel.push(XTuple::total(vec![tuple![3i64, "c"], tuple![3i64, "d"]]));
+    let mut db = XDb::new();
+    db.insert("addr", rel);
+    db
+}
+
+/// Theorem 6: projections retaining an x-key preserve c-completeness;
+/// dropping the x-key loses it (the paper's canonical counterexample).
+#[test]
+fn theorem6_x_keys_control_completeness() {
+    let xdb = addresses_xdb();
+    let rel = xdb.get("addr").unwrap();
+    // `loc` (position 1) is an x-key; `id` (position 0) is not.
+    assert!(rel.is_x_key(&[1]));
+    assert!(!rel.is_x_key(&[0]));
+
+    let inc = xdb.enumerate_worlds(100);
+    // Set-semantics view of the labeling.
+    let labeling_set = xdb.labeling().map_annotations(&support);
+    let inc_set = uadb::incomplete::IncompleteDb::new(
+        inc.worlds()
+            .iter()
+            .map(|w| w.map_annotations(&support))
+            .collect(),
+    );
+    assert!(is_c_complete(&labeling_set, &inc_set));
+
+    // Projection retaining the x-key: completeness preserved.
+    let q_key = RaExpr::table("addr").project(["id", "loc"]);
+    let mut ldb = uadb::data::Database::<bool>::new();
+    ldb.insert("addr", labeling_set.get("addr").unwrap().clone());
+    let label_result = uadb::data::eval(&q_key, &ldb).expect("eval");
+    let ground = inc_set.query(&q_key).expect("worlds");
+    let cert = ground.certain_relation("result").expect("certain relation");
+    for (t, _) in cert.iter() {
+        assert!(
+            label_result.annotation(t),
+            "Theorem 6 violated: {t} certain but unlabeled under an x-key projection"
+        );
+    }
+
+    // Projection dropping the x-key: the tuple ⟨1⟩ becomes certain (both
+    // alternatives project to it) but stays unlabeled — completeness lost,
+    // soundness kept.
+    let q_nokey = RaExpr::table("addr").project(["id"]);
+    let label_result = uadb::data::eval(&q_nokey, &ldb).expect("eval");
+    let ground = inc_set.query(&q_nokey).expect("worlds");
+    assert!(ground.certain_annotation("result", &tuple![1i64]));
+    assert!(
+        !label_result.annotation(&tuple![1i64]),
+        "⟨1⟩ must be a (sound) false negative without the x-key"
+    );
+    // Soundness is never lost (Theorem 5).
+    for (t, _) in label_result.iter() {
+        assert!(ground.certain_annotation("result", t));
+    }
+}
+
+/// The worst case the paper promises: with no certainty information, the
+/// UA-DB degrades to exactly best-guess query processing.
+#[test]
+fn degenerates_to_bgqp_without_certainty_information() {
+    let mut rel = XRelation::new(Schema::qualified("r", ["a"]));
+    rel.push(XTuple::total(vec![tuple![1i64], tuple![2i64]]));
+    rel.push(XTuple::total(vec![tuple![3i64], tuple![4i64]]));
+    let mut xdb = XDb::new();
+    xdb.insert("r", rel);
+
+    let ua = UaDb::from_xdb(&xdb);
+    let q = RaExpr::table("r").project_cols(vec![ProjColumn::named("a")]);
+    let result = ua.query(&q).expect("query");
+    // Nothing is labeled certain…
+    assert!(result.iter().all(|(_, ann)| ann.cert == 0));
+    // …but every best-guess answer is present.
+    let bgqp = uadb::data::eval(&q, &xdb.best_guess_world()).expect("bgqp");
+    assert_eq!(
+        result.map_annotations(&uadb::semiring::hom::h_det::<u64>),
+        bgqp
+    );
+}
+
+/// Section 8, Lemma 5: when two annotation vectors attain their GLB in a
+/// *common* world, `⊓` commutes with `⊕` and `⊗` — the engine room of
+/// Corollary 1.
+#[test]
+fn lemma5_common_minimum_world_commutes() {
+    use uadb::semiring::world::WorldVec;
+    use uadb::semiring::Semiring;
+    // Both vectors attain their minimum in world 0.
+    let a = WorldVec::from_worlds(vec![1u64, 3, 2]);
+    let b = WorldVec::from_worlds(vec![0u64, 4, 5]);
+    assert_eq!(a.plus(&b).cert(), a.cert() + b.cert());
+    assert_eq!(a.times(&b).cert(), a.cert() * b.cert());
+
+    // Counterexample without a common minimum world: minima in different
+    // worlds make cert strictly super-additive.
+    let c = WorldVec::from_worlds(vec![1u64, 3]);
+    let d = WorldVec::from_worlds(vec![3u64, 1]);
+    assert!(c.plus(&d).cert() > c.cert() + d.cert());
+}
+
+/// Section 8, Lemma 6: a TI-DB has one world where *every* tuple's
+/// annotation vector attains its GLB (the world with exactly the certain
+/// tuples).
+#[test]
+fn lemma6_tidb_has_a_common_minimum_world() {
+    let tidb = sample_tidb();
+    let inc = tidb.enumerate_worlds(16);
+    let wdb = inc.to_world_db();
+    let rel = wdb.database().get("r").expect("r");
+    let n = wdb.n_worlds();
+    let minimal = (0..n).find(|&i| {
+        rel.iter().all(|(_, vector)| {
+            use uadb::semiring::LSemiring;
+            vector.world(i) == bool::glb_all(
+                (0..n).map(|j| vector.world(j)).collect::<Vec<_>>().iter(),
+            )
+            .expect("non-empty")
+        })
+    });
+    assert!(
+        minimal.is_some(),
+        "Lemma 6: some world must realize every tuple's GLB simultaneously"
+    );
+}
