@@ -19,12 +19,12 @@
 //! Under bag semantics the same evaluation under-approximates the certain
 //! *multiplicities* (the paper's \[26\] extension).
 
-use ua_engine::exec::{execute, EngineError};
-use ua_engine::plan::Plan;
-use ua_engine::storage::{Catalog, Table};
 use ua_data::algebra::RaExpr;
 use ua_data::relation::{Database, Relation};
 use ua_data::Tuple;
+use ua_engine::exec::{execute, EngineError};
+use ua_engine::plan::Plan;
+use ua_engine::storage::{Catalog, Table};
 
 /// Certain-answer under-approximation of `plan` over `catalog` (whose
 /// tables may contain `NULL`s and labeled nulls).

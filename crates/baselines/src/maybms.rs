@@ -22,7 +22,9 @@
 //! for the anytime approximation \[41\] the paper runs at ε = 0.3.
 
 use rand::Rng;
-use ua_conditions::{probability, probability_monte_carlo, samples_for_error, Condition, VarDistributions};
+use ua_conditions::{
+    probability, probability_monte_carlo, samples_for_error, Condition, VarDistributions,
+};
 use ua_data::algebra::{extract_equi_keys, RaError, RaExpr};
 use ua_data::expr::Expr;
 use ua_data::schema::Schema;

@@ -374,10 +374,7 @@ fn join_bundles(
                     .map(|e| e.eval(&b.values[0]))
                     .collect::<Result<_, _>>()?;
                 for v in &b.values[1..] {
-                    let k: Tuple = exprs
-                        .iter()
-                        .map(|e| e.eval(v))
-                        .collect::<Result<_, _>>()?;
+                    let k: Tuple = exprs.iter().map(|e| e.eval(v)).collect::<Result<_, _>>()?;
                     if k != first {
                         return Ok(None);
                     }
@@ -460,7 +457,10 @@ mod tests {
         let result = bdb.query(&q).unwrap();
         let certain = result.estimated_certain();
         assert!(certain.contains(&tuple![1i64]));
-        assert!(certain.contains(&tuple![2i64]), "projection agrees across alternatives");
+        assert!(
+            certain.contains(&tuple![2i64]),
+            "projection agrees across alternatives"
+        );
     }
 
     #[test]
@@ -485,10 +485,7 @@ mod tests {
         let result = bdb.query(&q).unwrap();
         let freqs = result.tuple_frequencies();
         if let Some((_, f)) = freqs.first() {
-            assert!(
-                (0.2..=0.8).contains(f),
-                "P('b') ≈ 0.5, estimated {f}"
-            );
+            assert!((0.2..=0.8).contains(f), "P('b') ≈ 0.5, estimated {f}");
         }
     }
 
@@ -505,7 +502,10 @@ mod tests {
         for b in result.bundles() {
             assert_eq!(b.values.len(), 8);
         }
-        assert!(result.estimated_certain().iter().any(|t| t.get(0) == Some(&ua_data::Value::Int(1))));
+        assert!(result
+            .estimated_certain()
+            .iter()
+            .any(|t| t.get(0) == Some(&ua_data::Value::Int(1))));
     }
 
     #[test]

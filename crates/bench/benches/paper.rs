@@ -33,30 +33,24 @@ fn bench_fig10(c: &mut Criterion) {
             .into_iter()
             .find(|(cx, _)| *cx == complexity)
             .expect("query generated");
-        group.bench_with_input(
-            BenchmarkId::new("uadb", complexity),
-            &q,
-            |b, q| b.iter(|| ua.query(q).expect("ua")),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("ctables_exact", complexity),
-            &q,
-            |b, q| {
-                b.iter(|| {
-                    let table = eval_symbolic(q, &cdb).expect("symbolic");
-                    let mut n = 0usize;
-                    for row in table.tuples().iter().take(10) {
-                        if row.is_constant() {
-                            let cond = table.membership_condition(&row.values);
-                            if solver.try_is_valid(&cond) == Some(true) {
-                                n += 1;
-                            }
+        group.bench_with_input(BenchmarkId::new("uadb", complexity), &q, |b, q| {
+            b.iter(|| ua.query(q).expect("ua"))
+        });
+        group.bench_with_input(BenchmarkId::new("ctables_exact", complexity), &q, |b, q| {
+            b.iter(|| {
+                let table = eval_symbolic(q, &cdb).expect("symbolic");
+                let mut n = 0usize;
+                for row in table.tuples().iter().take(10) {
+                    if row.is_constant() {
+                        let cond = table.membership_condition(&row.values);
+                        if solver.try_is_valid(&cond) == Some(true) {
+                            n += 1;
                         }
                     }
-                    n
-                })
-            },
-        );
+                }
+                n
+            })
+        });
     }
     group.finish();
 }
@@ -202,8 +196,7 @@ fn bench_ablation_labeling(c: &mut Criterion) {
                 .iter()
                 .filter(|t| t.is_constant())
                 .filter(|t| {
-                    solver.try_is_valid(&table.membership_condition(&t.values))
-                        == Some(true)
+                    solver.try_is_valid(&table.membership_condition(&t.values)) == Some(true)
                 })
                 .count()
         })

@@ -70,7 +70,11 @@ fn main() {
     } else {
         Profile::full()
     };
-    let only: Vec<&str> = args.iter().filter(|a| *a != "quick").map(String::as_str).collect();
+    let only: Vec<&str> = args
+        .iter()
+        .filter(|a| *a != "quick")
+        .map(String::as_str)
+        .collect();
     let want = |name: &str| only.is_empty() || only.contains(&name);
     let seed = 2019;
 
@@ -120,11 +124,7 @@ fn main() {
     if want("fig18") {
         emit(
             "fig18",
-            &utility_exp::figure18(
-                profile.utility_rows,
-                &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
-                seed,
-            ),
+            &utility_exp::figure18(profile.utility_rows, &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], seed),
         );
     }
     if want("fig19") {

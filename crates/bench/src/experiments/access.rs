@@ -91,8 +91,11 @@ pub fn figure21(
     seed: u64,
 ) -> String {
     let mut t = TextTable::new(
-        std::iter::once("#attrs".to_string())
-            .chain(error_rates.iter().map(|e| format!("{:.0}% errors", e * 100.0))),
+        std::iter::once("#attrs".to_string()).chain(
+            error_rates
+                .iter()
+                .map(|e| format!("{:.0}% errors", e * 100.0)),
+        ),
     );
     let datasets: Vec<_> = DATASETS[..5]
         .iter()
@@ -116,14 +119,8 @@ pub fn figure21(
             for (i, &rate) in error_rates.iter().enumerate() {
                 let perturbed = perturb(&truth, rate, &mut rng);
                 for _ in 0..queries_per_cell {
-                    let (_, q, _) =
-                        random_projection(&d.bgw.schema().clone(), width, &mut rng);
-                    cells[i] += projection_label_error(
-                        &truth,
-                        &perturbed,
-                        &q,
-                        d.spec.name,
-                    );
+                    let (_, q, _) = random_projection(&d.bgw.schema().clone(), width, &mut rng);
+                    cells[i] += projection_label_error(&truth, &perturbed, &q, d.spec.name);
                     counts[i] += 1;
                 }
             }

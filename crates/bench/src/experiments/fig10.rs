@@ -46,8 +46,7 @@ pub fn run(
         {
             // UA-DB side: K²-relational evaluation over the BGW + labels.
             // Averaged over repeats: single-shot µs timings are noise.
-            let (d, result) =
-                crate::report::time_avg(5, || ua.query(&q).expect("ua query"));
+            let (d, result) = crate::report::time_avg(5, || ua.query(&q).expect("ua query"));
             ua_total += d;
             ua_tuples += result.support_size().max(1);
 
@@ -94,8 +93,7 @@ pub fn run(
 pub fn format(points: &[Fig10Point]) -> String {
     let mut t = TextTable::new(["complexity", "UA-DB /tuple", "C-tables /tuple", "slowdown"]);
     for p in points {
-        let ratio = p.ctable_per_tuple.as_secs_f64()
-            / p.uadb_per_tuple.as_secs_f64().max(1e-12);
+        let ratio = p.ctable_per_tuple.as_secs_f64() / p.uadb_per_tuple.as_secs_f64().max(1e-12);
         t.row([
             p.complexity.to_string(),
             crate::report::fmt_duration(p.uadb_per_tuple),

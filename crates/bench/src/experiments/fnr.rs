@@ -93,9 +93,8 @@ pub fn figure15_dataset(
 
 /// Render Figure 15 across all nine datasets.
 pub fn figure15(rows_cap: usize, queries_per_width: usize, seed: u64) -> String {
-    let mut out = String::from(
-        "Figure 15: FNR (misclassified certain answers) of random projections\n",
-    );
+    let mut out =
+        String::from("Figure 15: FNR (misclassified certain answers) of random projections\n");
     for spec in &DATASETS {
         let rows = figure15_dataset(spec, rows_cap, queries_per_width, seed);
         let mut t = TextTable::new(["#attrs", "min", "q1", "median", "q3", "max"]);
@@ -195,8 +194,7 @@ mod tests {
         let d = small_dataset();
         let mut rng = StdRng::seed_from_u64(1);
         for width in [1, 3, 8] {
-            let (positions, _, _) =
-                random_projection(&d.bgw.schema().clone(), width, &mut rng);
+            let (positions, _, _) = random_projection(&d.bgw.schema().clone(), width, &mut rng);
             let fnr = projection_fnr(&d, &positions);
             assert!((0.0..=1.0).contains(&fnr));
         }

@@ -95,21 +95,16 @@ pub fn run(scale: f64, uncertainty: f64, seed: u64) -> SuiteRun {
     let mut queries = Vec::new();
     for (name, q) in pdbench_queries() {
         let plan = Plan::from_ra(&q);
-        let (det, det_result) = crate::report::time_it(|| {
-            ua_engine::exec::execute(&plan, &det_catalog).expect("det")
-        });
-        let (uadb, ua_result) =
-            crate::report::time_it(|| ua.query_ua_ra(&q).expect("ua"));
+        let (det, det_result) =
+            crate::report::time_it(|| ua_engine::exec::execute(&plan, &det_catalog).expect("det"));
+        let (uadb, ua_result) = crate::report::time_it(|| ua.query_ua_ra(&q).expect("ua"));
         // Libkin runs the same plan against the nulled tables.
         let null_q = rename_tables(&q, "__nulls");
         let null_plan = Plan::from_ra(&null_q);
-        let (libkin, _libkin_result) = crate::report::time_it(|| {
-            certain_subset(&null_plan, &det_catalog).expect("libkin")
-        });
-        let (maybms, maybms_result) =
-            crate::report::time_it(|| udb.query(&q).expect("maybms"));
-        let (mcdb, _mcdb_result) =
-            crate::report::time_it(|| bundles.query(&q).expect("mcdb"));
+        let (libkin, _libkin_result) =
+            crate::report::time_it(|| certain_subset(&null_plan, &det_catalog).expect("libkin"));
+        let (maybms, maybms_result) = crate::report::time_it(|| udb.query(&q).expect("maybms"));
+        let (mcdb, _mcdb_result) = crate::report::time_it(|| bundles.query(&q).expect("mcdb"));
 
         let (certain, total) = ua_result.certainty_counts();
         debug_assert_eq!(total, ua_result.table.len());

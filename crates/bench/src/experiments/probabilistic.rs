@@ -156,10 +156,9 @@ mod tests {
             .expect("point");
         // MayBMS work grows ≈linearly in alternatives; UA-DB stays flat.
         // Compare growth ratios rather than absolute times (CI noise).
-        let ua_growth =
-            q1_10.uadb_time.as_secs_f64() / q1_2.uadb_time.as_secs_f64().max(1e-9);
-        let mb_growth = q1_10.maybms_exact.as_secs_f64()
-            / q1_2.maybms_exact.as_secs_f64().max(1e-9);
+        let ua_growth = q1_10.uadb_time.as_secs_f64() / q1_2.uadb_time.as_secs_f64().max(1e-9);
+        let mb_growth =
+            q1_10.maybms_exact.as_secs_f64() / q1_2.maybms_exact.as_secs_f64().max(1e-9);
         assert!(
             mb_growth > ua_growth * 0.8,
             "MayBMS should scale worse: ua {ua_growth:.2} vs mb {mb_growth:.2}"

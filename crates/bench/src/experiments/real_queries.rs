@@ -83,11 +83,7 @@ fn build_testbed(rows_scale: usize, seed: u64) -> TestBed {
 /// Exact certain answers of a single-table SPJ query: evaluate the plan on
 /// each alternative of each non-optional x-tuple in isolation; the x-tuple
 /// certainly contributes the tuples all alternatives agree on.
-fn certain_single_table(
-    plan: &Plan,
-    table_name: &str,
-    xrel: &XRelation,
-) -> FxHashSet<Tuple> {
+fn certain_single_table(plan: &Plan, table_name: &str, xrel: &XRelation) -> FxHashSet<Tuple> {
     let mut certain = FxHashSet::default();
     let catalog = Catalog::new();
     for xt in xrel.xtuples() {
@@ -196,11 +192,8 @@ pub fn run(rows_scale: usize, seed: u64) -> Vec<RealQueryResult> {
         let det_plan = ua_engine::optimize::push_filters(
             plan_query(&ast, &bed.det, &RejectAnnotations).expect("det plan"),
         );
-        let (det_time, det_result) = time_avg(3, || {
-            execute(&det_plan, &bed.det).expect("det run")
-        });
-        let (ua_time, ua_result) =
-            time_avg(3, || bed.ua.query_ua(sql).expect("ua run"));
+        let (det_time, det_result) = time_avg(3, || execute(&det_plan, &bed.det).expect("det run"));
+        let (ua_time, ua_result) = time_avg(3, || bed.ua.query_ua(sql).expect("ua run"));
 
         // Ground truth.
         let certain: FxHashSet<Tuple> = match name {
@@ -250,15 +243,28 @@ pub fn run(rows_scale: usize, seed: u64) -> Vec<RealQueryResult> {
 /// Render the Figure 17 table.
 pub fn format(results: &[RealQueryResult]) -> String {
     let mut t = TextTable::new(["", "Q1", "Q2", "Q3", "Q4", "Q5"]);
-    t.row(std::iter::once("Overhead".to_string()).chain(
-        results.iter().map(|r| format!("{:.2}%", r.overhead * 100.0)),
-    ));
-    t.row(std::iter::once("Error Rate".to_string()).chain(
-        results.iter().map(|r| format!("{:.2}%", r.error_rate * 100.0)),
-    ));
-    t.row(std::iter::once("Result rows".to_string())
-        .chain(results.iter().map(|r| r.rows.to_string())));
-    format!("Figure 17: real queries — UA overhead and error rate\n{}", t.render())
+    t.row(
+        std::iter::once("Overhead".to_string()).chain(
+            results
+                .iter()
+                .map(|r| format!("{:.2}%", r.overhead * 100.0)),
+        ),
+    );
+    t.row(
+        std::iter::once("Error Rate".to_string()).chain(
+            results
+                .iter()
+                .map(|r| format!("{:.2}%", r.error_rate * 100.0)),
+        ),
+    );
+    t.row(
+        std::iter::once("Result rows".to_string())
+            .chain(results.iter().map(|r| r.rows.to_string())),
+    );
+    format!(
+        "Figure 17: real queries — UA overhead and error rate\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]

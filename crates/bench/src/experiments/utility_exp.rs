@@ -85,13 +85,16 @@ pub fn run(dataset: &str, rows: usize, rates: &[f64], seed: u64) -> Vec<UtilityP
 
 /// Render Figure 18 for all three datasets.
 pub fn figure18(rows: usize, rates: &[f64], seed: u64) -> String {
-    let mut out = String::from(
-        "Figure 18: utility (precision/recall vs ground truth)\n",
-    );
+    let mut out = String::from("Figure 18: utility (precision/recall vs ground truth)\n");
     for dataset in UTILITY_DATASETS {
         let points = run(dataset, rows, rates, seed);
         let mut t = TextTable::new([
-            "uncert", "BGQP prec", "BGQP rec", "RGQP prec", "RGQP rec", "Libkin prec",
+            "uncert",
+            "BGQP prec",
+            "BGQP rec",
+            "RGQP prec",
+            "RGQP rec",
+            "Libkin prec",
             "Libkin rec",
         ]);
         for p in points {

@@ -191,8 +191,7 @@ mod tests {
 
     #[test]
     fn negated_literals_are_cnf() {
-        let c = Condition::Not(Box::new(atom(x(), CmpOp::Lt, 5)))
-            .or(atom(y(), CmpOp::Eq, 1));
+        let c = Condition::Not(Box::new(atom(x(), CmpOp::Lt, 5))).or(atom(y(), CmpOp::Eq, 1));
         assert!(is_cnf(&c));
     }
 

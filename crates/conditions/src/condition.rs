@@ -88,9 +88,8 @@ impl Atom {
     /// Whether `other` is the syntactic complement of `self`
     /// (same terms, negated operator — possibly flipped).
     pub fn is_complement_of(&self, other: &Atom) -> bool {
-        let direct = self.op.negate() == other.op
-            && self.left == other.left
-            && self.right == other.right;
+        let direct =
+            self.op.negate() == other.op && self.left == other.left && self.right == other.right;
         let flipped = self.op.negate() == other.op.flip()
             && self.left == other.right
             && self.right == other.left;
@@ -291,9 +290,7 @@ impl Condition {
                 }
             }
             Condition::Not(c) => c.substitute(map).not(),
-            Condition::And(cs) => {
-                Condition::and_all(cs.iter().map(|c| c.substitute(map)))
-            }
+            Condition::And(cs) => Condition::and_all(cs.iter().map(|c| c.substitute(map))),
             Condition::Or(cs) => Condition::or_all(cs.iter().map(|c| c.substitute(map))),
         }
     }
@@ -304,9 +301,7 @@ impl Condition {
             Condition::True | Condition::False => 0,
             Condition::Atom(_) => 1,
             Condition::Not(c) => c.atom_count(),
-            Condition::And(cs) | Condition::Or(cs) => {
-                cs.iter().map(Condition::atom_count).sum()
-            }
+            Condition::And(cs) | Condition::Or(cs) => cs.iter().map(Condition::atom_count).sum(),
         }
     }
 
@@ -401,7 +396,10 @@ mod tests {
             .clone()
             .and(Condition::False)
             .structurally_eq(&Condition::False));
-        assert!(a.clone().or(Condition::True).structurally_eq(&Condition::True));
+        assert!(a
+            .clone()
+            .or(Condition::True)
+            .structurally_eq(&Condition::True));
         assert!(a.clone().or(Condition::False).structurally_eq(&a));
         assert!(Condition::and_all([]).structurally_eq(&Condition::True));
         assert!(Condition::or_all([]).structurally_eq(&Condition::False));
@@ -422,8 +420,11 @@ mod tests {
     #[test]
     fn substitution_simplifies() {
         // (x = 1 ∧ y < 2) with x ↦ 1 leaves (y < 2).
-        let c = Condition::var_eq(x(), 1i64)
-            .and(Condition::Atom(Atom::var_const(y(), CmpOp::Lt, 2i64)));
+        let c = Condition::var_eq(x(), 1i64).and(Condition::Atom(Atom::var_const(
+            y(),
+            CmpOp::Lt,
+            2i64,
+        )));
         let s = c.substitute(&|v| (v == x()).then_some(Value::Int(1)));
         assert_eq!(s.atom_count(), 1);
         let f = c.substitute(&|v| (v == x()).then_some(Value::Int(9)));
@@ -432,7 +433,9 @@ mod tests {
 
     #[test]
     fn eval_connectives() {
-        let c = Condition::var_eq(x(), 1i64).or(Condition::var_eq(y(), 2i64)).not();
+        let c = Condition::var_eq(x(), 1i64)
+            .or(Condition::var_eq(y(), 2i64))
+            .not();
         let val = |xv: i64, yv: i64| {
             move |v: VarId| {
                 if v == x() {

@@ -31,8 +31,8 @@ pub mod solver;
 pub mod symbolic;
 
 pub use cnf::{cnf_tautology, is_cnf, to_cnf};
-pub use parse::{parse_condition, CondParseError, VarInterner};
 pub use condition::{Atom, Condition, Term};
+pub use parse::{parse_condition, CondParseError, VarInterner};
 pub use prob::{probability, probability_monte_carlo, samples_for_error, VarDistributions};
 pub use solver::Solver;
 pub use symbolic::{predicate_to_condition, SymbolicError};

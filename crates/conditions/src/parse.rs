@@ -158,7 +158,10 @@ fn lex_condition(input: &str) -> Result<Vec<Tok>, CondParseError> {
                 i = j + 1;
             }
             c if c.is_ascii_digit()
-                || (c == '-' && bytes.get(i + 1).is_some_and(|b| (*b as char).is_ascii_digit())) =>
+                || (c == '-'
+                    && bytes
+                        .get(i + 1)
+                        .is_some_and(|b| (*b as char).is_ascii_digit())) =>
             {
                 let start = i;
                 i += 1;
@@ -177,7 +180,8 @@ fn lex_condition(input: &str) -> Result<Vec<Tok>, CondParseError> {
                 let text = &input[start..i];
                 if is_float {
                     out.push(Tok::Float(
-                        text.parse().map_err(|_| err(format!("bad float `{text}`")))?,
+                        text.parse()
+                            .map_err(|_| err(format!("bad float `{text}`")))?,
                     ));
                 } else {
                     out.push(Tok::Int(
@@ -303,19 +307,12 @@ impl CondParser<'_> {
 }
 
 /// Parse a textual condition, interning variables through `vars`.
-pub fn parse_condition(
-    input: &str,
-    vars: &mut VarInterner,
-) -> Result<Condition, CondParseError> {
+pub fn parse_condition(input: &str, vars: &mut VarInterner) -> Result<Condition, CondParseError> {
     let toks = lex_condition(input)?;
     if toks.is_empty() {
         return Ok(Condition::True);
     }
-    let mut p = CondParser {
-        toks,
-        pos: 0,
-        vars,
-    };
+    let mut p = CondParser { toks, pos: 0, vars };
     let cond = p.or()?;
     if p.pos != p.toks.len() {
         return Err(err(format!("trailing input at token {}", p.pos)));

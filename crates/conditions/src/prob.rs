@@ -114,7 +114,13 @@ pub fn probability(cond: &Condition, dists: &VarDistributions) -> f64 {
         Some(v) => *v,
         // Ground non-constant conditions can only arise from mixed-type
         // atoms, which evaluate like constants.
-        None => return if cond.eval(&|_| Value::Null) { 1.0 } else { 0.0 },
+        None => {
+            return if cond.eval(&|_| Value::Null) {
+                1.0
+            } else {
+                0.0
+            }
+        }
     };
     let dist = dists
         .get(var)
@@ -225,8 +231,8 @@ mod tests {
     fn tautology_has_probability_one() {
         let mut d = VarDistributions::new();
         d.set(x(), coin());
-        let c = Condition::var_eq(x(), 1i64)
-            .or(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 1i64)));
+        let c =
+            Condition::var_eq(x(), 1i64).or(Condition::Atom(Atom::var_const(x(), CmpOp::Ne, 1i64)));
         assert!((probability(&c, &d) - 1.0).abs() < 1e-12);
     }
 
@@ -239,7 +245,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let n = samples_for_error(0.02, 0.01);
         let est = probability_monte_carlo(&c, &d, n, &mut rng);
-        assert!((est - 0.75).abs() < 0.03, "estimate {est} too far from 0.75");
+        assert!(
+            (est - 0.75).abs() < 0.03,
+            "estimate {est} too far from 0.75"
+        );
     }
 
     #[test]

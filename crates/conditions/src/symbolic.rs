@@ -78,17 +78,16 @@ fn term_of(expr: &Expr, tuple: &Tuple) -> Result<Term, SymbolicError> {
 ///
 /// Constant sub-formulas fold to `⊤`/`⊥`; variable-touching comparisons
 /// become atoms.
-pub fn predicate_to_condition(
-    predicate: &Expr,
-    tuple: &Tuple,
-) -> Result<Condition, SymbolicError> {
+pub fn predicate_to_condition(predicate: &Expr, tuple: &Tuple) -> Result<Condition, SymbolicError> {
     match predicate {
         Expr::Lit(Value::Bool(true)) => Ok(Condition::True),
         Expr::Lit(Value::Bool(false)) => Ok(Condition::False),
-        Expr::And(a, b) => Ok(predicate_to_condition(a, tuple)?
-            .and(predicate_to_condition(b, tuple)?)),
-        Expr::Or(a, b) => Ok(predicate_to_condition(a, tuple)?
-            .or(predicate_to_condition(b, tuple)?)),
+        Expr::And(a, b) => {
+            Ok(predicate_to_condition(a, tuple)?.and(predicate_to_condition(b, tuple)?))
+        }
+        Expr::Or(a, b) => {
+            Ok(predicate_to_condition(a, tuple)?.or(predicate_to_condition(b, tuple)?))
+        }
         Expr::Not(a) => Ok(predicate_to_condition(a, tuple)?.not()),
         Expr::Cmp(op, a, b) => {
             let left = term_of(a, tuple)?;
@@ -103,8 +102,7 @@ pub fn predicate_to_condition(
         Expr::Between(e, lo, hi) => {
             let lower = Expr::Cmp(CmpOp::Ge, e.clone(), lo.clone());
             let upper = Expr::Cmp(CmpOp::Le, e.clone(), hi.clone());
-            Ok(predicate_to_condition(&lower, tuple)?
-                .and(predicate_to_condition(&upper, tuple)?))
+            Ok(predicate_to_condition(&lower, tuple)?.and(predicate_to_condition(&upper, tuple)?))
         }
         Expr::InList(e, list) => {
             let mut parts = Vec::with_capacity(list.len());

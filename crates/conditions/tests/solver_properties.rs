@@ -30,11 +30,7 @@ fn arb_atom() -> impl Strategy<Value = Condition> {
 }
 
 fn arb_condition() -> impl Strategy<Value = Condition> {
-    let leaf = prop_oneof![
-        arb_atom(),
-        Just(Condition::True),
-        Just(Condition::False),
-    ];
+    let leaf = prop_oneof![arb_atom(), Just(Condition::True), Just(Condition::False),];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
@@ -118,7 +114,7 @@ proptest! {
         let direct = cond.eval(&|v: VarId| {
             if v == VarId(0) { Value::Int(x) } else { Value::Int(y) }
         });
-        prop_assert!(grounded.structurally_eq(&Condition::True) == direct);
-        prop_assert!(grounded.structurally_eq(&Condition::False) == !direct);
+        prop_assert_eq!(grounded.structurally_eq(&Condition::True), direct);
+        prop_assert_eq!(grounded.structurally_eq(&Condition::False), !direct);
     }
 }

@@ -50,19 +50,14 @@ pub fn decode_relation<K: Monus + NaturalOrder>(rel: &Relation<K>) -> Relation<U
     let arity = rel.schema().arity();
     assert!(arity > 0, "encoded relation must have the C column");
     let base_cols: Vec<usize> = (0..arity - 1).collect();
-    let base_schema = ua_data::schema::Schema::new(
-        rel.schema().columns()[..arity - 1].to_vec(),
-    );
+    let base_schema = ua_data::schema::Schema::new(rel.schema().columns()[..arity - 1].to_vec());
     let mut out: Relation<Ua<K>> = Relation::new(base_schema);
     for (t, k) in rel.iter() {
         let marker = t.get(arity - 1).expect("non-empty tuple");
         let base: Tuple = t.project(&base_cols);
         let existing = out.annotation(&base);
         let updated = match marker {
-            Value::Int(1) => Ua::new(
-                existing.cert.plus(k),
-                existing.det.plus(k),
-            ),
+            Value::Int(1) => Ua::new(existing.cert.plus(k), existing.det.plus(k)),
             Value::Int(0) => Ua::new(existing.cert, existing.det.plus(k)),
             other => panic!("invalid certainty marker {other}"),
         };

@@ -27,5 +27,5 @@ pub mod uadb;
 pub use encoding::{
     decode_database, decode_relation, encode_database, encode_relation, UA_LABEL_COLUMN,
 };
-pub use rewrite::rewrite_ua;
+pub use rewrite::{expr_mentions_marker, rewrite_ua};
 pub use uadb::{exact_certain_answers_ctable, UaDb};

@@ -43,10 +43,13 @@ pub fn rewrite_ua(
             input: Box::new(rewrite_ua(input, lookup)?),
             name: name.clone(),
         }),
-        RaExpr::Select { input, predicate } => Ok(RaExpr::Select {
-            input: Box::new(rewrite_ua(input, lookup)?),
-            predicate: predicate.clone(),
-        }),
+        RaExpr::Select { input, predicate } => {
+            reject_marker_reference(predicate)?;
+            Ok(RaExpr::Select {
+                input: Box::new(rewrite_ua(input, lookup)?),
+                predicate: predicate.clone(),
+            })
+        }
         RaExpr::Project { input, columns } => {
             for c in columns {
                 if c.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
@@ -54,6 +57,7 @@ pub fn rewrite_ua(
                         UA_LABEL_COLUMN.to_string(),
                     )));
                 }
+                reject_marker_reference(&c.expr)?;
             }
             let mut out_columns = columns.clone();
             out_columns.push(ProjColumn::with_column(
@@ -70,6 +74,9 @@ pub fn rewrite_ua(
             right,
             predicate,
         } => {
+            if let Some(p) = predicate {
+                reject_marker_reference(p)?;
+            }
             let l = rewrite_ua(left, lookup)?;
             let r = rewrite_ua(right, lookup)?;
             let ls = l.schema_with(lookup)?;
@@ -107,6 +114,53 @@ pub fn rewrite_ua(
     }
 }
 
+/// Whether a (named, pre-binding) expression references the engine-managed
+/// certainty marker [`UA_LABEL_COLUMN`], under any qualifier.
+///
+/// The marker is bookkeeping of the encoded representation, not part of the
+/// user-visible schema: both executors reject queries that mention it, so
+/// the row path (where the marker is a real column of the encoded tables)
+/// and the vectorized path (where it lives in the label bitmaps) stay
+/// observably identical.
+pub fn expr_mentions_marker(expr: &Expr) -> bool {
+    match expr {
+        Expr::Named(name) => {
+            let base = name.rsplit_once('.').map_or(name.as_str(), |(_, b)| b);
+            base.eq_ignore_ascii_case(UA_LABEL_COLUMN)
+        }
+        Expr::Col(_) | Expr::Lit(_) => false,
+        Expr::Cmp(_, a, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Least(a, b) => expr_mentions_marker(a) || expr_mentions_marker(b),
+        Expr::Not(a) | Expr::IsNull(a) => expr_mentions_marker(a),
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
+            branches
+                .iter()
+                .any(|(c, v)| expr_mentions_marker(c) || expr_mentions_marker(v))
+                || otherwise.as_deref().is_some_and(expr_mentions_marker)
+        }
+        Expr::Between(e, lo, hi) => {
+            expr_mentions_marker(e) || expr_mentions_marker(lo) || expr_mentions_marker(hi)
+        }
+        Expr::InList(e, list) => expr_mentions_marker(e) || list.iter().any(expr_mentions_marker),
+    }
+}
+
+fn reject_marker_reference(expr: &Expr) -> Result<(), RaError> {
+    if expr_mentions_marker(expr) {
+        Err(RaError::Schema(SchemaError::AmbiguousColumn(
+            UA_LABEL_COLUMN.to_string(),
+        )))
+    } else {
+        Ok(())
+    }
+}
+
 fn check_encoded(schema: &Schema, name: &str) -> Result<(), RaError> {
     let last_is_marker = schema
         .columns()
@@ -129,7 +183,7 @@ mod tests {
     use ua_data::algebra::eval;
     use ua_data::relation::{Database, Relation};
     use ua_data::tuple;
-    
+
     use ua_semiring::pair::Ua;
 
     fn sample_uadb() -> UaDb<u64> {
@@ -175,9 +229,7 @@ mod tests {
 
     #[test]
     fn theorem7_selection() {
-        check_theorem7(
-            &RaExpr::table("r").select(Expr::named("a").ge(Expr::lit(2i64))),
-        );
+        check_theorem7(&RaExpr::table("r").select(Expr::named("a").ge(Expr::lit(2i64))));
     }
 
     #[test]
@@ -217,12 +269,10 @@ mod tests {
 
     #[test]
     fn theorem7_self_join() {
-        check_theorem7(
-            &RaExpr::table("r").alias("r1").join(
-                RaExpr::table("r").alias("r2"),
-                Expr::named("r1.b").eq(Expr::named("r2.b")),
-            ),
-        );
+        check_theorem7(&RaExpr::table("r").alias("r1").join(
+            RaExpr::table("r").alias("r2"),
+            Expr::named("r1.b").eq(Expr::named("r2.b")),
+        ));
     }
 
     #[test]

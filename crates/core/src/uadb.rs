@@ -108,13 +108,11 @@ impl<K: Semiring> UaDb<K> {
             let world_rel = world.get(name);
             let det_matches = rel.iter().all(|(t, ua)| {
                 world_rel.map(|r| r.annotation(t)).unwrap_or_else(K::zero) == ua.det
-            }) && world_rel.is_none_or(|r| {
-                r.iter().all(|(t, d)| rel.annotation(t).det == *d)
-            });
-            let cert_bounded = rel.iter().all(|(t, ua)| {
-                ua.cert
-                    .natural_leq(&incomplete.certain_annotation(name, t))
-            });
+            }) && world_rel
+                .is_none_or(|r| r.iter().all(|(t, d)| rel.annotation(t).det == *d));
+            let cert_bounded = rel
+                .iter()
+                .all(|(t, ua)| ua.cert.natural_leq(&incomplete.certain_annotation(name, t)));
             det_matches && cert_bounded
         })
     }
@@ -179,7 +177,7 @@ mod tests {
     use super::*;
     use ua_data::schema::Schema;
     use ua_data::tuple;
-    
+
     use ua_data::Expr;
     use ua_models::{TiRelation, TiTuple, XRelation, XTuple};
 
@@ -258,9 +256,9 @@ mod tests {
             RaExpr::table("loc")
                 .select(Expr::named("state").eq(Expr::lit("NY")))
                 .project(["locale"]),
-            RaExpr::table("loc").project(["state"]).union(
-                RaExpr::table("loc").project(["state"]),
-            ),
+            RaExpr::table("loc")
+                .project(["state"])
+                .union(RaExpr::table("loc").project(["state"])),
             RaExpr::table("loc").alias("l").join(
                 RaExpr::table("loc").alias("r"),
                 Expr::named("l.state").eq(Expr::named("r.state")),
@@ -335,18 +333,12 @@ mod tests {
         let mut world: Database<u64> = Database::new();
         world.insert(
             "r",
-            Relation::from_annotated(
-                Schema::qualified("r", ["a"]),
-                vec![(tuple![1i64], 1u64)],
-            ),
+            Relation::from_annotated(Schema::qualified("r", ["a"]), vec![(tuple![1i64], 1u64)]),
         );
         let mut labeling: Database<u64> = Database::new();
         labeling.insert(
             "r",
-            Relation::from_annotated(
-                Schema::qualified("r", ["a"]),
-                vec![(tuple![1i64], 5u64)],
-            ),
+            Relation::from_annotated(Schema::qualified("r", ["a"]), vec![(tuple![1i64], 5u64)]),
         );
         let _ = UaDb::from_parts(&world, &labeling);
     }

@@ -127,7 +127,10 @@ impl RaExpr {
     pub fn project<S: Into<String>>(self, cols: impl IntoIterator<Item = S>) -> RaExpr {
         RaExpr::Project {
             input: Box::new(self),
-            columns: cols.into_iter().map(|c| ProjColumn::named(c.into())).collect(),
+            columns: cols
+                .into_iter()
+                .map(|c| ProjColumn::named(c.into()))
+                .collect(),
         }
     }
 
@@ -208,24 +211,17 @@ impl RaExpr {
     }
 
     /// The output schema of this query against a table-schema lookup.
-    pub fn schema_with(
-        &self,
-        lookup: &dyn Fn(&str) -> Option<Schema>,
-    ) -> Result<Schema, RaError> {
+    pub fn schema_with(&self, lookup: &dyn Fn(&str) -> Option<Schema>) -> Result<Schema, RaError> {
         match self {
-            RaExpr::Table(name) => {
-                lookup(name).ok_or_else(|| RaError::UnknownTable(name.clone()))
-            }
-            RaExpr::Alias { input, name } => {
-                Ok(input.schema_with(lookup)?.with_qualifier(name))
-            }
+            RaExpr::Table(name) => lookup(name).ok_or_else(|| RaError::UnknownTable(name.clone())),
+            RaExpr::Alias { input, name } => Ok(input.schema_with(lookup)?.with_qualifier(name)),
             RaExpr::Select { input, .. } => input.schema_with(lookup),
             RaExpr::Project { columns, .. } => Ok(Schema::new(
                 columns.iter().map(|c| c.column.clone()).collect(),
             )),
-            RaExpr::Join { left, right, .. } => {
-                Ok(left.schema_with(lookup)?.concat(&right.schema_with(lookup)?))
-            }
+            RaExpr::Join { left, right, .. } => Ok(left
+                .schema_with(lookup)?
+                .concat(&right.schema_with(lookup)?)),
             RaExpr::Union { left, right } => {
                 let l = left.schema_with(lookup)?;
                 let r = right.schema_with(lookup)?;
@@ -340,10 +336,7 @@ pub fn eval<K: Semiring>(query: &RaExpr, db: &Database<K>) -> Result<Relation<K>
             let schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
             let mut out = Relation::new(schema);
             for (t, k) in rel.iter() {
-                let projected: Tuple = bound
-                    .iter()
-                    .map(|e| e.eval(t))
-                    .collect::<Result<_, _>>()?;
+                let projected: Tuple = bound.iter().map(|e| e.eval(t)).collect::<Result<_, _>>()?;
                 // [π_U R](t) = Σ R(t'): insert ⊕-accumulates.
                 out.insert(projected, k.clone());
             }
@@ -454,7 +447,10 @@ pub fn shift_columns(e: &Expr, delta: usize) -> Expr {
             Box::new(shift_columns(b, delta)),
         ),
         Expr::IsNull(a) => Expr::IsNull(Box::new(shift_columns(a, delta))),
-        Expr::Case { branches, otherwise } => Expr::Case {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| (shift_columns(c, delta), shift_columns(v, delta)))

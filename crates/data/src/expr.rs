@@ -44,6 +44,7 @@ impl Truth {
     }
 
     /// Kleene negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -299,16 +300,19 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Add, Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Sub, Box::new(self), Box::new(other))
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Arith(ArithOp::Mul, Box::new(self), Box::new(other))
     }
@@ -348,7 +352,10 @@ impl Expr {
                 Expr::Arith(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
             Expr::IsNull(a) => Expr::IsNull(Box::new(a.bind(schema)?)),
-            Expr::Case { branches, otherwise } => Expr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((c.bind(schema)?, v.bind(schema)?)))
@@ -369,9 +376,7 @@ impl Expr {
                     .map(|v| v.bind(schema))
                     .collect::<Result<_, _>>()?,
             ),
-            Expr::Least(a, b) => {
-                Expr::Least(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
+            Expr::Least(a, b) => Expr::Least(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
         })
     }
 
@@ -401,11 +406,12 @@ impl Expr {
                     ArithOp::Mul => va.mul(&vb),
                     ArithOp::Div => va.div(&vb),
                 };
-                result.ok_or_else(|| {
-                    ExprError::Type(format!("cannot compute {va} {op} {vb}"))
-                })?
+                result.ok_or_else(|| ExprError::Type(format!("cannot compute {va} {op} {vb}")))?
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (cond, result) in branches {
                     if cond.eval_truth(tuple)?.is_true() {
                         return result.eval(tuple);
@@ -503,7 +509,10 @@ impl Expr {
                 b.referenced_columns(out);
             }
             Expr::Not(a) | Expr::IsNull(a) => a.referenced_columns(out),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, v) in branches {
                     c.referenced_columns(out);
                     v.referenced_columns(out);
@@ -555,7 +564,10 @@ impl fmt::Display for Expr {
             Expr::Not(a) => write!(f, "(NOT {a})"),
             Expr::Arith(op, a, b) => write!(f, "({a} {op} {b})"),
             Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (c, v) in branches {
                     write!(f, " WHEN {c} THEN {v}")?;
@@ -606,9 +618,7 @@ mod tests {
         assert!(!e.holds(&null_row).unwrap());
         // Unknown OR True = True.
         let e2 = bind(
-            Expr::named("a")
-                .eq(Expr::lit(1i64))
-                .or(Expr::lit(true)),
+            Expr::named("a").eq(Expr::lit(1i64)).or(Expr::lit(true)),
             &["a"],
         );
         assert_eq!(e2.eval_truth(&null_row).unwrap(), Truth::True);
@@ -619,7 +629,8 @@ mod tests {
         let e = bind(Expr::named("a").eq(Expr::named("b")), &["a", "b"]);
         let x = Value::Var(VarId(1));
         assert_eq!(
-            e.eval_truth(&Tuple::new(vec![x.clone(), x.clone()])).unwrap(),
+            e.eval_truth(&Tuple::new(vec![x.clone(), x.clone()]))
+                .unwrap(),
             Truth::True
         );
         assert_eq!(
@@ -727,7 +738,9 @@ mod tests {
     #[test]
     fn referenced_columns() {
         let e = bind(
-            Expr::named("a").eq(Expr::named("c")).or(Expr::named("b").lt(Expr::lit(0i64))),
+            Expr::named("a")
+                .eq(Expr::named("c"))
+                .or(Expr::named("b").lt(Expr::lit(0i64))),
             &["a", "b", "c"],
         );
         let mut cols = Vec::new();

@@ -11,7 +11,7 @@ use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt;
-use ua_semiring::{LSemiring, SemiringHom, Semiring};
+use ua_semiring::{LSemiring, Semiring, SemiringHom};
 
 /// A finite K-relation: the non-zero support of a map `Tuple → K`.
 #[derive(Clone, Debug)]
@@ -127,17 +127,18 @@ impl<K: Semiring> Relation<K> {
     /// Tuples sorted by the structural order (deterministic output for tests
     /// and display).
     pub fn sorted_tuples(&self) -> Vec<(Tuple, K)> {
-        let mut rows: Vec<_> = self.data.iter().map(|(t, k)| (t.clone(), k.clone())).collect();
+        let mut rows: Vec<_> = self
+            .data
+            .iter()
+            .map(|(t, k)| (t.clone(), k.clone()))
+            .collect();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
         rows
     }
 
     /// Apply a semiring homomorphism to every annotation, producing a
     /// K'-relation over the same support (entries mapped to `0` vanish).
-    pub fn map_annotations<K2: Semiring>(
-        &self,
-        hom: &impl SemiringHom<K, K2>,
-    ) -> Relation<K2> {
+    pub fn map_annotations<K2: Semiring>(&self, hom: &impl SemiringHom<K, K2>) -> Relation<K2> {
         Relation::from_annotated(
             self.schema.clone(),
             self.data.iter().map(|(t, k)| (t.clone(), hom.apply(k))),
@@ -239,10 +240,7 @@ impl<K: Semiring> Database<K> {
     }
 
     /// Apply a semiring homomorphism to every relation.
-    pub fn map_annotations<K2: Semiring>(
-        &self,
-        hom: &impl SemiringHom<K, K2>,
-    ) -> Database<K2> {
+    pub fn map_annotations<K2: Semiring>(&self, hom: &impl SemiringHom<K, K2>) -> Database<K2> {
         let mut out = Database::new();
         for (name, rel) in &self.relations {
             out.insert(name.clone(), rel.map_annotations(hom));
@@ -312,7 +310,11 @@ mod tests {
         let r = bag_relation(
             "t",
             &["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         );
         assert_eq!(r.annotation(&tuple![1i64]), 2);
         assert_eq!(r.annotation(&tuple![2i64]), 1);
@@ -322,11 +324,7 @@ mod tests {
     #[test]
     fn hom_mapping_example6() {
         // Paper Example 6: ℕ → 𝔹 support homomorphism.
-        let r = bag_relation(
-            "t",
-            &["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(1)]],
-        );
+        let r = bag_relation("t", &["a"], vec![vec![Value::Int(1)], vec![Value::Int(1)]]);
         let s: Relation<bool> = r.map_annotations(&support);
         assert!(s.annotation(&tuple![1i64]));
         assert_eq!(s.support_size(), 1);
@@ -337,7 +335,11 @@ mod tests {
         let a = bag_relation(
             "t",
             &["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         );
         let b = bag_relation("t", &["a"], vec![vec![Value::Int(1)]]);
         let g = a.glb_pointwise(&b);

@@ -108,10 +108,7 @@ impl Schema {
     }
 
     /// Schema where every column is qualified by `qualifier`.
-    pub fn qualified<S: AsRef<str>>(
-        qualifier: &str,
-        names: impl IntoIterator<Item = S>,
-    ) -> Schema {
+    pub fn qualified<S: AsRef<str>>(qualifier: &str, names: impl IntoIterator<Item = S>) -> Schema {
         Schema::new(
             names
                 .into_iter()

@@ -36,13 +36,21 @@ impl F64 {
         // Store a monotone bit pattern: flipping the sign bit for positives
         // and all bits for negatives makes integer order match float order.
         let bits = canonical.to_bits();
-        let key = if bits >> 63 == 0 { bits | (1 << 63) } else { !bits };
+        let key = if bits >> 63 == 0 {
+            bits | (1 << 63)
+        } else {
+            !bits
+        };
         F64(key)
     }
 
     /// The wrapped float.
     pub fn get(self) -> f64 {
-        let bits = if self.0 >> 63 == 1 { self.0 & !(1 << 63) } else { !self.0 };
+        let bits = if self.0 >> 63 == 1 {
+            self.0 & !(1 << 63)
+        } else {
+            !self.0
+        };
         f64::from_bits(bits)
     }
 }
@@ -195,8 +203,13 @@ impl Value {
         match self.numeric_pair(other)? {
             NumericPair::Ints(_, 0) => Some(Value::Null),
             NumericPair::Ints(a, b) => Some(Value::Int(a.wrapping_div(b))),
-            NumericPair::Floats(_, b) if b == 0.0 => Some(Value::Null),
-            NumericPair::Floats(a, b) => Some(Value::float(a / b)),
+            NumericPair::Floats(a, b) => {
+                if b == 0.0 {
+                    Some(Value::Null)
+                } else {
+                    Some(Value::float(a / b))
+                }
+            }
         }
     }
 }
@@ -321,10 +334,7 @@ mod tests {
         assert_eq!(Value::Int(2).add(&Value::str("x")), None);
         assert_eq!(Value::Int(7).div(&Value::Int(0)), Some(Value::Null));
         assert_eq!(Value::Int(7).div(&Value::Int(2)), Some(Value::Int(3)));
-        assert_eq!(
-            Value::Int(7).mul(&Value::Var(VarId(0))),
-            Some(Value::Null)
-        );
+        assert_eq!(Value::Int(7).mul(&Value::Var(VarId(0))), Some(Value::Null));
     }
 
     #[test]

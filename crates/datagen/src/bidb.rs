@@ -99,14 +99,21 @@ pub fn qp2() -> RaExpr {
 /// `SELECT x.index, y.index, conf() FROM bp x, bp y
 ///  WHERE x.district = y.district AND x.type = y.type AND x.index = 692`.
 pub fn qp3() -> RaExpr {
-    RaExpr::table("bp").alias("x").join(
-        RaExpr::table("bp").alias("y"),
-        Expr::named("x.district_shooting")
-            .eq(Expr::named("y.district_shooting"))
-            .and(Expr::named("x.type_shooting").eq(Expr::named("y.type_shooting")))
-            .and(Expr::named("x.index").eq(Expr::lit(692i64))),
-    )
-    .project(["x.index", "y.index", "x.district_shooting", "x.type_shooting"])
+    RaExpr::table("bp")
+        .alias("x")
+        .join(
+            RaExpr::table("bp").alias("y"),
+            Expr::named("x.district_shooting")
+                .eq(Expr::named("y.district_shooting"))
+                .and(Expr::named("x.type_shooting").eq(Expr::named("y.type_shooting")))
+                .and(Expr::named("x.index").eq(Expr::lit(692i64))),
+        )
+        .project([
+            "x.index",
+            "y.index",
+            "x.district_shooting",
+            "x.type_shooting",
+        ])
 }
 
 /// The three probabilistic queries with their names.

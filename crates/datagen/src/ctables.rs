@@ -41,10 +41,7 @@ impl Default for CtableConfig {
 pub fn random_cdb(config: &CtableConfig) -> CDb {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let columns: Vec<String> = (0..config.attrs).map(|i| format!("a{i}")).collect();
-    let mut table = CTable::new(Schema::qualified(
-        "ct",
-        columns.iter().map(String::as_str),
-    ));
+    let mut table = CTable::new(Schema::qualified("ct", columns.iter().map(String::as_str)));
     let mut next_var = 0u32;
     for _ in 0..config.rows {
         // Half the attributes are variables, half float constants.
@@ -116,8 +113,7 @@ pub fn random_query(complexity: usize, attrs: usize, rng: &mut StdRng) -> RaExpr
                 let right_col = format!("{right_alias}.a{}", rng.gen_range(0..attrs));
                 query = query.alias(left_alias.clone()).join(
                     RaExpr::table("ct").alias(right_alias),
-                    Expr::named(format!("{left_alias}.{left_col}"))
-                        .eq(Expr::named(right_col)),
+                    Expr::named(format!("{left_alias}.{left_col}")).eq(Expr::named(right_col)),
                 );
                 // Project back to a bounded subset of the *current* left
                 // columns (qualified to dodge ambiguity; output names stay

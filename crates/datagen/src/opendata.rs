@@ -42,15 +42,78 @@ pub struct DatasetSpec {
 
 /// The nine datasets of the paper's Figure 16 (rows scaled 100×down).
 pub const DATASETS: [DatasetSpec; 9] = [
-    DatasetSpec { name: "building_violations", paper_rows: 1_300_000, rows: 13_000, cols: 35, attr_uncertainty: 0.0082, row_uncertainty: 0.128 },
-    DatasetSpec { name: "shootings_buffalo", paper_rows: 2_900, rows: 2_900, cols: 21, attr_uncertainty: 0.0024, row_uncertainty: 0.021 },
-    DatasetSpec { name: "business_licenses", paper_rows: 63_000, rows: 6_300, cols: 25, attr_uncertainty: 0.0139, row_uncertainty: 0.140 },
-    DatasetSpec { name: "chicago_crime", paper_rows: 6_600_000, rows: 16_000, cols: 17, attr_uncertainty: 0.0021, row_uncertainty: 0.009 },
-    DatasetSpec { name: "contracts", paper_rows: 94_000, rows: 9_400, cols: 13, attr_uncertainty: 0.0150, row_uncertainty: 0.192 },
-    DatasetSpec { name: "food_inspections", paper_rows: 169_000, rows: 8_450, cols: 16, attr_uncertainty: 0.0034, row_uncertainty: 0.046 },
-    DatasetSpec { name: "graffiti_removal", paper_rows: 985_000, rows: 9_850, cols: 15, attr_uncertainty: 0.0009, row_uncertainty: 0.008 },
-    DatasetSpec { name: "building_permits", paper_rows: 198_000, rows: 9_900, cols: 19, attr_uncertainty: 0.0042, row_uncertainty: 0.053 },
-    DatasetSpec { name: "public_library_survey", paper_rows: 9_200, rows: 9_200, cols: 40, attr_uncertainty: 0.0119, row_uncertainty: 0.142 },
+    DatasetSpec {
+        name: "building_violations",
+        paper_rows: 1_300_000,
+        rows: 13_000,
+        cols: 35,
+        attr_uncertainty: 0.0082,
+        row_uncertainty: 0.128,
+    },
+    DatasetSpec {
+        name: "shootings_buffalo",
+        paper_rows: 2_900,
+        rows: 2_900,
+        cols: 21,
+        attr_uncertainty: 0.0024,
+        row_uncertainty: 0.021,
+    },
+    DatasetSpec {
+        name: "business_licenses",
+        paper_rows: 63_000,
+        rows: 6_300,
+        cols: 25,
+        attr_uncertainty: 0.0139,
+        row_uncertainty: 0.140,
+    },
+    DatasetSpec {
+        name: "chicago_crime",
+        paper_rows: 6_600_000,
+        rows: 16_000,
+        cols: 17,
+        attr_uncertainty: 0.0021,
+        row_uncertainty: 0.009,
+    },
+    DatasetSpec {
+        name: "contracts",
+        paper_rows: 94_000,
+        rows: 9_400,
+        cols: 13,
+        attr_uncertainty: 0.0150,
+        row_uncertainty: 0.192,
+    },
+    DatasetSpec {
+        name: "food_inspections",
+        paper_rows: 169_000,
+        rows: 8_450,
+        cols: 16,
+        attr_uncertainty: 0.0034,
+        row_uncertainty: 0.046,
+    },
+    DatasetSpec {
+        name: "graffiti_removal",
+        paper_rows: 985_000,
+        rows: 9_850,
+        cols: 15,
+        attr_uncertainty: 0.0009,
+        row_uncertainty: 0.008,
+    },
+    DatasetSpec {
+        name: "building_permits",
+        paper_rows: 198_000,
+        rows: 9_900,
+        cols: 19,
+        attr_uncertainty: 0.0042,
+        row_uncertainty: 0.053,
+    },
+    DatasetSpec {
+        name: "public_library_survey",
+        paper_rows: 9_200,
+        rows: 9_200,
+        cols: 40,
+        attr_uncertainty: 0.0119,
+        row_uncertainty: 0.142,
+    },
 ];
 
 /// A generated dataset with all derived views.
@@ -98,7 +161,13 @@ fn imputation_alternatives(v: &Value, rng: &mut StdRng) -> Vec<Value> {
 pub fn generate(spec: &DatasetSpec, seed: u64) -> OpenDataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let columns: Vec<String> = (0..spec.cols)
-        .map(|c| if c == 0 { "id".to_string() } else { format!("a{c}") })
+        .map(|c| {
+            if c == 0 {
+                "id".to_string()
+            } else {
+                format!("a{c}")
+            }
+        })
         .collect();
     let schema = Schema::qualified(spec.name, columns.iter().map(String::as_str));
 
@@ -128,17 +197,13 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> OpenDataset {
         let mut cells: Vec<(usize, Vec<Value>)> = Vec::new();
         for c in 1..spec.cols {
             if rng.gen::<f64>() < cell_p {
-                let alts = imputation_alternatives(
-                    row.get(c).expect("in range"),
-                    &mut rng,
-                );
+                let alts = imputation_alternatives(row.get(c).expect("in range"), &mut rng);
                 cells.push((c, alts));
             }
         }
         if cells.is_empty() {
             let c = rng.gen_range(1..spec.cols);
-            let alts =
-                imputation_alternatives(row.get(c).expect("in range"), &mut rng);
+            let alts = imputation_alternatives(row.get(c).expect("in range"), &mut rng);
             cells.push((c, alts));
         }
         uncertain_rows += 1;
@@ -185,8 +250,7 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> OpenDataset {
         spec: *spec,
         bgw: Table::from_rows(schema, bgw_rows),
         xdb,
-        measured_attr_uncertainty: uncertain_cells as f64
-            / (spec.rows * (spec.cols - 1)) as f64,
+        measured_attr_uncertainty: uncertain_cells as f64 / (spec.rows * (spec.cols - 1)) as f64,
         measured_row_uncertainty: uncertain_rows as f64 / spec.rows as f64,
     }
 }
@@ -262,7 +326,7 @@ pub fn graffiti_table(rows: usize, seed: u64) -> Table {
             .map(|i| {
                 Tuple::new(vec![
                     Value::str(format!("{} W Main St", 100 + i)),
-                    Value::Int(60601 + rng.gen_range(0..60)),
+                    Value::Int(60601 + rng.gen_range(0i64..60)),
                     Value::str(statuses[rng.gen_range(0..statuses.len())]),
                     Value::Int(rng.gen_range(1..=25)),
                     Value::Int(rng.gen_range(1_100_000..1_103_000)),
@@ -288,9 +352,9 @@ pub fn food_table(rows: usize, seed: u64) -> Table {
         (0..rows)
             .map(|i| {
                 Tuple::new(vec![
-                    Value::Int(17_000 + rng.gen_range(0..3000)),
+                    Value::Int(17_000 + rng.gen_range(0i64..3000)),
                     Value::str(format!("{} N State St", 1 + i)),
-                    Value::Int(60601 + rng.gen_range(0..60)),
+                    Value::Int(60601 + rng.gen_range(0i64..60)),
                     Value::str(results[rng.gen_range(0..results.len())]),
                     Value::str(risks[rng.gen_range(0..risks.len())]),
                 ])
@@ -389,7 +453,10 @@ mod tests {
         let rel = bgw.get(spec.name).unwrap();
         assert_eq!(rel.total_annotation() as usize, 500);
         for row in d.bgw.rows().iter().take(50) {
-            assert!(rel.annotation(row) > 0, "imputed row {row} missing from BGW");
+            assert!(
+                rel.annotation(row) > 0,
+                "imputed row {row} missing from BGW"
+            );
         }
     }
 
@@ -398,7 +465,10 @@ mod tests {
         let c = crime_table(200, 1);
         assert_eq!(c.schema().arity(), 8);
         let g = graffiti_table(100, 2);
-        assert!(g.rows().iter().any(|r| r.get(2) == Some(&Value::str("Open"))));
+        assert!(g
+            .rows()
+            .iter()
+            .any(|r| r.get(2) == Some(&Value::str("Open"))));
         let f = food_table(100, 3);
         assert_eq!(f.schema().arity(), 5);
         assert_eq!(real_queries().len(), 5);

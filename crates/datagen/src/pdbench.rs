@@ -103,7 +103,7 @@ fn alternatives_for(value: &Value, count: usize, rng: &mut StdRng) -> Vec<Value>
     let mut out = vec![value.clone()];
     for k in 1..count {
         let alt = match value {
-            Value::Int(i) => Value::Int(i + rng.gen_range(1..=100) * k as i64),
+            Value::Int(i) => Value::Int(i + rng.gen_range(1i64..=100) * k as i64),
             Value::Float(f) => Value::float(f.get() * (1.0 + 0.05 * k as f64) + 1.0),
             Value::Str(s) => Value::str(format!("{s}~alt{k}")),
             Value::Bool(b) => Value::Bool(*b ^ (k % 2 == 1)),
@@ -118,12 +118,7 @@ fn alternatives_for(value: &Value, count: usize, rng: &mut StdRng) -> Vec<Value>
 /// Inject uncertainty into one table. `eligible` names the columns whose
 /// cells may become uncertain (PDBench randomizes value-bearing attributes,
 /// never keys).
-pub fn inject(
-    name: &str,
-    table: &Table,
-    eligible: &[&str],
-    config: &PdbenchConfig,
-) -> UncertainDb {
+pub fn inject(name: &str, table: &Table, eligible: &[&str], config: &PdbenchConfig) -> UncertainDb {
     let mut rng = StdRng::seed_from_u64(config.seed ^ hash_name(name));
     let eligible_idx: Vec<usize> = eligible
         .iter()
@@ -147,8 +142,7 @@ pub fn inject(
             if rng.gen::<f64>() < config.uncertainty {
                 stats.uncertain_cells += 1;
                 let count = rng.gen_range(2..=config.max_values);
-                let values =
-                    alternatives_for(row.get(col).expect("in range"), count, &mut rng);
+                let values = alternatives_for(row.get(col).expect("in range"), count, &mut rng);
                 if values.len() > 1 {
                     cell_values.insert(col, values);
                 }
@@ -237,10 +231,7 @@ pub fn inject(
 }
 
 /// Inject uncertainty into several tables, merging the per-table views.
-pub fn inject_db(
-    tables: &[(&str, &Table, &[&str])],
-    config: &PdbenchConfig,
-) -> UncertainDb {
+pub fn inject_db(tables: &[(&str, &Table, &[&str])], config: &PdbenchConfig) -> UncertainDb {
     let mut merged: Option<UncertainDb> = None;
     for (i, (name, table, eligible)) in tables.iter().enumerate() {
         let cfg = PdbenchConfig {
@@ -301,7 +292,10 @@ mod tests {
             (0.05..0.18).contains(&rate),
             "expected ≈10% uncertain cells, got {rate}"
         );
-        assert!(u.stats.row_uncertainty() > rate, "rows accumulate cell noise");
+        assert!(
+            u.stats.row_uncertainty() > rate,
+            "rows accumulate cell noise"
+        );
     }
 
     #[test]
@@ -343,7 +337,12 @@ mod tests {
         let null_cells: usize = nulls
             .rows()
             .iter()
-            .map(|r| r.values().iter().filter(|v| matches!(v, Value::Null)).count())
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .filter(|v| matches!(v, Value::Null))
+                    .count()
+            })
             .sum();
         assert_eq!(null_cells, u.stats.uncertain_cells);
     }

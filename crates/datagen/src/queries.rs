@@ -144,8 +144,7 @@ mod tests {
             db.insert(name, table.to_relation());
         }
         for (name, q) in pdbench_queries() {
-            let result = ua_data::eval(&q, &db)
-                .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            let result = ua_data::eval(&q, &db).unwrap_or_else(|e| panic!("{name} failed: {e}"));
             // Q2 on tiny data should still select something.
             if name == "Q2" {
                 assert!(result.support_size() > 0, "{name} returned nothing");

@@ -69,7 +69,13 @@ pub struct TpchData {
     pub lineitem: Table,
 }
 
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDEAST"];
 
 /// Generate the database.
@@ -155,21 +161,34 @@ pub fn generate(config: &TpchConfig) -> TpchData {
                 Value::Int(quantity),
                 Value::float(price),
                 Value::float(rng.gen_range(0.0..0.11)),
-                Value::Int(orderdate + rng.gen_range(1..122)),
+                Value::Int(orderdate + rng.gen_range(1i64..122)),
             ]));
         }
     }
     let orders = Table::from_rows(
         Schema::qualified(
             "orders",
-            ["orderkey", "custkey", "orderdate", "shippriority", "totalprice"],
+            [
+                "orderkey",
+                "custkey",
+                "orderdate",
+                "shippriority",
+                "totalprice",
+            ],
         ),
         orders_rows,
     );
     let lineitem = Table::from_rows(
         Schema::qualified(
             "lineitem",
-            ["orderkey", "suppkey", "quantity", "extendedprice", "discount", "shipdate"],
+            [
+                "orderkey",
+                "suppkey",
+                "quantity",
+                "extendedprice",
+                "discount",
+                "shipdate",
+            ],
         ),
         lineitem_rows,
     );

@@ -42,19 +42,17 @@ pub fn ground_truth(dataset: &str, rows: usize, seed: u64) -> Table {
     let mut rng = StdRng::seed_from_u64(seed);
     match dataset {
         "income_survey" => Table::from_rows(
-            Schema::qualified(
-                "survey",
-                ["id", "age_group", "income", "source", "assets"],
-            ),
+            Schema::qualified("survey", ["id", "age_group", "income", "source", "assets"]),
             (0..rows)
                 .map(|i| {
                     Tuple::new(vec![
                         Value::Int(i as i64),
                         Value::str(format!("age{}", rng.gen_range(2..8) * 10)),
-                        Value::Int(rng.gen_range(10..200) * 500),
-                        Value::str(["wages", "self", "transfer", "invest"]
-                            [rng.gen_range(0..4)]),
-                        Value::Int(rng.gen_range(0..100) * 1000),
+                        Value::Int(rng.gen_range(10i64..200) * 500),
+                        Value::str(
+                            ["wages", "self", "transfer", "invest"][rng.gen_range(0..4usize)],
+                        ),
+                        Value::Int(rng.gen_range(0i64..100) * 1000),
                     ])
                 })
                 .collect(),
@@ -65,27 +63,38 @@ pub fn ground_truth(dataset: &str, rows: usize, seed: u64) -> Table {
                 .map(|i| {
                     Tuple::new(vec![
                         Value::Int(i as i64),
-                        Value::str(["BD", "CD", "DD", "ED"][rng.gen_range(0..4)]),
-                        Value::str(["fatal", "injury", "property"][rng.gen_range(0..3)]),
+                        Value::str(["BD", "CD", "DD", "ED"][rng.gen_range(0..4usize)]),
+                        Value::str(["fatal", "injury", "property"][rng.gen_range(0..3usize)]),
                         Value::Int(rng.gen_range(1..5)),
                     ])
                 })
                 .collect(),
         ),
         _ => Table::from_rows(
-            Schema::qualified(
-                "licenses",
-                ["id", "kind", "ward", "status", "fee"],
-            ),
+            Schema::qualified("licenses", ["id", "kind", "ward", "status", "fee"]),
             (0..rows)
                 .map(|i| {
+                    // Categorical columns are skewed like the real Chicago
+                    // business-license data (most licenses are plain retail
+                    // and active): that skew is what makes mode imputation
+                    // meaningfully better than random repair.
+                    let kind = match rng.gen_range(0..10usize) {
+                        0..=5 => "retail",
+                        6..=7 => "food",
+                        8 => "liquor",
+                        _ => "service",
+                    };
+                    let status = match rng.gen_range(0..10usize) {
+                        0..=6 => "AAI",
+                        7..=8 => "AAC",
+                        _ => "REV",
+                    };
                     Tuple::new(vec![
                         Value::Int(i as i64),
-                        Value::str(["retail", "food", "liquor", "service"]
-                            [rng.gen_range(0..4)]),
+                        Value::str(kind),
                         Value::Int(rng.gen_range(1..51)),
-                        Value::str(["AAI", "AAC", "REV"][rng.gen_range(0..3)]),
-                        Value::Int(rng.gen_range(1..40) * 25),
+                        Value::str(status),
+                        Value::Int(rng.gen_range(1i64..40) * 25),
                     ])
                 })
                 .collect(),
@@ -183,10 +192,8 @@ pub fn build(ground: &Table, null_rate: f64, seed: u64) -> UtilityInstance {
 
 /// Set-level precision/recall of `result` against `truth`.
 pub fn precision_recall(result: &Table, truth: &Table) -> (f64, f64) {
-    let result_set: std::collections::BTreeSet<Tuple> =
-        result.rows().iter().cloned().collect();
-    let truth_set: std::collections::BTreeSet<Tuple> =
-        truth.rows().iter().cloned().collect();
+    let result_set: std::collections::BTreeSet<Tuple> = result.rows().iter().cloned().collect();
+    let truth_set: std::collections::BTreeSet<Tuple> = truth.rows().iter().cloned().collect();
     let hits = result_set.intersection(&truth_set).count() as f64;
     let precision = if result_set.is_empty() {
         1.0
@@ -221,7 +228,12 @@ mod tests {
             .incomplete
             .rows()
             .iter()
-            .map(|r| r.values().iter().filter(|v| matches!(v, Value::Null)).count())
+            .map(|r| {
+                r.values()
+                    .iter()
+                    .filter(|v| matches!(v, Value::Null))
+                    .count()
+            })
             .sum();
         let eligible = 500 * (g.schema().arity() - 1);
         let rate = nulls as f64 / eligible as f64;

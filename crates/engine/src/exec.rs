@@ -106,8 +106,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
                     .iter()
                     .map(|c| c.expr.bind(&join_schema))
                     .collect::<Result<_, _>>()?;
-                let out_schema =
-                    Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+                let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
                 let mut out = Table::new(out_schema);
                 join_stream(&l, &r, predicate.as_ref(), &mut |joined| {
                     let mapped: Tuple = bound
@@ -172,47 +171,60 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
         } => aggregate(input, group_by, aggregates, catalog),
         Plan::Sort { input, keys } => {
             let t = execute(input, catalog)?;
-            let bound: Vec<(Expr, SortOrder)> = keys
-                .iter()
-                .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
-                .collect::<Result<_, EngineError>>()?;
-            let mut decorated: Vec<(Vec<Value>, Tuple)> = t
-                .rows()
-                .iter()
-                .map(|row| {
-                    let key: Vec<Value> = bound
-                        .iter()
-                        .map(|(e, _)| e.eval(row))
-                        .collect::<Result<_, _>>()?;
-                    Ok((key, row.clone()))
-                })
-                .collect::<Result<_, EngineError>>()?;
-            decorated.sort_by(|(ka, ra), (kb, rb)| {
-                for ((va, vb), (_, order)) in ka.iter().zip(kb).zip(&bound) {
-                    let ord = va.cmp(vb);
-                    let ord = match order {
-                        SortOrder::Asc => ord,
-                        SortOrder::Desc => ord.reverse(),
-                    };
-                    if !ord.is_eq() {
-                        return ord;
-                    }
-                }
-                ra.cmp(rb) // deterministic tie-break
-            });
-            Ok(Table::from_rows(
-                t.schema().clone(),
-                decorated.into_iter().map(|(_, row)| row).collect(),
-            ))
+            sort_table(&t, keys)
         }
         Plan::Limit { input, limit } => {
             let t = execute(input, catalog)?;
-            Ok(Table::from_rows(
-                t.schema().clone(),
-                t.rows().iter().take(*limit).cloned().collect(),
-            ))
+            Ok(limit_table(&t, *limit))
         }
     }
+}
+
+/// Sort a materialized table by `keys` (outermost first), with a
+/// deterministic full-row tie-break. Shared by both executors: the
+/// vectorized engine materializes before sorting too, so the operators stay
+/// byte-for-byte compatible.
+pub fn sort_table(t: &Table, keys: &[(Expr, SortOrder)]) -> Result<Table, EngineError> {
+    let bound: Vec<(Expr, SortOrder)> = keys
+        .iter()
+        .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
+        .collect::<Result<_, EngineError>>()?;
+    let mut decorated: Vec<(Vec<Value>, Tuple)> = t
+        .rows()
+        .iter()
+        .map(|row| {
+            let key: Vec<Value> = bound
+                .iter()
+                .map(|(e, _)| e.eval(row))
+                .collect::<Result<_, _>>()?;
+            Ok((key, row.clone()))
+        })
+        .collect::<Result<_, EngineError>>()?;
+    decorated.sort_by(|(ka, ra), (kb, rb)| {
+        for ((va, vb), (_, order)) in ka.iter().zip(kb).zip(&bound) {
+            let ord = va.cmp(vb);
+            let ord = match order {
+                SortOrder::Asc => ord,
+                SortOrder::Desc => ord.reverse(),
+            };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        ra.cmp(rb) // deterministic tie-break
+    });
+    Ok(Table::from_rows(
+        t.schema().clone(),
+        decorated.into_iter().map(|(_, row)| row).collect(),
+    ))
+}
+
+/// The first `limit` rows of a materialized table.
+pub fn limit_table(t: &Table, limit: usize) -> Table {
+    Table::from_rows(
+        t.schema().clone(),
+        t.rows().iter().take(limit).cloned().collect(),
+    )
 }
 
 fn join(l: &Table, r: &Table, predicate: Option<&Expr>) -> Result<Table, EngineError> {
@@ -292,15 +304,42 @@ fn join_stream(
 }
 
 /// Running state of one aggregate.
-enum AggState {
+///
+/// Shared by both executors: the row engine feeds it one row at a time
+/// (`mult = 1`), the vectorized engine feeds batch rows weighted by their
+/// multiplicity column — keeping the two engines' aggregate semantics a
+/// single code path.
+pub enum AggState {
+    /// `COUNT(*)` / `COUNT(expr)` running count.
     Count(u64),
-    Sum { total: f64, saw_int_only: bool, any: bool },
-    MinMax { best: Option<Value>, is_min: bool },
-    Avg { total: f64, n: u64 },
+    /// `SUM(expr)` running total (int/float typing tracked).
+    Sum {
+        /// Accumulated total.
+        total: f64,
+        /// Whether only integer inputs were seen (result stays `Int`).
+        saw_int_only: bool,
+        /// Whether any numeric input was seen (`NULL` otherwise).
+        any: bool,
+    },
+    /// `MIN`/`MAX` best-so-far.
+    MinMax {
+        /// Current best value.
+        best: Option<Value>,
+        /// `true` for `MIN`, `false` for `MAX`.
+        is_min: bool,
+    },
+    /// `AVG(expr)` running total and count.
+    Avg {
+        /// Accumulated total.
+        total: f64,
+        /// Number of numeric inputs.
+        n: u64,
+    },
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    /// Fresh state for `func`.
+    pub fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Count | AggFunc::CountStar => AggState::Count(0),
             AggFunc::Sum => AggState::Sum {
@@ -320,13 +359,15 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, value: Option<&Value>) {
+    /// Fold in `value` standing for `mult` duplicate rows (`None` = the
+    /// `COUNT(*)` row marker).
+    pub fn update(&mut self, value: Option<&Value>, mult: u64) {
         match self {
             AggState::Count(n) => {
                 // COUNT(*) passes None; COUNT(e) skips unknowns.
                 match value {
-                    None => *n += 1,
-                    Some(v) if !v.is_unknown() => *n += 1,
+                    None => *n += mult,
+                    Some(v) if !v.is_unknown() => *n += mult,
                     _ => {}
                 }
             }
@@ -337,7 +378,7 @@ impl AggState {
             } => {
                 if let Some(v) = value {
                     if let Some(x) = v.as_f64() {
-                        *total += x;
+                        *total += x * mult as f64;
                         *any = true;
                         if matches!(v, Value::Float(_)) {
                             *saw_int_only = false;
@@ -352,14 +393,11 @@ impl AggState {
                     }
                     let better = match best {
                         None => true,
-                        Some(b) => {
-                            let ord = v.sql_cmp(b);
-                            match (ord, *is_min) {
-                                (Some(std::cmp::Ordering::Less), true) => true,
-                                (Some(std::cmp::Ordering::Greater), false) => true,
-                                _ => false,
-                            }
-                        }
+                        Some(b) => matches!(
+                            (v.sql_cmp(b), *is_min),
+                            (Some(std::cmp::Ordering::Less), true)
+                                | (Some(std::cmp::Ordering::Greater), false)
+                        ),
                     };
                     if better {
                         *best = Some(v.clone());
@@ -369,15 +407,16 @@ impl AggState {
             AggState::Avg { total, n } => {
                 if let Some(v) = value {
                     if let Some(x) = v.as_f64() {
-                        *total += x;
-                        *n += 1;
+                        *total += x * mult as f64;
+                        *n += mult;
                     }
                 }
             }
         }
     }
 
-    fn finish(self) -> Value {
+    /// The final aggregate value.
+    pub fn finish(self) -> Value {
         match self {
             AggState::Count(n) => Value::Int(n as i64),
             AggState::Sum {
@@ -440,8 +479,8 @@ fn aggregate(
         };
         for (state, arg) in states.iter_mut().zip(&bound_aggs) {
             match arg {
-                Some(e) => state.update(Some(&e.eval(row)?)),
-                None => state.update(None),
+                Some(e) => state.update(Some(&e.eval(row)?), 1),
+                None => state.update(None, 1),
             }
         }
     }
@@ -599,10 +638,7 @@ mod tests {
         let t = execute(&plan, &catalog()).unwrap();
         let rows = t.sorted_rows();
         assert_eq!(rows.len(), 2);
-        assert_eq!(
-            rows[0],
-            tuple!["eng", 2i64, 180i64, 80i64, 90.0]
-        );
+        assert_eq!(rows[0], tuple!["eng", 2i64, 180i64, 80i64, 90.0]);
         assert_eq!(rows[1], tuple!["ops", 2i64, 120i64, 60i64, 60.0]);
     }
 
@@ -645,11 +681,7 @@ mod tests {
             "t",
             Table::from_rows(
                 Schema::qualified("t", ["a"]),
-                vec![
-                    tuple![1i64],
-                    Tuple::new(vec![Value::Null]),
-                    tuple![3i64],
-                ],
+                vec![tuple![1i64], Tuple::new(vec![Value::Null]), tuple![3i64]],
             ),
         );
         let plan = Plan::Aggregate {

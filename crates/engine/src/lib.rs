@@ -17,13 +17,15 @@
 #![warn(missing_docs)]
 
 pub mod exec;
+pub mod mode;
 pub mod optimize;
 pub mod plan;
 pub mod sql;
 pub mod storage;
 pub mod ua;
 
-pub use exec::{execute, EngineError};
+pub use exec::{execute, limit_table, sort_table, AggState, EngineError};
+pub use mode::{register_vectorized_hooks, vectorized_hooks, ExecMode, VectorizedHooks};
 pub use optimize::push_filters;
 pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};

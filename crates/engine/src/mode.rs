@@ -1,0 +1,63 @@
+//! Execution-mode selection and the vectorized-executor hook registry.
+//!
+//! The engine ships two executors for the same [`Plan`](crate::plan::Plan)s:
+//! the row-at-a-time interpreter in [`crate::exec`] and the batch-oriented
+//! columnar engine in the `ua-vecexec` crate. `ua-vecexec` sits *above* this
+//! crate in the dependency graph (it reuses the plan, storage and error
+//! types), so the engine cannot call it directly; instead `ua-vecexec`
+//! registers its entry points here once per process
+//! ([`register_vectorized_hooks`], called by `ua_vecexec::install()`), and
+//! [`crate::ua::UaSession`] dispatches on its [`ExecMode`].
+
+use crate::exec::EngineError;
+use crate::plan::Plan;
+use crate::storage::{Catalog, Table};
+use std::sync::OnceLock;
+use ua_data::algebra::RaExpr;
+
+/// Which executor a session uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecMode {
+    /// The materializing row-at-a-time interpreter (the default).
+    #[default]
+    Row,
+    /// The batch-oriented columnar engine (`ua-vecexec`), which carries UA
+    /// labels as per-batch bitmaps. Requires `ua_vecexec::install()` to have
+    /// run (the `uadb` facade re-exports it as `uadb::vecexec::install`).
+    Vectorized,
+}
+
+/// Entry points a vectorized executor registers.
+#[derive(Clone, Copy)]
+pub struct VectorizedHooks {
+    /// Execute an arbitrary [`Plan`] (deterministic semantics).
+    pub plan: fn(&Plan, &Catalog) -> Result<Table, EngineError>,
+    /// Execute an `RA⁺` query over UA-encoded base tables, returning the
+    /// encoded result (certainty marker in last position). The query is the
+    /// *user* query — label propagation per `⟦·⟧_UA` happens inside the
+    /// executor, on its label bitmaps, instead of via a rewritten plan.
+    pub ua: fn(&RaExpr, &Catalog) -> Result<Table, EngineError>,
+}
+
+static HOOKS: OnceLock<VectorizedHooks> = OnceLock::new();
+
+/// Register the vectorized executor (idempotent; first registration wins).
+pub fn register_vectorized_hooks(hooks: VectorizedHooks) {
+    let _ = HOOKS.set(hooks);
+}
+
+/// The registered vectorized executor, if any.
+pub fn vectorized_hooks() -> Option<&'static VectorizedHooks> {
+    HOOKS.get()
+}
+
+pub(crate) fn require_vectorized_hooks() -> Result<&'static VectorizedHooks, EngineError> {
+    vectorized_hooks().ok_or_else(|| {
+        EngineError::Sql(
+            "ExecMode::Vectorized requires the ua-vecexec executor; call \
+             ua_vecexec::install() (re-exported as uadb::vecexec::install) \
+             before querying"
+                .into(),
+        )
+    })
+}

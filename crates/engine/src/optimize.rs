@@ -156,7 +156,10 @@ fn substitute(predicate: &Expr, columns: &[ProjColumn]) -> Option<Expr> {
             Box::new(substitute(a, columns)?),
             Box::new(substitute(b, columns)?),
         ),
-        Expr::Case { branches, otherwise } => Expr::Case {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
             branches: branches
                 .iter()
                 .map(|(c, v)| Some((substitute(c, columns)?, substitute(v, columns)?)))
@@ -205,7 +208,10 @@ mod tests {
         let optimized = push_filters(plan.clone());
         match &optimized {
             Plan::Map { input, .. } => {
-                assert!(matches!(**input, Plan::Filter { .. }), "filter pushed below");
+                assert!(
+                    matches!(**input, Plan::Filter { .. }),
+                    "filter pushed below"
+                );
             }
             other => panic!("expected Map on top, got {other}"),
         }
@@ -259,10 +265,7 @@ mod tests {
             input: Box::new(Plan::Map {
                 input: Box::new(Plan::Map {
                     input: Box::new(Plan::Scan("r".into())),
-                    columns: vec![
-                        ProjColumn::named("a"),
-                        ProjColumn::named("b"),
-                    ],
+                    columns: vec![ProjColumn::named("a"), ProjColumn::named("b")],
                 }),
                 columns: vec![ProjColumn::named("b")],
             }),

@@ -7,9 +7,9 @@
 //! aggregation to future work); the extras exist so that the evaluation
 //! queries (Q1–Q5, QP1–QP3) run end-to-end.
 
+use std::fmt;
 use ua_data::algebra::{ProjColumn, RaExpr};
 use ua_data::expr::Expr;
-use std::fmt;
 
 /// An aggregate function.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -124,11 +124,7 @@ impl SqlExpr {
             SqlExpr::IsNull { expr, .. } => expr.contains_aggregate(),
             SqlExpr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             SqlExpr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(SqlExpr::contains_aggregate)
             }
@@ -141,7 +137,9 @@ impl SqlExpr {
                     || branches
                         .iter()
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
-                    || otherwise.as_deref().is_some_and(SqlExpr::contains_aggregate)
+                    || otherwise
+                        .as_deref()
+                        .is_some_and(SqlExpr::contains_aggregate)
             }
             _ => false,
         }

@@ -36,9 +36,9 @@ impl From<LexError> for ParseError {
 
 /// Words that terminate an implicit alias position.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "order", "limit", "on", "join", "inner", "cross",
-    "union", "all", "is", "as", "and", "or", "not", "by", "having", "asc", "desc", "when",
-    "then", "else", "end", "case", "between", "in", "null", "distinct", "with",
+    "select", "from", "where", "group", "order", "limit", "on", "join", "inner", "cross", "union",
+    "all", "is", "as", "and", "or", "not", "by", "having", "asc", "desc", "when", "then", "else",
+    "end", "case", "between", "in", "null", "distinct", "with",
 ];
 
 /// Parse one SQL query.
@@ -71,7 +71,9 @@ impl Parser {
     }
 
     fn peek_text(&self) -> String {
-        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+        self.peek()
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "<eof>".into())
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -138,7 +140,9 @@ impl Parser {
             Some(Token::Ident(s)) => Ok(s),
             other => Err(ParseError::new(format!(
                 "expected identifier, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<eof>".into())
             ))),
         }
     }
@@ -180,7 +184,9 @@ impl Parser {
                 other => {
                     return Err(ParseError::new(format!(
                         "LIMIT expects a non-negative integer, found `{}`",
-                        other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+                        other
+                            .map(|t| t.to_string())
+                            .unwrap_or_else(|| "<eof>".into())
                     )))
                 }
             }
@@ -267,6 +273,7 @@ impl Parser {
         None
     }
 
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item; not a conversion
     fn from_item(&mut self) -> Result<(TableRef, Vec<JoinClause>), ParseError> {
         let base = self.table_ref()?;
         let mut joins = Vec::new();
@@ -413,14 +420,13 @@ impl Parser {
             });
         }
         // [NOT] BETWEEN / IN
-        let negated = if self.peek_kw("not")
-            && (self.peek_kw_at(1, "between") || self.peek_kw_at(1, "in"))
-        {
-            self.pos += 1;
-            true
-        } else {
-            false
-        };
+        let negated =
+            if self.peek_kw("not") && (self.peek_kw_at(1, "between") || self.peek_kw_at(1, "in")) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            };
         if self.accept_kw("between") {
             let low = self.additive()?;
             self.expect_kw("and")?;
@@ -502,11 +508,7 @@ impl Parser {
             return Ok(match inner {
                 SqlExpr::Int(i) => SqlExpr::Int(-i),
                 SqlExpr::Float(x) => SqlExpr::Float(-x),
-                other => SqlExpr::Binary(
-                    BinOp::Sub,
-                    Box::new(SqlExpr::Int(0)),
-                    Box::new(other),
-                ),
+                other => SqlExpr::Binary(BinOp::Sub, Box::new(SqlExpr::Int(0)), Box::new(other)),
             });
         }
         if self.accept(&Token::Plus) {
@@ -588,7 +590,9 @@ impl Parser {
             }
             other => Err(ParseError::new(format!(
                 "expected expression, found `{}`",
-                other.map(|t| t.to_string()).unwrap_or_else(|| "<eof>".into())
+                other
+                    .map(|t| t.to_string())
+                    .unwrap_or_else(|| "<eof>".into())
             ))),
         }
     }
@@ -692,17 +696,23 @@ mod tests {
 
     #[test]
     fn x_annotation() {
-        let q = parse(
-            "SELECT * FROM r IS X WITH XID (tid) ALTID (aid) PROBABILITY (p) r2",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT * FROM r IS X WITH XID (tid) ALTID (aid) PROBABILITY (p) r2").unwrap();
         match &q.selects[0].from[0].0 {
             TableRef::Named {
                 alias,
-                annotation: Some(SourceAnnotation::X { xid, altid, probability }),
+                annotation:
+                    Some(SourceAnnotation::X {
+                        xid,
+                        altid,
+                        probability,
+                    }),
                 ..
             } => {
-                assert_eq!((xid.as_str(), altid.as_str(), probability.as_str()), ("tid", "aid", "p"));
+                assert_eq!(
+                    (xid.as_str(), altid.as_str(), probability.as_str()),
+                    ("tid", "aid", "p")
+                );
                 assert_eq!(alias.as_deref(), Some("r2"));
             }
             other => panic!("expected X annotation, got {other:?}"),
@@ -711,13 +721,15 @@ mod tests {
 
     #[test]
     fn ctable_annotation() {
-        let q = parse(
-            "SELECT * FROM r IS CTABLE WITH VARIABLES (v1, v2) LOCAL CONDITION (lc)",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM r IS CTABLE WITH VARIABLES (v1, v2) LOCAL CONDITION (lc)")
+            .unwrap();
         match &q.selects[0].from[0].0 {
             TableRef::Named {
-                annotation: Some(SourceAnnotation::CTable { variables, condition }),
+                annotation:
+                    Some(SourceAnnotation::CTable {
+                        variables,
+                        condition,
+                    }),
                 ..
             } => {
                 assert_eq!(variables, &["v1", "v2"]);
@@ -732,16 +744,16 @@ mod tests {
         let q = parse("SELECT * FROM r WHERE a IS NOT NULL AND b IS NULL").unwrap();
         assert!(q.selects[0].from.iter().all(|(t, _)| matches!(
             t,
-            TableRef::Named { annotation: None, .. }
+            TableRef::Named {
+                annotation: None,
+                ..
+            }
         )));
     }
 
     #[test]
     fn joins() {
-        let q = parse(
-            "SELECT * FROM a JOIN b ON a.x = b.y CROSS JOIN c WHERE a.z > 0",
-        )
-        .unwrap();
+        let q = parse("SELECT * FROM a JOIN b ON a.x = b.y CROSS JOIN c WHERE a.z > 0").unwrap();
         let (_, joins) = &q.selects[0].from[0];
         assert_eq!(joins.len(), 2);
         assert!(joins[0].on.is_some());
@@ -750,10 +762,8 @@ mod tests {
 
     #[test]
     fn union_all_order_limit() {
-        let q = parse(
-            "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a DESC, b LIMIT 10",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY a DESC, b LIMIT 10").unwrap();
         assert_eq!(q.selects.len(), 2);
         assert_eq!(q.order_by.len(), 2);
         assert_eq!(q.order_by[0].1, SortOrder::Desc);
@@ -763,10 +773,8 @@ mod tests {
 
     #[test]
     fn group_by_and_aggregates() {
-        let q = parse(
-            "SELECT dept, count(*), sum(salary) AS total FROM emp GROUP BY dept",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT dept, count(*), sum(salary) AS total FROM emp GROUP BY dept").unwrap();
         let s = &q.selects[0];
         assert_eq!(s.group_by.len(), 1);
         assert!(s.items[1].expr.contains_aggregate());

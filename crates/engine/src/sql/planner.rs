@@ -144,8 +144,7 @@ fn plan_select(
             },
         });
     }
-    let mut plan = from_plan
-        .ok_or_else(|| EngineError::Sql("query needs a FROM clause".into()))?;
+    let mut plan = from_plan.ok_or_else(|| EngineError::Sql("query needs a FROM clause".into()))?;
 
     if let Some(w) = &select.where_clause {
         plan = Plan::Filter {
@@ -156,8 +155,8 @@ fn plan_select(
 
     let source_schema = plan_schema(&plan, catalog)?;
 
-    let has_aggregates = !select.group_by.is_empty()
-        || select.items.iter().any(|i| i.expr.contains_aggregate());
+    let has_aggregates =
+        !select.group_by.is_empty() || select.items.iter().any(|i| i.expr.contains_aggregate());
 
     plan = if has_aggregates {
         plan_aggregation(select, plan, catalog)?
@@ -356,9 +355,7 @@ fn lower_aggregate(name: &str, args: &[SqlExpr], out: &str) -> Result<AggExpr, E
                     .into(),
             ))
         }
-        other => {
-            return Err(EngineError::Sql(format!("unknown aggregate `{other}`")))
-        }
+        other => return Err(EngineError::Sql(format!("unknown aggregate `{other}`"))),
     };
     if args.len() != 1 {
         return Err(EngineError::Sql(format!(
@@ -377,7 +374,9 @@ pub fn lower_scalar(expr: &SqlExpr) -> Result<Expr, EngineError> {
     Ok(match expr {
         SqlExpr::Column(c) => Expr::named(c.clone()),
         SqlExpr::Star | SqlExpr::QualifiedStar(_) => {
-            return Err(EngineError::Sql("`*` is only valid in a select list".into()))
+            return Err(EngineError::Sql(
+                "`*` is only valid in a select list".into(),
+            ))
         }
         SqlExpr::Int(i) => Expr::lit(*i),
         SqlExpr::Float(x) => Expr::lit(*x),
@@ -399,11 +398,9 @@ pub fn lower_scalar(expr: &SqlExpr) -> Result<Expr, EngineError> {
                 BinOp::Add => left.add(right),
                 BinOp::Sub => left.sub(right),
                 BinOp::Mul => left.mul(right),
-                BinOp::Div => Expr::Arith(
-                    ua_data::expr::ArithOp::Div,
-                    Box::new(left),
-                    Box::new(right),
-                ),
+                BinOp::Div => {
+                    Expr::Arith(ua_data::expr::ArithOp::Div, Box::new(left), Box::new(right))
+                }
             }
         }
         SqlExpr::Not(a) => lower_scalar(a)?.not(),
@@ -421,8 +418,7 @@ pub fn lower_scalar(expr: &SqlExpr) -> Result<Expr, EngineError> {
             high,
             negated,
         } => {
-            let inner = lower_scalar(expr)?
-                .between(lower_scalar(low)?, lower_scalar(high)?);
+            let inner = lower_scalar(expr)?.between(lower_scalar(low)?, lower_scalar(high)?);
             if *negated {
                 inner.not()
             } else {
@@ -484,9 +480,7 @@ pub fn lower_scalar(expr: &SqlExpr) -> Result<Expr, EngineError> {
                     "aggregate `{other}` used outside an aggregation context"
                 )))
             }
-            other => {
-                return Err(EngineError::Sql(format!("unknown function `{other}`")))
-            }
+            other => return Err(EngineError::Sql(format!("unknown function `{other}`"))),
         },
     })
 }
@@ -554,10 +548,8 @@ mod tests {
 
     #[test]
     fn aggregation() {
-        let t = run(
-            "SELECT dept, count(*) AS n, sum(salary) AS total \
-             FROM emp GROUP BY dept ORDER BY dept",
-        );
+        let t = run("SELECT dept, count(*) AS n, sum(salary) AS total \
+             FROM emp GROUP BY dept ORDER BY dept");
         assert_eq!(
             t.rows(),
             &[tuple!["eng", 2i64, 180i64], tuple!["ops", 1i64, 60i64]]
@@ -570,10 +562,7 @@ mod tests {
             "SELECT name, CASE dept WHEN 'eng' THEN 'tech' ELSE 'other' END AS kind \
              FROM emp ORDER BY name LIMIT 2",
         );
-        assert_eq!(
-            t.rows(),
-            &[tuple!["ann", "tech"], tuple!["bob", "tech"]]
-        );
+        assert_eq!(t.rows(), &[tuple!["ann", "tech"], tuple!["bob", "tech"]]);
     }
 
     #[test]

@@ -35,8 +35,14 @@ impl Table {
     /// # Panics
     /// Panics when a row's arity differs from the schema's.
     pub fn from_rows(schema: Schema, rows: Vec<Tuple>) -> Table {
-        for r in &rows {
-            assert_eq!(r.arity(), schema.arity(), "row arity mismatch");
+        // One branchy pass instead of per-row assert_eq! formatting setup;
+        // the vector itself is taken by value, so no copy happens here.
+        let arity = schema.arity();
+        if let Some(bad) = rows.iter().find(|r| r.arity() != arity) {
+            panic!(
+                "row arity mismatch: row has {} columns, schema has {arity}",
+                bad.arity()
+            );
         }
         Table { schema, rows }
     }
@@ -44,14 +50,20 @@ impl Table {
     /// Convert from the annotation-map representation: a tuple with
     /// multiplicity `n` becomes `n` row copies.
     pub fn from_relation(rel: &Relation<u64>) -> Table {
-        let mut rows = Vec::new();
+        // Pre-size with the summed multiplicities: the reallocation churn of
+        // a growing Vec dominated this conversion on large bag relations.
+        let total: u64 = rel.iter().map(|(_, &n)| n).sum();
+        let mut rows = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
         for (t, &n) in rel.iter() {
-            for _ in 0..n {
-                rows.push(t.clone());
-            }
+            // A `Tuple` is an `Arc` handle, so each copy is a refcount bump,
+            // not a deep clone of the row's values.
+            rows.extend(std::iter::repeat_n(t.clone(), n as usize));
         }
-        // Deterministic row order independent of hash-map iteration.
-        rows.sort();
+        // Deterministic row order independent of hash-map iteration. The
+        // sort key is total and copies are indistinguishable, so the
+        // unstable sort is deterministic here and avoids stable sort's
+        // allocation.
+        rows.sort_unstable();
         Table {
             schema: rel.schema().clone(),
             rows,
@@ -157,10 +169,7 @@ mod tests {
     #[test]
     fn row_relation_round_trip() {
         let schema = Schema::qualified("r", ["a"]);
-        let table = Table::from_rows(
-            schema,
-            vec![tuple![1i64], tuple![1i64], tuple![2i64]],
-        );
+        let table = Table::from_rows(schema, vec![tuple![1i64], tuple![1i64], tuple![2i64]]);
         let rel = table.to_relation();
         assert_eq!(rel.annotation(&tuple![1i64]), 2);
         let back = Table::from_relation(&rel);

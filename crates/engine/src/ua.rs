@@ -14,11 +14,13 @@
 //!   [`x_source`] and [`ctable_source`].
 
 use crate::exec::{execute, EngineError};
+use crate::mode::{require_vectorized_hooks, ExecMode};
 use crate::plan::Plan;
 use crate::sql::ast::SourceAnnotation;
 use crate::sql::parser::parse;
 use crate::sql::planner::{plan_query, SourceResolver};
 use crate::storage::{Catalog, Table};
+use std::sync::atomic::{AtomicU8, Ordering};
 use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
 use ua_core::{decode_relation, encode_relation, rewrite_ua, UA_LABEL_COLUMN};
 use ua_data::relation::Relation;
@@ -68,12 +70,41 @@ impl UaResult {
 #[derive(Default)]
 pub struct UaSession {
     catalog: Catalog,
+    /// [`ExecMode`] as a `u8` so the session stays shareable (`&self`
+    /// querying) without a lock: 0 = Row, 1 = Vectorized.
+    mode: AtomicU8,
 }
 
 impl UaSession {
     /// A fresh session with an empty catalog.
     pub fn new() -> UaSession {
         UaSession::default()
+    }
+
+    /// A fresh session pre-set to `mode`.
+    pub fn with_mode(mode: ExecMode) -> UaSession {
+        let session = UaSession::default();
+        session.set_exec_mode(mode);
+        session
+    }
+
+    /// Select the executor for subsequent queries. `ExecMode::Vectorized`
+    /// requires `ua_vecexec::install()` to have run; queries report a clear
+    /// error otherwise.
+    pub fn set_exec_mode(&self, mode: ExecMode) {
+        let bits = match mode {
+            ExecMode::Row => 0,
+            ExecMode::Vectorized => 1,
+        };
+        self.mode.store(bits, Ordering::Relaxed);
+    }
+
+    /// The currently selected executor.
+    pub fn exec_mode(&self) -> ExecMode {
+        match self.mode.load(Ordering::Relaxed) {
+            0 => ExecMode::Row,
+            _ => ExecMode::Vectorized,
+        }
     }
 
     /// The underlying catalog (deterministic tables and encoded UA tables
@@ -97,7 +128,11 @@ impl UaSession {
     pub fn query_det(&self, sql: &str) -> Result<Table, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
-        execute(&crate::optimize::push_filters(plan), &self.catalog)
+        let plan = crate::optimize::push_filters(plan);
+        match self.exec_mode() {
+            ExecMode::Row => execute(&plan, &self.catalog),
+            ExecMode::Vectorized => (require_vectorized_hooks()?.plan)(&plan, &self.catalog),
+        }
     }
 
     /// Run a query under UA semantics: plan, rewrite with `⟦·⟧_UA`, execute
@@ -122,12 +157,14 @@ impl UaSession {
     pub fn explain_ua(&self, sql: &str) -> Result<String, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
-        let ra = plan.to_ra().ok_or_else(|| {
-            EngineError::Sql("EXPLAIN UA supports the RA⁺ fragment".into())
-        })?;
+        let ra = plan
+            .to_ra()
+            .ok_or_else(|| EngineError::Sql("EXPLAIN UA supports the RA⁺ fragment".into()))?;
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
-        Ok(format!("user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}"))
+        Ok(format!(
+            "user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}"
+        ))
     }
 
     fn execute_ua_plan(&self, plan: &Plan) -> Result<UaResult, EngineError> {
@@ -161,6 +198,20 @@ impl UaSession {
                     .into(),
             )
         })?;
+        if self.exec_mode() == ExecMode::Vectorized {
+            // The vectorized engine propagates labels itself (bitmaps, per
+            // the ⟦·⟧_UA rules), so it takes the *user* query, not a
+            // rewritten plan. Trailing Sort/Limit apply to the encoded
+            // result exactly as in the row path.
+            let mut table = (require_vectorized_hooks()?.ua)(&ra, &self.catalog)?;
+            for w in wrappers.into_iter().rev() {
+                table = match w {
+                    Wrapper::Sort(keys) => crate::exec::sort_table(&table, &keys)?,
+                    Wrapper::Limit(limit) => crate::exec::limit_table(&table, limit),
+                };
+            }
+            return Ok(UaResult { table });
+        }
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
         let mut rewritten_plan = Plan::from_ra(&rewritten);
@@ -427,12 +478,12 @@ mod tests {
         let rows = result.rows_with_certainty();
         assert_eq!(rows.len(), 4);
         let certainty: FxHashMap<Tuple, bool> = rows.into_iter().collect();
-        assert_eq!(certainty[&tuple![1i64, "Lasalle", "NY"]], true);
-        assert_eq!(certainty[&tuple![2i64, "Tucson", "AZ"]], false);
+        assert!(certainty[&tuple![1i64, "Lasalle", "NY"]]);
+        assert!(!certainty[&tuple![2i64, "Tucson", "AZ"]]);
         // Address 3 is mis-classified as uncertain (2 alternatives, even
         // though they project to the same locale) — the paper's Figure 3d.
-        assert_eq!(certainty[&tuple![3i64, "Kingsley", "NY"]], false);
-        assert_eq!(certainty[&tuple![4i64, "Kensington", "NY"]], true);
+        assert!(!certainty[&tuple![3i64, "Kingsley", "NY"]]);
+        assert!(certainty[&tuple![4i64, "Kensington", "NY"]]);
     }
 
     #[test]
@@ -456,11 +507,7 @@ mod tests {
     fn ti_source_semantics() {
         let t = Table::from_rows(
             Schema::qualified("r", ["a", "p"]),
-            vec![
-                tuple![1i64, 1.0],
-                tuple![2i64, 0.8],
-                tuple![3i64, 0.2],
-            ],
+            vec![tuple![1i64, 1.0], tuple![2i64, 0.8], tuple![3i64, 0.2]],
         );
         let enc = ti_source(&t, "p").unwrap();
         assert_eq!(
@@ -473,7 +520,10 @@ mod tests {
     fn x_source_absence_beats_alternatives() {
         let t = Table::from_rows(
             Schema::qualified("r", ["xid", "aid", "p", "a"]),
-            vec![tuple![1i64, 1i64, 0.1, 10i64], tuple![1i64, 2i64, 0.2, 20i64]],
+            vec![
+                tuple![1i64, 1i64, 0.1, 10i64],
+                tuple![1i64, 2i64, 0.2, 20i64],
+            ],
         );
         let enc = x_source(&t, "xid", "aid", "p").unwrap();
         assert!(enc.is_empty(), "absence probability 0.7 dominates");
@@ -484,7 +534,11 @@ mod tests {
         let t = Table::from_rows(
             Schema::qualified("r", ["a", "v1", "lc"]),
             vec![
-                Tuple::new(vec![Value::Int(1), Value::Null, Value::str("x < 5 OR x >= 5")]),
+                Tuple::new(vec![
+                    Value::Int(1),
+                    Value::Null,
+                    Value::str("x < 5 OR x >= 5"),
+                ]),
                 Tuple::new(vec![Value::Int(2), Value::Null, Value::str("x = 3")]),
                 Tuple::new(vec![Value::Int(3), Value::str("x"), Value::str("")]),
             ],
@@ -509,11 +563,13 @@ mod tests {
             )
             .unwrap();
         let det = session
-            .query_det(
-                "SELECT locale FROM __ua__addr WHERE state = 'NY'",
-            )
+            .query_det("SELECT locale FROM __ua__addr WHERE state = 'NY'")
             .unwrap();
-        let ua_rows: Vec<Tuple> = ua.rows_with_certainty().into_iter().map(|(t, _)| t).collect();
+        let ua_rows: Vec<Tuple> = ua
+            .rows_with_certainty()
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect();
         assert_eq!(ua_rows.len(), det.len());
     }
 
@@ -537,7 +593,10 @@ mod tests {
             .unwrap();
         assert!(text.contains("user plan:"));
         assert!(text.contains("rewritten"));
-        assert!(text.contains("ua_c"), "rewritten plan must carry the marker");
+        assert!(
+            text.contains("ua_c"),
+            "rewritten plan must carry the marker"
+        );
     }
 
     #[test]

@@ -54,10 +54,7 @@ fn all_support_tuples<K: Semiring>(
 }
 
 /// Whether `labeling` is c-sound for `incomplete`.
-pub fn is_c_sound<K: LSemiring>(
-    labeling: &Labeling<K>,
-    incomplete: &IncompleteDb<K>,
-) -> bool {
+pub fn is_c_sound<K: LSemiring>(labeling: &Labeling<K>, incomplete: &IncompleteDb<K>) -> bool {
     incomplete.world(0).names().all(|name| {
         all_support_tuples(labeling, incomplete, name)
             .iter()
@@ -72,10 +69,7 @@ pub fn is_c_sound<K: LSemiring>(
 }
 
 /// Whether `labeling` is c-complete for `incomplete`.
-pub fn is_c_complete<K: LSemiring>(
-    labeling: &Labeling<K>,
-    incomplete: &IncompleteDb<K>,
-) -> bool {
+pub fn is_c_complete<K: LSemiring>(labeling: &Labeling<K>, incomplete: &IncompleteDb<K>) -> bool {
     incomplete.world(0).names().all(|name| {
         all_support_tuples(labeling, incomplete, name)
             .iter()
@@ -90,10 +84,7 @@ pub fn is_c_complete<K: LSemiring>(
 }
 
 /// Whether `labeling` is c-correct for `incomplete`.
-pub fn is_c_correct<K: LSemiring>(
-    labeling: &Labeling<K>,
-    incomplete: &IncompleteDb<K>,
-) -> bool {
+pub fn is_c_correct<K: LSemiring>(labeling: &Labeling<K>, incomplete: &IncompleteDb<K>) -> bool {
     is_c_sound(labeling, incomplete) && is_c_complete(labeling, incomplete)
 }
 
@@ -156,7 +147,11 @@ mod tests {
         let d1 = bag_relation(
             "r",
             &["a"],
-            vec![vec![Value::Int(1)], vec![Value::Int(1)], vec![Value::Int(2)]],
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(1)],
+                vec![Value::Int(2)],
+            ],
         );
         let d2 = bag_relation("r", &["a"], vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
         incomplete_from_relations("r", vec![d1, d2])
@@ -168,9 +163,7 @@ mod tests {
             "r",
             Relation::from_annotated(
                 Schema::qualified("r", ["a"]),
-                pairs
-                    .into_iter()
-                    .map(|(v, k)| (tuple![v], k)),
+                pairs.into_iter().map(|(v, k)| (tuple![v], k)),
             ),
         );
         db

@@ -71,8 +71,7 @@ impl<K: Semiring> WorldDb<K> {
         }
         let mut world_db = WorldDb::new(out, n);
         if (0..n).map(|i| incomplete.probability(i)).sum::<f64>() > 0.0 {
-            world_db.probabilities =
-                Some((0..n).map(|i| incomplete.probability(i)).collect());
+            world_db.probabilities = Some((0..n).map(|i| incomplete.probability(i)).collect());
         }
         world_db
     }
@@ -194,10 +193,7 @@ mod tests {
                 &["locale", "state"],
                 rows.into_iter()
                     .flat_map(|(l, s, n)| {
-                        std::iter::repeat_with(move || {
-                            vec![Value::str(l), Value::str(s)]
-                        })
-                        .take(n)
+                        std::iter::repeat_with(move || vec![Value::str(l), Value::str(s)]).take(n)
                     })
                     .collect::<Vec<_>>(),
             )
@@ -288,9 +284,14 @@ mod tests {
     fn world_extraction() {
         let wdb = example7().to_world_db();
         let w0 = wdb.world(0);
-        assert_eq!(w0.get("loc").unwrap().annotation(&tuple!["Lasalle", "NY"]), 3);
         assert_eq!(
-            w0.get("loc").unwrap().annotation(&tuple!["Greenville", "IN"]),
+            w0.get("loc").unwrap().annotation(&tuple!["Lasalle", "NY"]),
+            3
+        );
+        assert_eq!(
+            w0.get("loc")
+                .unwrap()
+                .annotation(&tuple!["Greenville", "IN"]),
             0
         );
     }

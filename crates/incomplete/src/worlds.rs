@@ -272,7 +272,10 @@ mod tests {
         assert_eq!(db.certain_annotation("loc", &tuple!["Lasalle", "NY"]), 2);
         assert_eq!(db.certain_annotation("loc", &tuple!["Tucson", "AZ"]), 1);
         assert_eq!(db.certain_annotation("loc", &tuple!["Greenville", "IN"]), 0);
-        assert_eq!(db.possible_annotation("loc", &tuple!["Greenville", "IN"]), 5);
+        assert_eq!(
+            db.possible_annotation("loc", &tuple!["Greenville", "IN"]),
+            5
+        );
     }
 
     #[test]

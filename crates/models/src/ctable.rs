@@ -23,7 +23,9 @@
 //!   (PC-tables: per-variable argmax valuation, the paper's tractable
 //!   approximation of the most likely world).
 
-use ua_conditions::{cnf_tautology, is_cnf, predicate_to_condition, Condition, Solver, VarDistributions};
+use ua_conditions::{
+    cnf_tautology, is_cnf, predicate_to_condition, Condition, Solver, VarDistributions,
+};
 use ua_data::algebra::{RaError, RaExpr};
 use ua_data::expr::Expr;
 use ua_data::relation::{Database, Relation};
@@ -137,9 +139,7 @@ impl CTable {
     pub fn labeling(&self) -> Relation<bool> {
         let mut out = Relation::new(self.schema.clone());
         for t in &self.tuples {
-            if t.is_constant()
-                && is_cnf(&t.condition)
-                && cnf_tautology(&t.condition) == Some(true)
+            if t.is_constant() && is_cnf(&t.condition) && cnf_tautology(&t.condition) == Some(true)
             {
                 out.set(t.values.clone(), true);
             }
@@ -291,7 +291,11 @@ impl CDb {
                 }
                 v
             }
-            None => self.vars().into_iter().map(|v| (v, Value::Int(0))).collect(),
+            None => self
+                .vars()
+                .into_iter()
+                .map(|v| (v, Value::Int(0)))
+                .collect(),
         }
     }
 
@@ -331,10 +335,7 @@ impl CDb {
                 None => uniform_support(domain),
             })
             .collect();
-        let count: u128 = supports
-            .iter()
-            .map(|s| s.len() as u128)
-            .product();
+        let count: u128 = supports.iter().map(|s| s.len() as u128).product();
         assert!(
             count <= max_worlds,
             "refusing to enumerate {count} valuations (limit {max_worlds})"
@@ -349,9 +350,8 @@ impl CDb {
                 .enumerate()
                 .map(|(i, &v)| (v, supports[i][idx[i]].0.clone()))
                 .collect();
-            let satisfies_global = global.eval(&|v| {
-                valuation.get(&v).cloned().unwrap_or(Value::Null)
-            });
+            let satisfies_global =
+                global.eval(&|v| valuation.get(&v).cloned().unwrap_or(Value::Null));
             if satisfies_global {
                 let p: f64 = vars
                     .iter()
@@ -566,8 +566,7 @@ fn symbolic_project_value(expr: &Expr, row: &Tuple) -> Result<Value, CtError> {
             "projection expression `{expr}` over a variable attribute"
         )));
     }
-    expr.eval(row)
-        .map_err(|e| CtError::Symbolic(e.to_string()))
+    expr.eval(row).map_err(|e| CtError::Symbolic(e.to_string()))
 }
 
 /// Convenience: the exact certain answers of `query` over `db` among the
@@ -599,9 +598,9 @@ pub fn certain_answers(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ua_conditions::Atom;
     use ua_data::expr::CmpOp;
     use ua_data::tuple;
-    use ua_conditions::Atom;
     use ua_incomplete::{is_c_complete, is_c_sound};
 
     fn x() -> VarId {
@@ -723,7 +722,9 @@ mod tests {
         let result = eval_symbolic(&q, &db).unwrap();
         // Row 7 is dropped outright (condition folded to ⊥).
         assert_eq!(result.len(), 1);
-        assert!(result.tuples()[0].condition.structurally_eq(&Condition::True));
+        assert!(result.tuples()[0]
+            .condition
+            .structurally_eq(&Condition::True));
     }
 
     #[test]

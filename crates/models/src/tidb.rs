@@ -312,7 +312,10 @@ mod tests {
         let db = sample_tidb();
         let inc = db.enumerate_worlds(10);
         let labeling = db.labeling();
-        assert!(is_c_correct(&labeling, &inc), "Theorem 1: label_TIDB is c-correct");
+        assert!(
+            is_c_correct(&labeling, &inc),
+            "Theorem 1: label_TIDB is c-correct"
+        );
     }
 
     #[test]

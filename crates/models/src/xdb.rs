@@ -574,10 +574,7 @@ mod tests {
     #[test]
     fn x_keys_definition7() {
         let mut rel = XRelation::new(Schema::qualified("r", ["id", "loc"]));
-        rel.push(XTuple::total(vec![
-            tuple![1i64, "a"],
-            tuple![1i64, "b"],
-        ]));
+        rel.push(XTuple::total(vec![tuple![1i64, "a"], tuple![1i64, "b"]]));
         let mut db = XDb::new();
         db.insert("r", rel.clone());
         // {loc} distinguishes the alternatives; {id} does not.
@@ -587,7 +584,10 @@ mod tests {
         assert!(rel.is_x_key(&[0, 1]));
         // Optional or singleton x-tuples never violate the key.
         let mut rel2 = XRelation::new(Schema::qualified("r", ["id", "loc"]));
-        rel2.push(XTuple::optional(vec![tuple![1i64, "a"], tuple![1i64, "b"]], 0.5));
+        rel2.push(XTuple::optional(
+            vec![tuple![1i64, "a"], tuple![1i64, "b"]],
+            0.5,
+        ));
         rel2.push(XTuple::total(vec![tuple![2i64, "c"]]));
         assert!(rel2.is_x_key(&[0]));
     }
@@ -606,7 +606,11 @@ mod tests {
         let mut first = 0;
         for _ in 0..300 {
             let w = db.sample_world(&mut rng);
-            if w.get("addr").unwrap().annotation(&tuple![2i64, 42.91, -78.89]) > 0 {
+            if w.get("addr")
+                .unwrap()
+                .annotation(&tuple![2i64, 42.91, -78.89])
+                > 0
+            {
                 first += 1;
             }
         }

@@ -19,11 +19,7 @@ pub fn check_semiring_laws<K: Semiring>(elems: &[K]) {
     for a in elems {
         assert_eq!(&a.plus(&zero), a, "0 must be the ⊕ identity at {a:?}");
         assert_eq!(&a.times(&one), a, "1 must be the ⊗ identity at {a:?}");
-        assert_eq!(
-            a.times(&zero),
-            zero,
-            "0 must annihilate ⊗ at {a:?}"
-        );
+        assert_eq!(a.times(&zero), zero, "0 must annihilate ⊗ at {a:?}");
         for b in elems {
             assert_eq!(a.plus(b), b.plus(a), "⊕ must commute at {a:?}, {b:?}");
             assert_eq!(a.times(b), b.times(a), "⊗ must commute at {a:?}, {b:?}");

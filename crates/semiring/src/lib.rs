@@ -267,8 +267,8 @@ mod tests {
 
     #[test]
     fn bool_lattice_matches_logic() {
-        assert_eq!(true.glb(&false), false);
-        assert_eq!(true.lub(&false), true);
+        assert!(!true.glb(&false));
+        assert!(true.lub(&false));
         assert_eq!(
             bool::glb_all([true, true, false].iter()),
             Some(false),

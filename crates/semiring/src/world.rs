@@ -99,9 +99,7 @@ impl<K: Semiring> WorldVec<K> {
     {
         match self {
             WorldVec::Uniform(k) => k.clone(),
-            WorldVec::Worlds(v) => {
-                K::glb_all(v.iter()).expect("non-empty world vector")
-            }
+            WorldVec::Worlds(v) => K::glb_all(v.iter()).expect("non-empty world vector"),
         }
     }
 
@@ -112,9 +110,7 @@ impl<K: Semiring> WorldVec<K> {
     {
         match self {
             WorldVec::Uniform(k) => k.clone(),
-            WorldVec::Worlds(v) => {
-                K::lub_all(v.iter()).expect("non-empty world vector")
-            }
+            WorldVec::Worlds(v) => K::lub_all(v.iter()).expect("non-empty world vector"),
         }
     }
 
@@ -175,15 +171,10 @@ impl<K: NaturalOrder> NaturalOrder for WorldVec<K> {
     fn natural_leq(&self, other: &Self) -> bool {
         match (self, other) {
             (WorldVec::Uniform(a), WorldVec::Uniform(b)) => a.natural_leq(b),
-            (WorldVec::Uniform(a), WorldVec::Worlds(bs)) => {
-                bs.iter().all(|b| a.natural_leq(b))
-            }
-            (WorldVec::Worlds(rs), WorldVec::Uniform(b)) => {
-                rs.iter().all(|a| a.natural_leq(b))
-            }
+            (WorldVec::Uniform(a), WorldVec::Worlds(bs)) => bs.iter().all(|b| a.natural_leq(b)),
+            (WorldVec::Worlds(rs), WorldVec::Uniform(b)) => rs.iter().all(|a| a.natural_leq(b)),
             (WorldVec::Worlds(rs), WorldVec::Worlds(bs)) => {
-                rs.len() == bs.len()
-                    && rs.iter().zip(bs).all(|(a, b)| a.natural_leq(b))
+                rs.len() == bs.len() && rs.iter().zip(bs).all(|(a, b)| a.natural_leq(b))
             }
         }
     }

@@ -1,0 +1,89 @@
+//! The vectorized plan driver: executes [`Plan`]s batch-at-a-time.
+//!
+//! Every operator the row executor supports runs here too; Sort/Limit
+//! materialize (they are ordering operators over the whole result and reuse
+//! the row engine's `sort_table`/`limit_table` so tie-breaks agree exactly).
+
+use crate::columnar::{batches_from_table, table_from_batches, BatchStream, DEFAULT_BATCH_ROWS};
+use crate::ops;
+use ua_engine::plan::Plan;
+use ua_engine::storage::{Catalog, Table};
+use ua_engine::EngineError;
+
+/// Execute `plan` against `catalog` with the vectorized engine,
+/// materializing the result table. Drop-in replacement for
+/// [`ua_engine::execute`].
+pub fn execute_vectorized(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    let stream = exec_stream(plan, catalog, DEFAULT_BATCH_ROWS)?;
+    Ok(table_from_batches(&stream))
+}
+
+/// Execute `plan` into a batch stream with an explicit batch size (the
+/// differential tests sweep batch boundaries through this).
+pub fn exec_stream(
+    plan: &Plan,
+    catalog: &Catalog,
+    batch_rows: usize,
+) -> Result<BatchStream, EngineError> {
+    match plan {
+        Plan::Scan(name) => {
+            let table = catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+            Ok(batches_from_table(&table, batch_rows))
+        }
+        Plan::Alias { input, name } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            let schema = stream.schema.with_qualifier(name);
+            Ok(stream.with_schema(schema))
+        }
+        Plan::Filter { input, predicate } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            ops::filter(stream, predicate)
+        }
+        Plan::Map { input, columns } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            ops::project(stream, columns)
+        }
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = exec_stream(left, catalog, batch_rows)?;
+            let r = exec_stream(right, catalog, batch_rows)?;
+            ops::join(l, r, predicate.as_ref())
+        }
+        Plan::UnionAll { left, right } => {
+            let l = exec_stream(left, catalog, batch_rows)?;
+            let r = exec_stream(right, catalog, batch_rows)?;
+            ops::union_all(l, r)
+        }
+        Plan::Distinct { input } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            Ok(ops::distinct(stream))
+        }
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            ops::aggregate(stream, group_by, aggregates)
+        }
+        Plan::Sort { input, keys } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            let table = table_from_batches(&stream);
+            let sorted = ua_engine::sort_table(&table, keys)?;
+            Ok(batches_from_table(&sorted, batch_rows))
+        }
+        Plan::Limit { input, limit } => {
+            let stream = exec_stream(input, catalog, batch_rows)?;
+            let table = table_from_batches(&stream);
+            Ok(batches_from_table(
+                &ua_engine::limit_table(&table, *limit),
+                batch_rows,
+            ))
+        }
+    }
+}

@@ -1,0 +1,434 @@
+//! Vectorized expression evaluation.
+//!
+//! Two entry points, both taking *bound* (positional) expressions:
+//!
+//! * [`truth_masks`] — evaluate a predicate under Kleene three-valued logic
+//!   into a pair of bitmaps `(certainly true, certainly false)`. Conjunction
+//!   and disjunction become word-wide AND/OR on the masks; comparisons get
+//!   typed loops for the common column shapes and a per-row
+//!   [`Value::sql_cmp`] fallback everywhere else, so the decisions are
+//!   bit-identical to the row executor's `Expr::eval_truth`.
+//! * [`eval_expr`] — evaluate a scalar expression to a column
+//!   ([`Evaluated::Col`]) or an unexpanded constant ([`Evaluated::Const`]).
+//!   Rare expression shapes fall back to row-at-a-time evaluation of the
+//!   same `Expr::eval` the row engine uses — again guaranteeing agreement.
+
+use crate::bitmap::Bitmap;
+use crate::columnar::{ColumnBatch, ColumnVec};
+use std::cmp::Ordering;
+use std::sync::Arc;
+use ua_data::expr::{CmpOp, Expr, Truth};
+use ua_data::value::Value;
+use ua_engine::EngineError;
+
+/// The result of vectorized scalar evaluation.
+pub enum Evaluated {
+    /// A materialized column.
+    Col(ColumnVec),
+    /// A per-batch constant (not expanded unless needed).
+    Const(Value),
+}
+
+impl Evaluated {
+    /// The value at row `i`.
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            Evaluated::Col(c) => c.value(i),
+            Evaluated::Const(v) => v.clone(),
+        }
+    }
+
+    /// Materialize as a column of `len` rows.
+    pub fn into_column(self, len: usize) -> ColumnVec {
+        match self {
+            Evaluated::Col(c) => c,
+            Evaluated::Const(v) => ColumnVec::broadcast(&v, len),
+        }
+    }
+}
+
+/// Evaluate `expr` over `batch` into a column/constant.
+pub fn eval_expr(expr: &Expr, batch: &ColumnBatch) -> Result<Evaluated, EngineError> {
+    Ok(match expr {
+        Expr::Col(i) => Evaluated::Col(
+            batch
+                .columns()
+                .get(*i)
+                .cloned()
+                .ok_or_else(|| EngineError::Sql(format!("column index {i} out of range")))?,
+        ),
+        Expr::Lit(v) => Evaluated::Const(v.clone()),
+        Expr::Named(n) => {
+            return Err(EngineError::Expr(ua_data::expr::ExprError::Unbound(
+                n.clone(),
+            )))
+        }
+        Expr::Arith(..) => row_fallback(expr, batch)?,
+        Expr::Cmp(..)
+        | Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Not(..)
+        | Expr::IsNull(..)
+        | Expr::Between(..)
+        | Expr::InList(..) => {
+            // Predicates used as values follow SQL semantics:
+            // Unknown ⇒ NULL, so the result is Bool unless unknowns occur.
+            let (t, f) = truth_masks(expr, batch)?;
+            let n = batch.len();
+            let unknowns = n - t.count_ones() - f.count_ones();
+            if unknowns == 0 {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(t.get(i));
+                }
+                Evaluated::Col(ColumnVec::Bool(Arc::new(out)))
+            } else {
+                let mut out = Vec::with_capacity(n);
+                for i in 0..n {
+                    out.push(if t.get(i) {
+                        Value::Bool(true)
+                    } else if f.get(i) {
+                        Value::Bool(false)
+                    } else {
+                        Value::Null
+                    });
+                }
+                Evaluated::Col(ColumnVec::Mixed(Arc::new(out)))
+            }
+        }
+        Expr::Case { .. } | Expr::Least(..) => row_fallback(expr, batch)?,
+    })
+}
+
+/// Row-at-a-time fallback for expression shapes without a dedicated kernel:
+/// materializes each row as a tuple and reuses the scalar evaluator, then
+/// re-sniffs the output into the densest column representation.
+fn row_fallback(expr: &Expr, batch: &ColumnBatch) -> Result<Evaluated, EngineError> {
+    let mut out = Vec::with_capacity(batch.len());
+    for i in 0..batch.len() {
+        let row = batch.row(i);
+        out.push(expr.eval(&row).map_err(EngineError::Expr)?);
+    }
+    Ok(Evaluated::Col(ColumnVec::from_values(out.iter())))
+}
+
+/// Evaluate a predicate into `(certainly_true, certainly_false)` masks.
+/// Rows in neither mask evaluated to `Unknown`.
+pub fn truth_masks(expr: &Expr, batch: &ColumnBatch) -> Result<(Bitmap, Bitmap), EngineError> {
+    let n = batch.len();
+    Ok(match expr {
+        Expr::Cmp(op, a, b) => {
+            let ea = eval_expr(a, batch)?;
+            let eb = eval_expr(b, batch)?;
+            cmp_masks(*op, &ea, &eb, n)
+        }
+        Expr::And(a, b) => {
+            let (mut ta, mut fa) = truth_masks(a, batch)?;
+            let (tb, fb) = truth_masks(b, batch)?;
+            ta.and_assign(&tb);
+            fa.or_assign(&fb);
+            (ta, fa)
+        }
+        Expr::Or(a, b) => {
+            let (mut ta, mut fa) = truth_masks(a, batch)?;
+            let (tb, fb) = truth_masks(b, batch)?;
+            ta.or_assign(&tb);
+            fa.and_assign(&fb);
+            (ta, fa)
+        }
+        Expr::Not(a) => {
+            let (t, f) = truth_masks(a, batch)?;
+            (f, t)
+        }
+        Expr::IsNull(a) => {
+            let ea = eval_expr(a, batch)?;
+            let mut t = Bitmap::filled(n, false);
+            match &ea {
+                Evaluated::Const(v) => {
+                    if v.is_unknown() {
+                        t = Bitmap::filled(n, true);
+                    }
+                }
+                Evaluated::Col(ColumnVec::Mixed(vals)) => {
+                    for (i, v) in vals.iter().enumerate() {
+                        if v.is_unknown() {
+                            t.set(i, true);
+                        }
+                    }
+                }
+                // Typed columns never hold nulls by construction.
+                Evaluated::Col(_) => {}
+            }
+            let mut f = Bitmap::filled(n, true);
+            for i in t.ones() {
+                f.set(i as usize, false);
+            }
+            (t, f)
+        }
+        Expr::Between(e, lo, hi) => {
+            let ge_lo = Expr::Cmp(CmpOp::Ge, e.clone(), lo.clone());
+            let le_hi = Expr::Cmp(CmpOp::Le, e.clone(), hi.clone());
+            let (mut t, mut f) = truth_masks(&ge_lo, batch)?;
+            let (t2, f2) = truth_masks(&le_hi, batch)?;
+            t.and_assign(&t2);
+            f.or_assign(&f2);
+            (t, f)
+        }
+        Expr::InList(e, list) => {
+            // acc = False; acc = acc OR (e = item) — mirrors the scalar
+            // fold, including Kleene handling of unknown memberships.
+            let mut t = Bitmap::filled(n, false);
+            let mut f = Bitmap::filled(n, true);
+            for item in list {
+                let eq = Expr::Cmp(CmpOp::Eq, e.clone(), Box::new(item.clone()));
+                let (t2, f2) = truth_masks(&eq, batch)?;
+                t.or_assign(&t2);
+                f.and_assign(&f2);
+            }
+            (t, f)
+        }
+        other => {
+            // Bool columns/constants and the row-fallback shapes.
+            let ev = eval_expr(other, batch)?;
+            let mut t = Bitmap::filled(n, false);
+            let mut f = Bitmap::filled(n, false);
+            match &ev {
+                Evaluated::Const(v) => match truth_of(v)? {
+                    Truth::True => t = Bitmap::filled(n, true),
+                    Truth::False => f = Bitmap::filled(n, true),
+                    Truth::Unknown => {}
+                },
+                Evaluated::Col(ColumnVec::Bool(vals)) => {
+                    for (i, &b) in vals.iter().enumerate() {
+                        if b {
+                            t.set(i, true);
+                        } else {
+                            f.set(i, true);
+                        }
+                    }
+                }
+                Evaluated::Col(ColumnVec::Mixed(vals)) => {
+                    for (i, v) in vals.iter().enumerate() {
+                        match truth_of(v)? {
+                            Truth::True => t.set(i, true),
+                            Truth::False => f.set(i, true),
+                            Truth::Unknown => {}
+                        }
+                    }
+                }
+                Evaluated::Col(_) => {
+                    return Err(EngineError::Expr(ua_data::expr::ExprError::Type(
+                        "predicate column is not boolean".into(),
+                    )))
+                }
+            }
+            (t, f)
+        }
+    })
+}
+
+fn truth_of(v: &Value) -> Result<Truth, EngineError> {
+    match v {
+        Value::Bool(b) => Ok(Truth::from_bool(*b)),
+        Value::Null | Value::Var(_) => Ok(Truth::Unknown),
+        other => Err(EngineError::Expr(ua_data::expr::ExprError::Type(format!(
+            "{other} is not a boolean"
+        )))),
+    }
+}
+
+fn masks_from_ords(
+    op: CmpOp,
+    n: usize,
+    ord_at: impl Fn(usize) -> Option<Ordering>,
+) -> (Bitmap, Bitmap) {
+    let mut t = Bitmap::filled(n, false);
+    let mut f = Bitmap::filled(n, false);
+    for i in 0..n {
+        if let Some(ord) = ord_at(i) {
+            if op.test(ord) {
+                t.set(i, true);
+            } else {
+                f.set(i, true);
+            }
+        }
+    }
+    (t, f)
+}
+
+fn cmp_masks(op: CmpOp, a: &Evaluated, b: &Evaluated, n: usize) -> (Bitmap, Bitmap) {
+    use ColumnVec::*;
+    use Evaluated::*;
+    match (a, b) {
+        // Typed fast paths: plain `Ord` loops, no Value construction.
+        (Col(Int(x)), Col(Int(y))) => masks_from_ords(op, n, |i| Some(x[i].cmp(&y[i]))),
+        (Col(Int(x)), Const(Value::Int(c))) => masks_from_ords(op, n, |i| Some(x[i].cmp(c))),
+        (Const(Value::Int(c)), Col(Int(y))) => masks_from_ords(op, n, |i| Some(c.cmp(&y[i]))),
+        (Col(Float(x)), Col(Float(y))) => masks_from_ords(op, n, |i| Some(x[i].cmp(&y[i]))),
+        (Col(Float(x)), Const(Value::Float(c))) => masks_from_ords(op, n, |i| Some(x[i].cmp(c))),
+        (Const(Value::Float(c)), Col(Float(y))) => masks_from_ords(op, n, |i| Some(c.cmp(&y[i]))),
+        (Col(Str(x)), Col(Str(y))) => {
+            masks_from_ords(op, n, |i| Some(x[i].as_ref().cmp(y[i].as_ref())))
+        }
+        (Col(Str(x)), Const(Value::Str(c))) => {
+            masks_from_ords(op, n, |i| Some(x[i].as_ref().cmp(c.as_ref())))
+        }
+        (Const(Value::Str(c)), Col(Str(y))) => {
+            masks_from_ords(op, n, |i| Some(c.as_ref().cmp(y[i].as_ref())))
+        }
+        // Constant-constant: decide once, broadcast.
+        (Const(va), Const(vb)) => {
+            let ord = va.sql_cmp(vb);
+            match ord {
+                Some(ord) => {
+                    if op.test(ord) {
+                        (Bitmap::filled(n, true), Bitmap::filled(n, false))
+                    } else {
+                        (Bitmap::filled(n, false), Bitmap::filled(n, true))
+                    }
+                }
+                None => (Bitmap::filled(n, false), Bitmap::filled(n, false)),
+            }
+        }
+        // Everything else (numeric promotions, Mixed columns, type
+        // mismatches): per-row SQL comparison semantics.
+        _ => masks_from_ords(op, n, |i| a.value_at(i).sql_cmp(&b.value_at(i))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::batches_from_table;
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+    use ua_data::tuple::Tuple;
+    use ua_data::value::VarId;
+    use ua_engine::Table;
+
+    fn batch(rows: Vec<Tuple>, cols: &[&str]) -> ColumnBatch {
+        let t = Table::from_rows(Schema::qualified("t", cols.iter().copied()), rows);
+        batches_from_table(&t, 4096)
+            .batches
+            .into_iter()
+            .next()
+            .unwrap()
+    }
+
+    fn bind(e: Expr, cols: &[&str]) -> Expr {
+        e.bind(&Schema::qualified("t", cols.iter().copied()))
+            .unwrap()
+    }
+
+    /// Exhaustive agreement with the scalar evaluator over a batch.
+    fn assert_matches_scalar(expr: &Expr, b: &ColumnBatch) {
+        let (t, f) = truth_masks(expr, b).unwrap();
+        for i in 0..b.len() {
+            let scalar = expr.eval_truth(&b.row(i)).unwrap();
+            let vec = if t.get(i) {
+                Truth::True
+            } else if f.get(i) {
+                Truth::False
+            } else {
+                Truth::Unknown
+            };
+            assert_eq!(scalar, vec, "row {i} of {expr}");
+        }
+    }
+
+    #[test]
+    fn typed_int_comparison() {
+        let b = batch((0..100i64).map(|i| tuple![i, i % 7]).collect(), &["a", "b"]);
+        for op_expr in [
+            bind(Expr::named("a").lt(Expr::lit(50i64)), &["a", "b"]),
+            bind(Expr::named("a").eq(Expr::named("b")), &["a", "b"]),
+            bind(Expr::named("a").ge(Expr::lit(99i64)), &["a", "b"]),
+        ] {
+            assert_matches_scalar(&op_expr, &b);
+        }
+    }
+
+    #[test]
+    fn string_and_promotion_comparisons() {
+        let b = batch(
+            (0..40i64)
+                .map(|i| tuple![format!("k{}", i % 5), i])
+                .collect(),
+            &["s", "n"],
+        );
+        assert_matches_scalar(&bind(Expr::named("s").eq(Expr::lit("k3")), &["s", "n"]), &b);
+        // Int column vs float literal exercises the promotion fallback.
+        assert_matches_scalar(&bind(Expr::named("n").lt(Expr::lit(19.5)), &["s", "n"]), &b);
+    }
+
+    #[test]
+    fn three_valued_logic_with_nulls_and_vars() {
+        let rows = vec![
+            tuple![1i64, 1i64],
+            Tuple::new(vec![Value::Null, Value::Int(2)]),
+            Tuple::new(vec![Value::Var(VarId(3)), Value::Int(3)]),
+            tuple![4i64, 0i64],
+        ];
+        let b = batch(rows, &["a", "b"]);
+        let exprs = [
+            bind(Expr::named("a").eq(Expr::lit(1i64)), &["a", "b"]),
+            bind(
+                Expr::named("a")
+                    .eq(Expr::lit(1i64))
+                    .or(Expr::named("b").gt(Expr::lit(1i64))),
+                &["a", "b"],
+            ),
+            bind(Expr::named("a").eq(Expr::lit(1i64)).not(), &["a", "b"]),
+            bind(Expr::IsNull(Box::new(Expr::named("a"))), &["a", "b"]),
+            bind(
+                Expr::named("a").between(Expr::lit(1i64), Expr::lit(3i64)),
+                &["a", "b"],
+            ),
+            bind(
+                Expr::InList(
+                    Box::new(Expr::named("a")),
+                    vec![Expr::lit(1i64), Expr::Lit(Value::Null)],
+                ),
+                &["a", "b"],
+            ),
+        ];
+        for e in &exprs {
+            assert_matches_scalar(e, &b);
+        }
+    }
+
+    #[test]
+    fn var_self_equality_is_certain() {
+        let x = Value::Var(VarId(7));
+        let rows = vec![Tuple::new(vec![x.clone(), x])];
+        let b = batch(rows, &["a", "b"]);
+        let e = bind(Expr::named("a").eq(Expr::named("b")), &["a", "b"]);
+        let (t, _) = truth_masks(&e, &b).unwrap();
+        assert!(t.get(0), "x = x must be certainly true");
+    }
+
+    #[test]
+    fn scalar_eval_matches_row_engine() {
+        let b = batch((0..50i64).map(|i| tuple![i, i * 3]).collect(), &["a", "b"]);
+        let e = bind(
+            Expr::named("a").add(Expr::named("b")).mul(Expr::lit(2i64)),
+            &["a", "b"],
+        );
+        let col = eval_expr(&e, &b).unwrap().into_column(b.len());
+        for i in 0..b.len() {
+            assert_eq!(col.value(i), e.eval(&b.row(i)).unwrap());
+        }
+        // CASE goes through the row fallback.
+        let case = bind(
+            Expr::Case {
+                branches: vec![(Expr::named("a").lt(Expr::lit(10i64)), Expr::lit("small"))],
+                otherwise: Some(Box::new(Expr::lit("big"))),
+            },
+            &["a", "b"],
+        );
+        let col = eval_expr(&case, &b).unwrap().into_column(b.len());
+        for i in 0..b.len() {
+            assert_eq!(col.value(i), case.eval(&b.row(i)).unwrap());
+        }
+    }
+}

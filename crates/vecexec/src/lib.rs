@@ -1,0 +1,103 @@
+//! **ua-vecexec** — a batch-oriented, columnar execution engine for UA-DBs.
+//!
+//! The row executor in `ua-engine` interprets plans tuple at a time and pays
+//! a pair-semiring call per tuple for UA label propagation. This crate runs
+//! the *same* [`Plan`](ua_engine::plan::Plan)s over [`columnar::ColumnBatch`]es
+//! (~1024-row typed column vectors) and carries the paper's certain/uncertain
+//! annotation as a per-batch **label bitmap** plus a `u64` multiplicity
+//! column, so selection, projection, join and union propagate labels with
+//! bitwise operations (`min(C₁, C₂)` on `{0,1}` markers ≡ bitwise AND).
+//!
+//! Layout:
+//!
+//! * [`bitmap`] — packed bitmaps for predicate masks and label vectors;
+//! * [`columnar`] — [`columnar::ColumnBatch`], typed
+//!   [`columnar::ColumnVec`]s, and lossless converters to/from
+//!   [`ua_engine::Table`] and [`ua_data::Relation`]`<u64>`;
+//! * [`kernels`] — vectorized expression/predicate evaluation, bit-exact
+//!   with the row engine's scalar `Expr` evaluator;
+//! * [`ops`] — the operators (filter, project, hash/nested-loop join,
+//!   union, distinct, aggregate), order-compatible with the row executor;
+//! * [`exec`] — the plan driver ([`execute_vectorized`]);
+//! * [`ua`] — the UA path ([`execute_ua_vectorized`]): `⟦·⟧_UA` realized as
+//!   bitmap propagation instead of plan rewriting.
+//!
+//! ## Opting in
+//!
+//! ```
+//! ua_vecexec::install(); // register with the engine (idempotent)
+//! let session = ua_engine::UaSession::new();
+//! session.set_exec_mode(ua_engine::ExecMode::Vectorized);
+//! // session.query_ua(...) / session.query_det(...) now run vectorized.
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitmap;
+pub mod columnar;
+pub mod exec;
+pub mod kernels;
+pub mod ops;
+pub mod ua;
+
+pub use columnar::{
+    batches_from_relation, batches_from_table, relation_from_batches, table_from_batches,
+    BatchStream, ColumnBatch, ColumnVec, DEFAULT_BATCH_ROWS,
+};
+pub use exec::execute_vectorized;
+pub use ua::execute_ua_vectorized;
+
+/// Register the vectorized executor with `ua-engine` so sessions can select
+/// [`ua_engine::ExecMode::Vectorized`]. Idempotent; call once anywhere
+/// before querying.
+pub fn install() {
+    ua_engine::register_vectorized_hooks(ua_engine::VectorizedHooks {
+        plan: execute_vectorized,
+        ua: execute_ua_vectorized,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+    use ua_engine::{ExecMode, Table, UaSession};
+
+    #[test]
+    fn session_opt_in_end_to_end() {
+        super::install();
+        let session = UaSession::new();
+        assert_eq!(session.exec_mode(), ExecMode::Row);
+        session.set_exec_mode(ExecMode::Vectorized);
+        assert_eq!(session.exec_mode(), ExecMode::Vectorized);
+        session.register_table(
+            "addr",
+            Table::from_rows(
+                Schema::qualified("addr", ["xid", "aid", "p", "id", "locale"]),
+                vec![
+                    tuple![1i64, 1i64, 1.0, 1i64, "Lasalle"],
+                    tuple![2i64, 1i64, 0.6, 2i64, "Tucson"],
+                    tuple![2i64, 2i64, 0.4, 2i64, "Grant Ferry"],
+                ],
+            ),
+        );
+        let result = session
+            .query_ua("SELECT id, locale FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p)")
+            .unwrap();
+        let rows = result.rows_with_certainty();
+        assert_eq!(rows.len(), 2);
+        let certain: Vec<bool> = {
+            let mut sorted = rows.clone();
+            sorted.sort();
+            sorted.into_iter().map(|(_, c)| c).collect()
+        };
+        assert_eq!(certain, vec![true, false]);
+    }
+
+    #[test]
+    fn install_registers_hooks() {
+        super::install();
+        assert!(ua_engine::vectorized_hooks().is_some());
+    }
+}

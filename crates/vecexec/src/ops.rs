@@ -1,0 +1,466 @@
+//! Vectorized relational operators over [`BatchStream`]s.
+//!
+//! Operators are order-preserving replicas of the row executor's operators
+//! (same hash-join strategy choice, same first-seen orders), so the two
+//! engines produce identical tables — rows, labels *and* row order — which
+//! the differential tests assert. UA labels flow through as bitmaps:
+//! filters/projections gather them, joins AND them (`min(C₁, C₂)` over
+//! `{0,1}` markers), unions concatenate them.
+
+use crate::bitmap::Bitmap;
+use crate::columnar::{BatchStream, ColumnBatch, ColumnVec};
+use crate::kernels::{eval_expr, truth_masks, Evaluated};
+use std::sync::Arc;
+use ua_data::algebra::{extract_equi_keys, ProjColumn};
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashMap;
+use ua_engine::plan::AggExpr;
+use ua_engine::{AggState, EngineError};
+
+/// σ — keep rows whose (bound) predicate is certainly true.
+pub fn filter(input: BatchStream, predicate: &Expr) -> Result<BatchStream, EngineError> {
+    let bound = predicate.bind(&input.schema).map_err(EngineError::Expr)?;
+    let mut batches = Vec::with_capacity(input.batches.len());
+    for batch in input.batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let (t, _f) = truth_masks(&bound, &batch)?;
+        if t.all_ones() {
+            batches.push(batch);
+        } else if t.count_ones() > 0 {
+            batches.push(batch.gather(&t.ones()));
+        }
+    }
+    Ok(BatchStream {
+        schema: input.schema,
+        batches,
+    })
+}
+
+/// π — evaluate output expressions per batch; labels and multiplicities are
+/// carried through unchanged (the `⟦·⟧_UA` projection rule keeps each row
+/// copy's own marker).
+pub fn project(input: BatchStream, columns: &[ProjColumn]) -> Result<BatchStream, EngineError> {
+    let bound: Vec<Expr> = columns
+        .iter()
+        .map(|c| c.expr.bind(&input.schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+    let mut batches = Vec::with_capacity(input.batches.len());
+    for batch in &input.batches {
+        let cols: Vec<ColumnVec> = bound
+            .iter()
+            .map(|e| Ok(eval_expr(e, batch)?.into_column(batch.len())))
+            .collect::<Result<_, EngineError>>()?;
+        batches.push(ColumnBatch::new(
+            out_schema.clone(),
+            cols,
+            batch.labels().clone(),
+            Arc::new(batch.mults().to_vec()),
+        ));
+    }
+    Ok(BatchStream {
+        schema: out_schema,
+        batches,
+    })
+}
+
+/// Bag union — batches concatenate (annotations add by rows standing next
+/// to each other; the left schema wins, as in the row engine).
+pub fn union_all(left: BatchStream, right: BatchStream) -> Result<BatchStream, EngineError> {
+    left.schema
+        .check_union_compatible(&right.schema)
+        .map_err(EngineError::Schema)?;
+    let mut batches = left.batches;
+    // Right-side batches adopt the left schema so downstream binding matches
+    // the row engine (which keeps the left schema for the union output).
+    for b in right.batches {
+        batches.push(b.with_schema(left.schema.clone()));
+    }
+    Ok(BatchStream {
+        schema: left.schema,
+        batches,
+    })
+}
+
+enum JoinIndex {
+    /// Single integer equi-key: dense i64 hash table.
+    Int(FxHashMap<i64, Vec<u32>>),
+    /// General composite key.
+    Tuple(FxHashMap<Tuple, Vec<u32>>),
+}
+
+/// θ-join. Strategy mirrors the row executor exactly: extract equi-keys
+/// from the bound predicate, hash-join on them with the residual applied to
+/// matches; fall back to nested loops otherwise. The probe side streams
+/// left batches in order and the build side keeps per-key row ids in scan
+/// order, so the output row order equals the row engine's.
+pub fn join(
+    left: BatchStream,
+    right: BatchStream,
+    predicate: Option<&Expr>,
+) -> Result<BatchStream, EngineError> {
+    let out_schema = left.schema.concat(&right.schema);
+    let left_arity = left.schema.arity();
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&out_schema).map_err(EngineError::Expr)?),
+        None => None,
+    };
+
+    let right_chunk = right.into_single_chunk();
+
+    if let Some(pred) = &bound {
+        let (keys, residual) = extract_equi_keys(pred, left_arity);
+        if !keys.is_empty() {
+            let residual = Expr::conjunction(residual);
+            // Build phase over the right chunk.
+            let key_cols: Vec<Evaluated> = keys
+                .iter()
+                .map(|k| eval_expr(&k.right, &right_chunk))
+                .collect::<Result<_, _>>()?;
+            let index = build_index(&key_cols, right_chunk.len());
+            // Probe phase, batch by batch.
+            let mut batches = Vec::with_capacity(left.batches.len());
+            for lbatch in &left.batches {
+                let probe_cols: Vec<Evaluated> = keys
+                    .iter()
+                    .map(|k| eval_expr(&k.left, lbatch))
+                    .collect::<Result<_, _>>()?;
+                let (lidx, ridx) = probe_index(&index, &probe_cols, lbatch.len());
+                if lidx.is_empty() {
+                    continue;
+                }
+                let joined = join_gather(lbatch, &right_chunk, &lidx, &ridx, &out_schema);
+                let joined = apply_residual(joined, &residual)?;
+                if !joined.is_empty() {
+                    batches.push(joined);
+                }
+            }
+            return Ok(BatchStream {
+                schema: out_schema,
+                batches,
+            });
+        }
+    }
+
+    // Nested loops: left rows in order against the whole right chunk. The
+    // cross product is materialized in bounded pieces (a few left rows at a
+    // time) so a large θ-join never holds the full product in memory;
+    // slicing on the left preserves the row engine's output order.
+    const MAX_PAIRS_PER_PIECE: usize = 1 << 16;
+    let mut batches = Vec::with_capacity(left.batches.len());
+    for lbatch in &left.batches {
+        if lbatch.is_empty() || right_chunk.is_empty() {
+            continue;
+        }
+        let rows_per_piece = (MAX_PAIRS_PER_PIECE / right_chunk.len()).max(1);
+        let mut start = 0u32;
+        while (start as usize) < lbatch.len() {
+            let end = ((start as usize + rows_per_piece).min(lbatch.len())) as u32;
+            let mut lidx: Vec<u32> = Vec::new();
+            let mut ridx: Vec<u32> = Vec::new();
+            for i in start..end {
+                for j in 0..right_chunk.len() as u32 {
+                    lidx.push(i);
+                    ridx.push(j);
+                }
+            }
+            let joined = join_gather(lbatch, &right_chunk, &lidx, &ridx, &out_schema);
+            // The full predicate filters the cross product (matching the
+            // row engine's nested-loop path).
+            let joined = match &bound {
+                Some(pred) => apply_residual(joined, pred)?,
+                None => joined,
+            };
+            if !joined.is_empty() {
+                batches.push(joined);
+            }
+            start = end;
+        }
+    }
+    Ok(BatchStream {
+        schema: out_schema,
+        batches,
+    })
+}
+
+fn build_index(key_cols: &[Evaluated], rows: usize) -> JoinIndex {
+    // Fast path: one integer key column.
+    if let [Evaluated::Col(ColumnVec::Int(vals))] = key_cols {
+        let mut map: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
+        for (j, &v) in vals.iter().enumerate() {
+            map.entry(v).or_default().push(j as u32);
+        }
+        return JoinIndex::Int(map);
+    }
+    let mut map: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
+    for j in 0..rows {
+        let key: Tuple = key_cols.iter().map(|c| c.value_at(j)).collect();
+        // SQL NULL keys never join; labeled nulls join themselves.
+        if key.has_null() {
+            continue;
+        }
+        map.entry(key).or_default().push(j as u32);
+    }
+    JoinIndex::Tuple(map)
+}
+
+fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut lidx = Vec::new();
+    let mut ridx = Vec::new();
+    match index {
+        JoinIndex::Int(map) => {
+            if let [Evaluated::Col(ColumnVec::Int(vals))] = probe_cols {
+                for (i, v) in vals.iter().enumerate() {
+                    if let Some(matches) = map.get(v) {
+                        for &j in matches {
+                            lidx.push(i as u32);
+                            ridx.push(j);
+                        }
+                    }
+                }
+                return (lidx, ridx);
+            }
+            // Probe side is not a clean Int column: compare through Values.
+            for i in 0..rows {
+                let key: Tuple = probe_cols.iter().map(|c| c.value_at(i)).collect();
+                if key.has_null() {
+                    continue;
+                }
+                if let Some(Value::Int(v)) = key.get(0) {
+                    if let Some(matches) = map.get(v) {
+                        for &j in matches {
+                            lidx.push(i as u32);
+                            ridx.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        JoinIndex::Tuple(map) => {
+            for i in 0..rows {
+                let key: Tuple = probe_cols.iter().map(|c| c.value_at(i)).collect();
+                if key.has_null() {
+                    continue;
+                }
+                if let Some(matches) = map.get(&key) {
+                    for &j in matches {
+                        lidx.push(i as u32);
+                        ridx.push(j);
+                    }
+                }
+            }
+        }
+    }
+    (lidx, ridx)
+}
+
+/// Assemble the joined batch: gathered left columns ++ gathered right
+/// columns; labels AND bitwise; multiplicities multiply (ℕ is saturating).
+fn join_gather(
+    lbatch: &ColumnBatch,
+    rchunk: &ColumnBatch,
+    lidx: &[u32],
+    ridx: &[u32],
+    out_schema: &Schema,
+) -> ColumnBatch {
+    let mut columns = Vec::with_capacity(out_schema.arity());
+    for c in lbatch.columns() {
+        columns.push(c.gather(lidx));
+    }
+    for c in rchunk.columns() {
+        columns.push(c.gather(ridx));
+    }
+    let mut labels = lbatch.labels().gather(lidx);
+    labels.and_assign(&rchunk.labels().gather(ridx));
+    let mults: Vec<u64> = lidx
+        .iter()
+        .zip(ridx)
+        .map(|(&i, &j)| lbatch.mults()[i as usize].saturating_mul(rchunk.mults()[j as usize]))
+        .collect();
+    ColumnBatch::new(out_schema.clone(), columns, labels, Arc::new(mults))
+}
+
+fn apply_residual(batch: ColumnBatch, residual: &Expr) -> Result<ColumnBatch, EngineError> {
+    let bound = residual.bind(batch.schema()).map_err(EngineError::Expr)?;
+    let (t, _f) = truth_masks(&bound, &batch)?;
+    if t.all_ones() {
+        Ok(batch)
+    } else {
+        Ok(batch.gather(&t.ones()))
+    }
+}
+
+/// Duplicate elimination: first occurrence of each distinct row survives
+/// with multiplicity 1 (set semantics over the bag's row copies).
+///
+/// The UA label participates in the key: in the row engine's encoded
+/// representation the marker is a real column, so `(t, certain)` and
+/// `(t, uncertain)` are distinct rows there — labeled batches must dedupe
+/// the same way or a certain copy could vanish behind an uncertain one.
+pub fn distinct(input: BatchStream) -> BatchStream {
+    let mut seen: ua_data::FxHashSet<(Tuple, bool)> = ua_data::FxHashSet::default();
+    let mut batches = Vec::with_capacity(input.batches.len());
+    for batch in &input.batches {
+        let mut keep: Vec<u32> = Vec::new();
+        for i in 0..batch.len() {
+            if batch.mults()[i] == 0 {
+                continue;
+            }
+            if seen.insert((batch.row(i), batch.labels().get(i))) {
+                keep.push(i as u32);
+            }
+        }
+        if !keep.is_empty() {
+            let gathered = batch.gather(&keep);
+            // Normalize multiplicities to 1.
+            batches.push(ColumnBatch::new(
+                gathered.schema().clone(),
+                gathered.columns().to_vec(),
+                gathered.labels().clone(),
+                Arc::new(vec![1u64; gathered.len()]),
+            ));
+        }
+    }
+    BatchStream {
+        schema: input.schema,
+        batches,
+    }
+}
+
+/// Grouping + aggregation (first-seen group order, like the row engine).
+pub fn aggregate(
+    input: BatchStream,
+    group_by: &[ProjColumn],
+    aggregates: &[AggExpr],
+) -> Result<BatchStream, EngineError> {
+    let bound_groups: Vec<Expr> = group_by
+        .iter()
+        .map(|g| g.expr.bind(&input.schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let bound_aggs: Vec<Option<Expr>> = aggregates
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.bind(&input.schema)).transpose())
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+
+    let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
+    let mut order: Vec<Tuple> = Vec::new();
+    for batch in &input.batches {
+        let group_cols: Vec<Evaluated> = bound_groups
+            .iter()
+            .map(|e| eval_expr(e, batch))
+            .collect::<Result<_, _>>()?;
+        let agg_cols: Vec<Option<Evaluated>> = bound_aggs
+            .iter()
+            .map(|e| e.as_ref().map(|e| eval_expr(e, batch)).transpose())
+            .collect::<Result<_, _>>()?;
+        for i in 0..batch.len() {
+            let mult = batch.mults()[i];
+            if mult == 0 {
+                continue;
+            }
+            let key: Tuple = group_cols.iter().map(|c| c.value_at(i)).collect();
+            let states = match groups.get_mut(&key) {
+                Some(s) => s,
+                None => {
+                    order.push(key.clone());
+                    groups.entry(key).or_insert_with(|| {
+                        aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                    })
+                }
+            };
+            for (state, arg) in states.iter_mut().zip(&agg_cols) {
+                match arg {
+                    Some(col) => state.update(Some(&col.value_at(i)), mult),
+                    None => state.update(None, mult),
+                }
+            }
+        }
+    }
+
+    // Global aggregation over an empty input still yields one row.
+    if bound_groups.is_empty() && groups.is_empty() {
+        let key = Tuple::empty();
+        order.push(key.clone());
+        groups.insert(
+            key,
+            aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+
+    let mut columns: Vec<ua_data::schema::Column> =
+        group_by.iter().map(|g| g.column.clone()).collect();
+    for a in aggregates {
+        columns.push(ua_data::schema::Column::unqualified(&a.name));
+    }
+    let out_schema = Schema::new(columns);
+    let mut rows: Vec<Tuple> = Vec::with_capacity(order.len());
+    for key in order {
+        let states = groups.remove(&key).expect("group recorded");
+        let mut values: Vec<Value> = key.values().to_vec();
+        for s in states {
+            values.push(s.finish());
+        }
+        rows.push(Tuple::new(values));
+    }
+    let arity = out_schema.arity();
+    let cols: Vec<ColumnVec> = (0..arity)
+        .map(|c| ColumnVec::from_values(rows.iter().map(move |r| r.get(c).expect("arity"))))
+        .collect();
+    let len = rows.len();
+    let batch = ColumnBatch::new(
+        out_schema.clone(),
+        cols,
+        Bitmap::filled(len, true),
+        Arc::new(vec![1u64; len]),
+    );
+    Ok(BatchStream {
+        schema: out_schema,
+        batches: if len == 0 { Vec::new() } else { vec![batch] },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnar::batches_from_encoded_table;
+    use ua_data::tuple;
+    use ua_engine::Table;
+
+    #[test]
+    fn distinct_keeps_differently_labeled_copies_apart() {
+        // Same tuple twice with different labels: both must survive, like
+        // the row engine's Distinct over the encoded (ua_c-bearing) rows.
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a"]).with_column(ua_core::UA_LABEL_COLUMN),
+            vec![
+                tuple![1i64, 0i64],
+                tuple![1i64, 1i64],
+                tuple![1i64, 0i64],
+                tuple![2i64, 1i64],
+            ],
+        );
+        let stream = batches_from_encoded_table(&t, "r", 2).unwrap();
+        let out = distinct(stream);
+        let rows: Vec<(Tuple, bool)> = out
+            .batches
+            .iter()
+            .flat_map(|b| (0..b.len()).map(move |i| (b.row(i), b.labels().get(i))))
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                (tuple![1i64], false),
+                (tuple![1i64], true),
+                (tuple![2i64], true),
+            ]
+        );
+    }
+}

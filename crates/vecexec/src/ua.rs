@@ -1,0 +1,108 @@
+//! The vectorized UA path: `⟦·⟧_UA` as bitmap propagation.
+//!
+//! The row engine implements UA semantics by *rewriting* the query (extra
+//! `ua_c` projections, `LEAST` markers — Figures 8/9) and executing the
+//! rewritten plan row by row. Here the rewriting never materializes as a
+//! plan: base scans strip the `ua_c` column of the encoded table into each
+//! batch's **label bitmap**, and the operators propagate labels directly —
+//!
+//! ```text
+//! ⟦R⟧        scan: marker column → label bitmap
+//! ⟦σ_θ(Q)⟧   filter: labels gathered with the surviving rows
+//! ⟦π_A(Q)⟧   project: labels carried through per row copy
+//! ⟦Q₁ ⋈ Q₂⟧  join: label = l_bit AND r_bit   (min over {0,1}, bitwise)
+//! ⟦Q₁ ∪ Q₂⟧  union: label bitmaps concatenate
+//! ```
+//!
+//! which is exactly the rewritten query's effect on the encoded
+//! representation (Theorem 7), minus the per-tuple pair-semiring calls. The
+//! result re-attaches the bitmap as a trailing `ua_c` column, so it is
+//! byte-compatible with the row path's [`ua_engine::UaResult`] table.
+
+use crate::columnar::{
+    batches_from_encoded_table, encoded_table_from_batches, BatchStream, DEFAULT_BATCH_ROWS,
+};
+use crate::ops;
+use ua_core::{expr_mentions_marker, UA_LABEL_COLUMN};
+use ua_data::algebra::RaExpr;
+use ua_data::expr::Expr;
+use ua_data::schema::SchemaError;
+use ua_engine::storage::{Catalog, Table};
+use ua_engine::EngineError;
+
+/// The marker is engine bookkeeping, not user schema: reject references so
+/// both executors fail identically (mirrors `rewrite_ua`).
+fn reject_marker_reference(expr: &Expr) -> Result<(), EngineError> {
+    if expr_mentions_marker(expr) {
+        Err(EngineError::Schema(SchemaError::AmbiguousColumn(
+            UA_LABEL_COLUMN.to_string(),
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// Execute the *user* `RA⁺` query `query` over UA-encoded base tables in
+/// `catalog`, returning the encoded result (marker column last) — the
+/// vectorized counterpart of rewrite-then-execute.
+pub fn execute_ua_vectorized(query: &RaExpr, catalog: &Catalog) -> Result<Table, EngineError> {
+    let stream = ua_stream(query, catalog, DEFAULT_BATCH_ROWS)?;
+    Ok(encoded_table_from_batches(&stream))
+}
+
+/// The batch-level UA evaluator (batch size explicit for tests).
+pub fn ua_stream(
+    query: &RaExpr,
+    catalog: &Catalog,
+    batch_rows: usize,
+) -> Result<BatchStream, EngineError> {
+    match query {
+        RaExpr::Table(name) => {
+            let table = catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+            batches_from_encoded_table(&table, name, batch_rows)
+        }
+        RaExpr::Alias { input, name } => {
+            let stream = ua_stream(input, catalog, batch_rows)?;
+            let schema = stream.schema.with_qualifier(name);
+            Ok(stream.with_schema(schema))
+        }
+        RaExpr::Select { input, predicate } => {
+            reject_marker_reference(predicate)?;
+            let stream = ua_stream(input, catalog, batch_rows)?;
+            ops::filter(stream, predicate)
+        }
+        RaExpr::Project { input, columns } => {
+            // Mirror rewrite_ua: the marker is engine-managed; projecting or
+            // referencing it explicitly is rejected.
+            for c in columns {
+                if c.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
+                    return Err(EngineError::Schema(SchemaError::AmbiguousColumn(
+                        UA_LABEL_COLUMN.to_string(),
+                    )));
+                }
+                reject_marker_reference(&c.expr)?;
+            }
+            let stream = ua_stream(input, catalog, batch_rows)?;
+            ops::project(stream, columns)
+        }
+        RaExpr::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            if let Some(p) = predicate {
+                reject_marker_reference(p)?;
+            }
+            let l = ua_stream(left, catalog, batch_rows)?;
+            let r = ua_stream(right, catalog, batch_rows)?;
+            ops::join(l, r, predicate.as_ref())
+        }
+        RaExpr::Union { left, right } => {
+            let l = ua_stream(left, catalog, batch_rows)?;
+            let r = ua_stream(right, catalog, batch_rows)?;
+            ops::union_all(l, r)
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Differential tests: the vectorized executor must produce *identical*
+//! output to the row executor — rows, labels, multiplicities, and (because
+//! the operators are order-compatible replicas) row order — on randomized
+//! plans over randomized tables, across batch-boundary sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::algebra::ProjColumn;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, VarId};
+use ua_data::{Expr, RaExpr, Relation};
+use ua_engine::plan::{AggExpr, AggFunc, Plan, SortOrder};
+use ua_engine::{execute, Catalog, ExecMode, Table, UaSession};
+use ua_semiring::pair::Ua;
+use ua_vecexec::exec::exec_stream;
+use ua_vecexec::{execute_vectorized, table_from_batches};
+
+/// Sizes that straddle the default batch boundary (1024).
+const SIZES: [usize; 6] = [0, 1, 7, 1024, 1025, 2500];
+
+fn random_value(rng: &mut StdRng, domain: i64) -> Value {
+    match rng.gen_range(0..12u32) {
+        0 => Value::Null,
+        1 => Value::Var(VarId(rng.gen_range(0..3u32))),
+        2 | 3 => Value::str(format!("s{}", rng.gen_range(0..domain))),
+        4 => Value::float(rng.gen_range(0..domain) as f64 / 2.0),
+        _ => Value::Int(rng.gen_range(0..domain)),
+    }
+}
+
+/// `r(a, b, c)` — `a`/`b` clean ints (typed columns), `c` mixed values.
+fn random_r(rng: &mut StdRng, rows: usize) -> Table {
+    Table::from_rows(
+        Schema::qualified("r", ["a", "b", "c"]),
+        (0..rows)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..8)),
+                    Value::Int(rng.gen_range(0..5)),
+                    random_value(rng, 6),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `s(b, d)` — clean ints for hash-join keys.
+fn random_s(rng: &mut StdRng, rows: usize) -> Table {
+    Table::from_rows(
+        Schema::qualified("s", ["b", "d"]),
+        (0..rows)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..5)),
+                    Value::Int(rng.gen_range(0..50)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn random_predicate(rng: &mut StdRng) -> Expr {
+    let atom = |rng: &mut StdRng| {
+        // Over the r ⋈ s schema: `b` exists on both sides, so qualify it.
+        let col = ["a", "r.b", "s.b", "d"][rng.gen_range(0..4usize)];
+        let lit = Expr::lit(rng.gen_range(0i64..8));
+        match rng.gen_range(0..5u32) {
+            0 => Expr::named(col).eq(lit),
+            1 => Expr::named(col).lt(lit),
+            2 => Expr::named(col).ge(lit),
+            3 => Expr::named(col).between(Expr::lit(1i64), lit),
+            _ => Expr::InList(
+                Box::new(Expr::named(col)),
+                vec![Expr::lit(0i64), Expr::lit(3i64), Expr::lit(7i64)],
+            ),
+        }
+    };
+    let a = atom(rng);
+    match rng.gen_range(0..4u32) {
+        0 => a,
+        1 => a.and(atom(rng)),
+        2 => a.or(atom(rng)),
+        _ => a.not(),
+    }
+}
+
+/// A predicate safe for `r` alone (references only r's columns).
+fn r_predicate(rng: &mut StdRng) -> Expr {
+    let col = ["a", "b"][rng.gen_range(0..2usize)];
+    let lit = Expr::lit(rng.gen_range(0i64..8));
+    match rng.gen_range(0..3u32) {
+        0 => Expr::named(col).eq(lit),
+        1 => Expr::named(col).lt(lit),
+        _ => Expr::named(col).ge(lit),
+    }
+}
+
+/// Random RA⁺ query over `r` (and sometimes `s`).
+fn random_ra(rng: &mut StdRng) -> RaExpr {
+    match rng.gen_range(0..8u32) {
+        0 => RaExpr::table("r").select(r_predicate(rng)),
+        1 => RaExpr::table("r").project(["b", "a"]),
+        2 => RaExpr::table("r")
+            .join(
+                RaExpr::table("s"),
+                Expr::named("r.b").eq(Expr::named("s.b")),
+            )
+            .select(random_predicate(rng))
+            .project(["a", "d"]),
+        3 => RaExpr::table("r").join(
+            RaExpr::table("s"),
+            Expr::named("r.b")
+                .eq(Expr::named("s.b"))
+                .and(Expr::named("d").ge(Expr::lit(10i64))),
+        ),
+        // θ-join without an equality → nested loops on both engines.
+        4 => RaExpr::table("r").join(
+            RaExpr::table("s"),
+            Expr::named("r.b").lt(Expr::named("s.b")),
+        ),
+        5 => RaExpr::table("r")
+            .project(["b"])
+            .union(RaExpr::table("s").project(["b"])),
+        6 => RaExpr::table("r")
+            .alias("x")
+            .select(Expr::named("x.a").ge(Expr::lit(2i64))),
+        _ => RaExpr::table("r")
+            .alias("r1")
+            .join(
+                RaExpr::table("r").alias("r2"),
+                Expr::named("r1.b").eq(Expr::named("r2.b")),
+            )
+            .project_cols(vec![ProjColumn::named("r1.a"), ProjColumn::named("r2.c")]),
+    }
+}
+
+/// Wrap an RA⁺ plan in the row-engine extras the vectorized driver must
+/// also support.
+fn random_plan(rng: &mut StdRng) -> Plan {
+    let base = Plan::from_ra(&random_ra(rng));
+    match rng.gen_range(0..5u32) {
+        0 => Plan::Distinct {
+            input: Box::new(base),
+        },
+        1 => Plan::Sort {
+            input: Box::new(Plan::Limit {
+                input: Box::new(base),
+                limit: 17,
+            }),
+            keys: vec![(Expr::col(0), SortOrder::Desc)],
+        },
+        2 => {
+            // Aggregate over the join output: group by a, count + sum d.
+            Plan::Aggregate {
+                input: Box::new(Plan::from_ra(&RaExpr::table("r").join(
+                    RaExpr::table("s"),
+                    Expr::named("r.b").eq(Expr::named("s.b")),
+                ))),
+                group_by: vec![ProjColumn::named("a")],
+                aggregates: vec![
+                    AggExpr {
+                        func: AggFunc::CountStar,
+                        arg: None,
+                        name: "n".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Sum,
+                        arg: Some(Expr::named("d")),
+                        name: "total".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Min,
+                        arg: Some(Expr::named("d")),
+                        name: "lo".into(),
+                    },
+                    AggExpr {
+                        func: AggFunc::Avg,
+                        arg: Some(Expr::named("d")),
+                        name: "mean".into(),
+                    },
+                ],
+            }
+        }
+        _ => base,
+    }
+}
+
+fn assert_tables_identical(row: &Table, vec: &Table, context: &str) {
+    assert_eq!(
+        row.schema().arity(),
+        vec.schema().arity(),
+        "arity mismatch: {context}"
+    );
+    assert_eq!(row.len(), vec.len(), "row count mismatch: {context}");
+    assert_eq!(row.rows(), vec.rows(), "row/order mismatch: {context}");
+}
+
+#[test]
+fn deterministic_plans_agree_across_sizes_and_seeds() {
+    let mut rng = StdRng::seed_from_u64(0xDEC0DE);
+    for &rows in &SIZES {
+        for trial in 0..25 {
+            let catalog = Catalog::new();
+            catalog.register("r", random_r(&mut rng, rows));
+            catalog.register("s", random_s(&mut rng, rows.min(600) / 2 + 1));
+            let plan = random_plan(&mut rng);
+            let row = execute(&plan, &catalog).expect("row exec");
+            let vec = execute_vectorized(&plan, &catalog).expect("vec exec");
+            assert_tables_identical(&row, &vec, &format!("rows={rows} trial={trial} {plan}"));
+        }
+    }
+}
+
+#[test]
+fn batch_size_is_semantically_invisible() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let catalog = Catalog::new();
+    catalog.register("r", random_r(&mut rng, 1030));
+    catalog.register("s", random_s(&mut rng, 100));
+    for trial in 0..10 {
+        let plan = random_plan(&mut rng);
+        let row = execute(&plan, &catalog).expect("row exec");
+        for batch_rows in [1usize, 2, 1024, 1025, 4096] {
+            let stream = exec_stream(&plan, &catalog, batch_rows).expect("vec exec");
+            let vec = table_from_batches(&stream);
+            assert_tables_identical(
+                &row,
+                &vec,
+                &format!("batch_rows={batch_rows} trial={trial} {plan}"),
+            );
+        }
+    }
+}
+
+/// Random ℕ_UA relations over the `r`/`s` schemas.
+fn random_ua_relation(
+    rng: &mut StdRng,
+    name: &str,
+    cols: &[&str],
+    rows: usize,
+) -> Relation<Ua<u64>> {
+    Relation::from_annotated(
+        Schema::qualified(name, cols.iter().copied()),
+        (0..rows).map(|_| {
+            let t: Tuple = (0..cols.len())
+                .map(|_| Value::Int(rng.gen_range(0..5)))
+                .collect();
+            let cert = rng.gen_range(0u64..3);
+            let det = cert + rng.gen_range(0u64..3);
+            (t, Ua::new(cert, det.max(1)))
+        }),
+    )
+}
+
+#[test]
+fn ua_path_matches_rewritten_row_path_label_for_label() {
+    let mut rng = StdRng::seed_from_u64(0xA11CE);
+    for &rows in &[0usize, 1, 5, 40, 700] {
+        for trial in 0..20 {
+            let session = UaSession::new();
+            session.register_ua_relation(
+                "r",
+                &random_ua_relation(&mut rng, "r", &["a", "b", "c"], rows),
+            );
+            session.register_ua_relation(
+                "s",
+                &random_ua_relation(&mut rng, "s", &["b", "d"], rows / 2 + 1),
+            );
+            let q = random_ra(&mut rng);
+
+            session.set_exec_mode(ExecMode::Row);
+            let row = session.query_ua_ra(&q).expect("row UA");
+            ua_vecexec::install();
+            session.set_exec_mode(ExecMode::Vectorized);
+            let vec = session.query_ua_ra(&q).expect("vec UA");
+
+            // Identical encoded tables: same rows (labels are the trailing
+            // ua_c marker of each row copy), same order.
+            assert_tables_identical(
+                &row.table,
+                &vec.table,
+                &format!("rows={rows} trial={trial} {q}"),
+            );
+            // And therefore identical decoded K²-relations.
+            assert_eq!(row.decode(), vec.decode(), "decode mismatch: {q}");
+            assert_eq!(row.certainty_counts(), vec.certainty_counts());
+        }
+    }
+}
+
+#[test]
+fn ua_sql_frontend_with_order_by_and_limit_agrees() {
+    ua_vecexec::install();
+    let mut rng = StdRng::seed_from_u64(99);
+    let table = Table::from_rows(
+        Schema::qualified("addr", ["xid", "aid", "p", "id", "locale", "state"]),
+        (0..1500i64)
+            .map(|i| {
+                let alts = rng.gen_range(1..3i64);
+                Tuple::new(vec![
+                    Value::Int(i / 2),
+                    Value::Int(i % 2),
+                    Value::float(if alts == 1 {
+                        1.0
+                    } else {
+                        0.5 + (i % 2) as f64 * 0.1
+                    }),
+                    Value::Int(i / 2),
+                    Value::str(format!("loc{}", i % 37)),
+                    Value::str(["NY", "AZ", "IL"][(i % 3) as usize]),
+                ])
+            })
+            .collect(),
+    );
+    let sql = "SELECT id, locale FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) \
+               WHERE state = 'NY' ORDER BY id LIMIT 100";
+    let row_session = UaSession::new();
+    row_session.register_table("addr", table.clone());
+    let row = row_session.query_ua(sql).expect("row");
+
+    let vec_session = UaSession::with_mode(ExecMode::Vectorized);
+    vec_session.register_table("addr", table);
+    let vec = vec_session.query_ua(sql).expect("vec");
+
+    assert_tables_identical(&row.table, &vec.table, "sql frontend");
+    assert_eq!(row.certainty_counts(), vec.certainty_counts());
+}
+
+#[test]
+fn referencing_the_marker_is_rejected_in_both_paths() {
+    ua_vecexec::install();
+    let session = UaSession::new();
+    let rel = random_ua_relation(&mut StdRng::seed_from_u64(1), "r", &["a"], 5);
+    session.register_ua_relation("r", &rel);
+    // The marker is engine bookkeeping: projecting it, filtering on it
+    // (qualified or not), or joining on it must fail identically under
+    // both executors rather than silently exposing the encoding.
+    let queries = [
+        RaExpr::table("r").project(["ua_c"]),
+        RaExpr::table("r").select(Expr::named("ua_c").eq(Expr::lit(1i64))),
+        RaExpr::table("r").select(Expr::named("r.ua_c").eq(Expr::lit(1i64))),
+        RaExpr::table("r").alias("x").join(
+            RaExpr::table("r").alias("y"),
+            Expr::named("x.ua_c").eq(Expr::named("y.ua_c")),
+        ),
+        RaExpr::table("r").project_cols(vec![ProjColumn::expr(
+            Expr::named("ua_c").add(Expr::lit(1i64)),
+            "c2",
+        )]),
+    ];
+    for q in &queries {
+        session.set_exec_mode(ExecMode::Row);
+        assert!(session.query_ua_ra(q).is_err(), "row accepted {q}");
+        session.set_exec_mode(ExecMode::Vectorized);
+        assert!(session.query_ua_ra(q).is_err(), "vectorized accepted {q}");
+    }
+}

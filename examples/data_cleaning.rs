@@ -43,13 +43,13 @@ fn main() {
     catalog.register("survey", instance.incomplete.clone());
     let ast = parse(sql).expect("parse");
     let plan = plan_query(&ast, &catalog, &RejectAnnotations).expect("plan");
-    let certain = certain_subset(
-        &Plan::from_ra(&plan.to_ra().expect("SPJ")),
-        &catalog,
-    )
-    .expect("libkin");
+    let certain =
+        certain_subset(&Plan::from_ra(&plan.to_ra().expect("SPJ")), &catalog).expect("libkin");
 
-    println!("{:<28} {:>9} {:>10} {:>8}", "strategy", "precision", "recall", "rows");
+    println!(
+        "{:<28} {:>9} {:>10} {:>8}",
+        "strategy", "precision", "recall", "rows"
+    );
     for (name, result) in [
         ("best-guess (imputed) world", &bgqp),
         ("random repair", &rgqp),

@@ -32,33 +32,24 @@ fn main() {
         "region",
         Table::from_rows(
             Schema::qualified("region", ["state", "region_name"]),
-            vec![
-                tuple!["NY", "Northeast"],
-                tuple!["AZ", "Southwest"],
-            ],
+            vec![tuple!["NY", "Northeast"], tuple!["AZ", "Southwest"]],
         ),
     );
     // For UA queries, deterministic tables need the marker too: register the
     // certain encoding via the TI path with probability 1 — or simply use
     // the annotation syntax with a constant-1 column. Here we re-register it
     // pre-encoded:
-    session.register_table(
-        "region_enc",
-        {
-            let mut rows = Vec::new();
-            for row in [
-                tuple!["NY", "Northeast"],
-                tuple!["AZ", "Southwest"],
-            ] {
-                rows.push(row.push(uadb::data::Value::Int(1)));
-            }
-            Table::from_rows(
-                Schema::qualified("region", ["state", "region_name"])
-                    .with_column(uadb::core::UA_LABEL_COLUMN),
-                rows,
-            )
-        },
-    );
+    session.register_table("region_enc", {
+        let mut rows = Vec::new();
+        for row in [tuple!["NY", "Northeast"], tuple!["AZ", "Southwest"]] {
+            rows.push(row.push(uadb::data::Value::Int(1)));
+        }
+        Table::from_rows(
+            Schema::qualified("region", ["state", "region_name"])
+                .with_column(uadb::core::UA_LABEL_COLUMN),
+            rows,
+        )
+    });
 
     let sql = "SELECT a.id, a.locale, r.region_name \
                FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) a, \
@@ -68,7 +59,7 @@ fn main() {
     println!("SQL over an annotated source:\n  {sql}\n");
 
     let result = session.query_ua(sql).expect("UA query");
-    println!("{:<4} {:<14} {:<12} {}", "id", "locale", "region", "certain?");
+    println!("{:<4} {:<14} {:<12} certain?", "id", "locale", "region");
     for (row, certain) in result.rows_with_certainty() {
         println!(
             "{:<4} {:<14} {:<12} {certain}",

@@ -26,9 +26,22 @@
 //! | [`incomplete`] | possible worlds, `K^W`-databases, labelings |
 //! | [`models`] | TI-DBs, x-DBs/BI-DBs, C-tables + labeling schemes |
 //! | [`core`] | **UA-DBs**: pair annotations, `Enc`, the `⟦·⟧_UA` rewriting |
-//! | [`engine`] | row-store executor, SQL frontend, UA middleware |
+//! | [`engine`] | row-store executor, SQL frontend, UA middleware, [`engine::ExecMode`] |
+//! | [`vecexec`] | batch-oriented columnar executor with UA label bitmaps |
 //! | [`baselines`] | Libkin, MayBMS-style, MCDB-style comparison systems |
 //! | [`datagen`] | seeded workload generators for every experiment |
+//!
+//! ## Choosing an executor
+//!
+//! Both executors run the same plans and produce identical results (the
+//! `ua-vecexec` differential tests enforce label-for-label equality). The
+//! row executor is the default; opt into the columnar one per session:
+//!
+//! ```
+//! uadb::vecexec::install(); // one-time process-wide registration
+//! let session = uadb::engine::UaSession::new();
+//! session.set_exec_mode(uadb::engine::ExecMode::Vectorized);
+//! ```
 //!
 //! ## Quickstart
 //!
@@ -66,3 +79,4 @@ pub use ua_engine as engine;
 pub use ua_incomplete as incomplete;
 pub use ua_models as models;
 pub use ua_semiring as semiring;
+pub use ua_vecexec as vecexec;

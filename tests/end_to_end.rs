@@ -65,8 +65,7 @@ fn three_evaluation_paths_agree() {
 
         let lookup = |name: &str| encoded.get(name).map(|r| r.schema().clone());
         let rewritten = rewrite_ua(&q, &lookup).expect("rewrite");
-        let via_encoding =
-            decode_relation(&eval(&rewritten, &encoded).expect("encoded eval"));
+        let via_encoding = decode_relation(&eval(&rewritten, &encoded).expect("encoded eval"));
         assert_eq!(native, via_encoding, "Theorem 7 violated for {q}");
 
         let via_engine = session.query_ua_ra(&q).expect("engine").decode();
@@ -74,7 +73,11 @@ fn three_evaluation_paths_agree() {
 
         // Backwards compatibility with best-guess query processing.
         let bgqp = eval(&q, &xdb.best_guess_world()).expect("bgqp");
-        assert_eq!(native.map_annotations(&h_det::<u64>), bgqp, "h_det ≠ BGQP for {q}");
+        assert_eq!(
+            native.map_annotations(&h_det::<u64>),
+            bgqp,
+            "h_det ≠ BGQP for {q}"
+        );
     }
 }
 
@@ -126,7 +129,10 @@ fn baselines_bracket_consistently() {
         mb_tuples.sort();
         let mut gt_tuples: Vec<_> = possible.iter().map(|(t, _)| t.clone()).collect();
         gt_tuples.sort();
-        assert_eq!(mb_tuples, gt_tuples, "MayBMS possible answers wrong for {q}");
+        assert_eq!(
+            mb_tuples, gt_tuples,
+            "MayBMS possible answers wrong for {q}"
+        );
 
         // MCDB possible ⊆ ground possible; MCDB "certain" ⊇ true certain.
         let mc = bundles.query(&q).expect("mcdb");
@@ -177,9 +183,9 @@ fn pdbench_pipeline_end_to_end() {
         if is_certain {
             // The (orderkey, quantity) pair must appear in some certainly
             // labeled base tuple.
-            let found = labeled.iter().any(|(t, _)| {
-                t.get(0) == row.get(0) && t.get(2) == row.get(1)
-            });
+            let found = labeled
+                .iter()
+                .any(|(t, _)| t.get(0) == row.get(0) && t.get(2) == row.get(1));
             assert!(found, "certain row {row} lacks a certain witness");
         }
     }
@@ -210,12 +216,8 @@ fn ua_equals_det_plus_markers() {
         .map(|(t, _)| t)
         .collect();
     let ast = uadb::engine::parse(sql).expect("parse");
-    let plan = uadb::engine::plan_query(
-        &ast,
-        &det_catalog,
-        &uadb::engine::sql::RejectAnnotations,
-    )
-    .expect("plan");
+    let plan = uadb::engine::plan_query(&ast, &det_catalog, &uadb::engine::sql::RejectAnnotations)
+        .expect("plan");
     let det = uadb::engine::execute(&plan, &det_catalog).expect("det");
 
     let mut a = ua_rows;

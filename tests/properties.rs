@@ -17,9 +17,8 @@ use uadb::semiring::{laws, Semiring};
 /// A small x-DB over schema (k, v): up to 6 x-tuples with up to 3
 /// alternatives each, some optional.
 fn arb_xdb() -> impl Strategy<Value = XDb> {
-    let alternative = (0i64..4, 0i64..3).prop_map(|(k, v)| {
-        Tuple::new(vec![Value::Int(k), Value::Int(v)])
-    });
+    let alternative =
+        (0i64..4, 0i64..3).prop_map(|(k, v)| Tuple::new(vec![Value::Int(k), Value::Int(v)]));
     let xtuple = (
         proptest::collection::vec(alternative, 1..=3),
         proptest::bool::ANY,
@@ -45,9 +44,7 @@ fn arb_xdb() -> impl Strategy<Value = XDb> {
 /// A random RA⁺ query over `r(k, v)`.
 fn arb_query() -> impl Strategy<Value = RaExpr> {
     prop_oneof![
-        (0i64..3).prop_map(|c| {
-            RaExpr::table("r").select(Expr::named("v").ge(Expr::lit(c)))
-        }),
+        (0i64..3).prop_map(|c| { RaExpr::table("r").select(Expr::named("v").ge(Expr::lit(c))) }),
         Just(RaExpr::table("r").project(["k"])),
         Just(RaExpr::table("r").project(["v"])),
         (0i64..3).prop_map(|c| {
@@ -82,9 +79,8 @@ fn arb_ua_relation() -> impl Strategy<Value = Relation<Ua<u64>>> {
     proptest::collection::vec((0i64..6, 0u64..3, 0u64..3), 0..8).prop_map(|rows| {
         Relation::from_annotated(
             Schema::qualified("r", ["a"]),
-            rows.into_iter().map(|(a, c, extra)| {
-                (Tuple::new(vec![Value::Int(a)]), Ua::new(c, c + extra))
-            }),
+            rows.into_iter()
+                .map(|(a, c, extra)| (Tuple::new(vec![Value::Int(a)]), Ua::new(c, c + extra))),
         )
     })
 }
@@ -122,7 +118,7 @@ proptest! {
             Schema::qualified("r", ["k", "v"]),
             rel.iter().map(|(t, ann)| {
                 let a = t.get(0).expect("col").clone();
-                (Tuple::new(vec![a.clone(), a]), ann.clone())
+                (Tuple::new(vec![a.clone(), a]), *ann)
             }),
         );
         let mut db: Database<Ua<u64>> = Database::new();

@@ -26,7 +26,10 @@ fn corollary1_tidb_queries_preserve_c_correctness() {
     let tidb = sample_tidb();
     let inc = tidb.enumerate_worlds(16);
     let labeling = tidb.labeling();
-    assert!(is_c_correct(&labeling, &inc), "label_TIDB must be c-correct");
+    assert!(
+        is_c_correct(&labeling, &inc),
+        "label_TIDB must be c-correct"
+    );
 
     let queries = vec![
         RaExpr::table("r").select(Expr::named("b").eq(Expr::lit(10i64))),
@@ -187,10 +190,9 @@ fn lemma6_tidb_has_a_common_minimum_world() {
     let minimal = (0..n).find(|&i| {
         rel.iter().all(|(_, vector)| {
             use uadb::semiring::LSemiring;
-            vector.world(i) == bool::glb_all(
-                (0..n).map(|j| vector.world(j)).collect::<Vec<_>>().iter(),
-            )
-            .expect("non-empty")
+            vector.world(i)
+                == bool::glb_all((0..n).map(|j| vector.world(j)).collect::<Vec<_>>().iter())
+                    .expect("non-empty")
         })
     });
     assert!(
