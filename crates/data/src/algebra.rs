@@ -22,6 +22,7 @@ use crate::hash::FxHashMap;
 use crate::relation::{Database, Relation};
 use crate::schema::{Schema, SchemaError};
 use crate::tuple::Tuple;
+use crate::value::Value;
 use std::fmt;
 use ua_semiring::Semiring;
 
@@ -496,7 +497,7 @@ fn eval_join<K: Semiring>(
             for (rt, rk) in r.iter() {
                 let key: Tuple = keys
                     .iter()
-                    .map(|k| k.right.eval(rt))
+                    .map(|k| k.right.eval(rt).map(Value::join_key))
                     .collect::<Result<_, _>>()?;
                 // NULL keys never satisfy an equality; labeled nulls match
                 // themselves, so they stay (structural hash equality equals
@@ -509,7 +510,7 @@ fn eval_join<K: Semiring>(
             for (lt, lk) in l.iter() {
                 let key: Tuple = keys
                     .iter()
-                    .map(|k| k.left.eval(lt))
+                    .map(|k| k.left.eval(lt).map(Value::join_key))
                     .collect::<Result<_, _>>()?;
                 if key.has_null() {
                     continue;

@@ -110,6 +110,26 @@ impl Value {
         matches!(self, Value::Null | Value::Var(_))
     }
 
+    /// Canonical form for use as a hash-join key: integral floats collapse
+    /// to ints, so structural key equality agrees with [`Value::sql_cmp`]'s
+    /// coercing numeric equality (`Int(2) = Float(2.0)`). Every hash-key
+    /// build/probe site must apply this, or the hash strategy would drop
+    /// rows a nested-loop evaluation of the same predicate keeps.
+    /// (Beyond ±2⁵³, where `i64 → f64` is lossy, `sql_cmp` itself compares
+    /// through `f64` and the two can still disagree; exact within.)
+    pub fn join_key(self) -> Value {
+        if let Value::Float(f) = &self {
+            let x = f.get();
+            if x.fract() == 0.0 && x >= -(2f64.powi(63)) && x < 2f64.powi(63) {
+                let i = x as i64;
+                if i as f64 == x {
+                    return Value::Int(i);
+                }
+            }
+        }
+        self
+    }
+
     /// Whether this value mentions a labeled null.
     pub fn is_var(&self) -> bool {
         matches!(self, Value::Var(_))

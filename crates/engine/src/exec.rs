@@ -93,12 +93,8 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             // the UA rewriting inserts exactly this Map-over-Join shape
             // (Figure 9's join rule) — without fusion it would pay a full
             // extra materialization pass over the join result.
-            if let Plan::Join {
-                left,
-                right,
-                predicate,
-            } = input.as_ref()
-            {
+            if matches!(input.as_ref(), Plan::Join { .. } | Plan::HashJoin { .. }) {
+                let (left, right) = join_inputs(input).expect("matched join");
                 let l = execute(left, catalog)?;
                 let r = execute(right, catalog)?;
                 let join_schema = l.schema().concat(r.schema());
@@ -108,7 +104,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
                     .collect::<Result<_, _>>()?;
                 let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
                 let mut out = Table::new(out_schema);
-                join_stream(&l, &r, predicate.as_ref(), &mut |joined| {
+                join_node_stream(input, &l, &r, &mut |joined| {
                     let mapped: Tuple = bound
                         .iter()
                         .map(|e| e.eval(&joined))
@@ -134,14 +130,16 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             }
             Ok(out)
         }
-        Plan::Join {
-            left,
-            right,
-            predicate,
-        } => {
+        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             let l = execute(left, catalog)?;
             let r = execute(right, catalog)?;
-            join(&l, &r, predicate.as_ref())
+            let schema = l.schema().concat(r.schema());
+            let mut out = Table::new(schema);
+            join_node_stream(plan, &l, &r, &mut |joined| {
+                out.push(joined);
+                Ok(())
+            })?;
+            Ok(out)
         }
         Plan::UnionAll { left, right } => {
             let l = execute(left, catalog)?;
@@ -227,14 +225,103 @@ pub fn limit_table(t: &Table, limit: usize) -> Table {
     )
 }
 
-fn join(l: &Table, r: &Table, predicate: Option<&Expr>) -> Result<Table, EngineError> {
-    let schema = l.schema().concat(r.schema());
-    let mut out = Table::new(schema);
-    join_stream(l, r, predicate, &mut |joined| {
-        out.push(joined);
-        Ok(())
-    })?;
-    Ok(out)
+/// The two inputs of a join-like plan node.
+fn join_inputs(plan: &Plan) -> Option<(&Plan, &Plan)> {
+    match plan {
+        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => Some((left, right)),
+        _ => None,
+    }
+}
+
+/// Stream a join-like plan node ([`Plan::Join`] or [`Plan::HashJoin`]) over
+/// its executed inputs.
+fn join_node_stream(
+    plan: &Plan,
+    l: &Table,
+    r: &Table,
+    on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    match plan {
+        Plan::Join { predicate, .. } => join_stream(l, r, predicate.as_ref(), on_row),
+        Plan::HashJoin {
+            keys,
+            residual,
+            build_left,
+            ..
+        } => hash_join_stream(l, r, keys, residual.as_ref(), *build_left, on_row),
+        other => Err(EngineError::Sql(format!("not a join node: {other}"))),
+    }
+}
+
+/// Stream an optimizer-planned hash join: build a hash table on the chosen
+/// side, probe with the other in scan order (so output order is probe-major
+/// with build-side scan order within a probe row — the contract the
+/// vectorized executor replicates).
+fn hash_join_stream(
+    l: &Table,
+    r: &Table,
+    keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    build_left: bool,
+    on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let lkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(e, _)| e.bind(l.schema()))
+        .collect::<Result<_, _>>()?;
+    let rkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(_, e)| e.bind(r.schema()))
+        .collect::<Result<_, _>>()?;
+    let joined_schema = l.schema().concat(r.schema());
+    let residual = residual.map(|e| e.bind(&joined_schema)).transpose()?;
+    let key_of = |exprs: &[Expr], row: &Tuple| -> Result<Tuple, EngineError> {
+        Ok(exprs
+            .iter()
+            .map(|e| e.eval(row).map(Value::join_key))
+            .collect::<Result<_, _>>()?)
+    };
+    let emit = |joined: Tuple,
+                on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>|
+     -> Result<(), EngineError> {
+        match &residual {
+            Some(p) if !p.holds(&joined)? => Ok(()),
+            _ => on_row(joined),
+        }
+    };
+    // One build/probe loop regardless of side: only which input builds and
+    // the concat order depend on `build_left` (output columns stay
+    // left ++ right).
+    let (build, build_keys, probe, probe_keys) = if build_left {
+        (l, &lkeys, r, &rkeys)
+    } else {
+        (r, &rkeys, l, &lkeys)
+    };
+    let mut table: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
+    for brow in build.rows() {
+        let key = key_of(build_keys, brow)?;
+        if key.has_null() {
+            continue; // SQL NULL keys never join
+        }
+        table.entry(key).or_default().push(brow);
+    }
+    for prow in probe.rows() {
+        let key = key_of(probe_keys, prow)?;
+        if key.has_null() {
+            continue;
+        }
+        if let Some(matches) = table.get(&key) {
+            for brow in matches {
+                let joined = if build_left {
+                    brow.concat(prow)
+                } else {
+                    prow.concat(brow)
+                };
+                emit(joined, on_row)?;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Stream the join of `l` and `r` through `on_row` (hash strategy when the
@@ -260,7 +347,7 @@ fn join_stream(
             for row in r.rows() {
                 let key: Tuple = keys
                     .iter()
-                    .map(|k| k.right.eval(row))
+                    .map(|k| k.right.eval(row).map(Value::join_key))
                     .collect::<Result<_, _>>()?;
                 if key.has_null() {
                     continue;
@@ -270,7 +357,7 @@ fn join_stream(
             for lrow in l.rows() {
                 let key: Tuple = keys
                     .iter()
-                    .map(|k| k.left.eval(lrow))
+                    .map(|k| k.left.eval(lrow).map(Value::join_key))
                     .collect::<Result<_, _>>()?;
                 if key.has_null() {
                     continue;

@@ -8,6 +8,9 @@
 //!   paper's encoding targets);
 //! * [`plan`] / [`exec`] — physical plans and the materializing executor
 //!   (hash joins on extractable equi-keys, grouping, sorting, limits);
+//! * [`optimize`] — the pass pipeline (filter pushdown, cost-aware join
+//!   planning into [`plan::Plan::HashJoin`]) applied uniformly to both
+//!   executors' plans before dispatch;
 //! * [`sql`] — lexer, parser and planner for a SPJUA SQL dialect including
 //!   the paper's source-annotation clauses (Section 9.2);
 //! * [`ua`] — the UA frontend: labeling-scheme source conversion,
@@ -26,7 +29,9 @@ pub mod ua;
 
 pub use exec::{execute, limit_table, sort_table, AggState, EngineError};
 pub use mode::{register_vectorized_hooks, vectorized_hooks, ExecMode, VectorizedHooks};
-pub use optimize::push_filters;
+pub use optimize::{
+    estimate_rows, optimize, optimize_with, plan_joins, push_filters, OptimizerPasses,
+};
 pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};
 pub use storage::{Catalog, Table};

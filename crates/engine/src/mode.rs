@@ -13,7 +13,6 @@ use crate::exec::EngineError;
 use crate::plan::Plan;
 use crate::storage::{Catalog, Table};
 use std::sync::OnceLock;
-use ua_data::algebra::RaExpr;
 
 /// Which executor a session uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -32,11 +31,13 @@ pub enum ExecMode {
 pub struct VectorizedHooks {
     /// Execute an arbitrary [`Plan`] (deterministic semantics).
     pub plan: fn(&Plan, &Catalog) -> Result<Table, EngineError>,
-    /// Execute an `RA⁺` query over UA-encoded base tables, returning the
-    /// encoded result (certainty marker in last position). The query is the
-    /// *user* query — label propagation per `⟦·⟧_UA` happens inside the
-    /// executor, on its label bitmaps, instead of via a rewritten plan.
-    pub ua: fn(&RaExpr, &Catalog) -> Result<Table, EngineError>,
+    /// Execute an `RA⁺`-shaped (optionally optimizer-planned, so possibly
+    /// containing [`Plan::HashJoin`]) physical plan over UA-encoded base
+    /// tables, returning the encoded result (certainty marker in last
+    /// position). The plan is the *user* query's — label propagation per
+    /// `⟦·⟧_UA` happens inside the executor, on its label bitmaps, instead
+    /// of via a rewritten plan.
+    pub ua: fn(&Plan, &Catalog) -> Result<Table, EngineError>,
 }
 
 static HOOKS: OnceLock<VectorizedHooks> = OnceLock::new();

@@ -1,30 +1,107 @@
-//! Plan optimization: filter pushdown through projections.
+//! Plan optimization: filter pushdown and cost-aware join planning.
 //!
-//! The UA rewriting (Figure 9) wraps every join in a projection that
-//! re-labels columns and combines the two certainty markers. User
-//! selections sit *above* that projection, so a naive executor pays the
-//! projection over the full join result before filtering — something no
-//! real optimizer would do. `Filter(P) ∘ Map(M) ≡ Map(M) ∘ Filter(P∘M)`
-//! whenever `P`'s column references can be substituted by `M`'s expressions,
-//! which is exactly the shape the rewriting produces. The deterministic
-//! path goes through the same optimizer, keeping the Det-vs-UA comparison
-//! honest.
+//! The optimizer is a small pass pipeline over [`Plan`]s, applied by
+//! [`crate::ua::UaSession`] to the plan each executor actually runs —
+//! uniformly before `ExecMode::Row` / `ExecMode::Vectorized` dispatch, and
+//! for both deterministic and UA queries — so the two engines cannot drift
+//! (the differential test harness locks them together).
+//!
+//! Passes, in pipeline order ([`optimize`] / [`optimize_with`]):
+//!
+//! 1. **Filter pushdown** ([`push_filters`]). The UA rewriting (Figure 9)
+//!    wraps every join in a projection that re-labels columns and combines
+//!    the two certainty markers, and user queries add their own
+//!    projections; selections sit *above* those projections, so a naive
+//!    executor pays the projection over the full input before filtering.
+//!    `Filter(P) ∘ Map(M) ≡ Map(M) ∘ Filter(P∘M)` whenever `P`'s column
+//!    references can be substituted by `M`'s expressions, which is exactly
+//!    the shape both produce.
+//! 2. **Join planning** ([`plan_joins`]). SQL comma-joins
+//!    (`FROM r, s WHERE r.k = s.k`) lower to a cross product with the
+//!    `WHERE` as a filter on top — pathological at scale. The pass merges
+//!    the filter stack into the join condition, pushes single-side
+//!    conjuncts below the join, extracts conjunctive equi-join keys into a
+//!    [`Plan::HashJoin`] (the rest stays as a residual), and picks the hash
+//!    build side from table cardinalities ([`estimate_rows`], backed by
+//!    [`Catalog`]): build on the smaller input, probe with the larger.
+//! 3. Filter pushdown again: selections pushed onto join inputs by pass 2
+//!    may sink further through projections (e.g. into subqueries).
+//!
+//! Invariants (checked by `tests/plans.rs`, `tests/differential.rs` and
+//! `tests/label_soundness.rs`):
+//!
+//! * rewrites never change result rows, UA labels, or multiplicities;
+//! * rewrites preserve the engines' shared row order contract: the same
+//!   optimized plan executes to byte-identical tables on both engines;
+//! * expressions stay *unbound* (name-based) unless they already were
+//!   positional — the vectorized UA path runs over marker-stripped batches,
+//!   so positions valid against encoded schemas would misalign there.
 
 use crate::plan::Plan;
-use ua_data::algebra::ProjColumn;
-use ua_data::expr::Expr;
+use crate::sql::planner::plan_schema;
+use crate::storage::Catalog;
+use ua_data::algebra::{shift_columns, ProjColumn};
+use ua_data::expr::{CmpOp, Expr};
+use ua_data::schema::{Schema, SchemaError};
+
+/// Which optimizer passes to run (all on by default).
+#[derive(Clone, Copy, Debug)]
+pub struct OptimizerPasses {
+    /// Sink filters below projections (pass 1 and 3).
+    pub push_filters: bool,
+    /// Rewrite cross-join+filter into hash joins with build-side selection
+    /// (pass 2).
+    pub plan_joins: bool,
+    /// Let join planning classify and shift *positional* (`Expr::Col`)
+    /// references. Must be off when the executor's runtime schemas differ
+    /// from `plan_schema` — the vectorized UA path strips the `ua_c` marker
+    /// out of its batches, so positions computed against encoded schemas
+    /// would split at the wrong arity and silently join on the wrong
+    /// columns. Named references are always safe (the marker never
+    /// participates in name resolution).
+    pub positional_joins: bool,
+}
+
+impl Default for OptimizerPasses {
+    fn default() -> OptimizerPasses {
+        OptimizerPasses {
+            push_filters: true,
+            plan_joins: true,
+            positional_joins: true,
+        }
+    }
+}
+
+/// Run the full optimizer pipeline.
+pub fn optimize(plan: Plan, catalog: &Catalog) -> Plan {
+    optimize_with(plan, catalog, OptimizerPasses::default())
+}
+
+/// Run the selected optimizer passes.
+pub fn optimize_with(plan: Plan, catalog: &Catalog, passes: OptimizerPasses) -> Plan {
+    let mut plan = plan;
+    if passes.push_filters {
+        plan = push_filters(plan);
+    }
+    if passes.plan_joins {
+        plan = plan_joins_impl(plan, catalog, passes.positional_joins);
+        if passes.push_filters {
+            plan = push_filters(plan);
+        }
+    }
+    plan
+}
 
 /// Apply filter pushdown throughout the plan.
 pub fn push_filters(plan: Plan) -> Plan {
     match plan {
         Plan::Filter { input, predicate } => {
             let input = push_filters(*input);
-            if let Plan::Map {
-                input: map_input,
-                columns,
-            } = input
-            {
-                match substitute(&predicate, &columns) {
+            match input {
+                Plan::Map {
+                    input: map_input,
+                    columns,
+                } => match substitute(&predicate, &columns) {
                     Some(pushed) => Plan::Map {
                         input: Box::new(push_filters(Plan::Filter {
                             input: map_input,
@@ -39,12 +116,24 @@ pub fn push_filters(plan: Plan) -> Plan {
                         }),
                         predicate,
                     },
-                }
-            } else {
-                Plan::Filter {
-                    input: Box::new(input),
+                },
+                // Aliases only re-qualify names; a fully positional
+                // predicate (as produced by join planning or earlier
+                // substitution) is untouched by that and can sink through.
+                Plan::Alias {
+                    input: alias_input,
+                    name,
+                } if !has_named_refs(&predicate) => Plan::Alias {
+                    input: Box::new(push_filters(Plan::Filter {
+                        input: alias_input,
+                        predicate,
+                    })),
+                    name,
+                },
+                other => Plan::Filter {
+                    input: Box::new(other),
                     predicate,
-                }
+                },
             }
         }
         Plan::Scan(name) => Plan::Scan(name),
@@ -64,6 +153,19 @@ pub fn push_filters(plan: Plan) -> Plan {
             left: Box::new(push_filters(*left)),
             right: Box::new(push_filters(*right)),
             predicate,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => Plan::HashJoin {
+            left: Box::new(push_filters(*left)),
+            right: Box::new(push_filters(*right)),
+            keys,
+            residual,
+            build_left,
         },
         Plan::UnionAll { left, right } => Plan::UnionAll {
             left: Box::new(push_filters(*left)),
@@ -89,6 +191,402 @@ pub fn push_filters(plan: Plan) -> Plan {
             input: Box::new(push_filters(*input)),
             limit,
         },
+    }
+}
+
+/// Rewrite cross-join+filter shapes into [`Plan::HashJoin`]s throughout the
+/// plan (see the module docs for the full rule).
+pub fn plan_joins(plan: Plan, catalog: &Catalog) -> Plan {
+    plan_joins_impl(plan, catalog, true)
+}
+
+/// [`plan_joins`] with positional-reference classification gated by
+/// `positional` (see [`OptimizerPasses::positional_joins`]).
+fn plan_joins_impl(plan: Plan, catalog: &Catalog, positional: bool) -> Plan {
+    match plan {
+        Plan::Filter { .. } => {
+            // Peel the whole filter stack sitting on this node; if a join is
+            // underneath, the conjuncts take part in join planning.
+            let mut conjuncts: Vec<Expr> = Vec::new();
+            let mut core = plan;
+            while let Plan::Filter { input, predicate } = core {
+                conjuncts.extend(predicate.split_conjuncts().into_iter().cloned());
+                core = *input;
+            }
+            match core {
+                Plan::Join {
+                    left,
+                    right,
+                    predicate,
+                } => {
+                    if let Some(p) = predicate {
+                        conjuncts.extend(p.split_conjuncts().into_iter().cloned());
+                    }
+                    rewrite_join(*left, *right, conjuncts, catalog, positional)
+                }
+                other => wrap_filters(plan_joins_impl(other, catalog, positional), conjuncts),
+            }
+        }
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let conjuncts = match predicate {
+                Some(p) => p.split_conjuncts().into_iter().cloned().collect(),
+                None => Vec::new(),
+            };
+            rewrite_join(*left, *right, conjuncts, catalog, positional)
+        }
+        Plan::Scan(name) => Plan::Scan(name),
+        Plan::Alias { input, name } => Plan::Alias {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            name,
+        },
+        Plan::Map { input, columns } => Plan::Map {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            columns,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => Plan::HashJoin {
+            left: Box::new(plan_joins_impl(*left, catalog, positional)),
+            right: Box::new(plan_joins_impl(*right, catalog, positional)),
+            keys,
+            residual,
+            build_left,
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(plan_joins_impl(*left, catalog, positional)),
+            right: Box::new(plan_joins_impl(*right, catalog, positional)),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            keys,
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            limit,
+        },
+    }
+}
+
+/// Plan one join given every conjunct that constrains it (its own predicate
+/// plus any filters that sat on top of it).
+fn rewrite_join(
+    left: Plan,
+    right: Plan,
+    conjuncts: Vec<Expr>,
+    catalog: &Catalog,
+    positional: bool,
+) -> Plan {
+    let left = plan_joins_impl(left, catalog, positional);
+    let right = plan_joins_impl(right, catalog, positional);
+    let (ls, rs) = match (plan_schema(&left, catalog), plan_schema(&right, catalog)) {
+        (Ok(l), Ok(r)) => (l, r),
+        // Unknown table / malformed subtree: leave the join alone; execution
+        // reports the same error the unoptimized plan would.
+        _ => {
+            return Plan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                predicate: option_conjunction(conjuncts),
+            }
+        }
+    };
+    let la = ls.arity();
+
+    let mut left_only: Vec<Expr> = Vec::new();
+    let mut right_only: Vec<Expr> = Vec::new();
+    let mut keys: Vec<(Expr, Expr)> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for c in conjuncts {
+        // A conjunct moved below the join gets evaluated on rows the join
+        // would have excluded; that is only sound when its evaluation
+        // cannot *error* there (predicates over columns/literals degrade to
+        // Unknown on bad types, but arithmetic raises). Error-capable
+        // single-side conjuncts stay in the residual instead, which runs on
+        // the same joined rows the original filter saw.
+        match side_of(&c, &ls, &rs, la, positional).filter(|_| is_error_free(&c)) {
+            Some(Side::Left) => left_only.push(c),
+            Some(Side::Right) => right_only.push(shift_columns(&c, la)),
+            None => {
+                if let Expr::Cmp(CmpOp::Eq, a, b) = &c {
+                    match (
+                        side_of(a, &ls, &rs, la, positional),
+                        side_of(b, &ls, &rs, la, positional),
+                    ) {
+                        (Some(Side::Left), Some(Side::Right)) => {
+                            keys.push(((**a).clone(), shift_columns(b, la)));
+                            continue;
+                        }
+                        (Some(Side::Right), Some(Side::Left)) => {
+                            keys.push(((**b).clone(), shift_columns(a, la)));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                residual.push(c);
+            }
+        }
+    }
+
+    // Single-side conjuncts become selections below the join; re-plan a
+    // child only when the new filter actually sits on an (unplanned) join
+    // it could merge into — anything else would re-traverse an
+    // already-planned subtree for nothing.
+    let replan = |child: Plan, gained: bool, catalog: &Catalog| -> Plan {
+        if gained && peels_to_join(&child) {
+            plan_joins_impl(child, catalog, positional)
+        } else {
+            child
+        }
+    };
+    let gained_left = !left_only.is_empty();
+    let gained_right = !right_only.is_empty();
+    let left = replan(wrap_filters(left, left_only), gained_left, catalog);
+    let right = replan(wrap_filters(right, right_only), gained_right, catalog);
+
+    if keys.is_empty() {
+        return Plan::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            predicate: option_conjunction(residual),
+        };
+    }
+    let build_left = match (
+        estimate_rows(&left, catalog),
+        estimate_rows(&right, catalog),
+    ) {
+        (Some(l), Some(r)) => l < r,
+        _ => false,
+    };
+    Plan::HashJoin {
+        left: Box::new(left),
+        right: Box::new(right),
+        keys,
+        residual: option_conjunction(residual),
+        build_left,
+    }
+}
+
+/// Crude cardinality estimation for build-side selection, anchored on the
+/// actual row counts of catalog tables (`storage::Table::len`). Operator
+/// factors are deliberately simple — the estimate only has to order the two
+/// inputs of a join, not predict costs.
+pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> Option<u64> {
+    match plan {
+        Plan::Scan(name) => catalog.get(name).map(|t| t.len() as u64),
+        Plan::Alias { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. } => estimate_rows(input, catalog),
+        // System-R-style default selectivity of 1/3 per filter.
+        Plan::Filter { input, .. } => estimate_rows(input, catalog).map(|n| n.div_ceil(3)),
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let l = estimate_rows(left, catalog)?;
+            let r = estimate_rows(right, catalog)?;
+            match predicate {
+                None => l.checked_mul(r),
+                // Key/foreign-key-ish guess for θ-joins.
+                Some(_) => Some(l.max(r)),
+            }
+        }
+        Plan::HashJoin { left, right, .. } => {
+            Some(estimate_rows(left, catalog)?.max(estimate_rows(right, catalog)?))
+        }
+        Plan::UnionAll { left, right } => {
+            Some(estimate_rows(left, catalog)?.saturating_add(estimate_rows(right, catalog)?))
+        }
+        Plan::Limit { input, limit } => Some(estimate_rows(input, catalog)?.min(*limit as u64)),
+    }
+}
+
+/// Which join input an expression reads from.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Side {
+    Left,
+    Right,
+}
+
+/// Classify an expression over the concatenated join schema: `Some(side)`
+/// when *every* column reference resolves on exactly that input, `None` for
+/// mixed/ambiguous/unresolvable references and for constants.
+///
+/// Positional references split at the left arity; named references are
+/// resolved against each input's schema — a name that resolves on both
+/// sides (ambiguous) or neither (unknown) disqualifies the expression, so
+/// the pass leaves it where binding will report the same error the
+/// unoptimized plan would.
+fn side_of(expr: &Expr, ls: &Schema, rs: &Schema, la: usize, positional: bool) -> Option<Side> {
+    let mut cols: Vec<usize> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
+    collect_refs(expr, &mut cols, &mut names);
+    if cols.is_empty() && names.is_empty() {
+        return None; // constant: stays in the residual
+    }
+    if !positional && !cols.is_empty() {
+        // The caller's runtime schemas disagree with `plan_schema` on
+        // positions; leave the conjunct for runtime binding.
+        return None;
+    }
+    let mut side: Option<Side> = None;
+    let mut merge = |s: Side| -> bool {
+        match side {
+            None => {
+                side = Some(s);
+                true
+            }
+            Some(prev) => prev == s,
+        }
+    };
+    for c in cols {
+        let s = if c < la { Side::Left } else { Side::Right };
+        if !merge(s) {
+            return None;
+        }
+    }
+    for n in names {
+        let (l, r) = (ls.resolve(n), rs.resolve(n));
+        // A name ambiguous *within* one input is at least as ambiguous in
+        // the concatenated schema: classifying it by the other side would
+        // silently pick a binding where the unoptimized plan errors.
+        if matches!(l, Err(SchemaError::AmbiguousColumn(_)))
+            || matches!(r, Err(SchemaError::AmbiguousColumn(_)))
+        {
+            return None;
+        }
+        let s = match (l.is_ok(), r.is_ok()) {
+            (true, false) => Side::Left,
+            (false, true) => Side::Right,
+            _ => return None,
+        };
+        if !merge(s) {
+            return None;
+        }
+    }
+    side
+}
+
+/// Collect positional and named column references of an expression.
+fn collect_refs<'a>(expr: &'a Expr, cols: &mut Vec<usize>, names: &mut Vec<&'a str>) {
+    match expr {
+        Expr::Col(i) => cols.push(*i),
+        Expr::Named(n) => names.push(n),
+        Expr::Lit(_) => {}
+        Expr::Cmp(_, a, b)
+        | Expr::And(a, b)
+        | Expr::Or(a, b)
+        | Expr::Arith(_, a, b)
+        | Expr::Least(a, b) => {
+            collect_refs(a, cols, names);
+            collect_refs(b, cols, names);
+        }
+        Expr::Not(a) | Expr::IsNull(a) => collect_refs(a, cols, names),
+        Expr::Between(e, lo, hi) => {
+            collect_refs(e, cols, names);
+            collect_refs(lo, cols, names);
+            collect_refs(hi, cols, names);
+        }
+        Expr::InList(e, list) => {
+            collect_refs(e, cols, names);
+            for i in list {
+                collect_refs(i, cols, names);
+            }
+        }
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
+            for (c, v) in branches {
+                collect_refs(c, cols, names);
+                collect_refs(v, cols, names);
+            }
+            if let Some(e) = otherwise {
+                collect_refs(e, cols, names);
+            }
+        }
+    }
+}
+
+fn has_named_refs(expr: &Expr) -> bool {
+    let mut cols = Vec::new();
+    let mut names = Vec::new();
+    collect_refs(expr, &mut cols, &mut names);
+    !names.is_empty()
+}
+
+/// Whether evaluating the predicate can raise an error (as opposed to
+/// degrading to SQL `Unknown`) on some row: comparisons and membership
+/// tests over plain columns and literals cannot (`sql_cmp` returns `None`
+/// on incomparable types), but arithmetic errors on type mismatches and a
+/// bare column in boolean position errors on non-boolean values.
+fn is_error_free(expr: &Expr) -> bool {
+    // A value-position operand that cannot error under `Expr::eval`.
+    fn operand_ok(e: &Expr) -> bool {
+        matches!(e, Expr::Col(_) | Expr::Named(_) | Expr::Lit(_))
+    }
+    match expr {
+        Expr::Cmp(_, a, b) => operand_ok(a) && operand_ok(b),
+        Expr::And(a, b) | Expr::Or(a, b) => is_error_free(a) && is_error_free(b),
+        Expr::Not(a) => is_error_free(a),
+        Expr::IsNull(a) => operand_ok(a),
+        Expr::Between(e, lo, hi) => operand_ok(e) && operand_ok(lo) && operand_ok(hi),
+        Expr::InList(e, list) => operand_ok(e) && list.iter().all(operand_ok),
+        // Bare columns/literals in boolean position error on non-booleans;
+        // arithmetic, LEAST and CASE can error on operand types.
+        _ => false,
+    }
+}
+
+/// Whether the plan is a join under a (possibly empty) stack of filters —
+/// the only shape a freshly pushed filter can merge into.
+fn peels_to_join(plan: &Plan) -> bool {
+    match plan {
+        Plan::Join { .. } => true,
+        Plan::Filter { input, .. } => peels_to_join(input),
+        _ => false,
+    }
+}
+
+fn wrap_filters(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
+    if conjuncts.is_empty() {
+        plan
+    } else {
+        Plan::Filter {
+            input: Box::new(plan),
+            predicate: Expr::conjunction(conjuncts),
+        }
+    }
+}
+
+fn option_conjunction(conjuncts: Vec<Expr>) -> Option<Expr> {
+    if conjuncts.is_empty() {
+        None
+    } else {
+        Some(Expr::conjunction(conjuncts))
     }
 }
 
@@ -193,6 +691,13 @@ mod tests {
                 ],
             ),
         );
+        c.register(
+            "s",
+            Table::from_rows(
+                Schema::qualified("s", ["b", "d"]),
+                vec![tuple![10i64, 1i64], tuple![30i64, 3i64]],
+            ),
+        );
         c
     }
 
@@ -260,31 +765,111 @@ mod tests {
     }
 
     #[test]
-    fn pushdown_composes_through_stacked_maps() {
+    fn comma_join_becomes_hash_join() {
         let plan = Plan::Filter {
-            input: Box::new(Plan::Map {
-                input: Box::new(Plan::Map {
-                    input: Box::new(Plan::Scan("r".into())),
-                    columns: vec![ProjColumn::named("a"), ProjColumn::named("b")],
-                }),
-                columns: vec![ProjColumn::named("b")],
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Scan("r".into())),
+                right: Box::new(Plan::Scan("s".into())),
+                predicate: None,
             }),
-            predicate: Expr::named("b").lt(Expr::lit(25i64)),
+            predicate: Expr::named("r.b")
+                .eq(Expr::named("s.b"))
+                .and(Expr::named("a").ge(Expr::lit(2i64))),
         };
-        let optimized = push_filters(plan.clone());
-        // Filter should sink through both Maps to sit on the scan.
-        fn depth_of_filter(p: &Plan) -> usize {
-            match p {
-                Plan::Filter { .. } => 0,
-                Plan::Map { input, .. } => 1 + depth_of_filter(input),
-                _ => usize::MAX,
-            }
-        }
-        assert_eq!(depth_of_filter(&optimized), 2);
         let c = catalog();
+        let optimized = optimize(plan.clone(), &c);
+        match &optimized {
+            Plan::HashJoin {
+                left,
+                keys,
+                residual,
+                ..
+            } => {
+                assert_eq!(keys.len(), 1);
+                assert!(residual.is_none());
+                assert!(
+                    matches!(**left, Plan::Filter { .. }),
+                    "left-only conjunct pushed below the join, got {left}"
+                );
+            }
+            other => panic!("expected HashJoin, got {other}"),
+        }
         assert_eq!(
             execute(&plan, &c).unwrap().sorted_rows(),
             execute(&optimized, &c).unwrap().sorted_rows()
         );
+    }
+
+    #[test]
+    fn build_side_follows_cardinalities() {
+        // r has 3 rows, s has 2 → build on s (right) when s is on the
+        // right, and on s (left) when the inputs are flipped.
+        let c = catalog();
+        let join = |l: &str, r: &str| {
+            optimize(
+                Plan::Filter {
+                    input: Box::new(Plan::Join {
+                        left: Box::new(Plan::Scan(l.into())),
+                        right: Box::new(Plan::Scan(r.into())),
+                        predicate: None,
+                    }),
+                    predicate: Expr::named(format!("{l}.b")).eq(Expr::named(format!("{r}.b"))),
+                },
+                &c,
+            )
+        };
+        match join("r", "s") {
+            Plan::HashJoin { build_left, .. } => assert!(!build_left, "smaller side is right"),
+            other => panic!("expected HashJoin, got {other}"),
+        }
+        match join("s", "r") {
+            Plan::HashJoin { build_left, .. } => assert!(build_left, "smaller side is left"),
+            other => panic!("expected HashJoin, got {other}"),
+        }
+    }
+
+    #[test]
+    fn non_equi_theta_join_stays_a_join() {
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Scan("r".into())),
+                right: Box::new(Plan::Scan("s".into())),
+                predicate: None,
+            }),
+            predicate: Expr::named("r.b").lt(Expr::named("s.b")),
+        };
+        let c = catalog();
+        let optimized = optimize(plan.clone(), &c);
+        assert!(
+            matches!(
+                optimized,
+                Plan::Join {
+                    predicate: Some(_),
+                    ..
+                }
+            ),
+            "θ-only predicate becomes the join condition, got {optimized}"
+        );
+        assert_eq!(
+            execute(&plan, &c).unwrap().sorted_rows(),
+            execute(&optimized, &c).unwrap().sorted_rows()
+        );
+    }
+
+    #[test]
+    fn estimates_anchor_on_catalog_cardinalities() {
+        let c = catalog();
+        assert_eq!(estimate_rows(&Plan::Scan("r".into()), &c), Some(3));
+        assert_eq!(
+            estimate_rows(
+                &Plan::Filter {
+                    input: Box::new(Plan::Scan("r".into())),
+                    predicate: Expr::lit(true),
+                },
+                &c
+            ),
+            Some(1)
+        );
+        assert_eq!(estimate_rows(&Plan::Scan("nope".into()), &c), None);
     }
 }

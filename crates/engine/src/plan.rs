@@ -96,6 +96,26 @@ pub enum Plan {
         /// Join predicate (`None` = cross product).
         predicate: Option<Expr>,
     },
+    /// Equi-hash-join with an explicit physical strategy, produced by the
+    /// optimizer's join-planning pass (`optimize::plan_joins`). Output
+    /// columns are always `left ++ right` regardless of build side; rows are
+    /// emitted in probe-side scan order (build-side scan order within one
+    /// probe row), so both executors produce identical row orders.
+    HashJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Equi-key pairs: the first expression is evaluated against the
+        /// left input's schema, the second against the right input's.
+        keys: Vec<(Expr, Expr)>,
+        /// Remaining predicate over the concatenated schema (`None` when
+        /// the keys cover the whole join condition).
+        residual: Option<Expr>,
+        /// Build the hash table on the left (smaller) side and probe with
+        /// the right; `false` builds on the right and probes with the left.
+        build_left: bool,
+    },
     /// Bag union.
     UnionAll {
         /// Left input.
@@ -197,7 +217,11 @@ impl Plan {
                 left: Box::new(left.to_ra()?),
                 right: Box::new(right.to_ra()?),
             },
-            Plan::Distinct { .. }
+            // HashJoin is a physical operator chosen by the optimizer; the
+            // logical RA⁺ query it came from is reconstructible in principle
+            // but callers only convert *pre*-optimization plans.
+            Plan::HashJoin { .. }
+            | Plan::Distinct { .. }
             | Plan::Aggregate { .. }
             | Plan::Sort { .. }
             | Plan::Limit { .. } => return None,
@@ -215,9 +239,9 @@ impl Plan {
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. } => 1 + input.operator_count(),
-            Plan::Join { left, right, .. } | Plan::UnionAll { left, right } => {
-                1 + left.operator_count() + right.operator_count()
-            }
+            Plan::Join { left, right, .. }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::UnionAll { left, right } => 1 + left.operator_count() + right.operator_count(),
         }
     }
 }
@@ -248,6 +272,29 @@ impl fmt::Display for Plan {
                 right,
                 predicate: None,
             } => write!(f, "Cross({left}, {right})"),
+            Plan::HashJoin {
+                left,
+                right,
+                keys,
+                residual,
+                build_left,
+            } => {
+                write!(f, "HashJoin[")?;
+                for (i, (l, r)) in keys.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{l}={r}")?;
+                }
+                if let Some(res) = residual {
+                    write!(f, "; σ[{res}]")?;
+                }
+                write!(
+                    f,
+                    "; build={}]({left}, {right})",
+                    if *build_left { "left" } else { "right" }
+                )
+            }
             Plan::UnionAll { left, right } => write!(f, "UnionAll({left}, {right})"),
             Plan::Distinct { input } => write!(f, "Distinct({input})"),
             Plan::Aggregate {

@@ -58,7 +58,7 @@ pub fn plan_schema(plan: &Plan, catalog: &Catalog) -> Result<Schema, EngineError
         Plan::Map { columns, .. } => Ok(Schema::new(
             columns.iter().map(|c| c.column.clone()).collect(),
         )),
-        Plan::Join { left, right, .. } => {
+        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
             Ok(plan_schema(left, catalog)?.concat(&plan_schema(right, catalog)?))
         }
         Plan::UnionAll { left, right } => {
@@ -101,7 +101,7 @@ pub fn plan_query(
         let keys = query
             .order_by
             .iter()
-            .map(|(e, o)| Ok((lower_scalar(e)?, *o)))
+            .map(|(e, o)| Ok((lower_order_key(e, &query.selects[0])?, *o)))
             .collect::<Result<Vec<_>, EngineError>>()?;
         plan = Plan::Sort {
             input: Box::new(plan),
@@ -115,6 +115,26 @@ pub fn plan_query(
         };
     }
     Ok(plan)
+}
+
+/// Lower one `ORDER BY` key. The sort operator runs over the *projected*
+/// output, where source columns have been renamed or re-qualified
+/// (`SELECT x.a FROM t IS TI ... x ORDER BY x.a` must order by output
+/// column `a`, and `ORDER BY count(*)` by the aggregate's output name), so
+/// a key that textually matches a select item is rewritten to that item's
+/// output column; anything else is lowered as-is and binds against the
+/// output schema.
+fn lower_order_key(expr: &SqlExpr, select: &SelectStmt) -> Result<Expr, EngineError> {
+    for (i, item) in select.items.iter().enumerate() {
+        if item.expr == *expr {
+            let name = match &item.alias {
+                Some(a) => a.clone(),
+                None => derive_name(&item.expr, i),
+            };
+            return Ok(Expr::named(name));
+        }
+    }
+    lower_scalar(expr)
 }
 
 fn plan_select(
@@ -223,7 +243,7 @@ fn expand_item(
                 if col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN) {
                     continue;
                 }
-                out.push(ProjColumn::with_column(Expr::Col(i), col.clone()));
+                out.push(ProjColumn::with_column(star_expr(schema, i)?, col.clone()));
             }
             Ok(())
         }
@@ -238,7 +258,7 @@ fn expand_item(
                     .as_deref()
                     .is_some_and(|qual| qual.eq_ignore_ascii_case(q))
                 {
-                    out.push(ProjColumn::with_column(Expr::Col(i), col.clone()));
+                    out.push(ProjColumn::with_column(star_expr(schema, i)?, col.clone()));
                     any = true;
                 }
             }
@@ -257,6 +277,42 @@ fn expand_item(
             out.push(ProjColumn::expr(lowered, name));
             Ok(())
         }
+    }
+}
+
+/// The expression projecting column `i` in a `*` / `t.*` expansion.
+///
+/// Star expansion used to emit positional `Expr::Col(i)` references, but
+/// positions computed here are relative to the *planning-time* schema — for
+/// annotated (UA) sources that schema carries the `ua_c` marker column,
+/// which the `⟦·⟧_UA` rewriting relocates and the vectorized path strips
+/// from its batches, silently misaligning every column to the marker's
+/// right. Name-based references survive both (the rewriting and the alias
+/// operator preserve names and qualifiers), so prefer them whenever the
+/// reference resolves uniquely back to this column; positional references
+/// remain only for marker-free schemas, where planning-time and run-time
+/// layouts are identical.
+fn star_expr(schema: &Schema, i: usize) -> Result<Expr, EngineError> {
+    let col = &schema.columns()[i];
+    let reference = match &col.qualifier {
+        Some(q) => format!("{q}.{}", col.name),
+        None => col.name.to_string(),
+    };
+    if matches!(schema.resolve(&reference), Ok(j) if j == i) {
+        return Ok(Expr::named(reference));
+    }
+    let has_marker = schema
+        .columns()
+        .iter()
+        .any(|c| c.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN));
+    if has_marker {
+        // A positional fallback would be unsound under the UA rewriting;
+        // make the ambiguity a planning error instead of wrong answers.
+        Err(EngineError::Schema(
+            ua_data::schema::SchemaError::AmbiguousColumn(reference),
+        ))
+    } else {
+        Ok(Expr::Col(i))
     }
 }
 
@@ -580,6 +636,36 @@ mod tests {
              WHERE x.salary < 90",
         );
         assert_eq!(t.rows(), &[tuple!["bob"]]);
+    }
+
+    #[test]
+    fn order_by_source_expression_resolves_to_the_output_column() {
+        // `x.salary` is renamed by the projection; ORDER BY may still use
+        // the source-qualified form (and the aggregate form below).
+        let t = run("SELECT e.name, e.salary AS pay FROM emp e ORDER BY e.salary DESC LIMIT 1");
+        assert_eq!(t.rows(), &[tuple!["ann", 100i64]]);
+        let t = run("SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY count(*) DESC LIMIT 1");
+        assert_eq!(t.rows(), &[tuple!["eng", 2i64]]);
+    }
+
+    #[test]
+    fn star_expansion_is_name_based_for_qualified_columns() {
+        // Positional star expansion silently misaligns once the UA
+        // rewriting relocates the marker column; qualified sources must
+        // expand to name-based references (see `star_expr`).
+        let c = catalog();
+        let q = parse("SELECT * FROM emp e, dept d WHERE e.dept = d.name").unwrap();
+        let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+        match &plan {
+            Plan::Map { columns, .. } => {
+                assert!(
+                    columns.iter().all(|col| matches!(col.expr, Expr::Named(_))),
+                    "expected name-based star expansion, got {columns:?}"
+                );
+            }
+            other => panic!("expected Map on top, got {other}"),
+        }
+        assert_eq!(execute(&plan, &c).unwrap().len(), 3);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use crate::sql::ast::SourceAnnotation;
 use crate::sql::parser::parse;
 use crate::sql::planner::{plan_query, SourceResolver};
 use crate::storage::{Catalog, Table};
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
 use ua_core::{decode_relation, encode_relation, rewrite_ua, UA_LABEL_COLUMN};
 use ua_data::relation::Relation;
@@ -67,12 +67,25 @@ impl UaResult {
 }
 
 /// The UA-DB frontend session.
-#[derive(Default)]
 pub struct UaSession {
     catalog: Catalog,
     /// [`ExecMode`] as a `u8` so the session stays shareable (`&self`
     /// querying) without a lock: 0 = Row, 1 = Vectorized.
     mode: AtomicU8,
+    /// Whether the optimizer pipeline (`optimize::optimize`) runs on query
+    /// plans. On by default; the differential test harness turns it off to
+    /// compare engines on raw plans.
+    optimizer: AtomicBool,
+}
+
+impl Default for UaSession {
+    fn default() -> UaSession {
+        UaSession {
+            catalog: Catalog::default(),
+            mode: AtomicU8::new(0),
+            optimizer: AtomicBool::new(true),
+        }
+    }
 }
 
 impl UaSession {
@@ -107,6 +120,50 @@ impl UaSession {
         }
     }
 
+    /// Enable or disable the optimizer pipeline (filter pushdown + join
+    /// planning) for subsequent queries. On by default.
+    pub fn set_optimizer_enabled(&self, enabled: bool) {
+        self.optimizer.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the optimizer pipeline runs on query plans.
+    pub fn optimizer_enabled(&self) -> bool {
+        self.optimizer.load(Ordering::Relaxed)
+    }
+
+    /// The shared optimization step: every query plan — deterministic or
+    /// UA, row or vectorized — passes through here before executor
+    /// dispatch, so both engines always run plans shaped by the same
+    /// rewrites and cannot drift.
+    fn optimize_plan(&self, plan: Plan) -> Plan {
+        self.optimize_plan_with(plan, crate::optimize::OptimizerPasses::default())
+    }
+
+    /// [`Self::optimize_plan`] for the vectorized UA path, whose runtime
+    /// schemas are the marker-*stripped* encoded schemas: positional
+    /// references would be classified against the wrong arities there, so
+    /// join planning is restricted to name-based classification (all plans
+    /// lowered from SQL are name-based; only programmatic `RaExpr` queries
+    /// with `Expr::Col` predicates give up the hash-join rewrite, keeping
+    /// their pre-optimizer runtime-binding semantics).
+    fn optimize_plan_stripped(&self, plan: Plan) -> Plan {
+        self.optimize_plan_with(
+            plan,
+            crate::optimize::OptimizerPasses {
+                positional_joins: false,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn optimize_plan_with(&self, plan: Plan, passes: crate::optimize::OptimizerPasses) -> Plan {
+        if self.optimizer_enabled() {
+            crate::optimize::optimize_with(plan, &self.catalog, passes)
+        } else {
+            plan
+        }
+    }
+
     /// The underlying catalog (deterministic tables and encoded UA tables
     /// share it).
     pub fn catalog(&self) -> &Catalog {
@@ -128,7 +185,7 @@ impl UaSession {
     pub fn query_det(&self, sql: &str) -> Result<Table, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
-        let plan = crate::optimize::push_filters(plan);
+        let plan = self.optimize_plan(plan);
         match self.exec_mode() {
             ExecMode::Row => execute(&plan, &self.catalog),
             ExecMode::Vectorized => (require_vectorized_hooks()?.plan)(&plan, &self.catalog),
@@ -152,8 +209,9 @@ impl UaSession {
         self.execute_ua_plan(&Plan::from_ra(query))
     }
 
-    /// Explain a UA query: the user plan and the `⟦·⟧_UA`-rewritten plan
-    /// that actually executes (the middleware's "show rewritten SQL").
+    /// Explain a UA query: the user plan, the `⟦·⟧_UA`-rewritten plan, and
+    /// the optimized physical plan the row engine executes (the
+    /// middleware's "show rewritten SQL", plus `EXPLAIN`).
     pub fn explain_ua(&self, sql: &str) -> Result<String, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
@@ -162,8 +220,20 @@ impl UaSession {
             .ok_or_else(|| EngineError::Sql("EXPLAIN UA supports the RA⁺ fragment".into()))?;
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
+        let physical = self.optimize_plan(Plan::from_ra(&rewritten));
         Ok(format!(
-            "user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}"
+            "user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}\nphysical (optimized):\n  {physical}"
+        ))
+    }
+
+    /// Explain a deterministic query: the planner's plan and the optimized
+    /// physical plan that actually executes.
+    pub fn explain_det(&self, sql: &str) -> Result<String, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
+        let physical = self.optimize_plan(plan.clone());
+        Ok(format!(
+            "plan:\n  {plan}\nphysical (optimized):\n  {physical}"
         ))
     }
 
@@ -198,12 +268,16 @@ impl UaSession {
                     .into(),
             )
         })?;
+        // Both branches below run the SAME optimizer pipeline
+        // (`optimize_plan`) on the plan their executor receives, before
+        // dispatch — the uniformity the differential harness asserts.
         if self.exec_mode() == ExecMode::Vectorized {
             // The vectorized engine propagates labels itself (bitmaps, per
-            // the ⟦·⟧_UA rules), so it takes the *user* query, not a
-            // rewritten plan. Trailing Sort/Limit apply to the encoded
-            // result exactly as in the row path.
-            let mut table = (require_vectorized_hooks()?.ua)(&ra, &self.catalog)?;
+            // the ⟦·⟧_UA rules), so it takes the *user* query's (optimized)
+            // physical plan, not a rewritten one. Trailing Sort/Limit apply
+            // to the encoded result exactly as in the row path.
+            let user_plan = self.optimize_plan_stripped(Plan::from_ra(&ra));
+            let mut table = (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog)?;
             for w in wrappers.into_iter().rev() {
                 table = match w {
                     Wrapper::Sort(keys) => crate::exec::sort_table(&table, &keys)?,
@@ -214,7 +288,7 @@ impl UaSession {
         }
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
-        let mut rewritten_plan = Plan::from_ra(&rewritten);
+        let mut rewritten_plan = self.optimize_plan(Plan::from_ra(&rewritten));
         for w in wrappers.into_iter().rev() {
             rewritten_plan = match w {
                 Wrapper::Sort(keys) => Plan::Sort {
@@ -227,10 +301,7 @@ impl UaSession {
                 },
             };
         }
-        let table = execute(
-            &crate::optimize::push_filters(rewritten_plan),
-            &self.catalog,
-        )?;
+        let table = execute(&rewritten_plan, &self.catalog)?;
         Ok(UaResult { table })
     }
 }
@@ -249,7 +320,39 @@ impl SourceResolver for UaResolver<'_> {
         annotation: &SourceAnnotation,
         catalog: &Catalog,
     ) -> Result<Plan, EngineError> {
-        let derived = format!("__ua__{name}");
+        // The cache key carries the annotation's shape: the same base table
+        // may legitimately be annotated differently across (or within)
+        // queries, and a bare `__ua__{name}` key would silently serve the
+        // first encoding for all of them.
+        // Each field is length-prefixed so the encoding is injective even
+        // though '_' can appear inside column names (plain joining would
+        // make `XID (a) ALTID (b_c)` collide with `XID (a_b) ALTID (c)`),
+        // while the derived name stays a lexable identifier that
+        // `query_det` can still reference.
+        let fp = |parts: &[&str]| {
+            parts
+                .iter()
+                .map(|p| format!("{}_{p}", p.len()))
+                .collect::<Vec<_>>()
+                .join("_")
+        };
+        let fingerprint = match annotation {
+            SourceAnnotation::Ti { probability } => format!("ti_{}", fp(&[probability])),
+            SourceAnnotation::X {
+                xid,
+                altid,
+                probability,
+            } => format!("x_{}", fp(&[xid, altid, probability])),
+            SourceAnnotation::CTable {
+                variables,
+                condition,
+            } => {
+                let mut parts: Vec<&str> = variables.iter().map(String::as_str).collect();
+                parts.push(condition);
+                format!("ct_{}", fp(&parts))
+            }
+        };
+        let derived = format!("__ua__{name}__{fingerprint}");
         if catalog.get(&derived).is_none() {
             let base = catalog
                 .get(name)
@@ -563,7 +666,7 @@ mod tests {
             )
             .unwrap();
         let det = session
-            .query_det("SELECT locale FROM __ua__addr WHERE state = 'NY'")
+            .query_det("SELECT locale FROM __ua__addr__x_3_xid_3_aid_1_p WHERE state = 'NY'")
             .unwrap();
         let ua_rows: Vec<Tuple> = ua
             .rows_with_certainty()

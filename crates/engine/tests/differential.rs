@@ -1,0 +1,444 @@
+//! Differential property harness: random SQL over seeded TI-DB / BI-DB /
+//! C-table sources must execute identically on the row and vectorized
+//! engines — label for label and in the same row order — with the optimizer
+//! pipeline on *and* off, and the optimizer itself must never change the
+//! result multiset.
+//!
+//! Each property runs 256 generated cases (via the offline proptest shim's
+//! deterministic runner), and each case is executed four ways:
+//! `{Row, Vectorized} × {optimizer on, optimizer off}`.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::{EngineError, ExecMode, Table, UaResult, UaSession};
+
+/// A fresh session over the three seeded uncertain sources.
+///
+/// All data-bearing columns are small ints so any pair of columns can act
+/// as a join key; probabilities and conditions exercise all three labeling
+/// schemes (certain, uncertain, and dropped rows each appear).
+fn seeded_session(mode: ExecMode, optimizer: bool) -> UaSession {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let session = UaSession::with_mode(mode);
+    session.set_optimizer_enabled(optimizer);
+    // TI-DB: `ti(a, b, p)`.
+    session.register_table(
+        "ti",
+        Table::from_rows(
+            Schema::qualified("ti", ["a", "b", "p"]),
+            (0..40)
+                .map(|_| {
+                    Tuple::new(vec![
+                        Value::Int(rng.gen_range(0..6)),
+                        Value::Int(rng.gen_range(0..6)),
+                        Value::float([1.0, 0.9, 0.6, 0.3][rng.gen_range(0..4usize)]),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    // BI-DB / x-DB: `xr(xid, aid, p, k, v)` — two alternatives per block.
+    let mut xr_rows = Vec::new();
+    for xid in 0..15i64 {
+        let alts = rng.gen_range(1..3i64);
+        for aid in 0..alts {
+            let p = if alts == 1 {
+                1.0
+            } else {
+                0.5 + 0.1 * (aid as f64)
+            };
+            xr_rows.push(Tuple::new(vec![
+                Value::Int(xid),
+                Value::Int(aid),
+                Value::float(p),
+                Value::Int(rng.gen_range(0..6)),
+                Value::Int(rng.gen_range(0..6)),
+            ]));
+        }
+    }
+    session.register_table(
+        "xr",
+        Table::from_rows(
+            Schema::qualified("xr", ["xid", "aid", "p", "k", "v"]),
+            xr_rows,
+        ),
+    );
+    // C-table: `ct(a, g, v1, lc)` — some rows conditioned, one tautology.
+    session.register_table(
+        "ct",
+        Table::from_rows(
+            Schema::qualified("ct", ["a", "g", "v1", "lc"]),
+            (0..25)
+                .map(|i| {
+                    let lc = match i % 3 {
+                        0 => Value::str("x < 5 OR x >= 5"), // tautology → certain
+                        1 => Value::str("x = 3"),           // contingent → uncertain
+                        _ => Value::Null,                   // no condition → certain
+                    };
+                    let v1 = if i % 7 == 0 {
+                        Value::str("x") // variable attribute → dropped
+                    } else {
+                        Value::Null
+                    };
+                    Tuple::new(vec![
+                        Value::Int(rng.gen_range(0..6)),
+                        Value::Int(rng.gen_range(0..6)),
+                        v1,
+                        lc,
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    session
+}
+
+/// The three annotated FROM items and their two int columns, alias-qualified.
+struct Source {
+    from: &'static str,
+    cols: [&'static str; 2],
+}
+
+const SOURCES: [Source; 3] = [
+    Source {
+        from: "ti IS TI WITH PROBABILITY (p) x",
+        cols: ["x.a", "x.b"],
+    },
+    Source {
+        from: "xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y",
+        cols: ["y.k", "y.v"],
+    },
+    Source {
+        from: "ct IS CTABLE WITH VARIABLES (v1) LOCAL CONDITION (lc) z",
+        cols: ["z.a", "z.g"],
+    },
+];
+
+const OPS: [&str; 4] = ["=", "<", ">=", "<>"];
+
+fn atom(col: &str, op: usize, lit: i64) -> String {
+    format!("{col} {} {lit}", OPS[op % OPS.len()])
+}
+
+/// Random single-source query with optional WHERE / ORDER BY / LIMIT.
+fn arb_single() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..2,
+        0usize..4,
+        0i64..6,
+        proptest::bool::ANY,
+        0usize..3,
+    )
+        .prop_map(|(src, col, op, lit, with_pred, shape)| {
+            let s = &SOURCES[src];
+            let projection = match shape {
+                0 => "*".to_string(),
+                1 => format!("{}, {}", s.cols[0], s.cols[1]),
+                _ => format!("{} AS c0", s.cols[col]),
+            };
+            let mut sql = format!("SELECT {projection} FROM {}", s.from);
+            if with_pred {
+                sql.push_str(&format!(" WHERE {}", atom(s.cols[col], op, lit)));
+            }
+            if shape == 2 {
+                sql.push_str(" ORDER BY c0 LIMIT 10");
+            }
+            sql
+        })
+}
+
+/// Random two-source equi-join, in comma form or `JOIN ... ON` form, with
+/// an optional extra single-side conjunct (exercising selection pushdown
+/// below the planned hash join).
+fn arb_join() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..2, 0usize..2),
+        (0usize..4, 0i64..6, 0usize..3),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(s1, s2, (k1, k2), (op, lit, extra_side), comma, star)| {
+            let s2 = if s1 == s2 { (s2 + 1) % 3 } else { s2 };
+            let a = &SOURCES[s1];
+            let b = &SOURCES[s2];
+            let on = format!("{} = {}", a.cols[k1], b.cols[k2]);
+            let extra = match extra_side {
+                0 => Some(atom(a.cols[1 - k1], op, lit)),
+                1 => Some(atom(b.cols[1 - k2], op, lit)),
+                _ => None,
+            };
+            let projection = if star {
+                "*".to_string()
+            } else {
+                format!("{}, {}", a.cols[0], b.cols[1])
+            };
+            if comma {
+                let mut pred = on;
+                if let Some(e) = extra {
+                    pred = format!("{pred} AND {e}");
+                }
+                format!(
+                    "SELECT {projection} FROM {}, {} WHERE {pred}",
+                    a.from, b.from
+                )
+            } else {
+                let mut sql = format!(
+                    "SELECT {projection} FROM {} JOIN {} ON {on}",
+                    a.from, b.from
+                );
+                if let Some(e) = extra {
+                    sql.push_str(&format!(" WHERE {e}"));
+                }
+                sql
+            }
+        })
+}
+
+/// UNION ALL of one-column projections, and subqueries with inner+outer
+/// filters (pushdown through stacked projections at the SQL level).
+fn arb_compound() -> impl Strategy<Value = String> {
+    (0usize..3, 0usize..3, 0usize..4, 0i64..6, proptest::bool::ANY).prop_map(
+        |(s1, s2, op, lit, union)| {
+            let a = &SOURCES[s1];
+            let b = &SOURCES[s2];
+            if union {
+                format!(
+                    "SELECT {} AS u FROM {} UNION ALL SELECT {} AS u FROM {}",
+                    a.cols[0], a.from, b.cols[1], b.from
+                )
+            } else {
+                let inner_col = a.cols[0].split('.').nth(1).expect("qualified");
+                format!(
+                    "SELECT q.{inner_col} FROM (SELECT {}, {} FROM {} WHERE {}) q WHERE q.{inner_col} >= {}",
+                    a.cols[0],
+                    a.cols[1],
+                    a.from,
+                    atom(a.cols[1], op, lit),
+                    lit.min(3)
+                )
+            }
+        },
+    )
+}
+
+fn arb_query() -> impl Strategy<Value = String> {
+    prop_oneof![arb_single(), arb_join(), arb_compound()]
+}
+
+fn run_ua(sql: &str, mode: ExecMode, optimizer: bool) -> Result<UaResult, EngineError> {
+    seeded_session(mode, optimizer).query_ua(sql)
+}
+
+fn run_det(sql: &str, mode: ExecMode, optimizer: bool) -> Result<Table, EngineError> {
+    seeded_session(mode, optimizer).query_det(sql)
+}
+
+/// The two engines either both fail, or produce byte-identical encoded
+/// tables (same rows, same trailing `ua_c` labels, same order).
+fn assert_engines_agree_ua(sql: &str, optimizer: bool) {
+    ua_vecexec::install();
+    let row = run_ua(sql, ExecMode::Row, optimizer);
+    let vec = run_ua(sql, ExecMode::Vectorized, optimizer);
+    match (row, vec) {
+        (Ok(r), Ok(v)) => {
+            assert_eq!(
+                r.table.schema().arity(),
+                v.table.schema().arity(),
+                "arity mismatch (optimizer={optimizer}): {sql}"
+            );
+            assert_eq!(
+                r.table.rows(),
+                v.table.rows(),
+                "row/label/order mismatch (optimizer={optimizer}): {sql}"
+            );
+        }
+        (Err(_), Err(_)) => {}
+        (r, v) => panic!(
+            "engines disagree on success (optimizer={optimizer}): {sql}\n row: {:?}\n vec: {:?}",
+            r.map(|t| t.table.len()),
+            v.map(|t| t.table.len())
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// UA semantics: Row vs Vectorized, optimizer on and off.
+    #[test]
+    fn ua_engines_agree_on_random_sql(sql in arb_query()) {
+        assert_engines_agree_ua(&sql, true);
+        assert_engines_agree_ua(&sql, false);
+    }
+
+    /// The optimizer never changes the UA result multiset (labels included).
+    #[test]
+    fn optimizer_preserves_ua_results(sql in arb_query()) {
+        let opt = run_ua(&sql, ExecMode::Row, true);
+        let raw = run_ua(&sql, ExecMode::Row, false);
+        match (opt, raw) {
+            (Ok(o), Ok(r)) => {
+                prop_assert_eq!(
+                    o.table.sorted_rows(),
+                    r.table.sorted_rows(),
+                    "optimizer changed the result: {}",
+                    sql
+                );
+                prop_assert_eq!(o.certainty_counts(), r.certainty_counts());
+            }
+            (Err(_), Err(_)) => {}
+            (o, r) => panic!(
+                "optimizer changed success: {}\n opt: {:?}\n raw: {:?}",
+                sql,
+                o.map(|t| t.table.len()),
+                r.map(|t| t.table.len())
+            ),
+        }
+    }
+
+    /// Deterministic semantics over the same SQL (annotated sources resolve
+    /// to their best-guess worlds; no labels): engines and optimizer agree.
+    #[test]
+    fn det_engines_agree_on_random_sql(sql in arb_query()) {
+        ua_vecexec::install();
+        for optimizer in [true, false] {
+            let row = run_det(&sql, ExecMode::Row, optimizer);
+            let vec = run_det(&sql, ExecMode::Vectorized, optimizer);
+            match (row, vec) {
+                (Ok(r), Ok(v)) => {
+                    prop_assert_eq!(
+                        r.rows(),
+                        v.rows(),
+                        "det row/order mismatch (optimizer={}): {}",
+                        optimizer,
+                        sql
+                    );
+                }
+                (Err(_), Err(_)) => {}
+                (r, v) => panic!(
+                    "det engines disagree on success (optimizer={optimizer}): {sql}\n row: {:?}\n vec: {:?}",
+                    r.map(|t| t.len()),
+                    v.map(|t| t.len())
+                ),
+            }
+        }
+    }
+}
+
+/// Regression: `t IS TI ... x` must resolve columns under the alias `x` in
+/// every position — including `SELECT *` over an annotated comma-join,
+/// where positional star expansion used to misalign against the relocated
+/// `ua_c` marker (the row engine silently returned the marker as a user
+/// column; the vectorized engine errored).
+#[test]
+fn annotated_source_alias_resolves_columns_in_both_engines() {
+    ua_vecexec::install();
+    let queries = [
+        "SELECT x.a FROM ti IS TI WITH PROBABILITY (p) x WHERE x.a >= 0",
+        "SELECT x.a AS c0 FROM ti IS TI WITH PROBABILITY (p) x ORDER BY x.a LIMIT 5",
+        "SELECT x.* FROM ti IS TI WITH PROBABILITY (p) x",
+        "SELECT * FROM ti IS TI WITH PROBABILITY (p) x, \
+         xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y WHERE x.a = y.k",
+    ];
+    for sql in queries {
+        let row = run_ua(sql, ExecMode::Row, true).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let vec = run_ua(sql, ExecMode::Vectorized, true).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert_eq!(row.table.rows(), vec.table.rows(), "{sql}");
+    }
+    // The expanded star carries the user columns (a, b of x; k, v of y),
+    // not the marker: arity = 4 user columns + the trailing marker.
+    let star = run_ua(
+        "SELECT * FROM ti IS TI WITH PROBABILITY (p) x, \
+         xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y WHERE x.a = y.k",
+        ExecMode::Row,
+        true,
+    )
+    .unwrap();
+    assert_eq!(star.table.schema().arity(), 5);
+}
+
+/// Regression: two different annotations of the same base table in one
+/// session must not share a cached encoding.
+#[test]
+fn distinct_annotations_of_one_table_do_not_collide() {
+    let session = seeded_session(ExecMode::Row, true);
+    let by_p = session
+        .query_ua("SELECT x.a FROM ti IS TI WITH PROBABILITY (p) x")
+        .unwrap();
+    // Re-annotate `ti` using column `b` as the probability: different rows
+    // survive (b is an int column, so most rows exceed 0.5) — a shared
+    // `__ua__ti` cache would return the `p`-encoded table again.
+    let by_b = session
+        .query_ua("SELECT x.a FROM ti IS TI WITH PROBABILITY (b) x")
+        .unwrap();
+    assert_ne!(
+        by_p.table.rows(),
+        by_b.table.rows(),
+        "annotation change must change the encoding"
+    );
+}
+
+/// Regression: programmatic `RaExpr` queries with *positional* (`Expr::Col`)
+/// join predicates under the vectorized UA path. The optimizer classifies
+/// positions against `plan_schema` — the encoded, marker-bearing schemas —
+/// but that path executes marker-stripped batches, so positional
+/// classification must be disabled there: the optimizer leaves such
+/// predicates for runtime binding instead of silently joining on the wrong
+/// columns.
+#[test]
+fn positional_predicates_keep_runtime_binding_semantics_in_vectorized_ua() {
+    use ua_data::relation::Relation;
+    use ua_data::RaExpr;
+    use ua_semiring::pair::Ua;
+
+    ua_vecexec::install();
+    let mk = |name: &str, cols: [&str; 2], rows: &[(i64, i64)]| -> Relation<Ua<u64>> {
+        Relation::from_annotated(
+            Schema::qualified(name, cols),
+            rows.iter().map(|&(a, b)| {
+                (
+                    Tuple::new(vec![Value::Int(a), Value::Int(b)]),
+                    Ua::new(1, 1),
+                )
+            }),
+        )
+    };
+    // r(a, b) and s(c, d) chosen so `Col(1) = Col(3)` (user semantics
+    // r.b = s.d) is empty while r.b = s.c — the misclassified key — is not.
+    let r = mk("r", ["a", "b"], &[(1, 10), (2, 20)]);
+    let s = mk("s", ["c", "d"], &[(10, 77), (20, 88)]);
+    let q = RaExpr::Join {
+        left: Box::new(RaExpr::table("r")),
+        right: Box::new(RaExpr::table("s")),
+        predicate: Some(ua_data::Expr::Col(1).eq(ua_data::Expr::Col(3))),
+    };
+    for optimizer in [true, false] {
+        let session = UaSession::with_mode(ExecMode::Vectorized);
+        session.set_optimizer_enabled(optimizer);
+        session.register_ua_relation("r", &r);
+        session.register_ua_relation("s", &s);
+        let result = session.query_ua_ra(&q).expect("vectorized UA query");
+        assert!(
+            result.table.is_empty(),
+            "optimizer={optimizer}: Col(1)=Col(3) means r.b = s.d in the \
+             vectorized path and must match nothing, got {:?}",
+            result.table.rows()
+        );
+    }
+}
+
+#[test]
+fn vectorized_mode_is_installed_for_this_harness() {
+    // `ua_vecexec::install()` is idempotent; make the dependency explicit so
+    // a future refactor that drops the hook registration fails loudly here
+    // rather than via per-case query errors.
+    ua_vecexec::install();
+    assert!(ua_engine::vectorized_hooks().is_some());
+}

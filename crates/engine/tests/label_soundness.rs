@@ -1,0 +1,259 @@
+//! UA label soundness of optimizer rewrites, theorem-shaped, on 5-world
+//! `K^W` databases (via `ua-incomplete`).
+//!
+//! Setup: an explicit 5-world incomplete ℕ-database; its best-guess world
+//! plus the per-tuple GLB across worlds yields a c-sound `ℕ_UA`-labeling
+//! (paper Section 4), registered into a [`UaSession`]. For every optimizer
+//! pass configuration `P` and query `Q`:
+//!
+//! ```text
+//! certain(⟦Q⟧_P-optimized)  ⊆  certain(⟦Q⟧ unoptimized)       (pass soundness)
+//! certain(⟦Q⟧ any plan)     ⊆  cert_ℕ(Q(𝒟))                   (c-soundness, Theorem 4)
+//! ```
+//!
+//! and in fact the optimized and unoptimized plans decode to the *same*
+//! `K²`-relation — the ⊆ inclusions are asserted separately because they
+//! are the property that must survive any future, lossier rewrite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_core::{decode_relation, rewrite_ua};
+use ua_data::algebra::RaExpr;
+use ua_data::expr::Expr;
+use ua_data::relation::{Database, Relation};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::plan::Plan;
+use ua_engine::{execute, optimize_with, ExecMode, OptimizerPasses, UaSession};
+use ua_incomplete::IncompleteDb;
+use ua_semiring::pair::Ua;
+
+const N_WORLDS: usize = 5;
+
+/// Five worlds over `r(a, b)` and `s(b, d)`: a shared certain core plus
+/// per-world noise tuples, with small value domains so joins hit.
+fn five_world_db(seed: u64) -> IncompleteDb<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let core_r: Vec<Tuple> = (0..6)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..4)),
+            ])
+        })
+        .collect();
+    let core_s: Vec<Tuple> = (0..4)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..8)),
+            ])
+        })
+        .collect();
+    let mut worlds = Vec::with_capacity(N_WORLDS);
+    for _ in 0..N_WORLDS {
+        let mut db: Database<u64> = Database::new();
+        let mut rows_r = core_r.clone();
+        let mut rows_s = core_s.clone();
+        for _ in 0..rng.gen_range(0..4) {
+            rows_r.push(Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..4)),
+            ]));
+        }
+        for _ in 0..rng.gen_range(0..3) {
+            rows_s.push(Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..8)),
+            ]));
+        }
+        db.insert(
+            "r",
+            Relation::from_tuples(Schema::qualified("r", ["a", "b"]), rows_r),
+        );
+        db.insert(
+            "s",
+            Relation::from_tuples(Schema::qualified("s", ["b", "d"]), rows_s),
+        );
+        worlds.push(db);
+    }
+    IncompleteDb::new(worlds)
+}
+
+/// The c-sound `ℕ_UA`-labeling of `incomplete`: best-guess world 0 for the
+/// deterministic part, GLB across all worlds for the certain part.
+fn session_from(incomplete: &IncompleteDb<u64>) -> UaSession {
+    let session = UaSession::new();
+    let w0 = incomplete.world(0);
+    for name in ["r", "s"] {
+        let rel0 = w0.get(name).expect("relation in world 0");
+        let rel: Relation<Ua<u64>> = Relation::from_annotated(
+            rel0.schema().clone(),
+            rel0.iter().map(|(t, &n)| {
+                let cert: u64 = incomplete.certain_annotation(name, t);
+                (t.clone(), Ua::new(cert.min(n), n))
+            }),
+        );
+        session.register_ua_relation(name, &rel);
+    }
+    session
+}
+
+/// Tuples with a nonzero certain component of a decoded `K²`-relation.
+fn certain_tuples(rel: &Relation<Ua<u64>>) -> Vec<Tuple> {
+    let mut out: Vec<Tuple> = rel
+        .iter()
+        .filter(|(_, ann)| ann.cert > 0)
+        .map(|(t, _)| t.clone())
+        .collect();
+    out.sort();
+    out
+}
+
+/// Ground-truth certain answers of `query` over the possible worlds.
+fn ground_truth_certain(incomplete: &IncompleteDb<u64>, query: &RaExpr) -> Vec<Tuple> {
+    let result = incomplete.query(query).expect("world-wise query");
+    let certain = result.certain_relation("result").expect("result relation");
+    let mut out: Vec<Tuple> = certain.iter().map(|(t, _)| t.clone()).collect();
+    out.sort();
+    out
+}
+
+fn is_subset(small: &[Tuple], big: &[Tuple]) -> bool {
+    small.iter().all(|t| big.contains(t))
+}
+
+/// The query shapes each pass exists for.
+fn queries() -> Vec<(&'static str, RaExpr)> {
+    vec![
+        (
+            "selection below a user projection",
+            RaExpr::table("r")
+                .project(["a", "b"])
+                .select(Expr::named("a").ge(Expr::lit(1i64))),
+        ),
+        (
+            "comma-join: cross product + mixed filter",
+            RaExpr::table("r")
+                .cross(RaExpr::table("s"))
+                .select(
+                    Expr::named("r.b")
+                        .eq(Expr::named("s.b"))
+                        .and(Expr::named("d").ge(Expr::lit(2i64))),
+                )
+                .project(["a", "d"]),
+        ),
+        (
+            "stacked projections over an equi-join",
+            RaExpr::table("r")
+                .join(
+                    RaExpr::table("s"),
+                    Expr::named("r.b").eq(Expr::named("s.b")),
+                )
+                .project(["a", "r.b", "d"])
+                .select(Expr::named("a").le(Expr::lit(2i64)))
+                .project(["a", "d"]),
+        ),
+        (
+            "union of projections",
+            RaExpr::table("r")
+                .project(["b"])
+                .union(RaExpr::table("s").project(["b"])),
+        ),
+    ]
+}
+
+#[test]
+fn each_pass_preserves_certain_label_soundness() {
+    let pass_configs = [
+        (
+            "push_filters only",
+            OptimizerPasses {
+                push_filters: true,
+                plan_joins: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "plan_joins only",
+            OptimizerPasses {
+                push_filters: false,
+                plan_joins: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "full pipeline",
+            OptimizerPasses {
+                push_filters: true,
+                plan_joins: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    for seed in 0..8u64 {
+        let incomplete = five_world_db(seed);
+        let session = session_from(&incomplete);
+        let catalog = session.catalog();
+        let lookup = |name: &str| catalog.schema_of(name);
+        for (qname, ra) in queries() {
+            let rewritten = rewrite_ua(&ra, &lookup).expect("rewriting");
+            let unopt_plan = Plan::from_ra(&rewritten);
+            let unopt = decode_relation(
+                &execute(&unopt_plan, catalog)
+                    .expect("unoptimized exec")
+                    .to_relation(),
+            );
+            let truth = ground_truth_certain(&incomplete, &ra);
+            assert!(
+                is_subset(&certain_tuples(&unopt), &truth),
+                "seed {seed}, {qname}: unoptimized labels are not c-sound"
+            );
+            for (pname, passes) in pass_configs {
+                let opt_plan = optimize_with(unopt_plan.clone(), catalog, passes);
+                let opt = decode_relation(
+                    &execute(&opt_plan, catalog)
+                        .expect("optimized exec")
+                        .to_relation(),
+                );
+                // Theorem shape: certain answers of the optimized plan are
+                // contained in the unoptimized plan's certain answers …
+                assert!(
+                    is_subset(&certain_tuples(&opt), &certain_tuples(&unopt)),
+                    "seed {seed}, {qname}, {pname}: optimization invented certain tuples"
+                );
+                // … and in the true certain answers over the worlds.
+                assert!(
+                    is_subset(&certain_tuples(&opt), &truth),
+                    "seed {seed}, {qname}, {pname}: optimized labels are not c-sound"
+                );
+                // In fact the passes are exact: same K²-relation.
+                assert_eq!(
+                    opt, unopt,
+                    "seed {seed}, {qname}, {pname}: optimization changed the decoded result"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_sessions_stay_c_sound_on_both_engines() {
+    ua_vecexec::install();
+    for seed in 0..4u64 {
+        let incomplete = five_world_db(seed);
+        for mode in [ExecMode::Row, ExecMode::Vectorized] {
+            let session = session_from(&incomplete);
+            session.set_exec_mode(mode);
+            for (qname, ra) in queries() {
+                let result = session.query_ua_ra(&ra).expect("session query");
+                let truth = ground_truth_certain(&incomplete, &ra);
+                assert!(
+                    is_subset(&certain_tuples(&result.decode()), &truth),
+                    "seed {seed}, {qname}, {mode:?}: session result is not c-sound"
+                );
+            }
+        }
+    }
+}

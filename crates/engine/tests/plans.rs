@@ -1,0 +1,287 @@
+//! Golden `EXPLAIN`-style plan snapshots for the optimizer pipeline.
+//!
+//! These assert the exact physical plans (via `Plan`'s `Display`) that the
+//! optimizer produces for the shapes the join-planning pass exists for:
+//! comma-joins become `HashJoin`s, single-side selections sink below the
+//! join, pushdown composes through stacked projections, and the build side
+//! follows catalog cardinalities.
+
+use ua_data::algebra::ProjColumn;
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple;
+use ua_engine::plan::Plan;
+use ua_engine::sql::planner::RejectAnnotations;
+use ua_engine::{optimize, parse, plan_query, push_filters, Catalog, Table, UaSession};
+
+/// `emp` (4 rows) and `dept` (2 rows): the hash build side must be `dept`.
+fn catalog() -> Catalog {
+    let c = Catalog::new();
+    c.register(
+        "emp",
+        Table::from_rows(
+            Schema::qualified("emp", ["name", "dept", "salary"]),
+            vec![
+                tuple!["ann", "eng", 100i64],
+                tuple!["bob", "eng", 80i64],
+                tuple!["cat", "ops", 60i64],
+                tuple!["dan", "ops", 60i64],
+            ],
+        ),
+    );
+    c.register(
+        "dept",
+        Table::from_rows(
+            Schema::qualified("dept", ["name", "city"]),
+            vec![tuple!["eng", "nyc"], tuple!["ops", "chi"]],
+        ),
+    );
+    c
+}
+
+fn optimized_plan(sql: &str) -> String {
+    let c = catalog();
+    let q = parse(sql).unwrap();
+    let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+    format!("{}", optimize(plan, &c))
+}
+
+#[test]
+fn comma_join_plans_to_hash_join() {
+    assert_eq!(
+        optimized_plan("SELECT e.name, d.city FROM emp e, dept d WHERE e.dept = d.name"),
+        "Map[e.name→name, d.city→city](HashJoin[e.dept=d.name; build=right](\
+         Alias[e](Scan(emp)), Alias[d](Scan(dept))))"
+    );
+}
+
+#[test]
+fn single_side_conjuncts_sink_below_the_hash_join() {
+    assert_eq!(
+        optimized_plan(
+            "SELECT e.name, d.city FROM emp e, dept d \
+             WHERE e.dept = d.name AND e.salary >= 80 AND d.city = 'nyc'"
+        ),
+        "Map[e.name→name, d.city→city](HashJoin[e.dept=d.name; build=right](\
+         Filter[(e.salary >= 80)](Alias[e](Scan(emp))), \
+         Filter[(d.city = 'nyc')](Alias[d](Scan(dept)))))"
+    );
+}
+
+#[test]
+fn join_on_also_plans_to_hash_join_with_residual() {
+    assert_eq!(
+        optimized_plan(
+            "SELECT e.name FROM emp e JOIN dept d ON e.dept = d.name AND e.salary < d.city"
+        ),
+        "Map[e.name→name](HashJoin[e.dept=d.name; σ[(e.salary < d.city)]; build=right](\
+         Alias[e](Scan(emp)), Alias[d](Scan(dept))))"
+    );
+}
+
+#[test]
+fn build_side_follows_catalog_cardinalities() {
+    // Flipping the FROM order flips the probe side; the build side stays on
+    // the smaller table (`dept`).
+    assert_eq!(
+        optimized_plan("SELECT d.city FROM dept d, emp e WHERE e.dept = d.name"),
+        "Map[d.city→city](HashJoin[d.name=e.dept; build=left](\
+         Alias[d](Scan(dept)), Alias[e](Scan(emp))))"
+    );
+}
+
+#[test]
+fn theta_only_comma_join_keeps_a_theta_join() {
+    assert_eq!(
+        optimized_plan("SELECT e.name FROM emp e, dept d WHERE e.dept < d.name"),
+        "Map[e.name→name](Join[(e.dept < d.name)](Alias[e](Scan(emp)), Alias[d](Scan(dept))))"
+    );
+}
+
+#[test]
+fn pushdown_composes_through_stacked_projections() {
+    // Filter over two stacked Maps: the predicate substitutes through both
+    // and lands on the scan.
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Map {
+            input: Box::new(Plan::Map {
+                input: Box::new(Plan::Scan("emp".into())),
+                columns: vec![ProjColumn::named("name"), ProjColumn::named("salary")],
+            }),
+            columns: vec![ProjColumn::named("salary")],
+        }),
+        predicate: Expr::named("salary").lt(Expr::lit(90i64)),
+    };
+    assert_eq!(
+        format!("{}", push_filters(plan)),
+        "Map[salary→salary](Map[name→name, salary→salary](\
+         Filter[(salary < 90)](Scan(emp))))"
+    );
+}
+
+#[test]
+fn alias_qualified_predicates_stop_at_the_alias_boundary() {
+    // A name-based predicate is qualified by the subquery alias, so it can
+    // bind only above the Alias operator — the optimizer must leave it
+    // there rather than requalify unsoundly.
+    assert_eq!(
+        optimized_plan("SELECT q.name FROM (SELECT name, salary FROM emp) q WHERE q.salary >= 80"),
+        "Map[q.name→name](Filter[(q.salary >= 80)](Alias[q](\
+         Map[name→name, salary→salary](Scan(emp)))))"
+    );
+}
+
+#[test]
+fn explain_ua_snapshots_the_hash_join() {
+    // End-to-end: the UA middleware's EXPLAIN shows the rewritten plan's
+    // comma-join planned as a HashJoin with the selection pushed below.
+    let session = UaSession::new();
+    session.register_table(
+        "r",
+        Table::from_rows(
+            Schema::qualified("r", ["a", "p"]),
+            vec![tuple![1i64, 1.0], tuple![2i64, 0.5]],
+        ),
+    );
+    session.register_table(
+        "s",
+        Table::from_rows(
+            Schema::qualified("s", ["k", "d", "q"]),
+            vec![tuple![1i64, 7i64, 1.0]],
+        ),
+    );
+    let text = session
+        .explain_ua(
+            "SELECT x.a, y.d FROM r IS TI WITH PROBABILITY (p) x, \
+             s IS TI WITH PROBABILITY (q) y WHERE x.a = y.k AND y.d > 5",
+        )
+        .unwrap();
+    let physical = text.lines().last().expect("physical plan line").trim();
+    // The filter pushed below the join (and through the alias, since it is
+    // positional after substitution through the relabeling projection); the
+    // build side is `s` — one row after filtering vs two in `r`.
+    assert_eq!(
+        physical,
+        "Map[x.a→a, y.d→d, ua_c→ua_c](Map[#0→x.a, #2→y.k, #3→y.d, LEAST(#1, #4)→ua_c](\
+         HashJoin[#0=#0; build=right](Alias[x](Scan(__ua__r__ti_1_p)), \
+         Alias[y](Filter[(#1 > 5)](Scan(__ua__s__ti_1_q))))))"
+    );
+}
+
+/// Regression: extracting an equality into a hash key must not change its
+/// semantics — `Int(2) = Float(2.0)` is true under SQL's coercing
+/// comparison, so the hash key canonicalizes integral floats
+/// (`Value::join_key`) instead of comparing tuples structurally.
+#[test]
+fn hash_keys_keep_coercing_equality_semantics() {
+    ua_vecexec::install();
+    for mode in [ua_engine::ExecMode::Row, ua_engine::ExecMode::Vectorized] {
+        for optimizer in [true, false] {
+            let session = UaSession::with_mode(mode);
+            session.set_optimizer_enabled(optimizer);
+            session.register_table(
+                "r",
+                Table::from_rows(Schema::qualified("r", ["k"]), vec![tuple![2i64]]),
+            );
+            session.register_table(
+                "s",
+                Table::from_rows(Schema::qualified("s", ["k"]), vec![tuple![2.0]]),
+            );
+            let t = session
+                .query_det("SELECT r.k FROM r, s WHERE r.k = s.k")
+                .unwrap();
+            assert_eq!(
+                t.len(),
+                1,
+                "{mode:?}, optimizer={optimizer}: Int(2) must join Float(2.0)"
+            );
+        }
+    }
+}
+
+/// Regression: a conjunct pushed below a join runs on rows the join would
+/// have excluded; arithmetic errors on bad types there, so error-capable
+/// predicates must stay in the residual (evaluated on joined rows only).
+#[test]
+fn error_capable_predicates_are_not_pushed_below_joins() {
+    use ua_data::tuple::Tuple;
+    use ua_data::value::Value;
+    for optimizer in [true, false] {
+        let session = UaSession::new();
+        session.set_optimizer_enabled(optimizer);
+        session.register_table(
+            "r",
+            Table::from_rows(
+                Schema::qualified("r", ["k", "v"]),
+                vec![
+                    tuple![1i64, 10i64],
+                    // Never joins; `v + 1` on it would be a type error.
+                    Tuple::new(vec![Value::Int(99), Value::str("oops")]),
+                ],
+            ),
+        );
+        session.register_table(
+            "s",
+            Table::from_rows(Schema::qualified("s", ["k"]), vec![tuple![1i64]]),
+        );
+        // `JOIN ... ON` so the unoptimized plan already hash-joins before
+        // the filter runs (a comma-form cross join would evaluate the whole
+        // WHERE on every pair and error either way).
+        let t = session
+            .query_det("SELECT r.v FROM r JOIN s ON r.k = s.k WHERE r.v + 1 > 0")
+            .unwrap_or_else(|e| panic!("optimizer={optimizer}: {e}"));
+        assert_eq!(t.rows(), &[tuple![10i64]]);
+    }
+}
+
+/// Regression: a column name that is ambiguous in the concatenated join
+/// schema must stay an error — even when it happens to be ambiguous on one
+/// input and resolvable on the other, the optimizer may not silently pick
+/// the resolvable side.
+#[test]
+fn ambiguous_names_stay_errors_under_join_planning() {
+    let mk = |name: &str| {
+        Table::from_rows(
+            Schema::qualified(name, ["a", "b"]),
+            vec![tuple![1i64, 1i64]],
+        )
+    };
+    for optimizer in [true, false] {
+        let session = UaSession::new();
+        session.set_optimizer_enabled(optimizer);
+        session.register_table("r", mk("r"));
+        session.register_table("s", mk("s"));
+        session.register_table("t", mk("t"));
+        let result = session.query_det("SELECT t.b FROM r, s, t WHERE r.b = s.b AND b = 1");
+        assert!(
+            result.is_err(),
+            "optimizer={optimizer}: unqualified `b` is ambiguous and must error"
+        );
+    }
+}
+
+#[test]
+fn optimizer_toggle_restores_raw_plans() {
+    let session = UaSession::new();
+    session.register_table(
+        "r",
+        Table::from_rows(Schema::qualified("r", ["a"]), vec![tuple![1i64]]),
+    );
+    session.set_optimizer_enabled(false);
+    assert!(!session.optimizer_enabled());
+    let text = session
+        .explain_det("SELECT r.a FROM r, r s WHERE r.a = s.a")
+        .unwrap();
+    assert!(
+        !text.contains("HashJoin"),
+        "optimizer off must leave the cross join: {text}"
+    );
+    session.set_optimizer_enabled(true);
+    let text = session
+        .explain_det("SELECT r.a FROM r, r s WHERE r.a = s.a")
+        .unwrap();
+    assert!(
+        text.contains("HashJoin"),
+        "optimizer on plans a hash join: {text}"
+    );
+}

@@ -54,6 +54,17 @@ pub fn exec_stream(
             let r = exec_stream(right, catalog, batch_rows)?;
             ops::join(l, r, predicate.as_ref())
         }
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => {
+            let l = exec_stream(left, catalog, batch_rows)?;
+            let r = exec_stream(right, catalog, batch_rows)?;
+            ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
+        }
         Plan::UnionAll { left, right } => {
             let l = exec_stream(left, catalog, batch_rows)?;
             let r = exec_stream(right, catalog, batch_rows)?;

@@ -189,6 +189,81 @@ pub fn join(
     })
 }
 
+/// Optimizer-planned hash join ([`ua_engine::plan::Plan::HashJoin`]).
+///
+/// Key expressions are per-side (left against the left schema, right
+/// against the right schema); `build_left` picks the hash-table side. Row
+/// order replicates the row executor exactly: probe-side scan order, with
+/// build-side scan order within one probe row. Output columns are always
+/// `left ++ right` regardless of build side; labels AND, multiplicities
+/// multiply (via [`join_gather`]).
+pub fn hash_join(
+    left: BatchStream,
+    right: BatchStream,
+    keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    build_left: bool,
+) -> Result<BatchStream, EngineError> {
+    let out_schema = left.schema.concat(&right.schema);
+    let lkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(e, _)| e.bind(&left.schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let rkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(_, e)| e.bind(&right.schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let residual = residual
+        .map(|e| e.bind(&out_schema))
+        .transpose()
+        .map_err(EngineError::Expr)?;
+    // One build/probe loop regardless of side: only which stream is
+    // chunked for the hash table and the gather argument order depend on
+    // `build_left` (output columns stay left ++ right).
+    let (build_stream, build_keys, probe_stream, probe_keys) = if build_left {
+        (left, &lkeys, right, &rkeys)
+    } else {
+        (right, &rkeys, left, &lkeys)
+    };
+    let chunk = build_stream.into_single_chunk();
+    let key_cols: Vec<Evaluated> = build_keys
+        .iter()
+        .map(|e| eval_expr(e, &chunk))
+        .collect::<Result<_, _>>()?;
+    let index = build_index(&key_cols, chunk.len());
+    let mut batches = Vec::with_capacity(probe_stream.batches.len());
+    for pbatch in &probe_stream.batches {
+        let probe_cols: Vec<Evaluated> = probe_keys
+            .iter()
+            .map(|e| eval_expr(e, pbatch))
+            .collect::<Result<_, _>>()?;
+        // probe_index yields (probe row, build row) pairs.
+        let (pidx, bidx) = probe_index(&index, &probe_cols, pbatch.len());
+        if pidx.is_empty() {
+            continue;
+        }
+        let (lsrc, rsrc, lidx, ridx): (&ColumnBatch, &ColumnBatch, &[u32], &[u32]) = if build_left {
+            (&chunk, pbatch, &bidx, &pidx)
+        } else {
+            (pbatch, &chunk, &pidx, &bidx)
+        };
+        let joined = join_gather(lsrc, rsrc, lidx, ridx, &out_schema);
+        let joined = match &residual {
+            Some(pred) => apply_residual(joined, pred)?,
+            None => joined,
+        };
+        if !joined.is_empty() {
+            batches.push(joined);
+        }
+    }
+    Ok(BatchStream {
+        schema: out_schema,
+        batches,
+    })
+}
+
 fn build_index(key_cols: &[Evaluated], rows: usize) -> JoinIndex {
     // Fast path: one integer key column.
     if let [Evaluated::Col(ColumnVec::Int(vals))] = key_cols {
@@ -200,7 +275,7 @@ fn build_index(key_cols: &[Evaluated], rows: usize) -> JoinIndex {
     }
     let mut map: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
     for j in 0..rows {
-        let key: Tuple = key_cols.iter().map(|c| c.value_at(j)).collect();
+        let key: Tuple = key_cols.iter().map(|c| c.value_at(j).join_key()).collect();
         // SQL NULL keys never join; labeled nulls join themselves.
         if key.has_null() {
             continue;
@@ -228,7 +303,10 @@ fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec
             }
             // Probe side is not a clean Int column: compare through Values.
             for i in 0..rows {
-                let key: Tuple = probe_cols.iter().map(|c| c.value_at(i)).collect();
+                let key: Tuple = probe_cols
+                    .iter()
+                    .map(|c| c.value_at(i).join_key())
+                    .collect();
                 if key.has_null() {
                     continue;
                 }
@@ -244,7 +322,10 @@ fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec
         }
         JoinIndex::Tuple(map) => {
             for i in 0..rows {
-                let key: Tuple = probe_cols.iter().map(|c| c.value_at(i)).collect();
+                let key: Tuple = probe_cols
+                    .iter()
+                    .map(|c| c.value_at(i).join_key())
+                    .collect();
                 if key.has_null() {
                     continue;
                 }

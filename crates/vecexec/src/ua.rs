@@ -18,15 +18,21 @@
 //! representation (Theorem 7), minus the per-tuple pair-semiring calls. The
 //! result re-attaches the bitmap as a trailing `ua_c` column, so it is
 //! byte-compatible with the row path's [`ua_engine::UaResult`] table.
+//!
+//! Input is the user query's **physical plan** — the `RA⁺` fragment of
+//! [`Plan`], optionally already shaped by `ua-engine`'s optimizer (so
+//! [`Plan::HashJoin`] appears here too; the optimizer keeps its expressions
+//! name-based precisely because these batches carry no marker column and
+//! positions computed against encoded schemas would misalign).
 
 use crate::columnar::{
     batches_from_encoded_table, encoded_table_from_batches, BatchStream, DEFAULT_BATCH_ROWS,
 };
 use crate::ops;
 use ua_core::{expr_mentions_marker, UA_LABEL_COLUMN};
-use ua_data::algebra::RaExpr;
 use ua_data::expr::Expr;
 use ua_data::schema::SchemaError;
+use ua_engine::plan::Plan;
 use ua_engine::storage::{Catalog, Table};
 use ua_engine::EngineError;
 
@@ -42,38 +48,38 @@ fn reject_marker_reference(expr: &Expr) -> Result<(), EngineError> {
     }
 }
 
-/// Execute the *user* `RA⁺` query `query` over UA-encoded base tables in
-/// `catalog`, returning the encoded result (marker column last) — the
-/// vectorized counterpart of rewrite-then-execute.
-pub fn execute_ua_vectorized(query: &RaExpr, catalog: &Catalog) -> Result<Table, EngineError> {
-    let stream = ua_stream(query, catalog, DEFAULT_BATCH_ROWS)?;
+/// Execute the *user* query's `RA⁺`-shaped physical plan over UA-encoded
+/// base tables in `catalog`, returning the encoded result (marker column
+/// last) — the vectorized counterpart of rewrite-then-execute.
+pub fn execute_ua_vectorized(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    let stream = ua_stream(plan, catalog, DEFAULT_BATCH_ROWS)?;
     Ok(encoded_table_from_batches(&stream))
 }
 
 /// The batch-level UA evaluator (batch size explicit for tests).
 pub fn ua_stream(
-    query: &RaExpr,
+    plan: &Plan,
     catalog: &Catalog,
     batch_rows: usize,
 ) -> Result<BatchStream, EngineError> {
-    match query {
-        RaExpr::Table(name) => {
+    match plan {
+        Plan::Scan(name) => {
             let table = catalog
                 .get(name)
                 .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
             batches_from_encoded_table(&table, name, batch_rows)
         }
-        RaExpr::Alias { input, name } => {
+        Plan::Alias { input, name } => {
             let stream = ua_stream(input, catalog, batch_rows)?;
             let schema = stream.schema.with_qualifier(name);
             Ok(stream.with_schema(schema))
         }
-        RaExpr::Select { input, predicate } => {
+        Plan::Filter { input, predicate } => {
             reject_marker_reference(predicate)?;
             let stream = ua_stream(input, catalog, batch_rows)?;
             ops::filter(stream, predicate)
         }
-        RaExpr::Project { input, columns } => {
+        Plan::Map { input, columns } => {
             // Mirror rewrite_ua: the marker is engine-managed; projecting or
             // referencing it explicitly is rejected.
             for c in columns {
@@ -87,7 +93,7 @@ pub fn ua_stream(
             let stream = ua_stream(input, catalog, batch_rows)?;
             ops::project(stream, columns)
         }
-        RaExpr::Join {
+        Plan::Join {
             left,
             right,
             predicate,
@@ -99,10 +105,37 @@ pub fn ua_stream(
             let r = ua_stream(right, catalog, batch_rows)?;
             ops::join(l, r, predicate.as_ref())
         }
-        RaExpr::Union { left, right } => {
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => {
+            for (kl, kr) in keys {
+                reject_marker_reference(kl)?;
+                reject_marker_reference(kr)?;
+            }
+            if let Some(res) = residual {
+                reject_marker_reference(res)?;
+            }
+            let l = ua_stream(left, catalog, batch_rows)?;
+            let r = ua_stream(right, catalog, batch_rows)?;
+            ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
+        }
+        Plan::UnionAll { left, right } => {
             let l = ua_stream(left, catalog, batch_rows)?;
             let r = ua_stream(right, catalog, batch_rows)?;
             ops::union_all(l, r)
+        }
+        Plan::Distinct { .. } | Plan::Aggregate { .. } | Plan::Sort { .. } | Plan::Limit { .. } => {
+            Err(EngineError::Sql(
+                "UA queries support the positive relational algebra \
+                 (selection, projection, join, UNION ALL); trailing \
+                 ORDER BY/LIMIT are applied by the session after label \
+                 propagation"
+                    .into(),
+            ))
         }
     }
 }

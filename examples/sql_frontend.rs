@@ -76,4 +76,19 @@ fn main() {
          without the labels; certain-answer semantics would return only the\n\
          {certain} labeled rows."
     );
+
+    // The comma-join above is planned as a hash join: the optimizer merges
+    // the WHERE into the join, extracts the equi-key, and builds on the
+    // smaller side (see docs/optimizer.md). EXPLAIN shows all three stages.
+    println!(
+        "\n{}",
+        session
+            .explain_ua(
+                "SELECT a.id, r.region_name \
+                 FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) a, \
+                      region_enc r \
+                 WHERE a.state = r.state"
+            )
+            .expect("explain")
+    );
 }
