@@ -1,0 +1,53 @@
+//! Scratch review test — DO NOT COMMIT.
+use ua_data::schema::Schema;
+use ua_data::tuple;
+use ua_engine::storage::Table;
+use ua_engine::UaSession;
+
+fn session() -> UaSession {
+    let s = UaSession::new();
+    s.catalog().register(
+        "t",
+        Table::from_rows(
+            Schema::qualified("t", ["a", "b"]),
+            vec![tuple![1i64, 100i64], tuple![2i64, 50i64]],
+        ),
+    );
+    s
+}
+
+// SQL: ORDER BY a should resolve the OUTPUT column `a` (alias of source b).
+// With alias swap `SELECT a AS b, b AS a`, textual-match-first rewrites
+// ORDER BY a to the output column `b` (source a) instead.
+#[test]
+fn order_by_alias_shadowing() {
+    let s = session();
+    let t = s
+        .query_det("SELECT a AS b, b AS a FROM t ORDER BY a ASC")
+        .unwrap();
+    // Ordering by output column `a` (= source b): rows should be (2,50),(1,100).
+    assert_eq!(
+        t.rows(),
+        &[tuple![2i64, 50i64], tuple![1i64, 100i64]],
+        "ORDER BY should resolve the output alias first"
+    );
+}
+
+// Stacked filters merged into one conjunction: inner guard `a <> 0` used to
+// protect the outer `100 / a > 10` from evaluating on a = 0 rows.
+#[test]
+fn stacked_filter_guard_preserved() {
+    let s = session();
+    s.catalog().register(
+        "g",
+        Table::from_rows(
+            Schema::qualified("g", ["a"]),
+            vec![tuple![0i64], tuple![4i64]],
+        ),
+    );
+    let r = s.query_det("SELECT * FROM (SELECT a FROM g WHERE a <> 0) x WHERE 100 / a > 10");
+    match r {
+        Ok(t) => assert_eq!(t.rows(), &[tuple![4i64]]),
+        Err(e) => panic!("guarded query errored: {e}"),
+    }
+}
