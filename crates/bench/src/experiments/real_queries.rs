@@ -191,6 +191,7 @@ pub fn run(rows_scale: usize, seed: u64) -> Vec<RealQueryResult> {
         let ast = parse(sql).expect("paper query parses");
         let det_plan = ua_engine::optimize::push_filters(
             plan_query(&ast, &bed.det, &RejectAnnotations).expect("det plan"),
+            &bed.det,
         );
         let (det_time, det_result) = time_avg(3, || execute(&det_plan, &bed.det).expect("det run"));
         let (ua_time, ua_result) = time_avg(3, || bed.ua.query_ua(sql).expect("ua run"));

@@ -424,56 +424,8 @@ pub fn extract_equi_keys(predicate: &Expr, left_arity: usize) -> (Vec<EquiKey>, 
 /// Rewrite column references `c` to `c - delta` (to evaluate a
 /// concatenated-schema expression against the right tuple alone).
 pub fn shift_columns(e: &Expr, delta: usize) -> Expr {
-    match e {
-        Expr::Col(i) => Expr::Col(i - delta),
-        Expr::Named(n) => Expr::Named(n.clone()),
-        Expr::Lit(v) => Expr::Lit(v.clone()),
-        Expr::Cmp(op, a, b) => Expr::Cmp(
-            *op,
-            Box::new(shift_columns(a, delta)),
-            Box::new(shift_columns(b, delta)),
-        ),
-        Expr::And(a, b) => Expr::And(
-            Box::new(shift_columns(a, delta)),
-            Box::new(shift_columns(b, delta)),
-        ),
-        Expr::Or(a, b) => Expr::Or(
-            Box::new(shift_columns(a, delta)),
-            Box::new(shift_columns(b, delta)),
-        ),
-        Expr::Not(a) => Expr::Not(Box::new(shift_columns(a, delta))),
-        Expr::Arith(op, a, b) => Expr::Arith(
-            *op,
-            Box::new(shift_columns(a, delta)),
-            Box::new(shift_columns(b, delta)),
-        ),
-        Expr::IsNull(a) => Expr::IsNull(Box::new(shift_columns(a, delta))),
-        Expr::Case {
-            branches,
-            otherwise,
-        } => Expr::Case {
-            branches: branches
-                .iter()
-                .map(|(c, v)| (shift_columns(c, delta), shift_columns(v, delta)))
-                .collect(),
-            otherwise: otherwise
-                .as_ref()
-                .map(|e| Box::new(shift_columns(e, delta))),
-        },
-        Expr::Between(e0, lo, hi) => Expr::Between(
-            Box::new(shift_columns(e0, delta)),
-            Box::new(shift_columns(lo, delta)),
-            Box::new(shift_columns(hi, delta)),
-        ),
-        Expr::InList(e0, list) => Expr::InList(
-            Box::new(shift_columns(e0, delta)),
-            list.iter().map(|i| shift_columns(i, delta)).collect(),
-        ),
-        Expr::Least(a, b) => Expr::Least(
-            Box::new(shift_columns(a, delta)),
-            Box::new(shift_columns(b, delta)),
-        ),
-    }
+    e.map_refs(&|n| Some(n.to_string()), &|i| i - delta)
+        .expect("identity name mapping cannot fail")
 }
 
 fn eval_join<K: Semiring>(

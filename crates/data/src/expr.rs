@@ -535,6 +535,52 @@ impl Expr {
         }
     }
 
+    /// Rebuild the expression with every column reference mapped: named
+    /// references through `names` (which may decline, failing the whole
+    /// rebuild with `None`) and positional references through `cols`.
+    /// Everything else is cloned structurally. This is the one shared
+    /// reference-rewriting visitor — [`crate::algebra::shift_columns`] and
+    /// the optimizer's requalification/remapping passes are instantiations.
+    pub fn map_refs(
+        &self,
+        names: &dyn Fn(&str) -> Option<String>,
+        cols: &dyn Fn(usize) -> usize,
+    ) -> Option<Expr> {
+        let go = |e: &Expr| e.map_refs(names, cols);
+        Some(match self {
+            Expr::Named(name) => Expr::Named(names(name)?),
+            Expr::Col(i) => Expr::Col(cols(*i)),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(go(a)?), Box::new(go(b)?)),
+            Expr::And(a, b) => Expr::And(Box::new(go(a)?), Box::new(go(b)?)),
+            Expr::Or(a, b) => Expr::Or(Box::new(go(a)?), Box::new(go(b)?)),
+            Expr::Not(a) => Expr::Not(Box::new(go(a)?)),
+            Expr::Arith(op, a, b) => Expr::Arith(*op, Box::new(go(a)?), Box::new(go(b)?)),
+            Expr::IsNull(a) => Expr::IsNull(Box::new(go(a)?)),
+            Expr::Between(e, lo, hi) => {
+                Expr::Between(Box::new(go(e)?), Box::new(go(lo)?), Box::new(go(hi)?))
+            }
+            Expr::InList(e, list) => Expr::InList(
+                Box::new(go(e)?),
+                list.iter().map(go).collect::<Option<_>>()?,
+            ),
+            Expr::Least(a, b) => Expr::Least(Box::new(go(a)?), Box::new(go(b)?)),
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
+                branches: branches
+                    .iter()
+                    .map(|(c, v)| Some((go(c)?, go(v)?)))
+                    .collect::<Option<_>>()?,
+                otherwise: match otherwise {
+                    Some(e) => Some(Box::new(go(e)?)),
+                    None => None,
+                },
+            },
+        })
+    }
+
     /// Split a conjunction into its conjuncts.
     pub fn split_conjuncts(&self) -> Vec<&Expr> {
         let mut out = Vec::new();

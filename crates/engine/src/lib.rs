@@ -30,9 +30,10 @@ pub mod ua;
 pub use exec::{execute, limit_table, sort_table, AggState, EngineError};
 pub use mode::{register_vectorized_hooks, vectorized_hooks, ExecMode, VectorizedHooks};
 pub use optimize::{
-    estimate_rows, optimize, optimize_with, plan_joins, push_filters, OptimizerPasses,
+    estimate_rows, optimize, optimize_with, plan_joins, predicate_selectivity, push_filters,
+    reorder_joins, reorder_joins_ua, OptimizerPasses, DEFAULT_FILTER_SELECTIVITY, DP_MAX_RELATIONS,
 };
 pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};
-pub use storage::{Catalog, Table};
+pub use storage::{Catalog, ColumnStats, Histogram, Table, TableStats, HISTOGRAM_BUCKETS};
 pub use ua::{ctable_source, ti_source, x_source, UaResult, UaSession};

@@ -1,6 +1,7 @@
-//! Plan optimization: filter pushdown and cost-aware join planning.
+//! Plan optimization: filter pushdown, statistics-driven join reordering
+//! and cost-aware join planning.
 //!
-//! The optimizer is a small pass pipeline over [`Plan`]s, applied by
+//! The optimizer is a pass pipeline over [`Plan`]s, applied by
 //! [`crate::ua::UaSession`] to the plan each executor actually runs —
 //! uniformly before `ExecMode::Row` / `ExecMode::Vectorized` dispatch, and
 //! for both deterministic and UA queries — so the two engines cannot drift
@@ -15,17 +16,31 @@
 //!    executor pays the projection over the full input before filtering.
 //!    `Filter(P) ∘ Map(M) ≡ Map(M) ∘ Filter(P∘M)` whenever `P`'s column
 //!    references can be substituted by `M`'s expressions, which is exactly
-//!    the shape both produce.
-//! 2. **Join planning** ([`plan_joins`]). SQL comma-joins
-//!    (`FROM r, s WHERE r.k = s.k`) lower to a cross product with the
-//!    `WHERE` as a filter on top — pathological at scale. The pass merges
-//!    the filter stack into the join condition, pushes single-side
-//!    conjuncts below the join, extracts conjunctive equi-join keys into a
-//!    [`Plan::HashJoin`] (the rest stays as a residual), and picks the hash
-//!    build side from table cardinalities ([`estimate_rows`], backed by
-//!    [`Catalog`]): build on the smaller input, probe with the larger.
-//! 3. Filter pushdown again: selections pushed onto join inputs by pass 2
-//!    may sink further through projections (e.g. into subqueries).
+//!    the shape both produce. Name-based predicates also sink through
+//!    `Alias` by *requalifying* their references against the inner schema
+//!    (`q.salary` above `Alias[q]` becomes `salary` below it, when the
+//!    requalified reference resolves uniquely back to the same column).
+//! 2. **Join reordering** ([`reorder_joins`]). A filter stack over a tree
+//!    of joins is flattened into its base relations plus one conjunct set
+//!    (the comma-join graph); single-relation conjuncts become selections
+//!    on their relation, equality conjuncts linking two relations become
+//!    join edges, and a cost model over [`crate::storage::TableStats`]
+//!    (histogram selectivities for filters, `1/max(ndv)` for equi-join
+//!    edges) drives join-order enumeration — dynamic programming over
+//!    connected subsets for ≤ [`DP_MAX_RELATIONS`] relations, greedy
+//!    pairwise merging above. The chosen order is emitted as a *logical*
+//!    `Join` tree (predicates at their lowest covering node) under a
+//!    projection restoring the as-written column order, so the pass also
+//!    runs on user `RA⁺` plans before the UA rewriting.
+//! 3. **Join planning** ([`plan_joins`]). Each (possibly reordered) binary
+//!    join with its filter stack merges into one conjunct set; the pass
+//!    pushes single-side conjuncts below the join, extracts conjunctive
+//!    equi-join keys into a [`Plan::HashJoin`] (the rest stays as a
+//!    residual), and picks the hash build side from cardinality estimates
+//!    ([`estimate_rows`], backed by catalog statistics): build on the
+//!    smaller input, probe with the larger.
+//! 4. Filter pushdown again: selections pushed onto join inputs by passes
+//!    2/3 may sink further through projections (e.g. into subqueries).
 //!
 //! Invariants (checked by `tests/plans.rs`, `tests/differential.rs` and
 //! `tests/label_soundness.rs`):
@@ -39,7 +54,8 @@
 
 use crate::plan::Plan;
 use crate::sql::planner::plan_schema;
-use crate::storage::Catalog;
+use crate::storage::{Catalog, TableStats};
+use std::sync::Arc;
 use ua_data::algebra::{shift_columns, ProjColumn};
 use ua_data::expr::{CmpOp, Expr};
 use ua_data::schema::{Schema, SchemaError};
@@ -47,18 +63,21 @@ use ua_data::schema::{Schema, SchemaError};
 /// Which optimizer passes to run (all on by default).
 #[derive(Clone, Copy, Debug)]
 pub struct OptimizerPasses {
-    /// Sink filters below projections (pass 1 and 3).
+    /// Sink filters below projections (pass 1 and 4).
     pub push_filters: bool,
     /// Rewrite cross-join+filter into hash joins with build-side selection
-    /// (pass 2).
+    /// (pass 3).
     pub plan_joins: bool,
-    /// Let join planning classify and shift *positional* (`Expr::Col`)
-    /// references. Must be off when the executor's runtime schemas differ
-    /// from `plan_schema` — the vectorized UA path strips the `ua_c` marker
-    /// out of its batches, so positions computed against encoded schemas
-    /// would split at the wrong arity and silently join on the wrong
-    /// columns. Named references are always safe (the marker never
-    /// participates in name resolution).
+    /// Reorder 3+-way join trees by estimated cost before planning them
+    /// (pass 2; only runs when `plan_joins` is on).
+    pub reorder_joins: bool,
+    /// Let join planning and reordering classify and shift *positional*
+    /// (`Expr::Col`) references. Must be off when the executor's runtime
+    /// schemas differ from `plan_schema` — the vectorized UA path strips
+    /// the `ua_c` marker out of its batches, so positions computed against
+    /// encoded schemas would split at the wrong arity and silently join on
+    /// the wrong columns. Named references are always safe (the marker
+    /// never participates in name resolution).
     pub positional_joins: bool,
 }
 
@@ -67,6 +86,7 @@ impl Default for OptimizerPasses {
         OptimizerPasses {
             push_filters: true,
             plan_joins: true,
+            reorder_joins: true,
             positional_joins: true,
         }
     }
@@ -81,32 +101,39 @@ pub fn optimize(plan: Plan, catalog: &Catalog) -> Plan {
 pub fn optimize_with(plan: Plan, catalog: &Catalog, passes: OptimizerPasses) -> Plan {
     let mut plan = plan;
     if passes.push_filters {
-        plan = push_filters(plan);
+        plan = push_filters(plan, catalog);
     }
     if passes.plan_joins {
+        if passes.reorder_joins {
+            plan = reorder_joins_impl(plan, catalog, passes.positional_joins, false);
+        }
         plan = plan_joins_impl(plan, catalog, passes.positional_joins);
         if passes.push_filters {
-            plan = push_filters(plan);
+            plan = push_filters(plan, catalog);
         }
     }
     plan
 }
 
-/// Apply filter pushdown throughout the plan.
-pub fn push_filters(plan: Plan) -> Plan {
+/// Apply filter pushdown throughout the plan. The catalog supplies base
+/// schemas for requalifying name-based predicates through `Alias` nodes.
+pub fn push_filters(plan: Plan, catalog: &Catalog) -> Plan {
     match plan {
         Plan::Filter { input, predicate } => {
-            let input = push_filters(*input);
+            let input = push_filters(*input, catalog);
             match input {
                 Plan::Map {
                     input: map_input,
                     columns,
                 } => match substitute(&predicate, &columns) {
                     Some(pushed) => Plan::Map {
-                        input: Box::new(push_filters(Plan::Filter {
-                            input: map_input,
-                            predicate: pushed,
-                        })),
+                        input: Box::new(push_filters(
+                            Plan::Filter {
+                                input: map_input,
+                                predicate: pushed,
+                            },
+                            catalog,
+                        )),
                         columns,
                     },
                     None => Plan::Filter {
@@ -117,19 +144,42 @@ pub fn push_filters(plan: Plan) -> Plan {
                         predicate,
                     },
                 },
-                // Aliases only re-qualify names; a fully positional
+                // Aliases only re-qualify names: a fully positional
                 // predicate (as produced by join planning or earlier
-                // substitution) is untouched by that and can sink through.
+                // substitution) sinks through untouched, and a name-based
+                // one sinks once its references are requalified against the
+                // inner schema (`q.salary` → `salary`), provided each
+                // requalified reference resolves uniquely back to the same
+                // column.
                 Plan::Alias {
                     input: alias_input,
                     name,
-                } if !has_named_refs(&predicate) => Plan::Alias {
-                    input: Box::new(push_filters(Plan::Filter {
-                        input: alias_input,
-                        predicate,
-                    })),
-                    name,
-                },
+                } => {
+                    let requalified = if has_named_refs(&predicate) {
+                        requalify_through_alias(&predicate, &name, &alias_input, catalog)
+                    } else {
+                        Some(predicate.clone())
+                    };
+                    match requalified {
+                        Some(pushed) => Plan::Alias {
+                            input: Box::new(push_filters(
+                                Plan::Filter {
+                                    input: alias_input,
+                                    predicate: pushed,
+                                },
+                                catalog,
+                            )),
+                            name,
+                        },
+                        None => Plan::Filter {
+                            input: Box::new(Plan::Alias {
+                                input: alias_input,
+                                name,
+                            }),
+                            predicate,
+                        },
+                    }
+                }
                 other => Plan::Filter {
                     input: Box::new(other),
                     predicate,
@@ -138,11 +188,11 @@ pub fn push_filters(plan: Plan) -> Plan {
         }
         Plan::Scan(name) => Plan::Scan(name),
         Plan::Alias { input, name } => Plan::Alias {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
             name,
         },
         Plan::Map { input, columns } => Plan::Map {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
             columns,
         },
         Plan::Join {
@@ -150,8 +200,8 @@ pub fn push_filters(plan: Plan) -> Plan {
             right,
             predicate,
         } => Plan::Join {
-            left: Box::new(push_filters(*left)),
-            right: Box::new(push_filters(*right)),
+            left: Box::new(push_filters(*left, catalog)),
+            right: Box::new(push_filters(*right, catalog)),
             predicate,
         },
         Plan::HashJoin {
@@ -161,37 +211,82 @@ pub fn push_filters(plan: Plan) -> Plan {
             residual,
             build_left,
         } => Plan::HashJoin {
-            left: Box::new(push_filters(*left)),
-            right: Box::new(push_filters(*right)),
+            left: Box::new(push_filters(*left, catalog)),
+            right: Box::new(push_filters(*right, catalog)),
             keys,
             residual,
             build_left,
         },
         Plan::UnionAll { left, right } => Plan::UnionAll {
-            left: Box::new(push_filters(*left)),
-            right: Box::new(push_filters(*right)),
+            left: Box::new(push_filters(*left, catalog)),
+            right: Box::new(push_filters(*right, catalog)),
         },
         Plan::Distinct { input } => Plan::Distinct {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
         },
         Plan::Aggregate {
             input,
             group_by,
             aggregates,
         } => Plan::Aggregate {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
             group_by,
             aggregates,
         },
         Plan::Sort { input, keys } => Plan::Sort {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
             keys,
         },
         Plan::Limit { input, limit } => Plan::Limit {
-            input: Box::new(push_filters(*input)),
+            input: Box::new(push_filters(*input, catalog)),
             limit,
         },
     }
+}
+
+/// Rewrite a name-based predicate so it binds *below* `Alias[alias]` over
+/// `inner`: every named reference is resolved against the aliased schema,
+/// then re-expressed against the inner schema (bare name first, then the
+/// inner column's own qualified name), requiring the new reference to
+/// resolve uniquely to the same column. `None` when any reference cannot be
+/// requalified (the filter then stays above the alias).
+fn requalify_through_alias(
+    predicate: &Expr,
+    alias: &str,
+    inner: &Plan,
+    catalog: &Catalog,
+) -> Option<Expr> {
+    let inner_schema = plan_schema(inner, catalog).ok()?;
+    let outer_schema = inner_schema.with_qualifier(alias);
+    map_named(predicate, &|name| {
+        let idx = outer_schema.resolve(name).ok()?;
+        let col = &inner_schema.columns()[idx];
+        let bare = col.name.to_string();
+        if matches!(inner_schema.resolve(&bare), Ok(i) if i == idx) {
+            return Some(bare);
+        }
+        if let Some(q) = &col.qualifier {
+            let qualified = format!("{q}.{}", col.name);
+            if matches!(inner_schema.resolve(&qualified), Ok(i) if i == idx) {
+                return Some(qualified);
+            }
+        }
+        None
+    })
+}
+
+/// Rebuild an expression with every `Expr::Named` reference mapped through
+/// `f`; `None` as soon as `f` declines one (positions and literals pass
+/// through untouched).
+fn map_named(expr: &Expr, f: &dyn Fn(&str) -> Option<String>) -> Option<Expr> {
+    expr.map_refs(f, &|i| i)
+}
+
+/// Rebuild an expression with every positional reference mapped through
+/// `f`; names and literals pass through untouched.
+fn remap_positions(expr: &Expr, f: &dyn Fn(usize) -> usize) -> Expr {
+    expr.map_refs(&|n| Some(n.to_string()), f)
+        .expect("identity name mapping cannot fail")
 }
 
 /// Rewrite cross-join+filter shapes into [`Plan::HashJoin`]s throughout the
@@ -205,12 +300,20 @@ pub fn plan_joins(plan: Plan, catalog: &Catalog) -> Plan {
 fn plan_joins_impl(plan: Plan, catalog: &Catalog, positional: bool) -> Plan {
     match plan {
         Plan::Filter { .. } => {
-            // Peel the whole filter stack sitting on this node; if a join is
-            // underneath, the conjuncts take part in join planning.
-            let mut conjuncts: Vec<Expr> = Vec::new();
+            // Peel the filter stack level by level (outermost first); if a
+            // join is underneath, the conjuncts take part in join planning.
+            // Level boundaries are load-bearing for errors: `And` evaluates
+            // eagerly, so merging the stack into one conjunction would run
+            // an outer error-capable predicate (arithmetic can raise) on
+            // rows an inner level used to exclude. The *bottom* level saw
+            // the raw join rows and is always absorbed; higher levels are
+            // absorbed only when error-free (conjunction commutes freely
+            // for those), and error-capable levels stay stacked, in order,
+            // above the planned join.
+            let mut levels: Vec<Expr> = Vec::new();
             let mut core = plan;
             while let Plan::Filter { input, predicate } = core {
-                conjuncts.extend(predicate.split_conjuncts().into_iter().cloned());
+                levels.push(predicate);
                 core = *input;
             }
             match core {
@@ -219,12 +322,40 @@ fn plan_joins_impl(plan: Plan, catalog: &Catalog, positional: bool) -> Plan {
                     right,
                     predicate,
                 } => {
+                    let mut conjuncts: Vec<Expr> = Vec::new();
+                    let mut kept: Vec<Expr> = Vec::new();
+                    let bottom = levels.len() - 1;
+                    for (i, level) in levels.into_iter().enumerate() {
+                        let split = level.split_conjuncts();
+                        if i == bottom || split.iter().all(|c| is_error_free(c)) {
+                            conjuncts.extend(split.into_iter().cloned());
+                        } else {
+                            kept.push(level);
+                        }
+                    }
                     if let Some(p) = predicate {
                         conjuncts.extend(p.split_conjuncts().into_iter().cloned());
                     }
-                    rewrite_join(*left, *right, conjuncts, catalog, positional)
+                    let mut planned = rewrite_join(*left, *right, conjuncts, catalog, positional);
+                    for predicate in kept.into_iter().rev() {
+                        planned = Plan::Filter {
+                            input: Box::new(planned),
+                            predicate,
+                        };
+                    }
+                    planned
                 }
-                other => wrap_filters(plan_joins_impl(other, catalog, positional), conjuncts),
+                other => {
+                    // Not a join: keep the stack exactly as written.
+                    let mut planned = plan_joins_impl(other, catalog, positional);
+                    for predicate in levels.into_iter().rev() {
+                        planned = Plan::Filter {
+                            input: Box::new(planned),
+                            predicate,
+                        };
+                    }
+                    planned
+                }
             }
         }
         Plan::Join {
@@ -351,13 +482,23 @@ fn rewrite_join(
     // Single-side conjuncts become selections below the join; re-plan a
     // child only when the new filter actually sits on an (unplanned) join
     // it could merge into — anything else would re-traverse an
-    // already-planned subtree for nothing.
+    // already-planned subtree for nothing. Projections may separate the
+    // fresh filter from that join (the `⟦·⟧_UA` rewriting wraps every join
+    // in a marker-combining Map, so on the row UA path a 3-way join's
+    // inner joins are always behind one); the filter is first sunk through
+    // them, then planning merges it — keeping the row and vectorized
+    // paths' join trees, and hence their row orders, in lockstep.
     let replan = |child: Plan, gained: bool, catalog: &Catalog| -> Plan {
-        if gained && peels_to_join(&child) {
-            plan_joins_impl(child, catalog, positional)
-        } else {
-            child
+        if !gained {
+            return child;
         }
+        if peels_to_join(&child) {
+            return plan_joins_impl(child, catalog, positional);
+        }
+        if peels_to_join_through_maps(&child) {
+            return plan_joins_impl(push_filters(child, catalog), catalog, positional);
+        }
+        child
     };
     let gained_left = !left_only.is_empty();
     let gained_right = !right_only.is_empty();
@@ -387,40 +528,1057 @@ fn rewrite_join(
     }
 }
 
-/// Crude cardinality estimation for build-side selection, anchored on the
-/// actual row counts of catalog tables (`storage::Table::len`). Operator
-/// factors are deliberately simple — the estimate only has to order the two
-/// inputs of a join, not predict costs.
+/// Default selectivity for predicates the statistics cannot estimate
+/// (System R's classic 1/3).
+pub const DEFAULT_FILTER_SELECTIVITY: f64 = 1.0 / 3.0;
+
+/// Cardinality estimation anchored on catalog statistics
+/// ([`crate::storage::TableStats`], collected from the live store): scans
+/// report actual row counts, filters apply histogram/ndv-based
+/// selectivities ([`DEFAULT_FILTER_SELECTIVITY`] when unestimable), and
+/// equi-joins apply `1/max(ndv)` per key pair. Used for hash build-side
+/// selection and join-order costing.
 pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> Option<u64> {
+    estimate_rows_f(plan, catalog).map(|n| n.ceil() as u64)
+}
+
+fn estimate_rows_f(plan: &Plan, catalog: &Catalog) -> Option<f64> {
     match plan {
-        Plan::Scan(name) => catalog.get(name).map(|t| t.len() as u64),
+        Plan::Scan(name) => catalog.stats_of(name).map(|s| s.rows as f64),
         Plan::Alias { input, .. }
         | Plan::Map { input, .. }
         | Plan::Distinct { input }
         | Plan::Aggregate { input, .. }
-        | Plan::Sort { input, .. } => estimate_rows(input, catalog),
-        // System-R-style default selectivity of 1/3 per filter.
-        Plan::Filter { input, .. } => estimate_rows(input, catalog).map(|n| n.div_ceil(3)),
+        | Plan::Sort { input, .. } => estimate_rows_f(input, catalog),
+        Plan::Filter { input, predicate } => {
+            let rows = estimate_rows_f(input, catalog)?;
+            Some(rows * predicate_selectivity(predicate, input, catalog))
+        }
         Plan::Join {
             left,
             right,
             predicate,
         } => {
-            let l = estimate_rows(left, catalog)?;
-            let r = estimate_rows(right, catalog)?;
+            let l = estimate_rows_f(left, catalog)?;
+            let r = estimate_rows_f(right, catalog)?;
             match predicate {
-                None => l.checked_mul(r),
-                // Key/foreign-key-ish guess for θ-joins.
-                Some(_) => Some(l.max(r)),
+                None => Some(l * r),
+                Some(p) => {
+                    // Estimate extractable equality conjuncts with ndv
+                    // statistics; anything else keeps the key/foreign-key
+                    // guess of max(l, r).
+                    let sel = equi_conjunct_selectivity(p, left, right, catalog, l, r);
+                    match sel {
+                        Some(sel) => Some(l * r * sel),
+                        None => Some(l.max(r)),
+                    }
+                }
             }
         }
-        Plan::HashJoin { left, right, .. } => {
-            Some(estimate_rows(left, catalog)?.max(estimate_rows(right, catalog)?))
+        Plan::HashJoin {
+            left, right, keys, ..
+        } => {
+            let l = estimate_rows_f(left, catalog)?;
+            let r = estimate_rows_f(right, catalog)?;
+            let mut out = l * r;
+            for (kl, kr) in keys {
+                out *= key_pair_selectivity(kl, left, kr, right, catalog, l, r);
+            }
+            Some(out)
         }
         Plan::UnionAll { left, right } => {
-            Some(estimate_rows(left, catalog)?.saturating_add(estimate_rows(right, catalog)?))
+            Some(estimate_rows_f(left, catalog)? + estimate_rows_f(right, catalog)?)
         }
-        Plan::Limit { input, limit } => Some(estimate_rows(input, catalog)?.min(*limit as u64)),
+        Plan::Limit { input, limit } => Some(estimate_rows_f(input, catalog)?.min(*limit as f64)),
+    }
+}
+
+/// Selectivity of one equi-key pair: `1/max(ndv_left, ndv_right)`, with a
+/// column's row count standing in when its distinct count is unknown.
+fn key_pair_selectivity(
+    kl: &Expr,
+    left: &Plan,
+    kr: &Expr,
+    right: &Plan,
+    catalog: &Catalog,
+    l_rows: f64,
+    r_rows: f64,
+) -> f64 {
+    let ndv_l = expr_ndv(kl, left, catalog).unwrap_or(l_rows);
+    let ndv_r = expr_ndv(kr, right, catalog).unwrap_or(r_rows);
+    1.0 / ndv_l.max(ndv_r).max(1.0)
+}
+
+/// ndv-based selectivity of a join predicate's extractable equality
+/// conjuncts: `Some` only when every conjunct is a two-sided equality over
+/// the inputs (otherwise the caller keeps its θ-join guess).
+fn equi_conjunct_selectivity(
+    predicate: &Expr,
+    left: &Plan,
+    right: &Plan,
+    catalog: &Catalog,
+    // The inputs' row estimates, passed in by the caller (who already has
+    // them) so join-tree estimation stays linear in plan depth.
+    l_rows: f64,
+    r_rows: f64,
+) -> Option<f64> {
+    let ls = plan_schema(left, catalog).ok()?;
+    let rs = plan_schema(right, catalog).ok()?;
+    let la = ls.arity();
+    let mut sel = 1.0;
+    for c in predicate.split_conjuncts() {
+        let Expr::Cmp(CmpOp::Eq, a, b) = c else {
+            return None;
+        };
+        let (l_expr, r_expr) = match (
+            side_of(a, &ls, &rs, la, true),
+            side_of(b, &ls, &rs, la, true),
+        ) {
+            (Some(Side::Left), Some(Side::Right)) => ((**a).clone(), shift_columns(b, la)),
+            (Some(Side::Right), Some(Side::Left)) => ((**b).clone(), shift_columns(a, la)),
+            _ => return None,
+        };
+        sel *= key_pair_selectivity(&l_expr, left, &r_expr, right, catalog, l_rows, r_rows);
+    }
+    Some(sel)
+}
+
+/// Distinct-value count of an expression over a plan's output: traced to
+/// base-table column statistics when the expression is a plain column
+/// reference, `None` otherwise.
+fn expr_ndv(expr: &Expr, plan: &Plan, catalog: &Catalog) -> Option<f64> {
+    let idx = expr_column_index(expr, plan, catalog)?;
+    let (stats, col) = base_column_stats(plan, idx, catalog)?;
+    Some(stats.columns.get(col)?.distinct.max(1) as f64)
+}
+
+/// Resolve a plain column reference against a plan's output schema.
+fn expr_column_index(expr: &Expr, plan: &Plan, catalog: &Catalog) -> Option<usize> {
+    match expr {
+        Expr::Col(i) => Some(*i),
+        Expr::Named(n) => plan_schema(plan, catalog).ok()?.resolve(n).ok(),
+        _ => None,
+    }
+}
+
+/// Trace output column `idx` of `plan` back to a base-table column and its
+/// statistics, looking through aliases, filters, limits/sorts, joins and
+/// column-reference projections.
+fn base_column_stats(
+    plan: &Plan,
+    idx: usize,
+    catalog: &Catalog,
+) -> Option<(Arc<TableStats>, usize)> {
+    match plan {
+        Plan::Scan(name) => Some((catalog.stats_of(name)?, idx)),
+        Plan::Alias { input, .. }
+        | Plan::Filter { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::Distinct { input } => base_column_stats(input, idx, catalog),
+        Plan::Map { input, columns } => {
+            let col = columns.get(idx)?;
+            let inner_idx = match &col.expr {
+                Expr::Col(i) => *i,
+                Expr::Named(n) => plan_schema(input, catalog).ok()?.resolve(n).ok()?,
+                _ => return None,
+            };
+            base_column_stats(input, inner_idx, catalog)
+        }
+        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            let la = plan_schema(left, catalog).ok()?.arity();
+            if idx < la {
+                base_column_stats(left, idx, catalog)
+            } else {
+                base_column_stats(right, idx - la, catalog)
+            }
+        }
+        Plan::UnionAll { .. } | Plan::Aggregate { .. } => None,
+    }
+}
+
+/// Estimated fraction of `input`'s rows a predicate keeps, in `[0, 1]`.
+///
+/// Histogram-backed for range comparisons against numeric literals,
+/// `1/ndv` for equalities, composed through AND/OR/NOT;
+/// [`DEFAULT_FILTER_SELECTIVITY`] for anything the statistics cannot see.
+pub fn predicate_selectivity(predicate: &Expr, input: &Plan, catalog: &Catalog) -> f64 {
+    selectivity_of(predicate, input, catalog).clamp(0.0, 1.0)
+}
+
+fn selectivity_of(predicate: &Expr, input: &Plan, catalog: &Catalog) -> f64 {
+    match predicate {
+        Expr::And(a, b) => selectivity_of(a, input, catalog) * selectivity_of(b, input, catalog),
+        Expr::Or(a, b) => {
+            let (sa, sb) = (
+                selectivity_of(a, input, catalog),
+                selectivity_of(b, input, catalog),
+            );
+            (sa + sb - sa * sb).min(1.0)
+        }
+        Expr::Not(a) => 1.0 - selectivity_of(a, input, catalog),
+        Expr::Cmp(op, a, b) => {
+            cmp_selectivity(*op, a, b, input, catalog).unwrap_or(DEFAULT_FILTER_SELECTIVITY)
+        }
+        Expr::Between(e, lo, hi) => {
+            let ge = cmp_selectivity(CmpOp::Ge, e, lo, input, catalog);
+            let le = cmp_selectivity(CmpOp::Le, e, hi, input, catalog);
+            match (ge, le) {
+                // P[lo <= x <= hi] = P[x <= hi] - P[x < lo] = le - (1 - ge).
+                (Some(ge), Some(le)) => (ge + le - 1.0).max(0.0),
+                _ => DEFAULT_FILTER_SELECTIVITY,
+            }
+        }
+        Expr::InList(e, list) => {
+            let eq_sum: Option<f64> = list
+                .iter()
+                .map(|lit| cmp_selectivity(CmpOp::Eq, e, lit, input, catalog))
+                .sum();
+            eq_sum
+                .map(|s| s.min(1.0))
+                .unwrap_or(DEFAULT_FILTER_SELECTIVITY)
+        }
+        Expr::IsNull(e) => null_fraction(e, input, catalog).unwrap_or(DEFAULT_FILTER_SELECTIVITY),
+        _ => DEFAULT_FILTER_SELECTIVITY,
+    }
+}
+
+fn null_fraction(expr: &Expr, input: &Plan, catalog: &Catalog) -> Option<f64> {
+    let idx = expr_column_index(expr, input, catalog)?;
+    let (stats, col) = base_column_stats(input, idx, catalog)?;
+    if stats.rows == 0 {
+        return Some(0.0);
+    }
+    Some(stats.columns.get(col)?.nulls as f64 / stats.rows as f64)
+}
+
+/// Selectivity of `a op b` where one side is a plain column and the other a
+/// literal; `None` when the statistics cannot estimate the shape.
+fn cmp_selectivity(op: CmpOp, a: &Expr, b: &Expr, input: &Plan, catalog: &Catalog) -> Option<f64> {
+    // Normalize to column-op-literal.
+    let (col_expr, lit, op) = match (a, b) {
+        (col @ (Expr::Col(_) | Expr::Named(_)), Expr::Lit(v)) => (col, v, op),
+        (Expr::Lit(v), col @ (Expr::Col(_) | Expr::Named(_))) => (col, v, flip_cmp(op)),
+        _ => return None,
+    };
+    let idx = expr_column_index(col_expr, input, catalog)?;
+    let (stats, col) = base_column_stats(input, idx, catalog)?;
+    let cs = stats.columns.get(col)?;
+    let eq_sel = || {
+        let s = 1.0 / cs.distinct.max(1) as f64;
+        // A literal provably outside the column's range never matches.
+        match (&cs.histogram, lit.as_f64()) {
+            (Some(h), Some(v)) if v < h.lo || v > h.hi => 0.0,
+            _ => s,
+        }
+    };
+    match op {
+        CmpOp::Eq => Some(eq_sel()),
+        CmpOp::Ne => Some(1.0 - eq_sel()),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let h = cs.histogram.as_ref()?;
+            let v = lit.as_f64()?;
+            Some(match op {
+                // The continuous-uniform bucket model puts zero mass on any
+                // single point, so a strict bound *at* an observed extreme
+                // would estimate 1.0 even when many rows equal it; clamp
+                // those cases by the equality point mass (1/ndv) instead.
+                CmpOp::Lt if v == h.hi => (1.0 - eq_sel()).max(0.0),
+                CmpOp::Lt => h.fraction_below(v, false),
+                CmpOp::Le if v == h.lo => eq_sel(),
+                CmpOp::Le => h.fraction_below(v, true),
+                CmpOp::Gt if v == h.lo => (1.0 - eq_sel()).max(0.0),
+                CmpOp::Gt => 1.0 - h.fraction_below(v, true),
+                CmpOp::Ge if v == h.hi => eq_sel(),
+                CmpOp::Ge => 1.0 - h.fraction_below(v, false),
+                _ => unreachable!("range ops only"),
+            })
+        }
+    }
+}
+
+fn flip_cmp(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Maximum number of relations the join-order DP enumerates exhaustively;
+/// larger joins fall back to greedy pairwise merging.
+pub const DP_MAX_RELATIONS: usize = 6;
+
+/// Reorder 3+-way join trees by estimated cost (pipeline pass 2; see the
+/// module docs). Positional (`Expr::Col`) references are classified and
+/// remapped — use [`reorder_joins_ua`] when runtime schemas differ from
+/// `plan_schema`.
+pub fn reorder_joins(plan: Plan, catalog: &Catalog) -> Plan {
+    reorder_joins_impl(plan, catalog, true, false)
+}
+
+/// [`reorder_joins`] for *user* `RA⁺` plans over UA-annotated sources, as
+/// run by `UaSession` before the `⟦·⟧_UA` rewriting: leaf schemas are the
+/// encoded tables' schemas with the trailing `ua_c` marker stripped (the
+/// user-visible columns), classification is name-based only (positions
+/// computed against encoded schemas would misalign on the vectorized
+/// path's marker-stripped batches), and the emitted plan stays in the
+/// `RA⁺` fragment so `Plan::to_ra` succeeds.
+pub fn reorder_joins_ua(plan: Plan, catalog: &Catalog) -> Plan {
+    reorder_joins_impl(plan, catalog, false, true)
+}
+
+fn reorder_joins_impl(plan: Plan, catalog: &Catalog, positional: bool, strip: bool) -> Plan {
+    if peels_to_join(&plan) {
+        return match try_reorder(&plan, catalog, positional, strip) {
+            Some(reordered) => reordered,
+            // The region was analyzed and left as-written (best order
+            // already, or unreorderable). Walk through its filters and
+            // joins WITHOUT re-analyzing them — re-running `try_reorder`
+            // on the bare join under the filter stack would reorder by
+            // raw cross-product sizes, blind to the stack's conjuncts —
+            // and give only the region's leaves their own turn.
+            None => descend_region(plan, catalog, positional, strip),
+        };
+    }
+    // Structural recursion: the node itself stays, children get their turn.
+    match plan {
+        Plan::Scan(name) => Plan::Scan(name),
+        Plan::Alias { input, name } => Plan::Alias {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            name,
+        },
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            predicate,
+        },
+        Plan::Map { input, columns } => Plan::Map {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            columns,
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
+            right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
+            predicate,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => Plan::HashJoin {
+            left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
+            right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
+            keys,
+            residual,
+            build_left,
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
+            right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            keys,
+        },
+        Plan::Limit { input, limit } => Plan::Limit {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            limit,
+        },
+    }
+}
+
+/// Recurse into an analyzed-but-unchanged join region: filters and joins
+/// pass through untouched, leaves re-enter the reorder pass.
+fn descend_region(plan: Plan, catalog: &Catalog, positional: bool, strip: bool) -> Plan {
+    match plan {
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(descend_region(*input, catalog, positional, strip)),
+            predicate,
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(descend_region(*left, catalog, positional, strip)),
+            right: Box::new(descend_region(*right, catalog, positional, strip)),
+            predicate,
+        },
+        other => reorder_joins_impl(other, catalog, positional, strip),
+    }
+}
+
+/// Where one conjunct of the flattened join graph ends up.
+enum Placement {
+    /// Error-free conjunct over a single relation: selection on that leaf
+    /// (expression remapped to leaf-local positions).
+    LeafFilter(usize, Expr),
+    /// Two-sided equality linking two relations: a join edge. Key
+    /// expressions are stored leaf-local.
+    Edge {
+        l: usize,
+        r: usize,
+        l_expr: Expr,
+        r_expr: Expr,
+    },
+    /// Error-free conjunct spanning ≥ 2 relations (mask of leaf bits):
+    /// predicate at its lowest covering join node.
+    Node(u64, Expr),
+    /// Everything else — error-capable, constant, or unresolvable
+    /// conjuncts: filter over the full join result, where evaluation sees
+    /// exactly the rows the original filter stack saw (and unresolvable
+    /// references report the same binding errors).
+    Top(Expr),
+}
+
+/// A binary join order over leaf indices.
+#[derive(Clone, PartialEq, Debug)]
+enum Tree {
+    Leaf(usize),
+    Node(u64, Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    fn mask(&self) -> u64 {
+        match self {
+            Tree::Leaf(i) => 1u64 << i,
+            Tree::Node(mask, ..) => *mask,
+        }
+    }
+
+    fn inorder(&self, out: &mut Vec<usize>) {
+        match self {
+            Tree::Leaf(i) => out.push(*i),
+            Tree::Node(_, a, b) => {
+                a.inorder(out);
+                b.inorder(out);
+            }
+        }
+    }
+}
+
+/// Attempt the n-ary reorder of a filter-stack-over-join region. `None`
+/// means "leave the plan for the binary passes": fewer than 3 relations,
+/// unresolvable schemas, positional references in name-only mode, an
+/// unexpressible column-order restoration, or a chosen order equal to the
+/// as-written one.
+fn try_reorder(plan: &Plan, catalog: &Catalog, positional: bool, strip: bool) -> Option<Plan> {
+    // Peel the filter stack sitting on the outermost join.
+    let mut conjuncts: Vec<Expr> = Vec::new();
+    let mut core = plan;
+    while let Plan::Filter { input, predicate } = core {
+        conjuncts.extend(predicate.split_conjuncts().into_iter().cloned());
+        core = input;
+    }
+    let mut leaf_refs: Vec<&Plan> = Vec::new();
+    let as_written = flatten_join_tree(core, &mut leaf_refs, &mut conjuncts);
+    let n = leaf_refs.len();
+    if !(3..=63).contains(&n) {
+        return None;
+    }
+
+    // Reorder within each leaf first (subqueries carry their own joins),
+    // then snapshot schemas — possibly marker-stripped for the UA path.
+    let leaves: Vec<Plan> = leaf_refs
+        .into_iter()
+        .map(|l| reorder_joins_impl(l.clone(), catalog, positional, strip))
+        .collect();
+    let schemas: Vec<Schema> = leaves
+        .iter()
+        .map(|l| {
+            let s = plan_schema(l, catalog).ok()?;
+            Some(if strip { strip_trailing_marker(s) } else { s })
+        })
+        .collect::<Option<_>>()?;
+    let offsets: Vec<usize> = schemas
+        .iter()
+        .scan(0usize, |acc, s| {
+            let off = *acc;
+            *acc += s.arity();
+            Some(off)
+        })
+        .collect();
+    let total_arity: usize = schemas.iter().map(Schema::arity).sum();
+    let leaf_of_pos = |p: usize| -> Option<usize> {
+        (p < total_arity).then(|| offsets.iter().rposition(|&off| off <= p).expect("offset 0"))
+    };
+
+    // Classify every conjunct against the leaf schemas.
+    let mut placements: Vec<Placement> = Vec::with_capacity(conjuncts.len());
+    for c in conjuncts {
+        placements.push(classify_conjunct(
+            c,
+            &schemas,
+            &offsets,
+            &leaf_of_pos,
+            positional,
+        )?);
+    }
+
+    // Cost inputs: per-leaf cardinalities with their pushed-down filter
+    // selectivities applied, and per-edge `1/max(ndv)` selectivities.
+    let mut leaf_rows: Vec<f64> = leaves
+        .iter()
+        .map(|l| estimate_rows_f(l, catalog).unwrap_or(1000.0))
+        .collect();
+    for p in &placements {
+        if let Placement::LeafFilter(i, e) = p {
+            leaf_rows[*i] *= predicate_selectivity(e, &leaves[*i], catalog);
+        }
+    }
+    let edges: Vec<(u64, f64)> = placements
+        .iter()
+        .filter_map(|p| match p {
+            Placement::Edge {
+                l,
+                r,
+                l_expr,
+                r_expr,
+            } => {
+                let sel = key_pair_selectivity(
+                    l_expr,
+                    &leaves[*l],
+                    r_expr,
+                    &leaves[*r],
+                    catalog,
+                    leaf_rows[*l],
+                    leaf_rows[*r],
+                );
+                Some(((1u64 << l) | (1u64 << r), sel))
+            }
+            _ => None,
+        })
+        .collect();
+    let rows_of = |mask: u64| -> f64 {
+        let mut rows = 1.0;
+        for (i, &r) in leaf_rows.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                rows *= r;
+            }
+        }
+        for &(emask, sel) in &edges {
+            if emask & mask == emask {
+                rows *= sel;
+            }
+        }
+        rows
+    };
+
+    let tree = if n <= DP_MAX_RELATIONS {
+        dp_order(n, &edges, &rows_of)?
+    } else {
+        greedy_order(n, &edges, &rows_of)
+    };
+    if tree == as_written {
+        return None; // the as-written shape is already best: leave it alone
+    }
+
+    emit_reordered(
+        &tree,
+        &leaves,
+        &schemas,
+        &offsets,
+        placements,
+        total_arity,
+        positional,
+    )
+}
+
+/// Flatten a tree of joins into its leaves and one conjunct set, returning
+/// the *as-written* join shape over those leaf indices (the baseline the
+/// chosen order is compared against — an input can be left-deep, right-deep
+/// or bushy). Nested filter stacks over joins are absorbed only when every
+/// conjunct is error-free (relocating an error-capable predicate could
+/// change *where* evaluation errors surface); anything else becomes a leaf
+/// boundary.
+fn flatten_join_tree<'a>(
+    plan: &'a Plan,
+    leaves: &mut Vec<&'a Plan>,
+    conjuncts: &mut Vec<Expr>,
+) -> Tree {
+    match plan {
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let lt = flatten_join_tree(left, leaves, conjuncts);
+            let rt = flatten_join_tree(right, leaves, conjuncts);
+            if let Some(p) = predicate {
+                conjuncts.extend(p.split_conjuncts().into_iter().cloned());
+            }
+            Tree::Node(lt.mask() | rt.mask(), Box::new(lt), Box::new(rt))
+        }
+        Plan::Filter { .. } => {
+            let mut stack: Vec<Expr> = Vec::new();
+            let mut core = plan;
+            while let Plan::Filter { input, predicate } = core {
+                stack.extend(predicate.split_conjuncts().into_iter().cloned());
+                core = input;
+            }
+            if matches!(core, Plan::Join { .. }) && stack.iter().all(is_error_free) {
+                let tree = flatten_join_tree(core, leaves, conjuncts);
+                conjuncts.append(&mut stack);
+                tree
+            } else {
+                leaves.push(plan);
+                Tree::Leaf(leaves.len() - 1)
+            }
+        }
+        other => {
+            leaves.push(other);
+            Tree::Leaf(leaves.len() - 1)
+        }
+    }
+}
+
+/// Strip one trailing `ua_c` marker column (the invariant position of the
+/// paper's encoding) so UA-path classification sees user-visible schemas.
+fn strip_trailing_marker(schema: Schema) -> Schema {
+    let cols = schema.columns();
+    match cols.last() {
+        Some(c) if c.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN) => {
+            Schema::new(cols[..cols.len() - 1].to_vec())
+        }
+        _ => schema,
+    }
+}
+
+/// Classify one conjunct of the flattened join graph. Returns `None` only
+/// for shapes that must disable reordering altogether (positional
+/// references in name-only mode, or positions outside the joined schema).
+fn classify_conjunct(
+    c: Expr,
+    schemas: &[Schema],
+    offsets: &[usize],
+    leaf_of_pos: &dyn Fn(usize) -> Option<usize>,
+    positional: bool,
+) -> Option<Placement> {
+    let mut cols: Vec<usize> = Vec::new();
+    let mut names: Vec<&str> = Vec::new();
+    collect_refs(&c, &mut cols, &mut names);
+    if !cols.is_empty() && !positional {
+        // Runtime schemas disagree with plan_schema on positions: any
+        // reorder would rebind these at the wrong columns.
+        return None;
+    }
+    let mut mask = 0u64;
+    let mut unresolvable = false;
+    for &p in &cols {
+        match leaf_of_pos(p) {
+            Some(l) => mask |= 1 << l,
+            // A position outside the joined schema errors at bind time;
+            // reordering cannot remap it, so it must disable the rewrite.
+            None => return None,
+        }
+    }
+    for n in &names {
+        match leaf_of_name(n, schemas) {
+            NameLeaf::One(l) => mask |= 1 << l,
+            NameLeaf::None | NameLeaf::Many => {
+                unresolvable = true;
+            }
+        }
+    }
+    drop(names);
+    if unresolvable || mask == 0 {
+        return Some(Placement::Top(c));
+    }
+    if mask.count_ones() == 1 {
+        let l = mask.trailing_zeros() as usize;
+        if is_error_free(&c) {
+            let local = remap_positions(&c, &|p| p - offsets[l]);
+            return Some(Placement::LeafFilter(l, local));
+        }
+        return Some(Placement::Top(c));
+    }
+    // Join edges, like every placement below a full-join filter, are
+    // restricted to error-free conjuncts: an edge's key expressions are
+    // evaluated per input row at whichever node the order puts it, so an
+    // error-capable equality (arithmetic can raise) relocated to an inner
+    // join could fail on rows the original plan never evaluated it on.
+    if mask.count_ones() == 2 && is_error_free(&c) {
+        if let Expr::Cmp(CmpOp::Eq, a, b) = &c {
+            let side_leaf = |e: &Expr| -> Option<usize> {
+                let mut cols = Vec::new();
+                let mut names = Vec::new();
+                collect_refs(e, &mut cols, &mut names);
+                let mut m = 0u64;
+                for &p in &cols {
+                    m |= 1 << leaf_of_pos(p)?;
+                }
+                for n in &names {
+                    match leaf_of_name(n, schemas) {
+                        NameLeaf::One(l) => m |= 1 << l,
+                        _ => return None,
+                    }
+                }
+                (m.count_ones() == 1).then(|| m.trailing_zeros() as usize)
+            };
+            if let (Some(l), Some(r)) = (side_leaf(a), side_leaf(b)) {
+                if l != r {
+                    return Some(Placement::Edge {
+                        l,
+                        r,
+                        l_expr: remap_positions(a, &|p| p - offsets[l]),
+                        r_expr: remap_positions(b, &|p| p - offsets[r]),
+                    });
+                }
+            }
+        }
+    }
+    if is_error_free(&c) {
+        Some(Placement::Node(mask, c))
+    } else {
+        Some(Placement::Top(c))
+    }
+}
+
+/// How a column name resolves across the leaf schemas.
+enum NameLeaf {
+    /// Unique match in exactly one leaf.
+    One(usize),
+    /// No leaf resolves it (unknown column in the concatenated schema).
+    None,
+    /// Ambiguous — within one leaf or across several.
+    Many,
+}
+
+fn leaf_of_name(name: &str, schemas: &[Schema]) -> NameLeaf {
+    let mut found: Option<usize> = None;
+    for (l, s) in schemas.iter().enumerate() {
+        match s.resolve(name) {
+            Ok(_) => match found {
+                None => found = Some(l),
+                Some(_) => return NameLeaf::Many,
+            },
+            Err(SchemaError::AmbiguousColumn(_)) => return NameLeaf::Many,
+            Err(_) => {}
+        }
+    }
+    match found {
+        Some(l) => NameLeaf::One(l),
+        None => NameLeaf::None,
+    }
+}
+
+/// Selinger-style dynamic programming over connected subsets: the best
+/// plan for a subset is the cheapest way to split it into two joinable
+/// halves, where cost is the cumulative estimated size of intermediate
+/// results. Disconnected subsets fall back to cross-product splits so a
+/// plan always exists.
+fn dp_order(n: usize, edges: &[(u64, f64)], rows_of: &dyn Fn(u64) -> f64) -> Option<Tree> {
+    let full: u64 = (1 << n) - 1;
+    let mut best: Vec<Option<(f64, Tree)>> = vec![None; (full + 1) as usize];
+    for i in 0..n {
+        best[1usize << i] = Some((0.0, Tree::Leaf(i)));
+    }
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let rows = rows_of(mask);
+        let low = mask & mask.wrapping_neg();
+        let mut found: Option<(f64, Tree)> = None;
+        for connected_only in [true, false] {
+            let mut a = (mask - 1) & mask;
+            while a > 0 {
+                // Canonical split: the half holding the lowest leaf is the
+                // left child (orientation is cosmetic — the physical pass
+                // picks the hash build side by cardinality either way).
+                if a & low != 0 {
+                    let b = mask & !a;
+                    let joinable = !connected_only
+                        || edges
+                            .iter()
+                            .any(|&(em, _)| em & a != 0 && em & b != 0 && em & mask == em);
+                    if joinable {
+                        if let (Some((ca, ta)), Some((cb, tb))) =
+                            (best[a as usize].as_ref(), best[b as usize].as_ref())
+                        {
+                            let cost = ca + cb + rows;
+                            if found.as_ref().is_none_or(|(c, _)| cost < *c) {
+                                found = Some((
+                                    cost,
+                                    Tree::Node(mask, Box::new(ta.clone()), Box::new(tb.clone())),
+                                ));
+                            }
+                        }
+                    }
+                }
+                a = (a - 1) & mask;
+            }
+            if found.is_some() {
+                break;
+            }
+        }
+        best[mask as usize] = found;
+    }
+    best[full as usize].take().map(|(_, t)| t)
+}
+
+/// Greedy operator ordering for joins too wide for the DP: repeatedly
+/// merge the pair of components with the smallest estimated join size,
+/// preferring edge-connected pairs.
+fn greedy_order(n: usize, edges: &[(u64, f64)], rows_of: &dyn Fn(u64) -> f64) -> Tree {
+    let mut comps: Vec<Tree> = (0..n).map(Tree::Leaf).collect();
+    while comps.len() > 1 {
+        let mut pick: Option<(f64, usize, usize)> = None;
+        for connected_only in [true, false] {
+            for i in 0..comps.len() {
+                for j in (i + 1)..comps.len() {
+                    let mask = comps[i].mask() | comps[j].mask();
+                    let joinable = !connected_only
+                        || edges
+                            .iter()
+                            .any(|&(em, _)| em & comps[i].mask() != 0 && em & comps[j].mask() != 0);
+                    if joinable {
+                        let rows = rows_of(mask);
+                        if pick.as_ref().is_none_or(|(r, ..)| rows < *r) {
+                            pick = Some((rows, i, j));
+                        }
+                    }
+                }
+            }
+            if pick.is_some() {
+                break;
+            }
+        }
+        let (_, i, j) = pick.expect("at least one pair");
+        let right = comps.remove(j);
+        let left = comps.remove(i);
+        let mask = left.mask() | right.mask();
+        comps.insert(i, Tree::Node(mask, Box::new(left), Box::new(right)));
+    }
+    comps.pop().expect("one component")
+}
+
+/// Emit the chosen join order as a logical plan: leaves under their pushed
+/// selections, edge equalities and covered conjuncts as join predicates at
+/// their lowest covering node, top conjuncts as a filter over the full
+/// join, and — when the leaf sequence changed — a projection restoring the
+/// as-written column order.
+fn emit_reordered(
+    tree: &Tree,
+    leaves: &[Plan],
+    schemas: &[Schema],
+    offsets: &[usize],
+    placements: Vec<Placement>,
+    total_arity: usize,
+    positional: bool,
+) -> Option<Plan> {
+    let mut order: Vec<usize> = Vec::with_capacity(leaves.len());
+    tree.inorder(&mut order);
+
+    // New global offset of each leaf under the reordered sequence.
+    let mut new_offsets = vec![0usize; leaves.len()];
+    {
+        let mut acc = 0usize;
+        for &l in &order {
+            new_offsets[l] = acc;
+            acc += schemas[l].arity();
+        }
+    }
+    let new_pos = |p: usize| -> usize {
+        let l = offsets.iter().rposition(|&off| off <= p).expect("offset 0");
+        new_offsets[l] + (p - offsets[l])
+    };
+
+    let mut leaf_filters: Vec<Vec<Expr>> = vec![Vec::new(); leaves.len()];
+    let mut edges: Vec<(u64, usize, usize, Expr, Expr, bool)> = Vec::new();
+    let mut node_conjuncts: Vec<(u64, Expr, bool)> = Vec::new();
+    let mut top: Vec<Expr> = Vec::new();
+    for p in placements {
+        match p {
+            Placement::LeafFilter(l, e) => leaf_filters[l].push(e),
+            Placement::Edge {
+                l,
+                r,
+                l_expr,
+                r_expr,
+            } => edges.push(((1u64 << l) | (1u64 << r), l, r, l_expr, r_expr, false)),
+            Placement::Node(mask, e) => node_conjuncts.push((mask, e, false)),
+            Placement::Top(e) => top.push(e),
+        }
+    }
+
+    let plan = emit_tree(
+        tree,
+        leaves,
+        schemas,
+        offsets,
+        &leaf_filters,
+        &mut edges,
+        &mut node_conjuncts,
+    );
+    // Edges whose endpoints never ended up split across a node (possible
+    // only in degenerate shapes) and leftovers keep their semantics at the
+    // top, alongside the conjuncts routed there directly.
+    let mut leftovers: Vec<Expr> = Vec::new();
+    for (_, l, r, l_expr, r_expr, used) in &edges {
+        if !used {
+            leftovers.push(Expr::Cmp(
+                CmpOp::Eq,
+                Box::new(remap_positions(l_expr, &|p| p + new_offsets[*l])),
+                Box::new(remap_positions(r_expr, &|p| p + new_offsets[*r])),
+            ));
+        }
+    }
+    for (_, e, placed) in &node_conjuncts {
+        if !placed {
+            leftovers.push(remap_positions(e, &new_pos));
+        }
+    }
+    // Leftovers (all error-free) merge into one conjunction, but the Top
+    // conjuncts — error-capable or unresolvable — are stacked as
+    // *individual* filters in their original inner-to-outer order: `And`
+    // evaluates both operands eagerly, so merging them would run an outer
+    // error-capable predicate on rows an inner one used to exclude (e.g.
+    // a `x <> 0` guard under `100 / x > 10`). `top` holds conjuncts in
+    // peel order (outermost first), hence the reverse.
+    let mut plan = wrap_filters(plan, leftovers);
+    for e in top.into_iter().rev() {
+        plan = Plan::Filter {
+            input: Box::new(plan),
+            predicate: remap_positions(&e, &new_pos),
+        };
+    }
+
+    // Column-order restoration, needed whenever the leaf sequence moved.
+    let identity: Vec<usize> = (0..leaves.len()).collect();
+    if order == identity {
+        return Some(plan);
+    }
+    let reordered_schema = {
+        let mut cols = Vec::with_capacity(total_arity);
+        for &l in &order {
+            cols.extend(schemas[l].columns().iter().cloned());
+        }
+        Schema::new(cols)
+    };
+    let mut columns = Vec::with_capacity(total_arity);
+    for (l, schema) in schemas.iter().enumerate() {
+        for (k, col) in schema.columns().iter().enumerate() {
+            let target = new_offsets[l] + k;
+            let expr = if positional {
+                Expr::Col(target)
+            } else {
+                // Name-based restoration: the column's own reference must
+                // resolve uniquely to its new position.
+                let reference = match &col.qualifier {
+                    Some(q) => format!("{q}.{}", col.name),
+                    None => col.name.to_string(),
+                };
+                if !matches!(reordered_schema.resolve(&reference), Ok(i) if i == target) {
+                    return None;
+                }
+                Expr::named(reference)
+            };
+            columns.push(ProjColumn::with_column(expr, col.clone()));
+        }
+    }
+    Some(Plan::Map {
+        input: Box::new(plan),
+        columns,
+    })
+}
+
+/// Recursively emit one subtree, consuming edges and node conjuncts at
+/// their lowest covering node.
+fn emit_tree(
+    tree: &Tree,
+    leaves: &[Plan],
+    schemas: &[Schema],
+    offsets: &[usize],
+    leaf_filters: &[Vec<Expr>],
+    edges: &mut Vec<(u64, usize, usize, Expr, Expr, bool)>,
+    node_conjuncts: &mut Vec<(u64, Expr, bool)>,
+) -> Plan {
+    match tree {
+        Tree::Leaf(i) => wrap_filters(leaves[*i].clone(), leaf_filters[*i].clone()),
+        Tree::Node(mask, a, b) => {
+            let left = emit_tree(
+                a,
+                leaves,
+                schemas,
+                offsets,
+                leaf_filters,
+                edges,
+                node_conjuncts,
+            );
+            let right = emit_tree(
+                b,
+                leaves,
+                schemas,
+                offsets,
+                leaf_filters,
+                edges,
+                node_conjuncts,
+            );
+            // This node's concatenated schema: subtree leaves in order.
+            let mut node_order: Vec<usize> = Vec::new();
+            a.inorder(&mut node_order);
+            b.inorder(&mut node_order);
+            let mut node_offsets = vec![0usize; leaves.len()];
+            {
+                let mut acc = 0usize;
+                for &l in &node_order {
+                    node_offsets[l] = acc;
+                    acc += schemas[l].arity();
+                }
+            }
+            let node_pos = |p: usize| -> usize {
+                let l = offsets.iter().rposition(|&off| off <= p).expect("offset 0");
+                node_offsets[l] + (p - offsets[l])
+            };
+            let (amask, bmask) = (a.mask(), b.mask());
+            let mut predicate: Vec<Expr> = Vec::new();
+            for (emask, l, r, l_expr, r_expr, used) in edges.iter_mut() {
+                let crosses = *emask & amask != 0 && *emask & bmask != 0;
+                if !*used && crosses {
+                    *used = true;
+                    predicate.push(Expr::Cmp(
+                        CmpOp::Eq,
+                        Box::new(remap_positions(l_expr, &|p| p + node_offsets[*l])),
+                        Box::new(remap_positions(r_expr, &|p| p + node_offsets[*r])),
+                    ));
+                }
+            }
+            for (cmask, e, placed) in node_conjuncts.iter_mut() {
+                let covered = *cmask & *mask == *cmask;
+                let inside_child = *cmask & amask == *cmask || *cmask & bmask == *cmask;
+                if !*placed && covered && !inside_child {
+                    *placed = true;
+                    predicate.push(remap_positions(e, &node_pos));
+                }
+            }
+            Plan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                predicate: option_conjunction(predicate),
+            }
+        }
     }
 }
 
@@ -571,6 +1729,18 @@ fn peels_to_join(plan: &Plan) -> bool {
     }
 }
 
+/// Like [`peels_to_join`], but looking through interposed projections: a
+/// filter over `Map(… Join …)` can reach the join once `push_filters`
+/// substitutes it through (the shape the UA rewriting's marker Maps
+/// produce).
+fn peels_to_join_through_maps(plan: &Plan) -> bool {
+    match plan {
+        Plan::Join { .. } => true,
+        Plan::Filter { input, .. } | Plan::Map { input, .. } => peels_to_join_through_maps(input),
+        _ => false,
+    }
+}
+
 fn wrap_filters(plan: Plan, conjuncts: Vec<Expr>) -> Plan {
     if conjuncts.is_empty() {
         plan
@@ -710,7 +1880,8 @@ mod tests {
             }),
             predicate: Expr::named("b").gt(Expr::lit(15i64)),
         };
-        let optimized = push_filters(plan.clone());
+        let c = catalog();
+        let optimized = push_filters(plan.clone(), &c);
         match &optimized {
             Plan::Map { input, .. } => {
                 assert!(
@@ -741,8 +1912,8 @@ mod tests {
             }),
             predicate: Expr::named("s").ge(Expr::lit(22i64)),
         };
-        let optimized = push_filters(plan.clone());
         let c = catalog();
+        let optimized = push_filters(plan.clone(), &c);
         assert_eq!(
             execute(&plan, &c).unwrap().sorted_rows(),
             execute(&optimized, &c).unwrap().sorted_rows()
@@ -761,7 +1932,10 @@ mod tests {
             }),
             predicate: Expr::named("zzz").gt(Expr::lit(0i64)),
         };
-        assert!(matches!(push_filters(plan), Plan::Filter { .. }));
+        assert!(matches!(
+            push_filters(plan, &catalog()),
+            Plan::Filter { .. }
+        ));
     }
 
     #[test]
@@ -860,6 +2034,7 @@ mod tests {
     fn estimates_anchor_on_catalog_cardinalities() {
         let c = catalog();
         assert_eq!(estimate_rows(&Plan::Scan("r".into()), &c), Some(3));
+        // An unestimable predicate falls back to the 1/3 default.
         assert_eq!(
             estimate_rows(
                 &Plan::Filter {
@@ -871,5 +2046,125 @@ mod tests {
             Some(1)
         );
         assert_eq!(estimate_rows(&Plan::Scan("nope".into()), &c), None);
+    }
+
+    #[test]
+    fn filter_estimates_use_histograms_and_ndv() {
+        let c = Catalog::new();
+        c.register(
+            "u",
+            Table::from_rows(
+                Schema::qualified("u", ["a"]),
+                (0..100i64).map(|i| tuple![i]).collect(),
+            ),
+        );
+        let filt = |predicate: Expr| Plan::Filter {
+            input: Box::new(Plan::Scan("u".into())),
+            predicate,
+        };
+        // Range: `a >= 75` keeps ~1/4 of a uniform 0..100 column.
+        let quarter = estimate_rows(&filt(Expr::named("a").ge(Expr::lit(75i64))), &c).unwrap();
+        assert!((20..=32).contains(&quarter), "got {quarter}");
+        // Equality: 1/ndv = 1/100 → ~1 row.
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").eq(Expr::lit(42i64))), &c),
+            Some(1)
+        );
+        // A literal outside the observed range matches nothing.
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").eq(Expr::lit(1000i64))), &c),
+            Some(0)
+        );
+        // Conjunctions multiply under the independence assumption
+        // (0.5 · 0.75 ≈ 37 rows here); the estimate sinks through Alias.
+        let aliased = Plan::Filter {
+            input: Box::new(Plan::Alias {
+                input: Box::new(Plan::Scan("u".into())),
+                name: "q".into(),
+            }),
+            predicate: Expr::named("q.a")
+                .ge(Expr::lit(50i64))
+                .and(Expr::named("q.a").lt(Expr::lit(75i64))),
+        };
+        let est = estimate_rows(&aliased, &c).unwrap();
+        assert!((33..=42).contains(&est), "got {est}");
+    }
+
+    #[test]
+    fn strict_bounds_at_observed_extremes_use_the_point_mass() {
+        // Half the rows equal the maximum; `a < max` must not estimate 1.0
+        // (the continuous bucket model alone would) — it is clamped by the
+        // equality point mass `1/ndv`.
+        let c = Catalog::new();
+        c.register(
+            "u",
+            Table::from_rows(
+                Schema::qualified("u", ["a"]),
+                (0..100i64).map(|i| tuple![i % 2]).collect(),
+            ),
+        );
+        let filt = |predicate: Expr| Plan::Filter {
+            input: Box::new(Plan::Scan("u".into())),
+            predicate,
+        };
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").lt(Expr::lit(1i64))), &c),
+            Some(50)
+        );
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").gt(Expr::lit(0i64))), &c),
+            Some(50)
+        );
+        // The mirrored non-strict bounds must not estimate 0 rows.
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").ge(Expr::lit(1i64))), &c),
+            Some(50)
+        );
+        assert_eq!(
+            estimate_rows(&filt(Expr::named("a").le(Expr::lit(0i64))), &c),
+            Some(50)
+        );
+    }
+
+    #[test]
+    fn equi_join_estimates_use_distinct_counts() {
+        // u(k): 100 rows, 10 distinct keys; v(k): 50 rows, 50 distinct.
+        // |u ⋈ v| ≈ 100·50 / max(10, 50) = 100.
+        let c = Catalog::new();
+        c.register(
+            "u",
+            Table::from_rows(
+                Schema::qualified("u", ["k"]),
+                (0..100i64).map(|i| tuple![i % 10]).collect(),
+            ),
+        );
+        c.register(
+            "v",
+            Table::from_rows(
+                Schema::qualified("v", ["k"]),
+                (0..50i64).map(|i| tuple![i]).collect(),
+            ),
+        );
+        let join = Plan::Join {
+            left: Box::new(Plan::Scan("u".into())),
+            right: Box::new(Plan::Scan("v".into())),
+            predicate: Some(Expr::named("u.k").eq(Expr::named("v.k"))),
+        };
+        assert_eq!(estimate_rows(&join, &c), Some(100));
+    }
+
+    #[test]
+    fn estimates_follow_table_replacement() {
+        // Re-registering a table must change subsequent estimates — the
+        // stats cache validates against the live store.
+        let c = Catalog::new();
+        let schema = Schema::qualified("w", ["a"]);
+        c.register("w", Table::from_rows(schema.clone(), vec![tuple![1i64]]));
+        assert_eq!(estimate_rows(&Plan::Scan("w".into()), &c), Some(1));
+        c.register(
+            "w",
+            Table::from_rows(schema, (0..500i64).map(|i| tuple![i]).collect()),
+        );
+        assert_eq!(estimate_rows(&Plan::Scan("w".into()), &c), Some(500));
     }
 }

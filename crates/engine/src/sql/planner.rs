@@ -125,6 +125,21 @@ pub fn plan_query(
 /// output column; anything else is lowered as-is and binds against the
 /// output schema.
 fn lower_order_key(expr: &SqlExpr, select: &SelectStmt) -> Result<Expr, EngineError> {
+    // SQL resolves a bare ORDER BY identifier against output aliases
+    // *first* — `SELECT a AS b, b AS a ... ORDER BY a` orders by the
+    // output column `a` (source `b`), not by the item whose source text
+    // happens to be `a`.
+    if let SqlExpr::Column(name) = expr {
+        if !name.contains('.')
+            && select.items.iter().any(|item| {
+                item.alias
+                    .as_deref()
+                    .is_some_and(|a| a.eq_ignore_ascii_case(name))
+            })
+        {
+            return Ok(Expr::named(name.clone()));
+        }
+    }
     for (i, item) in select.items.iter().enumerate() {
         if item.expr == *expr {
             let name = match &item.alias {
@@ -646,6 +661,24 @@ mod tests {
         assert_eq!(t.rows(), &[tuple!["ann", 100i64]]);
         let t = run("SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY count(*) DESC LIMIT 1");
         assert_eq!(t.rows(), &[tuple!["eng", 2i64]]);
+    }
+
+    #[test]
+    fn order_by_resolves_output_aliases_before_source_text() {
+        // With the alias swap `a AS b, b AS a`, `ORDER BY a` means the
+        // *output* column `a` (source b): 50 before 100.
+        let c = catalog();
+        c.register(
+            "t",
+            Table::from_rows(
+                Schema::qualified("t", ["a", "b"]),
+                vec![tuple![1i64, 100i64], tuple![2i64, 50i64]],
+            ),
+        );
+        let q = parse("SELECT a AS b, b AS a FROM t ORDER BY a ASC").unwrap();
+        let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+        let t = execute(&plan, &c).unwrap();
+        assert_eq!(t.rows(), &[tuple![2i64, 50i64], tuple![1i64, 100i64]]);
     }
 
     #[test]

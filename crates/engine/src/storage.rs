@@ -13,6 +13,8 @@ use std::sync::Arc;
 use ua_data::relation::Relation;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashSet;
 
 /// A materialized bag of rows.
 #[derive(Clone, Debug, PartialEq)]
@@ -123,10 +125,152 @@ impl Table {
     }
 }
 
-/// A shared, thread-safe catalog of named tables.
+/// Number of buckets in an equi-width [`Histogram`].
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// An equi-width histogram over a numeric column's non-null values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Histogram {
+    /// Smallest observed value.
+    pub lo: f64,
+    /// Largest observed value.
+    pub hi: f64,
+    /// Per-bucket value counts over `[lo, hi]` split into
+    /// [`HISTOGRAM_BUCKETS`] equal-width ranges (the last bucket is
+    /// closed on both ends).
+    pub buckets: Vec<u64>,
+    /// Total number of bucketed (numeric, non-null) values.
+    pub total: u64,
+}
+
+impl Histogram {
+    /// Estimated fraction of values `< v` (`inclusive` makes it `<= v`),
+    /// assuming uniform distribution within a bucket.
+    pub fn fraction_below(&self, v: f64, inclusive: bool) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        if v < self.lo || (v == self.lo && !inclusive) {
+            return 0.0;
+        }
+        if v > self.hi || (v == self.hi && inclusive) {
+            return 1.0;
+        }
+        let width = (self.hi - self.lo) / self.buckets.len() as f64;
+        if width <= 0.0 {
+            // Single-point histogram: lo == hi == v here.
+            return if inclusive { 1.0 } else { 0.0 };
+        }
+        let pos = (v - self.lo) / width;
+        let idx = (pos as usize).min(self.buckets.len() - 1);
+        let below: u64 = self.buckets[..idx].iter().sum();
+        let frac_in_bucket = pos - idx as f64;
+        (below as f64 + self.buckets[idx] as f64 * frac_in_bucket) / self.total as f64
+    }
+}
+
+/// Per-column statistics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ColumnStats {
+    /// Number of distinct values (join-key-normalized, so `2` and `2.0`
+    /// count once — matching SQL's coercing `=`).
+    pub distinct: u64,
+    /// Number of SQL-null / labeled-null values.
+    pub nulls: u64,
+    /// Equi-width histogram, present iff every non-null value is numeric.
+    pub histogram: Option<Histogram>,
+}
+
+/// Per-table statistics: row count plus per-column distinct counts and
+/// histograms. Collected on catalog registration (load/insert) and
+/// refreshable via [`Catalog::analyze`]; the optimizer's selectivity and
+/// join-ordering estimates read them through [`Catalog::stats_of`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableStats {
+    /// Bag cardinality (row copies).
+    pub rows: u64,
+    /// One entry per schema column, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Scan `table` once per column and collect statistics.
+    pub fn collect(table: &Table) -> TableStats {
+        let rows = table.rows();
+        let columns = (0..table.schema().arity())
+            .map(|c| {
+                let mut seen: FxHashSet<Value> = FxHashSet::default();
+                let mut nulls = 0u64;
+                let mut numeric = true;
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for row in rows {
+                    let v = row.get(c).expect("arity checked");
+                    if v.is_unknown() {
+                        nulls += 1;
+                        continue;
+                    }
+                    seen.insert(v.clone().join_key());
+                    match v.as_f64() {
+                        Some(x) => {
+                            lo = lo.min(x);
+                            hi = hi.max(x);
+                        }
+                        None => numeric = false,
+                    }
+                }
+                let histogram = if numeric && lo <= hi {
+                    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+                    let width = (hi - lo) / HISTOGRAM_BUCKETS as f64;
+                    let mut total = 0u64;
+                    for row in rows {
+                        let v = row.get(c).expect("arity checked");
+                        if let Some(x) = v.as_f64() {
+                            let idx = if width > 0.0 {
+                                (((x - lo) / width) as usize).min(HISTOGRAM_BUCKETS - 1)
+                            } else {
+                                0
+                            };
+                            buckets[idx] += 1;
+                            total += 1;
+                        }
+                    }
+                    Some(Histogram {
+                        lo,
+                        hi,
+                        buckets,
+                        total,
+                    })
+                } else {
+                    None
+                };
+                ColumnStats {
+                    distinct: seen.len() as u64,
+                    nulls,
+                    histogram,
+                }
+            })
+            .collect();
+        TableStats {
+            rows: rows.len() as u64,
+            columns,
+        }
+    }
+}
+
+/// A shared, thread-safe catalog of named tables, with per-table statistics.
 #[derive(Default)]
 pub struct Catalog {
-    tables: RwLock<BTreeMap<String, Arc<Table>>>,
+    /// Tables, each tagged with the registration generation that produced
+    /// it (a catalog-wide monotonic counter — unforgeable, unlike a raw
+    /// `Arc` address, which the allocator could reuse).
+    tables: RwLock<BTreeMap<String, (u64, Arc<Table>)>>,
+    /// Stats cache, keyed by table name and tagged with the generation of
+    /// the table they were collected from — [`Catalog::stats_of`] validates
+    /// the tag against the live store, so a replaced table never serves a
+    /// stale snapshot, even under racing registrations.
+    stats: RwLock<BTreeMap<String, (u64, Arc<TableStats>)>>,
+    generation: std::sync::atomic::AtomicU64,
 }
 
 impl Catalog {
@@ -135,23 +279,76 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Register (or replace) a table.
+    fn next_generation(&self) -> u64 {
+        self.generation
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Register (or replace) a table. Statistics are collected immediately
+    /// (the "on load/insert" collection point).
     pub fn register(&self, name: impl Into<String>, table: Table) {
-        self.tables.write().insert(name.into(), Arc::new(table));
+        let name = name.into();
+        let stats = Arc::new(TableStats::collect(&table));
+        let generation = self.next_generation();
+        self.tables
+            .write()
+            .insert(name.clone(), (generation, Arc::new(table)));
+        self.stats.write().insert(name, (generation, stats));
     }
 
     /// Fetch a table by name.
     pub fn get(&self, name: &str) -> Option<Arc<Table>> {
-        self.tables.read().get(name).cloned()
+        self.tables.read().get(name).map(|(_, t)| Arc::clone(t))
+    }
+
+    /// Statistics for a table, collected from the *live* store: a cached
+    /// snapshot is served only while it still describes the currently
+    /// registered table; otherwise stats are recollected on the spot.
+    pub fn stats_of(&self, name: &str) -> Option<Arc<TableStats>> {
+        let (generation, table) = {
+            let tables = self.tables.read();
+            let (generation, table) = tables.get(name)?;
+            (*generation, Arc::clone(table))
+        };
+        if let Some((cached, stats)) = self.stats.read().get(name) {
+            if *cached == generation {
+                return Some(Arc::clone(stats));
+            }
+        }
+        let stats = Arc::new(TableStats::collect(&table));
+        self.stats
+            .write()
+            .insert(name.to_string(), (generation, Arc::clone(&stats)));
+        Some(stats)
+    }
+
+    /// `ANALYZE`-style refresh: recollect a table's statistics from the live
+    /// store unconditionally. Returns the fresh stats, or `None` for an
+    /// unknown table.
+    pub fn analyze(&self, name: &str) -> Option<Arc<TableStats>> {
+        let (generation, table) = {
+            let tables = self.tables.read();
+            let (generation, table) = tables.get(name)?;
+            (*generation, Arc::clone(table))
+        };
+        let stats = Arc::new(TableStats::collect(&table));
+        self.stats
+            .write()
+            .insert(name.to_string(), (generation, Arc::clone(&stats)));
+        Some(stats)
     }
 
     /// The schema of a table.
     pub fn schema_of(&self, name: &str) -> Option<Schema> {
-        self.tables.read().get(name).map(|t| t.schema().clone())
+        self.tables
+            .read()
+            .get(name)
+            .map(|(_, t)| t.schema().clone())
     }
 
     /// Drop a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
+        self.stats.write().remove(name);
         self.tables.write().remove(name).is_some()
     }
 
@@ -194,5 +391,95 @@ mod tests {
     fn arity_checked() {
         let mut t = Table::new(Schema::qualified("r", ["a", "b"]));
         t.push(tuple![1i64]);
+    }
+
+    #[test]
+    fn stats_collected_on_register() {
+        let catalog = Catalog::new();
+        catalog.register(
+            "r",
+            Table::from_rows(
+                Schema::qualified("r", ["a", "s"]),
+                vec![
+                    tuple![1i64, "x"],
+                    tuple![1i64, "y"],
+                    tuple![5i64, "x"],
+                    tuple![9i64, "z"],
+                ],
+            ),
+        );
+        let stats = catalog.stats_of("r").unwrap();
+        assert_eq!(stats.rows, 4);
+        assert_eq!(stats.columns[0].distinct, 3);
+        assert_eq!(stats.columns[1].distinct, 3);
+        let h = stats.columns[0].histogram.as_ref().unwrap();
+        assert_eq!((h.lo, h.hi, h.total), (1.0, 9.0, 4));
+        assert!(
+            stats.columns[1].histogram.is_none(),
+            "string column has no histogram"
+        );
+        assert!(catalog.stats_of("nope").is_none());
+    }
+
+    #[test]
+    fn histogram_fractions_interpolate() {
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a"]),
+            (0..100i64).map(|i| tuple![i]).collect(),
+        );
+        let stats = TableStats::collect(&t);
+        let h = stats.columns[0].histogram.as_ref().unwrap();
+        assert_eq!(h.fraction_below(0.0, false), 0.0);
+        assert_eq!(h.fraction_below(99.0, true), 1.0);
+        let quarter = h.fraction_below(25.0, false);
+        assert!(
+            (quarter - 0.25).abs() < 0.05,
+            "expected ~0.25, got {quarter}"
+        );
+    }
+
+    #[test]
+    fn distinct_counts_coerce_like_join_keys() {
+        // 2 and 2.0 join under SQL `=`; the distinct count agrees.
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a"]),
+            vec![tuple![2i64], tuple![2.0], tuple![3i64]],
+        );
+        assert_eq!(TableStats::collect(&t).columns[0].distinct, 2);
+    }
+
+    #[test]
+    fn stats_track_the_live_store() {
+        // Replacing a table must not serve the old snapshot; `analyze`
+        // refreshes explicitly.
+        let catalog = Catalog::new();
+        let schema = Schema::qualified("r", ["a"]);
+        catalog.register("r", Table::from_rows(schema.clone(), vec![tuple![1i64]]));
+        assert_eq!(catalog.stats_of("r").unwrap().rows, 1);
+        catalog.register(
+            "r",
+            Table::from_rows(schema, vec![tuple![1i64], tuple![2i64], tuple![3i64]]),
+        );
+        assert_eq!(catalog.stats_of("r").unwrap().rows, 3);
+        assert_eq!(catalog.analyze("r").unwrap().rows, 3);
+        catalog.drop_table("r");
+        assert!(catalog.stats_of("r").is_none());
+    }
+
+    #[test]
+    fn nulls_are_counted_not_bucketed() {
+        use ua_data::value::Value;
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a"]),
+            vec![
+                tuple![1i64],
+                Tuple::new(vec![Value::Null]),
+                Tuple::new(vec![Value::Null]),
+            ],
+        );
+        let stats = TableStats::collect(&t);
+        assert_eq!(stats.columns[0].nulls, 2);
+        assert_eq!(stats.columns[0].distinct, 1);
+        assert_eq!(stats.columns[0].histogram.as_ref().unwrap().total, 1);
     }
 }

@@ -76,6 +76,10 @@ pub struct UaSession {
     /// plans. On by default; the differential test harness turns it off to
     /// compare engines on raw plans.
     optimizer: AtomicBool,
+    /// Whether the statistics-driven join-reordering pass runs within the
+    /// pipeline. On by default; the `multi_join` bench turns it off to
+    /// measure the as-written join order with everything else unchanged.
+    reorder: AtomicBool,
 }
 
 impl Default for UaSession {
@@ -84,6 +88,7 @@ impl Default for UaSession {
             catalog: Catalog::default(),
             mode: AtomicU8::new(0),
             optimizer: AtomicBool::new(true),
+            reorder: AtomicBool::new(true),
         }
     }
 }
@@ -131,6 +136,19 @@ impl UaSession {
         self.optimizer.load(Ordering::Relaxed)
     }
 
+    /// Enable or disable the statistics-driven join-reordering pass
+    /// (`optimize::reorder_joins`) while keeping the rest of the pipeline
+    /// (filter pushdown, hash-join planning) untouched. On by default;
+    /// turning it off restores the as-written join order.
+    pub fn set_reorder_joins_enabled(&self, enabled: bool) {
+        self.reorder.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether the join-reordering pass runs.
+    pub fn reorder_joins_enabled(&self) -> bool {
+        self.reorder.load(Ordering::Relaxed)
+    }
+
     /// The shared optimization step: every query plan — deterministic or
     /// UA, row or vectorized — passes through here before executor
     /// dispatch, so both engines always run plans shaped by the same
@@ -145,19 +163,43 @@ impl UaSession {
     /// join planning is restricted to name-based classification (all plans
     /// lowered from SQL are name-based; only programmatic `RaExpr` queries
     /// with `Expr::Col` predicates give up the hash-join rewrite, keeping
-    /// their pre-optimizer runtime-binding semantics).
+    /// their pre-optimizer runtime-binding semantics). Join *reordering*
+    /// already happened on the shared user plan ([`Self::reorder_user_ra`])
+    /// before dispatch, so the pass is off here.
     fn optimize_plan_stripped(&self, plan: Plan) -> Plan {
         self.optimize_plan_with(
             plan,
             crate::optimize::OptimizerPasses {
                 positional_joins: false,
+                reorder_joins: false,
                 ..Default::default()
             },
         )
     }
 
+    /// Statistics-driven join reordering for UA queries, applied to the
+    /// *user* `RA⁺` query before the two execution paths diverge — the row
+    /// engine rewrites with `⟦·⟧_UA` (whose marker-combining projections
+    /// would otherwise hide the join tree from the optimizer) and the
+    /// vectorized engine executes the user plan directly, so reordering
+    /// here is the single point that keeps both engines on the same join
+    /// order (and therefore the same output row order, which the
+    /// differential harness asserts byte-for-byte).
+    fn reorder_user_ra(&self, ra: ua_data::RaExpr) -> ua_data::RaExpr {
+        if !self.optimizer_enabled() || !self.reorder_joins_enabled() {
+            return ra;
+        }
+        let reordered = crate::optimize::reorder_joins_ua(Plan::from_ra(&ra), &self.catalog);
+        // The pass emits only RA⁺ shapes; fall back defensively otherwise.
+        reordered.to_ra().unwrap_or(ra)
+    }
+
     fn optimize_plan_with(&self, plan: Plan, passes: crate::optimize::OptimizerPasses) -> Plan {
         if self.optimizer_enabled() {
+            let passes = crate::optimize::OptimizerPasses {
+                reorder_joins: passes.reorder_joins && self.reorder_joins_enabled(),
+                ..passes
+            };
             crate::optimize::optimize_with(plan, &self.catalog, passes)
         } else {
             plan
@@ -215,14 +257,15 @@ impl UaSession {
     pub fn explain_ua(&self, sql: &str) -> Result<String, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
-        let ra = plan
+        let user_ra = plan
             .to_ra()
             .ok_or_else(|| EngineError::Sql("EXPLAIN UA supports the RA⁺ fragment".into()))?;
+        let ra = self.reorder_user_ra(user_ra.clone());
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
         let physical = self.optimize_plan(Plan::from_ra(&rewritten));
         Ok(format!(
-            "user plan:\n  {ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}\nphysical (optimized):\n  {physical}"
+            "user plan:\n  {user_ra}\nrewritten (⟦·⟧_UA):\n  {rewritten}\nphysical (optimized):\n  {physical}"
         ))
     }
 
@@ -268,6 +311,7 @@ impl UaSession {
                     .into(),
             )
         })?;
+        let ra = self.reorder_user_ra(ra);
         // Both branches below run the SAME optimizer pipeline
         // (`optimize_plan`) on the plan their executor receives, before
         // dispatch — the uniformity the differential harness asserts.

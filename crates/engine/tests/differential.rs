@@ -118,6 +118,13 @@ const SOURCES: [Source; 3] = [
     },
 ];
 
+/// A fourth annotated source (a re-annotation of `ti` under a fresh alias)
+/// so 4-way joins have four distinct relations.
+const SOURCE_W: Source = Source {
+    from: "ti IS TI WITH PROBABILITY (p) w",
+    cols: ["w.a", "w.b"],
+};
+
 const OPS: [&str; 4] = ["=", "<", ">=", "<>"];
 
 fn atom(col: &str, op: usize, lit: i64) -> String {
@@ -228,8 +235,69 @@ fn arb_compound() -> impl Strategy<Value = String> {
     )
 }
 
+/// 3- and 4-way comma-joins over mixed TI/BI/C-table sources, in a
+/// randomized FROM order with a chain of equi-conjuncts plus an optional
+/// single-side atom — exactly the shapes the join-reordering pass rewrites
+/// (and re-routes through the uniform pre-dispatch pipeline on both
+/// engines).
+fn arb_multi_join() -> impl Strategy<Value = String> {
+    (
+        0usize..6,
+        proptest::bool::ANY,
+        (0usize..2, 0usize..2, 0usize..2),
+        // `src == 3` means "no extra atom".
+        (0usize..4, 0usize..4, 0i64..6),
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(perm, four_way, (k1, k2, k3), (atom_src, atom_op, atom_lit), star)| {
+                const PERMS: [[usize; 3]; 6] = [
+                    [0, 1, 2],
+                    [0, 2, 1],
+                    [1, 0, 2],
+                    [1, 2, 0],
+                    [2, 0, 1],
+                    [2, 1, 0],
+                ];
+                let mut sources: Vec<&Source> = PERMS[perm].iter().map(|&i| &SOURCES[i]).collect();
+                if four_way {
+                    sources.push(&SOURCE_W);
+                }
+                let from = sources
+                    .iter()
+                    .map(|s| s.from)
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                // Chain: s0.c = s1.c' AND s1.c'' = s2.c''' (AND s2.c = s3.c).
+                let mut conjuncts = vec![
+                    format!("{} = {}", sources[0].cols[k1], sources[1].cols[k2]),
+                    format!("{} = {}", sources[1].cols[k2], sources[2].cols[k3]),
+                ];
+                if four_way {
+                    conjuncts.push(format!("{} = {}", sources[2].cols[k3], sources[3].cols[0]));
+                }
+                if atom_src < 3 {
+                    conjuncts.push(atom(
+                        sources[atom_src % sources.len()].cols[0],
+                        atom_op,
+                        atom_lit,
+                    ));
+                }
+                let projection = if star {
+                    "*".to_string()
+                } else {
+                    format!("{}, {}", sources[0].cols[1], sources[2].cols[0])
+                };
+                format!(
+                    "SELECT {projection} FROM {from} WHERE {}",
+                    conjuncts.join(" AND ")
+                )
+            },
+        )
+}
+
 fn arb_query() -> impl Strategy<Value = String> {
-    prop_oneof![arb_single(), arb_join(), arb_compound()]
+    prop_oneof![arb_single(), arb_join(), arb_compound(), arb_multi_join()]
 }
 
 fn run_ua(sql: &str, mode: ExecMode, optimizer: bool) -> Result<UaResult, EngineError> {
@@ -431,6 +499,53 @@ fn positional_predicates_keep_runtime_binding_semantics_in_vectorized_ua() {
              vectorized path and must match nothing, got {:?}",
             result.table.rows()
         );
+    }
+}
+
+/// Regression: 3- and 4-way comma-joins in deliberately bad orders execute
+/// identically — label for label, in the same row order — on both engines
+/// with the optimizer on and off, under UA and deterministic semantics.
+/// (The UA reordering happens once, on the shared user plan, so the row
+/// path's rewritten plan and the vectorized path's bitmap propagation keep
+/// the same join order; this is what makes byte-equality possible.)
+#[test]
+fn multi_way_comma_joins_agree_across_engines_and_optimizer() {
+    ua_vecexec::install();
+    let queries = [
+        // Chain through the middle relation.
+        "SELECT * FROM ti IS TI WITH PROBABILITY (p) x, \
+         xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y, \
+         ct IS CTABLE WITH VARIABLES (v1) LOCAL CONDITION (lc) z \
+         WHERE x.a = y.k AND y.k = z.a",
+        // Star centered on the first relation, plus a single-side atom.
+        "SELECT x.b, z.g FROM ti IS TI WITH PROBABILITY (p) x, \
+         xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y, \
+         ct IS CTABLE WITH VARIABLES (v1) LOCAL CONDITION (lc) z \
+         WHERE x.a = y.k AND x.a = z.a AND y.v >= 1",
+        // 4-way chain with a re-annotated ti under a fresh alias.
+        "SELECT x.a, w.b FROM ti IS TI WITH PROBABILITY (p) x, \
+         xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) y, \
+         ct IS CTABLE WITH VARIABLES (v1) LOCAL CONDITION (lc) z, \
+         ti IS TI WITH PROBABILITY (p) w \
+         WHERE x.a = y.k AND y.k = z.a AND z.a = w.a",
+    ];
+    for sql in queries {
+        assert_engines_agree_ua(sql, true);
+        assert_engines_agree_ua(sql, false);
+        let opt = run_ua(sql, ExecMode::Row, true).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let raw = run_ua(sql, ExecMode::Row, false).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        assert!(!opt.table.is_empty(), "degenerate (empty) join: {sql}");
+        assert_eq!(
+            opt.table.sorted_rows(),
+            raw.table.sorted_rows(),
+            "optimizer changed the multi-join result: {sql}"
+        );
+        assert_eq!(opt.certainty_counts(), raw.certainty_counts(), "{sql}");
+        for optimizer in [true, false] {
+            let row = run_det(sql, ExecMode::Row, optimizer).expect("det row");
+            let vec = run_det(sql, ExecMode::Vectorized, optimizer).expect("det vec");
+            assert_eq!(row.rows(), vec.rows(), "det optimizer={optimizer}: {sql}");
+        }
     }
 }
 

@@ -31,8 +31,10 @@ use ua_semiring::pair::Ua;
 
 const N_WORLDS: usize = 5;
 
-/// Five worlds over `r(a, b)` and `s(b, d)`: a shared certain core plus
-/// per-world noise tuples, with small value domains so joins hit.
+/// Five worlds over `r(a, b)`, `s(b, d)` and a *small* `t(a, e)` (two core
+/// tuples — selective enough that the cost-based reorder routes 3-way joins
+/// through it first): a shared certain core plus per-world noise tuples,
+/// with small value domains so joins hit.
 fn five_world_db(seed: u64) -> IncompleteDb<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     let core_r: Vec<Tuple> = (0..6)
@@ -51,11 +53,20 @@ fn five_world_db(seed: u64) -> IncompleteDb<u64> {
             ])
         })
         .collect();
+    let core_t: Vec<Tuple> = (0..2)
+        .map(|_| {
+            Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..8)),
+            ])
+        })
+        .collect();
     let mut worlds = Vec::with_capacity(N_WORLDS);
     for _ in 0..N_WORLDS {
         let mut db: Database<u64> = Database::new();
         let mut rows_r = core_r.clone();
         let mut rows_s = core_s.clone();
+        let mut rows_t = core_t.clone();
         for _ in 0..rng.gen_range(0..4) {
             rows_r.push(Tuple::new(vec![
                 Value::Int(rng.gen_range(0..4)),
@@ -68,6 +79,12 @@ fn five_world_db(seed: u64) -> IncompleteDb<u64> {
                 Value::Int(rng.gen_range(0..8)),
             ]));
         }
+        if rng.gen_range(0..2) == 0 {
+            rows_t.push(Tuple::new(vec![
+                Value::Int(rng.gen_range(0..4)),
+                Value::Int(rng.gen_range(0..8)),
+            ]));
+        }
         db.insert(
             "r",
             Relation::from_tuples(Schema::qualified("r", ["a", "b"]), rows_r),
@@ -75,6 +92,10 @@ fn five_world_db(seed: u64) -> IncompleteDb<u64> {
         db.insert(
             "s",
             Relation::from_tuples(Schema::qualified("s", ["b", "d"]), rows_s),
+        );
+        db.insert(
+            "t",
+            Relation::from_tuples(Schema::qualified("t", ["a", "e"]), rows_t),
         );
         worlds.push(db);
     }
@@ -86,7 +107,7 @@ fn five_world_db(seed: u64) -> IncompleteDb<u64> {
 fn session_from(incomplete: &IncompleteDb<u64>) -> UaSession {
     let session = UaSession::new();
     let w0 = incomplete.world(0);
-    for name in ["r", "s"] {
+    for name in ["r", "s", "t"] {
         let rel0 = w0.get(name).expect("relation in world 0");
         let rel: Relation<Ua<u64>> = Relation::from_annotated(
             rel0.schema().clone(),
@@ -161,7 +182,23 @@ fn queries() -> Vec<(&'static str, RaExpr)> {
                 .project(["b"])
                 .union(RaExpr::table("s").project(["b"])),
         ),
+        ("3-way comma-join in a bad order", three_way_star_query()),
     ]
+}
+
+/// A 3-way comma-join written in a deliberately bad order: `r × s` first
+/// (the two large relations — no direct edge between them), the selective
+/// `t` last. The session-level reorder routes the join through `t`.
+fn three_way_star_query() -> RaExpr {
+    RaExpr::table("r")
+        .cross(RaExpr::table("s"))
+        .cross(RaExpr::table("t"))
+        .select(
+            Expr::named("r.a")
+                .eq(Expr::named("t.a"))
+                .and(Expr::named("s.d").eq(Expr::named("t.e"))),
+        )
+        .project(["r.a", "r.b", "d"])
 }
 
 #[test]
@@ -234,6 +271,59 @@ fn each_pass_preserves_certain_label_soundness() {
                     "seed {seed}, {qname}, {pname}: optimization changed the decoded result"
                 );
             }
+        }
+    }
+}
+
+/// The tentpole's soundness case: a reordered 3-way join on a 5-world
+/// `K^W` database. The session-level reorder must actually fire (asserted
+/// structurally), and for both engines, with the optimizer on and off:
+/// `certain(optimized) ⊆ certain(unoptimized) ⊆ cert_ℕ(Q(𝒟))`.
+#[test]
+fn reordered_three_way_join_stays_c_sound_on_both_engines() {
+    ua_vecexec::install();
+    let query = three_way_star_query();
+    for seed in 0..6u64 {
+        let incomplete = five_world_db(seed);
+        let truth = ground_truth_certain(&incomplete, &query);
+        // The reorder fires on this shape: the emitted user plan permutes
+        // the leaf sequence (a column-restoring projection appears) or at
+        // least re-associates away from the as-written left-deep tree.
+        {
+            let session = session_from(&incomplete);
+            let reordered = ua_engine::reorder_joins_ua(Plan::from_ra(&query), session.catalog());
+            assert_ne!(
+                format!("{reordered}"),
+                format!("{}", Plan::from_ra(&query)),
+                "seed {seed}: the bad-order 3-way join must be reordered"
+            );
+        }
+        for mode in [ExecMode::Row, ExecMode::Vectorized] {
+            let run = |optimizer: bool| {
+                let session = session_from(&incomplete);
+                session.set_exec_mode(mode);
+                session.set_optimizer_enabled(optimizer);
+                session.query_ua_ra(&query).expect("session query")
+            };
+            let opt = certain_tuples(&run(true).decode());
+            let unopt = certain_tuples(&run(false).decode());
+            assert!(
+                is_subset(&opt, &unopt),
+                "seed {seed}, {mode:?}: reordering invented certain tuples"
+            );
+            assert!(
+                is_subset(&unopt, &truth),
+                "seed {seed}, {mode:?}: unoptimized labels are not c-sound"
+            );
+            assert!(
+                is_subset(&opt, &truth),
+                "seed {seed}, {mode:?}: reordered labels are not c-sound"
+            );
+            // The reorder is exact: same certain answers both ways.
+            assert_eq!(
+                opt, unopt,
+                "seed {seed}, {mode:?}: reordering changed the certain set"
+            );
         }
     }
 }

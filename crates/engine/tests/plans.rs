@@ -57,14 +57,16 @@ fn comma_join_plans_to_hash_join() {
 
 #[test]
 fn single_side_conjuncts_sink_below_the_hash_join() {
+    // The alias-qualified conjuncts are requalified through the Alias
+    // operators (`e.salary` → `salary`), landing directly on the scans.
     assert_eq!(
         optimized_plan(
             "SELECT e.name, d.city FROM emp e, dept d \
              WHERE e.dept = d.name AND e.salary >= 80 AND d.city = 'nyc'"
         ),
         "Map[e.name→name, d.city→city](HashJoin[e.dept=d.name; build=right](\
-         Filter[(e.salary >= 80)](Alias[e](Scan(emp))), \
-         Filter[(d.city = 'nyc')](Alias[d](Scan(dept)))))"
+         Alias[e](Filter[(salary >= 80)](Scan(emp))), \
+         Alias[d](Filter[(city = 'nyc')](Scan(dept)))))"
     );
 }
 
@@ -113,21 +115,52 @@ fn pushdown_composes_through_stacked_projections() {
         predicate: Expr::named("salary").lt(Expr::lit(90i64)),
     };
     assert_eq!(
-        format!("{}", push_filters(plan)),
+        format!("{}", push_filters(plan, &catalog())),
         "Map[salary→salary](Map[name→name, salary→salary](\
          Filter[(salary < 90)](Scan(emp))))"
     );
 }
 
 #[test]
-fn alias_qualified_predicates_stop_at_the_alias_boundary() {
-    // A name-based predicate is qualified by the subquery alias, so it can
-    // bind only above the Alias operator — the optimizer must leave it
-    // there rather than requalify unsoundly.
+fn alias_qualified_predicates_requalify_through_the_alias() {
+    // A name-based predicate qualified by the subquery alias is requalified
+    // against the inner schema (`q.salary` → `salary`), sinks through the
+    // Alias, and then through the subquery's projection onto the scan.
     assert_eq!(
         optimized_plan("SELECT q.name FROM (SELECT name, salary FROM emp) q WHERE q.salary >= 80"),
-        "Map[q.name→name](Filter[(q.salary >= 80)](Alias[q](\
-         Map[name→name, salary→salary](Scan(emp)))))"
+        "Map[q.name→name](Alias[q](Map[name→name, salary→salary](\
+         Filter[(salary >= 80)](Scan(emp)))))"
+    );
+}
+
+#[test]
+fn unrequalifiable_predicates_stay_above_the_alias() {
+    // Below the alias the bare reference `b` is ambiguous (both inputs of
+    // the joined subquery carry one) and neither qualified form resolves
+    // it back uniquely through the alias's schema, so requalification must
+    // refuse and leave the filter above the Alias operator.
+    let c = catalog();
+    c.register(
+        "r2",
+        Table::from_rows(Schema::qualified("r2", ["b"]), vec![tuple![1i64]]),
+    );
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Alias {
+            input: Box::new(Plan::Join {
+                left: Box::new(Plan::Scan("r2".into())),
+                right: Box::new(Plan::Scan("r2".into())),
+                predicate: None,
+            }),
+            name: "q".into(),
+        }),
+        predicate: Expr::named("q.b").gt(Expr::lit(0i64)),
+    };
+    // `q.b` is ambiguous above the alias too (two columns named b under q),
+    // so the plan must be left untouched — both engines report the same
+    // AmbiguousColumn error the unoptimized plan would.
+    assert_eq!(
+        format!("{}", push_filters(plan.clone(), &c)),
+        format!("{plan}"),
     );
 }
 
@@ -257,6 +290,221 @@ fn ambiguous_names_stay_errors_under_join_planning() {
             result.is_err(),
             "optimizer={optimizer}: unqualified `b` is ambiguous and must error"
         );
+    }
+}
+
+/// Catalog for the 3-way reordering snapshots: two large relations and one
+/// tiny selective one.
+fn star_catalog() -> Catalog {
+    let c = Catalog::new();
+    let big = |name: &str, val_col: &str| {
+        Table::from_rows(
+            Schema::qualified(name, ["k", val_col]),
+            (0..40i64).map(|i| tuple![i % 20, i]).collect(),
+        )
+    };
+    c.register("big1", big("big1", "v"));
+    c.register("big2", big("big2", "w"));
+    c.register(
+        "small",
+        Table::from_rows(
+            Schema::qualified("small", ["k", "t"]),
+            vec![tuple![0i64, 100i64], tuple![1i64, 101i64]],
+        ),
+    );
+    c
+}
+
+/// The acceptance shape: a 3-way comma-join written in a deliberately bad
+/// order (`FROM big1, big2, small`) is replanned to join through the small
+/// relation first, with a projection restoring the as-written column order.
+#[test]
+fn bad_order_comma_join_replans_through_the_small_relation() {
+    let c = star_catalog();
+    let sql = "SELECT big1.v, big2.w, small.t FROM big1, big2, small \
+               WHERE big1.k = small.k AND big2.k = small.k";
+    let q = parse(sql).unwrap();
+    let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+    let optimized = optimize(plan.clone(), &c);
+    assert_eq!(
+        format!("{optimized}"),
+        "Map[big1.v→v, big2.w→w, small.t→t](\
+         Map[#0→big1.k, #1→big1.v, #4→big2.k, #5→big2.w, #2→small.k, #3→small.t](\
+         HashJoin[small.k=big2.k; build=left](\
+         HashJoin[big1.k=small.k; build=right](Scan(big1), Scan(small)), \
+         Scan(big2))))"
+    );
+    // The reorder preserves the result exactly (rows and multiplicities).
+    let raw = ua_engine::execute(&plan, &c).unwrap();
+    let opt = ua_engine::execute(&optimized, &c).unwrap();
+    assert_eq!(raw.sorted_rows(), opt.sorted_rows());
+    assert_eq!(raw.schema().names(), opt.schema().names());
+}
+
+/// A chain join (`big1.k = big2.k AND big2.k = small.k`) keeps the
+/// as-written leaf sequence but re-associates so the selective join runs
+/// first — no column permutation is needed then.
+#[test]
+fn chain_join_reassociates_through_the_selective_join() {
+    let c = star_catalog();
+    let sql = "SELECT big1.v, big2.w FROM big1, big2, small \
+               WHERE big1.k = big2.k AND big2.k = small.k";
+    let q = parse(sql).unwrap();
+    let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+    let optimized = optimize(plan.clone(), &c);
+    assert_eq!(
+        format!("{optimized}"),
+        "Map[big1.v→v, big2.w→w](\
+         HashJoin[big1.k=big2.k; build=right](\
+         Scan(big1), \
+         HashJoin[big2.k=small.k; build=right](Scan(big2), Scan(small))))"
+    );
+    let raw = ua_engine::execute(&plan, &c).unwrap();
+    let opt = ua_engine::execute(&optimized, &c).unwrap();
+    assert_eq!(raw.sorted_rows(), opt.sorted_rows());
+}
+
+/// Reordering off (`OptimizerPasses::reorder_joins = false`) restores the
+/// as-written left-deep plan — the baseline the `multi_join` bench measures
+/// against.
+#[test]
+fn reorder_toggle_keeps_the_as_written_order() {
+    use ua_engine::{optimize_with, OptimizerPasses};
+    let c = star_catalog();
+    let sql = "SELECT big1.v, big2.w FROM big1, big2, small \
+               WHERE big1.k = big2.k AND big2.k = small.k";
+    let q = parse(sql).unwrap();
+    let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+    let as_written = optimize_with(
+        plan,
+        &c,
+        OptimizerPasses {
+            reorder_joins: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(
+        format!("{as_written}"),
+        "Map[big1.v→v, big2.w→w](\
+         HashJoin[big2.k=small.k; build=right](\
+         HashJoin[big1.k=big2.k; build=right](Scan(big1), Scan(big2)), \
+         Scan(small)))"
+    );
+}
+
+/// Regression (review): stacked error-capable filters over a reorderable
+/// 3-way join keep their guard order. The inner CASE guard excludes the
+/// poison (string) row without erroring; the outer arithmetic filter would
+/// error on it. Merging the stack into one eager conjunction — in the
+/// reorder's emission or in plan_joins' peel — would evaluate the
+/// arithmetic on the poison row and turn a succeeding query into an error.
+#[test]
+fn stacked_error_capable_filters_keep_their_guard_order_when_reordered() {
+    use ua_data::tuple::Tuple;
+    use ua_data::value::Value;
+    let c = star_catalog();
+    // Give big1 an `a` column with one poison row whose key joins through.
+    let mut rows: Vec<Tuple> = (0..40i64).map(|i| tuple![i % 20, i]).collect();
+    rows.push(Tuple::new(vec![Value::Int(0), Value::str("poison")]));
+    c.register(
+        "big1",
+        Table::from_rows(Schema::qualified("big1", ["k", "a"]), rows),
+    );
+    let guard = Expr::Cmp(
+        ua_data::expr::CmpOp::Eq,
+        Box::new(Expr::Case {
+            branches: vec![(
+                Expr::named("big1.a").eq(Expr::lit("poison")),
+                Expr::lit(0i64),
+            )],
+            otherwise: Some(Box::new(Expr::lit(1i64))),
+        }),
+        Box::new(Expr::lit(1i64)),
+    );
+    let outer = Expr::named("big1.a")
+        .add(Expr::lit(0i64))
+        .ge(Expr::lit(0i64));
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Filter {
+            input: Box::new(Plan::Filter {
+                input: Box::new(Plan::Join {
+                    left: Box::new(Plan::Join {
+                        left: Box::new(Plan::Scan("big1".into())),
+                        right: Box::new(Plan::Scan("big2".into())),
+                        predicate: None,
+                    }),
+                    right: Box::new(Plan::Scan("small".into())),
+                    predicate: None,
+                }),
+                predicate: Expr::named("big1.k")
+                    .eq(Expr::named("big2.k"))
+                    .and(Expr::named("big2.k").eq(Expr::named("small.k"))),
+            }),
+            predicate: guard,
+        }),
+        predicate: outer,
+    };
+    let raw = ua_engine::execute(&plan, &c).expect("unoptimized must succeed");
+    let optimized = optimize(plan, &c);
+    let opt = ua_engine::execute(&optimized, &c)
+        .unwrap_or_else(|e| panic!("optimized plan errored where raw succeeded: {e}\n{optimized}"));
+    assert_eq!(raw.sorted_rows(), opt.sorted_rows());
+    ua_vecexec::install();
+    let vec = ua_vecexec::execute_vectorized(&optimized, &c).expect("vectorized");
+    assert_eq!(opt.rows(), vec.rows());
+}
+
+/// Regression (review): the "already best" bail-out compares against the
+/// *actual* as-written shape, not a left-deep assumption — a right-deep
+/// input that already matches the optimum is left untouched.
+#[test]
+fn optimal_right_deep_input_is_left_alone() {
+    let c = star_catalog();
+    // The optimum for the chain (per `chain_join_reassociates_...`) is
+    // big1 ⋈ (big2 ⋈ small); write it that way from the start.
+    let plan = Plan::Filter {
+        input: Box::new(Plan::Join {
+            left: Box::new(Plan::Scan("big1".into())),
+            right: Box::new(Plan::Join {
+                left: Box::new(Plan::Scan("big2".into())),
+                right: Box::new(Plan::Scan("small".into())),
+                predicate: None,
+            }),
+            predicate: None,
+        }),
+        predicate: Expr::named("big1.k")
+            .eq(Expr::named("big2.k"))
+            .and(Expr::named("big2.k").eq(Expr::named("small.k"))),
+    };
+    let reordered = ua_engine::reorder_joins(plan.clone(), &c);
+    assert_eq!(
+        format!("{reordered}"),
+        format!("{plan}"),
+        "an input already in the optimal shape must not be rewritten"
+    );
+}
+
+/// Regression: stacked filters must not merge into one conjunction — the
+/// inner guard `a <> 0` protects the outer `100 / a > 10` from evaluating
+/// (and erroring) on `a = 0` rows, so relocating the error-capable outer
+/// conjunct below the guard would change which queries fail.
+#[test]
+fn stacked_filter_guard_preserved() {
+    for optimizer in [true, false] {
+        let s = UaSession::new();
+        s.set_optimizer_enabled(optimizer);
+        s.catalog().register(
+            "g",
+            Table::from_rows(
+                Schema::qualified("g", ["a"]),
+                vec![tuple![0i64], tuple![4i64]],
+            ),
+        );
+        let r = s.query_det("SELECT * FROM (SELECT a FROM g WHERE a <> 0) x WHERE 100 / a > 10");
+        match r {
+            Ok(t) => assert_eq!(t.rows(), &[tuple![4i64]]),
+            Err(e) => panic!("optimizer={optimizer}: guarded query errored: {e}"),
+        }
     }
 }
 

@@ -1,8 +1,10 @@
 //! The vectorized plan driver: executes [`Plan`]s batch-at-a-time.
 //!
-//! Every operator the row executor supports runs here too; Sort/Limit
-//! materialize (they are ordering operators over the whole result and reuse
-//! the row engine's `sort_table`/`limit_table` so tie-breaks agree exactly).
+//! Every operator the row executor supports runs here too. Sort still
+//! materializes (it orders the whole result and reuses the row engine's
+//! `sort_table` so tie-breaks agree exactly); Limit is columnar-native
+//! ([`ops::limit`] truncates batches, label bitmaps and multiplicities in
+//! place of materializing rows).
 
 use crate::columnar::{batches_from_table, table_from_batches, BatchStream, DEFAULT_BATCH_ROWS};
 use crate::ops;
@@ -90,11 +92,7 @@ pub fn exec_stream(
         }
         Plan::Limit { input, limit } => {
             let stream = exec_stream(input, catalog, batch_rows)?;
-            let table = table_from_batches(&stream);
-            Ok(batches_from_table(
-                &ua_engine::limit_table(&table, *limit),
-                batch_rows,
-            ))
+            Ok(ops::limit(stream, *limit))
         }
     }
 }

@@ -377,6 +377,57 @@ fn apply_residual(batch: ColumnBatch, residual: &Expr) -> Result<ColumnBatch, En
     }
 }
 
+/// Row-count limit, columnar-native: batches pass through untouched until
+/// the running row-copy count (multiplicities included, matching the row
+/// engine's limit over expanded rows) reaches `limit`; the boundary batch
+/// is truncated by gathering its prefix — columns, label bitmap and
+/// multiplicity column together — and the boundary *row*'s multiplicity is
+/// clipped when the limit lands inside its copies. No row materialization
+/// happens.
+pub fn limit(input: BatchStream, limit: usize) -> BatchStream {
+    let mut remaining = limit as u64;
+    let mut batches = Vec::with_capacity(input.batches.len());
+    for batch in input.batches {
+        if remaining == 0 {
+            break;
+        }
+        let total: u64 = batch.mults().iter().sum();
+        if total <= remaining {
+            remaining -= total;
+            batches.push(batch);
+            continue;
+        }
+        let mut keep: Vec<u32> = Vec::new();
+        let mut mults: Vec<u64> = Vec::new();
+        for i in 0..batch.len() {
+            if remaining == 0 {
+                break;
+            }
+            let m = batch.mults()[i];
+            if m == 0 {
+                // Zero-multiplicity rows expand to nothing; dropping them
+                // here matches the row engine's view of the stream.
+                continue;
+            }
+            let take = m.min(remaining);
+            keep.push(i as u32);
+            mults.push(take);
+            remaining -= take;
+        }
+        let gathered = batch.gather(&keep);
+        batches.push(ColumnBatch::new(
+            gathered.schema().clone(),
+            gathered.columns().to_vec(),
+            gathered.labels().clone(),
+            Arc::new(mults),
+        ));
+    }
+    BatchStream {
+        schema: input.schema,
+        batches,
+    }
+}
+
 /// Duplicate elimination: first occurrence of each distinct row survives
 /// with multiplicity 1 (set semantics over the bag's row copies).
 ///

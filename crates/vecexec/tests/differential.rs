@@ -356,3 +356,51 @@ fn referencing_the_marker_is_rejected_in_both_paths() {
         assert!(session.query_ua_ra(q).is_err(), "vectorized accepted {q}");
     }
 }
+
+#[test]
+fn columnar_limit_counts_row_copies_and_clips_multiplicities() {
+    // Limit over multiplicity-carrying batches (relation-sourced, so a row
+    // with annotation n stands for n copies): the columnar limit must count
+    // copies like the row engine's limit over the expanded table, clipping
+    // the boundary row's multiplicity instead of materializing.
+    let rel = ua_data::bag_relation(
+        "r",
+        &["a"],
+        (0..10i64)
+            .flat_map(|i| std::iter::repeat_n(vec![Value::Int(i)], (i as usize % 4) + 1))
+            .collect::<Vec<Vec<Value>>>(),
+    );
+    let expanded = Table::from_relation(&rel);
+    for batch_rows in [1, 3, 1024] {
+        for limit in [0usize, 1, 4, 7, 12, 24, 25, 100] {
+            let stream = ua_vecexec::batches_from_relation(&rel, batch_rows);
+            let limited = ua_vecexec::ops::limit(stream, limit);
+            let via_batches = table_from_batches(&limited);
+            let via_rows = ua_engine::limit_table(&expanded, limit);
+            assert_eq!(
+                via_batches.rows(),
+                via_rows.rows(),
+                "batch_rows={batch_rows}, limit={limit}"
+            );
+        }
+    }
+}
+
+#[test]
+fn columnar_limit_truncates_label_bitmaps_with_their_rows() {
+    // An encoded table with alternating labels: the limit prefix must keep
+    // label-row alignment exactly (asserted through the encoded round trip).
+    let encoded = Table::from_rows(
+        Schema::qualified("r", ["a"]).with_column(ua_core::UA_LABEL_COLUMN),
+        (0..20i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 2)]))
+            .collect(),
+    );
+    for limit in [0usize, 1, 7, 20] {
+        let stream =
+            ua_vecexec::columnar::batches_from_encoded_table(&encoded, "r", 4).expect("encoded");
+        let limited = ua_vecexec::ops::limit(stream, limit);
+        let back = ua_vecexec::columnar::encoded_table_from_batches(&limited);
+        assert_eq!(back.rows(), ua_engine::limit_table(&encoded, limit).rows());
+    }
+}
