@@ -163,9 +163,16 @@ fn bench_multi_join(c: &mut Criterion) {
         "join reordering must be >= 5x over the as-written order on the row \
          engine, got {speedup_row:.1}x"
     );
+    // The vectorized bar is lower than the row engine's since the
+    // morsel-pipeline driver landed: stacked hash joins now *stream* the
+    // probe side through both probes instead of materializing the
+    // as-written plan's ~4M-row intermediate, which made the bad order
+    // several times cheaper on the vectorized engine (measured ~5x; the
+    // row engine still materializes and stays >25x). Reordering still has
+    // to win clearly — the bar guards the pass, not the old architecture.
     assert!(
-        speedup_vec >= 5.0,
-        "join reordering must be >= 5x over the as-written order on the \
+        speedup_vec >= 4.0,
+        "join reordering must be >= 4x over the as-written order on the \
          vectorized engine, got {speedup_vec:.1}x"
     );
 

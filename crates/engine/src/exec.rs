@@ -175,7 +175,36 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             let t = execute(input, catalog)?;
             Ok(limit_table(&t, *limit))
         }
+        Plan::TopK { input, keys, limit } => {
+            let t = execute(input, catalog)?;
+            top_k_table(&t, keys, *limit)
+        }
     }
+}
+
+/// The one sort-ordering definition both `sort_table` and `top_k_table`
+/// (and, mirrored over columns, the vectorized operators) share: decorated
+/// keys outermost-first under each key's direction, then the full row as
+/// the deterministic tie-break. Anything that changes this ordering
+/// changes `Limit(Sort(..))` and `TopK` together, never one of them.
+fn decorated_row_cmp(
+    bound: &[(Expr, SortOrder)],
+    ka: &[Value],
+    ra: &Tuple,
+    kb: &[Value],
+    rb: &Tuple,
+) -> std::cmp::Ordering {
+    for ((va, vb), (_, order)) in ka.iter().zip(kb).zip(bound) {
+        let ord = va.cmp(vb);
+        let ord = match order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    ra.cmp(rb)
 }
 
 /// Sort a materialized table by `keys` (outermost first), with a
@@ -198,22 +227,50 @@ pub fn sort_table(t: &Table, keys: &[(Expr, SortOrder)]) -> Result<Table, Engine
             Ok((key, row.clone()))
         })
         .collect::<Result<_, EngineError>>()?;
-    decorated.sort_by(|(ka, ra), (kb, rb)| {
-        for ((va, vb), (_, order)) in ka.iter().zip(kb).zip(&bound) {
-            let ord = va.cmp(vb);
-            let ord = match order {
-                SortOrder::Asc => ord,
-                SortOrder::Desc => ord.reverse(),
-            };
-            if !ord.is_eq() {
-                return ord;
-            }
-        }
-        ra.cmp(rb) // deterministic tie-break
-    });
+    decorated.sort_by(|(ka, ra), (kb, rb)| decorated_row_cmp(&bound, ka, ra, kb, rb));
     Ok(Table::from_rows(
         t.schema().clone(),
         decorated.into_iter().map(|(_, row)| row).collect(),
+    ))
+}
+
+/// The first `k` rows of `sort_table(t, keys)` without sorting the whole
+/// table: a bounded buffer of the `k` best rows (kept ordered, with a
+/// cheap "worse than the current k-th" rejection test for the common case)
+/// replaces the full decorate-sort pass. Ordering is [`decorated_row_cmp`]
+/// — the same comparison `sort_table` sorts with.
+pub fn top_k_table(t: &Table, keys: &[(Expr, SortOrder)], k: usize) -> Result<Table, EngineError> {
+    let bound: Vec<(Expr, SortOrder)> = keys
+        .iter()
+        .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
+        .collect::<Result<_, EngineError>>()?;
+    let cmp = |ka: &[Value], ra: &Tuple, kb: &[Value], rb: &Tuple| {
+        decorated_row_cmp(&bound, ka, ra, kb, rb)
+    };
+    let mut top: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(k.min(t.len()) + 1);
+    for row in t.rows() {
+        let key: Vec<Value> = bound
+            .iter()
+            .map(|(e, _)| e.eval(row))
+            .collect::<Result<_, _>>()?;
+        if k == 0 {
+            continue; // keys still evaluate row by row, like the full sort
+        }
+        if top.len() == k {
+            let (wk, wr) = top.last().expect("k > 0");
+            if cmp(&key, row, wk, wr) != std::cmp::Ordering::Less {
+                continue;
+            }
+        }
+        let pos = top
+            .binary_search_by(|(ek, er)| cmp(ek, er, &key, row))
+            .unwrap_or_else(|p| p);
+        top.insert(pos, (key, row.clone()));
+        top.truncate(k);
+    }
+    Ok(Table::from_rows(
+        t.schema().clone(),
+        top.into_iter().map(|(_, row)| row).collect(),
     ))
 }
 

@@ -27,11 +27,14 @@ pub mod sql;
 pub mod storage;
 pub mod ua;
 
-pub use exec::{execute, limit_table, sort_table, AggState, EngineError};
-pub use mode::{register_vectorized_hooks, vectorized_hooks, ExecMode, VectorizedHooks};
+pub use exec::{execute, limit_table, sort_table, top_k_table, AggState, EngineError};
+pub use mode::{
+    register_vectorized_hooks, vectorized_hooks, ExecMode, ExecOptions, VectorizedHooks,
+};
 pub use optimize::{
-    estimate_rows, optimize, optimize_with, plan_joins, predicate_selectivity, push_filters,
-    reorder_joins, reorder_joins_ua, OptimizerPasses, DEFAULT_FILTER_SELECTIVITY, DP_MAX_RELATIONS,
+    estimate_rows, fuse_topk, optimize, optimize_with, plan_joins, predicate_selectivity,
+    push_filters, reorder_joins, reorder_joins_ua, OptimizerPasses, DEFAULT_FILTER_SELECTIVITY,
+    DP_MAX_RELATIONS,
 };
 pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};

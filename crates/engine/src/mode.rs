@@ -26,18 +26,38 @@ pub enum ExecMode {
     Vectorized,
 }
 
+/// Runtime knobs a session passes to the vectorized executor per query.
+///
+/// The executor's *output* is independent of every field here — the
+/// morsel-parallel pipeline merges per-batch results in deterministic
+/// batch-index order, so any thread count (and any batch size) produces
+/// byte-identical tables; the differential/determinism tests assert it.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecOptions {
+    /// Worker threads for the morsel-driven parallel pipeline. `0` means
+    /// resolve automatically: the `UA_VEC_THREADS` environment variable if
+    /// set, else the machine's available parallelism. `1` forces the serial
+    /// pipeline.
+    pub threads: usize,
+    /// Rows per column-batch morsel; `0` means the executor's default
+    /// (`ua_vecexec::DEFAULT_BATCH_ROWS`).
+    pub batch_rows: usize,
+}
+
 /// Entry points a vectorized executor registers.
 #[derive(Clone, Copy)]
 pub struct VectorizedHooks {
     /// Execute an arbitrary [`Plan`] (deterministic semantics).
-    pub plan: fn(&Plan, &Catalog) -> Result<Table, EngineError>,
-    /// Execute an `RA⁺`-shaped (optionally optimizer-planned, so possibly
-    /// containing [`Plan::HashJoin`]) physical plan over UA-encoded base
-    /// tables, returning the encoded result (certainty marker in last
-    /// position). The plan is the *user* query's — label propagation per
-    /// `⟦·⟧_UA` happens inside the executor, on its label bitmaps, instead
-    /// of via a rewritten plan.
-    pub ua: fn(&Plan, &Catalog) -> Result<Table, EngineError>,
+    pub plan: fn(&Plan, &Catalog, ExecOptions) -> Result<Table, EngineError>,
+    /// Execute a physical plan over UA-encoded base tables — the `RA⁺`
+    /// fragment (optionally optimizer-planned, so [`Plan::HashJoin`]
+    /// appears) plus trailing [`Plan::Sort`]/[`Plan::Limit`]/[`Plan::TopK`]
+    /// wrappers, which the executor runs natively over its encoded batches
+    /// — returning the encoded result (certainty marker in last position).
+    /// The plan is the *user* query's — label propagation per `⟦·⟧_UA`
+    /// happens inside the executor, on its label bitmaps, instead of via a
+    /// rewritten plan.
+    pub ua: fn(&Plan, &Catalog, ExecOptions) -> Result<Table, EngineError>,
 }
 
 static HOOKS: OnceLock<VectorizedHooks> = OnceLock::new();

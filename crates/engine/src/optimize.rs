@@ -79,6 +79,9 @@ pub struct OptimizerPasses {
     /// the wrong columns. Named references are always safe (the marker
     /// never participates in name resolution).
     pub positional_joins: bool,
+    /// Fuse `Limit(Sort(..))` into the bounded-heap [`Plan::TopK`]
+    /// operator ([`fuse_topk`]).
+    pub fuse_topk: bool,
 }
 
 impl Default for OptimizerPasses {
@@ -88,6 +91,7 @@ impl Default for OptimizerPasses {
             plan_joins: true,
             reorder_joins: true,
             positional_joins: true,
+            fuse_topk: true,
         }
     }
 }
@@ -112,7 +116,99 @@ pub fn optimize_with(plan: Plan, catalog: &Catalog, passes: OptimizerPasses) -> 
             plan = push_filters(plan, catalog);
         }
     }
+    if passes.fuse_topk {
+        plan = fuse_topk(plan);
+    }
     plan
+}
+
+/// Rewrite every `Limit(Sort(..))` stack into the fused [`Plan::TopK`]
+/// operator. The rewrite is exact — `TopK` is *defined* as that
+/// composition (same key comparison, same deterministic full-row
+/// tie-break) — but executes with a bounded heap of `limit` rows instead
+/// of sorting the whole input, on both engines.
+///
+/// `Limit` over an already-fused `TopK` also folds (the smaller count
+/// wins), so stacked `LIMIT`s cannot undo the fusion.
+pub fn fuse_topk(plan: Plan) -> Plan {
+    match plan {
+        Plan::Limit { input, limit } => match fuse_topk(*input) {
+            Plan::Sort { input, keys } => Plan::TopK { input, keys, limit },
+            Plan::TopK {
+                input,
+                keys,
+                limit: inner,
+            } => Plan::TopK {
+                input,
+                keys,
+                limit: inner.min(limit),
+            },
+            fused => Plan::Limit {
+                input: Box::new(fused),
+                limit,
+            },
+        },
+        Plan::Scan(name) => Plan::Scan(name),
+        Plan::Alias { input, name } => Plan::Alias {
+            input: Box::new(fuse_topk(*input)),
+            name,
+        },
+        Plan::Filter { input, predicate } => Plan::Filter {
+            input: Box::new(fuse_topk(*input)),
+            predicate,
+        },
+        Plan::Map { input, columns } => Plan::Map {
+            input: Box::new(fuse_topk(*input)),
+            columns,
+        },
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => Plan::Join {
+            left: Box::new(fuse_topk(*left)),
+            right: Box::new(fuse_topk(*right)),
+            predicate,
+        },
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            build_left,
+        } => Plan::HashJoin {
+            left: Box::new(fuse_topk(*left)),
+            right: Box::new(fuse_topk(*right)),
+            keys,
+            residual,
+            build_left,
+        },
+        Plan::UnionAll { left, right } => Plan::UnionAll {
+            left: Box::new(fuse_topk(*left)),
+            right: Box::new(fuse_topk(*right)),
+        },
+        Plan::Distinct { input } => Plan::Distinct {
+            input: Box::new(fuse_topk(*input)),
+        },
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => Plan::Aggregate {
+            input: Box::new(fuse_topk(*input)),
+            group_by,
+            aggregates,
+        },
+        Plan::Sort { input, keys } => Plan::Sort {
+            input: Box::new(fuse_topk(*input)),
+            keys,
+        },
+        Plan::TopK { input, keys, limit } => Plan::TopK {
+            input: Box::new(fuse_topk(*input)),
+            keys,
+            limit,
+        },
+    }
 }
 
 /// Apply filter pushdown throughout the plan. The catalog supplies base
@@ -239,6 +335,11 @@ pub fn push_filters(plan: Plan, catalog: &Catalog) -> Plan {
         },
         Plan::Limit { input, limit } => Plan::Limit {
             input: Box::new(push_filters(*input, catalog)),
+            limit,
+        },
+        Plan::TopK { input, keys, limit } => Plan::TopK {
+            input: Box::new(push_filters(*input, catalog)),
+            keys,
             limit,
         },
     }
@@ -413,6 +514,11 @@ fn plan_joins_impl(plan: Plan, catalog: &Catalog, positional: bool) -> Plan {
         },
         Plan::Limit { input, limit } => Plan::Limit {
             input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            limit,
+        },
+        Plan::TopK { input, keys, limit } => Plan::TopK {
+            input: Box::new(plan_joins_impl(*input, catalog, positional)),
+            keys,
             limit,
         },
     }
@@ -590,6 +696,9 @@ fn estimate_rows_f(plan: &Plan, catalog: &Catalog) -> Option<f64> {
             Some(estimate_rows_f(left, catalog)? + estimate_rows_f(right, catalog)?)
         }
         Plan::Limit { input, limit } => Some(estimate_rows_f(input, catalog)?.min(*limit as f64)),
+        Plan::TopK { input, limit, .. } => {
+            Some(estimate_rows_f(input, catalog)?.min(*limit as f64))
+        }
     }
 }
 
@@ -675,6 +784,7 @@ fn base_column_stats(
         | Plan::Filter { input, .. }
         | Plan::Sort { input, .. }
         | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. }
         | Plan::Distinct { input } => base_column_stats(input, idx, catalog),
         Plan::Map { input, columns } => {
             let col = columns.get(idx)?;
@@ -903,6 +1013,11 @@ fn reorder_joins_impl(plan: Plan, catalog: &Catalog, positional: bool, strip: bo
         },
         Plan::Limit { input, limit } => Plan::Limit {
             input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            limit,
+        },
+        Plan::TopK { input, keys, limit } => Plan::TopK {
+            input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
+            keys,
             limit,
         },
     }

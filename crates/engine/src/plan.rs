@@ -151,6 +151,20 @@ pub enum Plan {
         /// Maximum number of rows.
         limit: usize,
     },
+    /// Fused Sort+Limit (Top-K), produced by the optimizer's
+    /// `Limit(Sort(..))` rewrite (`optimize::fuse_topk`). Semantically
+    /// identical to `Limit { input: Sort { input, keys }, limit }` — same
+    /// key comparison, same deterministic full-row tie-break — but executed
+    /// with a bounded heap of `limit` rows instead of a full sort, on both
+    /// engines.
+    TopK {
+        /// Input plan.
+        input: Box<Plan>,
+        /// Sort keys, outermost first.
+        keys: Vec<(Expr, SortOrder)>,
+        /// Maximum number of rows.
+        limit: usize,
+    },
 }
 
 impl Plan {
@@ -224,7 +238,8 @@ impl Plan {
             | Plan::Distinct { .. }
             | Plan::Aggregate { .. }
             | Plan::Sort { .. }
-            | Plan::Limit { .. } => return None,
+            | Plan::Limit { .. }
+            | Plan::TopK { .. } => return None,
         })
     }
 
@@ -238,7 +253,8 @@ impl Plan {
             | Plan::Distinct { input }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
-            | Plan::Limit { input, .. } => 1 + input.operator_count(),
+            | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. } => 1 + input.operator_count(),
             Plan::Join { left, right, .. }
             | Plan::HashJoin { left, right, .. }
             | Plan::UnionAll { left, right } => 1 + left.operator_count() + right.operator_count(),
@@ -320,6 +336,9 @@ impl fmt::Display for Plan {
             }
             Plan::Sort { input, keys } => write!(f, "Sort[{}]({input})", keys.len()),
             Plan::Limit { input, limit } => write!(f, "Limit[{limit}]({input})"),
+            Plan::TopK { input, keys, limit } => {
+                write!(f, "TopK[{} keys; {limit}]({input})", keys.len())
+            }
         }
     }
 }

@@ -54,6 +54,7 @@ pub fn plan_schema(plan: &Plan, catalog: &Catalog) -> Result<Schema, EngineError
         Plan::Filter { input, .. }
         | Plan::Sort { input, .. }
         | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. }
         | Plan::Distinct { input } => plan_schema(input, catalog),
         Plan::Map { columns, .. } => Ok(Schema::new(
             columns.iter().map(|c| c.column.clone()).collect(),

@@ -14,13 +14,13 @@
 //!   [`x_source`] and [`ctable_source`].
 
 use crate::exec::{execute, EngineError};
-use crate::mode::{require_vectorized_hooks, ExecMode};
+use crate::mode::{require_vectorized_hooks, ExecMode, ExecOptions};
 use crate::plan::Plan;
 use crate::sql::ast::SourceAnnotation;
 use crate::sql::parser::parse;
 use crate::sql::planner::{plan_query, SourceResolver};
 use crate::storage::{Catalog, Table};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
 use ua_core::{decode_relation, encode_relation, rewrite_ua, UA_LABEL_COLUMN};
 use ua_data::relation::Relation;
@@ -80,6 +80,10 @@ pub struct UaSession {
     /// pipeline. On by default; the `multi_join` bench turns it off to
     /// measure the as-written join order with everything else unchanged.
     reorder: AtomicBool,
+    /// Worker threads for the vectorized executor's morsel-parallel
+    /// pipeline: `0` = auto (`UA_VEC_THREADS` env var, else available
+    /// parallelism), `1` = serial. Output is byte-identical either way.
+    vec_threads: AtomicUsize,
 }
 
 impl Default for UaSession {
@@ -89,6 +93,7 @@ impl Default for UaSession {
             mode: AtomicU8::new(0),
             optimizer: AtomicBool::new(true),
             reorder: AtomicBool::new(true),
+            vec_threads: AtomicUsize::new(0),
         }
     }
 }
@@ -147,6 +152,29 @@ impl UaSession {
     /// Whether the join-reordering pass runs.
     pub fn reorder_joins_enabled(&self) -> bool {
         self.reorder.load(Ordering::Relaxed)
+    }
+
+    /// Set the vectorized executor's worker-thread count for subsequent
+    /// queries: `0` = auto (the `UA_VEC_THREADS` environment variable if
+    /// set, else the machine's available parallelism), `1` = serial, `n` =
+    /// exactly `n` workers. The morsel pipeline merges per-batch results in
+    /// deterministic batch-index order, so every setting produces
+    /// byte-identical results — this knob only trades latency for cores.
+    pub fn set_vec_threads(&self, threads: usize) {
+        self.vec_threads.store(threads, Ordering::Relaxed);
+    }
+
+    /// The configured vectorized worker-thread count (`0` = auto).
+    pub fn vec_threads(&self) -> usize {
+        self.vec_threads.load(Ordering::Relaxed)
+    }
+
+    /// The per-query options handed to the vectorized executor.
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            threads: self.vec_threads(),
+            batch_rows: 0,
+        }
     }
 
     /// The shared optimization step: every query plan — deterministic or
@@ -230,7 +258,9 @@ impl UaSession {
         let plan = self.optimize_plan(plan);
         match self.exec_mode() {
             ExecMode::Row => execute(&plan, &self.catalog),
-            ExecMode::Vectorized => (require_vectorized_hooks()?.plan)(&plan, &self.catalog),
+            ExecMode::Vectorized => {
+                (require_vectorized_hooks()?.plan)(&plan, &self.catalog, self.exec_options())
+            }
         }
     }
 
@@ -292,6 +322,21 @@ impl UaSession {
         loop {
             match inner {
                 Plan::Sort { input, keys } => {
+                    // The marker is engine bookkeeping, not user schema:
+                    // ordering by it is rejected uniformly (it binds over
+                    // the *encoded* result in the row path but not over the
+                    // vectorized path's marker-stripped batches, and both
+                    // engines must fail identically — mirroring the
+                    // selection/projection/join rejection in `rewrite_ua`).
+                    for (key, _) in keys {
+                        if ua_core::expr_mentions_marker(key) {
+                            return Err(EngineError::Schema(
+                                ua_data::schema::SchemaError::AmbiguousColumn(
+                                    UA_LABEL_COLUMN.to_string(),
+                                ),
+                            ));
+                        }
+                    }
                     wrappers.push(Wrapper::Sort(keys.clone()));
                     inner = input;
                 }
@@ -312,39 +357,45 @@ impl UaSession {
             )
         })?;
         let ra = self.reorder_user_ra(ra);
+        // Re-apply the peeled wrappers (innermost last in `wrappers`) over
+        // an optimized core plan, fusing `Limit(Sort(..))` into `TopK`
+        // exactly like the deterministic pipeline when the optimizer is on.
+        let rewrap = |mut plan: Plan, wrappers: Vec<Wrapper>| -> Plan {
+            for w in wrappers.into_iter().rev() {
+                plan = match w {
+                    Wrapper::Sort(keys) => Plan::Sort {
+                        input: Box::new(plan),
+                        keys,
+                    },
+                    Wrapper::Limit(limit) => Plan::Limit {
+                        input: Box::new(plan),
+                        limit,
+                    },
+                };
+            }
+            if self.optimizer_enabled() {
+                plan = crate::optimize::fuse_topk(plan);
+            }
+            plan
+        };
         // Both branches below run the SAME optimizer pipeline
         // (`optimize_plan`) on the plan their executor receives, before
         // dispatch — the uniformity the differential harness asserts.
         if self.exec_mode() == ExecMode::Vectorized {
             // The vectorized engine propagates labels itself (bitmaps, per
             // the ⟦·⟧_UA rules), so it takes the *user* query's (optimized)
-            // physical plan, not a rewritten one. Trailing Sort/Limit apply
-            // to the encoded result exactly as in the row path.
-            let user_plan = self.optimize_plan_stripped(Plan::from_ra(&ra));
-            let mut table = (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog)?;
-            for w in wrappers.into_iter().rev() {
-                table = match w {
-                    Wrapper::Sort(keys) => crate::exec::sort_table(&table, &keys)?,
-                    Wrapper::Limit(limit) => crate::exec::limit_table(&table, limit),
-                };
-            }
+            // physical plan, not a rewritten one. Trailing Sort/Limit/TopK
+            // ride along and execute natively over the encoded batches
+            // (columnar sort with the marker as final tie-break, bounded
+            // Top-K heap) — no row-engine fallback.
+            let user_plan = rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers);
+            let table =
+                (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
             return Ok(UaResult { table });
         }
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
-        let mut rewritten_plan = self.optimize_plan(Plan::from_ra(&rewritten));
-        for w in wrappers.into_iter().rev() {
-            rewritten_plan = match w {
-                Wrapper::Sort(keys) => Plan::Sort {
-                    input: Box::new(rewritten_plan),
-                    keys,
-                },
-                Wrapper::Limit(limit) => Plan::Limit {
-                    input: Box::new(rewritten_plan),
-                    limit,
-                },
-            };
-        }
+        let rewritten_plan = rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers);
         let table = execute(&rewritten_plan, &self.catalog)?;
         Ok(UaResult { table })
     }

@@ -25,15 +25,23 @@ fn seeded_session(mode: ExecMode, optimizer: bool) -> UaSession {
     let mut rng = StdRng::seed_from_u64(0x5EED);
     let session = UaSession::with_mode(mode);
     session.set_optimizer_enabled(optimizer);
-    // TI-DB: `ti(a, b, p)`.
+    // TI-DB: `ti(a, b, p)` — a handful of NULL `a`s so ORDER BY keys (and
+    // join keys, which NULL never matches) exercise three-valued handling.
+    // (`b` stays numeric: one regression test re-annotates it as a
+    // probability column.)
     session.register_table(
         "ti",
         Table::from_rows(
             Schema::qualified("ti", ["a", "b", "p"]),
             (0..40)
-                .map(|_| {
+                .map(|i| {
+                    let a = if i % 11 == 0 {
+                        Value::Null
+                    } else {
+                        Value::Int(rng.gen_range(0..6))
+                    };
                     Tuple::new(vec![
-                        Value::Int(rng.gen_range(0..6)),
+                        a,
                         Value::Int(rng.gen_range(0..6)),
                         Value::float([1.0, 0.9, 0.6, 0.3][rng.gen_range(0..4usize)]),
                     ])
@@ -296,12 +304,67 @@ fn arb_multi_join() -> impl Strategy<Value = String> {
         )
 }
 
+/// ORDER BY queries over single sources and equi-joins: multi-key (1–2
+/// keys, mixed ASC/DESC, duplicate-heavy domains, NULL `b`s in `ti`), with
+/// and without LIMIT — the shapes the columnar Sort and the fused Top-K
+/// rewrite execute.
+fn arb_order_by() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..2, 0usize..2),
+        proptest::bool::ANY,
+        0usize..4,
+    )
+        .prop_map(|(s1, s2, (k1, k2), join, limit_shape)| {
+            let a = &SOURCES[s1];
+            let dir = |desc: bool| if desc { "DESC" } else { "ASC" };
+            let (from, cols): (String, [&str; 2]) = if join {
+                let s2 = if s1 == s2 { (s2 + 1) % 3 } else { s2 };
+                let b = &SOURCES[s2];
+                (
+                    format!("{}, {} WHERE {} = {}", a.from, b.from, a.cols[0], b.cols[0]),
+                    [a.cols[1], b.cols[1]],
+                )
+            } else {
+                (a.from.to_string(), [a.cols[0], a.cols[1]])
+            };
+            let (d1, d2) = (k1 == 1, k2 == 1);
+            let mut sql = format!(
+                "SELECT {} AS u, {} AS v FROM {from} ORDER BY u {}, v {}",
+                cols[0],
+                cols[1],
+                dir(d1),
+                dir(d2)
+            );
+            match limit_shape {
+                0 => {}
+                1 => sql.push_str(" LIMIT 0"),
+                2 => sql.push_str(" LIMIT 5"),
+                _ => sql.push_str(" LIMIT 1000"),
+            }
+            sql
+        })
+}
+
 fn arb_query() -> impl Strategy<Value = String> {
-    prop_oneof![arb_single(), arb_join(), arb_compound(), arb_multi_join()]
+    prop_oneof![
+        arb_single(),
+        arb_join(),
+        arb_compound(),
+        arb_multi_join(),
+        arb_order_by()
+    ]
 }
 
 fn run_ua(sql: &str, mode: ExecMode, optimizer: bool) -> Result<UaResult, EngineError> {
     seeded_session(mode, optimizer).query_ua(sql)
+}
+
+fn run_ua_threads(sql: &str, optimizer: bool, threads: usize) -> Result<UaResult, EngineError> {
+    let session = seeded_session(ExecMode::Vectorized, optimizer);
+    session.set_vec_threads(threads);
+    session.query_ua(sql)
 }
 
 fn run_det(sql: &str, mode: ExecMode, optimizer: bool) -> Result<Table, EngineError> {
@@ -368,6 +431,39 @@ proptest! {
                 o.map(|t| t.table.len()),
                 r.map(|t| t.table.len())
             ),
+        }
+    }
+
+    /// ORDER BY (+ LIMIT) queries: label-for-label, order-identical results
+    /// across {Row, Vec} × {optimizer on, off} × {threads 1, 2, 8}. The row
+    /// engine's encoded sort is the reference; the vectorized engine's
+    /// columnar sort / fused Top-K must match it byte for byte at every
+    /// thread count (morsel merge order is the determinism contract).
+    #[test]
+    fn ua_order_by_agrees_across_engines_and_threads(sql in arb_order_by()) {
+        ua_vecexec::install();
+        for optimizer in [true, false] {
+            let row = run_ua(&sql, ExecMode::Row, optimizer);
+            for threads in [1usize, 2, 8] {
+                let vec = run_ua_threads(&sql, optimizer, threads);
+                match (&row, &vec) {
+                    (Ok(r), Ok(v)) => prop_assert_eq!(
+                        r.table.rows(),
+                        v.table.rows(),
+                        "row/label/order mismatch (optimizer={}, threads={}): {}",
+                        optimizer,
+                        threads,
+                        &sql
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (r, v) => panic!(
+                        "engines disagree on success (optimizer={optimizer}, \
+                         threads={threads}): {sql}\n row: {:?}\n vec: {:?}",
+                        r.as_ref().map(|t| t.table.len()),
+                        v.as_ref().map(|t| t.table.len())
+                    ),
+                }
+            }
         }
     }
 

@@ -328,6 +328,95 @@ fn reordered_three_way_join_stays_c_sound_on_both_engines() {
     }
 }
 
+/// Top-K soundness, theorem-shaped, on the 5-world `K^W` databases: with
+/// `Q_k` = `Q` + ORDER BY + LIMIT k and `Q` the RA⁺ core,
+///
+/// ```text
+/// certain(⟦Q_k⟧ TopK-rewritten)  ⊆  certain(⟦Q_k⟧ unrewritten Sort+Limit)
+///                                 ⊆  certain(⟦Q⟧)  ⊆  cert_ℕ(Q(𝒟))
+/// ```
+///
+/// on both engines (the vectorized one executes the sort/Top-K natively
+/// over label bitmaps). The fusion is in fact exact — rewritten and
+/// unrewritten runs produce the same certain set — but the inclusions are
+/// what must survive any future, lossier Top-K (e.g. an approximate heap).
+#[test]
+fn topk_rewrite_stays_c_sound_on_both_engines() {
+    ua_vecexec::install();
+    // SQL form of the comma-join query (the session registers the encoded
+    // relations under their plain names) plus its RA⁺ core for the
+    // ground-truth possible-worlds evaluation.
+    let sql_full = "SELECT r.a, s.d FROM r, s WHERE r.b = s.b";
+    let sql_topk = "SELECT r.a, s.d FROM r, s WHERE r.b = s.b ORDER BY r.a DESC, s.d LIMIT 4";
+    let core = RaExpr::table("r")
+        .join(
+            RaExpr::table("s"),
+            Expr::named("r.b").eq(Expr::named("s.b")),
+        )
+        .project(["a", "d"]);
+    // The rewrite must actually fire on this shape.
+    {
+        let fused = ua_engine::fuse_topk(ua_engine::Plan::Limit {
+            input: Box::new(ua_engine::Plan::Sort {
+                input: Box::new(Plan::from_ra(&core)),
+                keys: vec![],
+            }),
+            limit: 4,
+        });
+        assert!(
+            format!("{fused}").starts_with("TopK["),
+            "Limit(Sort(..)) must fuse: {fused}"
+        );
+    }
+    for seed in 0..6u64 {
+        let incomplete = five_world_db(seed);
+        let truth = ground_truth_certain(&incomplete, &core);
+        for mode in [ExecMode::Row, ExecMode::Vectorized] {
+            let run = |sql: &str, optimizer: bool| -> Vec<Tuple> {
+                let session = session_from(&incomplete);
+                session.set_exec_mode(mode);
+                session.set_optimizer_enabled(optimizer);
+                let result = session.query_ua(sql).expect("session query");
+                let mut certain: Vec<Tuple> = result
+                    .rows_with_certainty()
+                    .into_iter()
+                    .filter(|(_, c)| *c)
+                    .map(|(t, _)| t)
+                    .collect();
+                certain.sort();
+                certain.dedup();
+                certain
+            };
+            // Optimizer on ⇒ Limit(Sort) fuses into TopK; off ⇒ the
+            // unrewritten Sort+Limit executes as written.
+            let fused = run(sql_topk, true);
+            let unfused = run(sql_topk, false);
+            let full = run(sql_full, false);
+            assert!(
+                is_subset(&fused, &unfused),
+                "seed {seed}, {mode:?}: TopK rewrite invented certain tuples"
+            );
+            assert!(
+                is_subset(&unfused, &full),
+                "seed {seed}, {mode:?}: Sort+Limit invented certain tuples"
+            );
+            assert!(
+                is_subset(&full, &truth),
+                "seed {seed}, {mode:?}: full-query labels are not c-sound"
+            );
+            assert!(
+                is_subset(&fused, &truth),
+                "seed {seed}, {mode:?}: TopK labels are not c-sound"
+            );
+            // The fusion is exact: same certain answers with and without.
+            assert_eq!(
+                fused, unfused,
+                "seed {seed}, {mode:?}: TopK rewrite changed the certain set"
+            );
+        }
+    }
+}
+
 #[test]
 fn full_sessions_stay_c_sound_on_both_engines() {
     ua_vecexec::install();

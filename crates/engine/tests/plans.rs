@@ -93,6 +93,44 @@ fn build_side_follows_catalog_cardinalities() {
 }
 
 #[test]
+fn order_by_limit_fuses_to_topk() {
+    // `Limit(Sort(..))` fuses into the bounded-heap TopK operator; a bare
+    // ORDER BY (no LIMIT) stays a full Sort, and a bare LIMIT stays Limit.
+    assert_eq!(
+        optimized_plan("SELECT name FROM emp ORDER BY salary DESC LIMIT 2"),
+        "TopK[1 keys; 2](Map[name→name](Scan(emp)))"
+    );
+    assert_eq!(
+        optimized_plan("SELECT name FROM emp ORDER BY salary"),
+        "Sort[1](Map[name→name](Scan(emp)))"
+    );
+    assert_eq!(
+        optimized_plan("SELECT name FROM emp LIMIT 2"),
+        "Limit[2](Map[name→name](Scan(emp)))"
+    );
+}
+
+#[test]
+fn stacked_limits_fold_into_one_topk() {
+    use ua_engine::plan::SortOrder;
+    let sorted = Plan::Sort {
+        input: Box::new(Plan::Scan("emp".into())),
+        keys: vec![(Expr::named("salary"), SortOrder::Asc)],
+    };
+    let stacked = Plan::Limit {
+        input: Box::new(Plan::Limit {
+            input: Box::new(sorted),
+            limit: 7,
+        }),
+        limit: 3,
+    };
+    assert_eq!(
+        format!("{}", ua_engine::fuse_topk(stacked)),
+        "TopK[1 keys; 3](Scan(emp))"
+    );
+}
+
+#[test]
 fn theta_only_comma_join_keeps_a_theta_join() {
     assert_eq!(
         optimized_plan("SELECT e.name FROM emp e, dept d WHERE e.dept < d.name"),

@@ -1,0 +1,192 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The build environment has no crates.io access, so this crate exposes the
+//! small API subset the workspace's morsel-driven pipelines use: a
+//! [`ThreadPoolBuilder`]/[`ThreadPool`] pair and an order-preserving
+//! parallel map ([`ThreadPool::map_in_order`]).
+//!
+//! Work distribution is a single shared injector queue (an atomic cursor
+//! over the item list) drained by scoped worker threads — idle workers
+//! "steal" the next unclaimed item, so load balances like rayon's deque
+//! stealing for the coarse, similarly-sized morsels this workspace feeds
+//! it. Results are reassembled **by item index**, which is what makes the
+//! parallel output of a deterministic per-item function byte-identical to
+//! a serial run — the determinism contract `ua-vecexec`'s differential
+//! tests assert.
+
+#![deny(unsafe_code)]
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (the shim never fails; the
+/// type exists for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A fresh builder (0 threads = use available parallelism).
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Set the number of worker threads; `0` resolves to the machine's
+    /// available parallelism at build time.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A pool of `num_threads` workers. Threads are scoped per call (spawned on
+/// demand, joined before returning), which keeps the shim `unsafe`-free and
+/// leak-proof; for the coarse batch morsels this workspace processes, the
+/// per-call spawn cost is noise.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The configured worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` "inside" the pool (compatibility shim — the closure simply
+    /// runs on the calling thread; parallelism comes from
+    /// [`ThreadPool::map_in_order`]).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+
+    /// Apply `f` to every item concurrently and return the results **in
+    /// item order** — `map_in_order(v, f)[i] == f(i, v[i])` regardless of
+    /// thread count or scheduling. Panics in `f` propagate to the caller.
+    pub fn map_in_order<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        let threads = self.num_threads.min(n);
+        if threads <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, t)| f(i, t))
+                .collect();
+        }
+        // Shared injector: each slot is claimed exactly once via the atomic
+        // cursor; the mutex per slot only hands the owned item across the
+        // thread boundary (never contended — the cursor serializes claims).
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let cursor = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = slots[i]
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .take()
+                            .expect("slot claimed once");
+                        local.push((i, f(i, item)));
+                    }
+                    collected
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .extend(local);
+                });
+            }
+        });
+        // Deterministic merge: scatter by index, then read out in order.
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn map_preserves_order_for_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = pool(threads).map_in_order(items.clone(), |_, x| x * x);
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let got = pool(4).map_in_order(vec!["a", "b", "c"], |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(pool(8).map_in_order(empty, |_, x| x).is_empty());
+        assert_eq!(pool(8).map_in_order(vec![5], |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn zero_threads_resolves_to_available_parallelism() {
+        let p = ThreadPoolBuilder::new().build().unwrap();
+        assert!(p.current_num_threads() >= 1);
+        assert_eq!(p.install(|| 42), 42);
+    }
+
+    #[test]
+    fn owned_non_clone_items_move_through() {
+        struct NoClone(u32);
+        let items = (0..100).map(NoClone).collect::<Vec<_>>();
+        let got = pool(5).map_in_order(items, |_, NoClone(x)| x);
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+}

@@ -369,59 +369,107 @@ impl BatchStream {
     }
 }
 
-fn rows_to_batches(
-    schema: &Schema,
-    rows: &[Tuple],
-    labels: impl Fn(usize) -> bool,
-    batch_rows: usize,
-) -> Vec<ColumnBatch> {
-    let arity = schema.arity();
-    let mut batches = Vec::with_capacity(rows.len().div_ceil(batch_rows.max(1)));
+/// The `[start, end)` chunk boundaries of an `n`-row table at `batch_rows`
+/// rows per chunk — each chunk converts independently, which is what lets
+/// scans decompose in parallel with a deterministic batch order.
+fn chunk_ranges(n: usize, batch_rows: usize) -> Vec<(usize, usize)> {
+    let step = batch_rows.max(1);
+    let mut ranges = Vec::with_capacity(n.div_ceil(step));
     let mut start = 0;
-    while start < rows.len() {
-        let end = (start + batch_rows).min(rows.len());
-        let chunk = &rows[start..end];
-        let columns: Vec<ColumnVec> = (0..arity)
-            .map(|c| {
-                ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
-            })
-            .collect();
-        let mut bm = Bitmap::filled(chunk.len(), false);
-        for (i, _) in chunk.iter().enumerate() {
-            if labels(start + i) {
-                bm.set(i, true);
-            }
-        }
-        batches.push(ColumnBatch::new(
-            schema.clone(),
-            columns,
-            bm,
-            Arc::new(vec![1u64; chunk.len()]),
-        ));
+    while start < n {
+        let end = (start + step).min(n);
+        ranges.push((start, end));
         start = end;
     }
-    batches
+    ranges
+}
+
+/// Convert one row chunk into a batch (all rows labeled certain,
+/// multiplicity 1 — deterministic semantics).
+fn chunk_to_batch(schema: &Schema, chunk: &[Tuple]) -> ColumnBatch {
+    let arity = schema.arity();
+    let columns: Vec<ColumnVec> = (0..arity)
+        .map(|c| {
+            ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
+        })
+        .collect();
+    ColumnBatch::new(
+        schema.clone(),
+        columns,
+        Bitmap::filled(chunk.len(), true),
+        Arc::new(vec![1u64; chunk.len()]),
+    )
+}
+
+/// Convert one UA-encoded row chunk into a batch: the trailing marker
+/// column is stripped into the label bitmap (errors on non-`0`/`1`
+/// markers).
+fn encoded_chunk_to_batch(
+    base_schema: &Schema,
+    name: &str,
+    chunk: &[Tuple],
+) -> Result<ColumnBatch, EngineError> {
+    let arity = base_schema.arity();
+    let columns: Vec<ColumnVec> = (0..arity)
+        .map(|c| {
+            ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
+        })
+        .collect();
+    let mut bm = Bitmap::filled(chunk.len(), false);
+    for (i, row) in chunk.iter().enumerate() {
+        match row.get(arity) {
+            Some(Value::Int(1)) => bm.set(i, true),
+            Some(Value::Int(0)) => {}
+            other => {
+                return Err(EngineError::Sql(format!(
+                    "invalid certainty marker {:?} in `{name}`",
+                    other
+                )))
+            }
+        }
+    }
+    Ok(ColumnBatch::new(
+        base_schema.clone(),
+        columns,
+        bm,
+        Arc::new(vec![1u64; chunk.len()]),
+    ))
 }
 
 /// Decompose a row table into batches (all rows labeled certain,
 /// multiplicity 1 — deterministic semantics).
 pub fn batches_from_table(table: &Table, batch_rows: usize) -> BatchStream {
+    let rows = table.rows();
     BatchStream {
         schema: table.schema().clone(),
-        batches: rows_to_batches(table.schema(), table.rows(), |_| true, batch_rows),
+        batches: chunk_ranges(rows.len(), batch_rows)
+            .into_iter()
+            .map(|(s, e)| chunk_to_batch(table.schema(), &rows[s..e]))
+            .collect(),
     }
 }
 
-/// Decompose a UA-*encoded* table (certainty marker in last position, per
-/// `Enc`) into batches: the marker column is stripped into the label
-/// bitmap. Errors when the table is not encoded or a marker is not `0`/`1`.
-pub fn batches_from_encoded_table(
+/// [`batches_from_table`] with chunks converted in parallel on `pool` —
+/// batch order (and therefore every downstream result) is identical to the
+/// serial decomposition.
+pub fn batches_from_table_pooled(
     table: &Table,
-    name: &str,
     batch_rows: usize,
-) -> Result<BatchStream, EngineError> {
+    pool: &rayon::ThreadPool,
+) -> BatchStream {
+    let rows = table.rows();
+    let ranges = chunk_ranges(rows.len(), batch_rows);
     let schema = table.schema();
-    let arity = schema.arity();
+    BatchStream {
+        schema: schema.clone(),
+        batches: pool.map_in_order(ranges, |_, (s, e)| chunk_to_batch(schema, &rows[s..e])),
+    }
+}
+
+/// The marker-stripped base schema of a UA-encoded table, or the
+/// not-encoded error.
+fn encoded_base_schema(table: &Table, name: &str) -> Result<Schema, EngineError> {
+    let schema = table.schema();
     let last_is_marker = schema
         .columns()
         .last()
@@ -434,48 +482,48 @@ pub fn batches_from_encoded_table(
             )),
         ));
     }
-    let base_schema = Schema::new(schema.columns()[..arity - 1].to_vec());
-    let mut certain = Vec::with_capacity(table.len());
-    for row in table.rows() {
-        match row.get(arity - 1) {
-            Some(Value::Int(1)) => certain.push(true),
-            Some(Value::Int(0)) => certain.push(false),
-            other => {
-                return Err(EngineError::Sql(format!(
-                    "invalid certainty marker {:?} in `{name}`",
-                    other
-                )))
-            }
-        }
-    }
-    // Rebuild base rows without the marker column by projecting columns
-    // during batch construction: reuse rows_to_batches over a projected
-    // view. Tuple::project allocates, so project lazily per column instead.
+    Ok(Schema::new(schema.columns()[..schema.arity() - 1].to_vec()))
+}
+
+/// Decompose a UA-*encoded* table (certainty marker in last position, per
+/// `Enc`) into batches: the marker column is stripped into the label
+/// bitmap. Errors when the table is not encoded or a marker is not `0`/`1`.
+pub fn batches_from_encoded_table(
+    table: &Table,
+    name: &str,
+    batch_rows: usize,
+) -> Result<BatchStream, EngineError> {
+    let base_schema = encoded_base_schema(table, name)?;
     let rows = table.rows();
-    let mut batches = Vec::with_capacity(rows.len().div_ceil(batch_rows.max(1)));
-    let mut start = 0;
-    while start < rows.len() {
-        let end = (start + batch_rows).min(rows.len());
-        let chunk = &rows[start..end];
-        let columns: Vec<ColumnVec> = (0..arity - 1)
-            .map(|c| {
-                ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
-            })
-            .collect();
-        let mut bm = Bitmap::filled(chunk.len(), false);
-        for i in 0..chunk.len() {
-            if certain[start + i] {
-                bm.set(i, true);
-            }
-        }
-        batches.push(ColumnBatch::new(
-            base_schema.clone(),
-            columns,
-            bm,
-            Arc::new(vec![1u64; chunk.len()]),
-        ));
-        start = end;
-    }
+    let batches = chunk_ranges(rows.len(), batch_rows)
+        .into_iter()
+        .map(|(s, e)| encoded_chunk_to_batch(&base_schema, name, &rows[s..e]))
+        .collect::<Result<_, _>>()?;
+    Ok(BatchStream {
+        schema: base_schema,
+        batches,
+    })
+}
+
+/// [`batches_from_encoded_table`] with chunks converted in parallel on
+/// `pool`. Batch order is identical to the serial decomposition, and an
+/// invalid marker reports the lowest-indexed offending chunk — the same
+/// row a serial scan finds first.
+pub fn batches_from_encoded_table_pooled(
+    table: &Table,
+    name: &str,
+    batch_rows: usize,
+    pool: &rayon::ThreadPool,
+) -> Result<BatchStream, EngineError> {
+    let base_schema = encoded_base_schema(table, name)?;
+    let rows = table.rows();
+    let ranges = chunk_ranges(rows.len(), batch_rows);
+    let batches = pool
+        .map_in_order(ranges, |_, (s, e)| {
+            encoded_chunk_to_batch(&base_schema, name, &rows[s..e])
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
     Ok(BatchStream {
         schema: base_schema,
         batches,
@@ -540,11 +588,55 @@ pub fn encoded_table_from_batches(stream: &BatchStream) -> Table {
     let schema = stream.schema.with_column(ua_core::UA_LABEL_COLUMN);
     let mut rows = Vec::new();
     for b in &stream.batches {
-        for i in 0..b.len() {
-            let marker = Value::Int(i64::from(b.labels().get(i)));
-            let row = b.row(i).push(marker);
-            rows.extend(std::iter::repeat_n(row, b.mults()[i] as usize));
-        }
+        encoded_batch_rows(b, &mut rows);
+    }
+    Table::from_rows(schema, rows)
+}
+
+fn encoded_batch_rows(b: &ColumnBatch, rows: &mut Vec<Tuple>) {
+    for i in 0..b.len() {
+        let marker = Value::Int(i64::from(b.labels().get(i)));
+        let row = b.row(i).push(marker);
+        rows.extend(std::iter::repeat_n(row, b.mults()[i] as usize));
+    }
+}
+
+fn batch_rows(b: &ColumnBatch, rows: &mut Vec<Tuple>) {
+    for i in 0..b.len() {
+        let row = b.row(i);
+        rows.extend(std::iter::repeat_n(row, b.mults()[i] as usize));
+    }
+}
+
+/// [`table_from_batches`] with per-batch row materialization on `pool`
+/// (row order unchanged — batches flatten in stream order).
+pub fn table_from_batches_pooled(stream: &BatchStream, pool: &rayon::ThreadPool) -> Table {
+    let parts: Vec<Vec<Tuple>> =
+        pool.map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, b| {
+            let mut rows = Vec::new();
+            batch_rows(b, &mut rows);
+            rows
+        });
+    let mut rows = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        rows.extend(p);
+    }
+    Table::from_rows(stream.schema.clone(), rows)
+}
+
+/// [`encoded_table_from_batches`] with per-batch row materialization on
+/// `pool` (row order unchanged).
+pub fn encoded_table_from_batches_pooled(stream: &BatchStream, pool: &rayon::ThreadPool) -> Table {
+    let schema = stream.schema.with_column(ua_core::UA_LABEL_COLUMN);
+    let parts: Vec<Vec<Tuple>> =
+        pool.map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, b| {
+            let mut rows = Vec::new();
+            encoded_batch_rows(b, &mut rows);
+            rows
+        });
+    let mut rows = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        rows.extend(p);
     }
     Table::from_rows(schema, rows)
 }

@@ -1,98 +1,579 @@
-//! The vectorized plan driver: executes [`Plan`]s batch-at-a-time.
+//! The vectorized plan driver: morsel-driven, optionally parallel,
+//! batch-at-a-time execution of [`Plan`]s.
 //!
-//! Every operator the row executor supports runs here too. Sort still
-//! materializes (it orders the whole result and reuses the row engine's
-//! `sort_table` so tie-breaks agree exactly); Limit is columnar-native
-//! ([`ops::limit`] truncates batches, label bitmaps and multiplicities in
-//! place of materializing rows).
+//! ## Pipelines and morsels
+//!
+//! The driver splits a plan into **pipelines**: maximal chains of per-batch
+//! operators — filter, projection, re-qualification, hash-join *probe* —
+//! over one source (a scan, a pipeline breaker like Sort/Aggregate, or a
+//! nested-loop join). Each source batch is a *morsel*: it runs through the
+//! whole bound stage chain independently, so morsels execute on a small
+//! work-stealing thread pool (the offline `rayon` shim) with **no shared
+//! mutable state** — hash-join build sides are built once, serially, and
+//! probed read-only; UA label bitmaps AND per morsel inside the join
+//! gather.
+//!
+//! ## Determinism contract
+//!
+//! Parallel output is **byte-identical** to serial output for every thread
+//! count and batch size: per-morsel results are merged in source batch
+//! index order (the pool's `map_in_order`), every stage is a pure function
+//! of its input batch, and errors are reported from the lowest-indexed
+//! failing morsel — exactly the batch the serial loop would have failed
+//! on. The determinism property tests hammer this across thread counts.
+//!
+//! One scoping note on errors: when a query contains *several* distinct
+//! failure sites (say a type error in a projection over batch 0 and a
+//! division error in a filter over batch 1), which one surfaces depends on
+//! evaluation order — the row engine finishes each operator over all rows
+//! before the next, while this pipeline runs each morsel through the whole
+//! chain. Both engines fail on exactly the same queries (the differential
+//! harness asserts Err/Err agreement), and the vectorized engine's choice
+//! is deterministic across thread counts and batch sizes, but the *choice
+//! among multiple errors* is not part of the cross-engine contract.
+//!
+//! ## Fused kernels
+//!
+//! Adjacent `Filter→Map` and `Filter→HashJoin-probe` pairs fuse: the
+//! filter's selection bitmap is evaluated and *consumed in the same pass*
+//! ([`crate::kernels::project_selected`], [`ops::ProbeState::probe`]),
+//! gathering each needed column once instead of materializing the filtered
+//! batch first.
+//!
+//! Sort, Top-K and Limit are columnar-native ([`ops::sort`],
+//! [`ops::top_k`], [`ops::limit`]) — nothing in this driver materializes
+//! rows anymore.
 
-use crate::columnar::{batches_from_table, table_from_batches, BatchStream, DEFAULT_BATCH_ROWS};
-use crate::ops;
+use crate::columnar::{
+    batches_from_encoded_table_pooled, batches_from_table_pooled, table_from_batches_pooled,
+    BatchStream, ColumnBatch, DEFAULT_BATCH_ROWS,
+};
+use crate::kernels::{filter_selection, project_selected};
+use crate::ops::{self, ProbeState};
+use ua_core::{expr_mentions_marker, UA_LABEL_COLUMN};
+use ua_data::algebra::ProjColumn;
+use ua_data::expr::Expr;
+use ua_data::schema::{Schema, SchemaError};
 use ua_engine::plan::Plan;
 use ua_engine::storage::{Catalog, Table};
-use ua_engine::EngineError;
+use ua_engine::{EngineError, ExecOptions};
 
-/// Execute `plan` against `catalog` with the vectorized engine,
-/// materializing the result table. Drop-in replacement for
-/// [`ua_engine::execute`].
+/// Execute `plan` against `catalog` with the vectorized engine using
+/// default options (auto thread count), materializing the result table.
+/// Drop-in replacement for [`ua_engine::execute`].
 pub fn execute_vectorized(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
-    let stream = exec_stream(plan, catalog, DEFAULT_BATCH_ROWS)?;
-    Ok(table_from_batches(&stream))
+    execute_vectorized_opts(plan, catalog, ExecOptions::default())
 }
 
-/// Execute `plan` into a batch stream with an explicit batch size (the
-/// differential tests sweep batch boundaries through this).
+/// [`execute_vectorized`] with explicit [`ExecOptions`] (thread count /
+/// batch size). This is the hook the engine's `ExecMode::Vectorized`
+/// dispatch calls.
+pub fn execute_vectorized_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<Table, EngineError> {
+    let driver = Driver::new(catalog, opts, false);
+    let stream = driver.stream(plan)?;
+    Ok(table_from_batches_pooled(&stream, &driver.pool))
+}
+
+/// Execute `plan` into a batch stream with an explicit batch size, serially
+/// (the differential tests sweep batch boundaries through this and use it
+/// as the reference output for the parallel determinism property).
 pub fn exec_stream(
     plan: &Plan,
     catalog: &Catalog,
     batch_rows: usize,
 ) -> Result<BatchStream, EngineError> {
-    match plan {
-        Plan::Scan(name) => {
-            let table = catalog
-                .get(name)
-                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-            Ok(batches_from_table(&table, batch_rows))
-        }
-        Plan::Alias { input, name } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            let schema = stream.schema.with_qualifier(name);
-            Ok(stream.with_schema(schema))
-        }
-        Plan::Filter { input, predicate } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            ops::filter(stream, predicate)
-        }
-        Plan::Map { input, columns } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            ops::project(stream, columns)
-        }
-        Plan::Join {
-            left,
-            right,
-            predicate,
-        } => {
-            let l = exec_stream(left, catalog, batch_rows)?;
-            let r = exec_stream(right, catalog, batch_rows)?;
-            ops::join(l, r, predicate.as_ref())
-        }
-        Plan::HashJoin {
-            left,
-            right,
-            keys,
-            residual,
-            build_left,
-        } => {
-            let l = exec_stream(left, catalog, batch_rows)?;
-            let r = exec_stream(right, catalog, batch_rows)?;
-            ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
-        }
-        Plan::UnionAll { left, right } => {
-            let l = exec_stream(left, catalog, batch_rows)?;
-            let r = exec_stream(right, catalog, batch_rows)?;
-            ops::union_all(l, r)
-        }
-        Plan::Distinct { input } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            Ok(ops::distinct(stream))
-        }
-        Plan::Aggregate {
-            input,
-            group_by,
-            aggregates,
-        } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            ops::aggregate(stream, group_by, aggregates)
-        }
-        Plan::Sort { input, keys } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            let table = table_from_batches(&stream);
-            let sorted = ua_engine::sort_table(&table, keys)?;
-            Ok(batches_from_table(&sorted, batch_rows))
-        }
-        Plan::Limit { input, limit } => {
-            let stream = exec_stream(input, catalog, batch_rows)?;
-            Ok(ops::limit(stream, *limit))
+    exec_stream_opts(
+        plan,
+        catalog,
+        ExecOptions {
+            threads: 1,
+            batch_rows,
+        },
+    )
+}
+
+/// [`exec_stream`] with explicit [`ExecOptions`].
+pub fn exec_stream_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<BatchStream, EngineError> {
+    Driver::new(catalog, opts, false).stream(plan)
+}
+
+/// Resolve a requested thread count: `0` = the `UA_VEC_THREADS`
+/// environment variable if set to a positive integer, else the machine's
+/// available parallelism.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads != 0 {
+        return threads;
+    }
+    if let Ok(v) = std::env::var("UA_VEC_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
         }
     }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// The marker is engine bookkeeping, not user schema: reject references so
+/// both executors fail identically (mirrors `rewrite_ua`).
+pub(crate) fn reject_marker_reference(expr: &Expr) -> Result<(), EngineError> {
+    if expr_mentions_marker(expr) {
+        Err(EngineError::Schema(SchemaError::AmbiguousColumn(
+            UA_LABEL_COLUMN.to_string(),
+        )))
+    } else {
+        Ok(())
+    }
+}
+
+/// One query's execution context: catalog, batch size, thread pool, and
+/// whether scans decode UA-encoded tables into label bitmaps (`ua`).
+pub(crate) struct Driver<'a> {
+    catalog: &'a Catalog,
+    batch_rows: usize,
+    ua: bool,
+    pub(crate) pool: rayon::ThreadPool,
+}
+
+/// A pipelineable operator, collected top-down while walking the plan.
+enum Spec<'p> {
+    Filter(&'p Expr),
+    Project(&'p [ProjColumn]),
+    Requalify(&'p str),
+    HashJoin {
+        build_plan: &'p Plan,
+        keys: &'p [(Expr, Expr)],
+        residual: Option<&'p Expr>,
+        build_left: bool,
+    },
+    Theta {
+        right: &'p Plan,
+        predicate: Option<&'p Expr>,
+    },
+}
+
+/// A bound per-batch stage (expressions resolved against the stage's input
+/// schema; join build sides materialized and indexed).
+enum Stage {
+    Filter(Expr),
+    Project {
+        exprs: Vec<Expr>,
+        schema: Schema,
+    },
+    /// Fused σ→π: selection bitmap evaluated and consumed in one pass.
+    FilterProject {
+        pred: Expr,
+        exprs: Vec<Expr>,
+        schema: Schema,
+    },
+    Requalify(Schema),
+    Probe(ProbeState),
+    /// Fused σ→probe: hash keys evaluate over filter survivors only and
+    /// the join gathers straight from the original batch.
+    FilterProbe {
+        pred: Expr,
+        probe: ProbeState,
+    },
+    NestedLoop {
+        chunk: ColumnBatch,
+        pred: Option<Expr>,
+        schema: Schema,
+    },
+}
+
+impl<'a> Driver<'a> {
+    pub(crate) fn new(catalog: &'a Catalog, opts: ExecOptions, ua: bool) -> Driver<'a> {
+        let batch_rows = if opts.batch_rows == 0 {
+            DEFAULT_BATCH_ROWS
+        } else {
+            opts.batch_rows
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(resolve_threads(opts.threads))
+            .build()
+            .expect("shim pool construction is infallible");
+        Driver {
+            catalog,
+            batch_rows,
+            ua,
+            pool,
+        }
+    }
+
+    /// Execute `plan` to a batch stream.
+    pub(crate) fn stream(&self, plan: &Plan) -> Result<BatchStream, EngineError> {
+        let mut specs = Vec::new();
+        let source_plan = self.collect_chain(plan, &mut specs)?;
+        let source = self.source(source_plan)?;
+        if specs.is_empty() {
+            return Ok(source);
+        }
+        let (stages, out_schema) = self.bind_stages(specs, source.schema.clone())?;
+        let results = self
+            .pool
+            .map_in_order(source.batches, |_, batch| run_chain(batch, &stages));
+        let mut batches = Vec::new();
+        for r in results {
+            // `?` on the lowest-indexed error reproduces the serial loop's
+            // failure; later morsels' speculative work is discarded.
+            batches.extend(r?);
+        }
+        Ok(BatchStream {
+            schema: out_schema,
+            batches,
+        })
+    }
+
+    /// Walk down the plan collecting pipelineable stages (top-down order);
+    /// returns the pipeline's source node.
+    fn collect_chain<'p>(
+        &self,
+        plan: &'p Plan,
+        specs: &mut Vec<Spec<'p>>,
+    ) -> Result<&'p Plan, EngineError> {
+        let mut cur = plan;
+        loop {
+            match cur {
+                Plan::Filter { input, predicate } => {
+                    if self.ua {
+                        reject_marker_reference(predicate)?;
+                    }
+                    specs.push(Spec::Filter(predicate));
+                    cur = input;
+                }
+                Plan::Map { input, columns } => {
+                    if self.ua {
+                        // Mirror rewrite_ua: the marker is engine-managed;
+                        // projecting or referencing it explicitly is
+                        // rejected.
+                        for c in columns {
+                            if c.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
+                                return Err(EngineError::Schema(SchemaError::AmbiguousColumn(
+                                    UA_LABEL_COLUMN.to_string(),
+                                )));
+                            }
+                            reject_marker_reference(&c.expr)?;
+                        }
+                    }
+                    specs.push(Spec::Project(columns));
+                    cur = input;
+                }
+                Plan::Alias { input, name } => {
+                    specs.push(Spec::Requalify(name));
+                    cur = input;
+                }
+                Plan::HashJoin {
+                    left,
+                    right,
+                    keys,
+                    residual,
+                    build_left,
+                } => {
+                    if self.ua {
+                        for (kl, kr) in keys.iter() {
+                            reject_marker_reference(kl)?;
+                            reject_marker_reference(kr)?;
+                        }
+                        if let Some(res) = residual {
+                            reject_marker_reference(res)?;
+                        }
+                    }
+                    let (build_plan, probe_plan) = if *build_left {
+                        (&**left, &**right)
+                    } else {
+                        (&**right, &**left)
+                    };
+                    specs.push(Spec::HashJoin {
+                        build_plan,
+                        keys,
+                        residual: residual.as_ref(),
+                        build_left: *build_left,
+                    });
+                    cur = probe_plan;
+                }
+                Plan::Join {
+                    left,
+                    right,
+                    predicate,
+                } => {
+                    if self.ua {
+                        if let Some(p) = predicate {
+                            reject_marker_reference(p)?;
+                        }
+                    }
+                    specs.push(Spec::Theta {
+                        right,
+                        predicate: predicate.as_ref(),
+                    });
+                    cur = left;
+                }
+                _ => return Ok(cur),
+            }
+        }
+    }
+
+    /// Bind the collected stages bottom-up against the evolving schema,
+    /// executing join build sides, then fuse adjacent filter pairs.
+    fn bind_stages(
+        &self,
+        specs: Vec<Spec<'_>>,
+        source_schema: Schema,
+    ) -> Result<(Vec<Stage>, Schema), EngineError> {
+        let mut schema = source_schema;
+        let mut stages: Vec<Stage> = Vec::with_capacity(specs.len());
+        for spec in specs.into_iter().rev() {
+            match spec {
+                Spec::Filter(p) => {
+                    let bound = p.bind(&schema).map_err(EngineError::Expr)?;
+                    stages.push(Stage::Filter(bound));
+                }
+                Spec::Project(cols) => {
+                    let exprs: Vec<Expr> = cols
+                        .iter()
+                        .map(|c| c.expr.bind(&schema))
+                        .collect::<Result<_, _>>()
+                        .map_err(EngineError::Expr)?;
+                    let out = Schema::new(cols.iter().map(|c| c.column.clone()).collect());
+                    schema = out.clone();
+                    stages.push(Stage::Project { exprs, schema: out });
+                }
+                Spec::Requalify(name) => {
+                    schema = schema.with_qualifier(name);
+                    stages.push(Stage::Requalify(schema.clone()));
+                }
+                Spec::HashJoin {
+                    build_plan,
+                    keys,
+                    residual,
+                    build_left,
+                } => {
+                    let build = self.stream(build_plan)?;
+                    let (left_schema, right_schema) = if build_left {
+                        (build.schema.clone(), schema.clone())
+                    } else {
+                        (schema.clone(), build.schema.clone())
+                    };
+                    let state = ops::hash_join_probe_state(
+                        build,
+                        &left_schema,
+                        &right_schema,
+                        keys,
+                        residual,
+                        build_left,
+                    )?;
+                    schema = state.out_schema().clone();
+                    stages.push(Stage::Probe(state));
+                }
+                Spec::Theta { right, predicate } => {
+                    let right_stream = self.stream(right)?;
+                    let out_schema = schema.concat(&right_stream.schema);
+                    let bound = predicate
+                        .map(|p| p.bind(&out_schema))
+                        .transpose()
+                        .map_err(EngineError::Expr)?;
+                    // The strategy decision is ops::theta_strategy — the
+                    // same single copy the standalone ops::join uses.
+                    match ops::theta_strategy(
+                        right_stream,
+                        bound.as_ref(),
+                        schema.arity(),
+                        &out_schema,
+                    )? {
+                        ops::ThetaStrategy::Hash(state) => stages.push(Stage::Probe(state)),
+                        ops::ThetaStrategy::NestedLoop(chunk) => {
+                            stages.push(Stage::NestedLoop {
+                                chunk,
+                                pred: bound,
+                                schema: out_schema.clone(),
+                            });
+                        }
+                    }
+                    schema = out_schema;
+                }
+            }
+        }
+        Ok((fuse_stages(stages), schema))
+    }
+
+    /// Execute a pipeline source / breaker node.
+    fn source(&self, plan: &Plan) -> Result<BatchStream, EngineError> {
+        match plan {
+            Plan::Scan(name) => {
+                let table = self
+                    .catalog
+                    .get(name)
+                    .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+                if self.ua {
+                    batches_from_encoded_table_pooled(&table, name, self.batch_rows, &self.pool)
+                } else {
+                    Ok(batches_from_table_pooled(
+                        &table,
+                        self.batch_rows,
+                        &self.pool,
+                    ))
+                }
+            }
+            Plan::UnionAll { left, right } => {
+                let l = self.stream(left)?;
+                let r = self.stream(right)?;
+                ops::union_all(l, r)
+            }
+            Plan::Sort { input, keys } => {
+                if self.ua {
+                    for (k, _) in keys {
+                        reject_marker_reference(k)?;
+                    }
+                }
+                let stream = self.stream(input)?;
+                ops::sort(stream, keys, self.batch_rows)
+            }
+            Plan::TopK { input, keys, limit } => {
+                if self.ua {
+                    for (k, _) in keys {
+                        reject_marker_reference(k)?;
+                    }
+                }
+                let stream = self.stream(input)?;
+                ops::top_k(stream, keys, *limit, self.batch_rows)
+            }
+            Plan::Limit { input, limit } => {
+                let stream = self.stream(input)?;
+                Ok(ops::limit(stream, *limit))
+            }
+            Plan::Distinct { input } if !self.ua => {
+                let stream = self.stream(input)?;
+                Ok(ops::distinct(stream))
+            }
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } if !self.ua => {
+                let stream = self.stream(input)?;
+                ops::aggregate(stream, group_by, aggregates)
+            }
+            Plan::Distinct { .. } | Plan::Aggregate { .. } => Err(EngineError::Sql(
+                "UA queries support the positive relational algebra \
+                 (selection, projection, join, UNION ALL) plus trailing \
+                 ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
+                 under UA semantics"
+                    .into(),
+            )),
+            Plan::Filter { .. }
+            | Plan::Map { .. }
+            | Plan::Alias { .. }
+            | Plan::Join { .. }
+            | Plan::HashJoin { .. } => {
+                unreachable!("pipelineable nodes are collected into the chain")
+            }
+        }
+    }
+}
+
+/// Fuse adjacent `Filter→Project` / `Filter→Probe` stage pairs so the
+/// selection bitmap is consumed in the same pass it is produced.
+fn fuse_stages(stages: Vec<Stage>) -> Vec<Stage> {
+    let mut out: Vec<Stage> = Vec::with_capacity(stages.len());
+    for stage in stages {
+        match (out.pop(), stage) {
+            (Some(Stage::Filter(pred)), Stage::Project { exprs, schema }) => {
+                out.push(Stage::FilterProject {
+                    pred,
+                    exprs,
+                    schema,
+                });
+            }
+            (Some(Stage::Filter(pred)), Stage::Probe(probe)) => {
+                out.push(Stage::FilterProbe { pred, probe });
+            }
+            (prev, stage) => {
+                if let Some(p) = prev {
+                    out.push(p);
+                }
+                out.push(stage);
+            }
+        }
+    }
+    out
+}
+
+/// Run one morsel through the stage chain. Pure function of the input
+/// batch — the parallel driver's determinism rests on this.
+fn run_chain(batch: ColumnBatch, stages: &[Stage]) -> Result<Vec<ColumnBatch>, EngineError> {
+    if batch.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut cur = vec![batch];
+    for stage in stages {
+        let mut next = Vec::new();
+        for b in cur {
+            apply_stage(stage, b, &mut next)?;
+        }
+        if next.is_empty() {
+            return Ok(next);
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+fn apply_stage(
+    stage: &Stage,
+    batch: ColumnBatch,
+    out: &mut Vec<ColumnBatch>,
+) -> Result<(), EngineError> {
+    match stage {
+        Stage::Filter(pred) => match filter_selection(pred, &batch)? {
+            None => out.push(batch),
+            Some(sel) if sel.is_empty() => {}
+            Some(sel) => out.push(batch.gather(&sel)),
+        },
+        Stage::Project { exprs, schema } => {
+            out.push(project_selected(&batch, None, exprs, schema)?);
+        }
+        Stage::FilterProject {
+            pred,
+            exprs,
+            schema,
+        } => match filter_selection(pred, &batch)? {
+            None => out.push(project_selected(&batch, None, exprs, schema)?),
+            Some(sel) if sel.is_empty() => {}
+            Some(sel) => out.push(project_selected(&batch, Some(&sel), exprs, schema)?),
+        },
+        Stage::Requalify(schema) => out.push(batch.with_schema(schema.clone())),
+        Stage::Probe(probe) => {
+            if let Some(joined) = probe.probe(&batch, None)? {
+                out.push(joined);
+            }
+        }
+        Stage::FilterProbe { pred, probe } => match filter_selection(pred, &batch)? {
+            None => {
+                if let Some(joined) = probe.probe(&batch, None)? {
+                    out.push(joined);
+                }
+            }
+            Some(sel) if sel.is_empty() => {}
+            Some(sel) => {
+                if let Some(joined) = probe.probe(&batch, Some(&sel))? {
+                    out.push(joined);
+                }
+            }
+        },
+        Stage::NestedLoop {
+            chunk,
+            pred,
+            schema,
+        } => ops::nested_loop_batch(&batch, chunk, pred.as_ref(), schema, out)?,
+    }
+    Ok(())
 }

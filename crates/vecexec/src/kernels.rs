@@ -12,12 +12,25 @@
 //!   ([`Evaluated::Col`]) or an unexpanded constant ([`Evaluated::Const`]).
 //!   Rare expression shapes fall back to row-at-a-time evaluation of the
 //!   same `Expr::eval` the row engine uses — again guaranteeing agreement.
+//!
+//! On top of those sit the **fused** kernels the morsel pipeline uses to
+//! evaluate a selection bitmap and consume it in the same pass:
+//!
+//! * [`filter_selection`] — predicate → surviving row positions (`None`
+//!   when every row survives, so callers skip gathering entirely);
+//! * [`project_selected`] — π over a selection vector: plain column
+//!   references gather only their own column, computed expressions
+//!   evaluate over the surviving rows only (never over rows the filter
+//!   rejected — expression errors must match the row engine's
+//!   filter-then-map behavior). One gather per *needed* column replaces
+//!   the old gather-every-column-then-project two-pass shape.
 
 use crate::bitmap::Bitmap;
 use crate::columnar::{ColumnBatch, ColumnVec};
 use std::cmp::Ordering;
 use std::sync::Arc;
 use ua_data::expr::{CmpOp, Expr, Truth};
+use ua_data::schema::Schema;
 use ua_data::value::Value;
 use ua_engine::EngineError;
 
@@ -110,6 +123,104 @@ fn row_fallback(expr: &Expr, batch: &ColumnBatch) -> Result<Evaluated, EngineErr
         out.push(expr.eval(&row).map_err(EngineError::Expr)?);
     }
     Ok(Evaluated::Col(ColumnVec::from_values(out.iter())))
+}
+
+/// Evaluate a (bound) predicate over `batch` into a selection vector: the
+/// positions whose predicate is certainly true, or `None` when every row
+/// survives (callers then reuse the input batch as-is).
+pub fn filter_selection(
+    bound: &Expr,
+    batch: &ColumnBatch,
+) -> Result<Option<Vec<u32>>, EngineError> {
+    let (t, _f) = truth_masks(bound, batch)?;
+    if t.all_ones() {
+        Ok(None)
+    } else {
+        Ok(Some(t.ones()))
+    }
+}
+
+/// Fused σ→π kernel: project `exprs` over the rows of `batch` at `sel`
+/// (`None` = all rows). Column references gather just their own column;
+/// literals broadcast; anything else evaluates over a lazily-gathered
+/// survivor batch, so computed expressions never see rejected rows. Labels
+/// and multiplicities ride along with the selection.
+pub fn project_selected(
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    exprs: &[Expr],
+    out_schema: &Schema,
+) -> Result<ColumnBatch, EngineError> {
+    match sel {
+        None => {
+            let cols: Vec<ColumnVec> = exprs
+                .iter()
+                .map(|e| Ok(eval_expr(e, batch)?.into_column(batch.len())))
+                .collect::<Result<_, EngineError>>()?;
+            Ok(ColumnBatch::new(
+                out_schema.clone(),
+                cols,
+                batch.labels().clone(),
+                Arc::new(batch.mults().to_vec()),
+            ))
+        }
+        Some(sel) => {
+            let mut gathered: Option<ColumnBatch> = None;
+            let cols: Vec<ColumnVec> = exprs
+                .iter()
+                .map(|e| match e {
+                    Expr::Col(i) => Ok(batch
+                        .columns()
+                        .get(*i)
+                        .ok_or_else(|| EngineError::Sql(format!("column index {i} out of range")))?
+                        .gather(sel)),
+                    Expr::Lit(v) => Ok(ColumnVec::broadcast(v, sel.len())),
+                    other => {
+                        let g = gathered.get_or_insert_with(|| batch.gather(sel));
+                        Ok(eval_expr(other, g)?.into_column(sel.len()))
+                    }
+                })
+                .collect::<Result<_, EngineError>>()?;
+            let labels = batch.labels().gather(sel);
+            let mults: Vec<u64> = sel.iter().map(|&i| batch.mults()[i as usize]).collect();
+            Ok(ColumnBatch::new(
+                out_schema.clone(),
+                cols,
+                labels,
+                Arc::new(mults),
+            ))
+        }
+    }
+}
+
+/// Evaluate a (bound) scalar expression over the rows of `batch` at `sel`
+/// (`None` = all rows), without evaluating on unselected rows — the fused
+/// σ→probe path uses this for hash-key evaluation so error-capable key
+/// expressions only ever see filter survivors, like the row engine's
+/// filter-below-join.
+pub fn eval_selected(
+    expr: &Expr,
+    batch: &ColumnBatch,
+    sel: Option<&[u32]>,
+    gathered: &mut Option<ColumnBatch>,
+) -> Result<Evaluated, EngineError> {
+    match sel {
+        None => eval_expr(expr, batch),
+        Some(sel) => match expr {
+            Expr::Col(i) => Ok(Evaluated::Col(
+                batch
+                    .columns()
+                    .get(*i)
+                    .ok_or_else(|| EngineError::Sql(format!("column index {i} out of range")))?
+                    .gather(sel),
+            )),
+            Expr::Lit(v) => Ok(Evaluated::Const(v.clone())),
+            other => {
+                let g = gathered.get_or_insert_with(|| batch.gather(sel));
+                eval_expr(other, g)
+            }
+        },
+    }
 }
 
 /// Evaluate a predicate into `(certainly_true, certainly_false)` masks.

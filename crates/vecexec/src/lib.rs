@@ -15,12 +15,18 @@
 //!   [`columnar::ColumnVec`]s, and lossless converters to/from
 //!   [`ua_engine::Table`] and [`ua_data::Relation`]`<u64>`;
 //! * [`kernels`] — vectorized expression/predicate evaluation, bit-exact
-//!   with the row engine's scalar `Expr` evaluator;
+//!   with the row engine's scalar `Expr` evaluator, plus the fused
+//!   selection-consuming kernels (σ→π, σ→probe);
 //! * [`ops`] — the operators (filter, project, hash/nested-loop join,
-//!   union, distinct, aggregate), order-compatible with the row executor;
-//! * [`exec`] — the plan driver ([`execute_vectorized`]);
+//!   union, distinct, aggregate, columnar sort, fused Top-K, limit),
+//!   order-compatible with the row executor;
+//! * [`exec`] — the morsel-driven plan driver ([`execute_vectorized`]):
+//!   per-batch pipelines run on a work-stealing thread pool (offline
+//!   `rayon` shim) and merge in deterministic batch-index order, so
+//!   parallel output is byte-identical to serial;
 //! * [`ua`] — the UA path ([`execute_ua_vectorized`]): `⟦·⟧_UA` realized as
-//!   bitmap propagation instead of plan rewriting.
+//!   bitmap propagation instead of plan rewriting, sharing the same
+//!   parallel driver (Sort/Limit/Top-K included — no row-engine fallback).
 //!
 //! ## Opting in
 //!
@@ -42,19 +48,20 @@ pub mod ops;
 pub mod ua;
 
 pub use columnar::{
-    batches_from_relation, batches_from_table, relation_from_batches, table_from_batches,
-    BatchStream, ColumnBatch, ColumnVec, DEFAULT_BATCH_ROWS,
+    batches_from_relation, batches_from_table, batches_from_table_pooled, relation_from_batches,
+    table_from_batches, table_from_batches_pooled, BatchStream, ColumnBatch, ColumnVec,
+    DEFAULT_BATCH_ROWS,
 };
-pub use exec::execute_vectorized;
-pub use ua::execute_ua_vectorized;
+pub use exec::{exec_stream, execute_vectorized, execute_vectorized_opts, resolve_threads};
+pub use ua::{execute_ua_vectorized, execute_ua_vectorized_opts, ua_stream};
 
 /// Register the vectorized executor with `ua-engine` so sessions can select
 /// [`ua_engine::ExecMode::Vectorized`]. Idempotent; call once anywhere
 /// before querying.
 pub fn install() {
     ua_engine::register_vectorized_hooks(ua_engine::VectorizedHooks {
-        plan: execute_vectorized,
-        ua: execute_ua_vectorized,
+        plan: execute_vectorized_opts,
+        ua: execute_ua_vectorized_opts,
     });
 }
 

@@ -9,7 +9,8 @@
 
 use crate::bitmap::Bitmap;
 use crate::columnar::{BatchStream, ColumnBatch, ColumnVec};
-use crate::kernels::{eval_expr, truth_masks, Evaluated};
+use crate::kernels::{eval_expr, eval_selected, truth_masks, Evaluated};
+use std::cmp::Ordering;
 use std::sync::Arc;
 use ua_data::algebra::{extract_equi_keys, ProjColumn};
 use ua_data::expr::Expr;
@@ -17,10 +18,12 @@ use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
 use ua_data::FxHashMap;
-use ua_engine::plan::AggExpr;
+use ua_engine::plan::{AggExpr, SortOrder};
 use ua_engine::{AggState, EngineError};
 
-/// σ — keep rows whose (bound) predicate is certainly true.
+/// σ — keep rows whose (bound) predicate is certainly true. Delegates to
+/// the same selection kernel the morsel pipeline's filter stage consumes,
+/// so standalone and pipelined filtering cannot diverge.
 pub fn filter(input: BatchStream, predicate: &Expr) -> Result<BatchStream, EngineError> {
     let bound = predicate.bind(&input.schema).map_err(EngineError::Expr)?;
     let mut batches = Vec::with_capacity(input.batches.len());
@@ -28,11 +31,10 @@ pub fn filter(input: BatchStream, predicate: &Expr) -> Result<BatchStream, Engin
         if batch.is_empty() {
             continue;
         }
-        let (t, _f) = truth_masks(&bound, &batch)?;
-        if t.all_ones() {
-            batches.push(batch);
-        } else if t.count_ones() > 0 {
-            batches.push(batch.gather(&t.ones()));
+        match crate::kernels::filter_selection(&bound, &batch)? {
+            None => batches.push(batch),
+            Some(sel) if sel.is_empty() => {}
+            Some(sel) => batches.push(batch.gather(&sel)),
         }
     }
     Ok(BatchStream {
@@ -43,7 +45,7 @@ pub fn filter(input: BatchStream, predicate: &Expr) -> Result<BatchStream, Engin
 
 /// π — evaluate output expressions per batch; labels and multiplicities are
 /// carried through unchanged (the `⟦·⟧_UA` projection rule keeps each row
-/// copy's own marker).
+/// copy's own marker). Delegates to the pipeline's projection kernel.
 pub fn project(input: BatchStream, columns: &[ProjColumn]) -> Result<BatchStream, EngineError> {
     let bound: Vec<Expr> = columns
         .iter()
@@ -51,19 +53,11 @@ pub fn project(input: BatchStream, columns: &[ProjColumn]) -> Result<BatchStream
         .collect::<Result<_, _>>()
         .map_err(EngineError::Expr)?;
     let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
-    let mut batches = Vec::with_capacity(input.batches.len());
-    for batch in &input.batches {
-        let cols: Vec<ColumnVec> = bound
-            .iter()
-            .map(|e| Ok(eval_expr(e, batch)?.into_column(batch.len())))
-            .collect::<Result<_, EngineError>>()?;
-        batches.push(ColumnBatch::new(
-            out_schema.clone(),
-            cols,
-            batch.labels().clone(),
-            Arc::new(batch.mults().to_vec()),
-        ));
-    }
+    let batches = input
+        .batches
+        .iter()
+        .map(|batch| crate::kernels::project_selected(batch, None, &bound, &out_schema))
+        .collect::<Result<_, _>>()?;
     Ok(BatchStream {
         schema: out_schema,
         batches,
@@ -95,6 +89,183 @@ enum JoinIndex {
     Tuple(FxHashMap<Tuple, Vec<u32>>),
 }
 
+/// Prepared state of a streaming hash-join probe: the materialized build
+/// side, its hash index, and the bound probe-key/residual expressions. The
+/// morsel pipeline builds this once (serial) and then probes batch by
+/// batch — probing is read-only, so morsels probe in parallel — optionally
+/// consuming a filter's selection vector in the same pass (the fused
+/// σ→probe kernel: key expressions evaluate over filter survivors only,
+/// and the join gathers straight from the *original* batch through the
+/// mapped-back selection, one gather instead of two).
+pub struct ProbeState {
+    chunk: ColumnBatch,
+    index: JoinIndex,
+    probe_keys: Vec<Expr>,
+    residual: Option<Expr>,
+    build_left: bool,
+    out_schema: Schema,
+}
+
+impl ProbeState {
+    /// Assemble probe state from a fully-executed build stream. All
+    /// expressions arrive bound: `build_keys` against the build chunk,
+    /// `probe_keys` against the probe-side schema, `residual` against
+    /// `out_schema` (always `left ++ right` in plan order, regardless of
+    /// which side builds).
+    pub fn new(
+        build: BatchStream,
+        build_keys: &[Expr],
+        probe_keys: Vec<Expr>,
+        residual: Option<Expr>,
+        build_left: bool,
+        out_schema: Schema,
+    ) -> Result<ProbeState, EngineError> {
+        let chunk = build.into_single_chunk();
+        let key_cols: Vec<Evaluated> = build_keys
+            .iter()
+            .map(|e| eval_expr(e, &chunk))
+            .collect::<Result<_, _>>()?;
+        let index = build_index(&key_cols, chunk.len());
+        Ok(ProbeState {
+            chunk,
+            index,
+            probe_keys,
+            residual,
+            build_left,
+            out_schema,
+        })
+    }
+
+    /// The joined output schema (`left ++ right`).
+    pub fn out_schema(&self) -> &Schema {
+        &self.out_schema
+    }
+
+    /// Probe one batch, restricted to the rows at `sel` when given (`None`
+    /// = every row). Output row order is probe-scan order with build-scan
+    /// order within one probe row — the row engine's contract — and `sel`
+    /// vectors are ascending, so fused probing emits exactly the order a
+    /// separate filter-then-probe would.
+    pub fn probe(
+        &self,
+        batch: &ColumnBatch,
+        sel: Option<&[u32]>,
+    ) -> Result<Option<ColumnBatch>, EngineError> {
+        let mut gathered: Option<ColumnBatch> = None;
+        let probe_cols: Vec<Evaluated> = self
+            .probe_keys
+            .iter()
+            .map(|e| eval_selected(e, batch, sel, &mut gathered))
+            .collect::<Result<_, _>>()?;
+        let rows = sel.map_or(batch.len(), <[u32]>::len);
+        let (mut pidx, bidx) = probe_index(&self.index, &probe_cols, rows);
+        if pidx.is_empty() {
+            return Ok(None);
+        }
+        if let Some(sel) = sel {
+            // Map selection-local probe positions back to the original
+            // batch so the join gathers source rows directly.
+            for p in &mut pidx {
+                *p = sel[*p as usize];
+            }
+        }
+        let (lsrc, rsrc, lidx, ridx): (&ColumnBatch, &ColumnBatch, &[u32], &[u32]) =
+            if self.build_left {
+                (&self.chunk, batch, &bidx, &pidx)
+            } else {
+                (batch, &self.chunk, &pidx, &bidx)
+            };
+        let joined = join_gather(lsrc, rsrc, lidx, ridx, &self.out_schema);
+        let joined = match &self.residual {
+            Some(pred) => apply_residual(joined, pred)?,
+            None => joined,
+        };
+        Ok((!joined.is_empty()).then_some(joined))
+    }
+}
+
+/// The θ-join strategy decision — THE single copy of it: the pipeline
+/// driver's `Theta` stage and the standalone [`join`] operator both route
+/// through here, so the two paths can never make different choices. With
+/// extractable equi-keys in the bound predicate, the right side builds a
+/// [`ProbeState`] (residual kept); otherwise the right side chunks for
+/// nested loops.
+pub(crate) enum ThetaStrategy {
+    /// Hash-probe the left side against the indexed right side.
+    Hash(ProbeState),
+    /// No equi-keys: nested loops against the right chunk.
+    NestedLoop(ColumnBatch),
+}
+
+/// Decide the strategy for a θ-join of a streamed left side against
+/// `right`. `bound` is the predicate bound against `out_schema`
+/// (`left ++ right`), as [`extract_equi_keys`] expects.
+pub(crate) fn theta_strategy(
+    right: BatchStream,
+    bound: Option<&Expr>,
+    left_arity: usize,
+    out_schema: &Schema,
+) -> Result<ThetaStrategy, EngineError> {
+    if let Some(pred) = bound {
+        let (keys, residual) = extract_equi_keys(pred, left_arity);
+        if !keys.is_empty() {
+            let residual = Expr::conjunction(residual);
+            let build_keys: Vec<Expr> = keys.iter().map(|k| k.right.clone()).collect();
+            let probe_keys: Vec<Expr> = keys.iter().map(|k| k.left.clone()).collect();
+            return Ok(ThetaStrategy::Hash(ProbeState::new(
+                right,
+                &build_keys,
+                probe_keys,
+                Some(residual),
+                false,
+                out_schema.clone(),
+            )?));
+        }
+    }
+    Ok(ThetaStrategy::NestedLoop(right.into_single_chunk()))
+}
+
+/// Nested-loop pieces of one left batch against the whole right chunk: the
+/// cross product materializes in bounded pieces (a few left rows at a
+/// time) so a large θ-join never holds the full product in memory; slicing
+/// on the left preserves the row engine's output order. The full predicate
+/// filters each piece (matching the row engine's nested-loop path).
+pub(crate) fn nested_loop_batch(
+    lbatch: &ColumnBatch,
+    right_chunk: &ColumnBatch,
+    bound: Option<&Expr>,
+    out_schema: &Schema,
+    out: &mut Vec<ColumnBatch>,
+) -> Result<(), EngineError> {
+    const MAX_PAIRS_PER_PIECE: usize = 1 << 16;
+    if lbatch.is_empty() || right_chunk.is_empty() {
+        return Ok(());
+    }
+    let rows_per_piece = (MAX_PAIRS_PER_PIECE / right_chunk.len()).max(1);
+    let mut start = 0u32;
+    while (start as usize) < lbatch.len() {
+        let end = ((start as usize + rows_per_piece).min(lbatch.len())) as u32;
+        let mut lidx: Vec<u32> = Vec::new();
+        let mut ridx: Vec<u32> = Vec::new();
+        for i in start..end {
+            for j in 0..right_chunk.len() as u32 {
+                lidx.push(i);
+                ridx.push(j);
+            }
+        }
+        let joined = join_gather(lbatch, right_chunk, &lidx, &ridx, out_schema);
+        let joined = match bound {
+            Some(pred) => apply_residual(joined, pred)?,
+            None => joined,
+        };
+        if !joined.is_empty() {
+            out.push(joined);
+        }
+        start = end;
+    }
+    Ok(())
+}
+
 /// θ-join. Strategy mirrors the row executor exactly: extract equi-keys
 /// from the bound predicate, hash-join on them with the residual applied to
 /// matches; fall back to nested loops otherwise. The probe side streams
@@ -111,76 +282,25 @@ pub fn join(
         Some(p) => Some(p.bind(&out_schema).map_err(EngineError::Expr)?),
         None => None,
     };
-
-    let right_chunk = right.into_single_chunk();
-
-    if let Some(pred) = &bound {
-        let (keys, residual) = extract_equi_keys(pred, left_arity);
-        if !keys.is_empty() {
-            let residual = Expr::conjunction(residual);
-            // Build phase over the right chunk.
-            let key_cols: Vec<Evaluated> = keys
-                .iter()
-                .map(|k| eval_expr(&k.right, &right_chunk))
-                .collect::<Result<_, _>>()?;
-            let index = build_index(&key_cols, right_chunk.len());
-            // Probe phase, batch by batch.
-            let mut batches = Vec::with_capacity(left.batches.len());
+    let mut batches = Vec::with_capacity(left.batches.len());
+    match theta_strategy(right, bound.as_ref(), left_arity, &out_schema)? {
+        ThetaStrategy::Hash(state) => {
             for lbatch in &left.batches {
-                let probe_cols: Vec<Evaluated> = keys
-                    .iter()
-                    .map(|k| eval_expr(&k.left, lbatch))
-                    .collect::<Result<_, _>>()?;
-                let (lidx, ridx) = probe_index(&index, &probe_cols, lbatch.len());
-                if lidx.is_empty() {
-                    continue;
-                }
-                let joined = join_gather(lbatch, &right_chunk, &lidx, &ridx, &out_schema);
-                let joined = apply_residual(joined, &residual)?;
-                if !joined.is_empty() {
+                if let Some(joined) = state.probe(lbatch, None)? {
                     batches.push(joined);
                 }
             }
-            return Ok(BatchStream {
-                schema: out_schema,
-                batches,
-            });
         }
-    }
-
-    // Nested loops: left rows in order against the whole right chunk. The
-    // cross product is materialized in bounded pieces (a few left rows at a
-    // time) so a large θ-join never holds the full product in memory;
-    // slicing on the left preserves the row engine's output order.
-    const MAX_PAIRS_PER_PIECE: usize = 1 << 16;
-    let mut batches = Vec::with_capacity(left.batches.len());
-    for lbatch in &left.batches {
-        if lbatch.is_empty() || right_chunk.is_empty() {
-            continue;
-        }
-        let rows_per_piece = (MAX_PAIRS_PER_PIECE / right_chunk.len()).max(1);
-        let mut start = 0u32;
-        while (start as usize) < lbatch.len() {
-            let end = ((start as usize + rows_per_piece).min(lbatch.len())) as u32;
-            let mut lidx: Vec<u32> = Vec::new();
-            let mut ridx: Vec<u32> = Vec::new();
-            for i in start..end {
-                for j in 0..right_chunk.len() as u32 {
-                    lidx.push(i);
-                    ridx.push(j);
-                }
+        ThetaStrategy::NestedLoop(right_chunk) => {
+            for lbatch in &left.batches {
+                nested_loop_batch(
+                    lbatch,
+                    &right_chunk,
+                    bound.as_ref(),
+                    &out_schema,
+                    &mut batches,
+                )?;
             }
-            let joined = join_gather(lbatch, &right_chunk, &lidx, &ridx, &out_schema);
-            // The full predicate filters the cross product (matching the
-            // row engine's nested-loop path).
-            let joined = match &bound {
-                Some(pred) => apply_residual(joined, pred)?,
-                None => joined,
-            };
-            if !joined.is_empty() {
-                batches.push(joined);
-            }
-            start = end;
         }
     }
     Ok(BatchStream {
@@ -204,57 +324,25 @@ pub fn hash_join(
     residual: Option<&Expr>,
     build_left: bool,
 ) -> Result<BatchStream, EngineError> {
-    let out_schema = left.schema.concat(&right.schema);
-    let lkeys: Vec<Expr> = keys
-        .iter()
-        .map(|(e, _)| e.bind(&left.schema))
-        .collect::<Result<_, _>>()
-        .map_err(EngineError::Expr)?;
-    let rkeys: Vec<Expr> = keys
-        .iter()
-        .map(|(_, e)| e.bind(&right.schema))
-        .collect::<Result<_, _>>()
-        .map_err(EngineError::Expr)?;
-    let residual = residual
-        .map(|e| e.bind(&out_schema))
-        .transpose()
-        .map_err(EngineError::Expr)?;
-    // One build/probe loop regardless of side: only which stream is
-    // chunked for the hash table and the gather argument order depend on
-    // `build_left` (output columns stay left ++ right).
-    let (build_stream, build_keys, probe_stream, probe_keys) = if build_left {
-        (left, &lkeys, right, &rkeys)
+    let left_schema = left.schema.clone();
+    let right_schema = right.schema.clone();
+    let out_schema = left_schema.concat(&right_schema);
+    let (build_stream, probe_stream) = if build_left {
+        (left, right)
     } else {
-        (right, &rkeys, left, &lkeys)
+        (right, left)
     };
-    let chunk = build_stream.into_single_chunk();
-    let key_cols: Vec<Evaluated> = build_keys
-        .iter()
-        .map(|e| eval_expr(e, &chunk))
-        .collect::<Result<_, _>>()?;
-    let index = build_index(&key_cols, chunk.len());
+    let state = hash_join_probe_state(
+        build_stream,
+        &left_schema,
+        &right_schema,
+        keys,
+        residual,
+        build_left,
+    )?;
     let mut batches = Vec::with_capacity(probe_stream.batches.len());
     for pbatch in &probe_stream.batches {
-        let probe_cols: Vec<Evaluated> = probe_keys
-            .iter()
-            .map(|e| eval_expr(e, pbatch))
-            .collect::<Result<_, _>>()?;
-        // probe_index yields (probe row, build row) pairs.
-        let (pidx, bidx) = probe_index(&index, &probe_cols, pbatch.len());
-        if pidx.is_empty() {
-            continue;
-        }
-        let (lsrc, rsrc, lidx, ridx): (&ColumnBatch, &ColumnBatch, &[u32], &[u32]) = if build_left {
-            (&chunk, pbatch, &bidx, &pidx)
-        } else {
-            (pbatch, &chunk, &pidx, &bidx)
-        };
-        let joined = join_gather(lsrc, rsrc, lidx, ridx, &out_schema);
-        let joined = match &residual {
-            Some(pred) => apply_residual(joined, pred)?,
-            None => joined,
-        };
-        if !joined.is_empty() {
+        if let Some(joined) = state.probe(pbatch, None)? {
             batches.push(joined);
         }
     }
@@ -262,6 +350,48 @@ pub fn hash_join(
         schema: out_schema,
         batches,
     })
+}
+
+/// Bind a [`ua_engine::plan::Plan::HashJoin`]'s per-side expressions and
+/// build its [`ProbeState`] from the already-executed build stream
+/// (`build` is the plan's left input when `build_left`, its right input
+/// otherwise; the probe side stays streamed).
+pub fn hash_join_probe_state(
+    build: BatchStream,
+    left_schema: &Schema,
+    right_schema: &Schema,
+    keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    build_left: bool,
+) -> Result<ProbeState, EngineError> {
+    let out_schema = left_schema.concat(right_schema);
+    let lkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(e, _)| e.bind(left_schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let rkeys: Vec<Expr> = keys
+        .iter()
+        .map(|(_, e)| e.bind(right_schema))
+        .collect::<Result<_, _>>()
+        .map_err(EngineError::Expr)?;
+    let residual = residual
+        .map(|e| e.bind(&out_schema))
+        .transpose()
+        .map_err(EngineError::Expr)?;
+    let (build_keys, probe_keys) = if build_left {
+        (lkeys, rkeys)
+    } else {
+        (rkeys, lkeys)
+    };
+    ProbeState::new(
+        build,
+        &build_keys,
+        probe_keys,
+        residual,
+        build_left,
+        out_schema,
+    )
 }
 
 fn build_index(key_cols: &[Evaluated], rows: usize) -> JoinIndex {
@@ -426,6 +556,220 @@ pub fn limit(input: BatchStream, limit: usize) -> BatchStream {
         schema: input.schema,
         batches,
     }
+}
+
+/// The shared sort comparator contract, applied to columnar rows: sort
+/// keys (outermost first, `Value`'s total order, per-key direction), then
+/// the full base row, then the UA label (uncertain before certain).
+///
+/// This is byte-for-byte `ua_engine::sort_table`'s ordering: in the row
+/// engine's UA path the sort runs over the *encoded* table, whose
+/// deterministic full-row tie-break ends on the trailing `ua_c` marker
+/// (`0` for uncertain, `1` for certain) — here the marker lives in the
+/// label bitmap, so the label becomes the final tie-break key (`false <
+/// true` matches `0 < 1`). Deterministic semantics are unaffected: labels
+/// are uniformly certain there.
+fn sort_cmp(
+    bound: &[(Expr, SortOrder)],
+    keys_a: impl Fn(usize) -> Value,
+    keys_b: impl Fn(usize) -> Value,
+    row_a: (&ColumnBatch, usize),
+    row_b: (&ColumnBatch, usize),
+) -> Ordering {
+    for (i, (_, order)) in bound.iter().enumerate() {
+        let ord = keys_a(i).cmp(&keys_b(i));
+        let ord = match order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    let (ba, ia) = row_a;
+    let (bb, ib) = row_b;
+    for (ca, cb) in ba.columns().iter().zip(bb.columns()) {
+        let ord = ca.value(ia).cmp(&cb.value(ib));
+        if !ord.is_eq() {
+            return ord;
+        }
+    }
+    ba.labels().get(ia).cmp(&bb.labels().get(ib))
+}
+
+/// Bind sort keys against a stream schema.
+fn bind_sort_keys(
+    keys: &[(Expr, SortOrder)],
+    schema: &Schema,
+) -> Result<Vec<(Expr, SortOrder)>, EngineError> {
+    keys.iter()
+        .map(|(e, o)| Ok((e.bind(schema).map_err(EngineError::Expr)?, *o)))
+        .collect()
+}
+
+/// Columnar multi-key sort: concatenates the input into one chunk,
+/// evaluates the key expressions once per column, sorts a row-index
+/// permutation under [`sort_cmp`]'s ordering, and gathers the output in
+/// `batch_rows`-sized slices — no row materialization anywhere. Order
+/// (null placement, direction handling, tie-breaks) is identical to
+/// `ua_engine::sort_table` over the materialized (encoded) table, which
+/// the differential tests assert.
+pub fn sort(
+    input: BatchStream,
+    keys: &[(Expr, SortOrder)],
+    batch_rows: usize,
+) -> Result<BatchStream, EngineError> {
+    let schema = input.schema.clone();
+    let bound = bind_sort_keys(keys, &schema)?;
+    if input.num_rows() == 0 {
+        return Ok(BatchStream {
+            schema,
+            batches: Vec::new(),
+        });
+    }
+    let chunk = input.into_single_chunk();
+    let key_cols: Vec<Evaluated> = bound
+        .iter()
+        .map(|(e, _)| eval_expr(e, &chunk))
+        .collect::<Result<_, _>>()?;
+    let mut idx: Vec<u32> = (0..chunk.len() as u32).collect();
+    idx.sort_by(|&a, &b| {
+        sort_cmp(
+            &bound,
+            |k| key_cols[k].value_at(a as usize),
+            |k| key_cols[k].value_at(b as usize),
+            (&chunk, a as usize),
+            (&chunk, b as usize),
+        )
+    });
+    let batches = idx
+        .chunks(batch_rows.max(1))
+        .map(|slice| chunk.gather(slice))
+        .collect();
+    Ok(BatchStream { schema, batches })
+}
+
+/// Fused Sort+Limit (Top-K): a bounded buffer of the `k` smallest rows
+/// under [`sort_cmp`]'s ordering — the full input is never sorted, let
+/// alone materialized. Row copies count like the row engine's
+/// `Limit(Sort(..))` over expanded rows: an entry with multiplicity `m`
+/// stands for `m` adjacent copies, the buffer keeps just enough entries to
+/// cover `k` copies, and the boundary entry's multiplicity is clipped on
+/// emit (exactly like [`limit`]).
+pub fn top_k(
+    input: BatchStream,
+    keys: &[(Expr, SortOrder)],
+    k: usize,
+    batch_rows: usize,
+) -> Result<BatchStream, EngineError> {
+    let schema = input.schema.clone();
+    let bound = bind_sort_keys(keys, &schema)?;
+    struct Entry {
+        key: Vec<Value>,
+        bi: u32,
+        ri: u32,
+        mult: u64,
+    }
+    let mut top: Vec<Entry> = Vec::new();
+    let mut total: u64 = 0;
+    let k64 = k as u64;
+    for (bi, batch) in input.batches.iter().enumerate() {
+        // Keys evaluate for every input row — even rows Top-K rejects and
+        // even when k = 0 — matching the row engine, which decorates the
+        // whole input before sorting (expression errors must not depend on
+        // the limit).
+        let key_cols: Vec<Evaluated> = bound
+            .iter()
+            .map(|(e, _)| eval_expr(e, batch))
+            .collect::<Result<_, _>>()?;
+        for ri in 0..batch.len() {
+            let mult = batch.mults()[ri];
+            if k == 0 || mult == 0 {
+                continue;
+            }
+            let cmp_entry_to_cand = |e: &Entry| -> Ordering {
+                sort_cmp(
+                    &bound,
+                    |i| e.key[i].clone(),
+                    |i| key_cols[i].value_at(ri),
+                    (&input.batches[e.bi as usize], e.ri as usize),
+                    (batch, ri),
+                )
+            };
+            if total >= k64 {
+                if let Some(worst) = top.last() {
+                    // Not strictly better than the current k-th copy's row:
+                    // every copy of the candidate would rank past k.
+                    if cmp_entry_to_cand(worst) != Ordering::Greater {
+                        continue;
+                    }
+                }
+            }
+            let pos = top
+                .binary_search_by(cmp_entry_to_cand)
+                .unwrap_or_else(|p| p);
+            let key: Vec<Value> = key_cols.iter().map(|c| c.value_at(ri)).collect();
+            top.insert(
+                pos,
+                Entry {
+                    key,
+                    bi: bi as u32,
+                    ri: ri as u32,
+                    mult,
+                },
+            );
+            total += mult;
+            while let Some(worst) = top.last() {
+                if total - worst.mult >= k64 {
+                    total -= worst.mult;
+                    top.pop();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Emit the surviving entries in order, clipping the boundary entry's
+    // multiplicity so the copy count is exactly min(k, input copies).
+    let mut batches = Vec::new();
+    let mut remaining = k64;
+    for slice in top.chunks(batch_rows.max(1)) {
+        let mut mults: Vec<u64> = Vec::with_capacity(slice.len());
+        for e in slice {
+            if remaining == 0 {
+                break;
+            }
+            let take = e.mult.min(remaining);
+            remaining -= take;
+            mults.push(take);
+        }
+        if mults.is_empty() {
+            break;
+        }
+        let slice = &slice[..mults.len()];
+        let mut labels = Bitmap::filled(slice.len(), false);
+        for (i, e) in slice.iter().enumerate() {
+            if input.batches[e.bi as usize].labels().get(e.ri as usize) {
+                labels.set(i, true);
+            }
+        }
+        let columns: Vec<ColumnVec> = (0..schema.arity())
+            .map(|c| {
+                let values: Vec<Value> = slice
+                    .iter()
+                    .map(|e| input.batches[e.bi as usize].column(c).value(e.ri as usize))
+                    .collect();
+                ColumnVec::from_values(values.iter())
+            })
+            .collect();
+        batches.push(ColumnBatch::new(
+            schema.clone(),
+            columns,
+            labels,
+            Arc::new(mults),
+        ));
+    }
+    Ok(BatchStream { schema, batches })
 }
 
 /// Duplicate elimination: first occurrence of each distinct row survives

@@ -23,119 +23,70 @@
 //! [`Plan`], optionally already shaped by `ua-engine`'s optimizer (so
 //! [`Plan::HashJoin`] appears here too; the optimizer keeps its expressions
 //! name-based precisely because these batches carry no marker column and
-//! positions computed against encoded schemas would misalign).
+//! positions computed against encoded schemas would misalign) — plus any
+//! trailing [`Plan::Sort`] / [`Plan::Limit`] / [`Plan::TopK`] wrappers the
+//! session peeled off the user query. Those execute **natively** on the
+//! encoded batches (columnar sort with the label as the marker-equivalent
+//! final tie-break, bounded Top-K heap, copy-counting limit) — the old
+//! row-engine fallback for `ORDER BY`/`LIMIT` is gone. `DISTINCT` and
+//! aggregation stay rejected (not closed under UA semantics), and any
+//! expression mentioning the `ua_c` marker is rejected exactly like the
+//! row path's `rewrite_ua`.
+//!
+//! Execution shares the deterministic morsel-parallel driver with the
+//! deterministic path ([`crate::exec`]): label ANDs run per morsel, and
+//! parallel output is byte-identical to serial output for every thread
+//! count.
 
-use crate::columnar::{
-    batches_from_encoded_table, encoded_table_from_batches, BatchStream, DEFAULT_BATCH_ROWS,
-};
-use crate::ops;
-use ua_core::{expr_mentions_marker, UA_LABEL_COLUMN};
-use ua_data::expr::Expr;
-use ua_data::schema::SchemaError;
+use crate::columnar::{encoded_table_from_batches_pooled, BatchStream};
+use crate::exec::Driver;
 use ua_engine::plan::Plan;
 use ua_engine::storage::{Catalog, Table};
-use ua_engine::EngineError;
+use ua_engine::{EngineError, ExecOptions};
 
-/// The marker is engine bookkeeping, not user schema: reject references so
-/// both executors fail identically (mirrors `rewrite_ua`).
-fn reject_marker_reference(expr: &Expr) -> Result<(), EngineError> {
-    if expr_mentions_marker(expr) {
-        Err(EngineError::Schema(SchemaError::AmbiguousColumn(
-            UA_LABEL_COLUMN.to_string(),
-        )))
-    } else {
-        Ok(())
-    }
-}
-
-/// Execute the *user* query's `RA⁺`-shaped physical plan over UA-encoded
-/// base tables in `catalog`, returning the encoded result (marker column
-/// last) — the vectorized counterpart of rewrite-then-execute.
+/// Execute the *user* query's physical plan (the `RA⁺` fragment plus
+/// trailing Sort/Limit/TopK) over UA-encoded base tables in `catalog`,
+/// returning the encoded result (marker column last) — the vectorized
+/// counterpart of rewrite-then-execute, with default options.
 pub fn execute_ua_vectorized(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
-    let stream = ua_stream(plan, catalog, DEFAULT_BATCH_ROWS)?;
-    Ok(encoded_table_from_batches(&stream))
+    execute_ua_vectorized_opts(plan, catalog, ExecOptions::default())
 }
 
-/// The batch-level UA evaluator (batch size explicit for tests).
+/// [`execute_ua_vectorized`] with explicit [`ExecOptions`]. This is the
+/// hook the engine's `ExecMode::Vectorized` UA dispatch calls.
+pub fn execute_ua_vectorized_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<Table, EngineError> {
+    let driver = Driver::new(catalog, opts, true);
+    let stream = driver.stream(plan)?;
+    Ok(encoded_table_from_batches_pooled(&stream, &driver.pool))
+}
+
+/// The batch-level UA evaluator, serial, with an explicit batch size (the
+/// differential tests sweep batch boundaries through this and use it as
+/// the reference for the parallel determinism property).
 pub fn ua_stream(
     plan: &Plan,
     catalog: &Catalog,
     batch_rows: usize,
 ) -> Result<BatchStream, EngineError> {
-    match plan {
-        Plan::Scan(name) => {
-            let table = catalog
-                .get(name)
-                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-            batches_from_encoded_table(&table, name, batch_rows)
-        }
-        Plan::Alias { input, name } => {
-            let stream = ua_stream(input, catalog, batch_rows)?;
-            let schema = stream.schema.with_qualifier(name);
-            Ok(stream.with_schema(schema))
-        }
-        Plan::Filter { input, predicate } => {
-            reject_marker_reference(predicate)?;
-            let stream = ua_stream(input, catalog, batch_rows)?;
-            ops::filter(stream, predicate)
-        }
-        Plan::Map { input, columns } => {
-            // Mirror rewrite_ua: the marker is engine-managed; projecting or
-            // referencing it explicitly is rejected.
-            for c in columns {
-                if c.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
-                    return Err(EngineError::Schema(SchemaError::AmbiguousColumn(
-                        UA_LABEL_COLUMN.to_string(),
-                    )));
-                }
-                reject_marker_reference(&c.expr)?;
-            }
-            let stream = ua_stream(input, catalog, batch_rows)?;
-            ops::project(stream, columns)
-        }
-        Plan::Join {
-            left,
-            right,
-            predicate,
-        } => {
-            if let Some(p) = predicate {
-                reject_marker_reference(p)?;
-            }
-            let l = ua_stream(left, catalog, batch_rows)?;
-            let r = ua_stream(right, catalog, batch_rows)?;
-            ops::join(l, r, predicate.as_ref())
-        }
-        Plan::HashJoin {
-            left,
-            right,
-            keys,
-            residual,
-            build_left,
-        } => {
-            for (kl, kr) in keys {
-                reject_marker_reference(kl)?;
-                reject_marker_reference(kr)?;
-            }
-            if let Some(res) = residual {
-                reject_marker_reference(res)?;
-            }
-            let l = ua_stream(left, catalog, batch_rows)?;
-            let r = ua_stream(right, catalog, batch_rows)?;
-            ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
-        }
-        Plan::UnionAll { left, right } => {
-            let l = ua_stream(left, catalog, batch_rows)?;
-            let r = ua_stream(right, catalog, batch_rows)?;
-            ops::union_all(l, r)
-        }
-        Plan::Distinct { .. } | Plan::Aggregate { .. } | Plan::Sort { .. } | Plan::Limit { .. } => {
-            Err(EngineError::Sql(
-                "UA queries support the positive relational algebra \
-                 (selection, projection, join, UNION ALL); trailing \
-                 ORDER BY/LIMIT are applied by the session after label \
-                 propagation"
-                    .into(),
-            ))
-        }
-    }
+    ua_stream_opts(
+        plan,
+        catalog,
+        ExecOptions {
+            threads: 1,
+            batch_rows,
+        },
+    )
+}
+
+/// [`ua_stream`] with explicit [`ExecOptions`].
+pub fn ua_stream_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<BatchStream, EngineError> {
+    Driver::new(catalog, opts, true).stream(plan)
 }

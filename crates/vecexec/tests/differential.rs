@@ -11,10 +11,11 @@ use ua_data::tuple::Tuple;
 use ua_data::value::{Value, VarId};
 use ua_data::{Expr, RaExpr, Relation};
 use ua_engine::plan::{AggExpr, AggFunc, Plan, SortOrder};
-use ua_engine::{execute, Catalog, ExecMode, Table, UaSession};
+use ua_engine::{execute, Catalog, EngineError, ExecMode, ExecOptions, Table, UaSession};
 use ua_semiring::pair::Ua;
-use ua_vecexec::exec::exec_stream;
-use ua_vecexec::{execute_vectorized, table_from_batches};
+use ua_vecexec::exec::{exec_stream, exec_stream_opts};
+use ua_vecexec::ua::ua_stream_opts;
+use ua_vecexec::{execute_vectorized, table_from_batches, BatchStream};
 
 /// Sizes that straddle the default batch boundary (1024).
 const SIZES: [usize; 6] = [0, 1, 7, 1024, 1025, 2500];
@@ -135,11 +136,31 @@ fn random_ra(rng: &mut StdRng) -> RaExpr {
     }
 }
 
+/// Random multi-key sort keys over the first two output columns (positions
+/// are always in range: every `random_ra` shape has arity ≥ 1, and the
+/// second key only appears via shapes of arity ≥ 2 below). Duplicate keys
+/// are guaranteed by the tiny value domains; NULLs and labeled nulls come
+/// from `r.c`.
+fn random_sort_keys(rng: &mut StdRng, arity: usize) -> Vec<(Expr, SortOrder)> {
+    let order = |rng: &mut StdRng| {
+        if rng.gen_range(0..2) == 0 {
+            SortOrder::Asc
+        } else {
+            SortOrder::Desc
+        }
+    };
+    let mut keys = vec![(Expr::col(rng.gen_range(0..arity)), order(rng))];
+    if arity >= 2 && rng.gen_range(0..2) == 0 {
+        keys.push((Expr::col(rng.gen_range(0..arity)), order(rng)));
+    }
+    keys
+}
+
 /// Wrap an RA⁺ plan in the row-engine extras the vectorized driver must
 /// also support.
 fn random_plan(rng: &mut StdRng) -> Plan {
     let base = Plan::from_ra(&random_ra(rng));
-    match rng.gen_range(0..5u32) {
+    match rng.gen_range(0..8u32) {
         0 => Plan::Distinct {
             input: Box::new(base),
         },
@@ -150,6 +171,38 @@ fn random_plan(rng: &mut StdRng) -> Plan {
             }),
             keys: vec![(Expr::col(0), SortOrder::Desc)],
         },
+        5 => {
+            // Multi-key sort (duplicate keys, NULLs via r.c) over a known
+            // arity-3 projection.
+            let input = Plan::from_ra(&RaExpr::table("r").project(["c", "b", "a"]));
+            Plan::Sort {
+                keys: random_sort_keys(rng, 3),
+                input: Box::new(input),
+            }
+        }
+        6 => {
+            // ORDER BY + LIMIT, unfused (the optimizer-independent shape).
+            let input = Plan::from_ra(&RaExpr::table("r").project(["c", "a"]));
+            Plan::Limit {
+                input: Box::new(Plan::Sort {
+                    keys: random_sort_keys(rng, 2),
+                    input: Box::new(input),
+                }),
+                limit: rng.gen_range(0..30),
+            }
+        }
+        7 => {
+            // The fused Top-K operator itself, over a join output.
+            let input = Plan::from_ra(&RaExpr::table("r").join(
+                RaExpr::table("s"),
+                Expr::named("r.b").eq(Expr::named("s.b")),
+            ));
+            Plan::TopK {
+                keys: random_sort_keys(rng, 5),
+                input: Box::new(input),
+                limit: rng.gen_range(0..25),
+            }
+        }
         2 => {
             // Aggregate over the join output: group by a, count + sum d.
             Plan::Aggregate {
@@ -384,6 +437,266 @@ fn columnar_limit_counts_row_copies_and_clips_multiplicities() {
             );
         }
     }
+}
+
+/// Streams compared *byte for byte*: same batch boundaries, same rows,
+/// same label bitmaps, same multiplicity columns. Stronger than table
+/// equality — this is the morsel pipeline's determinism contract.
+fn assert_streams_byte_identical(a: &BatchStream, b: &BatchStream, context: &str) {
+    assert_eq!(a.schema, b.schema, "schema mismatch: {context}");
+    assert_eq!(a.batches.len(), b.batches.len(), "batch count: {context}");
+    for (i, (ba, bb)) in a.batches.iter().zip(&b.batches).enumerate() {
+        assert_eq!(ba.len(), bb.len(), "batch {i} len: {context}");
+        assert_eq!(ba.columns(), bb.columns(), "batch {i} columns: {context}");
+        assert_eq!(ba.labels(), bb.labels(), "batch {i} labels: {context}");
+        assert_eq!(ba.mults(), bb.mults(), "batch {i} mults: {context}");
+    }
+}
+
+fn opts(threads: usize, batch_rows: usize) -> ExecOptions {
+    ExecOptions {
+        threads,
+        batch_rows,
+    }
+}
+
+/// Determinism property (seeded random pipelines): for every thread count,
+/// the parallel vectorized output is byte-identical to the serial
+/// vectorized output — batches, labels, multiplicities and error outcomes
+/// included. Each (plan, thread count) pair runs several times to shake
+/// out scheduling nondeterminism.
+#[test]
+fn parallel_pipelines_are_byte_identical_to_serial() {
+    let mut rng = StdRng::seed_from_u64(0x9A11E1);
+    for trial in 0..12 {
+        let catalog = Catalog::new();
+        catalog.register("r", random_r(&mut rng, 1030));
+        catalog.register("s", random_s(&mut rng, 120));
+        let plan = random_plan(&mut rng);
+        let serial = exec_stream(&plan, &catalog, 128);
+        for threads in [2usize, 3, 8] {
+            for rep in 0..3 {
+                let parallel = exec_stream_opts(&plan, &catalog, opts(threads, 128));
+                match (&serial, &parallel) {
+                    (Ok(s), Ok(p)) => assert_streams_byte_identical(
+                        s,
+                        p,
+                        &format!("trial={trial} threads={threads} rep={rep} {plan}"),
+                    ),
+                    (Err(se), Err(pe)) => assert_eq!(
+                        se.to_string(),
+                        pe.to_string(),
+                        "error mismatch: trial={trial} threads={threads} {plan}"
+                    ),
+                    (s, p) => panic!(
+                        "serial/parallel disagree on success (trial={trial} \
+                         threads={threads}): {plan}\n serial: {:?}\n parallel: {:?}",
+                        s.as_ref().map(BatchStream::num_rows),
+                        p.as_ref().map(BatchStream::num_rows)
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// The same determinism property for the UA path: label bitmaps must land
+/// on identical rows for every thread count.
+#[test]
+fn parallel_ua_pipelines_are_byte_identical_to_serial() {
+    let mut rng = StdRng::seed_from_u64(0x9A11E2);
+    for trial in 0..10 {
+        let session = UaSession::new();
+        session.register_ua_relation(
+            "r",
+            &random_ua_relation(&mut rng, "r", &["a", "b", "c"], 700),
+        );
+        session.register_ua_relation("s", &random_ua_relation(&mut rng, "s", &["b", "d"], 80));
+        let q = random_ra(&mut rng);
+        let plan = Plan::from_ra(&q);
+        let catalog = session.catalog();
+        let serial = ua_vecexec::ua::ua_stream(&plan, catalog, 64).expect("serial UA");
+        for threads in [2usize, 8] {
+            for rep in 0..3 {
+                let parallel =
+                    ua_stream_opts(&plan, catalog, opts(threads, 64)).expect("parallel UA");
+                assert_streams_byte_identical(
+                    &serial,
+                    &parallel,
+                    &format!("trial={trial} threads={threads} rep={rep} {q}"),
+                );
+            }
+        }
+    }
+}
+
+/// Sort / Top-K differential sweep: multi-key orderings with duplicate
+/// keys and NULL/labeled-null key values must agree with the row engine —
+/// order included — across batch-size boundaries and thread counts.
+#[test]
+fn sort_and_topk_agree_across_batch_sizes_and_threads() {
+    let mut rng = StdRng::seed_from_u64(0x50FA);
+    let catalog = Catalog::new();
+    catalog.register("r", random_r(&mut rng, 1500));
+    catalog.register("s", random_s(&mut rng, 100));
+    let sort_input = Plan::from_ra(&RaExpr::table("r").project(["c", "b", "a"]));
+    let join_input = Plan::from_ra(&RaExpr::table("r").join(
+        RaExpr::table("s"),
+        Expr::named("r.b").eq(Expr::named("s.b")),
+    ));
+    let multi_key = vec![
+        (Expr::col(0), SortOrder::Asc), // NULLs + labeled nulls in r.c
+        (Expr::col(1), SortOrder::Desc),
+        (Expr::col(2), SortOrder::Asc),
+    ];
+    let mut plans = vec![
+        Plan::Sort {
+            input: Box::new(sort_input.clone()),
+            keys: multi_key.clone(),
+        },
+        Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(sort_input.clone()),
+                keys: multi_key.clone(),
+            }),
+            limit: 13,
+        },
+        Plan::Sort {
+            input: Box::new(join_input.clone()),
+            keys: vec![
+                (Expr::col(4), SortOrder::Desc),
+                (Expr::col(0), SortOrder::Asc),
+            ],
+        },
+    ];
+    for limit in [0usize, 1, 7, 100, 5000] {
+        plans.push(Plan::TopK {
+            input: Box::new(join_input.clone()),
+            keys: vec![
+                (Expr::col(3), SortOrder::Asc),
+                (Expr::col(2), SortOrder::Desc),
+            ],
+            limit,
+        });
+    }
+    for (pi, plan) in plans.iter().enumerate() {
+        let row = execute(plan, &catalog).expect("row exec");
+        for batch_rows in [1usize, 7, 1024] {
+            for threads in [1usize, 2, 8] {
+                let stream =
+                    exec_stream_opts(plan, &catalog, opts(threads, batch_rows)).expect("vec exec");
+                let vec = table_from_batches(&stream);
+                assert_tables_identical(
+                    &row,
+                    &vec,
+                    &format!("plan={pi} batch_rows={batch_rows} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+/// Regression (tentpole satellite): the vectorized UA hook no longer bails
+/// out to the row engine for trailing ORDER BY / LIMIT — `ua_stream` on
+/// Sort/Limit/TopK-bearing plans succeeds and matches the row path's
+/// encoded sort (which tie-breaks on the trailing marker column) byte for
+/// byte, labels riding with their rows.
+#[test]
+fn ua_hook_executes_order_by_limit_natively() {
+    // Same tuple with different labels: the sort's final tie-break must
+    // order the uncertain copy (marker 0) before the certain one (marker 1)
+    // exactly like the row engine's full-row comparison over encoded rows.
+    let encoded = Table::from_rows(
+        Schema::qualified("r", ["a", "b"]).with_column(ua_core::UA_LABEL_COLUMN),
+        (0..40i64)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i % 5),
+                    Value::Int(i % 3),
+                    Value::Int(i % 2),
+                ])
+            })
+            .collect(),
+    );
+    let catalog = Catalog::new();
+    catalog.register("r", encoded.clone());
+    let scan = Plan::Scan("r".into());
+    let keys = vec![
+        (Expr::named("a"), SortOrder::Desc),
+        (Expr::named("b"), SortOrder::Asc),
+    ];
+    let plans = [
+        Plan::Sort {
+            input: Box::new(scan.clone()),
+            keys: keys.clone(),
+        },
+        Plan::Limit {
+            input: Box::new(Plan::Sort {
+                input: Box::new(scan.clone()),
+                keys: keys.clone(),
+            }),
+            limit: 9,
+        },
+        Plan::TopK {
+            input: Box::new(scan.clone()),
+            keys: keys.clone(),
+            limit: 9,
+        },
+    ];
+    for (pi, plan) in plans.iter().enumerate() {
+        // The old driver returned Err("...ORDER BY/LIMIT are applied by the
+        // session...") here; now it must execute natively.
+        for batch_rows in [3usize, 1024] {
+            let stream = ua_vecexec::ua::ua_stream(plan, &catalog, batch_rows)
+                .unwrap_or_else(|e| panic!("UA hook fell back for plan {pi}: {e}"));
+            let got = ua_vecexec::columnar::encoded_table_from_batches(&stream);
+            // Reference: the row engine's sort/limit over the *encoded*
+            // table (what the session's old fallback computed).
+            let mut expected = ua_engine::sort_table(&encoded, &keys).expect("row sort");
+            if pi > 0 {
+                expected = ua_engine::limit_table(&expected, 9);
+            }
+            assert_eq!(
+                got.rows(),
+                expected.rows(),
+                "plan {pi}, batch_rows {batch_rows}"
+            );
+        }
+    }
+    // And end-to-end through the session: both engines, fused and unfused.
+    ua_vecexec::install();
+    let mk_session = |mode| {
+        let s = UaSession::with_mode(mode);
+        // Registering the pre-encoded table under the session catalog.
+        s.register_table("r", encoded.clone());
+        s
+    };
+    let sql = "SELECT a, b FROM r ORDER BY a DESC, b LIMIT 9";
+    for optimizer in [true, false] {
+        let row_s = mk_session(ExecMode::Row);
+        row_s.set_optimizer_enabled(optimizer);
+        let vec_s = mk_session(ExecMode::Vectorized);
+        vec_s.set_optimizer_enabled(optimizer);
+        let row = row_s.query_ua(sql).expect("row UA");
+        let vec = vec_s.query_ua(sql).expect("vec UA");
+        assert_eq!(
+            row.table.rows(),
+            vec.table.rows(),
+            "optimizer={optimizer}: session ORDER BY LIMIT"
+        );
+        assert_eq!(row.table.len(), 9);
+    }
+}
+
+/// `EngineError` is shared between drivers; make the import load-bearing.
+#[test]
+fn unknown_table_errors_match_between_thread_counts() {
+    let catalog = Catalog::new();
+    let plan = Plan::Scan("missing".into());
+    let serial = exec_stream(&plan, &catalog, 16).expect_err("unknown table");
+    let parallel = exec_stream_opts(&plan, &catalog, opts(4, 16)).expect_err("unknown table");
+    assert!(matches!(serial, EngineError::UnknownTable(_)));
+    assert_eq!(serial.to_string(), parallel.to_string());
 }
 
 #[test]

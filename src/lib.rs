@@ -27,7 +27,7 @@
 //! | [`models`] | TI-DBs, x-DBs/BI-DBs, C-tables + labeling schemes |
 //! | [`core`] | **UA-DBs**: pair annotations, `Enc`, the `⟦·⟧_UA` rewriting |
 //! | [`engine`] | row-store executor, SQL frontend, UA middleware, [`engine::ExecMode`] |
-//! | [`vecexec`] | batch-oriented columnar executor with UA label bitmaps |
+//! | [`vecexec`] | batch-oriented columnar executor with UA label bitmaps, morsel-parallel pipelines and columnar Sort/Top-K |
 //! | [`baselines`] | Libkin, MayBMS-style, MCDB-style comparison systems |
 //! | [`datagen`] | seeded workload generators for every experiment |
 //!
