@@ -1,0 +1,242 @@
+//! Grouped aggregation at 1M rows: deterministic vs UA vs AU.
+//!
+//! The scenario this PR opens: `GROUP BY` + aggregates over an uncertain
+//! source. Under `⟦·⟧_UA` the query is *rejected* (not closed — asserted
+//! below); under `⟦·⟧_AU` it executes on both engines with sound
+//! attribute-level bounds. Measured:
+//!
+//! * deterministic grouped aggregation, row vs vectorized — the typed
+//!   single-`Int`-key aggregation path; the acceptance bar is **≥ 3x**
+//!   vectorized over row;
+//! * AU grouped aggregation (range-annotated input, ~6% uncertain rows),
+//!   row interpreter vs vectorized range-triple executor — reported, no
+//!   gate (the bound combination dominates both);
+//! * UA selection+projection over the same data as context (the fragment
+//!   UA *can* run).
+//!
+//! Correctness gates before timing: row and vectorized results identical
+//! under every semantics. Writes `agg_ranges.json` next to the other
+//! bench artifacts.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+use ua_data::algebra::ProjColumn;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::Expr;
+use ua_engine::plan::{AggExpr, AggFunc, Plan};
+use ua_engine::{execute, execute_au, Catalog, ExecMode, Table, UaSession};
+use ua_ranges::{AuRelation, AuTuple, Bound, MultBound, RangeValue};
+use ua_vecexec::{execute_au_vectorized, execute_vectorized};
+
+/// Rows in the scanned table.
+const N: usize = 1_000_000;
+/// Distinct groups.
+const GROUPS: i64 = 64;
+
+fn det_table() -> Table {
+    let mut rng = StdRng::seed_from_u64(0xA66);
+    Table::from_rows(
+        Schema::qualified("events", ["grp", "val"]),
+        (0..N)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..GROUPS)),
+                    Value::Int(rng.gen_range(0..1000)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The same data range-annotated: ~1/16 of the rows carry a value span
+/// and an uncertain presence, the rest are certain points.
+fn au_relation(det: &Table) -> AuRelation {
+    let mut rel = AuRelation::new(det.schema().clone());
+    for (i, row) in det.rows().iter().enumerate() {
+        let grp = row.get(0).expect("grp").clone();
+        let val = row.get(1).expect("val").clone();
+        let uncertain = i % 16 == 0;
+        let val_range = if uncertain {
+            let v = match val {
+                Value::Int(v) => v,
+                _ => unreachable!("int column"),
+            };
+            RangeValue::new(
+                Bound::Val(Value::Int(v - 5)),
+                Value::Int(v),
+                Bound::Val(Value::Int(v + 5)),
+            )
+        } else {
+            RangeValue::point(val)
+        };
+        rel.push(AuTuple {
+            values: vec![RangeValue::point(grp), val_range],
+            mult: if uncertain {
+                MultBound::new(0, 1, 1)
+            } else {
+                MultBound::certain(1)
+            },
+        });
+    }
+    rel
+}
+
+fn agg_plan(table: &str) -> Plan {
+    Plan::Aggregate {
+        input: Box::new(Plan::Scan(table.into())),
+        group_by: vec![ProjColumn::named("grp")],
+        aggregates: vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::named("val")),
+                name: "s".into(),
+            },
+        ],
+    }
+}
+
+fn median_secs<F: FnMut() -> usize>(mut f: F, samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn bench_agg_ranges(c: &mut Criterion) {
+    ua_vecexec::install();
+    let det = det_table();
+    let catalog = Catalog::new();
+    catalog.register("events", det.clone());
+    let au_rel = au_relation(&det);
+    catalog.register("events_au", ua_engine::au_table(&au_rel));
+    let det_plan = agg_plan("events");
+    let au_plan = agg_plan("events_au");
+
+    // Correctness gates: identical results per semantics across engines.
+    let det_row = execute(&det_plan, &catalog).expect("det row agg");
+    assert_eq!(det_row.len(), GROUPS as usize);
+    let det_vec = execute_vectorized(&det_plan, &catalog).expect("det vec agg");
+    assert_eq!(det_row.rows(), det_vec.rows(), "det engines disagree");
+    let au_row = ua_engine::au_table(&execute_au(&au_plan, &catalog).expect("AU row agg"));
+    let au_vec = execute_au_vectorized(&au_plan, &catalog).expect("AU vec agg");
+    assert_eq!(au_row.rows(), au_vec.rows(), "AU engines disagree");
+    assert_eq!(au_row.len(), GROUPS as usize);
+
+    // UA rejects the aggregation — the scenario AU opens.
+    {
+        let session = UaSession::new();
+        session.register_table("events", det.clone());
+        let err = session
+            .query_ua("SELECT grp, count(*) FROM events IS TI WITH PROBABILITY (val) GROUP BY grp");
+        assert!(err.is_err(), "UA must reject aggregation");
+    }
+
+    let mut group = c.benchmark_group("agg_ranges");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("det_row", N), &det_plan, |b, plan| {
+        b.iter(|| execute(plan, &catalog).expect("row").len())
+    });
+    group.bench_with_input(BenchmarkId::new("det_vec", N), &det_plan, |b, plan| {
+        b.iter(|| execute_vectorized(plan, &catalog).expect("vec").len())
+    });
+    group.finish();
+
+    let t_det_row = median_secs(|| execute(&det_plan, &catalog).expect("row").len(), 5);
+    let t_det_vec = median_secs(
+        || execute_vectorized(&det_plan, &catalog).expect("vec").len(),
+        5,
+    );
+    let t_au_row = median_secs(
+        || execute_au(&au_plan, &catalog).expect("au row").rows().len(),
+        3,
+    );
+    let t_au_vec = median_secs(
+        || {
+            execute_au_vectorized(&au_plan, &catalog)
+                .expect("au vec")
+                .len()
+        },
+        3,
+    );
+    // UA context: the σ+π fragment UA can run, on both engines.
+    let ua_session = UaSession::new();
+    {
+        use ua_data::relation::Relation;
+        use ua_semiring::pair::Ua;
+        let rel: Relation<Ua<u64>> = Relation::from_annotated(
+            det.schema().clone(),
+            det.rows()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), Ua::new(u64::from(i % 16 != 0), 1))),
+        );
+        ua_session.register_ua_relation("events_ua", &rel);
+    }
+    let ua_sql = "SELECT grp, val FROM events_ua WHERE val >= 500";
+    let t_ua_row = median_secs(
+        || {
+            ua_session.set_exec_mode(ExecMode::Row);
+            ua_session.query_ua(ua_sql).expect("ua row").table.len()
+        },
+        3,
+    );
+    let t_ua_vec = median_secs(
+        || {
+            ua_session.set_exec_mode(ExecMode::Vectorized);
+            ua_session.query_ua(ua_sql).expect("ua vec").table.len()
+        },
+        3,
+    );
+
+    let speedup = t_det_row / t_det_vec;
+    println!(
+        "AGG_RANGES SPEEDUP (group-by over {N} rows, {GROUPS} groups): \
+         det row {:.1} ms, det vectorized {:.1} ms => {:.1}x",
+        t_det_row * 1e3,
+        t_det_vec * 1e3,
+        speedup
+    );
+    println!(
+        "  AU aggregation (closed under ⟦·⟧_AU, rejected by ⟦·⟧_UA): \
+         row {:.1} ms, vectorized {:.1} ms",
+        t_au_row * 1e3,
+        t_au_vec * 1e3
+    );
+    println!(
+        "  UA σ+π context: row {:.1} ms, vectorized {:.1} ms",
+        t_ua_row * 1e3,
+        t_ua_vec * 1e3
+    );
+    assert!(
+        speedup >= 3.0,
+        "vectorized grouped aggregation must be >= 3x over the row engine \
+         at {N} rows, got {speedup:.1}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"agg_ranges\",\n  \"rows\": {N},\n  \"groups\": {GROUPS},\n  \
+         \"t_det_row_s\": {t_det_row},\n  \"t_det_vec_s\": {t_det_vec},\n  \
+         \"t_au_row_s\": {t_au_row},\n  \"t_au_vec_s\": {t_au_vec},\n  \
+         \"t_ua_select_row_s\": {t_ua_row},\n  \"t_ua_select_vec_s\": {t_ua_vec},\n  \
+         \"speedup_det_vec_over_row\": {speedup}\n}}\n"
+    );
+    std::fs::write("agg_ranges.json", json).expect("write bench json");
+    println!("wrote agg_ranges.json");
+}
+
+criterion_group!(benches, bench_agg_ranges);
+criterion_main!(benches);

@@ -1,0 +1,781 @@
+//! The AU-DB frontend: attribute-level uncertainty bounds (`⟦·⟧_AU`).
+//!
+//! Where [`crate::ua`] implements the paper's `⟦·⟧_UA` rewriting — sound
+//! for the positive relational algebra only; `DISTINCT` and aggregation
+//! are explicitly future work there — this module serves those queries
+//! through the AU-DB model of the authors' follow-up (attribute ranges
+//! `[lb, bg, ub]` plus tuple multiplicity-bound triples; see `ua-ranges`).
+//!
+//! The row engine executes AU plans natively by interpreting each
+//! operator over [`AuRelation`]s with the shared `ua_ranges::ops`
+//! implementations; the vectorized engine registers an `au` hook (range
+//! column triples in its batches for σ/π/aggregation, per-operator
+//! fallback to the same shared ops elsewhere), so both engines serve
+//! [`UaSession::query_au`] with identical results.
+//!
+//! Source relations enter AU sessions either pre-annotated
+//! ([`UaSession::register_au_relation`]) or through the Section 9.2 SQL
+//! annotations (`R IS TI …`), whose labeling schemes are lifted to range
+//! annotations by [`ti_source_au`], [`x_source_au`] and
+//! [`ctable_source_au`] — unlike the UA labelings, rows *outside* the
+//! best-guess world are kept (with a zero selected-guess multiplicity)
+//! instead of dropped, which is what makes the upper bounds sound.
+
+use crate::exec::{execute, EngineError};
+use crate::mode::{require_vectorized_hooks, ExecMode, ExecOptions};
+use crate::plan::{AggFunc, Plan, SortOrder};
+use crate::sql::ast::SourceAnnotation;
+use crate::sql::parser::parse;
+use crate::sql::planner::{plan_query, SourceResolver};
+use crate::storage::{Catalog, Table};
+use crate::ua::UaSession;
+use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
+use ua_core::{expr_mentions_marker, UA_LABEL_COLUMN};
+use ua_data::expr::Expr;
+use ua_data::schema::{Column, Schema, SchemaError};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_data::FxHashMap;
+use ua_ranges::{
+    decode_rows, encode_rows, flattened_schema, AggKind, AggSpec, AuRelation, AuTuple, MultBound,
+    RangeValue,
+};
+
+/// An AU query result: the flattened encoded representation (selected
+/// guesses, per-attribute bound columns, multiplicity triple columns).
+#[derive(Clone, Debug)]
+pub struct AuResult {
+    /// The encoded result table (see `ua_ranges::flattened_schema`).
+    pub table: Table,
+}
+
+impl AuResult {
+    /// Decode into the range-annotated relation.
+    pub fn decode(&self) -> AuRelation {
+        decode_rows(self.table.schema(), self.table.rows())
+            .expect("AU results are produced in encoded form")
+    }
+
+    /// The selected-guess world's rows (bg values expanded by bg
+    /// multiplicity) under the user schema — what a deterministic query
+    /// over the best-guess world returns.
+    pub fn sg_table(&self) -> Table {
+        let rel = self.decode();
+        let mut out = Table::new(rel.schema().clone());
+        for row in rel.rows() {
+            let t = row.bg_tuple();
+            for _ in 0..row.mult.bg {
+                out.push(t.clone());
+            }
+        }
+        out
+    }
+
+    /// `(certainly-present rows, total rows)` — the AU analogue of the UA
+    /// result's certainty counts.
+    pub fn certainty_counts(&self) -> (usize, usize) {
+        let rel = self.decode();
+        let certain = rel.rows().iter().filter(|r| r.mult.lb >= 1).count();
+        (certain, rel.rows().len())
+    }
+}
+
+/// Whether a column name is one of the AU encoding's sidecars (bound
+/// columns or the multiplicity triple). Matches only the *exact* names
+/// the encoding generates (`ua_lb_<i>`/`ua_ub_<i>` with a numeric index,
+/// `ua_m_lb`/`ua_m_bg`/`ua_m_ub`) — a user column that merely shares the
+/// prefix (say `ua_lb_note`) is ordinary data, exactly as only the
+/// literal `ua_c` is the UA marker.
+pub fn is_au_sidecar_name(name: &str) -> bool {
+    let lower = name.to_ascii_lowercase();
+    let indexed = |prefix: &str| {
+        lower
+            .strip_prefix(prefix)
+            .is_some_and(|rest| !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()))
+    };
+    indexed(ua_ranges::AU_LB_PREFIX)
+        || indexed(ua_ranges::AU_UB_PREFIX)
+        || lower == ua_ranges::AU_MULT_LB
+        || lower == ua_ranges::AU_MULT_BG
+        || lower == ua_ranges::AU_MULT_UB
+}
+
+fn marker_error() -> EngineError {
+    EngineError::Schema(SchemaError::AmbiguousColumn(UA_LABEL_COLUMN.to_string()))
+}
+
+fn reject_marker(expr: &Expr) -> Result<(), EngineError> {
+    if expr_mentions_marker(expr) {
+        Err(marker_error())
+    } else {
+        Ok(())
+    }
+}
+
+/// The uniform marker guard for AU plans, run once before engine dispatch
+/// so the row and vectorized paths reject exactly the same queries: the
+/// `ua_c` marker (and by extension any engine-managed bookkeeping column)
+/// may not appear in predicates, projections, join conditions, sort keys —
+/// or, the class of hole PR 4 closed for ORDER BY, in **GROUP BY keys and
+/// aggregate arguments**.
+pub fn reject_marker_in_plan(plan: &Plan) -> Result<(), EngineError> {
+    match plan {
+        Plan::Scan(_) => Ok(()),
+        Plan::Alias { input, .. } => reject_marker_in_plan(input),
+        Plan::Filter { input, predicate } => {
+            reject_marker(predicate)?;
+            reject_marker_in_plan(input)
+        }
+        Plan::Map { input, columns } => {
+            for c in columns {
+                if c.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
+                    return Err(marker_error());
+                }
+                reject_marker(&c.expr)?;
+            }
+            reject_marker_in_plan(input)
+        }
+        Plan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            if let Some(p) = predicate {
+                reject_marker(p)?;
+            }
+            reject_marker_in_plan(left)?;
+            reject_marker_in_plan(right)
+        }
+        Plan::HashJoin {
+            left,
+            right,
+            keys,
+            residual,
+            ..
+        } => {
+            for (l, r) in keys {
+                reject_marker(l)?;
+                reject_marker(r)?;
+            }
+            if let Some(res) = residual {
+                reject_marker(res)?;
+            }
+            reject_marker_in_plan(left)?;
+            reject_marker_in_plan(right)
+        }
+        Plan::UnionAll { left, right } => {
+            reject_marker_in_plan(left)?;
+            reject_marker_in_plan(right)
+        }
+        Plan::Distinct { input } => reject_marker_in_plan(input),
+        Plan::Aggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            for g in group_by {
+                if g.name().eq_ignore_ascii_case(UA_LABEL_COLUMN) {
+                    return Err(marker_error());
+                }
+                reject_marker(&g.expr)?;
+            }
+            for a in aggregates {
+                if a.name.eq_ignore_ascii_case(UA_LABEL_COLUMN) {
+                    return Err(marker_error());
+                }
+                if let Some(arg) = &a.arg {
+                    reject_marker(arg)?;
+                }
+            }
+            reject_marker_in_plan(input)
+        }
+        Plan::Sort { input, keys } | Plan::TopK { input, keys, .. } => {
+            for (k, _) in keys {
+                reject_marker(k)?;
+            }
+            reject_marker_in_plan(input)
+        }
+        Plan::Limit { input, .. } => reject_marker_in_plan(input),
+    }
+}
+
+/// Map the engine's aggregate functions onto the range layer's kinds.
+pub fn agg_kind(func: AggFunc) -> AggKind {
+    match func {
+        AggFunc::Count => AggKind::Count,
+        AggFunc::CountStar => AggKind::CountStar,
+        AggFunc::Sum => AggKind::Sum,
+        AggFunc::Min => AggKind::Min,
+        AggFunc::Max => AggKind::Max,
+        AggFunc::Avg => AggKind::Avg,
+    }
+}
+
+/// Shift bound (positional) column references by `offset` — used to
+/// re-base a hash join's right-side key expressions onto the concatenated
+/// schema.
+fn shift_cols(expr: &Expr, offset: usize) -> Expr {
+    match expr {
+        Expr::Col(i) => Expr::Col(i + offset),
+        Expr::Named(_) | Expr::Lit(_) => expr.clone(),
+        Expr::Cmp(op, a, b) => Expr::Cmp(
+            *op,
+            Box::new(shift_cols(a, offset)),
+            Box::new(shift_cols(b, offset)),
+        ),
+        Expr::And(a, b) => Expr::And(
+            Box::new(shift_cols(a, offset)),
+            Box::new(shift_cols(b, offset)),
+        ),
+        Expr::Or(a, b) => Expr::Or(
+            Box::new(shift_cols(a, offset)),
+            Box::new(shift_cols(b, offset)),
+        ),
+        Expr::Not(a) => Expr::Not(Box::new(shift_cols(a, offset))),
+        Expr::Arith(op, a, b) => Expr::Arith(
+            *op,
+            Box::new(shift_cols(a, offset)),
+            Box::new(shift_cols(b, offset)),
+        ),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(shift_cols(a, offset))),
+        Expr::Case {
+            branches,
+            otherwise,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| (shift_cols(c, offset), shift_cols(v, offset)))
+                .collect(),
+            otherwise: otherwise.as_ref().map(|e| Box::new(shift_cols(e, offset))),
+        },
+        Expr::Between(e, lo, hi) => Expr::Between(
+            Box::new(shift_cols(e, offset)),
+            Box::new(shift_cols(lo, offset)),
+            Box::new(shift_cols(hi, offset)),
+        ),
+        Expr::InList(e, list) => Expr::InList(
+            Box::new(shift_cols(e, offset)),
+            list.iter().map(|i| shift_cols(i, offset)).collect(),
+        ),
+        Expr::Least(a, b) => Expr::Least(
+            Box::new(shift_cols(a, offset)),
+            Box::new(shift_cols(b, offset)),
+        ),
+    }
+}
+
+/// Execute an AU plan on the row engine: each operator interprets over
+/// [`AuRelation`]s via the shared `ua_ranges::ops` — the same code the
+/// vectorized engine's fallbacks call (through [`au_unary`]/[`au_binary`]),
+/// so the engines cannot diverge.
+pub fn execute_au(plan: &Plan, catalog: &Catalog) -> Result<AuRelation, EngineError> {
+    match plan {
+        Plan::Scan(name) => {
+            let table = catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+            decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)
+        }
+        Plan::Alias { input, .. }
+        | Plan::Filter { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Aggregate { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. } => {
+            let rel = execute_au(input, catalog)?;
+            au_unary(plan, &rel)
+        }
+        Plan::Join { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::UnionAll { left, right } => {
+            let l = execute_au(left, catalog)?;
+            let r = execute_au(right, catalog)?;
+            au_binary(plan, &l, &r)
+        }
+    }
+}
+
+/// Apply one unary AU operator (the node at the root of `plan`) to an
+/// already-evaluated input. Shared between the row interpreter and the
+/// vectorized engine's per-operator fallbacks.
+pub fn au_unary(plan: &Plan, rel: &AuRelation) -> Result<AuRelation, EngineError> {
+    match plan {
+        Plan::Alias { name, .. } => {
+            let schema = rel.schema().with_qualifier(name);
+            Ok(rel.clone().with_schema(schema))
+        }
+        Plan::Filter { predicate, .. } => {
+            ua_ranges::ops::filter(rel, predicate).map_err(EngineError::Expr)
+        }
+        Plan::Map { columns, .. } => {
+            let cols: Vec<(Expr, Column)> = columns
+                .iter()
+                .map(|c| (c.expr.clone(), c.column.clone()))
+                .collect();
+            ua_ranges::ops::map(rel, &cols).map_err(EngineError::Expr)
+        }
+        Plan::Distinct { .. } => Ok(ua_ranges::ops::distinct(rel)),
+        Plan::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let keys: Vec<(Expr, Column)> = group_by
+                .iter()
+                .map(|g| (g.expr.clone(), g.column.clone()))
+                .collect();
+            let specs: Vec<AggSpec> = aggregates
+                .iter()
+                .map(|a| AggSpec {
+                    kind: agg_kind(a.func),
+                    arg: a.arg.clone(),
+                    column: Column::unqualified(&a.name),
+                })
+                .collect();
+            ua_ranges::ops::aggregate(rel, &keys, &specs).map_err(EngineError::Expr)
+        }
+        Plan::Sort { keys, .. } => {
+            let keys: Vec<(Expr, bool)> = keys
+                .iter()
+                .map(|(e, o)| (e.clone(), *o == SortOrder::Desc))
+                .collect();
+            ua_ranges::ops::sort_by_bg(rel, &keys).map_err(EngineError::Expr)
+        }
+        Plan::Limit { limit, .. } => Ok(ua_ranges::ops::limit(rel, *limit)),
+        Plan::TopK { keys, limit, .. } => {
+            let keys: Vec<(Expr, bool)> = keys
+                .iter()
+                .map(|(e, o)| (e.clone(), *o == SortOrder::Desc))
+                .collect();
+            let sorted = ua_ranges::ops::sort_by_bg(rel, &keys).map_err(EngineError::Expr)?;
+            Ok(ua_ranges::ops::limit(&sorted, *limit))
+        }
+        other => Err(EngineError::Sql(format!(
+            "not a unary AU operator: {other}"
+        ))),
+    }
+}
+
+/// Apply one binary AU operator to already-evaluated inputs (see
+/// [`au_unary`]).
+pub fn au_binary(plan: &Plan, l: &AuRelation, r: &AuRelation) -> Result<AuRelation, EngineError> {
+    match plan {
+        Plan::Join { predicate, .. } => {
+            ua_ranges::ops::join(l, r, predicate.as_ref()).map_err(EngineError::Expr)
+        }
+        Plan::HashJoin { keys, residual, .. } => {
+            // The AU pipeline plans no hash joins itself; accept them from
+            // programmatic plans by lowering back to the logical θ-join
+            // (right-side positional keys re-based onto the concatenation).
+            let offset = l.schema().arity();
+            let mut conjuncts: Vec<Expr> = keys
+                .iter()
+                .map(|(kl, kr)| kl.clone().eq(shift_cols(kr, offset)))
+                .collect();
+            if let Some(res) = residual {
+                conjuncts.push(res.clone());
+            }
+            let predicate = Expr::conjunction(conjuncts);
+            ua_ranges::ops::join(l, r, Some(&predicate)).map_err(EngineError::Expr)
+        }
+        Plan::UnionAll { .. } => ua_ranges::ops::union(l, r).map_err(EngineError::Schema),
+        other => Err(EngineError::Sql(format!(
+            "not a binary AU operator: {other}"
+        ))),
+    }
+}
+
+/// Materialize an [`AuRelation`] as its flattened encoded table.
+pub fn au_table(rel: &AuRelation) -> Table {
+    Table::from_rows(flattened_schema(rel.schema()), encode_rows(rel))
+}
+
+impl UaSession {
+    /// Register a range-annotated relation under `name` (stored in the
+    /// flattened encoding; [`UaSession::query_au`] decodes it on scan).
+    pub fn register_au_relation(&self, name: impl Into<String>, relation: &AuRelation) {
+        self.catalog().register(name, au_table(relation));
+    }
+
+    /// Run a query under AU semantics: the full plan algebra — including
+    /// `DISTINCT` and grouping/aggregation, which `⟦·⟧_UA` is not closed
+    /// under — executes over range-annotated sources with sound
+    /// attribute-level and multiplicity bounds. `ORDER BY`/`LIMIT` order
+    /// and truncate by the selected-guess world (presentation-level).
+    pub fn query_au(&self, sql: &str) -> Result<AuResult, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, self.catalog(), &AuResolver)?;
+        self.execute_au_plan(&plan)
+    }
+
+    /// Run an already-built plan under AU semantics.
+    pub fn query_au_plan(&self, plan: &Plan) -> Result<AuResult, EngineError> {
+        self.execute_au_plan(plan)
+    }
+
+    fn execute_au_plan(&self, plan: &Plan) -> Result<AuResult, EngineError> {
+        // One uniform guard before dispatch: both engines reject marker
+        // references (selection, projection, joins, sort keys, GROUP BY
+        // keys, aggregate arguments) identically.
+        reject_marker_in_plan(plan)?;
+        match self.exec_mode() {
+            ExecMode::Row => {
+                let rel = execute_au(plan, self.catalog())?;
+                Ok(AuResult {
+                    table: au_table(&rel),
+                })
+            }
+            ExecMode::Vectorized => {
+                let opts = ExecOptions {
+                    threads: self.vec_threads(),
+                    batch_rows: 0,
+                };
+                let table = (require_vectorized_hooks()?.au)(plan, self.catalog(), opts)?;
+                Ok(AuResult { table })
+            }
+        }
+    }
+}
+
+fn float_of(v: &Value, col: &str) -> Result<f64, EngineError> {
+    v.as_f64()
+        .ok_or_else(|| EngineError::Sql(format!("probability column `{col}` must be numeric")))
+}
+
+fn keep_columns(schema: &Schema, exclude: &[usize]) -> (Vec<usize>, Vec<Column>) {
+    let mut keep = Vec::new();
+    let mut cols = Vec::new();
+    for (i, col) in schema.columns().iter().enumerate() {
+        if !exclude.contains(&i) {
+            keep.push(i);
+            cols.push(col.clone());
+        }
+    }
+    (keep, cols)
+}
+
+/// The TI-DB labeling lifted to range annotations: every tuple keeps point
+/// values; the multiplicity triple is `[p ≥ 1, p ≥ 0.5, p > 0]` — the
+/// middle component reproduces the UA frontend's best-guess-world rule,
+/// while rows below the BGW threshold stay representable with a zero
+/// selected-guess multiplicity instead of vanishing.
+pub fn ti_source_au(table: &Table, prob_col: &str) -> Result<Table, EngineError> {
+    let p_idx = table.schema().resolve(prob_col)?;
+    let (keep, cols) = keep_columns(table.schema(), &[p_idx]);
+    let mut rel = AuRelation::new(Schema::new(cols));
+    for row in table.rows() {
+        let p = float_of(row.get(p_idx).expect("resolved index"), prob_col)?;
+        if p <= 0.0 {
+            continue;
+        }
+        let values: Vec<RangeValue> = keep
+            .iter()
+            .map(|&i| RangeValue::point(row.get(i).expect("in range").clone()))
+            .collect();
+        rel.push(AuTuple {
+            values,
+            mult: MultBound::new(u64::from(p >= 1.0 - 1e-9), u64::from(p >= 0.5), 1),
+        });
+    }
+    Ok(au_table(&rel))
+}
+
+/// The x-DB labeling lifted to range annotations: one AU tuple per
+/// x-tuple block — attribute ranges hull the alternatives, the selected
+/// guess is the argmax alternative (absent from the SG world when absence
+/// is likelier, exactly the UA frontend's rule), `lb = 1` iff the block's
+/// mass is 1, `ub = 1` always (one copy per block in any world).
+pub fn x_source_au(
+    table: &Table,
+    xid_col: &str,
+    altid_col: &str,
+    prob_col: &str,
+) -> Result<Table, EngineError> {
+    let x_idx = table.schema().resolve(xid_col)?;
+    let a_idx = table.schema().resolve(altid_col)?;
+    let p_idx = table.schema().resolve(prob_col)?;
+    let (keep, cols) = keep_columns(table.schema(), &[x_idx, a_idx, p_idx]);
+
+    let mut blocks: FxHashMap<Value, Vec<(Tuple, f64)>> = FxHashMap::default();
+    let mut order: Vec<Value> = Vec::new();
+    for row in table.rows() {
+        let xid = row.get(x_idx).expect("in range").clone();
+        let p = float_of(row.get(p_idx).expect("in range"), prob_col)?;
+        let projected: Tuple = keep
+            .iter()
+            .map(|&i| row.get(i).expect("in range").clone())
+            .collect();
+        match blocks.get_mut(&xid) {
+            Some(b) => b.push((projected, p)),
+            None => {
+                order.push(xid.clone());
+                blocks.insert(xid, vec![(projected, p)]);
+            }
+        }
+    }
+    let ordered: Vec<Vec<(Tuple, f64)>> = order
+        .into_iter()
+        .map(|xid| blocks.remove(&xid).expect("recorded"))
+        .collect();
+    let rel = AuRelation::from_x_blocks(Schema::new(cols), ordered.iter().map(Vec::as_slice));
+    Ok(au_table(&rel))
+}
+
+/// The C-table labeling lifted to range annotations: constant rows keep
+/// point values (`lb = 1` iff the parsed local condition is a CNF
+/// tautology — the UA frontend's certainty rule); rows with variable
+/// attributes, which the UA labeling must *drop* from the extracted
+/// world, stay representable with unbounded attribute ranges and a zero
+/// selected-guess multiplicity.
+pub fn ctable_source_au(
+    table: &Table,
+    variable_cols: &[String],
+    condition_col: &str,
+) -> Result<Table, EngineError> {
+    let lc_idx = table.schema().resolve(condition_col)?;
+    let var_idxs: Vec<usize> = variable_cols
+        .iter()
+        .map(|v| table.schema().resolve(v))
+        .collect::<Result<_, _>>()?;
+    let mut exclude = var_idxs.clone();
+    exclude.push(lc_idx);
+    let (keep, cols) = keep_columns(table.schema(), &exclude);
+
+    let mut interner = VarInterner::new();
+    let mut rel = AuRelation::new(Schema::new(cols));
+    for row in table.rows() {
+        let all_constant = var_idxs
+            .iter()
+            .all(|&i| row.get(i).expect("in range").is_unknown());
+        let lc_text = match row.get(lc_idx).expect("in range") {
+            Value::Str(s) => s.to_string(),
+            Value::Null => String::new(),
+            other => {
+                return Err(EngineError::Sql(format!(
+                    "local condition column must be text, found {other}"
+                )))
+            }
+        };
+        let condition = parse_condition(&lc_text, &mut interner)
+            .map_err(|e| EngineError::Sql(e.to_string()))?;
+        let certain = is_cnf(&condition) && cnf_tautology(&condition) == Some(true);
+        let values: Vec<RangeValue> = keep
+            .iter()
+            .map(|&i| {
+                let v = row.get(i).expect("in range").clone();
+                if all_constant {
+                    RangeValue::point(v)
+                } else {
+                    RangeValue::top(v)
+                }
+            })
+            .collect();
+        rel.push(AuTuple {
+            values,
+            mult: if all_constant {
+                MultBound::new(u64::from(certain), 1, 1)
+            } else {
+                MultBound::new(0, 0, 1)
+            },
+        });
+    }
+    Ok(au_table(&rel))
+}
+
+/// Source resolver for AU queries: the Section 9.2 annotation clauses
+/// convert through the range labelings, cached per annotation fingerprint
+/// (same injective length-prefixed scheme as the UA resolver, under the
+/// `__au__` namespace so UA and AU encodings of one table never collide).
+struct AuResolver;
+
+impl SourceResolver for AuResolver {
+    fn resolve(
+        &self,
+        name: &str,
+        annotation: &SourceAnnotation,
+        catalog: &Catalog,
+    ) -> Result<Plan, EngineError> {
+        let fp = |parts: &[&str]| {
+            parts
+                .iter()
+                .map(|p| format!("{}_{p}", p.len()))
+                .collect::<Vec<_>>()
+                .join("_")
+        };
+        let fingerprint = match annotation {
+            SourceAnnotation::Ti { probability } => format!("ti_{}", fp(&[probability])),
+            SourceAnnotation::X {
+                xid,
+                altid,
+                probability,
+            } => format!("x_{}", fp(&[xid, altid, probability])),
+            SourceAnnotation::CTable {
+                variables,
+                condition,
+            } => {
+                let mut parts: Vec<&str> = variables.iter().map(String::as_str).collect();
+                parts.push(condition);
+                format!("ct_{}", fp(&parts))
+            }
+        };
+        let derived = format!("__au__{name}__{fingerprint}");
+        if catalog.get(&derived).is_none() {
+            let base = catalog
+                .get(name)
+                .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+            let encoded = match annotation {
+                SourceAnnotation::Ti { probability } => ti_source_au(&base, probability)?,
+                SourceAnnotation::X {
+                    xid,
+                    altid,
+                    probability,
+                } => x_source_au(&base, xid, altid, probability)?,
+                SourceAnnotation::CTable {
+                    variables,
+                    condition,
+                } => ctable_source_au(&base, variables, condition)?,
+            };
+            catalog.register(derived.clone(), encoded);
+        }
+        Ok(Plan::Scan(derived))
+    }
+}
+
+/// Convenience: evaluate a deterministic query over a catalog (used by the
+/// AU soundness tests to ground possible worlds). Re-exported so tests
+/// don't need a session.
+pub fn execute_det(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    execute(plan, catalog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::tuple;
+
+    fn geocoder_session() -> UaSession {
+        let session = UaSession::new();
+        session.register_table(
+            "addr",
+            Table::from_rows(
+                Schema::qualified("addr", ["xid", "aid", "p", "id", "locale", "state"]),
+                vec![
+                    tuple![1i64, 1i64, 1.0, 1i64, "Lasalle", "NY"],
+                    tuple![2i64, 1i64, 0.6, 2i64, "Tucson", "AZ"],
+                    tuple![2i64, 2i64, 0.4, 2i64, "Grant Ferry", "NY"],
+                    tuple![3i64, 1i64, 0.5, 3i64, "Kingsley", "NY"],
+                    tuple![3i64, 2i64, 0.5, 3i64, "Kingsley", "NY"],
+                    tuple![4i64, 1i64, 1.0, 4i64, "Kensington", "NY"],
+                ],
+            ),
+        );
+        session
+    }
+
+    #[test]
+    fn group_by_count_executes_under_au() {
+        let session = geocoder_session();
+        let result = session
+            .query_au(
+                "SELECT state, count(*) AS n FROM \
+                 addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) GROUP BY state",
+            )
+            .expect("AU aggregation executes");
+        let rel = result.decode();
+        // SG groups: NY (addresses 1, 3, 4) and AZ (address 2).
+        assert_eq!(rel.rows().len(), 2);
+        let ny = rel
+            .rows()
+            .iter()
+            .find(|r| r.values[0].bg == Value::str("NY"))
+            .expect("NY group");
+        assert_eq!(ny.values[1].bg, Value::Int(3));
+        // Address 2 may flip into NY (alternative Grant Ferry/NY): count
+        // can reach 4 in some world. Addresses 1 and 4 are certain, and so
+        // is 3 — both its alternatives are NY, which attribute-level
+        // bounds capture (the UA labeling's Figure 3d misclassification):
+        // certainly at least 3.
+        assert!(ny.values[1].contains(&Value::Int(4)));
+        assert!(ny.values[1].contains(&Value::Int(3)));
+        assert!(!ny.values[1].contains(&Value::Int(2)));
+    }
+
+    #[test]
+    fn ua_c_rejected_in_group_by_and_aggregate_args() {
+        let session = geocoder_session();
+        for sql in [
+            "SELECT ua_c, count(*) FROM \
+             addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) GROUP BY ua_c",
+            "SELECT state, sum(ua_c) FROM \
+             addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) GROUP BY state",
+            "SELECT state, count(*) FROM \
+             addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) \
+             GROUP BY state ORDER BY ua_c",
+        ] {
+            let err = session.query_au(sql);
+            assert!(
+                matches!(
+                    err,
+                    Err(EngineError::Schema(SchemaError::AmbiguousColumn(_)))
+                ),
+                "{sql} must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ti_source_au_keeps_sub_threshold_rows() {
+        let t = Table::from_rows(
+            Schema::qualified("r", ["a", "p"]),
+            vec![tuple![1i64, 1.0], tuple![2i64, 0.8], tuple![3i64, 0.2]],
+        );
+        let enc = ti_source_au(&t, "p").unwrap();
+        let rel = decode_rows(enc.schema(), enc.rows()).unwrap();
+        assert_eq!(rel.rows().len(), 3, "p = 0.2 kept with bg mult 0");
+        assert_eq!(rel.rows()[0].mult, MultBound::certain(1));
+        assert_eq!(rel.rows()[1].mult, MultBound::new(0, 1, 1));
+        assert_eq!(rel.rows()[2].mult, MultBound::new(0, 0, 1));
+    }
+
+    #[test]
+    fn selection_refines_bounds() {
+        let session = geocoder_session();
+        let result = session
+            .query_au(
+                "SELECT id FROM addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) \
+                 WHERE state = 'NY' ORDER BY id",
+            )
+            .unwrap();
+        let rel = result.decode();
+        // SG rows: 1, 3, 4 (Tucson/AZ is the SG for address 2) — but
+        // address 2 is possibly NY, so it appears with bg mult 0.
+        let (certain, total) = result.certainty_counts();
+        assert_eq!(total, 4);
+        // AU improves on UA's Figure 3d here: address 3's two alternatives
+        // both project to (3,) with state NY, so the range labeling keeps
+        // it certain where the tuple-level labeling could not.
+        assert_eq!(certain, 3, "addresses 1, 3 and 4 are certain");
+        let sg: Vec<Tuple> = rel
+            .rows()
+            .iter()
+            .filter(|r| r.mult.bg >= 1)
+            .map(|r| r.bg_tuple())
+            .collect();
+        assert_eq!(sg, vec![tuple![1i64], tuple![3i64], tuple![4i64]]);
+    }
+
+    #[test]
+    fn distinct_executes_under_au() {
+        let session = geocoder_session();
+        let result = session
+            .query_au(
+                "SELECT DISTINCT state FROM \
+                 addr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p)",
+            )
+            .expect("AU distinct executes");
+        let rel = result.decode();
+        assert_eq!(rel.rows().len(), 2);
+    }
+}

@@ -19,6 +19,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod au;
 pub mod exec;
 pub mod mode;
 pub mod optimize;
@@ -27,6 +28,10 @@ pub mod sql;
 pub mod storage;
 pub mod ua;
 
+pub use au::{
+    agg_kind, au_binary, au_table, au_unary, ctable_source_au, execute_au, is_au_sidecar_name,
+    reject_marker_in_plan, ti_source_au, x_source_au, AuResult,
+};
 pub use exec::{execute, limit_table, sort_table, top_k_table, AggState, EngineError};
 pub use mode::{
     register_vectorized_hooks, vectorized_hooks, ExecMode, ExecOptions, VectorizedHooks,

@@ -58,6 +58,14 @@ pub struct VectorizedHooks {
     /// happens inside the executor, on its label bitmaps, instead of via a
     /// rewritten plan.
     pub ua: fn(&Plan, &Catalog, ExecOptions) -> Result<Table, EngineError>,
+    /// Execute a plan over AU-encoded (range-annotated) base tables — the
+    /// full plan algebra including `DISTINCT` and aggregation — returning
+    /// the flattened encoded result (`ua_ranges::flattened_schema` layout).
+    /// The executor runs σ/π/aggregation over range column triples and
+    /// falls back per-operator to the shared `ua_ranges::ops`
+    /// implementations elsewhere, so results are identical to the row
+    /// engine's AU interpreter.
+    pub au: fn(&Plan, &Catalog, ExecOptions) -> Result<Table, EngineError>,
 }
 
 static HOOKS: OnceLock<VectorizedHooks> = OnceLock::new();

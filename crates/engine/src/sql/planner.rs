@@ -253,10 +253,13 @@ fn expand_item(
     match &item.expr {
         SqlExpr::Star => {
             for (i, col) in schema.columns().iter().enumerate() {
-                // The UA certainty marker is system-managed: `SELECT *`
-                // yields the user-visible columns, and the UA rewriting
-                // re-appends the marker itself.
-                if col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN) {
+                // The UA certainty marker and the AU bound/multiplicity
+                // sidecars are system-managed: `SELECT *` yields the
+                // user-visible columns, and the encodings re-append their
+                // bookkeeping themselves.
+                if col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN)
+                    || crate::au::is_au_sidecar_name(&col.name)
+                {
                     continue;
                 }
                 out.push(ProjColumn::with_column(star_expr(schema, i)?, col.clone()));
@@ -266,7 +269,9 @@ fn expand_item(
         SqlExpr::QualifiedStar(q) => {
             let mut any = false;
             for (i, col) in schema.columns().iter().enumerate() {
-                if col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN) {
+                if col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN)
+                    || crate::au::is_au_sidecar_name(&col.name)
+                {
                     continue;
                 }
                 if col
@@ -317,10 +322,10 @@ fn star_expr(schema: &Schema, i: usize) -> Result<Expr, EngineError> {
     if matches!(schema.resolve(&reference), Ok(j) if j == i) {
         return Ok(Expr::named(reference));
     }
-    let has_marker = schema
-        .columns()
-        .iter()
-        .any(|c| c.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN));
+    let has_marker = schema.columns().iter().any(|c| {
+        c.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN)
+            || crate::au::is_au_sidecar_name(&c.name)
+    });
     if has_marker {
         // A positional fallback would be unsound under the UA rewriting;
         // make the ambiguity a planning error instead of wrong answers.
@@ -609,6 +614,31 @@ mod tests {
         let t2 = run("SELECT e.* FROM emp e, dept d WHERE e.dept = d.name");
         assert_eq!(t2.schema().arity(), 3);
         assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn star_expansion_keeps_prefix_lookalike_user_columns() {
+        // Only the *exact* AU sidecar names (`ua_lb_<i>`, `ua_m_lb`, …) are
+        // system-managed; a user column that merely shares the prefix must
+        // survive `SELECT *` in deterministic queries.
+        let c = catalog();
+        c.register(
+            "notes",
+            Table::from_rows(
+                Schema::qualified("notes", ["a", "ua_lb_note", "ua_m_total"]),
+                vec![tuple![1i64, "keep me", 9i64]],
+            ),
+        );
+        let q = parse("SELECT * FROM notes").unwrap();
+        let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+        let t = execute(&plan, &c).unwrap();
+        assert_eq!(t.schema().arity(), 3, "lookalike columns must survive");
+        // The generated sidecar names themselves stay reserved.
+        assert!(crate::au::is_au_sidecar_name("ua_lb_0"));
+        assert!(crate::au::is_au_sidecar_name("ua_m_lb"));
+        assert!(!crate::au::is_au_sidecar_name("ua_lb_note"));
+        assert!(!crate::au::is_au_sidecar_name("ua_m_total"));
+        assert!(!crate::au::is_au_sidecar_name("ua_lb_"));
     }
 
     #[test]

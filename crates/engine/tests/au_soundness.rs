@@ -1,0 +1,335 @@
+//! AU-bound soundness, theorem-shaped, on enumerated `K^W` databases —
+//! the aggregation-closing counterpart of `label_soundness.rs`.
+//!
+//! Setup: a seeded x-DB (blocks of weighted alternatives over `xr(g, v)`)
+//! whose possible worlds are *enumerated exhaustively* (every choice of
+//! alternative per block, presence/absence for sub-probability blocks).
+//! The same blocks enter a [`UaSession`] through the SQL annotation path
+//! (`xr IS X WITH XID … PROBABILITY …`), so the theorem exercises the
+//! whole stack: labeling → flattened encoding → `⟦·⟧_AU` execution.
+//!
+//! For every query `Q` — **including GROUP BY aggregation and DISTINCT**,
+//! which `⟦·⟧_UA` is not closed under — and both engines:
+//!
+//! ```text
+//! ∀ world w:  Q(w)  is enclosed by  Q_AU(D)        (flow-checked upper
+//!                                                    bounds + per-tuple
+//!                                                    certainty claims)
+//! sg(Q_AU(D)) = Q(w₀)                               (the selected guess
+//!                                                    IS deterministic
+//!                                                    evaluation over the
+//!                                                    best-guess world)
+//! row engine ≡ vectorized engine                    (byte-identical
+//!                                                    encoded tables)
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::{EngineError, ExecMode, Table, UaSession};
+use ua_ranges::{check_encloses_world, sg_rows};
+
+/// One x-tuple block: weighted alternatives over `(g, v)`.
+type Block = Vec<(Tuple, f64)>;
+
+/// Seeded blocks: certain singletons, two-alternative blocks (mass 1) and
+/// sub-probability singletons (maybe absent). Small value domains so
+/// groups collide and filters cut through ranges.
+fn gen_blocks(seed: u64) -> Vec<Block> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_blocks = rng.gen_range(3..6usize);
+    (0..n_blocks)
+        .map(|_| {
+            let g = rng.gen_range(0..3i64);
+            let v = rng.gen_range(0..6i64);
+            match rng.gen_range(0..4u8) {
+                // Certain tuple.
+                0 => vec![(Tuple::new(vec![Value::Int(g), Value::Int(v)]), 1.0)],
+                // Two alternatives, possibly moving the group.
+                1 => {
+                    let g2 = rng.gen_range(0..3i64);
+                    let v2 = rng.gen_range(0..6i64);
+                    vec![
+                        (Tuple::new(vec![Value::Int(g), Value::Int(v)]), 0.6),
+                        (Tuple::new(vec![Value::Int(g2), Value::Int(v2)]), 0.4),
+                    ]
+                }
+                // Two equal-mass alternatives sharing the group key.
+                2 => {
+                    let v2 = rng.gen_range(0..6i64);
+                    vec![
+                        (Tuple::new(vec![Value::Int(g), Value::Int(v)]), 0.5),
+                        (Tuple::new(vec![Value::Int(g), Value::Int(v2)]), 0.5),
+                    ]
+                }
+                // Maybe-absent tuple (sub-probability block).
+                _ => vec![(
+                    Tuple::new(vec![Value::Int(g), Value::Int(v)]),
+                    [0.3, 0.5, 0.8][rng.gen_range(0..3usize)],
+                )],
+            }
+        })
+        .collect()
+}
+
+/// Every possible world: one choice per block (each alternative; `absent`
+/// too when the block's mass stays below 1).
+fn enumerate_worlds(blocks: &[Block]) -> Vec<Table> {
+    let schema = Schema::qualified("xr", ["g", "v"]);
+    let mut worlds: Vec<Vec<Tuple>> = vec![Vec::new()];
+    for block in blocks {
+        let total: f64 = block.iter().map(|(_, p)| p).sum();
+        let mut choices: Vec<Option<&Tuple>> = block.iter().map(|(t, _)| Some(t)).collect();
+        if total < 1.0 - 1e-9 {
+            choices.push(None);
+        }
+        let mut next = Vec::with_capacity(worlds.len() * choices.len());
+        for w in &worlds {
+            for c in &choices {
+                let mut rows = w.clone();
+                if let Some(t) = c {
+                    rows.push((*t).clone());
+                }
+                next.push(rows);
+            }
+        }
+        worlds = next;
+    }
+    worlds
+        .into_iter()
+        .map(|rows| Table::from_rows(schema.clone(), rows))
+        .collect()
+}
+
+/// The selected-guess world under the labeling's rule: the (first) argmax
+/// alternative per block, skipped when absence is likelier.
+fn sg_world(blocks: &[Block]) -> Table {
+    let schema = Schema::qualified("xr", ["g", "v"]);
+    let mut rows = Vec::new();
+    for block in blocks {
+        let total: f64 = block.iter().map(|(_, p)| p).sum();
+        let mut best = 0usize;
+        for (i, (_, p)) in block.iter().enumerate() {
+            if *p > block[best].1 {
+                best = i;
+            }
+        }
+        let p_absent = (1.0 - total).max(0.0);
+        if block[best].1 >= p_absent {
+            rows.push(block[best].0.clone());
+        }
+    }
+    Table::from_rows(schema, rows)
+}
+
+/// The raw x-table (`xid, aid, p, g, v`) the SQL annotation path labels.
+fn raw_x_table(blocks: &[Block]) -> Table {
+    let mut rows = Vec::new();
+    for (xid, block) in blocks.iter().enumerate() {
+        for (aid, (t, p)) in block.iter().enumerate() {
+            rows.push(Tuple::new(vec![
+                Value::Int(xid as i64),
+                Value::Int(aid as i64),
+                Value::float(*p),
+                t.get(0).expect("g").clone(),
+                t.get(1).expect("v").clone(),
+            ]));
+        }
+    }
+    Table::from_rows(Schema::qualified("xr", ["xid", "aid", "p", "g", "v"]), rows)
+}
+
+const X_SOURCE: &str = "xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) x";
+
+/// `(AU query, deterministic per-world counterpart)` pairs — the headline
+/// GROUP BY + SUM/COUNT shapes plus DISTINCT, global aggregation,
+/// uncertain filters below aggregation, and an RA⁺ projection for
+/// contrast.
+fn query_pairs() -> Vec<(String, String)> {
+    [
+        "SELECT g, count(*) AS n FROM {src} GROUP BY g",
+        "SELECT g, count(*) AS n, sum(v) AS s FROM {src} GROUP BY g",
+        "SELECT g, min(v) AS lo, max(v) AS hi FROM {src} GROUP BY g",
+        "SELECT count(*) AS n, sum(v) AS s, avg(v) AS m FROM {src}",
+        "SELECT g, sum(v) AS s FROM {src} WHERE v >= 3 GROUP BY g",
+        "SELECT DISTINCT g FROM {src}",
+        "SELECT v + 1 AS w FROM {src} WHERE g >= 1",
+    ]
+    .iter()
+    .map(|q| (q.replace("{src}", X_SOURCE), q.replace("{src}", "xr x")))
+    .collect()
+}
+
+fn au_session(blocks: &[Block], mode: ExecMode) -> UaSession {
+    let session = UaSession::with_mode(mode);
+    session.register_table("xr", raw_x_table(blocks));
+    session
+}
+
+fn det_over(world: &Table, sql: &str) -> Table {
+    let session = UaSession::new();
+    session.register_table("xr", world.clone());
+    session
+        .query_det(sql)
+        .unwrap_or_else(|e| panic!("world query `{sql}`: {e}"))
+}
+
+#[test]
+fn au_bounds_enclose_every_world_including_group_by() {
+    ua_vecexec::install();
+    for seed in 0..32u64 {
+        let blocks = gen_blocks(seed);
+        let worlds = enumerate_worlds(&blocks);
+        let sg = sg_world(&blocks);
+        assert!(
+            worlds.iter().any(|w| w.sorted_rows() == sg.sorted_rows()),
+            "seed {seed}: the SG world must be one of the enumerated worlds"
+        );
+        for (au_sql, det_sql) in query_pairs() {
+            let row = au_session(&blocks, ExecMode::Row)
+                .query_au(&au_sql)
+                .unwrap_or_else(|e| panic!("seed {seed}, row `{au_sql}`: {e}"));
+            let vec = au_session(&blocks, ExecMode::Vectorized)
+                .query_au(&au_sql)
+                .unwrap_or_else(|e| panic!("seed {seed}, vec `{au_sql}`: {e}"));
+            // Both engines produce byte-identical encoded AU tables.
+            assert_eq!(
+                row.table.schema(),
+                vec.table.schema(),
+                "seed {seed}: {au_sql}"
+            );
+            assert_eq!(
+                row.table.rows(),
+                vec.table.rows(),
+                "seed {seed}: engines diverge on {au_sql}"
+            );
+            let au_rel = row.decode();
+            // The selected guess IS deterministic evaluation over the SG
+            // world.
+            let sg_expected = {
+                let mut rows = det_over(&sg, &det_sql).rows().to_vec();
+                rows.sort();
+                rows
+            };
+            assert_eq!(
+                sg_rows(&au_rel),
+                sg_expected,
+                "seed {seed}: SG component diverges from the BGW on {au_sql}"
+            );
+            // Enclosure of every possible world (attribute bounds AND
+            // multiplicity bounds — no silent bound violations).
+            for (wi, world) in worlds.iter().enumerate() {
+                let truth = det_over(world, &det_sql);
+                if let Err(violation) = check_encloses_world(&au_rel, truth.rows()) {
+                    panic!(
+                        "seed {seed}, world {wi}, query `{au_sql}`: {violation}\n\
+                         world input: {:?}\nworld result: {:?}",
+                        world.rows(),
+                        truth.rows()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The acceptance shape spelled out: GROUP BY + SUM/COUNT over a TI
+/// source, end-to-end in AU mode on both engines, bounds enclosing every
+/// world of the tuple-independent ground truth.
+#[test]
+fn ti_group_by_sum_count_end_to_end() {
+    ua_vecexec::install();
+    let base = Table::from_rows(
+        Schema::qualified("t", ["g", "v", "p"]),
+        vec![
+            Tuple::new(vec![Value::Int(1), Value::Int(10), Value::float(1.0)]),
+            Tuple::new(vec![Value::Int(1), Value::Int(20), Value::float(0.7)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(30), Value::float(0.4)]),
+            Tuple::new(vec![Value::Int(2), Value::Int(40), Value::float(1.0)]),
+        ],
+    );
+    let sql = "SELECT g, count(*) AS n, sum(v) AS s FROM \
+               t IS TI WITH PROBABILITY (p) x GROUP BY g";
+    let mut results = Vec::new();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        let session = UaSession::with_mode(mode);
+        session.register_table("t", base.clone());
+        results.push(
+            session
+                .query_au(sql)
+                .unwrap_or_else(|e| panic!("{mode:?}: {e}")),
+        );
+    }
+    assert_eq!(results[0].table.rows(), results[1].table.rows());
+    let au_rel = results[0].decode();
+
+    // Enumerate the 4 uncertain-tuple subsets (rows 2 and 3 optional).
+    let world_schema = Schema::qualified("t", ["g", "v"]);
+    let all: Vec<Tuple> = vec![
+        Tuple::new(vec![Value::Int(1), Value::Int(10)]),
+        Tuple::new(vec![Value::Int(1), Value::Int(20)]),
+        Tuple::new(vec![Value::Int(2), Value::Int(30)]),
+        Tuple::new(vec![Value::Int(2), Value::Int(40)]),
+    ];
+    for mask in 0..4u8 {
+        let rows: Vec<Tuple> = all
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| match i {
+                1 => mask & 1 != 0,
+                2 => mask & 2 != 0,
+                _ => true,
+            })
+            .map(|(_, t)| t.clone())
+            .collect();
+        let world = Table::from_rows(world_schema.clone(), rows);
+        let session = UaSession::new();
+        session.register_table("t", world);
+        let truth = session
+            .query_det("SELECT g, count(*) AS n, sum(v) AS s FROM t x GROUP BY g")
+            .expect("world query");
+        check_encloses_world(&au_rel, truth.rows()).unwrap_or_else(|e| panic!("mask {mask}: {e}"));
+    }
+    // Spot-check the headline numbers: group 1 certainly has its p = 1.0
+    // row, possibly the 0.7 one → count [1,2], SG 2; sum [10, 30], SG 30.
+    let g1 = au_rel
+        .rows()
+        .iter()
+        .find(|r| r.values[0].bg == Value::Int(1))
+        .expect("group 1");
+    assert_eq!(g1.values[1].bg, Value::Int(2));
+    assert!(g1.values[1].contains(&Value::Int(1)));
+    assert!(!g1.values[1].contains(&Value::Int(0)));
+    assert_eq!(g1.values[2].bg, Value::Int(30));
+    assert!(g1.values[2].contains(&Value::Int(10)));
+    assert!(g1.mult.lb >= 1, "group 1 certainly materializes");
+}
+
+/// `ua_c` is rejected uniformly in GROUP BY keys and aggregate arguments
+/// on BOTH engines — the same class of hole PR 4 closed for ORDER BY.
+#[test]
+fn marker_in_group_by_rejected_on_both_engines() {
+    ua_vecexec::install();
+    let blocks = gen_blocks(1);
+    for sql in [
+        "SELECT ua_c, count(*) AS n FROM {src} GROUP BY ua_c".replace("{src}", X_SOURCE),
+        "SELECT g, sum(ua_c) AS s FROM {src} GROUP BY g".replace("{src}", X_SOURCE),
+        "SELECT g, count(ua_c) AS s FROM {src} GROUP BY g".replace("{src}", X_SOURCE),
+    ] {
+        for mode in [ExecMode::Row, ExecMode::Vectorized] {
+            let session = au_session(&blocks, mode);
+            let err = session.query_au(&sql);
+            assert!(
+                matches!(
+                    err,
+                    Err(EngineError::Schema(
+                        ua_data::schema::SchemaError::AmbiguousColumn(_)
+                    ))
+                ),
+                "{mode:?}: `{sql}` must be rejected, got {err:?}"
+            );
+        }
+    }
+}

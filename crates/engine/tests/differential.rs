@@ -347,13 +347,94 @@ fn arb_order_by() -> impl Strategy<Value = String> {
         })
 }
 
+/// GROUP BY / aggregation queries over single sources and equi-joins:
+/// 0–2 group keys, 1–3 aggregates (count(*)/count/sum/min/max/avg,
+/// including arithmetic arguments that exercise the typed kernels), an
+/// optional WHERE below the aggregation, and an optional ORDER BY over the
+/// aggregate output. Under UA semantics these must be *rejected
+/// identically* by both engines (aggregation is not closed under
+/// `⟦·⟧_UA`); under deterministic semantics they execute and must agree.
+fn arb_group_by() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..3, 0usize..5, proptest::bool::ANY),
+        (0usize..4, 0i64..6),
+        proptest::bool::ANY,
+        0usize..3,
+    )
+        .prop_map(
+            |(s1, s2, (n_keys, agg_pick, arith_arg), (op, lit), join, order_shape)| {
+                let a = &SOURCES[s1];
+                let (from, cols): (String, [&str; 2]) = if join {
+                    let s2 = if s1 == s2 { (s2 + 1) % 3 } else { s2 };
+                    let b = &SOURCES[s2];
+                    (
+                        format!("{}, {} WHERE {} = {}", a.from, b.from, a.cols[0], b.cols[0]),
+                        [a.cols[1], b.cols[1]],
+                    )
+                } else {
+                    (a.from.to_string(), [a.cols[0], a.cols[1]])
+                };
+                let arg = if arith_arg {
+                    format!("{} + 1", cols[1])
+                } else {
+                    cols[1].to_string()
+                };
+                let aggs: Vec<String> = match agg_pick {
+                    0 => vec!["count(*) AS n".into()],
+                    1 => vec![format!("sum({arg}) AS s"), "count(*) AS n".into()],
+                    2 => vec![format!("min({arg}) AS lo"), format!("max({arg}) AS hi")],
+                    3 => vec![format!("avg({arg}) AS m")],
+                    _ => vec![
+                        format!("count({}) AS c", cols[0]),
+                        format!("sum({arg}) AS s"),
+                    ],
+                };
+                let keys: Vec<&str> = match n_keys {
+                    0 => vec![],
+                    1 => vec![cols[0]],
+                    _ => vec![cols[0], cols[1]],
+                };
+                let mut select: Vec<String> = keys
+                    .iter()
+                    .enumerate()
+                    .map(|(i, k)| format!("{k} AS k{i}"))
+                    .collect();
+                select.extend(aggs.iter().cloned());
+                let mut sql = format!("SELECT {} FROM {from}", select.join(", "));
+                // WHERE must precede GROUP BY; the join form already
+                // carries one, so extend it with AND there.
+                let atom = atom(cols[0], op, lit);
+                if join {
+                    sql = format!("{sql} AND {atom}");
+                } else if order_shape == 1 {
+                    sql.push_str(&format!(" WHERE {atom}"));
+                }
+                if !keys.is_empty() {
+                    sql.push_str(&format!(" GROUP BY {}", keys.join(", ")));
+                }
+                if order_shape == 2 {
+                    let first_agg = ["n", "s", "lo", "m", "c"][agg_pick.min(4)];
+                    if keys.is_empty() {
+                        sql.push_str(&format!(" ORDER BY {first_agg} LIMIT 5"));
+                    } else {
+                        sql.push_str(&format!(" ORDER BY k0, {first_agg} LIMIT 5"));
+                    }
+                }
+                sql
+            },
+        )
+}
+
 fn arb_query() -> impl Strategy<Value = String> {
     prop_oneof![
         arb_single(),
         arb_join(),
         arb_compound(),
         arb_multi_join(),
-        arb_order_by()
+        arb_order_by(),
+        arb_group_by()
     ]
 }
 
@@ -369,6 +450,12 @@ fn run_ua_threads(sql: &str, optimizer: bool, threads: usize) -> Result<UaResult
 
 fn run_det(sql: &str, mode: ExecMode, optimizer: bool) -> Result<Table, EngineError> {
     seeded_session(mode, optimizer).query_det(sql)
+}
+
+fn run_det_threads(sql: &str, optimizer: bool, threads: usize) -> Result<Table, EngineError> {
+    let session = seeded_session(ExecMode::Vectorized, optimizer);
+    session.set_vec_threads(threads);
+    session.query_det(sql)
 }
 
 /// The two engines either both fail, or produce byte-identical encoded
@@ -464,6 +551,93 @@ proptest! {
                     ),
                 }
             }
+        }
+    }
+
+    /// GROUP BY / aggregation SQL under deterministic semantics, swept over
+    /// {Row, Vec} × {optimizer on, off} × {threads 1, 2, 8}: identical rows
+    /// in identical (first-seen-group) order everywhere — the vectorized
+    /// aggregation (typed arithmetic kernels included) against the row
+    /// engine's, at every thread count.
+    #[test]
+    fn det_group_by_agrees_across_engines_and_threads(sql in arb_group_by()) {
+        ua_vecexec::install();
+        for optimizer in [true, false] {
+            let row = run_det(&sql, ExecMode::Row, optimizer);
+            for threads in [1usize, 2, 8] {
+                let vec = run_det_threads(&sql, optimizer, threads);
+                match (&row, &vec) {
+                    (Ok(r), Ok(v)) => prop_assert_eq!(
+                        r.rows(),
+                        v.rows(),
+                        "group-by mismatch (optimizer={}, threads={}): {}",
+                        optimizer,
+                        threads,
+                        &sql
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (r, v) => panic!(
+                        "engines disagree on success (optimizer={optimizer}, \
+                         threads={threads}): {sql}\n row: {:?}\n vec: {:?}",
+                        r.as_ref().map(|t| t.len()),
+                        v.as_ref().map(|t| t.len())
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Aggregation is not closed under `⟦·⟧_UA`: UA sessions must reject
+    /// every generated GROUP BY query, with the *same* failure on both
+    /// engines and at every thread count (no partial execution, no
+    /// engine-specific acceptance).
+    #[test]
+    fn ua_rejects_group_by_uniformly(sql in arb_group_by()) {
+        ua_vecexec::install();
+        for optimizer in [true, false] {
+            let row = run_ua(&sql, ExecMode::Row, optimizer);
+            prop_assert!(row.is_err(), "UA must reject aggregation: {}", &sql);
+            for threads in [1usize, 2, 8] {
+                let vec = run_ua_threads(&sql, optimizer, threads);
+                prop_assert!(
+                    vec.is_err(),
+                    "vectorized UA must reject aggregation (threads={}): {}",
+                    threads,
+                    &sql
+                );
+            }
+        }
+    }
+
+    /// AU semantics over generated GROUP BY/aggregate SQL (the queries UA
+    /// rejects): the row interpreter and the vectorized range-triple
+    /// executor produce byte-identical flattened encoded tables.
+    #[test]
+    fn au_engines_agree_on_group_by(sql in arb_group_by()) {
+        ua_vecexec::install();
+        let row = seeded_session(ExecMode::Row, true).query_au(&sql);
+        let vec = seeded_session(ExecMode::Vectorized, true).query_au(&sql);
+        match (row, vec) {
+            (Ok(r), Ok(v)) => {
+                prop_assert_eq!(
+                    r.table.schema(),
+                    v.table.schema(),
+                    "AU schema mismatch: {}",
+                    &sql
+                );
+                prop_assert_eq!(
+                    r.table.rows(),
+                    v.table.rows(),
+                    "AU row mismatch: {}",
+                    &sql
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (r, v) => panic!(
+                "AU engines disagree on success: {sql}\n row: {:?}\n vec: {:?}",
+                r.map(|t| t.table.len()),
+                v.map(|t| t.table.len())
+            ),
         }
     }
 

@@ -1,0 +1,195 @@
+//! The AU-DB correctness oracle: does a range-annotated relation *enclose*
+//! a concrete possible world's result?
+//!
+//! Enclosure, per the AU-DB bound-preservation theorem, has three parts,
+//! checked against every possible world `w` of the `K^W` ground truth:
+//!
+//! 1. **Upper bound** — every row copy of `Q(w)` can be charged to some AU
+//!    tuple whose attribute ranges contain it, with no AU tuple charged
+//!    more than its multiplicity upper bound. This is a bipartite
+//!    feasibility question, decided exactly with a small max-flow.
+//! 2. **Lower bound** — every AU tuple claiming `lb ≥ k` finds at least
+//!    `k` row copies of `Q(w)` within its ranges (no false certainty).
+//! 3. **Selected guess** — expanding the `bg` components (values ×
+//!    multiplicity) reproduces `Q` over the selected-guess world exactly.
+
+use crate::relation::AuRelation;
+use ua_data::tuple::Tuple;
+
+/// Max-flow on a tiny dense graph (Edmonds–Karp). Node 0 is the source,
+/// node `n-1` the sink.
+fn max_flow(mut cap: Vec<Vec<u64>>, want: u64) -> u64 {
+    let n = cap.len();
+    let mut flow = 0u64;
+    while flow < want {
+        // BFS for an augmenting path.
+        let mut parent: Vec<Option<usize>> = vec![None; n];
+        parent[0] = Some(0);
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        while let Some(u) = queue.pop_front() {
+            for v in 0..n {
+                if parent[v].is_none() && cap[u][v] > 0 {
+                    parent[v] = Some(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        if parent[n - 1].is_none() {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u64::MAX;
+        let mut v = n - 1;
+        while v != 0 {
+            let u = parent[v].expect("on path");
+            bottleneck = bottleneck.min(cap[u][v]);
+            v = u;
+        }
+        let mut v = n - 1;
+        while v != 0 {
+            let u = parent[v].expect("on path");
+            cap[u][v] -= bottleneck;
+            cap[v][u] = cap[v][u].saturating_add(bottleneck);
+            v = u;
+        }
+        flow = flow.saturating_add(bottleneck);
+    }
+    flow
+}
+
+/// Check that `au` encloses one world's result rows (a bag, as row
+/// copies). Returns a description of the first violation.
+pub fn check_encloses_world(au: &AuRelation, world_rows: &[Tuple]) -> Result<(), String> {
+    // Distinct world tuples with their copy counts.
+    let mut distinct: Vec<(Tuple, u64)> = Vec::new();
+    for row in world_rows {
+        match distinct.iter_mut().find(|(t, _)| t == row) {
+            Some((_, n)) => *n += 1,
+            None => distinct.push((row.clone(), 1)),
+        }
+    }
+
+    // 1. Upper bound: feasibility flow source → world tuple → AU tuple →
+    //    sink.
+    let nw = distinct.len();
+    let na = au.rows().len();
+    let n = nw + na + 2;
+    let total: u64 = distinct.iter().map(|(_, c)| *c).sum();
+    let mut cap = vec![vec![0u64; n]; n];
+    for (i, (t, c)) in distinct.iter().enumerate() {
+        cap[0][1 + i] = *c;
+        for (j, r) in au.rows().iter().enumerate() {
+            if r.covers(t) {
+                cap[1 + i][1 + nw + j] = u64::MAX / 4;
+            }
+        }
+    }
+    for (j, r) in au.rows().iter().enumerate() {
+        cap[1 + nw + j][n - 1] = r.mult.ub;
+    }
+    let flow = max_flow(cap, total);
+    if flow < total {
+        let uncovered = distinct
+            .iter()
+            .find(|(t, _)| !au.rows().iter().any(|r| r.covers(t)))
+            .map(|(t, _)| format!(" (e.g. {t} matches no AU tuple's ranges)"))
+            .unwrap_or_default();
+        return Err(format!(
+            "upper-bound violation: only {flow} of {total} world row copies \
+             chargeable within AU multiplicity upper bounds{uncovered}"
+        ));
+    }
+
+    // 2. Lower bound: each certainty claim finds enough copies.
+    for (j, r) in au.rows().iter().enumerate() {
+        if r.mult.lb == 0 {
+            continue;
+        }
+        let matched: u64 = distinct
+            .iter()
+            .filter(|(t, _)| r.covers(t))
+            .map(|(_, c)| *c)
+            .sum();
+        if matched < r.mult.lb {
+            return Err(format!(
+                "lower-bound violation: AU tuple #{j} claims lb = {} but only \
+                 {matched} world copies fall within its ranges",
+                r.mult.lb
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The selected-guess rows of an AU relation, expanded by `bg`
+/// multiplicity — must equal deterministic evaluation over the SG world.
+pub fn sg_rows(au: &AuRelation) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for r in au.rows() {
+        let t = r.bg_tuple();
+        out.extend(std::iter::repeat_n(t, r.mult.bg as usize));
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mult::MultBound;
+    use crate::relation::AuTuple;
+    use crate::value::{Bound, RangeValue};
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+    use ua_data::value::Value;
+
+    fn span(lo: i64, bg: i64, hi: i64) -> RangeValue {
+        RangeValue::new(
+            Bound::Val(Value::Int(lo)),
+            Value::Int(bg),
+            Bound::Val(Value::Int(hi)),
+        )
+    }
+
+    #[test]
+    fn coverage_respects_capacities() {
+        let mut au = AuRelation::new(Schema::qualified("r", ["a"]));
+        au.push(AuTuple {
+            values: vec![span(1, 2, 3)],
+            mult: MultBound::new(0, 1, 1),
+        });
+        // One copy of 2: covered.
+        assert!(check_encloses_world(&au, &[tuple![2i64]]).is_ok());
+        // Two copies exceed ub = 1.
+        assert!(check_encloses_world(&au, &[tuple![2i64], tuple![3i64]]).is_err());
+        // Out-of-range value.
+        assert!(check_encloses_world(&au, &[tuple![9i64]]).is_err());
+    }
+
+    #[test]
+    fn flow_routes_around_greedy_choices() {
+        // w1 = 2 fits both tuples; w2 = 3 fits only the second. A greedy
+        // assignment of w2's slot to w1 would fail; the flow must not.
+        let mut au = AuRelation::new(Schema::qualified("r", ["a"]));
+        au.push(AuTuple {
+            values: vec![span(1, 2, 2)],
+            mult: MultBound::new(0, 1, 1),
+        });
+        au.push(AuTuple {
+            values: vec![span(2, 3, 3)],
+            mult: MultBound::new(0, 1, 1),
+        });
+        assert!(check_encloses_world(&au, &[tuple![2i64], tuple![3i64]]).is_ok());
+    }
+
+    #[test]
+    fn lower_bound_claims_are_checked() {
+        let mut au = AuRelation::new(Schema::qualified("r", ["a"]));
+        au.push(AuTuple {
+            values: vec![span(5, 5, 5)],
+            mult: MultBound::new(2, 2, 2),
+        });
+        assert!(check_encloses_world(&au, &[tuple![5i64], tuple![5i64]]).is_ok());
+        assert!(check_encloses_world(&au, &[tuple![5i64]]).is_err());
+    }
+}

@@ -1,0 +1,407 @@
+//! Range-aware expression evaluation: interval arithmetic for scalars and
+//! three-valued *possibility* analysis for predicates.
+//!
+//! Two entry points, both over *bound* (positional) expressions and one
+//! tuple's attribute ranges:
+//!
+//! * [`eval_range`] — a [`RangeValue`] whose selected guess is computed by
+//!   the ordinary scalar evaluator over the selected-guess tuple (so the
+//!   SG component of AU execution is *exactly* deterministic execution,
+//!   errors included) and whose bounds enclose the expression's value under
+//!   every grounding;
+//! * [`truth_range`] — a [`RangeTruth`]: which truth values
+//!   (true/false/unknown) the predicate can take across groundings. It
+//!   over-approximates each possibility, which makes
+//!   [`RangeTruth::certainly_true`] an under-approximation of "the
+//!   predicate holds in every world" and [`RangeTruth::possibly_true`] an
+//!   over-approximation of "it holds in some world" — the two directions
+//!   the `⟦·⟧_AU` selection rule needs for sound multiplicity bounds.
+
+use crate::value::{interval_add, interval_div, interval_mul, interval_sub, Bound, RangeValue};
+use std::cmp::Ordering;
+use ua_data::expr::{ArithOp, CmpOp, Expr, ExprError, Truth};
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+
+/// The set of truth values a predicate may take across groundings. Each
+/// flag is an over-approximation ("may be …"), so widening any flag is
+/// always sound.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RangeTruth {
+    /// Some grounding may make the predicate true.
+    pub t: bool,
+    /// Some grounding may make it false.
+    pub f: bool,
+    /// Some grounding may make it unknown (three-valued NULL logic).
+    pub u: bool,
+}
+
+impl RangeTruth {
+    /// Everything is possible — the conservative default.
+    pub const ANY: RangeTruth = RangeTruth {
+        t: true,
+        f: true,
+        u: true,
+    };
+
+    /// Exactly one known truth value.
+    pub fn exact(t: Truth) -> RangeTruth {
+        RangeTruth {
+            t: t == Truth::True,
+            f: t == Truth::False,
+            u: t == Truth::Unknown,
+        }
+    }
+
+    /// The predicate holds under *every* grounding (the row certainly
+    /// survives selection in all worlds).
+    pub fn certainly_true(&self) -> bool {
+        self.t && !self.f && !self.u
+    }
+
+    /// The predicate may hold under *some* grounding (the row possibly
+    /// survives in some world).
+    pub fn possibly_true(&self) -> bool {
+        self.t
+    }
+
+    /// Kleene conjunction on possibility sets.
+    pub fn and(self, o: RangeTruth) -> RangeTruth {
+        RangeTruth {
+            t: self.t && o.t,
+            f: self.f || o.f,
+            u: (self.u && (o.t || o.u)) || (o.u && (self.t || self.u)),
+        }
+    }
+
+    /// Kleene disjunction on possibility sets.
+    pub fn or(self, o: RangeTruth) -> RangeTruth {
+        RangeTruth {
+            t: self.t || o.t,
+            f: self.f && o.f,
+            u: (self.u && (o.f || o.u)) || (o.u && (self.f || self.u)),
+        }
+    }
+
+    /// Kleene negation swaps the true/false possibilities.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> RangeTruth {
+        RangeTruth {
+            t: self.f,
+            f: self.t,
+            u: self.u,
+        }
+    }
+}
+
+/// Bounds-only evaluation (infallible): the returned range encloses the
+/// expression's value under every grounding of `ranges`. The selected
+/// guess inside the result is best-effort — [`eval_range`] replaces it
+/// with the exact scalar result.
+pub fn approx_range(expr: &Expr, ranges: &[RangeValue]) -> RangeValue {
+    match expr {
+        Expr::Col(i) => ranges
+            .get(*i)
+            .cloned()
+            .unwrap_or_else(|| RangeValue::top(Value::Null)),
+        Expr::Named(_) => RangeValue::top(Value::Null),
+        Expr::Lit(v) => RangeValue::point(v.clone()),
+        Expr::Arith(op, a, b) => {
+            let ra = approx_range(a, ranges);
+            let rb = approx_range(b, ranges);
+            let bg = match op {
+                ArithOp::Add => ra.bg.add(&rb.bg),
+                ArithOp::Sub => ra.bg.sub(&rb.bg),
+                ArithOp::Mul => ra.bg.mul(&rb.bg),
+                ArithOp::Div => ra.bg.div(&rb.bg),
+            }
+            .unwrap_or(Value::Null);
+            match op {
+                ArithOp::Add => interval_add(&ra, &rb, bg),
+                ArithOp::Sub => interval_sub(&ra, &rb, bg),
+                ArithOp::Mul => interval_mul(&ra, &rb, bg),
+                ArithOp::Div => interval_div(&ra, &rb, bg),
+            }
+        }
+        Expr::Cmp(..)
+        | Expr::And(..)
+        | Expr::Or(..)
+        | Expr::Not(..)
+        | Expr::IsNull(..)
+        | Expr::Between(..)
+        | Expr::InList(..) => {
+            // A predicate used as a value: true/false/NULL per grounding.
+            let rt = truth_range(expr, ranges);
+            if rt.certainly_true() {
+                RangeValue::point(Value::Bool(true))
+            } else if !rt.t && !rt.u {
+                RangeValue::point(Value::Bool(false))
+            } else if rt.u {
+                RangeValue::top(Value::Null)
+            } else {
+                RangeValue::new(
+                    Bound::Val(Value::Bool(false)),
+                    Value::Bool(rt.t && !rt.f),
+                    Bound::Val(Value::Bool(true)),
+                )
+            }
+        }
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
+            // Walk the branches: certainly-false conditions are skipped,
+            // a certainly-true condition ends the walk; every still-possible
+            // branch result joins the hull.
+            let mut results: Vec<RangeValue> = Vec::new();
+            let mut decided = false;
+            for (cond, result) in branches {
+                let rt = truth_range(cond, ranges);
+                if rt.possibly_true() {
+                    results.push(approx_range(result, ranges));
+                }
+                if rt.certainly_true() {
+                    decided = true;
+                    break;
+                }
+            }
+            if !decided {
+                results.push(match otherwise {
+                    Some(e) => approx_range(e, ranges),
+                    None => RangeValue::top(Value::Null),
+                });
+            }
+            let mut iter = results.into_iter();
+            let first = iter.next().expect("at least the otherwise branch");
+            iter.fold(first, |acc, r| {
+                if r.is_top() {
+                    RangeValue::top(acc.bg.clone())
+                } else {
+                    acc.hull(&r)
+                }
+            })
+        }
+        Expr::Least(a, b) => {
+            let ra = approx_range(a, ranges);
+            let rb = approx_range(b, ranges);
+            if ra.is_top() || rb.is_top() {
+                return RangeValue::top(Value::Null);
+            }
+            RangeValue::new(
+                ra.lb().clone().min_bound(rb.lb().clone()),
+                match ra.bg.sql_cmp(&rb.bg) {
+                    Some(Ordering::Greater) => rb.bg.clone(),
+                    Some(_) => ra.bg.clone(),
+                    None => Value::Null,
+                },
+                ra.ub().clone().min_bound(rb.ub().clone()),
+            )
+        }
+    }
+}
+
+/// Evaluate `expr` to a range whose selected guess is the *exact* scalar
+/// result over the selected-guess tuple `bg` (including that path's
+/// errors, so AU execution fails on exactly the queries deterministic
+/// execution over the SG world fails on) and whose bounds come from
+/// [`approx_range`].
+pub fn eval_range(expr: &Expr, ranges: &[RangeValue], bg: &Tuple) -> Result<RangeValue, ExprError> {
+    let exact = expr.eval(bg)?;
+    let approx = approx_range(expr, ranges);
+    Ok(RangeValue::new(
+        approx.lb().clone(),
+        exact,
+        approx.ub().clone(),
+    ))
+}
+
+/// Whether every grounding of the ranges on both sides is comparable under
+/// SQL semantics (so endpoint comparisons decide possibility exactly): both
+/// selected guesses are known and SQL-comparable, which for normalized,
+/// non-top ranges pins both sides to one comparable type family.
+fn comparable(a: &RangeValue, b: &RangeValue) -> bool {
+    !a.is_top() && !b.is_top() && a.bg.sql_cmp(&b.bg).is_some()
+}
+
+fn cmp_possibilities(op: CmpOp, a: &RangeValue, b: &RangeValue) -> RangeTruth {
+    if !comparable(a, b) {
+        return RangeTruth::ANY;
+    }
+    let lt_possible = a.lb().cmp_bound(b.ub()) == Ordering::Less;
+    let gt_possible = b.lb().cmp_bound(a.ub()) == Ordering::Less;
+    let eq_possible = a.intersects(b);
+    let (t, f) = match op {
+        CmpOp::Lt => (lt_possible, gt_possible || eq_possible),
+        CmpOp::Le => (lt_possible || eq_possible, gt_possible),
+        CmpOp::Gt => (gt_possible, lt_possible || eq_possible),
+        CmpOp::Ge => (gt_possible || eq_possible, lt_possible),
+        CmpOp::Eq => (
+            eq_possible,
+            lt_possible || gt_possible || !points_equal(a, b),
+        ),
+        CmpOp::Ne => (
+            lt_possible || gt_possible || !points_equal(a, b),
+            eq_possible,
+        ),
+    };
+    RangeTruth { t, f, u: false }
+}
+
+/// Both ranges are the same single point.
+fn points_equal(a: &RangeValue, b: &RangeValue) -> bool {
+    a.is_point() && b.is_point() && crate::value::range_cmp(&a.bg, &b.bg) == Ordering::Equal
+}
+
+/// Three-valued possibility analysis of a (bound) predicate over one
+/// tuple's attribute ranges. Infallible: shapes without a precise rule
+/// return [`RangeTruth::ANY`]; scalar-evaluation errors surface through
+/// the selected-guess path instead.
+pub fn truth_range(expr: &Expr, ranges: &[RangeValue]) -> RangeTruth {
+    match expr {
+        Expr::Cmp(op, a, b) => {
+            cmp_possibilities(*op, &approx_range(a, ranges), &approx_range(b, ranges))
+        }
+        Expr::And(a, b) => truth_range(a, ranges).and(truth_range(b, ranges)),
+        Expr::Or(a, b) => truth_range(a, ranges).or(truth_range(b, ranges)),
+        Expr::Not(a) => truth_range(a, ranges).not(),
+        Expr::IsNull(a) => {
+            // Only the top range may ground to NULL; a bounded range never
+            // does. "Definitely NULL" is not representable, so IS NULL is
+            // never *certainly* true — a sound under-approximation.
+            let r = approx_range(a, ranges);
+            RangeTruth {
+                t: r.is_top(),
+                f: true,
+                u: false,
+            }
+        }
+        Expr::Between(e, lo, hi) => {
+            let ge = Expr::Cmp(CmpOp::Ge, e.clone(), lo.clone());
+            let le = Expr::Cmp(CmpOp::Le, e.clone(), hi.clone());
+            truth_range(&ge, ranges).and(truth_range(&le, ranges))
+        }
+        Expr::InList(e, list) => {
+            let mut acc = RangeTruth::exact(Truth::False);
+            for item in list {
+                let eq = Expr::Cmp(CmpOp::Eq, e.clone(), Box::new(item.clone()));
+                acc = acc.or(truth_range(&eq, ranges));
+            }
+            acc
+        }
+        Expr::Lit(Value::Bool(b)) => RangeTruth::exact(Truth::from_bool(*b)),
+        Expr::Lit(v) if v.is_unknown() => RangeTruth::exact(Truth::Unknown),
+        other => {
+            // Boolean-valued columns / CASE / anything else: read the value
+            // range and report which truth values it admits.
+            let r = approx_range(other, ranges);
+            if r.is_top() {
+                return RangeTruth::ANY;
+            }
+            RangeTruth {
+                t: r.contains(&Value::Bool(true)),
+                f: r.contains(&Value::Bool(false)),
+                u: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(lo: i64, bg: i64, hi: i64) -> RangeValue {
+        RangeValue::new(
+            Bound::Val(Value::Int(lo)),
+            Value::Int(bg),
+            Bound::Val(Value::Int(hi)),
+        )
+    }
+
+    #[test]
+    fn comparison_possibilities() {
+        let ranges = vec![span(1, 2, 4), span(6, 7, 9)];
+        // a < b holds for every grounding.
+        let lt = truth_range(&Expr::Col(0).lt(Expr::Col(1)), &ranges);
+        assert!(lt.certainly_true());
+        // a = b impossible.
+        let eq = truth_range(&Expr::Col(0).eq(Expr::Col(1)), &ranges);
+        assert!(!eq.possibly_true());
+        // Overlapping: a >= 3 possible but not certain.
+        let ge = truth_range(&Expr::Col(0).ge(Expr::lit(3i64)), &ranges);
+        assert!(ge.possibly_true() && !ge.certainly_true());
+    }
+
+    #[test]
+    fn negation_does_not_promote_unknown_to_certain() {
+        // col0 is top (may be NULL): `col0 = 5` is never certainly true,
+        // and NOT(col0 = 5) must not become certainly true either — the
+        // grounding where col0 IS NULL makes both comparisons unknown.
+        let ranges = vec![RangeValue::top(Value::Null)];
+        let eq = truth_range(&Expr::Col(0).eq(Expr::lit(5i64)), &ranges);
+        assert!(!eq.certainly_true());
+        let ne = truth_range(&Expr::Col(0).eq(Expr::lit(5i64)).not(), &ranges);
+        assert!(!ne.certainly_true(), "NOT over a possibly-unknown operand");
+        assert!(ne.possibly_true());
+    }
+
+    #[test]
+    fn exhaustive_groundings_respect_possibility_sets() {
+        // Enumerate all groundings of two small ranges for a few predicate
+        // shapes and check the possibility sets over-approximate reality
+        // and certainly_true under-approximates it.
+        let ranges = vec![span(0, 1, 3), span(2, 2, 5)];
+        let exprs = [
+            Expr::Col(0).lt(Expr::Col(1)),
+            Expr::Col(0).eq(Expr::Col(1)),
+            Expr::Col(0)
+                .ge(Expr::lit(1i64))
+                .and(Expr::Col(1).le(Expr::lit(4i64))),
+            Expr::Col(0).add(Expr::Col(1)).gt(Expr::lit(4i64)),
+            Expr::Col(0).between(Expr::lit(1i64), Expr::Col(1)),
+            Expr::InList(
+                Box::new(Expr::Col(0)),
+                vec![Expr::lit(2i64), Expr::lit(7i64)],
+            ),
+            Expr::Col(0).lt(Expr::Col(1)).not(),
+        ];
+        for e in &exprs {
+            let rt = truth_range(e, &ranges);
+            let mut seen_true = false;
+            let mut all_true = true;
+            for a in 0..=3i64 {
+                for b in 2..=5i64 {
+                    let t = e
+                        .eval_truth(&Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+                        .unwrap();
+                    match t {
+                        Truth::True => seen_true = true,
+                        _ => all_true = false,
+                    }
+                }
+            }
+            assert!(
+                !rt.certainly_true() || all_true,
+                "{e}: claimed certain but a grounding fails"
+            );
+            assert!(
+                rt.possibly_true() || !seen_true,
+                "{e}: a true grounding exists but possibility denied"
+            );
+        }
+    }
+
+    #[test]
+    fn eval_range_selected_guess_is_exact() {
+        let ranges = vec![span(1, 2, 4), span(0, 10, 20)];
+        let bg = Tuple::new(vec![Value::Int(2), Value::Int(10)]);
+        let e = Expr::Col(0).add(Expr::Col(1)).mul(Expr::lit(2i64));
+        let r = eval_range(&e, &ranges, &bg).unwrap();
+        assert_eq!(r.bg, Value::Int(24));
+        for a in 1..=4i64 {
+            for b in 0..=20i64 {
+                assert!(r.contains(&Value::Int((a + b) * 2)));
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Tuple-level multiplicity-bound triples over the natural numbers.
+//!
+//! Where a UA-DB annotates a tuple with the pair `[cert, det]` (a certain
+//! lower bound and the best-guess multiplicity), an AU-DB extends the pair
+//! to the triple `[lb, bg, ub]`: in every possible world the tuple's
+//! multiplicity is at least `lb` and at most `ub`, and it is exactly `bg`
+//! in the selected-guess world. `ℕ³` with pointwise operations is a
+//! semiring (the same product construction as `K²`), so K-relational
+//! evaluation applies unchanged — which is what keeps the `⟦·⟧_AU`
+//! rewriting's join/union rules one-line pointwise combinations.
+
+use ua_semiring::{NaturalOrder, Semiring};
+
+/// A multiplicity-bound triple `[lb, bg, ub]` over saturating `ℕ`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct MultBound {
+    /// Guaranteed copies in every possible world.
+    pub lb: u64,
+    /// Copies in the selected-guess world.
+    pub bg: u64,
+    /// Maximum copies in any possible world.
+    pub ub: u64,
+}
+
+impl MultBound {
+    /// The triple `[lb, bg, ub]`.
+    pub fn new(lb: u64, bg: u64, ub: u64) -> MultBound {
+        MultBound { lb, bg, ub }
+    }
+
+    /// A fully certain multiplicity `[n, n, n]`.
+    pub fn certain(n: u64) -> MultBound {
+        MultBound::new(n, n, n)
+    }
+
+    /// Well-formedness: the selected-guess world is one of the possible
+    /// worlds, so `lb ≤ bg ≤ ub`.
+    pub fn is_well_formed(&self) -> bool {
+        self.lb <= self.bg && self.bg <= self.ub
+    }
+
+    /// Whether the tuple certainly appears (in every world).
+    pub fn certainly_present(&self) -> bool {
+        self.lb >= 1
+    }
+}
+
+impl Semiring for MultBound {
+    fn zero() -> Self {
+        MultBound::new(0, 0, 0)
+    }
+
+    fn one() -> Self {
+        MultBound::new(1, 1, 1)
+    }
+
+    fn plus(&self, other: &Self) -> Self {
+        MultBound::new(
+            self.lb.saturating_add(other.lb),
+            self.bg.saturating_add(other.bg),
+            self.ub.saturating_add(other.ub),
+        )
+    }
+
+    fn times(&self, other: &Self) -> Self {
+        MultBound::new(
+            self.lb.saturating_mul(other.lb),
+            self.bg.saturating_mul(other.bg),
+            self.ub.saturating_mul(other.ub),
+        )
+    }
+
+    fn is_zero(&self) -> bool {
+        *self == MultBound::new(0, 0, 0)
+    }
+
+    fn is_one(&self) -> bool {
+        *self == MultBound::new(1, 1, 1)
+    }
+}
+
+impl NaturalOrder for MultBound {
+    fn natural_leq(&self, other: &Self) -> bool {
+        self.lb <= other.lb && self.bg <= other.bg && self.ub <= other.ub
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_semiring::laws;
+
+    #[test]
+    fn triple_semiring_laws() {
+        let elems: Vec<MultBound> = [
+            (0, 0, 0),
+            (0, 0, 1),
+            (0, 1, 1),
+            (1, 1, 1),
+            (1, 2, 3),
+            (0, 1, 4),
+        ]
+        .iter()
+        .map(|&(l, b, u)| MultBound::new(l, b, u))
+        .collect();
+        laws::check_semiring_laws(&elems);
+        for e in &elems {
+            assert!(e.is_well_formed());
+        }
+    }
+
+    #[test]
+    fn pointwise_combination() {
+        let a = MultBound::new(1, 2, 3);
+        let b = MultBound::new(0, 1, 2);
+        assert_eq!(a.plus(&b), MultBound::new(1, 3, 5));
+        assert_eq!(a.times(&b), MultBound::new(0, 2, 6));
+        assert!(a.times(&b).is_well_formed());
+        assert!(!MultBound::new(2, 1, 3).is_well_formed());
+    }
+}

@@ -1,0 +1,1019 @@
+//! The `⟦·⟧_AU` operators over [`AuRelation`]s — one shared implementation
+//! both engines execute (the row engine directly, the vectorized engine
+//! for its per-operator fallbacks), so the two paths cannot diverge.
+//!
+//! Selection, projection, join and union mirror the UA rewriting with
+//! range-aware evaluation; the headline additions are `DISTINCT` and
+//! grouping/aggregation, which the UA encoding is *not* closed under
+//! (the paper defers them) but attribute-level bounds are:
+//!
+//! * **σ_θ** — a row survives iff θ is *possibly* true under some
+//!   grounding. Its multiplicity triple is refined per component:
+//!   `lb` survives only when θ is *certainly* true, `bg` only when θ holds
+//!   over the selected-guess tuple (ordinary SQL evaluation), `ub` always.
+//! * **π** — interval arithmetic per output expression
+//!   ([`crate::eval::eval_range`]); the selected guess is the exact scalar
+//!   result.
+//! * **⋈** — pairs combine values by concatenation and multiplicities by
+//!   the pointwise product, then the predicate refines like σ.
+//! * **∪** — rows concatenate (annotations add by standing next to each
+//!   other, as in the bag engine).
+//! * **δ (DISTINCT)** — rows merge by selected-guess tuple; ranges hull,
+//!   `lb/bg` cap at 1, `ub` sums (each merged copy may ground to a
+//!   distinct value and survive deduplication on its own).
+//! * **γ (GROUP BY / aggregation)** — see [`aggregate`]: output groups are
+//!   the distinct selected-guess keys; every input tuple whose key range
+//!   intersects a group's key hull contributes to that group's aggregate
+//!   bounds, certainly-present point-key members to its lower bounds.
+
+use crate::eval::{eval_range, truth_range};
+use crate::mult::MultBound;
+use crate::relation::{AuRelation, AuTuple};
+use crate::value::{range_cmp, Bound, RangeValue};
+use std::cmp::Ordering;
+use ua_data::expr::{Expr, ExprError};
+use ua_data::schema::{Column, Schema, SchemaError};
+use ua_data::tuple::Tuple;
+use ua_data::value::{Value, F64};
+use ua_data::FxHashMap;
+use ua_semiring::Semiring;
+
+/// σ_θ: keep possibly-true rows, refining each multiplicity component.
+pub fn filter(rel: &AuRelation, predicate: &Expr) -> Result<AuRelation, ExprError> {
+    let bound = predicate.bind(rel.schema())?;
+    let mut out = AuRelation::new(rel.schema().clone());
+    for row in rel.rows() {
+        let bg_tuple = row.bg_tuple();
+        let bg_true = bound.holds(&bg_tuple)?;
+        let rt = truth_range(&bound, &row.values);
+        if !rt.possibly_true() {
+            continue;
+        }
+        out.push(AuTuple {
+            values: row.values.clone(),
+            mult: MultBound::new(
+                if rt.certainly_true() { row.mult.lb } else { 0 },
+                if bg_true { row.mult.bg } else { 0 },
+                row.mult.ub,
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// π: evaluate output expressions as ranges per row.
+pub fn map(rel: &AuRelation, columns: &[(Expr, Column)]) -> Result<AuRelation, ExprError> {
+    let bound: Vec<Expr> = columns
+        .iter()
+        .map(|(e, _)| e.bind(rel.schema()))
+        .collect::<Result<_, _>>()?;
+    let schema = Schema::new(columns.iter().map(|(_, c)| c.clone()).collect());
+    let mut out = AuRelation::new(schema);
+    for row in rel.rows() {
+        let bg_tuple = row.bg_tuple();
+        let values: Vec<RangeValue> = bound
+            .iter()
+            .map(|e| eval_range(e, &row.values, &bg_tuple))
+            .collect::<Result<_, _>>()?;
+        out.push(AuTuple {
+            values,
+            mult: row.mult,
+        });
+    }
+    Ok(out)
+}
+
+/// θ-join: nested loops in left-major order; multiplicities multiply
+/// pointwise, the predicate refines like [`filter`] over the pair.
+pub fn join(
+    left: &AuRelation,
+    right: &AuRelation,
+    predicate: Option<&Expr>,
+) -> Result<AuRelation, ExprError> {
+    let schema = left.schema().concat(right.schema());
+    let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
+    let mut out = AuRelation::new(schema);
+    for l in left.rows() {
+        for r in right.rows() {
+            let mut values = l.values.clone();
+            values.extend(r.values.iter().cloned());
+            let mut mult = l.mult.times(&r.mult);
+            if let Some(pred) = &bound {
+                let bg_tuple: Tuple = values.iter().map(|v| v.bg.clone()).collect();
+                let bg_true = pred.holds(&bg_tuple)?;
+                let rt = truth_range(pred, &values);
+                if !rt.possibly_true() {
+                    continue;
+                }
+                mult = MultBound::new(
+                    if rt.certainly_true() { mult.lb } else { 0 },
+                    if bg_true { mult.bg } else { 0 },
+                    mult.ub,
+                );
+            }
+            out.push(AuTuple { values, mult });
+        }
+    }
+    Ok(out)
+}
+
+/// ∪: bag union (left schema wins, like the bag engine).
+pub fn union(left: &AuRelation, right: &AuRelation) -> Result<AuRelation, SchemaError> {
+    left.schema().check_union_compatible(right.schema())?;
+    let mut out = AuRelation::new(left.schema().clone());
+    for row in left.rows().iter().chain(right.rows()) {
+        out.push(row.clone());
+    }
+    Ok(out)
+}
+
+/// δ: duplicate elimination. Rows merge by selected-guess tuple in
+/// first-seen order; each output tuple's ranges hull the merged rows'. A
+/// merged row set certainly yields at least one distinct tuple when any
+/// member is certainly present, exactly one in the SG world when any
+/// member is SG-present, and at most the *sum* of member upper bounds
+/// (every copy may ground to a distinct value that survives
+/// deduplication).
+pub fn distinct(rel: &AuRelation) -> AuRelation {
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut merged: FxHashMap<Tuple, AuTuple> = FxHashMap::default();
+    for row in rel.rows() {
+        let key = row.bg_tuple();
+        match merged.get_mut(&key) {
+            Some(acc) => {
+                for (a, r) in acc.values.iter_mut().zip(&row.values) {
+                    *a = a.hull(r);
+                }
+                acc.mult = MultBound::new(
+                    acc.mult.lb.max(u64::from(row.mult.lb >= 1)),
+                    acc.mult.bg.max(u64::from(row.mult.bg >= 1)),
+                    acc.mult.ub.saturating_add(row.mult.ub),
+                );
+            }
+            None => {
+                order.push(key.clone());
+                merged.insert(
+                    key,
+                    AuTuple {
+                        values: row.values.clone(),
+                        mult: MultBound::new(
+                            u64::from(row.mult.lb >= 1),
+                            u64::from(row.mult.bg >= 1),
+                            row.mult.ub,
+                        ),
+                    },
+                );
+            }
+        }
+    }
+    let mut out = AuRelation::new(rel.schema().clone());
+    for key in order {
+        out.push(merged.remove(&key).expect("recorded"));
+    }
+    out
+}
+
+/// An aggregate function kind (mirrors the engine's `AggFunc`; kept local
+/// so the bound combination lives below the engine in the crate graph).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggKind {
+    /// `COUNT(expr)` — non-null count.
+    Count,
+    /// `COUNT(*)` — row count.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)`.
+    Avg,
+}
+
+/// One aggregate of an AU aggregation.
+#[derive(Clone, Debug)]
+pub struct AggSpec {
+    /// The function.
+    pub kind: AggKind,
+    /// Its argument (`None` for `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// Output column.
+    pub column: Column,
+}
+
+/// The selected-guess aggregator — a faithful replica of the engine's
+/// `AggState` semantics (COUNT skips unknowns, SUM stays integer until a
+/// float appears and accumulates in `f64`, MIN/MAX use SQL comparison,
+/// AVG divides `f64` totals), so the SG component of an AU aggregate
+/// equals deterministic aggregation over the SG world bit for bit.
+enum BgAgg {
+    Count(u64),
+    Sum {
+        total: f64,
+        saw_int_only: bool,
+        any: bool,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    Avg {
+        total: f64,
+        n: u64,
+    },
+}
+
+impl BgAgg {
+    fn new(kind: AggKind) -> BgAgg {
+        match kind {
+            AggKind::Count | AggKind::CountStar => BgAgg::Count(0),
+            AggKind::Sum => BgAgg::Sum {
+                total: 0.0,
+                saw_int_only: true,
+                any: false,
+            },
+            AggKind::Min => BgAgg::MinMax {
+                best: None,
+                is_min: true,
+            },
+            AggKind::Max => BgAgg::MinMax {
+                best: None,
+                is_min: false,
+            },
+            AggKind::Avg => BgAgg::Avg { total: 0.0, n: 0 },
+        }
+    }
+
+    fn update(&mut self, value: Option<&Value>, mult: u64) {
+        match self {
+            BgAgg::Count(n) => match value {
+                None => *n += mult,
+                Some(v) if !v.is_unknown() => *n += mult,
+                _ => {}
+            },
+            BgAgg::Sum {
+                total,
+                saw_int_only,
+                any,
+            } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *total += x * mult as f64;
+                        *any = true;
+                        if matches!(v, Value::Float(_)) {
+                            *saw_int_only = false;
+                        }
+                    }
+                }
+            }
+            BgAgg::MinMax { best, is_min } => {
+                if let Some(v) = value {
+                    if v.is_unknown() {
+                        return;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => matches!(
+                            (v.sql_cmp(b), *is_min),
+                            (Some(Ordering::Less), true) | (Some(Ordering::Greater), false)
+                        ),
+                    };
+                    if better {
+                        *best = Some(v.clone());
+                    }
+                }
+            }
+            BgAgg::Avg { total, n } => {
+                if let Some(v) = value {
+                    if let Some(x) = v.as_f64() {
+                        *total += x * mult as f64;
+                        *n += mult;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            BgAgg::Count(n) => Value::Int(n as i64),
+            BgAgg::Sum {
+                total,
+                saw_int_only,
+                any,
+            } => {
+                if !any {
+                    Value::Null
+                } else if saw_int_only {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(F64::new(total))
+                }
+            }
+            BgAgg::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            BgAgg::Avg { total, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(F64::new(total / n as f64))
+                }
+            }
+        }
+    }
+}
+
+/// How one tuple's aggregate argument can ground.
+#[derive(Clone, Copy, PartialEq, Debug)]
+enum ArgClass {
+    /// Every grounding is numeric, within `[lo, hi]` (possibly infinite).
+    Numeric { lo: f64, hi: f64 },
+    /// Every grounding is a known non-numeric value (contributes nothing
+    /// to SUM/AVG, counts for COUNT(expr)).
+    NonNumeric,
+    /// The top range: may ground to anything, including NULL.
+    Anything,
+}
+
+fn classify_arg(r: &RangeValue) -> ArgClass {
+    if r.is_top() {
+        return ArgClass::Anything;
+    }
+    match (r.lb().as_f64(), r.ub().as_f64()) {
+        (Some(lo), Some(hi)) => ArgClass::Numeric { lo, hi },
+        _ => ArgClass::NonNumeric,
+    }
+}
+
+/// One possible group member, pre-classified for the bound combination.
+struct Member<'a> {
+    mult: MultBound,
+    /// Certainly in the group's (single-point) key in every world: the
+    /// tuple is certainly present and all its key attributes are points
+    /// equal to the group key.
+    certain: bool,
+    arg: Option<ArgClass>,
+    arg_range: Option<&'a RangeValue>,
+}
+
+fn f64_bound(x: f64) -> Bound {
+    if x == f64::NEG_INFINITY {
+        Bound::NegInf
+    } else if x == f64::INFINITY {
+        Bound::PosInf
+    } else {
+        Bound::Val(Value::Float(F64::new(x)))
+    }
+}
+
+/// The attribute-level bounds of one aggregate over one group's possible
+/// members. `grouped` distinguishes GROUP BY groups (which exist in a
+/// world only when non-empty) from the global group (always present, even
+/// over an empty input); `case_a` says every covered world group carries
+/// exactly the group's selected-guess key (all key hulls are points), so
+/// certainly-present point-key members bound from below.
+fn agg_bounds(kind: AggKind, members: &[Member], grouped: bool, case_a: bool) -> (Bound, Bound) {
+    let certain_members = || members.iter().filter(|m| case_a && m.certain);
+    match kind {
+        AggKind::CountStar => {
+            let mut lb: u64 = certain_members().map(|m| m.mult.lb).sum();
+            if grouped {
+                // A materialized world group is non-empty.
+                lb = lb.max(1);
+                if !case_a {
+                    lb = 1;
+                }
+            }
+            let ub: u64 = members
+                .iter()
+                .map(|m| m.mult.ub)
+                .fold(0, u64::saturating_add);
+            (
+                Bound::Val(Value::Int(lb as i64)),
+                Bound::Val(Value::Int(i64::try_from(ub).unwrap_or(i64::MAX))),
+            )
+        }
+        AggKind::Count => {
+            let lb: u64 = if grouped && !case_a {
+                0
+            } else {
+                certain_members()
+                    .filter(|m| !matches!(m.arg, Some(ArgClass::Anything)))
+                    .map(|m| m.mult.lb)
+                    .sum()
+            };
+            let ub: u64 = members
+                .iter()
+                .map(|m| m.mult.ub)
+                .fold(0, u64::saturating_add);
+            (
+                Bound::Val(Value::Int(lb as i64)),
+                Bound::Val(Value::Int(i64::try_from(ub).unwrap_or(i64::MAX))),
+            )
+        }
+        AggKind::Sum => {
+            // Per-member contribution corners over multiplicity × value.
+            let contrib = |m: &Member| -> (f64, f64) {
+                match m.arg {
+                    Some(ArgClass::Numeric { lo, hi }) => {
+                        let corners = [
+                            m.mult.lb as f64 * lo,
+                            m.mult.lb as f64 * hi,
+                            m.mult.ub as f64 * lo,
+                            m.mult.ub as f64 * hi,
+                        ];
+                        // 0 × ±∞ is 0 copies contributing nothing.
+                        let fix = |x: f64| if x.is_nan() { 0.0 } else { x };
+                        (
+                            corners
+                                .iter()
+                                .copied()
+                                .map(fix)
+                                .fold(f64::INFINITY, f64::min),
+                            corners
+                                .iter()
+                                .copied()
+                                .map(fix)
+                                .fold(f64::NEG_INFINITY, f64::max),
+                        )
+                    }
+                    Some(ArgClass::NonNumeric) => (0.0, 0.0),
+                    Some(ArgClass::Anything) | None => {
+                        if m.mult.ub == 0 {
+                            (0.0, 0.0)
+                        } else {
+                            (f64::NEG_INFINITY, f64::INFINITY)
+                        }
+                    }
+                }
+            };
+            let has_certain_numeric = certain_members()
+                .any(|m| m.mult.lb >= 1 && matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            let all_numeric = members
+                .iter()
+                .all(|m| matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            // Whether SUM may be NULL in some covered world (no numeric
+            // contribution there).
+            let maybe_null = if grouped && !case_a {
+                !all_numeric
+            } else if grouped {
+                !(has_certain_numeric || all_numeric)
+            } else {
+                !has_certain_numeric
+            };
+            if maybe_null {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            let mut lo = 0.0f64;
+            let mut hi = 0.0f64;
+            for m in members {
+                let (cl, ch) = contrib(m);
+                let optional = !(case_a && m.certain);
+                lo += if optional { cl.min(0.0) } else { cl };
+                hi += if optional { ch.max(0.0) } else { ch };
+            }
+            (f64_bound(lo), f64_bound(hi))
+        }
+        AggKind::Min | AggKind::Max => {
+            let is_min = kind == AggKind::Min;
+            let anchor = certain_members()
+                .filter(|m| !matches!(m.arg, Some(ArgClass::Anything)))
+                .map(|m| m.arg_range.expect("arg present"))
+                .fold(None::<Bound>, |acc, r| {
+                    let candidate = if is_min {
+                        r.ub().clone()
+                    } else {
+                        r.lb().clone()
+                    };
+                    Some(match acc {
+                        None => candidate,
+                        Some(b) => {
+                            if is_min {
+                                b.min_bound(candidate)
+                            } else {
+                                b.max_bound(candidate)
+                            }
+                        }
+                    })
+                });
+            let all_known = members
+                .iter()
+                .all(|m| !matches!(m.arg, Some(ArgClass::Anything) | None));
+            let outer = |pick_low: bool| -> Bound {
+                members
+                    .iter()
+                    .filter(|m| m.mult.ub >= 1)
+                    .filter_map(|m| m.arg_range)
+                    .fold(None::<Bound>, |acc, r| {
+                        let candidate = if pick_low {
+                            r.lb().clone()
+                        } else {
+                            r.ub().clone()
+                        };
+                        Some(match acc {
+                            None => candidate,
+                            Some(b) => {
+                                if pick_low {
+                                    b.min_bound(candidate)
+                                } else {
+                                    b.max_bound(candidate)
+                                }
+                            }
+                        })
+                    })
+                    .unwrap_or(if pick_low {
+                        Bound::NegInf
+                    } else {
+                        Bound::PosInf
+                    })
+            };
+            match anchor {
+                // A certainly-present member with bounded values anchors
+                // one side; the other side hulls all possible members.
+                Some(b) if case_a => {
+                    if is_min {
+                        (outer(true), b)
+                    } else {
+                        (b, outer(false))
+                    }
+                }
+                // Grouped non-point-key groups still materialize non-empty,
+                // so a fully-bounded member pool hulls the result.
+                _ if grouped && all_known => (outer(true), outer(false)),
+                _ => (Bound::NegInf, Bound::PosInf),
+            }
+        }
+        AggKind::Avg => {
+            let has_certain_numeric = certain_members()
+                .any(|m| m.mult.lb >= 1 && matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            let all_numeric = members
+                .iter()
+                .all(|m| matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            let admissible = if grouped {
+                (case_a && has_certain_numeric) || all_numeric
+            } else {
+                has_certain_numeric
+            };
+            if !admissible {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for m in members.iter().filter(|m| m.mult.ub >= 1) {
+                if let Some(ArgClass::Numeric { lo: l, hi: h }) = m.arg {
+                    lo = lo.min(l);
+                    hi = hi.max(h);
+                }
+            }
+            if lo > hi {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            (f64_bound(lo), f64_bound(hi))
+        }
+    }
+}
+
+/// γ: grouping + aggregation with sound attribute-level bounds.
+///
+/// Output groups are the distinct *selected-guess* key tuples, in
+/// first-seen order (matching the deterministic engines). For each output
+/// group: its key attributes hull the member ranges (so every possible
+/// world's group key that any member may take is covered); all input
+/// tuples whose key ranges intersect the hull are *possible members* and
+/// widen the aggregate bounds; certainly-present members with single-point
+/// keys ground the lower bounds; the multiplicity triple is
+/// `[certainly materializes, in the SG world, Σ possible member copies]`.
+pub fn aggregate(
+    rel: &AuRelation,
+    group_by: &[(Expr, Column)],
+    aggregates: &[AggSpec],
+) -> Result<AuRelation, ExprError> {
+    let bound_keys: Vec<Expr> = group_by
+        .iter()
+        .map(|(e, _)| e.bind(rel.schema()))
+        .collect::<Result<_, _>>()?;
+    let bound_args: Vec<Option<Expr>> = aggregates
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| e.bind(rel.schema())).transpose())
+        .collect::<Result<_, _>>()?;
+
+    // Evaluate keys and arguments per tuple (errors surface in input order,
+    // like the deterministic engines).
+    struct Prepared {
+        keys: Vec<RangeValue>,
+        args: Vec<Option<RangeValue>>,
+        mult: MultBound,
+    }
+    let mut prepared: Vec<Prepared> = Vec::with_capacity(rel.rows().len());
+    for row in rel.rows() {
+        let bg_tuple = row.bg_tuple();
+        let keys: Vec<RangeValue> = bound_keys
+            .iter()
+            .map(|e| eval_range(e, &row.values, &bg_tuple))
+            .collect::<Result<_, _>>()?;
+        let args: Vec<Option<RangeValue>> = bound_args
+            .iter()
+            .map(|e| {
+                e.as_ref()
+                    .map(|e| eval_range(e, &row.values, &bg_tuple))
+                    .transpose()
+            })
+            .collect::<Result<_, _>>()?;
+        prepared.push(Prepared {
+            keys,
+            args,
+            mult: row.mult,
+        });
+    }
+
+    // Partition by selected-guess key, first-seen order.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+    for (i, p) in prepared.iter().enumerate() {
+        let key: Tuple = p.keys.iter().map(|r| r.bg.clone()).collect();
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(i);
+    }
+    let grouped = !group_by.is_empty();
+    // Global aggregation over an empty input still yields one row.
+    if !grouped && order.is_empty() {
+        order.push(Tuple::empty());
+        groups.insert(Tuple::empty(), Vec::new());
+    }
+
+    // Pre-classify each tuple once: whether all its key ranges are points
+    // (the common certain case), its argument classes, and — for
+    // point-keyed tuples — a coercion-normalized key bucket, so point-hull
+    // groups find their possible members by lookup instead of rescanning
+    // the whole input per group (O(N) instead of O(groups × N)).
+    let key_points: Vec<bool> = prepared
+        .iter()
+        .map(|p| p.keys.iter().all(RangeValue::is_point))
+        .collect();
+    let arg_classes: Vec<Vec<Option<ArgClass>>> = prepared
+        .iter()
+        .map(|p| {
+            p.args
+                .iter()
+                .map(|a| a.as_ref().map(classify_arg))
+                .collect()
+        })
+        .collect();
+    let normalize =
+        |key: &Tuple| -> Tuple { key.values().iter().map(|v| v.clone().join_key()).collect() };
+    let mut point_buckets: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+    let mut ranged: Vec<usize> = Vec::new();
+    for (i, p) in prepared.iter().enumerate() {
+        if key_points[i] {
+            let norm: Tuple = p.keys.iter().map(|r| r.bg.clone().join_key()).collect();
+            point_buckets.entry(norm).or_default().push(i);
+        } else {
+            ranged.push(i);
+        }
+    }
+
+    let mut columns: Vec<Column> = group_by.iter().map(|(_, c)| c.clone()).collect();
+    columns.extend(aggregates.iter().map(|a| a.column.clone()));
+    let mut out = AuRelation::new(Schema::new(columns));
+
+    for key in order {
+        let member_idx = groups.remove(&key).expect("group recorded");
+        // Key hulls over the group's own (selected-guess) members.
+        let hulls: Vec<RangeValue> = (0..bound_keys.len())
+            .map(|k| {
+                let mut hull =
+                    prepared[member_idx[0]].keys[k].with_bg(key.get(k).expect("key arity").clone());
+                for &i in &member_idx[1..] {
+                    hull = hull.hull(&prepared[i].keys[k]);
+                }
+                hull
+            })
+            .collect();
+        // Possible members: every tuple whose key ranges intersect the
+        // hulls (a grounding may land any of them in a covered world
+        // group). Always a superset of the selected-guess members. When
+        // the hull is a single point, point-keyed tuples intersect it iff
+        // their (coercion-normalized) key equals the group key — a bucket
+        // lookup; only range-keyed tuples need the intersection test.
+        // Non-point hulls (the uncertain-key minority) fall back to the
+        // full scan.
+        let case_a = hulls.iter().all(RangeValue::is_point);
+        let possible: Vec<usize> = if case_a {
+            let mut candidates: Vec<usize> = point_buckets
+                .get(&normalize(&key))
+                .cloned()
+                .unwrap_or_default();
+            candidates.extend(ranged.iter().copied().filter(|&i| {
+                prepared[i]
+                    .keys
+                    .iter()
+                    .zip(&hulls)
+                    .all(|(r, h)| r.intersects(h))
+            }));
+            candidates.sort_unstable();
+            candidates
+        } else {
+            (0..prepared.len())
+                .filter(|&i| {
+                    prepared[i]
+                        .keys
+                        .iter()
+                        .zip(&hulls)
+                        .all(|(r, h)| r.intersects(h))
+                })
+                .collect()
+        };
+        // One certainty flag per possible member, shared by every
+        // aggregate's bound computation and the group's multiplicity.
+        let certain_flags: Vec<bool> = possible
+            .iter()
+            .map(|&i| {
+                let p = &prepared[i];
+                p.mult.lb >= 1
+                    && key_points[i]
+                    && p.keys
+                        .iter()
+                        .zip(key.values())
+                        .all(|(r, v)| range_cmp(&r.bg, v) == Ordering::Equal)
+            })
+            .collect();
+        let in_sg_group: Vec<usize> = member_idx
+            .iter()
+            .copied()
+            .filter(|&i| prepared[i].mult.bg >= 1)
+            .collect();
+
+        // Selected-guess values: ordinary aggregation over the SG members.
+        let mut bg_states: Vec<BgAgg> = aggregates.iter().map(|a| BgAgg::new(a.kind)).collect();
+        for &i in &in_sg_group {
+            for (s, arg) in bg_states.iter_mut().zip(&prepared[i].args) {
+                match arg {
+                    Some(r) => s.update(Some(&r.bg), prepared[i].mult.bg),
+                    None => s.update(None, prepared[i].mult.bg),
+                }
+            }
+        }
+
+        // Bounds per aggregate over the possible members (borrowed arg
+        // ranges and precomputed classes — nothing clones per aggregate).
+        let mut values: Vec<RangeValue> = hulls;
+        for (a_idx, (spec, state)) in aggregates.iter().zip(bg_states).enumerate() {
+            let members: Vec<Member> = possible
+                .iter()
+                .zip(&certain_flags)
+                .map(|(&i, &certain)| Member {
+                    mult: prepared[i].mult,
+                    certain,
+                    arg: arg_classes[i][a_idx],
+                    arg_range: prepared[i].args[a_idx].as_ref(),
+                })
+                .collect();
+            let (lb, ub) = agg_bounds(spec.kind, &members, grouped, case_a);
+            values.push(RangeValue::new(lb, state.finish(), ub));
+        }
+
+        let certainly_materializes = !grouped || certain_flags.iter().any(|&c| c);
+        let in_sg = !grouped || !in_sg_group.is_empty();
+        let ub: u64 = if grouped {
+            possible
+                .iter()
+                .map(|&i| prepared[i].mult.ub)
+                .fold(0, u64::saturating_add)
+        } else {
+            1
+        };
+        out.push(AuTuple {
+            values,
+            mult: MultBound::new(
+                u64::from(certainly_materializes),
+                u64::from(in_sg),
+                ub.max(u64::from(in_sg)).max(1),
+            ),
+        });
+    }
+    Ok(out)
+}
+
+/// Sort rows by selected-guess keys (outermost first, per-key direction)
+/// with the full encoded row as the deterministic tie-break. `descending`
+/// flags parallel `keys`. Ordering is presentation-level: it reflects the
+/// SG world, like the deterministic engines' ORDER BY over the SG.
+pub fn sort_by_bg(rel: &AuRelation, keys: &[(Expr, bool)]) -> Result<AuRelation, ExprError> {
+    let bound: Vec<(Expr, bool)> = keys
+        .iter()
+        .map(|(e, d)| Ok((e.bind(rel.schema())?, *d)))
+        .collect::<Result<_, ExprError>>()?;
+    let mut decorated: Vec<(Vec<Value>, usize)> = rel
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let bg = row.bg_tuple();
+            let key: Vec<Value> = bound
+                .iter()
+                .map(|(e, _)| e.eval(&bg))
+                .collect::<Result<_, _>>()?;
+            Ok((key, i))
+        })
+        .collect::<Result<_, ExprError>>()?;
+    let tie_break: Vec<Tuple> = rel
+        .rows()
+        .iter()
+        .map(|row| {
+            let mut values: Vec<Value> = row.bg_tuple().values().to_vec();
+            for r in &row.values {
+                values.push(match r.lb() {
+                    Bound::Val(v) => v.clone(),
+                    _ => Value::Null,
+                });
+                values.push(match r.ub() {
+                    Bound::Val(v) => v.clone(),
+                    _ => Value::Null,
+                });
+            }
+            values.push(Value::Int(i64::try_from(row.mult.lb).unwrap_or(i64::MAX)));
+            values.push(Value::Int(i64::try_from(row.mult.bg).unwrap_or(i64::MAX)));
+            values.push(Value::Int(i64::try_from(row.mult.ub).unwrap_or(i64::MAX)));
+            Tuple::new(values)
+        })
+        .collect();
+    decorated.sort_by(|(ka, ia), (kb, ib)| {
+        for ((va, vb), (_, desc)) in ka.iter().zip(kb).zip(&bound) {
+            let ord = va.cmp(vb);
+            let ord = if *desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        tie_break[*ia].cmp(&tie_break[*ib])
+    });
+    let mut out = AuRelation::new(rel.schema().clone());
+    for (_, i) in decorated {
+        out.push(rel.rows()[i].clone());
+    }
+    Ok(out)
+}
+
+/// Truncate to the first `limit` rows (AU tuples, not grounded copies —
+/// presentation-level, like [`sort_by_bg`]).
+pub fn limit(rel: &AuRelation, n: usize) -> AuRelation {
+    let mut out = AuRelation::new(rel.schema().clone());
+    for row in rel.rows().iter().take(n) {
+        out.push(row.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(lo: i64, bg: i64, hi: i64) -> RangeValue {
+        RangeValue::new(
+            Bound::Val(Value::Int(lo)),
+            Value::Int(bg),
+            Bound::Val(Value::Int(hi)),
+        )
+    }
+
+    fn rel() -> AuRelation {
+        // g certain for rows 1-2, uncertain for row 3; v uncertain on row 2.
+        let mut r = AuRelation::new(Schema::qualified("r", ["g", "v"]));
+        r.push(AuTuple {
+            values: vec![
+                RangeValue::point(Value::Int(1)),
+                RangeValue::point(Value::Int(10)),
+            ],
+            mult: MultBound::certain(1),
+        });
+        r.push(AuTuple {
+            values: vec![RangeValue::point(Value::Int(1)), span(5, 20, 30)],
+            mult: MultBound::new(0, 1, 1),
+        });
+        r.push(AuTuple {
+            values: vec![span(1, 2, 2), RangeValue::point(Value::Int(7))],
+            mult: MultBound::certain(1),
+        });
+        r
+    }
+
+    #[test]
+    fn filter_refines_multiplicities() {
+        let r = rel();
+        let out = filter(&r, &Expr::named("v").ge(Expr::lit(8i64))).unwrap();
+        // Row 1: certainly true → [1,1,1]. Row 2: possibly true (5..30 vs 8)
+        // → [0,1,1]. Row 3: v=7 certainly false → dropped.
+        assert_eq!(out.rows().len(), 2);
+        assert_eq!(out.rows()[0].mult, MultBound::certain(1));
+        assert_eq!(out.rows()[1].mult, MultBound::new(0, 1, 1));
+    }
+
+    #[test]
+    fn group_by_sum_bounds_enclose_groundings() {
+        let r = rel();
+        let out = aggregate(
+            &r,
+            &[(Expr::named("g"), Column::unqualified("g"))],
+            &[
+                AggSpec {
+                    kind: AggKind::CountStar,
+                    arg: None,
+                    column: Column::unqualified("n"),
+                },
+                AggSpec {
+                    kind: AggKind::Sum,
+                    arg: Some(Expr::named("v")),
+                    column: Column::unqualified("s"),
+                },
+            ],
+        )
+        .unwrap();
+        // Two SG groups: g=1 and g=2.
+        assert_eq!(out.rows().len(), 2);
+        let g1 = &out.rows()[0];
+        assert_eq!(g1.values[0].bg, Value::Int(1));
+        // SG: rows 1+2 → count 2, sum 30.
+        assert_eq!(g1.values[1].bg, Value::Int(2));
+        assert_eq!(g1.values[2].bg, Value::Int(30));
+        // Worlds: row 2 possibly absent, row 3 possibly in g=1 (key range
+        // [1,2]). Count ∈ [1, 3].
+        assert!(g1.values[1].contains(&Value::Int(1)));
+        assert!(g1.values[1].contains(&Value::Int(3)));
+        // Sum: row1 certain 10; row2 ∈ {absent} ∪ [5,30]; row3 maybe 7.
+        assert!(g1.values[2].contains(&Value::Int(10)));
+        assert!(g1.values[2].contains(&Value::Int(47)));
+        assert!(!g1.values[2].contains(&Value::Int(3)), "below certain 10");
+        assert_eq!(g1.mult, MultBound::new(1, 1, 3));
+        // g=2 group: row 3's SG; key hull [1,2] is not a point → wide count.
+        let g2 = &out.rows()[1];
+        assert_eq!(g2.values[0].bg, Value::Int(2));
+        assert!(g2.values[0].contains(&Value::Int(1)));
+        assert_eq!(g2.mult.lb, 0, "row 3 may ground its key to 1");
+    }
+
+    #[test]
+    fn global_aggregate_over_empty_input() {
+        let r = AuRelation::new(Schema::qualified("r", ["g", "v"]));
+        let out = aggregate(
+            &r,
+            &[],
+            &[AggSpec {
+                kind: AggKind::CountStar,
+                arg: None,
+                column: Column::unqualified("n"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert_eq!(out.rows()[0].values[0].bg, Value::Int(0));
+        assert!(out.rows()[0].values[0].is_point());
+        assert_eq!(out.rows()[0].mult, MultBound::certain(1));
+    }
+
+    #[test]
+    fn distinct_merges_by_selected_guess() {
+        let mut r = AuRelation::new(Schema::qualified("r", ["a"]));
+        r.push(AuTuple {
+            values: vec![span(1, 2, 3)],
+            mult: MultBound::certain(2),
+        });
+        r.push(AuTuple {
+            values: vec![span(2, 2, 5)],
+            mult: MultBound::new(0, 1, 4),
+        });
+        r.push(AuTuple {
+            values: vec![RangeValue::point(Value::Int(9))],
+            mult: MultBound::new(0, 0, 1),
+        });
+        let out = distinct(&r);
+        assert_eq!(out.rows().len(), 2);
+        let merged = &out.rows()[0];
+        assert!(merged.values[0].contains(&Value::Int(1)));
+        assert!(merged.values[0].contains(&Value::Int(5)));
+        assert_eq!(merged.mult, MultBound::new(1, 1, 6));
+        assert_eq!(out.rows()[1].mult, MultBound::new(0, 0, 1));
+    }
+
+    #[test]
+    fn join_multiplies_pointwise_and_filters() {
+        let mut l = AuRelation::new(Schema::qualified("l", ["a"]));
+        l.push(AuTuple {
+            values: vec![span(1, 2, 3)],
+            mult: MultBound::new(1, 2, 3),
+        });
+        let mut rr = AuRelation::new(Schema::qualified("s", ["b"]));
+        rr.push(AuTuple {
+            values: vec![RangeValue::point(Value::Int(2))],
+            mult: MultBound::new(0, 1, 2),
+        });
+        let out = join(&l, &rr, Some(&Expr::named("a").eq(Expr::named("b")))).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        // Possible (ranges intersect) but not certain → lb 0; SG 2=2 holds.
+        assert_eq!(out.rows()[0].mult, MultBound::new(0, 2, 6));
+    }
+}

@@ -1,0 +1,396 @@
+//! The vectorized AU path: attribute-level bounds as range column triples.
+//!
+//! An AU batch is an ordinary [`ColumnBatch`] over the *flattened* AU
+//! schema (`ua_ranges::flattened_schema`): the selected-guess columns in
+//! user order, then one lower- and one upper-bound column per attribute
+//! (`NULL` = `∓∞`), then the three multiplicity-bound columns. Typed
+//! column vectors apply unchanged — a certain `Int` attribute stays three
+//! dense `Int` columns.
+//!
+//! Operator coverage:
+//!
+//! * **σ** — the selected-guess mask evaluates with the existing typed
+//!   [`crate::kernels::truth_masks`] over the bg columns; the
+//!   certainly/possibly-true analysis runs `ua_ranges::truth_range` per
+//!   row over ranges assembled from the triple columns; multiplicity
+//!   columns are refined per the `⟦σ⟧_AU` rule.
+//! * **π** — bg output columns evaluate with the typed expression kernels
+//!   (including the typed arithmetic kernels); bound columns are `O(1)`
+//!   column clones for plain references, broadcasts for literals, and
+//!   per-row interval evaluation for computed expressions.
+//! * **Scan / Alias** — native (decode-normalize once, re-qualify).
+//! * **Everything else** (joins, union, distinct, aggregation, sort,
+//!   limit) — per-operator fallback to the *shared* `ua_ranges::ops`
+//!   implementations via [`ua_engine::au_unary`]/[`ua_engine::au_binary`]:
+//!   the stream materializes to an [`AuRelation`], the single shared
+//!   operator runs, and the result re-batches. One implementation of the
+//!   bound combination exists in the workspace, so the engines cannot
+//!   disagree — the differential tests assert byte-identical encoded
+//!   results.
+
+use crate::columnar::{batches_from_table, ColumnBatch, ColumnVec};
+use crate::kernels::{eval_expr, truth_masks};
+use std::sync::Arc;
+use ua_data::expr::Expr;
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::plan::Plan;
+use ua_engine::storage::{Catalog, Table};
+use ua_engine::{EngineError, ExecOptions};
+use ua_ranges::{
+    au_base_schema, decode_rows, flattened_schema, range_from_parts, range_parts, truth_range,
+    AuRelation, RangeValue,
+};
+
+/// A stream of AU batches: the user schema plus batches over its
+/// flattened form.
+struct AuStream {
+    user: Schema,
+    flat: Schema,
+    batches: Vec<ColumnBatch>,
+}
+
+impl AuStream {
+    fn from_relation(rel: &AuRelation, batch_rows: usize) -> AuStream {
+        let table = ua_engine::au_table(rel);
+        let stream = batches_from_table(&table, batch_rows);
+        AuStream {
+            user: rel.schema().clone(),
+            flat: stream.schema,
+            batches: stream.batches,
+        }
+    }
+
+    fn to_relation(&self) -> Result<AuRelation, EngineError> {
+        let mut rows: Vec<Tuple> = Vec::new();
+        for b in &self.batches {
+            for i in 0..b.len() {
+                rows.push(b.row(i));
+            }
+        }
+        decode_rows(&self.flat, &rows).map_err(EngineError::Sql)
+    }
+}
+
+/// The batch's selected-guess view: the first `n` columns under the user
+/// schema (cheap `Arc` clones), so the deterministic kernels evaluate bg
+/// expressions directly.
+fn bg_view(batch: &ColumnBatch, user: &Schema) -> ColumnBatch {
+    let n = user.arity();
+    ColumnBatch::new(
+        user.clone(),
+        batch.columns()[..n].to_vec(),
+        batch.labels().clone(),
+        Arc::new(batch.mults().to_vec()),
+    )
+}
+
+/// Assemble row `i`'s attribute ranges from the triple columns.
+fn row_ranges(batch: &ColumnBatch, n: usize, i: usize) -> Vec<RangeValue> {
+    (0..n)
+        .map(|c| {
+            range_from_parts(
+                batch.column(n + c).value(i),
+                batch.column(c).value(i),
+                batch.column(2 * n + c).value(i),
+            )
+        })
+        .collect()
+}
+
+fn mult_at(batch: &ColumnBatch, n: usize, component: usize, i: usize) -> i64 {
+    match batch.column(3 * n + component).value(i) {
+        Value::Int(m) => m,
+        _ => 0,
+    }
+}
+
+struct AuDriver<'a> {
+    catalog: &'a Catalog,
+    batch_rows: usize,
+}
+
+impl<'a> AuDriver<'a> {
+    fn stream(&self, plan: &Plan) -> Result<AuStream, EngineError> {
+        match plan {
+            Plan::Scan(name) => {
+                let table = self
+                    .catalog
+                    .get(name)
+                    .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
+                // Decode once — validating and *normalizing* exactly like
+                // the row engine's scan — then re-batch the canonical form.
+                let rel = decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)?;
+                Ok(AuStream::from_relation(&rel, self.batch_rows))
+            }
+            Plan::Alias { input, name } => {
+                let stream = self.stream(input)?;
+                let user = stream.user.with_qualifier(name);
+                let flat = flattened_schema(&user);
+                Ok(AuStream {
+                    batches: stream
+                        .batches
+                        .iter()
+                        .map(|b| b.with_schema(flat.clone()))
+                        .collect(),
+                    user,
+                    flat,
+                })
+            }
+            Plan::Filter { input, predicate } => {
+                let stream = self.stream(input)?;
+                self.filter(stream, predicate)
+            }
+            Plan::Map { input, columns } => {
+                let stream = self.stream(input)?;
+                self.map(stream, columns)
+            }
+            // Pipeline breakers and joins: evaluate children, run the
+            // shared AU operator, re-batch.
+            Plan::Join { left, right, .. }
+            | Plan::HashJoin { left, right, .. }
+            | Plan::UnionAll { left, right } => {
+                let l = self.stream(left)?.to_relation()?;
+                let r = self.stream(right)?.to_relation()?;
+                let out = ua_engine::au_binary(plan, &l, &r)?;
+                Ok(AuStream::from_relation(&out, self.batch_rows))
+            }
+            Plan::Distinct { input }
+            | Plan::Aggregate { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Limit { input, .. }
+            | Plan::TopK { input, .. } => {
+                let rel = self.stream(input)?.to_relation()?;
+                let out = ua_engine::au_unary(plan, &rel)?;
+                Ok(AuStream::from_relation(&out, self.batch_rows))
+            }
+        }
+    }
+
+    /// `⟦σ_θ⟧_AU`, batch-native: possibly-true rows survive; per row the
+    /// multiplicity lower bound is kept only under a certainly-true
+    /// predicate and the selected-guess multiplicity only when θ holds
+    /// over the bg columns (the vectorized typed mask).
+    fn filter(&self, stream: AuStream, predicate: &Expr) -> Result<AuStream, EngineError> {
+        let bound = predicate.bind(&stream.user).map_err(EngineError::Expr)?;
+        let n = stream.user.arity();
+        let mut batches = Vec::with_capacity(stream.batches.len());
+        for batch in &stream.batches {
+            if batch.is_empty() {
+                continue;
+            }
+            let bgv = bg_view(batch, &stream.user);
+            let (bg_true, _) = truth_masks(&bound, &bgv)?;
+            let mut keep: Vec<u32> = Vec::new();
+            let mut new_lb: Vec<Value> = Vec::new();
+            let mut new_bg: Vec<Value> = Vec::new();
+            for i in 0..batch.len() {
+                let ranges = row_ranges(batch, n, i);
+                let rt = truth_range(&bound, &ranges);
+                if !rt.possibly_true() {
+                    continue;
+                }
+                keep.push(i as u32);
+                new_lb.push(Value::Int(if rt.certainly_true() {
+                    mult_at(batch, n, 0, i)
+                } else {
+                    0
+                }));
+                new_bg.push(Value::Int(if bg_true.get(i) {
+                    mult_at(batch, n, 1, i)
+                } else {
+                    0
+                }));
+            }
+            if keep.is_empty() {
+                continue;
+            }
+            let gathered = batch.gather(&keep);
+            let mut columns = gathered.columns().to_vec();
+            columns[3 * n] = ColumnVec::from_values(new_lb.iter());
+            columns[3 * n + 1] = ColumnVec::from_values(new_bg.iter());
+            batches.push(ColumnBatch::new(
+                stream.flat.clone(),
+                columns,
+                gathered.labels().clone(),
+                Arc::new(gathered.mults().to_vec()),
+            ));
+        }
+        Ok(AuStream {
+            user: stream.user,
+            flat: stream.flat,
+            batches,
+        })
+    }
+
+    /// `⟦π⟧_AU`, batch-native: bg output columns through the typed
+    /// expression kernels; bound columns cloned for plain references,
+    /// broadcast for literals, interval-evaluated per row otherwise.
+    fn map(
+        &self,
+        stream: AuStream,
+        columns: &[ua_data::algebra::ProjColumn],
+    ) -> Result<AuStream, EngineError> {
+        let bound: Vec<Expr> = columns
+            .iter()
+            .map(|c| c.expr.bind(&stream.user))
+            .collect::<Result<_, _>>()
+            .map_err(EngineError::Expr)?;
+        let user = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
+        let flat = flattened_schema(&user);
+        let n_in = stream.user.arity();
+        let n_out = user.arity();
+        let mut batches = Vec::with_capacity(stream.batches.len());
+        for batch in &stream.batches {
+            let len = batch.len();
+            let bgv = bg_view(batch, &stream.user);
+            let bg_cols: Vec<ColumnVec> = bound
+                .iter()
+                .map(|e| Ok(eval_expr(e, &bgv)?.into_column(len)))
+                .collect::<Result<_, EngineError>>()?;
+            // Per-row range assembly is shared across computed expressions.
+            let mut memo: Option<Vec<Vec<RangeValue>>> = None;
+            let mut lb_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
+            let mut ub_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
+            for (k, e) in bound.iter().enumerate() {
+                match e {
+                    Expr::Col(i) => {
+                        lb_cols.push(batch.column(n_in + i).clone());
+                        ub_cols.push(batch.column(2 * n_in + i).clone());
+                    }
+                    Expr::Lit(v) => {
+                        let (lb, _, ub) = range_parts(&RangeValue::point(v.clone()));
+                        lb_cols.push(ColumnVec::broadcast(&lb, len));
+                        ub_cols.push(ColumnVec::broadcast(&ub, len));
+                    }
+                    other => {
+                        let rows = memo.get_or_insert_with(|| {
+                            (0..len).map(|i| row_ranges(batch, n_in, i)).collect()
+                        });
+                        let mut lbs: Vec<Value> = Vec::with_capacity(len);
+                        let mut ubs: Vec<Value> = Vec::with_capacity(len);
+                        for (i, ranges) in rows.iter().enumerate() {
+                            let approx = ua_ranges::approx_range(other, ranges);
+                            // Re-normalize against the exact bg — the same
+                            // `RangeValue::new` step `eval_range` performs.
+                            let r = RangeValue::new(
+                                approx.lb().clone(),
+                                bg_cols[k].value(i),
+                                approx.ub().clone(),
+                            );
+                            let (lb, _, ub) = range_parts(&r);
+                            lbs.push(lb);
+                            ubs.push(ub);
+                        }
+                        lb_cols.push(ColumnVec::from_values(lbs.iter()));
+                        ub_cols.push(ColumnVec::from_values(ubs.iter()));
+                    }
+                }
+            }
+            let mut out_cols: Vec<ColumnVec> = Vec::with_capacity(3 * n_out + 3);
+            out_cols.extend(bg_cols);
+            out_cols.extend(lb_cols);
+            out_cols.extend(ub_cols);
+            out_cols.push(batch.column(3 * n_in).clone());
+            out_cols.push(batch.column(3 * n_in + 1).clone());
+            out_cols.push(batch.column(3 * n_in + 2).clone());
+            batches.push(ColumnBatch::new(
+                flat.clone(),
+                out_cols,
+                batch.labels().clone(),
+                Arc::new(batch.mults().to_vec()),
+            ));
+        }
+        Ok(AuStream {
+            user,
+            flat,
+            batches,
+        })
+    }
+}
+
+/// Execute an AU plan with the vectorized engine, returning the flattened
+/// encoded result table — the hook `ua_engine`'s `ExecMode::Vectorized`
+/// AU dispatch calls. `opts.batch_rows` sizes the morsels; the AU path
+/// currently runs each batch serially (its pipeline breakers dominate),
+/// so `opts.threads` is accepted but unused.
+pub fn execute_au_vectorized_opts(
+    plan: &Plan,
+    catalog: &Catalog,
+    opts: ExecOptions,
+) -> Result<Table, EngineError> {
+    let batch_rows = if opts.batch_rows == 0 {
+        crate::columnar::DEFAULT_BATCH_ROWS
+    } else {
+        opts.batch_rows
+    };
+    let driver = AuDriver {
+        catalog,
+        batch_rows,
+    };
+    let stream = driver.stream(plan)?;
+    let mut rows: Vec<Tuple> = Vec::new();
+    for b in &stream.batches {
+        for i in 0..b.len() {
+            rows.push(b.row(i));
+        }
+    }
+    Ok(Table::from_rows(stream.flat, rows))
+}
+
+/// [`execute_au_vectorized_opts`] with default options.
+pub fn execute_au_vectorized(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    execute_au_vectorized_opts(plan, catalog, ExecOptions::default())
+}
+
+/// Whether a table in the catalog is AU-encoded (flattened layout).
+pub fn is_au_table(table: &Table) -> bool {
+    au_base_schema(table.schema()).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::tuple;
+    use ua_engine::UaSession;
+
+    #[test]
+    fn vectorized_au_matches_row_au() {
+        crate::install();
+        let session = UaSession::new();
+        session.register_table(
+            "t",
+            Table::from_rows(
+                Schema::qualified("t", ["g", "v", "p"]),
+                vec![
+                    tuple![1i64, 10i64, 1.0],
+                    tuple![1i64, 20i64, 0.7],
+                    tuple![2i64, 30i64, 0.4],
+                    tuple![2i64, 40i64, 1.0],
+                ],
+            ),
+        );
+        for sql in [
+            "SELECT g, v FROM t IS TI WITH PROBABILITY (p) x WHERE x.v >= 15",
+            "SELECT g, count(*) AS n, sum(v) AS s FROM t IS TI WITH PROBABILITY (p) x GROUP BY g",
+            "SELECT DISTINCT g FROM t IS TI WITH PROBABILITY (p) x",
+            "SELECT g, v + 1 AS w FROM t IS TI WITH PROBABILITY (p) x ORDER BY w DESC LIMIT 2",
+        ] {
+            let row = {
+                session.set_exec_mode(ua_engine::ExecMode::Row);
+                session
+                    .query_au(sql)
+                    .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            };
+            let vec = {
+                session.set_exec_mode(ua_engine::ExecMode::Vectorized);
+                session
+                    .query_au(sql)
+                    .unwrap_or_else(|e| panic!("{sql}: {e}"))
+            };
+            assert_eq!(row.table.schema(), vec.table.schema(), "{sql}");
+            assert_eq!(row.table.rows(), vec.table.rows(), "{sql}");
+        }
+    }
+}

@@ -10,8 +10,11 @@
 //!   bit-identical to the row executor's `Expr::eval_truth`.
 //! * [`eval_expr`] — evaluate a scalar expression to a column
 //!   ([`Evaluated::Col`]) or an unexpanded constant ([`Evaluated::Const`]).
-//!   Rare expression shapes fall back to row-at-a-time evaluation of the
-//!   same `Expr::eval` the row engine uses — again guaranteeing agreement.
+//!   Arithmetic gets typed kernels (dense `Int`/`Float` loops with the row
+//!   engine's exact wrapping/promotion/NULL-division semantics; mixed
+//!   columns drop to per-row `Value` arithmetic). Rare expression shapes
+//!   fall back to row-at-a-time evaluation of the same `Expr::eval` the
+//!   row engine uses — again guaranteeing agreement.
 //!
 //! On top of those sit the **fused** kernels the morsel pipeline uses to
 //! evaluate a selection bitmap and consume it in the same pass:
@@ -29,9 +32,9 @@ use crate::bitmap::Bitmap;
 use crate::columnar::{ColumnBatch, ColumnVec};
 use std::cmp::Ordering;
 use std::sync::Arc;
-use ua_data::expr::{CmpOp, Expr, Truth};
+use ua_data::expr::{ArithOp, CmpOp, Expr, ExprError, Truth};
 use ua_data::schema::Schema;
-use ua_data::value::Value;
+use ua_data::value::{Value, F64};
 use ua_engine::EngineError;
 
 /// The result of vectorized scalar evaluation.
@@ -76,7 +79,11 @@ pub fn eval_expr(expr: &Expr, batch: &ColumnBatch) -> Result<Evaluated, EngineEr
                 n.clone(),
             )))
         }
-        Expr::Arith(..) => row_fallback(expr, batch)?,
+        Expr::Arith(op, a, b) => {
+            let ea = eval_expr(a, batch)?;
+            let eb = eval_expr(b, batch)?;
+            arith_kernel(*op, &ea, &eb, batch.len())?
+        }
         Expr::Cmp(..)
         | Expr::And(..)
         | Expr::Or(..)
@@ -111,6 +118,161 @@ pub fn eval_expr(expr: &Expr, batch: &ColumnBatch) -> Result<Evaluated, EngineEr
         }
         Expr::Case { .. } | Expr::Least(..) => row_fallback(expr, batch)?,
     })
+}
+
+/// One scalar arithmetic step with the row engine's exact semantics
+/// (wrapping integers, int→float promotion, unknown ⇒ `NULL`, `NULL` on
+/// division by zero) and its exact error text on a type mismatch.
+fn value_arith(op: ArithOp, va: &Value, vb: &Value) -> Result<Value, EngineError> {
+    let result = match op {
+        ArithOp::Add => va.add(vb),
+        ArithOp::Sub => va.sub(vb),
+        ArithOp::Mul => va.mul(vb),
+        ArithOp::Div => va.div(vb),
+    };
+    result
+        .ok_or_else(|| EngineError::Expr(ExprError::Type(format!("cannot compute {va} {op} {vb}"))))
+}
+
+/// A numeric operand view over an evaluated sub-expression.
+enum NumOperand<'a> {
+    IntCol(&'a [i64]),
+    FloatCol(&'a [F64]),
+    IntConst(i64),
+    FloatConst(f64),
+}
+
+impl NumOperand<'_> {
+    fn classify<'a>(e: &'a Evaluated) -> Option<NumOperand<'a>> {
+        match e {
+            Evaluated::Col(ColumnVec::Int(v)) => Some(NumOperand::IntCol(v)),
+            Evaluated::Col(ColumnVec::Float(v)) => Some(NumOperand::FloatCol(v)),
+            Evaluated::Const(Value::Int(i)) => Some(NumOperand::IntConst(*i)),
+            Evaluated::Const(Value::Float(f)) => Some(NumOperand::FloatConst(f.get())),
+            _ => None,
+        }
+    }
+
+    fn is_int(&self) -> bool {
+        matches!(self, NumOperand::IntCol(_) | NumOperand::IntConst(_))
+    }
+
+    fn int_at(&self, i: usize) -> i64 {
+        match self {
+            NumOperand::IntCol(v) => v[i],
+            NumOperand::IntConst(c) => *c,
+            _ => unreachable!("int operand"),
+        }
+    }
+
+    fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            NumOperand::IntCol(v) => v[i] as f64,
+            NumOperand::FloatCol(v) => v[i].get(),
+            NumOperand::IntConst(c) => *c as f64,
+            NumOperand::FloatConst(c) => *c,
+        }
+    }
+}
+
+/// Typed arithmetic kernel: dense `Int`/`Float` loops for the common
+/// column shapes (no per-row `Value` construction), falling back to the
+/// scalar `Value` semantics — bit-identical to the row engine — for mixed
+/// or non-numeric columns. Division by zero yields `NULL`, demoting the
+/// output to a mixed column only when a zero divisor actually occurs.
+fn arith_kernel(
+    op: ArithOp,
+    ea: &Evaluated,
+    eb: &Evaluated,
+    n: usize,
+) -> Result<Evaluated, EngineError> {
+    // Constant folding: one scalar step, never expanded.
+    if let (Evaluated::Const(va), Evaluated::Const(vb)) = (ea, eb) {
+        return Ok(Evaluated::Const(value_arith(op, va, vb)?));
+    }
+    match (NumOperand::classify(ea), NumOperand::classify(eb)) {
+        (Some(a), Some(b)) if a.is_int() && b.is_int() => match op {
+            ArithOp::Add => Ok(Evaluated::Col(ColumnVec::Int(Arc::new(
+                (0..n)
+                    .map(|i| a.int_at(i).wrapping_add(b.int_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Sub => Ok(Evaluated::Col(ColumnVec::Int(Arc::new(
+                (0..n)
+                    .map(|i| a.int_at(i).wrapping_sub(b.int_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Mul => Ok(Evaluated::Col(ColumnVec::Int(Arc::new(
+                (0..n)
+                    .map(|i| a.int_at(i).wrapping_mul(b.int_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Div => {
+                if (0..n).any(|i| b.int_at(i) == 0) {
+                    let vals: Vec<Value> = (0..n)
+                        .map(|i| match b.int_at(i) {
+                            0 => Value::Null,
+                            d => Value::Int(a.int_at(i).wrapping_div(d)),
+                        })
+                        .collect();
+                    Ok(Evaluated::Col(ColumnVec::Mixed(Arc::new(vals))))
+                } else {
+                    Ok(Evaluated::Col(ColumnVec::Int(Arc::new(
+                        (0..n)
+                            .map(|i| a.int_at(i).wrapping_div(b.int_at(i)))
+                            .collect(),
+                    ))))
+                }
+            }
+        },
+        (Some(a), Some(b)) => match op {
+            ArithOp::Add => Ok(Evaluated::Col(ColumnVec::Float(Arc::new(
+                (0..n)
+                    .map(|i| F64::new(a.f64_at(i) + b.f64_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Sub => Ok(Evaluated::Col(ColumnVec::Float(Arc::new(
+                (0..n)
+                    .map(|i| F64::new(a.f64_at(i) - b.f64_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Mul => Ok(Evaluated::Col(ColumnVec::Float(Arc::new(
+                (0..n)
+                    .map(|i| F64::new(a.f64_at(i) * b.f64_at(i)))
+                    .collect(),
+            )))),
+            ArithOp::Div => {
+                if (0..n).any(|i| b.f64_at(i) == 0.0) {
+                    let vals: Vec<Value> = (0..n)
+                        .map(|i| {
+                            let d = b.f64_at(i);
+                            if d == 0.0 {
+                                Value::Null
+                            } else {
+                                Value::float(a.f64_at(i) / d)
+                            }
+                        })
+                        .collect();
+                    Ok(Evaluated::Col(ColumnVec::Mixed(Arc::new(vals))))
+                } else {
+                    Ok(Evaluated::Col(ColumnVec::Float(Arc::new(
+                        (0..n)
+                            .map(|i| F64::new(a.f64_at(i) / b.f64_at(i)))
+                            .collect(),
+                    ))))
+                }
+            }
+        },
+        // Mixed / non-numeric columns: scalar semantics per row, reporting
+        // the first failing row like the row engine's loop.
+        _ => {
+            let mut out: Vec<Value> = Vec::with_capacity(n);
+            for i in 0..n {
+                out.push(value_arith(op, &ea.value_at(i), &eb.value_at(i))?);
+            }
+            Ok(Evaluated::Col(ColumnVec::from_values(out.iter())))
+        }
+    }
 }
 
 /// Row-at-a-time fallback for expression shapes without a dedicated kernel:
@@ -516,6 +678,77 @@ mod tests {
         let e = bind(Expr::named("a").eq(Expr::named("b")), &["a", "b"]);
         let (t, _) = truth_masks(&e, &b).unwrap();
         assert!(t.get(0), "x = x must be certainly true");
+    }
+
+    #[test]
+    fn typed_arithmetic_kernels_match_scalar_semantics() {
+        // Int columns (wrapping, div-by-zero → NULL), float promotion,
+        // mixed columns with NULLs and variables: every shape must agree
+        // with `Expr::eval` row by row — and the dense shapes must stay in
+        // typed columns.
+        let int_rows: Vec<Tuple> = (0..64i64)
+            .map(|i| tuple![i - 32, (i % 5) - 2, i as f64 / 4.0])
+            .collect();
+        let b = batch(int_rows, &["a", "b", "f"]);
+        let cols = &["a", "b", "f"];
+        let cases = [
+            bind(Expr::named("a").add(Expr::named("b")), cols),
+            bind(Expr::named("a").sub(Expr::lit(7i64)), cols),
+            bind(Expr::named("a").mul(Expr::named("b")), cols),
+            bind(
+                Expr::Arith(
+                    ua_data::expr::ArithOp::Div,
+                    Box::new(Expr::named("a")),
+                    Box::new(Expr::named("b")),
+                ),
+                cols,
+            ),
+            bind(Expr::named("f").add(Expr::named("a")), cols),
+            bind(Expr::named("f").mul(Expr::lit(2.5)), cols),
+            bind(
+                Expr::Arith(
+                    ua_data::expr::ArithOp::Div,
+                    Box::new(Expr::named("a")),
+                    Box::new(Expr::named("f")),
+                ),
+                cols,
+            ),
+            bind(Expr::lit(i64::MAX).add(Expr::named("a")), cols),
+        ];
+        for e in &cases {
+            let col = eval_expr(e, &b).unwrap().into_column(b.len());
+            for i in 0..b.len() {
+                assert_eq!(col.value(i), e.eval(&b.row(i)).unwrap(), "row {i} of {e}");
+            }
+        }
+        // Dense typing: Int±Int stays Int; Float mixes stay Float.
+        let int_col = eval_expr(&cases[0], &b).unwrap().into_column(b.len());
+        assert!(matches!(int_col, ColumnVec::Int(_)));
+        let float_col = eval_expr(&cases[4], &b).unwrap().into_column(b.len());
+        assert!(matches!(float_col, ColumnVec::Float(_)));
+
+        // Mixed column with NULL/variable operands.
+        let rows = vec![
+            tuple![1i64, 4i64],
+            Tuple::new(vec![Value::Null, Value::Int(2)]),
+            Tuple::new(vec![Value::Var(VarId(1)), Value::Int(3)]),
+        ];
+        let bm = batch(rows, &["a", "b"]);
+        let e = bind(Expr::named("a").add(Expr::named("b")), &["a", "b"]);
+        let col = eval_expr(&e, &bm).unwrap().into_column(bm.len());
+        for i in 0..bm.len() {
+            assert_eq!(col.value(i), e.eval(&bm.row(i)).unwrap());
+        }
+        // A type error surfaces with the scalar evaluator's message.
+        let bad_rows = vec![tuple!["x", 1i64]];
+        let bb = batch(bad_rows, &["s", "n"]);
+        let bad = bind(Expr::named("s").add(Expr::named("n")), &["s", "n"]);
+        let kernel_err = match eval_expr(&bad, &bb) {
+            Err(e) => format!("{e}"),
+            Ok(_) => panic!("string + int must be a type error"),
+        };
+        let scalar_err = format!("{}", EngineError::Expr(bad.eval(&bb.row(0)).unwrap_err()));
+        assert_eq!(kernel_err, scalar_err);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod au_exec;
 pub mod bitmap;
 pub mod columnar;
 pub mod exec;
@@ -47,6 +48,7 @@ pub mod kernels;
 pub mod ops;
 pub mod ua;
 
+pub use au_exec::{execute_au_vectorized, execute_au_vectorized_opts};
 pub use columnar::{
     batches_from_relation, batches_from_table, batches_from_table_pooled, relation_from_batches,
     table_from_batches, table_from_batches_pooled, BatchStream, ColumnBatch, ColumnVec,
@@ -62,6 +64,7 @@ pub fn install() {
     ua_engine::register_vectorized_hooks(ua_engine::VectorizedHooks {
         plan: execute_vectorized_opts,
         ua: execute_ua_vectorized_opts,
+        au: au_exec::execute_au_vectorized_opts,
     });
 }
 

@@ -809,7 +809,37 @@ pub fn distinct(input: BatchStream) -> BatchStream {
     }
 }
 
+/// How a single-key aggregation reads its group key per row: the typed
+/// path avoids the per-row `Tuple` allocation + structural hash that
+/// dominates grouped aggregation over dense integer keys.
+enum IntKey<'a> {
+    Col(&'a [i64]),
+    Const(i64),
+}
+
+impl IntKey<'_> {
+    fn of<'a>(e: &'a Evaluated) -> Option<IntKey<'a>> {
+        match e {
+            Evaluated::Col(ColumnVec::Int(v)) => Some(IntKey::Col(v)),
+            Evaluated::Const(Value::Int(c)) => Some(IntKey::Const(*c)),
+            _ => None,
+        }
+    }
+
+    fn at(&self, i: usize) -> i64 {
+        match self {
+            IntKey::Col(v) => v[i],
+            IntKey::Const(c) => *c,
+        }
+    }
+}
+
 /// Grouping + aggregation (first-seen group order, like the row engine).
+///
+/// A typed fast path handles the common shape — a single group key whose
+/// evaluated column is dense `Int` in every batch — with an `i64`-keyed
+/// hash table; the shared [`AggState`]s still fold every value, so the
+/// output is bit-identical to the general path (and the row engine).
 pub fn aggregate(
     input: BatchStream,
     group_by: &[ProjColumn],
@@ -826,8 +856,10 @@ pub fn aggregate(
         .collect::<Result<_, _>>()
         .map_err(EngineError::Expr)?;
 
-    let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
-    let mut order: Vec<Tuple> = Vec::new();
+    // Evaluate every batch's key/argument columns up front (cheap `Arc`
+    // handles), so the typed-key decision sees the whole input.
+    type BatchEval<'a> = (&'a ColumnBatch, Vec<Evaluated>, Vec<Option<Evaluated>>);
+    let mut evaluated: Vec<BatchEval> = Vec::with_capacity(input.batches.len());
     for batch in &input.batches {
         let group_cols: Vec<Evaluated> = bound_groups
             .iter()
@@ -837,25 +869,70 @@ pub fn aggregate(
             .iter()
             .map(|e| e.as_ref().map(|e| eval_expr(e, batch)).transpose())
             .collect::<Result<_, _>>()?;
-        for i in 0..batch.len() {
-            let mult = batch.mults()[i];
-            if mult == 0 {
-                continue;
-            }
-            let key: Tuple = group_cols.iter().map(|c| c.value_at(i)).collect();
-            let states = match groups.get_mut(&key) {
-                Some(s) => s,
-                None => {
-                    order.push(key.clone());
-                    groups.entry(key).or_insert_with(|| {
-                        aggregates.iter().map(|a| AggState::new(a.func)).collect()
-                    })
+        evaluated.push((batch, group_cols, agg_cols));
+    }
+
+    let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
+    let mut order: Vec<Tuple> = Vec::new();
+    let int_keyed = bound_groups.len() == 1
+        && evaluated
+            .iter()
+            .all(|(_, gcols, _)| IntKey::of(&gcols[0]).is_some());
+    if int_keyed {
+        let mut int_groups: FxHashMap<i64, Vec<AggState>> = FxHashMap::default();
+        let mut int_order: Vec<i64> = Vec::new();
+        for (batch, gcols, acols) in &evaluated {
+            let key_col = IntKey::of(&gcols[0]).expect("checked above");
+            for i in 0..batch.len() {
+                let mult = batch.mults()[i];
+                if mult == 0 {
+                    continue;
                 }
-            };
-            for (state, arg) in states.iter_mut().zip(&agg_cols) {
-                match arg {
-                    Some(col) => state.update(Some(&col.value_at(i)), mult),
-                    None => state.update(None, mult),
+                let k = key_col.at(i);
+                let states = match int_groups.get_mut(&k) {
+                    Some(s) => s,
+                    None => {
+                        int_order.push(k);
+                        int_groups.entry(k).or_insert_with(|| {
+                            aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                        })
+                    }
+                };
+                for (state, arg) in states.iter_mut().zip(acols) {
+                    match arg {
+                        Some(col) => state.update(Some(&col.value_at(i)), mult),
+                        None => state.update(None, mult),
+                    }
+                }
+            }
+        }
+        for k in int_order {
+            let key = Tuple::new(vec![Value::Int(k)]);
+            order.push(key.clone());
+            groups.insert(key, int_groups.remove(&k).expect("recorded"));
+        }
+    } else {
+        for (batch, group_cols, agg_cols) in &evaluated {
+            for i in 0..batch.len() {
+                let mult = batch.mults()[i];
+                if mult == 0 {
+                    continue;
+                }
+                let key: Tuple = group_cols.iter().map(|c| c.value_at(i)).collect();
+                let states = match groups.get_mut(&key) {
+                    Some(s) => s,
+                    None => {
+                        order.push(key.clone());
+                        groups.entry(key).or_insert_with(|| {
+                            aggregates.iter().map(|a| AggState::new(a.func)).collect()
+                        })
+                    }
+                };
+                for (state, arg) in states.iter_mut().zip(agg_cols) {
+                    match arg {
+                        Some(col) => state.update(Some(&col.value_at(i)), mult),
+                        None => state.update(None, mult),
+                    }
                 }
             }
         }

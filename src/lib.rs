@@ -78,5 +78,6 @@ pub use ua_datagen as datagen;
 pub use ua_engine as engine;
 pub use ua_incomplete as incomplete;
 pub use ua_models as models;
+pub use ua_ranges as ranges;
 pub use ua_semiring as semiring;
 pub use ua_vecexec as vecexec;
