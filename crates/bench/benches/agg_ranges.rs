@@ -22,15 +22,21 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use ua_bench::report::BenchReport;
 use ua_data::algebra::ProjColumn;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
 use ua_data::Expr;
 use ua_engine::plan::{AggExpr, AggFunc, Plan};
-use ua_engine::{execute, execute_au, Catalog, ExecMode, Table, UaSession};
+use ua_engine::{
+    execute, execute_au, execute_with_stats, Catalog, ExecMode, ExecOptions, QueryStats, Table,
+    UaSession,
+};
 use ua_ranges::{AuRelation, AuTuple, Bound, MultBound, RangeValue};
-use ua_vecexec::{execute_au_vectorized, execute_vectorized};
+use ua_vecexec::{
+    execute_au_vectorized, execute_au_vectorized_opts, execute_vectorized, execute_vectorized_opts,
+};
 
 /// Rows in the scanned table.
 const N: usize = 1_000_000;
@@ -227,15 +233,46 @@ fn bench_agg_ranges(c: &mut Criterion) {
          at {N} rows, got {speedup:.1}x"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"agg_ranges\",\n  \"rows\": {N},\n  \"groups\": {GROUPS},\n  \
-         \"t_det_row_s\": {t_det_row},\n  \"t_det_vec_s\": {t_det_vec},\n  \
-         \"t_au_row_s\": {t_au_row},\n  \"t_au_vec_s\": {t_au_vec},\n  \
-         \"t_ua_select_row_s\": {t_ua_row},\n  \"t_ua_select_vec_s\": {t_ua_vec},\n  \
-         \"speedup_det_vec_over_row\": {speedup}\n}}\n"
-    );
-    std::fs::write("agg_ranges.json", json).expect("write bench json");
-    println!("wrote agg_ranges.json");
+    let mut report = BenchReport::new("agg_ranges")
+        .int("rows", N as u64)
+        .int("groups", GROUPS as u64)
+        .num("t_det_row_s", t_det_row)
+        .num("t_det_vec_s", t_det_vec)
+        .num("t_au_row_s", t_au_row)
+        .num("t_au_vec_s", t_au_vec)
+        .num("t_ua_select_row_s", t_ua_row)
+        .num("t_ua_select_vec_s", t_ua_vec)
+        .num("speedup_det_vec_over_row", speedup);
+    // Operator breakdowns: deterministic aggregation on both engines plus
+    // the AU vectorized run (its fallback counters show which stages still
+    // route through the row interpreter).
+    let stats_opts = ExecOptions {
+        threads: 1,
+        batch_rows: 0,
+        collect_stats: true,
+    };
+    if let Ok((_, root)) = execute_with_stats(&det_plan, &catalog) {
+        report = report.operator_stats(
+            "det_row",
+            QueryStats {
+                engine: "row".into(),
+                semantics: "det".into(),
+                root,
+                pool: None,
+            },
+        );
+    }
+    if execute_vectorized_opts(&det_plan, &catalog, stats_opts).is_ok() {
+        if let Some(stats) = ua_obs::take_last_query_stats() {
+            report = report.operator_stats("det_vectorized", stats);
+        }
+    }
+    if execute_au_vectorized_opts(&au_plan, &catalog, stats_opts).is_ok() {
+        if let Some(stats) = ua_obs::take_last_query_stats() {
+            report = report.operator_stats("au_vectorized", stats);
+        }
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_agg_ranges);

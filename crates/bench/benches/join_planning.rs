@@ -19,6 +19,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use ua_bench::report::{instrumented_stats, BenchReport};
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
@@ -162,16 +163,25 @@ fn bench_join_planning(c: &mut Criterion) {
         "join planning must be >= 10x at {N} rows per side, got {full_speedup:.1}x"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"join_planning\",\n  \"rows_per_side\": {N},\n  \
-         \"baseline_rows_per_side\": {M},\n  \"t_cross_{M}_s\": {t_cross_small},\n  \
-         \"t_hash_{M}_s\": {t_hash_small},\n  \"t_hash_{N}_row_s\": {t_hash_full_row},\n  \
-         \"t_hash_{N}_vectorized_s\": {t_hash_full_vec},\n  \
-         \"t_cross_{N}_extrapolated_s\": {t_cross_full_est},\n  \
-         \"speedup_matched\": {matched_speedup},\n  \"speedup_{N}\": {full_speedup}\n}}\n"
-    );
-    std::fs::write("join_planning.json", json).expect("write bench json");
-    println!("wrote join_planning.json");
+    let mut report = BenchReport::new("join_planning")
+        .int("rows_per_side", N as u64)
+        .int("baseline_rows_per_side", M as u64)
+        .num(format!("t_cross_{M}_s"), t_cross_small)
+        .num(format!("t_hash_{M}_s"), t_hash_small)
+        .num(format!("t_hash_{N}_row_s"), t_hash_full_row)
+        .num(format!("t_hash_{N}_vectorized_s"), t_hash_full_vec)
+        .num(format!("t_cross_{N}_extrapolated_s"), t_cross_full_est)
+        .num("speedup_matched", matched_speedup)
+        .num(format!("speedup_{N}"), full_speedup);
+    for (label, mode) in [("row", ExecMode::Row), ("vectorized", ExecMode::Vectorized)] {
+        full.set_exec_mode(mode);
+        if let Some(stats) = instrumented_stats(&full, || {
+            full.query_det(SQL).expect("stats run");
+        }) {
+            report = report.operator_stats(label, stats);
+        }
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_join_planning);

@@ -20,6 +20,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use ua_bench::report::{instrumented_stats, BenchReport};
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
@@ -176,17 +177,27 @@ fn bench_multi_join(c: &mut Criterion) {
          vectorized engine, got {speedup_vec:.1}x"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"multi_join\",\n  \"rows_per_big_side\": {N},\n  \
-         \"key_domain\": {D},\n  \"small_rows\": {S},\n  \
-         \"t_as_written_row_s\": {t_as_written_row},\n  \
-         \"t_as_written_vectorized_s\": {t_as_written_vec},\n  \
-         \"t_reordered_row_s\": {t_reordered_row},\n  \
-         \"t_reordered_vectorized_s\": {t_reordered_vec},\n  \
-         \"speedup_row\": {speedup_row},\n  \"speedup_vectorized\": {speedup_vec}\n}}\n"
-    );
-    std::fs::write("multi_join.json", json).expect("write bench json");
-    println!("wrote multi_join.json");
+    let mut report = BenchReport::new("multi_join")
+        .int("rows_per_big_side", N as u64)
+        .int("key_domain", D as u64)
+        .int("small_rows", S as u64)
+        .num("t_as_written_row_s", t_as_written_row)
+        .num("t_as_written_vectorized_s", t_as_written_vec)
+        .num("t_reordered_row_s", t_reordered_row)
+        .num("t_reordered_vectorized_s", t_reordered_vec)
+        .num("speedup_row", speedup_row)
+        .num("speedup_vectorized", speedup_vec);
+    // Operator breakdowns for the reordered plan on both engines — the
+    // est-vs-actual columns are exactly what the reordering pass consumed.
+    for (label, mode) in [("row", ExecMode::Row), ("vectorized", ExecMode::Vectorized)] {
+        reordered.set_exec_mode(mode);
+        if let Some(stats) = instrumented_stats(&reordered, || {
+            reordered.query_det(SQL).expect("stats run");
+        }) {
+            report = report.operator_stats(format!("reordered_{label}"), stats);
+        }
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_multi_join);

@@ -16,13 +16,14 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
+use ua_bench::report::BenchReport;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
 use ua_data::Expr;
 use ua_engine::plan::{Plan, SortOrder};
-use ua_engine::{execute, Catalog, Table};
-use ua_vecexec::execute_vectorized;
+use ua_engine::{execute, execute_with_stats, Catalog, ExecOptions, QueryStats, Table};
+use ua_vecexec::{execute_vectorized, execute_vectorized_opts};
 
 /// Rows in the scanned table.
 const N: usize = 1_000_000;
@@ -172,14 +173,39 @@ fn bench_sort_topk(c: &mut Criterion) {
          {N} rows, got {speedup:.1}x"
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"sort_topk\",\n  \"rows\": {N},\n  \"k\": {K},\n  \
-         \"t_row_sort_limit_s\": {t_row_sort},\n  \"t_row_topk_s\": {t_row_topk},\n  \
-         \"t_vec_sort_limit_s\": {t_vec_sort},\n  \"t_vec_topk_s\": {t_vec_topk},\n  \
-         \"speedup_vec_topk_over_row_sort_limit\": {speedup}\n}}\n"
-    );
-    std::fs::write("sort_topk.json", json).expect("write bench json");
-    println!("wrote sort_topk.json");
+    let mut report = BenchReport::new("sort_topk")
+        .int("rows", N as u64)
+        .int("k", K as u64)
+        .num("t_row_sort_limit_s", t_row_sort)
+        .num("t_row_topk_s", t_row_topk)
+        .num("t_vec_sort_limit_s", t_vec_sort)
+        .num("t_vec_topk_s", t_vec_topk)
+        .num("speedup_vec_topk_over_row_sort_limit", speedup);
+    // Operator breakdowns for the fused TopK plan on both engines. These
+    // run below the session layer, so the stats come straight from the
+    // executor entry points instead of `instrumented_stats`.
+    if let Ok((_, root)) = execute_with_stats(&topk, &catalog) {
+        report = report.operator_stats(
+            "topk_row",
+            QueryStats {
+                engine: "row".into(),
+                semantics: "det".into(),
+                root,
+                pool: None,
+            },
+        );
+    }
+    let stats_opts = ExecOptions {
+        threads: 1,
+        batch_rows: 0,
+        collect_stats: true,
+    };
+    if execute_vectorized_opts(&topk, &catalog, stats_opts).is_ok() {
+        if let Some(stats) = ua_obs::take_last_query_stats() {
+            report = report.operator_stats("topk_vectorized", stats);
+        }
+    }
+    report.write();
 }
 
 criterion_group!(benches, bench_sort_topk);

@@ -207,6 +207,7 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
     let opts = |threads: usize| ExecOptions {
         threads,
         batch_rows: 0,
+        collect_stats: false,
     };
 
     // Determinism gate: parallel output must be byte-identical to serial.

@@ -90,6 +90,107 @@ impl TextTable {
     }
 }
 
+/// One bench's JSON artifact, replacing the ad-hoc hand-formatted writers
+/// the benches used to carry individually: ordered `key: value` fields,
+/// an optional embedded per-operator stats breakdown
+/// ([`ua_obs::QueryStats`], from an instrumented run of the benched
+/// query), written as `<bench>.json` next to the bench — the files CI
+/// uploads as artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    bench: String,
+    /// Field values pre-rendered as JSON (numbers via `Display`, strings
+    /// via [`ua_obs::json_string`]).
+    fields: Vec<(String, String)>,
+    operator_stats: Vec<(String, ua_obs::QueryStats)>,
+}
+
+impl BenchReport {
+    /// A report for the bench named `bench`.
+    pub fn new(bench: impl Into<String>) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            ..BenchReport::default()
+        }
+    }
+
+    /// Append a numeric field.
+    pub fn num(mut self, key: impl Into<String>, value: f64) -> BenchReport {
+        self.fields.push((key.into(), format!("{value}")));
+        self
+    }
+
+    /// Append an integer field.
+    pub fn int(mut self, key: impl Into<String>, value: u64) -> BenchReport {
+        self.fields.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Append a string field.
+    pub fn text(mut self, key: impl Into<String>, value: impl AsRef<str>) -> BenchReport {
+        self.fields
+            .push((key.into(), ua_obs::json_string(value.as_ref())));
+        self
+    }
+
+    /// Embed an instrumented run's per-operator breakdown under
+    /// `operator_stats.<label>` (typically one label per engine).
+    pub fn operator_stats(
+        mut self,
+        label: impl Into<String>,
+        stats: ua_obs::QueryStats,
+    ) -> BenchReport {
+        self.operator_stats.push((label.into(), stats));
+        self
+    }
+
+    /// Render the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = format!("{{\n  \"bench\": {}", ua_obs::json_string(&self.bench));
+        for (k, v) in &self.fields {
+            out.push_str(&format!(",\n  {}: {v}", ua_obs::json_string(k)));
+        }
+        if !self.operator_stats.is_empty() {
+            out.push_str(",\n  \"operator_stats\": {");
+            for (i, (label, stats)) in self.operator_stats.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\n    {}: {}",
+                    ua_obs::json_string(label),
+                    stats.to_json()
+                ));
+            }
+            out.push_str("\n  }");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Write `<bench>.json` next to the bench (the CI artifact path) and
+    /// log it.
+    pub fn write(&self) {
+        let path = format!("{}.json", self.bench);
+        std::fs::write(&path, self.to_json()).expect("write bench json");
+        println!("wrote {path}");
+    }
+}
+
+/// Run `query` once with session stats collection on and hand back the
+/// per-operator breakdown for [`BenchReport::operator_stats`]. The
+/// previous stats setting is restored.
+pub fn instrumented_stats(
+    session: &ua_engine::UaSession,
+    query: impl FnOnce(),
+) -> Option<ua_obs::QueryStats> {
+    let was = session.stats_enabled();
+    session.set_stats_enabled(true);
+    query();
+    session.set_stats_enabled(was);
+    session.last_query_stats()
+}
+
 /// Quartile summary of a sample (min, q1, median, q3, max) — the paper's
 /// Figure 15 box rows.
 pub fn quartiles(samples: &mut [f64]) -> (f64, f64, f64, f64, f64) {
@@ -127,6 +228,33 @@ mod tests {
         let mut xs = vec![4.0, 1.0, 3.0, 2.0, 5.0];
         let (min, q1, med, q3, max) = quartiles(&mut xs);
         assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+    }
+
+    #[test]
+    fn bench_report_json_shape() {
+        let stats = ua_obs::QueryStats {
+            engine: "row".into(),
+            semantics: "det".into(),
+            root: ua_obs::OperatorStats {
+                name: "Scan".into(),
+                rows_out: 3,
+                ..ua_obs::OperatorStats::default()
+            },
+            pool: None,
+        };
+        let json = BenchReport::new("demo")
+            .int("rows", 100)
+            .num("t_s", 0.5)
+            .text("engine", "row")
+            .operator_stats("row", stats)
+            .to_json();
+        assert!(json.starts_with("{\n  \"bench\": \"demo\""));
+        assert!(json.contains("\"rows\": 100"));
+        assert!(json.contains("\"t_s\": 0.5"));
+        assert!(json.contains("\"engine\": \"row\""));
+        assert!(json.contains("\"operator_stats\": {"));
+        assert!(json.contains("\"op\": \"Scan\""));
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]

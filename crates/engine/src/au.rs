@@ -22,7 +22,7 @@
 //! instead of dropped, which is what makes the upper bounds sound.
 
 use crate::exec::{execute, EngineError};
-use crate::mode::{require_vectorized_hooks, ExecMode, ExecOptions};
+use crate::mode::{require_vectorized_hooks, ExecMode};
 use crate::plan::{AggFunc, Plan, SortOrder};
 use crate::sql::ast::SourceAnnotation;
 use crate::sql::parser::parse;
@@ -269,13 +269,23 @@ fn shift_cols(expr: &Expr, offset: usize) -> Expr {
 /// vectorized engine's fallbacks call (through [`au_unary`]/[`au_binary`]),
 /// so the engines cannot diverge.
 pub fn execute_au(plan: &Plan, catalog: &Catalog) -> Result<AuRelation, EngineError> {
-    match plan {
-        Plan::Scan(name) => {
-            let table = catalog
-                .get(name)
-                .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-            decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)
-        }
+    execute_au_traced(plan, catalog, &mut crate::stats::Tracer::off())
+}
+
+/// [`execute_au`] with a span tracer threaded through the recursion (see
+/// [`crate::exec::execute_traced`] — same contract: no-op when off,
+/// byte-identical results either way).
+pub(crate) fn execute_au_traced(
+    plan: &Plan,
+    catalog: &Catalog,
+    tracer: &mut crate::stats::Tracer<'_>,
+) -> Result<AuRelation, EngineError> {
+    tracer.enter(plan);
+    let result = match plan {
+        Plan::Scan(name) => catalog
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.clone()))
+            .and_then(|table| decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)),
         Plan::Alias { input, .. }
         | Plan::Filter { input, .. }
         | Plan::Map { input, .. }
@@ -284,15 +294,22 @@ pub fn execute_au(plan: &Plan, catalog: &Catalog) -> Result<AuRelation, EngineEr
         | Plan::Sort { input, .. }
         | Plan::Limit { input, .. }
         | Plan::TopK { input, .. } => {
-            let rel = execute_au(input, catalog)?;
-            au_unary(plan, &rel)
+            execute_au_traced(input, catalog, tracer).and_then(|rel| au_unary(plan, &rel))
         }
         Plan::Join { left, right, .. }
         | Plan::HashJoin { left, right, .. }
-        | Plan::UnionAll { left, right } => {
-            let l = execute_au(left, catalog)?;
-            let r = execute_au(right, catalog)?;
-            au_binary(plan, &l, &r)
+        | Plan::UnionAll { left, right } => execute_au_traced(left, catalog, tracer)
+            .and_then(|l| execute_au_traced(right, catalog, tracer).map(|r| (l, r)))
+            .and_then(|(l, r)| au_binary(plan, &l, &r)),
+    };
+    match result {
+        Ok(rel) => {
+            tracer.exit(rel.rows().len());
+            Ok(rel)
+        }
+        Err(e) => {
+            tracer.abandon();
+            Err(e)
         }
     }
 }
@@ -422,20 +439,43 @@ impl UaSession {
         reject_marker_in_plan(plan)?;
         match self.exec_mode() {
             ExecMode::Row => {
-                let rel = execute_au(plan, self.catalog())?;
+                let rel = if self.stats_enabled() {
+                    let (rel, root) = crate::stats::execute_au_with_stats(plan, self.catalog())?;
+                    self.store_stats(ua_obs::QueryStats {
+                        engine: "row".into(),
+                        semantics: "au".into(),
+                        root,
+                        pool: None,
+                    });
+                    rel
+                } else {
+                    execute_au(plan, self.catalog())?
+                };
                 Ok(AuResult {
                     table: au_table(&rel),
                 })
             }
             ExecMode::Vectorized => {
-                let opts = ExecOptions {
-                    threads: self.vec_threads(),
-                    batch_rows: 0,
-                };
+                let opts = self.exec_options();
                 let table = (require_vectorized_hooks()?.au)(plan, self.catalog(), opts)?;
+                self.adopt_hook_stats();
                 Ok(AuResult { table })
             }
         }
+    }
+
+    /// `EXPLAIN ANALYZE` for AU queries: the user plan and optimized
+    /// physical plan, then the executed operator tree with per-operator
+    /// row counts, wall times and est-vs-actual cardinalities. The query
+    /// really executes; its result is discarded.
+    pub fn explain_analyze_au(&self, sql: &str) -> Result<String, EngineError> {
+        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = plan_query(&ast, self.catalog(), &AuResolver)?;
+        let stats = self.run_analyzed(|| self.execute_au_plan(&plan).map(|_| ()))?;
+        Ok(format!(
+            "plan:\n  {plan}\n{}",
+            crate::ua::render_analysis(&stats)
+        ))
     }
 }
 

@@ -8,6 +8,7 @@
 //! (`Unknown` rejects, matching `θ(t) ∈ {0_K, 1_K}` of the paper).
 
 use crate::plan::{AggExpr, AggFunc, Plan, SortOrder};
+use crate::stats::Tracer;
 use crate::storage::{Catalog, Table};
 use std::fmt;
 use ua_data::algebra::extract_equi_keys;
@@ -16,6 +17,7 @@ use ua_data::schema::{Schema, SchemaError};
 use ua_data::tuple::Tuple;
 use ua_data::value::{Value, F64};
 use ua_data::FxHashMap;
+use ua_obs::Stopwatch;
 
 /// Errors raised during plan execution.
 #[derive(Clone, Debug)]
@@ -67,18 +69,49 @@ impl From<ua_data::algebra::RaError> for EngineError {
 
 /// Execute `plan` against `catalog`, materializing the result.
 pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
+    execute_traced(plan, catalog, &mut Tracer::off())
+}
+
+/// [`execute`] with a span tracer threaded through the recursion: each node
+/// opens a span (stamped with the planner's cardinality estimate), executes,
+/// and closes it with actual rows and wall time. A no-op for
+/// [`Tracer::off`]; results are byte-identical either way. On error the
+/// tracer's stack is left unbalanced and must be discarded.
+pub(crate) fn execute_traced(
+    plan: &Plan,
+    catalog: &Catalog,
+    tracer: &mut Tracer<'_>,
+) -> Result<Table, EngineError> {
+    tracer.enter(plan);
+    match execute_node(plan, catalog, tracer) {
+        Ok(t) => {
+            tracer.exit(t.len());
+            Ok(t)
+        }
+        Err(e) => {
+            tracer.abandon();
+            Err(e)
+        }
+    }
+}
+
+fn execute_node(
+    plan: &Plan,
+    catalog: &Catalog,
+    tracer: &mut Tracer<'_>,
+) -> Result<Table, EngineError> {
     match plan {
         Plan::Scan(name) => catalog
             .get(name)
             .map(|t| (*t).clone())
             .ok_or_else(|| EngineError::UnknownTable(name.clone())),
         Plan::Alias { input, name } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             let schema = t.schema().with_qualifier(name);
             Ok(t.with_schema(schema))
         }
         Plan::Filter { input, predicate } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             let bound = predicate.bind(t.schema())?;
             let mut out = Table::new(t.schema().clone());
             for row in t.rows() {
@@ -95,8 +128,12 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             // extra materialization pass over the join result.
             if matches!(input.as_ref(), Plan::Join { .. } | Plan::HashJoin { .. }) {
                 let (left, right) = join_inputs(input).expect("matched join");
-                let l = execute(left, catalog)?;
-                let r = execute(right, catalog)?;
+                // The fused join still gets its own span (between the Map
+                // span and the input spans), with joined-row cardinality
+                // counted as rows stream through.
+                tracer.enter(input);
+                let l = execute_traced(left, catalog, tracer)?;
+                let r = execute_traced(right, catalog, tracer)?;
                 let join_schema = l.schema().concat(r.schema());
                 let bound: Vec<Expr> = columns
                     .iter()
@@ -104,17 +141,29 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
                     .collect::<Result<_, _>>()?;
                 let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
                 let mut out = Table::new(out_schema);
-                join_node_stream(input, &l, &r, &mut |joined| {
-                    let mapped: Tuple = bound
-                        .iter()
-                        .map(|e| e.eval(&joined))
-                        .collect::<Result<_, _>>()?;
-                    out.push(mapped);
-                    Ok(())
-                })?;
+                let mut join_rows: usize = 0;
+                let mut build_ns: u64 = 0;
+                join_node_stream(
+                    input,
+                    &l,
+                    &r,
+                    tracer.enabled().then_some(&mut build_ns),
+                    &mut |joined| {
+                        join_rows += 1;
+                        let mapped: Tuple = bound
+                            .iter()
+                            .map(|e| e.eval(&joined))
+                            .collect::<Result<_, _>>()?;
+                        out.push(mapped);
+                        Ok(())
+                    },
+                )?;
+                join_span_extras(input, &l, &r, build_ns, tracer);
+                tracer.extra("fused_into_map", 1);
+                tracer.exit(join_rows);
                 return Ok(out);
             }
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             let bound: Vec<Expr> = columns
                 .iter()
                 .map(|c| c.expr.bind(t.schema()))
@@ -131,19 +180,27 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             Ok(out)
         }
         Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
+            let l = execute_traced(left, catalog, tracer)?;
+            let r = execute_traced(right, catalog, tracer)?;
             let schema = l.schema().concat(r.schema());
             let mut out = Table::new(schema);
-            join_node_stream(plan, &l, &r, &mut |joined| {
-                out.push(joined);
-                Ok(())
-            })?;
+            let mut build_ns: u64 = 0;
+            join_node_stream(
+                plan,
+                &l,
+                &r,
+                tracer.enabled().then_some(&mut build_ns),
+                &mut |joined| {
+                    out.push(joined);
+                    Ok(())
+                },
+            )?;
+            join_span_extras(plan, &l, &r, build_ns, tracer);
             Ok(out)
         }
         Plan::UnionAll { left, right } => {
-            let l = execute(left, catalog)?;
-            let r = execute(right, catalog)?;
+            let l = execute_traced(left, catalog, tracer)?;
+            let r = execute_traced(right, catalog, tracer)?;
             l.schema().check_union_compatible(r.schema())?;
             let mut out = l.clone();
             for row in r.rows() {
@@ -152,7 +209,7 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             Ok(out)
         }
         Plan::Distinct { input } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             let mut seen: ua_data::FxHashSet<Tuple> = ua_data::FxHashSet::default();
             let mut out = Table::new(t.schema().clone());
             for row in t.rows() {
@@ -166,19 +223,33 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
             input,
             group_by,
             aggregates,
-        } => aggregate(input, group_by, aggregates, catalog),
+        } => aggregate(input, group_by, aggregates, catalog, tracer),
         Plan::Sort { input, keys } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             sort_table(&t, keys)
         }
         Plan::Limit { input, limit } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             Ok(limit_table(&t, *limit))
         }
         Plan::TopK { input, keys, limit } => {
-            let t = execute(input, catalog)?;
+            let t = execute_traced(input, catalog, tracer)?;
             top_k_table(&t, keys, *limit)
         }
+    }
+}
+
+/// Record the hash-join build/probe split on the current span (no-op for
+/// θ-joins and disabled tracers).
+fn join_span_extras(plan: &Plan, l: &Table, r: &Table, build_ns: u64, tracer: &mut Tracer<'_>) {
+    if !tracer.enabled() {
+        return;
+    }
+    if let Plan::HashJoin { build_left, .. } = plan {
+        let (build, probe) = if *build_left { (l, r) } else { (r, l) };
+        tracer.extra("build_rows", build.len() as u64);
+        tracer.extra("probe_rows", probe.len() as u64);
+        tracer.extra("build_ns", build_ns);
     }
 }
 
@@ -296,6 +367,7 @@ fn join_node_stream(
     plan: &Plan,
     l: &Table,
     r: &Table,
+    build_ns: Option<&mut u64>,
     on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
     match plan {
@@ -305,7 +377,7 @@ fn join_node_stream(
             residual,
             build_left,
             ..
-        } => hash_join_stream(l, r, keys, residual.as_ref(), *build_left, on_row),
+        } => hash_join_stream(l, r, keys, residual.as_ref(), *build_left, build_ns, on_row),
         other => Err(EngineError::Sql(format!("not a join node: {other}"))),
     }
 }
@@ -320,6 +392,7 @@ fn hash_join_stream(
     keys: &[(Expr, Expr)],
     residual: Option<&Expr>,
     build_left: bool,
+    build_ns: Option<&mut u64>,
     on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
     let lkeys: Vec<Expr> = keys
@@ -354,6 +427,7 @@ fn hash_join_stream(
     } else {
         (r, &rkeys, l, &lkeys)
     };
+    let build_timer = build_ns.as_ref().map(|_| Stopwatch::start());
     let mut table: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
     for brow in build.rows() {
         let key = key_of(build_keys, brow)?;
@@ -361,6 +435,9 @@ fn hash_join_stream(
             continue; // SQL NULL keys never join
         }
         table.entry(key).or_default().push(brow);
+    }
+    if let (Some(slot), Some(timer)) = (build_ns, build_timer) {
+        *slot = timer.elapsed_ns();
     }
     for prow in probe.rows() {
         let key = key_of(probe_keys, prow)?;
@@ -593,8 +670,9 @@ fn aggregate(
     group_by: &[ua_data::algebra::ProjColumn],
     aggregates: &[AggExpr],
     catalog: &Catalog,
+    tracer: &mut Tracer<'_>,
 ) -> Result<Table, EngineError> {
-    let t = execute(input, catalog)?;
+    let t = execute_traced(input, catalog, tracer)?;
     let bound_groups: Vec<Expr> = group_by
         .iter()
         .map(|g| g.expr.bind(t.schema()))

@@ -25,6 +25,7 @@ pub mod mode;
 pub mod optimize;
 pub mod plan;
 pub mod sql;
+pub mod stats;
 pub mod storage;
 pub mod ua;
 
@@ -38,10 +39,12 @@ pub use mode::{
 };
 pub use optimize::{
     estimate_rows, fuse_topk, optimize, optimize_with, plan_joins, predicate_selectivity,
-    push_filters, reorder_joins, reorder_joins_ua, OptimizerPasses, DEFAULT_FILTER_SELECTIVITY,
-    DP_MAX_RELATIONS,
+    push_filters, record_join_misestimates, reorder_joins, reorder_joins_ua, OptimizerPasses,
+    DEFAULT_FILTER_SELECTIVITY, DP_MAX_RELATIONS, MISESTIMATE_RATIO,
 };
 pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};
+pub use stats::{execute_au_with_stats, execute_with_stats};
 pub use storage::{Catalog, ColumnStats, Histogram, Table, TableStats, HISTOGRAM_BUCKETS};
 pub use ua::{ctable_source, ti_source, x_source, UaResult, UaSession};
+pub use ua_obs::{OperatorStats, PoolStats, QueryStats};

@@ -42,6 +42,12 @@ pub struct ExecOptions {
     /// Rows per column-batch morsel; `0` means the executor's default
     /// (`ua_vecexec::DEFAULT_BATCH_ROWS`).
     pub batch_rows: usize,
+    /// Whether the executor should collect per-operator
+    /// [`ua_obs::QueryStats`] and deposit them in the thread-local handoff
+    /// slot (`ua_obs::set_last_query_stats`) for the session to pick up.
+    /// Stats ride *next to* the result — output is byte-identical on or
+    /// off.
+    pub collect_stats: bool,
 }
 
 /// Entry points a vectorized executor registers.

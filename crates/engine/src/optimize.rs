@@ -638,6 +638,55 @@ fn rewrite_join(
 /// (System R's classic 1/3).
 pub const DEFAULT_FILTER_SELECTIVITY: f64 = 1.0 / 3.0;
 
+/// A planned join whose estimated and actual cardinalities differ by at
+/// least this factor (in either direction) counts as misestimated in
+/// [`record_join_misestimates`].
+pub const MISESTIMATE_RATIO: f64 = 4.0;
+
+/// Planner feedback: walk an executed query's per-operator stats tree and
+/// record, in the global [`ua_obs`] registry, how the optimizer's
+/// cardinality estimates held up against reality on every planned join.
+///
+/// Three metrics are maintained:
+///
+/// * `planner.join.observed` — joins executed with an estimate available;
+/// * `planner.join.misestimated` — of those, how many were off by
+///   [`MISESTIMATE_RATIO`]× or more (either direction);
+/// * `planner.join.est_ratio_x100` — histogram of
+///   `100 · max(actual/est, est/actual)`, so `mean()/100` is the average
+///   misestimation factor.
+///
+/// A climbing misestimated/observed ratio is the signal that catalog
+/// statistics have drifted from the live store and
+/// [`crate::storage::Catalog::analyze`] should be re-run.
+pub fn record_join_misestimates(root: &ua_obs::OperatorStats) {
+    let reg = ua_obs::global();
+    root.walk(&mut |node| {
+        let joinish = matches!(node.name.as_str(), "Join" | "HashJoin" | "Cross");
+        if !joinish {
+            return;
+        }
+        let Some(est) = node.est_rows else { return };
+        let actual = node.rows_out;
+        reg.counter("planner.join.observed").inc();
+        // Ratio in "x100" fixed point; a zero on one side with rows on the
+        // other is an unbounded miss — clamp to the histogram's range.
+        let ratio = match (est, actual) {
+            (0, 0) => 1.0,
+            (0, _) | (_, 0) => f64::from(u32::MAX),
+            (e, a) => {
+                let (e, a) = (e as f64, a as f64);
+                (a / e).max(e / a)
+            }
+        };
+        reg.histogram("planner.join.est_ratio_x100")
+            .record((ratio * 100.0) as u64);
+        if ratio >= MISESTIMATE_RATIO {
+            reg.counter("planner.join.misestimated").inc();
+        }
+    });
+}
+
 /// Cardinality estimation anchored on catalog statistics
 /// ([`crate::storage::TableStats`], collected from the live store): scans
 /// report actual row counts, filters apply histogram/ndv-based

@@ -1,0 +1,272 @@
+//! Per-operator execution statistics for the row engine.
+//!
+//! [`Tracer`] is the span stack the recursive executors
+//! ([`crate::exec::execute`], [`crate::au::execute_au`]) thread through
+//! their recursion: entering a plan node pushes a frame (stamped with the
+//! planner's cardinality estimate from [`crate::optimize::estimate_rows`]),
+//! exiting pops it — filled with rows out and cumulative wall time — and
+//! attaches it to the parent frame, so a finished query yields an
+//! [`OperatorStats`] tree mirroring the executed plan.
+//!
+//! The tracer is **off the result path**: every method is a no-op for
+//! [`Tracer::off`], and nothing an executor produces depends on the
+//! tracer's state — results are byte-identical with collection on or off
+//! (the differential tests assert it).
+
+use crate::exec::EngineError;
+use crate::plan::Plan;
+use crate::storage::{Catalog, Table};
+use ua_obs::{OperatorStats, Stopwatch};
+
+/// The span stack threaded through the row executors' recursion.
+pub(crate) struct Tracer<'a> {
+    state: Option<TraceState<'a>>,
+}
+
+struct TraceState<'a> {
+    catalog: &'a Catalog,
+    /// `stack[0]` is a sentinel root; finished spans attach to the frame
+    /// below them.
+    stack: Vec<Frame>,
+}
+
+struct Frame {
+    node: OperatorStats,
+    start: Stopwatch,
+}
+
+impl<'a> Tracer<'a> {
+    /// A disabled tracer: every method is a no-op (the default execution
+    /// path).
+    pub(crate) fn off() -> Tracer<'a> {
+        Tracer { state: None }
+    }
+
+    /// A collecting tracer. `catalog` supplies the planner statistics for
+    /// per-node cardinality estimates.
+    pub(crate) fn on(catalog: &'a Catalog) -> Tracer<'a> {
+        Tracer {
+            state: Some(TraceState {
+                catalog,
+                stack: vec![Frame {
+                    node: OperatorStats::new("", ""),
+                    start: Stopwatch::start(),
+                }],
+            }),
+        }
+    }
+
+    /// Open a span for `plan` (records the estimated cardinality now, the
+    /// actuals at [`Tracer::exit`]).
+    pub(crate) fn enter(&mut self, plan: &Plan) {
+        if let Some(st) = &mut self.state {
+            let (name, detail) = node_label(plan);
+            let mut node = OperatorStats::new(name, detail);
+            node.est_rows = crate::optimize::estimate_rows(plan, st.catalog);
+            st.stack.push(Frame {
+                node,
+                start: Stopwatch::start(),
+            });
+        }
+    }
+
+    /// Close the current span with its actual output cardinality and
+    /// attach it to the parent.
+    pub(crate) fn exit(&mut self, rows_out: usize) {
+        if let Some(st) = &mut self.state {
+            let mut frame = st.stack.pop().expect("exit without enter");
+            frame.node.rows_out = rows_out as u64;
+            frame.node.wall_ns = frame.start.elapsed_ns();
+            st.stack
+                .last_mut()
+                .expect("sentinel root below every span")
+                .node
+                .children
+                .push(frame.node);
+        }
+    }
+
+    /// Discard the current span (error unwinding keeps the stack balanced
+    /// for callers that continue with the tracer).
+    pub(crate) fn abandon(&mut self) {
+        if let Some(st) = &mut self.state {
+            st.stack.pop();
+        }
+    }
+
+    /// Record a named counter on the current span.
+    pub(crate) fn extra(&mut self, key: &str, value: u64) {
+        if let Some(st) = &mut self.state {
+            st.stack
+                .last_mut()
+                .expect("extra outside a span")
+                .node
+                .push_extra(key, value);
+        }
+    }
+
+    /// Whether this tracer collects (lets executors skip pure-stats work
+    /// like phase timing when off).
+    pub(crate) fn enabled(&self) -> bool {
+        self.state.is_some()
+    }
+
+    /// The finished span tree (the single top-level operator), if any.
+    pub(crate) fn finish(self) -> Option<OperatorStats> {
+        self.state
+            .and_then(|mut st| st.stack.pop())
+            .and_then(|mut root| {
+                debug_assert!(root.node.children.len() <= 1, "one top-level span");
+                root.node.children.pop()
+            })
+    }
+}
+
+/// Execute `plan` on the row engine while collecting the per-operator
+/// span tree — [`crate::execute`] plus instrumentation; the result table
+/// is byte-identical to the uninstrumented run.
+pub fn execute_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+) -> Result<(Table, OperatorStats), EngineError> {
+    let mut tracer = Tracer::on(catalog);
+    let table = crate::exec::execute_traced(plan, catalog, &mut tracer)?;
+    let root = tracer
+        .finish()
+        .expect("traced execution yields a root span");
+    Ok((table, root))
+}
+
+/// Execute an AU plan on the row interpreter while collecting the
+/// per-operator span tree (the instrumented [`crate::execute_au`]).
+pub fn execute_au_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+) -> Result<(ua_ranges::AuRelation, OperatorStats), EngineError> {
+    let mut tracer = Tracer::on(catalog);
+    let rel = crate::au::execute_au_traced(plan, catalog, &mut tracer)?;
+    let root = tracer
+        .finish()
+        .expect("traced execution yields a root span");
+    Ok((rel, root))
+}
+
+/// The node-local operator label: the same rendering [`Plan`]'s `Display`
+/// uses, minus the recursive children. Public so the vectorized driver
+/// labels its spans identically.
+pub fn node_label(plan: &Plan) -> (String, String) {
+    match plan {
+        Plan::Scan(name) => ("Scan".into(), name.clone()),
+        Plan::Alias { name, .. } => ("Alias".into(), name.clone()),
+        Plan::Filter { predicate, .. } => ("Filter".into(), predicate.to_string()),
+        Plan::Map { columns, .. } => {
+            let detail = columns
+                .iter()
+                .map(|c| format!("{}→{}", c.expr, c.column))
+                .collect::<Vec<_>>()
+                .join(", ");
+            ("Map".into(), detail)
+        }
+        Plan::Join {
+            predicate: Some(p), ..
+        } => ("Join".into(), p.to_string()),
+        Plan::Join {
+            predicate: None, ..
+        } => ("Cross".into(), String::new()),
+        Plan::HashJoin {
+            keys,
+            residual,
+            build_left,
+            ..
+        } => {
+            let mut detail = keys
+                .iter()
+                .map(|(l, r)| format!("{l}={r}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            if let Some(res) = residual {
+                detail.push_str(&format!("; σ[{res}]"));
+            }
+            detail.push_str(&format!(
+                "; build={}",
+                if *build_left { "left" } else { "right" }
+            ));
+            ("HashJoin".into(), detail)
+        }
+        Plan::UnionAll { .. } => ("UnionAll".into(), String::new()),
+        Plan::Distinct { .. } => ("Distinct".into(), String::new()),
+        Plan::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => {
+            let groups = group_by
+                .iter()
+                .map(|g| g.column.to_string())
+                .collect::<Vec<_>>()
+                .join(", ");
+            let aggs = aggregates
+                .iter()
+                .map(|a| format!("{}→{}", a.func, a.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            ("Aggregate".into(), format!("{groups}; {aggs}"))
+        }
+        Plan::Sort { keys, .. } => ("Sort".into(), keys.len().to_string()),
+        Plan::Limit { limit, .. } => ("Limit".into(), limit.to_string()),
+        Plan::TopK { keys, limit, .. } => ("TopK".into(), format!("{} keys; {limit}", keys.len())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ua_data::schema::Schema;
+    use ua_data::tuple;
+
+    fn catalog() -> Catalog {
+        let c = Catalog::new();
+        c.register(
+            "emp",
+            Table::from_rows(
+                Schema::qualified("emp", ["name", "dept", "salary"]),
+                vec![
+                    tuple!["ann", "eng", 100i64],
+                    tuple!["bob", "eng", 80i64],
+                    tuple!["cat", "ops", 60i64],
+                ],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn traced_execution_matches_plain_and_builds_tree() {
+        let c = catalog();
+        let plan = Plan::Filter {
+            input: Box::new(Plan::Scan("emp".into())),
+            predicate: ua_data::expr::Expr::named("salary").ge(ua_data::expr::Expr::lit(80i64)),
+        };
+        let plain = crate::execute(&plan, &c).unwrap();
+        let (traced, root) = execute_with_stats(&plan, &c).unwrap();
+        assert_eq!(plain.schema(), traced.schema());
+        assert_eq!(plain.rows(), traced.rows());
+        assert_eq!(root.name, "Filter");
+        assert_eq!(root.rows_out, 2);
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "Scan");
+        assert_eq!(root.children[0].rows_out, 3);
+        assert_eq!(root.children[0].est_rows, Some(3));
+        assert!(root.wall_ns >= root.children[0].wall_ns);
+    }
+
+    #[test]
+    fn off_tracer_is_inert() {
+        let mut t = Tracer::off();
+        t.enter(&Plan::Scan("emp".into()));
+        t.extra("k", 1);
+        t.exit(5);
+        assert!(!t.enabled());
+        assert!(t.finish().is_none());
+    }
+}

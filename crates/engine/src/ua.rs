@@ -20,6 +20,7 @@ use crate::sql::ast::SourceAnnotation;
 use crate::sql::parser::parse;
 use crate::sql::planner::{plan_query, SourceResolver};
 use crate::storage::{Catalog, Table};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU8, AtomicUsize, Ordering};
 use ua_conditions::{cnf_tautology, is_cnf, parse_condition, VarInterner};
 use ua_core::{decode_relation, encode_relation, rewrite_ua, UA_LABEL_COLUMN};
@@ -84,6 +85,14 @@ pub struct UaSession {
     /// pipeline: `0` = auto (`UA_VEC_THREADS` env var, else available
     /// parallelism), `1` = serial. Output is byte-identical either way.
     vec_threads: AtomicUsize,
+    /// Whether executions collect per-operator [`ua_obs::QueryStats`]
+    /// (off by default; `EXPLAIN ANALYZE` turns it on for one query).
+    /// Results are byte-identical on or off — stats travel next to the
+    /// result, never through it.
+    collect_stats: AtomicBool,
+    /// The stats of the most recent instrumented query on this session
+    /// ([`UaSession::last_query_stats`]).
+    last_stats: Mutex<Option<ua_obs::QueryStats>>,
 }
 
 impl Default for UaSession {
@@ -94,6 +103,8 @@ impl Default for UaSession {
             optimizer: AtomicBool::new(true),
             reorder: AtomicBool::new(true),
             vec_threads: AtomicUsize::new(0),
+            collect_stats: AtomicBool::new(false),
+            last_stats: Mutex::new(None),
         }
     }
 }
@@ -169,11 +180,48 @@ impl UaSession {
         self.vec_threads.load(Ordering::Relaxed)
     }
 
+    /// Enable or disable per-operator stats collection
+    /// ([`ua_obs::QueryStats`]) for subsequent queries. Off by default:
+    /// collection costs a wall-clock read per operator (row engine) or per
+    /// morsel chain (vectorized engine). Results are byte-identical either
+    /// way; the differential tests assert it.
+    pub fn set_stats_enabled(&self, enabled: bool) {
+        self.collect_stats.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether executions collect per-operator stats.
+    pub fn stats_enabled(&self) -> bool {
+        self.collect_stats.load(Ordering::Relaxed)
+    }
+
+    /// The stats of the most recent instrumented query on this session
+    /// (any semantics, either engine), if stats collection was enabled for
+    /// it. Programmatic access to what `EXPLAIN ANALYZE` renders.
+    pub fn last_query_stats(&self) -> Option<ua_obs::QueryStats> {
+        self.last_stats.lock().clone()
+    }
+
+    /// Store an instrumented execution's stats and feed the planner's
+    /// est-vs-actual join counters ([`crate::optimize::record_join_misestimates`]).
+    pub(crate) fn store_stats(&self, stats: ua_obs::QueryStats) {
+        crate::optimize::record_join_misestimates(&stats.root);
+        *self.last_stats.lock() = Some(stats);
+    }
+
+    /// Pick up stats a vectorized execution deposited in the thread-local
+    /// handoff slot (the hook signature stays stats-agnostic).
+    pub(crate) fn adopt_hook_stats(&self) {
+        if let Some(stats) = ua_obs::take_last_query_stats() {
+            self.store_stats(stats);
+        }
+    }
+
     /// The per-query options handed to the vectorized executor.
-    fn exec_options(&self) -> ExecOptions {
+    pub(crate) fn exec_options(&self) -> ExecOptions {
         ExecOptions {
             threads: self.vec_threads(),
             batch_rows: 0,
+            collect_stats: self.stats_enabled(),
         }
     }
 
@@ -257,9 +305,25 @@ impl UaSession {
         let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
         let plan = self.optimize_plan(plan);
         match self.exec_mode() {
-            ExecMode::Row => execute(&plan, &self.catalog),
+            ExecMode::Row => {
+                if self.stats_enabled() {
+                    let (table, root) = crate::stats::execute_with_stats(&plan, &self.catalog)?;
+                    self.store_stats(ua_obs::QueryStats {
+                        engine: "row".into(),
+                        semantics: "det".into(),
+                        root,
+                        pool: None,
+                    });
+                    Ok(table)
+                } else {
+                    execute(&plan, &self.catalog)
+                }
+            }
             ExecMode::Vectorized => {
-                (require_vectorized_hooks()?.plan)(&plan, &self.catalog, self.exec_options())
+                let table =
+                    (require_vectorized_hooks()?.plan)(&plan, &self.catalog, self.exec_options())?;
+                self.adopt_hook_stats();
+                Ok(table)
             }
         }
     }
@@ -391,14 +455,81 @@ impl UaSession {
             let user_plan = rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers);
             let table =
                 (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
+            self.adopt_hook_stats();
             return Ok(UaResult { table });
         }
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
         let rewritten_plan = rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers);
-        let table = execute(&rewritten_plan, &self.catalog)?;
+        let table = if self.stats_enabled() {
+            let (table, root) = crate::stats::execute_with_stats(&rewritten_plan, &self.catalog)?;
+            self.store_stats(ua_obs::QueryStats {
+                engine: "row".into(),
+                semantics: "ua".into(),
+                root,
+                pool: None,
+            });
+            table
+        } else {
+            execute(&rewritten_plan, &self.catalog)?
+        };
         Ok(UaResult { table })
     }
+
+    /// `EXPLAIN ANALYZE` for deterministic queries: run `sql` with stats
+    /// collection on (whatever the session default is — the previous
+    /// setting is restored afterwards) and render [`Self::explain_det`]'s
+    /// plans followed by the executed, annotated operator tree with
+    /// per-operator row counts, wall times and the planner's est-vs-actual
+    /// cardinalities. The query really executes; its result is discarded.
+    pub fn explain_analyze_det(&self, sql: &str) -> Result<String, EngineError> {
+        let plans = self.explain_det(sql)?;
+        let stats = self.run_analyzed(|| self.query_det(sql).map(|_| ()))?;
+        Ok(format!("{plans}\n{}", render_analysis(&stats)))
+    }
+
+    /// `EXPLAIN ANALYZE` for UA queries: [`Self::explain_ua`]'s plans plus
+    /// the executed operator tree. Under `ExecMode::Row` the tree is the
+    /// `⟦·⟧_UA`-rewritten physical plan's (what actually ran); under
+    /// `ExecMode::Vectorized` it is the pipeline structure over the user
+    /// plan, with morsel-pool totals appended.
+    pub fn explain_analyze_ua(&self, sql: &str) -> Result<String, EngineError> {
+        let plans = self.explain_ua(sql)?;
+        let stats = self.run_analyzed(|| self.query_ua(sql).map(|_| ()))?;
+        Ok(format!("{plans}\n{}", render_analysis(&stats)))
+    }
+
+    /// Run `f` with stats collection forced on, restore the previous
+    /// setting, and return the collected stats.
+    pub(crate) fn run_analyzed(
+        &self,
+        f: impl FnOnce() -> Result<(), EngineError>,
+    ) -> Result<ua_obs::QueryStats, EngineError> {
+        let was = self.stats_enabled();
+        self.set_stats_enabled(true);
+        let result = f();
+        self.set_stats_enabled(was);
+        result?;
+        self.last_query_stats()
+            .ok_or_else(|| EngineError::Sql("EXPLAIN ANALYZE: execution produced no stats".into()))
+    }
+}
+
+/// The execution section `EXPLAIN ANALYZE` appends below the plan text:
+/// a header naming the engine/semantics, then the annotated operator tree
+/// (indented to match the plan sections above it).
+pub(crate) fn render_analysis(stats: &ua_obs::QueryStats) -> String {
+    let mut out = format!(
+        "execution (EXPLAIN ANALYZE, engine={} semantics={}):\n",
+        stats.engine, stats.semantics
+    );
+    for line in stats.render(true).lines() {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.pop();
+    out
 }
 
 /// Source resolver applying the Section 9.2 labeling schemes: annotated

@@ -1,0 +1,241 @@
+//! Observability contract tests.
+//!
+//! The instrumentation layer must be a pure observer: turning stats
+//! collection on must not change a single byte of any result, on either
+//! engine, with the optimizer on or off, at any thread count. On top of
+//! that, `EXPLAIN ANALYZE` must report per-operator rows/time and
+//! est-vs-actual cardinalities on BOTH engines (the acceptance shape:
+//! a 3-way join + GROUP BY), and the AU vectorized driver's fallback
+//! audit counters must tick for operators that route through the row
+//! interpreter.
+
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::{ExecMode, Table, UaSession};
+
+/// Deterministic star schema: `orders(ok, ck, total)` ⋈ `cust(ck, dk)` ⋈
+/// `dept(dk, region)`, plus a TI-annotated `t(g, v, p)` for the UA/AU
+/// paths. Sized so morsel runs at 8 threads split into several tasks.
+fn seeded_session() -> UaSession {
+    let s = UaSession::new();
+    s.register_table(
+        "orders",
+        Table::from_rows(
+            Schema::qualified("orders", ["ok", "ck", "total"]),
+            (0..600i64)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i),
+                        Value::Int((i * 7) % 120),
+                        Value::Int((i * 13) % 500),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "cust",
+        Table::from_rows(
+            Schema::qualified("cust", ["ck", "dk"]),
+            (0..120i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 8)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "dept",
+        Table::from_rows(
+            Schema::qualified("dept", ["dk", "region"]),
+            (0..8i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "t",
+        Table::from_rows(
+            Schema::qualified("t", ["g", "v", "p"]),
+            (0..200i64)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i % 5),
+                        Value::Int(i),
+                        Value::float(if i % 4 == 0 { 0.5 } else { 1.0 }),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    s
+}
+
+const DET_SQL: &str = "SELECT d.region, count(*) AS n, sum(o.total) AS s \
+                       FROM orders o, cust c, dept d \
+                       WHERE o.ck = c.ck AND c.dk = d.dk AND o.total >= 100 \
+                       GROUP BY d.region";
+
+const UA_SQL: &str = "SELECT x.g, x.v FROM t IS TI WITH PROBABILITY (p) x \
+                      WHERE x.v >= 50";
+
+const AU_SQL: &str = "SELECT x.g, count(*) AS n, sum(x.v) AS s \
+                      FROM t IS TI WITH PROBABILITY (p) x GROUP BY x.g";
+
+/// Results must be byte-identical with instrumentation on vs off, across
+/// {Row, Vectorized} × {optimizer on, off} × {1, 2, 8 threads}, for the
+/// deterministic, UA, and AU query paths.
+#[test]
+fn instrumentation_never_changes_results() {
+    ua_vecexec::install();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        for optimizer in [true, false] {
+            for threads in [1usize, 2, 8] {
+                let s = seeded_session();
+                s.set_exec_mode(mode);
+                s.set_optimizer_enabled(optimizer);
+                s.set_vec_threads(threads);
+                let ctx = format!("mode={mode:?} optimizer={optimizer} threads={threads}");
+
+                s.set_stats_enabled(false);
+                let det_off = s.query_det(DET_SQL).expect("det off");
+                let ua_off = s.query_ua(UA_SQL).expect("ua off");
+                let au_off = s.query_au(AU_SQL).expect("au off");
+
+                s.set_stats_enabled(true);
+                let det_on = s.query_det(DET_SQL).expect("det on");
+                let ua_on = s.query_ua(UA_SQL).expect("ua on");
+                let au_on = s.query_au(AU_SQL).expect("au on");
+
+                assert_eq!(det_off.rows(), det_on.rows(), "det rows differ: {ctx}");
+                assert_eq!(
+                    det_off.schema(),
+                    det_on.schema(),
+                    "det schema differs: {ctx}"
+                );
+                assert_eq!(
+                    ua_off.table.rows(),
+                    ua_on.table.rows(),
+                    "UA rows differ: {ctx}"
+                );
+                assert_eq!(
+                    au_off.table.rows(),
+                    au_on.table.rows(),
+                    "AU rows differ: {ctx}"
+                );
+
+                // And the instrumented run actually produced a stats tree.
+                let stats = s.last_query_stats().expect("stats collected");
+                assert!(stats.root.rows_out > 0 || stats.root.children.is_empty());
+            }
+        }
+    }
+}
+
+/// The acceptance shape: EXPLAIN ANALYZE on a 3-way join + GROUP BY
+/// reports per-operator rows, wall time, and est-vs-actual on both
+/// engines; the vectorized report includes the morsel-pool line.
+#[test]
+fn explain_analyze_reports_operators_on_both_engines() {
+    ua_vecexec::install();
+    let s = seeded_session();
+
+    s.set_exec_mode(ExecMode::Row);
+    let row = s.explain_analyze_det(DET_SQL).expect("row explain analyze");
+    s.set_exec_mode(ExecMode::Vectorized);
+    let vec = s.explain_analyze_det(DET_SQL).expect("vec explain analyze");
+
+    for (engine, text) in [("row", &row), ("vectorized", &vec)] {
+        assert!(
+            text.contains(&format!(
+                "execution (EXPLAIN ANALYZE, engine={engine} semantics=det)"
+            )),
+            "{engine}: missing execution header:\n{text}"
+        );
+        for token in ["Aggregate", "HashJoin", "Scan", " rows=", " est=", " time="] {
+            assert!(text.contains(token), "{engine}: missing `{token}`:\n{text}");
+        }
+        // Two joins in the 3-way shape.
+        assert!(
+            text.matches("HashJoin").count() >= 2,
+            "{engine}: expected both joins in the tree:\n{text}"
+        );
+    }
+    assert!(
+        vec.contains("morsel pool: workers="),
+        "vectorized report must include the pool line:\n{vec}"
+    );
+    assert!(
+        vec.contains(" batches="),
+        "vectorized reports batches:\n{vec}"
+    );
+
+    // EXPLAIN ANALYZE must not leave stats collection enabled behind.
+    assert!(!s.stats_enabled(), "stats flag leaked");
+}
+
+/// UA and AU EXPLAIN ANALYZE work end to end as well.
+#[test]
+fn explain_analyze_covers_ua_and_au_semantics() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        let ua = s.explain_analyze_ua(UA_SQL).expect("ua explain analyze");
+        assert!(
+            ua.contains("semantics=ua") && ua.contains(" rows="),
+            "{mode:?}: UA report malformed:\n{ua}"
+        );
+        let au = s.explain_analyze_au(AU_SQL).expect("au explain analyze");
+        assert!(
+            au.contains("semantics=au") && au.contains(" rows="),
+            "{mode:?}: AU report malformed:\n{au}"
+        );
+    }
+}
+
+/// The AU vectorized driver audits every operator it routes through the
+/// row interpreter: running a grouped aggregate must tick the
+/// `au.vec.fallback.aggregate` counter (stats collection does not need to
+/// be enabled for the audit counters).
+#[test]
+fn au_vectorized_fallbacks_are_audited() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    s.set_exec_mode(ExecMode::Vectorized);
+    let reg = ua_obs::global();
+    let agg_before = reg.counter("au.vec.fallback.aggregate").get();
+    s.query_au(AU_SQL).expect("au vec");
+    let agg_after = reg.counter("au.vec.fallback.aggregate").get();
+    assert!(
+        agg_after > agg_before,
+        "grouped AU aggregate must audit its row-interpreter fallback \
+         (before={agg_before}, after={agg_after})"
+    );
+
+    // The row engine must not touch the vectorized fallback counters.
+    s.set_exec_mode(ExecMode::Row);
+    let before_row = reg.counter("au.vec.fallback.aggregate").get();
+    s.query_au(AU_SQL).expect("au row");
+    assert_eq!(
+        reg.counter("au.vec.fallback.aggregate").get(),
+        before_row,
+        "row-engine AU execution must not tick vectorized fallback counters"
+    );
+}
+
+/// Join misestimation feedback: executing with stats on records observed
+/// joins in the planner feedback counters.
+#[test]
+fn planner_feedback_counters_observe_joins() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    s.set_stats_enabled(true);
+    let reg = ua_obs::global();
+    let before = reg.counter("planner.join.observed").get();
+    s.query_det(DET_SQL).expect("det");
+    let after = reg.counter("planner.join.observed").get();
+    assert!(
+        after >= before + 2,
+        "a 3-way join must record >= 2 observed joins (before={before}, after={after})"
+    );
+}

@@ -571,3 +571,69 @@ fn optimizer_toggle_restores_raw_plans() {
         "optimizer on plans a hash join: {text}"
     );
 }
+
+/// Golden EXPLAIN ANALYZE snapshot: the deterministic render
+/// (`OperatorStats::render(false)` — no wall times, no `*_ns` extras) of
+/// the instrumented plan tree on both engines, for the join + GROUP BY
+/// shape. Everything asserted — operator labels, per-operator actual row
+/// counts, `estimate_rows` cardinalities, batch counts — is exact.
+#[test]
+fn explain_analyze_golden_snapshot() {
+    ua_vecexec::install();
+    let s = UaSession::new();
+    s.register_table(
+        "emp",
+        Table::from_rows(
+            Schema::qualified("emp", ["name", "dept", "salary"]),
+            vec![
+                tuple!["ann", "eng", 100i64],
+                tuple!["bob", "eng", 80i64],
+                tuple!["cat", "ops", 60i64],
+                tuple!["dan", "ops", 60i64],
+            ],
+        ),
+    );
+    s.register_table(
+        "dept",
+        Table::from_rows(
+            Schema::qualified("dept", ["name", "city"]),
+            vec![tuple!["eng", "nyc"], tuple!["ops", "chi"]],
+        ),
+    );
+    s.set_stats_enabled(true);
+    s.set_vec_threads(1);
+    let sql = "SELECT d.city, count(*) AS n FROM emp e, dept d \
+               WHERE e.dept = d.name AND e.salary >= 80 GROUP BY d.city";
+
+    s.set_exec_mode(ua_engine::ExecMode::Row);
+    s.query_det(sql).unwrap();
+    let row = s.last_query_stats().unwrap();
+    assert_eq!(
+        row.root.render(false),
+        "Map[city→city, __agg0→n] rows=1 est=2\n\
+         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2\n\
+         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 (build_rows=2, probe_rows=2)\n\
+         \x20     Alias[e] rows=2 est=2\n\
+         \x20       Filter[(salary >= 80)] rows=2 est=2\n\
+         \x20         Scan[emp] rows=4 est=4\n\
+         \x20     Alias[d] rows=2 est=2\n\
+         \x20       Scan[dept] rows=2 est=2\n"
+    );
+
+    // The vectorized tree carries batch counts and lists the hash join's
+    // build-side subtree (dept) before the streamed probe chain.
+    s.set_exec_mode(ua_engine::ExecMode::Vectorized);
+    s.query_det(sql).unwrap();
+    let vec = s.last_query_stats().unwrap();
+    assert_eq!(
+        vec.root.render(false),
+        "Map[city→city, __agg0→n] rows=1 est=2 batches=1\n\
+         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2 batches=1\n\
+         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 batches=1 (build_rows=2, probe_rows=2)\n\
+         \x20     Alias[d] rows=2 est=2 batches=1\n\
+         \x20       Scan[dept] rows=2 est=2 batches=1\n\
+         \x20     Alias[e] rows=2 est=2 batches=1\n\
+         \x20       Filter[(salary >= 80)] rows=2 est=2 batches=1\n\
+         \x20         Scan[emp] rows=4 est=4 batches=1\n"
+    );
+}

@@ -17,8 +17,34 @@
 #![deny(unsafe_code)]
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Instrumentation accumulated across [`ThreadPool::map_in_order`] calls
+/// while the pool is instrumented ([`ThreadPool::set_instrumented`]).
+/// Self-contained (this shim mirrors the real `rayon` API and takes no
+/// workspace dependencies); callers convert it to their own stats types.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolMetrics {
+    /// Configured worker count.
+    pub workers: usize,
+    /// Morsels dispatched.
+    pub tasks: u64,
+    /// Tasks claimed out of a contiguous run: index-order transitions
+    /// between claiming workers beyond the `used_workers - 1` a perfectly
+    /// chunked schedule would show. A proxy for work-stealing churn — 0
+    /// when every worker drains a contiguous range.
+    pub stolen: u64,
+    /// Wall-clock time inside `map_in_order` (all calls summed).
+    pub wall_ns: u64,
+    /// Time spent in the deterministic index-order merge of results.
+    pub merge_ns: u64,
+    /// Per-worker time spent executing tasks.
+    pub worker_busy_ns: Vec<u64>,
+    /// Per-worker tasks executed.
+    pub worker_tasks: Vec<u64>,
+}
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
 #[derive(Default)]
@@ -61,7 +87,11 @@ impl ThreadPoolBuilder {
         } else {
             self.num_threads
         };
-        Ok(ThreadPool { num_threads: n })
+        Ok(ThreadPool {
+            num_threads: n,
+            instrument: AtomicBool::new(false),
+            metrics: Mutex::new(PoolMetrics::default()),
+        })
     }
 }
 
@@ -71,12 +101,29 @@ impl ThreadPoolBuilder {
 /// per-call spawn cost is noise.
 pub struct ThreadPool {
     num_threads: usize,
+    /// Off by default: instrumentation costs two clock reads per task.
+    instrument: AtomicBool,
+    metrics: Mutex<PoolMetrics>,
 }
 
 impl ThreadPool {
     /// The configured worker count.
     pub fn current_num_threads(&self) -> usize {
         self.num_threads
+    }
+
+    /// Turn per-task instrumentation on or off (off by default). The
+    /// setting is read once per [`ThreadPool::map_in_order`] call; it never
+    /// affects results, only whether [`ThreadPool::take_metrics`] has
+    /// anything to report.
+    pub fn set_instrumented(&self, on: bool) {
+        self.instrument.store(on, Ordering::Relaxed);
+    }
+
+    /// Snapshot the accumulated [`PoolMetrics`] and reset them to zero.
+    pub fn take_metrics(&self) -> PoolMetrics {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut m)
     }
 
     /// Run `f` "inside" the pool (compatibility shim — the closure simply
@@ -96,24 +143,39 @@ impl ThreadPool {
         F: Fn(usize, T) -> R + Sync,
     {
         let n = items.len();
+        let instrument = self.instrument.load(Ordering::Relaxed);
+        let wall = if instrument {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let threads = self.num_threads.min(n);
         if threads <= 1 {
-            return items
+            let out: Vec<R> = items
                 .into_iter()
                 .enumerate()
                 .map(|(i, t)| f(i, t))
                 .collect();
+            if let Some(start) = wall {
+                let ns = start.elapsed().as_nanos() as u64;
+                self.record(n as u64, 0, ns, 0, &[(0, ns, n as u64)]);
+            }
+            return out;
         }
         // Shared injector: each slot is claimed exactly once via the atomic
         // cursor; the mutex per slot only hands the owned item across the
         // thread boundary (never contended — the cursor serializes claims).
         let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
         let cursor = AtomicUsize::new(0);
-        let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let collected: Mutex<Vec<(usize, usize, R)>> = Mutex::new(Vec::with_capacity(n));
+        let worker_stats: Mutex<Vec<(usize, u64, u64)>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| {
-                    let mut local: Vec<(usize, R)> = Vec::new();
+            for w in 0..threads {
+                let (f, slots, cursor, collected, worker_stats) =
+                    (&f, &slots, &cursor, &collected, &worker_stats);
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, usize, R)> = Vec::new();
+                    let mut busy_ns = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
@@ -124,7 +186,21 @@ impl ThreadPool {
                             .unwrap_or_else(|e| e.into_inner())
                             .take()
                             .expect("slot claimed once");
-                        local.push((i, f(i, item)));
+                        let task_start = if instrument {
+                            Some(Instant::now())
+                        } else {
+                            None
+                        };
+                        local.push((i, w, f(i, item)));
+                        if let Some(start) = task_start {
+                            busy_ns += start.elapsed().as_nanos() as u64;
+                        }
+                    }
+                    if instrument {
+                        worker_stats
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((w, busy_ns, local.len() as u64));
                     }
                     collected
                         .lock()
@@ -134,13 +210,65 @@ impl ThreadPool {
             }
         });
         // Deterministic merge: scatter by index, then read out in order.
+        let merge_start = if instrument {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        for (i, r) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        let mut owner: Vec<usize> = vec![0; n];
+        for (i, w, r) in collected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            owner[i] = w;
             out[i] = Some(r);
         }
-        out.into_iter()
+        let out: Vec<R> = out
+            .into_iter()
             .map(|r| r.expect("every index produced"))
-            .collect()
+            .collect();
+        if let (Some(wall_start), Some(merge_start)) = (wall, merge_start) {
+            let merge_ns = merge_start.elapsed().as_nanos() as u64;
+            let per_worker = worker_stats.into_inner().unwrap_or_else(|e| e.into_inner());
+            // "Stolen" = claims breaking a contiguous run: index-order
+            // owner transitions beyond the used_workers - 1 a perfectly
+            // chunked schedule would produce.
+            let used = per_worker.iter().filter(|(_, _, t)| *t > 0).count() as u64;
+            let transitions = owner.windows(2).filter(|w| w[0] != w[1]).count() as u64;
+            let stolen = transitions.saturating_sub(used.saturating_sub(1));
+            self.record(
+                n as u64,
+                stolen,
+                wall_start.elapsed().as_nanos() as u64,
+                merge_ns,
+                &per_worker,
+            );
+        }
+        out
+    }
+
+    /// Fold one instrumented `map_in_order` call into the accumulated
+    /// metrics.
+    fn record(
+        &self,
+        tasks: u64,
+        stolen: u64,
+        wall_ns: u64,
+        merge_ns: u64,
+        per_worker: &[(usize, u64, u64)],
+    ) {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        m.workers = self.num_threads;
+        m.tasks += tasks;
+        m.stolen += stolen;
+        m.wall_ns += wall_ns;
+        m.merge_ns += merge_ns;
+        if m.worker_busy_ns.len() < self.num_threads {
+            m.worker_busy_ns.resize(self.num_threads, 0);
+            m.worker_tasks.resize(self.num_threads, 0);
+        }
+        for &(w, busy, t) in per_worker {
+            m.worker_busy_ns[w] += busy;
+            m.worker_tasks[w] += t;
+        }
     }
 }
 
@@ -180,6 +308,29 @@ mod tests {
         let p = ThreadPoolBuilder::new().build().unwrap();
         assert!(p.current_num_threads() >= 1);
         assert_eq!(p.install(|| 42), 42);
+    }
+
+    #[test]
+    fn instrumented_pool_accumulates_metrics_without_changing_results() {
+        let items: Vec<u64> = (0..64).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x + 1).collect();
+        for threads in [1, 4] {
+            let p = pool(threads);
+            p.set_instrumented(true);
+            let got = p.map_in_order(items.clone(), |_, x| x + 1);
+            assert_eq!(got, expected, "threads={threads}");
+            let m = p.take_metrics();
+            assert_eq!(m.workers, threads);
+            assert_eq!(m.tasks, 64);
+            assert_eq!(m.worker_tasks.iter().sum::<u64>(), 64);
+            assert_eq!(m.worker_tasks.len(), threads);
+            // take_metrics resets.
+            assert_eq!(p.take_metrics(), PoolMetrics::default());
+            // Uninstrumented calls leave the metrics untouched.
+            p.set_instrumented(false);
+            p.map_in_order(items.clone(), |_, x| x + 1);
+            assert_eq!(p.take_metrics(), PoolMetrics::default());
+        }
     }
 
     #[test]

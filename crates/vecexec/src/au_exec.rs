@@ -36,8 +36,10 @@ use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
 use ua_engine::plan::Plan;
+use ua_engine::stats::node_label;
 use ua_engine::storage::{Catalog, Table};
-use ua_engine::{EngineError, ExecOptions};
+use ua_engine::{estimate_rows, EngineError, ExecOptions};
+use ua_obs::{OperatorStats, QueryStats, Stopwatch};
 use ua_ranges::{
     au_base_schema, decode_rows, flattened_schema, range_from_parts, range_parts, truth_range,
     AuRelation, RangeValue,
@@ -109,11 +111,40 @@ fn mult_at(batch: &ColumnBatch, n: usize, component: usize, i: usize) -> i64 {
 struct AuDriver<'a> {
     catalog: &'a Catalog,
     batch_rows: usize,
+    /// Collect per-operator [`OperatorStats`] next to the result (results
+    /// are identical on or off).
+    collect_stats: bool,
+}
+
+/// The metric-name suffix of `au.vec.fallback.<kind>` — the global
+/// counters auditing which operators the AU vectorized path hands to the
+/// shared scalar `ua_ranges::ops` implementations instead of running
+/// batch-native. Bumped on every fallback, instrumented or not (an atomic
+/// add), so the audit is always live.
+fn fallback_kind(plan: &Plan) -> Option<&'static str> {
+    match plan {
+        Plan::Join { .. } => Some("join"),
+        Plan::HashJoin { .. } => Some("hash_join"),
+        Plan::UnionAll { .. } => Some("union_all"),
+        Plan::Distinct { .. } => Some("distinct"),
+        Plan::Aggregate { .. } => Some("aggregate"),
+        Plan::Sort { .. } => Some("sort"),
+        Plan::Limit { .. } => Some("limit"),
+        Plan::TopK { .. } => Some("top_k"),
+        Plan::Scan(..) | Plan::Alias { .. } | Plan::Filter { .. } | Plan::Map { .. } => None,
+    }
 }
 
 impl<'a> AuDriver<'a> {
-    fn stream(&self, plan: &Plan) -> Result<AuStream, EngineError> {
-        match plan {
+    fn stream_traced(&self, plan: &Plan) -> Result<(AuStream, Option<OperatorStats>), EngineError> {
+        let timer = self.collect_stats.then(Stopwatch::start);
+        let fallback = fallback_kind(plan);
+        if let Some(kind) = fallback {
+            ua_obs::global()
+                .counter(&format!("au.vec.fallback.{kind}"))
+                .inc();
+        }
+        let (stream, children) = match plan {
             Plan::Scan(name) => {
                 let table = self
                     .catalog
@@ -122,50 +153,75 @@ impl<'a> AuDriver<'a> {
                 // Decode once — validating and *normalizing* exactly like
                 // the row engine's scan — then re-batch the canonical form.
                 let rel = decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)?;
-                Ok(AuStream::from_relation(&rel, self.batch_rows))
+                (AuStream::from_relation(&rel, self.batch_rows), Vec::new())
             }
             Plan::Alias { input, name } => {
-                let stream = self.stream(input)?;
+                let (stream, child) = self.stream_traced(input)?;
                 let user = stream.user.with_qualifier(name);
                 let flat = flattened_schema(&user);
-                Ok(AuStream {
-                    batches: stream
-                        .batches
-                        .iter()
-                        .map(|b| b.with_schema(flat.clone()))
-                        .collect(),
-                    user,
-                    flat,
-                })
+                (
+                    AuStream {
+                        batches: stream
+                            .batches
+                            .iter()
+                            .map(|b| b.with_schema(flat.clone()))
+                            .collect(),
+                        user,
+                        flat,
+                    },
+                    child.into_iter().collect(),
+                )
             }
             Plan::Filter { input, predicate } => {
-                let stream = self.stream(input)?;
-                self.filter(stream, predicate)
+                let (stream, child) = self.stream_traced(input)?;
+                (self.filter(stream, predicate)?, child.into_iter().collect())
             }
             Plan::Map { input, columns } => {
-                let stream = self.stream(input)?;
-                self.map(stream, columns)
+                let (stream, child) = self.stream_traced(input)?;
+                (self.map(stream, columns)?, child.into_iter().collect())
             }
             // Pipeline breakers and joins: evaluate children, run the
             // shared AU operator, re-batch.
             Plan::Join { left, right, .. }
             | Plan::HashJoin { left, right, .. }
             | Plan::UnionAll { left, right } => {
-                let l = self.stream(left)?.to_relation()?;
-                let r = self.stream(right)?.to_relation()?;
-                let out = ua_engine::au_binary(plan, &l, &r)?;
-                Ok(AuStream::from_relation(&out, self.batch_rows))
+                let (ls, lstat) = self.stream_traced(left)?;
+                let (rs, rstat) = self.stream_traced(right)?;
+                let out = ua_engine::au_binary(plan, &ls.to_relation()?, &rs.to_relation()?)?;
+                (
+                    AuStream::from_relation(&out, self.batch_rows),
+                    lstat.into_iter().chain(rstat).collect(),
+                )
             }
             Plan::Distinct { input }
             | Plan::Aggregate { input, .. }
             | Plan::Sort { input, .. }
             | Plan::Limit { input, .. }
             | Plan::TopK { input, .. } => {
-                let rel = self.stream(input)?.to_relation()?;
-                let out = ua_engine::au_unary(plan, &rel)?;
-                Ok(AuStream::from_relation(&out, self.batch_rows))
+                let (stream, child) = self.stream_traced(input)?;
+                let out = ua_engine::au_unary(plan, &stream.to_relation()?)?;
+                (
+                    AuStream::from_relation(&out, self.batch_rows),
+                    child.into_iter().collect(),
+                )
             }
-        }
+        };
+        let stats = timer.map(|timer| {
+            let (name, detail) = node_label(plan);
+            let mut node = OperatorStats::new(name, detail);
+            node.est_rows = estimate_rows(plan, self.catalog);
+            node.rows_out = stream.batches.iter().map(|b| b.len() as u64).sum();
+            node.batches_out = stream.batches.len() as u64;
+            // The timer spans the recursive children, so this is already
+            // the cumulative wall time `OperatorStats` documents.
+            node.wall_ns = timer.elapsed_ns();
+            if fallback.is_some() {
+                node.push_extra("fallback", 1);
+            }
+            node.children = children;
+            node
+        });
+        Ok((stream, stats))
     }
 
     /// `⟦σ_θ⟧_AU`, batch-native: possibly-true rows survive; per row the
@@ -328,13 +384,22 @@ pub fn execute_au_vectorized_opts(
     let driver = AuDriver {
         catalog,
         batch_rows,
+        collect_stats: opts.collect_stats,
     };
-    let stream = driver.stream(plan)?;
+    let (stream, stats) = driver.stream_traced(plan)?;
     let mut rows: Vec<Tuple> = Vec::new();
     for b in &stream.batches {
         for i in 0..b.len() {
             rows.push(b.row(i));
         }
+    }
+    if let Some(root) = stats {
+        ua_obs::set_last_query_stats(QueryStats {
+            engine: "vectorized".into(),
+            semantics: "au".into(),
+            root,
+            pool: None,
+        });
     }
     Ok(Table::from_rows(stream.flat, rows))
 }

@@ -55,8 +55,10 @@ use ua_data::algebra::ProjColumn;
 use ua_data::expr::Expr;
 use ua_data::schema::{Schema, SchemaError};
 use ua_engine::plan::Plan;
+use ua_engine::stats::node_label;
 use ua_engine::storage::{Catalog, Table};
-use ua_engine::{EngineError, ExecOptions};
+use ua_engine::{estimate_rows, EngineError, ExecOptions};
+use ua_obs::{OperatorStats, PoolStats, QueryStats, Stopwatch};
 
 /// Execute `plan` against `catalog` with the vectorized engine using
 /// default options (auto thread count), materializing the result table.
@@ -74,8 +76,10 @@ pub fn execute_vectorized_opts(
     opts: ExecOptions,
 ) -> Result<Table, EngineError> {
     let driver = Driver::new(catalog, opts, false);
-    let stream = driver.stream(plan)?;
-    Ok(table_from_batches_pooled(&stream, &driver.pool))
+    let (stream, stats) = driver.stream_traced(plan)?;
+    let table = table_from_batches_pooled(&stream, &driver.pool);
+    driver.deposit_stats(stats, "det");
+    Ok(table)
 }
 
 /// Execute `plan` into a batch stream with an explicit batch size, serially
@@ -92,6 +96,7 @@ pub fn exec_stream(
         ExecOptions {
             threads: 1,
             batch_rows,
+            collect_stats: false,
         },
     )
 }
@@ -142,6 +147,9 @@ pub(crate) struct Driver<'a> {
     catalog: &'a Catalog,
     batch_rows: usize,
     ua: bool,
+    /// Collect per-stage [`OperatorStats`] (and morsel-pool metrics) next
+    /// to the result. Results are byte-identical on or off.
+    collect_stats: bool,
     pub(crate) pool: rayon::ThreadPool,
 }
 
@@ -202,53 +210,141 @@ impl<'a> Driver<'a> {
             .num_threads(resolve_threads(opts.threads))
             .build()
             .expect("shim pool construction is infallible");
+        pool.set_instrumented(opts.collect_stats);
         Driver {
             catalog,
             batch_rows,
             ua,
+            collect_stats: opts.collect_stats,
             pool,
+        }
+    }
+
+    /// Publish an instrumented run's stats through the thread-local
+    /// handoff slot ([`ua_obs::set_last_query_stats`]) for the session to
+    /// adopt — the hook signatures stay stats-agnostic.
+    pub(crate) fn deposit_stats(&self, root: Option<OperatorStats>, semantics: &str) {
+        if let Some(root) = root {
+            let m = self.pool.take_metrics();
+            let pool = PoolStats {
+                workers: m.workers as u64,
+                tasks: m.tasks,
+                stolen: m.stolen,
+                wall_ns: m.wall_ns,
+                merge_ns: m.merge_ns,
+                worker_busy_ns: m.worker_busy_ns,
+                worker_tasks: m.worker_tasks,
+            };
+            ua_obs::set_last_query_stats(QueryStats {
+                engine: "vectorized".into(),
+                semantics: semantics.into(),
+                root,
+                pool: Some(pool),
+            });
         }
     }
 
     /// Execute `plan` to a batch stream.
     pub(crate) fn stream(&self, plan: &Plan) -> Result<BatchStream, EngineError> {
-        let mut specs = Vec::new();
-        let source_plan = self.collect_chain(plan, &mut specs)?;
-        let source = self.source(source_plan)?;
-        if specs.is_empty() {
-            return Ok(source);
-        }
-        let (stages, out_schema) = self.bind_stages(specs, source.schema.clone())?;
-        let results = self
-            .pool
-            .map_in_order(source.batches, |_, batch| run_chain(batch, &stages));
-        let mut batches = Vec::new();
-        for r in results {
-            // `?` on the lowest-indexed error reproduces the serial loop's
-            // failure; later morsels' speculative work is discarded.
-            batches.extend(r?);
-        }
-        Ok(BatchStream {
-            schema: out_schema,
-            batches,
-        })
+        self.stream_traced(plan).map(|(s, _)| s)
     }
 
-    /// Walk down the plan collecting pipelineable stages (top-down order);
-    /// returns the pipeline's source node.
+    /// Execute `plan` to a batch stream, returning the per-stage span tree
+    /// when stats collection is on (`None` otherwise).
+    ///
+    /// Instrumentation is collected off the result path: every morsel's
+    /// per-stage tallies ride next to its output batches through the same
+    /// `map_in_order`, and both merge in deterministic batch-index order —
+    /// tallies by summation, batches exactly as the untraced path would.
+    pub(crate) fn stream_traced(
+        &self,
+        plan: &Plan,
+    ) -> Result<(BatchStream, Option<OperatorStats>), EngineError> {
+        let mut specs = Vec::new();
+        let source_plan = self.collect_chain(plan, &mut specs)?;
+        let (source, source_stats) = self.source_traced(source_plan)?;
+        if specs.is_empty() {
+            return Ok((source, source_stats));
+        }
+        let (stages, out_schema, metas) = self.bind_stages(specs, source.schema.clone())?;
+        if !self.collect_stats {
+            let results = self
+                .pool
+                .map_in_order(source.batches, |_, batch| run_chain(batch, &stages));
+            let mut batches = Vec::new();
+            for r in results {
+                // `?` on the lowest-indexed error reproduces the serial
+                // loop's failure; later morsels' speculative work is
+                // discarded.
+                batches.extend(r?);
+            }
+            return Ok((
+                BatchStream {
+                    schema: out_schema,
+                    batches,
+                },
+                None,
+            ));
+        }
+        let n_stages = stages.len();
+        let results = self
+            .pool
+            .map_in_order(source.batches, |_, batch| run_chain_traced(batch, &stages));
+        let mut batches = Vec::new();
+        let mut tallies = vec![StageTally::default(); n_stages];
+        for r in results {
+            let (bs, ts) = r?;
+            batches.extend(bs);
+            for (acc, t) in tallies.iter_mut().zip(ts) {
+                acc.merge(&t);
+            }
+        }
+        // Wrap the source span in one node per stage, innermost (first to
+        // run) deepest — the tree mirrors the executed pipeline.
+        let mut node = source_stats.expect("tracing yields source stats");
+        let metas = metas.expect("tracing yields stage metas");
+        for (meta, tally) in metas.into_iter().zip(tallies) {
+            let mut n = OperatorStats::new(meta.name, meta.detail);
+            n.est_rows = meta.est_rows;
+            n.rows_out = tally.rows_out;
+            n.batches_out = tally.batches_out;
+            n.extra = meta.extra;
+            if n.name == "HashJoin" || n.name == "Join" || n.name == "Cross" {
+                n.push_extra("probe_rows", node.rows_out);
+            }
+            let mut children = meta.children;
+            children.push(node);
+            n.wall_ns = tally.wall_ns + children.iter().map(|c| c.wall_ns).sum::<u64>();
+            n.children = children;
+            node = n;
+        }
+        Ok((
+            BatchStream {
+                schema: out_schema,
+                batches,
+            },
+            Some(node),
+        ))
+    }
+
+    /// Walk down the plan collecting pipelineable stages (top-down order),
+    /// each paired with the plan node it came from (for stage labels and
+    /// cardinality estimates when tracing); returns the pipeline's source
+    /// node.
     fn collect_chain<'p>(
         &self,
         plan: &'p Plan,
-        specs: &mut Vec<Spec<'p>>,
+        specs: &mut Vec<(Spec<'p>, &'p Plan)>,
     ) -> Result<&'p Plan, EngineError> {
         let mut cur = plan;
         loop {
+            let node = cur;
             match cur {
                 Plan::Filter { input, predicate } => {
                     if self.ua {
                         reject_marker_reference(predicate)?;
                     }
-                    specs.push(Spec::Filter(predicate));
+                    specs.push((Spec::Filter(predicate), node));
                     cur = input;
                 }
                 Plan::Map { input, columns } => {
@@ -265,11 +361,11 @@ impl<'a> Driver<'a> {
                             reject_marker_reference(&c.expr)?;
                         }
                     }
-                    specs.push(Spec::Project(columns));
+                    specs.push((Spec::Project(columns), node));
                     cur = input;
                 }
                 Plan::Alias { input, name } => {
-                    specs.push(Spec::Requalify(name));
+                    specs.push((Spec::Requalify(name), node));
                     cur = input;
                 }
                 Plan::HashJoin {
@@ -293,12 +389,15 @@ impl<'a> Driver<'a> {
                     } else {
                         (&**right, &**left)
                     };
-                    specs.push(Spec::HashJoin {
-                        build_plan,
-                        keys,
-                        residual: residual.as_ref(),
-                        build_left: *build_left,
-                    });
+                    specs.push((
+                        Spec::HashJoin {
+                            build_plan,
+                            keys,
+                            residual: residual.as_ref(),
+                            build_left: *build_left,
+                        },
+                        node,
+                    ));
                     cur = probe_plan;
                 }
                 Plan::Join {
@@ -311,10 +410,13 @@ impl<'a> Driver<'a> {
                             reject_marker_reference(p)?;
                         }
                     }
-                    specs.push(Spec::Theta {
-                        right,
-                        predicate: predicate.as_ref(),
-                    });
+                    specs.push((
+                        Spec::Theta {
+                            right,
+                            predicate: predicate.as_ref(),
+                        },
+                        node,
+                    ));
                     cur = left;
                 }
                 _ => return Ok(cur),
@@ -323,15 +425,31 @@ impl<'a> Driver<'a> {
     }
 
     /// Bind the collected stages bottom-up against the evolving schema,
-    /// executing join build sides, then fuse adjacent filter pairs.
+    /// executing join build sides, then fuse adjacent filter pairs. When
+    /// tracing, a [`StageMeta`] per bound stage rides along (labels,
+    /// estimates, build-side span trees), fused in lockstep with the
+    /// stages.
     fn bind_stages(
         &self,
-        specs: Vec<Spec<'_>>,
+        specs: Vec<(Spec<'_>, &Plan)>,
         source_schema: Schema,
-    ) -> Result<(Vec<Stage>, Schema), EngineError> {
+    ) -> Result<BoundStages, EngineError> {
         let mut schema = source_schema;
         let mut stages: Vec<Stage> = Vec::with_capacity(specs.len());
-        for spec in specs.into_iter().rev() {
+        let mut metas: Option<Vec<StageMeta>> = self
+            .collect_stats
+            .then(|| Vec::with_capacity(stages.capacity()));
+        for (spec, node_plan) in specs.into_iter().rev() {
+            let mut meta = metas.as_ref().map(|_| {
+                let (name, detail) = node_label(node_plan);
+                StageMeta {
+                    name,
+                    detail,
+                    est_rows: estimate_rows(node_plan, self.catalog),
+                    extra: Vec::new(),
+                    children: Vec::new(),
+                }
+            });
             match spec {
                 Spec::Filter(p) => {
                     let bound = p.bind(&schema).map_err(EngineError::Expr)?;
@@ -357,7 +475,16 @@ impl<'a> Driver<'a> {
                     residual,
                     build_left,
                 } => {
-                    let build = self.stream(build_plan)?;
+                    let build_timer = meta.as_ref().map(|_| Stopwatch::start());
+                    let (build, build_stats) = self.stream_traced(build_plan)?;
+                    if let (Some(m), Some(timer)) = (meta.as_mut(), build_timer) {
+                        m.extra.push(("build_ns".into(), timer.elapsed_ns()));
+                        m.extra.push((
+                            "build_rows".into(),
+                            build.batches.iter().map(|b| b.len() as u64).sum(),
+                        ));
+                        m.children.extend(build_stats);
+                    }
                     let (left_schema, right_schema) = if build_left {
                         (build.schema.clone(), schema.clone())
                     } else {
@@ -375,7 +502,16 @@ impl<'a> Driver<'a> {
                     stages.push(Stage::Probe(state));
                 }
                 Spec::Theta { right, predicate } => {
-                    let right_stream = self.stream(right)?;
+                    let build_timer = meta.as_ref().map(|_| Stopwatch::start());
+                    let (right_stream, right_stats) = self.stream_traced(right)?;
+                    if let (Some(m), Some(timer)) = (meta.as_mut(), build_timer) {
+                        m.extra.push(("build_ns".into(), timer.elapsed_ns()));
+                        m.extra.push((
+                            "build_rows".into(),
+                            right_stream.batches.iter().map(|b| b.len() as u64).sum(),
+                        ));
+                        m.children.extend(right_stats);
+                    }
                     let out_schema = schema.concat(&right_stream.schema);
                     let bound = predicate
                         .map(|p| p.bind(&out_schema))
@@ -401,32 +537,39 @@ impl<'a> Driver<'a> {
                     schema = out_schema;
                 }
             }
+            if let (Some(ms), Some(m)) = (metas.as_mut(), meta) {
+                ms.push(m);
+            }
         }
-        Ok((fuse_stages(stages), schema))
+        let (stages, metas) = fuse_stages(stages, metas);
+        Ok((stages, schema, metas))
     }
 
-    /// Execute a pipeline source / breaker node.
-    fn source(&self, plan: &Plan) -> Result<BatchStream, EngineError> {
-        match plan {
+    /// Execute a pipeline source / breaker node, with its span when
+    /// tracing.
+    fn source_traced(
+        &self,
+        plan: &Plan,
+    ) -> Result<(BatchStream, Option<OperatorStats>), EngineError> {
+        let timer = self.collect_stats.then(Stopwatch::start);
+        let (stream, children) = match plan {
             Plan::Scan(name) => {
                 let table = self
                     .catalog
                     .get(name)
                     .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-                if self.ua {
-                    batches_from_encoded_table_pooled(&table, name, self.batch_rows, &self.pool)
+                let stream = if self.ua {
+                    batches_from_encoded_table_pooled(&table, name, self.batch_rows, &self.pool)?
                 } else {
-                    Ok(batches_from_table_pooled(
-                        &table,
-                        self.batch_rows,
-                        &self.pool,
-                    ))
-                }
+                    batches_from_table_pooled(&table, self.batch_rows, &self.pool)
+                };
+                (stream, Vec::new())
             }
             Plan::UnionAll { left, right } => {
-                let l = self.stream(left)?;
-                let r = self.stream(right)?;
-                ops::union_all(l, r)
+                let (l, ls) = self.stream_traced(left)?;
+                let (r, rs) = self.stream_traced(right)?;
+                let children = ls.into_iter().chain(rs).collect();
+                (ops::union_all(l, r)?, children)
             }
             Plan::Sort { input, keys } => {
                 if self.ua {
@@ -434,8 +577,11 @@ impl<'a> Driver<'a> {
                         reject_marker_reference(k)?;
                     }
                 }
-                let stream = self.stream(input)?;
-                ops::sort(stream, keys, self.batch_rows)
+                let (stream, child) = self.stream_traced(input)?;
+                (
+                    ops::sort(stream, keys, self.batch_rows)?,
+                    child.into_iter().collect(),
+                )
             }
             Plan::TopK { input, keys, limit } => {
                 if self.ua {
@@ -443,32 +589,40 @@ impl<'a> Driver<'a> {
                         reject_marker_reference(k)?;
                     }
                 }
-                let stream = self.stream(input)?;
-                ops::top_k(stream, keys, *limit, self.batch_rows)
+                let (stream, child) = self.stream_traced(input)?;
+                (
+                    ops::top_k(stream, keys, *limit, self.batch_rows)?,
+                    child.into_iter().collect(),
+                )
             }
             Plan::Limit { input, limit } => {
-                let stream = self.stream(input)?;
-                Ok(ops::limit(stream, *limit))
+                let (stream, child) = self.stream_traced(input)?;
+                (ops::limit(stream, *limit), child.into_iter().collect())
             }
             Plan::Distinct { input } if !self.ua => {
-                let stream = self.stream(input)?;
-                Ok(ops::distinct(stream))
+                let (stream, child) = self.stream_traced(input)?;
+                (ops::distinct(stream), child.into_iter().collect())
             }
             Plan::Aggregate {
                 input,
                 group_by,
                 aggregates,
             } if !self.ua => {
-                let stream = self.stream(input)?;
-                ops::aggregate(stream, group_by, aggregates)
+                let (stream, child) = self.stream_traced(input)?;
+                (
+                    ops::aggregate(stream, group_by, aggregates)?,
+                    child.into_iter().collect(),
+                )
             }
-            Plan::Distinct { .. } | Plan::Aggregate { .. } => Err(EngineError::Sql(
-                "UA queries support the positive relational algebra \
-                 (selection, projection, join, UNION ALL) plus trailing \
-                 ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
-                 under UA semantics"
-                    .into(),
-            )),
+            Plan::Distinct { .. } | Plan::Aggregate { .. } => {
+                return Err(EngineError::Sql(
+                    "UA queries support the positive relational algebra \
+                     (selection, projection, join, UNION ALL) plus trailing \
+                     ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
+                     under UA semantics"
+                        .into(),
+                ))
+            }
             Plan::Filter { .. }
             | Plan::Map { .. }
             | Plan::Alias { .. }
@@ -476,15 +630,80 @@ impl<'a> Driver<'a> {
             | Plan::HashJoin { .. } => {
                 unreachable!("pipelineable nodes are collected into the chain")
             }
-        }
+        };
+        let stats = timer.map(|timer| {
+            // `timer` spans children too, so the elapsed time is already
+            // cumulative — exactly the [`OperatorStats::wall_ns`] contract.
+            let (name, detail) = node_label(plan);
+            let mut node = OperatorStats::new(name, detail);
+            node.est_rows = estimate_rows(plan, self.catalog);
+            node.rows_out = stream.batches.iter().map(|b| b.len() as u64).sum();
+            node.batches_out = stream.batches.len() as u64;
+            node.wall_ns = timer.elapsed_ns();
+            node.children = children;
+            node
+        });
+        Ok((stream, stats))
+    }
+}
+
+/// Bound pipeline stages, the schema they produce, and (when tracing)
+/// their [`StageMeta`] companions.
+type BoundStages = (Vec<Stage>, Schema, Option<Vec<StageMeta>>);
+
+/// Labels, estimates and child spans for one bound pipeline stage,
+/// assembled into [`OperatorStats`] after the morsel tallies merge.
+struct StageMeta {
+    name: String,
+    detail: String,
+    est_rows: Option<u64>,
+    extra: Vec<(String, u64)>,
+    children: Vec<OperatorStats>,
+}
+
+/// Per-stage output tallies for one morsel's run through the chain,
+/// summed across morsels in batch-index order.
+#[derive(Clone, Default)]
+struct StageTally {
+    rows_out: u64,
+    batches_out: u64,
+    wall_ns: u64,
+}
+
+impl StageTally {
+    fn merge(&mut self, other: &StageTally) {
+        self.rows_out += other.rows_out;
+        self.batches_out += other.batches_out;
+        self.wall_ns += other.wall_ns;
     }
 }
 
 /// Fuse adjacent `Filter→Project` / `Filter→Probe` stage pairs so the
-/// selection bitmap is consumed in the same pass it is produced.
-fn fuse_stages(stages: Vec<Stage>) -> Vec<Stage> {
+/// selection bitmap is consumed in the same pass it is produced. Stage
+/// metas (when tracing) fuse in lockstep: the merged span keeps the
+/// consumer's label with the filter's predicate folded into its detail,
+/// so the tree mirrors the kernels that actually ran.
+fn fuse_stages(
+    stages: Vec<Stage>,
+    metas: Option<Vec<StageMeta>>,
+) -> (Vec<Stage>, Option<Vec<StageMeta>>) {
+    let tracing = metas.is_some();
+    let mut metas = metas.unwrap_or_default().into_iter();
     let mut out: Vec<Stage> = Vec::with_capacity(stages.len());
+    let mut out_metas: Vec<StageMeta> = Vec::new();
+    let fuse_meta = |out_metas: &mut Vec<StageMeta>, meta: Option<StageMeta>| {
+        if let (Some(filter), Some(mut consumer)) = (out_metas.pop(), meta) {
+            consumer.detail = if consumer.detail.is_empty() {
+                format!("σ[{}]", filter.detail)
+            } else {
+                format!("{}; σ[{}]", consumer.detail, filter.detail)
+            };
+            consumer.extra.push(("fused_filter".into(), 1));
+            out_metas.push(consumer);
+        }
+    };
     for stage in stages {
+        let meta = if tracing { metas.next() } else { None };
         match (out.pop(), stage) {
             (Some(Stage::Filter(pred)), Stage::Project { exprs, schema }) => {
                 out.push(Stage::FilterProject {
@@ -492,19 +711,24 @@ fn fuse_stages(stages: Vec<Stage>) -> Vec<Stage> {
                     exprs,
                     schema,
                 });
+                fuse_meta(&mut out_metas, meta);
             }
             (Some(Stage::Filter(pred)), Stage::Probe(probe)) => {
                 out.push(Stage::FilterProbe { pred, probe });
+                fuse_meta(&mut out_metas, meta);
             }
             (prev, stage) => {
                 if let Some(p) = prev {
                     out.push(p);
                 }
                 out.push(stage);
+                if let Some(m) = meta {
+                    out_metas.push(m);
+                }
             }
         }
     }
-    out
+    (out, tracing.then_some(out_metas))
 }
 
 /// Run one morsel through the stage chain. Pure function of the input
@@ -525,6 +749,36 @@ fn run_chain(batch: ColumnBatch, stages: &[Stage]) -> Result<Vec<ColumnBatch>, E
         cur = next;
     }
     Ok(cur)
+}
+
+/// [`run_chain`] plus a per-stage [`StageTally`] — the instrumented morsel
+/// run. Stats ride *next to* the batches; the batches themselves are what
+/// `run_chain` would produce, bit for bit.
+fn run_chain_traced(
+    batch: ColumnBatch,
+    stages: &[Stage],
+) -> Result<(Vec<ColumnBatch>, Vec<StageTally>), EngineError> {
+    let mut tallies = vec![StageTally::default(); stages.len()];
+    if batch.is_empty() {
+        return Ok((Vec::new(), tallies));
+    }
+    let mut cur = vec![batch];
+    for (i, stage) in stages.iter().enumerate() {
+        let timer = Stopwatch::start();
+        let mut next = Vec::new();
+        for b in cur {
+            apply_stage(stage, b, &mut next)?;
+        }
+        let t = &mut tallies[i];
+        t.wall_ns += timer.elapsed_ns();
+        t.rows_out += next.iter().map(|b| b.len() as u64).sum::<u64>();
+        t.batches_out += next.len() as u64;
+        if next.is_empty() {
+            return Ok((next, tallies));
+        }
+        cur = next;
+    }
+    Ok((cur, tallies))
 }
 
 fn apply_stage(

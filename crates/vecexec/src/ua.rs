@@ -60,8 +60,10 @@ pub fn execute_ua_vectorized_opts(
     opts: ExecOptions,
 ) -> Result<Table, EngineError> {
     let driver = Driver::new(catalog, opts, true);
-    let stream = driver.stream(plan)?;
-    Ok(encoded_table_from_batches_pooled(&stream, &driver.pool))
+    let (stream, stats) = driver.stream_traced(plan)?;
+    let table = encoded_table_from_batches_pooled(&stream, &driver.pool);
+    driver.deposit_stats(stats, "ua");
+    Ok(table)
 }
 
 /// The batch-level UA evaluator, serial, with an explicit batch size (the
@@ -78,6 +80,7 @@ pub fn ua_stream(
         ExecOptions {
             threads: 1,
             batch_rows,
+            collect_stats: false,
         },
     )
 }

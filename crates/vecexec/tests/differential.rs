@@ -457,6 +457,7 @@ fn opts(threads: usize, batch_rows: usize) -> ExecOptions {
     ExecOptions {
         threads,
         batch_rows,
+        collect_stats: false,
     }
 }
 

@@ -28,6 +28,7 @@
 //! | [`core`] | **UA-DBs**: pair annotations, `Enc`, the `⟦·⟧_UA` rewriting |
 //! | [`engine`] | row-store executor, SQL frontend, UA middleware, [`engine::ExecMode`] |
 //! | [`vecexec`] | batch-oriented columnar executor with UA label bitmaps, morsel-parallel pipelines and columnar Sort/Top-K |
+//! | [`obs`] | metrics registry, per-operator [`obs::OperatorStats`] spans, `EXPLAIN ANALYZE` plumbing |
 //! | [`baselines`] | Libkin, MayBMS-style, MCDB-style comparison systems |
 //! | [`datagen`] | seeded workload generators for every experiment |
 //!
@@ -78,6 +79,7 @@ pub use ua_datagen as datagen;
 pub use ua_engine as engine;
 pub use ua_incomplete as incomplete;
 pub use ua_models as models;
+pub use ua_obs as obs;
 pub use ua_ranges as ranges;
 pub use ua_semiring as semiring;
 pub use ua_vecexec as vecexec;
