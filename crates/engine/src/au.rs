@@ -211,59 +211,6 @@ pub fn agg_kind(func: AggFunc) -> AggKind {
     }
 }
 
-/// Shift bound (positional) column references by `offset` — used to
-/// re-base a hash join's right-side key expressions onto the concatenated
-/// schema.
-fn shift_cols(expr: &Expr, offset: usize) -> Expr {
-    match expr {
-        Expr::Col(i) => Expr::Col(i + offset),
-        Expr::Named(_) | Expr::Lit(_) => expr.clone(),
-        Expr::Cmp(op, a, b) => Expr::Cmp(
-            *op,
-            Box::new(shift_cols(a, offset)),
-            Box::new(shift_cols(b, offset)),
-        ),
-        Expr::And(a, b) => Expr::And(
-            Box::new(shift_cols(a, offset)),
-            Box::new(shift_cols(b, offset)),
-        ),
-        Expr::Or(a, b) => Expr::Or(
-            Box::new(shift_cols(a, offset)),
-            Box::new(shift_cols(b, offset)),
-        ),
-        Expr::Not(a) => Expr::Not(Box::new(shift_cols(a, offset))),
-        Expr::Arith(op, a, b) => Expr::Arith(
-            *op,
-            Box::new(shift_cols(a, offset)),
-            Box::new(shift_cols(b, offset)),
-        ),
-        Expr::IsNull(a) => Expr::IsNull(Box::new(shift_cols(a, offset))),
-        Expr::Case {
-            branches,
-            otherwise,
-        } => Expr::Case {
-            branches: branches
-                .iter()
-                .map(|(c, v)| (shift_cols(c, offset), shift_cols(v, offset)))
-                .collect(),
-            otherwise: otherwise.as_ref().map(|e| Box::new(shift_cols(e, offset))),
-        },
-        Expr::Between(e, lo, hi) => Expr::Between(
-            Box::new(shift_cols(e, offset)),
-            Box::new(shift_cols(lo, offset)),
-            Box::new(shift_cols(hi, offset)),
-        ),
-        Expr::InList(e, list) => Expr::InList(
-            Box::new(shift_cols(e, offset)),
-            list.iter().map(|i| shift_cols(i, offset)).collect(),
-        ),
-        Expr::Least(a, b) => Expr::Least(
-            Box::new(shift_cols(a, offset)),
-            Box::new(shift_cols(b, offset)),
-        ),
-    }
-}
-
 /// Execute an AU plan on the row engine: each operator interprets over
 /// [`AuRelation`]s via the shared `ua_ranges::ops` — the same code the
 /// vectorized engine's fallbacks call (through [`au_unary`]/[`au_binary`]),
@@ -382,21 +329,13 @@ pub fn au_binary(plan: &Plan, l: &AuRelation, r: &AuRelation) -> Result<AuRelati
         Plan::Join { predicate, .. } => {
             ua_ranges::ops::join(l, r, predicate.as_ref()).map_err(EngineError::Expr)
         }
-        Plan::HashJoin { keys, residual, .. } => {
-            // The AU pipeline plans no hash joins itself; accept them from
-            // programmatic plans by lowering back to the logical θ-join
-            // (right-side positional keys re-based onto the concatenation).
-            let offset = l.schema().arity();
-            let mut conjuncts: Vec<Expr> = keys
-                .iter()
-                .map(|(kl, kr)| kl.clone().eq(shift_cols(kr, offset)))
-                .collect();
-            if let Some(res) = residual {
-                conjuncts.push(res.clone());
-            }
-            let predicate = Expr::conjunction(conjuncts);
-            ua_ranges::ops::join(l, r, Some(&predicate)).map_err(EngineError::Expr)
-        }
+        Plan::HashJoin {
+            keys,
+            residual,
+            build_left,
+            ..
+        } => ua_ranges::ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
+            .map_err(EngineError::Expr),
         Plan::UnionAll { .. } => ua_ranges::ops::union(l, r).map_err(EngineError::Schema),
         other => Err(EngineError::Sql(format!(
             "not a binary AU operator: {other}"
@@ -432,11 +371,30 @@ impl UaSession {
         self.execute_au_plan(plan)
     }
 
+    /// The optimizer pipeline on an AU plan (mirroring the UA wiring):
+    /// filter pushdown, statistics-driven join reordering,
+    /// cost-aware hash-join planning and TopK fusion all run on the shared
+    /// user plan before `⟦·⟧_AU` dispatch, so the row and vectorized
+    /// engines execute identically shaped plans. Positional join
+    /// classification is off — AU scans resolve to flattened encoded
+    /// tables (arity `3n + 3`), so only name-based references (the user
+    /// columns, which lead the flattened schema) classify reliably.
+    pub(crate) fn optimize_au_plan(&self, plan: &Plan) -> Plan {
+        self.optimize_plan_with(
+            plan.clone(),
+            crate::optimize::OptimizerPasses {
+                positional_joins: false,
+                ..Default::default()
+            },
+        )
+    }
+
     fn execute_au_plan(&self, plan: &Plan) -> Result<AuResult, EngineError> {
         // One uniform guard before dispatch: both engines reject marker
         // references (selection, projection, joins, sort keys, GROUP BY
         // keys, aggregate arguments) identically.
         reject_marker_in_plan(plan)?;
+        let plan = &self.optimize_au_plan(plan);
         match self.exec_mode() {
             ExecMode::Row => {
                 let rel = if self.stats_enabled() {
@@ -471,9 +429,10 @@ impl UaSession {
     pub fn explain_analyze_au(&self, sql: &str) -> Result<String, EngineError> {
         let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
         let plan = plan_query(&ast, self.catalog(), &AuResolver)?;
+        let physical = self.optimize_au_plan(&plan);
         let stats = self.run_analyzed(|| self.execute_au_plan(&plan).map(|_| ()))?;
         Ok(format!(
-            "plan:\n  {plan}\n{}",
+            "plan:\n  {plan}\nphysical (optimized):\n  {physical}\n{}",
             crate::ua::render_analysis(&stats)
         ))
     }

@@ -270,7 +270,11 @@ impl UaSession {
         reordered.to_ra().unwrap_or(ra)
     }
 
-    fn optimize_plan_with(&self, plan: Plan, passes: crate::optimize::OptimizerPasses) -> Plan {
+    pub(crate) fn optimize_plan_with(
+        &self,
+        plan: Plan,
+        passes: crate::optimize::OptimizerPasses,
+    ) -> Plan {
         if self.optimizer_enabled() {
             let passes = crate::optimize::OptimizerPasses {
                 reorder_joins: passes.reorder_joins && self.reorder_joins_enabled(),

@@ -194,30 +194,39 @@ fn explain_analyze_covers_ua_and_au_semantics() {
 }
 
 /// The AU vectorized driver audits every operator it routes through the
-/// row interpreter: running a grouped aggregate must tick the
-/// `au.vec.fallback.aggregate` counter (stats collection does not need to
-/// be enabled for the audit counters).
+/// row interpreter. `DISTINCT` is the one remaining fallback and must
+/// tick `au.vec.fallback.distinct`; the grouped aggregate is batch-native
+/// now and must leave `au.vec.fallback.aggregate` untouched (stats
+/// collection does not need to be enabled for the audit counters).
 #[test]
 fn au_vectorized_fallbacks_are_audited() {
     ua_vecexec::install();
     let s = seeded_session();
     s.set_exec_mode(ExecMode::Vectorized);
     let reg = ua_obs::global();
+    let distinct_sql = "SELECT DISTINCT x.g FROM t IS TI WITH PROBABILITY (p) x";
+    let distinct_before = reg.counter("au.vec.fallback.distinct").get();
     let agg_before = reg.counter("au.vec.fallback.aggregate").get();
+    s.query_au(distinct_sql).expect("au vec distinct");
     s.query_au(AU_SQL).expect("au vec");
-    let agg_after = reg.counter("au.vec.fallback.aggregate").get();
     assert!(
-        agg_after > agg_before,
-        "grouped AU aggregate must audit its row-interpreter fallback \
-         (before={agg_before}, after={agg_after})"
+        reg.counter("au.vec.fallback.distinct").get() > distinct_before,
+        "AU DISTINCT must audit its row-interpreter fallback"
+    );
+    assert_eq!(
+        reg.counter("au.vec.fallback.aggregate").get(),
+        agg_before,
+        "grouped AU aggregation is batch-native and must not tick its \
+         fallback counter"
     );
 
     // The row engine must not touch the vectorized fallback counters.
     s.set_exec_mode(ExecMode::Row);
-    let before_row = reg.counter("au.vec.fallback.aggregate").get();
+    let before_row = reg.counter("au.vec.fallback.distinct").get();
+    s.query_au(distinct_sql).expect("au row distinct");
     s.query_au(AU_SQL).expect("au row");
     assert_eq!(
-        reg.counter("au.vec.fallback.aggregate").get(),
+        reg.counter("au.vec.fallback.distinct").get(),
         before_row,
         "row-engine AU execution must not tick vectorized fallback counters"
     );

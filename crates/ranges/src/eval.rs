@@ -208,11 +208,20 @@ pub fn approx_range(expr: &Expr, ranges: &[RangeValue]) -> RangeValue {
 pub fn eval_range(expr: &Expr, ranges: &[RangeValue], bg: &Tuple) -> Result<RangeValue, ExprError> {
     let exact = expr.eval(bg)?;
     let approx = approx_range(expr, ranges);
-    Ok(RangeValue::new(
-        approx.lb().clone(),
-        exact,
-        approx.ub().clone(),
-    ))
+    Ok(reanchor(&approx, exact))
+}
+
+/// Re-anchor an approximate range on the exact scalar selected guess.
+/// Ordinary re-normalization ([`RangeValue::new`]) applies, except that a
+/// definite NULL stays definite when the exact result is `NULL` — plain
+/// normalization would widen it to top and lose the `IS NULL` certainty
+/// on pass-through projections. Shared by [`eval_range`] and the
+/// vectorized executor's computed-column path.
+pub fn reanchor(approx: &RangeValue, exact: Value) -> RangeValue {
+    if approx.is_null() && exact == Value::Null {
+        return RangeValue::null();
+    }
+    RangeValue::new(approx.lb().clone(), exact, approx.ub().clone())
 }
 
 /// Whether every grounding of the ranges on both sides is comparable under
@@ -266,13 +275,17 @@ pub fn truth_range(expr: &Expr, ranges: &[RangeValue]) -> RangeTruth {
         Expr::Not(a) => truth_range(a, ranges).not(),
         Expr::IsNull(a) => {
             // Only the top range may ground to NULL; a bounded range never
-            // does. "Definitely NULL" is not representable, so IS NULL is
-            // never *certainly* true — a sound under-approximation.
+            // does. A *definite* NULL ([`RangeValue::null`]) grounds to
+            // NULL in every world, so IS NULL is certainly true there.
             let r = approx_range(a, ranges);
-            RangeTruth {
-                t: r.is_top(),
-                f: true,
-                u: false,
+            if r.is_null() {
+                RangeTruth::exact(Truth::True)
+            } else {
+                RangeTruth {
+                    t: r.is_top(),
+                    f: true,
+                    u: false,
+                }
             }
         }
         Expr::Between(e, lo, hi) => {
@@ -389,6 +402,45 @@ mod tests {
                 "{e}: a true grounding exists but possibility denied"
             );
         }
+    }
+
+    #[test]
+    fn is_null_certainty_tracks_definite_null() {
+        let ranges = vec![
+            RangeValue::null(),
+            RangeValue::point(Value::Int(5)),
+            RangeValue::top(Value::Null),
+        ];
+        let certain = truth_range(&Expr::IsNull(Box::new(Expr::Col(0))), &ranges);
+        assert!(certain.certainly_true(), "definitely-NULL attribute");
+        let never = truth_range(&Expr::IsNull(Box::new(Expr::Col(1))), &ranges);
+        assert!(!never.possibly_true(), "bounded range never grounds NULL");
+        let maybe = truth_range(&Expr::IsNull(Box::new(Expr::Col(2))), &ranges);
+        assert!(maybe.possibly_true() && !maybe.certainly_true(), "top");
+        // Kleene negation keeps the certainty: NOT (NULL IS NULL) is
+        // certainly false.
+        let not_null = truth_range(
+            &Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::Col(0))))),
+            &ranges,
+        );
+        assert!(!not_null.possibly_true());
+        // A NULL literal is definitely NULL too.
+        let lit = truth_range(&Expr::IsNull(Box::new(Expr::Lit(Value::Null))), &ranges);
+        assert!(lit.certainly_true());
+    }
+
+    #[test]
+    fn projection_preserves_definite_null() {
+        // A pass-through projection of a definitely-NULL attribute must
+        // stay definite (so IS NULL after π remains certainly true).
+        let ranges = vec![RangeValue::null()];
+        let bg = Tuple::new(vec![Value::Null]);
+        let r = eval_range(&Expr::Col(0), &ranges, &bg).unwrap();
+        assert!(r.is_null());
+        let lit = eval_range(&Expr::Lit(Value::Null), &ranges, &bg).unwrap();
+        assert!(lit.is_null());
+        // A known exact value contradicts definiteness and widens.
+        assert!(!reanchor(&RangeValue::null(), Value::Int(1)).is_null());
     }
 
     #[test]

@@ -28,9 +28,10 @@
 
 use crate::eval::{eval_range, truth_range};
 use crate::mult::MultBound;
-use crate::relation::{AuRelation, AuTuple};
+use crate::relation::{encode_row, AuRelation, AuTuple};
 use crate::value::{range_cmp, Bound, RangeValue};
 use std::cmp::Ordering;
+use ua_data::algebra::extract_equi_keys;
 use ua_data::expr::{Expr, ExprError};
 use ua_data::schema::{Column, Schema, SchemaError};
 use ua_data::tuple::Tuple;
@@ -83,8 +84,183 @@ pub fn map(rel: &AuRelation, columns: &[(Expr, Column)]) -> Result<AuRelation, E
     Ok(out)
 }
 
-/// θ-join: nested loops in left-major order; multiplicities multiply
-/// pointwise, the predicate refines like [`filter`] over the pair.
+/// Apply a (bound) join predicate to one concatenated candidate pair
+/// exactly as the nested loop does: `None` unless the predicate is
+/// possibly true, otherwise the pair with its multiplicity refined like
+/// [`filter`] (`lb` survives only certain truth, `bg` only selected-guess
+/// truth). Shared by the row and vectorized join paths so refinement
+/// cannot diverge between engines.
+pub fn refine_join_pair(
+    predicate: Option<&Expr>,
+    values: Vec<RangeValue>,
+    mult: MultBound,
+) -> Result<Option<AuTuple>, ExprError> {
+    let mut mult = mult;
+    if let Some(pred) = predicate {
+        let bg_tuple: Tuple = values.iter().map(|v| v.bg.clone()).collect();
+        let bg_true = pred.holds(&bg_tuple)?;
+        let rt = truth_range(pred, &values);
+        if !rt.possibly_true() {
+            return Ok(None);
+        }
+        mult = MultBound::new(
+            if rt.certainly_true() { mult.lb } else { 0 },
+            if bg_true { mult.bg } else { 0 },
+            mult.ub,
+        );
+    }
+    Ok(Some(AuTuple { values, mult }))
+}
+
+/// Evaluate per-row key ranges for one join side (`exprs` bound against
+/// that side's schema).
+fn eval_key_ranges(rel: &AuRelation, exprs: &[Expr]) -> Result<Vec<Vec<RangeValue>>, ExprError> {
+    rel.rows()
+        .iter()
+        .map(|row| {
+            let bg = row.bg_tuple();
+            exprs
+                .iter()
+                .map(|e| eval_range(e, &row.values, &bg))
+                .collect()
+        })
+        .collect()
+}
+
+/// Whether a point key's selected guess can participate in hash-bucket
+/// pruning: NaN floats compare `None` against ints under `sql_cmp`
+/// (three-valued ANY), so they stay fuzzy.
+fn hashable_point(r: &RangeValue) -> bool {
+    r.is_point() && !matches!(&r.bg, Value::Float(f) if f.get().is_nan())
+}
+
+fn normalized_key(keys: &[RangeValue]) -> Tuple {
+    keys.iter().map(|r| r.bg.clone().join_key()).collect()
+}
+
+/// The comparable-type family of a point key value. Cross-family point
+/// comparisons are `None` under `sql_cmp` — three-valued ANY, i.e.
+/// possibly equal — so hash pruning is sound only when each key column's
+/// point keys stay within one family across both sides.
+fn key_family(v: &Value) -> u8 {
+    match v {
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Float(_) => 2,
+        Value::Str(_) => 4,
+        _ => 8,
+    }
+}
+
+/// Per-key-column family bitmasks over the rows whose keys are all
+/// hashable points (other rows are fuzzy and join every candidate list,
+/// so their families never matter).
+pub fn point_key_families(rows: &[Vec<RangeValue>], n_keys: usize) -> Vec<u8> {
+    let mut fam = vec![0u8; n_keys];
+    for keys in rows {
+        if keys.iter().all(hashable_point) {
+            for (f, r) in fam.iter_mut().zip(keys) {
+                *f |= key_family(&r.bg);
+            }
+        }
+    }
+    fam
+}
+
+/// A selected-guess key index over one join side's evaluated key ranges:
+/// rows whose keys are all points hash by coercion-normalized key tuple;
+/// rows with ranged, unknown, or NaN keys are *fuzzy* — possibly equal to
+/// any probe key — and appear in every candidate list. Pruned pairs are
+/// exactly those with a certainly-false key equality, so candidate
+/// refinement reproduces the nested loop's surviving rows.
+pub struct SgKeyIndex {
+    buckets: FxHashMap<Tuple, Vec<usize>>,
+    fuzzy: Vec<usize>,
+    families: Vec<u8>,
+    len: usize,
+}
+
+impl SgKeyIndex {
+    /// Index one side's per-row key ranges (`rows[i]` holds row `i`'s
+    /// `n_keys` evaluated key ranges).
+    pub fn build(rows: &[Vec<RangeValue>], n_keys: usize) -> SgKeyIndex {
+        let mut buckets: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+        let mut fuzzy = Vec::new();
+        let mut families = vec![0u8; n_keys];
+        for (i, keys) in rows.iter().enumerate() {
+            if keys.iter().all(hashable_point) {
+                for (f, r) in families.iter_mut().zip(keys) {
+                    *f |= key_family(&r.bg);
+                }
+                buckets.entry(normalized_key(keys)).or_default().push(i);
+            } else {
+                fuzzy.push(i);
+            }
+        }
+        SgKeyIndex {
+            buckets,
+            fuzzy,
+            families,
+            len: rows.len(),
+        }
+    }
+
+    /// Whether hash pruning against a probe side with the given point-key
+    /// families ([`point_key_families`]) is sound: every key column's
+    /// point keys across both sides share one comparable type family.
+    pub fn compatible_with(&self, probe_families: &[u8]) -> bool {
+        self.families
+            .iter()
+            .zip(probe_families)
+            .all(|(a, b)| (a | b).count_ones() <= 1)
+    }
+
+    /// Collect the build rows whose key equality with `keys` is possibly
+    /// true, ascending (build-scan order), into `out`.
+    pub fn candidates(&self, keys: &[RangeValue], out: &mut Vec<usize>) {
+        out.clear();
+        if !keys.iter().all(hashable_point) {
+            out.extend(0..self.len);
+            return;
+        }
+        let bucket = self
+            .buckets
+            .get(&normalized_key(keys))
+            .map(Vec::as_slice)
+            .unwrap_or_default();
+        // Merge the two ascending lists (bucket and fuzzy are disjoint).
+        let (mut a, mut b) = (bucket.iter().peekable(), self.fuzzy.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) => {
+                    if x < y {
+                        out.push(x);
+                        a.next();
+                    } else {
+                        out.push(y);
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    out.push(x);
+                    a.next();
+                }
+                (None, Some(&&y)) => {
+                    out.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+    }
+}
+
+/// θ-join in left-major order; multiplicities multiply pointwise, the
+/// predicate refines like [`filter`] over the pair. When the predicate
+/// contains extractable equi-keys whose point keys stay within one
+/// comparable type family per column, candidate pairs come from a
+/// selected-guess hash index ([`SgKeyIndex`]) instead of the full cross
+/// product — pruned pairs have a certainly-false key equality, so output
+/// rows and order match the nested loop exactly.
 pub fn join(
     left: &AuRelation,
     right: &AuRelation,
@@ -93,25 +269,114 @@ pub fn join(
     let schema = left.schema().concat(right.schema());
     let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
     let mut out = AuRelation::new(schema);
+    if let Some(pred) = &bound {
+        let (keys, _) = extract_equi_keys(pred, left.schema().arity());
+        if !keys.is_empty() {
+            let lk: Vec<Expr> = keys.iter().map(|k| k.left.clone()).collect();
+            let rk: Vec<Expr> = keys.iter().map(|k| k.right.clone()).collect();
+            let l_keys = eval_key_ranges(left, &lk)?;
+            let r_keys = eval_key_ranges(right, &rk)?;
+            let index = SgKeyIndex::build(&r_keys, keys.len());
+            if index.compatible_with(&point_key_families(&l_keys, keys.len())) {
+                let mut cand: Vec<usize> = Vec::new();
+                for (li, l) in left.rows().iter().enumerate() {
+                    index.candidates(&l_keys[li], &mut cand);
+                    for &ri in &cand {
+                        let r = &right.rows()[ri];
+                        let mut values = l.values.clone();
+                        values.extend(r.values.iter().cloned());
+                        if let Some(t) =
+                            refine_join_pair(Some(pred), values, l.mult.times(&r.mult))?
+                        {
+                            out.push(t);
+                        }
+                    }
+                }
+                return Ok(out);
+            }
+        }
+    }
     for l in left.rows() {
         for r in right.rows() {
             let mut values = l.values.clone();
             values.extend(r.values.iter().cloned());
-            let mut mult = l.mult.times(&r.mult);
-            if let Some(pred) = &bound {
-                let bg_tuple: Tuple = values.iter().map(|v| v.bg.clone()).collect();
-                let bg_true = pred.holds(&bg_tuple)?;
-                let rt = truth_range(pred, &values);
-                if !rt.possibly_true() {
-                    continue;
-                }
-                mult = MultBound::new(
-                    if rt.certainly_true() { mult.lb } else { 0 },
-                    if bg_true { mult.bg } else { 0 },
-                    mult.ub,
-                );
+            if let Some(t) = refine_join_pair(bound.as_ref(), values, l.mult.times(&r.mult))? {
+                out.push(t);
             }
-            out.push(AuTuple { values, mult });
+        }
+    }
+    Ok(out)
+}
+
+/// Shift a (bound) right-side expression's column refs up onto the
+/// concatenated schema.
+fn shift_up(e: &Expr, l_arity: usize) -> Expr {
+    e.map_refs(&|n| Some(n.to_string()), &|i| i + l_arity)
+        .expect("identity name mapping cannot fail")
+}
+
+/// Hash equi-join on selected-guess keys, refined over the full
+/// reconstructed predicate (key equalities ∧ `residual`). `keys` pairs
+/// per-side key expressions (each bindable against its own side's
+/// schema); `build_left` picks the hash-index side, the probe side drives
+/// output order (probe-major, candidates in build-scan order), and
+/// columns are always left ++ right. The same multiset as [`join`] over
+/// the reconstructed predicate; when cross-family point keys make hash
+/// pruning unsound it defers to [`join`] entirely (left-major order).
+pub fn hash_join(
+    left: &AuRelation,
+    right: &AuRelation,
+    keys: &[(Expr, Expr)],
+    residual: Option<&Expr>,
+    build_left: bool,
+) -> Result<AuRelation, ExprError> {
+    let schema = left.schema().concat(right.schema());
+    let l_arity = left.schema().arity();
+    let lk: Vec<Expr> = keys
+        .iter()
+        .map(|(l, _)| l.bind(left.schema()))
+        .collect::<Result<_, _>>()?;
+    let rk: Vec<Expr> = keys
+        .iter()
+        .map(|(_, r)| r.bind(right.schema()))
+        .collect::<Result<_, _>>()?;
+    let mut conjuncts: Vec<Expr> = lk
+        .iter()
+        .zip(&rk)
+        .map(|(l, r)| l.clone().eq(shift_up(r, l_arity)))
+        .collect();
+    if let Some(res) = residual {
+        conjuncts.push(res.bind(&schema)?);
+    }
+    let pred = Expr::conjunction(conjuncts);
+    let l_keys = eval_key_ranges(left, &lk)?;
+    let r_keys = eval_key_ranges(right, &rk)?;
+    let (build_keys, probe_keys) = if build_left {
+        (&l_keys, &r_keys)
+    } else {
+        (&r_keys, &l_keys)
+    };
+    let index = SgKeyIndex::build(build_keys, keys.len());
+    if !index.compatible_with(&point_key_families(probe_keys, keys.len())) {
+        return join(left, right, Some(&pred));
+    }
+    let (build_rel, probe_rel) = if build_left {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let mut out = AuRelation::new(schema);
+    let mut cand: Vec<usize> = Vec::new();
+    for (pi, p) in probe_rel.rows().iter().enumerate() {
+        index.candidates(&probe_keys[pi], &mut cand);
+        for &bi in &cand {
+            let b = &build_rel.rows()[bi];
+            let (l, r) = if build_left { (b, p) } else { (p, b) };
+            let mut values = l.values.clone();
+            values.extend(r.values.iter().cloned());
+            if let Some(t) = refine_join_pair(Some(&pred), values, l.mult.times(&r.mult))? {
+                out.push(t);
+            }
         }
     }
     Ok(out)
@@ -346,6 +611,7 @@ fn classify_arg(r: &RangeValue) -> ArgClass {
 }
 
 /// One possible group member, pre-classified for the bound combination.
+#[derive(Clone, Copy)]
 struct Member<'a> {
     mult: MultBound,
     /// Certainly in the group's (single-point) key in every world: the
@@ -354,6 +620,44 @@ struct Member<'a> {
     certain: bool,
     arg: Option<ArgClass>,
     arg_range: Option<&'a RangeValue>,
+}
+
+/// Per-member contribution corners over multiplicity × value — the
+/// enclosure of what the member can add to a numeric SUM in a covered
+/// world (shared by the SUM and AVG bound combinations).
+fn member_contrib(m: &Member) -> (f64, f64) {
+    match m.arg {
+        Some(ArgClass::Numeric { lo, hi }) => {
+            let corners = [
+                m.mult.lb as f64 * lo,
+                m.mult.lb as f64 * hi,
+                m.mult.ub as f64 * lo,
+                m.mult.ub as f64 * hi,
+            ];
+            // 0 × ±∞ is 0 copies contributing nothing.
+            let fix = |x: f64| if x.is_nan() { 0.0 } else { x };
+            (
+                corners
+                    .iter()
+                    .copied()
+                    .map(fix)
+                    .fold(f64::INFINITY, f64::min),
+                corners
+                    .iter()
+                    .copied()
+                    .map(fix)
+                    .fold(f64::NEG_INFINITY, f64::max),
+            )
+        }
+        Some(ArgClass::NonNumeric) => (0.0, 0.0),
+        Some(ArgClass::Anything) | None => {
+            if m.mult.ub == 0 {
+                (0.0, 0.0)
+            } else {
+                (f64::NEG_INFINITY, f64::INFINITY)
+            }
+        }
+    }
 }
 
 fn f64_bound(x: f64) -> Bound {
@@ -367,16 +671,33 @@ fn f64_bound(x: f64) -> Bound {
 }
 
 /// The attribute-level bounds of one aggregate over one group's possible
-/// members. `grouped` distinguishes GROUP BY groups (which exist in a
-/// world only when non-empty) from the global group (always present, even
-/// over an empty input); `case_a` says every covered world group carries
-/// exactly the group's selected-guess key (all key hulls are points), so
-/// certainly-present point-key members bound from below.
-fn agg_bounds(kind: AggKind, members: &[Member], grouped: bool, case_a: bool) -> (Bound, Bound) {
-    let certain_members = || members.iter().filter(|m| case_a && m.certain);
+/// members (a cloneable lazy iterator, so per-group member vectors are
+/// never materialized per aggregate). `grouped` distinguishes GROUP BY
+/// groups (which exist in a world only when non-empty) from the global
+/// group (always present, even over an empty input); `case_a` says every
+/// covered world group carries exactly the group's selected-guess key
+/// (all key hulls are points), so certainly-present point-key members
+/// bound from below.
+fn agg_bounds<'a>(
+    kind: AggKind,
+    members: impl Iterator<Item = Member<'a>>,
+    grouped: bool,
+    case_a: bool,
+) -> (Bound, Bound) {
+    // Every arm is a single fused pass over the members — the group loop
+    // dominates aggregation cost at scale, so the per-member work is kept
+    // to one visit (accumulating in member order, which pins the exact
+    // float-addition and bound-fold order the multi-pass version had).
     match kind {
         AggKind::CountStar => {
-            let mut lb: u64 = certain_members().map(|m| m.mult.lb).sum();
+            let mut lb: u64 = 0;
+            let mut ub: u64 = 0;
+            for m in members {
+                if case_a && m.certain {
+                    lb += m.mult.lb;
+                }
+                ub = ub.saturating_add(m.mult.ub);
+            }
             if grouped {
                 // A materialized world group is non-empty.
                 lb = lb.max(1);
@@ -384,74 +705,47 @@ fn agg_bounds(kind: AggKind, members: &[Member], grouped: bool, case_a: bool) ->
                     lb = 1;
                 }
             }
-            let ub: u64 = members
-                .iter()
-                .map(|m| m.mult.ub)
-                .fold(0, u64::saturating_add);
             (
                 Bound::Val(Value::Int(lb as i64)),
                 Bound::Val(Value::Int(i64::try_from(ub).unwrap_or(i64::MAX))),
             )
         }
         AggKind::Count => {
-            let lb: u64 = if grouped && !case_a {
-                0
-            } else {
-                certain_members()
-                    .filter(|m| !matches!(m.arg, Some(ArgClass::Anything)))
-                    .map(|m| m.mult.lb)
-                    .sum()
-            };
-            let ub: u64 = members
-                .iter()
-                .map(|m| m.mult.ub)
-                .fold(0, u64::saturating_add);
+            let mut lb: u64 = 0;
+            let mut ub: u64 = 0;
+            for m in members {
+                if case_a && m.certain && !matches!(m.arg, Some(ArgClass::Anything)) {
+                    lb += m.mult.lb;
+                }
+                ub = ub.saturating_add(m.mult.ub);
+            }
+            if grouped && !case_a {
+                lb = 0;
+            }
             (
                 Bound::Val(Value::Int(lb as i64)),
                 Bound::Val(Value::Int(i64::try_from(ub).unwrap_or(i64::MAX))),
             )
         }
         AggKind::Sum => {
-            // Per-member contribution corners over multiplicity × value.
-            let contrib = |m: &Member| -> (f64, f64) {
-                match m.arg {
-                    Some(ArgClass::Numeric { lo, hi }) => {
-                        let corners = [
-                            m.mult.lb as f64 * lo,
-                            m.mult.lb as f64 * hi,
-                            m.mult.ub as f64 * lo,
-                            m.mult.ub as f64 * hi,
-                        ];
-                        // 0 × ±∞ is 0 copies contributing nothing.
-                        let fix = |x: f64| if x.is_nan() { 0.0 } else { x };
-                        (
-                            corners
-                                .iter()
-                                .copied()
-                                .map(fix)
-                                .fold(f64::INFINITY, f64::min),
-                            corners
-                                .iter()
-                                .copied()
-                                .map(fix)
-                                .fold(f64::NEG_INFINITY, f64::max),
-                        )
-                    }
-                    Some(ArgClass::NonNumeric) => (0.0, 0.0),
-                    Some(ArgClass::Anything) | None => {
-                        if m.mult.ub == 0 {
-                            (0.0, 0.0)
-                        } else {
-                            (f64::NEG_INFINITY, f64::INFINITY)
-                        }
-                    }
+            let mut has_certain_numeric = false;
+            let mut all_numeric = true;
+            let mut lo = 0.0f64;
+            let mut hi = 0.0f64;
+            for m in members {
+                let numeric = matches!(m.arg, Some(ArgClass::Numeric { .. }));
+                all_numeric &= numeric;
+                let certain = case_a && m.certain;
+                has_certain_numeric |= certain && m.mult.lb >= 1 && numeric;
+                let (cl, ch) = member_contrib(&m);
+                if certain {
+                    lo += cl;
+                    hi += ch;
+                } else {
+                    lo += cl.min(0.0);
+                    hi += ch.max(0.0);
                 }
-            };
-            let has_certain_numeric = certain_members()
-                .any(|m| m.mult.lb >= 1 && matches!(m.arg, Some(ArgClass::Numeric { .. })));
-            let all_numeric = members
-                .iter()
-                .all(|m| matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            }
             // Whether SUM may be NULL in some covered world (no numeric
             // contribution there).
             let maybe_null = if grouped && !case_a {
@@ -464,113 +758,391 @@ fn agg_bounds(kind: AggKind, members: &[Member], grouped: bool, case_a: bool) ->
             if maybe_null {
                 return (Bound::NegInf, Bound::PosInf);
             }
-            let mut lo = 0.0f64;
-            let mut hi = 0.0f64;
-            for m in members {
-                let (cl, ch) = contrib(m);
-                let optional = !(case_a && m.certain);
-                lo += if optional { cl.min(0.0) } else { cl };
-                hi += if optional { ch.max(0.0) } else { ch };
-            }
             (f64_bound(lo), f64_bound(hi))
         }
         AggKind::Min | AggKind::Max => {
             let is_min = kind == AggKind::Min;
-            let anchor = certain_members()
-                .filter(|m| !matches!(m.arg, Some(ArgClass::Anything)))
-                .map(|m| m.arg_range.expect("arg present"))
-                .fold(None::<Bound>, |acc, r| {
-                    let candidate = if is_min {
-                        r.ub().clone()
-                    } else {
-                        r.lb().clone()
-                    };
-                    Some(match acc {
-                        None => candidate,
-                        Some(b) => {
-                            if is_min {
-                                b.min_bound(candidate)
-                            } else {
-                                b.max_bound(candidate)
-                            }
-                        }
-                    })
-                });
-            let all_known = members
-                .iter()
-                .all(|m| !matches!(m.arg, Some(ArgClass::Anything) | None));
-            let outer = |pick_low: bool| -> Bound {
-                members
-                    .iter()
-                    .filter(|m| m.mult.ub >= 1)
-                    .filter_map(|m| m.arg_range)
-                    .fold(None::<Bound>, |acc, r| {
-                        let candidate = if pick_low {
-                            r.lb().clone()
+            let fold = |acc: Option<Bound>, candidate: Bound| {
+                Some(match acc {
+                    None => candidate,
+                    Some(b) => {
+                        if is_min {
+                            b.min_bound(candidate)
                         } else {
-                            r.ub().clone()
-                        };
-                        Some(match acc {
-                            None => candidate,
-                            Some(b) => {
-                                if pick_low {
-                                    b.min_bound(candidate)
-                                } else {
-                                    b.max_bound(candidate)
-                                }
-                            }
-                        })
-                    })
-                    .unwrap_or(if pick_low {
-                        Bound::NegInf
-                    } else {
-                        Bound::PosInf
-                    })
+                            b.max_bound(candidate)
+                        }
+                    }
+                })
             };
+            // A certainly-present member with bounded values anchors one
+            // side; the hull of all possible members gives the other.
+            let mut anchor: Option<Bound> = None;
+            let mut all_known = true;
+            let mut outer_lo: Option<Bound> = None;
+            let mut outer_hi: Option<Bound> = None;
+            for m in members {
+                let known = !matches!(m.arg, Some(ArgClass::Anything) | None);
+                all_known &= known;
+                if case_a && m.certain && known {
+                    let r = m.arg_range.expect("arg present");
+                    anchor = fold(
+                        anchor,
+                        if is_min {
+                            r.ub().clone()
+                        } else {
+                            r.lb().clone()
+                        },
+                    );
+                }
+                if m.mult.ub >= 1 {
+                    if let Some(r) = m.arg_range {
+                        outer_lo = Some(match outer_lo {
+                            None => r.lb().clone(),
+                            Some(b) => b.min_bound(r.lb().clone()),
+                        });
+                        outer_hi = Some(match outer_hi {
+                            None => r.ub().clone(),
+                            Some(b) => b.max_bound(r.ub().clone()),
+                        });
+                    }
+                }
+            }
+            let outer_lo = outer_lo.unwrap_or(Bound::NegInf);
+            let outer_hi = outer_hi.unwrap_or(Bound::PosInf);
             match anchor {
-                // A certainly-present member with bounded values anchors
-                // one side; the other side hulls all possible members.
                 Some(b) if case_a => {
                     if is_min {
-                        (outer(true), b)
+                        (outer_lo, b)
                     } else {
-                        (b, outer(false))
+                        (b, outer_hi)
                     }
                 }
                 // Grouped non-point-key groups still materialize non-empty,
                 // so a fully-bounded member pool hulls the result.
-                _ if grouped && all_known => (outer(true), outer(false)),
+                _ if grouped && all_known => (outer_lo, outer_hi),
                 _ => (Bound::NegInf, Bound::PosInf),
             }
         }
         AggKind::Avg => {
-            let has_certain_numeric = certain_members()
-                .any(|m| m.mult.lb >= 1 && matches!(m.arg, Some(ArgClass::Numeric { .. })));
-            let all_numeric = members
-                .iter()
-                .all(|m| matches!(m.arg, Some(ArgClass::Numeric { .. })));
+            // Hull of the possible numeric groundings: the mean of the
+            // numeric contributions stays inside their convex hull. A
+            // possibly-present member that may ground to *anything* voids
+            // the enclosure — its grounding can drag the mean arbitrarily
+            // far (hulling only the numeric members, as this arm used to,
+            // was unsound tightening). The sum/count corner quotient then
+            // tightens the hull: the sum reuses the SUM contribution
+            // corners, certain numeric members pin the count from below
+            // (≥ 1 by admissibility — with no certain numeric member a
+            // covered world group is still non-empty and all-numeric),
+            // possible members cap it from above. Sound for any sum/count
+            // correlation since the quotient box encloses every corner
+            // pairing.
+            let mut has_certain_numeric = false;
+            let mut all_numeric = true;
+            let mut voided = false;
+            let mut hull_lo = f64::INFINITY;
+            let mut hull_hi = f64::NEG_INFINITY;
+            let mut sum_lo = 0.0f64;
+            let mut sum_hi = 0.0f64;
+            let mut cnt_lo: u64 = 0;
+            let mut cnt_hi: u64 = 0;
+            for m in members {
+                let numeric = matches!(m.arg, Some(ArgClass::Numeric { .. }));
+                all_numeric &= numeric;
+                let certain = case_a && m.certain;
+                has_certain_numeric |= certain && m.mult.lb >= 1 && numeric;
+                if m.mult.ub >= 1 {
+                    match m.arg {
+                        Some(ArgClass::Numeric { lo, hi }) => {
+                            hull_lo = hull_lo.min(lo);
+                            hull_hi = hull_hi.max(hi);
+                        }
+                        Some(ArgClass::NonNumeric) => {}
+                        Some(ArgClass::Anything) | None => voided = true,
+                    }
+                }
+                let (cl, ch) = member_contrib(&m);
+                if certain {
+                    sum_lo += cl;
+                    sum_hi += ch;
+                } else {
+                    sum_lo += cl.min(0.0);
+                    sum_hi += ch.max(0.0);
+                }
+                if numeric {
+                    if certain {
+                        cnt_lo += m.mult.lb;
+                    }
+                    cnt_hi = cnt_hi.saturating_add(m.mult.ub);
+                }
+            }
             let admissible = if grouped {
                 (case_a && has_certain_numeric) || all_numeric
             } else {
                 has_certain_numeric
             };
-            if !admissible {
+            if !admissible || voided || hull_lo > hull_hi {
                 return (Bound::NegInf, Bound::PosInf);
             }
-            let mut lo = f64::INFINITY;
-            let mut hi = f64::NEG_INFINITY;
-            for m in members.iter().filter(|m| m.mult.ub >= 1) {
-                if let Some(ArgClass::Numeric { lo: l, hi: h }) = m.arg {
-                    lo = lo.min(l);
-                    hi = hi.max(h);
-                }
-            }
+            let cnt_lo = cnt_lo.max(1) as f64;
+            let cnt_hi = cnt_hi.max(1) as f64;
+            let corners = [
+                sum_lo / cnt_lo,
+                sum_lo / cnt_hi,
+                sum_hi / cnt_lo,
+                sum_hi / cnt_hi,
+            ];
+            let q_lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+            let q_hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lo = hull_lo.max(q_lo);
+            let hi = hull_hi.min(q_hi);
             if lo > hi {
+                // Vacuous (no covered world materializes the group with a
+                // numeric value): stay conservative.
                 return (Bound::NegInf, Bound::PosInf);
             }
             (f64_bound(lo), f64_bound(hi))
         }
     }
+}
+
+/// Pre-evaluated, column-major aggregation input: every group-key and
+/// aggregate-argument range for every row, plus the row multiplicities.
+/// Produced by [`aggregate`] from an [`AuRelation`], or directly by a
+/// columnar executor that evaluated the expressions batch-at-a-time —
+/// both feed [`aggregate_prepared`], so the bound combination has exactly
+/// one implementation.
+pub struct AggInput {
+    /// Group-key ranges, one vector (of `n_rows` entries) per key
+    /// expression.
+    pub keys: Vec<Vec<RangeValue>>,
+    /// Aggregate-argument ranges, one optional vector per aggregate
+    /// (`None` for `COUNT(*)`).
+    pub args: Vec<Option<Vec<RangeValue>>>,
+    /// Tuple multiplicity bounds, one per input row.
+    pub mults: Vec<MultBound>,
+}
+
+/// γ over pre-evaluated input: the grouping + bound combination of
+/// [`aggregate`] without expression evaluation. `kinds` gives one
+/// aggregate function per `input.args` entry; `schema` is the output
+/// schema (key columns then aggregate columns). Grouped iff
+/// `input.keys` is non-empty.
+pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -> AuRelation {
+    let n_keys = input.keys.len();
+    let n_rows = input.mults.len();
+    let grouped = n_keys > 0;
+
+    // Pre-classify each tuple once: whether all its key ranges are points
+    // (the common certain case) and, per aggregate, its argument classes.
+    let key_points: Vec<bool> = (0..n_rows)
+        .map(|i| input.keys.iter().all(|col| col[i].is_point()))
+        .collect();
+    let arg_classes: Vec<Option<Vec<ArgClass>>> = input
+        .args
+        .iter()
+        .map(|col| {
+            col.as_ref()
+                .map(|col| col.iter().map(classify_arg).collect())
+        })
+        .collect();
+
+    // Partition by selected-guess key, first-seen order; bucket point-keyed
+    // tuples by coercion-normalized key so point-hull groups find their
+    // possible members by lookup instead of rescanning the whole input per
+    // group (O(N) instead of O(groups × N)). Single all-integer keys (the
+    // common GROUP BY shape) partition through an i64 map — one integer
+    // hash per row instead of a tuple-of-values hash — and only the final
+    // per-group handful of keys materializes as tuples.
+    let mut order: Vec<Tuple> = Vec::new();
+    let mut groups: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+    let mut point_buckets: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+    let mut ranged: Vec<usize> = Vec::new();
+    let int_fast = n_keys == 1 && input.keys[0].iter().all(|r| matches!(r.bg, Value::Int(_)));
+    if int_fast {
+        struct IntSlot {
+            members: Vec<usize>,
+            points: Vec<usize>,
+        }
+        let mut slots: FxHashMap<i64, IntSlot> = FxHashMap::default();
+        let mut int_order: Vec<i64> = Vec::new();
+        for (i, r) in input.keys[0].iter().enumerate() {
+            let Value::Int(k) = r.bg else {
+                unreachable!("int fast path checked")
+            };
+            let slot = slots.entry(k).or_insert_with(|| {
+                int_order.push(k);
+                IntSlot {
+                    members: Vec::new(),
+                    points: Vec::new(),
+                }
+            });
+            slot.members.push(i);
+            if key_points[i] {
+                slot.points.push(i);
+            } else {
+                ranged.push(i);
+            }
+        }
+        // `join_key` is the identity on Int, so the raw and normalized
+        // keys coincide and both maps share the slot's index lists.
+        for k in int_order {
+            let slot = slots.remove(&k).expect("slot recorded");
+            let key = Tuple::new(vec![Value::Int(k)]);
+            order.push(key.clone());
+            point_buckets.insert(key.clone(), slot.points);
+            groups.insert(key, slot.members);
+        }
+    } else {
+        for i in 0..n_rows {
+            let key: Tuple = input.keys.iter().map(|col| col[i].bg.clone()).collect();
+            if key_points[i] {
+                let norm: Tuple = key.values().iter().map(|v| v.clone().join_key()).collect();
+                point_buckets.entry(norm).or_default().push(i);
+            } else {
+                ranged.push(i);
+            }
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push(i);
+        }
+    }
+    // Global aggregation over an empty input still yields one row.
+    if !grouped && order.is_empty() {
+        order.push(Tuple::empty());
+        groups.insert(Tuple::empty(), Vec::new());
+    }
+    let normalize =
+        |key: &Tuple| -> Tuple { key.values().iter().map(|v| v.clone().join_key()).collect() };
+
+    let mut out = AuRelation::new(schema);
+
+    for key in order {
+        let member_idx = groups.remove(&key).expect("group recorded");
+        // Key hulls over the group's own (selected-guess) members. When
+        // every member is point-keyed the hull is the shared point — no
+        // per-member hull folding.
+        let all_member_points = member_idx.iter().all(|&i| key_points[i]);
+        let hulls: Vec<RangeValue> = (0..n_keys)
+            .map(|k| {
+                let mut hull =
+                    input.keys[k][member_idx[0]].with_bg(key.get(k).expect("key arity").clone());
+                if !all_member_points {
+                    for &i in &member_idx[1..] {
+                        hull = hull.hull(&input.keys[k][i]);
+                    }
+                }
+                hull
+            })
+            .collect();
+        // Possible members: every tuple whose key ranges intersect the
+        // hulls (a grounding may land any of them in a covered world
+        // group). Always a superset of the selected-guess members. When
+        // the hull is a single point, point-keyed tuples intersect it iff
+        // their (coercion-normalized) key equals the group key — a bucket
+        // lookup; only range-keyed tuples need the intersection test.
+        // Non-point hulls (the uncertain-key minority) fall back to the
+        // full scan.
+        let case_a = hulls.iter().all(RangeValue::is_point);
+        let intersects_hulls = |i: usize| {
+            input
+                .keys
+                .iter()
+                .zip(&hulls)
+                .all(|(col, h)| col[i].intersects(h))
+        };
+        let possible: Vec<usize> = if case_a {
+            let mut candidates: Vec<usize> = point_buckets
+                .get(&normalize(&key))
+                .cloned()
+                .unwrap_or_default();
+            // Bucket members are recorded in input order; the sort is
+            // only needed once range-keyed candidates interleave.
+            let n_bucket = candidates.len();
+            candidates.extend(ranged.iter().copied().filter(|&i| intersects_hulls(i)));
+            if candidates.len() > n_bucket {
+                candidates.sort_unstable();
+            }
+            candidates
+        } else {
+            (0..n_rows).filter(|&i| intersects_hulls(i)).collect()
+        };
+        // One certainty flag per possible member, shared by every
+        // aggregate's bound computation and the group's multiplicity.
+        let certain_flags: Vec<bool> = possible
+            .iter()
+            .map(|&i| {
+                input.mults[i].lb >= 1
+                    && key_points[i]
+                    && input
+                        .keys
+                        .iter()
+                        .zip(key.values())
+                        .all(|(col, v)| range_cmp(&col[i].bg, v) == Ordering::Equal)
+            })
+            .collect();
+        // Selected-guess values: ordinary aggregation over the SG members
+        // (those whose selected-guess multiplicity materializes the row).
+        let mut in_sg_any = false;
+        let mut bg_states: Vec<BgAgg> = kinds.iter().map(|&k| BgAgg::new(k)).collect();
+        for &i in &member_idx {
+            if input.mults[i].bg < 1 {
+                continue;
+            }
+            in_sg_any = true;
+            for (s, argcol) in bg_states.iter_mut().zip(&input.args) {
+                match argcol {
+                    Some(col) => s.update(Some(&col[i].bg), input.mults[i].bg),
+                    None => s.update(None, input.mults[i].bg),
+                }
+            }
+        }
+
+        // Bounds per aggregate over the possible members — a lazy,
+        // cloneable view over the shared index/flag vectors (borrowed arg
+        // ranges and precomputed classes; nothing clones or allocates per
+        // aggregate).
+        let mut values: Vec<RangeValue> = hulls;
+        for (a_idx, (&kind, state)) in kinds.iter().zip(bg_states).enumerate() {
+            let classes = arg_classes[a_idx].as_deref();
+            let argcol = input.args[a_idx].as_deref();
+            let members = possible
+                .iter()
+                .zip(&certain_flags)
+                .map(move |(&i, &certain)| Member {
+                    mult: input.mults[i],
+                    certain,
+                    arg: classes.map(|c| c[i]),
+                    arg_range: argcol.map(|col| &col[i]),
+                });
+            let (lb, ub) = agg_bounds(kind, members, grouped, case_a);
+            values.push(RangeValue::new(lb, state.finish(), ub));
+        }
+
+        let certainly_materializes = !grouped || certain_flags.iter().any(|&c| c);
+        let in_sg = !grouped || in_sg_any;
+        let ub: u64 = if grouped {
+            possible
+                .iter()
+                .map(|&i| input.mults[i].ub)
+                .fold(0, u64::saturating_add)
+        } else {
+            1
+        };
+        out.push(AuTuple {
+            values,
+            mult: MultBound::new(
+                u64::from(certainly_materializes),
+                u64::from(in_sg),
+                ub.max(u64::from(in_sg)).max(1),
+            ),
+        });
+    }
+    out
 }
 
 /// γ: grouping + aggregation with sound attribute-level bounds.
@@ -598,205 +1170,35 @@ pub fn aggregate(
         .collect::<Result<_, _>>()?;
 
     // Evaluate keys and arguments per tuple (errors surface in input order,
-    // like the deterministic engines).
-    struct Prepared {
-        keys: Vec<RangeValue>,
-        args: Vec<Option<RangeValue>>,
-        mult: MultBound,
-    }
-    let mut prepared: Vec<Prepared> = Vec::with_capacity(rel.rows().len());
+    // keys before arguments, like the deterministic engines).
+    let n_rows = rel.rows().len();
+    let mut input = AggInput {
+        keys: (0..bound_keys.len())
+            .map(|_| Vec::with_capacity(n_rows))
+            .collect(),
+        args: bound_args
+            .iter()
+            .map(|e| e.as_ref().map(|_| Vec::with_capacity(n_rows)))
+            .collect(),
+        mults: Vec::with_capacity(n_rows),
+    };
     for row in rel.rows() {
         let bg_tuple = row.bg_tuple();
-        let keys: Vec<RangeValue> = bound_keys
-            .iter()
-            .map(|e| eval_range(e, &row.values, &bg_tuple))
-            .collect::<Result<_, _>>()?;
-        let args: Vec<Option<RangeValue>> = bound_args
-            .iter()
-            .map(|e| {
-                e.as_ref()
-                    .map(|e| eval_range(e, &row.values, &bg_tuple))
-                    .transpose()
-            })
-            .collect::<Result<_, _>>()?;
-        prepared.push(Prepared {
-            keys,
-            args,
-            mult: row.mult,
-        });
-    }
-
-    // Partition by selected-guess key, first-seen order.
-    let mut order: Vec<Tuple> = Vec::new();
-    let mut groups: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
-    for (i, p) in prepared.iter().enumerate() {
-        let key: Tuple = p.keys.iter().map(|r| r.bg.clone()).collect();
-        groups
-            .entry(key.clone())
-            .or_insert_with(|| {
-                order.push(key.clone());
-                Vec::new()
-            })
-            .push(i);
-    }
-    let grouped = !group_by.is_empty();
-    // Global aggregation over an empty input still yields one row.
-    if !grouped && order.is_empty() {
-        order.push(Tuple::empty());
-        groups.insert(Tuple::empty(), Vec::new());
-    }
-
-    // Pre-classify each tuple once: whether all its key ranges are points
-    // (the common certain case), its argument classes, and — for
-    // point-keyed tuples — a coercion-normalized key bucket, so point-hull
-    // groups find their possible members by lookup instead of rescanning
-    // the whole input per group (O(N) instead of O(groups × N)).
-    let key_points: Vec<bool> = prepared
-        .iter()
-        .map(|p| p.keys.iter().all(RangeValue::is_point))
-        .collect();
-    let arg_classes: Vec<Vec<Option<ArgClass>>> = prepared
-        .iter()
-        .map(|p| {
-            p.args
-                .iter()
-                .map(|a| a.as_ref().map(classify_arg))
-                .collect()
-        })
-        .collect();
-    let normalize =
-        |key: &Tuple| -> Tuple { key.values().iter().map(|v| v.clone().join_key()).collect() };
-    let mut point_buckets: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
-    let mut ranged: Vec<usize> = Vec::new();
-    for (i, p) in prepared.iter().enumerate() {
-        if key_points[i] {
-            let norm: Tuple = p.keys.iter().map(|r| r.bg.clone().join_key()).collect();
-            point_buckets.entry(norm).or_default().push(i);
-        } else {
-            ranged.push(i);
+        for (e, col) in bound_keys.iter().zip(&mut input.keys) {
+            col.push(eval_range(e, &row.values, &bg_tuple)?);
         }
-    }
-
-    let mut columns: Vec<Column> = group_by.iter().map(|(_, c)| c.clone()).collect();
-    columns.extend(aggregates.iter().map(|a| a.column.clone()));
-    let mut out = AuRelation::new(Schema::new(columns));
-
-    for key in order {
-        let member_idx = groups.remove(&key).expect("group recorded");
-        // Key hulls over the group's own (selected-guess) members.
-        let hulls: Vec<RangeValue> = (0..bound_keys.len())
-            .map(|k| {
-                let mut hull =
-                    prepared[member_idx[0]].keys[k].with_bg(key.get(k).expect("key arity").clone());
-                for &i in &member_idx[1..] {
-                    hull = hull.hull(&prepared[i].keys[k]);
-                }
-                hull
-            })
-            .collect();
-        // Possible members: every tuple whose key ranges intersect the
-        // hulls (a grounding may land any of them in a covered world
-        // group). Always a superset of the selected-guess members. When
-        // the hull is a single point, point-keyed tuples intersect it iff
-        // their (coercion-normalized) key equals the group key — a bucket
-        // lookup; only range-keyed tuples need the intersection test.
-        // Non-point hulls (the uncertain-key minority) fall back to the
-        // full scan.
-        let case_a = hulls.iter().all(RangeValue::is_point);
-        let possible: Vec<usize> = if case_a {
-            let mut candidates: Vec<usize> = point_buckets
-                .get(&normalize(&key))
-                .cloned()
-                .unwrap_or_default();
-            candidates.extend(ranged.iter().copied().filter(|&i| {
-                prepared[i]
-                    .keys
-                    .iter()
-                    .zip(&hulls)
-                    .all(|(r, h)| r.intersects(h))
-            }));
-            candidates.sort_unstable();
-            candidates
-        } else {
-            (0..prepared.len())
-                .filter(|&i| {
-                    prepared[i]
-                        .keys
-                        .iter()
-                        .zip(&hulls)
-                        .all(|(r, h)| r.intersects(h))
-                })
-                .collect()
-        };
-        // One certainty flag per possible member, shared by every
-        // aggregate's bound computation and the group's multiplicity.
-        let certain_flags: Vec<bool> = possible
-            .iter()
-            .map(|&i| {
-                let p = &prepared[i];
-                p.mult.lb >= 1
-                    && key_points[i]
-                    && p.keys
-                        .iter()
-                        .zip(key.values())
-                        .all(|(r, v)| range_cmp(&r.bg, v) == Ordering::Equal)
-            })
-            .collect();
-        let in_sg_group: Vec<usize> = member_idx
-            .iter()
-            .copied()
-            .filter(|&i| prepared[i].mult.bg >= 1)
-            .collect();
-
-        // Selected-guess values: ordinary aggregation over the SG members.
-        let mut bg_states: Vec<BgAgg> = aggregates.iter().map(|a| BgAgg::new(a.kind)).collect();
-        for &i in &in_sg_group {
-            for (s, arg) in bg_states.iter_mut().zip(&prepared[i].args) {
-                match arg {
-                    Some(r) => s.update(Some(&r.bg), prepared[i].mult.bg),
-                    None => s.update(None, prepared[i].mult.bg),
-                }
+        for (e, col) in bound_args.iter().zip(&mut input.args) {
+            if let (Some(e), Some(col)) = (e.as_ref(), col.as_mut()) {
+                col.push(eval_range(e, &row.values, &bg_tuple)?);
             }
         }
-
-        // Bounds per aggregate over the possible members (borrowed arg
-        // ranges and precomputed classes — nothing clones per aggregate).
-        let mut values: Vec<RangeValue> = hulls;
-        for (a_idx, (spec, state)) in aggregates.iter().zip(bg_states).enumerate() {
-            let members: Vec<Member> = possible
-                .iter()
-                .zip(&certain_flags)
-                .map(|(&i, &certain)| Member {
-                    mult: prepared[i].mult,
-                    certain,
-                    arg: arg_classes[i][a_idx],
-                    arg_range: prepared[i].args[a_idx].as_ref(),
-                })
-                .collect();
-            let (lb, ub) = agg_bounds(spec.kind, &members, grouped, case_a);
-            values.push(RangeValue::new(lb, state.finish(), ub));
-        }
-
-        let certainly_materializes = !grouped || certain_flags.iter().any(|&c| c);
-        let in_sg = !grouped || !in_sg_group.is_empty();
-        let ub: u64 = if grouped {
-            possible
-                .iter()
-                .map(|&i| prepared[i].mult.ub)
-                .fold(0, u64::saturating_add)
-        } else {
-            1
-        };
-        out.push(AuTuple {
-            values,
-            mult: MultBound::new(
-                u64::from(certainly_materializes),
-                u64::from(in_sg),
-                ub.max(u64::from(in_sg)).max(1),
-            ),
-        });
+        input.mults.push(row.mult);
     }
-    Ok(out)
+
+    let kinds: Vec<AggKind> = aggregates.iter().map(|a| a.kind).collect();
+    let mut columns: Vec<Column> = group_by.iter().map(|(_, c)| c.clone()).collect();
+    columns.extend(aggregates.iter().map(|a| a.column.clone()));
+    Ok(aggregate_prepared(&input, &kinds, Schema::new(columns)))
 }
 
 /// Sort rows by selected-guess keys (outermost first, per-key direction)
@@ -821,27 +1223,7 @@ pub fn sort_by_bg(rel: &AuRelation, keys: &[(Expr, bool)]) -> Result<AuRelation,
             Ok((key, i))
         })
         .collect::<Result<_, ExprError>>()?;
-    let tie_break: Vec<Tuple> = rel
-        .rows()
-        .iter()
-        .map(|row| {
-            let mut values: Vec<Value> = row.bg_tuple().values().to_vec();
-            for r in &row.values {
-                values.push(match r.lb() {
-                    Bound::Val(v) => v.clone(),
-                    _ => Value::Null,
-                });
-                values.push(match r.ub() {
-                    Bound::Val(v) => v.clone(),
-                    _ => Value::Null,
-                });
-            }
-            values.push(Value::Int(i64::try_from(row.mult.lb).unwrap_or(i64::MAX)));
-            values.push(Value::Int(i64::try_from(row.mult.bg).unwrap_or(i64::MAX)));
-            values.push(Value::Int(i64::try_from(row.mult.ub).unwrap_or(i64::MAX)));
-            Tuple::new(values)
-        })
-        .collect();
+    let tie_break: Vec<Tuple> = rel.rows().iter().map(encode_row).collect();
     decorated.sort_by(|(ka, ia), (kb, ib)| {
         for ((va, vb), (_, desc)) in ka.iter().zip(kb).zip(&bound) {
             let ord = va.cmp(vb);
@@ -872,6 +1254,7 @@ pub fn limit(rel: &AuRelation, n: usize) -> AuRelation {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::relation::encode_rows;
 
     fn span(lo: i64, bg: i64, hi: i64) -> RangeValue {
         RangeValue::new(
@@ -1015,5 +1398,228 @@ mod tests {
         assert_eq!(out.rows().len(), 1);
         // Possible (ranges intersect) but not certain → lb 0; SG 2=2 holds.
         assert_eq!(out.rows()[0].mult, MultBound::new(0, 2, 6));
+    }
+
+    fn fv(x: f64) -> Value {
+        Value::Float(F64::new(x))
+    }
+
+    fn avg_over(rows: Vec<AuTuple>) -> RangeValue {
+        let mut r = AuRelation::new(Schema::qualified("r", ["g", "v"]));
+        for row in rows {
+            r.push(row);
+        }
+        let out = aggregate(
+            &r,
+            &[(Expr::named("g"), Column::unqualified("g"))],
+            &[AggSpec {
+                kind: AggKind::Avg,
+                arg: Some(Expr::named("v")),
+                column: Column::unqualified("a"),
+            }],
+        )
+        .unwrap();
+        assert_eq!(out.rows().len(), 1);
+        out.rows()[0].values[1].clone()
+    }
+
+    #[test]
+    fn avg_bounds_tighten_via_sum_count() {
+        // Two certain members {10, 20}: every world averages exactly 15,
+        // which the sum/count quotient pins down (the old min/max hull
+        // reported [10, 20]).
+        let avg = avg_over(vec![
+            AuTuple {
+                values: vec![
+                    RangeValue::point(Value::Int(1)),
+                    RangeValue::point(Value::Int(10)),
+                ],
+                mult: MultBound::certain(1),
+            },
+            AuTuple {
+                values: vec![
+                    RangeValue::point(Value::Int(1)),
+                    RangeValue::point(Value::Int(20)),
+                ],
+                mult: MultBound::certain(1),
+            },
+        ]);
+        assert_eq!(avg.bg, fv(15.0));
+        assert!(avg.contains(&fv(15.0)));
+        assert!(!avg.contains(&fv(14.9)));
+        assert!(!avg.contains(&fv(15.1)));
+    }
+
+    #[test]
+    fn avg_bounds_enclose_optional_members() {
+        // Certain 10 plus an optional member in [5, 30]: possible averages
+        // are {10} ∪ [(10 + 5)/2, (10 + 30)/2] = {10} ∪ [7.5, 20].
+        let avg = avg_over(vec![
+            AuTuple {
+                values: vec![
+                    RangeValue::point(Value::Int(1)),
+                    RangeValue::point(Value::Int(10)),
+                ],
+                mult: MultBound::certain(1),
+            },
+            AuTuple {
+                values: vec![RangeValue::point(Value::Int(1)), span(5, 20, 30)],
+                mult: MultBound::new(0, 1, 1),
+            },
+        ]);
+        for world in [7.5, 10.0, 15.0, 20.0] {
+            assert!(avg.contains(&fv(world)), "must enclose {world}");
+        }
+        assert!(!avg.contains(&fv(4.9)));
+        assert!(!avg.contains(&fv(31.0)));
+    }
+
+    #[test]
+    fn avg_bounds_widen_for_unbounded_members() {
+        // A possible member that may ground to anything voids the
+        // enclosure: its grounding can drag the mean arbitrarily far (the
+        // old hull silently skipped it and reported [10, 10]).
+        let avg = avg_over(vec![
+            AuTuple {
+                values: vec![
+                    RangeValue::point(Value::Int(1)),
+                    RangeValue::point(Value::Int(10)),
+                ],
+                mult: MultBound::certain(1),
+            },
+            AuTuple {
+                values: vec![
+                    RangeValue::point(Value::Int(1)),
+                    RangeValue::top(Value::Int(990)),
+                ],
+                mult: MultBound::certain(1),
+            },
+        ]);
+        assert_eq!(avg.bg, fv(500.0));
+        assert!(avg.contains(&fv(505.0)));
+        assert!(avg.contains(&fv(-1e9)));
+    }
+
+    fn join_fixture() -> (AuRelation, AuRelation) {
+        let mut l = AuRelation::new(Schema::qualified("l", ["a"]));
+        for (v, m) in [
+            (RangeValue::point(Value::Int(1)), MultBound::certain(1)),
+            (span(1, 2, 3), MultBound::new(0, 1, 2)),
+            (RangeValue::null(), MultBound::certain(1)),
+            (RangeValue::point(Value::Int(5)), MultBound::certain(2)),
+        ] {
+            l.push(AuTuple {
+                values: vec![v],
+                mult: m,
+            });
+        }
+        let mut r = AuRelation::new(Schema::qualified("s", ["b", "c"]));
+        for (v, c, m) in [
+            (
+                RangeValue::point(Value::Int(1)),
+                0i64,
+                MultBound::certain(1),
+            ),
+            (RangeValue::point(Value::Int(2)), 1, MultBound::new(0, 1, 2)),
+            (RangeValue::point(Value::Int(7)), 2, MultBound::certain(1)),
+            (RangeValue::top(Value::Int(9)), 3, MultBound::certain(1)),
+        ] {
+            r.push(AuTuple {
+                values: vec![v, RangeValue::point(Value::Int(c))],
+                mult: m,
+            });
+        }
+        (l, r)
+    }
+
+    #[test]
+    fn hash_join_matches_theta_join() {
+        let (l, r) = join_fixture();
+        let keys = [(Expr::named("a"), Expr::named("b"))];
+        let pred = Expr::named("a").eq(Expr::named("b"));
+        let theta = join(&l, &r, Some(&pred)).unwrap();
+        assert!(theta.rows().len() >= 4, "fixture exercises the join");
+        // An OR-wrapped equivalent predicate defeats equi-key extraction,
+        // so this runs the pure nested loop — the hash-pruned paths must
+        // reproduce it exactly, rows and order.
+        let nested_pred = pred.clone().or(Expr::lit(1i64).eq(Expr::lit(2i64)));
+        let nested = join(&l, &r, Some(&nested_pred)).unwrap();
+        assert_eq!(theta, nested);
+        // Probe-left order matches the nested loop's left-major order.
+        let probe_left = hash_join(&l, &r, &keys, None, false).unwrap();
+        assert_eq!(probe_left, theta);
+        // Build-left emits right-major: same multiset, re-sorted.
+        let build_left = hash_join(&l, &r, &keys, None, true).unwrap();
+        let mut a = encode_rows(&build_left);
+        let mut b = encode_rows(&theta);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // The certainly-equal pair keeps its certain multiplicity.
+        assert!(theta.rows().iter().any(|t| t.mult.lb >= 1));
+    }
+
+    #[test]
+    fn hash_join_applies_residual() {
+        let (l, r) = join_fixture();
+        let keys = [(Expr::named("a"), Expr::named("b"))];
+        let residual = Expr::named("c").ge(Expr::lit(1i64));
+        let full = Expr::named("a")
+            .eq(Expr::named("b"))
+            .and(Expr::named("c").ge(Expr::lit(1i64)));
+        let theta = join(&l, &r, Some(&full)).unwrap();
+        let hashed = hash_join(&l, &r, &keys, Some(&residual), false).unwrap();
+        assert_eq!(hashed, theta);
+    }
+
+    #[test]
+    fn hash_join_cross_family_keys_fall_back() {
+        // Int vs Str point keys are possibly equal under three-valued SQL
+        // comparison (`sql_cmp` is `None`), so the hash path must not
+        // bucket-prune them: the whole join falls back to the nested loop.
+        let mut l = AuRelation::new(Schema::qualified("l", ["a"]));
+        l.push(AuTuple {
+            values: vec![RangeValue::point(Value::Int(1))],
+            mult: MultBound::certain(1),
+        });
+        let mut r = AuRelation::new(Schema::qualified("s", ["b"]));
+        r.push(AuTuple {
+            values: vec![RangeValue::point(Value::str("1"))],
+            mult: MultBound::certain(1),
+        });
+        let keys = [(Expr::named("a"), Expr::named("b"))];
+        let hashed = hash_join(&l, &r, &keys, None, false).unwrap();
+        let theta = join(&l, &r, Some(&Expr::named("a").eq(Expr::named("b")))).unwrap();
+        assert_eq!(hashed, theta);
+        assert_eq!(hashed.rows().len(), 1);
+        assert_eq!(hashed.rows()[0].mult, MultBound::new(0, 0, 1));
+    }
+
+    #[test]
+    fn sort_tie_break_is_input_order_independent() {
+        // Two rows with equal sort keys but different bound encodings
+        // (definite NULL vs top): either input order sorts identically.
+        let row_null = AuTuple {
+            values: vec![RangeValue::point(Value::Int(1)), RangeValue::null()],
+            mult: MultBound::certain(1),
+        };
+        let row_top = AuTuple {
+            values: vec![
+                RangeValue::point(Value::Int(1)),
+                RangeValue::top(Value::Null),
+            ],
+            mult: MultBound::certain(1),
+        };
+        let sorted = |first: &AuTuple, second: &AuTuple| {
+            let mut r = AuRelation::new(Schema::qualified("r", ["g", "v"]));
+            r.push(first.clone());
+            r.push(second.clone());
+            sort_by_bg(&r, &[(Expr::named("g"), false)]).unwrap()
+        };
+        assert_eq!(
+            sorted(&row_null, &row_top),
+            sorted(&row_top, &row_null),
+            "tie-break must not depend on input order"
+        );
     }
 }

@@ -232,35 +232,86 @@ fn mult_value(m: u64) -> Value {
     Value::Int(i64::try_from(m).unwrap_or(i64::MAX))
 }
 
-/// Assemble a range from its encoded parts (`NULL` bounds meaning `∓∞`),
+/// The encoded bound sentinel marking a definite-NULL range: no
+/// normalized range pairs a `NULL` selected guess with *known* bound
+/// values (`RangeValue::new` widens an unknown bg to top, whose bounds
+/// encode as `NULL`), so `(true, NULL, true)` is free to carry the
+/// definiteness flag through the flattened representation.
+fn null_sentinel() -> Value {
+    Value::Bool(true)
+}
+
+/// Assemble a range from its encoded parts (`NULL` bounds meaning `∓`),
 /// normalized — the single definition of the encoding convention shared
 /// with the columnar executor's triple columns.
 pub fn range_from_parts(lb: Value, bg: Value, ub: Value) -> RangeValue {
+    if bg == Value::Null && lb == null_sentinel() && ub == null_sentinel() {
+        return RangeValue::null();
+    }
     RangeValue::new(decode_bound(&lb, true), bg, decode_bound(&ub, false))
 }
 
-/// Split a range into its encoded parts `(lb, bg, ub)` (`∓∞` as `NULL`).
+/// Split a range into its encoded parts `(lb, bg, ub)` (`∓∞` as `NULL`,
+/// definite NULL as the sentinel triple).
 pub fn range_parts(r: &RangeValue) -> (Value, Value, Value) {
+    if r.is_null() {
+        return (null_sentinel(), Value::Null, null_sentinel());
+    }
     (encode_bound(r.lb()), r.bg.clone(), encode_bound(r.ub()))
+}
+
+/// Encode one AU tuple into its flattened row (`[bg* | lb* | ub* | m*]`).
+/// This layout doubles as the deterministic tie-break order for AU sorts,
+/// so both engines compare ties over identical byte sequences.
+pub fn encode_row(row: &AuTuple) -> Tuple {
+    let parts: Vec<(Value, Value, Value)> = row.values.iter().map(range_parts).collect();
+    let mut values: Vec<Value> = Vec::with_capacity(3 * parts.len() + 3);
+    values.extend(parts.iter().map(|(_, bg, _)| bg.clone()));
+    values.extend(parts.iter().map(|(lb, _, _)| lb.clone()));
+    values.extend(parts.iter().map(|(_, _, ub)| ub.clone()));
+    values.push(mult_value(row.mult.lb));
+    values.push(mult_value(row.mult.bg));
+    values.push(mult_value(row.mult.ub));
+    Tuple::new(values)
 }
 
 /// Encode an [`AuRelation`] into flattened rows (pair with
 /// [`flattened_schema`] of its schema).
 pub fn encode_rows(rel: &AuRelation) -> Vec<Tuple> {
-    let arity = rel.schema().arity();
-    rel.rows()
-        .iter()
-        .map(|row| {
-            let mut values: Vec<Value> = Vec::with_capacity(3 * arity + 3);
-            values.extend(row.values.iter().map(|r| r.bg.clone()));
-            values.extend(row.values.iter().map(|r| encode_bound(r.lb())));
-            values.extend(row.values.iter().map(|r| encode_bound(r.ub())));
-            values.push(mult_value(row.mult.lb));
-            values.push(mult_value(row.mult.bg));
-            values.push(mult_value(row.mult.ub));
-            Tuple::new(values)
+    rel.rows().iter().map(encode_row).collect()
+}
+
+/// Decode one flattened row of user arity `n`: `Ok(None)` for well-formed
+/// rows with `ub = 0` (they represent nothing and are dropped), an error
+/// describing the first malformed multiplicity component otherwise. The
+/// row must have flattened arity `3n + 3`.
+pub fn decode_row(n: usize, row: &Tuple) -> Result<Option<AuTuple>, String> {
+    let mult_at = |i: usize| -> Result<u64, String> {
+        match row.get(3 * n + i) {
+            Some(Value::Int(m)) if *m >= 0 => Ok(*m as u64),
+            other => Err(format!("invalid AU multiplicity {other:?}")),
+        }
+    };
+    let mult = MultBound::new(mult_at(0)?, mult_at(1)?, mult_at(2)?);
+    if !mult.is_well_formed() {
+        return Err(format!(
+            "ill-formed AU multiplicity bound [{}, {}, {}]",
+            mult.lb, mult.bg, mult.ub
+        ));
+    }
+    if mult.ub == 0 {
+        return Ok(None);
+    }
+    let values: Vec<RangeValue> = (0..n)
+        .map(|i| {
+            range_from_parts(
+                row.get(n + i).expect("arity checked").clone(),
+                row.get(i).expect("arity checked").clone(),
+                row.get(2 * n + i).expect("arity checked").clone(),
+            )
         })
-        .collect()
+        .collect();
+    Ok(Some(AuTuple { values, mult }))
 }
 
 /// Decode flattened rows back into an [`AuRelation`]. `flat` must be the
@@ -272,29 +323,9 @@ pub fn decode_rows(flat: &Schema, rows: &[Tuple]) -> Result<AuRelation, String> 
     let n = user.arity();
     let mut out = AuRelation::new(user);
     for row in rows {
-        let mult_at = |i: usize| -> Result<u64, String> {
-            match row.get(3 * n + i) {
-                Some(Value::Int(m)) if *m >= 0 => Ok(*m as u64),
-                other => Err(format!("invalid AU multiplicity {other:?}")),
-            }
-        };
-        let mult = MultBound::new(mult_at(0)?, mult_at(1)?, mult_at(2)?);
-        if !mult.is_well_formed() {
-            return Err(format!(
-                "ill-formed AU multiplicity bound [{}, {}, {}]",
-                mult.lb, mult.bg, mult.ub
-            ));
+        if let Some(t) = decode_row(n, row)? {
+            out.push(t);
         }
-        let values: Vec<RangeValue> = (0..n)
-            .map(|i| {
-                RangeValue::new(
-                    decode_bound(row.get(n + i).expect("arity checked"), true),
-                    row.get(i).expect("arity checked").clone(),
-                    decode_bound(row.get(2 * n + i).expect("arity checked"), false),
-                )
-            })
-            .collect();
-        out.push(AuTuple { values, mult });
     }
     Ok(out)
 }
@@ -324,6 +355,10 @@ mod tests {
                 RangeValue::point(Value::str("x")),
             ],
             mult: MultBound::certain(3),
+        });
+        rel.push(AuTuple {
+            values: vec![RangeValue::null(), RangeValue::point(Value::Int(7))],
+            mult: MultBound::certain(1),
         });
         let flat = flattened_schema(rel.schema());
         assert_eq!(au_base_schema(&flat).unwrap().arity(), 2);

@@ -113,21 +113,48 @@ pub struct RangeValue {
     /// The selected-guess value.
     pub bg: Value,
     ub: Bound,
+    /// The attribute is `NULL` under *every* grounding (definite NULL).
+    /// Carries `(-∞, +∞)` internal bounds so every bounds-based
+    /// consumer treats it like top (always sound); only the operations
+    /// that can exploit certainty (`IS NULL`, containment, hulls of two
+    /// definite NULLs) look at the flag.
+    null: bool,
 }
 
 impl RangeValue {
-    /// A certain (point) value — or the top range when `v` is unknown,
-    /// since an unknown selected-guess admits any grounding.
+    /// A certain (point) value. SQL `NULL` yields the definite-NULL
+    /// range ([`RangeValue::null`]); a labeled null (one unknown domain
+    /// value) yields top, since it admits any grounding.
     pub fn point(v: Value) -> RangeValue {
-        if v.is_unknown() {
+        if v == Value::Null {
+            RangeValue::null()
+        } else if v.is_unknown() {
             RangeValue::top(v)
         } else {
             RangeValue {
                 lb: Bound::Val(v.clone()),
                 bg: v.clone(),
                 ub: Bound::Val(v),
+                null: false,
             }
         }
+    }
+
+    /// The range of an attribute that is `NULL` in every world: top-like
+    /// bounds (so bound arithmetic and comparisons stay sound without
+    /// special cases) plus the definiteness flag `IS NULL` exploits.
+    pub fn null() -> RangeValue {
+        RangeValue {
+            lb: Bound::NegInf,
+            bg: Value::Null,
+            ub: Bound::PosInf,
+            null: true,
+        }
+    }
+
+    /// Whether the attribute is certainly `NULL` (definite NULL).
+    pub fn is_null(&self) -> bool {
+        self.null
     }
 
     /// The unbounded range around a selected guess.
@@ -136,6 +163,7 @@ impl RangeValue {
             lb: Bound::NegInf,
             bg,
             ub: Bound::PosInf,
+            null: false,
         }
     }
 
@@ -146,7 +174,12 @@ impl RangeValue {
         if bg.is_unknown() || !lb.admits_below(&bg) || !ub.admits_above(&bg) {
             return RangeValue::top(bg);
         }
-        RangeValue { lb, bg, ub }
+        RangeValue {
+            lb,
+            bg,
+            ub,
+            null: false,
+        }
     }
 
     /// The lower endpoint.
@@ -173,8 +206,11 @@ impl RangeValue {
 
     /// Whether a grounding `v` falls within the bounds. Unknown values are
     /// only admitted by the top range (the convention every labeling and
-    /// operator maintains).
+    /// operator maintains); a definite NULL admits *only* unknowns.
     pub fn contains(&self, v: &Value) -> bool {
+        if self.null {
+            return v.is_unknown();
+        }
         if v.is_unknown() {
             return self.is_top();
         }
@@ -191,6 +227,9 @@ impl RangeValue {
     /// from `self` (callers override it where a different representative is
     /// exact).
     pub fn hull(&self, other: &RangeValue) -> RangeValue {
+        if self.null && other.null {
+            return RangeValue::null();
+        }
         RangeValue::new(
             self.lb.clone().min_bound(other.lb.clone()),
             self.bg.clone(),
@@ -198,8 +237,13 @@ impl RangeValue {
         )
     }
 
-    /// The same range with a replaced selected guess (re-normalized).
+    /// The same range with a replaced selected guess (re-normalized). A
+    /// definite NULL stays definite as long as the new guess is unknown;
+    /// a known guess contradicts definiteness and widens to top.
     pub fn with_bg(&self, bg: Value) -> RangeValue {
+        if self.null && bg.is_unknown() {
+            return RangeValue::null();
+        }
         RangeValue::new(self.lb.clone(), bg, self.ub.clone())
     }
 }
@@ -343,6 +387,23 @@ mod tests {
         assert!(!span(1, 2, 3).contains(&Value::Int(4)));
         assert!(!span(1, 2, 3).contains(&Value::Null));
         assert!(RangeValue::top(Value::Null).contains(&Value::Null));
+    }
+
+    #[test]
+    fn definite_null_semantics() {
+        let n = RangeValue::null();
+        assert!(n.is_null() && n.is_top(), "null is top-like for bounds");
+        assert!(n.contains(&Value::Null));
+        assert!(!n.contains(&Value::Int(1)));
+        assert_eq!(RangeValue::point(Value::Null), RangeValue::null());
+        assert!(
+            !RangeValue::top(Value::Null).is_null(),
+            "top may be non-NULL"
+        );
+        assert!(n.hull(&RangeValue::null()).is_null());
+        assert!(!n.hull(&RangeValue::point(Value::Int(3))).is_null());
+        assert!(n.with_bg(Value::Null).is_null());
+        assert!(!n.with_bg(Value::Int(1)).is_null());
     }
 
     #[test]

@@ -9,40 +9,63 @@
 //!
 //! Operator coverage:
 //!
+//! * **Scan** — batches the encoded table directly, chunk-parallel on the
+//!   morsel pool. Each chunk validates with a typed columnar fast path
+//!   (same-type `lb ≤ bg ≤ ub` triples under the domain order, well-formed
+//!   positive multiplicities); only chunks that fail it pay the row-wise
+//!   `decode_row`/`encode_row` normalization — pay-as-you-go, and the
+//!   first malformed row reports exactly like the row engine's scan.
 //! * **σ** — the selected-guess mask evaluates with the existing typed
 //!   [`crate::kernels::truth_masks`] over the bg columns; the
 //!   certainly/possibly-true analysis runs `ua_ranges::truth_range` per
 //!   row over ranges assembled from the triple columns; multiplicity
-//!   columns are refined per the `⟦σ⟧_AU` rule.
+//!   columns are refined per the `⟦σ⟧_AU` rule. Batches filter in
+//!   parallel, merged in deterministic batch order.
 //! * **π** — bg output columns evaluate with the typed expression kernels
 //!   (including the typed arithmetic kernels); bound columns are `O(1)`
 //!   column clones for plain references, broadcasts for literals, and
-//!   per-row interval evaluation for computed expressions.
-//! * **Scan / Alias** — native (decode-normalize once, re-qualify).
-//! * **Everything else** (joins, union, distinct, aggregation, sort,
-//!   limit) — per-operator fallback to the *shared* `ua_ranges::ops`
-//!   implementations via [`ua_engine::au_unary`]/[`ua_engine::au_binary`]:
-//!   the stream materializes to an [`AuRelation`], the single shared
-//!   operator runs, and the result re-batches. One implementation of the
-//!   bound combination exists in the workspace, so the engines cannot
-//!   disagree — the differential tests assert byte-identical encoded
-//!   results.
+//!   per-row interval evaluation re-anchored via `ua_ranges::reanchor` for
+//!   computed expressions (preserving definite NULLs, exactly like the row
+//!   engine's `eval_range`).
+//! * **γ** — aggregation prepares its inputs *columnar*: group keys and
+//!   aggregate arguments assemble per column (stored triples for plain
+//!   references, typed-kernel selected guesses re-anchoring interval
+//!   evaluation for computed expressions) into an [`AggInput`], then the
+//!   single shared bound combination `ua_ranges::ops::aggregate_prepared`
+//!   (with its integer-key fast path) folds the groups. No row tuples, no
+//!   decode round trip.
+//! * **Sort / Top-K / Limit / ∪** — run the deterministic columnar
+//!   operators over the flat stream directly: the full flattened row is
+//!   the AU sort tie-break order by construction, so [`crate::ops::sort`]
+//!   and [`crate::ops::top_k`] reproduce `ua_ranges::ops::sort_by_bg` +
+//!   `limit` byte for byte. Union validates the *user* schemas (the row
+//!   engine's error) and concatenates batches.
+//! * **⋈ (nested-loop and hash)** — the stream's columns convert straight
+//!   into range rows (no tuple encoding, no re-validation — the stream is
+//!   canonical by construction) and feed the shared
+//!   `ua_ranges::ops::join`/`hash_join`, which prune candidate pairs with
+//!   the selected-guess key index. One implementation of the pair
+//!   refinement exists in the workspace, so the engines cannot disagree.
+//! * **δ (distinct)** — the only remaining per-operator fallback to
+//!   [`ua_engine::au_unary`] (audited by `au.vec.fallback.distinct`).
 
-use crate::columnar::{batches_from_table, ColumnBatch, ColumnVec};
+use crate::bitmap::Bitmap;
+use crate::columnar::{chunk_ranges, BatchStream, ColumnBatch, ColumnVec};
 use crate::kernels::{eval_expr, truth_masks};
 use std::sync::Arc;
+use ua_data::algebra::ProjColumn;
 use ua_data::expr::Expr;
-use ua_data::schema::Schema;
+use ua_data::schema::{Column, Schema};
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
-use ua_engine::plan::Plan;
+use ua_engine::plan::{AggExpr, Plan};
 use ua_engine::stats::node_label;
 use ua_engine::storage::{Catalog, Table};
 use ua_engine::{estimate_rows, EngineError, ExecOptions};
-use ua_obs::{OperatorStats, QueryStats, Stopwatch};
+use ua_obs::{OperatorStats, PoolStats, QueryStats, Stopwatch};
 use ua_ranges::{
-    au_base_schema, decode_rows, flattened_schema, range_from_parts, range_parts, truth_range,
-    AuRelation, RangeValue,
+    au_base_schema, decode_row, encode_row, flattened_schema, range_from_parts, range_parts,
+    reanchor, truth_range, AggInput, AggKind, AuRelation, MultBound, RangeValue,
 };
 
 /// A stream of AU batches: the user schema plus batches over its
@@ -54,25 +77,55 @@ struct AuStream {
 }
 
 impl AuStream {
+    /// Re-batch a shared-operator result (already canonical — operator
+    /// outputs normalize through `RangeValue`/`MultBound` constructors).
     fn from_relation(rel: &AuRelation, batch_rows: usize) -> AuStream {
-        let table = ua_engine::au_table(rel);
-        let stream = batches_from_table(&table, batch_rows);
+        let user = rel.schema().clone();
+        let flat = flattened_schema(&user);
+        let rows: Vec<Tuple> = rel.rows().iter().map(encode_row).collect();
+        let batches = chunk_ranges(rows.len(), batch_rows)
+            .into_iter()
+            .map(|(s, e)| encoded_chunk(&flat, &rows[s..e]))
+            .collect();
         AuStream {
-            user: rel.schema().clone(),
-            flat: stream.schema,
-            batches: stream.batches,
+            user,
+            flat,
+            batches,
         }
     }
 
-    fn to_relation(&self) -> Result<AuRelation, EngineError> {
-        let mut rows: Vec<Tuple> = Vec::new();
+    /// Convert the columns straight into range rows. Infallible: every
+    /// stream is canonical by construction (scans normalize, operators
+    /// preserve normal form), so no validation round trip is paid.
+    fn to_relation(&self) -> AuRelation {
+        let n = self.user.arity();
+        let mut rel = AuRelation::new(self.user.clone());
         for b in &self.batches {
             for i in 0..b.len() {
-                rows.push(b.row(i));
+                rel.push(ua_ranges::relation::AuTuple {
+                    values: row_ranges(b, n, i),
+                    mult: mult_bound_at(b, n, i),
+                });
             }
         }
-        decode_rows(&self.flat, &rows).map_err(EngineError::Sql)
+        rel
     }
+}
+
+/// Build one batch from already-canonical encoded rows (labels certain,
+/// multiplicity 1 — AU multiplicities live in the `ua_m_*` data columns).
+fn encoded_chunk(flat: &Schema, chunk: &[Tuple]) -> ColumnBatch {
+    let columns: Vec<ColumnVec> = (0..flat.arity())
+        .map(|c| {
+            ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
+        })
+        .collect();
+    ColumnBatch::new(
+        flat.clone(),
+        columns,
+        Bitmap::filled(chunk.len(), true),
+        Arc::new(vec![1u64; chunk.len()]),
+    )
 }
 
 /// The batch's selected-guess view: the first `n` columns under the user
@@ -108,30 +161,151 @@ fn mult_at(batch: &ColumnBatch, n: usize, component: usize, i: usize) -> i64 {
     }
 }
 
+/// Row `i`'s multiplicity triple from the `ua_m_*` columns.
+fn mult_bound_at(batch: &ColumnBatch, n: usize, i: usize) -> MultBound {
+    let at = |c: usize| mult_at(batch, n, c, i).max(0) as u64;
+    MultBound::new(at(0), at(1), at(2))
+}
+
+/// Whether a decoded chunk is already in canonical encoded form, checked
+/// columnar: each attribute triple is same-typed with `lb ≤ bg ≤ ub` under
+/// the domain order ([`ua_ranges::range_cmp`], which same-type typed
+/// comparisons reproduce exactly), and each multiplicity triple is a
+/// well-formed positive `Int` bound. Canonical rows decode and re-encode
+/// to themselves, so the whole chunk skips the row-wise normalization.
+fn chunk_is_canonical(columns: &[ColumnVec], n: usize) -> bool {
+    let (ColumnVec::Int(ml), ColumnVec::Int(mb), ColumnVec::Int(mu)) =
+        (&columns[3 * n], &columns[3 * n + 1], &columns[3 * n + 2])
+    else {
+        return false;
+    };
+    let mults_ok = ml
+        .iter()
+        .zip(mb.iter())
+        .zip(mu.iter())
+        .all(|((&l, &b), &u)| 0 <= l && l <= b && b <= u && u >= 1);
+    mults_ok
+        && (0..n).all(|c| triple_is_canonical(&columns[n + c], &columns[c], &columns[2 * n + c]))
+}
+
+/// One attribute triple's canonical check (see [`chunk_is_canonical`]).
+/// Mixed or untyped columns (SQL `NULL` = `∓∞`, definite-NULL sentinels,
+/// labeled nulls) conservatively report non-canonical; the row-wise slow
+/// path normalizes them.
+fn triple_is_canonical(lb: &ColumnVec, bg: &ColumnVec, ub: &ColumnVec) -> bool {
+    fn ordered<T: Ord>(l: &[T], b: &[T], u: &[T]) -> bool {
+        l.iter()
+            .zip(b.iter())
+            .zip(u.iter())
+            .all(|((l, b), u)| l <= b && b <= u)
+    }
+    match (lb, bg, ub) {
+        (ColumnVec::Int(l), ColumnVec::Int(b), ColumnVec::Int(u)) => ordered(l, b, u),
+        // `F64`'s total order is exactly `sql_cmp` (and so `range_cmp`)
+        // for float/float comparisons, NaNs included.
+        (ColumnVec::Float(l), ColumnVec::Float(b), ColumnVec::Float(u)) => ordered(l, b, u),
+        (ColumnVec::Bool(l), ColumnVec::Bool(b), ColumnVec::Bool(u)) => ordered(l, b, u),
+        (ColumnVec::Str(l), ColumnVec::Str(b), ColumnVec::Str(u)) => l
+            .iter()
+            .zip(b.iter())
+            .zip(u.iter())
+            .all(|((l, b), u)| l.as_ref() <= b.as_ref() && b.as_ref() <= u.as_ref()),
+        _ => false,
+    }
+}
+
+/// Convert one encoded-table chunk into a batch: the typed columnar
+/// canonical check first, the row-wise `decode_row`/`encode_row`
+/// normalization (dropping `ub = 0` rows, erroring on the first malformed
+/// multiplicity — identical to the row engine's scan) only when it fails.
+fn scan_chunk(flat: &Schema, n: usize, chunk: &[Tuple]) -> Result<ColumnBatch, EngineError> {
+    let columns: Vec<ColumnVec> = (0..flat.arity())
+        .map(|c| {
+            ColumnVec::from_values(chunk.iter().map(move |r| r.get(c).expect("arity checked")))
+        })
+        .collect();
+    if chunk_is_canonical(&columns, n) {
+        return Ok(ColumnBatch::new(
+            flat.clone(),
+            columns,
+            Bitmap::filled(chunk.len(), true),
+            Arc::new(vec![1u64; chunk.len()]),
+        ));
+    }
+    let mut rows: Vec<Tuple> = Vec::with_capacity(chunk.len());
+    for row in chunk {
+        if let Some(t) = decode_row(n, row).map_err(EngineError::Sql)? {
+            rows.push(encode_row(&t));
+        }
+    }
+    Ok(encoded_chunk(flat, &rows))
+}
+
+/// Evaluate one bound expression's per-row attribute ranges over a batch,
+/// columnar where possible: plain references assemble from the stored
+/// triples, literals broadcast, and computed expressions re-anchor an
+/// interval evaluation on the typed-kernel selected guess — per row
+/// exactly `ua_ranges::eval_range` (which is `reanchor(approx_range(e),
+/// e.eval(bg))`).
+fn expr_ranges(
+    batch: &ColumnBatch,
+    n: usize,
+    expr: &Expr,
+    bgv: &ColumnBatch,
+    memo: &mut Option<Vec<Vec<RangeValue>>>,
+) -> Result<Vec<RangeValue>, EngineError> {
+    let len = batch.len();
+    match expr {
+        Expr::Col(i) => Ok((0..len)
+            .map(|r| {
+                range_from_parts(
+                    batch.column(n + i).value(r),
+                    batch.column(*i).value(r),
+                    batch.column(2 * n + i).value(r),
+                )
+            })
+            .collect()),
+        Expr::Lit(v) => {
+            let rv = reanchor(&RangeValue::point(v.clone()), v.clone());
+            Ok(vec![rv; len])
+        }
+        other => {
+            let bg = eval_expr(other, bgv)?.into_column(len);
+            let rows =
+                memo.get_or_insert_with(|| (0..len).map(|i| row_ranges(batch, n, i)).collect());
+            Ok(rows
+                .iter()
+                .enumerate()
+                .map(|(i, ranges)| reanchor(&ua_ranges::approx_range(other, ranges), bg.value(i)))
+                .collect())
+        }
+    }
+}
+
 struct AuDriver<'a> {
     catalog: &'a Catalog,
     batch_rows: usize,
     /// Collect per-operator [`OperatorStats`] next to the result (results
     /// are identical on or off).
     collect_stats: bool,
+    /// The morsel pool: per-batch stages (scan chunking, σ, π) map in
+    /// deterministic batch order, so parallel output is byte-identical to
+    /// serial.
+    pool: rayon::ThreadPool,
 }
 
 /// The metric-name suffix of `au.vec.fallback.<kind>` — the global
-/// counters auditing which operators the AU vectorized path hands to the
-/// shared scalar `ua_ranges::ops` implementations instead of running
-/// batch-native. Bumped on every fallback, instrumented or not (an atomic
-/// add), so the audit is always live.
+/// counters auditing which operators the AU vectorized path hands back to
+/// the row engine's materialize-and-dispatch fallback instead of running
+/// on the columns. Since joins, union, aggregation, sort, limit and top-k
+/// went batch-native, `distinct` is the only kind left; the others stay
+/// pinned at zero (a regression test asserts it). Bumped on every
+/// fallback, instrumented or not (an atomic add), so the audit is always
+/// live.
 fn fallback_kind(plan: &Plan) -> Option<&'static str> {
     match plan {
-        Plan::Join { .. } => Some("join"),
-        Plan::HashJoin { .. } => Some("hash_join"),
-        Plan::UnionAll { .. } => Some("union_all"),
         Plan::Distinct { .. } => Some("distinct"),
-        Plan::Aggregate { .. } => Some("aggregate"),
-        Plan::Sort { .. } => Some("sort"),
-        Plan::Limit { .. } => Some("limit"),
-        Plan::TopK { .. } => Some("top_k"),
-        Plan::Scan(..) | Plan::Alias { .. } | Plan::Filter { .. } | Plan::Map { .. } => None,
+        _ => None,
     }
 }
 
@@ -145,16 +319,7 @@ impl<'a> AuDriver<'a> {
                 .inc();
         }
         let (stream, children) = match plan {
-            Plan::Scan(name) => {
-                let table = self
-                    .catalog
-                    .get(name)
-                    .ok_or_else(|| EngineError::UnknownTable(name.clone()))?;
-                // Decode once — validating and *normalizing* exactly like
-                // the row engine's scan — then re-batch the canonical form.
-                let rel = decode_rows(table.schema(), table.rows()).map_err(EngineError::Sql)?;
-                (AuStream::from_relation(&rel, self.batch_rows), Vec::new())
-            }
+            Plan::Scan(name) => (self.scan(name)?, Vec::new()),
             Plan::Alias { input, name } => {
                 let (stream, child) = self.stream_traced(input)?;
                 let user = stream.user.with_qualifier(name);
@@ -180,26 +345,91 @@ impl<'a> AuDriver<'a> {
                 let (stream, child) = self.stream_traced(input)?;
                 (self.map(stream, columns)?, child.into_iter().collect())
             }
-            // Pipeline breakers and joins: evaluate children, run the
-            // shared AU operator, re-batch.
-            Plan::Join { left, right, .. }
-            | Plan::HashJoin { left, right, .. }
-            | Plan::UnionAll { left, right } => {
+            Plan::Aggregate {
+                input,
+                group_by,
+                aggregates,
+            } => {
+                let (stream, child) = self.stream_traced(input)?;
+                (
+                    self.aggregate(stream, group_by, aggregates)?,
+                    child.into_iter().collect(),
+                )
+            }
+            Plan::Sort { input, keys } => {
+                let (stream, child) = self.stream_traced(input)?;
+                let sorted = crate::ops::sort(flat_stream(&stream), keys, self.batch_rows)?;
+                (
+                    AuStream {
+                        user: stream.user,
+                        flat: stream.flat,
+                        batches: sorted.batches,
+                    },
+                    child.into_iter().collect(),
+                )
+            }
+            Plan::TopK { input, keys, limit } => {
+                let (stream, child) = self.stream_traced(input)?;
+                let top = crate::ops::top_k(flat_stream(&stream), keys, *limit, self.batch_rows)?;
+                (
+                    AuStream {
+                        user: stream.user,
+                        flat: stream.flat,
+                        batches: top.batches,
+                    },
+                    child.into_iter().collect(),
+                )
+            }
+            Plan::Limit { input, limit } => {
+                let (stream, child) = self.stream_traced(input)?;
+                let limited = crate::ops::limit(flat_stream(&stream), *limit);
+                (
+                    AuStream {
+                        user: stream.user,
+                        flat: stream.flat,
+                        batches: limited.batches,
+                    },
+                    child.into_iter().collect(),
+                )
+            }
+            Plan::UnionAll { left, right } => {
                 let (ls, lstat) = self.stream_traced(left)?;
                 let (rs, rstat) = self.stream_traced(right)?;
-                let out = ua_engine::au_binary(plan, &ls.to_relation()?, &rs.to_relation()?)?;
+                // Validate the *user* schemas — the row engine's check and
+                // error; the left schema wins for the output.
+                ls.user
+                    .check_union_compatible(&rs.user)
+                    .map_err(EngineError::Schema)?;
+                let mut batches = ls.batches;
+                batches.extend(
+                    rs.batches
+                        .into_iter()
+                        .map(|b| b.with_schema(ls.flat.clone())),
+                );
+                (
+                    AuStream {
+                        user: ls.user,
+                        flat: ls.flat,
+                        batches,
+                    },
+                    lstat.into_iter().chain(rstat).collect(),
+                )
+            }
+            // Joins: columns convert straight into range rows (no encode,
+            // no re-validation) and feed the shared selected-guess hash
+            // join / pruned nested loop.
+            Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+                let (ls, lstat) = self.stream_traced(left)?;
+                let (rs, rstat) = self.stream_traced(right)?;
+                let out = ua_engine::au_binary(plan, &ls.to_relation(), &rs.to_relation())?;
                 (
                     AuStream::from_relation(&out, self.batch_rows),
                     lstat.into_iter().chain(rstat).collect(),
                 )
             }
-            Plan::Distinct { input }
-            | Plan::Aggregate { input, .. }
-            | Plan::Sort { input, .. }
-            | Plan::Limit { input, .. }
-            | Plan::TopK { input, .. } => {
+            Plan::Distinct { input } => {
                 let (stream, child) = self.stream_traced(input)?;
-                let out = ua_engine::au_unary(plan, &stream.to_relation()?)?;
+                let out = ua_engine::au_unary(plan, &stream.to_relation())?;
                 (
                     AuStream::from_relation(&out, self.batch_rows),
                     child.into_iter().collect(),
@@ -224,55 +454,58 @@ impl<'a> AuDriver<'a> {
         Ok((stream, stats))
     }
 
+    /// Scan an AU-encoded table into batches, chunk-parallel. Validation
+    /// is columnar per chunk ([`chunk_is_canonical`]); the first malformed
+    /// row errors exactly like the row engine's decode (chunks merge in
+    /// table order).
+    fn scan(&self, name: &str) -> Result<AuStream, EngineError> {
+        let table = self
+            .catalog
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownTable(name.to_string()))?;
+        let user = au_base_schema(table.schema()).ok_or_else(|| {
+            EngineError::Sql(format!(
+                "schema {} is not AU-encoded (ua_lb_*/ua_ub_*/ua_m_* layout)",
+                table.schema()
+            ))
+        })?;
+        let flat = flattened_schema(&user);
+        let n = user.arity();
+        let rows = table.rows();
+        let ranges = chunk_ranges(rows.len(), self.batch_rows);
+        let batches: Vec<ColumnBatch> = self
+            .pool
+            .map_in_order(ranges, |_, (s, e)| scan_chunk(&flat, n, &rows[s..e]))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .filter(|b| !b.is_empty())
+            .collect();
+        Ok(AuStream {
+            user,
+            flat,
+            batches,
+        })
+    }
+
     /// `⟦σ_θ⟧_AU`, batch-native: possibly-true rows survive; per row the
     /// multiplicity lower bound is kept only under a certainly-true
     /// predicate and the selected-guess multiplicity only when θ holds
-    /// over the bg columns (the vectorized typed mask).
+    /// over the bg columns (the vectorized typed mask). Batches filter in
+    /// parallel on the morsel pool.
     fn filter(&self, stream: AuStream, predicate: &Expr) -> Result<AuStream, EngineError> {
         let bound = predicate.bind(&stream.user).map_err(EngineError::Expr)?;
         let n = stream.user.arity();
-        let mut batches = Vec::with_capacity(stream.batches.len());
-        for batch in &stream.batches {
-            if batch.is_empty() {
-                continue;
-            }
-            let bgv = bg_view(batch, &stream.user);
-            let (bg_true, _) = truth_masks(&bound, &bgv)?;
-            let mut keep: Vec<u32> = Vec::new();
-            let mut new_lb: Vec<Value> = Vec::new();
-            let mut new_bg: Vec<Value> = Vec::new();
-            for i in 0..batch.len() {
-                let ranges = row_ranges(batch, n, i);
-                let rt = truth_range(&bound, &ranges);
-                if !rt.possibly_true() {
-                    continue;
-                }
-                keep.push(i as u32);
-                new_lb.push(Value::Int(if rt.certainly_true() {
-                    mult_at(batch, n, 0, i)
-                } else {
-                    0
-                }));
-                new_bg.push(Value::Int(if bg_true.get(i) {
-                    mult_at(batch, n, 1, i)
-                } else {
-                    0
-                }));
-            }
-            if keep.is_empty() {
-                continue;
-            }
-            let gathered = batch.gather(&keep);
-            let mut columns = gathered.columns().to_vec();
-            columns[3 * n] = ColumnVec::from_values(new_lb.iter());
-            columns[3 * n + 1] = ColumnVec::from_values(new_bg.iter());
-            batches.push(ColumnBatch::new(
-                stream.flat.clone(),
-                columns,
-                gathered.labels().clone(),
-                Arc::new(gathered.mults().to_vec()),
-            ));
-        }
+        let batches: Vec<ColumnBatch> = self
+            .pool
+            .map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, batch| {
+                filter_batch(batch, &bound, &stream.user, &stream.flat, n)
+            })
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .flatten()
+            .collect();
         Ok(AuStream {
             user: stream.user,
             flat: stream.flat,
@@ -282,12 +515,10 @@ impl<'a> AuDriver<'a> {
 
     /// `⟦π⟧_AU`, batch-native: bg output columns through the typed
     /// expression kernels; bound columns cloned for plain references,
-    /// broadcast for literals, interval-evaluated per row otherwise.
-    fn map(
-        &self,
-        stream: AuStream,
-        columns: &[ua_data::algebra::ProjColumn],
-    ) -> Result<AuStream, EngineError> {
+    /// broadcast for literals, interval-evaluated and re-anchored
+    /// ([`ua_ranges::reanchor`] — definite NULLs stay definite) per row
+    /// otherwise. Batches project in parallel on the morsel pool.
+    fn map(&self, stream: AuStream, columns: &[ProjColumn]) -> Result<AuStream, EngineError> {
         let bound: Vec<Expr> = columns
             .iter()
             .map(|c| c.expr.bind(&stream.user))
@@ -296,81 +527,218 @@ impl<'a> AuDriver<'a> {
         let user = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
         let flat = flattened_schema(&user);
         let n_in = stream.user.arity();
-        let n_out = user.arity();
-        let mut batches = Vec::with_capacity(stream.batches.len());
-        for batch in &stream.batches {
-            let len = batch.len();
-            let bgv = bg_view(batch, &stream.user);
-            let bg_cols: Vec<ColumnVec> = bound
-                .iter()
-                .map(|e| Ok(eval_expr(e, &bgv)?.into_column(len)))
-                .collect::<Result<_, EngineError>>()?;
-            // Per-row range assembly is shared across computed expressions.
-            let mut memo: Option<Vec<Vec<RangeValue>>> = None;
-            let mut lb_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
-            let mut ub_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
-            for (k, e) in bound.iter().enumerate() {
-                match e {
-                    Expr::Col(i) => {
-                        lb_cols.push(batch.column(n_in + i).clone());
-                        ub_cols.push(batch.column(2 * n_in + i).clone());
-                    }
-                    Expr::Lit(v) => {
-                        let (lb, _, ub) = range_parts(&RangeValue::point(v.clone()));
-                        lb_cols.push(ColumnVec::broadcast(&lb, len));
-                        ub_cols.push(ColumnVec::broadcast(&ub, len));
-                    }
-                    other => {
-                        let rows = memo.get_or_insert_with(|| {
-                            (0..len).map(|i| row_ranges(batch, n_in, i)).collect()
-                        });
-                        let mut lbs: Vec<Value> = Vec::with_capacity(len);
-                        let mut ubs: Vec<Value> = Vec::with_capacity(len);
-                        for (i, ranges) in rows.iter().enumerate() {
-                            let approx = ua_ranges::approx_range(other, ranges);
-                            // Re-normalize against the exact bg — the same
-                            // `RangeValue::new` step `eval_range` performs.
-                            let r = RangeValue::new(
-                                approx.lb().clone(),
-                                bg_cols[k].value(i),
-                                approx.ub().clone(),
-                            );
-                            let (lb, _, ub) = range_parts(&r);
-                            lbs.push(lb);
-                            ubs.push(ub);
-                        }
-                        lb_cols.push(ColumnVec::from_values(lbs.iter()));
-                        ub_cols.push(ColumnVec::from_values(ubs.iter()));
-                    }
-                }
-            }
-            let mut out_cols: Vec<ColumnVec> = Vec::with_capacity(3 * n_out + 3);
-            out_cols.extend(bg_cols);
-            out_cols.extend(lb_cols);
-            out_cols.extend(ub_cols);
-            out_cols.push(batch.column(3 * n_in).clone());
-            out_cols.push(batch.column(3 * n_in + 1).clone());
-            out_cols.push(batch.column(3 * n_in + 2).clone());
-            batches.push(ColumnBatch::new(
-                flat.clone(),
-                out_cols,
-                batch.labels().clone(),
-                Arc::new(batch.mults().to_vec()),
-            ));
-        }
+        let batches: Vec<ColumnBatch> = self
+            .pool
+            .map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, batch| {
+                map_batch(batch, &bound, &stream.user, &flat, n_in)
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         Ok(AuStream {
             user,
             flat,
             batches,
         })
     }
+
+    /// `⟦γ⟧_AU`, batch-native: group keys, aggregate arguments and
+    /// multiplicity triples assemble columnar ([`expr_ranges`]) into the
+    /// shared [`AggInput`]; the single workspace bound combination
+    /// (`ua_ranges::ops::aggregate_prepared`, integer-key fast path
+    /// included) folds the groups. Keys evaluate before arguments, like
+    /// the row engine.
+    fn aggregate(
+        &self,
+        stream: AuStream,
+        group_by: &[ProjColumn],
+        aggregates: &[AggExpr],
+    ) -> Result<AuStream, EngineError> {
+        let bound_keys: Vec<Expr> = group_by
+            .iter()
+            .map(|g| g.expr.bind(&stream.user))
+            .collect::<Result<_, _>>()
+            .map_err(EngineError::Expr)?;
+        let bound_args: Vec<Option<Expr>> = aggregates
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| e.bind(&stream.user)).transpose())
+            .collect::<Result<_, _>>()
+            .map_err(EngineError::Expr)?;
+        let n = stream.user.arity();
+        let n_rows: usize = stream.batches.iter().map(|b| b.len()).sum();
+        let mut input = AggInput {
+            keys: bound_keys
+                .iter()
+                .map(|_| Vec::with_capacity(n_rows))
+                .collect(),
+            args: bound_args
+                .iter()
+                .map(|e| e.as_ref().map(|_| Vec::with_capacity(n_rows)))
+                .collect(),
+            mults: Vec::with_capacity(n_rows),
+        };
+        for batch in &stream.batches {
+            if batch.is_empty() {
+                continue;
+            }
+            let bgv = bg_view(batch, &stream.user);
+            let mut memo: Option<Vec<Vec<RangeValue>>> = None;
+            for (e, col) in bound_keys.iter().zip(&mut input.keys) {
+                col.extend(expr_ranges(batch, n, e, &bgv, &mut memo)?);
+            }
+            for (e, col) in bound_args.iter().zip(&mut input.args) {
+                if let (Some(e), Some(col)) = (e.as_ref(), col.as_mut()) {
+                    col.extend(expr_ranges(batch, n, e, &bgv, &mut memo)?);
+                }
+            }
+            for i in 0..batch.len() {
+                input.mults.push(mult_bound_at(batch, n, i));
+            }
+        }
+        let kinds: Vec<AggKind> = aggregates
+            .iter()
+            .map(|a| ua_engine::agg_kind(a.func))
+            .collect();
+        let mut columns: Vec<Column> = group_by.iter().map(|g| g.column.clone()).collect();
+        columns.extend(aggregates.iter().map(|a| Column::unqualified(&a.name)));
+        let rel = ua_ranges::ops::aggregate_prepared(&input, &kinds, Schema::new(columns));
+        Ok(AuStream::from_relation(&rel, self.batch_rows))
+    }
+}
+
+/// View an AU stream as a plain [`BatchStream`] over the flat schema —
+/// what lets the deterministic columnar Sort/Top-K/Limit run unchanged:
+/// batch-level labels are uniformly certain and multiplicities uniformly
+/// 1 (the AU triples are data columns), and the flattened row layout *is*
+/// the AU tie-break order.
+fn flat_stream(stream: &AuStream) -> BatchStream {
+    BatchStream {
+        schema: stream.flat.clone(),
+        batches: stream.batches.clone(),
+    }
+}
+
+/// One batch of [`AuDriver::filter`] (pure per-batch function, safe to
+/// run on the pool): `None` when no row survives.
+fn filter_batch(
+    batch: &ColumnBatch,
+    bound: &Expr,
+    user: &Schema,
+    flat: &Schema,
+    n: usize,
+) -> Result<Option<ColumnBatch>, EngineError> {
+    if batch.is_empty() {
+        return Ok(None);
+    }
+    let bgv = bg_view(batch, user);
+    let (bg_true, _) = truth_masks(bound, &bgv)?;
+    let mut keep: Vec<u32> = Vec::new();
+    let mut new_lb: Vec<Value> = Vec::new();
+    let mut new_bg: Vec<Value> = Vec::new();
+    for i in 0..batch.len() {
+        let ranges = row_ranges(batch, n, i);
+        let rt = truth_range(bound, &ranges);
+        if !rt.possibly_true() {
+            continue;
+        }
+        keep.push(i as u32);
+        new_lb.push(Value::Int(if rt.certainly_true() {
+            mult_at(batch, n, 0, i)
+        } else {
+            0
+        }));
+        new_bg.push(Value::Int(if bg_true.get(i) {
+            mult_at(batch, n, 1, i)
+        } else {
+            0
+        }));
+    }
+    if keep.is_empty() {
+        return Ok(None);
+    }
+    let gathered = batch.gather(&keep);
+    let mut columns = gathered.columns().to_vec();
+    columns[3 * n] = ColumnVec::from_values(new_lb.iter());
+    columns[3 * n + 1] = ColumnVec::from_values(new_bg.iter());
+    Ok(Some(ColumnBatch::new(
+        flat.clone(),
+        columns,
+        gathered.labels().clone(),
+        Arc::new(gathered.mults().to_vec()),
+    )))
+}
+
+/// One batch of [`AuDriver::map`] (pure per-batch function, safe to run
+/// on the pool).
+fn map_batch(
+    batch: &ColumnBatch,
+    bound: &[Expr],
+    user: &Schema,
+    out_flat: &Schema,
+    n_in: usize,
+) -> Result<ColumnBatch, EngineError> {
+    let len = batch.len();
+    let n_out = bound.len();
+    let bgv = bg_view(batch, user);
+    let bg_cols: Vec<ColumnVec> = bound
+        .iter()
+        .map(|e| Ok(eval_expr(e, &bgv)?.into_column(len)))
+        .collect::<Result<_, EngineError>>()?;
+    // Per-row range assembly is shared across computed expressions.
+    let mut memo: Option<Vec<Vec<RangeValue>>> = None;
+    let mut lb_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
+    let mut ub_cols: Vec<ColumnVec> = Vec::with_capacity(n_out);
+    for (k, e) in bound.iter().enumerate() {
+        match e {
+            Expr::Col(i) => {
+                lb_cols.push(batch.column(n_in + i).clone());
+                ub_cols.push(batch.column(2 * n_in + i).clone());
+            }
+            Expr::Lit(v) => {
+                let (lb, _, ub) = range_parts(&RangeValue::point(v.clone()));
+                lb_cols.push(ColumnVec::broadcast(&lb, len));
+                ub_cols.push(ColumnVec::broadcast(&ub, len));
+            }
+            other => {
+                let rows = memo
+                    .get_or_insert_with(|| (0..len).map(|i| row_ranges(batch, n_in, i)).collect());
+                let mut lbs: Vec<Value> = Vec::with_capacity(len);
+                let mut ubs: Vec<Value> = Vec::with_capacity(len);
+                for (i, ranges) in rows.iter().enumerate() {
+                    let approx = ua_ranges::approx_range(other, ranges);
+                    // Re-anchor on the exact bg — the same `reanchor` step
+                    // `eval_range` performs, so a definite NULL projected
+                    // through a computed expression stays definite.
+                    let r = reanchor(&approx, bg_cols[k].value(i));
+                    let (lb, _, ub) = range_parts(&r);
+                    lbs.push(lb);
+                    ubs.push(ub);
+                }
+                lb_cols.push(ColumnVec::from_values(lbs.iter()));
+                ub_cols.push(ColumnVec::from_values(ubs.iter()));
+            }
+        }
+    }
+    let mut out_cols: Vec<ColumnVec> = Vec::with_capacity(3 * n_out + 3);
+    out_cols.extend(bg_cols);
+    out_cols.extend(lb_cols);
+    out_cols.extend(ub_cols);
+    out_cols.push(batch.column(3 * n_in).clone());
+    out_cols.push(batch.column(3 * n_in + 1).clone());
+    out_cols.push(batch.column(3 * n_in + 2).clone());
+    Ok(ColumnBatch::new(
+        out_flat.clone(),
+        out_cols,
+        batch.labels().clone(),
+        Arc::new(batch.mults().to_vec()),
+    ))
 }
 
 /// Execute an AU plan with the vectorized engine, returning the flattened
 /// encoded result table — the hook `ua_engine`'s `ExecMode::Vectorized`
-/// AU dispatch calls. `opts.batch_rows` sizes the morsels; the AU path
-/// currently runs each batch serially (its pipeline breakers dominate),
-/// so `opts.threads` is accepted but unused.
+/// AU dispatch calls. `opts.batch_rows` sizes the morsels; `opts.threads`
+/// sizes the morsel pool the per-batch stages (scan chunking, σ, π, final
+/// materialization) map on — batch order is deterministic, so results are
+/// byte-identical across thread counts.
 pub fn execute_au_vectorized_opts(
     plan: &Plan,
     catalog: &Catalog,
@@ -381,24 +749,42 @@ pub fn execute_au_vectorized_opts(
     } else {
         opts.batch_rows
     };
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(crate::exec::resolve_threads(opts.threads))
+        .build()
+        .expect("shim pool construction is infallible");
+    pool.set_instrumented(opts.collect_stats);
     let driver = AuDriver {
         catalog,
         batch_rows,
         collect_stats: opts.collect_stats,
+        pool,
     };
     let (stream, stats) = driver.stream_traced(plan)?;
-    let mut rows: Vec<Tuple> = Vec::new();
-    for b in &stream.batches {
-        for i in 0..b.len() {
-            rows.push(b.row(i));
-        }
+    let parts: Vec<Vec<Tuple>> = driver
+        .pool
+        .map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, b| {
+            (0..b.len()).map(|i| b.row(i)).collect()
+        });
+    let mut rows: Vec<Tuple> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+    for p in parts {
+        rows.extend(p);
     }
     if let Some(root) = stats {
+        let m = driver.pool.take_metrics();
         ua_obs::set_last_query_stats(QueryStats {
             engine: "vectorized".into(),
             semantics: "au".into(),
             root,
-            pool: None,
+            pool: Some(PoolStats {
+                workers: m.workers as u64,
+                tasks: m.tasks,
+                stolen: m.stolen,
+                wall_ns: m.wall_ns,
+                merge_ns: m.merge_ns,
+                worker_busy_ns: m.worker_busy_ns,
+                worker_tasks: m.worker_tasks,
+            }),
         });
     }
     Ok(Table::from_rows(stream.flat, rows))
@@ -441,6 +827,7 @@ mod tests {
             "SELECT g, count(*) AS n, sum(v) AS s FROM t IS TI WITH PROBABILITY (p) x GROUP BY g",
             "SELECT DISTINCT g FROM t IS TI WITH PROBABILITY (p) x",
             "SELECT g, v + 1 AS w FROM t IS TI WITH PROBABILITY (p) x ORDER BY w DESC LIMIT 2",
+            "SELECT g, min(v) AS lo, max(v) AS hi, avg(v) AS m FROM t IS TI WITH PROBABILITY (p) x GROUP BY g",
         ] {
             let row = {
                 session.set_exec_mode(ua_engine::ExecMode::Row);
@@ -457,5 +844,63 @@ mod tests {
             assert_eq!(row.table.schema(), vec.table.schema(), "{sql}");
             assert_eq!(row.table.rows(), vec.table.rows(), "{sql}");
         }
+    }
+
+    #[test]
+    fn au_batch_native_ops_do_not_bump_fallback_counters() {
+        crate::install();
+        let session = UaSession::new();
+        session.register_table(
+            "s",
+            Table::from_rows(
+                Schema::qualified("s", ["k", "v", "p"]),
+                vec![
+                    tuple![1i64, 5i64, 0.9],
+                    tuple![2i64, 6i64, 1.0],
+                    tuple![2i64, 7i64, 0.5],
+                ],
+            ),
+        );
+        session.register_table(
+            "d",
+            Table::from_rows(
+                Schema::qualified("d", ["k", "name", "q"]),
+                vec![tuple![1i64, "one", 1.0], tuple![2i64, "two", 0.8]],
+            ),
+        );
+        session.set_exec_mode(ua_engine::ExecMode::Vectorized);
+        let counters = [
+            "au.vec.fallback.join",
+            "au.vec.fallback.hash_join",
+            "au.vec.fallback.aggregate",
+            "au.vec.fallback.sort",
+            "au.vec.fallback.limit",
+            "au.vec.fallback.top_k",
+            "au.vec.fallback.union_all",
+        ];
+        let before: Vec<u64> = counters
+            .iter()
+            .map(|c| ua_obs::global().counter(c).get())
+            .collect();
+        for sql in [
+            "SELECT x.k, sum(x.v) AS s FROM s IS TI WITH PROBABILITY (p) x GROUP BY x.k",
+            "SELECT x.v, y.name FROM s IS TI WITH PROBABILITY (p) x, \
+             d IS TI WITH PROBABILITY (q) y WHERE x.k = y.k",
+            "SELECT x.v FROM s IS TI WITH PROBABILITY (p) x ORDER BY x.v DESC LIMIT 2",
+            "SELECT x.k FROM s IS TI WITH PROBABILITY (p) x WHERE x.v < 6 \
+             UNION ALL SELECT x.k FROM s IS TI WITH PROBABILITY (p) x WHERE x.v >= 6",
+        ] {
+            session
+                .query_au(sql)
+                .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        }
+        let after: Vec<u64> = counters
+            .iter()
+            .map(|c| ua_obs::global().counter(c).get())
+            .collect();
+        assert_eq!(
+            before, after,
+            "batch-native AU operators must not fall back"
+        );
     }
 }

@@ -372,7 +372,7 @@ impl BatchStream {
 /// The `[start, end)` chunk boundaries of an `n`-row table at `batch_rows`
 /// rows per chunk — each chunk converts independently, which is what lets
 /// scans decompose in parallel with a deterministic batch order.
-fn chunk_ranges(n: usize, batch_rows: usize) -> Vec<(usize, usize)> {
+pub(crate) fn chunk_ranges(n: usize, batch_rows: usize) -> Vec<(usize, usize)> {
     let step = batch_rows.max(1);
     let mut ranges = Vec::with_capacity(n.div_ceil(step));
     let mut start = 0;

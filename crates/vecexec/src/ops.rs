@@ -16,7 +16,7 @@ use ua_data::algebra::{extract_equi_keys, ProjColumn};
 use ua_data::expr::Expr;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
-use ua_data::value::Value;
+use ua_data::value::{Value, F64};
 use ua_data::FxHashMap;
 use ua_engine::plan::{AggExpr, SortOrder};
 use ua_engine::{AggState, EngineError};
@@ -597,6 +597,58 @@ fn sort_cmp(
     ba.labels().get(ia).cmp(&bb.labels().get(ib))
 }
 
+/// A single-chunk comparison accessor: typed dense columns compare on
+/// their raw slices, skipping the per-comparison `Value` materialization
+/// (and the `Arc<str>` clone `ColumnVec::value` pays for strings).
+///
+/// Within one typed variant the raw order *is* `Value`'s total order —
+/// `Int` is `i64`'s, `Float` is [`F64`]'s total order (the same order
+/// `Value::Float` derives), `Bool` is `bool`'s, `Str` is byte-wise `str`
+/// order — and a per-batch constant compares equal everywhere, exactly as
+/// cloning the same `Value` twice would. So a comparator chained from
+/// these accessors yields the permutation [`sort_cmp`] defines,
+/// byte-identically; [`sort`] uses them for both the key columns and the
+/// full-row tie-break, and the differential test pins the ordering
+/// against `ua_engine::sort_table`.
+enum ColCmp<'a> {
+    Int(&'a [i64]),
+    Float(&'a [F64]),
+    Bool(&'a [bool]),
+    Str(&'a [Arc<str>]),
+    Mixed(&'a [Value]),
+    Const,
+}
+
+impl<'a> ColCmp<'a> {
+    fn for_col(col: &'a ColumnVec) -> ColCmp<'a> {
+        match col {
+            ColumnVec::Int(v) => ColCmp::Int(v),
+            ColumnVec::Float(v) => ColCmp::Float(v),
+            ColumnVec::Bool(v) => ColCmp::Bool(v),
+            ColumnVec::Str(v) => ColCmp::Str(v),
+            ColumnVec::Mixed(v) => ColCmp::Mixed(v),
+        }
+    }
+
+    fn for_eval(ev: &'a Evaluated) -> ColCmp<'a> {
+        match ev {
+            Evaluated::Col(c) => ColCmp::for_col(c),
+            Evaluated::Const(_) => ColCmp::Const,
+        }
+    }
+
+    fn cmp(&self, a: usize, b: usize) -> Ordering {
+        match self {
+            ColCmp::Int(v) => v[a].cmp(&v[b]),
+            ColCmp::Float(v) => v[a].cmp(&v[b]),
+            ColCmp::Bool(v) => v[a].cmp(&v[b]),
+            ColCmp::Str(v) => v[a].as_ref().cmp(v[b].as_ref()),
+            ColCmp::Mixed(v) => v[a].cmp(&v[b]),
+            ColCmp::Const => Ordering::Equal,
+        }
+    }
+}
+
 /// Bind sort keys against a stream schema.
 fn bind_sort_keys(
     keys: &[(Expr, SortOrder)],
@@ -633,14 +685,33 @@ pub fn sort(
         .map(|(e, _)| eval_expr(e, &chunk))
         .collect::<Result<_, _>>()?;
     let mut idx: Vec<u32> = (0..chunk.len() as u32).collect();
+    // The typed comparator chain: [`sort_cmp`]'s order without the
+    // per-comparison `Value` round trip.
+    let key_cmp: Vec<(ColCmp, SortOrder)> = bound
+        .iter()
+        .zip(&key_cols)
+        .map(|((_, order), ev)| (ColCmp::for_eval(ev), *order))
+        .collect();
+    let row_cmp: Vec<ColCmp> = chunk.columns().iter().map(ColCmp::for_col).collect();
+    let labels = chunk.labels();
     idx.sort_by(|&a, &b| {
-        sort_cmp(
-            &bound,
-            |k| key_cols[k].value_at(a as usize),
-            |k| key_cols[k].value_at(b as usize),
-            (&chunk, a as usize),
-            (&chunk, b as usize),
-        )
+        let (a, b) = (a as usize, b as usize);
+        for (col, order) in &key_cmp {
+            let ord = match order {
+                SortOrder::Asc => col.cmp(a, b),
+                SortOrder::Desc => col.cmp(a, b).reverse(),
+            };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        for col in &row_cmp {
+            let ord = col.cmp(a, b);
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        labels.get(a).cmp(&labels.get(b))
     });
     let batches = idx
         .chunks(batch_rows.max(1))
@@ -1015,5 +1086,50 @@ mod tests {
                 (tuple![2i64], true),
             ]
         );
+    }
+
+    #[test]
+    fn typed_sort_keys_match_sort_table() {
+        use crate::columnar::{batches_from_table, table_from_batches};
+        // Every comparator arm gets exercised: dense Int/Float/Str key
+        // columns (with duplicate keys so the full-row tie-break decides),
+        // a float column holding NaN (F64's total order), a Mixed column
+        // holding NULLs, and a constant (literal) key.
+        let t = Table::from_rows(
+            Schema::qualified("r", ["i", "f", "s", "m"]),
+            vec![
+                tuple![3i64, 1.5, "bb", Value::Null],
+                tuple![1i64, f64::NAN, "aa", 7i64],
+                tuple![3i64, -0.0, "aa", Value::Null],
+                tuple![1i64, 1.5, "cc", 2i64],
+                tuple![2i64, f64::NAN, "bb", Value::Null],
+                tuple![1i64, 1.5, "aa", 5i64],
+                tuple![3i64, 1.5, "bb", 1i64],
+            ],
+        );
+        let key_sets: Vec<Vec<(Expr, SortOrder)>> = vec![
+            vec![(Expr::col(0), SortOrder::Asc)],
+            vec![
+                (Expr::col(1), SortOrder::Desc),
+                (Expr::col(2), SortOrder::Asc),
+            ],
+            vec![(Expr::col(2), SortOrder::Desc)],
+            vec![
+                (Expr::col(3), SortOrder::Asc),
+                (Expr::col(0), SortOrder::Desc),
+            ],
+            vec![
+                (Expr::lit(1i64), SortOrder::Asc),
+                (Expr::col(1), SortOrder::Asc),
+            ],
+        ];
+        for keys in &key_sets {
+            let expect = ua_engine::sort_table(&t, keys).unwrap();
+            for batch_rows in [1, 3, 1024] {
+                let sorted = sort(batches_from_table(&t, batch_rows), keys, batch_rows).unwrap();
+                let got = table_from_batches(&sorted);
+                assert_eq!(got.rows(), expect.rows(), "keys {keys:?} × {batch_rows}");
+            }
+        }
     }
 }
