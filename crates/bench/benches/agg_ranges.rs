@@ -8,13 +8,18 @@
 //! * deterministic grouped aggregation, row vs vectorized — the typed
 //!   single-`Int`-key aggregation path; the acceptance bar is **≥ 3x**
 //!   vectorized over row;
+//! * parallel det-vec aggregation, threads=1 vs threads=4 — byte-equal
+//!   output asserted at every thread count unconditionally; the >= 2x
+//!   wall-clock gate arms only on hosts with >= 4 cores (the CI
+//!   container has 1);
 //! * AU grouped aggregation (range-annotated input, ~6% uncertain rows),
 //!   row interpreter vs the batch-native range-triple executor — gated:
 //!   the vectorized AU path must beat the row interpreter, stay within
-//!   20x of deterministic vectorized aggregation (measured ~13x median
-//!   on a single-core container; the shared bound-combination kernel
-//!   alone costs ~6x a typed fold, and the pre-fix row-at-a-time path
-//!   sat at ~60x), and run without `au.vec.fallback.*` bumps;
+//!   12x of deterministic vectorized aggregation (the columnar
+//!   `agg_bounds` kernels over dense lb/bg/ub triples replaced the
+//!   per-`RangeValue` fold that sat at ~13-18x; the pre-batch-native
+//!   path was ~60x), and run with every `au.vec.fallback.*` counter —
+//!   all eight, `distinct` and `union_all` included — pinned;
 //! * UA selection+projection over the same data as context (the fragment
 //!   UA *can* run).
 //!
@@ -147,6 +152,8 @@ fn bench_agg_ranges(c: &mut Criterion) {
         "au.vec.fallback.aggregate",
         "au.vec.fallback.join",
         "au.vec.fallback.hash_join",
+        "au.vec.fallback.union_all",
+        "au.vec.fallback.distinct",
         "au.vec.fallback.sort",
         "au.vec.fallback.limit",
         "au.vec.fallback.top_k",
@@ -184,6 +191,42 @@ fn bench_agg_ranges(c: &mut Criterion) {
         || execute_vectorized(&det_plan, &catalog).expect("vec").len(),
         5,
     );
+    // Parallel pipeline breakers: the partitioned aggregation fold at
+    // threads=1 vs threads=4. Byte-equality holds at every thread count
+    // by construction (per-worker pre-aggregation partitions merge in
+    // fixed order) and is asserted unconditionally; the wall-clock gate
+    // arms only where 4 workers actually have 4 cores to run on.
+    let par_opts = |threads: usize| ExecOptions {
+        threads,
+        batch_rows: 0,
+        collect_stats: false,
+    };
+    for threads in [1usize, 2, 4, 8] {
+        let out = execute_vectorized_opts(&det_plan, &catalog, par_opts(threads))
+            .expect("parallel det agg");
+        assert_eq!(
+            det_row.rows(),
+            out.rows(),
+            "parallel aggregation must be byte-identical at threads={threads}"
+        );
+    }
+    let t_par1 = median_secs(
+        || {
+            execute_vectorized_opts(&det_plan, &catalog, par_opts(1))
+                .expect("threads=1")
+                .len()
+        },
+        5,
+    );
+    let t_par4 = median_secs(
+        || {
+            execute_vectorized_opts(&det_plan, &catalog, par_opts(4))
+                .expect("threads=4")
+                .len()
+        },
+        5,
+    );
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let t_au_row = median_secs(
         || execute_au(&au_plan, &catalog).expect("au row").rows().len(),
         3,
@@ -236,6 +279,13 @@ fn bench_agg_ranges(c: &mut Criterion) {
         speedup
     );
     println!(
+        "  parallel aggregation: threads=1 {:.1} ms vs threads=4 {:.1} ms \
+         => {:.2}x (cores={cores})",
+        t_par1 * 1e3,
+        t_par4 * 1e3,
+        t_par1 / t_par4
+    );
+    println!(
         "  AU aggregation (closed under ⟦·⟧_AU, rejected by ⟦·⟧_UA): \
          row {:.1} ms, vectorized {:.1} ms => {:.1}x \
          ({:.1}x the det vectorized time)",
@@ -254,16 +304,25 @@ fn bench_agg_ranges(c: &mut Criterion) {
         "vectorized grouped aggregation must be >= 3x over the row engine \
          at {N} rows, got {speedup:.1}x"
     );
+    if cores >= 4 {
+        let par_speedup = t_par1 / t_par4;
+        assert!(
+            par_speedup >= 2.0,
+            "partitioned parallel aggregation must be >= 2x over threads=1 \
+             on a {cores}-core host, got {par_speedup:.2}x \
+             ({:.1} ms vs {:.1} ms)",
+            t_par1 * 1e3,
+            t_par4 * 1e3
+        );
+    }
     // The tentpole's pay-as-you-go gates: the batch-native AU path must
     // beat the row interpreter outright and stay within a bounded tax of
-    // deterministic vectorized aggregation. The constant is calibrated
-    // from measurement, not aspiration: on the single-core bench box the
-    // AU vectorized run lands at ~13x det-vec median (swinging to ~19x
-    // under load — `aggregate_prepared`, the bound-combination kernel
-    // shared with the row engine, alone costs ~6x a typed fold), while
-    // the pre-fix fallback path sat at ~60x. A 20x ceiling absorbs the
-    // container noise yet still fails any return of row-at-a-time AU
-    // execution.
+    // deterministic vectorized aggregation. The columnar `agg_bounds`
+    // kernels (dense Int/Float lb/bg/ub triples fed straight from the
+    // canonical chunks, no per-row `RangeValue` gather) brought the
+    // median down from the ~13-18x the row-shaped `aggregate_prepared`
+    // fold measured; 12x absorbs single-core container noise while
+    // failing any regression back to the row-shaped path.
     assert!(
         au_speedup > 1.0,
         "AU vectorized aggregation must beat the AU row engine at {N} rows, \
@@ -272,8 +331,8 @@ fn bench_agg_ranges(c: &mut Criterion) {
         t_au_vec * 1e3
     );
     assert!(
-        t_au_vec <= 20.0 * t_det_vec,
-        "AU vectorized aggregation must stay within 20x of deterministic \
+        t_au_vec <= 12.0 * t_det_vec,
+        "AU vectorized aggregation must stay within 12x of deterministic \
          vectorized aggregation, got {:.1} ms vs {:.1} ms ({:.1}x)",
         t_au_vec * 1e3,
         t_det_vec * 1e3,
@@ -297,6 +356,10 @@ fn bench_agg_ranges(c: &mut Criterion) {
         .num("t_au_vec_s", t_au_vec)
         .num("t_ua_select_row_s", t_ua_row)
         .num("t_ua_select_vec_s", t_ua_vec)
+        .num("t_det_vec_threads1_s", t_par1)
+        .num("t_det_vec_threads4_s", t_par4)
+        .num("speedup_parallel_agg_threads4", t_par1 / t_par4)
+        .int("cores", cores as u64)
         .num("speedup_det_vec_over_row", speedup)
         .num("speedup_au_vec_over_row", au_speedup)
         .num("au_vec_over_det_vec", t_au_vec / t_det_vec);
@@ -327,6 +390,27 @@ fn bench_agg_ranges(c: &mut Criterion) {
     if execute_au_vectorized_opts(&au_plan, &catalog, stats_opts).is_ok() {
         if let Some(stats) = ua_obs::take_last_query_stats() {
             report = report.operator_stats("au_vectorized", stats);
+        }
+    }
+    // The parallel breakers' phase accounting: an instrumented threads=4
+    // run surfaces the pool's build/merge phases (partitioned hash-join
+    // build tasks, partition-merge wait) both as top-level fields and in
+    // the embedded `operator_stats.det_vectorized_threads4.pool`.
+    let par_stats_opts = ExecOptions {
+        threads: 4,
+        batch_rows: 0,
+        collect_stats: true,
+    };
+    if execute_vectorized_opts(&det_plan, &catalog, par_stats_opts).is_ok() {
+        if let Some(stats) = ua_obs::take_last_query_stats() {
+            if let Some(pool) = &stats.pool {
+                report = report
+                    .int("pool_build_tasks", pool.build_tasks)
+                    .int("pool_build_wall_ns", pool.build_wall_ns)
+                    .int("pool_partition_merge_ns", pool.partition_merge_ns)
+                    .int("pool_merge_ns", pool.merge_ns);
+            }
+            report = report.operator_stats("det_vectorized_threads4", stats);
         }
     }
     report.write();

@@ -26,7 +26,7 @@ pub mod value;
 
 pub use algebra::{eval, ProjColumn, RaError, RaExpr};
 pub use expr::{ArithOp, CmpOp, Expr, ExprError, Truth};
-pub use hash::{FxHashMap, FxHashSet};
+pub use hash::{FxHashMap, FxHashSet, FxHasher};
 pub use relation::{bag_relation, set_relation, Database, Relation};
 pub use schema::{Column, Schema, SchemaError};
 pub use tuple::Tuple;

@@ -703,8 +703,29 @@ fn estimate_rows_f(plan: &Plan, catalog: &Catalog) -> Option<f64> {
         Plan::Alias { input, .. }
         | Plan::Map { input, .. }
         | Plan::Distinct { input }
-        | Plan::Aggregate { input, .. }
         | Plan::Sort { input, .. } => estimate_rows_f(input, catalog),
+        // Post-grouping cardinality, NOT the input's: one output row per
+        // group (a global aggregate always emits exactly one row — det
+        // and AU alike). Passing the input estimate through here let
+        // joins above an aggregate subquery inherit the pre-grouping row
+        // count and trip `planner.join.misestimated` on correct plans.
+        Plan::Aggregate {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                return Some(1.0);
+            }
+            let rows = estimate_rows_f(input, catalog)?;
+            let mut groups = 1.0f64;
+            for key in group_by {
+                // Unknown-ndv keys keep the conservative pass-through.
+                let Some(ndv) = expr_ndv(&key.expr, input, catalog) else {
+                    return Some(rows);
+                };
+                groups *= ndv;
+            }
+            Some(groups.min(rows))
+        }
         Plan::Filter { input, predicate } => {
             let rows = estimate_rows_f(input, catalog)?;
             Some(rows * predicate_selectivity(predicate, input, catalog))

@@ -5,9 +5,9 @@
 //! engine, with the optimizer on or off, at any thread count. On top of
 //! that, `EXPLAIN ANALYZE` must report per-operator rows/time and
 //! est-vs-actual cardinalities on BOTH engines (the acceptance shape:
-//! a 3-way join + GROUP BY), and the AU vectorized driver's fallback
-//! audit counters must tick for operators that route through the row
-//! interpreter.
+//! a 3-way join + GROUP BY), and the AU vectorized driver — batch-native
+//! for every operator — must leave all `au.vec.fallback.*` audit
+//! counters pinned at zero.
 
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
@@ -193,43 +193,84 @@ fn explain_analyze_covers_ua_and_au_semantics() {
     }
 }
 
-/// The AU vectorized driver audits every operator it routes through the
-/// row interpreter. `DISTINCT` is the one remaining fallback and must
-/// tick `au.vec.fallback.distinct`; the grouped aggregate is batch-native
-/// now and must leave `au.vec.fallback.aggregate` untouched (stats
-/// collection does not need to be enabled for the audit counters).
+/// Every AU operator is batch-native now — the vectorized driver no
+/// longer routes anything through the row interpreter's
+/// materialize-and-dispatch path, so ALL `au.vec.fallback.*` counters
+/// (including `distinct`, the last holdout) stay pinned at zero across a
+/// sweep of DISTINCT, aggregation, joins and set operations.
 #[test]
-fn au_vectorized_fallbacks_are_audited() {
+fn au_vectorized_fallback_counters_stay_zero() {
     ua_vecexec::install();
     let s = seeded_session();
     s.set_exec_mode(ExecMode::Vectorized);
     let reg = ua_obs::global();
-    let distinct_sql = "SELECT DISTINCT x.g FROM t IS TI WITH PROBABILITY (p) x";
-    let distinct_before = reg.counter("au.vec.fallback.distinct").get();
-    let agg_before = reg.counter("au.vec.fallback.aggregate").get();
-    s.query_au(distinct_sql).expect("au vec distinct");
-    s.query_au(AU_SQL).expect("au vec");
-    assert!(
-        reg.counter("au.vec.fallback.distinct").get() > distinct_before,
-        "AU DISTINCT must audit its row-interpreter fallback"
-    );
-    assert_eq!(
-        reg.counter("au.vec.fallback.aggregate").get(),
-        agg_before,
-        "grouped AU aggregation is batch-native and must not tick its \
-         fallback counter"
-    );
+    const COUNTERS: [&str; 8] = [
+        "au.vec.fallback.join",
+        "au.vec.fallback.hash_join",
+        "au.vec.fallback.union_all",
+        "au.vec.fallback.distinct",
+        "au.vec.fallback.aggregate",
+        "au.vec.fallback.sort",
+        "au.vec.fallback.limit",
+        "au.vec.fallback.top_k",
+    ];
+    let before: Vec<u64> = COUNTERS.iter().map(|c| reg.counter(c).get()).collect();
+    let sweep = [
+        "SELECT DISTINCT x.g FROM t IS TI WITH PROBABILITY (p) x",
+        AU_SQL,
+        "SELECT x.v AS a, y.v AS b FROM t IS TI WITH PROBABILITY (p) x, \
+         t IS TI WITH PROBABILITY (p) y WHERE x.g = y.g ORDER BY x.v, y.v LIMIT 10",
+        "SELECT x.v AS a, y.v AS b FROM t IS TI WITH PROBABILITY (p) x, \
+         t IS TI WITH PROBABILITY (p) y WHERE x.v < y.g",
+        "SELECT x.g FROM t IS TI WITH PROBABILITY (p) x \
+         UNION ALL SELECT x.g FROM t IS TI WITH PROBABILITY (p) x",
+    ];
+    for sql in sweep {
+        s.query_au(sql)
+            .unwrap_or_else(|e| panic!("au vec `{sql}`: {e}"));
+    }
+    for (name, b) in COUNTERS.iter().zip(&before) {
+        assert_eq!(
+            reg.counter(name).get(),
+            *b,
+            "`{name}` must stay pinned at zero: every AU operator is \
+             batch-native"
+        );
+    }
+}
 
-    // The row engine must not touch the vectorized fallback counters.
-    s.set_exec_mode(ExecMode::Row);
-    let before_row = reg.counter("au.vec.fallback.distinct").get();
-    s.query_au(distinct_sql).expect("au row distinct");
-    s.query_au(AU_SQL).expect("au row");
-    assert_eq!(
-        reg.counter("au.vec.fallback.distinct").get(),
-        before_row,
-        "row-engine AU execution must not tick vectorized fallback counters"
-    );
+/// The `planner.join.misestimated` regression: a join above an aggregate
+/// subquery must compare its estimate against the aggregate's
+/// *post-grouping* cardinality (group-key ndvs), not the pre-grouping
+/// input rows — on AU trees the inherited pass-through estimate used to
+/// trip the misestimate counter on correctly planned queries.
+#[test]
+fn aggregate_estimates_are_post_grouping() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    let sub_join = "SELECT a.g, x.v FROM \
+                    (SELECT y.g AS g, count(*) AS n FROM t IS TI WITH PROBABILITY (p) y \
+                     GROUP BY y.g) a, \
+                    t IS TI WITH PROBABILITY (p) x WHERE a.g = x.g";
+    let reg = ua_obs::global();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        let mis_before = reg.counter("planner.join.misestimated").get();
+        let report = s.explain_analyze_au(sub_join).expect("au explain analyze");
+        assert_eq!(
+            reg.counter("planner.join.misestimated").get(),
+            mis_before,
+            "{mode:?}: a correctly planned AU join over an aggregate \
+             subquery must not count as misestimated:\n{report}"
+        );
+        // The aggregate node's estimate is the group count (5 groups),
+        // not the 200-row pre-grouping input.
+        assert!(
+            report.contains("Aggregate") && report.contains("est=5"),
+            "{mode:?}: aggregate node must carry the post-grouping \
+             estimate:\n{report}"
+        );
+    }
 }
 
 /// Join misestimation feedback: executing with stats on records observed

@@ -429,20 +429,32 @@ pub struct PoolStats {
     pub worker_busy_ns: Vec<u64>,
     /// Per-worker task counts.
     pub worker_tasks: Vec<u64>,
+    /// Pipeline-breaker build tasks (hash-join partition builds,
+    /// aggregation partition folds) — disjoint from `tasks`.
+    pub build_tasks: u64,
+    /// Wall time of the build-phase parallel sections.
+    pub build_wall_ns: u64,
+    /// Time spent merging per-partition breaker state in fixed partition
+    /// order.
+    pub partition_merge_ns: u64,
 }
 
 impl PoolStats {
     fn to_json(&self) -> String {
         format!(
             "{{\"workers\": {}, \"tasks\": {}, \"stolen\": {}, \"wall_ns\": {}, \
-             \"merge_ns\": {}, \"worker_busy_ns\": {:?}, \"worker_tasks\": {:?}}}",
+             \"merge_ns\": {}, \"worker_busy_ns\": {:?}, \"worker_tasks\": {:?}, \
+             \"build_tasks\": {}, \"build_wall_ns\": {}, \"partition_merge_ns\": {}}}",
             self.workers,
             self.tasks,
             self.stolen,
             self.wall_ns,
             self.merge_ns,
             self.worker_busy_ns,
-            self.worker_tasks
+            self.worker_tasks,
+            self.build_tasks,
+            self.build_wall_ns,
+            self.partition_merge_ns
         )
     }
 }
@@ -468,14 +480,16 @@ impl QueryStats {
         let mut out = self.root.render(include_time);
         if let Some(pool) = &self.pool {
             out.push_str(&format!(
-                "morsel pool: workers={} tasks={} stolen={}",
-                pool.workers, pool.tasks, pool.stolen
+                "morsel pool: workers={} tasks={} stolen={} build_tasks={}",
+                pool.workers, pool.tasks, pool.stolen, pool.build_tasks
             ));
             if include_time {
                 out.push_str(&format!(
-                    " wall={} merge={}",
+                    " wall={} merge={} build_wall={} partition_merge={}",
                     fmt_ns(pool.wall_ns),
-                    fmt_ns(pool.merge_ns)
+                    fmt_ns(pool.merge_ns),
+                    fmt_ns(pool.build_wall_ns),
+                    fmt_ns(pool.partition_merge_ns)
                 ));
             }
             out.push('\n');
@@ -680,13 +694,19 @@ mod tests {
                 merge_ns: 10,
                 worker_busy_ns: vec![1, 2, 3, 4],
                 worker_tasks: vec![4, 4, 4, 4],
+                build_tasks: 2,
+                build_wall_ns: 200,
+                partition_merge_ns: 5,
             }),
         };
         let json = stats.to_json();
         assert!(json.contains("\"pool\": {\"workers\": 4"));
         assert!(json.contains("\"stolen\": 3"));
+        assert!(json.contains("\"build_tasks\": 2"));
+        assert!(json.contains("\"partition_merge_ns\": 5"));
         let text = stats.render(true);
         assert!(text.contains("morsel pool: workers=4 tasks=16 stolen=3"));
+        assert!(text.contains("build_tasks=2"));
     }
 
     #[test]

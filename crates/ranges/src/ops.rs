@@ -622,33 +622,40 @@ struct Member<'a> {
     arg_range: Option<&'a RangeValue>,
 }
 
+/// Contribution corners of one numeric member over multiplicity × value —
+/// the enclosure of what `mult` copies within `[lo, hi]` can add to a
+/// numeric SUM in a covered world. Shared by [`member_contrib`] and the
+/// dense kernel arms of [`agg_bounds_dense`], so the exact corner
+/// arithmetic (and its float semantics) has one implementation.
+fn numeric_contrib(mult: MultBound, lo: f64, hi: f64) -> (f64, f64) {
+    let corners = [
+        mult.lb as f64 * lo,
+        mult.lb as f64 * hi,
+        mult.ub as f64 * lo,
+        mult.ub as f64 * hi,
+    ];
+    // 0 × ±∞ is 0 copies contributing nothing.
+    let fix = |x: f64| if x.is_nan() { 0.0 } else { x };
+    (
+        corners
+            .iter()
+            .copied()
+            .map(fix)
+            .fold(f64::INFINITY, f64::min),
+        corners
+            .iter()
+            .copied()
+            .map(fix)
+            .fold(f64::NEG_INFINITY, f64::max),
+    )
+}
+
 /// Per-member contribution corners over multiplicity × value — the
 /// enclosure of what the member can add to a numeric SUM in a covered
 /// world (shared by the SUM and AVG bound combinations).
 fn member_contrib(m: &Member) -> (f64, f64) {
     match m.arg {
-        Some(ArgClass::Numeric { lo, hi }) => {
-            let corners = [
-                m.mult.lb as f64 * lo,
-                m.mult.lb as f64 * hi,
-                m.mult.ub as f64 * lo,
-                m.mult.ub as f64 * hi,
-            ];
-            // 0 × ±∞ is 0 copies contributing nothing.
-            let fix = |x: f64| if x.is_nan() { 0.0 } else { x };
-            (
-                corners
-                    .iter()
-                    .copied()
-                    .map(fix)
-                    .fold(f64::INFINITY, f64::min),
-                corners
-                    .iter()
-                    .copied()
-                    .map(fix)
-                    .fold(f64::NEG_INFINITY, f64::max),
-            )
-        }
+        Some(ArgClass::Numeric { lo, hi }) => numeric_contrib(m.mult, lo, hi),
         Some(ArgClass::NonNumeric) => (0.0, 0.0),
         Some(ArgClass::Anything) | None => {
             if m.mult.ub == 0 {
@@ -906,6 +913,322 @@ fn agg_bounds<'a>(
     }
 }
 
+/// One aggregation-input column as a flattened `lb/bg/ub` triple — the
+/// columnar twin of a `Vec<RangeValue>`.
+///
+/// The dense variants are the triple-column-native fast path: a columnar
+/// executor that already holds an attribute as three same-typed vectors
+/// (the AU flattened layout) passes the slices straight through, and the
+/// bound combination runs typed kernels over them instead of folding
+/// per-row `RangeValue`s. **Invariant**: dense triples must be canonical —
+/// element-wise `lb ≤ bg ≤ ub` under the domain order (which for same-typed
+/// `i64`/[`F64`] columns is the native `Ord`). Non-canonical, mixed-type,
+/// nullable or computed columns go through [`TripleCol::Rows`], the exact
+/// per-row representation.
+pub enum TripleCol {
+    /// A dense all-integer triple (canonical).
+    Int {
+        /// Lower bounds.
+        lb: Vec<i64>,
+        /// Selected guesses.
+        bg: Vec<i64>,
+        /// Upper bounds.
+        ub: Vec<i64>,
+    },
+    /// A dense all-float triple (canonical under the [`F64`] total order).
+    Float {
+        /// Lower bounds.
+        lb: Vec<F64>,
+        /// Selected guesses.
+        bg: Vec<F64>,
+        /// Upper bounds.
+        ub: Vec<F64>,
+    },
+    /// Per-row fallback: materialized ranges.
+    Rows(Vec<RangeValue>),
+}
+
+impl TripleCol {
+    fn view(&self) -> ColView<'_> {
+        match self {
+            TripleCol::Int { lb, bg, ub } => ColView::Int { lb, bg, ub },
+            TripleCol::Float { lb, bg, ub } => ColView::Float { lb, bg, ub },
+            TripleCol::Rows(rows) => ColView::Rows(rows),
+        }
+    }
+}
+
+/// Borrowed view of one aggregation-input column; what [`aggregate_view`]
+/// actually runs over, so [`AggInput`] (row-backed) and [`AggCols`]
+/// (triple-backed) share the whole grouping + bound combination.
+#[derive(Clone, Copy)]
+enum ColView<'a> {
+    Int {
+        lb: &'a [i64],
+        bg: &'a [i64],
+        ub: &'a [i64],
+    },
+    Float {
+        lb: &'a [F64],
+        bg: &'a [F64],
+        ub: &'a [F64],
+    },
+    Rows(&'a [RangeValue]),
+}
+
+impl<'a> ColView<'a> {
+    /// Whether row `i`'s range pins a single known value. For dense
+    /// triples structural equality of the three same-typed slots is
+    /// exactly [`RangeValue::is_point`] (dense columns hold no unknowns).
+    fn is_point(&self, i: usize) -> bool {
+        match self {
+            ColView::Int { lb, bg, ub } => lb[i] == bg[i] && bg[i] == ub[i],
+            ColView::Float { lb, bg, ub } => lb[i] == bg[i] && bg[i] == ub[i],
+            ColView::Rows(rows) => rows[i].is_point(),
+        }
+    }
+
+    /// Row `i`'s selected guess.
+    fn bg_at(&self, i: usize) -> Value {
+        match self {
+            ColView::Int { bg, .. } => Value::Int(bg[i]),
+            ColView::Float { bg, .. } => Value::Float(bg[i]),
+            ColView::Rows(rows) => rows[i].bg.clone(),
+        }
+    }
+
+    /// Row `i` materialized as a range (used off the hot member loops:
+    /// hull folding and intersection tests; alloc-free for dense scalars).
+    fn range_at(&self, i: usize) -> RangeValue {
+        match self {
+            ColView::Int { lb, bg, ub } => RangeValue::new(
+                Bound::Val(Value::Int(lb[i])),
+                Value::Int(bg[i]),
+                Bound::Val(Value::Int(ub[i])),
+            ),
+            ColView::Float { lb, bg, ub } => RangeValue::new(
+                Bound::Val(Value::Float(lb[i])),
+                Value::Float(bg[i]),
+                Bound::Val(Value::Float(ub[i])),
+            ),
+            ColView::Rows(rows) => rows[i].clone(),
+        }
+    }
+
+    /// `range_cmp(bg_i, v) == Equal` without cloning row-backed guesses.
+    fn bg_eq(&self, i: usize, v: &Value) -> bool {
+        match self {
+            ColView::Int { bg, .. } => range_cmp(&Value::Int(bg[i]), v) == Ordering::Equal,
+            ColView::Float { bg, .. } => range_cmp(&Value::Float(bg[i]), v) == Ordering::Equal,
+            ColView::Rows(rows) => range_cmp(&rows[i].bg, v) == Ordering::Equal,
+        }
+    }
+
+    /// Whether row `i`'s range intersects `h`.
+    fn intersects_at(&self, i: usize, h: &RangeValue) -> bool {
+        match self {
+            ColView::Rows(rows) => rows[i].intersects(h),
+            _ => self.range_at(i).intersects(h),
+        }
+    }
+}
+
+/// A scalar a dense triple can hold: totally ordered (matching the domain
+/// order for same-typed comparisons), numeric, and convertible back into a
+/// [`Value`] for the output bounds.
+trait DenseVal: Copy + Ord {
+    fn to_value(self) -> Value;
+    fn to_f64(self) -> f64;
+}
+
+impl DenseVal for i64 {
+    fn to_value(self) -> Value {
+        Value::Int(self)
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+}
+
+impl DenseVal for F64 {
+    fn to_value(self) -> Value {
+        Value::Float(self)
+    }
+    fn to_f64(self) -> f64 {
+        self.get()
+    }
+}
+
+/// [`agg_bounds`] specialized to a dense canonical triple: every member's
+/// argument classifies `Numeric { lb_i, ub_i }` (dense columns hold no
+/// unknowns and no infinities), so the per-member `RangeValue` fold
+/// collapses to typed scalar loops. Accumulation runs in the same member
+/// order with the same float operations ([`numeric_contrib`], `f64`
+/// min/max, native `Ord` for the bound folds — which is the domain order
+/// for same-typed scalars), so the bounds are byte-identical to the
+/// generic path.
+#[allow(clippy::too_many_arguments)]
+fn agg_bounds_dense<T: DenseVal>(
+    kind: AggKind,
+    lb: &[T],
+    ub: &[T],
+    possible: &[usize],
+    certain_flags: &[bool],
+    mults: &[MultBound],
+    grouped: bool,
+    case_a: bool,
+) -> (Bound, Bound) {
+    match kind {
+        AggKind::CountStar | AggKind::Count => {
+            let mut lo: u64 = 0;
+            let mut hi: u64 = 0;
+            for (&i, &certain) in possible.iter().zip(certain_flags) {
+                // A dense argument is never `Anything`, so COUNT(expr)'s
+                // exclusion of possibly-NULL members never fires.
+                if case_a && certain {
+                    lo += mults[i].lb;
+                }
+                hi = hi.saturating_add(mults[i].ub);
+            }
+            if grouped {
+                if kind == AggKind::CountStar {
+                    lo = lo.max(1);
+                    if !case_a {
+                        lo = 1;
+                    }
+                } else if !case_a {
+                    lo = 0;
+                }
+            }
+            (
+                Bound::Val(Value::Int(lo as i64)),
+                Bound::Val(Value::Int(i64::try_from(hi).unwrap_or(i64::MAX))),
+            )
+        }
+        AggKind::Sum => {
+            let mut has_certain_numeric = false;
+            let mut lo = 0.0f64;
+            let mut hi = 0.0f64;
+            for (&i, &c) in possible.iter().zip(certain_flags) {
+                let certain = case_a && c;
+                has_certain_numeric |= certain && mults[i].lb >= 1;
+                let (cl, ch) = numeric_contrib(mults[i], lb[i].to_f64(), ub[i].to_f64());
+                if certain {
+                    lo += cl;
+                    hi += ch;
+                } else {
+                    lo += cl.min(0.0);
+                    hi += ch.max(0.0);
+                }
+            }
+            // All members are numeric, so SUM can only be NULL in the
+            // global group with no certain numeric contributor.
+            if !grouped && !has_certain_numeric {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            (f64_bound(lo), f64_bound(hi))
+        }
+        AggKind::Min | AggKind::Max => {
+            let is_min = kind == AggKind::Min;
+            let mut anchor: Option<T> = None;
+            let mut outer_lo: Option<T> = None;
+            let mut outer_hi: Option<T> = None;
+            for (&i, &c) in possible.iter().zip(certain_flags) {
+                if case_a && c {
+                    let cand = if is_min { ub[i] } else { lb[i] };
+                    anchor = Some(match anchor {
+                        None => cand,
+                        Some(b) => {
+                            if is_min {
+                                b.min(cand)
+                            } else {
+                                b.max(cand)
+                            }
+                        }
+                    });
+                }
+                if mults[i].ub >= 1 {
+                    outer_lo = Some(match outer_lo {
+                        None => lb[i],
+                        Some(b) => b.min(lb[i]),
+                    });
+                    outer_hi = Some(match outer_hi {
+                        None => ub[i],
+                        Some(b) => b.max(ub[i]),
+                    });
+                }
+            }
+            let outer_lo = outer_lo.map_or(Bound::NegInf, |v| Bound::Val(v.to_value()));
+            let outer_hi = outer_hi.map_or(Bound::PosInf, |v| Bound::Val(v.to_value()));
+            match anchor {
+                // `anchor` is only ever set under `case_a && certain`.
+                Some(b) => {
+                    if is_min {
+                        (outer_lo, Bound::Val(b.to_value()))
+                    } else {
+                        (Bound::Val(b.to_value()), outer_hi)
+                    }
+                }
+                // Every dense member is known, so grouped non-point-key
+                // groups always hull.
+                None if grouped => (outer_lo, outer_hi),
+                None => (Bound::NegInf, Bound::PosInf),
+            }
+        }
+        AggKind::Avg => {
+            let mut has_certain_numeric = false;
+            let mut hull_lo = f64::INFINITY;
+            let mut hull_hi = f64::NEG_INFINITY;
+            let mut sum_lo = 0.0f64;
+            let mut sum_hi = 0.0f64;
+            let mut cnt_lo: u64 = 0;
+            let mut cnt_hi: u64 = 0;
+            for (&i, &c) in possible.iter().zip(certain_flags) {
+                let certain = case_a && c;
+                has_certain_numeric |= certain && mults[i].lb >= 1;
+                if mults[i].ub >= 1 {
+                    hull_lo = hull_lo.min(lb[i].to_f64());
+                    hull_hi = hull_hi.max(ub[i].to_f64());
+                }
+                let (cl, ch) = numeric_contrib(mults[i], lb[i].to_f64(), ub[i].to_f64());
+                if certain {
+                    sum_lo += cl;
+                    sum_hi += ch;
+                } else {
+                    sum_lo += cl.min(0.0);
+                    sum_hi += ch.max(0.0);
+                }
+                if certain {
+                    cnt_lo += mults[i].lb;
+                }
+                cnt_hi = cnt_hi.saturating_add(mults[i].ub);
+            }
+            // All-numeric members: grouped groups are always admissible
+            // and nothing voids the hull.
+            let admissible = grouped || has_certain_numeric;
+            if !admissible || hull_lo > hull_hi {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            let cnt_lo = cnt_lo.max(1) as f64;
+            let cnt_hi = cnt_hi.max(1) as f64;
+            let corners = [
+                sum_lo / cnt_lo,
+                sum_lo / cnt_hi,
+                sum_hi / cnt_lo,
+                sum_hi / cnt_hi,
+            ];
+            let q_lo = corners.iter().copied().fold(f64::INFINITY, f64::min);
+            let q_hi = corners.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lo = hull_lo.max(q_lo);
+            let hi = hull_hi.min(q_hi);
+            if lo > hi {
+                return (Bound::NegInf, Bound::PosInf);
+            }
+            (f64_bound(lo), f64_bound(hi))
+        }
+    }
+}
+
 /// Pre-evaluated, column-major aggregation input: every group-key and
 /// aggregate-argument range for every row, plus the row multiplicities.
 /// Produced by [`aggregate`] from an [`AuRelation`], or directly by a
@@ -923,27 +1246,76 @@ pub struct AggInput {
     pub mults: Vec<MultBound>,
 }
 
+/// Triple-column-native aggregation input: like [`AggInput`] but each
+/// column is a [`TripleCol`], so dense `lb/bg/ub` vectors flow straight
+/// from a columnar executor's canonical chunks into the typed kernel arms
+/// of the bound combination — no per-row [`RangeValue`] gathering.
+pub struct AggCols {
+    /// Group-key triples, one per key expression.
+    pub keys: Vec<TripleCol>,
+    /// Aggregate-argument triples, one optional entry per aggregate
+    /// (`None` for `COUNT(*)`).
+    pub args: Vec<Option<TripleCol>>,
+    /// Tuple multiplicity bounds, one per input row.
+    pub mults: Vec<MultBound>,
+}
+
+/// γ over triple-column input: [`aggregate_prepared`] fed from dense
+/// `lb/bg/ub` columns where the executor has them. Output is
+/// byte-identical to the row-backed path for the same logical input.
+pub fn aggregate_cols(input: &AggCols, kinds: &[AggKind], schema: Schema) -> AuRelation {
+    let keys: Vec<ColView> = input.keys.iter().map(TripleCol::view).collect();
+    let args: Vec<Option<ColView>> = input
+        .args
+        .iter()
+        .map(|c| c.as_ref().map(TripleCol::view))
+        .collect();
+    aggregate_view(&keys, &args, &input.mults, kinds, schema)
+}
+
 /// γ over pre-evaluated input: the grouping + bound combination of
 /// [`aggregate`] without expression evaluation. `kinds` gives one
 /// aggregate function per `input.args` entry; `schema` is the output
 /// schema (key columns then aggregate columns). Grouped iff
 /// `input.keys` is non-empty.
 pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -> AuRelation {
-    let n_keys = input.keys.len();
-    let n_rows = input.mults.len();
+    let keys: Vec<ColView> = input.keys.iter().map(|c| ColView::Rows(c)).collect();
+    let args: Vec<Option<ColView>> = input
+        .args
+        .iter()
+        .map(|c| c.as_deref().map(ColView::Rows))
+        .collect();
+    aggregate_view(&keys, &args, &input.mults, kinds, schema)
+}
+
+/// The engine behind [`aggregate_prepared`] and [`aggregate_cols`]:
+/// grouping and bound combination over column views — typed kernels where
+/// a column is a dense triple, the per-row fold where it is not. One
+/// implementation, so the row and columnar feeds cannot diverge.
+fn aggregate_view(
+    keys: &[ColView],
+    args: &[Option<ColView>],
+    mults: &[MultBound],
+    kinds: &[AggKind],
+    schema: Schema,
+) -> AuRelation {
+    let n_keys = keys.len();
+    let n_rows = mults.len();
     let grouped = n_keys > 0;
 
     // Pre-classify each tuple once: whether all its key ranges are points
-    // (the common certain case) and, per aggregate, its argument classes.
+    // (the common certain case) and, per row-backed aggregate column, its
+    // argument classes. Dense triples skip the per-row classification —
+    // a canonical scalar triple always classifies `Numeric { lb, ub }`,
+    // which the typed kernel arms read straight off the slices.
     let key_points: Vec<bool> = (0..n_rows)
-        .map(|i| input.keys.iter().all(|col| col[i].is_point()))
+        .map(|i| keys.iter().all(|c| c.is_point(i)))
         .collect();
-    let arg_classes: Vec<Option<Vec<ArgClass>>> = input
-        .args
+    let arg_classes: Vec<Option<Vec<ArgClass>>> = args
         .iter()
-        .map(|col| {
-            col.as_ref()
-                .map(|col| col.iter().map(classify_arg).collect())
+        .map(|col| match col {
+            Some(ColView::Rows(rows)) => Some(rows.iter().map(classify_arg).collect()),
+            _ => None,
         })
         .collect();
 
@@ -958,18 +1330,31 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
     let mut groups: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
     let mut point_buckets: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
     let mut ranged: Vec<usize> = Vec::new();
-    let int_fast = n_keys == 1 && input.keys[0].iter().all(|r| matches!(r.bg, Value::Int(_)));
+    let int_fast = n_keys == 1
+        && match keys[0] {
+            ColView::Int { .. } => true,
+            ColView::Rows(rows) => rows.iter().all(|r| matches!(r.bg, Value::Int(_))),
+            ColView::Float { .. } => false,
+        };
     if int_fast {
+        let int_key = |i: usize| -> i64 {
+            match keys[0] {
+                ColView::Int { bg, .. } => bg[i],
+                ColView::Rows(rows) => match rows[i].bg {
+                    Value::Int(k) => k,
+                    _ => unreachable!("int fast path checked"),
+                },
+                ColView::Float { .. } => unreachable!("int fast path checked"),
+            }
+        };
         struct IntSlot {
             members: Vec<usize>,
             points: Vec<usize>,
         }
         let mut slots: FxHashMap<i64, IntSlot> = FxHashMap::default();
         let mut int_order: Vec<i64> = Vec::new();
-        for (i, r) in input.keys[0].iter().enumerate() {
-            let Value::Int(k) = r.bg else {
-                unreachable!("int fast path checked")
-            };
+        for (i, &point) in key_points.iter().enumerate() {
+            let k = int_key(i);
             let slot = slots.entry(k).or_insert_with(|| {
                 int_order.push(k);
                 IntSlot {
@@ -978,7 +1363,7 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
                 }
             });
             slot.members.push(i);
-            if key_points[i] {
+            if point {
                 slot.points.push(i);
             } else {
                 ranged.push(i);
@@ -994,9 +1379,9 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
             groups.insert(key, slot.members);
         }
     } else {
-        for i in 0..n_rows {
-            let key: Tuple = input.keys.iter().map(|col| col[i].bg.clone()).collect();
-            if key_points[i] {
+        for (i, &point) in key_points.iter().enumerate() {
+            let key: Tuple = keys.iter().map(|c| c.bg_at(i)).collect();
+            if point {
                 let norm: Tuple = key.values().iter().map(|v| v.clone().join_key()).collect();
                 point_buckets.entry(norm).or_default().push(i);
             } else {
@@ -1029,11 +1414,12 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         let all_member_points = member_idx.iter().all(|&i| key_points[i]);
         let hulls: Vec<RangeValue> = (0..n_keys)
             .map(|k| {
-                let mut hull =
-                    input.keys[k][member_idx[0]].with_bg(key.get(k).expect("key arity").clone());
+                let mut hull = keys[k]
+                    .range_at(member_idx[0])
+                    .with_bg(key.get(k).expect("key arity").clone());
                 if !all_member_points {
                     for &i in &member_idx[1..] {
-                        hull = hull.hull(&input.keys[k][i]);
+                        hull = hull.hull(&keys[k].range_at(i));
                     }
                 }
                 hull
@@ -1048,13 +1434,8 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         // Non-point hulls (the uncertain-key minority) fall back to the
         // full scan.
         let case_a = hulls.iter().all(RangeValue::is_point);
-        let intersects_hulls = |i: usize| {
-            input
-                .keys
-                .iter()
-                .zip(&hulls)
-                .all(|(col, h)| col[i].intersects(h))
-        };
+        let intersects_hulls =
+            |i: usize| keys.iter().zip(&hulls).all(|(c, h)| c.intersects_at(i, h));
         let possible: Vec<usize> = if case_a {
             let mut candidates: Vec<usize> = point_buckets
                 .get(&normalize(&key))
@@ -1076,13 +1457,9 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         let certain_flags: Vec<bool> = possible
             .iter()
             .map(|&i| {
-                input.mults[i].lb >= 1
+                mults[i].lb >= 1
                     && key_points[i]
-                    && input
-                        .keys
-                        .iter()
-                        .zip(key.values())
-                        .all(|(col, v)| range_cmp(&col[i].bg, v) == Ordering::Equal)
+                    && keys.iter().zip(key.values()).all(|(c, v)| c.bg_eq(i, v))
             })
             .collect();
         // Selected-guess values: ordinary aggregation over the SG members
@@ -1090,14 +1467,20 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         let mut in_sg_any = false;
         let mut bg_states: Vec<BgAgg> = kinds.iter().map(|&k| BgAgg::new(k)).collect();
         for &i in &member_idx {
-            if input.mults[i].bg < 1 {
+            if mults[i].bg < 1 {
                 continue;
             }
             in_sg_any = true;
-            for (s, argcol) in bg_states.iter_mut().zip(&input.args) {
+            for (s, argcol) in bg_states.iter_mut().zip(args) {
                 match argcol {
-                    Some(col) => s.update(Some(&col[i].bg), input.mults[i].bg),
-                    None => s.update(None, input.mults[i].bg),
+                    Some(ColView::Int { bg, .. }) => {
+                        s.update(Some(&Value::Int(bg[i])), mults[i].bg)
+                    }
+                    Some(ColView::Float { bg, .. }) => {
+                        s.update(Some(&Value::Float(bg[i])), mults[i].bg)
+                    }
+                    Some(ColView::Rows(rows)) => s.update(Some(&rows[i].bg), mults[i].bg),
+                    None => s.update(None, mults[i].bg),
                 }
             }
         }
@@ -1108,18 +1491,54 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         // aggregate).
         let mut values: Vec<RangeValue> = hulls;
         for (a_idx, (&kind, state)) in kinds.iter().zip(bg_states).enumerate() {
-            let classes = arg_classes[a_idx].as_deref();
-            let argcol = input.args[a_idx].as_deref();
-            let members = possible
-                .iter()
-                .zip(&certain_flags)
-                .map(move |(&i, &certain)| Member {
-                    mult: input.mults[i],
-                    certain,
-                    arg: classes.map(|c| c[i]),
-                    arg_range: argcol.map(|col| &col[i]),
-                });
-            let (lb, ub) = agg_bounds(kind, members, grouped, case_a);
+            let (lb, ub) = match args[a_idx] {
+                Some(ColView::Int { lb, ub, .. }) => agg_bounds_dense(
+                    kind,
+                    lb,
+                    ub,
+                    &possible,
+                    &certain_flags,
+                    mults,
+                    grouped,
+                    case_a,
+                ),
+                Some(ColView::Float { lb, ub, .. }) => agg_bounds_dense(
+                    kind,
+                    lb,
+                    ub,
+                    &possible,
+                    &certain_flags,
+                    mults,
+                    grouped,
+                    case_a,
+                ),
+                Some(ColView::Rows(rows)) => {
+                    let classes = arg_classes[a_idx].as_deref();
+                    let members = possible
+                        .iter()
+                        .zip(&certain_flags)
+                        .map(move |(&i, &certain)| Member {
+                            mult: mults[i],
+                            certain,
+                            arg: classes.map(|c| c[i]),
+                            arg_range: Some(&rows[i]),
+                        });
+                    agg_bounds(kind, members, grouped, case_a)
+                }
+                None => {
+                    let members =
+                        possible
+                            .iter()
+                            .zip(&certain_flags)
+                            .map(|(&i, &certain)| Member {
+                                mult: mults[i],
+                                certain,
+                                arg: None,
+                                arg_range: None,
+                            });
+                    agg_bounds(kind, members, grouped, case_a)
+                }
+            };
             values.push(RangeValue::new(lb, state.finish(), ub));
         }
 
@@ -1128,7 +1547,7 @@ pub fn aggregate_prepared(input: &AggInput, kinds: &[AggKind], schema: Schema) -
         let ub: u64 = if grouped {
             possible
                 .iter()
-                .map(|&i| input.mults[i].ub)
+                .map(|&i| mults[i].ub)
                 .fold(0, u64::saturating_add)
         } else {
             1

@@ -44,6 +44,15 @@ pub struct PoolMetrics {
     pub worker_busy_ns: Vec<u64>,
     /// Per-worker tasks executed.
     pub worker_tasks: Vec<u64>,
+    /// Tasks dispatched by [`ThreadPool::map_build`] (pipeline-breaker
+    /// build phases: hash-join partition builds, aggregation partition
+    /// folds). Disjoint from `tasks`.
+    pub build_tasks: u64,
+    /// Wall-clock time inside `map_build` (all calls summed).
+    pub build_wall_ns: u64,
+    /// Time callers spent merging per-partition pipeline-breaker state in
+    /// fixed partition order ([`ThreadPool::note_partition_merge`]).
+    pub partition_merge_ns: u64,
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -120,10 +129,28 @@ impl ThreadPool {
         self.instrument.store(on, Ordering::Relaxed);
     }
 
+    /// Whether per-task instrumentation is currently on. Callers that
+    /// time their own pipeline-breaker merges
+    /// ([`ThreadPool::note_partition_merge`]) consult this to skip the
+    /// clock reads when nobody is collecting.
+    pub fn instrumented(&self) -> bool {
+        self.instrument.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the accumulated [`PoolMetrics`] and reset them to zero.
     pub fn take_metrics(&self) -> PoolMetrics {
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut m)
+    }
+
+    /// Account `ns` of caller-side partition-merge time (the fixed-order
+    /// fold of per-partition pipeline-breaker state). No-op unless
+    /// instrumented.
+    pub fn note_partition_merge(&self, ns: u64) {
+        if self.instrumented() {
+            let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+            m.partition_merge_ns += ns;
+        }
     }
 
     /// Run `f` "inside" the pool (compatibility shim — the closure simply
@@ -137,6 +164,29 @@ impl ThreadPool {
     /// item order** — `map_in_order(v, f)[i] == f(i, v[i])` regardless of
     /// thread count or scheduling. Panics in `f` propagate to the caller.
     pub fn map_in_order<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.map_phase(items, f, false)
+    }
+
+    /// [`ThreadPool::map_in_order`] accounted to the *build* phase —
+    /// pipeline-breaker work (hash-join partition builds, aggregation
+    /// partition folds) lands in `build_tasks`/`build_wall_ns` so stats
+    /// separate streaming morsels from breaker construction. Semantics are
+    /// otherwise identical.
+    pub fn map_build<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.map_phase(items, f, true)
+    }
+
+    fn map_phase<T, R, F>(&self, items: Vec<T>, f: F, build: bool) -> Vec<R>
     where
         T: Send,
         R: Send,
@@ -158,7 +208,7 @@ impl ThreadPool {
                 .collect();
             if let Some(start) = wall {
                 let ns = start.elapsed().as_nanos() as u64;
-                self.record(n as u64, 0, ns, 0, &[(0, ns, n as u64)]);
+                self.record(n as u64, 0, ns, 0, &[(0, ns, n as u64)], build);
             }
             return out;
         }
@@ -240,6 +290,7 @@ impl ThreadPool {
                 wall_start.elapsed().as_nanos() as u64,
                 merge_ns,
                 &per_worker,
+                build,
             );
         }
         out
@@ -254,12 +305,18 @@ impl ThreadPool {
         wall_ns: u64,
         merge_ns: u64,
         per_worker: &[(usize, u64, u64)],
+        build: bool,
     ) {
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         m.workers = self.num_threads;
-        m.tasks += tasks;
+        if build {
+            m.build_tasks += tasks;
+            m.build_wall_ns += wall_ns;
+        } else {
+            m.tasks += tasks;
+            m.wall_ns += wall_ns;
+        }
         m.stolen += stolen;
-        m.wall_ns += wall_ns;
         m.merge_ns += merge_ns;
         if m.worker_busy_ns.len() < self.num_threads {
             m.worker_busy_ns.resize(self.num_threads, 0);
@@ -329,6 +386,28 @@ mod tests {
             // Uninstrumented calls leave the metrics untouched.
             p.set_instrumented(false);
             p.map_in_order(items.clone(), |_, x| x + 1);
+            assert_eq!(p.take_metrics(), PoolMetrics::default());
+        }
+    }
+
+    #[test]
+    fn build_phase_accounts_separately_from_morsels() {
+        for threads in [1, 4] {
+            let p = pool(threads);
+            p.set_instrumented(true);
+            assert!(p.instrumented());
+            let got = p.map_build((0..32).collect::<Vec<u64>>(), |_, x| x * 2);
+            assert_eq!(got, (0..32).map(|x| x * 2).collect::<Vec<u64>>());
+            p.map_in_order((0..8).collect::<Vec<u64>>(), |_, x| x);
+            p.note_partition_merge(17);
+            let m = p.take_metrics();
+            assert_eq!(m.build_tasks, 32, "threads={threads}");
+            assert_eq!(m.tasks, 8, "threads={threads}");
+            assert_eq!(m.partition_merge_ns, 17);
+            assert_eq!(m.worker_tasks.iter().sum::<u64>(), 40);
+            // note_partition_merge is a no-op when uninstrumented.
+            p.set_instrumented(false);
+            p.note_partition_merge(5);
             assert_eq!(p.take_metrics(), PoolMetrics::default());
         }
     }

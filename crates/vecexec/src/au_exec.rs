@@ -46,8 +46,13 @@
 //!   `ua_ranges::ops::join`/`hash_join`, which prune candidate pairs with
 //!   the selected-guess key index. One implementation of the pair
 //!   refinement exists in the workspace, so the engines cannot disagree.
-//! * **δ (distinct)** — the only remaining per-operator fallback to
-//!   [`ua_engine::au_unary`] (audited by `au.vec.fallback.distinct`).
+//! * **δ (distinct)** — rows merge by selected-guess tuple straight off
+//!   the bg columns in first-seen scan order, hulling attribute ranges
+//!   and combining multiplicities exactly as `ua_ranges::ops::distinct`.
+//!
+//! No operator falls back to the row engine's materialize-and-dispatch
+//! path any more: every `au.vec.fallback.*` counter stays pinned at zero
+//! (regression-tested here and in the engine's observability suite).
 
 use crate::bitmap::Bitmap;
 use crate::columnar::{chunk_ranges, BatchStream, ColumnBatch, ColumnVec};
@@ -58,6 +63,7 @@ use ua_data::expr::Expr;
 use ua_data::schema::{Column, Schema};
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
+use ua_data::FxHashMap;
 use ua_engine::plan::{AggExpr, Plan};
 use ua_engine::stats::node_label;
 use ua_engine::storage::{Catalog, Table};
@@ -65,7 +71,7 @@ use ua_engine::{estimate_rows, EngineError, ExecOptions};
 use ua_obs::{OperatorStats, PoolStats, QueryStats, Stopwatch};
 use ua_ranges::{
     au_base_schema, decode_row, encode_row, flattened_schema, range_from_parts, range_parts,
-    reanchor, truth_range, AggInput, AggKind, AuRelation, MultBound, RangeValue,
+    reanchor, truth_range, AggCols, AggKind, AuRelation, MultBound, RangeValue, TripleCol,
 };
 
 /// A stream of AU batches: the user schema plus batches over its
@@ -294,30 +300,9 @@ struct AuDriver<'a> {
     pool: rayon::ThreadPool,
 }
 
-/// The metric-name suffix of `au.vec.fallback.<kind>` — the global
-/// counters auditing which operators the AU vectorized path hands back to
-/// the row engine's materialize-and-dispatch fallback instead of running
-/// on the columns. Since joins, union, aggregation, sort, limit and top-k
-/// went batch-native, `distinct` is the only kind left; the others stay
-/// pinned at zero (a regression test asserts it). Bumped on every
-/// fallback, instrumented or not (an atomic add), so the audit is always
-/// live.
-fn fallback_kind(plan: &Plan) -> Option<&'static str> {
-    match plan {
-        Plan::Distinct { .. } => Some("distinct"),
-        _ => None,
-    }
-}
-
 impl<'a> AuDriver<'a> {
     fn stream_traced(&self, plan: &Plan) -> Result<(AuStream, Option<OperatorStats>), EngineError> {
         let timer = self.collect_stats.then(Stopwatch::start);
-        let fallback = fallback_kind(plan);
-        if let Some(kind) = fallback {
-            ua_obs::global()
-                .counter(&format!("au.vec.fallback.{kind}"))
-                .inc();
-        }
         let (stream, children) = match plan {
             Plan::Scan(name) => (self.scan(name)?, Vec::new()),
             Plan::Alias { input, name } => {
@@ -415,10 +400,23 @@ impl<'a> AuDriver<'a> {
                     lstat.into_iter().chain(rstat).collect(),
                 )
             }
-            // Joins: columns convert straight into range rows (no encode,
-            // no re-validation) and feed the shared selected-guess hash
-            // join / pruned nested loop.
-            Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+            // Keyless / non-equi joins: block-nested-loop — each left
+            // chunk converts to range rows and joins against the full
+            // right relation on its own worker, blocks concatenating in
+            // chunk order (byte-identical to one monolithic left-major
+            // nested loop).
+            Plan::Join { left, right, .. } => {
+                let (ls, lstat) = self.stream_traced(left)?;
+                let (rs, rstat) = self.stream_traced(right)?;
+                (
+                    self.block_join(plan, &ls, &rs)?,
+                    lstat.into_iter().chain(rstat).collect(),
+                )
+            }
+            // Hash joins: columns convert straight into range rows (no
+            // encode, no re-validation) and feed the shared selected-guess
+            // hash join.
+            Plan::HashJoin { left, right, .. } => {
                 let (ls, lstat) = self.stream_traced(left)?;
                 let (rs, rstat) = self.stream_traced(right)?;
                 let out = ua_engine::au_binary(plan, &ls.to_relation(), &rs.to_relation())?;
@@ -429,11 +427,7 @@ impl<'a> AuDriver<'a> {
             }
             Plan::Distinct { input } => {
                 let (stream, child) = self.stream_traced(input)?;
-                let out = ua_engine::au_unary(plan, &stream.to_relation())?;
-                (
-                    AuStream::from_relation(&out, self.batch_rows),
-                    child.into_iter().collect(),
-                )
+                (self.distinct(stream), child.into_iter().collect())
             }
         };
         let stats = timer.map(|timer| {
@@ -445,9 +439,6 @@ impl<'a> AuDriver<'a> {
             // The timer spans the recursive children, so this is already
             // the cumulative wall time `OperatorStats` documents.
             node.wall_ns = timer.elapsed_ns();
-            if fallback.is_some() {
-                node.push_extra("fallback", 1);
-            }
             node.children = children;
             node
         });
@@ -541,12 +532,15 @@ impl<'a> AuDriver<'a> {
         })
     }
 
-    /// `⟦γ⟧_AU`, batch-native: group keys, aggregate arguments and
-    /// multiplicity triples assemble columnar ([`expr_ranges`]) into the
-    /// shared [`AggInput`]; the single workspace bound combination
-    /// (`ua_ranges::ops::aggregate_prepared`, integer-key fast path
-    /// included) folds the groups. Keys evaluate before arguments, like
-    /// the row engine.
+    /// `⟦γ⟧_AU`, triple-column-native: group keys, aggregate arguments
+    /// and multiplicity triples assemble columnar into the shared
+    /// [`AggCols`] — plain references over dense same-typed triples copy
+    /// the `lb/bg/ub` slices straight off the canonical chunks (no
+    /// per-row [`RangeValue`] gathering), everything else evaluates per
+    /// row via [`expr_ranges`] — and the single workspace bound
+    /// combination (`ua_ranges::ops::aggregate_cols`, typed kernels over
+    /// the dense triples, integer-key fast path included) folds the
+    /// groups. Keys evaluate before arguments, like the row engine.
     fn aggregate(
         &self,
         stream: AuStream,
@@ -565,14 +559,17 @@ impl<'a> AuDriver<'a> {
             .map_err(EngineError::Expr)?;
         let n = stream.user.arity();
         let n_rows: usize = stream.batches.iter().map(|b| b.len()).sum();
-        let mut input = AggInput {
+        let mut input = AggCols {
             keys: bound_keys
                 .iter()
-                .map(|_| Vec::with_capacity(n_rows))
+                .map(|e| empty_triple(&stream.batches, n, e, n_rows))
                 .collect(),
             args: bound_args
                 .iter()
-                .map(|e| e.as_ref().map(|_| Vec::with_capacity(n_rows)))
+                .map(|e| {
+                    e.as_ref()
+                        .map(|e| empty_triple(&stream.batches, n, e, n_rows))
+                })
                 .collect(),
             mults: Vec::with_capacity(n_rows),
         };
@@ -583,11 +580,11 @@ impl<'a> AuDriver<'a> {
             let bgv = bg_view(batch, &stream.user);
             let mut memo: Option<Vec<Vec<RangeValue>>> = None;
             for (e, col) in bound_keys.iter().zip(&mut input.keys) {
-                col.extend(expr_ranges(batch, n, e, &bgv, &mut memo)?);
+                fill_triple(batch, n, e, &bgv, &mut memo, col)?;
             }
             for (e, col) in bound_args.iter().zip(&mut input.args) {
                 if let (Some(e), Some(col)) = (e.as_ref(), col.as_mut()) {
-                    col.extend(expr_ranges(batch, n, e, &bgv, &mut memo)?);
+                    fill_triple(batch, n, e, &bgv, &mut memo, col)?;
                 }
             }
             for i in 0..batch.len() {
@@ -600,9 +597,190 @@ impl<'a> AuDriver<'a> {
             .collect();
         let mut columns: Vec<Column> = group_by.iter().map(|g| g.column.clone()).collect();
         columns.extend(aggregates.iter().map(|a| Column::unqualified(&a.name)));
-        let rel = ua_ranges::ops::aggregate_prepared(&input, &kinds, Schema::new(columns));
+        let rel = ua_ranges::ops::aggregate_cols(&input, &kinds, Schema::new(columns));
         Ok(AuStream::from_relation(&rel, self.batch_rows))
     }
+
+    /// `⟦⋈⟧_AU` for keyless / non-equi joins (`Plan::Join`), block
+    /// nested-loop: each left chunk converts straight into range rows
+    /// (reusing the stream↔relation conversion) and joins against the
+    /// full right relation on its own worker through the shared
+    /// [`ua_engine::au_binary`] → `ua_ranges::ops::join` refinement.
+    /// `join` is left-row-major over the whole right side, so blocks
+    /// concatenated in chunk order are byte-identical to one monolithic
+    /// call, and errors surface from the lowest-indexed failing chunk —
+    /// the row engine's left-scan order.
+    fn block_join(
+        &self,
+        plan: &Plan,
+        ls: &AuStream,
+        rs: &AuStream,
+    ) -> Result<AuStream, EngineError> {
+        let right = rs.to_relation();
+        let n = ls.user.arity();
+        let chunk_rel = |batch: &ColumnBatch| {
+            let mut chunk = AuRelation::new(ls.user.clone());
+            for i in 0..batch.len() {
+                chunk.push(ua_ranges::relation::AuTuple {
+                    values: row_ranges(batch, n, i),
+                    mult: mult_bound_at(batch, n, i),
+                });
+            }
+            chunk
+        };
+        let parts: Vec<AuRelation> = if ls.batches.is_empty() {
+            // Empty left side: one empty block still produces the joined
+            // schema (and any predicate binding error) like the row path.
+            vec![ua_engine::au_binary(
+                plan,
+                &AuRelation::new(ls.user.clone()),
+                &right,
+            )?]
+        } else {
+            self.pool
+                .map_in_order(ls.batches.iter().collect::<Vec<_>>(), |_, batch| {
+                    ua_engine::au_binary(plan, &chunk_rel(batch), &right)
+                })
+                .into_iter()
+                .collect::<Result<_, _>>()?
+        };
+        let mut parts = parts.into_iter();
+        let mut out = parts.next().expect("at least one block");
+        for part in parts {
+            for row in part.rows() {
+                out.push(row.clone());
+            }
+        }
+        Ok(AuStream::from_relation(&out, self.batch_rows))
+    }
+
+    /// `⟦δ⟧_AU`, batch-native: rows merge by selected-guess tuple over the
+    /// canonical chunks in first-seen scan order. The stream's first `n`
+    /// columns *are* the SG tuple, so the merge key reads straight off the
+    /// bg columns; merged rows hull their attribute ranges and combine
+    /// multiplicities exactly as `ua_ranges::ops::distinct` (`lb`/`bg` cap
+    /// at 1, `ub` sums — each copy may ground to a distinct surviving
+    /// value), so the output is byte-identical to the row engine's δ.
+    fn distinct(&self, stream: AuStream) -> AuStream {
+        let n = stream.user.arity();
+        let mut index: FxHashMap<Tuple, usize> = FxHashMap::default();
+        let mut merged: Vec<ua_ranges::relation::AuTuple> = Vec::new();
+        for batch in &stream.batches {
+            for i in 0..batch.len() {
+                let key: Tuple = (0..n).map(|c| batch.column(c).value(i)).collect();
+                let mult = mult_bound_at(batch, n, i);
+                match index.get(&key) {
+                    Some(&slot) => {
+                        let acc = &mut merged[slot];
+                        for (a, r) in acc.values.iter_mut().zip(row_ranges(batch, n, i)) {
+                            *a = a.hull(&r);
+                        }
+                        acc.mult = MultBound::new(
+                            acc.mult.lb.max(u64::from(mult.lb >= 1)),
+                            acc.mult.bg.max(u64::from(mult.bg >= 1)),
+                            acc.mult.ub.saturating_add(mult.ub),
+                        );
+                    }
+                    None => {
+                        index.insert(key, merged.len());
+                        merged.push(ua_ranges::relation::AuTuple {
+                            values: row_ranges(batch, n, i),
+                            mult: MultBound::new(
+                                u64::from(mult.lb >= 1),
+                                u64::from(mult.bg >= 1),
+                                mult.ub,
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let mut rel = AuRelation::new(stream.user.clone());
+        for row in merged {
+            rel.push(row);
+        }
+        AuStream::from_relation(&rel, self.batch_rows)
+    }
+}
+
+/// Pick the densest [`TripleCol`] an aggregation column can use: a plain
+/// reference whose `lb/bg/ub` columns are dense `Int` (resp. `Float`)
+/// vectors in *every* batch gets a typed triple — the stream invariant
+/// (canonical chunks) guarantees element-wise `lb ≤ bg ≤ ub`, the dense
+/// invariant [`aggregate_cols`](ua_ranges::ops::aggregate_cols) requires.
+/// Anything else (computed expressions, literals, mixed/nullable columns)
+/// falls back to per-row ranges.
+fn empty_triple(batches: &[ColumnBatch], n: usize, expr: &Expr, n_rows: usize) -> TripleCol {
+    if let Expr::Col(c) = expr {
+        let triple_is = |dense: fn(&ColumnVec) -> bool| {
+            batches.iter().all(|b| {
+                dense(b.column(*c)) && dense(b.column(n + c)) && dense(b.column(2 * n + c))
+            })
+        };
+        if triple_is(|v| matches!(v, ColumnVec::Int(_))) {
+            return TripleCol::Int {
+                lb: Vec::with_capacity(n_rows),
+                bg: Vec::with_capacity(n_rows),
+                ub: Vec::with_capacity(n_rows),
+            };
+        }
+        if triple_is(|v| matches!(v, ColumnVec::Float(_))) {
+            return TripleCol::Float {
+                lb: Vec::with_capacity(n_rows),
+                bg: Vec::with_capacity(n_rows),
+                ub: Vec::with_capacity(n_rows),
+            };
+        }
+    }
+    TripleCol::Rows(Vec::with_capacity(n_rows))
+}
+
+/// Append one batch's rows of one aggregation column: dense triples copy
+/// the typed `lb/bg/ub` slices straight off the canonical chunk (the
+/// layout puts `bg` at `c`, `lb` at `n + c`, `ub` at `2n + c`); row-backed
+/// columns evaluate per row via [`expr_ranges`].
+fn fill_triple(
+    batch: &ColumnBatch,
+    n: usize,
+    expr: &Expr,
+    bgv: &ColumnBatch,
+    memo: &mut Option<Vec<Vec<RangeValue>>>,
+    col: &mut TripleCol,
+) -> Result<(), EngineError> {
+    match col {
+        TripleCol::Int { lb, bg, ub } => {
+            let Expr::Col(c) = expr else {
+                unreachable!("dense mode implies a plain reference")
+            };
+            let (ColumnVec::Int(b), ColumnVec::Int(l), ColumnVec::Int(u)) = (
+                batch.column(*c),
+                batch.column(n + c),
+                batch.column(2 * n + c),
+            ) else {
+                unreachable!("dense mode checked every batch")
+            };
+            bg.extend_from_slice(b);
+            lb.extend_from_slice(l);
+            ub.extend_from_slice(u);
+        }
+        TripleCol::Float { lb, bg, ub } => {
+            let Expr::Col(c) = expr else {
+                unreachable!("dense mode implies a plain reference")
+            };
+            let (ColumnVec::Float(b), ColumnVec::Float(l), ColumnVec::Float(u)) = (
+                batch.column(*c),
+                batch.column(n + c),
+                batch.column(2 * n + c),
+            ) else {
+                unreachable!("dense mode checked every batch")
+            };
+            bg.extend_from_slice(b);
+            lb.extend_from_slice(l);
+            ub.extend_from_slice(u);
+        }
+        TripleCol::Rows(rows) => rows.extend(expr_ranges(batch, n, expr, bgv, memo)?),
+    }
+    Ok(())
 }
 
 /// View an AU stream as a plain [`BatchStream`] over the flat schema —
@@ -784,6 +962,9 @@ pub fn execute_au_vectorized_opts(
                 merge_ns: m.merge_ns,
                 worker_busy_ns: m.worker_busy_ns,
                 worker_tasks: m.worker_tasks,
+                build_tasks: m.build_tasks,
+                build_wall_ns: m.build_wall_ns,
+                partition_merge_ns: m.partition_merge_ns,
             }),
         });
     }
@@ -828,6 +1009,12 @@ mod tests {
             "SELECT DISTINCT g FROM t IS TI WITH PROBABILITY (p) x",
             "SELECT g, v + 1 AS w FROM t IS TI WITH PROBABILITY (p) x ORDER BY w DESC LIMIT 2",
             "SELECT g, min(v) AS lo, max(v) AS hi, avg(v) AS m FROM t IS TI WITH PROBABILITY (p) x GROUP BY g",
+            // Non-equi and keyless joins exercise the block-nested-loop
+            // against the row engine's monolithic `au_binary` nested loop.
+            "SELECT x.v, y.v FROM t IS TI WITH PROBABILITY (p) x, \
+             t IS TI WITH PROBABILITY (p) y WHERE x.v < y.v",
+            "SELECT x.g, y.g FROM t IS TI WITH PROBABILITY (p) x, \
+             t IS TI WITH PROBABILITY (p) y",
         ] {
             let row = {
                 session.set_exec_mode(ua_engine::ExecMode::Row);
@@ -877,6 +1064,7 @@ mod tests {
             "au.vec.fallback.limit",
             "au.vec.fallback.top_k",
             "au.vec.fallback.union_all",
+            "au.vec.fallback.distinct",
         ];
         let before: Vec<u64> = counters
             .iter()
@@ -889,6 +1077,7 @@ mod tests {
             "SELECT x.v FROM s IS TI WITH PROBABILITY (p) x ORDER BY x.v DESC LIMIT 2",
             "SELECT x.k FROM s IS TI WITH PROBABILITY (p) x WHERE x.v < 6 \
              UNION ALL SELECT x.k FROM s IS TI WITH PROBABILITY (p) x WHERE x.v >= 6",
+            "SELECT DISTINCT x.k FROM s IS TI WITH PROBABILITY (p) x",
         ] {
             session
                 .query_au(sql)

@@ -9,9 +9,11 @@
 //! nested-loop join). Each source batch is a *morsel*: it runs through the
 //! whole bound stage chain independently, so morsels execute on a small
 //! work-stealing thread pool (the offline `rayon` shim) with **no shared
-//! mutable state** — hash-join build sides are built once, serially, and
-//! probed read-only; UA label bitmaps AND per morsel inside the join
-//! gather.
+//! mutable state** — hash-join build sides are built once (large builds
+//! partition by key hash and index each partition on its own worker, see
+//! [`ops`]) and probed read-only; UA label bitmaps AND per morsel inside
+//! the join gather. Aggregation, the other pipeline breaker, folds
+//! partition-parallel through [`ops::aggregate_pooled`].
 //!
 //! ## Determinism contract
 //!
@@ -234,6 +236,9 @@ impl<'a> Driver<'a> {
                 merge_ns: m.merge_ns,
                 worker_busy_ns: m.worker_busy_ns,
                 worker_tasks: m.worker_tasks,
+                build_tasks: m.build_tasks,
+                build_wall_ns: m.build_wall_ns,
+                partition_merge_ns: m.partition_merge_ns,
             };
             ua_obs::set_last_query_stats(QueryStats {
                 engine: "vectorized".into(),
@@ -497,6 +502,7 @@ impl<'a> Driver<'a> {
                         keys,
                         residual,
                         build_left,
+                        Some(&self.pool),
                     )?;
                     schema = state.out_schema().clone();
                     stages.push(Stage::Probe(state));
@@ -524,6 +530,7 @@ impl<'a> Driver<'a> {
                         bound.as_ref(),
                         schema.arity(),
                         &out_schema,
+                        Some(&self.pool),
                     )? {
                         ops::ThetaStrategy::Hash(state) => stages.push(Stage::Probe(state)),
                         ops::ThetaStrategy::NestedLoop(chunk) => {
@@ -610,7 +617,7 @@ impl<'a> Driver<'a> {
             } if !self.ua => {
                 let (stream, child) = self.stream_traced(input)?;
                 (
-                    ops::aggregate(stream, group_by, aggregates)?,
+                    ops::aggregate_pooled(stream, group_by, aggregates, &self.pool)?,
                     child.into_iter().collect(),
                 )
             }

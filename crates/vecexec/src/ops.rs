@@ -10,16 +10,34 @@
 use crate::bitmap::Bitmap;
 use crate::columnar::{BatchStream, ColumnBatch, ColumnVec};
 use crate::kernels::{eval_expr, eval_selected, truth_masks, Evaluated};
+use rayon::ThreadPool;
 use std::cmp::Ordering;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 use ua_data::algebra::{extract_equi_keys, ProjColumn};
 use ua_data::expr::Expr;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::{Value, F64};
-use ua_data::FxHashMap;
+use ua_data::{FxHashMap, FxHasher};
 use ua_engine::plan::{AggExpr, SortOrder};
 use ua_engine::{AggState, EngineError};
+
+/// The deterministic partitioning hash for parallel pipeline breakers.
+/// Partition choice must agree between a hash-join build and its probes
+/// (and nothing else), so any fixed function works; Fx keeps it cheap.
+fn partition_hash<K: Hash + ?Sized>(key: &K) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// Builds below this row count stay single-partition: the scatter +
+/// per-partition map setup costs more than it saves. Output bytes are
+/// unaffected either way — partitioning only changes *where* a key's
+/// entry list lives, never its contents or order.
+const PARALLEL_BUILD_MIN_ROWS: usize = 4096;
 
 /// σ — keep rows whose (bound) predicate is certainly true. Delegates to
 /// the same selection kernel the morsel pipeline's filter stage consumes,
@@ -82,11 +100,29 @@ pub fn union_all(left: BatchStream, right: BatchStream) -> Result<BatchStream, E
     })
 }
 
+/// The hash-join build index, partitioned by key hash. Each key lives in
+/// exactly the partition `partition_hash(key) % parts` — every one of its
+/// build-row ids in that partition's map, in build-scan order — so a
+/// lookup routed by the same hash sees exactly the entry list a
+/// single-partition build would hold. Partition count therefore never
+/// affects probe results; it only decides how the build parallelizes.
 enum JoinIndex {
-    /// Single integer equi-key: dense i64 hash table.
-    Int(FxHashMap<i64, Vec<u32>>),
+    /// Single integer equi-key: dense i64 hash tables.
+    Int(Vec<FxHashMap<i64, Vec<u32>>>),
     /// General composite key.
-    Tuple(FxHashMap<Tuple, Vec<u32>>),
+    Tuple(Vec<FxHashMap<Tuple, Vec<u32>>>),
+}
+
+/// Route a key's hash to its owning partition map.
+fn owning_part<K>(
+    parts: &[FxHashMap<K, Vec<u32>>],
+    hash: impl FnOnce() -> u64,
+) -> &FxHashMap<K, Vec<u32>> {
+    if parts.len() == 1 {
+        &parts[0]
+    } else {
+        &parts[(hash() % parts.len() as u64) as usize]
+    }
 }
 
 /// Prepared state of a streaming hash-join probe: the materialized build
@@ -119,13 +155,14 @@ impl ProbeState {
         residual: Option<Expr>,
         build_left: bool,
         out_schema: Schema,
+        pool: Option<&ThreadPool>,
     ) -> Result<ProbeState, EngineError> {
         let chunk = build.into_single_chunk();
         let key_cols: Vec<Evaluated> = build_keys
             .iter()
             .map(|e| eval_expr(e, &chunk))
             .collect::<Result<_, _>>()?;
-        let index = build_index(&key_cols, chunk.len());
+        let index = build_index(&key_cols, chunk.len(), pool);
         Ok(ProbeState {
             chunk,
             index,
@@ -205,6 +242,7 @@ pub(crate) fn theta_strategy(
     bound: Option<&Expr>,
     left_arity: usize,
     out_schema: &Schema,
+    pool: Option<&ThreadPool>,
 ) -> Result<ThetaStrategy, EngineError> {
     if let Some(pred) = bound {
         let (keys, residual) = extract_equi_keys(pred, left_arity);
@@ -219,6 +257,7 @@ pub(crate) fn theta_strategy(
                 Some(residual),
                 false,
                 out_schema.clone(),
+                pool,
             )?));
         }
     }
@@ -283,7 +322,7 @@ pub fn join(
         None => None,
     };
     let mut batches = Vec::with_capacity(left.batches.len());
-    match theta_strategy(right, bound.as_ref(), left_arity, &out_schema)? {
+    match theta_strategy(right, bound.as_ref(), left_arity, &out_schema, None)? {
         ThetaStrategy::Hash(state) => {
             for lbatch in &left.batches {
                 if let Some(joined) = state.probe(lbatch, None)? {
@@ -339,6 +378,7 @@ pub fn hash_join(
         keys,
         residual,
         build_left,
+        None,
     )?;
     let mut batches = Vec::with_capacity(probe_stream.batches.len());
     for pbatch in &probe_stream.batches {
@@ -363,6 +403,7 @@ pub fn hash_join_probe_state(
     keys: &[(Expr, Expr)],
     residual: Option<&Expr>,
     build_left: bool,
+    pool: Option<&ThreadPool>,
 ) -> Result<ProbeState, EngineError> {
     let out_schema = left_schema.concat(right_schema);
     let lkeys: Vec<Expr> = keys
@@ -391,38 +432,102 @@ pub fn hash_join_probe_state(
         residual,
         build_left,
         out_schema,
+        pool,
     )
 }
 
-fn build_index(key_cols: &[Evaluated], rows: usize) -> JoinIndex {
+/// How many build partitions a pool (if any) warrants for `rows` rows.
+fn build_partitions(rows: usize, pool: Option<&ThreadPool>) -> usize {
+    match pool {
+        Some(p) if rows >= PARALLEL_BUILD_MIN_ROWS => p.current_num_threads().max(1),
+        _ => 1,
+    }
+}
+
+/// Scatter row ranges into per-partition `(row, key)` lists, then build
+/// each partition's map on its own worker. Rows scatter in scan order and
+/// ranges concatenate in order, so every per-key row-id list comes out
+/// ascending — exactly the single-partition build's list for that key.
+fn build_partitioned<K: Hash + Eq + Send>(
+    rows: usize,
+    parts: usize,
+    pool: &ThreadPool,
+    key_of: impl Fn(usize) -> Option<K> + Sync,
+) -> Vec<FxHashMap<K, Vec<u32>>> {
+    let chunk = rows.div_ceil(parts).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..rows)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(rows))
+        .collect();
+    let scattered: Vec<Vec<Vec<(u32, K)>>> = pool.map_build(ranges, |_, range| {
+        let mut lists: Vec<Vec<(u32, K)>> = (0..parts).map(|_| Vec::new()).collect();
+        for j in range {
+            if let Some(key) = key_of(j) {
+                let p = (partition_hash(&key) % parts as u64) as usize;
+                lists[p].push((j as u32, key));
+            }
+        }
+        lists
+    });
+    let mut per_part: Vec<Vec<(u32, K)>> = (0..parts).map(|_| Vec::new()).collect();
+    for range_lists in scattered {
+        for (acc, mut list) in per_part.iter_mut().zip(range_lists) {
+            acc.append(&mut list);
+        }
+    }
+    pool.map_build(per_part, |_, entries| {
+        let mut map: FxHashMap<K, Vec<u32>> = FxHashMap::default();
+        for (j, key) in entries {
+            map.entry(key).or_default().push(j);
+        }
+        map
+    })
+}
+
+fn build_index(key_cols: &[Evaluated], rows: usize, pool: Option<&ThreadPool>) -> JoinIndex {
+    let parts = build_partitions(rows, pool);
     // Fast path: one integer key column.
     if let [Evaluated::Col(ColumnVec::Int(vals))] = key_cols {
+        if parts > 1 {
+            let pool = pool.expect("parts > 1 implies a pool");
+            return JoinIndex::Int(build_partitioned(rows, parts, pool, |j| Some(vals[j])));
+        }
         let mut map: FxHashMap<i64, Vec<u32>> = FxHashMap::default();
         for (j, &v) in vals.iter().enumerate() {
             map.entry(v).or_default().push(j as u32);
         }
-        return JoinIndex::Int(map);
+        return JoinIndex::Int(vec![map]);
     }
-    let mut map: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
-    for j in 0..rows {
+    let key_at = |j: usize| -> Option<Tuple> {
         let key: Tuple = key_cols.iter().map(|c| c.value_at(j).join_key()).collect();
         // SQL NULL keys never join; labeled nulls join themselves.
         if key.has_null() {
-            continue;
+            None
+        } else {
+            Some(key)
         }
-        map.entry(key).or_default().push(j as u32);
+    };
+    if parts > 1 {
+        let pool = pool.expect("parts > 1 implies a pool");
+        return JoinIndex::Tuple(build_partitioned(rows, parts, pool, key_at));
     }
-    JoinIndex::Tuple(map)
+    let mut map: FxHashMap<Tuple, Vec<u32>> = FxHashMap::default();
+    for j in 0..rows {
+        if let Some(key) = key_at(j) {
+            map.entry(key).or_default().push(j as u32);
+        }
+    }
+    JoinIndex::Tuple(vec![map])
 }
 
 fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec<u32>, Vec<u32>) {
     let mut lidx = Vec::new();
     let mut ridx = Vec::new();
     match index {
-        JoinIndex::Int(map) => {
+        JoinIndex::Int(parts) => {
             if let [Evaluated::Col(ColumnVec::Int(vals))] = probe_cols {
                 for (i, v) in vals.iter().enumerate() {
-                    if let Some(matches) = map.get(v) {
+                    if let Some(matches) = owning_part(parts, || partition_hash(v)).get(v) {
                         for &j in matches {
                             lidx.push(i as u32);
                             ridx.push(j);
@@ -441,7 +546,7 @@ fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec
                     continue;
                 }
                 if let Some(Value::Int(v)) = key.get(0) {
-                    if let Some(matches) = map.get(v) {
+                    if let Some(matches) = owning_part(parts, || partition_hash(v)).get(v) {
                         for &j in matches {
                             lidx.push(i as u32);
                             ridx.push(j);
@@ -450,7 +555,7 @@ fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec
                 }
             }
         }
-        JoinIndex::Tuple(map) => {
+        JoinIndex::Tuple(parts) => {
             for i in 0..rows {
                 let key: Tuple = probe_cols
                     .iter()
@@ -459,7 +564,7 @@ fn probe_index(index: &JoinIndex, probe_cols: &[Evaluated], rows: usize) -> (Vec
                 if key.has_null() {
                     continue;
                 }
-                if let Some(matches) = map.get(&key) {
+                if let Some(matches) = owning_part(parts, || partition_hash(&key)).get(&key) {
                     for &j in matches {
                         lidx.push(i as u32);
                         ridx.push(j);
@@ -905,6 +1010,94 @@ impl IntKey<'_> {
     }
 }
 
+/// One evaluated source batch of an aggregation: the batch plus its
+/// group-key and aggregate-argument columns.
+type BatchEval<'a> = (&'a ColumnBatch, Vec<Evaluated>, Vec<Option<Evaluated>>);
+
+/// Parallel partitioned fold over evaluated batches: phase 1 scatters each
+/// batch's live rows into `parts` per-partition lists by group-key hash
+/// (batch-parallel); phase 2 folds each partition's groups on its own
+/// worker, consuming entries batch-major so every group's [`AggState`]s
+/// see exactly the serial scan's subsequence for that group, in the same
+/// order (a group lives in exactly one partition); phase 3 merges
+/// partitions in fixed order and re-sorts groups by global first-seen
+/// position. Per-group fold order and output order are both independent
+/// of `parts`, so the result is byte-identical to the serial fold for
+/// every thread count.
+/// One partition's folded output: each group's global first-seen
+/// `(batch, row)` position, its key, and its accumulated states.
+type FoldedGroups<K> = Vec<((u32, u32), K, Vec<AggState>)>;
+
+fn fold_partitioned<K: Hash + Eq + Clone + Send + Sync>(
+    evaluated: &[BatchEval],
+    aggregates: &[AggExpr],
+    pool: &ThreadPool,
+    key_of: impl Fn(&BatchEval, usize) -> K + Sync,
+) -> Vec<(K, Vec<AggState>)> {
+    let parts = pool.current_num_threads().max(1);
+    let scattered: Vec<Vec<Vec<(u32, K)>>> =
+        pool.map_build((0..evaluated.len()).collect(), |_, b: usize| {
+            let be = &evaluated[b];
+            let mut lists: Vec<Vec<(u32, K)>> = (0..parts).map(|_| Vec::new()).collect();
+            for i in 0..be.0.len() {
+                if be.0.mults()[i] == 0 {
+                    continue;
+                }
+                let key = key_of(be, i);
+                let p = (partition_hash(&key) % parts as u64) as usize;
+                lists[p].push((i as u32, key));
+            }
+            lists
+        });
+    // Batch-major transpose keeps each partition's entries in the scan
+    // order (batch index, then row index) the serial fold uses.
+    let mut per_part: Vec<Vec<(u32, u32, K)>> = (0..parts).map(|_| Vec::new()).collect();
+    for (b, lists) in scattered.into_iter().enumerate() {
+        for (acc, list) in per_part.iter_mut().zip(lists) {
+            acc.extend(list.into_iter().map(|(i, k)| (b as u32, i, k)));
+        }
+    }
+    let folded: Vec<FoldedGroups<K>> = pool.map_build(per_part, |_, entries| {
+        let mut slots: FxHashMap<K, usize> = FxHashMap::default();
+        let mut out: FoldedGroups<K> = Vec::new();
+        for (b, i, key) in entries {
+            let (batch, _, acols) = &evaluated[b as usize];
+            let i = i as usize;
+            let mult = batch.mults()[i];
+            let slot = match slots.get(&key) {
+                Some(&s) => s,
+                None => {
+                    let s = out.len();
+                    slots.insert(key.clone(), s);
+                    out.push((
+                        (b, i as u32),
+                        key,
+                        aggregates.iter().map(|a| AggState::new(a.func)).collect(),
+                    ));
+                    s
+                }
+            };
+            for (state, arg) in out[slot].2.iter_mut().zip(acols) {
+                match arg {
+                    Some(col) => state.update(Some(&col.value_at(i)), mult),
+                    None => state.update(None, mult),
+                }
+            }
+        }
+        out
+    });
+    // First-seen positions are unique across partitions, so this sort is a
+    // fixed permutation — the global first-seen group order — no matter
+    // how many partitions the groups were spread over.
+    let merge_start = pool.instrumented().then(Instant::now);
+    let mut merged: Vec<((u32, u32), K, Vec<AggState>)> = folded.into_iter().flatten().collect();
+    merged.sort_unstable_by_key(|(first, _, _)| *first);
+    if let Some(start) = merge_start {
+        pool.note_partition_merge(start.elapsed().as_nanos() as u64);
+    }
+    merged.into_iter().map(|(_, k, s)| (k, s)).collect()
+}
+
 /// Grouping + aggregation (first-seen group order, like the row engine).
 ///
 /// A typed fast path handles the common shape — a single group key whose
@@ -916,6 +1109,28 @@ pub fn aggregate(
     group_by: &[ProjColumn],
     aggregates: &[AggExpr],
 ) -> Result<BatchStream, EngineError> {
+    aggregate_impl(input, group_by, aggregates, None)
+}
+
+/// [`aggregate`] with a thread pool: with more than one worker and more
+/// than one input batch, evaluation runs batch-parallel and the group fold
+/// runs through [`fold_partitioned`] — byte-identical output, every
+/// thread count.
+pub fn aggregate_pooled(
+    input: BatchStream,
+    group_by: &[ProjColumn],
+    aggregates: &[AggExpr],
+    pool: &ThreadPool,
+) -> Result<BatchStream, EngineError> {
+    aggregate_impl(input, group_by, aggregates, Some(pool))
+}
+
+fn aggregate_impl(
+    input: BatchStream,
+    group_by: &[ProjColumn],
+    aggregates: &[AggExpr],
+    pool: Option<&ThreadPool>,
+) -> Result<BatchStream, EngineError> {
     let bound_groups: Vec<Expr> = group_by
         .iter()
         .map(|g| g.expr.bind(&input.schema))
@@ -926,30 +1141,64 @@ pub fn aggregate(
         .map(|a| a.arg.as_ref().map(|e| e.bind(&input.schema)).transpose())
         .collect::<Result<_, _>>()
         .map_err(EngineError::Expr)?;
+    let parallel = pool
+        .map(|p| p.current_num_threads() > 1 && input.batches.len() > 1)
+        .unwrap_or(false);
 
     // Evaluate every batch's key/argument columns up front (cheap `Arc`
     // handles), so the typed-key decision sees the whole input.
-    type BatchEval<'a> = (&'a ColumnBatch, Vec<Evaluated>, Vec<Option<Evaluated>>);
+    let eval_batch =
+        |batch: &'_ ColumnBatch| -> Result<(Vec<Evaluated>, Vec<Option<Evaluated>>), EngineError> {
+            let group_cols: Vec<Evaluated> = bound_groups
+                .iter()
+                .map(|e| eval_expr(e, batch))
+                .collect::<Result<_, _>>()?;
+            let agg_cols: Vec<Option<Evaluated>> = bound_aggs
+                .iter()
+                .map(|e| e.as_ref().map(|e| eval_expr(e, batch)).transpose())
+                .collect::<Result<_, _>>()?;
+            Ok((group_cols, agg_cols))
+        };
     let mut evaluated: Vec<BatchEval> = Vec::with_capacity(input.batches.len());
-    for batch in &input.batches {
-        let group_cols: Vec<Evaluated> = bound_groups
-            .iter()
-            .map(|e| eval_expr(e, batch))
-            .collect::<Result<_, _>>()?;
-        let agg_cols: Vec<Option<Evaluated>> = bound_aggs
-            .iter()
-            .map(|e| e.as_ref().map(|e| eval_expr(e, batch)).transpose())
-            .collect::<Result<_, _>>()?;
-        evaluated.push((batch, group_cols, agg_cols));
+    if parallel {
+        let pool = pool.expect("parallel implies a pool");
+        let results = pool
+            .map_in_order(input.batches.iter().collect(), |_, batch: &ColumnBatch| {
+                eval_batch(batch).map(|(g, a)| (batch, g, a))
+            });
+        for r in results {
+            // `?` on the lowest-indexed error reproduces the serial loop's
+            // failure order.
+            evaluated.push(r?);
+        }
+    } else {
+        for batch in &input.batches {
+            let (group_cols, agg_cols) = eval_batch(batch)?;
+            evaluated.push((batch, group_cols, agg_cols));
+        }
     }
 
-    let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
-    let mut order: Vec<Tuple> = Vec::new();
     let int_keyed = bound_groups.len() == 1
         && evaluated
             .iter()
             .all(|(_, gcols, _)| IntKey::of(&gcols[0]).is_some());
-    if int_keyed {
+    // The fold produces groups as `(key, states)` in first-seen order —
+    // serially below, or partition-parallel with the same bytes.
+    let mut grouped: Vec<(Tuple, Vec<AggState>)> = if parallel {
+        let pool = pool.expect("parallel implies a pool");
+        if int_keyed {
+            fold_partitioned(&evaluated, aggregates, pool, |be, i| {
+                IntKey::of(&be.1[0]).expect("checked above").at(i)
+            })
+            .into_iter()
+            .map(|(k, s)| (Tuple::new(vec![Value::Int(k)]), s))
+            .collect()
+        } else {
+            fold_partitioned(&evaluated, aggregates, pool, |be, i| {
+                be.1.iter().map(|c| c.value_at(i)).collect::<Tuple>()
+            })
+        }
+    } else if int_keyed {
         let mut int_groups: FxHashMap<i64, Vec<AggState>> = FxHashMap::default();
         let mut int_order: Vec<i64> = Vec::new();
         for (batch, gcols, acols) in &evaluated {
@@ -977,12 +1226,16 @@ pub fn aggregate(
                 }
             }
         }
-        for k in int_order {
-            let key = Tuple::new(vec![Value::Int(k)]);
-            order.push(key.clone());
-            groups.insert(key, int_groups.remove(&k).expect("recorded"));
-        }
+        int_order
+            .into_iter()
+            .map(|k| {
+                let states = int_groups.remove(&k).expect("recorded");
+                (Tuple::new(vec![Value::Int(k)]), states)
+            })
+            .collect()
     } else {
+        let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
+        let mut order: Vec<Tuple> = Vec::new();
         for (batch, group_cols, agg_cols) in &evaluated {
             for i in 0..batch.len() {
                 let mult = batch.mults()[i];
@@ -1007,16 +1260,21 @@ pub fn aggregate(
                 }
             }
         }
-    }
+        order
+            .into_iter()
+            .map(|key| {
+                let states = groups.remove(&key).expect("group recorded");
+                (key, states)
+            })
+            .collect()
+    };
 
     // Global aggregation over an empty input still yields one row.
-    if bound_groups.is_empty() && groups.is_empty() {
-        let key = Tuple::empty();
-        order.push(key.clone());
-        groups.insert(
-            key,
+    if bound_groups.is_empty() && grouped.is_empty() {
+        grouped.push((
+            Tuple::empty(),
             aggregates.iter().map(|a| AggState::new(a.func)).collect(),
-        );
+        ));
     }
 
     let mut columns: Vec<ua_data::schema::Column> =
@@ -1025,9 +1283,8 @@ pub fn aggregate(
         columns.push(ua_data::schema::Column::unqualified(&a.name));
     }
     let out_schema = Schema::new(columns);
-    let mut rows: Vec<Tuple> = Vec::with_capacity(order.len());
-    for key in order {
-        let states = groups.remove(&key).expect("group recorded");
+    let mut rows: Vec<Tuple> = Vec::with_capacity(grouped.len());
+    for (key, states) in grouped {
         let mut values: Vec<Value> = key.values().to_vec();
         for s in states {
             values.push(s.finish());
@@ -1129,6 +1386,85 @@ mod tests {
                 let sorted = sort(batches_from_table(&t, batch_rows), keys, batch_rows).unwrap();
                 let got = table_from_batches(&sorted);
                 assert_eq!(got.rows(), expect.rows(), "keys {keys:?} × {batch_rows}");
+            }
+        }
+    }
+
+    /// The partition-merge-order contract: [`fold_partitioned`] (via
+    /// [`aggregate_pooled`]) must reproduce the serial fold byte for byte
+    /// at every worker count — group output order is the global
+    /// first-seen order, and each group's float accumulation sees the
+    /// serial scan's exact subsequence. Mixed-magnitude floats make any
+    /// reordering visible: `(1e16 + 1.0) - 1e16 = 0`, but
+    /// `(1e16 - 1e16) + 1.0 = 1`.
+    #[test]
+    fn partitioned_aggregation_merges_in_first_seen_order() {
+        use crate::columnar::{batches_from_table, table_from_batches};
+        use ua_engine::plan::AggFunc;
+        // 24 groups, first seen in descending order, interleaved across
+        // batches; per-group values alternate huge/tiny so fold order is
+        // observable in the Sum/Avg bytes.
+        let rows: Vec<Tuple> = (0..3000i64)
+            .map(|i| {
+                let g = 23 - (i % 24);
+                let x = match i % 4 {
+                    0 => 1e16,
+                    1 => 1.0,
+                    2 => -1e16,
+                    _ => 0.25,
+                };
+                tuple![g, x]
+            })
+            .collect();
+        let t = Table::from_rows(Schema::qualified("f", ["g", "x"]), rows);
+        let group_by = vec![ProjColumn::named("g")];
+        let aggregates = vec![
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::named("x")),
+                name: "s".into(),
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(Expr::named("x")),
+                name: "m".into(),
+            },
+        ];
+        for batch_rows in [1usize, 7, 256] {
+            let serial =
+                aggregate(batches_from_table(&t, batch_rows), &group_by, &aggregates).unwrap();
+            let expect = table_from_batches(&serial);
+            // Output order is the global first-seen order (descending g).
+            let first_keys: Vec<Value> = expect
+                .rows()
+                .iter()
+                .map(|r| r.values()[0].clone())
+                .collect();
+            assert_eq!(
+                first_keys,
+                (0..24i64).map(|g| Value::Int(23 - g)).collect::<Vec<_>>(),
+                "first-seen group order (batch_rows={batch_rows})"
+            );
+            for workers in [2usize, 3, 8] {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(workers)
+                    .build()
+                    .unwrap();
+                let got = table_from_batches(
+                    &aggregate_pooled(
+                        batches_from_table(&t, batch_rows),
+                        &group_by,
+                        &aggregates,
+                        &pool,
+                    )
+                    .unwrap(),
+                );
+                assert_eq!(
+                    got.rows(),
+                    expect.rows(),
+                    "partitioned fold must be byte-identical \
+                     (batch_rows={batch_rows}, workers={workers})"
+                );
             }
         }
     }

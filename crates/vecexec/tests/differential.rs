@@ -718,3 +718,235 @@ fn columnar_limit_truncates_label_bitmaps_with_their_rows() {
         assert_eq!(back.rows(), ua_engine::limit_table(&encoded, limit).rows());
     }
 }
+
+/// Parallel pipeline-breaker determinism sweep (PR satellite): GROUP BY
+/// SUM/AVG over a Float column seeded with NaN, -0.0 and NULL, and a
+/// 3-way hash join + aggregate, must produce byte-identical results
+/// across {threads 1, 2, 8} × {batch_rows 1, 7, 1024} on the det, UA and
+/// AU paths. Mixed-magnitude floats (`1e16 + 1 - 1e16 ≠ 1e16 - 1e16 + 1`)
+/// make any deviation from the serial accumulation order visible in the
+/// output bytes.
+#[test]
+fn pipeline_breakers_deterministic_across_threads_batches_and_semantics() {
+    use ua_engine::plan::AggFunc;
+
+    // f(g, x, p): x holds NaN, -0.0, NULL and magnitude-mixed floats so
+    // Sum/Avg accumulation order shows up in the bytes; NaN and NULL live
+    // in their own groups so they cannot mask the cancellation groups.
+    let f_rows: Vec<Tuple> = (0..2600i64)
+        .map(|i| {
+            let g = i % 8;
+            let x = match (g, i % 5) {
+                (6, _) => Value::float(f64::NAN),
+                (7, 0) => Value::Null,
+                (7, _) => Value::float(-0.0),
+                (_, 0) => Value::float(1e16),
+                (_, 1) => Value::float(1.0),
+                (_, 2) => Value::float(-1e16),
+                (_, 3) => Value::float(0.25),
+                _ => Value::Null,
+            };
+            Tuple::new(vec![Value::Int(g), x, Value::float(1.0)])
+        })
+        .collect();
+    let f = Table::from_rows(Schema::qualified("f", ["g", "x", "p"]), f_rows);
+    let float_agg = |input: Plan| Plan::Aggregate {
+        input: Box::new(input),
+        group_by: vec![ProjColumn::named("g")],
+        aggregates: vec![
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::named("x")),
+                name: "s".into(),
+            },
+            AggExpr {
+                func: AggFunc::Avg,
+                arg: Some(Expr::named("x")),
+                name: "m".into(),
+            },
+        ],
+    };
+
+    // The 3-way hash-join shape: r(a,b,c) ⋈ s(b,d) ⋈ w(d,e), aggregated.
+    let mut rng = StdRng::seed_from_u64(0xB4EA4E2);
+    let w = Table::from_rows(
+        Schema::qualified("w", ["d", "e"]),
+        (0..50i64)
+            .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i * 3 % 17)]))
+            .collect(),
+    );
+    let three_way = Plan::Aggregate {
+        input: Box::new(Plan::HashJoin {
+            left: Box::new(Plan::HashJoin {
+                left: Box::new(Plan::Scan("r".into())),
+                right: Box::new(Plan::Scan("s".into())),
+                keys: vec![(Expr::named("r.b"), Expr::named("s.b"))],
+                residual: None,
+                build_left: false,
+            }),
+            right: Box::new(Plan::Scan("w".into())),
+            keys: vec![(Expr::named("s.d"), Expr::named("w.d"))],
+            residual: None,
+            build_left: false,
+        }),
+        group_by: vec![ProjColumn::named("a")],
+        aggregates: vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::named("e")),
+                name: "tot".into(),
+            },
+        ],
+    };
+
+    const THREADS: [usize; 3] = [1, 2, 8];
+    const BATCHES: [usize; 3] = [1, 7, 1024];
+
+    // Deterministic path.
+    let det_catalog = Catalog::new();
+    det_catalog.register("f", f.clone());
+    det_catalog.register("r", random_r(&mut rng, 2100));
+    det_catalog.register("s", random_s(&mut rng, 260));
+    det_catalog.register("w", w.clone());
+    for (name, plan) in [
+        ("float_agg", float_agg(Plan::Scan("f".into()))),
+        ("three_way", three_way.clone()),
+    ] {
+        let row = execute(&plan, &det_catalog).expect("row exec");
+        for batch_rows in BATCHES {
+            let serial =
+                exec_stream_opts(&plan, &det_catalog, opts(1, batch_rows)).expect("serial");
+            assert_tables_identical(
+                &row,
+                &table_from_batches(&serial),
+                &format!("det {name} serial batch={batch_rows}"),
+            );
+            for threads in THREADS {
+                let parallel =
+                    exec_stream_opts(&plan, &det_catalog, opts(threads, batch_rows)).expect("par");
+                assert_streams_byte_identical(
+                    &serial,
+                    &parallel,
+                    &format!("det {name} batch={batch_rows} threads={threads}"),
+                );
+            }
+        }
+    }
+
+    // UA path: the 3-way hash-join core (UA is not closed under
+    // aggregation), labels riding with their rows.
+    let ua_session = UaSession::new();
+    ua_session.register_ua_relation(
+        "r",
+        &random_ua_relation(&mut rng, "r", &["a", "b", "c"], 900),
+    );
+    ua_session.register_ua_relation("s", &random_ua_relation(&mut rng, "s", &["b", "d"], 90));
+    ua_session.register_ua_relation("w", &random_ua_relation(&mut rng, "w", &["d", "e"], 30));
+    let ua_join = Plan::HashJoin {
+        left: Box::new(Plan::HashJoin {
+            left: Box::new(Plan::Scan("r".into())),
+            right: Box::new(Plan::Scan("s".into())),
+            keys: vec![(Expr::named("r.b"), Expr::named("s.b"))],
+            residual: None,
+            build_left: false,
+        }),
+        right: Box::new(Plan::Scan("w".into())),
+        keys: vec![(Expr::named("s.d"), Expr::named("w.d"))],
+        residual: None,
+        build_left: false,
+    };
+    let ua_catalog = ua_session.catalog();
+    for batch_rows in BATCHES {
+        let serial = ua_stream_opts(&ua_join, ua_catalog, opts(1, batch_rows)).expect("ua serial");
+        for threads in THREADS {
+            let parallel =
+                ua_stream_opts(&ua_join, ua_catalog, opts(threads, batch_rows)).expect("ua par");
+            assert_streams_byte_identical(
+                &serial,
+                &parallel,
+                &format!("ua batch={batch_rows} threads={threads}"),
+            );
+        }
+    }
+
+    // AU path: the same float aggregation and 3-way join + aggregate over
+    // TI-labeled range sources, vectorized output byte-equal to the row
+    // interpreter at every (threads, batch_rows).
+    let au_catalog = Catalog::new();
+    au_catalog.register("f", ua_engine::ti_source_au(&f, "p").expect("f au"));
+    for (name, base) in [
+        ("r", random_r(&mut rng, 700)),
+        ("s", random_s(&mut rng, 80)),
+    ] {
+        let mut cols: Vec<String> = base
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.to_string())
+            .collect();
+        cols.push("p".into());
+        let with_p = Table::from_rows(
+            Schema::qualified(name, cols.iter().map(String::as_str)),
+            base.rows()
+                .iter()
+                .map(|r| {
+                    let mut vals: Vec<Value> = r.values().to_vec();
+                    vals.push(Value::float(1.0));
+                    Tuple::new(vals)
+                })
+                .collect(),
+        );
+        au_catalog.register(
+            name,
+            ua_engine::ti_source_au(&with_p, "p").expect("au source"),
+        );
+    }
+    let au_join = Plan::Aggregate {
+        input: Box::new(Plan::HashJoin {
+            left: Box::new(Plan::Scan("r".into())),
+            right: Box::new(Plan::Scan("s".into())),
+            keys: vec![(Expr::named("r.b"), Expr::named("s.b"))],
+            residual: None,
+            build_left: false,
+        }),
+        group_by: vec![ProjColumn::named("a")],
+        aggregates: vec![
+            AggExpr {
+                func: AggFunc::CountStar,
+                arg: None,
+                name: "n".into(),
+            },
+            AggExpr {
+                func: AggFunc::Sum,
+                arg: Some(Expr::named("d")),
+                name: "tot".into(),
+            },
+        ],
+    };
+    for (name, plan) in [
+        ("float_agg", float_agg(Plan::Scan("f".into()))),
+        ("join_agg", au_join),
+    ] {
+        let row = ua_engine::au_table(&ua_engine::execute_au(&plan, &au_catalog).expect("au row"));
+        for batch_rows in BATCHES {
+            for threads in THREADS {
+                let vec = ua_vecexec::execute_au_vectorized_opts(
+                    &plan,
+                    &au_catalog,
+                    opts(threads, batch_rows),
+                )
+                .expect("au vec");
+                assert_tables_identical(
+                    &row,
+                    &vec,
+                    &format!("au {name} batch={batch_rows} threads={threads}"),
+                );
+            }
+        }
+    }
+}
