@@ -163,7 +163,19 @@ pub fn reject_marker_in_plan(plan: &Plan) -> Result<(), EngineError> {
             reject_marker_in_plan(left)?;
             reject_marker_in_plan(right)
         }
-        Plan::UnionAll { left, right } => {
+        Plan::UnionAll { left, right } | Plan::Except { left, right, .. } => {
+            reject_marker_in_plan(left)?;
+            reject_marker_in_plan(right)
+        }
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            ..
+        } => {
+            if let Some(p) = predicate {
+                reject_marker(p)?;
+            }
             reject_marker_in_plan(left)?;
             reject_marker_in_plan(right)
         }
@@ -245,7 +257,9 @@ pub(crate) fn execute_au_traced(
         }
         Plan::Join { left, right, .. }
         | Plan::HashJoin { left, right, .. }
-        | Plan::UnionAll { left, right } => execute_au_traced(left, catalog, tracer)
+        | Plan::UnionAll { left, right }
+        | Plan::Except { left, right, .. }
+        | Plan::OuterJoin { left, right, .. } => execute_au_traced(left, catalog, tracer)
             .and_then(|l| execute_au_traced(right, catalog, tracer).map(|r| (l, r)))
             .and_then(|(l, r)| au_binary(plan, &l, &r)),
     };
@@ -337,6 +351,16 @@ pub fn au_binary(plan: &Plan, l: &AuRelation, r: &AuRelation) -> Result<AuRelati
         } => ua_ranges::ops::hash_join(l, r, keys, residual.as_ref(), *build_left)
             .map_err(EngineError::Expr),
         Plan::UnionAll { .. } => ua_ranges::ops::union(l, r).map_err(EngineError::Schema),
+        Plan::Except { all, .. } => ua_ranges::ops::except(l, r, *all).map_err(EngineError::Schema),
+        Plan::OuterJoin {
+            predicate, kind, ..
+        } => ua_ranges::ops::outer_join(
+            l,
+            r,
+            predicate.as_ref(),
+            *kind == crate::plan::OuterKind::Left,
+        )
+        .map_err(EngineError::Expr),
         other => Err(EngineError::Sql(format!(
             "not a binary AU operator: {other}"
         ))),

@@ -7,7 +7,7 @@
 //! SQL semantics: only rows whose predicate is *certainly* true survive
 //! (`Unknown` rejects, matching `θ(t) ∈ {0_K, 1_K}` of the paper).
 
-use crate::plan::{AggExpr, AggFunc, Plan, SortOrder};
+use crate::plan::{AggExpr, AggFunc, OuterKind, Plan, SortOrder};
 use crate::stats::Tracer;
 use crate::storage::{Catalog, Table};
 use std::fmt;
@@ -219,6 +219,28 @@ fn execute_node(
             }
             Ok(out)
         }
+        Plan::Except { left, right, all } => {
+            let l = execute_traced(left, catalog, tracer)?;
+            let r = execute_traced(right, catalog, tracer)?;
+            l.schema().check_union_compatible(r.schema())?;
+            Ok(except_table(&l, &r, *all))
+        }
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => {
+            let l = execute_traced(left, catalog, tracer)?;
+            let r = execute_traced(right, catalog, tracer)?;
+            let schema = l.schema().concat(r.schema());
+            let mut out = Table::new(schema);
+            outer_join_stream(&l, &r, predicate.as_ref(), *kind, &mut |row| {
+                out.push(row);
+                Ok(())
+            })?;
+            Ok(out)
+        }
         Plan::Aggregate {
             input,
             group_by,
@@ -351,6 +373,154 @@ pub fn limit_table(t: &Table, limit: usize) -> Table {
         t.schema().clone(),
         t.rows().iter().take(limit).cloned().collect(),
     )
+}
+
+/// Bag difference. Tuples match under IS-NOT-DISTINCT semantics: keys are
+/// coercion-normalized ([`Value::join_key`]) and NULL matches NULL — like
+/// `DISTINCT`/`GROUP BY` keys, *unlike* join equality. `all = true` is bag
+/// monus with earliest-first removal: each right occurrence cancels one
+/// left occurrence in left scan order. `all = false` keeps the first
+/// occurrence of each unmatched left tuple, in order of first occurrence.
+/// Shared contract for both executors.
+pub fn except_table(l: &Table, r: &Table, all: bool) -> Table {
+    let key_of =
+        |row: &Tuple| -> Tuple { row.values().iter().map(|v| v.clone().join_key()).collect() };
+    let mut budget: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for row in r.rows() {
+        *budget.entry(key_of(row)).or_insert(0) += 1;
+    }
+    let mut out = Table::new(l.schema().clone());
+    if all {
+        for row in l.rows() {
+            match budget.get_mut(&key_of(row)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => out.push(row.clone()),
+            }
+        }
+    } else {
+        let mut seen: ua_data::FxHashSet<Tuple> = ua_data::FxHashSet::default();
+        for row in l.rows() {
+            let key = key_of(row);
+            if budget.contains_key(&key) {
+                continue;
+            }
+            if seen.insert(key) {
+                out.push(row.clone());
+            }
+        }
+    }
+    out
+}
+
+/// Stream a left/right outer θ-join through `on_row`. Output columns are
+/// always `left ++ right`; order is preserved-side-major (for each
+/// preserved row in scan order: its surviving matches in the other side's
+/// scan order, else one NULL-padded row). Join equality follows SQL
+/// semantics — NULL keys never match, so NULL-keyed preserved rows come
+/// out padded. Shared contract for both executors.
+pub fn outer_join_stream(
+    l: &Table,
+    r: &Table,
+    predicate: Option<&Expr>,
+    kind: OuterKind,
+    on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    outer_join_pairs(l, r, predicate, kind, &mut |_, _, row| on_row(row))
+}
+
+/// [`outer_join_stream`] with provenance: the callback also receives the
+/// preserved-side row index and the matched other-side row index (`None`
+/// for the NULL-padded miss). The UA frontend combines certainty markers
+/// through these indices.
+pub(crate) fn outer_join_pairs(
+    l: &Table,
+    r: &Table,
+    predicate: Option<&Expr>,
+    kind: OuterKind,
+    on_row: &mut dyn FnMut(usize, Option<usize>, Tuple) -> Result<(), EngineError>,
+) -> Result<(), EngineError> {
+    let schema = l.schema().concat(r.schema());
+    let bound = predicate.map(|p| p.bind(&schema)).transpose()?;
+    let outer_is_left = kind == OuterKind::Left;
+    let (outer, inner) = if outer_is_left { (l, r) } else { (r, l) };
+    let pad = Tuple::new(vec![Value::Null; inner.schema().arity()]);
+    let concat = |orow: &Tuple, irow: &Tuple| -> Tuple {
+        if outer_is_left {
+            orow.concat(irow)
+        } else {
+            irow.concat(orow)
+        }
+    };
+
+    if let Some(pred) = &bound {
+        let (keys, residual) = extract_equi_keys(pred, l.schema().arity());
+        if !keys.is_empty() {
+            let residual = Expr::conjunction(residual);
+            let key_of = |exprs: &[&Expr], row: &Tuple| -> Result<Tuple, EngineError> {
+                Ok(exprs
+                    .iter()
+                    .map(|e| e.eval(row).map(Value::join_key))
+                    .collect::<Result<_, _>>()?)
+            };
+            let (build_exprs, probe_exprs): (Vec<&Expr>, Vec<&Expr>) = if outer_is_left {
+                (
+                    keys.iter().map(|k| &k.right).collect(),
+                    keys.iter().map(|k| &k.left).collect(),
+                )
+            } else {
+                (
+                    keys.iter().map(|k| &k.left).collect(),
+                    keys.iter().map(|k| &k.right).collect(),
+                )
+            };
+            let mut table: FxHashMap<Tuple, Vec<usize>> = FxHashMap::default();
+            for (ii, irow) in inner.rows().iter().enumerate() {
+                let key = key_of(&build_exprs, irow)?;
+                if key.has_null() {
+                    continue;
+                }
+                table.entry(key).or_default().push(ii);
+            }
+            for (oi, orow) in outer.rows().iter().enumerate() {
+                let key = key_of(&probe_exprs, orow)?;
+                let mut matched = false;
+                if !key.has_null() {
+                    if let Some(matches) = table.get(&key) {
+                        for &ii in matches {
+                            let joined = concat(orow, &inner.rows()[ii]);
+                            if residual.holds(&joined)? {
+                                matched = true;
+                                on_row(oi, Some(ii), joined)?;
+                            }
+                        }
+                    }
+                }
+                if !matched {
+                    on_row(oi, None, concat(orow, &pad))?;
+                }
+            }
+            return Ok(());
+        }
+    }
+
+    for (oi, orow) in outer.rows().iter().enumerate() {
+        let mut matched = false;
+        for (ii, irow) in inner.rows().iter().enumerate() {
+            let joined = concat(orow, irow);
+            let keep = match &bound {
+                Some(p) => p.holds(&joined)?,
+                None => true,
+            };
+            if keep {
+                matched = true;
+                on_row(oi, Some(ii), joined)?;
+            }
+        }
+        if !matched {
+            on_row(oi, None, concat(orow, &pad))?;
+        }
+    }
+    Ok(())
 }
 
 /// The two inputs of a join-like plan node.

@@ -46,5 +46,5 @@ pub use plan::{AggExpr, AggFunc, Plan, SortOrder};
 pub use sql::{parse, plan_query, plan_schema};
 pub use stats::{execute_au_with_stats, execute_with_stats};
 pub use storage::{Catalog, ColumnStats, Histogram, Table, TableStats, HISTOGRAM_BUCKETS};
-pub use ua::{ctable_source, ti_source, x_source, UaResult, UaSession};
+pub use ua::{ctable_source, ti_source, x_source, UaResult, UaSession, UA_FRAGMENT_ERROR};
 pub use ua_obs::{OperatorStats, PoolStats, QueryStats};

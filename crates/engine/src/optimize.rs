@@ -187,6 +187,22 @@ pub fn fuse_topk(plan: Plan) -> Plan {
             left: Box::new(fuse_topk(*left)),
             right: Box::new(fuse_topk(*right)),
         },
+        Plan::Except { left, right, all } => Plan::Except {
+            left: Box::new(fuse_topk(*left)),
+            right: Box::new(fuse_topk(*right)),
+            all,
+        },
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => Plan::OuterJoin {
+            left: Box::new(fuse_topk(*left)),
+            right: Box::new(fuse_topk(*right)),
+            predicate,
+            kind,
+        },
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(fuse_topk(*input)),
         },
@@ -276,6 +292,17 @@ pub fn push_filters(plan: Plan, catalog: &Catalog) -> Plan {
                         },
                     }
                 }
+                // Everything else keeps the filter above it. This is
+                // load-bearing for the non-monotone operators: a predicate
+                // must never sink into either side of `Except` (removal is
+                // first-k by full-tuple match, so pre-filtering the left
+                // changes *which* copies the right's budget removes under
+                // the AU bounds, and filtering the right changes the
+                // removal set outright) nor into the preserved side of an
+                // `OuterJoin` (pre-filtering would turn matched rows into
+                // absent rows instead of NULL-padded ones under the other
+                // side's visibility), nor into the NULL-supplying side
+                // (rows filtered there pad instead of disappearing).
                 other => Plan::Filter {
                     input: Box::new(other),
                     predicate,
@@ -316,6 +343,22 @@ pub fn push_filters(plan: Plan, catalog: &Catalog) -> Plan {
         Plan::UnionAll { left, right } => Plan::UnionAll {
             left: Box::new(push_filters(*left, catalog)),
             right: Box::new(push_filters(*right, catalog)),
+        },
+        Plan::Except { left, right, all } => Plan::Except {
+            left: Box::new(push_filters(*left, catalog)),
+            right: Box::new(push_filters(*right, catalog)),
+            all,
+        },
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => Plan::OuterJoin {
+            left: Box::new(push_filters(*left, catalog)),
+            right: Box::new(push_filters(*right, catalog)),
+            predicate,
+            kind,
         },
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(push_filters(*input, catalog)),
@@ -495,6 +538,25 @@ fn plan_joins_impl(plan: Plan, catalog: &Catalog, positional: bool) -> Plan {
         Plan::UnionAll { left, right } => Plan::UnionAll {
             left: Box::new(plan_joins_impl(*left, catalog, positional)),
             right: Box::new(plan_joins_impl(*right, catalog, positional)),
+        },
+        Plan::Except { left, right, all } => Plan::Except {
+            left: Box::new(plan_joins_impl(*left, catalog, positional)),
+            right: Box::new(plan_joins_impl(*right, catalog, positional)),
+            all,
+        },
+        // The ON predicate stays on the logical node — the vectorized
+        // anti/outer probe extracts equi-keys itself, and rewriting to
+        // `HashJoin` would lose the padding semantics.
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => Plan::OuterJoin {
+            left: Box::new(plan_joins_impl(*left, catalog, positional)),
+            right: Box::new(plan_joins_impl(*right, catalog, positional)),
+            predicate,
+            kind,
         },
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(plan_joins_impl(*input, catalog, positional)),
@@ -700,10 +762,29 @@ pub fn estimate_rows(plan: &Plan, catalog: &Catalog) -> Option<u64> {
 fn estimate_rows_f(plan: &Plan, catalog: &Catalog) -> Option<f64> {
     match plan {
         Plan::Scan(name) => catalog.stats_of(name).map(|s| s.rows as f64),
-        Plan::Alias { input, .. }
-        | Plan::Map { input, .. }
-        | Plan::Distinct { input }
-        | Plan::Sort { input, .. } => estimate_rows_f(input, catalog),
+        Plan::Alias { input, .. } | Plan::Map { input, .. } | Plan::Sort { input, .. } => {
+            estimate_rows_f(input, catalog)
+        }
+        // Deduplicated cardinality, NOT the input's: like the Aggregate
+        // arm below, the output is capped by the product of the columns'
+        // distinct counts. Passing the input estimate through here let
+        // joins above a DISTINCT subquery inherit the pre-dedup row count
+        // and trip `planner.join.misestimated` on correct plans.
+        Plan::Distinct { input } => {
+            let rows = estimate_rows_f(input, catalog)?;
+            let Ok(schema) = plan_schema(input, catalog) else {
+                return Some(rows);
+            };
+            let mut groups = 1.0f64;
+            for i in 0..schema.arity() {
+                // Unknown-ndv columns keep the conservative pass-through.
+                let Some(ndv) = expr_ndv(&Expr::Col(i), input, catalog) else {
+                    return Some(rows);
+                };
+                groups *= ndv;
+            }
+            Some(groups.min(rows))
+        }
         // Post-grouping cardinality, NOT the input's: one output row per
         // group (a global aggregate always emits exactly one row — det
         // and AU alike). Passing the input estimate through here let
@@ -764,6 +845,44 @@ fn estimate_rows_f(plan: &Plan, catalog: &Catalog) -> Option<f64> {
         }
         Plan::UnionAll { left, right } => {
             Some(estimate_rows_f(left, catalog)? + estimate_rows_f(right, catalog)?)
+        }
+        // A difference keeps at most the left side's rows (the removal
+        // count is not estimable without value overlap statistics); the
+        // distinct variant additionally dedupes like `Distinct`.
+        Plan::Except { left, all, .. } => {
+            if *all {
+                estimate_rows_f(left, catalog)
+            } else {
+                estimate_rows_f(
+                    &Plan::Distinct {
+                        input: left.clone(),
+                    },
+                    catalog,
+                )
+            }
+        }
+        // Inner-join estimate, floored by the preserved side: every
+        // preserved row appears at least once (matched or NULL-padded).
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => {
+            let l = estimate_rows_f(left, catalog)?;
+            let r = estimate_rows_f(right, catalog)?;
+            let inner = match predicate {
+                None => l * r,
+                Some(p) => match equi_conjunct_selectivity(p, left, right, catalog, l, r) {
+                    Some(sel) => l * r * sel,
+                    None => l.max(r),
+                },
+            };
+            let preserved = match kind {
+                crate::plan::OuterKind::Left => l,
+                crate::plan::OuterKind::Right => r,
+            };
+            Some(inner.max(preserved))
         }
         Plan::Limit { input, limit } => Some(estimate_rows_f(input, catalog)?.min(*limit as f64)),
         Plan::TopK { input, limit, .. } => {
@@ -865,7 +984,9 @@ fn base_column_stats(
             };
             base_column_stats(input, inner_idx, catalog)
         }
-        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+        Plan::Join { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::OuterJoin { left, right, .. } => {
             let la = plan_schema(left, catalog).ok()?.arity();
             if idx < la {
                 base_column_stats(left, idx, catalog)
@@ -873,6 +994,9 @@ fn base_column_stats(
                 base_column_stats(right, idx - la, catalog)
             }
         }
+        // Except's output columns are the left side's (a subset of its
+        // rows, so base distinct counts stay sound upper bounds).
+        Plan::Except { left, .. } => base_column_stats(left, idx, catalog),
         Plan::UnionAll { .. } | Plan::Aggregate { .. } => None,
     }
 }
@@ -1065,6 +1189,25 @@ fn reorder_joins_impl(plan: Plan, catalog: &Catalog, positional: bool, strip: bo
             left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
             right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
         },
+        // Reorder barriers: `flatten_join_tree` treats both as leaves (a
+        // difference or padded join cannot commute with inner joins), but
+        // each side is its own reorderable region.
+        Plan::Except { left, right, all } => Plan::Except {
+            left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
+            right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
+            all,
+        },
+        Plan::OuterJoin {
+            left,
+            right,
+            predicate,
+            kind,
+        } => Plan::OuterJoin {
+            left: Box::new(reorder_joins_impl(*left, catalog, positional, strip)),
+            right: Box::new(reorder_joins_impl(*right, catalog, positional, strip)),
+            predicate,
+            kind,
+        },
         Plan::Distinct { input } => Plan::Distinct {
             input: Box::new(reorder_joins_impl(*input, catalog, positional, strip)),
         },
@@ -1220,6 +1363,7 @@ fn try_reorder(plan: &Plan, catalog: &Catalog, positional: bool, strip: bool) ->
             positional,
         )?);
     }
+    close_transitive_edges(&mut placements);
 
     // Cost inputs: per-leaf cardinalities with their pushed-down filter
     // selectivities applied, and per-edge `1/max(ndv)` selectivities.
@@ -1288,6 +1432,76 @@ fn try_reorder(plan: &Plan, catalog: &Catalog, positional: bool, strip: bool) ->
         total_arity,
         positional,
     )
+}
+
+/// Close the join-edge set over equality-transitivity: `a.x = b.x AND
+/// b.x = c.x` implies `a.x = c.x`, but without the implied edge the order
+/// enumeration never considers joining `a` and `c` directly — the pair
+/// looks like a cross product, so orders routing through the implied
+/// equality were unreachable however cheap. Union-find over the distinct
+/// `(leaf, key expression)` endpoints of the [`Placement::Edge`]s; every
+/// same-class cross-leaf pair without a direct edge becomes one. Implied
+/// edges are genuine placements — costed by the DP *and* emitted as
+/// predicates at their covering node — so the cost model stays honest
+/// about the orders it ranks (a node joined only through an implied edge
+/// really does execute with that equality).
+fn close_transitive_edges(placements: &mut Vec<Placement>) {
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    fn endpoint(
+        endpoints: &mut Vec<(usize, Expr)>,
+        parent: &mut Vec<usize>,
+        l: usize,
+        e: &Expr,
+    ) -> usize {
+        match endpoints.iter().position(|(pl, pe)| *pl == l && pe == e) {
+            Some(i) => i,
+            None => {
+                endpoints.push((l, e.clone()));
+                parent.push(parent.len());
+                endpoints.len() - 1
+            }
+        }
+    }
+    let mut endpoints: Vec<(usize, Expr)> = Vec::new();
+    let mut parent: Vec<usize> = Vec::new();
+    let mut direct: Vec<(usize, usize)> = Vec::new();
+    for p in placements.iter() {
+        if let Placement::Edge {
+            l,
+            r,
+            l_expr,
+            r_expr,
+        } = p
+        {
+            let a = endpoint(&mut endpoints, &mut parent, *l, l_expr);
+            let b = endpoint(&mut endpoints, &mut parent, *r, r_expr);
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+            direct.push((a.min(b), a.max(b)));
+        }
+    }
+    for a in 0..endpoints.len() {
+        for b in (a + 1)..endpoints.len() {
+            if endpoints[a].0 == endpoints[b].0
+                || find(&mut parent, a) != find(&mut parent, b)
+                || direct.contains(&(a, b))
+            {
+                continue;
+            }
+            placements.push(Placement::Edge {
+                l: endpoints[a].0,
+                r: endpoints[b].0,
+                l_expr: endpoints[a].1.clone(),
+                r_expr: endpoints[b].1.clone(),
+            });
+        }
+    }
 }
 
 /// Flatten a tree of joins into its leaves and one conjunct set, returning

@@ -61,6 +61,25 @@ pub enum SortOrder {
     Desc,
 }
 
+/// Which side of an outer join is preserved (emitted even without a
+/// match, padded with NULLs on the other side).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OuterKind {
+    /// `LEFT [OUTER] JOIN` — every left row survives.
+    Left,
+    /// `RIGHT [OUTER] JOIN` — every right row survives.
+    Right,
+}
+
+impl fmt::Display for OuterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OuterKind::Left => "left",
+            OuterKind::Right => "right",
+        })
+    }
+}
+
 /// A physical plan.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Plan {
@@ -122,6 +141,36 @@ pub enum Plan {
         left: Box<Plan>,
         /// Right input.
         right: Box<Plan>,
+    },
+    /// Bag difference (`EXCEPT [ALL]`). Tuples match under IS-NOT-DISTINCT
+    /// semantics (NULL matches NULL, like `GROUP BY`/`DISTINCT` keys, unlike
+    /// join equality). `all = true` is bag monus: each right occurrence
+    /// cancels one left occurrence, earliest-first in left scan order.
+    /// `all = false` is set EXCEPT: the first occurrence of each left tuple
+    /// with no right match survives, in order of first occurrence.
+    Except {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input (union-compatible with the left).
+        right: Box<Plan>,
+        /// Bag (`EXCEPT ALL`) vs set (`EXCEPT`) semantics.
+        all: bool,
+    },
+    /// Left/right outer θ-join. Output columns are always `left ++ right`;
+    /// the preserved side's unmatched rows are emitted padded with NULLs on
+    /// the other side. Row order is preserved-side-major: for each preserved
+    /// row in scan order, its matches in the other side's scan order, else
+    /// its single padded row.
+    OuterJoin {
+        /// Left input.
+        left: Box<Plan>,
+        /// Right input.
+        right: Box<Plan>,
+        /// Join predicate (`None` = always true, so padding only appears
+        /// when the other side is empty).
+        predicate: Option<Expr>,
+        /// Which side is preserved.
+        kind: OuterKind,
     },
     /// Duplicate elimination (`SELECT DISTINCT`).
     Distinct {
@@ -233,13 +282,16 @@ impl Plan {
             },
             // HashJoin is a physical operator chosen by the optimizer; the
             // logical RA⁺ query it came from is reconstructible in principle
-            // but callers only convert *pre*-optimization plans.
+            // but callers only convert *pre*-optimization plans. Except and
+            // OuterJoin are outside RA⁺ by definition (negation).
             Plan::HashJoin { .. }
             | Plan::Distinct { .. }
             | Plan::Aggregate { .. }
             | Plan::Sort { .. }
             | Plan::Limit { .. }
-            | Plan::TopK { .. } => return None,
+            | Plan::TopK { .. }
+            | Plan::Except { .. }
+            | Plan::OuterJoin { .. } => return None,
         })
     }
 
@@ -257,7 +309,11 @@ impl Plan {
             | Plan::TopK { input, .. } => 1 + input.operator_count(),
             Plan::Join { left, right, .. }
             | Plan::HashJoin { left, right, .. }
-            | Plan::UnionAll { left, right } => 1 + left.operator_count() + right.operator_count(),
+            | Plan::UnionAll { left, right }
+            | Plan::Except { left, right, .. }
+            | Plan::OuterJoin { left, right, .. } => {
+                1 + left.operator_count() + right.operator_count()
+            }
         }
     }
 }
@@ -312,6 +368,22 @@ impl fmt::Display for Plan {
                 )
             }
             Plan::UnionAll { left, right } => write!(f, "UnionAll({left}, {right})"),
+            Plan::Except { left, right, all } => {
+                write!(
+                    f,
+                    "Except{}({left}, {right})",
+                    if *all { "All" } else { "" }
+                )
+            }
+            Plan::OuterJoin {
+                left,
+                right,
+                predicate,
+                kind,
+            } => match predicate {
+                Some(p) => write!(f, "OuterJoin[{kind}; {p}]({left}, {right})"),
+                None => write!(f, "OuterJoin[{kind}]({left}, {right})"),
+            },
             Plan::Distinct { input } => write!(f, "Distinct({input})"),
             Plan::Aggregate {
                 input,

@@ -94,6 +94,19 @@ pub enum SqlExpr {
         /// Whether `NOT` was present.
         negated: bool,
     },
+    /// `expr [NOT] IN (SELECT ...)` — an uncorrelated subquery membership
+    /// test, lowered by the planner to an (anti-)join shape.
+    InSubquery {
+        /// Operand.
+        expr: Box<SqlExpr>,
+        /// The subquery (must produce exactly one column).
+        query: Box<Query>,
+        /// Whether `NOT` was present.
+        negated: bool,
+    },
+    /// `EXISTS (SELECT ...)` — an uncorrelated subquery emptiness test.
+    /// `NOT EXISTS` arrives as [`SqlExpr::Not`] around this.
+    Exists(Box<Query>),
     /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
     Case {
         /// The simple-`CASE` operand, when present.
@@ -128,6 +141,10 @@ impl SqlExpr {
             SqlExpr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(SqlExpr::contains_aggregate)
             }
+            // A subquery is its own aggregation context; only the outer
+            // operand counts here.
+            SqlExpr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            SqlExpr::Exists(_) => false,
             SqlExpr::Case {
                 operand,
                 branches,
@@ -208,6 +225,17 @@ pub enum TableRef {
     },
 }
 
+/// The flavor of an explicit `JOIN` clause.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinKind {
+    /// `[INNER] JOIN ... ON` and `CROSS JOIN`.
+    Inner,
+    /// `LEFT [OUTER] JOIN ... ON`.
+    Left,
+    /// `RIGHT [OUTER] JOIN ... ON`.
+    Right,
+}
+
 /// One `JOIN ... ON ...` clause attached to the preceding `FROM` item.
 #[derive(Clone, PartialEq, Debug)]
 pub struct JoinClause {
@@ -215,6 +243,8 @@ pub struct JoinClause {
     pub table: TableRef,
     /// The `ON` predicate (`None` for `CROSS JOIN`).
     pub on: Option<SqlExpr>,
+    /// Inner, left outer, or right outer.
+    pub kind: JoinKind,
 }
 
 /// A single `SELECT` block.
@@ -232,12 +262,27 @@ pub struct SelectStmt {
     pub group_by: Vec<SqlExpr>,
 }
 
-/// A full query: `SELECT` blocks combined with `UNION ALL`, plus ordering
-/// and limit.
+/// A set-operation connector between adjacent `SELECT` blocks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SetOp {
+    /// `UNION ALL`.
+    UnionAll,
+    /// `EXCEPT` (set semantics).
+    Except,
+    /// `EXCEPT ALL` (bag monus).
+    ExceptAll,
+}
+
+/// A full query: `SELECT` blocks combined with `UNION ALL` / `EXCEPT
+/// [ALL]`, plus ordering and limit.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Query {
-    /// The `UNION ALL` branches (at least one).
+    /// The `SELECT` blocks (at least one).
     pub selects: Vec<SelectStmt>,
+    /// Connectors between adjacent blocks, left-associative:
+    /// `set_ops[i]` combines the result so far with `selects[i + 1]`, so
+    /// `set_ops.len() == selects.len() - 1`.
+    pub set_ops: Vec<SetOp>,
     /// `ORDER BY` keys.
     pub order_by: Vec<(SqlExpr, SortOrder)>,
     /// `LIMIT`.
@@ -300,6 +345,14 @@ impl fmt::Display for SqlExpr {
                 }
                 write!(f, "))")
             }
+            SqlExpr::InSubquery { expr, negated, .. } => {
+                write!(
+                    f,
+                    "({expr} {}IN (<subquery>))",
+                    if *negated { "NOT " } else { "" }
+                )
+            }
+            SqlExpr::Exists(_) => write!(f, "EXISTS (<subquery>)"),
             SqlExpr::Case {
                 operand,
                 branches,

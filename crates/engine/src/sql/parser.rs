@@ -38,7 +38,8 @@ impl From<LexError> for ParseError {
 const RESERVED: &[&str] = &[
     "select", "from", "where", "group", "order", "limit", "on", "join", "inner", "cross", "union",
     "all", "is", "as", "and", "or", "not", "by", "having", "asc", "desc", "when", "then", "else",
-    "end", "case", "between", "in", "null", "distinct", "with",
+    "end", "case", "between", "in", "null", "distinct", "with", "except", "left", "right", "outer",
+    "exists",
 ];
 
 /// Parse one SQL query.
@@ -155,9 +156,21 @@ impl Parser {
 
     fn query(&mut self) -> Result<Query, ParseError> {
         let mut selects = vec![self.select_stmt()?];
-        while self.peek_kw("union") {
-            self.pos += 1;
-            self.expect_kw("all")?;
+        let mut set_ops = Vec::new();
+        loop {
+            if self.peek_kw("union") {
+                self.pos += 1;
+                self.expect_kw("all")?;
+                set_ops.push(SetOp::UnionAll);
+            } else if self.accept_kw("except") {
+                set_ops.push(if self.accept_kw("all") {
+                    SetOp::ExceptAll
+                } else {
+                    SetOp::Except
+                });
+            } else {
+                break;
+            }
             selects.push(self.select_stmt()?);
         }
         let mut order_by = Vec::new();
@@ -193,6 +206,7 @@ impl Parser {
         }
         Ok(Query {
             selects,
+            set_ops,
             order_by,
             limit,
         })
@@ -287,11 +301,33 @@ impl Parser {
                 joins.push(JoinClause {
                     table,
                     on: Some(on),
+                    kind: JoinKind::Inner,
+                });
+            } else if self.peek_kw("left") || self.peek_kw("right") {
+                let kind = if self.accept_kw("left") {
+                    JoinKind::Left
+                } else {
+                    self.pos += 1;
+                    JoinKind::Right
+                };
+                self.accept_kw("outer");
+                self.expect_kw("join")?;
+                let table = self.table_ref()?;
+                self.expect_kw("on")?;
+                let on = self.expr()?;
+                joins.push(JoinClause {
+                    table,
+                    on: Some(on),
+                    kind,
                 });
             } else if self.peek_kw("cross") && self.peek_kw_at(1, "join") {
                 self.pos += 2;
                 let table = self.table_ref()?;
-                joins.push(JoinClause { table, on: None });
+                joins.push(JoinClause {
+                    table,
+                    on: None,
+                    kind: JoinKind::Inner,
+                });
             } else {
                 break;
             }
@@ -440,6 +476,15 @@ impl Parser {
         }
         if self.accept_kw("in") {
             self.expect(&Token::LParen)?;
+            if self.peek_kw("select") {
+                let query = self.query()?;
+                self.expect(&Token::RParen)?;
+                return Ok(SqlExpr::InSubquery {
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                    negated,
+                });
+            }
             let mut list = vec![self.expr()?];
             while self.accept(&Token::Comma) {
                 list.push(self.expr()?);
@@ -557,6 +602,14 @@ impl Parser {
                         Ok(SqlExpr::Bool(false))
                     }
                     "case" => self.case_expr(),
+                    // `EXISTS (SELECT ...)` — before the function-call
+                    // check, which the `(` would otherwise trigger.
+                    "exists" if self.tokens.get(self.pos + 1) == Some(&Token::LParen) => {
+                        self.pos += 2;
+                        let query = self.query()?;
+                        self.expect(&Token::RParen)?;
+                        Ok(SqlExpr::Exists(Box::new(query)))
+                    }
                     _ => {
                         // Function call?
                         if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {

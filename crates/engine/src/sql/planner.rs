@@ -9,7 +9,7 @@
 //! resolver rejects annotations so that the plain engine stays deterministic.
 
 use crate::exec::EngineError;
-use crate::plan::{AggExpr, AggFunc, Plan};
+use crate::plan::{AggExpr, AggFunc, OuterKind, Plan};
 use crate::sql::ast::*;
 use crate::storage::Catalog;
 use ua_data::algebra::ProjColumn;
@@ -59,8 +59,16 @@ pub fn plan_schema(plan: &Plan, catalog: &Catalog) -> Result<Schema, EngineError
         Plan::Map { columns, .. } => Ok(Schema::new(
             columns.iter().map(|c| c.column.clone()).collect(),
         )),
-        Plan::Join { left, right, .. } | Plan::HashJoin { left, right, .. } => {
+        Plan::Join { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::OuterJoin { left, right, .. } => {
             Ok(plan_schema(left, catalog)?.concat(&plan_schema(right, catalog)?))
+        }
+        Plan::Except { left, right, .. } => {
+            let l = plan_schema(left, catalog)?;
+            let r = plan_schema(right, catalog)?;
+            l.check_union_compatible(&r)?;
+            Ok(l)
         }
         Plan::UnionAll { left, right } => {
             let l = plan_schema(left, catalog)?;
@@ -92,10 +100,17 @@ pub fn plan_query(
         .map(|s| plan_select(s, catalog, resolver))
         .collect::<Result<Vec<_>, _>>()?;
     let mut plan = plans.remove(0);
-    for next in plans {
-        plan = Plan::UnionAll {
-            left: Box::new(plan),
-            right: Box::new(next),
+    for (op, next) in query.set_ops.iter().zip(plans) {
+        plan = match op {
+            SetOp::UnionAll => Plan::UnionAll {
+                left: Box::new(plan),
+                right: Box::new(next),
+            },
+            SetOp::Except | SetOp::ExceptAll => Plan::Except {
+                left: Box::new(plan),
+                right: Box::new(next),
+                all: *op == SetOp::ExceptAll,
+            },
         };
     }
     if !query.order_by.is_empty() {
@@ -165,10 +180,22 @@ fn plan_select(
         for join in joins {
             let right = plan_table_ref(&join.table, catalog, resolver)?;
             let predicate = join.on.as_ref().map(lower_scalar).transpose()?;
-            item = Plan::Join {
-                left: Box::new(item),
-                right: Box::new(right),
-                predicate,
+            item = match join.kind {
+                JoinKind::Inner => Plan::Join {
+                    left: Box::new(item),
+                    right: Box::new(right),
+                    predicate,
+                },
+                JoinKind::Left | JoinKind::Right => Plan::OuterJoin {
+                    left: Box::new(item),
+                    right: Box::new(right),
+                    predicate,
+                    kind: if join.kind == JoinKind::Left {
+                        OuterKind::Left
+                    } else {
+                        OuterKind::Right
+                    },
+                },
             };
         }
         from_plan = Some(match from_plan {
@@ -183,10 +210,38 @@ fn plan_select(
     let mut plan = from_plan.ok_or_else(|| EngineError::Sql("query needs a FROM clause".into()))?;
 
     if let Some(w) = &select.where_clause {
-        plan = Plan::Filter {
-            input: Box::new(plan),
-            predicate: lower_scalar(w)?,
-        };
+        // Split the WHERE conjunction: `NOT EXISTS (q)` / `x NOT IN (q)`
+        // conjuncts become anti-join shapes over the FROM plan; everything
+        // else folds back into one ordinary filter. Subquery predicates in
+        // any other position have no plan-algebra lowering here.
+        let mut conjuncts = Vec::new();
+        collect_conjuncts(w, &mut conjuncts);
+        let mut residual: Option<Expr> = None;
+        let mut antis = Vec::new();
+        for c in conjuncts {
+            match anti_conjunct(c) {
+                Some(shape) => antis.push(shape),
+                None => {
+                    if contains_subquery(c) {
+                        return Err(EngineError::Sql(SUBQUERY_PLACEMENT_ERROR.into()));
+                    }
+                    let lowered = lower_scalar(c)?;
+                    residual = Some(match residual {
+                        None => lowered,
+                        Some(acc) => acc.and(lowered),
+                    });
+                }
+            }
+        }
+        if let Some(predicate) = residual {
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                predicate,
+            };
+        }
+        for (i, shape) in antis.into_iter().enumerate() {
+            plan = lower_anti_join(plan, shape, i, catalog, resolver)?;
+        }
     }
 
     let source_schema = plan_schema(&plan, catalog)?;
@@ -243,6 +298,176 @@ fn plan_table_ref(
             name: alias.clone(),
         }),
     }
+}
+
+const SUBQUERY_PLACEMENT_ERROR: &str = "subquery predicates are only supported as top-level \
+     NOT EXISTS / NOT IN conjuncts in WHERE";
+
+/// Flatten a WHERE clause's `AND` spine into its conjuncts.
+fn collect_conjuncts<'a>(expr: &'a SqlExpr, out: &mut Vec<&'a SqlExpr>) {
+    if let SqlExpr::Binary(BinOp::And, a, b) = expr {
+        collect_conjuncts(a, out);
+        collect_conjuncts(b, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+/// A WHERE conjunct with an anti-join lowering.
+enum AntiShape<'a> {
+    /// `NOT EXISTS (query)`.
+    Exists(&'a Query),
+    /// `operand NOT IN (query)`.
+    In(&'a SqlExpr, &'a Query),
+}
+
+/// Classify a conjunct as an anti-join shape, if it is one.
+fn anti_conjunct(expr: &SqlExpr) -> Option<AntiShape<'_>> {
+    match expr {
+        SqlExpr::Not(inner) => match &**inner {
+            SqlExpr::Exists(q) => Some(AntiShape::Exists(q)),
+            SqlExpr::InSubquery {
+                expr,
+                query,
+                negated: false,
+            } => Some(AntiShape::In(expr, query)),
+            _ => None,
+        },
+        SqlExpr::InSubquery {
+            expr,
+            query,
+            negated: true,
+        } => Some(AntiShape::In(expr, query)),
+        _ => None,
+    }
+}
+
+/// Whether the expression mentions a subquery predicate anywhere.
+fn contains_subquery(expr: &SqlExpr) -> bool {
+    match expr {
+        SqlExpr::Exists(_) | SqlExpr::InSubquery { .. } => true,
+        SqlExpr::Binary(_, a, b) => contains_subquery(a) || contains_subquery(b),
+        SqlExpr::Not(a) => contains_subquery(a),
+        SqlExpr::IsNull { expr, .. } => contains_subquery(expr),
+        SqlExpr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
+        SqlExpr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+        SqlExpr::Case {
+            operand,
+            branches,
+            otherwise,
+        } => {
+            operand.as_deref().is_some_and(contains_subquery)
+                || branches
+                    .iter()
+                    .any(|(w, t)| contains_subquery(w) || contains_subquery(t))
+                || otherwise.as_deref().is_some_and(contains_subquery)
+        }
+        SqlExpr::Func { args, .. } => args.iter().any(contains_subquery),
+        _ => false,
+    }
+}
+
+/// System-managed columns hidden from star expansion and schema restores.
+fn is_system_column(col: &Column) -> bool {
+    col.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN)
+        || crate::au::is_au_sidecar_name(&col.name)
+}
+
+/// Lower one `NOT EXISTS (q)` / `x NOT IN (q)` conjunct over `input`:
+///
+/// ```text
+/// π_input( σ_{flag IS NULL}( input ⟕_pred Map_{[key,] flag := 1}(q) ) )
+/// ```
+///
+/// The left outer join NULL-pads exactly the input rows with no match, the
+/// filter keeps those, and the final projection restores the input's
+/// visible schema. For `NOT IN` the ON predicate is the three-valued
+/// `x = key OR x IS NULL OR key IS NULL`: a NULL on either side makes the
+/// membership test unknown, and SQL's `NOT IN` must then drop the row —
+/// which the join records as a match and the filter removes. `NOT EXISTS`
+/// over an uncorrelated subquery joins unconditionally: any subquery row
+/// matches every input row.
+fn lower_anti_join(
+    input: Plan,
+    shape: AntiShape<'_>,
+    index: usize,
+    catalog: &Catalog,
+    resolver: &dyn SourceResolver,
+) -> Result<Plan, EngineError> {
+    let input_schema = plan_schema(&input, catalog)?;
+    let flag = format!("__anti_{index}");
+    let (flagged, predicate) = match shape {
+        AntiShape::Exists(q) => {
+            let sub = plan_query(q, catalog, resolver)?;
+            let flagged = Plan::Map {
+                input: Box::new(sub),
+                columns: vec![ProjColumn::expr(Expr::lit(1i64), flag.clone())],
+            };
+            (flagged, None)
+        }
+        AntiShape::In(operand, q) => {
+            if contains_subquery(operand) {
+                return Err(EngineError::Sql(SUBQUERY_PLACEMENT_ERROR.into()));
+            }
+            let sub = plan_query(q, catalog, resolver)?;
+            let sub_schema = plan_schema(&sub, catalog)?;
+            let visible: Vec<usize> = (0..sub_schema.arity())
+                .filter(|&i| !is_system_column(&sub_schema.columns()[i]))
+                .collect();
+            if visible.len() != 1 {
+                return Err(EngineError::Sql(format!(
+                    "IN subquery must produce exactly one column, got {}",
+                    visible.len()
+                )));
+            }
+            let key_pos = visible[0];
+            let key = format!("__in_{index}");
+            let flagged = Plan::Map {
+                input: Box::new(sub),
+                columns: vec![
+                    ProjColumn::expr(star_expr(&sub_schema, key_pos)?, key.clone()),
+                    ProjColumn::expr(Expr::lit(1i64), flag.clone()),
+                ],
+            };
+            let x = lower_scalar(operand)?;
+            let k = Expr::named(key);
+            let pred = x
+                .clone()
+                .eq(k.clone())
+                .or(Expr::IsNull(Box::new(x)))
+                .or(Expr::IsNull(Box::new(k)));
+            (flagged, Some(pred))
+        }
+    };
+    let filtered = Plan::Filter {
+        input: Box::new(Plan::OuterJoin {
+            left: Box::new(input),
+            right: Box::new(flagged),
+            predicate,
+            kind: OuterKind::Left,
+        }),
+        predicate: Expr::IsNull(Box::new(Expr::named(flag))),
+    };
+    // Restore the input's visible schema: the flag/key columns are plan
+    // bookkeeping, and the UA/AU encodings re-thread their own markers.
+    let mut columns = Vec::new();
+    for (i, col) in input_schema.columns().iter().enumerate() {
+        if is_system_column(col) {
+            continue;
+        }
+        columns.push(ProjColumn::with_column(
+            star_expr(&input_schema, i)?,
+            col.clone(),
+        ));
+    }
+    Ok(Plan::Map {
+        input: Box::new(filtered),
+        columns,
+    })
 }
 
 fn expand_item(
@@ -516,6 +741,9 @@ pub fn lower_scalar(expr: &SqlExpr) -> Result<Expr, EngineError> {
             } else {
                 inner
             }
+        }
+        SqlExpr::InSubquery { .. } | SqlExpr::Exists(_) => {
+            return Err(EngineError::Sql(SUBQUERY_PLACEMENT_ERROR.into()))
         }
         SqlExpr::Case {
             operand,

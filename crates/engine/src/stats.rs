@@ -194,6 +194,19 @@ pub fn node_label(plan: &Plan) -> (String, String) {
             ("HashJoin".into(), detail)
         }
         Plan::UnionAll { .. } => ("UnionAll".into(), String::new()),
+        Plan::Except { all, .. } => (
+            "Except".into(),
+            if *all { "all".into() } else { String::new() },
+        ),
+        Plan::OuterJoin {
+            predicate, kind, ..
+        } => (
+            "OuterJoin".into(),
+            match predicate {
+                Some(p) => format!("{kind}; {p}"),
+                None => kind.to_string(),
+            },
+        ),
         Plan::Distinct { .. } => ("Distinct".into(), String::new()),
         Plan::Aggregate {
             group_by,

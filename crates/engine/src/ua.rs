@@ -109,6 +109,180 @@ impl Default for UaSession {
     }
 }
 
+/// The error both executors raise for UA queries outside the supported
+/// fragment — one string so the row and vectorized paths fail identically
+/// (the differential harness compares error messages).
+pub const UA_FRAGMENT_ERROR: &str = "UA queries support the relational algebra \
+     (selection, projection, join, UNION ALL, EXCEPT, LEFT/RIGHT OUTER JOIN) \
+     plus trailing ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
+     under UA semantics";
+
+/// A trailing `ORDER BY`/`LIMIT` peeled off a UA plan before dispatch —
+/// both commute with the rewriting (they only reorder/truncate encoded
+/// rows).
+enum Wrapper {
+    Sort(Vec<(ua_data::Expr, crate::plan::SortOrder)>),
+    Limit(usize),
+}
+
+/// Whether the plan contains a node outside RA⁺ that the UA frontend still
+/// supports: EXCEPT or an outer join.
+fn plan_contains_negation(plan: &Plan) -> bool {
+    match plan {
+        Plan::Except { .. } | Plan::OuterJoin { .. } => true,
+        Plan::Scan(_) => false,
+        Plan::Alias { input, .. }
+        | Plan::Filter { input, .. }
+        | Plan::Map { input, .. }
+        | Plan::Distinct { input }
+        | Plan::Sort { input, .. }
+        | Plan::Limit { input, .. }
+        | Plan::TopK { input, .. }
+        | Plan::Aggregate { input, .. } => plan_contains_negation(input),
+        Plan::Join { left, right, .. }
+        | Plan::HashJoin { left, right, .. }
+        | Plan::UnionAll { left, right } => {
+            plan_contains_negation(left) || plan_contains_negation(right)
+        }
+    }
+}
+
+/// Temporary encoded tables materialized by the row-mode negation path,
+/// dropped from the catalog on scope exit (success or error).
+struct TempTables<'a> {
+    catalog: &'a Catalog,
+    names: Vec<String>,
+}
+
+impl TempTables<'_> {
+    fn register(&mut self, table: Table) -> String {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let name = format!("__ua_tmp_{}", NEXT.fetch_add(1, Ordering::Relaxed));
+        self.catalog.register(&name, table);
+        self.names.push(name.clone());
+        name
+    }
+}
+
+impl Drop for TempTables<'_> {
+    fn drop(&mut self) {
+        for name in &self.names {
+            self.catalog.drop_table(name);
+        }
+    }
+}
+
+/// The user-visible part of an encoded table's schema (everything left of
+/// the `ua_c` marker).
+fn encoded_base_schema(t: &Table) -> Schema {
+    Schema::new(t.schema().columns()[..t.schema().arity() - 1].to_vec())
+}
+
+/// Encoded-relation EXCEPT, matching the deterministic [`crate::exec::except_table`]
+/// contract over the *base* columns (two copies of a tuple are never
+/// distinguished by their markers). Every output row is labeled 0: under
+/// `K²` the difference's certain multiplicity needs an *upper* bound on
+/// the right side's possible multiplicity, which the UA encoding does not
+/// carry — label 0 is the only sound under-approximation (the bound-aware
+/// version lives in `ua_ranges::ops::except`).
+fn ua_except_encoded(l: &Table, r: &Table, all: bool) -> Result<Table, EngineError> {
+    encoded_base_schema(l).check_union_compatible(&encoded_base_schema(r))?;
+    let base = l.schema().arity() - 1;
+    let key_of = |row: &Tuple| -> Tuple {
+        row.values()[..base]
+            .iter()
+            .map(|v| v.clone().join_key())
+            .collect()
+    };
+    let mut budget: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for row in r.rows() {
+        *budget.entry(key_of(row)).or_insert(0) += 1;
+    }
+    let mut out = Table::new(encoded_base_schema(l).with_column(UA_LABEL_COLUMN));
+    let mut push = |row: &Tuple| {
+        let mut vals: Vec<Value> = row.values()[..base].to_vec();
+        vals.push(Value::Int(0));
+        out.push(Tuple::new(vals));
+    };
+    if all {
+        for row in l.rows() {
+            match budget.get_mut(&key_of(row)) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => push(row),
+            }
+        }
+    } else {
+        let mut seen: ua_data::FxHashSet<Tuple> = ua_data::FxHashSet::default();
+        for row in l.rows() {
+            let key = key_of(row);
+            if budget.contains_key(&key) {
+                continue;
+            }
+            if seen.insert(key) {
+                push(row);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Encoded-relation outer join: the deterministic
+/// [`crate::exec::outer_join_stream`] contract over the base columns, with
+/// markers combined per `⟦·⟧_UA`'s join rule for matches (`min`, i.e.
+/// label-AND) and 0 for NULL-padded misses — a pad row is never certain,
+/// since some world may supply a match that replaces it.
+fn ua_outer_join_encoded(
+    l: &Table,
+    r: &Table,
+    predicate: Option<&ua_data::Expr>,
+    kind: crate::plan::OuterKind,
+) -> Result<Table, EngineError> {
+    if let Some(p) = predicate {
+        if ua_core::expr_mentions_marker(p) {
+            return Err(EngineError::Schema(
+                ua_data::schema::SchemaError::AmbiguousColumn(UA_LABEL_COLUMN.to_string()),
+            ));
+        }
+    }
+    let base_table = |t: &Table| -> Table {
+        let base = t.schema().arity() - 1;
+        Table::from_rows(
+            encoded_base_schema(t),
+            t.rows()
+                .iter()
+                .map(|row| Tuple::new(row.values()[..base].to_vec()))
+                .collect(),
+        )
+    };
+    let marker_of = |t: &Table, i: usize| -> i64 {
+        match t.rows()[i].values().last() {
+            Some(Value::Int(n)) if *n != 0 => 1,
+            _ => 0,
+        }
+    };
+    let lb = base_table(l);
+    let rb = base_table(r);
+    let mut out = Table::new(lb.schema().concat(rb.schema()).with_column(UA_LABEL_COLUMN));
+    crate::exec::outer_join_pairs(&lb, &rb, predicate, kind, &mut |oi, ii, row| {
+        let label = match ii {
+            Some(ii) => {
+                let (li, ri) = if kind == crate::plan::OuterKind::Left {
+                    (oi, ii)
+                } else {
+                    (ii, oi)
+                };
+                marker_of(l, li).min(marker_of(r, ri))
+            }
+            None => 0,
+        };
+        let mut vals = row.values().to_vec();
+        vals.push(Value::Int(label));
+        out.push(Tuple::new(vals));
+        Ok(())
+    })?;
+    Ok(out)
+}
+
 impl UaSession {
     /// A fresh session with an empty catalog.
     pub fn new() -> UaSession {
@@ -381,10 +555,6 @@ impl UaSession {
     fn execute_ua_plan(&self, plan: &Plan) -> Result<UaResult, EngineError> {
         // Peel trailing Sort/Limit — they commute with the rewriting (they
         // only reorder/truncate encoded rows).
-        enum Wrapper {
-            Sort(Vec<(ua_data::Expr, crate::plan::SortOrder)>),
-            Limit(usize),
-        }
         let mut wrappers = Vec::new();
         let mut inner = plan;
         loop {
@@ -415,37 +585,17 @@ impl UaSession {
                 _ => break,
             }
         }
-        let ra = inner.to_ra().ok_or_else(|| {
-            EngineError::Sql(
-                "UA queries support the positive relational algebra \
-                 (selection, projection, join, UNION ALL) plus trailing \
-                 ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
-                 under UA semantics"
-                    .into(),
-            )
-        })?;
-        let ra = self.reorder_user_ra(ra);
-        // Re-apply the peeled wrappers (innermost last in `wrappers`) over
-        // an optimized core plan, fusing `Limit(Sort(..))` into `TopK`
-        // exactly like the deterministic pipeline when the optimizer is on.
-        let rewrap = |mut plan: Plan, wrappers: Vec<Wrapper>| -> Plan {
-            for w in wrappers.into_iter().rev() {
-                plan = match w {
-                    Wrapper::Sort(keys) => Plan::Sort {
-                        input: Box::new(plan),
-                        keys,
-                    },
-                    Wrapper::Limit(limit) => Plan::Limit {
-                        input: Box::new(plan),
-                        limit,
-                    },
-                };
+        let ra = match inner.to_ra() {
+            Some(ra) => ra,
+            // `to_ra` covers exactly the RA⁺ fragment; EXCEPT and outer
+            // joins step outside it but stay UA-sound with the labeling
+            // rules of `execute_ua_negation`.
+            None if plan_contains_negation(inner) => {
+                return self.execute_ua_negation(inner, wrappers)
             }
-            if self.optimizer_enabled() {
-                plan = crate::optimize::fuse_topk(plan);
-            }
-            plan
+            None => return Err(EngineError::Sql(UA_FRAGMENT_ERROR.into())),
         };
+        let ra = self.reorder_user_ra(ra);
         // Both branches below run the SAME optimizer pipeline
         // (`optimize_plan`) on the plan their executor receives, before
         // dispatch — the uniformity the differential harness asserts.
@@ -456,7 +606,7 @@ impl UaSession {
             // ride along and execute natively over the encoded batches
             // (columnar sort with the marker as final tie-break, bounded
             // Top-K heap) — no row-engine fallback.
-            let user_plan = rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers);
+            let user_plan = self.rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers);
             let table =
                 (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
             self.adopt_hook_stats();
@@ -464,7 +614,7 @@ impl UaSession {
         }
         let lookup = |name: &str| self.catalog.schema_of(name);
         let rewritten = rewrite_ua(&ra, &lookup)?;
-        let rewritten_plan = rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers);
+        let rewritten_plan = self.rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers);
         let table = if self.stats_enabled() {
             let (table, root) = crate::stats::execute_with_stats(&rewritten_plan, &self.catalog)?;
             self.store_stats(ua_obs::QueryStats {
@@ -478,6 +628,159 @@ impl UaSession {
             execute(&rewritten_plan, &self.catalog)?
         };
         Ok(UaResult { table })
+    }
+
+    /// Re-apply peeled Sort/Limit wrappers (innermost last) over an
+    /// optimized core plan, fusing `Limit(Sort(..))` into `TopK` exactly
+    /// like the deterministic pipeline when the optimizer is on.
+    fn rewrap(&self, mut plan: Plan, wrappers: Vec<Wrapper>) -> Plan {
+        for w in wrappers.into_iter().rev() {
+            plan = match w {
+                Wrapper::Sort(keys) => Plan::Sort {
+                    input: Box::new(plan),
+                    keys,
+                },
+                Wrapper::Limit(limit) => Plan::Limit {
+                    input: Box::new(plan),
+                    limit,
+                },
+            };
+        }
+        if self.optimizer_enabled() {
+            plan = crate::optimize::fuse_topk(plan);
+        }
+        plan
+    }
+
+    /// Execute a UA plan whose core contains negation nodes (EXCEPT /
+    /// outer join), which `⟦·⟧_UA` proper does not cover.
+    ///
+    /// The vectorized engine propagates labels natively through every
+    /// operator, so it takes the user plan whole — join reordering stays
+    /// the single pre-dispatch pass, with the negation nodes acting as
+    /// reorder barriers. The row engine has no label-carrying operators;
+    /// instead the plan executes bottom-up over *encoded* relations:
+    /// maximal RA⁺ regions go through the usual rewriting, and each
+    /// negation node combines its children's encoded results directly
+    /// (see [`ua_except_encoded`] / [`ua_outer_join_encoded`]),
+    /// materialized as temporary catalog tables so enclosing RA⁺ regions
+    /// can keep treating them as pre-encoded UA sources.
+    fn execute_ua_negation(
+        &self,
+        inner: &Plan,
+        wrappers: Vec<Wrapper>,
+    ) -> Result<UaResult, EngineError> {
+        let reordered = if self.optimizer_enabled() && self.reorder_joins_enabled() {
+            crate::optimize::reorder_joins_ua(inner.clone(), &self.catalog)
+        } else {
+            inner.clone()
+        };
+        if self.exec_mode() == ExecMode::Vectorized {
+            let user_plan = self.rewrap(self.optimize_plan_stripped(reordered), wrappers);
+            let table =
+                (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
+            self.adopt_hook_stats();
+            return Ok(UaResult { table });
+        }
+        let mut temps = TempTables {
+            catalog: &self.catalog,
+            names: Vec::new(),
+        };
+        let result = self.execute_ua_encoded(&reordered, &mut temps);
+        drop(temps);
+        let mut table = result?;
+        // The peeled wrappers apply directly to the materialized encoded
+        // result: sorting encoded rows tie-breaks on the full row with the
+        // marker last — the same order the vectorized columnar sort
+        // produces.
+        for w in wrappers.into_iter().rev() {
+            table = match w {
+                Wrapper::Sort(keys) => crate::exec::sort_table(&table, &keys)?,
+                Wrapper::Limit(limit) => crate::exec::limit_table(&table, limit),
+            };
+        }
+        Ok(UaResult { table })
+    }
+
+    /// Row-engine execution of a UA plan (possibly containing negation
+    /// nodes) over encoded relations; returns the encoded result (marker
+    /// column last).
+    fn execute_ua_encoded(
+        &self,
+        plan: &Plan,
+        temps: &mut TempTables<'_>,
+    ) -> Result<Table, EngineError> {
+        let stripped = self.strip_negations(plan, temps)?;
+        let ra = stripped
+            .to_ra()
+            .ok_or_else(|| EngineError::Sql(UA_FRAGMENT_ERROR.into()))?;
+        let lookup = |name: &str| self.catalog.schema_of(name);
+        let rewritten = rewrite_ua(&ra, &lookup)?;
+        let physical = self.optimize_plan(Plan::from_ra(&rewritten));
+        execute(&physical, &self.catalog)
+    }
+
+    /// Replace every maximal negation subtree of `plan` with a scan of its
+    /// materialized encoded result, leaving an RA⁺ plan for `rewrite_ua`.
+    fn strip_negations(
+        &self,
+        plan: &Plan,
+        temps: &mut TempTables<'_>,
+    ) -> Result<Plan, EngineError> {
+        if plan.to_ra().is_some() {
+            // A pure RA⁺ region: leave it to the rewriting, which keeps
+            // per-tuple label propagation exact (and lets the optimizer
+            // see the whole region at once).
+            return Ok(plan.clone());
+        }
+        Ok(match plan {
+            Plan::Except { left, right, all } => {
+                let l = self.execute_ua_encoded(left, temps)?;
+                let r = self.execute_ua_encoded(right, temps)?;
+                Plan::Scan(temps.register(ua_except_encoded(&l, &r, *all)?))
+            }
+            Plan::OuterJoin {
+                left,
+                right,
+                predicate,
+                kind,
+            } => {
+                let l = self.execute_ua_encoded(left, temps)?;
+                let r = self.execute_ua_encoded(right, temps)?;
+                Plan::Scan(temps.register(ua_outer_join_encoded(
+                    &l,
+                    &r,
+                    predicate.as_ref(),
+                    *kind,
+                )?))
+            }
+            Plan::Alias { input, name } => Plan::Alias {
+                input: Box::new(self.strip_negations(input, temps)?),
+                name: name.clone(),
+            },
+            Plan::Filter { input, predicate } => Plan::Filter {
+                input: Box::new(self.strip_negations(input, temps)?),
+                predicate: predicate.clone(),
+            },
+            Plan::Map { input, columns } => Plan::Map {
+                input: Box::new(self.strip_negations(input, temps)?),
+                columns: columns.clone(),
+            },
+            Plan::Join {
+                left,
+                right,
+                predicate,
+            } => Plan::Join {
+                left: Box::new(self.strip_negations(left, temps)?),
+                right: Box::new(self.strip_negations(right, temps)?),
+                predicate: predicate.clone(),
+            },
+            Plan::UnionAll { left, right } => Plan::UnionAll {
+                left: Box::new(self.strip_negations(left, temps)?),
+                right: Box::new(self.strip_negations(right, temps)?),
+            },
+            _ => return Err(EngineError::Sql(UA_FRAGMENT_ERROR.into())),
+        })
     }
 
     /// `EXPLAIN ANALYZE` for deterministic queries: run `sql` with stats

@@ -450,6 +450,111 @@ fn au_vec_covered_plans_do_not_fall_back() {
     );
 }
 
+/// Negation shapes under AU: both sides of every query read the *same*
+/// uncertain x-DB (worlds are correlated — a strictly harder enclosure
+/// case than independent sides, since the bound combination treats the
+/// sides independently and must therefore enclose every world *pair*).
+fn negation_query_pairs() -> Vec<(String, String)> {
+    const XA: &str = "xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) a";
+    const XB: &str = "xr IS X WITH XID (xid) ALTID (aid) PROBABILITY (p) b";
+    [
+        "SELECT a.g FROM {A} EXCEPT SELECT b.v FROM {B}",
+        "SELECT a.g FROM {A} EXCEPT ALL SELECT b.v FROM {B} WHERE b.v < 3",
+        "SELECT a.g, a.v, b.g FROM {A} LEFT JOIN {B} ON a.g = b.v",
+        "SELECT a.g, a.v, b.g FROM {A} RIGHT JOIN {B} ON a.g = b.v",
+        "SELECT a.g, a.v FROM {A} WHERE a.g NOT IN (SELECT b.v FROM {B})",
+        "SELECT a.g, a.v FROM {A} WHERE NOT EXISTS (SELECT b.g FROM {B} WHERE b.g >= 2)",
+    ]
+    .iter()
+    .map(|q| {
+        (
+            q.replace("{A}", XA).replace("{B}", XB),
+            q.replace("{A}", "xr a").replace("{B}", "xr b"),
+        )
+    })
+    .collect()
+}
+
+/// `K^W` under-approximation theorem for the negation operators: the AU
+/// bounds produced for EXCEPT [ALL], LEFT/RIGHT OUTER JOIN and the
+/// NOT IN / NOT EXISTS anti-join lowerings enclose the query's answer in
+/// every enumerated possible world, the selected guess equals
+/// deterministic evaluation over the SG world, the engines agree byte for
+/// byte, and none of the batch-native `au.vec.fallback.*` counters move.
+#[test]
+fn au_negation_bounds_enclose_every_world() {
+    ua_vecexec::install();
+    const COUNTERS: [&str; 8] = [
+        "au.vec.fallback.join",
+        "au.vec.fallback.hash_join",
+        "au.vec.fallback.aggregate",
+        "au.vec.fallback.sort",
+        "au.vec.fallback.limit",
+        "au.vec.fallback.top_k",
+        "au.vec.fallback.union_all",
+        "au.vec.fallback.distinct",
+    ];
+    let read = || -> Vec<u64> {
+        COUNTERS
+            .iter()
+            .map(|c| ua_obs::global().counter(c).get())
+            .collect()
+    };
+    let before = read();
+    for seed in 0..16u64 {
+        let blocks = gen_blocks(seed);
+        let worlds = enumerate_worlds(&blocks);
+        let sg = sg_world(&blocks);
+        for (au_sql, det_sql) in negation_query_pairs() {
+            let row = au_session(&blocks, ExecMode::Row)
+                .query_au(&au_sql)
+                .unwrap_or_else(|e| panic!("seed {seed}, row `{au_sql}`: {e}"));
+            let vec = au_session(&blocks, ExecMode::Vectorized)
+                .query_au(&au_sql)
+                .unwrap_or_else(|e| panic!("seed {seed}, vec `{au_sql}`: {e}"));
+            assert_eq!(
+                row.table.schema(),
+                vec.table.schema(),
+                "seed {seed}: {au_sql}"
+            );
+            assert_eq!(
+                row.table.rows(),
+                vec.table.rows(),
+                "seed {seed}: engines diverge on {au_sql}"
+            );
+            let au_rel = row.decode();
+            // Selected guess = deterministic evaluation over the SG world.
+            let sg_expected = {
+                let mut rows = det_over(&sg, &det_sql).rows().to_vec();
+                rows.sort();
+                rows
+            };
+            assert_eq!(
+                sg_rows(&au_rel),
+                sg_expected,
+                "seed {seed}: SG component diverges from the BGW on {au_sql}"
+            );
+            // Enclosure of every possible world.
+            for (wi, world) in worlds.iter().enumerate() {
+                let truth = det_over(world, &det_sql);
+                if let Err(violation) = check_encloses_world(&au_rel, truth.rows()) {
+                    panic!(
+                        "seed {seed}, world {wi}, query `{au_sql}`: {violation}\n\
+                         world input: {:?}\nworld result: {:?}",
+                        world.rows(),
+                        truth.rows()
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(
+        before,
+        read(),
+        "negation AU plans bumped a row-at-a-time fallback counter"
+    );
+}
+
 /// `ua_c` is rejected uniformly in GROUP BY keys and aggregate arguments
 /// on BOTH engines — the same class of hole PR 4 closed for ORDER BY.
 #[test]

@@ -427,6 +427,120 @@ fn arb_group_by() -> impl Strategy<Value = String> {
         )
 }
 
+/// `EXCEPT [ALL]` between union-compatible one-column projections over the
+/// annotated sources, with an optional single-side WHERE and an optional
+/// trailing ORDER BY/LIMIT — the wrapper shapes the UA negation path peels
+/// off and re-applies over the encoded result.
+fn arb_except() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..2, 0usize..2),
+        (0usize..4, 0i64..6, 0usize..3),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(s1, s2, (c1, c2), (op, lit, where_side), all, order)| {
+            let a = &SOURCES[s1];
+            let b = &SOURCES[s2];
+            let connective = if all { "EXCEPT ALL" } else { "EXCEPT" };
+            let lw = if where_side == 0 {
+                format!(" WHERE {}", atom(a.cols[c1], op, lit))
+            } else {
+                String::new()
+            };
+            let rw = if where_side == 1 {
+                format!(" WHERE {}", atom(b.cols[c2], op, lit))
+            } else {
+                String::new()
+            };
+            let mut sql = format!(
+                "SELECT {} AS u FROM {}{lw} {connective} SELECT {} AS u FROM {}{rw}",
+                a.cols[c1], a.from, b.cols[c2], b.from
+            );
+            if order {
+                sql.push_str(" ORDER BY u LIMIT 12");
+            }
+            sql
+        })
+}
+
+/// `LEFT`/`RIGHT [OUTER] JOIN ... ON` equi-joins over the annotated
+/// sources, with an optional WHERE above the join — on either side,
+/// including the null-padded one (the conjunct the pushdown pass must
+/// refuse to sink; a NULL-fed atom evaluates to unknown and drops pads,
+/// which pushing below the join would resurrect).
+fn arb_outer_join() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..2, 0usize..2),
+        (0usize..4, 0i64..6, 0usize..3),
+        proptest::bool::ANY,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(s1, s2, (k1, k2), (op, lit, extra_side), left, star)| {
+            let s2 = if s1 == s2 { (s2 + 1) % 3 } else { s2 };
+            let a = &SOURCES[s1];
+            let b = &SOURCES[s2];
+            let kind = if left { "LEFT JOIN" } else { "RIGHT JOIN" };
+            let projection = if star {
+                "*".to_string()
+            } else {
+                format!("{}, {}", a.cols[0], b.cols[1])
+            };
+            let mut sql = format!(
+                "SELECT {projection} FROM {} {kind} {} ON {} = {}",
+                a.from, b.from, a.cols[k1], b.cols[k2]
+            );
+            match extra_side {
+                0 => sql.push_str(&format!(" WHERE {}", atom(a.cols[1 - k1], op, lit))),
+                1 => sql.push_str(&format!(" WHERE {}", atom(b.cols[1 - k2], op, lit))),
+                _ => {}
+            }
+            sql
+        })
+}
+
+/// Uncorrelated `NOT IN` / `NOT EXISTS` subquery conjuncts (the anti-join
+/// lowering). `ti.a` carries NULLs, so NOT IN hits all three three-valued
+/// cases: NULL operand, NULL in the subquery result, and plain mismatch;
+/// one subquery shape is deliberately empty (everything survives).
+fn arb_anti_join() -> impl Strategy<Value = String> {
+    (
+        0usize..3,
+        0usize..3,
+        (0usize..2, 0usize..2),
+        (0usize..4, 0i64..6),
+        proptest::bool::ANY,
+        0usize..3,
+    )
+        .prop_map(|(s1, s2, (c1, c2), (op, lit), exists, sub_where)| {
+            let a = &SOURCES[s1];
+            let b = &SOURCES[s2];
+            let sub_pred = match sub_where {
+                0 => format!(" WHERE {}", atom(b.cols[c2], op, lit)),
+                1 => format!(" WHERE {} > 100", b.cols[c2]), // empty subquery
+                _ => String::new(),
+            };
+            if exists {
+                format!(
+                    "SELECT {}, {} FROM {} WHERE NOT EXISTS (SELECT {} FROM {}{sub_pred})",
+                    a.cols[0], a.cols[1], a.from, b.cols[c2], b.from
+                )
+            } else {
+                format!(
+                    "SELECT {} FROM {} WHERE {} NOT IN (SELECT {} FROM {}{sub_pred})",
+                    a.cols[0], a.from, a.cols[c1], b.cols[c2], b.from
+                )
+            }
+        })
+}
+
+fn arb_negation() -> impl Strategy<Value = String> {
+    prop_oneof![arb_except(), arb_outer_join(), arb_anti_join()]
+}
+
 fn arb_query() -> impl Strategy<Value = String> {
     prop_oneof![
         arb_single(),
@@ -434,7 +548,8 @@ fn arb_query() -> impl Strategy<Value = String> {
         arb_compound(),
         arb_multi_join(),
         arb_order_by(),
-        arb_group_by()
+        arb_group_by(),
+        arb_negation()
     ]
 }
 
@@ -614,6 +729,109 @@ proptest! {
     /// executor produce byte-identical flattened encoded tables.
     #[test]
     fn au_engines_agree_on_group_by(sql in arb_group_by()) {
+        ua_vecexec::install();
+        let row = seeded_session(ExecMode::Row, true).query_au(&sql);
+        let vec = seeded_session(ExecMode::Vectorized, true).query_au(&sql);
+        match (row, vec) {
+            (Ok(r), Ok(v)) => {
+                prop_assert_eq!(
+                    r.table.schema(),
+                    v.table.schema(),
+                    "AU schema mismatch: {}",
+                    &sql
+                );
+                prop_assert_eq!(
+                    r.table.rows(),
+                    v.table.rows(),
+                    "AU row mismatch: {}",
+                    &sql
+                );
+            }
+            (Err(_), Err(_)) => {}
+            (r, v) => panic!(
+                "AU engines disagree on success: {sql}\n row: {:?}\n vec: {:?}",
+                r.map(|t| t.table.len()),
+                v.map(|t| t.table.len())
+            ),
+        }
+    }
+
+    /// Negation SQL (EXCEPT [ALL], LEFT/RIGHT JOIN, NOT IN / NOT EXISTS)
+    /// under UA semantics: label-for-label, order-identical encoded tables
+    /// across {Row, Vec} × {optimizer on, off} × {threads 1, 2, 8}, and
+    /// the optimizer preserves the result multiset (labels included).
+    #[test]
+    fn ua_negation_agrees_across_engines_and_threads(sql in arb_negation()) {
+        ua_vecexec::install();
+        let mut per_opt: Vec<Option<Vec<Tuple>>> = Vec::new();
+        for optimizer in [true, false] {
+            let row = run_ua(&sql, ExecMode::Row, optimizer);
+            per_opt.push(row.as_ref().ok().map(|r| r.table.sorted_rows()));
+            for threads in [1usize, 2, 8] {
+                let vec = run_ua_threads(&sql, optimizer, threads);
+                match (&row, &vec) {
+                    (Ok(r), Ok(v)) => prop_assert_eq!(
+                        r.table.rows(),
+                        v.table.rows(),
+                        "row/label/order mismatch (optimizer={}, threads={}): {}",
+                        optimizer,
+                        threads,
+                        &sql
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (r, v) => panic!(
+                        "engines disagree on success (optimizer={optimizer}, \
+                         threads={threads}): {sql}\n row: {:?}\n vec: {:?}",
+                        r.as_ref().map(|t| t.table.len()),
+                        v.as_ref().map(|t| t.table.len())
+                    ),
+                }
+            }
+        }
+        prop_assert_eq!(
+            &per_opt[0],
+            &per_opt[1],
+            "optimizer changed the negation result: {}",
+            &sql
+        );
+    }
+
+    /// The same negation SQL under deterministic semantics, over the same
+    /// grid.
+    #[test]
+    fn det_negation_agrees_across_engines_and_threads(sql in arb_negation()) {
+        ua_vecexec::install();
+        for optimizer in [true, false] {
+            let row = run_det(&sql, ExecMode::Row, optimizer);
+            for threads in [1usize, 2, 8] {
+                let vec = run_det_threads(&sql, optimizer, threads);
+                match (&row, &vec) {
+                    (Ok(r), Ok(v)) => prop_assert_eq!(
+                        r.rows(),
+                        v.rows(),
+                        "det negation mismatch (optimizer={}, threads={}): {}",
+                        optimizer,
+                        threads,
+                        &sql
+                    ),
+                    (Err(_), Err(_)) => {}
+                    (r, v) => panic!(
+                        "engines disagree on success (optimizer={optimizer}, \
+                         threads={threads}): {sql}\n row: {:?}\n vec: {:?}",
+                        r.as_ref().map(|t| t.len()),
+                        v.as_ref().map(|t| t.len())
+                    ),
+                }
+            }
+        }
+    }
+
+    /// AU semantics over the negation generators: the row interpreter and
+    /// the vectorized executor (which routes Except/OuterJoin through the
+    /// shared `ua_ranges::ops` bound combination) produce byte-identical
+    /// flattened encoded tables.
+    #[test]
+    fn au_engines_agree_on_negation(sql in arb_negation()) {
         ua_vecexec::install();
         let row = seeded_session(ExecMode::Row, true).query_au(&sql);
         let vec = seeded_session(ExecMode::Vectorized, true).query_au(&sql);

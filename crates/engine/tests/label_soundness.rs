@@ -25,7 +25,7 @@ use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::Value;
 use ua_engine::plan::Plan;
-use ua_engine::{execute, optimize_with, ExecMode, OptimizerPasses, UaSession};
+use ua_engine::{execute, optimize_with, ExecMode, OptimizerPasses, Table, UaSession};
 use ua_incomplete::IncompleteDb;
 use ua_semiring::pair::Ua;
 
@@ -412,6 +412,105 @@ fn topk_rewrite_stays_c_sound_on_both_engines() {
             assert_eq!(
                 fused, unfused,
                 "seed {seed}, {mode:?}: TopK rewrite changed the certain set"
+            );
+        }
+    }
+}
+
+/// The negation operators that close the RA⁺ hole — `EXCEPT [ALL]`,
+/// `LEFT`/`RIGHT OUTER JOIN`, `NOT IN` / `NOT EXISTS` — keep label
+/// c-soundness: every certain-labeled output tuple is an answer in EVERY
+/// world. `IncompleteDb::query` is RA⁺-only and cannot express negation,
+/// so the ground truth here is computed by executing each query
+/// deterministically over every enumerated world and intersecting the
+/// answer sets. Swept over {Row, Vec} × {optimizer on, off}; within a
+/// grid point the engines must be byte-identical, and the optimizer must
+/// preserve the result multiset.
+#[test]
+fn negation_queries_stay_c_sound_on_both_engines() {
+    ua_vecexec::install();
+    let queries = [
+        "SELECT r.a FROM r EXCEPT SELECT s.d FROM s",
+        "SELECT r.a FROM r EXCEPT ALL SELECT s.b FROM s",
+        "SELECT r.a, r.b, s.d FROM r LEFT JOIN s ON r.b = s.b",
+        "SELECT r.a, r.b, s.d FROM r RIGHT JOIN s ON r.b = s.b",
+        "SELECT r.a, r.b FROM r WHERE r.b NOT IN (SELECT s.b FROM s)",
+        "SELECT r.a FROM r WHERE NOT EXISTS (SELECT s.b FROM s WHERE s.d >= 6)",
+    ];
+    for seed in 0..6u64 {
+        let incomplete = five_world_db(seed);
+        for sql in queries {
+            // Ground truth: tuples answering `sql` in every world.
+            let mut truth: Option<Vec<Tuple>> = None;
+            for w in 0..N_WORLDS {
+                let world = incomplete.world(w);
+                let det = UaSession::new();
+                for name in ["r", "s", "t"] {
+                    let rel = world.get(name).expect("relation");
+                    let rows: Vec<Tuple> = rel
+                        .iter()
+                        .flat_map(|(t, &n)| std::iter::repeat_n(t.clone(), n as usize))
+                        .collect();
+                    det.register_table(name, Table::from_rows(rel.schema().clone(), rows));
+                }
+                let mut result = det
+                    .query_det(sql)
+                    .unwrap_or_else(|e| panic!("seed {seed}, world {w}, `{sql}`: {e}"))
+                    .rows()
+                    .to_vec();
+                result.sort();
+                result.dedup();
+                truth = Some(match truth {
+                    None => result,
+                    Some(prev) => prev.into_iter().filter(|t| result.contains(t)).collect(),
+                });
+            }
+            let truth = truth.expect("at least one world");
+            for optimizer in [true, false] {
+                let mut per_mode = Vec::new();
+                for mode in [ExecMode::Row, ExecMode::Vectorized] {
+                    let session = session_from(&incomplete);
+                    session.set_exec_mode(mode);
+                    session.set_optimizer_enabled(optimizer);
+                    let result = session
+                        .query_ua(sql)
+                        .unwrap_or_else(|e| panic!("seed {seed}, {mode:?}, `{sql}`: {e}"));
+                    let mut certain: Vec<Tuple> = result
+                        .rows_with_certainty()
+                        .into_iter()
+                        .filter(|(_, c)| *c)
+                        .map(|(t, _)| t)
+                        .collect();
+                    certain.sort();
+                    certain.dedup();
+                    assert!(
+                        is_subset(&certain, &truth),
+                        "seed {seed}, {mode:?}, optimizer={optimizer}: \
+                         labels are not c-sound on `{sql}`\n \
+                         certain: {certain:?}\n truth: {truth:?}"
+                    );
+                    per_mode.push(result.table);
+                }
+                assert_eq!(
+                    per_mode[0].rows(),
+                    per_mode[1].rows(),
+                    "seed {seed}, optimizer={optimizer}: engines diverge on `{sql}`"
+                );
+            }
+            // The optimizer must not change the result multiset.
+            let run = |optimizer: bool| {
+                let session = session_from(&incomplete);
+                session.set_optimizer_enabled(optimizer);
+                session
+                    .query_ua(sql)
+                    .expect("row query")
+                    .table
+                    .sorted_rows()
+            };
+            assert_eq!(
+                run(true),
+                run(false),
+                "seed {seed}: optimizer changed the result of `{sql}`"
             );
         }
     }

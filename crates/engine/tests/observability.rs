@@ -273,6 +273,40 @@ fn aggregate_estimates_are_post_grouping() {
     }
 }
 
+/// The `planner.join.misestimated` regression, DISTINCT edition: a join
+/// above a DISTINCT subquery must compare its estimate against the
+/// *post-dedup* cardinality (the product of the subquery's column ndvs),
+/// not the pre-dedup input rows. `cust` has 120 rows but only 8 distinct
+/// `dk` values — the pass-through estimate used to overshoot the join by
+/// 15× and trip the misestimate counter on a correctly planned query.
+#[test]
+fn distinct_estimates_are_post_dedup() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    let sub_join = "SELECT a.g, d.region FROM \
+                    (SELECT DISTINCT c.dk AS g FROM cust c) a, \
+                    dept d WHERE a.g = d.dk";
+    let reg = ua_obs::global();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        let mis_before = reg.counter("planner.join.misestimated").get();
+        let report = s
+            .explain_analyze_det(sub_join)
+            .expect("det explain analyze");
+        assert_eq!(
+            reg.counter("planner.join.misestimated").get(),
+            mis_before,
+            "{mode:?}: a correctly planned join over a DISTINCT subquery \
+             must not count as misestimated:\n{report}"
+        );
+        assert!(
+            report.contains("Distinct") && report.contains("est=8"),
+            "{mode:?}: the Distinct node must carry the post-dedup \
+             estimate:\n{report}"
+        );
+    }
+}
+
 /// Join misestimation feedback: executing with stats on records observed
 /// joins in the planner feedback counters.
 #[test]

@@ -356,6 +356,9 @@ fn star_catalog() -> Catalog {
 /// The acceptance shape: a 3-way comma-join written in a deliberately bad
 /// order (`FROM big1, big2, small`) is replanned to join through the small
 /// relation first, with a projection restoring the as-written column order.
+/// The equivalence class `{big1.k, big2.k, small.k}` is closed before
+/// enumeration, so the derived `big1.k = big2.k` edge surfaces as a second
+/// hash key at its covering node.
 #[test]
 fn bad_order_comma_join_replans_through_the_small_relation() {
     let c = star_catalog();
@@ -368,7 +371,7 @@ fn bad_order_comma_join_replans_through_the_small_relation() {
         format!("{optimized}"),
         "Map[big1.v→v, big2.w→w, small.t→t](\
          Map[#0→big1.k, #1→big1.v, #4→big2.k, #5→big2.w, #2→small.k, #3→small.t](\
-         HashJoin[small.k=big2.k; build=left](\
+         HashJoin[small.k=big2.k, big1.k=big2.k; build=left](\
          HashJoin[big1.k=small.k; build=right](Scan(big1), Scan(small)), \
          Scan(big2))))"
     );
@@ -379,9 +382,11 @@ fn bad_order_comma_join_replans_through_the_small_relation() {
     assert_eq!(raw.schema().names(), opt.schema().names());
 }
 
-/// A chain join (`big1.k = big2.k AND big2.k = small.k`) keeps the
-/// as-written leaf sequence but re-associates so the selective join runs
-/// first — no column permutation is needed then.
+/// A chain join (`big1.k = big2.k AND big2.k = small.k`) re-associates so
+/// a selective join runs first. Closing the equivalence class derives
+/// `big1.k = small.k`, which makes `big1 ⋈ small` directly joinable — an
+/// order as cheap as routing through `big2 ⋈ small`, reached first by the
+/// enumeration, with a permutation restoring the as-written column order.
 #[test]
 fn chain_join_reassociates_through_the_selective_join() {
     let c = star_catalog();
@@ -393,9 +398,10 @@ fn chain_join_reassociates_through_the_selective_join() {
     assert_eq!(
         format!("{optimized}"),
         "Map[big1.v→v, big2.w→w](\
-         HashJoin[big1.k=big2.k; build=right](\
-         Scan(big1), \
-         HashJoin[big2.k=small.k; build=right](Scan(big2), Scan(small))))"
+         Map[#0→big1.k, #1→big1.v, #4→big2.k, #5→big2.w, #2→small.k, #3→small.t](\
+         HashJoin[big1.k=big2.k, small.k=big2.k; build=left](\
+         HashJoin[big1.k=small.k; build=right](Scan(big1), Scan(small)), \
+         Scan(big2))))"
     );
     let raw = ua_engine::execute(&plan, &c).unwrap();
     let opt = ua_engine::execute(&optimized, &c).unwrap();
@@ -499,15 +505,15 @@ fn stacked_error_capable_filters_keep_their_guard_order_when_reordered() {
 fn optimal_right_deep_input_is_left_alone() {
     let c = star_catalog();
     // The optimum for the chain (per `chain_join_reassociates_...`) is
-    // big1 ⋈ (big2 ⋈ small); write it that way from the start.
+    // (big1 ⋈ small) ⋈ big2; write it that way from the start.
     let plan = Plan::Filter {
         input: Box::new(Plan::Join {
-            left: Box::new(Plan::Scan("big1".into())),
-            right: Box::new(Plan::Join {
-                left: Box::new(Plan::Scan("big2".into())),
+            left: Box::new(Plan::Join {
+                left: Box::new(Plan::Scan("big1".into())),
                 right: Box::new(Plan::Scan("small".into())),
                 predicate: None,
             }),
+            right: Box::new(Plan::Scan("big2".into())),
             predicate: None,
         }),
         predicate: Expr::named("big1.k")
@@ -520,6 +526,70 @@ fn optimal_right_deep_input_is_left_alone() {
         format!("{plan}"),
         "an input already in the optimal shape must not be rewritten"
     );
+}
+
+/// Non-monotone operators are pushdown barriers: a filter sitting on an
+/// `Except` must not sink into either side (pre-filtering the left changes
+/// which copies the right's budget removes; filtering the right changes
+/// the removal set outright), and a filter on an `OuterJoin` must not sink
+/// into either side (the preserved side's rows would vanish instead of
+/// NULL-padding; the padded side's rows would pad instead of matching).
+#[test]
+fn filters_are_not_pushed_into_except_or_outer_join() {
+    use ua_engine::plan::OuterKind;
+    let c = star_catalog();
+    let pred = Expr::named("big1.k").ge(Expr::lit(1i64));
+    let except = Plan::Filter {
+        input: Box::new(Plan::Except {
+            left: Box::new(Plan::Scan("big1".into())),
+            right: Box::new(Plan::Scan("big2".into())),
+            all: true,
+        }),
+        predicate: pred.clone(),
+    };
+    let pushed = push_filters(except.clone(), &c);
+    assert_eq!(
+        format!("{pushed}"),
+        format!("{except}"),
+        "a filter must stay above Except"
+    );
+    for kind in [OuterKind::Left, OuterKind::Right] {
+        let outer = Plan::Filter {
+            input: Box::new(Plan::OuterJoin {
+                left: Box::new(Plan::Scan("big1".into())),
+                right: Box::new(Plan::Scan("small".into())),
+                predicate: Some(Expr::named("big1.k").eq(Expr::named("small.k"))),
+                kind,
+            }),
+            predicate: pred.clone(),
+        };
+        let pushed = push_filters(outer.clone(), &c);
+        assert_eq!(
+            format!("{pushed}"),
+            format!("{outer}"),
+            "a filter must stay above OuterJoin[{kind}]"
+        );
+    }
+}
+
+/// The semantic counterpart: a WHERE over the NULL-padded side of a LEFT
+/// JOIN drops pad rows (NULL comparisons are unknown). Pushing it below
+/// the join would filter `small` *before* padding and resurrect all 36
+/// unmatched `big1` rows. The optimized plan must agree with the raw one.
+#[test]
+fn padded_side_filter_survives_the_full_pipeline() {
+    let c = star_catalog();
+    let sql = "SELECT big1.k, small.t FROM big1 LEFT JOIN small ON big1.k = small.k \
+               WHERE small.t >= 0";
+    let q = parse(sql).unwrap();
+    let plan = plan_query(&q, &c, &RejectAnnotations).unwrap();
+    let raw = ua_engine::execute(&plan, &c).unwrap();
+    let optimized = optimize(plan, &c);
+    let opt = ua_engine::execute(&optimized, &c).unwrap();
+    // big1.k ∈ {0..19} twice; small.k ∈ {0, 1}: 4 matched rows survive the
+    // filter, the 36 pads do not.
+    assert_eq!(raw.len(), 4, "raw plan must keep only matched rows");
+    assert_eq!(raw.sorted_rows(), opt.sorted_rows());
 }
 
 /// Regression: stacked filters must not merge into one conjunction — the

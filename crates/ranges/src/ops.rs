@@ -36,7 +36,7 @@ use ua_data::expr::{Expr, ExprError};
 use ua_data::schema::{Column, Schema, SchemaError};
 use ua_data::tuple::Tuple;
 use ua_data::value::{Value, F64};
-use ua_data::FxHashMap;
+use ua_data::{FxHashMap, FxHashSet};
 use ua_semiring::Semiring;
 
 /// σ_θ: keep possibly-true rows, refining each multiplicity component.
@@ -1670,6 +1670,291 @@ pub fn limit(rel: &AuRelation, n: usize) -> AuRelation {
     out
 }
 
+/// Whether two attribute ranges can be equal under *some* grounding, with
+/// NULL treated IS-NOT-DISTINCT-style (NULL matches NULL — the bag
+/// engine's EXCEPT matching, not join equality). A definite NULL grounds
+/// to NULL in every world, so it possibly matches only another definite
+/// NULL or a range wide enough to admit NULL (top). Bounded ranges ground
+/// to known values: equality is possible when the intervals intersect, or
+/// when the selected guesses are not mutually comparable under SQL
+/// (cross-family groundings compare `None` — three-valued ANY, i.e.
+/// possibly equal). Over-approximating possible equality is the sound
+/// direction everywhere this is consumed (it only lowers `lb`s and raises
+/// `ub`s).
+fn possibly_equal_nd(a: &RangeValue, b: &RangeValue) -> bool {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => true,
+        (true, false) => b.is_top(),
+        (false, true) => a.is_top(),
+        (false, false) => {
+            a.is_top() || b.is_top() || a.intersects(b) || a.bg.sql_cmp(&b.bg).is_none()
+        }
+    }
+}
+
+/// Whether two attribute ranges are equal under *every* grounding
+/// (IS-NOT-DISTINCT): both definite NULL, or both points whose selected
+/// guesses compare equal under SQL. Under-approximating certain equality
+/// is the sound direction (it only raises `ub`s).
+fn certainly_equal_nd(a: &RangeValue, b: &RangeValue) -> bool {
+    match (a.is_null(), b.is_null()) {
+        (true, true) => true,
+        (false, false) => {
+            a.is_point() && b.is_point() && a.bg.sql_cmp(&b.bg) == Some(Ordering::Equal)
+        }
+        _ => false,
+    }
+}
+
+fn rows_possibly_equal(a: &[RangeValue], b: &[RangeValue]) -> bool {
+    a.iter().zip(b).all(|(x, y)| possibly_equal_nd(x, y))
+}
+
+fn rows_certainly_equal(a: &[RangeValue], b: &[RangeValue]) -> bool {
+    a.iter().zip(b).all(|(x, y)| certainly_equal_nd(x, y))
+}
+
+/// Whether the row denotes one known tuple in every world: each attribute
+/// is a point or a definite NULL.
+fn certain_valued(row: &[RangeValue]) -> bool {
+    row.iter().all(|v| v.is_null() || v.is_point())
+}
+
+/// `−` (EXCEPT): bag difference under the deterministic engine's
+/// IS-NOT-DISTINCT matching, lifted to `[lb, bg, ub]` triples. Output
+/// rows keep the left side's values and order; rows whose upper bound
+/// drops to zero are certainly removed and disappear.
+///
+/// The selected-guess component replays the bag engine exactly. For
+/// `EXCEPT ALL` the right side's SG multiplicities form a per-tuple
+/// removal budget consumed by left rows in scan order (first-`k`
+/// removal); for `EXCEPT` the output is the first SG occurrence of each
+/// left tuple with no SG right match. The bounds bracket every world:
+///
+/// * `lb` — survivors guaranteed in every world: the left row's `lb`
+///   minus every right-side copy that might ground equal to it
+///   (Σ `ub` over [`rows_possibly_equal`] right rows).
+/// * `ub` — survivors possible in some world: reducible only when the
+///   left row is [`certain_valued`] (its tuple is fixed across worlds).
+///   The certain removal budget Σ `lb` over [`rows_certainly_equal`]
+///   right rows shrinks it — minus the part that *earlier* left rows
+///   might absorb first (removal is first-`k` in scan order, so
+///   Σ `ub` over earlier possibly-equal left rows protects this row's
+///   copies from the budget).
+pub fn except(left: &AuRelation, right: &AuRelation, all: bool) -> Result<AuRelation, SchemaError> {
+    left.schema().check_union_compatible(right.schema())?;
+    Ok(if all {
+        except_all(left, right)
+    } else {
+        except_distinct(left, right)
+    })
+}
+
+fn except_all(left: &AuRelation, right: &AuRelation) -> AuRelation {
+    // SG removal budget per normalized selected-guess tuple.
+    let mut budget: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for r in right.rows() {
+        if r.mult.bg >= 1 {
+            *budget.entry(normalized_key(&r.values)).or_insert(0) += r.mult.bg;
+        }
+    }
+    let rows = left.rows();
+    let mut out = AuRelation::new(left.schema().clone());
+    for (i, l) in rows.iter().enumerate() {
+        let bg_out = if l.mult.bg >= 1 {
+            match budget.get_mut(&normalized_key(&l.values)) {
+                Some(b) => {
+                    let take = (*b).min(l.mult.bg);
+                    *b -= take;
+                    l.mult.bg - take
+                }
+                None => l.mult.bg,
+            }
+        } else {
+            0
+        };
+        let mut possible_removal: u64 = 0;
+        let mut certain_removal: u64 = 0;
+        let fixed = certain_valued(&l.values);
+        for r in right.rows() {
+            if r.mult.ub >= 1 && rows_possibly_equal(&l.values, &r.values) {
+                possible_removal = possible_removal.saturating_add(r.mult.ub);
+            }
+            if fixed && r.mult.lb >= 1 && rows_certainly_equal(&l.values, &r.values) {
+                certain_removal = certain_removal.saturating_add(r.mult.lb);
+            }
+        }
+        let lb_out = l.mult.lb.saturating_sub(possible_removal);
+        let ub_out = if certain_removal > 0 {
+            let mut protectors: u64 = 0;
+            for k in &rows[..i] {
+                if k.mult.ub >= 1 && rows_possibly_equal(&k.values, &l.values) {
+                    protectors = protectors.saturating_add(k.mult.ub);
+                }
+            }
+            l.mult
+                .ub
+                .saturating_sub(certain_removal.saturating_sub(protectors))
+        } else {
+            l.mult.ub
+        };
+        if ub_out >= 1 {
+            out.push(AuTuple {
+                values: l.values.clone(),
+                mult: MultBound::new(lb_out.min(bg_out).min(ub_out), bg_out.min(ub_out), ub_out),
+            });
+        }
+    }
+    out
+}
+
+/// `EXCEPT` (distinct): 0/1 per left row — **not** `distinct` of the bag
+/// difference (`{t,t} − {t}` is empty under EXCEPT but `{t}` under
+/// `distinct(EXCEPT ALL)`). A left row survives a world iff its grounding
+/// is absent from the right side there, and only the first left row
+/// grounding a given tuple emits it.
+fn except_distinct(left: &AuRelation, right: &AuRelation) -> AuRelation {
+    let mut sg_right: FxHashSet<Tuple> = FxHashSet::default();
+    for r in right.rows() {
+        if r.mult.bg >= 1 {
+            sg_right.insert(normalized_key(&r.values));
+        }
+    }
+    // First SG occurrence per left tuple, and first certain claimant per
+    // fixed tuple (an earlier certainly-equal row with lb ≥ 1 already
+    // guarantees the single output copy, so later rows must not).
+    let mut sg_seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut certain_seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut out = AuRelation::new(left.schema().clone());
+    for l in left.rows() {
+        let key = normalized_key(&l.values);
+        let possibly_removed = right
+            .rows()
+            .iter()
+            .any(|r| r.mult.ub >= 1 && rows_possibly_equal(&l.values, &r.values));
+        let fixed = certain_valued(&l.values);
+        let certainly_removed = fixed
+            && right
+                .rows()
+                .iter()
+                .any(|r| r.mult.lb >= 1 && rows_certainly_equal(&l.values, &r.values));
+        let bg_out = if l.mult.bg >= 1 && !sg_right.contains(&key) && sg_seen.insert(key.clone()) {
+            1
+        } else {
+            0
+        };
+        let lb_out =
+            if l.mult.lb >= 1 && fixed && !possibly_removed && certain_seen.insert(key.clone()) {
+                1
+            } else {
+                0
+            };
+        let ub_out = if certainly_removed {
+            0
+        } else {
+            l.mult.ub.min(1)
+        };
+        if ub_out >= 1 {
+            out.push(AuTuple {
+                values: l.values.clone(),
+                mult: MultBound::new(lb_out.min(bg_out).min(ub_out), bg_out.min(ub_out), ub_out),
+            });
+        }
+    }
+    out
+}
+
+/// `⟕` / `⟖`: outer join in preserved-side-major order (the deterministic
+/// engine's contract — for each preserved row, its surviving matches,
+/// then a NULL-padded row when a matchless world is possible). The output
+/// schema is always `left ++ right`; `left_kind` selects which side is
+/// preserved. Matched pairs refine exactly like the inner [`join`]. The
+/// pad row's attributes on the other side are *definite NULLs* and its
+/// multiplicity triple is gated per component:
+///
+/// * `lb` — the preserved row's `lb`, unless any pair is possibly
+///   matching (then some world may have a match and the pad is not
+///   guaranteed).
+/// * `bg` — the preserved row's `bg`, unless a selected-guess match
+///   exists (the bag engine's behavior in the SG world).
+/// * `ub` — the preserved row's `ub`, unless some certainly-present
+///   other-side row matches under every grounding (then every world has
+///   a match and the pad is impossible; dropped when this hits zero).
+pub fn outer_join(
+    left: &AuRelation,
+    right: &AuRelation,
+    predicate: Option<&Expr>,
+    left_kind: bool,
+) -> Result<AuRelation, ExprError> {
+    let schema = left.schema().concat(right.schema());
+    let bound = match predicate {
+        Some(p) => Some(p.bind(&schema)?),
+        None => None,
+    };
+    let (l_arity, r_arity) = (left.schema().arity(), right.schema().arity());
+    let (outer_rows, inner_rows) = if left_kind {
+        (left.rows(), right.rows())
+    } else {
+        (right.rows(), left.rows())
+    };
+    let mut out = AuRelation::new(schema);
+    for o in outer_rows {
+        let mut sg_matched = false;
+        let mut possibly_matched = false;
+        let mut certainly_matched = false;
+        for i in inner_rows {
+            let (l, r) = if left_kind { (o, i) } else { (i, o) };
+            let mut values = l.values.clone();
+            values.extend(r.values.iter().cloned());
+            let base = l.mult.times(&r.mult);
+            match &bound {
+                Some(pred) => {
+                    let bg_tuple: Tuple = values.iter().map(|v| v.bg.clone()).collect();
+                    let bg_true = pred.holds(&bg_tuple)?;
+                    let rt = truth_range(pred, &values);
+                    if !rt.possibly_true() {
+                        continue;
+                    }
+                    possibly_matched |= i.mult.ub >= 1;
+                    sg_matched |= bg_true && i.mult.bg >= 1;
+                    certainly_matched |= rt.certainly_true() && i.mult.lb >= 1;
+                    out.push(AuTuple {
+                        values,
+                        mult: MultBound::new(
+                            if rt.certainly_true() { base.lb } else { 0 },
+                            if bg_true { base.bg } else { 0 },
+                            base.ub,
+                        ),
+                    });
+                }
+                None => {
+                    possibly_matched |= i.mult.ub >= 1;
+                    sg_matched |= i.mult.bg >= 1;
+                    certainly_matched |= i.mult.lb >= 1;
+                    out.push(AuTuple { values, mult: base });
+                }
+            }
+        }
+        let pad = MultBound::new(
+            if possibly_matched { 0 } else { o.mult.lb },
+            if sg_matched { 0 } else { o.mult.bg },
+            if certainly_matched { 0 } else { o.mult.ub },
+        );
+        if pad.ub >= 1 {
+            let mut values = Vec::with_capacity(l_arity + r_arity);
+            if left_kind {
+                values.extend(o.values.iter().cloned());
+                values.extend((0..r_arity).map(|_| RangeValue::null()));
+            } else {
+                values.extend((0..l_arity).map(|_| RangeValue::null()));
+                values.extend(o.values.iter().cloned());
+            }
+            out.push(AuTuple { values, mult: pad });
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2040,5 +2325,120 @@ mod tests {
             sorted(&row_top, &row_null),
             "tie-break must not depend on input order"
         );
+    }
+
+    fn one_col(name: &str, rows: Vec<AuTuple>) -> AuRelation {
+        let mut r = AuRelation::new(Schema::qualified(name, ["a"]));
+        for t in rows {
+            r.push(t);
+        }
+        r
+    }
+
+    fn pt(v: i64, mult: MultBound) -> AuTuple {
+        AuTuple {
+            values: vec![RangeValue::point(Value::Int(v))],
+            mult,
+        }
+    }
+
+    #[test]
+    fn except_all_maybe_present_right_widens_both_copies() {
+        // left = {1, 1} certain; right = {1} maybe present ([0,1,1]).
+        // Worlds: right absent → both copies survive; present → one does.
+        let l = one_col(
+            "l",
+            vec![pt(1, MultBound::certain(1)), pt(1, MultBound::certain(1))],
+        );
+        let r = one_col("r", vec![pt(1, MultBound::new(0, 1, 1))]);
+        let out = except(&l, &r, true).unwrap();
+        assert_eq!(out.rows().len(), 2);
+        // First copy absorbs the SG removal budget; neither survival is
+        // guaranteed (lb 0: the maybe-row may ground onto either copy) and
+        // neither is certainly removed (right's lb is 0 → ub stays).
+        assert_eq!(out.rows()[0].mult, MultBound::new(0, 0, 1));
+        assert_eq!(out.rows()[1].mult, MultBound::new(0, 1, 1));
+    }
+
+    #[test]
+    fn except_all_certain_match_drops_the_row() {
+        let l = one_col("l", vec![pt(1, MultBound::certain(1))]);
+        let r = one_col("r", vec![pt(1, MultBound::certain(1))]);
+        let out = except(&l, &r, true).unwrap();
+        assert!(out.rows().is_empty(), "a certainly removed row must vanish");
+    }
+
+    #[test]
+    fn except_all_earlier_copies_protect_the_ub() {
+        // left = {1, 1} certain, right = {1} certain: first-k removal takes
+        // the FIRST copy, so the second's upper bound survives — the
+        // earlier copy absorbs ("protects against") the certain budget.
+        let l = one_col(
+            "l",
+            vec![pt(1, MultBound::certain(1)), pt(1, MultBound::certain(1))],
+        );
+        let r = one_col("r", vec![pt(1, MultBound::certain(1))]);
+        let out = except(&l, &r, true).unwrap();
+        assert_eq!(out.rows().len(), 1, "the first copy is certainly removed");
+        assert_eq!(out.rows()[0].mult, MultBound::new(0, 1, 1));
+    }
+
+    #[test]
+    fn except_distinct_is_not_distinct_of_except_all() {
+        // {1, 1} EXCEPT {1} = ∅ (1 appears on the right), whereas
+        // distinct({1, 1} EXCEPT ALL {1}) would keep one copy.
+        let l = one_col(
+            "l",
+            vec![pt(1, MultBound::certain(1)), pt(1, MultBound::certain(1))],
+        );
+        let r = one_col("r", vec![pt(1, MultBound::certain(1))]);
+        let out = except(&l, &r, false).unwrap();
+        assert!(out.rows().is_empty());
+        // And a surviving tuple emits exactly one certain copy.
+        let l2 = one_col("l", vec![pt(2, MultBound::certain(3))]);
+        let out2 = except(&l2, &r, false).unwrap();
+        assert_eq!(out2.rows().len(), 1);
+        assert_eq!(out2.rows()[0].mult, MultBound::certain(1));
+    }
+
+    #[test]
+    fn outer_join_pad_components_are_gated_independently() {
+        // Preserved row certain; the only match is maybe-present: the pair
+        // is uncertain and the pad keeps ub (a matchless world exists) but
+        // loses lb (a matched world exists too) and bg (the SG world has
+        // the match).
+        let l = one_col("l", vec![pt(1, MultBound::certain(1))]);
+        let mut r = AuRelation::new(Schema::qualified("r", ["b"]));
+        r.push(pt(1, MultBound::new(0, 1, 1)));
+        let out = outer_join(&l, &r, Some(&Expr::named("a").eq(Expr::named("b"))), true).unwrap();
+        assert_eq!(out.rows().len(), 2, "one matched pair + one pad");
+        assert_eq!(out.rows()[0].mult, MultBound::new(0, 1, 1));
+        assert_eq!(out.rows()[1].mult, MultBound::new(0, 0, 1));
+        assert!(
+            out.rows()[1].values[1].is_null(),
+            "the pad's other side must be a definite NULL"
+        );
+    }
+
+    #[test]
+    fn outer_join_certain_match_kills_the_pad() {
+        let l = one_col("l", vec![pt(1, MultBound::certain(1))]);
+        let mut r = AuRelation::new(Schema::qualified("r", ["b"]));
+        r.push(pt(1, MultBound::certain(1)));
+        let out = outer_join(&l, &r, Some(&Expr::named("a").eq(Expr::named("b"))), true).unwrap();
+        assert_eq!(out.rows().len(), 1, "every world has the match: no pad");
+        assert_eq!(out.rows()[0].mult, MultBound::certain(1));
+    }
+
+    #[test]
+    fn right_outer_join_pads_the_left_side() {
+        let l = one_col("l", vec![]);
+        let mut r = AuRelation::new(Schema::qualified("r", ["b"]));
+        r.push(pt(7, MultBound::new(1, 2, 3)));
+        let out = outer_join(&l, &r, None, false).unwrap();
+        assert_eq!(out.rows().len(), 1);
+        assert!(out.rows()[0].values[0].is_null(), "left side pads to NULL");
+        assert_eq!(out.rows()[0].values[1], RangeValue::point(Value::Int(7)));
+        assert_eq!(out.rows()[0].mult, MultBound::new(1, 2, 3));
     }
 }

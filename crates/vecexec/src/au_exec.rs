@@ -429,6 +429,20 @@ impl<'a> AuDriver<'a> {
                 let (stream, child) = self.stream_traced(input)?;
                 (self.distinct(stream), child.into_iter().collect())
             }
+            // Difference / outer join: both sides convert to range
+            // relations and route through the shared AU bound-combination
+            // operators in `ua_ranges::ops` (the same single copy the row
+            // interpreter dispatches through `au_binary`), so the two
+            // engines cannot diverge on the `[lb, bg, ub]` arithmetic.
+            Plan::Except { left, right, .. } | Plan::OuterJoin { left, right, .. } => {
+                let (ls, lstat) = self.stream_traced(left)?;
+                let (rs, rstat) = self.stream_traced(right)?;
+                let out = ua_engine::au_binary(plan, &ls.to_relation(), &rs.to_relation())?;
+                (
+                    AuStream::from_relation(&out, self.batch_rows),
+                    lstat.into_iter().chain(rstat).collect(),
+                )
+            }
         };
         let stats = timer.map(|timer| {
             let (name, detail) = node_label(plan);

@@ -578,6 +578,37 @@ impl<'a> Driver<'a> {
                 let children = ls.into_iter().chain(rs).collect();
                 (ops::union_all(l, r)?, children)
             }
+            Plan::Except { left, right, all } => {
+                let (l, ls) = self.stream_traced(left)?;
+                let (r, rs) = self.stream_traced(right)?;
+                let children = ls.into_iter().chain(rs).collect();
+                (ops::except(l, r, *all)?, children)
+            }
+            Plan::OuterJoin {
+                left,
+                right,
+                predicate,
+                kind,
+            } => {
+                if self.ua {
+                    if let Some(p) = predicate {
+                        reject_marker_reference(p)?;
+                    }
+                }
+                let (l, ls) = self.stream_traced(left)?;
+                let (r, rs) = self.stream_traced(right)?;
+                let children = ls.into_iter().chain(rs).collect();
+                (
+                    ops::outer_join(
+                        l,
+                        r,
+                        predicate.as_ref(),
+                        *kind == ua_engine::plan::OuterKind::Left,
+                        Some(&self.pool),
+                    )?,
+                    children,
+                )
+            }
             Plan::Sort { input, keys } => {
                 if self.ua {
                     for (k, _) in keys {
@@ -622,13 +653,7 @@ impl<'a> Driver<'a> {
                 )
             }
             Plan::Distinct { .. } | Plan::Aggregate { .. } => {
-                return Err(EngineError::Sql(
-                    "UA queries support the positive relational algebra \
-                     (selection, projection, join, UNION ALL) plus trailing \
-                     ORDER BY/LIMIT; DISTINCT and aggregation are not closed \
-                     under UA semantics"
-                        .into(),
-                ))
+                return Err(EngineError::Sql(ua_engine::UA_FRAGMENT_ERROR.into()))
             }
             Plan::Filter { .. }
             | Plan::Map { .. }

@@ -20,7 +20,7 @@ use ua_data::expr::Expr;
 use ua_data::schema::Schema;
 use ua_data::tuple::Tuple;
 use ua_data::value::{Value, F64};
-use ua_data::{FxHashMap, FxHasher};
+use ua_data::{FxHashMap, FxHashSet, FxHasher};
 use ua_engine::plan::{AggExpr, SortOrder};
 use ua_engine::{AggState, EngineError};
 
@@ -96,6 +96,270 @@ pub fn union_all(left: BatchStream, right: BatchStream) -> Result<BatchStream, E
     }
     Ok(BatchStream {
         schema: left.schema,
+        batches,
+    })
+}
+
+/// Bag difference, columnar: right-side multiplicities accumulate into a
+/// per-key budget, then left batches stream through it in order. Matching
+/// follows `ua_engine::except_table` exactly — IS-NOT-DISTINCT keys
+/// ([`Value::join_key`] over every column, NULL matches NULL), earliest-
+/// first removal for `all`, first unmatched occurrence for distinct — so
+/// the two engines emit byte-identical rows in the same order.
+///
+/// `⟦·⟧_UA` difference: a UA encoding carries no upper bound on the right
+/// side, so no output row's presence can be certified — every output copy
+/// is labeled uncertain (label `0`). Deterministic runs drop labels at
+/// materialization, so the rule costs nothing there.
+pub fn except(
+    left: BatchStream,
+    right: BatchStream,
+    all: bool,
+) -> Result<BatchStream, EngineError> {
+    left.schema
+        .check_union_compatible(&right.schema)
+        .map_err(EngineError::Schema)?;
+    let arity = left.schema.arity();
+    let key_at = |b: &ColumnBatch, i: usize| -> Tuple {
+        (0..arity)
+            .map(|c| b.column(c).value(i).join_key())
+            .collect()
+    };
+    let mut budget: FxHashMap<Tuple, u64> = FxHashMap::default();
+    for b in &right.batches {
+        for i in 0..b.len() {
+            let m = b.mults()[i];
+            // Zero-multiplicity rows expand to no copies — they are not
+            // occurrences and must not cancel (or match) anything.
+            if m > 0 {
+                *budget.entry(key_at(b, i)).or_insert(0) += m;
+            }
+        }
+    }
+    let mut seen: FxHashSet<Tuple> = FxHashSet::default();
+    let mut batches = Vec::new();
+    for b in &left.batches {
+        let mut keep: Vec<u32> = Vec::new();
+        let mut mults: Vec<u64> = Vec::new();
+        for i in 0..b.len() {
+            let m = b.mults()[i];
+            if m == 0 {
+                continue;
+            }
+            let key = key_at(b, i);
+            if all {
+                let out = match budget.get_mut(&key) {
+                    Some(n) => {
+                        let take = (*n).min(m);
+                        *n -= take;
+                        m - take
+                    }
+                    None => m,
+                };
+                if out > 0 {
+                    keep.push(i as u32);
+                    mults.push(out);
+                }
+            } else {
+                if budget.contains_key(&key) {
+                    continue;
+                }
+                if seen.insert(key) {
+                    keep.push(i as u32);
+                    mults.push(1);
+                }
+            }
+        }
+        if keep.is_empty() {
+            continue;
+        }
+        let g = b.gather(&keep);
+        batches.push(ColumnBatch::new(
+            g.schema().clone(),
+            g.columns().to_vec(),
+            Bitmap::filled(keep.len(), false),
+            Arc::new(mults),
+        ));
+    }
+    Ok(BatchStream {
+        schema: left.schema,
+        batches,
+    })
+}
+
+/// Left/right outer θ-join, columnar: the preserved side streams as the
+/// probe, the other side builds the same partitioned [`JoinIndex`] an
+/// inner hash join uses (SQL join equality — NULL keys never enter the
+/// index or match out of it), and probe misses pad with NULLs by routing
+/// them at an extra all-NULL row appended to the build chunk — one gather
+/// assembles matches and pads in preserved-major order. Output columns are
+/// always `left ++ right`; row order, padding and residual treatment are
+/// byte-for-byte `ua_engine::outer_join_stream`'s.
+///
+/// UA labels: matched rows AND their sides' labels (the `⟦·⟧_UA` join
+/// rule); pad rows are never certain — the pad row's label bit is `0`, so
+/// the AND yields `0` without a special case.
+pub fn outer_join(
+    left: BatchStream,
+    right: BatchStream,
+    predicate: Option<&Expr>,
+    left_kind: bool,
+    pool: Option<&ThreadPool>,
+) -> Result<BatchStream, EngineError> {
+    let out_schema = left.schema.concat(&right.schema);
+    let left_arity = left.schema.arity();
+    let bound = predicate
+        .map(|p| p.bind(&out_schema))
+        .transpose()
+        .map_err(EngineError::Expr)?;
+    let (outer, inner) = if left_kind {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let chunk = inner.into_single_chunk();
+    let pad_idx = chunk.len() as u32;
+    // The build chunk plus one all-NULL pad row (label 0, multiplicity 1):
+    // gathering a probe miss at `pad_idx` produces exactly the row engine's
+    // NULL-padded output — values NULL, label uncertain, the preserved
+    // row's multiplicity.
+    let ext = {
+        let null_col = ColumnVec::broadcast(&Value::Null, 1);
+        let columns: Vec<ColumnVec> = chunk
+            .columns()
+            .iter()
+            .map(|c| ColumnVec::concat(&[c, &null_col]))
+            .collect();
+        let mut labels = chunk.labels().clone();
+        labels.push(false);
+        let mut mults = chunk.mults().to_vec();
+        mults.push(1);
+        ColumnBatch::new(chunk.schema().clone(), columns, labels, Arc::new(mults))
+    };
+
+    // Strategy split mirrors `outer_join_stream`: equi-keys index the
+    // non-preserved side (residual on matches), anything else nested-loops.
+    let mut index: Option<JoinIndex> = None;
+    let mut probe_exprs: Vec<Expr> = Vec::new();
+    let mut pair_pred: Option<&Expr> = None;
+    let mut key_residual: Option<Expr> = None;
+    if let Some(pred) = &bound {
+        let (keys, residual) = extract_equi_keys(pred, left_arity);
+        if keys.is_empty() {
+            pair_pred = Some(pred);
+        } else {
+            let (build_keys, probes): (Vec<Expr>, Vec<Expr>) = if left_kind {
+                (
+                    keys.iter().map(|k| k.right.clone()).collect(),
+                    keys.iter().map(|k| k.left.clone()).collect(),
+                )
+            } else {
+                (
+                    keys.iter().map(|k| k.left.clone()).collect(),
+                    keys.iter().map(|k| k.right.clone()).collect(),
+                )
+            };
+            let key_cols: Vec<Evaluated> = build_keys
+                .iter()
+                .map(|e| eval_expr(e, &chunk))
+                .collect::<Result<_, _>>()?;
+            index = Some(build_index(&key_cols, chunk.len(), pool));
+            probe_exprs = probes;
+            if !residual.is_empty() {
+                key_residual = Some(Expr::conjunction(residual));
+            }
+        }
+    }
+    let pair_pred = pair_pred.or(key_residual.as_ref());
+
+    let mut batches = Vec::new();
+    for obatch in &outer.batches {
+        if obatch.is_empty() {
+            continue;
+        }
+        // The nested path materializes candidate cross products in bounded
+        // pieces (whole probe rows per piece, so pad grouping stays local);
+        // the indexed path's candidates are bounded by actual key matches.
+        const MAX_PAIRS_PER_PIECE: usize = 1 << 16;
+        let piece_rows = match &index {
+            Some(_) => obatch.len(),
+            None => (MAX_PAIRS_PER_PIECE / chunk.len().max(1)).max(1),
+        };
+        let mut start = 0u32;
+        while (start as usize) < obatch.len() {
+            let end = ((start as usize + piece_rows).min(obatch.len())) as u32;
+            // Candidate pairs in probe-major order (build-scan order within
+            // one probe row) — index lookups or the piece's cross product.
+            let (pidx, bidx) = match &index {
+                Some(index) => {
+                    let probe_cols: Vec<Evaluated> = probe_exprs
+                        .iter()
+                        .map(|e| eval_expr(e, obatch))
+                        .collect::<Result<_, _>>()?;
+                    probe_index(index, &probe_cols, obatch.len())
+                }
+                None => {
+                    let cap = (end - start) as usize * chunk.len();
+                    let mut pidx = Vec::with_capacity(cap);
+                    let mut bidx = Vec::with_capacity(cap);
+                    for i in start..end {
+                        for j in 0..chunk.len() as u32 {
+                            pidx.push(i);
+                            bidx.push(j);
+                        }
+                    }
+                    (pidx, bidx)
+                }
+            };
+            // Which candidate pairs survive the (residual) predicate.
+            // Failing matches count as no-match: a probe row whose every
+            // candidate fails still pads.
+            let survivors: Option<Bitmap> = match pair_pred {
+                Some(pred) if !pidx.is_empty() => {
+                    let cand = if left_kind {
+                        join_gather(obatch, &chunk, &pidx, &bidx, &out_schema)
+                    } else {
+                        join_gather(&chunk, obatch, &bidx, &pidx, &out_schema)
+                    };
+                    let (t, _f) = truth_masks(pred, &cand)?;
+                    Some(t)
+                }
+                _ => None,
+            };
+            let mut oidx: Vec<u32> = Vec::new();
+            let mut iidx: Vec<u32> = Vec::new();
+            let mut p = 0usize;
+            for i in start..end {
+                let mut matched = false;
+                while p < pidx.len() && pidx[p] < i {
+                    p += 1;
+                }
+                while p < pidx.len() && pidx[p] == i {
+                    if survivors.as_ref().is_none_or(|t| t.get(p)) {
+                        matched = true;
+                        oidx.push(i);
+                        iidx.push(bidx[p]);
+                    }
+                    p += 1;
+                }
+                if !matched {
+                    oidx.push(i);
+                    iidx.push(pad_idx);
+                }
+            }
+            let joined = if left_kind {
+                join_gather(obatch, &ext, &oidx, &iidx, &out_schema)
+            } else {
+                join_gather(&ext, obatch, &iidx, &oidx, &out_schema)
+            };
+            if !joined.is_empty() {
+                batches.push(joined);
+            }
+            start = end;
+        }
+    }
+    Ok(BatchStream {
+        schema: out_schema,
         batches,
     })
 }
