@@ -24,7 +24,7 @@
 //!   UA *can* run).
 //!
 //! Correctness gates before timing: row and vectorized results identical
-//! under every semantics. Writes `agg_ranges.json` next to the other
+//! under every semantics. Writes `BENCH_agg_ranges.json` at the repo root next to the other
 //! bench artifacts.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -200,6 +200,7 @@ fn bench_agg_ranges(c: &mut Criterion) {
         threads,
         batch_rows: 0,
         collect_stats: false,
+        collect_trace: false,
     };
     for threads in [1usize, 2, 4, 8] {
         let out = execute_vectorized_opts(&det_plan, &catalog, par_opts(threads))
@@ -370,6 +371,7 @@ fn bench_agg_ranges(c: &mut Criterion) {
         threads: 1,
         batch_rows: 0,
         collect_stats: true,
+        collect_trace: false,
     };
     if let Ok((_, root)) = execute_with_stats(&det_plan, &catalog) {
         report = report.operator_stats(
@@ -379,6 +381,7 @@ fn bench_agg_ranges(c: &mut Criterion) {
                 semantics: "det".into(),
                 root,
                 pool: None,
+                peak_mem_bytes: 0,
             },
         );
     }
@@ -400,6 +403,7 @@ fn bench_agg_ranges(c: &mut Criterion) {
         threads: 4,
         batch_rows: 0,
         collect_stats: true,
+        collect_trace: false,
     };
     if execute_vectorized_opts(&det_plan, &catalog, par_stats_opts).is_ok() {
         if let Some(stats) = ua_obs::take_last_query_stats() {

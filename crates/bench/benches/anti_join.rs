@@ -20,7 +20,7 @@
 //! plan, and on a 20k-row slice the `NOT IN` lowering produces the same
 //! rows as the hand-written idiom on both engines. Then the ≥3x
 //! acceptance bar on the vectorized engine, `ANTI_JOIN SPEEDUP` lines for
-//! the CI smoke grep, and `anti_join.json` next to the other bench
+//! the CI smoke grep, and `BENCH_anti_join.json` at the repo root next to the other bench
 //! artifacts.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -12,7 +12,7 @@
 //!   scales with |r|·|s|), reported alongside.
 //!
 //! Prints `JOIN_PLANNING SPEEDUP ...` lines for the CI smoke grep and
-//! writes `join_planning.json` next to the bench (uploaded as a CI
+//! writes `BENCH_join_planning.json` at the repo root (uploaded as a CI
 //! artifact).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};

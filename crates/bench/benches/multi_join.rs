@@ -13,8 +13,8 @@
 //! Measures both plans on both engines (the as-written baseline via
 //! `reorder_joins: false`, i.e. the pre-reordering optimizer), asserts the
 //! ≥5x acceptance bar on each engine, prints `MULTI_JOIN SPEEDUP` lines
-//! for the CI smoke grep, and writes `multi_join.json` next to
-//! `join_planning.json` (both uploaded as CI artifacts).
+//! for the CI smoke grep, and writes `BENCH_multi_join.json` next to
+//! `BENCH_join_planning.json` at the repo root (both uploaded as CI artifacts).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;

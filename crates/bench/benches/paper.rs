@@ -174,6 +174,22 @@ fn bench_ablation_join(c: &mut Criterion) {
         b.iter(|| ua_engine::exec::execute(&plan, &det_catalog).expect("nl"))
     });
     group.finish();
+
+    // Trajectory artifact: the ablation's headline ratio, diffed against
+    // the previous run's BENCH_paper.json by `BenchReport::write`.
+    let avg_of = |plan: &Plan| {
+        let (d, _) = ua_bench::report::time_avg(5, || {
+            ua_engine::exec::execute(plan, &det_catalog).expect("timed run")
+        });
+        d.as_secs_f64()
+    };
+    let t_hash = avg_of(&Plan::from_ra(&equi));
+    let t_nested = avg_of(&Plan::from_ra(&nested));
+    ua_bench::report::BenchReport::new("paper")
+        .num("t_hash_join_s", t_hash)
+        .num("t_nested_loop_s", t_nested)
+        .num("hash_join_speedup", t_nested / t_hash)
+        .write();
 }
 
 /// Ablation 4 (DESIGN.md §5): PTIME CNF labeling vs exact solver labeling —

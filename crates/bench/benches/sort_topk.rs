@@ -9,7 +9,7 @@
 //! Also measured for context: the row engine's own bounded-heap `TopK`
 //! (the fusion helps there too) and the vectorized full `Sort` (columnar,
 //! no row materialization). Correctness gates assert all variants return
-//! identical rows before timing. Writes `sort_topk.json` next to the other
+//! identical rows before timing. Writes `BENCH_sort_topk.json` at the repo root next to the other
 //! bench artifacts.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -192,6 +192,7 @@ fn bench_sort_topk(c: &mut Criterion) {
                 semantics: "det".into(),
                 root,
                 pool: None,
+                peak_mem_bytes: 0,
             },
         );
     }
@@ -199,6 +200,7 @@ fn bench_sort_topk(c: &mut Criterion) {
         threads: 1,
         batch_rows: 0,
         collect_stats: true,
+        collect_trace: false,
     };
     if execute_vectorized_opts(&topk, &catalog, stats_opts).is_ok() {
         if let Some(stats) = ua_obs::take_last_query_stats() {

@@ -208,6 +208,7 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
         threads,
         batch_rows: 0,
         collect_stats: false,
+        collect_trace: false,
     };
 
     // Determinism gate: parallel output must be byte-identical to serial.
@@ -267,6 +268,14 @@ fn bench_parallel_pipeline(c: &mut Criterion) {
     } else {
         println!("PARALLEL SPEEDUP gate (>= 2x) skipped: only {cores} core(s) available");
     }
+
+    ua_bench::report::BenchReport::new("vecexec")
+        .int("rows", ORDERS as u64)
+        .int("cores", cores as u64)
+        .num("t_serial_s", t_serial)
+        .num("t_parallel4_s", t_parallel)
+        .num("speedup_parallel_threads4", speedup)
+        .write();
 }
 
 criterion_group!(

@@ -168,13 +168,64 @@ impl BenchReport {
         out
     }
 
-    /// Write `<bench>.json` next to the bench (the CI artifact path) and
-    /// log it.
-    pub fn write(&self) {
-        let path = format!("{}.json", self.bench);
-        std::fs::write(&path, self.to_json()).expect("write bench json");
-        println!("wrote {path}");
+    /// The artifact path: `BENCH_<name>.json` at the repository root, so
+    /// successive bench runs (and CI artifact uploads) always land on the
+    /// same trajectory file regardless of the bench's working directory.
+    pub fn artifact_path(bench: &str) -> std::path::PathBuf {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("BENCH_{bench}.json"))
     }
+
+    /// Write `BENCH_<name>.json` at the repo root (the CI artifact path)
+    /// and log it. When a previous artifact exists, its numeric fields are
+    /// diffed against the new run first ([`compare`]) so the bench output
+    /// shows the trajectory (`throughput: 1.2e6 -> 1.4e6 (+16.7%)`).
+    pub fn write(&self) {
+        let path = BenchReport::artifact_path(&self.bench);
+        let prev = std::fs::read_to_string(&path).ok();
+        let json = self.to_json();
+        std::fs::write(&path, &json).expect("write bench json");
+        println!("wrote {}", path.display());
+        if let Some(prev) = prev {
+            for line in compare(&prev, &json) {
+                println!("  {line}");
+            }
+        }
+    }
+}
+
+/// Diff the top-level numeric fields of two [`BenchReport`] JSON artifacts
+/// (previous run vs current), returning one `key: old -> new (±x%)` line
+/// per field present in both. Non-numeric fields and the embedded
+/// `operator_stats` trees are skipped — the helper reports the trajectory
+/// of the headline figures, not a structural diff.
+pub fn compare(prev: &str, cur: &str) -> Vec<String> {
+    let fields = |json: &str| -> Vec<(String, f64)> {
+        json.lines()
+            .filter_map(|line| {
+                // Top-level fields render as `  "key": value,?` — two
+                // spaces of indent, nothing deeper.
+                let rest = line.strip_prefix("  \"")?;
+                let (key, rest) = rest.split_once("\": ")?;
+                let value: f64 = rest.trim_end_matches(',').trim().parse().ok()?;
+                Some((key.to_string(), value))
+            })
+            .collect()
+    };
+    let old = fields(prev);
+    fields(cur)
+        .into_iter()
+        .filter_map(|(key, new)| {
+            let (_, prev) = old.iter().find(|(k, _)| *k == key)?;
+            let pct = if *prev != 0.0 {
+                format!(" ({:+.1}%)", (new - prev) / prev * 100.0)
+            } else {
+                String::new()
+            };
+            Some(format!("{key}: {prev} -> {new}{pct}"))
+        })
+        .collect()
 }
 
 /// Run `query` once with session stats collection on and hand back the
@@ -241,6 +292,7 @@ mod tests {
                 ..ua_obs::OperatorStats::default()
             },
             pool: None,
+            peak_mem_bytes: 0,
         };
         let json = BenchReport::new("demo")
             .int("rows", 100)
@@ -255,6 +307,26 @@ mod tests {
         assert!(json.contains("\"operator_stats\": {"));
         assert!(json.contains("\"op\": \"Scan\""));
         assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn compare_reports_numeric_deltas() {
+        let prev = BenchReport::new("demo")
+            .int("rows", 100)
+            .num("t_s", 2.0)
+            .text("engine", "row")
+            .to_json();
+        let cur = BenchReport::new("demo")
+            .int("rows", 100)
+            .num("t_s", 1.0)
+            .text("engine", "row")
+            .num("fresh", 7.0)
+            .to_json();
+        let lines = compare(&prev, &cur);
+        assert_eq!(
+            lines,
+            vec!["rows: 100 -> 100 (+0.0%)", "t_s: 2 -> 1 (-50.0%)"]
+        );
     }
 
     #[test]

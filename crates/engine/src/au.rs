@@ -239,6 +239,10 @@ pub(crate) fn execute_au_traced(
     catalog: &Catalog,
     tracer: &mut crate::stats::Tracer<'_>,
 ) -> Result<AuRelation, EngineError> {
+    let trace_name = ua_obs::trace_active().then(|| crate::stats::node_label(plan).0);
+    if let Some(name) = &trace_name {
+        ua_obs::trace_begin(name, "operator");
+    }
     tracer.enter(plan);
     let result = match plan {
         Plan::Scan(name) => catalog
@@ -263,8 +267,11 @@ pub(crate) fn execute_au_traced(
             .and_then(|l| execute_au_traced(right, catalog, tracer).map(|r| (l, r)))
             .and_then(|(l, r)| au_binary(plan, &l, &r)),
     };
-    match result {
+    let result = match result {
         Ok(rel) => {
+            if tracer.enabled() {
+                au_span_extras(&rel, tracer);
+            }
             tracer.exit(rel.rows().len());
             Ok(rel)
         }
@@ -272,7 +279,54 @@ pub(crate) fn execute_au_traced(
             tracer.abandon();
             Err(e)
         }
+    };
+    if let Some(name) = &trace_name {
+        ua_obs::trace_end(name, "operator");
     }
+    result
+}
+
+/// Record the AU telemetry extras for a finished span: the bound-precision
+/// profile ([`ua_ranges::WidthSummary`] — which operator widened bounds to
+/// ⊤, and by how much) plus the logical bytes of the materialized
+/// range-annotated relation. The materialization is also charged against
+/// the query-wide memory high-water mark.
+fn au_span_extras(rel: &AuRelation, tracer: &mut crate::stats::Tracer<'_>) {
+    let ws = ua_ranges::WidthSummary::of(rel);
+    tracer.extra("certain_rows", ws.certain_rows);
+    tracer.extra("top_attrs_permille", ws.top_attr_permille());
+    tracer.extra("rel_width_permille", ws.mean_rel_width_permille());
+    tracer.extra("mult_spread", ws.mult_spread);
+    let bytes = au_relation_mem_bytes(rel);
+    let mut mem = ua_obs::MemTracker::new();
+    mem.alloc(bytes);
+    tracer.extra("mem_bytes", bytes);
+}
+
+/// Estimated logical bytes of a materialized [`AuRelation`] — the
+/// range-annotation counterpart of [`crate::stats::tuple_mem_bytes`]:
+/// 24 bytes for the multiplicity triple plus, per attribute cell, the
+/// best guess and both bounds (a bare ±∞ bound costs one 16-byte slot).
+/// Shape-derived, never allocator-derived, so the figure is deterministic.
+pub(crate) fn au_relation_mem_bytes(rel: &AuRelation) -> u64 {
+    fn bound_bytes(b: &ua_ranges::Bound) -> u64 {
+        match b {
+            ua_ranges::Bound::Val(v) => crate::stats::value_mem_bytes(v),
+            _ => 16,
+        }
+    }
+    rel.rows()
+        .iter()
+        .map(|row| {
+            24 + row
+                .values
+                .iter()
+                .map(|r| {
+                    crate::stats::value_mem_bytes(&r.bg) + bound_bytes(r.lb()) + bound_bytes(r.ub())
+                })
+                .sum::<u64>()
+        })
+        .sum()
 }
 
 /// Apply one unary AU operator (the node at the root of `plan`) to an
@@ -385,13 +439,18 @@ impl UaSession {
     /// attribute-level and multiplicity bounds. `ORDER BY`/`LIMIT` order
     /// and truncate by the selected-guess world (presentation-level).
     pub fn query_au(&self, sql: &str) -> Result<AuResult, EngineError> {
-        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
-        let plan = plan_query(&ast, self.catalog(), &AuResolver)?;
+        let _trace = self.trace_query();
+        let ast = ua_obs::trace_scope("parse", "session", || parse(sql))
+            .map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = ua_obs::trace_scope("plan", "session", || {
+            plan_query(&ast, self.catalog(), &AuResolver)
+        })?;
         self.execute_au_plan(&plan)
     }
 
     /// Run an already-built plan under AU semantics.
     pub fn query_au_plan(&self, plan: &Plan) -> Result<AuResult, EngineError> {
+        let _trace = self.trace_query();
         self.execute_au_plan(plan)
     }
 
@@ -418,18 +477,26 @@ impl UaSession {
         // references (selection, projection, joins, sort keys, GROUP BY
         // keys, aggregate arguments) identically.
         reject_marker_in_plan(plan)?;
-        let plan = &self.optimize_au_plan(plan);
-        match self.exec_mode() {
+        let plan = &ua_obs::trace_scope("optimize", "session", || self.optimize_au_plan(plan));
+        ua_obs::trace_scope("execute", "session", || match self.exec_mode() {
             ExecMode::Row => {
                 let rel = if self.stats_enabled() {
-                    let (rel, root) = crate::stats::execute_au_with_stats(plan, self.catalog())?;
-                    self.store_stats(ua_obs::QueryStats {
-                        engine: "row".into(),
-                        semantics: "au".into(),
-                        root,
-                        pool: None,
-                    });
-                    rel
+                    ua_obs::mem_query_start();
+                    let (result, root) =
+                        crate::stats::try_execute_au_with_stats(plan, self.catalog());
+                    let peak = ua_obs::mem_query_finish().unwrap_or(0);
+                    // Failed queries keep their (error-marked) partial
+                    // tree: stats are stored before the `?` propagates.
+                    if let Some(root) = root {
+                        self.store_stats(ua_obs::QueryStats {
+                            engine: "row".into(),
+                            semantics: "au".into(),
+                            root,
+                            pool: None,
+                            peak_mem_bytes: peak,
+                        });
+                    }
+                    result?
                 } else {
                     execute_au(plan, self.catalog())?
                 };
@@ -439,11 +506,11 @@ impl UaSession {
             }
             ExecMode::Vectorized => {
                 let opts = self.exec_options();
-                let table = (require_vectorized_hooks()?.au)(plan, self.catalog(), opts)?;
+                let table = (require_vectorized_hooks()?.au)(plan, self.catalog(), opts);
                 self.adopt_hook_stats();
-                Ok(AuResult { table })
+                Ok(AuResult { table: table? })
             }
-        }
+        })
     }
 
     /// `EXPLAIN ANALYZE` for AU queries: the user plan and optimized

@@ -75,16 +75,24 @@ pub fn execute(plan: &Plan, catalog: &Catalog) -> Result<Table, EngineError> {
 /// [`execute`] with a span tracer threaded through the recursion: each node
 /// opens a span (stamped with the planner's cardinality estimate), executes,
 /// and closes it with actual rows and wall time. A no-op for
-/// [`Tracer::off`]; results are byte-identical either way. On error the
-/// tracer's stack is left unbalanced and must be discarded.
+/// [`Tracer::off`]; results are byte-identical either way. On error each
+/// open span is closed with an `error=1` marker, so the tracer still
+/// finishes into a (partial) tree. When query tracing is armed
+/// (`ua_obs::trace_start`), each node additionally brackets an `operator`
+/// trace span — independent of the stats tracer.
 pub(crate) fn execute_traced(
     plan: &Plan,
     catalog: &Catalog,
     tracer: &mut Tracer<'_>,
 ) -> Result<Table, EngineError> {
+    let trace_name = ua_obs::trace_active().then(|| crate::stats::node_label(plan).0);
+    if let Some(name) = &trace_name {
+        ua_obs::trace_begin(name, "operator");
+    }
     tracer.enter(plan);
-    match execute_node(plan, catalog, tracer) {
+    let result = match execute_node(plan, catalog, tracer) {
         Ok(t) => {
+            ua_certainty_extras(&t, tracer);
             tracer.exit(t.len());
             Ok(t)
         }
@@ -92,7 +100,35 @@ pub(crate) fn execute_traced(
             tracer.abandon();
             Err(e)
         }
+    };
+    if let Some(name) = &trace_name {
+        ua_obs::trace_end(name, "operator");
     }
+    result
+}
+
+/// Record the UA certainty profile on the current span: when the output
+/// carries the UA certainty marker (`ua_c` in last position), count the
+/// rows labeled certain. No-op for disabled tracers and non-UA tables.
+fn ua_certainty_extras(t: &Table, tracer: &mut Tracer<'_>) {
+    if !tracer.enabled() {
+        return;
+    }
+    let marker_last = t
+        .schema()
+        .columns()
+        .last()
+        .is_some_and(|c| c.name.eq_ignore_ascii_case(ua_core::UA_LABEL_COLUMN));
+    if !marker_last {
+        return;
+    }
+    let last = t.schema().arity() - 1;
+    let certain = t
+        .rows()
+        .iter()
+        .filter(|row| matches!(row.get(last), Some(Value::Int(n)) if *n >= 1))
+        .count() as u64;
+    tracer.extra("certain_rows", certain);
 }
 
 fn execute_node(
@@ -142,23 +178,17 @@ fn execute_node(
                 let out_schema = Schema::new(columns.iter().map(|c| c.column.clone()).collect());
                 let mut out = Table::new(out_schema);
                 let mut join_rows: usize = 0;
-                let mut build_ns: u64 = 0;
-                join_node_stream(
-                    input,
-                    &l,
-                    &r,
-                    tracer.enabled().then_some(&mut build_ns),
-                    &mut |joined| {
-                        join_rows += 1;
-                        let mapped: Tuple = bound
-                            .iter()
-                            .map(|e| e.eval(&joined))
-                            .collect::<Result<_, _>>()?;
-                        out.push(mapped);
-                        Ok(())
-                    },
-                )?;
-                join_span_extras(input, &l, &r, build_ns, tracer);
+                let mut meter = tracer.enabled().then(JoinMeter::default);
+                join_node_stream(input, &l, &r, meter.as_mut(), &mut |joined| {
+                    join_rows += 1;
+                    let mapped: Tuple = bound
+                        .iter()
+                        .map(|e| e.eval(&joined))
+                        .collect::<Result<_, _>>()?;
+                    out.push(mapped);
+                    Ok(())
+                })?;
+                join_span_extras(input, &l, &r, meter.as_ref(), tracer);
                 tracer.extra("fused_into_map", 1);
                 tracer.exit(join_rows);
                 return Ok(out);
@@ -184,18 +214,12 @@ fn execute_node(
             let r = execute_traced(right, catalog, tracer)?;
             let schema = l.schema().concat(r.schema());
             let mut out = Table::new(schema);
-            let mut build_ns: u64 = 0;
-            join_node_stream(
-                plan,
-                &l,
-                &r,
-                tracer.enabled().then_some(&mut build_ns),
-                &mut |joined| {
-                    out.push(joined);
-                    Ok(())
-                },
-            )?;
-            join_span_extras(plan, &l, &r, build_ns, tracer);
+            let mut meter = tracer.enabled().then(JoinMeter::default);
+            join_node_stream(plan, &l, &r, meter.as_mut(), &mut |joined| {
+                out.push(joined);
+                Ok(())
+            })?;
+            join_span_extras(plan, &l, &r, meter.as_ref(), tracer);
             Ok(out)
         }
         Plan::UnionAll { left, right } => {
@@ -210,12 +234,19 @@ fn execute_node(
         }
         Plan::Distinct { input } => {
             let t = execute_traced(input, catalog, tracer)?;
+            let mut mem = tracer.enabled().then(ua_obs::MemTracker::new);
             let mut seen: ua_data::FxHashSet<Tuple> = ua_data::FxHashSet::default();
             let mut out = Table::new(t.schema().clone());
             for row in t.rows() {
                 if seen.insert(row.clone()) {
+                    if let Some(mem) = &mut mem {
+                        mem.alloc(crate::stats::tuple_mem_bytes(row));
+                    }
                     out.push(row.clone());
                 }
+            }
+            if let Some(mem) = &mem {
+                tracer.extra("mem_bytes", mem.peak());
             }
             Ok(out)
         }
@@ -223,7 +254,13 @@ fn execute_node(
             let l = execute_traced(left, catalog, tracer)?;
             let r = execute_traced(right, catalog, tracer)?;
             l.schema().check_union_compatible(r.schema())?;
-            Ok(except_table(&l, &r, *all))
+            let mut mem_bytes = 0u64;
+            let out =
+                except_table_metered(&l, &r, *all, tracer.enabled().then_some(&mut mem_bytes));
+            if tracer.enabled() {
+                tracer.extra("mem_bytes", mem_bytes);
+            }
+            Ok(out)
         }
         Plan::OuterJoin {
             left,
@@ -248,7 +285,12 @@ fn execute_node(
         } => aggregate(input, group_by, aggregates, catalog, tracer),
         Plan::Sort { input, keys } => {
             let t = execute_traced(input, catalog, tracer)?;
-            sort_table(&t, keys)
+            let mut mem_bytes = 0u64;
+            let out = sort_table_metered(&t, keys, tracer.enabled().then_some(&mut mem_bytes))?;
+            if tracer.enabled() {
+                tracer.extra("mem_bytes", mem_bytes);
+            }
+            Ok(out)
         }
         Plan::Limit { input, limit } => {
             let t = execute_traced(input, catalog, tracer)?;
@@ -256,22 +298,50 @@ fn execute_node(
         }
         Plan::TopK { input, keys, limit } => {
             let t = execute_traced(input, catalog, tracer)?;
-            top_k_table(&t, keys, *limit)
+            let mut mem_bytes = 0u64;
+            let out =
+                top_k_table_metered(&t, keys, *limit, tracer.enabled().then_some(&mut mem_bytes))?;
+            if tracer.enabled() {
+                tracer.extra("mem_bytes", mem_bytes);
+            }
+            Ok(out)
         }
     }
 }
 
-/// Record the hash-join build/probe split on the current span (no-op for
-/// θ-joins and disabled tracers).
-fn join_span_extras(plan: &Plan, l: &Table, r: &Table, build_ns: u64, tracer: &mut Tracer<'_>) {
-    if !tracer.enabled() {
-        return;
-    }
-    if let Plan::HashJoin { build_left, .. } = plan {
-        let (build, probe) = if *build_left { (l, r) } else { (r, l) };
-        tracer.extra("build_rows", build.len() as u64);
-        tracer.extra("probe_rows", probe.len() as u64);
-        tracer.extra("build_ns", build_ns);
+/// Join instrumentation collected while streaming a join node: the build
+/// phase's wall time and the build hash table's estimated logical bytes
+/// ([`crate::stats::tuple_mem_bytes`] per distinct key plus a slot per
+/// row). Only allocated when the tracer collects.
+#[derive(Default)]
+pub(crate) struct JoinMeter {
+    build_ns: u64,
+    build_bytes: u64,
+}
+
+/// Record the hash-join build/probe split and build-table memory on the
+/// current span (no-op for disabled tracers; θ-joins that fall back to
+/// nested loops build no table and report nothing).
+fn join_span_extras(
+    plan: &Plan,
+    l: &Table,
+    r: &Table,
+    meter: Option<&JoinMeter>,
+    tracer: &mut Tracer<'_>,
+) {
+    let Some(meter) = meter else { return };
+    match plan {
+        Plan::HashJoin { build_left, .. } => {
+            let (build, probe) = if *build_left { (l, r) } else { (r, l) };
+            tracer.extra("build_rows", build.len() as u64);
+            tracer.extra("probe_rows", probe.len() as u64);
+            tracer.extra("build_ns", meter.build_ns);
+            tracer.extra("mem_bytes", meter.build_bytes);
+        }
+        Plan::Join { .. } if meter.build_bytes > 0 => {
+            tracer.extra("mem_bytes", meter.build_bytes);
+        }
+        _ => {}
     }
 }
 
@@ -305,6 +375,18 @@ fn decorated_row_cmp(
 /// vectorized engine materializes before sorting too, so the operators stay
 /// byte-for-byte compatible.
 pub fn sort_table(t: &Table, keys: &[(Expr, SortOrder)]) -> Result<Table, EngineError> {
+    sort_table_metered(t, keys, None)
+}
+
+/// [`sort_table`] with optional memory accounting: when `mem_bytes` is
+/// given, the decorated sort buffer's estimated logical bytes (keys +
+/// rows) are tracked through [`ua_obs::MemTracker`] and the peak written
+/// back.
+pub(crate) fn sort_table_metered(
+    t: &Table,
+    keys: &[(Expr, SortOrder)],
+    mem_bytes: Option<&mut u64>,
+) -> Result<Table, EngineError> {
     let bound: Vec<(Expr, SortOrder)> = keys
         .iter()
         .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
@@ -320,11 +402,29 @@ pub fn sort_table(t: &Table, keys: &[(Expr, SortOrder)]) -> Result<Table, Engine
             Ok((key, row.clone()))
         })
         .collect::<Result<_, EngineError>>()?;
+    let mut mem = mem_bytes.map(|slot| (slot, ua_obs::MemTracker::new()));
+    if let Some((_, tracker)) = &mut mem {
+        let bytes: u64 = decorated
+            .iter()
+            .map(|(key, row)| sort_entry_bytes(key, row))
+            .sum();
+        tracker.alloc(bytes);
+    }
     decorated.sort_by(|(ka, ra), (kb, rb)| decorated_row_cmp(&bound, ka, ra, kb, rb));
-    Ok(Table::from_rows(
+    let out = Table::from_rows(
         t.schema().clone(),
         decorated.into_iter().map(|(_, row)| row).collect(),
-    ))
+    );
+    if let Some((slot, tracker)) = mem {
+        *slot = tracker.peak();
+    }
+    Ok(out)
+}
+
+/// Estimated logical bytes of one decorated sort/Top-K buffer entry.
+fn sort_entry_bytes(key: &[Value], row: &Tuple) -> u64 {
+    8 + key.iter().map(crate::stats::value_mem_bytes).sum::<u64>()
+        + crate::stats::tuple_mem_bytes(row)
 }
 
 /// The first `k` rows of `sort_table(t, keys)` without sorting the whole
@@ -333,6 +433,18 @@ pub fn sort_table(t: &Table, keys: &[(Expr, SortOrder)]) -> Result<Table, Engine
 /// replaces the full decorate-sort pass. Ordering is [`decorated_row_cmp`]
 /// — the same comparison `sort_table` sorts with.
 pub fn top_k_table(t: &Table, keys: &[(Expr, SortOrder)], k: usize) -> Result<Table, EngineError> {
+    top_k_table_metered(t, keys, k, None)
+}
+
+/// [`top_k_table`] with optional memory accounting over the bounded
+/// buffer: entries alloc on insert and free on eviction, so the reported
+/// peak reflects the k-row working set, not the input size.
+pub(crate) fn top_k_table_metered(
+    t: &Table,
+    keys: &[(Expr, SortOrder)],
+    k: usize,
+    mem_bytes: Option<&mut u64>,
+) -> Result<Table, EngineError> {
     let bound: Vec<(Expr, SortOrder)> = keys
         .iter()
         .map(|(e, o)| Ok((e.bind(t.schema())?, *o)))
@@ -340,6 +452,7 @@ pub fn top_k_table(t: &Table, keys: &[(Expr, SortOrder)], k: usize) -> Result<Ta
     let cmp = |ka: &[Value], ra: &Tuple, kb: &[Value], rb: &Tuple| {
         decorated_row_cmp(&bound, ka, ra, kb, rb)
     };
+    let mut mem = mem_bytes.map(|slot| (slot, ua_obs::MemTracker::new()));
     let mut top: Vec<(Vec<Value>, Tuple)> = Vec::with_capacity(k.min(t.len()) + 1);
     for row in t.rows() {
         let key: Vec<Value> = bound
@@ -358,13 +471,26 @@ pub fn top_k_table(t: &Table, keys: &[(Expr, SortOrder)], k: usize) -> Result<Ta
         let pos = top
             .binary_search_by(|(ek, er)| cmp(ek, er, &key, row))
             .unwrap_or_else(|p| p);
+        if let Some((_, tracker)) = &mut mem {
+            tracker.alloc(sort_entry_bytes(&key, row));
+        }
         top.insert(pos, (key, row.clone()));
-        top.truncate(k);
+        if top.len() > k {
+            let (ek, er) = top.last().expect("over capacity");
+            if let Some((_, tracker)) = &mut mem {
+                tracker.free(sort_entry_bytes(ek, er));
+            }
+            top.truncate(k);
+        }
     }
-    Ok(Table::from_rows(
+    let out = Table::from_rows(
         t.schema().clone(),
         top.into_iter().map(|(_, row)| row).collect(),
-    ))
+    );
+    if let Some((slot, tracker)) = mem {
+        *slot = tracker.peak();
+    }
+    Ok(out)
 }
 
 /// The first `limit` rows of a materialized table.
@@ -383,11 +509,30 @@ pub fn limit_table(t: &Table, limit: usize) -> Table {
 /// occurrence of each unmatched left tuple, in order of first occurrence.
 /// Shared contract for both executors.
 pub fn except_table(l: &Table, r: &Table, all: bool) -> Table {
+    except_table_metered(l, r, all, None)
+}
+
+/// [`except_table`] with optional memory accounting over the budget map
+/// (and, for `EXCEPT` without `ALL`, the seen set); the peak estimated
+/// logical bytes are written back through `mem_bytes`.
+pub(crate) fn except_table_metered(
+    l: &Table,
+    r: &Table,
+    all: bool,
+    mem_bytes: Option<&mut u64>,
+) -> Table {
     let key_of =
         |row: &Tuple| -> Tuple { row.values().iter().map(|v| v.clone().join_key()).collect() };
+    let mut mem = mem_bytes.map(|slot| (slot, ua_obs::MemTracker::new()));
     let mut budget: FxHashMap<Tuple, u64> = FxHashMap::default();
     for row in r.rows() {
-        *budget.entry(key_of(row)).or_insert(0) += 1;
+        let key = key_of(row);
+        if let Some((_, tracker)) = &mut mem {
+            if !budget.contains_key(&key) {
+                tracker.alloc(crate::stats::tuple_mem_bytes(&key) + 8);
+            }
+        }
+        *budget.entry(key).or_insert(0) += 1;
     }
     let mut out = Table::new(l.schema().clone());
     if all {
@@ -404,10 +549,18 @@ pub fn except_table(l: &Table, r: &Table, all: bool) -> Table {
             if budget.contains_key(&key) {
                 continue;
             }
+            if let Some((_, tracker)) = &mut mem {
+                if !seen.contains(&key) {
+                    tracker.alloc(crate::stats::tuple_mem_bytes(&key));
+                }
+            }
             if seen.insert(key) {
                 out.push(row.clone());
             }
         }
+    }
+    if let Some((slot, tracker)) = mem {
+        *slot = tracker.peak();
     }
     out
 }
@@ -537,17 +690,17 @@ fn join_node_stream(
     plan: &Plan,
     l: &Table,
     r: &Table,
-    build_ns: Option<&mut u64>,
+    meter: Option<&mut JoinMeter>,
     on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
     match plan {
-        Plan::Join { predicate, .. } => join_stream(l, r, predicate.as_ref(), on_row),
+        Plan::Join { predicate, .. } => join_stream(l, r, predicate.as_ref(), meter, on_row),
         Plan::HashJoin {
             keys,
             residual,
             build_left,
             ..
-        } => hash_join_stream(l, r, keys, residual.as_ref(), *build_left, build_ns, on_row),
+        } => hash_join_stream(l, r, keys, residual.as_ref(), *build_left, meter, on_row),
         other => Err(EngineError::Sql(format!("not a join node: {other}"))),
     }
 }
@@ -562,7 +715,7 @@ fn hash_join_stream(
     keys: &[(Expr, Expr)],
     residual: Option<&Expr>,
     build_left: bool,
-    build_ns: Option<&mut u64>,
+    meter: Option<&mut JoinMeter>,
     on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
     let lkeys: Vec<Expr> = keys
@@ -597,17 +750,27 @@ fn hash_join_stream(
     } else {
         (r, &rkeys, l, &lkeys)
     };
-    let build_timer = build_ns.as_ref().map(|_| Stopwatch::start());
+    let build_timer = meter.as_ref().map(|_| Stopwatch::start());
+    let mut mem = meter.as_ref().map(|_| ua_obs::MemTracker::new());
     let mut table: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
     for brow in build.rows() {
         let key = key_of(build_keys, brow)?;
         if key.has_null() {
             continue; // SQL NULL keys never join
         }
+        if let Some(mem) = &mut mem {
+            // One slot per build row plus the key tuple per distinct key.
+            mem.alloc(if table.contains_key(&key) {
+                8
+            } else {
+                8 + crate::stats::tuple_mem_bytes(&key)
+            });
+        }
         table.entry(key).or_default().push(brow);
     }
-    if let (Some(slot), Some(timer)) = (build_ns, build_timer) {
-        *slot = timer.elapsed_ns();
+    if let (Some(meter), Some(timer)) = (meter, build_timer) {
+        meter.build_ns = timer.elapsed_ns();
+        meter.build_bytes = mem.as_ref().map_or(0, ua_obs::MemTracker::peak);
     }
     for prow in probe.rows() {
         let key = key_of(probe_keys, prow)?;
@@ -635,6 +798,7 @@ fn join_stream(
     l: &Table,
     r: &Table,
     predicate: Option<&Expr>,
+    meter: Option<&mut JoinMeter>,
     on_row: &mut dyn FnMut(Tuple) -> Result<(), EngineError>,
 ) -> Result<(), EngineError> {
     let schema = l.schema().concat(r.schema());
@@ -647,6 +811,8 @@ fn join_stream(
         let (keys, residual) = extract_equi_keys(pred, l.schema().arity());
         if !keys.is_empty() {
             let residual = Expr::conjunction(residual);
+            let build_timer = meter.as_ref().map(|_| Stopwatch::start());
+            let mut mem = meter.as_ref().map(|_| ua_obs::MemTracker::new());
             let mut table: FxHashMap<Tuple, Vec<&Tuple>> = FxHashMap::default();
             for row in r.rows() {
                 let key: Tuple = keys
@@ -656,7 +822,18 @@ fn join_stream(
                 if key.has_null() {
                     continue;
                 }
+                if let Some(mem) = &mut mem {
+                    mem.alloc(if table.contains_key(&key) {
+                        8
+                    } else {
+                        8 + crate::stats::tuple_mem_bytes(&key)
+                    });
+                }
                 table.entry(key).or_default().push(row);
+            }
+            if let (Some(meter), Some(timer)) = (meter, build_timer) {
+                meter.build_ns = timer.elapsed_ns();
+                meter.build_bytes = mem.as_ref().map_or(0, ua_obs::MemTracker::peak);
             }
             for lrow in l.rows() {
                 let key: Tuple = keys
@@ -853,6 +1030,11 @@ fn aggregate(
         .collect::<Result<_, _>>()?;
 
     // Group rows; preserve first-seen order for deterministic output.
+    let mut mem = tracer.enabled().then(ua_obs::MemTracker::new);
+    // Estimated logical bytes per group entry: the key twice (map key +
+    // order slot) and a fixed 32-byte slot per aggregate state.
+    let group_bytes =
+        |key: &Tuple| 2 * crate::stats::tuple_mem_bytes(key) + 32 * aggregates.len() as u64;
     let mut groups: FxHashMap<Tuple, Vec<AggState>> = FxHashMap::default();
     let mut order: Vec<Tuple> = Vec::new();
     for row in t.rows() {
@@ -863,6 +1045,9 @@ fn aggregate(
         let states = match groups.get_mut(&key) {
             Some(s) => s,
             None => {
+                if let Some(mem) = &mut mem {
+                    mem.alloc(group_bytes(&key));
+                }
                 order.push(key.clone());
                 groups
                     .entry(key.clone())
@@ -880,6 +1065,9 @@ fn aggregate(
     // Global aggregation over an empty input still yields one row.
     if bound_groups.is_empty() && groups.is_empty() {
         let key = Tuple::empty();
+        if let Some(mem) = &mut mem {
+            mem.alloc(group_bytes(&key));
+        }
         order.push(key.clone());
         groups.insert(
             key,
@@ -900,6 +1088,9 @@ fn aggregate(
             values.push(s.finish());
         }
         out.push(Tuple::new(values));
+    }
+    if let Some(mem) = &mem {
+        tracer.extra("mem_bytes", mem.peak());
     }
     Ok(out)
 }

@@ -48,6 +48,12 @@ pub struct ExecOptions {
     /// Stats ride *next to* the result — output is byte-identical on or
     /// off.
     pub collect_stats: bool,
+    /// Whether the executor should emit query-lifetime trace events
+    /// (bind/execute/merge phase spans on the session thread's armed
+    /// trace ring, plus per-morsel task spans recorded by the pool and
+    /// injected after the join). Like stats, tracing is a pure observer —
+    /// output is byte-identical on or off.
+    pub collect_trace: bool,
 }
 
 /// Entry points a vectorized executor registers.

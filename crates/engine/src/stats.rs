@@ -86,11 +86,21 @@ impl<'a> Tracer<'a> {
         }
     }
 
-    /// Discard the current span (error unwinding keeps the stack balanced
-    /// for callers that continue with the tracer).
+    /// Close the current span as *failed*: stamp its wall time, mark it
+    /// with an `error=1` extra, and attach it to the parent — so a query
+    /// that dies mid-execution still yields the partial operator tree up
+    /// to (and including) the failing span, instead of nothing.
     pub(crate) fn abandon(&mut self) {
         if let Some(st) = &mut self.state {
-            st.stack.pop();
+            let mut frame = st.stack.pop().expect("abandon without enter");
+            frame.node.wall_ns = frame.start.elapsed_ns();
+            frame.node.push_extra("error", 1);
+            st.stack
+                .last_mut()
+                .expect("sentinel root below every span")
+                .node
+                .children
+                .push(frame.node);
         }
     }
 
@@ -112,13 +122,26 @@ impl<'a> Tracer<'a> {
     }
 
     /// The finished span tree (the single top-level operator), if any.
+    /// Error unwinding can leave spans open (the fused Map-over-Join path
+    /// holds two frames at once); they are closed here with the `error`
+    /// marker so partial trees always come out well-formed.
     pub(crate) fn finish(self) -> Option<OperatorStats> {
-        self.state
-            .and_then(|mut st| st.stack.pop())
-            .and_then(|mut root| {
-                debug_assert!(root.node.children.len() <= 1, "one top-level span");
-                root.node.children.pop()
-            })
+        self.state.and_then(|mut st| {
+            while st.stack.len() > 1 {
+                let mut frame = st.stack.pop().expect("len checked");
+                frame.node.wall_ns = frame.start.elapsed_ns();
+                frame.node.push_extra("error", 1);
+                st.stack
+                    .last_mut()
+                    .expect("len checked")
+                    .node
+                    .children
+                    .push(frame.node);
+            }
+            let mut root = st.stack.pop().expect("sentinel root");
+            debug_assert!(root.node.children.len() <= 1, "one top-level span");
+            root.node.children.pop()
+        })
     }
 }
 
@@ -129,12 +152,21 @@ pub fn execute_with_stats(
     plan: &Plan,
     catalog: &Catalog,
 ) -> Result<(Table, OperatorStats), EngineError> {
+    let (result, root) = try_execute_with_stats(plan, catalog);
+    Ok((result?, root.expect("traced execution yields a root span")))
+}
+
+/// [`execute_with_stats`] that keeps the span tree on failure: the stats
+/// come back alongside the result, and a query that errors mid-execution
+/// yields the partial operator tree with the failing spans carrying an
+/// `error=1` extra — the instrument for debugging failed queries.
+pub fn try_execute_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+) -> (Result<Table, EngineError>, Option<OperatorStats>) {
     let mut tracer = Tracer::on(catalog);
-    let table = crate::exec::execute_traced(plan, catalog, &mut tracer)?;
-    let root = tracer
-        .finish()
-        .expect("traced execution yields a root span");
-    Ok((table, root))
+    let result = crate::exec::execute_traced(plan, catalog, &mut tracer);
+    (result, tracer.finish())
 }
 
 /// Execute an AU plan on the row interpreter while collecting the
@@ -143,12 +175,40 @@ pub fn execute_au_with_stats(
     plan: &Plan,
     catalog: &Catalog,
 ) -> Result<(ua_ranges::AuRelation, OperatorStats), EngineError> {
+    let (result, root) = try_execute_au_with_stats(plan, catalog);
+    Ok((result?, root.expect("traced execution yields a root span")))
+}
+
+/// [`execute_au_with_stats`] that keeps the (partial, error-marked) span
+/// tree on failure — the AU counterpart of [`try_execute_with_stats`].
+pub fn try_execute_au_with_stats(
+    plan: &Plan,
+    catalog: &Catalog,
+) -> (
+    Result<ua_ranges::AuRelation, EngineError>,
+    Option<OperatorStats>,
+) {
     let mut tracer = Tracer::on(catalog);
-    let rel = crate::au::execute_au_traced(plan, catalog, &mut tracer)?;
-    let root = tracer
-        .finish()
-        .expect("traced execution yields a root span");
-    Ok((rel, root))
+    let result = crate::au::execute_au_traced(plan, catalog, &mut tracer);
+    (result, tracer.finish())
+}
+
+/// Estimated logical bytes of one value: a fixed 16-byte slot (tag +
+/// payload word) plus string payload. Computed from value *shape*, never
+/// the allocator, so the figure is deterministic across runs and safe for
+/// golden snapshots — the convention every `mem_bytes` figure in both
+/// engines follows.
+pub fn value_mem_bytes(v: &ua_data::value::Value) -> u64 {
+    match v {
+        ua_data::value::Value::Str(s) => 16 + s.len() as u64,
+        _ => 16,
+    }
+}
+
+/// Estimated logical bytes of one tuple: an 8-byte header plus its
+/// values' [`value_mem_bytes`].
+pub fn tuple_mem_bytes(t: &ua_data::tuple::Tuple) -> u64 {
+    8 + t.values().iter().map(value_mem_bytes).sum::<u64>()
 }
 
 /// The node-local operator label: the same rendering [`Plan`]'s `Display`

@@ -284,16 +284,38 @@ impl Catalog {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Register (or replace) a table. Statistics are collected immediately
-    /// (the "on load/insert" collection point).
+    /// Register (or replace) a table. For a *new* table, statistics are
+    /// collected immediately (the "on load" collection point). Replacing
+    /// an existing table leaves the previous snapshot in place instead:
+    /// the next [`Catalog::stats_of`] detects the generation mismatch,
+    /// recollects on the spot, and counts the event on the
+    /// `stats.staleness` counter — the planner-feedback signal that stale
+    /// statistics were consumed (an explicit [`Catalog::analyze`] after
+    /// bulk replacement keeps the counter quiet).
     pub fn register(&self, name: impl Into<String>, table: Table) {
         let name = name.into();
-        let stats = Arc::new(TableStats::collect(&table));
         let generation = self.next_generation();
-        self.tables
-            .write()
-            .insert(name.clone(), (generation, Arc::new(table)));
-        self.stats.write().insert(name, (generation, stats));
+        let table = Arc::new(table);
+        if !self.tables.read().contains_key(&name) {
+            let stats = Arc::new(TableStats::collect(&table));
+            self.stats.write().insert(name.clone(), (generation, stats));
+        }
+        self.tables.write().insert(name, (generation, table));
+        self.publish_catalog_gauges();
+    }
+
+    /// Publish the catalog's size as the `catalog.tables` / `catalog.rows`
+    /// gauges — the planner-feedback signals alongside `stats.staleness`.
+    fn publish_catalog_gauges(&self) {
+        let tables = self.tables.read();
+        let rows: u64 = tables.values().map(|(_, t)| t.len() as u64).sum();
+        let registry = ua_obs::global();
+        registry
+            .gauge("catalog.tables")
+            .set(i64::try_from(tables.len()).unwrap_or(i64::MAX));
+        registry
+            .gauge("catalog.rows")
+            .set(i64::try_from(rows).unwrap_or(i64::MAX));
     }
 
     /// Fetch a table by name.
@@ -315,6 +337,10 @@ impl Catalog {
                 return Some(Arc::clone(stats));
             }
         }
+        // The cached snapshot described a replaced table: count the
+        // staleness event (the `stats.staleness` counter the observability
+        // docs' planner-feedback section reads) and recollect.
+        ua_obs::global().counter("stats.staleness").inc();
         let stats = Arc::new(TableStats::collect(&table));
         self.stats
             .write()
@@ -349,7 +375,11 @@ impl Catalog {
     /// Drop a table; returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
         self.stats.write().remove(name);
-        self.tables.write().remove(name).is_some()
+        let existed = self.tables.write().remove(name).is_some();
+        if existed {
+            self.publish_catalog_gauges();
+        }
+        existed
     }
 
     /// Names of all registered tables.

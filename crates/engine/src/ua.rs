@@ -93,6 +93,13 @@ pub struct UaSession {
     /// The stats of the most recent instrumented query on this session
     /// ([`UaSession::last_query_stats`]).
     last_stats: Mutex<Option<ua_obs::QueryStats>>,
+    /// Whether queries collect a query-lifetime trace (per-thread event
+    /// ring, exported as Perfetto JSON). Off by default; results are
+    /// byte-identical on or off — the differential trace tests assert it.
+    collect_trace: AtomicBool,
+    /// The Perfetto JSON of the most recent traced query
+    /// ([`UaSession::last_query_trace`]).
+    last_trace: Mutex<Option<String>>,
 }
 
 impl Default for UaSession {
@@ -105,6 +112,29 @@ impl Default for UaSession {
             vec_threads: AtomicUsize::new(0),
             collect_stats: AtomicBool::new(false),
             last_stats: Mutex::new(None),
+            collect_trace: AtomicBool::new(false),
+            last_trace: Mutex::new(None),
+        }
+    }
+}
+
+/// Scope guard arming the thread-local trace ring for one query: armed by
+/// [`UaSession::trace_query`] at every query entry point, and on drop —
+/// success *or* error — the collected events are exported as Perfetto
+/// JSON into the session's `last_trace` slot. Holds `None` when tracing
+/// is disabled or a trace is already active (nested query execution, e.g.
+/// an AU resolver encoding a source mid-plan): the outer guard owns the
+/// ring.
+pub(crate) struct TraceGuard<'a> {
+    session: Option<&'a UaSession>,
+}
+
+impl Drop for TraceGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session {
+            if let Some(events) = ua_obs::trace_finish() {
+                *session.last_trace.lock() = Some(ua_obs::to_perfetto_json(&events));
+            }
         }
     }
 }
@@ -375,10 +405,46 @@ impl UaSession {
         self.last_stats.lock().clone()
     }
 
-    /// Store an instrumented execution's stats and feed the planner's
-    /// est-vs-actual join counters ([`crate::optimize::record_join_misestimates`]).
+    /// Enable or disable query-lifetime tracing for subsequent queries:
+    /// parse → plan → optimize → execute phase spans, per-operator spans
+    /// (row engine) or bind/execute/merge + per-morsel task spans
+    /// (vectorized engine), collected in a per-thread ring and exported as
+    /// chrome://tracing / Perfetto JSON. Off by default; results are
+    /// byte-identical either way — tracing is a pure observer.
+    pub fn set_trace_enabled(&self, enabled: bool) {
+        self.collect_trace.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether queries collect a lifetime trace.
+    pub fn trace_enabled(&self) -> bool {
+        self.collect_trace.load(Ordering::Relaxed)
+    }
+
+    /// The Perfetto JSON trace of the most recent traced query on this
+    /// session (any semantics, either engine) — load it at
+    /// <https://ui.perfetto.dev> or `chrome://tracing`. `None` until a
+    /// query ran with tracing enabled.
+    pub fn last_query_trace(&self) -> Option<String> {
+        self.last_trace.lock().clone()
+    }
+
+    /// Arm the per-thread trace ring for one query (no-op guard when
+    /// tracing is off or an outer query already owns the ring).
+    pub(crate) fn trace_query(&self) -> TraceGuard<'_> {
+        TraceGuard {
+            session: (self.trace_enabled() && ua_obs::trace_start()).then_some(self),
+        }
+    }
+
+    /// Store an instrumented execution's stats, feed the planner's
+    /// est-vs-actual join counters ([`crate::optimize::record_join_misestimates`])
+    /// and publish the query's memory high-water mark as the
+    /// `mem.query.peak_bytes` gauge.
     pub(crate) fn store_stats(&self, stats: ua_obs::QueryStats) {
         crate::optimize::record_join_misestimates(&stats.root);
+        ua_obs::global()
+            .gauge("mem.query.peak_bytes")
+            .set(i64::try_from(stats.peak_mem_bytes).unwrap_or(i64::MAX));
         *self.last_stats.lock() = Some(stats);
     }
 
@@ -396,6 +462,9 @@ impl UaSession {
             threads: self.vec_threads(),
             batch_rows: 0,
             collect_stats: self.stats_enabled(),
+            // The session thread's ring is armed by `trace_query` before
+            // dispatch; the executor only needs to know it may emit.
+            collect_trace: ua_obs::trace_active(),
         }
     }
 
@@ -479,31 +548,42 @@ impl UaSession {
 
     /// Run a query under plain deterministic semantics.
     pub fn query_det(&self, sql: &str) -> Result<Table, EngineError> {
-        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
-        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
-        let plan = self.optimize_plan(plan);
-        match self.exec_mode() {
+        let _trace = self.trace_query();
+        let ast = ua_obs::trace_scope("parse", "session", || parse(sql))
+            .map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = ua_obs::trace_scope("plan", "session", || {
+            plan_query(&ast, &self.catalog, &UaResolver { session: self })
+        })?;
+        let plan = ua_obs::trace_scope("optimize", "session", || self.optimize_plan(plan));
+        ua_obs::trace_scope("execute", "session", || match self.exec_mode() {
             ExecMode::Row => {
                 if self.stats_enabled() {
-                    let (table, root) = crate::stats::execute_with_stats(&plan, &self.catalog)?;
-                    self.store_stats(ua_obs::QueryStats {
-                        engine: "row".into(),
-                        semantics: "det".into(),
-                        root,
-                        pool: None,
-                    });
-                    Ok(table)
+                    ua_obs::mem_query_start();
+                    let (result, root) = crate::stats::try_execute_with_stats(&plan, &self.catalog);
+                    let peak = ua_obs::mem_query_finish().unwrap_or(0);
+                    // A failed query still deposits its (error-marked)
+                    // partial operator tree before the error propagates.
+                    if let Some(root) = root {
+                        self.store_stats(ua_obs::QueryStats {
+                            engine: "row".into(),
+                            semantics: "det".into(),
+                            root,
+                            pool: None,
+                            peak_mem_bytes: peak,
+                        });
+                    }
+                    result
                 } else {
                     execute(&plan, &self.catalog)
                 }
             }
             ExecMode::Vectorized => {
                 let table =
-                    (require_vectorized_hooks()?.plan)(&plan, &self.catalog, self.exec_options())?;
+                    (require_vectorized_hooks()?.plan)(&plan, &self.catalog, self.exec_options());
                 self.adopt_hook_stats();
-                Ok(table)
+                table
             }
-        }
+        })
     }
 
     /// Run a query under UA semantics: plan, rewrite with `⟦·⟧_UA`, execute
@@ -513,13 +593,18 @@ impl UaSession {
     /// `DISTINCT` and aggregation over UA-DBs are future work in the paper
     /// and rejected here.
     pub fn query_ua(&self, sql: &str) -> Result<UaResult, EngineError> {
-        let ast = parse(sql).map_err(|e| EngineError::Sql(e.to_string()))?;
-        let plan = plan_query(&ast, &self.catalog, &UaResolver { session: self })?;
+        let _trace = self.trace_query();
+        let ast = ua_obs::trace_scope("parse", "session", || parse(sql))
+            .map_err(|e| EngineError::Sql(e.to_string()))?;
+        let plan = ua_obs::trace_scope("plan", "session", || {
+            plan_query(&ast, &self.catalog, &UaResolver { session: self })
+        })?;
         self.execute_ua_plan(&plan)
     }
 
     /// Run an already-planned `RA⁺` query under UA semantics.
     pub fn query_ua_ra(&self, query: &ua_data::RaExpr) -> Result<UaResult, EngineError> {
+        let _trace = self.trace_query();
         self.execute_ua_plan(&Plan::from_ra(query))
     }
 
@@ -606,27 +691,45 @@ impl UaSession {
             // ride along and execute natively over the encoded batches
             // (columnar sort with the marker as final tie-break, bounded
             // Top-K heap) — no row-engine fallback.
-            let user_plan = self.rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers);
-            let table =
-                (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
-            self.adopt_hook_stats();
+            let user_plan = ua_obs::trace_scope("optimize", "session", || {
+                self.rewrap(self.optimize_plan_stripped(Plan::from_ra(&ra)), wrappers)
+            });
+            let table = ua_obs::trace_scope("execute", "session", || {
+                let table = (require_vectorized_hooks()?.ua)(
+                    &user_plan,
+                    &self.catalog,
+                    self.exec_options(),
+                );
+                self.adopt_hook_stats();
+                table
+            })?;
             return Ok(UaResult { table });
         }
         let lookup = |name: &str| self.catalog.schema_of(name);
-        let rewritten = rewrite_ua(&ra, &lookup)?;
-        let rewritten_plan = self.rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers);
-        let table = if self.stats_enabled() {
-            let (table, root) = crate::stats::execute_with_stats(&rewritten_plan, &self.catalog)?;
-            self.store_stats(ua_obs::QueryStats {
-                engine: "row".into(),
-                semantics: "ua".into(),
-                root,
-                pool: None,
-            });
-            table
-        } else {
-            execute(&rewritten_plan, &self.catalog)?
-        };
+        let rewritten = ua_obs::trace_scope("rewrite", "session", || rewrite_ua(&ra, &lookup))?;
+        let rewritten_plan = ua_obs::trace_scope("optimize", "session", || {
+            self.rewrap(self.optimize_plan(Plan::from_ra(&rewritten)), wrappers)
+        });
+        let table = ua_obs::trace_scope("execute", "session", || {
+            if self.stats_enabled() {
+                ua_obs::mem_query_start();
+                let (result, root) =
+                    crate::stats::try_execute_with_stats(&rewritten_plan, &self.catalog);
+                let peak = ua_obs::mem_query_finish().unwrap_or(0);
+                if let Some(root) = root {
+                    self.store_stats(ua_obs::QueryStats {
+                        engine: "row".into(),
+                        semantics: "ua".into(),
+                        root,
+                        pool: None,
+                        peak_mem_bytes: peak,
+                    });
+                }
+                result
+            } else {
+                execute(&rewritten_plan, &self.catalog)
+            }
+        })?;
         Ok(UaResult { table })
     }
 
@@ -677,9 +780,15 @@ impl UaSession {
         };
         if self.exec_mode() == ExecMode::Vectorized {
             let user_plan = self.rewrap(self.optimize_plan_stripped(reordered), wrappers);
-            let table =
-                (require_vectorized_hooks()?.ua)(&user_plan, &self.catalog, self.exec_options())?;
-            self.adopt_hook_stats();
+            let table = ua_obs::trace_scope("execute", "session", || {
+                let table = (require_vectorized_hooks()?.ua)(
+                    &user_plan,
+                    &self.catalog,
+                    self.exec_options(),
+                );
+                self.adopt_hook_stats();
+                table
+            })?;
             return Ok(UaResult { table });
         }
         let mut temps = TempTables {

@@ -681,8 +681,8 @@ fn explain_analyze_golden_snapshot() {
     assert_eq!(
         row.root.render(false),
         "Map[city→city, __agg0→n] rows=1 est=2\n\
-         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2\n\
-         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 (build_rows=2, probe_rows=2)\n\
+         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2 (mem_bytes=86)\n\
+         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 (build_rows=2, probe_rows=2, mem_bytes=70)\n\
          \x20     Alias[e] rows=2 est=2\n\
          \x20       Filter[(salary >= 80)] rows=2 est=2\n\
          \x20         Scan[emp] rows=4 est=4\n\
@@ -698,8 +698,8 @@ fn explain_analyze_golden_snapshot() {
     assert_eq!(
         vec.root.render(false),
         "Map[city→city, __agg0→n] rows=1 est=2 batches=1\n\
-         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2 batches=1\n\
-         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 batches=1 (build_rows=2, probe_rows=2)\n\
+         \x20 Aggregate[city; count(*)→__agg0] rows=1 est=2 batches=1 (mem_bytes=43)\n\
+         \x20   HashJoin[e.dept=d.name; build=right] rows=2 est=2 batches=1 (build_rows=2, mem_bytes=92, probe_rows=2)\n\
          \x20     Alias[d] rows=2 est=2 batches=1\n\
          \x20       Scan[dept] rows=2 est=2 batches=1\n\
          \x20     Alias[e] rows=2 est=2 batches=1\n\

@@ -1,0 +1,533 @@
+//! Query-lifetime tracing contract tests.
+//!
+//! The trace layer must export schema-valid Perfetto JSON (balanced
+//! `B`/`E` pairs per thread, monotonic per-thread timestamps, per-morsel
+//! `X` spans with durations), stay a pure observer (byte-identical
+//! results with tracing on or off, across engines × optimizer settings ×
+//! thread counts × semantics), and keep reporting when a query errors
+//! mid-execution (partial stats tree with an `error` marker plus a
+//! balanced trace). The memory/uncertainty telemetry riding on the same
+//! stats tree is pinned by golden `render(false)` snapshots and the
+//! EXPLAIN ANALYZE acceptance shape.
+
+use ua_data::schema::Schema;
+use ua_data::tuple::Tuple;
+use ua_data::value::Value;
+use ua_engine::{ExecMode, Table, UaSession};
+
+/// The same star-schema fixture as the observability tests: `orders(ok,
+/// ck, total)` ⋈ `cust(ck, dk)` ⋈ `dept(dk, region)` plus a TI-annotated
+/// `t(g, v, p)`, sized so 8-thread morsel runs split into several tasks.
+fn seeded_session() -> UaSession {
+    let s = UaSession::new();
+    s.register_table(
+        "orders",
+        Table::from_rows(
+            Schema::qualified("orders", ["ok", "ck", "total"]),
+            (0..600i64)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i),
+                        Value::Int((i * 7) % 120),
+                        Value::Int((i * 13) % 500),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "cust",
+        Table::from_rows(
+            Schema::qualified("cust", ["ck", "dk"]),
+            (0..120i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 8)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "dept",
+        Table::from_rows(
+            Schema::qualified("dept", ["dk", "region"]),
+            (0..8i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 3)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "t",
+        Table::from_rows(
+            Schema::qualified("t", ["g", "v", "p"]),
+            (0..200i64)
+                .map(|i| {
+                    Tuple::new(vec![
+                        Value::Int(i % 5),
+                        Value::Int(i),
+                        Value::float(if i % 4 == 0 { 0.5 } else { 1.0 }),
+                    ])
+                })
+                .collect(),
+        ),
+    );
+    // Annotated (all-certain) dimensions for the 3-way AU join shape.
+    s.register_table(
+        "cu",
+        Table::from_rows(
+            Schema::qualified("cu", ["ck", "dk", "p"]),
+            (0..120i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 8), Value::float(1.0)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "du",
+        Table::from_rows(
+            Schema::qualified("du", ["dk", "region", "p"]),
+            (0..8i64)
+                .map(|i| Tuple::new(vec![Value::Int(i), Value::Int(i % 3), Value::float(1.0)]))
+                .collect(),
+        ),
+    );
+    s
+}
+
+const DET_SQL: &str = "SELECT d.region, count(*) AS n, sum(o.total) AS s \
+                       FROM orders o, cust c, dept d \
+                       WHERE o.ck = c.ck AND c.dk = d.dk AND o.total >= 100 \
+                       GROUP BY d.region";
+
+const UA_SQL: &str = "SELECT x.g, x.v FROM t IS TI WITH PROBABILITY (p) x \
+                      WHERE x.v >= 50";
+
+const AU_SQL: &str = "SELECT x.g, count(*) AS n, sum(x.v) AS s \
+                      FROM t IS TI WITH PROBABILITY (p) x GROUP BY x.g";
+
+/// One parsed trace event from the exported Perfetto JSON.
+#[derive(Debug)]
+struct Ev {
+    name: String,
+    cat: String,
+    ph: char,
+    ts: f64,
+    tid: u64,
+    dur: Option<f64>,
+}
+
+fn field<'a>(line: &'a str, key: &str) -> &'a str {
+    let start = line
+        .find(&format!("\"{key}\": "))
+        .unwrap_or_else(|| panic!("missing `{key}` in: {line}"))
+        + key.len()
+        + 4;
+    let rest = &line[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated `{key}` in: {line}"));
+    &rest[..end]
+}
+
+fn str_field(line: &str, key: &str) -> String {
+    let v = field(line, key);
+    v.trim_matches('"').to_string()
+}
+
+/// Parse the exported trace. Event names never contain `,` or `}` (phase
+/// labels, operator labels, `morsel N`), so line-wise splitting is safe;
+/// the envelope shape itself is asserted here too.
+fn parse_trace(json: &str) -> Vec<Ev> {
+    assert!(
+        json.starts_with("{\"traceEvents\": ["),
+        "bad envelope start: {}",
+        &json[..json.len().min(40)]
+    );
+    assert!(
+        json.ends_with("], \"displayTimeUnit\": \"ns\"}"),
+        "bad envelope end"
+    );
+    json.lines()
+        .filter(|l| l.trim_start().starts_with("{\"name\""))
+        .map(|line| Ev {
+            name: str_field(line, "name"),
+            cat: str_field(line, "cat"),
+            ph: str_field(line, "ph").chars().next().expect("ph char"),
+            ts: field(line, "ts").parse().expect("ts number"),
+            tid: field(line, "tid").parse().expect("tid number"),
+            dur: line
+                .contains("\"dur\": ")
+                .then(|| field(line, "dur").parse().expect("dur number")),
+        })
+        .collect()
+}
+
+/// Structural validity: balanced, properly nested `B`/`E` pairs per
+/// thread and non-decreasing timestamps per thread.
+fn assert_well_formed(events: &[Ev], ctx: &str) {
+    let mut stacks: std::collections::HashMap<u64, Vec<&str>> = Default::default();
+    let mut last_ts: std::collections::HashMap<u64, f64> = Default::default();
+    for ev in events {
+        let prev = last_ts.entry(ev.tid).or_insert(0.0);
+        assert!(
+            ev.ts >= *prev,
+            "{ctx}: tid {} timestamp went backwards at `{}` ({} < {prev})",
+            ev.tid,
+            ev.name,
+            ev.ts
+        );
+        *prev = ev.ts;
+        match ev.ph {
+            'B' => stacks.entry(ev.tid).or_default().push(&ev.name),
+            'E' => {
+                let open = stacks
+                    .get_mut(&ev.tid)
+                    .and_then(Vec::pop)
+                    .unwrap_or_else(|| panic!("{ctx}: E `{}` without open span", ev.name));
+                assert_eq!(open, ev.name, "{ctx}: mismatched span nesting");
+            }
+            'X' => assert!(
+                ev.dur.is_some(),
+                "{ctx}: X span `{}` must carry a duration",
+                ev.name
+            ),
+            'i' => {}
+            other => panic!("{ctx}: unknown phase char {other:?}"),
+        }
+    }
+    for (tid, stack) in stacks {
+        assert!(
+            stack.is_empty(),
+            "{ctx}: tid {tid} left unbalanced spans: {stack:?}"
+        );
+    }
+}
+
+/// The exported trace is schema-valid Perfetto JSON on both engines and
+/// all three semantics; the vectorized 8-thread run additionally carries
+/// the full phase ladder on the session thread and per-morsel `X` spans
+/// on the synthetic pool-worker threads.
+#[test]
+fn trace_export_is_valid_perfetto() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    s.set_trace_enabled(true);
+    s.set_vec_threads(8);
+
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        for (sem, run) in [
+            (
+                "det",
+                Box::new(|| s.query_det(DET_SQL).map(drop)) as Box<dyn Fn() -> _>,
+            ),
+            ("ua", Box::new(|| s.query_ua(UA_SQL).map(drop))),
+            ("au", Box::new(|| s.query_au(AU_SQL).map(drop))),
+        ] {
+            run().unwrap_or_else(|e| panic!("{mode:?}/{sem}: {e}"));
+            let json = s
+                .last_query_trace()
+                .unwrap_or_else(|| panic!("{mode:?}/{sem}: no trace exported"));
+            let events = parse_trace(&json);
+            let ctx = format!("{mode:?}/{sem}");
+            assert!(!events.is_empty(), "{ctx}: empty trace");
+            assert_well_formed(&events, &ctx);
+            for phase in ["parse", "plan", "optimize", "execute"] {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| e.ph == 'B' && e.name == phase && e.tid == 0),
+                    "{ctx}: missing `{phase}` phase span:\n{json}"
+                );
+            }
+        }
+    }
+
+    // The vectorized det run (last loop leaves Vectorized mode) gets the
+    // executor-side phases and the injected per-morsel pool spans.
+    s.set_exec_mode(ExecMode::Vectorized);
+    s.query_det(DET_SQL).expect("vec det");
+    let events = parse_trace(&s.last_query_trace().expect("vec trace"));
+    for phase in ["bind", "merge"] {
+        assert!(
+            events.iter().any(|e| e.ph == 'B' && e.name == phase),
+            "vectorized trace missing `{phase}` phase"
+        );
+    }
+    let morsels: Vec<&Ev> = events
+        .iter()
+        .filter(|e| e.ph == 'X' && e.name.starts_with("morsel"))
+        .collect();
+    assert!(
+        !morsels.is_empty(),
+        "8-thread vectorized run must inject per-morsel pool spans"
+    );
+    for m in &morsels {
+        assert!(m.tid >= 1, "pool spans live on worker tids: {m:?}");
+        assert_eq!(m.cat, "pool");
+    }
+}
+
+/// Tracing is a pure observer: results are byte-identical with tracing
+/// on vs off across {Row, Vectorized} × {optimizer on, off} × {1, 2, 8
+/// threads} × {det, ua, au} — the same grid the stats-collection
+/// contract runs.
+#[test]
+fn tracing_never_changes_results() {
+    ua_vecexec::install();
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        for optimizer in [true, false] {
+            for threads in [1usize, 2, 8] {
+                let s = seeded_session();
+                s.set_exec_mode(mode);
+                s.set_optimizer_enabled(optimizer);
+                s.set_vec_threads(threads);
+                let ctx = format!("mode={mode:?} optimizer={optimizer} threads={threads}");
+
+                s.set_trace_enabled(false);
+                let det_off = s.query_det(DET_SQL).expect("det off");
+                let ua_off = s.query_ua(UA_SQL).expect("ua off");
+                let au_off = s.query_au(AU_SQL).expect("au off");
+
+                s.set_trace_enabled(true);
+                let det_on = s.query_det(DET_SQL).expect("det on");
+                let ua_on = s.query_ua(UA_SQL).expect("ua on");
+                let au_on = s.query_au(AU_SQL).expect("au on");
+
+                assert_eq!(det_off.rows(), det_on.rows(), "det rows differ: {ctx}");
+                assert_eq!(
+                    ua_off.table.rows(),
+                    ua_on.table.rows(),
+                    "UA rows differ: {ctx}"
+                );
+                assert_eq!(
+                    au_off.table.rows(),
+                    au_on.table.rows(),
+                    "AU rows differ: {ctx}"
+                );
+
+                // The traced runs actually exported something balanced.
+                let json = s.last_query_trace().expect("trace exported");
+                assert_well_formed(&parse_trace(&json), &ctx);
+            }
+        }
+    }
+}
+
+/// A query that fails mid-execution (runtime type error) still deposits
+/// a partial operator tree carrying the `error` marker — on both engines
+/// — and the trace stays balanced (error paths close their spans).
+#[test]
+fn failed_query_still_reports_partial_stats() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    s.set_stats_enabled(true);
+    s.set_trace_enabled(true);
+    // Int + Str only fails when a row actually evaluates it.
+    let bad = "SELECT o.ok + 'x' AS z FROM orders o";
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        let err = s.query_det(bad).expect_err("type error must propagate");
+        let msg = err.to_string();
+        let stats = s
+            .last_query_stats()
+            .unwrap_or_else(|| panic!("{mode:?}: failed query left no stats ({msg})"));
+        let rendered = stats.render(false);
+        assert!(
+            rendered.contains("error=1"),
+            "{mode:?}: partial tree must carry the error marker:\n{rendered}"
+        );
+        let engine = if mode == ExecMode::Row {
+            "row"
+        } else {
+            "vectorized"
+        };
+        assert_eq!(stats.engine, engine, "{mode:?}: wrong engine tag");
+        let json = s.last_query_trace().expect("failed query still traces");
+        assert_well_formed(&parse_trace(&json), &format!("{mode:?} error path"));
+    }
+}
+
+/// The acceptance shape: EXPLAIN ANALYZE on a 3-way join + GROUP BY AU
+/// query reports per-operator peak memory and the bound-width summary
+/// (attribute-certainty, relative range width, multiplicity spread) on
+/// BOTH engines, plus the query-level memory high-water mark.
+#[test]
+fn explain_analyze_reports_memory_and_bound_width() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    let au3 = "SELECT d.region, count(*) AS n, sum(x.v) AS s \
+               FROM t IS TI WITH PROBABILITY (p) x \
+               JOIN cu IS TI WITH PROBABILITY (p) c ON x.g = c.ck \
+               JOIN du IS TI WITH PROBABILITY (p) d ON c.dk = d.dk \
+               GROUP BY d.region";
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        let report = s.explain_analyze_au(au3).expect("au explain analyze");
+        for token in [
+            "mem_bytes=",
+            "certain_rows=",
+            "top_attrs_permille=",
+            "rel_width_permille=",
+            "mult_spread=",
+            "memory: query peak=",
+        ] {
+            assert!(
+                report.contains(token),
+                "{mode:?}: AU EXPLAIN ANALYZE missing `{token}`:\n{report}"
+            );
+        }
+        assert!(
+            report.matches("HashJoin").count() >= 2,
+            "{mode:?}: expected the 3-way join shape:\n{report}"
+        );
+    }
+
+    // The deterministic path tracks memory too.
+    for mode in [ExecMode::Row, ExecMode::Vectorized] {
+        s.set_exec_mode(mode);
+        s.set_stats_enabled(true);
+        s.query_det(DET_SQL).expect("det");
+        s.set_stats_enabled(false);
+        let stats = s.last_query_stats().expect("stats");
+        assert!(
+            stats.peak_mem_bytes > 0,
+            "{mode:?}: join+agg must report a nonzero memory high-water mark"
+        );
+    }
+}
+
+/// Golden `render(false)` snapshots with the new memory / certainty /
+/// bound-width columns, pinned on the vectorized engine (deterministic
+/// logical byte figures, single-threaded).
+#[test]
+fn golden_render_includes_mem_and_uncertainty_columns() {
+    ua_vecexec::install();
+    let s = seeded_session();
+    s.set_exec_mode(ExecMode::Vectorized);
+    s.set_vec_threads(1);
+    s.set_stats_enabled(true);
+
+    s.query_ua(UA_SQL).expect("ua");
+    let ua = s.last_query_stats().expect("ua stats");
+    assert_eq!(
+        ua.root.render(false),
+        "Map[x.g\u{2192}g, x.v\u{2192}v] rows=150 est=150 batches=1 (certain_rows=113)\n\
+         \x20 Alias[x] rows=150 est=150 batches=1 (certain_rows=113)\n\
+         \x20   Filter[(v >= 50)] rows=150 est=150 batches=1 (certain_rows=113)\n\
+         \x20     Scan[__ua__t__ti_1_p] rows=200 est=200 batches=1 (certain_rows=150)\n",
+        "UA golden drifted:\n{}",
+        ua.root.render(false)
+    );
+
+    s.query_au(AU_SQL).expect("au");
+    let au = s.last_query_stats().expect("au stats");
+    assert_eq!(
+        au.root.render(false),
+        "Map[g\u{2192}g, __agg0\u{2192}n, __agg1\u{2192}s] rows=5 est=5 batches=1 \
+         (certain_rows=5, top_attrs_permille=0, rel_width_permille=163, \
+         mult_spread=195, mem_bytes=840)\n\
+         \x20 Aggregate[g; count(*)\u{2192}__agg0, sum\u{2192}__agg1] rows=5 est=5 \
+         batches=1 (certain_rows=5, top_attrs_permille=0, rel_width_permille=163, \
+         mult_spread=195, mem_bytes=840)\n\
+         \x20   Alias[x] rows=200 est=200 batches=1 (certain_rows=150, \
+         top_attrs_permille=0, rel_width_permille=0, mult_spread=50, \
+         mem_bytes=24000)\n\
+         \x20     Scan[__au__t__ti_1_p] rows=200 est=200 batches=1 \
+         (certain_rows=150, top_attrs_permille=0, rel_width_permille=0, \
+         mult_spread=50, mem_bytes=24000)\n",
+        "AU golden drifted:\n{}",
+        au.root.render(false)
+    );
+}
+
+/// Planner-feedback telemetry: registering tables publishes the
+/// `catalog.tables` / `catalog.rows` gauges, and consuming a stale
+/// statistics snapshot (table replaced since collection) recollects and
+/// counts on `stats.staleness`; an explicit ANALYZE keeps it quiet.
+#[test]
+fn staleness_counter_and_catalog_gauges() {
+    let s = seeded_session();
+    let reg = ua_obs::global();
+
+    // Fixture totals: 6 tables, 600 + 120 + 8 + 200 + 120 + 8 rows. Other
+    // tests in this binary publish the *same* totals, so poll briefly to
+    // step over a concurrently mid-registration session.
+    let expect_gauges = |tables: i64, rows: i64| {
+        for _ in 0..200 {
+            if reg.gauge("catalog.tables").get() == tables
+                && reg.gauge("catalog.rows").get() == rows
+            {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        panic!(
+            "catalog gauges never settled at tables={tables} rows={rows} \
+             (got tables={} rows={})",
+            reg.gauge("catalog.tables").get(),
+            reg.gauge("catalog.rows").get()
+        );
+    };
+    expect_gauges(6, 1056);
+
+    // Fresh registration collected stats eagerly: serving them is not a
+    // staleness event.
+    let before = reg.counter("stats.staleness").get();
+    s.catalog().stats_of("t").expect("stats");
+    assert_eq!(
+        reg.counter("stats.staleness").get(),
+        before,
+        "fresh stats must serve from cache"
+    );
+
+    // Replace the table: the cached snapshot goes stale, the next read
+    // recollects and counts exactly one staleness event, and the
+    // refreshed snapshot serves quietly afterwards.
+    s.register_table(
+        "t",
+        Table::from_rows(
+            Schema::qualified("t", ["g", "v", "p"]),
+            (0..200i64)
+                .map(|i| Tuple::new(vec![Value::Int(i % 5), Value::Int(i), Value::float(1.0)]))
+                .collect(),
+        ),
+    );
+    expect_gauges(6, 1056);
+    s.catalog().stats_of("t").expect("stats");
+    assert_eq!(
+        reg.counter("stats.staleness").get(),
+        before + 1,
+        "consuming a stale snapshot must count on stats.staleness"
+    );
+    s.catalog().stats_of("t").expect("stats");
+    assert_eq!(
+        reg.counter("stats.staleness").get(),
+        before + 1,
+        "the recollected snapshot serves from cache"
+    );
+
+    // ANALYZE after a replacement refreshes proactively: no staleness.
+    s.register_table(
+        "t2",
+        Table::from_rows(
+            Schema::qualified("t2", ["a"]),
+            (0..10i64)
+                .map(|i| Tuple::new(vec![Value::Int(i)]))
+                .collect(),
+        ),
+    );
+    s.register_table(
+        "t2",
+        Table::from_rows(
+            Schema::qualified("t2", ["a"]),
+            (0..20i64)
+                .map(|i| Tuple::new(vec![Value::Int(i)]))
+                .collect(),
+        ),
+    );
+    s.catalog().analyze("t2").expect("analyze");
+    let after_analyze = reg.counter("stats.staleness").get();
+    s.catalog().stats_of("t2").expect("stats");
+    assert_eq!(
+        reg.counter("stats.staleness").get(),
+        after_analyze,
+        "ANALYZE must pre-empt the staleness event"
+    );
+}

@@ -17,6 +17,15 @@
 //! Everything exports to JSON by hand ([`QueryStats::to_json`],
 //! [`Registry::to_json`]) — no serde in the workspace.
 //!
+//! Two further layers ride on the same contract:
+//!
+//! * **structured tracing** ([`trace`]): a per-thread ring buffer of
+//!   begin/end/instant/span events over one query's lifetime, exported as
+//!   chrome://tracing / Perfetto JSON ([`to_perfetto_json`]);
+//! * **memory accounting** ([`mem`]): per-operator [`MemTracker`]s whose
+//!   deterministic byte estimates surface as `mem_bytes` span extras and
+//!   roll up into [`QueryStats::peak_mem_bytes`].
+//!
 //! ## Determinism
 //!
 //! Instrumentation lives **off the result path**: executors time and count
@@ -35,6 +44,16 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
+
+pub mod mem;
+pub mod trace;
+
+pub use mem::{mem_query_active, mem_query_finish, mem_query_start, MemTracker};
+pub use trace::{
+    to_perfetto_json, trace_active, trace_begin, trace_end, trace_finish, trace_instant,
+    trace_ns_of, trace_scope, trace_span_at, trace_start, TraceEvent, TRACE_RING_CAPACITY,
+    TRACE_TID_SESSION,
+};
 
 // ---------------------------------------------------------------------------
 // Metrics registry
@@ -472,12 +491,23 @@ pub struct QueryStats {
     pub root: OperatorStats,
     /// Morsel-pool instrumentation (vectorized runs only).
     pub pool: Option<PoolStats>,
+    /// High-water mark of tracked operator-state bytes across the query
+    /// (the [`mem`] accumulator's peak) — 0 when memory accounting did not
+    /// run or nothing stateful executed. Deterministic: byte figures are
+    /// estimated from row/value shape, never read from the allocator.
+    pub peak_mem_bytes: u64,
 }
 
 impl QueryStats {
-    /// Render the annotated tree plus the pool summary.
+    /// Render the annotated tree plus the memory and pool summaries.
     pub fn render(&self, include_time: bool) -> String {
         let mut out = self.root.render(include_time);
+        if self.peak_mem_bytes > 0 {
+            out.push_str(&format!(
+                "memory: query peak={} bytes\n",
+                self.peak_mem_bytes
+            ));
+        }
         if let Some(pool) = &self.pool {
             out.push_str(&format!(
                 "morsel pool: workers={} tasks={} stolen={} build_tasks={}",
@@ -500,9 +530,10 @@ impl QueryStats {
     /// Export as a JSON object.
     pub fn to_json(&self) -> String {
         let mut out = format!(
-            "{{\"engine\": {}, \"semantics\": {}, \"plan\": {}",
+            "{{\"engine\": {}, \"semantics\": {}, \"peak_mem_bytes\": {}, \"plan\": {}",
             json_string(&self.engine),
             json_string(&self.semantics),
+            self.peak_mem_bytes,
             self.root.to_json()
         );
         if let Some(pool) = &self.pool {
@@ -673,7 +704,7 @@ mod tests {
             engine: "row".into(),
             semantics: "det".into(),
             root: OperatorStats::new("Scan", "t"),
-            pool: None,
+            ..QueryStats::default()
         });
         let got = take_last_query_stats().expect("deposited");
         assert_eq!(got.engine, "row");
@@ -698,13 +729,16 @@ mod tests {
                 build_wall_ns: 200,
                 partition_merge_ns: 5,
             }),
+            peak_mem_bytes: 4096,
         };
         let json = stats.to_json();
+        assert!(json.contains("\"peak_mem_bytes\": 4096"));
         assert!(json.contains("\"pool\": {\"workers\": 4"));
         assert!(json.contains("\"stolen\": 3"));
         assert!(json.contains("\"build_tasks\": 2"));
         assert!(json.contains("\"partition_merge_ns\": 5"));
         let text = stats.render(true);
+        assert!(text.contains("memory: query peak=4096 bytes"));
         assert!(text.contains("morsel pool: workers=4 tasks=16 stolen=3"));
         assert!(text.contains("build_tasks=2"));
     }

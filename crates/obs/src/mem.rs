@@ -1,0 +1,156 @@
+//! Per-operator and per-query memory accounting.
+//!
+//! [`MemTracker`] is the per-operator instrument: a stateful operator
+//! (hash-join build table, aggregation map, sort/Top-K buffer, except
+//! budget map, AU triple-column materialization) creates one, records the
+//! **estimated logical bytes** of the state it holds as it builds, and
+//! reports `peak()` as a `mem_bytes` span extra. Byte figures are
+//! *estimates computed from row/value shape* — never from the allocator —
+//! so they are deterministic across runs and safe for golden snapshots.
+//!
+//! Alongside the per-operator view, every `alloc`/`free` also feeds a
+//! thread-local **query accumulator** ([`mem_query_start`] /
+//! [`mem_query_finish`]): the running sum of live tracked state across
+//! the operators of one query, whose high-water mark becomes
+//! `QueryStats::peak_mem_bytes` and the `mem.query.peak_bytes` gauge.
+//! Like all instrumentation in this crate it is off the result path —
+//! inactive (and free) unless a session armed it for the current query.
+
+use std::cell::Cell;
+
+thread_local! {
+    static QUERY_CURRENT: Cell<u64> = const { Cell::new(0) };
+    static QUERY_PEAK: Cell<u64> = const { Cell::new(0) };
+    static QUERY_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Arm the thread-local query accumulator (resets current and peak).
+pub fn mem_query_start() {
+    QUERY_CURRENT.with(|c| c.set(0));
+    QUERY_PEAK.with(|p| p.set(0));
+    QUERY_ACTIVE.with(|a| a.set(true));
+}
+
+/// Whether a query accumulator is armed on this thread.
+pub fn mem_query_active() -> bool {
+    QUERY_ACTIVE.with(Cell::get)
+}
+
+/// Disarm the accumulator and return the query's peak tracked bytes
+/// (`None` when it was not armed).
+pub fn mem_query_finish() -> Option<u64> {
+    if !mem_query_active() {
+        return None;
+    }
+    QUERY_ACTIVE.with(|a| a.set(false));
+    QUERY_CURRENT.with(|c| c.set(0));
+    Some(QUERY_PEAK.with(Cell::get))
+}
+
+fn query_alloc(bytes: u64) {
+    if !mem_query_active() {
+        return;
+    }
+    QUERY_CURRENT.with(|c| {
+        let now = c.get().saturating_add(bytes);
+        c.set(now);
+        QUERY_PEAK.with(|p| p.set(p.get().max(now)));
+    });
+}
+
+fn query_free(bytes: u64) {
+    if !mem_query_active() {
+        return;
+    }
+    QUERY_CURRENT.with(|c| c.set(c.get().saturating_sub(bytes)));
+}
+
+/// Current/peak byte accounting for one stateful operator.
+///
+/// Not `Clone`: the `Drop` impl releases whatever is still tracked back
+/// to the query accumulator, so each tracker owns its bytes exactly once
+/// — an operator that drops its state mid-query (a probed-out hash table)
+/// can also `free` explicitly to model the release point precisely.
+#[derive(Debug, Default)]
+pub struct MemTracker {
+    current: u64,
+    peak: u64,
+}
+
+impl MemTracker {
+    /// A fresh tracker with nothing tracked.
+    pub fn new() -> MemTracker {
+        MemTracker::default()
+    }
+
+    /// Record `bytes` of newly held state.
+    pub fn alloc(&mut self, bytes: u64) {
+        self.current = self.current.saturating_add(bytes);
+        self.peak = self.peak.max(self.current);
+        query_alloc(bytes);
+    }
+
+    /// Record the release of `bytes` of held state.
+    pub fn free(&mut self, bytes: u64) {
+        let bytes = bytes.min(self.current);
+        self.current -= bytes;
+        query_free(bytes);
+    }
+
+    /// Bytes currently tracked.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark of tracked bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
+impl Drop for MemTracker {
+    fn drop(&mut self) {
+        query_free(self.current);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_tracks_current_and_peak() {
+        let mut t = MemTracker::new();
+        t.alloc(100);
+        t.alloc(50);
+        t.free(120);
+        assert_eq!(t.current(), 30);
+        assert_eq!(t.peak(), 150);
+        t.free(1_000);
+        assert_eq!(t.current(), 0, "free saturates at zero");
+    }
+
+    #[test]
+    fn query_accumulator_tracks_concurrent_operators() {
+        assert!(mem_query_finish().is_none(), "inactive by default");
+        mem_query_start();
+        let mut a = MemTracker::new();
+        let mut b = MemTracker::new();
+        a.alloc(100);
+        b.alloc(200); // live sum 300
+        drop(a); // releases its 100
+        b.alloc(50); // live sum 250
+        drop(b);
+        assert_eq!(mem_query_finish(), Some(300));
+        assert!(mem_query_finish().is_none(), "finish disarms");
+    }
+
+    #[test]
+    fn inactive_accumulator_costs_nothing_and_tracks_nothing() {
+        let mut t = MemTracker::new();
+        t.alloc(42);
+        drop(t);
+        mem_query_start();
+        assert_eq!(mem_query_finish(), Some(0));
+    }
+}

@@ -1,0 +1,262 @@
+//! Structured query-lifetime tracing.
+//!
+//! A per-thread ring buffer of begin/end/instant/span events covering one
+//! query's lifetime (parse → plan → optimize → bind → per-morsel stage
+//! execution → merge), exported as chrome://tracing / Perfetto-compatible
+//! JSON ([`to_perfetto_json`]).
+//!
+//! The collector is **thread-local and lock-free by construction**: the
+//! session thread owns the ring for the whole synchronous query, and
+//! events produced on pool workers are recorded by the pool itself (the
+//! rayon shim's task spans) and *injected* afterwards by the driver via
+//! [`trace_span_at`] with an explicit synthetic thread id — no worker
+//! ever touches the ring concurrently.
+//!
+//! Tracing lives off the result path: every function here is a no-op
+//! until [`trace_start`] arms the thread-local state, and nothing an
+//! executor produces reads trace state — results are byte-identical with
+//! tracing on or off (the differential trace tests assert it).
+
+use crate::json_string;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// Maximum events one query's ring retains; later events are dropped and
+/// counted (the export reports the drop count as a final instant event).
+pub const TRACE_RING_CAPACITY: usize = 65_536;
+
+/// The synthetic thread id of the session (query-dispatching) thread.
+pub const TRACE_TID_SESSION: u64 = 0;
+
+/// One trace event. `ph` follows the chrome://tracing event format:
+/// `B`/`E` bracket a nested span on a thread, `i` is an instant, `X` is a
+/// complete span with an explicit duration (used for injected pool task
+/// spans, which arrive after the fact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (phase or operator label, `morsel 3`, …).
+    pub name: String,
+    /// Category tag (`session`, `operator`, `pool`, …).
+    pub cat: &'static str,
+    /// Phase character: `B`, `E`, `i` or `X`.
+    pub ph: char,
+    /// Nanoseconds since the trace epoch ([`trace_start`]).
+    pub ts_ns: u64,
+    /// Span duration in nanoseconds (`X` events only; 0 otherwise).
+    pub dur_ns: u64,
+    /// Synthetic thread id: [`TRACE_TID_SESSION`] for the session thread,
+    /// `1 + worker` for pool workers.
+    pub tid: u64,
+}
+
+struct TraceState {
+    epoch: Instant,
+    ring: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+impl TraceState {
+    fn push(&mut self, ev: TraceEvent) {
+        if self.ring.len() < TRACE_RING_CAPACITY {
+            self.ring.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<TraceState>> = const { RefCell::new(None) };
+}
+
+/// Arm tracing on this thread with a fresh ring and epoch. Returns `true`
+/// if this call started the trace, `false` if one was already active (the
+/// active trace keeps collecting; the caller must not finish it).
+pub fn trace_start() -> bool {
+    TRACE.with(|t| {
+        let mut t = t.borrow_mut();
+        if t.is_some() {
+            return false;
+        }
+        *t = Some(TraceState {
+            epoch: Instant::now(),
+            ring: Vec::new(),
+            dropped: 0,
+        });
+        true
+    })
+}
+
+/// Whether a trace is being collected on this thread.
+pub fn trace_active() -> bool {
+    TRACE.with(|t| t.borrow().is_some())
+}
+
+fn emit(name: &str, cat: &'static str, ph: char, tid: u64, ts_ns: Option<u64>, dur_ns: u64) {
+    TRACE.with(|t| {
+        if let Some(st) = t.borrow_mut().as_mut() {
+            let ts_ns = ts_ns.unwrap_or_else(|| {
+                u64::try_from(st.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            });
+            st.push(TraceEvent {
+                name: name.to_string(),
+                cat,
+                ph,
+                ts_ns,
+                dur_ns,
+                tid,
+            });
+        }
+    });
+}
+
+/// Open a nested span on the session thread (no-op when tracing is off).
+pub fn trace_begin(name: &str, cat: &'static str) {
+    emit(name, cat, 'B', TRACE_TID_SESSION, None, 0);
+}
+
+/// Close the innermost open span on the session thread.
+pub fn trace_end(name: &str, cat: &'static str) {
+    emit(name, cat, 'E', TRACE_TID_SESSION, None, 0);
+}
+
+/// Record an instant event on the session thread.
+pub fn trace_instant(name: &str, cat: &'static str) {
+    emit(name, cat, 'i', TRACE_TID_SESSION, None, 0);
+}
+
+/// Run `f` inside a `B`/`E` span pair (emitted only while tracing).
+pub fn trace_scope<T>(name: &str, cat: &'static str, f: impl FnOnce() -> T) -> T {
+    trace_begin(name, cat);
+    let out = f();
+    trace_end(name, cat);
+    out
+}
+
+/// Inject a complete (`X`) span with an explicit timestamp and thread id
+/// — how pool task spans recorded by the rayon shim (against `Instant`s)
+/// enter the session thread's ring after the parallel section joined.
+pub fn trace_span_at(name: &str, cat: &'static str, tid: u64, ts_ns: u64, dur_ns: u64) {
+    emit(name, cat, 'X', tid, Some(ts_ns), dur_ns);
+}
+
+/// Nanoseconds from the trace epoch to `at` (`None` when tracing is off
+/// or `at` predates the epoch — callers clamp to 0 in that case).
+pub fn trace_ns_of(at: Instant) -> Option<u64> {
+    TRACE.with(|t| {
+        t.borrow().as_ref().map(|st| {
+            u64::try_from(at.saturating_duration_since(st.epoch).as_nanos()).unwrap_or(u64::MAX)
+        })
+    })
+}
+
+/// Disarm tracing on this thread and return the collected events (plus a
+/// final `dropped` instant when the ring overflowed). `None` when no
+/// trace was active.
+pub fn trace_finish() -> Option<Vec<TraceEvent>> {
+    TRACE.with(|t| {
+        t.borrow_mut().take().map(|st| {
+            let mut events = st.ring;
+            if st.dropped > 0 {
+                let ts_ns = events.last().map_or(0, |e| e.ts_ns);
+                events.push(TraceEvent {
+                    name: format!("trace ring overflow: {} events dropped", st.dropped),
+                    cat: "trace",
+                    ph: 'i',
+                    ts_ns,
+                    dur_ns: 0,
+                    tid: TRACE_TID_SESSION,
+                });
+            }
+            events
+        })
+    })
+}
+
+/// Render events as chrome://tracing / Perfetto "JSON Array Format":
+/// `{"traceEvents": [...], "displayTimeUnit": "ns"}` with timestamps in
+/// fractional microseconds (Perfetto's native `ts` unit).
+pub fn to_perfetto_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"traceEvents\": [");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!(
+            "\"name\": {}, \"cat\": {}, \"ph\": \"{}\", \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}",
+            json_string(&e.name),
+            json_string(e.cat),
+            e.ph,
+            e.ts_ns / 1_000,
+            e.ts_ns % 1_000,
+            e.tid
+        ));
+        if e.ph == 'X' {
+            out.push_str(&format!(
+                ", \"dur\": {}.{:03}",
+                e.dur_ns / 1_000,
+                e.dur_ns % 1_000
+            ));
+        }
+        if e.ph == 'i' {
+            out.push_str(", \"s\": \"t\"");
+        }
+        out.push('}');
+    }
+    out.push_str("\n], \"displayTimeUnit\": \"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_until_started() {
+        trace_begin("x", "t");
+        trace_instant("y", "t");
+        assert!(!trace_active());
+        assert!(trace_finish().is_none());
+    }
+
+    #[test]
+    fn collects_balanced_spans_and_exports() {
+        assert!(trace_start());
+        assert!(!trace_start(), "nested start must not re-arm");
+        trace_scope("parse", "session", || ());
+        trace_span_at("morsel 0", "pool", 1, 500, 1_500);
+        let events = trace_finish().expect("active trace");
+        assert!(trace_finish().is_none(), "finish disarms");
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[0].ph, events[1].ph, events[2].ph), ('B', 'E', 'X'));
+        assert!(events[0].ts_ns <= events[1].ts_ns, "monotonic per thread");
+        let json = to_perfetto_json(&events);
+        assert!(json.starts_with("{\"traceEvents\": ["));
+        assert!(json.contains("\"name\": \"parse\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"dur\": 1.500"));
+        assert!(json.contains("\"tid\": 1"));
+    }
+
+    #[test]
+    fn ring_overflow_is_counted_not_grown() {
+        assert!(trace_start());
+        for _ in 0..TRACE_RING_CAPACITY + 5 {
+            trace_instant("tick", "t");
+        }
+        let events = trace_finish().expect("active");
+        assert_eq!(events.len(), TRACE_RING_CAPACITY + 1);
+        assert!(events.last().unwrap().name.contains("5 events dropped"));
+    }
+
+    #[test]
+    fn ns_of_maps_instants_onto_the_epoch() {
+        assert!(trace_ns_of(Instant::now()).is_none(), "off → None");
+        assert!(trace_start());
+        let ns = trace_ns_of(Instant::now()).expect("active");
+        let later = trace_ns_of(Instant::now()).expect("active");
+        assert!(later >= ns);
+        trace_finish();
+    }
+}

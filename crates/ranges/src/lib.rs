@@ -27,7 +27,9 @@
 //!   the headline sound bound combination for grouping/aggregation with
 //!   uncertain group membership;
 //! * [`enclosure`] — the test oracle: flow-based verification that an AU
-//!   result encloses every possible world's answer.
+//!   result encloses every possible world's answer;
+//! * [`width`] — bound-precision summaries ([`WidthSummary`]): the
+//!   per-operator tightness profile EXPLAIN ANALYZE reports.
 
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +40,7 @@ pub mod mult;
 pub mod ops;
 pub mod relation;
 pub mod value;
+pub mod width;
 
 pub use enclosure::{check_encloses_world, sg_rows};
 pub use eval::{approx_range, eval_range, reanchor, truth_range, RangeTruth};
@@ -49,3 +52,4 @@ pub use relation::{
     AU_MULT_UB, AU_UB_PREFIX,
 };
 pub use value::{range_cmp, Bound, RangeValue};
+pub use width::WidthSummary;

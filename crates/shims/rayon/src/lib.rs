@@ -21,6 +21,24 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+/// One executed task, timestamped with the wall clock. Recorded only when
+/// span recording is on ([`ThreadPool::set_spans_recorded`]); callers map
+/// the `Instant`s onto their own trace epoch (this shim mirrors the real
+/// `rayon` API and takes no workspace dependencies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// Worker that executed the task.
+    pub worker: usize,
+    /// Item index within the `map_in_order`/`map_build` call.
+    pub index: usize,
+    /// `true` when the task ran under [`ThreadPool::map_build`].
+    pub build: bool,
+    /// When the task started executing.
+    pub start: Instant,
+    /// When the task finished.
+    pub end: Instant,
+}
+
 /// Instrumentation accumulated across [`ThreadPool::map_in_order`] calls
 /// while the pool is instrumented ([`ThreadPool::set_instrumented`]).
 /// Self-contained (this shim mirrors the real `rayon` API and takes no
@@ -53,6 +71,9 @@ pub struct PoolMetrics {
     /// Time callers spent merging per-partition pipeline-breaker state in
     /// fixed partition order ([`ThreadPool::note_partition_merge`]).
     pub partition_merge_ns: u64,
+    /// Per-task execution spans, in item-index order per call. Empty
+    /// unless span recording is on ([`ThreadPool::set_spans_recorded`]).
+    pub spans: Vec<TaskSpan>,
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -99,6 +120,7 @@ impl ThreadPoolBuilder {
         Ok(ThreadPool {
             num_threads: n,
             instrument: AtomicBool::new(false),
+            record_spans: AtomicBool::new(false),
             metrics: Mutex::new(PoolMetrics::default()),
         })
     }
@@ -112,6 +134,9 @@ pub struct ThreadPool {
     num_threads: usize,
     /// Off by default: instrumentation costs two clock reads per task.
     instrument: AtomicBool,
+    /// Off by default: span recording additionally retains two `Instant`s
+    /// per task. Only consulted while instrumented.
+    record_spans: AtomicBool,
     metrics: Mutex<PoolMetrics>,
 }
 
@@ -137,10 +162,31 @@ impl ThreadPool {
         self.instrument.load(Ordering::Relaxed)
     }
 
+    /// Turn per-task span recording on or off (off by default). Spans are
+    /// only collected while the pool is *also* instrumented
+    /// ([`ThreadPool::set_instrumented`]); they feed trace export and, like
+    /// all instrumentation here, never affect results.
+    pub fn set_spans_recorded(&self, on: bool) {
+        self.record_spans.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether per-task span recording is currently on.
+    pub fn spans_recorded(&self) -> bool {
+        self.record_spans.load(Ordering::Relaxed)
+    }
+
     /// Snapshot the accumulated [`PoolMetrics`] and reset them to zero.
     pub fn take_metrics(&self) -> PoolMetrics {
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
         std::mem::take(&mut m)
+    }
+
+    /// Drain only the recorded task spans, leaving the numeric metrics
+    /// accumulating — trace export consumes spans independently of the
+    /// stats snapshot.
+    pub fn take_spans(&self) -> Vec<TaskSpan> {
+        let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
+        std::mem::take(&mut m.spans)
     }
 
     /// Account `ns` of caller-side partition-merge time (the fixed-order
@@ -194,6 +240,7 @@ impl ThreadPool {
     {
         let n = items.len();
         let instrument = self.instrument.load(Ordering::Relaxed);
+        let record_spans = instrument && self.record_spans.load(Ordering::Relaxed);
         let wall = if instrument {
             Some(Instant::now())
         } else {
@@ -201,14 +248,30 @@ impl ThreadPool {
         };
         let threads = self.num_threads.min(n);
         if threads <= 1 {
+            let mut spans: Vec<TaskSpan> = Vec::new();
             let out: Vec<R> = items
                 .into_iter()
                 .enumerate()
-                .map(|(i, t)| f(i, t))
+                .map(|(i, t)| {
+                    if record_spans {
+                        let start = Instant::now();
+                        let r = f(i, t);
+                        spans.push(TaskSpan {
+                            worker: 0,
+                            index: i,
+                            build,
+                            start,
+                            end: Instant::now(),
+                        });
+                        r
+                    } else {
+                        f(i, t)
+                    }
+                })
                 .collect();
             if let Some(start) = wall {
                 let ns = start.elapsed().as_nanos() as u64;
-                self.record(n as u64, 0, ns, 0, &[(0, ns, n as u64)], build);
+                self.record(n as u64, 0, ns, 0, &[(0, ns, n as u64)], spans, build);
             }
             return out;
         }
@@ -219,12 +282,14 @@ impl ThreadPool {
         let cursor = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, usize, R)>> = Mutex::new(Vec::with_capacity(n));
         let worker_stats: Mutex<Vec<(usize, u64, u64)>> = Mutex::new(Vec::new());
+        let task_spans: Mutex<Vec<TaskSpan>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| {
             for w in 0..threads {
-                let (f, slots, cursor, collected, worker_stats) =
-                    (&f, &slots, &cursor, &collected, &worker_stats);
+                let (f, slots, cursor, collected, worker_stats, task_spans) =
+                    (&f, &slots, &cursor, &collected, &worker_stats, &task_spans);
                 scope.spawn(move || {
                     let mut local: Vec<(usize, usize, R)> = Vec::new();
+                    let mut local_spans: Vec<TaskSpan> = Vec::new();
                     let mut busy_ns = 0u64;
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -244,6 +309,15 @@ impl ThreadPool {
                         local.push((i, w, f(i, item)));
                         if let Some(start) = task_start {
                             busy_ns += start.elapsed().as_nanos() as u64;
+                            if record_spans {
+                                local_spans.push(TaskSpan {
+                                    worker: w,
+                                    index: i,
+                                    build,
+                                    start,
+                                    end: Instant::now(),
+                                });
+                            }
                         }
                     }
                     if instrument {
@@ -251,6 +325,12 @@ impl ThreadPool {
                             .lock()
                             .unwrap_or_else(|e| e.into_inner())
                             .push((w, busy_ns, local.len() as u64));
+                    }
+                    if !local_spans.is_empty() {
+                        task_spans
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .extend(local_spans);
                     }
                     collected
                         .lock()
@@ -284,12 +364,15 @@ impl ThreadPool {
             let used = per_worker.iter().filter(|(_, _, t)| *t > 0).count() as u64;
             let transitions = owner.windows(2).filter(|w| w[0] != w[1]).count() as u64;
             let stolen = transitions.saturating_sub(used.saturating_sub(1));
+            let mut spans = task_spans.into_inner().unwrap_or_else(|e| e.into_inner());
+            spans.sort_by_key(|s| s.index);
             self.record(
                 n as u64,
                 stolen,
                 wall_start.elapsed().as_nanos() as u64,
                 merge_ns,
                 &per_worker,
+                spans,
                 build,
             );
         }
@@ -298,6 +381,7 @@ impl ThreadPool {
 
     /// Fold one instrumented `map_in_order` call into the accumulated
     /// metrics.
+    #[allow(clippy::too_many_arguments)]
     fn record(
         &self,
         tasks: u64,
@@ -305,6 +389,7 @@ impl ThreadPool {
         wall_ns: u64,
         merge_ns: u64,
         per_worker: &[(usize, u64, u64)],
+        spans: Vec<TaskSpan>,
         build: bool,
     ) {
         let mut m = self.metrics.lock().unwrap_or_else(|e| e.into_inner());
@@ -326,6 +411,7 @@ impl ThreadPool {
             m.worker_busy_ns[w] += busy;
             m.worker_tasks[w] += t;
         }
+        m.spans.extend(spans);
     }
 }
 
@@ -409,6 +495,37 @@ mod tests {
             p.set_instrumented(false);
             p.note_partition_merge(5);
             assert_eq!(p.take_metrics(), PoolMetrics::default());
+        }
+    }
+
+    #[test]
+    fn span_recording_captures_every_task_in_index_order() {
+        for threads in [1, 4] {
+            let p = pool(threads);
+            p.set_instrumented(true);
+            p.set_spans_recorded(true);
+            assert!(p.spans_recorded());
+            let got = p.map_in_order((0..16).collect::<Vec<u64>>(), |_, x| x + 1);
+            assert_eq!(got, (1..=16).collect::<Vec<u64>>());
+            p.map_build((0..4).collect::<Vec<u64>>(), |_, x| x);
+            let m = p.take_metrics();
+            assert_eq!(m.spans.len(), 20, "threads={threads}");
+            let morsels: Vec<usize> = m
+                .spans
+                .iter()
+                .filter(|s| !s.build)
+                .map(|s| s.index)
+                .collect();
+            assert_eq!(morsels, (0..16).collect::<Vec<usize>>(), "index order");
+            assert_eq!(m.spans.iter().filter(|s| s.build).count(), 4);
+            for s in &m.spans {
+                assert!(s.end >= s.start);
+                assert!(s.worker < threads);
+            }
+            // Spans need instrumentation: recording alone collects nothing.
+            p.set_instrumented(false);
+            p.map_in_order(vec![1u64], |_, x| x);
+            assert!(p.take_metrics().spans.is_empty());
         }
     }
 

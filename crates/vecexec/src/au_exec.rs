@@ -68,7 +68,7 @@ use ua_engine::plan::{AggExpr, Plan};
 use ua_engine::stats::node_label;
 use ua_engine::storage::{Catalog, Table};
 use ua_engine::{estimate_rows, EngineError, ExecOptions};
-use ua_obs::{OperatorStats, PoolStats, QueryStats, Stopwatch};
+use ua_obs::{OperatorStats, Stopwatch};
 use ua_ranges::{
     au_base_schema, decode_row, encode_row, flattened_schema, range_from_parts, range_parts,
     reanchor, truth_range, AggCols, AggKind, AuRelation, MultBound, RangeValue, TripleCol,
@@ -294,6 +294,10 @@ struct AuDriver<'a> {
     /// Collect per-operator [`OperatorStats`] next to the result (results
     /// are identical on or off).
     collect_stats: bool,
+    /// Emit execute/merge phase spans and per-morsel pool task spans on
+    /// the session thread's armed trace ring (results identical on or
+    /// off, like stats).
+    collect_trace: bool,
     /// The morsel pool: per-batch stages (scan chunking, σ, π) map in
     /// deterministic batch order, so parallel output is byte-identical to
     /// serial.
@@ -301,6 +305,17 @@ struct AuDriver<'a> {
 }
 
 impl<'a> AuDriver<'a> {
+    /// Bracket `f` in a query-phase trace span when tracing is on; a
+    /// plain call otherwise (closes on the error path too, so exported
+    /// traces stay balanced).
+    fn phase<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if self.collect_trace {
+            ua_obs::trace_scope(name, "vecexec", f)
+        } else {
+            f()
+        }
+    }
+
     fn stream_traced(&self, plan: &Plan) -> Result<(AuStream, Option<OperatorStats>), EngineError> {
         let timer = self.collect_stats.then(Stopwatch::start);
         let (stream, children) = match plan {
@@ -453,6 +468,7 @@ impl<'a> AuDriver<'a> {
             // The timer spans the recursive children, so this is already
             // the cumulative wall time `OperatorStats` documents.
             node.wall_ns = timer.elapsed_ns();
+            au_span_extras(&stream, &mut node);
             node.children = children;
             node
         });
@@ -925,6 +941,52 @@ fn map_batch(
     ))
 }
 
+/// The AU telemetry extras for a finished operator span — the same
+/// bound-precision profile the row interpreter records
+/// ([`ua_ranges::WidthSummary`]: which operator widened bounds toward ⊤,
+/// and by how much) plus the materialized stream's logical bytes, charged
+/// against the query memory accumulator. Every AU operator materializes
+/// its whole output, so the profile observes exactly the operator result.
+fn au_span_extras(stream: &AuStream, node: &mut OperatorStats) {
+    let n = stream.user.arity();
+    let mut ws = ua_ranges::WidthSummary::new();
+    for b in &stream.batches {
+        for i in 0..b.len() {
+            ws.observe(&ua_ranges::relation::AuTuple {
+                values: row_ranges(b, n, i),
+                mult: mult_bound_at(b, n, i),
+            });
+        }
+    }
+    node.push_extra("certain_rows", ws.certain_rows);
+    node.push_extra("top_attrs_permille", ws.top_attr_permille());
+    node.push_extra("rel_width_permille", ws.mean_rel_width_permille());
+    node.push_extra("mult_spread", ws.mult_spread);
+    let bytes = au_stream_mem_bytes(stream);
+    let mut mem = ua_obs::MemTracker::new();
+    mem.alloc(bytes);
+    node.push_extra("mem_bytes", bytes);
+}
+
+/// Logical bytes of a materialized AU stream — the columnar counterpart
+/// of the row engine's `au_relation_mem_bytes` convention: 24 bytes per
+/// multiplicity triple plus the attribute triple columns (bg, lb, ub —
+/// one 16-byte slot per cell plus string payloads). Shape-derived and
+/// batch-size-independent, so the figure matches across thread counts.
+fn au_stream_mem_bytes(stream: &AuStream) -> u64 {
+    let n = stream.user.arity();
+    stream
+        .batches
+        .iter()
+        .map(|b| {
+            24 * b.len() as u64
+                + (0..3 * n)
+                    .map(|c| crate::exec::column_mem_bytes(b.column(c)))
+                    .sum::<u64>()
+        })
+        .sum()
+}
+
 /// Execute an AU plan with the vectorized engine, returning the flattened
 /// encoded result table — the hook `ua_engine`'s `ExecMode::Vectorized`
 /// AU dispatch calls. `opts.batch_rows` sizes the morsels; `opts.threads`
@@ -945,43 +1007,45 @@ pub fn execute_au_vectorized_opts(
         .num_threads(crate::exec::resolve_threads(opts.threads))
         .build()
         .expect("shim pool construction is infallible");
-    pool.set_instrumented(opts.collect_stats);
+    pool.set_instrumented(opts.collect_stats || opts.collect_trace);
+    pool.set_spans_recorded(opts.collect_trace);
+    if opts.collect_stats {
+        ua_obs::mem_query_start();
+    }
     let driver = AuDriver {
         catalog,
         batch_rows,
         collect_stats: opts.collect_stats,
+        collect_trace: opts.collect_trace,
         pool,
     };
-    let (stream, stats) = driver.stream_traced(plan)?;
-    let parts: Vec<Vec<Tuple>> = driver
-        .pool
-        .map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, b| {
-            (0..b.len()).map(|i| b.row(i)).collect()
-        });
-    let mut rows: Vec<Tuple> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
-    for p in parts {
-        rows.extend(p);
-    }
-    if let Some(root) = stats {
-        let m = driver.pool.take_metrics();
-        ua_obs::set_last_query_stats(QueryStats {
-            engine: "vectorized".into(),
-            semantics: "au".into(),
-            root,
-            pool: Some(PoolStats {
-                workers: m.workers as u64,
-                tasks: m.tasks,
-                stolen: m.stolen,
-                wall_ns: m.wall_ns,
-                merge_ns: m.merge_ns,
-                worker_busy_ns: m.worker_busy_ns,
-                worker_tasks: m.worker_tasks,
-                build_tasks: m.build_tasks,
-                build_wall_ns: m.build_wall_ns,
-                partition_merge_ns: m.partition_merge_ns,
-            }),
-        });
-    }
+    let (stream, stats) = match driver.phase("execute", || driver.stream_traced(plan)) {
+        Ok(ok) => ok,
+        Err(e) => {
+            crate::exec::deposit_query_stats(
+                &driver.pool,
+                driver.collect_trace,
+                driver
+                    .collect_stats
+                    .then(|| crate::exec::error_root(plan, catalog)),
+                "au",
+            );
+            return Err(e);
+        }
+    };
+    let rows = driver.phase("merge", || {
+        let parts: Vec<Vec<Tuple>> = driver
+            .pool
+            .map_in_order(stream.batches.iter().collect::<Vec<_>>(), |_, b| {
+                (0..b.len()).map(|i| b.row(i)).collect()
+            });
+        let mut rows: Vec<Tuple> = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            rows.extend(p);
+        }
+        rows
+    });
+    crate::exec::deposit_query_stats(&driver.pool, driver.collect_trace, stats, "au");
     Ok(Table::from_rows(stream.flat, rows))
 }
 

@@ -77,11 +77,21 @@ pub fn execute_vectorized_opts(
     catalog: &Catalog,
     opts: ExecOptions,
 ) -> Result<Table, EngineError> {
+    if opts.collect_stats {
+        ua_obs::mem_query_start();
+    }
     let driver = Driver::new(catalog, opts, false);
-    let (stream, stats) = driver.stream_traced(plan)?;
-    let table = table_from_batches_pooled(&stream, &driver.pool);
-    driver.deposit_stats(stats, "det");
-    Ok(table)
+    match driver.stream_traced(plan) {
+        Ok((stream, stats)) => {
+            let table = driver.phase("merge", || table_from_batches_pooled(&stream, &driver.pool));
+            driver.deposit_stats(stats, "det");
+            Ok(table)
+        }
+        Err(e) => {
+            driver.deposit_error_stats(plan, "det");
+            Err(e)
+        }
+    }
 }
 
 /// Execute `plan` into a batch stream with an explicit batch size, serially
@@ -99,6 +109,7 @@ pub fn exec_stream(
             threads: 1,
             batch_rows,
             collect_stats: false,
+            collect_trace: false,
         },
     )
 }
@@ -152,6 +163,15 @@ pub(crate) struct Driver<'a> {
     /// Collect per-stage [`OperatorStats`] (and morsel-pool metrics) next
     /// to the result. Results are byte-identical on or off.
     collect_stats: bool,
+    /// Emit bind/execute/merge phase spans on the session thread's armed
+    /// trace ring, and have the pool record per-morsel task spans for
+    /// injection after the join. Results are byte-identical on or off.
+    collect_trace: bool,
+    /// Live [`ua_obs::MemTracker`]s for pipeline-breaker materializations
+    /// (join build tables, sort/Top-K/aggregate outputs). Held until the
+    /// driver drops, so states that coexist during execution stack in the
+    /// query-wide memory high-water mark.
+    mem: std::cell::RefCell<Vec<ua_obs::MemTracker>>,
     pub(crate) pool: rayon::ThreadPool,
 }
 
@@ -212,41 +232,54 @@ impl<'a> Driver<'a> {
             .num_threads(resolve_threads(opts.threads))
             .build()
             .expect("shim pool construction is infallible");
-        pool.set_instrumented(opts.collect_stats);
+        pool.set_instrumented(opts.collect_stats || opts.collect_trace);
+        pool.set_spans_recorded(opts.collect_trace);
         Driver {
             catalog,
             batch_rows,
             ua,
             collect_stats: opts.collect_stats,
+            collect_trace: opts.collect_trace,
+            mem: std::cell::RefCell::new(Vec::new()),
             pool,
         }
+    }
+
+    /// Bracket `f` in a query-phase trace span when tracing is on; a plain
+    /// call otherwise. The span closes on the error path too, so exported
+    /// traces stay balanced.
+    pub(crate) fn phase<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        if self.collect_trace {
+            ua_obs::trace_scope(name, "vecexec", f)
+        } else {
+            f()
+        }
+    }
+
+    /// Charge a pipeline-breaker materialization against the query's
+    /// memory accumulator, holding the tracker until the driver drops (the
+    /// state really does live until then — probe states and breaker
+    /// outputs are owned by the running query).
+    fn track_mem(&self, bytes: u64) {
+        let mut t = ua_obs::MemTracker::new();
+        t.alloc(bytes);
+        self.mem.borrow_mut().push(t);
     }
 
     /// Publish an instrumented run's stats through the thread-local
     /// handoff slot ([`ua_obs::set_last_query_stats`]) for the session to
     /// adopt — the hook signatures stay stats-agnostic.
     pub(crate) fn deposit_stats(&self, root: Option<OperatorStats>, semantics: &str) {
-        if let Some(root) = root {
-            let m = self.pool.take_metrics();
-            let pool = PoolStats {
-                workers: m.workers as u64,
-                tasks: m.tasks,
-                stolen: m.stolen,
-                wall_ns: m.wall_ns,
-                merge_ns: m.merge_ns,
-                worker_busy_ns: m.worker_busy_ns,
-                worker_tasks: m.worker_tasks,
-                build_tasks: m.build_tasks,
-                build_wall_ns: m.build_wall_ns,
-                partition_merge_ns: m.partition_merge_ns,
-            };
-            ua_obs::set_last_query_stats(QueryStats {
-                engine: "vectorized".into(),
-                semantics: semantics.into(),
-                root,
-                pool: Some(pool),
-            });
-        }
+        deposit_query_stats(&self.pool, self.collect_trace, root, semantics);
+    }
+
+    /// Deposit a one-node error-marked stats tree for a query that failed
+    /// mid-execution, so `last_query_stats()` still reports *something*
+    /// (engine, semantics, the failing plan's root operator) instead of
+    /// silently yielding the previous query's stats.
+    pub(crate) fn deposit_error_stats(&self, plan: &Plan, semantics: &str) {
+        let root = self.collect_stats.then(|| error_root(plan, self.catalog));
+        self.deposit_stats(root, semantics);
     }
 
     /// Execute `plan` to a batch stream.
@@ -271,11 +304,13 @@ impl<'a> Driver<'a> {
         if specs.is_empty() {
             return Ok((source, source_stats));
         }
-        let (stages, out_schema, metas) = self.bind_stages(specs, source.schema.clone())?;
+        let (stages, out_schema, metas) =
+            self.phase("bind", || self.bind_stages(specs, source.schema.clone()))?;
         if !self.collect_stats {
-            let results = self
-                .pool
-                .map_in_order(source.batches, |_, batch| run_chain(batch, &stages));
+            let results = self.phase("execute", || {
+                self.pool
+                    .map_in_order(source.batches, |_, batch| run_chain(batch, &stages))
+            });
             let mut batches = Vec::new();
             for r in results {
                 // `?` on the lowest-indexed error reproduces the serial
@@ -292,9 +327,10 @@ impl<'a> Driver<'a> {
             ));
         }
         let n_stages = stages.len();
-        let results = self
-            .pool
-            .map_in_order(source.batches, |_, batch| run_chain_traced(batch, &stages));
+        let results = self.phase("execute", || {
+            self.pool
+                .map_in_order(source.batches, |_, batch| run_chain_traced(batch, &stages))
+        });
         let mut batches = Vec::new();
         let mut tallies = vec![StageTally::default(); n_stages];
         for r in results {
@@ -316,6 +352,9 @@ impl<'a> Driver<'a> {
             n.extra = meta.extra;
             if n.name == "HashJoin" || n.name == "Join" || n.name == "Cross" {
                 n.push_extra("probe_rows", node.rows_out);
+            }
+            if self.ua {
+                n.push_extra("certain_rows", tally.certain_rows);
             }
             let mut children = meta.children;
             children.push(node);
@@ -488,6 +527,9 @@ impl<'a> Driver<'a> {
                             "build_rows".into(),
                             build.batches.iter().map(|b| b.len() as u64).sum(),
                         ));
+                        let bytes = stream_mem_bytes(&build);
+                        self.track_mem(bytes);
+                        m.extra.push(("mem_bytes".into(), bytes));
                         m.children.extend(build_stats);
                     }
                     let (left_schema, right_schema) = if build_left {
@@ -516,6 +558,9 @@ impl<'a> Driver<'a> {
                             "build_rows".into(),
                             right_stream.batches.iter().map(|b| b.len() as u64).sum(),
                         ));
+                        let bytes = stream_mem_bytes(&right_stream);
+                        self.track_mem(bytes);
+                        m.extra.push(("mem_bytes".into(), bytes));
                         m.children.extend(right_stats);
                     }
                     let out_schema = schema.concat(&right_stream.schema);
@@ -663,6 +708,24 @@ impl<'a> Driver<'a> {
                 unreachable!("pipelineable nodes are collected into the chain")
             }
         };
+        // Pipeline breakers hold their whole output (and their build
+        // state) materialized at once — charge that against the query's
+        // memory accumulator and surface it on the span. Scans charge
+        // nothing: base-table batches share the catalog's storage.
+        let breaker_bytes = (self.collect_stats
+            && matches!(
+                plan,
+                Plan::Sort { .. }
+                    | Plan::TopK { .. }
+                    | Plan::Distinct { .. }
+                    | Plan::Aggregate { .. }
+                    | Plan::Except { .. }
+                    | Plan::OuterJoin { .. }
+            ))
+        .then(|| stream_mem_bytes(&stream));
+        if let Some(bytes) = breaker_bytes {
+            self.track_mem(bytes);
+        }
         let stats = timer.map(|timer| {
             // `timer` spans children too, so the elapsed time is already
             // cumulative — exactly the [`OperatorStats::wall_ns`] contract.
@@ -672,11 +735,125 @@ impl<'a> Driver<'a> {
             node.rows_out = stream.batches.iter().map(|b| b.len() as u64).sum();
             node.batches_out = stream.batches.len() as u64;
             node.wall_ns = timer.elapsed_ns();
+            if let Some(bytes) = breaker_bytes {
+                node.push_extra("mem_bytes", bytes);
+            }
+            if self.ua {
+                node.push_extra(
+                    "certain_rows",
+                    stream
+                        .batches
+                        .iter()
+                        .map(|b| b.labels().count_ones() as u64)
+                        .sum::<u64>(),
+                );
+            }
             node.children = children;
             node
         });
         Ok((stream, stats))
     }
+}
+
+/// Deterministic logical size of one batch, matching the row engine's
+/// [`ua_engine::stats::tuple_mem_bytes`] convention (8 bytes of row
+/// header plus one 16-byte slot per value, plus string payload lengths):
+/// the figure depends only on logical shape, never on allocator layout,
+/// batch size or thread count, so `mem_bytes` columns are comparable
+/// across both engines and stable under the determinism grid.
+pub(crate) fn batch_mem_bytes(batch: &ColumnBatch) -> u64 {
+    let mut bytes = 8 * batch.len() as u64;
+    for c in 0..batch.schema().arity() {
+        bytes += column_mem_bytes(batch.column(c));
+    }
+    bytes
+}
+
+/// One column's logical bytes under the same convention: one 16-byte
+/// value slot per row plus string payload lengths.
+pub(crate) fn column_mem_bytes(col: &crate::columnar::ColumnVec) -> u64 {
+    use crate::columnar::ColumnVec;
+    match col {
+        ColumnVec::Int(v) => 16 * v.len() as u64,
+        ColumnVec::Float(v) => 16 * v.len() as u64,
+        ColumnVec::Bool(v) => 16 * v.len() as u64,
+        ColumnVec::Str(v) => v.iter().map(|s| 16 + s.len() as u64).sum::<u64>(),
+        ColumnVec::Mixed(v) => v.iter().map(ua_engine::stats::value_mem_bytes).sum::<u64>(),
+    }
+}
+
+/// [`batch_mem_bytes`] summed over a stream — the logical footprint of a
+/// fully materialized pipeline-breaker output or join build side.
+pub(crate) fn stream_mem_bytes(stream: &BatchStream) -> u64 {
+    stream.batches.iter().map(batch_mem_bytes).sum()
+}
+
+/// Replay the pool's recorded per-morsel task spans onto the session
+/// thread's trace ring (`morsel N` / `build N`, category `pool`, tid
+/// `1 + worker`), then drop them. No-op when no trace ring is armed.
+pub(crate) fn inject_pool_spans(pool: &rayon::ThreadPool) {
+    for s in pool.take_spans() {
+        if let Some(ts) = ua_obs::trace_ns_of(s.start) {
+            let dur = s.end.saturating_duration_since(s.start).as_nanos() as u64;
+            let kind = if s.build { "build" } else { "morsel" };
+            ua_obs::trace_span_at(
+                &format!("{kind} {}", s.index),
+                "pool",
+                1 + s.worker as u64,
+                ts,
+                dur,
+            );
+        }
+    }
+}
+
+/// Publish an instrumented run's stats through the thread-local handoff
+/// slot, shared by the det/UA driver and the AU driver: replay morsel
+/// spans *before* `take_metrics` drains the shared pool state, and disarm
+/// the memory accumulator unconditionally so an uninstrumented (or
+/// failed) follow-up query starts clean.
+pub(crate) fn deposit_query_stats(
+    pool: &rayon::ThreadPool,
+    collect_trace: bool,
+    root: Option<OperatorStats>,
+    semantics: &str,
+) {
+    if collect_trace {
+        inject_pool_spans(pool);
+    }
+    let peak_mem_bytes = ua_obs::mem_query_finish().unwrap_or(0);
+    let Some(root) = root else { return };
+    let m = pool.take_metrics();
+    let pool_stats = PoolStats {
+        workers: m.workers as u64,
+        tasks: m.tasks,
+        stolen: m.stolen,
+        wall_ns: m.wall_ns,
+        merge_ns: m.merge_ns,
+        worker_busy_ns: m.worker_busy_ns,
+        worker_tasks: m.worker_tasks,
+        build_tasks: m.build_tasks,
+        build_wall_ns: m.build_wall_ns,
+        partition_merge_ns: m.partition_merge_ns,
+    };
+    ua_obs::set_last_query_stats(QueryStats {
+        engine: "vectorized".into(),
+        semantics: semantics.into(),
+        root,
+        pool: Some(pool_stats),
+        peak_mem_bytes,
+    });
+}
+
+/// A one-node stats tree for a failed query: the plan root's label with
+/// an `error` marker, the shape [`crate::exec::Driver::deposit_error_stats`]
+/// and the AU hook deposit so EXPLAIN ANALYZE can say *which* query died.
+pub(crate) fn error_root(plan: &Plan, catalog: &Catalog) -> OperatorStats {
+    let (name, detail) = node_label(plan);
+    let mut node = OperatorStats::new(name, detail);
+    node.est_rows = estimate_rows(plan, catalog);
+    node.push_extra("error", 1);
+    node
 }
 
 /// Bound pipeline stages, the schema they produce, and (when tracing)
@@ -700,6 +877,11 @@ struct StageTally {
     rows_out: u64,
     batches_out: u64,
     wall_ns: u64,
+    /// Output rows whose UA label bit is set (certain rows). Summation is
+    /// order-independent, so the merged figure is deterministic across
+    /// thread counts; only surfaced on UA runs (deterministic batches
+    /// carry all-certain labels by construction).
+    certain_rows: u64,
 }
 
 impl StageTally {
@@ -707,6 +889,7 @@ impl StageTally {
         self.rows_out += other.rows_out;
         self.batches_out += other.batches_out;
         self.wall_ns += other.wall_ns;
+        self.certain_rows += other.certain_rows;
     }
 }
 
@@ -805,6 +988,10 @@ fn run_chain_traced(
         t.wall_ns += timer.elapsed_ns();
         t.rows_out += next.iter().map(|b| b.len() as u64).sum::<u64>();
         t.batches_out += next.len() as u64;
+        t.certain_rows += next
+            .iter()
+            .map(|b| b.labels().count_ones() as u64)
+            .sum::<u64>();
         if next.is_empty() {
             return Ok((next, tallies));
         }

@@ -59,11 +59,23 @@ pub fn execute_ua_vectorized_opts(
     catalog: &Catalog,
     opts: ExecOptions,
 ) -> Result<Table, EngineError> {
+    if opts.collect_stats {
+        ua_obs::mem_query_start();
+    }
     let driver = Driver::new(catalog, opts, true);
-    let (stream, stats) = driver.stream_traced(plan)?;
-    let table = encoded_table_from_batches_pooled(&stream, &driver.pool);
-    driver.deposit_stats(stats, "ua");
-    Ok(table)
+    match driver.stream_traced(plan) {
+        Ok((stream, stats)) => {
+            let table = driver.phase("merge", || {
+                encoded_table_from_batches_pooled(&stream, &driver.pool)
+            });
+            driver.deposit_stats(stats, "ua");
+            Ok(table)
+        }
+        Err(e) => {
+            driver.deposit_error_stats(plan, "ua");
+            Err(e)
+        }
+    }
 }
 
 /// The batch-level UA evaluator, serial, with an explicit batch size (the
@@ -81,6 +93,7 @@ pub fn ua_stream(
             threads: 1,
             batch_rows,
             collect_stats: false,
+            collect_trace: false,
         },
     )
 }

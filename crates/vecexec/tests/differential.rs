@@ -458,6 +458,7 @@ fn opts(threads: usize, batch_rows: usize) -> ExecOptions {
         threads,
         batch_rows,
         collect_stats: false,
+        collect_trace: false,
     }
 }
 
